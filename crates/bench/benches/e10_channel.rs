@@ -1,0 +1,23 @@
+//! E10 bench — cost of one full secure-channel emulation measurement
+//! (both OTP and plaintext variants) per message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e10_channel::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_channel_emulation");
+    g.sample_size(10);
+    for m in [0i64, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let (otp, leaky, _) = measure(m);
+                assert_eq!(otp, 0.0);
+                assert!((leaky - 0.5).abs() < 1e-9);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

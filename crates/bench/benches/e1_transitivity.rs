@@ -1,0 +1,26 @@
+//! E1 bench — cost of measuring the transitive implementation triple
+//! (Thm 4.16) per bias triple.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e1_transitivity::{measure, TRIPLES};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_transitivity");
+    g.sample_size(10);
+    for (n, biases) in TRIPLES.iter().enumerate() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{biases:?}")),
+            biases,
+            |b, &bs| {
+                b.iter(|| {
+                    let (e12, e23, e13) = measure(&format!("e1bench{n}"), bs);
+                    assert!(e13 <= e12 + e23 + 1e-12);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E2 bench — cost of measuring the Lemma 4.3 composition bound as the
+//! number of composed automata grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e2_composition_bound::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_composition_bound");
+    g.sample_size(10);
+    for n in [2usize, 4, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let p = measure(n, 7000 + n as u64);
+                assert!(p.ratio <= 4.0);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E3 bench — cost of measuring the Lemma 4.5 hiding bound as the
+//! hidden set grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e3_hiding_bound::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_hiding_bound");
+    g.sample_size(10);
+    for k in [0usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let p = measure(k, 8000 + k as u64);
+                assert!(p.ratio <= 2.0);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E4 bench — cost of the composability measurement (Lemma 4.13) as the
+//! context chain grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e4_composability::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_composability");
+    g.sample_size(10);
+    for len in [0usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                let p = measure(&format!("e4bench{len}"), len);
+                assert!(p.composed_eps <= 0.375 + 1e-12);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

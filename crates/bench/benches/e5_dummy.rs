@@ -1,0 +1,23 @@
+//! E5 bench — cost of the exact-rational Lemma 4.29 certification as
+//! the adversary round-trip chain grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e5_dummy::measure;
+use dpioa_prob::Ratio;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_dummy_insertion");
+    g.sample_size(10);
+    for rounds in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &r| {
+            b.iter(|| {
+                let (eps, _) = measure(r);
+                assert_eq!(eps, Ratio::ZERO);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E6 bench — cost of the composite secure-emulation measurement
+//! (Thm 4.30) as the number of channel instances grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e6_secure_emulation::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_secure_emulation");
+    g.sample_size(10);
+    for b_instances in [1usize, 2] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(b_instances),
+            &b_instances,
+            |b, &n| {
+                b.iter(|| {
+                    let (eps, _, _) = measure(n);
+                    assert_eq!(eps, 0.0);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E7 bench — the engine kernels: exact cone expansion vs parallel
+//! Monte-Carlo sampling, and closed reachability, on n-coin banks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpioa_bench::util::coin_bank;
+use dpioa_core::compose;
+use dpioa_core::explore::{reachable_closed, ExploreLimits};
+use dpioa_sched::{execution_measure, sample_observations_parallel, FirstEnabled};
+
+fn bench_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_exact_measure");
+    g.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let sys = compose(coin_bank(&format!("e7be{n}"), n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let m = execution_measure(&*sys, &FirstEnabled, n + 1);
+                assert_eq!(m.len(), 1 << n);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_parallel_sampler");
+    g.sample_size(10);
+    let n = 6;
+    let sys = compose(coin_bank("e7bs", n));
+    for threads in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements(50_000));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    sample_observations_parallel(
+                        &*sys,
+                        &FirstEnabled,
+                        n + 1,
+                        50_000,
+                        41,
+                        threads,
+                        |e| e.lstate().clone(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_closed_reachability");
+    g.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let sys = compose(coin_bank(&format!("e7br{n}"), n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| reachable_closed(&*sys, ExploreLimits::default()).state_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_sampler, bench_reachability);
+criterion_main!(benches);

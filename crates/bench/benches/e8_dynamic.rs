@@ -1,0 +1,52 @@
+//! E8 bench — dynamic PCA kernels: creation/destruction stepping and
+//! the four-constraint audit on the subchain ledger.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e8_dynamic::churn_script;
+use dpioa_config::audit_pca;
+use dpioa_core::explore::ExploreLimits;
+use dpioa_core::{compose2, Automaton};
+use dpioa_protocols::subchain::{driver, ledger_pca};
+use dpioa_sched::{execution_measure, FirstEnabled};
+use std::sync::Arc;
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_churn_run");
+    g.sample_size(10);
+    for rounds in [1usize, 3, 6] {
+        let tag = format!("e8bc{rounds}");
+        let world = compose2(
+            driver(&tag, churn_script(&tag, rounds)),
+            ledger_pca(&tag, false) as Arc<dyn Automaton>,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &r| {
+            b.iter(|| {
+                let m = execution_measure(&*world, &FirstEnabled, 6 * r + 8);
+                assert_eq!(m.len(), 1);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_pca_audit");
+    g.sample_size(10);
+    let pca = ledger_pca("e8ba", false);
+    g.bench_function("audit-400-states", |b| {
+        b.iter(|| {
+            let report = audit_pca(
+                &*pca,
+                ExploreLimits {
+                    max_states: 400,
+                    max_depth: 8,
+                },
+            );
+            assert!(report.is_valid());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_audit);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E9 bench — cost of the structural closure audits per seed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpioa_bench::experiments::e9_structural::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_structural_audits");
+    g.sample_size(10);
+    g.bench_function("all-combinators-one-seed", |b| {
+        b.iter(|| {
+            let (r, co, h, s) = measure(9000);
+            assert!(r && co && h && s);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerate the experiment tables (E1–E10).
+//!
+//! Usage:
+//!   tables all            # run every experiment, print markdown
+//!   tables e5 e6          # run selected experiments
+//!   tables all --json DIR # additionally write one JSON file per table
+
+use dpioa_bench::experiments;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: tables <all | e1 .. e10>... [--json DIR]");
+        std::process::exit(2);
+    }
+    let mut json_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a directory");
+                    std::process::exit(2);
+                });
+                json_dir = Some(PathBuf::from(dir));
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_lowercase()),
+        }
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+    for id in ids {
+        let Some(table) = experiments::run(&id) else {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        };
+        println!("{table}");
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{id}.json"));
+            std::fs::write(&path, table.to_json()).expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

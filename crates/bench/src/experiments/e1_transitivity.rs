@@ -1,0 +1,59 @@
+//! E1 — Theorem 4.16 (transitivity of the implementation relation).
+//!
+//! For triples of announcer automata with biases `i/8 ≤ j/8 ≤ k/8`, the
+//! measured implementation distances must satisfy `ε₁₃ ≤ ε₁₂ + ε₂₃`.
+//! For this one-shot protocol shape the distances are exactly the bias
+//! gaps, so the inequality is tight (`ε₁₃ = ε₁₂ + ε₂₃`) — the "shape"
+//! E1 asserts.
+
+use crate::table::{fnum, Table};
+use crate::util::{announcer, asker};
+use dpioa_insight::TraceInsight;
+use dpioa_sched::SchedulerSchema;
+use dpioa_secure::implementation_epsilon;
+
+/// The bias triples swept.
+pub const TRIPLES: [(u64, u64, u64); 4] = [(1, 2, 4), (0, 4, 8), (2, 3, 7), (3, 3, 5)];
+
+/// Measure one triple; returns `(ε₁₂, ε₂₃, ε₁₃)`.
+pub fn measure(tag: &str, biases: (u64, u64, u64)) -> (f64, f64, f64) {
+    let (i, j, k) = biases;
+    let a1 = announcer(tag, i);
+    let a2 = announcer(tag, j);
+    let a3 = announcer(tag, k);
+    let envs = [asker(tag)];
+    let schema = SchedulerSchema::priority(8, 3);
+    let e12 = implementation_epsilon(&a1, &a2, &envs, &schema, &TraceInsight, 6).epsilon;
+    let e23 = implementation_epsilon(&a2, &a3, &envs, &schema, &TraceInsight, 6).epsilon;
+    let e13 = implementation_epsilon(&a1, &a3, &envs, &schema, &TraceInsight, 6).epsilon;
+    (e12, e23, e13)
+}
+
+/// Run E1 and build its table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E1",
+        "Transitivity of ≤ (Thm 4.16): ε₁₃ ≤ ε₁₂ + ε₂₃",
+        &["biases (i,j,k)/8", "ε₁₂", "ε₂₃", "ε₁₃", "ε₁₂+ε₂₃", "holds"],
+    );
+    let mut all_hold = true;
+    let mut all_tight = true;
+    for (n, biases) in TRIPLES.iter().enumerate() {
+        let (e12, e23, e13) = measure(&format!("e1t{n}"), *biases);
+        let holds = e13 <= e12 + e23 + 1e-12;
+        all_hold &= holds;
+        all_tight &= (e13 - (e12 + e23)).abs() < 1e-9;
+        t.row(vec![
+            format!("({}, {}, {})", biases.0, biases.1, biases.2),
+            fnum(e12),
+            fnum(e23),
+            fnum(e13),
+            fnum(e12 + e23),
+            holds.to_string(),
+        ]);
+    }
+    t.verdict(format!(
+        "triangle inequality holds on every triple: {all_hold}; tight on this protocol shape: {all_tight}"
+    ));
+    t
+}

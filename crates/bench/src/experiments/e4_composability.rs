@@ -1,0 +1,91 @@
+//! E4 — Lemma 4.13 / Theorem 4.15 (composability of implementation).
+//!
+//! If `A ≤_ε B`, then `C‖A ≤_ε C‖B`: attaching a context can never help
+//! the distinguisher, because the context folds into the environment
+//! side of the quantifier. We sweep context *chains* of growing length
+//! (relays that react to the announcement) and verify the measured
+//! distance never exceeds the base distance.
+
+use crate::table::{fnum, Table};
+use crate::util::{announcer, asker};
+use dpioa_core::{compose2, Action, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_insight::TraceInsight;
+use dpioa_sched::SchedulerSchema;
+use dpioa_secure::implementation_epsilon;
+use std::sync::Arc;
+
+/// A relay chain of length `len`: relay `i` converts `hop(i)` (or the
+/// announcer's `yes` for `i = 0`) into `hop(i+1)`.
+fn relay_chain(tag: &str, len: usize) -> Vec<Arc<dyn Automaton>> {
+    (0..len)
+        .map(|i| {
+            let input = if i == 0 {
+                Action::named(format!("yes-{tag}"))
+            } else {
+                Action::named(format!("hop-{tag}-{i}"))
+            };
+            let output = Action::named(format!("hop-{tag}-{}", i + 1));
+            ExplicitAutomaton::builder(format!("relay-{tag}-{i}"), Value::int(0))
+                .state(0, Signature::new([input], [], []))
+                .state(1, Signature::new([], [output], []))
+                .step(0, input, 1)
+                .step(1, output, 1)
+                .build()
+                .shared()
+        })
+        .collect()
+}
+
+/// Measured point for one context length.
+pub struct Point {
+    /// Context chain length.
+    pub context_len: usize,
+    /// Measured ε of `C‖A` vs `C‖B`.
+    pub composed_eps: f64,
+}
+
+/// Measure E4 for a given context length; `base_eps` is measured once.
+pub fn measure(tag: &str, context_len: usize) -> Point {
+    let a = announcer(tag, 2);
+    let b = announcer(tag, 5);
+    let mut ca: Arc<dyn Automaton> = a;
+    let mut cb: Arc<dyn Automaton> = b;
+    for relay in relay_chain(tag, context_len) {
+        ca = compose2(relay.clone(), ca);
+        cb = compose2(relay, cb);
+    }
+    let envs = [asker(tag)];
+    let schema = SchedulerSchema::priority(8, 5);
+    let composed_eps =
+        implementation_epsilon(&ca, &cb, &envs, &schema, &TraceInsight, 10).epsilon;
+    Point {
+        context_len,
+        composed_eps,
+    }
+}
+
+/// Run E4 and build its table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E4",
+        "Composability of ≤ (Lemma 4.13 / Thm 4.15): ε(C‖A, C‖B) ≤ ε(A, B)",
+        &["context chain length", "measured ε", "≤ base ε"],
+    );
+    let base = measure("e4base", 0).composed_eps;
+    let mut ok = true;
+    for len in 0..=3 {
+        let p = measure(&format!("e4c{len}"), len);
+        let holds = p.composed_eps <= base + 1e-12;
+        ok &= holds;
+        t.row(vec![
+            p.context_len.to_string(),
+            fnum(p.composed_eps),
+            holds.to_string(),
+        ]);
+    }
+    t.verdict(format!(
+        "base ε = {}; attaching context chains never increases the measured distance: {ok}",
+        fnum(base)
+    ));
+    t
+}

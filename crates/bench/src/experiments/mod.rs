@@ -1,0 +1,36 @@
+//! The experiment suite E1–E10 (see `DESIGN.md` §3 and `EXPERIMENTS.md`).
+
+pub mod e1_transitivity;
+pub mod e2_composition_bound;
+pub mod e3_hiding_bound;
+pub mod e4_composability;
+pub mod e5_dummy;
+pub mod e6_secure_emulation;
+pub mod e7_engine;
+pub mod e8_dynamic;
+pub mod e9_structural;
+pub mod e10_channel;
+
+use crate::table::Table;
+
+/// Run one experiment by id (`"e1"`…`"e10"`).
+pub fn run(id: &str) -> Option<Table> {
+    Some(match id {
+        "e1" => e1_transitivity::run(),
+        "e2" => e2_composition_bound::run(),
+        "e3" => e3_hiding_bound::run(),
+        "e4" => e4_composability::run(),
+        "e5" => e5_dummy::run(),
+        "e6" => e6_secure_emulation::run(),
+        "e7" => e7_engine::run(),
+        "e8" => e8_dynamic::run(),
+        "e9" => e9_structural::run(),
+        "e10" => e10_channel::run(),
+        _ => return None,
+    })
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 10] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+];

@@ -1,0 +1,15 @@
+//! # dpioa-bench — the experiment harness
+//!
+//! The paper is a brief announcement with no evaluation section; this
+//! crate provides the synthetic experiment suite (E1–E10, defined in
+//! `DESIGN.md` §3) that plays the role of its tables and figures. Each
+//! experiment is a pure function returning a [`table::Table`]; the
+//! `tables` binary renders them as markdown (and JSON for
+//! `EXPERIMENTS.md`), and the criterion benches in `benches/` measure
+//! the runtime of the underlying kernels.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+pub mod util;

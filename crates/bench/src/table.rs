@@ -1,0 +1,125 @@
+//! Experiment result tables: markdown rendering + JSON serialization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict summarizing expected-vs-measured.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Append a row; panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "table row arity");
+        self.rows.push(cells);
+    }
+
+    /// Set the verdict line.
+    pub fn verdict(&mut self, v: impl Into<String>) {
+        self.verdict = v.into();
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {} — {}\n", self.id, self.title)?;
+        writeln!(f, "| {} |", self.columns.join(" | "))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f, "\n**Verdict:** {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.fract() == 0.0 && x.abs() < 1e9 {
+        format!("{x:.0}")
+    } else if x.abs() >= 0.001 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Format a duration in milliseconds.
+pub fn fms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.verdict("fine");
+        let s = t.to_string();
+        assert!(s.contains("### E0"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert!(s.contains("**Verdict:** fine"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Table::new("E0", "demo", &["a"]);
+        t.row(vec!["x".into()]);
+        let j = t.to_json();
+        let back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(0.25), "0.2500");
+        assert!(fnum(1e-6).contains('e'));
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared model generators for the experiment suite.
+
+use dpioa_core::{Action, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_prob::Disc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A biased announcer: on env input `ask-<tag>`, internally mixes and
+/// announces `yes-<tag>` with probability `num/8`, else `no-<tag>`.
+pub fn announcer(tag: &str, num: u64) -> Arc<dyn Automaton> {
+    let ask = Action::named(format!("ask-{tag}"));
+    let mix = Action::named(format!("mix-{tag}"));
+    let yes = Action::named(format!("yes-{tag}"));
+    let no = Action::named(format!("no-{tag}"));
+    ExplicitAutomaton::builder(format!("announcer-{tag}-{num}"), Value::int(0))
+        .state(0, Signature::new([ask], [], []))
+        .state(1, Signature::new([], [], [mix]))
+        .state(2, Signature::new([], [yes], []))
+        .state(3, Signature::new([], [no], []))
+        .state(4, Signature::new([], [], []))
+        .step(0, ask, 1)
+        .transition(
+            1,
+            mix,
+            Disc::bernoulli_dyadic(Value::int(2), Value::int(3), num, 3),
+        )
+        .step(2, yes, 4)
+        .step(3, no, 4)
+        .build()
+        .shared()
+}
+
+/// The environment matching [`announcer`]: asks, then listens.
+pub fn asker(tag: &str) -> Arc<dyn Automaton> {
+    let ask = Action::named(format!("ask-{tag}"));
+    let yes = Action::named(format!("yes-{tag}"));
+    let no = Action::named(format!("no-{tag}"));
+    ExplicitAutomaton::builder(format!("asker-{tag}"), Value::int(0))
+        .state(0, Signature::new([], [ask], []))
+        .state(1, Signature::new([yes, no], [], []))
+        .state(2, Signature::new([], [], []))
+        .step(0, ask, 1)
+        .step(1, yes, 2)
+        .step(1, no, 2)
+        .build()
+        .shared()
+}
+
+/// A seeded random forward-moving PSIOA with `n_states` states; used by
+/// the bound-measurement experiments (E2/E3).
+pub fn random_automaton(prefix: &str, n_states: i64, seed: u64) -> Arc<dyn Automaton> {
+    assert!(n_states >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ExplicitAutomaton::builder(format!("{prefix}-rand{seed}"), Value::int(0));
+    for i in 0..n_states {
+        if i == n_states - 1 {
+            b = b.state(i, Signature::new([], [], []));
+            continue;
+        }
+        let n_actions = rng.gen_range(1..=2usize);
+        let mut outs = Vec::new();
+        let mut ints = Vec::new();
+        let mut trans: Vec<(Action, Disc<Value>)> = Vec::new();
+        for k in 0..n_actions {
+            let a = Action::named(format!("{prefix}-s{i}a{k}"));
+            if rng.gen_bool(0.5) {
+                outs.push(a);
+            } else {
+                ints.push(a);
+            }
+            let t1 = rng.gen_range(i + 1..=n_states - 1);
+            let t2 = rng.gen_range(i + 1..=n_states - 1);
+            let eta = if t1 == t2 {
+                Disc::dirac(Value::int(t1))
+            } else {
+                Disc::bernoulli_dyadic(Value::int(t1), Value::int(t2), 1, 1)
+            };
+            trans.push((a, eta));
+        }
+        b = b.state(i, Signature::new([], outs, ints));
+        for (a, eta) in trans {
+            b = b.transition(i, a, eta);
+        }
+    }
+    b.build().shared()
+}
+
+/// A chain of `n` coin automata with disjoint alphabets (for state-space
+/// growth measurements, E7).
+pub fn coin_bank(prefix: &str, n: usize) -> Vec<Arc<dyn Automaton>> {
+    (0..n)
+        .map(|i| {
+            let flip = Action::named(format!("{prefix}-flip{i}"));
+            ExplicitAutomaton::builder(format!("{prefix}-coin{i}"), Value::int(0))
+                .state(0, Signature::new([], [], [flip]))
+                .state(1, Signature::new([], [], []))
+                .state(2, Signature::new([], [], []))
+                .transition(
+                    0,
+                    flip,
+                    Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+                )
+                .build()
+                .shared()
+        })
+        .collect()
+}

@@ -1,0 +1,231 @@
+//! `b`-time-bounded automata (paper Defs. 4.1–4.2) and the measured
+//! composition/hiding laws (Lemmas 4.3, 4.5 / B.1–B.3).
+//!
+//! [`measure_bound`] walks the reachable prefix of an automaton and
+//! returns the tightest `b` such that every clause of Def. 4.1 holds:
+//! representation lengths of states/actions/transitions and the step
+//! counts of all decision procedures are at most `b`. For a PCA,
+//! [`measure_pca_bound`] adds the Def. 4.2 clauses (configuration,
+//! created-set and hidden-set representations and their decision costs).
+//!
+//! Experiments E2/E3 *measure* the constants `c_comp`, `c_hide` of
+//! Lemmas 4.3/4.5 by computing `measure_bound(A₁‖A₂) / (b₁ + b₂)` over
+//! randomized automata, validating the linear laws the proofs establish.
+
+use crate::cost::{sig_cost, start_cost, state_cost, step_cost, trans_cost};
+use crate::encoding::{encode_action, encode_config, encode_transition, encode_value};
+use dpioa_config::Pca;
+use dpioa_core::explore::{reachable, ExploreLimits};
+use dpioa_core::{Automaton, Value};
+
+/// Per-clause maxima over the reachable prefix.
+#[derive(Clone, Debug, Default)]
+pub struct BoundReport {
+    /// Largest state encoding, in bytes.
+    pub max_state_bytes: u64,
+    /// Largest action encoding, in bytes.
+    pub max_action_bytes: u64,
+    /// Largest transition encoding, in bytes.
+    pub max_transition_bytes: u64,
+    /// Largest decision-procedure cost (`M_start/M_sig/M_trans/M_step`).
+    pub max_decode_steps: u64,
+    /// Largest next-state cost (`M_state`).
+    pub max_state_steps: u64,
+    /// PCA only: largest configuration/created/hidden encoding.
+    pub max_pca_bytes: u64,
+    /// States examined.
+    pub states_checked: usize,
+    /// True iff exploration hit a cap.
+    pub truncated: bool,
+}
+
+impl BoundReport {
+    /// The tightest `b` for Def. 4.1/4.2 on the explored prefix: the
+    /// maximum over every clause.
+    pub fn bound(&self) -> u64 {
+        self.max_state_bytes
+            .max(self.max_action_bytes)
+            .max(self.max_transition_bytes)
+            .max(self.max_decode_steps)
+            .max(self.max_state_steps)
+            .max(self.max_pca_bytes)
+    }
+}
+
+/// Measure the Def. 4.1 bound of an automaton over its reachable prefix.
+pub fn measure_bound(auto: &dyn Automaton, limits: ExploreLimits) -> BoundReport {
+    let r = reachable(auto, limits);
+    let mut report = BoundReport {
+        states_checked: r.state_count(),
+        truncated: r.truncated,
+        ..BoundReport::default()
+    };
+    for q in &r.states {
+        measure_state(auto, q, &mut report);
+    }
+    report
+}
+
+fn measure_state(auto: &dyn Automaton, q: &Value, report: &mut BoundReport) {
+    report.max_state_bytes = report.max_state_bytes.max(encode_value(q).len() as u64);
+    report.max_decode_steps = report.max_decode_steps.max(start_cost(auto, q));
+    let sig = auto.signature(q);
+    for a in sig.all() {
+        report.max_action_bytes = report
+            .max_action_bytes
+            .max(encode_action(a).len() as u64);
+        report.max_decode_steps = report
+            .max_decode_steps
+            .max(sig_cost(auto, q, a))
+            .max(trans_cost(auto, q, a));
+        report.max_state_steps = report.max_state_steps.max(state_cost(auto, q, a));
+        if let Some(eta) = auto.transition(q, a) {
+            report.max_transition_bytes = report
+                .max_transition_bytes
+                .max(encode_transition(q, a, &eta).len() as u64);
+            for (q2, _) in eta.iter() {
+                report.max_decode_steps =
+                    report.max_decode_steps.max(step_cost(auto, q, a, q2));
+            }
+        }
+    }
+}
+
+/// Measure the Def. 4.2 bound of a PCA: the PSIOA clauses plus the
+/// configuration / created-set / hidden-set representations and their
+/// (byte-charged) decision costs.
+pub fn measure_pca_bound(pca: &dyn Pca, limits: ExploreLimits) -> BoundReport {
+    let r = reachable(pca, limits);
+    let mut report = BoundReport {
+        states_checked: r.state_count(),
+        truncated: r.truncated,
+        ..BoundReport::default()
+    };
+    for q in &r.states {
+        measure_state(pca, q, &mut report);
+        let config = pca.config(q);
+        let config_bytes = encode_config(&config.to_value()).len() as u64;
+        report.max_pca_bytes = report.max_pca_bytes.max(config_bytes);
+        let hidden = pca.hidden_actions(q);
+        let hidden_bytes: u64 = hidden.iter().map(|&a| encode_action(a).len() as u64).sum();
+        report.max_pca_bytes = report.max_pca_bytes.max(hidden_bytes);
+        for a in pca.signature(q).all() {
+            let created = pca.created(q, a);
+            let created_bytes: u64 = created
+                .iter()
+                .map(|id| id.name().len() as u64 + 1)
+                .sum();
+            report.max_pca_bytes = report.max_pca_bytes.max(created_bytes);
+            // M_conf / M_created / M_hidden: read ⟨q⟩⟨a⟩, write output.
+            let cost = encode_value(q).len() as u64
+                + encode_action(a).len() as u64
+                + config_bytes
+                + created_bytes
+                + hidden_bytes;
+            report.max_decode_steps = report.max_decode_steps.max(cost);
+        }
+    }
+    report
+}
+
+/// True iff the automaton is `b`-time-bounded on its explored prefix.
+pub fn is_time_bounded(auto: &dyn Automaton, b: u64, limits: ExploreLimits) -> bool {
+    measure_bound(auto, limits).bound() <= b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_config::{Autid, ConfigAutomaton, Registry};
+    use dpioa_core::{compose2, hide_static, Action, ExplicitAutomaton, Signature};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn machine(tag: &str) -> Arc<dyn Automaton> {
+        let go = act(&format!("bd-go-{tag}"));
+        let out = act(&format!("bd-out-{tag}"));
+        ExplicitAutomaton::builder(format!("bd-{tag}"), Value::int(0))
+            .state(0, Signature::new([go], [out], []))
+            .state(1, Signature::new([], [out], []))
+            .step(0, go, 1)
+            .step(0, out, 0)
+            .step(1, out, 1)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn bound_report_is_populated() {
+        let m = machine("basic");
+        let r = measure_bound(&*m, ExploreLimits::default());
+        assert!(r.max_state_bytes > 0);
+        assert!(r.max_action_bytes > 0);
+        assert!(r.max_transition_bytes > 0);
+        assert!(r.max_decode_steps > 0);
+        assert!(r.max_state_steps > 0);
+        assert_eq!(r.states_checked, 2);
+        assert!(r.bound() >= r.max_transition_bytes);
+    }
+
+    #[test]
+    fn is_time_bounded_thresholds() {
+        let m = machine("thr");
+        let b = measure_bound(&*m, ExploreLimits::default()).bound();
+        assert!(is_time_bounded(&*m, b, ExploreLimits::default()));
+        assert!(!is_time_bounded(&*m, b - 1, ExploreLimits::default()));
+    }
+
+    #[test]
+    fn lemma_4_3_composition_bound_is_linear() {
+        // measured(A1‖A2) ≤ c_comp · (b1 + b2) with a modest constant.
+        let a1 = machine("c1");
+        let a2 = machine("c2");
+        let b1 = measure_bound(&*a1, ExploreLimits::default()).bound();
+        let b2 = measure_bound(&*a2, ExploreLimits::default()).bound();
+        let comp = compose2(a1, a2);
+        let bc = measure_bound(&*comp, ExploreLimits::default()).bound();
+        let c_comp = bc as f64 / (b1 + b2) as f64;
+        assert!(c_comp <= 4.0, "c_comp = {c_comp}");
+        assert!(bc >= b1.max(b2)); // composition cannot shrink descriptions
+    }
+
+    #[test]
+    fn lemma_4_5_hiding_bound_is_linear() {
+        let a = machine("h1");
+        let b = measure_bound(&*a, ExploreLimits::default()).bound();
+        let hidden = hide_static(a, [act("bd-out-h1")]);
+        let bh = measure_bound(&*hidden, ExploreLimits::default()).bound();
+        // Hiding only relabels; the cost model may shift by a constant
+        // factor but not explode.
+        let c_hide = bh as f64 / b as f64;
+        assert!(c_hide <= 2.0, "c_hide = {c_hide}");
+    }
+
+    #[test]
+    fn pca_bound_includes_configuration_clauses() {
+        let spawnling = machine("pca");
+        let id = Autid::named("bd-member");
+        let child = Autid::named("bd-child");
+        let reg = Registry::builder()
+            .register(id, spawnling)
+            .register(child, machine("pca-child"))
+            .build();
+        let pca = ConfigAutomaton::builder("bd-pca", reg)
+            .member(id)
+            .created(move |_, a| {
+                if a == act("bd-go-pca") {
+                    [child].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                }
+            })
+            .build();
+        let r = measure_pca_bound(&pca, ExploreLimits::default());
+        assert!(r.max_pca_bytes > 0);
+        assert!(r.bound() >= r.max_pca_bytes);
+    }
+}

@@ -1,0 +1,117 @@
+//! The abstract cost model for the Def. 4.1 decision procedures.
+//!
+//! Each of the paper's Turing machines is replaced by the corresponding
+//! decision procedure over canonical encodings, charged **one step per
+//! encoded byte read or written**. This makes costs deterministic and
+//! platform-independent while preserving exactly the structure the
+//! composition/hiding lemmas (4.3, 4.5) reason about: a composite state's
+//! encoding is the concatenation of the parts (plus constant framing), so
+//! the composite decision costs are, measurably, a constant times the sum
+//! of the component bounds.
+
+use crate::encoding::{encode_action, encode_disc, encode_value};
+use dpioa_core::{Action, Automaton, Value};
+
+/// Cost of `M_start`: deciding whether `q` is the start state of `A`
+/// (read `⟨q⟩`, read `⟨start(A)⟩`, compare).
+pub fn start_cost(auto: &dyn Automaton, q: &Value) -> u64 {
+    let query = encode_value(q).len() as u64;
+    let start = encode_value(&auto.start_state()).len() as u64;
+    query + start
+}
+
+/// Cost of `M_sig`: deciding membership of `a` in one signature class at
+/// `q` (read `⟨q⟩`, read `⟨a⟩`, scan the class's action encodings).
+pub fn sig_cost(auto: &dyn Automaton, q: &Value, a: Action) -> u64 {
+    let mut cost = encode_value(q).len() as u64 + encode_action(a).len() as u64;
+    let sig = auto.signature(q);
+    for b in sig.all() {
+        cost += encode_action(b).len() as u64;
+    }
+    cost
+}
+
+/// Cost of `M_trans`: deciding whether `(q, a, η)` is a transition of `A`
+/// (read `⟨tr⟩`, recompute the unique measure, compare encodings).
+pub fn trans_cost(auto: &dyn Automaton, q: &Value, a: Action) -> u64 {
+    let mut cost = encode_value(q).len() as u64 + encode_action(a).len() as u64;
+    if let Some(eta) = auto.transition(q, a) {
+        cost += 2 * encode_disc(&eta).len() as u64; // read candidate + write recomputed
+    }
+    cost
+}
+
+/// Cost of `M_step`: deciding whether `q' ∈ supp(η_{(A,q,a)})` (read the
+/// transition encoding, read `⟨q'⟩`, scan the support).
+pub fn step_cost(auto: &dyn Automaton, q: &Value, a: Action, q2: &Value) -> u64 {
+    let mut cost = encode_value(q).len() as u64
+        + encode_action(a).len() as u64
+        + encode_value(q2).len() as u64;
+    if let Some(eta) = auto.transition(q, a) {
+        for (s, _) in eta.iter() {
+            cost += encode_value(s).len() as u64;
+        }
+    }
+    cost
+}
+
+/// Cost of the probabilistic `M_state`: producing the next state from
+/// `(q, a)` (read inputs, write the sampled state's encoding — charged as
+/// the largest support element, the worst case).
+pub fn state_cost(auto: &dyn Automaton, q: &Value, a: Action) -> u64 {
+    let mut cost = encode_value(q).len() as u64 + encode_action(a).len() as u64;
+    if let Some(eta) = auto.transition(q, a) {
+        cost += eta
+            .iter()
+            .map(|(s, _)| encode_value(s).len() as u64)
+            .max()
+            .unwrap_or(0);
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{ExplicitAutomaton, Signature};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn auto() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("cost-auto", Value::int(0))
+            .state(0, Signature::new([], [act("cost-go")], []))
+            .state(1, Signature::new([], [], []))
+            .step(0, act("cost-go"), 1)
+            .build()
+    }
+
+    #[test]
+    fn costs_are_positive_and_deterministic() {
+        let a = auto();
+        let q0 = Value::int(0);
+        let go = act("cost-go");
+        assert!(start_cost(&a, &q0) > 0);
+        assert_eq!(start_cost(&a, &q0), start_cost(&a, &q0));
+        assert!(sig_cost(&a, &q0, go) > 0);
+        assert!(trans_cost(&a, &q0, go) > 0);
+        assert!(step_cost(&a, &q0, go, &Value::int(1)) > 0);
+        assert!(state_cost(&a, &q0, go) > 0);
+    }
+
+    #[test]
+    fn larger_states_cost_more() {
+        let a = auto();
+        let small = Value::int(0);
+        let big = Value::tuple(vec![Value::str("a long component"); 8]);
+        assert!(start_cost(&a, &big) > start_cost(&a, &small));
+    }
+
+    #[test]
+    fn disabled_action_still_charges_reads() {
+        let a = auto();
+        let c = trans_cost(&a, &Value::int(1), act("cost-go"));
+        assert!(c > 0); // reading the query is never free
+    }
+}

@@ -1,0 +1,322 @@
+//! Canonical bit-string representations `⟨q⟩, ⟨a⟩, ⟨tr⟩, ⟨C⟩` (paper §4
+//! preamble).
+//!
+//! Every state is a [`Value`], so a single canonical, self-delimiting
+//! binary encoding covers states, configurations (their `Value` form) and
+//! — combined with action and measure encodings — transitions. The
+//! encoding is length-prefixed (LEB128 varints), byte-oriented, and
+//! round-trips exactly ([`decode_value`]), which the property tests use
+//! to certify injectivity: distinct values must have distinct encodings,
+//! otherwise "bounded description" would be meaningless.
+
+use dpioa_core::{Action, Value};
+use dpioa_prob::Disc;
+use std::collections::BTreeMap;
+
+fn push_varint(out: &mut Vec<u8>, mut n: u64) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut n: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = input.get(*pos)?;
+        *pos += 1;
+        n |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(n);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BYTES: u8 = 4;
+const TAG_TUPLE: u8 = 5;
+const TAG_LIST: u8 = 6;
+const TAG_MAP: u8 = 7;
+
+fn encode_value_into(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Unit => out.push(TAG_UNIT),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            // ZigZag so small magnitudes stay short.
+            let z = ((i << 1) ^ (i >> 63)) as u64;
+            push_varint(out, z);
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            push_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            push_varint(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Value::Tuple(items) | Value::List(items) => {
+            out.push(if matches!(v, Value::Tuple(_)) {
+                TAG_TUPLE
+            } else {
+                TAG_LIST
+            });
+            push_varint(out, items.len() as u64);
+            for item in items.iter() {
+                encode_value_into(item, out);
+            }
+        }
+        Value::Map(m) => {
+            out.push(TAG_MAP);
+            push_varint(out, m.len() as u64);
+            for (k, val) in m.iter() {
+                encode_value_into(k, out);
+                encode_value_into(val, out);
+            }
+        }
+    }
+}
+
+/// The canonical byte encoding `⟨q⟩` of a state (or any value).
+pub fn encode_value(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_value_into(v, &mut out);
+    out
+}
+
+fn decode_value_at(input: &[u8], pos: &mut usize) -> Option<Value> {
+    let &tag = input.get(*pos)?;
+    *pos += 1;
+    Some(match tag {
+        TAG_UNIT => Value::Unit,
+        TAG_BOOL => {
+            let &b = input.get(*pos)?;
+            *pos += 1;
+            Value::Bool(b != 0)
+        }
+        TAG_INT => {
+            let z = read_varint(input, pos)?;
+            let i = ((z >> 1) as i64) ^ -((z & 1) as i64);
+            Value::Int(i)
+        }
+        TAG_STR => {
+            let len = read_varint(input, pos)? as usize;
+            let bytes = input.get(*pos..*pos + len)?;
+            *pos += len;
+            Value::str(std::str::from_utf8(bytes).ok()?)
+        }
+        TAG_BYTES => {
+            let len = read_varint(input, pos)? as usize;
+            let bytes = input.get(*pos..*pos + len)?;
+            *pos += len;
+            Value::bytes(bytes.to_vec())
+        }
+        TAG_TUPLE | TAG_LIST => {
+            let len = read_varint(input, pos)? as usize;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(decode_value_at(input, pos)?);
+            }
+            if tag == TAG_TUPLE {
+                Value::tuple(items)
+            } else {
+                Value::list(items)
+            }
+        }
+        TAG_MAP => {
+            let len = read_varint(input, pos)? as usize;
+            let mut m = BTreeMap::new();
+            for _ in 0..len {
+                let k = decode_value_at(input, pos)?;
+                let v = decode_value_at(input, pos)?;
+                m.insert(k, v);
+            }
+            Value::Map(std::sync::Arc::new(m))
+        }
+        _ => return None,
+    })
+}
+
+/// Decode a canonical encoding back into a value; `None` on malformed
+/// input or trailing bytes.
+pub fn decode_value(input: &[u8]) -> Option<Value> {
+    let mut pos = 0;
+    let v = decode_value_at(input, &mut pos)?;
+    (pos == input.len()).then_some(v)
+}
+
+/// The canonical encoding `⟨a⟩` of an action: its interned *name* bytes
+/// (stable across processes, unlike the symbol id).
+pub fn encode_action(a: Action) -> Vec<u8> {
+    let name = a.name();
+    let mut out = Vec::with_capacity(name.len() + 2);
+    push_varint(&mut out, name.len() as u64);
+    out.extend_from_slice(name.as_bytes());
+    out
+}
+
+/// The canonical encoding of a transition measure: sorted
+/// `(state, weight-bits)` pairs. Weights are encoded as raw IEEE-754 bits
+/// — every shipped weight is dyadic, so this is exact.
+pub fn encode_disc(eta: &Disc<Value>) -> Vec<u8> {
+    let mut entries: Vec<(Vec<u8>, f64)> = eta
+        .iter()
+        .map(|(q, w)| (encode_value(q), *w))
+        .collect();
+    // Encodings are injective, so sorting by them alone is canonical.
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::new();
+    push_varint(&mut out, entries.len() as u64);
+    for (enc, w) in entries {
+        push_varint(&mut out, enc.len() as u64);
+        out.extend_from_slice(&enc);
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// The canonical encoding `⟨tr⟩` of a transition `(q, a, η)`.
+pub fn encode_transition(q: &Value, a: Action, eta: &Disc<Value>) -> Vec<u8> {
+    let mut out = encode_value(q);
+    out.extend(encode_action(a));
+    out.extend(encode_disc(eta));
+    out
+}
+
+/// The canonical encoding `⟨C⟩` of a configuration, via its canonical
+/// [`Value`] form.
+pub fn encode_config(config_value: &Value) -> Vec<u8> {
+    encode_value(config_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    #[test]
+    fn round_trip_simple_values() {
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::int(0),
+            Value::int(-1),
+            Value::int(i64::MAX),
+            Value::int(i64::MIN),
+            Value::str(""),
+            Value::str("hello"),
+            Value::bytes(vec![]),
+            Value::bytes(vec![0, 255, 128]),
+            Value::tuple(vec![Value::int(1), Value::str("x")]),
+            Value::list(vec![Value::Unit; 3]),
+            Value::map(vec![(Value::int(1), Value::str("a"))]),
+        ] {
+            let enc = encode_value(&v);
+            assert_eq!(decode_value(&enc), Some(v.clone()), "value {v}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v = Value::map(vec![
+            (
+                Value::str("cfg"),
+                Value::tuple(vec![Value::int(3), Value::list(vec![Value::Bool(true)])]),
+            ),
+            (Value::str("x"), Value::bytes(vec![9, 9])),
+        ]);
+        assert_eq!(decode_value(&encode_value(&v)), Some(v));
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert_eq!(decode_value(&[99]), None);
+        assert_eq!(decode_value(&[]), None);
+        // Trailing garbage rejected.
+        let mut enc = encode_value(&Value::Unit);
+        enc.push(0);
+        assert_eq!(decode_value(&enc), None);
+    }
+
+    #[test]
+    fn action_encoding_uses_names() {
+        let e1 = encode_action(act("enc-alpha"));
+        let e2 = encode_action(act("enc-alpha"));
+        let e3 = encode_action(act("enc-beta"));
+        assert_eq!(e1, e2);
+        assert_ne!(e1, e3);
+        assert!(e1.len() > "enc-alpha".len()); // length prefix included
+    }
+
+    #[test]
+    fn disc_encoding_is_order_canonical() {
+        let d1 = Disc::from_entries(vec![(Value::int(1), 0.5), (Value::int(2), 0.5)]).unwrap();
+        let d2 = Disc::from_entries(vec![(Value::int(2), 0.5), (Value::int(1), 0.5)]).unwrap();
+        assert_eq!(encode_disc(&d1), encode_disc(&d2));
+    }
+
+    #[test]
+    fn transition_encoding_composes_parts() {
+        let eta = Disc::dirac(Value::int(1));
+        let enc = encode_transition(&Value::int(0), act("enc-t"), &eta);
+        assert!(enc.len() >= encode_value(&Value::int(0)).len() + encode_action(act("enc-t")).len());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Unit),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            "[a-z]{0,8}".prop_map(Value::str),
+            proptest::collection::vec(any::<u8>(), 0..8).prop_map(Value::bytes),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::tuple),
+                proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+                proptest::collection::vec((inner.clone(), inner), 0..3)
+                    .prop_map(|pairs| Value::map(pairs)),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn encoding_round_trips(v in arb_value()) {
+            prop_assert_eq!(decode_value(&encode_value(&v)), Some(v.clone()));
+        }
+
+        #[test]
+        fn encoding_is_injective(a in arb_value(), b in arb_value()) {
+            if a != b {
+                prop_assert_ne!(encode_value(&a), encode_value(&b));
+            } else {
+                prop_assert_eq!(encode_value(&a), encode_value(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Indexed families of automata and schedulers (paper Defs. 4.7–4.10)
+//! with polynomial and negligible bound functions.
+//!
+//! A family `A̲ = (A_k)_{k∈ℕ}` is represented lazily by a generator
+//! closure; boundedness (`A_k` is `b(k)`-time-bounded for each `k`) is
+//! checked on a finite index window, the standard finitary rendering of
+//! the asymptotic definition (documented substitution: the asymptotic
+//! claim is validated on a sweep, never assumed).
+
+use crate::bounds::{measure_bound, BoundReport};
+use dpioa_core::explore::ExploreLimits;
+use dpioa_core::Automaton;
+use dpioa_sched::Scheduler;
+use std::sync::Arc;
+
+/// A bound function `b : ℕ → ℝ≥0` with named shapes used by the
+/// experiments (polynomials and negligible functions).
+#[derive(Clone, Debug)]
+pub enum BoundFn {
+    /// A constant bound.
+    Constant(f64),
+    /// A polynomial `Σ coeffs[i] · kⁱ` (coefficients must be ≥ 0).
+    Poly(Vec<f64>),
+    /// A negligible bound `c · 2^(−k)`.
+    NegExp(f64),
+}
+
+impl BoundFn {
+    /// Evaluate at index `k`.
+    pub fn eval(&self, k: usize) -> f64 {
+        match self {
+            BoundFn::Constant(c) => *c,
+            BoundFn::Poly(coeffs) => coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c * (k as f64).powi(i as i32))
+                .sum(),
+            BoundFn::NegExp(c) => c * 2f64.powi(-(k as i32)),
+        }
+    }
+
+    /// True iff the bound is a polynomial shape (Def. 4.12's `pt` side).
+    pub fn is_polynomial(&self) -> bool {
+        matches!(self, BoundFn::Constant(_) | BoundFn::Poly(_))
+    }
+
+    /// True iff the bound is a negligible shape (`neg` side).
+    pub fn is_negligible(&self) -> bool {
+        matches!(self, BoundFn::NegExp(_)) || matches!(self, BoundFn::Constant(c) if *c == 0.0)
+    }
+}
+
+/// A PSIOA (or PCA) family `(A_k)_{k∈ℕ}` (Def. 4.7).
+pub struct AutomatonFamily {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    gen: Box<dyn Fn(usize) -> Arc<dyn Automaton> + Send + Sync>,
+}
+
+impl AutomatonFamily {
+    /// Build a family from an index generator.
+    pub fn new(
+        name: impl Into<String>,
+        gen: impl Fn(usize) -> Arc<dyn Automaton> + Send + Sync + 'static,
+    ) -> AutomatonFamily {
+        AutomatonFamily {
+            name: name.into(),
+            gen: Box::new(gen),
+        }
+    }
+
+    /// The family's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `A_k`: the member at index `k`.
+    pub fn at(&self, k: usize) -> Arc<dyn Automaton> {
+        (self.gen)(k)
+    }
+
+    /// Compose two families index-wise (Def. 4.7: `C_k = A_k‖B_k`).
+    pub fn compose(self: Arc<Self>, other: Arc<AutomatonFamily>) -> AutomatonFamily {
+        let name = format!("{}‖{}", self.name, other.name);
+        AutomatonFamily::new(name, move |k| {
+            dpioa_core::compose2(self.at(k), other.at(k))
+        })
+    }
+
+    /// Check Def. 4.8 on an index window: `A_k` must be `b(k)`-bounded for
+    /// every `k` in the window. Returns per-index measured bounds.
+    pub fn check_bounded(
+        &self,
+        bound: &BoundFn,
+        ks: impl IntoIterator<Item = usize>,
+        limits: ExploreLimits,
+    ) -> Result<Vec<(usize, BoundReport)>, (usize, u64, f64)> {
+        let mut reports = Vec::new();
+        for k in ks {
+            let member = self.at(k);
+            let report = measure_bound(&*member, limits);
+            let measured = report.bound();
+            let allowed = bound.eval(k);
+            if (measured as f64) > allowed {
+                return Err((k, measured, allowed));
+            }
+            reports.push((k, report));
+        }
+        Ok(reports)
+    }
+}
+
+/// A scheduler family `(σ_k)_{k∈ℕ}` (Def. 4.9).
+pub struct SchedulerFamily {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    gen: Box<dyn Fn(usize) -> Arc<dyn Scheduler> + Send + Sync>,
+}
+
+impl SchedulerFamily {
+    /// Build a family from an index generator.
+    pub fn new(
+        name: impl Into<String>,
+        gen: impl Fn(usize) -> Arc<dyn Scheduler> + Send + Sync + 'static,
+    ) -> SchedulerFamily {
+        SchedulerFamily {
+            name: name.into(),
+            gen: Box::new(gen),
+        }
+    }
+
+    /// The family's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `σ_k`: the member at index `k`.
+    pub fn at(&self, k: usize) -> Arc<dyn Scheduler> {
+        (self.gen)(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Action, ExplicitAutomaton, Signature, Value};
+    use dpioa_sched::{BoundedScheduler, FirstEnabled};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// A counter automaton whose state grows with k (bigger encodings).
+    fn counter_family() -> AutomatonFamily {
+        AutomatonFamily::new("counters", |k| {
+            let tick = act("fam-tick");
+            let mut b = ExplicitAutomaton::builder(format!("ctr{k}"), Value::int(0));
+            for i in 0..=(k as i64) {
+                let sig = if i < k as i64 {
+                    Signature::new([], [], [tick])
+                } else {
+                    Signature::new([], [], [])
+                };
+                b = b.state(i, sig);
+                if i < k as i64 {
+                    b = b.step(i, tick, i + 1);
+                }
+            }
+            b.build().shared()
+        })
+    }
+
+    #[test]
+    fn bound_fn_shapes() {
+        let p = BoundFn::Poly(vec![1.0, 2.0, 3.0]); // 1 + 2k + 3k²
+        assert_eq!(p.eval(0), 1.0);
+        assert_eq!(p.eval(2), 17.0);
+        assert!(p.is_polynomial());
+        assert!(!p.is_negligible());
+        let n = BoundFn::NegExp(1.0);
+        assert_eq!(n.eval(3), 0.125);
+        assert!(n.is_negligible());
+        assert!(BoundFn::Constant(0.0).is_negligible());
+        assert!(!BoundFn::Constant(5.0).is_negligible());
+    }
+
+    #[test]
+    fn family_members_are_indexable() {
+        let fam = counter_family();
+        assert_eq!(fam.name(), "counters");
+        let a3 = fam.at(3);
+        let r = measure_bound(&*a3, ExploreLimits::default());
+        assert_eq!(r.states_checked, 4);
+    }
+
+    #[test]
+    fn polynomially_bounded_family_passes() {
+        let fam = counter_family();
+        // A generous linear bound covers the growing encodings.
+        let bound = BoundFn::Poly(vec![200.0, 100.0]);
+        let reports = fam
+            .check_bounded(&bound, 0..6, ExploreLimits::default())
+            .expect("family should be bounded");
+        assert_eq!(reports.len(), 6);
+        // Measured bounds are non-decreasing in k for this family.
+        for w in reports.windows(2) {
+            assert!(w[0].1.bound() <= w[1].1.bound());
+        }
+    }
+
+    #[test]
+    fn too_tight_bound_fails_with_witness() {
+        let fam = counter_family();
+        let bound = BoundFn::Constant(1.0);
+        let err = fam
+            .check_bounded(&bound, 0..3, ExploreLimits::default())
+            .unwrap_err();
+        assert_eq!(err.0, 0); // fails already at k = 0
+        assert!(err.1 as f64 > err.2);
+    }
+
+    #[test]
+    fn families_compose_indexwise() {
+        let f1 = Arc::new(counter_family());
+        let f2 = Arc::new(AutomatonFamily::new("idle", |_| {
+            ExplicitAutomaton::builder("idle", Value::Unit)
+                .state(Value::Unit, Signature::new([], [], []))
+                .build()
+                .shared()
+        }));
+        let composed = f1.compose(f2);
+        assert!(composed.name().contains("counters"));
+        let member = composed.at(2);
+        assert_eq!(member.start_state().tuple_len(), Some(2));
+    }
+
+    #[test]
+    fn scheduler_family_indexes_bounds() {
+        let fam = SchedulerFamily::new("bounded-first", |k| {
+            Arc::new(BoundedScheduler::new(FirstEnabled, k)) as Arc<dyn Scheduler>
+        });
+        assert_eq!(fam.name(), "bounded-first");
+        assert!(fam.at(4).describe().contains("≤4"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # dpioa-bounded — bit encodings, cost model and bounded automata
+//!
+//! This crate implements Section 4.1–4.5 of *"Composable Dynamic Secure
+//! Emulation"*: the computational-boundedness layer that turns the
+//! information-theoretic implementation relation into a *computational*
+//! indistinguishability statement.
+//!
+//! **Substitution note (documented in DESIGN.md).** The paper bounds
+//! Turing machines (`M_start`, `M_sig`, `M_trans`, `M_step`, `M_state`)
+//! by wall-clock step counts. Lemmas 4.3 and 4.5 only use the *laws*
+//! those bounds obey under composition and hiding (`c·(b₁+b₂)` and
+//! `c·(b+b')`). We therefore replace TMs by a deterministic abstract cost
+//! model: canonical bit-string encodings `⟨q⟩, ⟨a⟩, ⟨tr⟩, ⟨C⟩`
+//! ([`encoding`]) plus step counters charging one unit per encoded byte
+//! read or written by each decision procedure ([`cost`]). The same
+//! composition laws are then *measured*, not assumed, by the E2/E3
+//! experiments.
+//!
+//! * [`bounds::measure_bound`] computes the tightest `b` for which an
+//!   automaton is `b`-time-bounded over its reachable prefix (Def. 4.1),
+//!   and [`bounds::measure_pca_bound`] adds the PCA clauses (Def. 4.2).
+//! * [`family`] provides indexed families (Defs. 4.7–4.10) with
+//!   polynomial and negligible bound functions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod cost;
+pub mod encoding;
+pub mod family;
+
+pub use bounds::{is_time_bounded, measure_bound, measure_pca_bound, BoundReport};
+pub use cost::{sig_cost, start_cost, state_cost, step_cost, trans_cost};
+pub use encoding::{
+    decode_value, encode_action, encode_config, encode_disc, encode_transition, encode_value,
+};
+pub use family::{AutomatonFamily, BoundFn, SchedulerFamily};

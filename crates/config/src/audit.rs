@@ -1,0 +1,306 @@
+//! Independent verification of the four PCA constraints (Def. 2.16).
+//!
+//! [`ConfigAutomaton`](crate::pca::ConfigAutomaton) satisfies the
+//! constraints by construction, but composed, hidden or user-written PCA
+//! could violate them. [`audit_pca`] re-checks, on every reachable state:
+//!
+//! 1. **start-state preservation** — members of the start configuration
+//!    sit at their own start states;
+//! 2. **top/down simulation** — every PSIOA transition `η_{(X,q,a)}`
+//!    corresponds (`↔f`, Def. 2.15, with `f = config(X)`) to an intrinsic
+//!    transition `config(X)(q) ⟹_φ η'` with `φ = created(X)(q)(a)`;
+//! 3. **bottom/up simulation** — every intrinsic transition of the
+//!    attached configuration is matched by a PSIOA transition (with the
+//!    same correspondence);
+//! 4. **action hiding** — `sig(X)(q) = hide(sig(config(X)(q)),
+//!    hidden-actions(X)(q))`, and hidden actions are outputs of the
+//!    configuration.
+
+use crate::pca::Pca;
+use crate::transition::intrinsic_transition;
+use dpioa_core::explore::{reachable, ExploreLimits};
+use std::fmt;
+
+/// One constraint violation.
+#[derive(Clone, Debug)]
+pub struct PcaViolation {
+    /// Which Def. 2.16 constraint was violated (1–4).
+    pub constraint: u8,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for PcaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint {}: {}", self.constraint, self.detail)
+    }
+}
+
+/// The audit result.
+#[derive(Clone, Debug)]
+pub struct PcaAuditReport {
+    /// All violations found.
+    pub violations: Vec<PcaViolation>,
+    /// States examined.
+    pub states_checked: usize,
+    /// True iff exploration hit a cap.
+    pub truncated: bool,
+}
+
+impl PcaAuditReport {
+    /// True iff the explored prefix satisfies all four constraints.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with a readable report on any violation.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.is_valid(),
+            "PCA audit failed ({} states): {}",
+            self.states_checked,
+            self.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+/// Audit the four Def. 2.16 constraints of `pca` over its reachable
+/// prefix.
+pub fn audit_pca(pca: &dyn Pca, limits: ExploreLimits) -> PcaAuditReport {
+    let r = reachable(pca, limits);
+    let registry = pca.registry();
+    let mut violations = Vec::new();
+
+    // Constraint 1: start-state preservation.
+    let start_config = pca.config(&pca.start_state());
+    for (id, q) in start_config.iter() {
+        let expected = registry.resolve(id).start_state();
+        if *q != expected {
+            violations.push(PcaViolation {
+                constraint: 1,
+                detail: format!("start member {id} at {q}, expected start state {expected}"),
+            });
+        }
+    }
+
+    for q in &r.states {
+        let config = pca.config(q);
+        // Well-formedness of the config mapping: reduced and compatible.
+        if !config.is_reduced(registry) {
+            violations.push(PcaViolation {
+                constraint: 2,
+                detail: format!("config({q}) = {config:?} is not reduced"),
+            });
+            continue;
+        }
+        if !config.compatible(registry) {
+            violations.push(PcaViolation {
+                constraint: 2,
+                detail: format!("config({q}) = {config:?} is not compatible"),
+            });
+            continue;
+        }
+
+        // Constraint 4: action hiding.
+        let hidden = pca.hidden_actions(q);
+        let intrinsic_sig = config.signature(registry);
+        if !hidden.iter().all(|a| intrinsic_sig.output.contains(a)) {
+            violations.push(PcaViolation {
+                constraint: 4,
+                detail: format!("hidden-actions({q}) not a subset of out(config)"),
+            });
+        }
+        let expected_sig = intrinsic_sig.hide(&hidden);
+        let actual_sig = pca.signature(q);
+        if expected_sig != actual_sig {
+            violations.push(PcaViolation {
+                constraint: 4,
+                detail: format!(
+                    "sig(X)({q}) = {actual_sig} ≠ hide(sig(config), hidden) = {expected_sig}"
+                ),
+            });
+        }
+
+        // Constraints 2 & 3: both simulation directions, action by action.
+        for a in actual_sig.all() {
+            let phi = pca.created(q, a);
+            let eta_x = pca.transition(q, a);
+            let eta_c = intrinsic_transition(registry, &config, a, &phi);
+            match (eta_x, eta_c) {
+                (Some(eta_x), Some(eta_c)) => {
+                    // η_{(X,q,a)} ↔f η' with f = config(X) (Def. 2.15).
+                    if !eta_x.corresponds_via(&eta_c, |v| pca.config(v)) {
+                        violations.push(PcaViolation {
+                            constraint: 2,
+                            detail: format!(
+                                "transition measure for ({q}, {a}) does not correspond to the \
+                                 intrinsic transition of its configuration"
+                            ),
+                        });
+                    }
+                }
+                (Some(_), None) => violations.push(PcaViolation {
+                    constraint: 2,
+                    detail: format!(
+                        "PSIOA transition for ({q}, {a}) exists but configuration has no \
+                         intrinsic transition"
+                    ),
+                }),
+                (None, Some(_)) => violations.push(PcaViolation {
+                    constraint: 3,
+                    detail: format!(
+                        "configuration has intrinsic transition for ({q}, {a}) but PSIOA does not"
+                    ),
+                }),
+                (None, None) => violations.push(PcaViolation {
+                    constraint: 2,
+                    detail: format!("action {a} in sig(X)({q}) but no transition at all"),
+                }),
+            }
+        }
+    }
+
+    PcaAuditReport {
+        violations,
+        states_checked: r.state_count(),
+        truncated: r.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autid::Autid;
+    use crate::compose::compose_pca;
+    use crate::configuration::Configuration;
+    use crate::hide::hide_pca;
+    use crate::pca::ConfigAutomaton;
+    use crate::registry::Registry;
+    use dpioa_core::{Action, ActionSet, Automaton, ExplicitAutomaton, Signature, Value};
+    use dpioa_prob::Disc;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn spawner_system(tag: &str) -> Arc<dyn crate::pca::Pca> {
+        let go = act(&format!("go-{tag}"));
+        let stop = act(&format!("stop-{tag}"));
+        let root = ExplicitAutomaton::builder(format!("root-{tag}"), Value::int(0))
+            .state(0, Signature::new([], [go], []))
+            .state(1, Signature::new([], [], [go]))
+            .step(0, go, 1)
+            .step(1, go, 1)
+            .build()
+            .shared();
+        let leaf = ExplicitAutomaton::builder(format!("leaf-{tag}"), Value::int(0))
+            .state(0, Signature::new([], [stop], []))
+            .state(1, Signature::empty())
+            .step(0, stop, 1)
+            .build()
+            .shared();
+        let r = Autid::named(format!("aud-root-{tag}"));
+        let l = Autid::named(format!("aud-leaf-{tag}"));
+        let reg = Registry::builder()
+            .register(r, root)
+            .register(l, leaf)
+            .build();
+        ConfigAutomaton::builder(format!("aud-sys-{tag}"), reg)
+            .member(r)
+            .created(move |_, a| {
+                if a == go {
+                    [l].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                }
+            })
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn config_automaton_passes_audit() {
+        let pca = spawner_system("ok");
+        audit_pca(&*pca, ExploreLimits::default()).assert_valid();
+    }
+
+    #[test]
+    fn composed_pca_passes_audit_closure() {
+        let sys = compose_pca(vec![spawner_system("cl"), spawner_system("cr")]);
+        audit_pca(&*sys, ExploreLimits::default()).assert_valid();
+    }
+
+    #[test]
+    fn hidden_pca_passes_audit_closure() {
+        let pca = spawner_system("hi");
+        let h = hide_pca(pca, [act("go-hi")]);
+        audit_pca(&*h, ExploreLimits::default()).assert_valid();
+    }
+
+    /// A deliberately broken PCA: its signature claims an extra action
+    /// that the configuration does not have (constraint 4), and its
+    /// transition measure disagrees with the intrinsic transition
+    /// (constraint 2).
+    struct BrokenPca {
+        inner: Arc<dyn crate::pca::Pca>,
+    }
+
+    impl Automaton for BrokenPca {
+        fn name(&self) -> String {
+            "broken".into()
+        }
+        fn start_state(&self) -> Value {
+            self.inner.start_state()
+        }
+        fn signature(&self, q: &Value) -> Signature {
+            let mut sig = self.inner.signature(q);
+            sig.internal.insert(act("phantom"));
+            sig
+        }
+        fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+            if a == act("phantom") {
+                Some(Disc::dirac(q.clone()))
+            } else {
+                self.inner.transition(q, a)
+            }
+        }
+    }
+
+    impl crate::pca::Pca for BrokenPca {
+        fn registry(&self) -> &Registry {
+            self.inner.registry()
+        }
+        fn config(&self, q: &Value) -> Configuration {
+            self.inner.config(q)
+        }
+        fn created(&self, q: &Value, a: Action) -> BTreeSet<Autid> {
+            if a == act("phantom") {
+                BTreeSet::new()
+            } else {
+                self.inner.created(q, a)
+            }
+        }
+        fn hidden_actions(&self, q: &Value) -> ActionSet {
+            self.inner.hidden_actions(q)
+        }
+    }
+
+    #[test]
+    fn broken_pca_fails_audit() {
+        let broken = BrokenPca {
+            inner: spawner_system("bk"),
+        };
+        let report = audit_pca(&broken, ExploreLimits::default());
+        assert!(!report.is_valid());
+        // The phantom action breaks constraint 4 (signature mismatch) and
+        // constraint 2 (no intrinsic transition).
+        assert!(report.violations.iter().any(|v| v.constraint == 4));
+        assert!(report.violations.iter().any(|v| v.constraint == 2));
+    }
+}

@@ -1,0 +1,96 @@
+//! Automaton identifiers (`Autids`, paper §2.2).
+//!
+//! The paper assumes "a countable set *Autids* of unique PSIOA
+//! identifiers" and a mapping `aut : Autids → Auts`. [`Autid`] is the
+//! interned identifier; the mapping is a [`crate::registry::Registry`].
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A process-interned automaton identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Autid(u32);
+
+struct Interner {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Autid {
+    /// Intern an identifier by name.
+    pub fn named(name: impl AsRef<str>) -> Autid {
+        let name = name.as_ref();
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.map.get(name) {
+                return Autid(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.map.get(name) {
+            return Autid(id);
+        }
+        let id = u32::try_from(guard.names.len()).expect("autid interner overflow");
+        guard.names.push(name.to_owned());
+        guard.map.insert(name.to_owned(), id);
+        Autid(id)
+    }
+
+    /// An indexed identifier, e.g. `subchain[3]`.
+    pub fn indexed(base: impl AsRef<str>, index: usize) -> Autid {
+        Autid::named(format!("{}[{}]", base.as_ref(), index))
+    }
+
+    /// The interned name.
+    pub fn name(self) -> String {
+        interner().read().names[self.0 as usize].clone()
+    }
+
+    /// The raw symbol id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Autid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Autid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_canonical() {
+        assert_eq!(Autid::named("chain"), Autid::named("chain"));
+        assert_ne!(Autid::named("chain"), Autid::named("other"));
+        assert_eq!(Autid::named("chain").name(), "chain");
+    }
+
+    #[test]
+    fn indexed_identifiers() {
+        let a = Autid::indexed("sub", 3);
+        assert_eq!(a.name(), "sub[3]");
+        assert_eq!(a, Autid::named("sub[3]"));
+    }
+}

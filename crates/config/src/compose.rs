@@ -1,0 +1,234 @@
+//! PCA composition (paper Def. 2.19).
+//!
+//! The composite of PCA `X₁, …, Xₙ` has `psioa(X) = psioa(X₁)‖…‖psioa(Xₙ)`
+//! (tuple states, Def. 2.18) with, at every composite state `q`:
+//! `config(X)(q) = ⋃ config(Xᵢ)(q ↾ Xᵢ)`, `created(X)(q)(a) = ⋃
+//! created(Xᵢ)(q ↾ Xᵢ)(a)` (empty when `a` is not in a member's
+//! signature) and `hidden-actions(X)(q) = ⋃ hidden-actions(Xᵢ)(q ↾ Xᵢ)`.
+//! Closure of PCA under composition (shown in [7]) is re-verified by the
+//! audit in the tests.
+
+use crate::autid::Autid;
+use crate::configuration::Configuration;
+use crate::pca::Pca;
+use crate::registry::Registry;
+use dpioa_core::{compose as compose_psioa, Action, ActionSet, Automaton, Signature, Value};
+use dpioa_prob::Disc;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The parallel composition `X₁‖…‖Xₙ` of PCA.
+pub struct PcaComposition {
+    components: Vec<Arc<dyn Pca>>,
+    psioa: Arc<dyn Automaton>,
+    registry: Registry,
+}
+
+impl PcaComposition {
+    /// Compose a non-empty list of PCA. The member registries are merged;
+    /// they must agree on shared identifiers.
+    pub fn new(components: Vec<Arc<dyn Pca>>) -> PcaComposition {
+        assert!(!components.is_empty(), "composition of zero PCA");
+        let registry = components
+            .iter()
+            .fold(Registry::default(), |acc, c| acc.merged(c.registry()));
+        let psioa = compose_psioa(
+            components
+                .iter()
+                .map(|c| c.clone() as Arc<dyn Automaton>)
+                .collect(),
+        );
+        PcaComposition {
+            components,
+            psioa,
+            registry,
+        }
+    }
+
+    /// The number of composed PCA.
+    pub fn arity(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Borrow component `i`.
+    pub fn component(&self, i: usize) -> &Arc<dyn Pca> {
+        &self.components[i]
+    }
+
+    /// Wrap into a shareable PCA trait object.
+    pub fn shared(self) -> Arc<dyn Pca> {
+        Arc::new(self)
+    }
+}
+
+impl Automaton for PcaComposition {
+    fn name(&self) -> String {
+        self.psioa.name()
+    }
+    fn start_state(&self) -> Value {
+        self.psioa.start_state()
+    }
+    fn signature(&self, q: &Value) -> Signature {
+        self.psioa.signature(q)
+    }
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        self.psioa.transition(q, a)
+    }
+}
+
+impl Pca for PcaComposition {
+    fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn config(&self, q: &Value) -> Configuration {
+        self.components
+            .iter()
+            .enumerate()
+            .fold(Configuration::empty(), |acc, (i, c)| {
+                acc.union(&c.config(q.proj(i)))
+            })
+    }
+
+    fn created(&self, q: &Value, a: Action) -> BTreeSet<Autid> {
+        let mut out = BTreeSet::new();
+        for (i, c) in self.components.iter().enumerate() {
+            let qi = q.proj(i);
+            // Convention of Def. 2.19: created(Xᵢ)(qᵢ)(a) = ∅ when a is
+            // not in ŝig(Xᵢ)(qᵢ).
+            if c.signature(qi).contains(a) {
+                out.extend(c.created(qi, a));
+            }
+        }
+        out
+    }
+
+    fn hidden_actions(&self, q: &Value) -> ActionSet {
+        let mut out = ActionSet::new();
+        for (i, c) in self.components.iter().enumerate() {
+            out.extend(c.hidden_actions(q.proj(i)));
+        }
+        out
+    }
+}
+
+/// Compose PCA into a single PCA.
+pub fn compose_pca(components: Vec<Arc<dyn Pca>>) -> Arc<dyn Pca> {
+    PcaComposition::new(components).shared()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::ConfigAutomaton;
+    use dpioa_core::ExplicitAutomaton;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// A PCA wrapping a single ping automaton that creates a pong member
+    /// when it fires.
+    fn side(tag: &str) -> (Arc<dyn Pca>, Autid, Autid) {
+        let ping = act(&format!("ping-{tag}"));
+        let pong = act(&format!("pong-{tag}"));
+        let base = ExplicitAutomaton::builder(format!("base-{tag}"), Value::int(0))
+            .state(0, Signature::new([], [ping], []))
+            .state(1, Signature::new([], [], []))
+            .step(0, ping, 1)
+            .build()
+            .shared();
+        let echo = ExplicitAutomaton::builder(format!("echo-{tag}"), Value::int(0))
+            .state(0, Signature::new([], [pong], []))
+            .state(1, Signature::empty())
+            .step(0, pong, 1)
+            .build()
+            .shared();
+        let b = Autid::named(format!("cmp-base-{tag}"));
+        let e = Autid::named(format!("cmp-echo-{tag}"));
+        let reg = Registry::builder()
+            .register(b, base)
+            .register(e, echo)
+            .build();
+        let pca = ConfigAutomaton::builder(format!("side-{tag}"), reg)
+            .member(b)
+            .created(move |_, a| {
+                if a == ping {
+                    [e].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                }
+            })
+            .build()
+            .shared();
+        (pca, b, e)
+    }
+
+    #[test]
+    fn composed_config_is_union() {
+        let (x1, b1, _) = side("L");
+        let (x2, b2, _) = side("R");
+        let sys = compose_pca(vec![x1, x2]);
+        let q0 = sys.start_state();
+        let c = sys.config(&q0);
+        assert!(c.contains(b1) && c.contains(b2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn composed_created_is_union_with_convention() {
+        let (x1, _, e1) = side("Lc");
+        let (x2, _, e2) = side("Rc");
+        let sys = compose_pca(vec![x1, x2]);
+        let q0 = sys.start_state();
+        // ping-Lc is only in component 1's signature: union must include
+        // only its created set.
+        let created = sys.created(&q0, act("ping-Lc"));
+        assert!(created.contains(&e1));
+        assert!(!created.contains(&e2));
+    }
+
+    #[test]
+    fn composed_transition_creates_in_the_right_component() {
+        let (x1, _, e1) = side("Lt");
+        let (x2, b2, _) = side("Rt");
+        let sys = compose_pca(vec![x1, x2]);
+        let q0 = sys.start_state();
+        let q1 = sys
+            .transition(&q0, act("ping-Lt"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        let c1 = sys.config(&q1);
+        assert!(c1.contains(e1));
+        assert_eq!(c1.state_of(b2), Some(&Value::int(0)));
+    }
+
+    #[test]
+    fn registry_is_merged() {
+        let (x1, b1, e1) = side("Lr");
+        let (x2, b2, e2) = side("Rr");
+        let sys = compose_pca(vec![x1, x2]);
+        for id in [b1, e1, b2, e2] {
+            assert!(sys.registry().try_resolve(id).is_some());
+        }
+    }
+
+    #[test]
+    fn hidden_actions_union() {
+        let (x1, b1, _) = side("Lh");
+        let reg = x1.registry().clone();
+        let hidden_pca = ConfigAutomaton::builder("hid", reg)
+            .member(b1)
+            .hidden(|_| [act("ping-Lh")].into_iter().collect())
+            .build()
+            .shared();
+        let (x2, _, _) = side("Rh");
+        let sys = compose_pca(vec![hidden_pca, x2]);
+        let q0 = sys.start_state();
+        assert!(sys.hidden_actions(&q0).contains(&act("ping-Lh")));
+        assert!(!sys.hidden_actions(&q0).contains(&act("ping-Rh")));
+    }
+}

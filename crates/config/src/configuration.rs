@@ -1,0 +1,340 @@
+//! Configurations (paper Defs. 2.9–2.12).
+//!
+//! A configuration `C = (A, S)` pairs a finite set of automaton
+//! identifiers with a current state for each. The intrinsic attributes of
+//! Def. 2.11 — `auts(C)`, `map(C)` and the intrinsic signature `sig(C)` —
+//! are methods here, and [`Configuration::reduce`] implements Def. 2.12:
+//! an automaton whose current signature is empty is removed (destroyed).
+
+use crate::autid::Autid;
+use crate::registry::Registry;
+use dpioa_core::{Action, Signature, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A configuration `(A, S)`: identifiers attached to current states.
+///
+/// Stored as a sorted map so equal configurations compare and hash equal,
+/// which also makes the [`Value`] encoding canonical.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Configuration {
+    members: BTreeMap<Autid, Value>,
+}
+
+impl Configuration {
+    /// The empty configuration.
+    pub fn empty() -> Configuration {
+        Configuration::default()
+    }
+
+    /// Build from `(identifier, state)` pairs; duplicate identifiers panic
+    /// (`S` is a function).
+    pub fn new(members: impl IntoIterator<Item = (Autid, Value)>) -> Configuration {
+        let mut map = BTreeMap::new();
+        for (id, q) in members {
+            let prev = map.insert(id, q);
+            assert!(prev.is_none(), "duplicate autid {id} in configuration");
+        }
+        Configuration { members: map }
+    }
+
+    /// The configuration placing every listed automaton at its start
+    /// state (used for PCA start states, Def. 2.16 constraint 1).
+    pub fn at_start(registry: &Registry, ids: impl IntoIterator<Item = Autid>) -> Configuration {
+        Configuration::new(
+            ids.into_iter()
+                .map(|id| (id, registry.resolve(id).start_state())),
+        )
+    }
+
+    /// `auts(C)`: the identifiers present.
+    pub fn auts(&self) -> impl Iterator<Item = Autid> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// `map(C)(A)`: the current state of member `A`.
+    pub fn state_of(&self, id: Autid) -> Option<&Value> {
+        self.members.get(&id)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff the configuration has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True iff `id ∈ auts(C)`.
+    pub fn contains(&self, id: Autid) -> bool {
+        self.members.contains_key(&id)
+    }
+
+    /// Iterate `(identifier, state)` pairs in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (Autid, &Value)> {
+        self.members.iter().map(|(&id, q)| (id, q))
+    }
+
+    /// Return the configuration with member `id` set to state `q`
+    /// (inserting it if absent).
+    pub fn with_state(&self, id: Autid, q: Value) -> Configuration {
+        let mut next = self.clone();
+        next.members.insert(id, q);
+        next
+    }
+
+    /// Return the configuration without member `id`.
+    pub fn without(&self, id: Autid) -> Configuration {
+        let mut next = self.clone();
+        next.members.remove(&id);
+        next
+    }
+
+    /// The restriction `S ↾ A'` of the configuration to a subset of its
+    /// members.
+    pub fn restrict(&self, ids: impl IntoIterator<Item = Autid>) -> Configuration {
+        let keep: Vec<Autid> = ids.into_iter().collect();
+        Configuration {
+            members: self
+                .members
+                .iter()
+                .filter(|(id, _)| keep.contains(id))
+                .map(|(&id, q)| (id, q.clone()))
+                .collect(),
+        }
+    }
+
+    /// The per-member signatures at the current states.
+    pub fn member_signatures(&self, registry: &Registry) -> Vec<(Autid, Signature)> {
+        self.members
+            .iter()
+            .map(|(&id, q)| (id, registry.resolve(id).signature(q)))
+            .collect()
+    }
+
+    /// Compatibility (Def. 2.10): the member signatures at the current
+    /// states must be pairwise compatible (Def. 2.3).
+    pub fn compatible(&self, registry: &Registry) -> bool {
+        let sigs = self.member_signatures(registry);
+        let refs: Vec<&Signature> = sigs.iter().map(|(_, s)| s).collect();
+        Signature::compatible_set(&refs)
+    }
+
+    /// The intrinsic signature `sig(C)` (Def. 2.11):
+    /// `out(C) = ∪ out`, `int(C) = ∪ int`, `in(C) = ∪ in ∖ out(C)`.
+    ///
+    /// This is exactly Def. 2.4 composition folded over the members.
+    pub fn signature(&self, registry: &Registry) -> Signature {
+        let sigs = self.member_signatures(registry);
+        Signature::compose_all(sigs.iter().map(|(_, s)| s))
+    }
+
+    /// True iff `a` is executable in the configuration (`a ∈ ŝig(C)`).
+    pub fn enables(&self, registry: &Registry, a: Action) -> bool {
+        self.members
+            .iter()
+            .any(|(&id, q)| registry.resolve(id).signature(q).contains(a))
+    }
+
+    /// The reduction of Def. 2.12: drop members whose current signature is
+    /// empty.
+    pub fn reduce(&self, registry: &Registry) -> Configuration {
+        Configuration {
+            members: self
+                .members
+                .iter()
+                .filter(|(&id, q)| !registry.resolve(id).signature(q).is_empty())
+                .map(|(&id, q)| (id, q.clone()))
+                .collect(),
+        }
+    }
+
+    /// True iff the configuration equals its own reduction.
+    pub fn is_reduced(&self, registry: &Registry) -> bool {
+        self.members
+            .iter()
+            .all(|(&id, q)| !registry.resolve(id).signature(q).is_empty())
+    }
+
+    /// Canonical encoding as a [`Value`] (a sorted map from identifier
+    /// name to state), the state representation used by
+    /// [`crate::pca::ConfigAutomaton`].
+    pub fn to_value(&self) -> Value {
+        Value::map(
+            self.members
+                .iter()
+                .map(|(&id, q)| (Value::str(id.name()), q.clone())),
+        )
+    }
+
+    /// Decode a [`Value`] produced by [`Configuration::to_value`].
+    pub fn from_value(v: &Value) -> Configuration {
+        let map = v.as_map().expect("configuration value must be a map");
+        Configuration {
+            members: map
+                .iter()
+                .map(|(k, q)| {
+                    let name = k.as_str().expect("configuration key must be a string");
+                    (Autid::named(name), q.clone())
+                })
+                .collect(),
+        }
+    }
+
+    /// The disjoint union `C₁ ∪ C₂` of two configurations (used by PCA
+    /// composition, Def. 2.19); shared identifiers panic.
+    pub fn union(&self, other: &Configuration) -> Configuration {
+        let mut members = self.members.clone();
+        for (&id, q) in other.members.iter() {
+            let prev = members.insert(id, q.clone());
+            assert!(
+                prev.is_none(),
+                "configuration union with shared member {id}"
+            );
+        }
+        Configuration { members }
+    }
+}
+
+impl fmt::Debug for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (id, q)) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}@{q}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Automaton, ExplicitAutomaton};
+    use std::sync::Arc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// An automaton alive in state 0 (outputs `beat-<name>`) and destroyed
+    /// (empty signature) in state 1.
+    fn mortal(name: &str) -> Arc<dyn Automaton> {
+        let beat = act(&format!("beat-{name}"));
+        let die = act(&format!("die-{name}"));
+        ExplicitAutomaton::builder(name, Value::int(0))
+            .state(0, Signature::new([die], [beat], []))
+            .state(1, Signature::empty())
+            .step(0, beat, 0)
+            .step(0, die, 1)
+            .build()
+            .shared()
+    }
+
+    fn setup() -> (Registry, Autid, Autid) {
+        let a = Autid::named("cfg-a");
+        let b = Autid::named("cfg-b");
+        let reg = Registry::builder()
+            .register(a, mortal("cfg-a"))
+            .register(b, mortal("cfg-b"))
+            .build();
+        (reg, a, b)
+    }
+
+    #[test]
+    fn construction_and_attributes() {
+        let (reg, a, b) = setup();
+        let c = Configuration::at_start(&reg, [a, b]);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(a));
+        assert_eq!(c.state_of(a), Some(&Value::int(0)));
+        assert!(c.compatible(&reg));
+        let sig = c.signature(&reg);
+        assert!(sig.output.contains(&act("beat-cfg-a")));
+        assert!(sig.output.contains(&act("beat-cfg-b")));
+        assert!(sig.input.contains(&act("die-cfg-a")));
+    }
+
+    #[test]
+    fn intrinsic_signature_subtracts_outputs_from_inputs() {
+        // An automaton inputting what another outputs: the composed input
+        // set must not contain the matched action (Def 2.11).
+        let talker = ExplicitAutomaton::builder("talker", Value::Unit)
+            .state(Value::Unit, Signature::new([], [act("word")], []))
+            .step(Value::Unit, act("word"), Value::Unit)
+            .build()
+            .shared();
+        let listener = ExplicitAutomaton::builder("listener", Value::Unit)
+            .state(Value::Unit, Signature::new([act("word")], [], []))
+            .step(Value::Unit, act("word"), Value::Unit)
+            .build()
+            .shared();
+        let t = Autid::named("talker-c");
+        let l = Autid::named("listener-c");
+        let reg = Registry::builder()
+            .register(t, talker)
+            .register(l, listener)
+            .build();
+        let c = Configuration::at_start(&reg, [t, l]);
+        let sig = c.signature(&reg);
+        assert!(sig.output.contains(&act("word")));
+        assert!(!sig.input.contains(&act("word")));
+    }
+
+    #[test]
+    fn reduce_removes_destroyed_members() {
+        let (reg, a, b) = setup();
+        let c = Configuration::new([(a, Value::int(1)), (b, Value::int(0))]);
+        assert!(!c.is_reduced(&reg));
+        let r = c.reduce(&reg);
+        assert!(!r.contains(a));
+        assert!(r.contains(b));
+        assert!(r.is_reduced(&reg));
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let (_, a, b) = setup();
+        let c = Configuration::new([(a, Value::int(0)), (b, Value::int(1))]);
+        let v = c.to_value();
+        assert_eq!(Configuration::from_value(&v), c);
+    }
+
+    #[test]
+    fn union_and_restrict() {
+        let (_, a, b) = setup();
+        let ca = Configuration::new([(a, Value::int(0))]);
+        let cb = Configuration::new([(b, Value::int(1))]);
+        let u = ca.union(&cb);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.restrict([a]), ca);
+        assert_eq!(u.without(b), ca);
+        assert_eq!(u.with_state(a, Value::int(1)).state_of(a), Some(&Value::int(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "shared member")]
+    fn union_with_shared_member_panics() {
+        let (_, a, _) = setup();
+        let c = Configuration::new([(a, Value::int(0))]);
+        let _ = c.union(&c);
+    }
+
+    #[test]
+    fn incompatible_configuration_detected() {
+        // Two copies of the same automaton share output actions.
+        let (reg0, a, _) = setup();
+        let clone_id = Autid::named("cfg-a-clone");
+        let reg = reg0.merged(
+            &Registry::builder()
+                .register(clone_id, mortal("cfg-a"))
+                .build(),
+        );
+        let c = Configuration::at_start(&reg, [a, clone_id]);
+        assert!(!c.compatible(&reg));
+    }
+}

@@ -1,0 +1,147 @@
+//! PCA hiding (paper Def. 2.17).
+//!
+//! `hide(X, h)` differs from `X` only in `sig(X')` and
+//! `hidden-actions(X')`: at each state, `sig(X')(q) = hide(sig(X)(q),
+//! h(q))` and `hidden-actions(X')(q) = hidden-actions(X)(q) ∪ h(q)`.
+//! Configurations, creation sets and transitions are untouched.
+
+use crate::autid::Autid;
+use crate::configuration::Configuration;
+use crate::pca::Pca;
+use crate::registry::Registry;
+use dpioa_core::{Action, ActionSet, Automaton, Signature, Value};
+use dpioa_prob::Disc;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+type HideFn = dyn Fn(&Value) -> ActionSet + Send + Sync;
+
+/// The PCA `hide(X, h)`.
+pub struct HiddenPca {
+    inner: Arc<dyn Pca>,
+    hide_fn: Arc<HideFn>,
+}
+
+impl HiddenPca {
+    /// Hide with a state-dependent function `h(q) ⊆ out(X)(q)`; actions
+    /// outside `out(X)(q)` are ignored.
+    pub fn new(
+        inner: Arc<dyn Pca>,
+        hide_fn: impl Fn(&Value) -> ActionSet + Send + Sync + 'static,
+    ) -> HiddenPca {
+        HiddenPca {
+            inner,
+            hide_fn: Arc::new(hide_fn),
+        }
+    }
+
+    fn effective(&self, q: &Value) -> ActionSet {
+        let mut h = (self.hide_fn)(q);
+        let out = self.inner.signature(q).output;
+        h.retain(|a| out.contains(a));
+        h
+    }
+}
+
+impl Automaton for HiddenPca {
+    fn name(&self) -> String {
+        format!("hide({})", self.inner.name())
+    }
+    fn start_state(&self) -> Value {
+        self.inner.start_state()
+    }
+    fn signature(&self, q: &Value) -> Signature {
+        self.inner.signature(q).hide(&(self.hide_fn)(q))
+    }
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        self.inner.transition(q, a)
+    }
+}
+
+impl Pca for HiddenPca {
+    fn registry(&self) -> &Registry {
+        self.inner.registry()
+    }
+    fn config(&self, q: &Value) -> Configuration {
+        self.inner.config(q)
+    }
+    fn created(&self, q: &Value, a: Action) -> BTreeSet<Autid> {
+        self.inner.created(q, a)
+    }
+    fn hidden_actions(&self, q: &Value) -> ActionSet {
+        let mut h = self.inner.hidden_actions(q);
+        h.extend(self.effective(q));
+        h
+    }
+}
+
+/// Hide a fixed set of actions of a PCA in every state (Def. 2.17 with a
+/// constant `h`).
+pub fn hide_pca(inner: Arc<dyn Pca>, actions: impl IntoIterator<Item = Action>) -> Arc<dyn Pca> {
+    let set: ActionSet = actions.into_iter().collect();
+    Arc::new(HiddenPca::new(inner, move |_| set.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::ConfigAutomaton;
+    use dpioa_core::ExplicitAutomaton;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn simple_pca() -> Arc<dyn Pca> {
+        let shout = act("shout-h");
+        let auto = ExplicitAutomaton::builder("shouter", Value::int(0))
+            .state(0, Signature::new([], [shout], []))
+            .step(0, shout, 0)
+            .build()
+            .shared();
+        let id = Autid::named("hid-shouter");
+        let reg = Registry::builder().register(id, auto).build();
+        ConfigAutomaton::builder("shout-sys", reg)
+            .member(id)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn hiding_updates_signature_and_hidden_actions() {
+        let x = simple_pca();
+        let h = hide_pca(x.clone(), [act("shout-h")]);
+        let q0 = h.start_state();
+        assert!(x.signature(&q0).output.contains(&act("shout-h")));
+        assert!(!h.signature(&q0).output.contains(&act("shout-h")));
+        assert!(h.signature(&q0).internal.contains(&act("shout-h")));
+        assert!(h.hidden_actions(&q0).contains(&act("shout-h")));
+    }
+
+    #[test]
+    fn hiding_preserves_everything_else() {
+        let x = simple_pca();
+        let h = hide_pca(x.clone(), [act("shout-h")]);
+        let q0 = h.start_state();
+        assert_eq!(h.start_state(), x.start_state());
+        assert_eq!(h.config(&q0), x.config(&q0));
+        assert_eq!(
+            h.transition(&q0, act("shout-h")),
+            x.transition(&q0, act("shout-h"))
+        );
+        assert_eq!(h.created(&q0, act("shout-h")), x.created(&q0, act("shout-h")));
+    }
+
+    #[test]
+    fn hidden_sets_accumulate() {
+        let x = simple_pca();
+        let h1 = hide_pca(x, [act("shout-h")]);
+        let h2 = hide_pca(h1, [act("other-h")]);
+        let q0 = h2.start_state();
+        // `other-h` is not an output, so only shout-h is effectively hidden.
+        assert_eq!(
+            h2.hidden_actions(&q0),
+            [act("shout-h")].into_iter().collect::<ActionSet>()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # dpioa-config — Probabilistic Configuration Automata (PCA)
+//!
+//! This crate implements Section 2.5 of *"Composable Dynamic Secure
+//! Emulation"*: the dynamic layer in which the set of running automata
+//! changes over time.
+//!
+//! * A [`Configuration`] (Def. 2.9) is a finite set of automaton
+//!   identifiers ([`Autid`]) each attached to a current state; the
+//!   identifier → automaton mapping (`aut : Autids → Auts`) is a
+//!   [`Registry`].
+//! * [`Configuration::reduce`] (Def. 2.12) removes automata whose current
+//!   signature is empty — the paper's destruction mechanism.
+//! * [`transition::preserving_transition`] (Def. 2.13) is the static joint
+//!   step of a configuration; [`transition::intrinsic_transition`]
+//!   (Def. 2.14) extends it with creation of a fresh set `φ` of automata
+//!   and reduction-based destruction.
+//! * A [`Pca`] (Def. 2.16) is a PSIOA together with `config`, `created`
+//!   and `hidden-actions` mappings satisfying four constraints;
+//!   [`ConfigAutomaton`] realizes them *by construction*, and
+//!   [`audit::audit_pca`] re-checks all four on the reachable prefix of
+//!   any implementation.
+//! * [`compose::PcaComposition`] is PCA composition (Def. 2.19) and
+//!   [`hide::hide_pca`] is PCA hiding (Def. 2.17).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod autid;
+pub mod compose;
+pub mod configuration;
+pub mod hide;
+pub mod pca;
+pub mod registry;
+pub mod transition;
+
+pub use audit::{audit_pca, PcaAuditReport};
+pub use autid::Autid;
+pub use compose::{compose_pca, PcaComposition};
+pub use configuration::Configuration;
+pub use hide::hide_pca;
+pub use pca::{ConfigAutomaton, ConfigAutomatonBuilder, Pca};
+pub use registry::Registry;
+pub use transition::{intrinsic_transition, preserving_transition};

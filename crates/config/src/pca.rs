@@ -1,0 +1,345 @@
+//! Probabilistic configuration automata (paper Def. 2.16).
+//!
+//! A PCA `X` is a PSIOA `psioa(X)` together with three mappings —
+//! `config(X)`, `created(X)` and `hidden-actions(X)` — subject to four
+//! constraints (start-state preservation, top/down simulation, bottom/up
+//! simulation, action hiding). The [`Pca`] trait exposes the mappings on
+//! top of [`Automaton`]; [`ConfigAutomaton`] is the canonical
+//! implementation whose PSIOA part is *derived from* the intrinsic
+//! transition relation, making constraints 2–3 true by construction
+//! (`config(X)` is the bijective decoding of the state encoding, so
+//! `η_{(X,q,a)} ↔f η'` holds with `f = config(X)`). The independent
+//! checker in [`crate::audit`] re-verifies all four constraints for any
+//! implementation.
+
+use crate::autid::Autid;
+use crate::configuration::Configuration;
+use crate::registry::Registry;
+use crate::transition::intrinsic_transition;
+use dpioa_core::{Action, ActionSet, Automaton, Signature, Value};
+use dpioa_prob::Disc;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The PCA interface: a PSIOA with configuration, creation and hiding
+/// structure (Def. 2.16 items 2–4).
+pub trait Pca: Automaton {
+    /// The identifier universe this PCA draws its members from.
+    fn registry(&self) -> &Registry;
+
+    /// `config(X)(q)`: the reduced compatible configuration attached to a
+    /// state.
+    fn config(&self, q: &Value) -> Configuration;
+
+    /// `created(X)(q)(a)`: the automata created when taking `a` at `q`.
+    fn created(&self, q: &Value, a: Action) -> BTreeSet<Autid>;
+
+    /// `hidden-actions(X)(q) ⊆ out(config(X)(q))`.
+    fn hidden_actions(&self, q: &Value) -> ActionSet;
+}
+
+type CreatedFn = dyn Fn(&Configuration, Action) -> BTreeSet<Autid> + Send + Sync;
+type HiddenFn = dyn Fn(&Configuration) -> ActionSet + Send + Sync;
+
+/// The canonical PCA: states are [`Value`] encodings of reduced
+/// configurations and transitions are derived from
+/// [`intrinsic_transition`], so the simulation constraints of Def. 2.16
+/// hold by construction.
+pub struct ConfigAutomaton {
+    name: String,
+    registry: Registry,
+    start: Configuration,
+    created: Arc<CreatedFn>,
+    hidden: Arc<HiddenFn>,
+}
+
+impl ConfigAutomaton {
+    /// Start building a configuration automaton.
+    pub fn builder(name: impl Into<String>, registry: Registry) -> ConfigAutomatonBuilder {
+        ConfigAutomatonBuilder {
+            name: name.into(),
+            registry,
+            initial: Vec::new(),
+            created: Arc::new(|_, _| BTreeSet::new()),
+            hidden: Arc::new(|_| ActionSet::new()),
+        }
+    }
+
+    /// Wrap into a shareable PCA trait object.
+    pub fn shared(self) -> Arc<dyn Pca> {
+        Arc::new(self)
+    }
+
+    fn effective_hidden(&self, config: &Configuration) -> ActionSet {
+        // Def 2.16 item 4 requires hidden ⊆ out(config); clamp.
+        let mut h = (self.hidden)(config);
+        let out = config.signature(&self.registry).output;
+        h.retain(|a| out.contains(a));
+        h
+    }
+}
+
+impl Automaton for ConfigAutomaton {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn start_state(&self) -> Value {
+        self.start.to_value()
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        // Constraint 4 (action hiding) by construction.
+        let config = Configuration::from_value(q);
+        let hidden = self.effective_hidden(&config);
+        config.signature(&self.registry).hide(&hidden)
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        let config = Configuration::from_value(q);
+        let phi = (self.created)(&config, a);
+        let eta = intrinsic_transition(&self.registry, &config, a, &phi)?;
+        // Constraints 2–3 by construction: the encoding is a bijection
+        // between PSIOA states and configurations, so η_{(X,q,a)} ↔f η'.
+        Some(eta.map(|c: &Configuration| c.to_value()))
+    }
+}
+
+impl Pca for ConfigAutomaton {
+    fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn config(&self, q: &Value) -> Configuration {
+        Configuration::from_value(q)
+    }
+
+    fn created(&self, q: &Value, a: Action) -> BTreeSet<Autid> {
+        (self.created)(&Configuration::from_value(q), a)
+    }
+
+    fn hidden_actions(&self, q: &Value) -> ActionSet {
+        self.effective_hidden(&Configuration::from_value(q))
+    }
+}
+
+/// Builder for [`ConfigAutomaton`].
+pub struct ConfigAutomatonBuilder {
+    name: String,
+    registry: Registry,
+    initial: Vec<Autid>,
+    created: Arc<CreatedFn>,
+    hidden: Arc<HiddenFn>,
+}
+
+impl ConfigAutomatonBuilder {
+    /// Add an automaton to the initial configuration (placed at its start
+    /// state — Def. 2.16 constraint 1).
+    pub fn member(mut self, id: Autid) -> Self {
+        self.initial.push(id);
+        self
+    }
+
+    /// Set the creation policy `created(X)(q)(a)`, expressed on the
+    /// configuration attached to the state.
+    pub fn created(
+        mut self,
+        f: impl Fn(&Configuration, Action) -> BTreeSet<Autid> + Send + Sync + 'static,
+    ) -> Self {
+        self.created = Arc::new(f);
+        self
+    }
+
+    /// Set the hiding policy `hidden-actions(X)(q)`.
+    pub fn hidden(
+        mut self,
+        f: impl Fn(&Configuration) -> ActionSet + Send + Sync + 'static,
+    ) -> Self {
+        self.hidden = Arc::new(f);
+        self
+    }
+
+    /// Finish building. Panics if the initial configuration is not
+    /// compatible or not reduced (start states with empty signatures
+    /// cannot host a member).
+    pub fn build(self) -> ConfigAutomaton {
+        let start = Configuration::at_start(&self.registry, self.initial);
+        assert!(
+            start.compatible(&self.registry),
+            "initial configuration of {} is incompatible",
+            self.name
+        );
+        assert!(
+            start.is_reduced(&self.registry),
+            "initial configuration of {} contains an already-destroyed member",
+            self.name
+        );
+        ConfigAutomaton {
+            name: self.name,
+            registry: self.registry,
+            start,
+            created: self.created,
+            hidden: self.hidden,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{AutomatonExt, ExplicitAutomaton};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// Manager: output `boot` (creating a worker), then input `done`.
+    fn manager() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("pca-mgr", Value::int(0))
+            .state(0, Signature::new([], [act("boot")], []))
+            .state(1, Signature::new([act("done")], [], []))
+            .step(0, act("boot"), 1)
+            .step(1, act("done"), 1)
+            .build()
+            .shared()
+    }
+
+    /// Worker: output `done`, then die (empty signature).
+    fn worker() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("pca-wrk", Value::int(0))
+            .state(0, Signature::new([], [act("done")], []))
+            .state(1, Signature::empty())
+            .step(0, act("done"), 1)
+            .build()
+            .shared()
+    }
+
+    fn system() -> (Arc<dyn Pca>, Autid, Autid) {
+        let m = Autid::named("pca-m");
+        let w = Autid::named("pca-w");
+        let reg = Registry::builder()
+            .register(m, manager())
+            .register(w, worker())
+            .build();
+        let pca = ConfigAutomaton::builder("mgr-sys", reg)
+            .member(m)
+            .created(move |_, a| {
+                if a == act("boot") {
+                    [w].into_iter().collect()
+                } else {
+                    BTreeSet::new()
+                }
+            })
+            .build()
+            .shared();
+        (pca, m, w)
+    }
+
+    #[test]
+    fn creation_then_destruction_lifecycle() {
+        let (pca, m, w) = system();
+        let q0 = pca.start_state();
+        assert_eq!(pca.config(&q0), Configuration::new([(m, Value::int(0))]));
+        // boot creates the worker.
+        let q1 = pca.transition(&q0, act("boot")).unwrap();
+        assert_eq!(q1.support_len(), 1);
+        let q1 = q1.support().next().unwrap().clone();
+        let c1 = pca.config(&q1);
+        assert!(c1.contains(w));
+        assert_eq!(c1.state_of(w), Some(&Value::int(0)));
+        // done synchronizes worker (output) and manager (input); the
+        // worker dies and disappears from the reduced configuration.
+        let q2 = pca.transition(&q1, act("done")).unwrap();
+        let q2 = q2.support().next().unwrap().clone();
+        let c2 = pca.config(&q2);
+        assert!(!c2.contains(w));
+        assert_eq!(c2.state_of(m), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn signature_tracks_configuration() {
+        let (pca, _, _) = system();
+        let q0 = pca.start_state();
+        let sig0 = pca.signature(&q0);
+        assert!(sig0.output.contains(&act("boot")));
+        assert!(!sig0.contains(act("done")));
+        let q1 = pca
+            .transition(&q0, act("boot"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        // After creation, done is an output (worker) matched with the
+        // manager's input.
+        let sig1 = pca.signature(&q1);
+        assert!(sig1.output.contains(&act("done")));
+        assert!(!sig1.input.contains(&act("done")));
+    }
+
+    #[test]
+    fn hiding_policy_applies() {
+        let m = Autid::named("pca-m2");
+        let reg = Registry::builder().register(m, manager()).build();
+        let pca = ConfigAutomaton::builder("hidden-sys", reg)
+            .member(m)
+            .hidden(|_| [act("boot")].into_iter().collect())
+            .build();
+        let sig = pca.signature(&pca.start_state());
+        assert!(!sig.output.contains(&act("boot")));
+        assert!(sig.internal.contains(&act("boot")));
+        assert_eq!(
+            pca.hidden_actions(&pca.start_state()),
+            [act("boot")].into_iter().collect::<ActionSet>()
+        );
+    }
+
+    #[test]
+    fn hidden_actions_clamped_to_outputs() {
+        let m = Autid::named("pca-m3");
+        let reg = Registry::builder().register(m, manager()).build();
+        let pca = ConfigAutomaton::builder("clamp-sys", reg)
+            .member(m)
+            .hidden(|_| [act("done"), act("boot")].into_iter().collect())
+            .build();
+        // `done` is the manager's *input* at state 1; it must not be
+        // hidden (Def 2.16: hidden ⊆ out(config)).
+        let q1 = pca
+            .transition(&pca.start_state(), act("boot"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        assert!(pca.signature(&q1).input.contains(&act("done")));
+    }
+
+    #[test]
+    fn destroyed_everything_leaves_empty_signature() {
+        let w = Autid::named("pca-w-solo");
+        let reg = Registry::builder().register(w, worker()).build();
+        let pca = ConfigAutomaton::builder("solo", reg).member(w).build();
+        let q1 = pca
+            .transition(&pca.start_state(), act("done"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        assert!(pca.config(&q1).is_empty());
+        assert!(pca.signature(&q1).is_empty());
+        assert!(pca.enabled(&q1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-destroyed")]
+    fn initial_member_must_be_alive() {
+        let dead = ExplicitAutomaton::builder("pca-dead", Value::Unit)
+            .state(Value::Unit, Signature::empty())
+            .build()
+            .shared();
+        let d = Autid::named("pca-dead-id");
+        let reg = Registry::builder().register(d, dead).build();
+        let _ = ConfigAutomaton::builder("dead-sys", reg).member(d).build();
+    }
+}

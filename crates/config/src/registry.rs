@@ -1,0 +1,155 @@
+//! The `aut : Autids → Auts` mapping (paper §2.2).
+//!
+//! A [`Registry`] resolves automaton identifiers to shared automata. It is
+//! cheaply cloneable (an `Arc` around the table) and append-only: the
+//! universe of automata that a dynamic system may ever create is declared
+//! up front, mirroring the paper's fixed universal mapping.
+
+use crate::autid::Autid;
+use dpioa_core::Automaton;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable identifier → automaton table.
+#[derive(Clone, Default)]
+pub struct Registry {
+    table: Arc<HashMap<Autid, Arc<dyn Automaton>>>,
+}
+
+impl Registry {
+    /// Start building a registry.
+    pub fn builder() -> RegistryBuilder {
+        RegistryBuilder {
+            table: HashMap::new(),
+        }
+    }
+
+    /// Resolve an identifier; panics with a descriptive message when the
+    /// identifier was never registered (a configuration can only mention
+    /// automata of the declared universe).
+    pub fn resolve(&self, id: Autid) -> &Arc<dyn Automaton> {
+        self.table
+            .get(&id)
+            .unwrap_or_else(|| panic!("autid {id} not in registry"))
+    }
+
+    /// Resolve an identifier, or `None` when unregistered.
+    pub fn try_resolve(&self, id: Autid) -> Option<&Arc<dyn Automaton>> {
+        self.table.get(&id)
+    }
+
+    /// Number of registered automata.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True iff no automaton is registered.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterate over registered identifiers.
+    pub fn ids(&self) -> impl Iterator<Item = Autid> + '_ {
+        self.table.keys().copied()
+    }
+
+    /// Merge two registries; identifiers registered in both must resolve
+    /// to the same automaton object (pointer equality).
+    pub fn merged(&self, other: &Registry) -> Registry {
+        let mut table = (*self.table).clone();
+        for (&id, auto) in other.table.iter() {
+            if let Some(existing) = table.get(&id) {
+                assert!(
+                    Arc::ptr_eq(existing, auto),
+                    "registries disagree on autid {id}"
+                );
+            }
+            table.insert(id, auto.clone());
+        }
+        Registry {
+            table: Arc::new(table),
+        }
+    }
+}
+
+/// Builder for [`Registry`].
+pub struct RegistryBuilder {
+    table: HashMap<Autid, Arc<dyn Automaton>>,
+}
+
+impl RegistryBuilder {
+    /// Register an automaton under an identifier. Re-registration of the
+    /// same identifier panics: `aut` is a function.
+    pub fn register(mut self, id: Autid, auto: Arc<dyn Automaton>) -> Self {
+        let prev = self.table.insert(id, auto);
+        assert!(prev.is_none(), "autid {id} registered twice");
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Registry {
+        Registry {
+            table: Arc::new(self.table),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{ExplicitAutomaton, Signature, Value};
+
+    fn trivial(name: &str) -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder(name, Value::Unit)
+            .state(Value::Unit, Signature::empty())
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let id = Autid::named("t1");
+        let reg = Registry::builder().register(id, trivial("t1")).build();
+        assert_eq!(reg.resolve(id).name(), "t1");
+        assert_eq!(reg.len(), 1);
+        assert!(reg.try_resolve(Autid::named("missing")).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let id = Autid::named("dup-reg");
+        let _ = Registry::builder()
+            .register(id, trivial("a"))
+            .register(id, trivial("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in registry")]
+    fn unresolved_panics() {
+        Registry::default().resolve(Autid::named("ghost"));
+    }
+
+    #[test]
+    fn merge_registries() {
+        let a = Autid::named("m-a");
+        let b = Autid::named("m-b");
+        let auto_a = trivial("m-a");
+        let r1 = Registry::builder().register(a, auto_a.clone()).build();
+        let r2 = Registry::builder().register(b, trivial("m-b")).build();
+        let merged = r1.merged(&r2);
+        assert_eq!(merged.len(), 2);
+        // Shared id with identical object is fine.
+        let r3 = Registry::builder().register(a, auto_a).build();
+        assert_eq!(r1.merged(&r3).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn conflicting_merge_panics() {
+        let a = Autid::named("m-conflict");
+        let r1 = Registry::builder().register(a, trivial("x")).build();
+        let r2 = Registry::builder().register(a, trivial("y")).build();
+        let _ = r1.merged(&r2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Configuration transitions (paper Defs. 2.13–2.14).
+//!
+//! [`preserving_transition`] is the "static" joint step `C ⇀ η_p`: every
+//! member that enables the action moves according to its own measure,
+//! every other member stays put, and the outcome distribution is the
+//! product measure over member states — no automaton is created or
+//! destroyed.
+//!
+//! [`intrinsic_transition`] is the "dynamic" step `C ⟹_φ η`: on top of
+//! the preserving step it (i) adds every automaton of the created set `φ`
+//! at its start state with probability 1 (`η_nr`), and (ii) reduces each
+//! outcome configuration (`η_r`), destroying any member whose signature
+//! became empty. Probability mass of non-reduced configurations that share
+//! a reduction is merged, exactly as in the paper's last bullet.
+
+use crate::autid::Autid;
+use crate::configuration::Configuration;
+use crate::registry::Registry;
+use dpioa_core::{Action, Value};
+use dpioa_prob::Disc;
+use std::collections::BTreeSet;
+
+/// The preserving transition `C ⇀ η_p` of Def. 2.13: the joint move of
+/// the current members under `a`, with no creation or destruction.
+///
+/// Returns `None` when `a ∉ ŝig(C)`.
+pub fn preserving_transition(
+    registry: &Registry,
+    config: &Configuration,
+    a: Action,
+) -> Option<Disc<Configuration>> {
+    if !config.enables(registry, a) {
+        return None;
+    }
+    let mut acc: Disc<Configuration> = Disc::dirac(Configuration::empty());
+    for (id, q) in config.iter() {
+        let auto = registry.resolve(id);
+        let eta_i = if auto.signature(q).contains(a) {
+            auto.transition(q, a).unwrap_or_else(|| {
+                panic!(
+                    "member {id} enables {a} at {q} but has no transition (Def 2.1 violation)"
+                )
+            })
+        } else {
+            Disc::dirac(q.clone())
+        };
+        acc = acc.bind(|partial| eta_i.map(|q2: &Value| partial.with_state(id, q2.clone())));
+    }
+    Some(acc)
+}
+
+/// The intrinsic transition `C ⟹_φ η_r` of Def. 2.14.
+///
+/// `config` must be a reduced compatible configuration; `created` is the
+/// set `φ` of automata created by this action (members already present are
+/// ignored, matching the `φ ∖ A` treatment in the definition). Freshly
+/// created automata start at their start states with probability 1, and
+/// the returned measure is over *reduced* configurations, with the mass of
+/// non-reduced outcomes sharing a reduction merged.
+///
+/// Returns `None` when `a ∉ ŝig(C)`.
+pub fn intrinsic_transition(
+    registry: &Registry,
+    config: &Configuration,
+    a: Action,
+    created: &BTreeSet<Autid>,
+) -> Option<Disc<Configuration>> {
+    debug_assert!(
+        config.is_reduced(registry),
+        "intrinsic transition from non-reduced configuration {config:?}"
+    );
+    debug_assert!(
+        config.compatible(registry),
+        "intrinsic transition from incompatible configuration {config:?}"
+    );
+    let eta_p = preserving_transition(registry, config, a)?;
+    // η_nr: created automata appear at their start states (prob. 1).
+    let fresh: Vec<Autid> = created
+        .iter()
+        .copied()
+        .filter(|id| !config.contains(*id))
+        .collect();
+    let eta_nr = eta_p.map(|c: &Configuration| {
+        let mut next = c.clone();
+        for &id in &fresh {
+            next = next.with_state(id, registry.resolve(id).start_state());
+        }
+        next
+    });
+    // η_r: reduce outcomes; `map` merges the mass of equal reductions.
+    Some(eta_nr.map(|c: &Configuration| c.reduce(registry)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Automaton, ExplicitAutomaton, Signature};
+    use std::sync::Arc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// Parent automaton: on input `spawn` moves 0 → 1; on `kill` moves
+    /// back. It never has an empty signature.
+    fn parent() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("tr-parent", Value::int(0))
+            .state(0, Signature::new([], [act("spawn")], []))
+            .state(1, Signature::new([], [act("kill")], []))
+            .step(0, act("spawn"), 1)
+            .step(1, act("kill"), 0)
+            .build()
+            .shared()
+    }
+
+    /// Child automaton: reacts to `kill` by moving to a state with an
+    /// empty signature (and is then destroyed by reduction). It also has a
+    /// probabilistic internal `work` action.
+    fn child() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("tr-child", Value::int(0))
+            .state(0, Signature::new([act("kill")], [], [act("work")]))
+            .state(1, Signature::new([act("kill")], [], [act("work")]))
+            .state(2, Signature::empty())
+            .transition(
+                0,
+                act("work"),
+                Disc::bernoulli_dyadic(Value::int(0), Value::int(1), 1, 1),
+            )
+            .transition(
+                1,
+                act("work"),
+                Disc::bernoulli_dyadic(Value::int(0), Value::int(1), 1, 1),
+            )
+            .step(0, act("kill"), 2)
+            .step(1, act("kill"), 2)
+            .build()
+            .shared()
+    }
+
+    fn setup() -> (Registry, Autid, Autid) {
+        let p = Autid::named("tr-p");
+        let c = Autid::named("tr-c");
+        let reg = Registry::builder()
+            .register(p, parent())
+            .register(c, child())
+            .build();
+        (reg, p, c)
+    }
+
+    #[test]
+    fn preserving_transition_moves_participants_only() {
+        let (reg, p, c) = setup();
+        let conf = Configuration::at_start(&reg, [p, c]);
+        // `work` involves only the child.
+        let eta = preserving_transition(&reg, &conf, act("work")).unwrap();
+        assert_eq!(eta.support_len(), 2);
+        let stay = Configuration::new([(p, Value::int(0)), (c, Value::int(0))]);
+        let step = Configuration::new([(p, Value::int(0)), (c, Value::int(1))]);
+        assert_eq!(eta.prob(&stay), 0.5);
+        assert_eq!(eta.prob(&step), 0.5);
+    }
+
+    #[test]
+    fn preserving_transition_none_for_foreign_action() {
+        let (reg, p, c) = setup();
+        let conf = Configuration::at_start(&reg, [p, c]);
+        assert!(preserving_transition(&reg, &conf, act("nope")).is_none());
+    }
+
+    #[test]
+    fn intrinsic_transition_creates_at_start_state() {
+        let (reg, p, c) = setup();
+        let conf = Configuration::at_start(&reg, [p]);
+        let created: BTreeSet<Autid> = [c].into_iter().collect();
+        let eta = intrinsic_transition(&reg, &conf, act("spawn"), &created).unwrap();
+        assert_eq!(eta.support_len(), 1);
+        let expected = Configuration::new([(p, Value::int(1)), (c, Value::int(0))]);
+        assert_eq!(eta.prob(&expected), 1.0);
+    }
+
+    #[test]
+    fn intrinsic_transition_destroys_via_reduction() {
+        let (reg, p, c) = setup();
+        let conf = Configuration::new([(p, Value::int(1)), (c, Value::int(0))]);
+        // `kill`: parent moves to 0, child moves to its empty-signature
+        // state and must disappear from the reduced outcome.
+        let eta = intrinsic_transition(&reg, &conf, act("kill"), &BTreeSet::new()).unwrap();
+        assert_eq!(eta.support_len(), 1);
+        let expected = Configuration::new([(p, Value::int(0))]);
+        assert_eq!(eta.prob(&expected), 1.0);
+    }
+
+    #[test]
+    fn reduction_merges_probability_mass() {
+        // An automaton that dies via two different doomed states: both
+        // outcomes reduce to the same configuration, so mass merges.
+        let dying = ExplicitAutomaton::builder("tr-dying", Value::int(0))
+            .state(0, Signature::new([], [], [act("fade")]))
+            .state(1, Signature::empty())
+            .state(2, Signature::empty())
+            .transition(
+                0,
+                act("fade"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 2),
+            )
+            .build()
+            .shared();
+        let d = Autid::named("tr-d");
+        let w = Autid::named("tr-w");
+        let witness = ExplicitAutomaton::builder("tr-witness", Value::Unit)
+            .state(Value::Unit, Signature::new([], [act("alive")], []))
+            .step(Value::Unit, act("alive"), Value::Unit)
+            .build()
+            .shared();
+        let reg = Registry::builder()
+            .register(d, dying)
+            .register(w, witness)
+            .build();
+        let conf = Configuration::at_start(&reg, [d, w]);
+        let eta = intrinsic_transition(&reg, &conf, act("fade"), &BTreeSet::new()).unwrap();
+        // Both dying branches reduce to {witness} — a single outcome with
+        // probability 1/4 + 3/4 = 1.
+        assert_eq!(eta.support_len(), 1);
+        let expected = Configuration::new([(w, Value::Unit)]);
+        assert_eq!(eta.prob(&expected), 1.0);
+    }
+
+    #[test]
+    fn already_present_created_ids_are_ignored() {
+        let (reg, p, c) = setup();
+        let conf = Configuration::new([(p, Value::int(0)), (c, Value::int(1))]);
+        let created: BTreeSet<Autid> = [c].into_iter().collect();
+        // c is already present in state 1; creation must NOT reset it.
+        let eta = intrinsic_transition(&reg, &conf, act("spawn"), &created).unwrap();
+        let expected = Configuration::new([(p, Value::int(1)), (c, Value::int(1))]);
+        assert_eq!(eta.prob(&expected), 1.0);
+    }
+}

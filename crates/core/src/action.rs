@@ -1,0 +1,167 @@
+//! Interned action symbols.
+//!
+//! The executable actions of a PSIOA are drawn from its state signature
+//! (paper §2.2). Actions cross automaton boundaries constantly —
+//! composition synchronizes on shared names, renaming creates fresh names,
+//! the dummy adversary forwards them — so they are interned once into a
+//! process-global table and carried as plain `u32` symbols. Hot paths
+//! (signature composition, joint transitions, scheduling) never touch
+//! strings; the table is only consulted for display and for constructing
+//! derived names.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::value::Value;
+
+/// A process-interned action name.
+///
+/// Equality, hashing and ordering are by symbol id, which is consistent
+/// with name equality because interning is canonical. Ordering is by
+/// interning order (deterministic within a process run), not lexicographic
+/// — all algorithms in this workspace only rely on *some* total order for
+/// determinism.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Action(u32);
+
+struct Interner {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Action {
+    /// Intern an action by full name.
+    pub fn named(name: impl AsRef<str>) -> Action {
+        let name = name.as_ref();
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.map.get(name) {
+                return Action(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.map.get(name) {
+            return Action(id);
+        }
+        let id = u32::try_from(guard.names.len()).expect("action interner overflow");
+        guard.names.push(name.to_owned());
+        guard.map.insert(name.to_owned(), id);
+        Action(id)
+    }
+
+    /// Intern a parameterized action, e.g. `send(1, "x")`.
+    pub fn with_params(base: impl AsRef<str>, params: &[Value]) -> Action {
+        let mut name = String::from(base.as_ref());
+        name.push('(');
+        for (i, p) in params.iter().enumerate() {
+            if i > 0 {
+                name.push_str(", ");
+            }
+            name.push_str(&p.to_string());
+        }
+        name.push(')');
+        Action::named(name)
+    }
+
+    /// The full interned name of the action.
+    pub fn name(self) -> String {
+        interner().read().names[self.0 as usize].clone()
+    }
+
+    /// The raw symbol id (used by canonical encodings in `dpioa-bounded`).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Derive a fresh action by suffixing the name — the standard way the
+    /// secure-emulation layer builds the adversary-action renamings `g`
+    /// ("bijection from `AAct_A` to a set of fresh action names",
+    /// Def. 4.27).
+    pub fn suffixed(self, suffix: &str) -> Action {
+        Action::named(format!("{}{}", self.name(), suffix))
+    }
+
+    /// Derive a fresh action by prefixing the name.
+    pub fn prefixed(self, prefix: &str) -> Action {
+        Action::named(format!("{}{}", prefix, self.name()))
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_canonical() {
+        let a = Action::named("send");
+        let b = Action::named("send");
+        let c = Action::named("recv");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "send");
+    }
+
+    #[test]
+    fn parameterized_names() {
+        let a = Action::with_params("deliver", &[Value::int(3), Value::str("m")]);
+        assert_eq!(a.name(), "deliver(3, \"m\")");
+        let b = Action::with_params("deliver", &[Value::int(3), Value::str("m")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derived_names_are_fresh() {
+        let a = Action::named("out");
+        let g = a.suffixed("@adv");
+        assert_ne!(a, g);
+        assert_eq!(g.name(), "out@adv");
+        assert_eq!(a.prefixed("env/").name(), "env/out");
+    }
+
+    #[test]
+    fn ids_are_stable() {
+        let a = Action::named("stable-test-action");
+        assert_eq!(Action::named("stable-test-action").id(), a.id());
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..100)
+                        .map(|i| Action::named(format!("conc-{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Action>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for pair in results.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! PSIOA validity auditing.
+//!
+//! The [`Automaton`] trait makes the uniqueness condition of Def. 2.1 hold
+//! by construction, but implementations can still violate the remaining
+//! conditions: signature classes must be mutually disjoint, transitions
+//! must exist for exactly the enabled actions (action enabling, footnote
+//! E₁), and the trait methods must be deterministic functions of their
+//! arguments. [`audit_psioa`] re-checks all of this over the reachable
+//! prefix of an automaton; it is used by tests throughout the workspace —
+//! in particular to verify closure lemmas (A.1, composition closure,
+//! hiding closure) by auditing the *result* of each combinator.
+
+use crate::automaton::Automaton;
+use crate::explore::{reachable, ExploreLimits};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One violation discovered by the auditor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Signature classes overlap at a state.
+    OverlappingClasses {
+        /// Display form of the offending state.
+        state: String,
+    },
+    /// An enabled action has no transition.
+    MissingTransition {
+        /// Display form of the state.
+        state: String,
+        /// Name of the enabled-but-untransitioned action.
+        action: String,
+    },
+    /// A non-enabled action has a transition.
+    SpuriousTransition {
+        /// Display form of the state.
+        state: String,
+        /// Name of the action with a spurious transition.
+        action: String,
+    },
+    /// Two queries with equal arguments disagreed.
+    NonDeterministic {
+        /// Display form of the state.
+        state: String,
+        /// What disagreed ("signature" or the action name).
+        what: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OverlappingClasses { state } => {
+                write!(f, "signature classes overlap at {state}")
+            }
+            Violation::MissingTransition { state, action } => {
+                write!(f, "action {action} enabled at {state} but has no transition")
+            }
+            Violation::SpuriousTransition { state, action } => {
+                write!(f, "action {action} NOT enabled at {state} but has a transition")
+            }
+            Violation::NonDeterministic { state, what } => {
+                write!(f, "non-deterministic result for {what} at {state}")
+            }
+        }
+    }
+}
+
+/// The result of auditing an automaton.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// All violations found (empty for a valid PSIOA prefix).
+    pub violations: Vec<Violation>,
+    /// Number of reachable states examined.
+    pub states_checked: usize,
+    /// True iff exploration hit a cap, so the audit covers a prefix only.
+    pub truncated: bool,
+}
+
+impl AuditReport {
+    /// True iff no violation was found in the explored prefix.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with a readable report if any violation was found.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.is_valid(),
+            "PSIOA audit failed ({} states): {}",
+            self.states_checked,
+            self.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+/// Audit the Def. 2.1 constraints of `auto` over its reachable prefix.
+///
+/// For the "no spurious transition" direction of action enabling — which
+/// cannot be checked against the (infinite) universe of actions — the
+/// auditor probes each state with every action seen in any *other* visited
+/// state's signature, the usual cross-state confusion bug.
+pub fn audit_psioa(auto: &dyn Automaton, limits: ExploreLimits) -> AuditReport {
+    let r = reachable(auto, limits);
+    let mut violations = Vec::new();
+
+    // Gather the action universe across visited states.
+    let mut universe: BTreeSet<crate::action::Action> = BTreeSet::new();
+    for q in &r.states {
+        universe.extend(auto.signature(q).all());
+    }
+
+    for q in &r.states {
+        let sig = auto.signature(q);
+        if !sig.classes_disjoint() {
+            violations.push(Violation::OverlappingClasses {
+                state: q.to_string(),
+            });
+        }
+        // Determinism of the signature function.
+        if auto.signature(q) != sig {
+            violations.push(Violation::NonDeterministic {
+                state: q.to_string(),
+                what: "signature".into(),
+            });
+        }
+        let enabled = sig.all();
+        for &a in &universe {
+            let t = auto.transition(q, a);
+            match (enabled.contains(&a), t.is_some()) {
+                (true, false) => violations.push(Violation::MissingTransition {
+                    state: q.to_string(),
+                    action: a.name(),
+                }),
+                (false, true) => violations.push(Violation::SpuriousTransition {
+                    state: q.to_string(),
+                    action: a.name(),
+                }),
+                (true, true) => {
+                    // Determinism of the transition function.
+                    if auto.transition(q, a) != t {
+                        violations.push(Violation::NonDeterministic {
+                            state: q.to_string(),
+                            what: a.name(),
+                        });
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+    }
+
+    AuditReport {
+        violations,
+        states_checked: r.state_count(),
+        truncated: r.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::automaton::LambdaAutomaton;
+    use crate::compose::compose2;
+    use crate::explicit::ExplicitAutomaton;
+    use crate::hide::hide_static;
+    use crate::rename::rename_with;
+    use crate::signature::Signature;
+    use crate::value::Value;
+    use dpioa_prob::Disc;
+    use std::sync::Arc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn good() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("good", Value::int(0))
+            .state(0, Signature::new([act("in-a")], [act("out-a")], []))
+            .state(1, Signature::new([], [], []))
+            .step(0, act("in-a"), 1)
+            .step(0, act("out-a"), 0)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn valid_automaton_passes() {
+        let report = audit_psioa(&*good(), ExploreLimits::default());
+        assert!(report.is_valid());
+        assert_eq!(report.states_checked, 2);
+        report.assert_valid();
+    }
+
+    #[test]
+    fn missing_transition_detected() {
+        let bad = LambdaAutomaton::new(
+            "bad-missing",
+            Value::int(0),
+            |_| Signature::new([act("never")], [], []),
+            |_, _| None,
+        );
+        let report = audit_psioa(&bad, ExploreLimits::default());
+        assert!(!report.is_valid());
+        assert!(matches!(
+            report.violations[0],
+            Violation::MissingTransition { .. }
+        ));
+    }
+
+    #[test]
+    fn spurious_transition_detected() {
+        // State 1 answers for an action that is only in state 0's signature.
+        let bad = LambdaAutomaton::new(
+            "bad-spurious",
+            Value::int(0),
+            |q| {
+                if q.as_int() == Some(0) {
+                    Signature::new([], [], [act("step-x")])
+                } else {
+                    Signature::empty()
+                }
+            },
+            |_, a| (a == act("step-x")).then(|| Disc::dirac(Value::int(1))),
+        );
+        let report = audit_psioa(&bad, ExploreLimits::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SpuriousTransition { .. })));
+    }
+
+    #[test]
+    fn overlapping_classes_detected() {
+        // Bypass Signature::new's assertion by assembling the struct
+        // directly — simulating a buggy user implementation.
+        let bad = LambdaAutomaton::new(
+            "bad-overlap",
+            Value::int(0),
+            |_| {
+                let mut s = Signature::empty();
+                s.input.insert(act("dup"));
+                s.output.insert(act("dup"));
+                s
+            },
+            |_, a| (a == act("dup")).then(|| Disc::dirac(Value::int(0))),
+        );
+        let report = audit_psioa(&bad, ExploreLimits::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OverlappingClasses { .. })));
+    }
+
+    #[test]
+    fn closure_lemma_a1_renaming_preserves_validity() {
+        let r = rename_with(good(), |_, a| a.suffixed("@audit"));
+        audit_psioa(&*r, ExploreLimits::default()).assert_valid();
+    }
+
+    #[test]
+    fn closure_composition_preserves_validity() {
+        let peer = ExplicitAutomaton::builder("peer", Value::int(0))
+            .state(0, Signature::new([act("out-a")], [act("in-a")], []))
+            .step(0, act("out-a"), 0)
+            .step(0, act("in-a"), 0)
+            .build()
+            .shared();
+        let sys = compose2(good(), peer);
+        audit_psioa(&*sys, ExploreLimits::default()).assert_valid();
+    }
+
+    #[test]
+    fn closure_hiding_preserves_validity() {
+        let h = hide_static(good(), [act("out-a")]);
+        audit_psioa(&*h, ExploreLimits::default()).assert_valid();
+    }
+}

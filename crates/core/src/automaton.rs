@@ -1,0 +1,203 @@
+//! The PSIOA trait (paper Def. 2.1).
+//!
+//! A PSIOA `A = (Q_A, q̄_A, sig(A), D_A)` is modeled as an object-safe
+//! trait: `Q_A` is the set of [`Value`]s reachable from
+//! [`Automaton::start_state`], `sig(A)` is [`Automaton::signature`], and
+//! `D_A` is the graph of [`Automaton::transition`]. The paper's condition
+//! `∀q, ∀a ∈ ŝig(A)(q), ∃! η_{(A,q,a)}` holds *by construction*: a trait
+//! method is a function, so the measure for `(q, a)` is unique. The
+//! auditor in [`crate::audit`] re-checks the remaining conditions (class
+//! disjointness, enabling, normalization) on reachable prefixes.
+
+use crate::action::Action;
+use crate::signature::Signature;
+use crate::value::Value;
+use dpioa_prob::Disc;
+use std::sync::Arc;
+
+/// A probabilistic signature input/output automaton (Def. 2.1).
+///
+/// Implementations must be deterministic functions of their arguments:
+/// calling `signature`/`transition` twice with equal arguments must return
+/// equal results (the audit layer verifies this on samples).
+pub trait Automaton: Send + Sync {
+    /// A human-readable name used in diagnostics and displays.
+    fn name(&self) -> String;
+
+    /// The unique start state `q̄_A`.
+    fn start_state(&self) -> Value;
+
+    /// The state signature `sig(A)(q)`.
+    fn signature(&self, q: &Value) -> Signature;
+
+    /// The transition measure `η_{(A,q,a)}` for `a ∈ ŝig(A)(q)`, or
+    /// `None` when `a` is not executable at `q`.
+    ///
+    /// The action-enabling condition of the paper requires `Some` exactly
+    /// for the actions of `ŝig(A)(q)`.
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>>;
+}
+
+/// Extension helpers available on every automaton (including trait
+/// objects).
+pub trait AutomatonExt: Automaton {
+    /// The executable actions `ŝig(A)(q)` at `q`, as a sorted vector.
+    fn enabled(&self, q: &Value) -> Vec<Action> {
+        self.signature(q).all().into_iter().collect()
+    }
+
+    /// The *locally controlled* actions `out(A)(q) ∪ int(A)(q)`.
+    ///
+    /// Schedulers resolve nondeterminism among locally controlled actions
+    /// only (the convention of the task-PIOA literature the paper builds
+    /// on): an input fires when some component *outputs* it, never
+    /// spontaneously.
+    fn locally_controlled(&self, q: &Value) -> Vec<Action> {
+        let sig = self.signature(q);
+        sig.output
+            .iter()
+            .chain(sig.internal.iter())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// `steps(A)` restricted to `(q, a)`: the support of `η_{(A,q,a)}`.
+    fn successors(&self, q: &Value, a: Action) -> Vec<Value> {
+        self.transition(q, a)
+            .map(|d| d.support().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// True iff the state is "destroyed" in the sense of Def. 2.12 (its
+    /// current signature is empty).
+    fn is_destroyed(&self, q: &Value) -> bool {
+        self.signature(q).is_empty()
+    }
+}
+
+impl<T: Automaton + ?Sized> AutomatonExt for T {}
+
+impl Automaton for Arc<dyn Automaton> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn start_state(&self) -> Value {
+        (**self).start_state()
+    }
+    fn signature(&self, q: &Value) -> Signature {
+        (**self).signature(q)
+    }
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        (**self).transition(q, a)
+    }
+}
+
+/// A PSIOA defined by closures — the idiom used by the protocol crates,
+/// where states are structured values and transitions are computed rather
+/// than tabulated.
+pub struct LambdaAutomaton {
+    name: String,
+    start: Value,
+    #[allow(clippy::type_complexity)]
+    sig: Box<dyn Fn(&Value) -> Signature + Send + Sync>,
+    #[allow(clippy::type_complexity)]
+    trans: Box<dyn Fn(&Value, Action) -> Option<Disc<Value>> + Send + Sync>,
+}
+
+impl LambdaAutomaton {
+    /// Build an automaton from a start state, a signature function and a
+    /// transition function.
+    pub fn new(
+        name: impl Into<String>,
+        start: Value,
+        sig: impl Fn(&Value) -> Signature + Send + Sync + 'static,
+        trans: impl Fn(&Value, Action) -> Option<Disc<Value>> + Send + Sync + 'static,
+    ) -> LambdaAutomaton {
+        LambdaAutomaton {
+            name: name.into(),
+            start,
+            sig: Box::new(sig),
+            trans: Box::new(trans),
+        }
+    }
+
+    /// Wrap into a shareable trait object.
+    pub fn shared(self) -> Arc<dyn Automaton> {
+        Arc::new(self)
+    }
+}
+
+impl Automaton for LambdaAutomaton {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn start_state(&self) -> Value {
+        self.start.clone()
+    }
+    fn signature(&self, q: &Value) -> Signature {
+        (self.sig)(q)
+    }
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        (self.trans)(q, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-state coin automaton: `flip` (internal) moves from `ready` to
+    /// heads/tails uniformly; a `report` output is enabled afterwards.
+    pub(crate) fn coin() -> LambdaAutomaton {
+        let flip = Action::named("flip");
+        let report = |v: i64| Action::with_params("report", &[Value::int(v)]);
+        LambdaAutomaton::new(
+            "coin",
+            Value::str("ready"),
+            move |q| match q.as_str() {
+                Some("ready") => Signature::new([], [], [flip]),
+                _ => Signature::new([], [report(q.as_int().unwrap_or(0))], []),
+            },
+            move |q, a| {
+                if q.as_str() == Some("ready") && a == flip {
+                    Some(Disc::bernoulli_dyadic(Value::int(0), Value::int(1), 1, 1))
+                } else if q.as_int().is_some() && a == report(q.as_int().unwrap()) {
+                    Some(Disc::dirac(q.clone()))
+                } else {
+                    None
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn lambda_automaton_basics() {
+        let c = coin();
+        assert_eq!(c.name(), "coin");
+        let q0 = c.start_state();
+        assert_eq!(c.enabled(&q0), vec![Action::named("flip")]);
+        let eta = c.transition(&q0, Action::named("flip")).unwrap();
+        assert_eq!(eta.prob(&Value::int(0)), 0.5);
+        assert_eq!(eta.prob(&Value::int(1)), 0.5);
+        assert!(c.transition(&q0, Action::named("nonexistent")).is_none());
+    }
+
+    #[test]
+    fn successors_and_destroyed() {
+        let c = coin();
+        let q0 = c.start_state();
+        let succ = c.successors(&q0, Action::named("flip"));
+        assert_eq!(succ.len(), 2);
+        assert!(!c.is_destroyed(&q0));
+    }
+
+    #[test]
+    fn arc_dyn_automaton_delegates() {
+        let c: Arc<dyn Automaton> = coin().shared();
+        assert_eq!(c.name(), "coin");
+        assert_eq!(c.start_state(), Value::str("ready"));
+        assert_eq!(c.enabled(&c.start_state()).len(), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Parallel composition of PSIOA (paper Defs. 2.5 and 2.18).
+//!
+//! The composite state is the tuple of component states; the composite
+//! signature is the Def. 2.4 composition of component signatures (asserted
+//! compatible at every visited state — *partial* compatibility in the
+//! paper means exactly that every reachable state is compatible); and the
+//! joint transition for action `a` is the product measure
+//! `η₁ ⊗ … ⊗ ηₙ` where `ηⱼ = η_{(Aⱼ,qⱼ,a)}` if `a ∈ ŝig(Aⱼ)(qⱼ)` and
+//! `ηⱼ = δ_{qⱼ}` otherwise (Def. 2.5).
+
+use crate::action::Action;
+use crate::automaton::Automaton;
+use crate::signature::Signature;
+use crate::value::Value;
+use dpioa_prob::Disc;
+use std::sync::Arc;
+
+/// The parallel composition `A₁‖…‖Aₙ`.
+pub struct Composition {
+    name: String,
+    components: Vec<Arc<dyn Automaton>>,
+}
+
+impl Composition {
+    /// Compose a non-empty list of automata.
+    pub fn new(components: Vec<Arc<dyn Automaton>>) -> Composition {
+        assert!(!components.is_empty(), "composition of zero automata");
+        let name = components
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join("‖");
+        Composition { name, components }
+    }
+
+    /// The number of components.
+    pub fn arity(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Borrow component `i`.
+    pub fn component(&self, i: usize) -> &Arc<dyn Automaton> {
+        &self.components[i]
+    }
+
+    /// Project a composite state onto component `i` (`q ↾ Aᵢ`).
+    pub fn project<'q>(&self, q: &'q Value, i: usize) -> &'q Value {
+        q.proj(i)
+    }
+
+    /// The component signatures at a composite state.
+    fn component_sigs(&self, q: &Value) -> Vec<Signature> {
+        assert_eq!(
+            q.tuple_len(),
+            Some(self.components.len()),
+            "composite state arity mismatch in {}",
+            self.name
+        );
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.signature(q.proj(i)))
+            .collect()
+    }
+
+    /// Check Def. 2.5 compatibility at a state without panicking.
+    pub fn compatible_at(&self, q: &Value) -> bool {
+        let sigs = self.component_sigs(q);
+        let refs: Vec<&Signature> = sigs.iter().collect();
+        Signature::compatible_set(&refs)
+    }
+
+    /// Wrap into a shareable trait object.
+    pub fn shared(self) -> Arc<dyn Automaton> {
+        Arc::new(self)
+    }
+}
+
+impl Automaton for Composition {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn start_state(&self) -> Value {
+        Value::tuple(
+            self.components
+                .iter()
+                .map(|c| c.start_state())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        let sigs = self.component_sigs(q);
+        let refs: Vec<&Signature> = sigs.iter().collect();
+        assert!(
+            Signature::compatible_set(&refs),
+            "incompatible component signatures at reachable state {q} of {}",
+            self.name
+        );
+        Signature::compose_all(sigs.iter())
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        let sigs = self.component_sigs(q);
+        if !sigs.iter().any(|s| s.contains(a)) {
+            return None;
+        }
+        // Build η₁ ⊗ … ⊗ ηₙ incrementally over tuple states.
+        let mut acc: Disc<Vec<Value>> = Disc::dirac(Vec::with_capacity(self.components.len()));
+        for (i, comp) in self.components.iter().enumerate() {
+            let qi = q.proj(i);
+            let eta_i = if sigs[i].contains(a) {
+                comp.transition(qi, a).unwrap_or_else(|| {
+                    panic!(
+                        "component {} enables {a} at {qi} but has no transition (Def 2.1 violation)",
+                        comp.name()
+                    )
+                })
+            } else {
+                Disc::dirac(qi.clone())
+            };
+            acc = acc.bind(|prefix| {
+                eta_i.map(|qn| {
+                    let mut next = prefix.clone();
+                    next.push(qn.clone());
+                    next
+                })
+            });
+        }
+        Some(acc.map(|items| Value::tuple(items.clone())))
+    }
+}
+
+/// Compose two automata (`A‖B`).
+pub fn compose2(a: Arc<dyn Automaton>, b: Arc<dyn Automaton>) -> Arc<dyn Automaton> {
+    Composition::new(vec![a, b]).shared()
+}
+
+/// Compose any number of automata.
+pub fn compose(components: Vec<Arc<dyn Automaton>>) -> Arc<dyn Automaton> {
+    Composition::new(components).shared()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::AutomatonExt;
+    use crate::explicit::ExplicitAutomaton;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// Producer: outputs `msg` then stops.
+    fn producer() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("prod", Value::int(0))
+            .state(0, Signature::new([], [act("msg")], []))
+            .state(1, Signature::new([], [], []))
+            .step(0, act("msg"), 1)
+            .build()
+            .shared()
+    }
+
+    /// Consumer: receives `msg`, then outputs `ack`.
+    fn consumer() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("cons", Value::int(0))
+            .state(0, Signature::new([act("msg")], [], []))
+            .state(1, Signature::new([], [act("ack")], []))
+            .step(0, act("msg"), 1)
+            .step(1, act("ack"), 1)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn synchronization_on_shared_action() {
+        let sys = compose2(producer(), consumer());
+        let q0 = sys.start_state();
+        assert_eq!(q0, Value::tuple(vec![Value::int(0), Value::int(0)]));
+        // msg is an output of the composite (Def 2.4: moved out of inputs).
+        let sig = sys.signature(&q0);
+        assert!(sig.output.contains(&act("msg")));
+        assert!(!sig.input.contains(&act("msg")));
+        // Taking msg moves BOTH components.
+        let eta = sys.transition(&q0, act("msg")).unwrap();
+        assert_eq!(
+            eta.prob(&Value::tuple(vec![Value::int(1), Value::int(1)])),
+            1.0
+        );
+        // Afterwards only ack is enabled.
+        let q1 = Value::tuple(vec![Value::int(1), Value::int(1)]);
+        assert_eq!(sys.enabled(&q1), vec![act("ack")]);
+    }
+
+    #[test]
+    fn non_participant_stays_put() {
+        let lonely = ExplicitAutomaton::builder("lonely", Value::int(7))
+            .state(7, Signature::new([], [], []))
+            .build()
+            .shared();
+        let sys = compose2(producer(), lonely);
+        let q0 = sys.start_state();
+        let eta = sys.transition(&q0, act("msg")).unwrap();
+        // The lonely automaton does not participate: δ on its state.
+        assert_eq!(
+            eta.prob(&Value::tuple(vec![Value::int(1), Value::int(7)])),
+            1.0
+        );
+    }
+
+    #[test]
+    fn product_measure_of_independent_randomness() {
+        // Two automata that both react probabilistically to a shared input.
+        let mk = |name: &str| -> Arc<dyn Automaton> {
+            ExplicitAutomaton::builder(name, Value::int(0))
+                .state(0, Signature::new([act("go")], [], []))
+                .state(1, Signature::new([], [], []))
+                .state(2, Signature::new([], [], []))
+                .transition(
+                    0,
+                    act("go"),
+                    Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+                )
+                .build()
+                .shared()
+        };
+        let sys = compose2(mk("x"), mk("y"));
+        let eta = sys.transition(&sys.start_state(), act("go")).unwrap();
+        assert_eq!(eta.support_len(), 4);
+        for i in [1i64, 2] {
+            for j in [1i64, 2] {
+                assert_eq!(
+                    eta.prob(&Value::tuple(vec![Value::int(i), Value::int(j)])),
+                    0.25
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_action_gives_none() {
+        let sys = compose2(producer(), consumer());
+        assert!(sys.transition(&sys.start_state(), act("zzz")).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn incompatible_signatures_panic_on_query() {
+        // Two automata both outputting the same action: Def 2.3 violation.
+        let sys = compose2(producer(), producer());
+        let _ = sys.signature(&sys.start_state());
+    }
+
+    #[test]
+    fn composition_nests() {
+        let inner = compose2(producer(), consumer());
+        let idle = ExplicitAutomaton::builder("idle", Value::Unit)
+            .state(Value::Unit, Signature::new([act("ack")], [], []))
+            .step(Value::Unit, act("ack"), Value::Unit)
+            .build()
+            .shared();
+        let sys = compose2(inner, idle);
+        let q0 = sys.start_state();
+        assert_eq!(q0.tuple_len(), Some(2));
+        let eta = sys.transition(&q0, act("msg")).unwrap();
+        assert_eq!(eta.support_len(), 1);
+    }
+
+    #[test]
+    fn three_way_composition() {
+        let relay = ExplicitAutomaton::builder("relay", Value::int(0))
+            .state(0, Signature::new([act("ack")], [], []))
+            .state(1, Signature::new([], [act("done")], []))
+            .step(0, act("ack"), 1)
+            .step(1, act("done"), 1)
+            .build()
+            .shared();
+        let sys = compose(vec![producer(), consumer(), relay]);
+        let q0 = sys.start_state();
+        let q1 = sys.transition(&q0, act("msg")).unwrap();
+        let q1 = q1.support().next().unwrap().clone();
+        let q2 = sys.transition(&q1, act("ack")).unwrap();
+        let q2 = q2.support().next().unwrap().clone();
+        assert!(sys.signature(&q2).output.contains(&act("done")));
+    }
+}

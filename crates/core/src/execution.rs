@@ -1,0 +1,278 @@
+//! Execution fragments, executions and traces (paper Def. 2.2).
+//!
+//! An execution fragment is an alternating sequence `q⁰ a¹ q¹ a² …` of
+//! states and actions. [`Execution`] stores the two interleaved sequences
+//! densely; the invariant `states.len() == actions.len() + 1` (finite
+//! fragments end with a state) is enforced by the constructors.
+//!
+//! The *trace* of a fragment is its restriction to actions that were
+//! external (`in ∪ out`) *in the state where they were taken* — signatures
+//! are state-dependent, so `trace` requires the automaton.
+
+use crate::action::Action;
+use crate::automaton::Automaton;
+use crate::value::Value;
+use std::fmt;
+
+/// A finite execution fragment `q⁰ a¹ q¹ … aⁿ qⁿ`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Execution {
+    states: Vec<Value>,
+    actions: Vec<Action>,
+}
+
+impl Execution {
+    /// The zero-length fragment consisting of the single state `q0`.
+    pub fn from_state(q0: Value) -> Execution {
+        Execution {
+            states: vec![q0],
+            actions: Vec::new(),
+        }
+    }
+
+    /// An execution of `A`: the zero-length fragment at `start(A)`.
+    pub fn start_of(auto: &dyn Automaton) -> Execution {
+        Execution::from_state(auto.start_state())
+    }
+
+    /// `fstate(α)`: the first state.
+    pub fn fstate(&self) -> &Value {
+        &self.states[0]
+    }
+
+    /// `lstate(α)`: the last state.
+    pub fn lstate(&self) -> &Value {
+        self.states.last().expect("executions are non-empty")
+    }
+
+    /// `|α|`: the number of transitions along the fragment.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True iff the fragment has zero transitions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Extend by one step `α ⌢ (a, q')` (the paper's `α a q'` notation).
+    pub fn extend(&self, a: Action, q2: Value) -> Execution {
+        let mut next = self.clone();
+        next.actions.push(a);
+        next.states.push(q2);
+        next
+    }
+
+    /// In-place extension (hot path of the samplers).
+    pub fn push(&mut self, a: Action, q2: Value) {
+        self.actions.push(a);
+        self.states.push(q2);
+    }
+
+    /// Concatenation `α ⌢ α'`, defined only when `fstate(α') = lstate(α)`.
+    pub fn concat(&self, other: &Execution) -> Option<Execution> {
+        if other.fstate() != self.lstate() {
+            return None;
+        }
+        let mut states = self.states.clone();
+        states.extend(other.states.iter().skip(1).cloned());
+        let mut actions = self.actions.clone();
+        actions.extend(other.actions.iter().copied());
+        Some(Execution { states, actions })
+    }
+
+    /// Prefix order `α ≤ α'`.
+    pub fn is_prefix_of(&self, other: &Execution) -> bool {
+        self.len() <= other.len()
+            && self.states[..] == other.states[..self.states.len()]
+            && self.actions[..] == other.actions[..self.actions.len()]
+    }
+
+    /// Proper prefix `α < α'`.
+    pub fn is_proper_prefix_of(&self, other: &Execution) -> bool {
+        self.len() < other.len() && self.is_prefix_of(other)
+    }
+
+    /// The states visited, in order.
+    pub fn states(&self) -> &[Value] {
+        &self.states
+    }
+
+    /// The actions taken, in order.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Iterate the steps `(qᵢ, aᵢ₊₁, qᵢ₊₁)`.
+    pub fn steps(&self) -> impl Iterator<Item = (&Value, Action, &Value)> {
+        self.actions
+            .iter()
+            .enumerate()
+            .map(move |(i, &a)| (&self.states[i], a, &self.states[i + 1]))
+    }
+
+    /// `trace(α)` (Def. 2.2): the restriction to actions external in the
+    /// state where they were taken.
+    pub fn trace(&self, auto: &dyn Automaton) -> Trace {
+        let actions = self
+            .steps()
+            .filter(|(q, a, _)| auto.signature(q).is_external(*a))
+            .map(|(_, a, _)| a)
+            .collect();
+        Trace(actions)
+    }
+}
+
+impl fmt::Debug for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.states[0])?;
+        for (i, a) in self.actions.iter().enumerate() {
+            write!(f, " --{a}--> {}", self.states[i + 1])?;
+        }
+        Ok(())
+    }
+}
+
+/// The externally visible projection of an execution: an action sequence.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Trace(pub Vec<Action>);
+
+impl Trace {
+    /// Number of external actions.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff no external action was taken.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True iff the trace contains the action.
+    pub fn contains(&self, a: Action) -> bool {
+        self.0.contains(&a)
+    }
+
+    /// Encode as a [`Value`] (a list of action names), so traces can be
+    /// used as observation outputs of insight functions.
+    pub fn to_value(&self) -> Value {
+        Value::list(
+            self.0
+                .iter()
+                .map(|a| Value::str(a.name()))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::LambdaAutomaton;
+    use crate::signature::Signature;
+    use dpioa_prob::Disc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// Automaton over integer states 0..3 with one internal and two
+    /// external actions, for trace tests.
+    fn walker() -> LambdaAutomaton {
+        LambdaAutomaton::new(
+            "walker",
+            Value::int(0),
+            |q| match q.as_int() {
+                Some(0) => Signature::new([], [act("ext0")], [act("silent")]),
+                Some(1) => Signature::new([act("ext1")], [], []),
+                _ => Signature::empty(),
+            },
+            |q, a| match (q.as_int(), a) {
+                (Some(0), x) if x == act("silent") => Some(Disc::dirac(Value::int(1))),
+                (Some(0), x) if x == act("ext0") => Some(Disc::dirac(Value::int(0))),
+                (Some(1), x) if x == act("ext1") => Some(Disc::dirac(Value::int(2))),
+                _ => None,
+            },
+        )
+    }
+
+    #[test]
+    fn construction_and_extension() {
+        let e = Execution::from_state(Value::int(0))
+            .extend(act("silent"), Value::int(1))
+            .extend(act("ext1"), Value::int(2));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.fstate(), &Value::int(0));
+        assert_eq!(e.lstate(), &Value::int(2));
+        let steps: Vec<_> = e.steps().collect();
+        assert_eq!(steps[0], (&Value::int(0), act("silent"), &Value::int(1)));
+    }
+
+    #[test]
+    fn concat_requires_matching_endpoint() {
+        let a = Execution::from_state(Value::int(0)).extend(act("silent"), Value::int(1));
+        let b = Execution::from_state(Value::int(1)).extend(act("ext1"), Value::int(2));
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lstate(), &Value::int(2));
+        let bad = Execution::from_state(Value::int(5));
+        assert!(a.concat(&bad).is_none());
+    }
+
+    #[test]
+    fn prefix_order() {
+        let a = Execution::from_state(Value::int(0)).extend(act("silent"), Value::int(1));
+        let b = a.extend(act("ext1"), Value::int(2));
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_proper_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!a.is_proper_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        // Divergent fragment is not a prefix.
+        let c = Execution::from_state(Value::int(0)).extend(act("ext0"), Value::int(0));
+        assert!(!c.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn trace_filters_internal_actions() {
+        let w = walker();
+        let e = Execution::start_of(&w)
+            .extend(act("silent"), Value::int(1))
+            .extend(act("ext1"), Value::int(2));
+        let t = e.trace(&w);
+        assert_eq!(t.0, vec![act("ext1")]);
+        assert!(t.contains(act("ext1")));
+        assert!(!t.contains(act("silent")));
+    }
+
+    #[test]
+    fn trace_is_state_dependent() {
+        // ext0 is external at state 0; silent is internal at state 0.
+        let w = walker();
+        let e = Execution::start_of(&w)
+            .extend(act("ext0"), Value::int(0))
+            .extend(act("silent"), Value::int(1));
+        assert_eq!(e.trace(&w).0, vec![act("ext0")]);
+    }
+
+    #[test]
+    fn trace_to_value_is_hashable_observation() {
+        let w = walker();
+        let e = Execution::start_of(&w).extend(act("ext0"), Value::int(0));
+        let v = e.trace(&w).to_value();
+        assert_eq!(v, Value::list(vec![Value::str("ext0")]));
+    }
+}

@@ -1,0 +1,240 @@
+//! Table-driven PSIOA.
+//!
+//! [`ExplicitAutomaton`] stores the whole `(Q, q̄, sig, D)` tuple of
+//! Def. 2.1 in hash tables. It is the workhorse of the test suite, of the
+//! randomized model generators in the experiment harness, and of small
+//! hand-written specification automata, where exhaustive tabulation is the
+//! clearest possible description.
+
+use crate::action::Action;
+use crate::automaton::Automaton;
+use crate::signature::Signature;
+use crate::value::Value;
+use dpioa_prob::Disc;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A fully tabulated PSIOA.
+#[derive(Clone)]
+pub struct ExplicitAutomaton {
+    name: String,
+    start: Value,
+    signatures: Arc<HashMap<Value, Signature>>,
+    transitions: Arc<HashMap<(Value, Action), Disc<Value>>>,
+}
+
+impl ExplicitAutomaton {
+    /// Start building an explicit automaton with the given start state.
+    pub fn builder(name: impl Into<String>, start: Value) -> ExplicitBuilder {
+        ExplicitBuilder {
+            name: name.into(),
+            start,
+            signatures: HashMap::new(),
+            transitions: HashMap::new(),
+        }
+    }
+
+    /// The number of tabulated states.
+    pub fn state_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The number of tabulated transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Wrap into a shareable trait object.
+    pub fn shared(self) -> Arc<dyn Automaton> {
+        Arc::new(self)
+    }
+}
+
+impl Automaton for ExplicitAutomaton {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn start_state(&self) -> Value {
+        self.start.clone()
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        self.signatures.get(q).cloned().unwrap_or_else(Signature::empty)
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        self.transitions.get(&(q.clone(), a)).cloned()
+    }
+}
+
+/// Builder for [`ExplicitAutomaton`].
+pub struct ExplicitBuilder {
+    name: String,
+    start: Value,
+    signatures: HashMap<Value, Signature>,
+    transitions: HashMap<(Value, Action), Disc<Value>>,
+}
+
+impl ExplicitBuilder {
+    /// Declare a state's signature. Later declarations replace earlier
+    /// ones (useful when generating models incrementally).
+    pub fn state(mut self, q: impl Into<Value>, sig: Signature) -> Self {
+        self.signatures.insert(q.into(), sig);
+        self
+    }
+
+    /// Declare a probabilistic transition `(q, a, η)`.
+    ///
+    /// Panics if a *different* measure was already declared for `(q, a)` —
+    /// Def. 2.1 requires a unique `η_{(A,q,a)}`.
+    pub fn transition(mut self, q: impl Into<Value>, a: Action, eta: Disc<Value>) -> Self {
+        let key = (q.into(), a);
+        if let Some(prev) = self.transitions.get(&key) {
+            assert!(
+                *prev == eta,
+                "duplicate transition with a different measure for ({}, {a})",
+                key.0
+            );
+        }
+        self.transitions.insert(key, eta);
+        self
+    }
+
+    /// Declare a deterministic transition `(q, a, δ_{q'})`.
+    pub fn step(self, q: impl Into<Value>, a: Action, q2: impl Into<Value>) -> Self {
+        self.transition(q, a, Disc::dirac(q2.into()))
+    }
+
+    /// Finish building. Panics if any transition references a state with
+    /// no declared signature, or uses an action outside the state's
+    /// signature (action enabling), or if the start state is undeclared —
+    /// each a violation of Def. 2.1.
+    pub fn build(self) -> ExplicitAutomaton {
+        assert!(
+            self.signatures.contains_key(&self.start),
+            "start state {} has no declared signature",
+            self.start
+        );
+        for ((q, a), eta) in &self.transitions {
+            let sig = self
+                .signatures
+                .get(q)
+                .unwrap_or_else(|| panic!("transition from undeclared state {q}"));
+            assert!(
+                sig.contains(*a),
+                "transition action {a} not in signature of state {q}"
+            );
+            for q2 in eta.support() {
+                assert!(
+                    self.signatures.contains_key(q2),
+                    "transition target {q2} has no declared signature"
+                );
+            }
+        }
+        // Action enabling: every action of ŝig(q) must have a transition.
+        for (q, sig) in &self.signatures {
+            for a in sig.all() {
+                assert!(
+                    self.transitions.contains_key(&(q.clone(), a)),
+                    "action {a} enabled at {q} but has no transition"
+                );
+            }
+        }
+        ExplicitAutomaton {
+            name: self.name,
+            start: self.start,
+            signatures: Arc::new(self.signatures),
+            transitions: Arc::new(self.transitions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let auto = ExplicitAutomaton::builder("toggle", Value::int(0))
+            .state(0, Signature::new([act("go")], [], []))
+            .state(1, Signature::new([], [act("done")], []))
+            .step(0, act("go"), 1)
+            .step(1, act("done"), 1)
+            .build();
+        assert_eq!(auto.state_count(), 2);
+        assert_eq!(auto.transition_count(), 2);
+        assert_eq!(auto.start_state(), Value::int(0));
+        assert!(auto.signature(&Value::int(0)).input.contains(&act("go")));
+        let eta = auto.transition(&Value::int(0), act("go")).unwrap();
+        assert_eq!(eta.prob(&Value::int(1)), 1.0);
+        assert!(auto.transition(&Value::int(0), act("done")).is_none());
+    }
+
+    #[test]
+    fn undeclared_state_defaults_to_empty_signature() {
+        let auto = ExplicitAutomaton::builder("single", Value::int(0))
+            .state(0, Signature::new([], [], []))
+            .build();
+        assert!(auto.signature(&Value::int(99)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "enabled at")]
+    fn missing_transition_for_enabled_action_panics() {
+        ExplicitAutomaton::builder("bad", Value::int(0))
+            .state(0, Signature::new([act("a")], [], []))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "not in signature")]
+    fn transition_outside_signature_panics() {
+        ExplicitAutomaton::builder("bad2", Value::int(0))
+            .state(0, Signature::new([], [], []))
+            .state(1, Signature::new([], [], []))
+            .step(0, act("ghost"), 1)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "no declared signature")]
+    fn dangling_target_panics() {
+        ExplicitAutomaton::builder("bad3", Value::int(0))
+            .state(0, Signature::new([act("a")], [], []))
+            .step(0, act("a"), 77)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn conflicting_duplicate_transition_panics() {
+        let _ = ExplicitAutomaton::builder("bad4", Value::int(0))
+            .state(0, Signature::new([act("a")], [], []))
+            .state(1, Signature::new([], [], []))
+            .state(2, Signature::new([], [], []))
+            .step(0, act("a"), 1)
+            .step(0, act("a"), 2);
+    }
+
+    #[test]
+    fn probabilistic_transition() {
+        let auto = ExplicitAutomaton::builder("prob", Value::int(0))
+            .state(0, Signature::new([], [], [act("mix")]))
+            .state(1, Signature::new([], [], []))
+            .state(2, Signature::new([], [], []))
+            .transition(
+                0,
+                act("mix"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 2),
+            )
+            .build();
+        let eta = auto.transition(&Value::int(0), act("mix")).unwrap();
+        assert_eq!(eta.prob(&Value::int(1)), 0.25);
+        assert_eq!(eta.prob(&Value::int(2)), 0.75);
+    }
+}

@@ -1,0 +1,204 @@
+//! Bounded reachability over PSIOA.
+//!
+//! `reachable(A)` in the paper is the set of states reachable by finite
+//! executions. For auditing, state-space measurements (experiment E7) and
+//! partial-compatibility checks, this module explores the transition graph
+//! breadth-first under explicit caps, so exploration of infinite-state
+//! automata terminates with an explicit "truncated" marker instead of
+//! diverging.
+
+use crate::automaton::{Automaton, AutomatonExt};
+use crate::value::Value;
+use std::collections::{HashSet, VecDeque};
+
+/// Limits for a reachability exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Maximum BFS depth (number of transitions from the start state).
+    pub max_depth: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_states: 100_000,
+            max_depth: 64,
+        }
+    }
+}
+
+/// The result of a bounded exploration.
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    /// The distinct states visited, in BFS order (start state first).
+    pub states: Vec<Value>,
+    /// Total number of `(q, a, q')` steps traversed.
+    pub step_count: usize,
+    /// True iff a cap fired before the frontier was exhausted, i.e. the
+    /// result is a strict under-approximation of `reachable(A)`.
+    pub truncated: bool,
+}
+
+impl Reachability {
+    /// Number of distinct visited states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// Explore the *closed-system* reachable states of `A`: only locally
+/// controlled (`out ∪ int`) actions fire — an input fires only through
+/// synchronization with an output, which inside one composed automaton
+/// happens as a single shared action. This is the reachability of a
+/// complete system with no outside driver, the state set over which
+/// pointwise conditions like Def. 4.24 are meaningful in practice.
+pub fn reachable_closed(auto: &dyn Automaton, limits: ExploreLimits) -> Reachability {
+    explore(auto, limits, true)
+}
+
+/// Explore the reachable states of `A` breadth-first under `limits`,
+/// firing every action of `ŝig` (inputs included — the paper's
+/// input-enabling semantics, where an open system's inputs may arrive at
+/// any time).
+pub fn reachable(auto: &dyn Automaton, limits: ExploreLimits) -> Reachability {
+    explore(auto, limits, false)
+}
+
+fn explore(auto: &dyn Automaton, limits: ExploreLimits, closed: bool) -> Reachability {
+    let start = auto.start_state();
+    let mut visited: HashSet<Value> = HashSet::new();
+    let mut order: Vec<Value> = Vec::new();
+    let mut queue: VecDeque<(Value, usize)> = VecDeque::new();
+    let mut steps = 0usize;
+    let mut truncated = false;
+
+    visited.insert(start.clone());
+    order.push(start.clone());
+    queue.push_back((start, 0));
+
+    while let Some((q, depth)) = queue.pop_front() {
+        if depth >= limits.max_depth {
+            truncated = true;
+            continue;
+        }
+        let actions = if closed {
+            auto.locally_controlled(&q)
+        } else {
+            auto.enabled(&q)
+        };
+        for a in actions {
+            let Some(eta) = auto.transition(&q, a) else {
+                continue;
+            };
+            for q2 in eta.support() {
+                steps += 1;
+                if visited.contains(q2) {
+                    continue;
+                }
+                if visited.len() >= limits.max_states {
+                    truncated = true;
+                    continue;
+                }
+                visited.insert(q2.clone());
+                order.push(q2.clone());
+                queue.push_back((q2.clone(), depth + 1));
+            }
+        }
+    }
+
+    Reachability {
+        states: order,
+        step_count: steps,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::explicit::ExplicitAutomaton;
+    use crate::signature::Signature;
+    use dpioa_prob::Disc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn chain(n: i64) -> ExplicitAutomaton {
+        let mut b = ExplicitAutomaton::builder("chain", Value::int(0));
+        for i in 0..n {
+            b = b
+                .state(i, Signature::new([], [], [act("tick")]))
+                .step(i, act("tick"), i + 1);
+        }
+        b.state(n, Signature::new([], [], [])).build()
+    }
+
+    #[test]
+    fn full_exploration_of_finite_chain() {
+        let r = reachable(&chain(10), ExploreLimits::default());
+        assert_eq!(r.state_count(), 11);
+        assert_eq!(r.step_count, 10);
+        assert!(!r.truncated);
+        assert_eq!(r.states[0], Value::int(0));
+    }
+
+    #[test]
+    fn depth_cap_truncates() {
+        let r = reachable(
+            &chain(10),
+            ExploreLimits {
+                max_states: 1000,
+                max_depth: 3,
+            },
+        );
+        assert_eq!(r.state_count(), 4); // states 0..=3
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn state_cap_truncates() {
+        let r = reachable(
+            &chain(10),
+            ExploreLimits {
+                max_states: 5,
+                max_depth: 64,
+            },
+        );
+        assert_eq!(r.state_count(), 5);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn probabilistic_branching_explored() {
+        let auto = ExplicitAutomaton::builder("branch", Value::int(0))
+            .state(0, Signature::new([], [], [act("mix")]))
+            .state(1, Signature::new([], [], []))
+            .state(2, Signature::new([], [], []))
+            .transition(
+                0,
+                act("mix"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+            )
+            .build();
+        let r = reachable(&auto, ExploreLimits::default());
+        assert_eq!(r.state_count(), 3);
+        assert_eq!(r.step_count, 2);
+    }
+
+    #[test]
+    fn cyclic_automaton_terminates() {
+        let auto = ExplicitAutomaton::builder("cycle", Value::int(0))
+            .state(0, Signature::new([], [], [act("spin")]))
+            .state(1, Signature::new([], [], [act("spin")]))
+            .step(0, act("spin"), 1)
+            .step(1, act("spin"), 0)
+            .build();
+        let r = reachable(&auto, ExploreLimits::default());
+        assert_eq!(r.state_count(), 2);
+        assert!(!r.truncated);
+    }
+}

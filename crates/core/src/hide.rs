@@ -1,0 +1,172 @@
+//! The hiding operator on PSIOA (paper Defs. 2.6–2.7).
+//!
+//! `hide(A, h)` re-classifies, state by state, some output actions as
+//! internal: `sig'(A)(q) = hide(sig(A)(q), h(q))`. States and transitions
+//! are untouched; only visibility changes. This is the operator the
+//! secure-emulation layer uses to hide adversary actions
+//! (`hide(A‖Adv, AAct_A)`, Def. 4.26).
+
+use crate::action::Action;
+use crate::automaton::Automaton;
+use crate::signature::{ActionSet, Signature};
+use crate::value::Value;
+use dpioa_prob::Disc;
+use std::sync::Arc;
+
+/// The automaton `hide(A, h)` for a state-dependent hiding function `h`.
+pub struct Hidden {
+    inner: Arc<dyn Automaton>,
+    #[allow(clippy::type_complexity)]
+    hide_fn: Arc<dyn Fn(&Value) -> ActionSet + Send + Sync>,
+}
+
+impl Hidden {
+    /// Hide with a state-dependent hiding function `h : q ↦ h(q) ⊆ out(q)`
+    /// (Def. 2.7). Actions of `h(q)` that are not outputs at `q` are
+    /// ignored, matching Def. 2.6 (`out ∖ S`, `int ∪ (out ∩ S)`).
+    pub fn new(
+        inner: Arc<dyn Automaton>,
+        hide_fn: impl Fn(&Value) -> ActionSet + Send + Sync + 'static,
+    ) -> Hidden {
+        Hidden {
+            inner,
+            hide_fn: Arc::new(hide_fn),
+        }
+    }
+
+    /// The hidden-action set at a state (`h(q) ∩ out(q)`).
+    pub fn hidden_at(&self, q: &Value) -> ActionSet {
+        let mut h = (self.hide_fn)(q);
+        let out = self.inner.signature(q).output;
+        h.retain(|a| out.contains(a));
+        h
+    }
+
+    /// Borrow the wrapped automaton.
+    pub fn inner(&self) -> &Arc<dyn Automaton> {
+        &self.inner
+    }
+
+    /// Wrap into a shareable trait object.
+    pub fn shared(self) -> Arc<dyn Automaton> {
+        Arc::new(self)
+    }
+}
+
+impl Automaton for Hidden {
+    fn name(&self) -> String {
+        format!("hide({})", self.inner.name())
+    }
+
+    fn start_state(&self) -> Value {
+        self.inner.start_state()
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        self.inner.signature(q).hide(&(self.hide_fn)(q))
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        self.inner.transition(q, a)
+    }
+}
+
+/// Hide a fixed set of actions in every state.
+pub fn hide_static(
+    inner: Arc<dyn Automaton>,
+    actions: impl IntoIterator<Item = Action>,
+) -> Arc<dyn Automaton> {
+    let set: ActionSet = actions.into_iter().collect();
+    Hidden::new(inner, move |_| set.clone()).shared()
+}
+
+/// Hide with a state-dependent hiding function.
+pub fn hide_with(
+    inner: Arc<dyn Automaton>,
+    hide_fn: impl Fn(&Value) -> ActionSet + Send + Sync + 'static,
+) -> Arc<dyn Automaton> {
+    Hidden::new(inner, hide_fn).shared()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitAutomaton;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn emitter() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("emitter", Value::int(0))
+            .state(0, Signature::new([act("poke")], [act("loud"), act("quiet")], []))
+            .state(1, Signature::new([], [], []))
+            .step(0, act("poke"), 1)
+            .step(0, act("loud"), 1)
+            .step(0, act("quiet"), 1)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn hiding_moves_outputs_to_internal() {
+        let h = hide_static(emitter(), [act("quiet")]);
+        let sig = h.signature(&Value::int(0));
+        assert!(sig.output.contains(&act("loud")));
+        assert!(!sig.output.contains(&act("quiet")));
+        assert!(sig.internal.contains(&act("quiet")));
+        // Inputs untouched.
+        assert!(sig.input.contains(&act("poke")));
+    }
+
+    #[test]
+    fn hiding_preserves_transitions() {
+        let e = emitter();
+        let h = hide_static(e.clone(), [act("quiet")]);
+        assert_eq!(h.start_state(), e.start_state());
+        assert_eq!(
+            h.transition(&Value::int(0), act("quiet")),
+            e.transition(&Value::int(0), act("quiet"))
+        );
+    }
+
+    #[test]
+    fn hiding_non_output_is_noop() {
+        let h = hide_static(emitter(), [act("poke"), act("never-seen")]);
+        let sig = h.signature(&Value::int(0));
+        assert!(sig.input.contains(&act("poke")));
+        assert!(!sig.internal.contains(&act("poke")));
+    }
+
+    #[test]
+    fn state_dependent_hiding() {
+        // Hide `loud` only in state 0.
+        let h = hide_with(emitter(), |q| {
+            if q.as_int() == Some(0) {
+                [act("loud")].into_iter().collect()
+            } else {
+                ActionSet::new()
+            }
+        });
+        assert!(h.signature(&Value::int(0)).internal.contains(&act("loud")));
+        assert!(!h.signature(&Value::int(1)).internal.contains(&act("loud")));
+    }
+
+    #[test]
+    fn hidden_at_reports_effective_set() {
+        let e = emitter();
+        let h = Hidden::new(e, |_| [act("quiet"), act("poke")].into_iter().collect());
+        let eff = h.hidden_at(&Value::int(0));
+        assert!(eff.contains(&act("quiet")));
+        assert!(!eff.contains(&act("poke"))); // not an output
+    }
+
+    #[test]
+    fn double_hiding_composes() {
+        let h1 = hide_static(emitter(), [act("quiet")]);
+        let h2 = hide_static(h1, [act("loud")]);
+        let sig = h2.signature(&Value::int(0));
+        assert!(sig.output.is_empty());
+        assert!(sig.internal.contains(&act("quiet")) && sig.internal.contains(&act("loud")));
+    }
+}

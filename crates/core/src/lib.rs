@@ -1,0 +1,62 @@
+//! # dpioa-core — Probabilistic Signature Input/Output Automata (PSIOA)
+//!
+//! This crate implements Sections 2.2–2.4 and 2.6 of *"Composable Dynamic
+//! Secure Emulation"* (Civit & Potop-Butucaru, SPAA 2022):
+//!
+//! * **states** are dynamic [`Value`]s (hashable, ordered, canonically
+//!   bit-encodable — the encoding lives in `dpioa-bounded`);
+//! * **actions** are process-interned symbols ([`Action`]) with structured
+//!   display names;
+//! * a **PSIOA** (Def. 2.1) is any implementation of the object-safe
+//!   [`Automaton`] trait: a unique start state, a state-dependent
+//!   [`Signature`] partitioned into input/output/internal actions, and a
+//!   transition *function* `(q, a) ↦ η_{(A,q,a)} ∈ Disc(Q)` — the paper's
+//!   uniqueness condition holds by construction because `transition` is a
+//!   function;
+//! * **executions, fragments and traces** (Def. 2.2) are in
+//!   [`execution`];
+//! * **parallel composition** `A₁‖…‖Aₙ` (Defs. 2.3–2.5, 2.18) is the
+//!   [`compose::Composition`] combinator with product-measure joint steps;
+//! * **hiding** (Defs. 2.6–2.7) and **action renaming** (Def. 2.8, closure
+//!   Lemma A.1) are the [`hide`] and [`rename`] combinators;
+//! * [`audit`] re-checks the Def. 2.1 constraints on the reachable prefix
+//!   of any automaton, and [`explore`] provides bounded reachability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod audit;
+pub mod automaton;
+pub mod compose;
+pub mod execution;
+pub mod explicit;
+pub mod explore;
+pub mod hide;
+pub mod rename;
+pub mod signature;
+pub mod value;
+
+pub use action::Action;
+pub use automaton::{Automaton, AutomatonExt, LambdaAutomaton};
+pub use compose::{compose, compose2, Composition};
+pub use execution::{Execution, Trace};
+pub use explicit::{ExplicitAutomaton, ExplicitBuilder};
+pub use hide::{hide_static, hide_with, Hidden};
+pub use rename::{rename_static, rename_with, Renamed};
+pub use signature::{ActionSet, Signature};
+pub use value::Value;
+
+/// Convenient re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::action::Action;
+    pub use crate::automaton::{Automaton, AutomatonExt, LambdaAutomaton};
+    pub use crate::compose::{compose, compose2, Composition};
+    pub use crate::execution::{Execution, Trace};
+    pub use crate::explicit::{ExplicitAutomaton, ExplicitBuilder};
+    pub use crate::hide::{hide_static, hide_with};
+    pub use crate::rename::{rename_static, rename_with};
+    pub use crate::signature::{ActionSet, Signature};
+    pub use crate::value::Value;
+    pub use dpioa_prob::{Disc, SubDisc};
+}

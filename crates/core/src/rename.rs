@@ -1,0 +1,205 @@
+//! Action renaming (paper Def. 2.8 and Lemma A.1).
+//!
+//! `r(A)` relabels, state by state, the actions of `A` through an
+//! injective mapping `r(q)` with `ŝig(A)(q)` as domain. States, the start
+//! state and the transition *measures* are untouched; only the action
+//! labels on transitions change: `dtrans(r(A)) = {(q, r(a), η) | (q, a, η)
+//! ∈ dtrans(A)}`. Lemma A.1 (closure of PSIOA under renaming) is checked
+//! by the audit-based tests below and in the integration suite.
+//!
+//! Because the combinator needs the *inverse* direction to answer
+//! `transition(q, b)` queries, the renaming is given as a bidirectional
+//! pair; injectivity makes the inverse well-defined.
+
+use crate::action::Action;
+use crate::automaton::Automaton;
+use crate::signature::Signature;
+use crate::value::Value;
+use dpioa_prob::Disc;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The automaton `r(A)` for a state-dependent action renaming `r`.
+pub struct Renamed {
+    inner: Arc<dyn Automaton>,
+    #[allow(clippy::type_complexity)]
+    forward: Arc<dyn Fn(&Value, Action) -> Action + Send + Sync>,
+}
+
+impl Renamed {
+    /// Rename with a state-dependent function `r(q)` that must be
+    /// injective on `ŝig(A)(q)` for every state `q` (asserted when the
+    /// signature is computed). Actions outside the signature may map
+    /// anywhere (the paper's `r(q)` is partial with `ŝig(A)(q)` as
+    /// domain).
+    pub fn new(
+        inner: Arc<dyn Automaton>,
+        forward: impl Fn(&Value, Action) -> Action + Send + Sync + 'static,
+    ) -> Renamed {
+        Renamed {
+            inner,
+            forward: Arc::new(forward),
+        }
+    }
+
+    /// The inverse renaming at a state: from a renamed action back to the
+    /// original (None when the renamed action is not in the image of
+    /// `ŝig(A)(q)`).
+    fn invert(&self, q: &Value, b: Action) -> Option<Action> {
+        let sig = self.inner.signature(q);
+        sig.all()
+            .into_iter()
+            .find(|&a| (self.forward)(q, a) == b)
+    }
+
+    /// Borrow the wrapped automaton.
+    pub fn inner(&self) -> &Arc<dyn Automaton> {
+        &self.inner
+    }
+
+    /// Wrap into a shareable trait object.
+    pub fn shared(self) -> Arc<dyn Automaton> {
+        Arc::new(self)
+    }
+}
+
+impl Automaton for Renamed {
+    fn name(&self) -> String {
+        format!("ren({})", self.inner.name())
+    }
+
+    fn start_state(&self) -> Value {
+        self.inner.start_state()
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        // Signature::rename asserts injectivity on ŝig(A)(q) (Def 2.8).
+        self.inner.signature(q).rename(|a| (self.forward)(q, a))
+    }
+
+    fn transition(&self, q: &Value, b: Action) -> Option<Disc<Value>> {
+        let a = self.invert(q, b)?;
+        self.inner.transition(q, a)
+    }
+}
+
+/// Rename via a fixed (state-independent) action map; actions not in the
+/// map are left unchanged. The map must be injective where it matters
+/// (checked per state when signatures are queried).
+pub fn rename_static(
+    inner: Arc<dyn Automaton>,
+    map: HashMap<Action, Action>,
+) -> Arc<dyn Automaton> {
+    Renamed::new(inner, move |_, a| map.get(&a).copied().unwrap_or(a)).shared()
+}
+
+/// Rename with a state-dependent function.
+pub fn rename_with(
+    inner: Arc<dyn Automaton>,
+    forward: impl Fn(&Value, Action) -> Action + Send + Sync + 'static,
+) -> Arc<dyn Automaton> {
+    Renamed::new(inner, forward).shared()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitAutomaton;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn machine() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("m", Value::int(0))
+            .state(0, Signature::new([act("req")], [act("rsp")], [act("think")]))
+            .state(1, Signature::new([], [], []))
+            .transition(
+                0,
+                act("req"),
+                Disc::bernoulli_dyadic(Value::int(0), Value::int(1), 1, 2),
+            )
+            .step(0, act("rsp"), 1)
+            .step(0, act("think"), 0)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn renaming_relabels_signature() {
+        let r = rename_with(machine(), |_, a| a.suffixed("@x"));
+        let sig = r.signature(&Value::int(0));
+        assert!(sig.input.contains(&act("req@x")));
+        assert!(sig.output.contains(&act("rsp@x")));
+        assert!(sig.internal.contains(&act("think@x")));
+        assert!(!sig.contains(act("req")));
+    }
+
+    #[test]
+    fn renaming_preserves_measures() {
+        let m = machine();
+        let r = rename_with(m.clone(), |_, a| a.suffixed("@x"));
+        let orig = m.transition(&Value::int(0), act("req")).unwrap();
+        let renamed = r.transition(&Value::int(0), act("req@x")).unwrap();
+        assert_eq!(orig, renamed);
+        // Old name no longer triggers anything.
+        assert!(r.transition(&Value::int(0), act("req")).is_none());
+    }
+
+    #[test]
+    fn renaming_preserves_states() {
+        let m = machine();
+        let r = rename_with(m.clone(), |_, a| a.suffixed("@y"));
+        assert_eq!(r.start_state(), m.start_state());
+    }
+
+    #[test]
+    fn partial_static_map_renames_selected_actions() {
+        let mut map = HashMap::new();
+        map.insert(act("rsp"), act("rsp-renamed"));
+        let r = rename_static(machine(), map);
+        let sig = r.signature(&Value::int(0));
+        assert!(sig.output.contains(&act("rsp-renamed")));
+        assert!(sig.input.contains(&act("req"))); // untouched
+    }
+
+    #[test]
+    fn state_dependent_renaming() {
+        // Rename only at state 0 — Def 2.8 allows r to vary with the state.
+        let r = rename_with(machine(), |q, a| {
+            if q.as_int() == Some(0) {
+                a.suffixed("@s0")
+            } else {
+                a
+            }
+        });
+        assert!(r.signature(&Value::int(0)).input.contains(&act("req@s0")));
+        assert!(r.signature(&Value::int(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "renaming must")]
+    fn non_injective_renaming_panics_on_signature() {
+        let collapse = act("collapsed");
+        let r = rename_with(machine(), move |_, _| collapse);
+        let _ = r.signature(&Value::int(0));
+    }
+
+    #[test]
+    fn round_trip_renaming_is_identity() {
+        let m = machine();
+        let fwd = rename_with(m.clone(), |_, a| a.suffixed("@t"));
+        let back = rename_with(fwd, |_, a| {
+            let n = a.name();
+            Action::named(n.strip_suffix("@t").unwrap_or(&n))
+        });
+        assert_eq!(
+            back.signature(&Value::int(0)).all(),
+            m.signature(&Value::int(0)).all()
+        );
+        assert_eq!(
+            back.transition(&Value::int(0), act("req")),
+            m.transition(&Value::int(0), act("req"))
+        );
+    }
+}

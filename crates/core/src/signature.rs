@@ -1,0 +1,327 @@
+//! State signatures and their algebra (paper Defs. 2.1, 2.3, 2.4, 2.6).
+//!
+//! A signature partitions the actions executable at a state into *input*,
+//! *output* and *internal* classes. [`Signature::compatible_set`] is
+//! Def. 2.3 (no action internal to one automaton may be known to another;
+//! outputs are exclusive), [`Signature::compose`] is Def. 2.4, and
+//! [`Signature::hide`] is Def. 2.6.
+
+use crate::action::Action;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A deterministic ordered set of actions.
+pub type ActionSet = BTreeSet<Action>;
+
+/// A state signature `sig(A)(q) = (in, out, int)` of mutually disjoint
+/// action sets (Def. 2.1).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Signature {
+    /// Input actions `in(A)(q)`.
+    pub input: ActionSet,
+    /// Output actions `out(A)(q)`.
+    pub output: ActionSet,
+    /// Internal actions `int(A)(q)`.
+    pub internal: ActionSet,
+}
+
+impl Signature {
+    /// The empty signature `∅` — the "destroyed" signature used by the
+    /// reduction of configurations (Def. 2.12): an automaton whose current
+    /// signature is empty is removed from the reduced configuration.
+    pub fn empty() -> Signature {
+        Signature::default()
+    }
+
+    /// Build a signature from action iterators; panics if the three
+    /// classes are not mutually disjoint (Def. 2.1 requires it).
+    pub fn new(
+        input: impl IntoIterator<Item = Action>,
+        output: impl IntoIterator<Item = Action>,
+        internal: impl IntoIterator<Item = Action>,
+    ) -> Signature {
+        let sig = Signature {
+            input: input.into_iter().collect(),
+            output: output.into_iter().collect(),
+            internal: internal.into_iter().collect(),
+        };
+        assert!(
+            sig.classes_disjoint(),
+            "signature classes must be mutually disjoint: {sig}"
+        );
+        sig
+    }
+
+    /// True iff input/output/internal are pairwise disjoint.
+    pub fn classes_disjoint(&self) -> bool {
+        self.input.is_disjoint(&self.output)
+            && self.input.is_disjoint(&self.internal)
+            && self.output.is_disjoint(&self.internal)
+    }
+
+    /// True iff the signature is empty (the destroyed state marker).
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty() && self.output.is_empty() && self.internal.is_empty()
+    }
+
+    /// `ŝig(A)(q) = in ∪ out ∪ int` — every executable action.
+    pub fn all(&self) -> ActionSet {
+        let mut s = self.input.clone();
+        s.extend(self.output.iter().copied());
+        s.extend(self.internal.iter().copied());
+        s
+    }
+
+    /// `ext(A)(q) = in ∪ out` — the externally visible actions.
+    pub fn external(&self) -> ActionSet {
+        let mut s = self.input.clone();
+        s.extend(self.output.iter().copied());
+        s
+    }
+
+    /// Membership in `ŝig`.
+    pub fn contains(&self, a: Action) -> bool {
+        self.input.contains(&a) || self.output.contains(&a) || self.internal.contains(&a)
+    }
+
+    /// Membership in `ext`.
+    pub fn is_external(&self, a: Action) -> bool {
+        self.input.contains(&a) || self.output.contains(&a)
+    }
+
+    /// Pairwise compatibility (Def. 2.3): `(in ∪ out ∪ int) ∩ int' = ∅`
+    /// and `out ∩ out' = ∅`, in both directions.
+    pub fn compatible(&self, other: &Signature) -> bool {
+        let self_all = self.all();
+        let other_all = other.all();
+        self_all.is_disjoint(&other.internal)
+            && other_all.is_disjoint(&self.internal)
+            && self.output.is_disjoint(&other.output)
+    }
+
+    /// Compatibility of a whole set of signatures (Def. 2.3 is quantified
+    /// over all pairs).
+    pub fn compatible_set(sigs: &[&Signature]) -> bool {
+        for i in 0..sigs.len() {
+            for j in (i + 1)..sigs.len() {
+                if !sigs[i].compatible(sigs[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Signature composition (Def. 2.4):
+    /// `Σ × Σ' = (in ∪ in' − (out ∪ out'), out ∪ out', int ∪ int')`.
+    ///
+    /// Callers must have checked compatibility; the result is asserted to
+    /// have disjoint classes, which holds whenever the inputs were
+    /// compatible.
+    pub fn compose(&self, other: &Signature) -> Signature {
+        let mut output = self.output.clone();
+        output.extend(other.output.iter().copied());
+        let mut internal = self.internal.clone();
+        internal.extend(other.internal.iter().copied());
+        let mut input: ActionSet = self.input.union(&other.input).copied().collect();
+        input.retain(|a| !output.contains(a));
+        let sig = Signature {
+            input,
+            output,
+            internal,
+        };
+        debug_assert!(sig.classes_disjoint());
+        sig
+    }
+
+    /// Compose a list of signatures left-to-right (composition is
+    /// commutative and associative, §2.3).
+    pub fn compose_all<'a>(sigs: impl IntoIterator<Item = &'a Signature>) -> Signature {
+        sigs.into_iter()
+            .fold(Signature::empty(), |acc, s| acc.compose(s))
+    }
+
+    /// Hiding (Def. 2.6): `hide(sig, S) = (in, out ∖ S, int ∪ (out ∩ S))`.
+    pub fn hide(&self, hidden: &ActionSet) -> Signature {
+        let mut output = self.output.clone();
+        let mut internal = self.internal.clone();
+        for a in hidden {
+            if output.remove(a) {
+                internal.insert(*a);
+            }
+        }
+        Signature {
+            input: self.input.clone(),
+            output,
+            internal,
+        }
+    }
+
+    /// Apply an action renaming to every class. The caller guarantees
+    /// injectivity on `ŝig` (Def. 2.8); an assertion re-checks cardinality.
+    pub fn rename(&self, mut f: impl FnMut(Action) -> Action) -> Signature {
+        let input: ActionSet = self.input.iter().map(|&a| f(a)).collect();
+        let output: ActionSet = self.output.iter().map(|&a| f(a)).collect();
+        let internal: ActionSet = self.internal.iter().map(|&a| f(a)).collect();
+        assert_eq!(
+            input.len() + output.len() + internal.len(),
+            self.input.len() + self.output.len() + self.internal.len(),
+            "action renaming must be injective on the signature"
+        );
+        let sig = Signature {
+            input,
+            output,
+            internal,
+        };
+        assert!(
+            sig.classes_disjoint(),
+            "action renaming must keep signature classes disjoint"
+        );
+        sig
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |f: &mut fmt::Formatter<'_>, set: &ActionSet| -> fmt::Result {
+            write!(f, "{{")?;
+            for (i, a) in set.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, "}}")
+        };
+        write!(f, "in=")?;
+        show(f, &self.input)?;
+        write!(f, " out=")?;
+        show(f, &self.output)?;
+        write!(f, " int=")?;
+        show(f, &self.internal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    #[test]
+    fn disjointness_enforced() {
+        let sig = Signature::new([a("x")], [a("y")], [a("z")]);
+        assert!(sig.classes_disjoint());
+        assert!(sig.contains(a("x")));
+        assert!(sig.is_external(a("y")));
+        assert!(!sig.is_external(a("z")));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_classes_panic() {
+        Signature::new([a("x")], [a("x")], []);
+    }
+
+    #[test]
+    fn compatibility_def_2_3() {
+        // out/out clash forbidden.
+        let s1 = Signature::new([], [a("o")], []);
+        let s2 = Signature::new([], [a("o")], []);
+        assert!(!s1.compatible(&s2));
+        // internal action known elsewhere forbidden.
+        let s3 = Signature::new([a("i")], [], []);
+        let s4 = Signature::new([], [], [a("i")]);
+        assert!(!s3.compatible(&s4));
+        // output matching input is the synchronization case: allowed.
+        let s5 = Signature::new([], [a("m")], []);
+        let s6 = Signature::new([a("m")], [], []);
+        assert!(s5.compatible(&s6));
+        // shared inputs allowed.
+        let s7 = Signature::new([a("b")], [], []);
+        let s8 = Signature::new([a("b")], [], []);
+        assert!(s7.compatible(&s8));
+    }
+
+    #[test]
+    fn composition_def_2_4() {
+        let s1 = Signature::new([a("in1"), a("m")], [a("o1")], [a("t1")]);
+        let s2 = Signature::new([a("in2")], [a("m")], [a("t2")]);
+        let c = s1.compose(&s2);
+        // m moved out of inputs because it is now an output of the composite.
+        assert!(!c.input.contains(&a("m")));
+        assert!(c.output.contains(&a("m")));
+        assert!(c.input.contains(&a("in1")) && c.input.contains(&a("in2")));
+        assert!(c.output.contains(&a("o1")));
+        assert!(c.internal.contains(&a("t1")) && c.internal.contains(&a("t2")));
+        assert!(c.classes_disjoint());
+    }
+
+    #[test]
+    fn composition_is_commutative_and_associative() {
+        let s1 = Signature::new([a("p")], [a("q")], []);
+        let s2 = Signature::new([a("q")], [a("r")], []);
+        let s3 = Signature::new([a("r")], [], [a("s")]);
+        assert_eq!(s1.compose(&s2), s2.compose(&s1));
+        assert_eq!(
+            s1.compose(&s2).compose(&s3),
+            s1.compose(&s2.compose(&s3))
+        );
+        assert_eq!(
+            Signature::compose_all([&s1, &s2, &s3]),
+            s1.compose(&s2).compose(&s3)
+        );
+    }
+
+    #[test]
+    fn hiding_def_2_6() {
+        let s = Signature::new([a("i")], [a("o1"), a("o2")], [a("t")]);
+        let hidden: ActionSet = [a("o1"), a("i"), a("unrelated")].into_iter().collect();
+        let h = s.hide(&hidden);
+        // Only outputs are affected.
+        assert!(h.input.contains(&a("i")));
+        assert!(!h.output.contains(&a("o1")));
+        assert!(h.output.contains(&a("o2")));
+        assert!(h.internal.contains(&a("o1")) && h.internal.contains(&a("t")));
+    }
+
+    #[test]
+    fn rename_preserves_structure() {
+        let s = Signature::new([a("i")], [a("o")], [a("t")]);
+        let r = s.rename(|x| x.suffixed("#r"));
+        assert!(r.input.contains(&a("i#r")));
+        assert!(r.output.contains(&a("o#r")));
+        assert!(r.internal.contains(&a("t#r")));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_injective_rename_panics() {
+        let s = Signature::new([a("i2")], [a("o2")], []);
+        let target = a("same");
+        s.rename(|_| target);
+    }
+
+    #[test]
+    fn empty_signature_marks_destruction() {
+        assert!(Signature::empty().is_empty());
+        assert!(!Signature::new([a("x")], [], []).is_empty());
+    }
+
+    #[test]
+    fn compatible_set_checks_all_pairs() {
+        let s1 = Signature::new([], [a("w1")], []);
+        let s2 = Signature::new([a("w1")], [a("w2")], []);
+        let s3 = Signature::new([a("w2")], [a("w1")], []);
+        assert!(Signature::compatible_set(&[&s1, &s2]));
+        assert!(!Signature::compatible_set(&[&s1, &s2, &s3])); // s1/s3 clash on w1
+    }
+}

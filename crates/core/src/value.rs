@@ -1,0 +1,321 @@
+//! Dynamic state values.
+//!
+//! The paper works with countable state spaces `Q_A`. To let heterogeneous
+//! automata compose, hide, rename and nest inside configurations without
+//! generic-parameter infection, every automaton in this workspace uses the
+//! single dynamic state type [`Value`]: a small ordered, hashable tree of
+//! primitives. `Value` doubles as the domain of the canonical bit-string
+//! representations `⟨q⟩` required by Section 4 (implemented in
+//! `dpioa-bounded`).
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamic, ordered, hashable value used for automaton states and
+/// structured observation outputs.
+///
+/// `Tuple` is the canonical product-state constructor used by composition;
+/// `Map` (sorted) is used by configuration states (`Autid → state`) so
+/// that equal configurations have equal `Value`s.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The unit value (used for single-state automata).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An interned-style string (cheap to clone).
+    Str(Arc<str>),
+    /// Raw bytes (used by the simulated crypto substrate).
+    Bytes(Arc<[u8]>),
+    /// A fixed-arity product — composition states `(q₁, …, qₙ)`.
+    Tuple(Arc<[Value]>),
+    /// A variable-length sequence.
+    List(Arc<[Value]>),
+    /// A sorted finite map — configuration states `S : A → states(A)`.
+    Map(Arc<BTreeMap<Value, Value>>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Build a byte-string value.
+    pub fn bytes(b: impl Into<Vec<u8>>) -> Value {
+        Value::Bytes(Arc::from(b.into().into_boxed_slice()))
+    }
+
+    /// Build a tuple value.
+    pub fn tuple(items: impl Into<Vec<Value>>) -> Value {
+        Value::Tuple(Arc::from(items.into().into_boxed_slice()))
+    }
+
+    /// Build a list value.
+    pub fn list(items: impl Into<Vec<Value>>) -> Value {
+        Value::List(Arc::from(items.into().into_boxed_slice()))
+    }
+
+    /// Build a sorted-map value from key/value pairs (later duplicates win).
+    pub fn map(pairs: impl IntoIterator<Item = (Value, Value)>) -> Value {
+        Value::Map(Arc::new(pairs.into_iter().collect()))
+    }
+
+    /// Project component `i` of a tuple state; panics with a descriptive
+    /// message on kind/arity mismatch (projection of composed states is an
+    /// internal invariant, not user input).
+    pub fn proj(&self, i: usize) -> &Value {
+        match self {
+            Value::Tuple(items) => items
+                .get(i)
+                .unwrap_or_else(|| panic!("tuple projection out of range: {i} of {self}")),
+            other => panic!("projection on non-tuple value {other}"),
+        }
+    }
+
+    /// The arity of a tuple, or `None` for other kinds.
+    pub fn tuple_len(&self) -> Option<usize> {
+        match self {
+            Value::Tuple(items) => Some(items.len()),
+            _ => None,
+        }
+    }
+
+    /// Borrow the items of a tuple or list.
+    pub fn items(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(items) | Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the underlying map, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&BTreeMap<Value, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract the bytes, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// A shallow "kind" tag, used by encodings and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::Tuple(_) => "tuple",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => {
+                write!(f, "0x")?;
+                for byte in b.iter() {
+                    write!(f, "{byte:02x}")?;
+                }
+                Ok(())
+            }
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl<'a> From<Cow<'a, str>> for Value {
+    fn from(s: Cow<'a, str>) -> Value {
+        Value::str(s.as_ref())
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Value {
+        Value::Unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Value::tuple(vec![1.into(), 2.into()]), Value::tuple(vec![1.into(), 2.into()]));
+        assert_ne!(Value::tuple(vec![1.into()]), Value::list(vec![1.into()]));
+        assert_eq!(Value::str("abc"), Value::from("abc"));
+    }
+
+    #[test]
+    fn maps_are_order_insensitive() {
+        let a = Value::map(vec![(Value::int(1), Value::str("x")), (Value::int(2), Value::str("y"))]);
+        let b = Value::map(vec![(Value::int(2), Value::str("y")), (Value::int(1), Value::str("x"))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn projection() {
+        let t = Value::tuple(vec![Value::Unit, Value::int(9)]);
+        assert_eq!(t.proj(1), &Value::int(9));
+        assert_eq!(t.tuple_len(), Some(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn projection_out_of_range_panics() {
+        Value::tuple(vec![Value::Unit]).proj(3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn projection_on_non_tuple_panics() {
+        Value::int(1).proj(0);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(5).as_int(), Some(5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert_eq!(Value::bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(Value::Unit.as_int(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::tuple(vec![1.into(), true.into()]).to_string(), "(1, true)");
+        assert_eq!(Value::bytes(vec![0xab, 0x01]).to_string(), "0xab01");
+        assert_eq!(
+            Value::map(vec![(Value::int(1), Value::Unit)]).to_string(),
+            "{1: ()}"
+        );
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![
+            Value::int(3),
+            Value::Unit,
+            Value::str("z"),
+            Value::Bool(false),
+            Value::tuple(vec![Value::int(1)]),
+        ];
+        vals.sort();
+        // Sorting must not panic and must be deterministic.
+        let again = {
+            let mut v = vals.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(vals, again);
+    }
+}

@@ -1,0 +1,119 @@
+//! A commitment scheme in a toy random-oracle model.
+//!
+//! `commit(m, r) = H(m ‖ r)` with `H` the oracle. Binding holds relative
+//! to the oracle (finding a collision requires inverting `H`, which the
+//! toy mixer makes merely *unlikely*, not hard — documented substitution).
+//! Hiding holds computationally against observers that treat `H` as a
+//! black box. The commitment case study wraps these functions into real
+//! and ideal automata; the emulation experiment only relies on the
+//! algebraic interface (commit / open / verify).
+
+use crate::prf::ToyPrf;
+
+/// The toy random oracle: a fixed-key [`ToyPrf`] over bytes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomOracle;
+
+impl RandomOracle {
+    /// Query the oracle.
+    pub fn hash(&self, input: &[u8]) -> u64 {
+        ToyPrf::new(0x07AC1E).eval_bytes(input)
+    }
+}
+
+/// A commitment value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Commitment(pub u64);
+
+/// An opening: the committed message and the randomness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Opening {
+    /// The committed message.
+    pub message: Vec<u8>,
+    /// The commitment randomness.
+    pub randomness: u64,
+}
+
+/// Commit to `message` with `randomness`.
+pub fn commit(oracle: &RandomOracle, message: &[u8], randomness: u64) -> Commitment {
+    let mut input = Vec::with_capacity(message.len() + 9);
+    input.extend_from_slice(message);
+    input.push(0x1f); // domain separator between message and randomness
+    input.extend_from_slice(&randomness.to_le_bytes());
+    Commitment(oracle.hash(&input))
+}
+
+/// Verify an opening against a commitment.
+pub fn verify(oracle: &RandomOracle, c: Commitment, opening: &Opening) -> bool {
+    commit(oracle, &opening.message, opening.randomness) == c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_opening_verifies() {
+        let oracle = RandomOracle;
+        let c = commit(&oracle, b"bid: 42", 777);
+        assert!(verify(
+            &oracle,
+            c,
+            &Opening {
+                message: b"bid: 42".to_vec(),
+                randomness: 777
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let oracle = RandomOracle;
+        let c = commit(&oracle, b"bid: 42", 777);
+        assert!(!verify(
+            &oracle,
+            c,
+            &Opening {
+                message: b"bid: 43".to_vec(),
+                randomness: 777
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_randomness_fails() {
+        let oracle = RandomOracle;
+        let c = commit(&oracle, b"bid: 42", 777);
+        assert!(!verify(
+            &oracle,
+            c,
+            &Opening {
+                message: b"bid: 42".to_vec(),
+                randomness: 778
+            }
+        ));
+    }
+
+    #[test]
+    fn domain_separation_prevents_sliding() {
+        // (m, r) and (m', r') with m' = m ‖ first byte of r must differ.
+        let oracle = RandomOracle;
+        let c1 = commit(&oracle, b"ab", 0x01);
+        let c2 = commit(&oracle, b"ab\x01", 0);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn no_accidental_collisions_on_small_space() {
+        let oracle = RandomOracle;
+        let mut seen = std::collections::HashSet::new();
+        for m in 0..64u8 {
+            for r in 0..64u64 {
+                assert!(
+                    seen.insert(commit(&oracle, &[m], r)),
+                    "collision at ({m}, {r})"
+                );
+            }
+        }
+    }
+}

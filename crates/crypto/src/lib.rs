@@ -1,0 +1,35 @@
+//! # dpioa-crypto — simulated cryptographic substrate
+//!
+//! The paper motivates its framework by protocols that combine
+//! distributed computation with **cryptographic modules** (blockchains,
+//! secure computation). The emulation theorems are independent of any
+//! concrete hardness assumption — a primitive enters the framework only
+//! as an automaton with a specified interface and leakage. This crate
+//! provides the *simulated* primitives the protocol case studies wrap
+//! into automata:
+//!
+//! * [`otp`] — one-time-pad encryption (information-theoretically hiding,
+//!   the honest choice for a secure-channel case study);
+//! * [`prf`] — a toy keyed pseudo-random function (xorshift-based
+//!   mixing);
+//! * [`commit`] — a commitment scheme in a toy random-oracle model
+//!   (binding and hiding relative to the oracle);
+//! * [`sign`] — toy MAC-style signatures.
+//!
+//! **None of these are cryptographically secure.** They are deterministic
+//! executable stand-ins (documented substitution in DESIGN.md) whose
+//! algebraic properties — correctness, perfect hiding for OTP, oracle
+//! binding — are what the emulation experiments exercise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commit;
+pub mod otp;
+pub mod prf;
+pub mod sign;
+
+pub use commit::{Commitment, Opening, RandomOracle};
+pub use otp::{otp_decrypt, otp_encrypt};
+pub use prf::ToyPrf;
+pub use sign::ToySigner;

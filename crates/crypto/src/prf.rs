@@ -1,0 +1,106 @@
+//! A toy keyed pseudo-random function.
+//!
+//! A SplitMix64-style mixer keyed by a 64-bit seed. Deterministic,
+//! fast and statistically well-mixed — but **not** cryptographically
+//! secure (the key is trivially recoverable). Protocol automata use it
+//! to derive pads and tags where the experiments only need determinism
+//! plus absence of accidental structure.
+
+/// A keyed toy PRF.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ToyPrf {
+    key: u64,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ToyPrf {
+    /// Key the PRF.
+    pub fn new(key: u64) -> ToyPrf {
+        ToyPrf { key }
+    }
+
+    /// Evaluate on a 64-bit input.
+    pub fn eval_u64(&self, x: u64) -> u64 {
+        splitmix(self.key ^ splitmix(x))
+    }
+
+    /// Evaluate on arbitrary bytes (sponge-style absorption).
+    pub fn eval_bytes(&self, input: &[u8]) -> u64 {
+        let mut acc = splitmix(self.key ^ 0xa5a5_5a5a_dead_beef);
+        for chunk in input.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            acc = splitmix(acc ^ u64::from_le_bytes(buf) ^ (chunk.len() as u64) << 56);
+        }
+        splitmix(acc)
+    }
+
+    /// Derive a pseudo-random byte stream of the given length (counter
+    /// mode over [`ToyPrf::eval_u64`]); used to derive one-time pads.
+    pub fn stream(&self, nonce: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut counter = 0u64;
+        while out.len() < len {
+            let block = self.eval_u64(nonce.wrapping_add(counter).rotate_left(17));
+            out.extend_from_slice(&block.to_le_bytes());
+            counter += 1;
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_same_key() {
+        let f = ToyPrf::new(42);
+        assert_eq!(f.eval_u64(7), f.eval_u64(7));
+        assert_eq!(f.eval_bytes(b"abc"), f.eval_bytes(b"abc"));
+        assert_eq!(f.stream(1, 10), f.stream(1, 10));
+    }
+
+    #[test]
+    fn keys_separate_outputs() {
+        assert_ne!(ToyPrf::new(1).eval_u64(7), ToyPrf::new(2).eval_u64(7));
+        assert_ne!(
+            ToyPrf::new(1).eval_bytes(b"x"),
+            ToyPrf::new(2).eval_bytes(b"x")
+        );
+    }
+
+    #[test]
+    fn inputs_separate_outputs() {
+        let f = ToyPrf::new(9);
+        assert_ne!(f.eval_u64(1), f.eval_u64(2));
+        assert_ne!(f.eval_bytes(b""), f.eval_bytes(b"\0"));
+        assert_ne!(f.eval_bytes(b"ab"), f.eval_bytes(b"ba"));
+    }
+
+    #[test]
+    fn stream_lengths() {
+        let f = ToyPrf::new(3);
+        assert_eq!(f.stream(0, 0).len(), 0);
+        assert_eq!(f.stream(0, 7).len(), 7);
+        assert_eq!(f.stream(0, 8).len(), 8);
+        assert_eq!(f.stream(0, 9).len(), 9);
+        assert_ne!(f.stream(0, 8), f.stream(1, 8));
+    }
+
+    #[test]
+    fn output_bits_are_balanced() {
+        let f = ToyPrf::new(1234);
+        let n = 10_000u64;
+        let ones: u32 = (0..n).map(|i| f.eval_u64(i).count_ones()).sum();
+        let mean = ones as f64 / n as f64;
+        assert!((mean - 32.0).abs() < 0.5, "mean = {mean}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Toy MAC-style signatures.
+//!
+//! `sign(m) = PRF_k(m)`, verified by re-computation. Shared-key
+//! (MAC-like) rather than public-key — sufficient for modeling
+//! authenticated channels in the case studies, and explicitly **not**
+//! secure (documented substitution).
+
+use crate::prf::ToyPrf;
+
+/// A keyed toy signer/verifier.
+#[derive(Clone, Copy, Debug)]
+pub struct ToySigner {
+    prf: ToyPrf,
+}
+
+/// A signature tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tag(pub u64);
+
+impl ToySigner {
+    /// Key the signer.
+    pub fn new(key: u64) -> ToySigner {
+        ToySigner {
+            prf: ToyPrf::new(key ^ 0x5160_0000_0000_0000),
+        }
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, message: &[u8]) -> Tag {
+        Tag(self.prf.eval_bytes(message))
+    }
+
+    /// Verify a tag.
+    pub fn verify(&self, message: &[u8], tag: Tag) -> bool {
+        self.sign(message) == tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let s = ToySigner::new(11);
+        let t = s.sign(b"transfer 10 coins");
+        assert!(s.verify(b"transfer 10 coins", t));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let s = ToySigner::new(11);
+        let t = s.sign(b"transfer 10 coins");
+        assert!(!s.verify(b"transfer 99 coins", t));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let s1 = ToySigner::new(11);
+        let s2 = ToySigner::new(12);
+        let t = s1.sign(b"msg");
+        assert!(!s2.verify(b"msg", t));
+    }
+
+    #[test]
+    fn distinct_messages_distinct_tags() {
+        let s = ToySigner::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for m in 0..255u8 {
+            assert!(seen.insert(s.sign(&[m])));
+        }
+    }
+}

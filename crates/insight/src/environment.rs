@@ -1,0 +1,111 @@
+//! Environments (paper Def. 3.3).
+//!
+//! An environment for `A` is a PSIOA `E` partially compatible with `A`:
+//! every *reachable* state of `E‖A` must have compatible component
+//! signatures. [`is_environment`] checks the condition by bounded
+//! exploration of the composition.
+
+use dpioa_core::compose::Composition;
+use dpioa_core::explore::{reachable, ExploreLimits};
+use dpioa_core::Automaton;
+use std::sync::Arc;
+
+/// Check `E ∈ env(A)`: partial compatibility of `E` and `A` on the
+/// (capped) reachable prefix of `E‖A`.
+pub fn is_environment(env: &Arc<dyn Automaton>, system: &Arc<dyn Automaton>) -> bool {
+    let comp = Composition::new(vec![env.clone(), system.clone()]);
+    // Reachability itself queries signatures, which assert compatibility;
+    // probe manually instead so incompatibility is reported, not panicked.
+    let start = comp.start_state();
+    if !comp.compatible_at(&start) {
+        return false;
+    }
+    // Explore using a guard wrapper: a state is only expanded if
+    // compatible, and any incompatible reachable state fails the check.
+    struct Guarded {
+        inner: Composition,
+    }
+    impl Automaton for Guarded {
+        fn name(&self) -> String {
+            self.inner.name()
+        }
+        fn start_state(&self) -> dpioa_core::Value {
+            self.inner.start_state()
+        }
+        fn signature(&self, q: &dpioa_core::Value) -> dpioa_core::Signature {
+            if self.inner.compatible_at(q) {
+                self.inner.signature(q)
+            } else {
+                // Poison marker: exploration stops here; detected below.
+                dpioa_core::Signature::empty()
+            }
+        }
+        fn transition(
+            &self,
+            q: &dpioa_core::Value,
+            a: dpioa_core::Action,
+        ) -> Option<dpioa_prob::Disc<dpioa_core::Value>> {
+            self.inner.compatible_at(q).then(|| self.inner.transition(q, a))?
+        }
+    }
+    let guarded = Guarded { inner: comp };
+    let r = reachable(&guarded, ExploreLimits::default());
+    r.states.iter().all(|q| guarded.inner.compatible_at(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Action, ExplicitAutomaton, Signature, Value};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn speaker(tag: &str) -> Arc<dyn Automaton> {
+        let say = act(&format!("say-{tag}"));
+        ExplicitAutomaton::builder(format!("spk-{tag}"), Value::int(0))
+            .state(0, Signature::new([], [say], []))
+            .step(0, say, 0)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn compatible_pair_is_environment() {
+        let a = speaker("env1");
+        let listener = ExplicitAutomaton::builder("lst", Value::int(0))
+            .state(0, Signature::new([act("say-env1")], [], []))
+            .step(0, act("say-env1"), 0)
+            .build()
+            .shared();
+        assert!(is_environment(&listener, &a));
+    }
+
+    #[test]
+    fn output_clash_is_not_environment() {
+        let a = speaker("env2");
+        let b = speaker("env2");
+        assert!(!is_environment(&a, &b));
+    }
+
+    #[test]
+    fn later_incompatibility_detected() {
+        // Compatible at start, but the system starts outputting `late`
+        // (which the env also outputs) after one step.
+        let late = act("late-clash");
+        let env = ExplicitAutomaton::builder("late-env", Value::int(0))
+            .state(0, Signature::new([], [late], []))
+            .step(0, late, 0)
+            .build()
+            .shared();
+        let sys = ExplicitAutomaton::builder("late-sys", Value::int(0))
+            .state(0, Signature::new([], [], [act("warm")]))
+            .state(1, Signature::new([], [late], []))
+            .step(0, act("warm"), 1)
+            .step(1, late, 1)
+            .build()
+            .shared();
+        assert!(!is_environment(&env, &sys));
+    }
+}

@@ -1,0 +1,165 @@
+//! `f-dist` and balanced schedulers (paper Defs. 3.5–3.6).
+//!
+//! `f-dist_{(E,A)}(σ)` is the image measure of `ε_σ` under the insight
+//! function — the probability of each external perception. The balanced
+//! relation `σ S^{≤ε}_{E,f} σ'` bounds, for every countable family of
+//! observations, the absolute sum of the pointwise deviations between the
+//! two `f-dist`s; the supremum over families is the total-variation
+//! distance, so [`balanced_epsilon`] returns the tightest ε directly.
+
+use crate::insight::Insight;
+use dpioa_core::{Automaton, Value};
+use dpioa_prob::{tv_distance, Disc, Ratio};
+use dpioa_sched::measure::{execution_measure, execution_measure_exact};
+use dpioa_sched::Scheduler;
+
+/// `f-dist_{(E,A)}(σ)` over a finite horizon, computed exactly (f64).
+///
+/// `world` is the composed automaton `E‖A`. The horizon must cover the
+/// scheduler's activation bound for the result to equal the true image
+/// measure; shipped experiments always pair a `b`-bounded scheduler with
+/// `horizon ≥ b`.
+pub fn f_dist(
+    world: &dyn Automaton,
+    sched: &dyn Scheduler,
+    insight: &dyn Insight,
+    horizon: usize,
+) -> Disc<Value> {
+    execution_measure(world, sched, horizon).observe(|e| insight.observe(world, e))
+}
+
+/// Exact-rational `f-dist` for certification runs (panics on non-dyadic
+/// weights).
+pub fn f_dist_exact(
+    world: &dyn Automaton,
+    sched: &dyn Scheduler,
+    insight: &dyn Insight,
+    horizon: usize,
+) -> Disc<Value, Ratio> {
+    execution_measure_exact(world, sched, horizon).observe(|e| insight.observe(world, e))
+}
+
+/// Monte-Carlo `f-dist` estimate (parallel over `threads` workers).
+pub fn f_dist_sampled(
+    world: &dyn Automaton,
+    sched: &dyn Scheduler,
+    insight: &dyn Insight,
+    horizon: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Disc<Value> {
+    dpioa_sched::sample_observations_parallel(world, sched, horizon, samples, seed, threads, |e| {
+        insight.observe(world, e)
+    })
+}
+
+/// The tightest ε for which `σ S^{≤ε}_{E,f} σ'` holds (Def. 3.6): the
+/// total-variation distance between the two image measures.
+///
+/// `world_a`/`world_b` are the composed automata `E‖A` and `E‖B`.
+pub fn balanced_epsilon(
+    world_a: &dyn Automaton,
+    sched_a: &dyn Scheduler,
+    world_b: &dyn Automaton,
+    sched_b: &dyn Scheduler,
+    insight: &dyn Insight,
+    horizon: usize,
+) -> f64 {
+    let da = f_dist(world_a, sched_a, insight, horizon);
+    let db = f_dist(world_b, sched_b, insight, horizon);
+    tv_distance(&da, &db)
+}
+
+/// Exact-rational variant of [`balanced_epsilon`], certifying zero-ε
+/// results (e.g. Lemma 4.29) with no floating tolerance.
+pub fn balanced_epsilon_exact(
+    world_a: &dyn Automaton,
+    sched_a: &dyn Scheduler,
+    world_b: &dyn Automaton,
+    sched_b: &dyn Scheduler,
+    insight: &dyn Insight,
+    horizon: usize,
+) -> Ratio {
+    let da = f_dist_exact(world_a, sched_a, insight, horizon);
+    let db = f_dist_exact(world_b, sched_b, insight, horizon);
+    tv_distance(&da, &db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insight::{AcceptInsight, TraceInsight};
+    use dpioa_core::{Action, ExplicitAutomaton, Signature};
+    use dpioa_sched::FirstEnabled;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// Announce `win` with probability num/2^3, else `lose`.
+    fn gambler(name: &str, num: u64) -> ExplicitAutomaton {
+        ExplicitAutomaton::builder(name, Value::int(0))
+            .state(0, Signature::new([], [], [act("fd-roll")]))
+            .state(1, Signature::new([], [act("fd-win")], []))
+            .state(2, Signature::new([], [act("fd-lose")], []))
+            .state(3, Signature::new([], [], []))
+            .transition(
+                0,
+                act("fd-roll"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), num, 3),
+            )
+            .step(1, act("fd-win"), 3)
+            .step(2, act("fd-lose"), 3)
+            .build()
+    }
+
+    #[test]
+    fn f_dist_is_the_image_measure() {
+        let w = gambler("fd-g1", 3);
+        let d = f_dist(&w, &FirstEnabled, &TraceInsight, 2);
+        let win = Value::list(vec![Value::str("fd-win")]);
+        let lose = Value::list(vec![Value::str("fd-lose")]);
+        assert_eq!(d.prob(&win), 0.375);
+        assert_eq!(d.prob(&lose), 0.625);
+    }
+
+    #[test]
+    fn balanced_epsilon_measures_bias_gap() {
+        let a = gambler("fd-a", 3); // win prob 3/8
+        let b = gambler("fd-b", 5); // win prob 5/8
+        let eps = balanced_epsilon(&a, &FirstEnabled, &b, &FirstEnabled, &TraceInsight, 2);
+        assert!((eps - 0.25).abs() < 1e-12);
+        // Same automaton: perfectly balanced.
+        let zero = balanced_epsilon(&a, &FirstEnabled, &a, &FirstEnabled, &TraceInsight, 2);
+        assert_eq!(zero, 0.0);
+    }
+
+    #[test]
+    fn exact_balanced_epsilon_is_rational() {
+        let a = gambler("fd-ae", 3);
+        let b = gambler("fd-be", 5);
+        let eps =
+            balanced_epsilon_exact(&a, &FirstEnabled, &b, &FirstEnabled, &TraceInsight, 2);
+        assert_eq!(eps, Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn accept_insight_collapses_to_binary_dist() {
+        let w = gambler("fd-g2", 3);
+        // Treat fd-win as the accept action.
+        let ins = AcceptInsight::new(act("fd-win"));
+        let d = f_dist(&w, &FirstEnabled, &ins, 2);
+        assert_eq!(d.prob(&Value::Int(1)), 0.375);
+        assert_eq!(d.prob(&Value::Int(0)), 0.625);
+        assert_eq!(d.support_len(), 2);
+    }
+
+    #[test]
+    fn sampled_f_dist_approximates_exact() {
+        let w = gambler("fd-g3", 3);
+        let exact = f_dist(&w, &FirstEnabled, &TraceInsight, 2);
+        let est = f_dist_sampled(&w, &FirstEnabled, &TraceInsight, 2, 40_000, 11, 4);
+        assert!(tv_distance(&exact, &est) < 0.02);
+    }
+}

@@ -1,0 +1,186 @@
+//! Insight functions (paper Def. 3.4).
+//!
+//! An insight function `f_{(E,A)}` maps executions of `E‖A` into a
+//! measurable space `(G_E, F_{G_E})` that depends only on `E` — the same
+//! observation space for `f_{(E,A)}` and `f_{(E,B)}`, enabling
+//! comparison. Here observations are [`Value`]s, and the environment
+//! dependence is captured by constructing the insight *from* the
+//! environment's external interface (e.g. the `print` function projects
+//! onto actions the environment can see).
+
+use dpioa_core::{Action, ActionSet, Automaton, Execution, Value};
+
+/// An insight function: a measurable observation of an execution of the
+/// composed world `E‖A`.
+pub trait Insight: Send + Sync {
+    /// Observe one execution of `world` (the composed automaton `E‖A`).
+    fn observe(&self, world: &dyn Automaton, exec: &Execution) -> Value;
+
+    /// A short display name.
+    fn name(&self) -> String;
+}
+
+/// The `trace` insight: the full external trace of the execution
+/// (actions external in the state where they were taken), as a list of
+/// action names.
+#[derive(Clone, Copy, Default)]
+pub struct TraceInsight;
+
+impl Insight for TraceInsight {
+    fn observe(&self, world: &dyn Automaton, exec: &Execution) -> Value {
+        exec.trace(world).to_value()
+    }
+    fn name(&self) -> String {
+        "trace".into()
+    }
+}
+
+/// The `accept` insight of Canetti et al. [3,4]: outputs `1` iff a
+/// designated action `acc` appears in the trace, `0` otherwise. This is
+/// the classic "environment outputs its guess" distinguisher.
+#[derive(Clone, Copy)]
+pub struct AcceptInsight {
+    acc: Action,
+}
+
+impl AcceptInsight {
+    /// Observe occurrences of the given accept action.
+    pub fn new(acc: Action) -> AcceptInsight {
+        AcceptInsight { acc }
+    }
+
+    /// The designated accept action.
+    pub fn accept_action(&self) -> Action {
+        self.acc
+    }
+}
+
+impl Insight for AcceptInsight {
+    fn observe(&self, world: &dyn Automaton, exec: &Execution) -> Value {
+        Value::Int(i64::from(exec.trace(world).contains(self.acc)))
+    }
+    fn name(&self) -> String {
+        format!("accept({})", self.acc)
+    }
+}
+
+/// The `print` insight of [7]: the projection of the trace onto a
+/// designated set of observable ("print") actions — typically the
+/// external actions of the environment, so that `G_E` genuinely depends
+/// only on `E`.
+#[derive(Clone)]
+pub struct PrintInsight {
+    visible: ActionSet,
+}
+
+impl PrintInsight {
+    /// Observe only the given visible actions.
+    pub fn new(visible: impl IntoIterator<Item = Action>) -> PrintInsight {
+        PrintInsight {
+            visible: visible.into_iter().collect(),
+        }
+    }
+
+    /// Build from an environment: the visible set is every action the
+    /// environment can ever take part in (its reachable action universe).
+    pub fn for_environment(env: &dyn Automaton) -> PrintInsight {
+        use dpioa_core::explore::{reachable, ExploreLimits};
+        let r = reachable(env, ExploreLimits::default());
+        let mut visible = ActionSet::new();
+        for q in &r.states {
+            visible.extend(env.signature(q).external());
+        }
+        PrintInsight { visible }
+    }
+
+    /// The visible action set.
+    pub fn visible(&self) -> &ActionSet {
+        &self.visible
+    }
+}
+
+impl Insight for PrintInsight {
+    fn observe(&self, world: &dyn Automaton, exec: &Execution) -> Value {
+        let printed: Vec<Value> = exec
+            .trace(world)
+            .0
+            .into_iter()
+            .filter(|a| self.visible.contains(a))
+            .map(|a| Value::str(a.name()))
+            .collect();
+        Value::list(printed)
+    }
+    fn name(&self) -> String {
+        "print".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{ExplicitAutomaton, Signature};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn emitter() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("ins-emit", Value::int(0))
+            .state(
+                0,
+                Signature::new([], [act("ins-pub"), act("ins-acc")], [act("ins-priv")]),
+            )
+            .state(1, Signature::new([], [], []))
+            .step(0, act("ins-pub"), 0)
+            .step(0, act("ins-acc"), 1)
+            .step(0, act("ins-priv"), 0)
+            .build()
+    }
+
+    #[test]
+    fn trace_insight_reports_external_actions() {
+        let w = emitter();
+        let e = Execution::start_of(&w)
+            .extend(act("ins-pub"), Value::int(0))
+            .extend(act("ins-priv"), Value::int(0));
+        let obs = TraceInsight.observe(&w, &e);
+        assert_eq!(obs, Value::list(vec![Value::str("ins-pub")]));
+    }
+
+    #[test]
+    fn accept_insight_flags_designated_action() {
+        let w = emitter();
+        let ins = AcceptInsight::new(act("ins-acc"));
+        let no = Execution::start_of(&w).extend(act("ins-pub"), Value::int(0));
+        assert_eq!(ins.observe(&w, &no), Value::Int(0));
+        let yes = no.extend(act("ins-acc"), Value::int(1));
+        assert_eq!(ins.observe(&w, &yes), Value::Int(1));
+        assert_eq!(ins.accept_action(), act("ins-acc"));
+    }
+
+    #[test]
+    fn print_insight_projects_visible_actions() {
+        let w = emitter();
+        let ins = PrintInsight::new([act("ins-pub")]);
+        let e = Execution::start_of(&w)
+            .extend(act("ins-pub"), Value::int(0))
+            .extend(act("ins-acc"), Value::int(1));
+        assert_eq!(ins.observe(&w, &e), Value::list(vec![Value::str("ins-pub")]));
+    }
+
+    #[test]
+    fn print_for_environment_collects_external_interface() {
+        let env = emitter();
+        let ins = PrintInsight::for_environment(&env);
+        assert!(ins.visible().contains(&act("ins-pub")));
+        assert!(ins.visible().contains(&act("ins-acc")));
+        assert!(!ins.visible().contains(&act("ins-priv")));
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(TraceInsight.name(), "trace");
+        assert!(AcceptInsight::new(act("ins-acc")).name().contains("ins-acc"));
+        assert_eq!(PrintInsight::new([]).name(), "print");
+    }
+}

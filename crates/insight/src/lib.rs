@@ -1,0 +1,33 @@
+//! # dpioa-insight — external perception (paper §3, Defs. 3.3–3.7)
+//!
+//! The distinguishing power of an external observer is formalized by
+//! *insight functions*: measurable maps from executions of `E‖A` into an
+//! observation space that depends only on the environment `E`, so the
+//! observations of `E‖A` and `E‖B` can be compared.
+//!
+//! * [`Insight`] is the Def. 3.4 interface; shipped instances are the
+//!   `trace` function, the `accept` function of Canetti et al. (1 iff a
+//!   designated action occurred) and the `print` function of [7]
+//!   (projection of the trace onto a designated observable set).
+//! * [`f_dist`] (Def. 3.5) is the image measure of `ε_σ` under the
+//!   insight function, computed by the exact engine (with an
+//!   exact-rational variant for certification) or by sampling.
+//! * [`balanced_epsilon`] realizes the balanced-scheduler relation
+//!   `σ S^{≤ε}_{E,f} σ'` (Def. 3.6): the tightest ε is the
+//!   total-variation distance between the two `f-dist` measures.
+//! * [`environment`] checks the Def. 3.3 environment condition, and
+//!   [`stability`] provides the Def. 3.7 stability-by-composition check
+//!   (the data-processing inequality for projected observations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod environment;
+pub mod fdist;
+pub mod insight;
+pub mod stability;
+
+pub use environment::is_environment;
+pub use fdist::{balanced_epsilon, balanced_epsilon_exact, f_dist, f_dist_exact, f_dist_sampled};
+pub use insight::{AcceptInsight, Insight, PrintInsight, TraceInsight};
+pub use stability::stability_holds;

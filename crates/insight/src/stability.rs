@@ -1,0 +1,121 @@
+//! Stability by composition (paper Def. 3.7).
+//!
+//! An insight function is *stable by composition* when the environment
+//! `E` never has more distinguishing power than the enlarged environment
+//! `E‖B`: whenever `σ S^{≤ε}_{E‖B,f} σ'` holds, `σ S^{≤ε}_{E,f} σ'` must
+//! hold too. For projection-style insights (`trace`, `accept`, `print`)
+//! this is the data-processing inequality: `E`'s perception is a
+//! measurable function of `E‖B`'s perception, and image measures can only
+//! get closer under a common map.
+//!
+//! [`stability_holds`] checks the implication numerically on a concrete
+//! quintuple `(A₁, A₂, B, E, σ, σ')` by computing both ε's; the property
+//! tests in the integration suite drive it across generated systems.
+
+use crate::fdist::balanced_epsilon;
+use crate::insight::Insight;
+use dpioa_core::Automaton;
+use dpioa_sched::Scheduler;
+
+/// Numerically check the Def. 3.7 implication on one instance.
+///
+/// * `inner_a` / `inner_b` — the worlds `E‖B‖A₁` and `E‖B‖A₂` (the
+///   enlarged environment's perspective);
+/// * `coarse` / `fine` — the insight evaluated as `f_{(E,·)}` (coarse
+///   observations) and `f_{(E‖B,·)}` (fine observations).
+///
+/// Returns `(ε_fine, ε_coarse)`; stability holds iff
+/// `ε_coarse ≤ ε_fine` (up to the given tolerance).
+pub fn stability_epsilons(
+    inner_a: &dyn Automaton,
+    sched_a: &dyn Scheduler,
+    inner_b: &dyn Automaton,
+    sched_b: &dyn Scheduler,
+    coarse: &dyn Insight,
+    fine: &dyn Insight,
+    horizon: usize,
+) -> (f64, f64) {
+    let eps_fine = balanced_epsilon(inner_a, sched_a, inner_b, sched_b, fine, horizon);
+    let eps_coarse = balanced_epsilon(inner_a, sched_a, inner_b, sched_b, coarse, horizon);
+    (eps_fine, eps_coarse)
+}
+
+/// True iff the coarse observer distinguishes no better than the fine
+/// observer on this instance (Def. 3.7 instance check).
+pub fn stability_holds(
+    inner_a: &dyn Automaton,
+    sched_a: &dyn Scheduler,
+    inner_b: &dyn Automaton,
+    sched_b: &dyn Scheduler,
+    coarse: &dyn Insight,
+    fine: &dyn Insight,
+    horizon: usize,
+) -> bool {
+    let (eps_fine, eps_coarse) =
+        stability_epsilons(inner_a, sched_a, inner_b, sched_b, coarse, fine, horizon);
+    eps_coarse <= eps_fine + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insight::PrintInsight;
+    use dpioa_core::{Action, ExplicitAutomaton, Signature, Value};
+    use dpioa_sched::FirstEnabled;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// A world emitting a coarse-visible action, then a fine-only action
+    /// whose identity differs between variants.
+    fn world(fine_tag: &str) -> ExplicitAutomaton {
+        ExplicitAutomaton::builder(format!("st-{fine_tag}"), Value::int(0))
+            .state(0, Signature::new([], [act("st-pub")], []))
+            .state(1, Signature::new([], [act(&format!("st-{fine_tag}"))], []))
+            .state(2, Signature::new([], [], []))
+            .step(0, act("st-pub"), 1)
+            .step(1, act(&format!("st-{fine_tag}")), 2)
+            .build()
+    }
+
+    #[test]
+    fn projection_insights_satisfy_data_processing() {
+        let a = world("fineA");
+        let b = world("fineB");
+        let coarse = PrintInsight::new([act("st-pub")]);
+        let fine =
+            PrintInsight::new([act("st-pub"), act("st-fineA"), act("st-fineB")]);
+        // The fine observer fully distinguishes; the coarse one cannot.
+        let (ef, ec) = stability_epsilons(
+            &a,
+            &FirstEnabled,
+            &b,
+            &FirstEnabled,
+            &coarse,
+            &fine,
+            4,
+        );
+        assert_eq!(ef, 1.0);
+        assert_eq!(ec, 0.0);
+        assert!(stability_holds(
+            &a,
+            &FirstEnabled,
+            &b,
+            &FirstEnabled,
+            &coarse,
+            &fine,
+            4
+        ));
+    }
+
+    #[test]
+    fn identical_worlds_are_balanced_under_any_insight() {
+        let a = world("fineC");
+        let coarse = PrintInsight::new([act("st-pub")]);
+        let fine = PrintInsight::new([act("st-pub"), act("st-fineC")]);
+        let (ef, ec) =
+            stability_epsilons(&a, &FirstEnabled, &a, &FirstEnabled, &coarse, &fine, 4);
+        assert_eq!((ef, ec), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,536 @@
+//! Discrete probability and sub-probability measures (paper §2.1).
+//!
+//! A [`Disc<T, W>`] is a discrete probability measure `η ∈ Disc(T)` with
+//! finite support, represented as a deduplicated list of `(outcome,
+//! weight)` pairs summing to one. A [`SubDisc<T, W>`] is a discrete
+//! *sub*-probability measure whose missing mass `1 − η(T)` is interpreted
+//! as halting (Def. 3.1: a scheduler "may choose to halt after α with
+//! non-zero probability").
+
+use crate::weight::Weight;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Error raised when a candidate measure violates the `Disc`/`SubDisc`
+/// invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscError {
+    /// A weight was negative.
+    NegativeWeight,
+    /// The weights of a `Disc` did not sum to one.
+    NotNormalized,
+    /// The weights of a `SubDisc` summed to more than one.
+    MassExceedsOne,
+    /// A `Disc` must have non-empty support.
+    EmptySupport,
+}
+
+impl fmt::Display for DiscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscError::NegativeWeight => write!(f, "negative weight in measure"),
+            DiscError::NotNormalized => write!(f, "weights do not sum to 1"),
+            DiscError::MassExceedsOne => write!(f, "sub-probability mass exceeds 1"),
+            DiscError::EmptySupport => write!(f, "probability measure with empty support"),
+        }
+    }
+}
+
+impl std::error::Error for DiscError {}
+
+/// Tolerance for normalization checks on inexact weight domains.
+///
+/// All shipped systems use dyadic probabilities for which `f64` sums are
+/// exact, so this tolerance only matters for user-provided measures.
+const NORM_TOL: f64 = 1e-9;
+
+fn weights_close<W: Weight>(a: &W, b: &W) -> bool {
+    a.sub(b).abs().to_f64() <= NORM_TOL
+}
+
+/// Merge duplicate outcomes, drop zero weights, and return the total mass.
+fn canonicalize<T: Eq + Hash + Clone, W: Weight>(entries: Vec<(T, W)>) -> (Vec<(T, W)>, W) {
+    let mut index: HashMap<T, usize> = HashMap::with_capacity(entries.len());
+    let mut merged: Vec<(T, W)> = Vec::with_capacity(entries.len());
+    for (t, w) in entries {
+        if w.is_zero() {
+            continue;
+        }
+        match index.get(&t) {
+            Some(&i) => {
+                let cur = merged[i].1.clone();
+                merged[i].1 = cur.add(&w);
+            }
+            None => {
+                index.insert(t.clone(), merged.len());
+                merged.push((t, w));
+            }
+        }
+    }
+    let mut total = W::zero();
+    for (_, w) in &merged {
+        total = total.add(w);
+    }
+    (merged, total)
+}
+
+/// A discrete probability measure with finite support.
+///
+/// Invariants: every stored weight is strictly positive, outcomes are
+/// pairwise distinct, and the weights sum to one (exactly for [`Ratio`],
+/// within [`NORM_TOL`] for `f64`).
+///
+/// [`Ratio`]: crate::ratio::Ratio
+#[derive(Clone)]
+pub struct Disc<T, W = f64> {
+    entries: Vec<(T, W)>,
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> PartialEq for Disc<T, W> {
+    /// Measure equality: identical supports with identical probabilities,
+    /// regardless of entry order.
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().all(|(t, w)| other.prob(t) == *w)
+    }
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> Eq for Disc<T, W> where W: Eq {}
+
+impl<T: fmt::Debug, W: fmt::Debug> fmt::Debug for Disc<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|(t, w)| (t, w)))
+            .finish()
+    }
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> Disc<T, W> {
+    /// The Dirac measure `δ_t` (paper §2.1).
+    pub fn dirac(t: T) -> Self {
+        Disc {
+            entries: vec![(t, W::one())],
+        }
+    }
+
+    /// Build a measure from outcome/weight pairs, merging duplicates.
+    ///
+    /// Fails unless the weights are non-negative and sum to one.
+    pub fn from_entries(entries: Vec<(T, W)>) -> Result<Self, DiscError> {
+        if entries.iter().any(|(_, w)| *w < W::zero()) {
+            return Err(DiscError::NegativeWeight);
+        }
+        let (merged, total) = canonicalize(entries);
+        if merged.is_empty() {
+            return Err(DiscError::EmptySupport);
+        }
+        if !weights_close(&total, &W::one()) {
+            return Err(DiscError::NotNormalized);
+        }
+        Ok(Disc { entries: merged })
+    }
+
+    /// The uniform measure over a non-empty list of *distinct* outcomes
+    /// with a power-of-two length (so the measure is dyadic and exact).
+    /// For other lengths use [`Disc::from_entries`] with explicit weights.
+    pub fn uniform_pow2(outcomes: Vec<T>) -> Result<Self, DiscError> {
+        let n = outcomes.len();
+        if n == 0 {
+            return Err(DiscError::EmptySupport);
+        }
+        assert!(n.is_power_of_two(), "uniform_pow2 requires a power-of-two support");
+        let w = W::from_dyadic(1, n.trailing_zeros());
+        Disc::from_entries(outcomes.into_iter().map(|t| (t, w.clone())).collect())
+    }
+
+    /// A Bernoulli-style measure: `heads` with probability `num/2^log_denom`,
+    /// `tails` with the complement.
+    pub fn bernoulli_dyadic(heads: T, tails: T, num: u64, log_denom: u32) -> Self {
+        assert!(num <= 1 << log_denom, "dyadic probability exceeds one");
+        let p = W::from_dyadic(num, log_denom);
+        let q = W::one().sub(&p);
+        Disc::from_entries(vec![(heads, p), (tails, q)])
+            .expect("bernoulli_dyadic weights always normalize")
+    }
+
+    /// The support `supp(η)`: outcomes with non-zero probability.
+    pub fn support(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|(t, _)| t)
+    }
+
+    /// Number of outcomes in the support.
+    pub fn support_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The probability `η({t})` of a single outcome.
+    pub fn prob(&self, t: &T) -> W {
+        self.entries
+            .iter()
+            .find(|(u, _)| u == t)
+            .map(|(_, w)| w.clone())
+            .unwrap_or_else(W::zero)
+    }
+
+    /// Iterate over `(outcome, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, &W)> {
+        self.entries.iter().map(|(t, w)| (t, w))
+    }
+
+    /// Consume into `(outcome, weight)` pairs.
+    pub fn into_entries(self) -> Vec<(T, W)> {
+        self.entries
+    }
+
+    /// The image measure of `η` under `f` (pushforward; basis of `f-dist`,
+    /// Def. 3.5). Outcomes mapping to the same image are merged.
+    pub fn map<U: Eq + Hash + Clone>(&self, mut f: impl FnMut(&T) -> U) -> Disc<U, W> {
+        let (entries, _) = canonicalize(
+            self.entries
+                .iter()
+                .map(|(t, w)| (f(t), w.clone()))
+                .collect(),
+        );
+        Disc { entries }
+    }
+
+    /// The product measure `self ⊗ other` (paper §2.1): the unique measure
+    /// with `(η₁ ⊗ η₂)(A × B) = η₁(A)·η₂(B)`.
+    pub fn product<U: Eq + Hash + Clone>(&self, other: &Disc<U, W>) -> Disc<(T, U), W> {
+        let mut entries = Vec::with_capacity(self.entries.len() * other.entries.len());
+        for (t, wt) in &self.entries {
+            for (u, wu) in &other.entries {
+                entries.push(((t.clone(), u.clone()), wt.mul(wu)));
+            }
+        }
+        // Pairs are distinct by construction (both factors deduplicated).
+        Disc { entries }
+    }
+
+    /// Monadic bind: sample `t ~ self`, then `u ~ f(t)`; merge results.
+    /// This is the one-step composition used by the execution-measure
+    /// engine when chaining scheduler choices with transition measures.
+    pub fn bind<U: Eq + Hash + Clone>(&self, mut f: impl FnMut(&T) -> Disc<U, W>) -> Disc<U, W> {
+        let mut entries = Vec::new();
+        for (t, wt) in &self.entries {
+            for (u, wu) in f(t).entries {
+                entries.push((u, wt.mul(&wu)));
+            }
+        }
+        let (entries, _) = canonicalize(entries);
+        Disc { entries }
+    }
+
+    /// Relabel every entry's weight domain via a conversion function.
+    /// Used by tests to lift an `f64` model into the exact `Ratio` engine.
+    pub fn map_weights<V: Weight>(&self, mut f: impl FnMut(&W) -> V) -> Disc<T, V> {
+        Disc {
+            entries: self
+                .entries
+                .iter()
+                .map(|(t, w)| (t.clone(), f(w)))
+                .collect(),
+        }
+    }
+
+    /// Check the `η ↔f η'` correspondence of Def. 2.15: the restriction of
+    /// `f` to `supp(self)` must be a bijection onto `supp(other)` that
+    /// preserves probabilities pointwise.
+    pub fn corresponds_via<U: Eq + Hash + Clone>(
+        &self,
+        other: &Disc<U, W>,
+        mut f: impl FnMut(&T) -> U,
+    ) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        let mut seen: HashMap<U, bool> = HashMap::with_capacity(self.entries.len());
+        for (t, w) in &self.entries {
+            let u = f(t);
+            if seen.insert(u.clone(), true).is_some() {
+                return false; // not injective on the support
+            }
+            if !weights_close(&other.prob(&u), w) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> IntoIterator for Disc<T, W> {
+    type Item = (T, W);
+    type IntoIter = std::vec::IntoIter<(T, W)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A discrete sub-probability measure: total mass at most one. The missing
+/// mass is the halting probability of a scheduler (Def. 3.1).
+#[derive(Clone)]
+pub struct SubDisc<T, W = f64> {
+    entries: Vec<(T, W)>,
+    total: W,
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> PartialEq for SubDisc<T, W> {
+    /// Measure equality: identical supports with identical probabilities,
+    /// regardless of entry order.
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().all(|(t, w)| other.prob(t) == *w)
+    }
+}
+
+impl<T: fmt::Debug, W: fmt::Debug> fmt::Debug for SubDisc<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|(t, w)| (t, w)))
+            .finish()
+    }
+}
+
+impl<T: Eq + Hash + Clone, W: Weight> SubDisc<T, W> {
+    /// The empty sub-measure: halt with probability one.
+    pub fn halt() -> Self {
+        SubDisc {
+            entries: Vec::new(),
+            total: W::zero(),
+        }
+    }
+
+    /// A full-mass Dirac choice of `t` (never halts).
+    pub fn dirac(t: T) -> Self {
+        SubDisc {
+            entries: vec![(t, W::one())],
+            total: W::one(),
+        }
+    }
+
+    /// Build from pairs; fails if any weight is negative or mass exceeds 1.
+    pub fn from_entries(entries: Vec<(T, W)>) -> Result<Self, DiscError> {
+        if entries.iter().any(|(_, w)| *w < W::zero()) {
+            return Err(DiscError::NegativeWeight);
+        }
+        let (merged, total) = canonicalize(entries);
+        if total.sub(&W::one()).to_f64() > NORM_TOL {
+            return Err(DiscError::MassExceedsOne);
+        }
+        Ok(SubDisc {
+            entries: merged,
+            total,
+        })
+    }
+
+    /// Promote a full probability measure into a sub-measure.
+    pub fn from_disc(d: Disc<T, W>) -> Self {
+        SubDisc {
+            entries: d.entries,
+            total: W::one(),
+        }
+    }
+
+    /// Total assigned mass `η(T)`.
+    pub fn mass(&self) -> W {
+        self.total.clone()
+    }
+
+    /// The halting probability `1 − η(T)`.
+    pub fn halt_prob(&self) -> W {
+        W::one().sub(&self.total)
+    }
+
+    /// True iff this sub-measure assigns no mass at all.
+    pub fn is_halt(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The support of the sub-measure.
+    pub fn support(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|(t, _)| t)
+    }
+
+    /// The probability of a single outcome.
+    pub fn prob(&self, t: &T) -> W {
+        self.entries
+            .iter()
+            .find(|(u, _)| u == t)
+            .map(|(_, w)| w.clone())
+            .unwrap_or_else(W::zero)
+    }
+
+    /// Iterate over `(outcome, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, &W)> {
+        self.entries.iter().map(|(t, w)| (t, w))
+    }
+
+    /// Image sub-measure under `f` (merging collisions).
+    pub fn map<U: Eq + Hash + Clone>(&self, mut f: impl FnMut(&T) -> U) -> SubDisc<U, W> {
+        let (entries, total) = canonicalize(
+            self.entries
+                .iter()
+                .map(|(t, w)| (f(t), w.clone()))
+                .collect(),
+        );
+        SubDisc { entries, total }
+    }
+
+    /// Relabel the weight domain (exact-engine lifting).
+    pub fn map_weights<V: Weight>(&self, mut f: impl FnMut(&W) -> V) -> SubDisc<T, V> {
+        let entries: Vec<(T, V)> = self
+            .entries
+            .iter()
+            .map(|(t, w)| (t.clone(), f(w)))
+            .collect();
+        let mut total = V::zero();
+        for (_, w) in &entries {
+            total = total.add(w);
+        }
+        SubDisc { entries, total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+
+    #[test]
+    fn dirac_has_singleton_support() {
+        let d: Disc<u32> = Disc::dirac(7);
+        assert_eq!(d.support_len(), 1);
+        assert_eq!(d.prob(&7), 1.0);
+        assert_eq!(d.prob(&8), 0.0);
+    }
+
+    #[test]
+    fn from_entries_rejects_bad_measures() {
+        assert_eq!(
+            Disc::<u32>::from_entries(vec![(1, 0.5), (2, 0.6)]),
+            Err(DiscError::NotNormalized)
+        );
+        assert_eq!(
+            Disc::<u32>::from_entries(vec![(1, -0.5), (2, 1.5)]),
+            Err(DiscError::NegativeWeight)
+        );
+        assert_eq!(Disc::<u32>::from_entries(vec![]), Err(DiscError::EmptySupport));
+        assert_eq!(
+            Disc::<u32>::from_entries(vec![(1, 0.0)]),
+            Err(DiscError::EmptySupport)
+        );
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let d = Disc::<u32>::from_entries(vec![(1, 0.25), (1, 0.25), (2, 0.5)]).unwrap();
+        assert_eq!(d.support_len(), 2);
+        assert_eq!(d.prob(&1), 0.5);
+    }
+
+    #[test]
+    fn uniform_pow2() {
+        let d: Disc<u32> = Disc::uniform_pow2(vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(d.prob(&2), 0.25);
+    }
+
+    #[test]
+    fn bernoulli() {
+        let d: Disc<&str> = Disc::bernoulli_dyadic("h", "t", 3, 3);
+        assert_eq!(d.prob(&"h"), 0.375);
+        assert_eq!(d.prob(&"t"), 0.625);
+    }
+
+    #[test]
+    fn image_measure_merges() {
+        let d: Disc<u32> = Disc::uniform_pow2(vec![0, 1, 2, 3]).unwrap();
+        let img = d.map(|x| x % 2);
+        assert_eq!(img.prob(&0), 0.5);
+        assert_eq!(img.prob(&1), 0.5);
+        assert_eq!(img.support_len(), 2);
+    }
+
+    #[test]
+    fn product_measure() {
+        let a: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 1, 1);
+        let b: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 1, 2);
+        let p = a.product(&b);
+        assert_eq!(p.prob(&(0, 0)), 0.125);
+        assert_eq!(p.prob(&(1, 1)), 0.375);
+        assert_eq!(p.support_len(), 4);
+        // Marginals recover the factors.
+        assert_eq!(p.map(|(x, _)| *x).prob(&0), 0.5);
+        assert_eq!(p.map(|(_, y)| *y).prob(&0), 0.25);
+    }
+
+    #[test]
+    fn bind_chains() {
+        let d: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 1, 1);
+        let chained = d.bind(|&x| {
+            if x == 0 {
+                Disc::dirac(10u8)
+            } else {
+                Disc::bernoulli_dyadic(10, 20, 1, 1)
+            }
+        });
+        assert_eq!(chained.prob(&10), 0.75);
+        assert_eq!(chained.prob(&20), 0.25);
+    }
+
+    #[test]
+    fn exact_ratio_measures() {
+        let d: Disc<u8, Ratio> = Disc::bernoulli_dyadic(0, 1, 1, 3);
+        assert_eq!(d.prob(&0), Ratio::new(1, 8));
+        assert_eq!(d.prob(&1), Ratio::new(7, 8));
+        let p = d.product(&d);
+        assert_eq!(p.prob(&(1, 1)), Ratio::new(49, 64));
+    }
+
+    #[test]
+    fn map_weights_lifts_to_exact() {
+        let d: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 1, 2);
+        let exact: Disc<u8, Ratio> = d.map_weights(|w| Ratio::new((w * 4.0) as i128, 4));
+        assert_eq!(exact.prob(&0), Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn correspondence_def_2_15() {
+        // f doubles each outcome: a bijection on support, probabilities kept.
+        let d: Disc<u32> = Disc::bernoulli_dyadic(1, 2, 1, 1);
+        let d2: Disc<u32> = Disc::bernoulli_dyadic(2, 4, 1, 1);
+        assert!(d.corresponds_via(&d2, |x| x * 2));
+        // Collapsing map is not a bijection.
+        let collapsed: Disc<u32> = Disc::dirac(0);
+        assert!(!d.corresponds_via(&collapsed, |_| 0));
+        // Probability mismatch fails.
+        let skew: Disc<u32> = Disc::bernoulli_dyadic(2, 4, 1, 2);
+        assert!(!d.corresponds_via(&skew, |x| x * 2));
+    }
+
+    #[test]
+    fn subdisc_halting() {
+        let s = SubDisc::<u32>::from_entries(vec![(1, 0.25), (2, 0.25)]).unwrap();
+        assert_eq!(s.mass(), 0.5);
+        assert_eq!(s.halt_prob(), 0.5);
+        assert!(!s.is_halt());
+        assert!(SubDisc::<u32>::halt().is_halt());
+        assert_eq!(SubDisc::<u32>::halt().halt_prob(), 1.0);
+    }
+
+    #[test]
+    fn subdisc_rejects_excess_mass() {
+        assert_eq!(
+            SubDisc::<u32>::from_entries(vec![(1, 0.7), (2, 0.7)]),
+            Err(DiscError::MassExceedsOne)
+        );
+    }
+
+    #[test]
+    fn subdisc_from_disc_is_full_mass() {
+        let d: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 1, 1);
+        let s = SubDisc::from_disc(d);
+        assert_eq!(s.mass(), 1.0);
+        assert_eq!(s.prob(&0), 0.5);
+    }
+}

@@ -1,0 +1,139 @@
+//! Distances between discrete measures.
+//!
+//! Def. 3.6 of the paper bounds, for every countable family `(ζ_i)` of
+//! observations, `|Σ_i (f-dist_B(σ')(ζ_i) − f-dist_A(σ)(ζ_i))| ≤ ε`. The
+//! supremum of that expression over all families is attained by taking
+//! exactly the observations where one measure exceeds the other, i.e. it
+//! equals the *total-variation distance* `max_S |μ(S) − ν(S)| = Σ (μ−ν)⁺`.
+//! [`tv_distance`] therefore realizes the tightest ε for which two
+//! schedulers are balanced, and [`sup_family_deviation`] documents the
+//! equivalence explicitly (used by property tests).
+
+use crate::disc::Disc;
+use crate::weight::Weight;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Total-variation distance `sup_S |μ(S) − ν(S)|` between two discrete
+/// measures: the tightest ε of Def. 3.6.
+pub fn tv_distance<T: Eq + Hash + Clone, W: Weight>(mu: &Disc<T, W>, nu: &Disc<T, W>) -> W {
+    let mut pos = W::zero();
+    let mut seen: HashSet<&T> = HashSet::new();
+    for (t, w) in mu.iter() {
+        seen.insert(t);
+        let d = w.sub(&nu.prob(t));
+        if d > W::zero() {
+            pos = pos.add(&d);
+        }
+    }
+    // Outcomes only in nu contribute to the negative part, which equals the
+    // positive part for two probability measures; nothing to add here.
+    let _ = seen;
+    pos
+}
+
+/// L1 distance `Σ_t |μ(t) − ν(t)| = 2 · TV` for probability measures.
+pub fn l1_distance<T: Eq + Hash + Clone, W: Weight>(mu: &Disc<T, W>, nu: &Disc<T, W>) -> W {
+    let mut acc = W::zero();
+    let mut seen: HashSet<T> = HashSet::new();
+    for (t, w) in mu.iter() {
+        seen.insert(t.clone());
+        acc = acc.add(&w.sub(&nu.prob(t)).abs());
+    }
+    for (t, w) in nu.iter() {
+        if !seen.contains(t) {
+            acc = acc.add(&w.abs());
+        }
+    }
+    acc
+}
+
+/// The literal supremum of Def. 3.6 computed by enumerating *signed
+/// subset* deviations over the joint support: `max_I |Σ_{i∈I} (ν(ζ_i) −
+/// μ(ζ_i))|`. Exponential in the support size; exists to validate that
+/// [`tv_distance`] is the closed form (property-tested), not for
+/// production use.
+pub fn sup_family_deviation<T: Eq + Hash + Clone, W: Weight>(
+    mu: &Disc<T, W>,
+    nu: &Disc<T, W>,
+) -> W {
+    let mut support: Vec<T> = mu.support().cloned().collect();
+    for t in nu.support() {
+        if !support.contains(t) {
+            support.push(t.clone());
+        }
+    }
+    assert!(
+        support.len() <= 20,
+        "sup_family_deviation is for small test measures only"
+    );
+    let mut best = W::zero();
+    for mask in 0u32..(1 << support.len()) {
+        let mut sum = W::zero();
+        for (i, t) in support.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                sum = sum.add(&nu.prob(t).sub(&mu.prob(t)));
+            }
+        }
+        let sum = sum.abs();
+        if sum > best {
+            best = sum;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+
+    #[test]
+    fn identical_measures_have_zero_distance() {
+        let d: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 3, 3);
+        assert_eq!(tv_distance(&d, &d), 0.0);
+        assert_eq!(l1_distance(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn disjoint_supports_have_distance_one() {
+        let a: Disc<u8> = Disc::dirac(0);
+        let b: Disc<u8> = Disc::dirac(1);
+        assert_eq!(tv_distance(&a, &b), 1.0);
+        assert_eq!(l1_distance(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn tv_is_symmetric_and_half_l1() {
+        let a: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 1, 2);
+        let b: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 3, 2);
+        assert_eq!(tv_distance(&a, &b), 0.5);
+        assert_eq!(tv_distance(&b, &a), 0.5);
+        assert_eq!(l1_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn exact_distance_on_ratios() {
+        let a: Disc<u8, Ratio> = Disc::bernoulli_dyadic(0, 1, 1, 3);
+        let b: Disc<u8, Ratio> = Disc::bernoulli_dyadic(0, 1, 5, 3);
+        assert_eq!(tv_distance(&a, &b), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn sup_family_matches_tv() {
+        let a: Disc<u8> = Disc::from_entries(vec![(0, 0.125), (1, 0.5), (2, 0.375)]).unwrap();
+        let b: Disc<u8> = Disc::from_entries(vec![(0, 0.25), (1, 0.25), (3, 0.5)]).unwrap();
+        assert_eq!(sup_family_deviation(&a, &b), tv_distance(&a, &b));
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let a: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 1, 2);
+        let b: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 2, 2);
+        let c: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 3, 2);
+        let ab = tv_distance(&a, &b);
+        let bc = tv_distance(&b, &c);
+        let ac = tv_distance(&a, &c);
+        assert!(ac <= ab + bc + 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dpioa-prob — probability foundations for the dpioa framework
+//!
+//! This crate implements Section 2.1 of *"Composable Dynamic Secure
+//! Emulation"* (Civit & Potop-Butucaru, SPAA 2022): discrete probability
+//! measures `Disc(S)`, their supports, Dirac measures `δ_s`, product
+//! measures `η₁ ⊗ η₂`, image measures under measurable functions (used for
+//! `f-dist`, Def. 3.5) and the total-variation realization of the balanced
+//! scheduler relation `S^{≤ε}` (Def. 3.6).
+//!
+//! Two weight domains are provided behind the [`Weight`] trait:
+//!
+//! * [`f64`] — the fast path used by the execution engines and benches.
+//!   All systems shipped in this workspace use *dyadic* probabilities
+//!   (finite binary expansions), for which `f64` arithmetic is exact as
+//!   long as denominators stay below 2⁵³.
+//! * [`Ratio`] — exact `i128` rationals, used by tests to certify the
+//!   zero-ε equalities of the paper (e.g. Lemma 4.29) with no tolerance.
+//!
+//! Sub-probability measures ([`SubDisc`]) model halting schedulers
+//! (Def. 3.1): the missing mass `1 - |η|` is the probability of halting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod ratio;
+pub mod sample;
+pub mod weight;
+
+mod disc;
+
+pub use disc::{Disc, DiscError, SubDisc};
+pub use dist::{l1_distance, sup_family_deviation, tv_distance};
+pub use ratio::Ratio;
+pub use sample::{sample_disc, sample_subdisc};
+pub use weight::Weight;

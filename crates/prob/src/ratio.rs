@@ -1,0 +1,350 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! [`Ratio`] is a minimal normalized-fraction type used wherever the test
+//! suite must certify *exact* probabilistic equalities — e.g. that the
+//! dummy-adversary construction of Lemma 4.29 achieves `f-dist` equality
+//! with ε = 0, not merely ε below a floating tolerance.
+//!
+//! The type deliberately panics on overflow (debug and release): an
+//! overflowing certification run must fail loudly rather than silently
+//! wrap. All shipped models stay far below the `i128` range because their
+//! probabilities are dyadic with small exponents.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den`, kept normalized with `den > 0`
+/// and `gcd(|num|, den) == 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a < 0 {
+        -a
+    } else {
+        a
+    }
+}
+
+impl Ratio {
+    /// The rational 0.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational 1.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Create a normalized rational. Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "Ratio with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Ratio::ZERO;
+        }
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The integer `n` as a rational.
+    pub fn from_int(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// Numerator of the normalized representation.
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the normalized representation (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True iff the rational is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(self) -> Ratio {
+        assert!(self.num != 0, "reciprocal of zero Ratio");
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Exact equality with a dyadic `num / 2^log_denom`.
+    pub fn eq_dyadic(self, num: u64, log_denom: u32) -> bool {
+        self == Ratio::new(num as i128, 1i128 << log_denom)
+    }
+
+    /// Exact conversion from an `f64`.
+    ///
+    /// Every finite `f64` is a dyadic rational, so the conversion is exact
+    /// whenever it fits `i128`; `None` for non-finite inputs or when the
+    /// required denominator exceeds `2^120`. Used to lift `f64` automaton
+    /// models into the exact certification engine.
+    pub fn from_f64_exact(x: f64) -> Option<Ratio> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Ratio::ZERO);
+        }
+        let mut mantissa = x;
+        let mut log_denom = 0u32;
+        while mantissa.fract() != 0.0 {
+            if log_denom >= 120 {
+                return None;
+            }
+            mantissa *= 2.0;
+            log_denom += 1;
+        }
+        if mantissa.abs() >= 2f64.powi(120) {
+            return None;
+        }
+        Some(Ratio::new(mantissa as i128, 1i128 << log_denom))
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        // Reduce before cross-multiplying to delay overflow.
+        let g = gcd(self.den, rhs.den);
+        let lcm_factor = rhs.den / g;
+        Ratio::new(
+            self.num
+                .checked_mul(lcm_factor)
+                .and_then(|a| (rhs.num.checked_mul(self.den / g)).and_then(|b| a.checked_add(b)))
+                .expect("Ratio add overflow"),
+            self.den.checked_mul(lcm_factor).expect("Ratio add overflow"),
+        )
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let (n1, d2) = (self.num / g1, rhs.den / g1);
+        let (n2, d1) = (rhs.num / g2, self.den / g2);
+        Ratio {
+            num: n1.checked_mul(n2).expect("Ratio mul overflow"),
+            den: d1.checked_mul(d2).expect("Ratio mul overflow"),
+        }
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = *self * rhs;
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // den > 0 invariant makes cross-multiplication order-preserving.
+        let lhs = self.num.checked_mul(other.den).expect("Ratio cmp overflow");
+        let rhs = other.num.checked_mul(self.den).expect("Ratio cmp overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl From<i128> for Ratio {
+    fn from(n: i128) -> Ratio {
+        Ratio::from_int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, 7), Ratio::ZERO);
+        assert_eq!(Ratio::new(1, 2).denom(), 2);
+        assert!(Ratio::new(1, -2).denom() > 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a + b, Ratio::new(1, 2));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 18));
+        assert_eq!(a / b, Ratio::from_int(2));
+        assert_eq!(-a, Ratio::new(-1, 3));
+        assert_eq!(a.abs(), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert!(Ratio::new(7, 3) > Ratio::from_int(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(3, 6).to_string(), "1/2");
+        assert_eq!(Ratio::from_int(4).to_string(), "4");
+    }
+
+    #[test]
+    fn dyadic_equality() {
+        assert!(Ratio::new(3, 8).eq_dyadic(3, 3));
+        assert!(!Ratio::new(1, 3).eq_dyadic(1, 2));
+    }
+
+    #[test]
+    fn from_f64_exact_round_trips_dyadics() {
+        assert_eq!(Ratio::from_f64_exact(0.0), Some(Ratio::ZERO));
+        assert_eq!(Ratio::from_f64_exact(0.375), Some(Ratio::new(3, 8)));
+        assert_eq!(Ratio::from_f64_exact(-2.5), Some(Ratio::new(-5, 2)));
+        assert_eq!(Ratio::from_f64_exact(1.0), Some(Ratio::ONE));
+        assert_eq!(Ratio::from_f64_exact(f64::NAN), None);
+        assert_eq!(Ratio::from_f64_exact(f64::INFINITY), None);
+        // 1/3 is not representable as f64; whatever f64 stores, the
+        // conversion is exact for THAT value, so to_f64 round-trips.
+        let third = 1.0 / 3.0;
+        if let Some(r) = Ratio::from_f64_exact(third) {
+            assert_eq!(r.to_f64(), third);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reciprocal_panics() {
+        let _ = Ratio::ZERO.recip();
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in -1000i128..1000, b in 1i128..1000, c in -1000i128..1000, d in 1i128..1000) {
+            let x = Ratio::new(a, b);
+            let y = Ratio::new(c, d);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn mul_distributes(a in -100i128..100, b in 1i128..100,
+                           c in -100i128..100, d in 1i128..100,
+                           e in -100i128..100, f in 1i128..100) {
+            let x = Ratio::new(a, b);
+            let y = Ratio::new(c, d);
+            let z = Ratio::new(e, f);
+            prop_assert_eq!(x * (y + z), x * y + x * z);
+        }
+
+        #[test]
+        fn sub_add_roundtrip(a in -1000i128..1000, b in 1i128..1000, c in -1000i128..1000, d in 1i128..1000) {
+            let x = Ratio::new(a, b);
+            let y = Ratio::new(c, d);
+            prop_assert_eq!((x - y) + y, x);
+        }
+
+        #[test]
+        fn to_f64_monotone(a in -1000i128..1000, b in 1i128..1000, c in -1000i128..1000, d in 1i128..1000) {
+            let x = Ratio::new(a, b);
+            let y = Ratio::new(c, d);
+            if x < y {
+                prop_assert!(x.to_f64() <= y.to_f64());
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Sampling outcomes from discrete measures.
+//!
+//! The Monte-Carlo execution engine (crate `dpioa-sched`) repeatedly draws
+//! from transition measures and scheduler sub-measures; this module keeps
+//! the drawing logic in one place so both engines agree on semantics
+//! (inverse-CDF over the canonical entry order).
+
+use crate::disc::{Disc, SubDisc};
+use crate::weight::Weight;
+use rand::Rng;
+use std::hash::Hash;
+
+/// Draw one outcome from a probability measure.
+///
+/// Uses inverse-CDF sampling over the measure's canonical entry order;
+/// with exact dyadic weights the sampler is unbiased up to the RNG.
+pub fn sample_disc<T: Eq + Hash + Clone, W: Weight, R: Rng + ?Sized>(
+    d: &Disc<T, W>,
+    rng: &mut R,
+) -> T {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    let mut last: Option<&T> = None;
+    for (t, w) in d.iter() {
+        acc += w.to_f64();
+        last = Some(t);
+        if u < acc {
+            return t.clone();
+        }
+    }
+    // Floating slack: fall back to the final outcome.
+    last.expect("Disc has non-empty support").clone()
+}
+
+/// Draw from a sub-probability measure; `None` means the scheduler halts
+/// (Def. 3.1: the missing mass is halting probability).
+pub fn sample_subdisc<T: Eq + Hash + Clone, W: Weight, R: Rng + ?Sized>(
+    s: &SubDisc<T, W>,
+    rng: &mut R,
+) -> Option<T> {
+    if s.is_halt() {
+        return None;
+    }
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (t, w) in s.iter() {
+        acc += w.to_f64();
+        if u < acc {
+            return Some(t.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_converges_to_probabilities() {
+        let d: Disc<u8> = Disc::bernoulli_dyadic(0, 1, 1, 2); // P(0) = 1/4
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let zeros = (0..n).filter(|_| sample_disc(&d, &mut rng) == 0).count();
+        let freq = zeros as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn dirac_always_samples_its_point() {
+        let d: Disc<&str> = Disc::dirac("only");
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(sample_disc(&d, &mut rng), "only");
+        }
+    }
+
+    #[test]
+    fn subdisc_halts_with_missing_mass() {
+        let s = SubDisc::<u8>::from_entries(vec![(1, 0.5)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let halts = (0..n)
+            .filter(|_| sample_subdisc(&s, &mut rng).is_none())
+            .count();
+        let freq = halts as f64 / n as f64;
+        assert!((freq - 0.5).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn halt_subdisc_always_halts() {
+        let s = SubDisc::<u8>::halt();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(sample_subdisc(&s, &mut rng), None);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`Weight`] abstraction over probability values.
+//!
+//! The paper works with real-valued discrete probability measures. The
+//! framework is generic over the arithmetic domain so the same measure and
+//! engine code runs both on fast `f64` weights and on exact [`Ratio`]
+//! rationals (used to certify zero-ε results such as Lemma 4.29 without a
+//! floating-point tolerance).
+
+use crate::ratio::Ratio;
+use std::fmt::Debug;
+
+/// An abstract probability weight: a non-negative number with exact-enough
+/// arithmetic for measure manipulation.
+///
+/// Laws expected by the measure layer (checked by property tests):
+/// * `zero()` and `one()` are the additive/multiplicative identities;
+/// * `add`/`mul` are commutative and associative;
+/// * `mul` distributes over `add`;
+/// * `to_f64` is monotone.
+pub trait Weight: Clone + PartialEq + PartialOrd + Debug + Send + Sync + 'static {
+    /// The additive identity (probability 0).
+    fn zero() -> Self;
+    /// The multiplicative identity (probability 1).
+    fn one() -> Self;
+    /// Weight addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Weight subtraction (may go negative; used for signed deviations).
+    fn sub(&self, other: &Self) -> Self;
+    /// Weight multiplication (product measures, chain rule along executions).
+    fn mul(&self, other: &Self) -> Self;
+    /// Lossy conversion to `f64` (used for reporting and sampling).
+    fn to_f64(&self) -> f64;
+    /// Construct a weight `num / 2^log_denom` (all shipped systems use
+    /// dyadic probabilities, so this constructor is exact in both domains).
+    fn from_dyadic(num: u64, log_denom: u32) -> Self;
+    /// True iff the weight is exactly zero.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+    /// Absolute value (deviations in Def. 3.6 are signed before the sup).
+    fn abs(&self) -> Self {
+        if *self < Self::zero() {
+            Self::zero().sub(self)
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl Weight for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    fn from_dyadic(num: u64, log_denom: u32) -> Self {
+        num as f64 / (1u64 << log_denom) as f64
+    }
+}
+
+impl Weight for Ratio {
+    fn zero() -> Self {
+        Ratio::ZERO
+    }
+    fn one() -> Self {
+        Ratio::ONE
+    }
+    fn add(&self, other: &Self) -> Self {
+        *self + *other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        *self - *other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        *self * *other
+    }
+    fn to_f64(&self) -> f64 {
+        Ratio::to_f64(*self)
+    }
+    fn from_dyadic(num: u64, log_denom: u32) -> Self {
+        Ratio::new(num as i128, 1i128 << log_denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laws<W: Weight>() {
+        let half = W::from_dyadic(1, 1);
+        let quarter = W::from_dyadic(1, 2);
+        assert_eq!(W::zero().add(&half), half);
+        assert_eq!(W::one().mul(&half), half);
+        assert_eq!(half.mul(&half), quarter);
+        assert_eq!(half.add(&quarter).add(&quarter), W::one());
+        assert_eq!(half.sub(&half), W::zero());
+        assert!(W::zero() < half && half < W::one());
+        assert!((half.to_f64() - 0.5).abs() < 1e-12);
+        assert!(W::zero().is_zero());
+        assert!(!half.is_zero());
+    }
+
+    #[test]
+    fn f64_weight_laws() {
+        laws::<f64>();
+    }
+
+    #[test]
+    fn ratio_weight_laws() {
+        laws::<Ratio>();
+    }
+
+    #[test]
+    fn abs_of_negative_deviation() {
+        let d = 0.25f64.sub(&0.75);
+        assert_eq!(Weight::abs(&d), 0.5);
+        let r = Ratio::new(1, 4) - Ratio::new(3, 4);
+        assert_eq!(Weight::abs(&r), Ratio::new(1, 2));
+    }
+}

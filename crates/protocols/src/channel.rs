@@ -1,0 +1,604 @@
+//! Secure message transmission: one-time-pad channel vs. `F_SC`.
+//!
+//! **Real protocol** (`real_channel`): on environment input `send(m)`
+//! (2-bit message), the protocol internally samples a uniform 2-bit pad,
+//! leaks the ciphertext `net(c)` with `c = m ⊕ pad` to the adversary,
+//! waits for the adversary's delivery order `dlv`, and outputs `recv(m)`
+//! to the environment.
+//!
+//! **Ideal functionality** (`ideal_channel`): identical environment
+//! interface, but the adversary learns only a message-independent
+//! notification `leak` (the "length" leakage of `F_SC`).
+//!
+//! **Adversary / simulator**: [`eavesdropper`] observes the ciphertext
+//! and reports its parity to the environment before delivering;
+//! [`channel_simulator`] reproduces that behavior from the notification
+//! alone by sampling a *fake* uniform ciphertext — exactly the textbook
+//! simulator, and exactly correct because the OTP makes the real
+//! ciphertext uniform for every message.
+//!
+//! The leaky variant [`leaky_channel`] transmits in the clear
+//! (`net(m)`); the same simulator then fails measurably.
+
+use crate::util::{self, state};
+use dpioa_core::{Action, Automaton, LambdaAutomaton, Signature, Value};
+use dpioa_prob::Disc;
+use dpioa_secure::{EmulationInstance, StructuredAutomaton};
+use std::sync::Arc;
+
+/// Number of distinct messages (and pads): 2-bit space.
+pub const MSG_SPACE: i64 = 4;
+
+/// The `send(m)` environment input.
+pub fn act_send(tag: &str, m: i64) -> Action {
+    Action::named(format!("sc/{tag}/send({m})"))
+}
+
+/// The `recv(m)` environment output.
+pub fn act_recv(tag: &str, m: i64) -> Action {
+    Action::named(format!("sc/{tag}/recv({m})"))
+}
+
+/// The `net(c)` ciphertext leak (adversary action).
+pub fn act_net(tag: &str, c: i64) -> Action {
+    Action::named(format!("sc/{tag}/net({c})"))
+}
+
+/// The ideal functionality's message-independent leak.
+pub fn act_leak(tag: &str) -> Action {
+    Action::named(format!("sc/{tag}/leak"))
+}
+
+/// The adversary's delivery order.
+pub fn act_dlv(tag: &str) -> Action {
+    Action::named(format!("sc/{tag}/dlv"))
+}
+
+/// The internal encryption step.
+fn act_enc(tag: &str) -> Action {
+    Action::named(format!("sc/{tag}/enc"))
+}
+
+/// The adversary's environment-facing parity report.
+pub fn act_report(tag: &str, parity: i64) -> Action {
+    Action::named(format!("sc/{tag}/adv-report({parity})"))
+}
+
+/// All `send` actions of the message space.
+pub fn all_sends(tag: &str) -> Vec<Action> {
+    (0..MSG_SPACE).map(|m| act_send(tag, m)).collect()
+}
+
+/// The environment-action set of a channel instance (for structuring).
+pub fn env_actions(tag: &str) -> Vec<Action> {
+    let mut v = all_sends(tag);
+    v.extend((0..MSG_SPACE).map(|m| act_recv(tag, m)));
+    v
+}
+
+/// The real OTP channel as a structured automaton.
+///
+/// States: `("idle")` → `("got", m)` → `("cipher", m, c)` →
+/// `("transit", m)` → `("deliver", m)` → `("done")`.
+pub fn real_channel(tag: &str) -> StructuredAutomaton {
+    let tag = tag.to_owned();
+    let auto = LambdaAutomaton::new(
+        format!("RealSC[{tag}]"),
+        state("idle", vec![]),
+        {
+            let tag = tag.clone();
+            move |q| channel_signature(&tag, q, true)
+        },
+        {
+            let tag = tag.clone();
+            move |q, a| channel_transition(&tag, q, a, true)
+        },
+    )
+    .shared();
+    StructuredAutomaton::with_env_actions(auto, env_actions(&tag))
+}
+
+/// The leaky (plaintext) channel: identical shape, `net(m)` leaks the
+/// message itself.
+pub fn leaky_channel(tag: &str) -> StructuredAutomaton {
+    let tag = tag.to_owned();
+    let auto = LambdaAutomaton::new(
+        format!("LeakySC[{tag}]"),
+        state("idle", vec![]),
+        {
+            let tag = tag.clone();
+            move |q| channel_signature(&tag, q, false)
+        },
+        {
+            let tag = tag.clone();
+            move |q, a| channel_transition(&tag, q, a, false)
+        },
+    )
+    .shared();
+    StructuredAutomaton::with_env_actions(auto, env_actions(&tag))
+}
+
+fn channel_signature(tag: &str, q: &Value, _otp: bool) -> Signature {
+    let parts = util::state_parts(q);
+    match parts.0 {
+        "idle" => Signature::new(all_sends(tag), [], []),
+        "got" => Signature::new([], [], [act_enc(tag)]),
+        "cipher" => {
+            let c = parts.1[1].as_int().expect("cipher state carries c");
+            Signature::new([], [act_net(tag, c)], [])
+        }
+        "transit" => Signature::new([act_dlv(tag)], [], []),
+        "deliver" => {
+            let m = parts.1[0].as_int().expect("deliver state carries m");
+            Signature::new([], [act_recv(tag, m)], [])
+        }
+        _ => Signature::empty(),
+    }
+}
+
+fn channel_transition(tag: &str, q: &Value, a: Action, otp: bool) -> Option<Disc<Value>> {
+    let parts = util::state_parts(q);
+    match parts.0 {
+        "idle" => (0..MSG_SPACE).find(|&m| a == act_send(tag, m)).map(|m| {
+            Disc::dirac(state("got", vec![Value::int(m)]))
+        }),
+        "got" => (a == act_enc(tag)).then(|| {
+            let m = parts.1[0].as_int().expect("got state carries m");
+            if otp {
+                // Uniform pad: ciphertext uniform over the space.
+                Disc::uniform_pow2(
+                    (0..MSG_SPACE)
+                        .map(|pad| state("cipher", vec![Value::int(m), Value::int(m ^ pad)]))
+                        .collect::<Vec<_>>(),
+                )
+                .expect("power-of-two message space")
+            } else {
+                // No encryption: the "ciphertext" is the message.
+                Disc::dirac(state("cipher", vec![Value::int(m), Value::int(m)]))
+            }
+        }),
+        "cipher" => {
+            let m = parts.1[0].as_int()?;
+            let c = parts.1[1].as_int()?;
+            (a == act_net(tag, c)).then(|| Disc::dirac(state("transit", vec![Value::int(m)])))
+        }
+        "transit" => {
+            let m = parts.1[0].as_int()?;
+            (a == act_dlv(tag)).then(|| Disc::dirac(state("deliver", vec![Value::int(m)])))
+        }
+        "deliver" => {
+            let m = parts.1[0].as_int()?;
+            (a == act_recv(tag, m)).then(|| Disc::dirac(state("done", vec![])))
+        }
+        _ => None,
+    }
+}
+
+/// The ideal functionality `F_SC`: leaks only `leak`, never the message.
+pub fn ideal_channel(tag: &str) -> StructuredAutomaton {
+    let tag = tag.to_owned();
+    let auto = LambdaAutomaton::new(
+        format!("F_SC[{tag}]"),
+        state("idle", vec![]),
+        {
+            let tag = tag.clone();
+            move |q| {
+                let parts = util::state_parts(q);
+                match parts.0 {
+                    "idle" => Signature::new(all_sends(&tag), [], []),
+                    "got" => Signature::new([], [act_leak(&tag)], []),
+                    "transit" => Signature::new([act_dlv(&tag)], [], []),
+                    "deliver" => {
+                        let m = parts.1[0].as_int().expect("deliver carries m");
+                        Signature::new([], [act_recv(&tag, m)], [])
+                    }
+                    _ => Signature::empty(),
+                }
+            }
+        },
+        {
+            let tag = tag.clone();
+            move |q, a| {
+                let parts = util::state_parts(q);
+                match parts.0 {
+                    "idle" => (0..MSG_SPACE)
+                        .find(|&m| a == act_send(&tag, m))
+                        .map(|m| Disc::dirac(state("got", vec![Value::int(m)]))),
+                    "got" => {
+                        let m = parts.1[0].as_int()?;
+                        (a == act_leak(&tag))
+                            .then(|| Disc::dirac(state("transit", vec![Value::int(m)])))
+                    }
+                    "transit" => {
+                        let m = parts.1[0].as_int()?;
+                        (a == act_dlv(&tag))
+                            .then(|| Disc::dirac(state("deliver", vec![Value::int(m)])))
+                    }
+                    "deliver" => {
+                        let m = parts.1[0].as_int()?;
+                        (a == act_recv(&tag, m)).then(|| Disc::dirac(state("done", vec![])))
+                    }
+                    _ => None,
+                }
+            }
+        },
+    )
+    .shared();
+    StructuredAutomaton::with_env_actions(auto, env_actions(&tag))
+}
+
+/// The shared post-observation behavior of [`eavesdropper`] and
+/// [`channel_simulator`] — once a (real or fake) ciphertext `c` is in
+/// hand, order delivery, then report the parity to the environment.
+///
+/// The tail is deliberately *sequential* (one output enabled per state):
+/// every scheduler then induces the same visible ordering, so the
+/// simulator's match is exact rather than ordering-dependent, and
+/// Def. 4.24's pointwise condition (`dlv` enabled while the protocol
+/// waits in transit) holds along every closed execution.
+fn adversary_tail_signature(tag: &str, q: &Value) -> Option<Signature> {
+    let parts = util::state_parts(q);
+    match parts.0 {
+        "saw" => Some(Signature::new([], [act_dlv(tag)], [])),
+        "rep" => {
+            let c = parts.1[0].as_int().expect("rep carries c");
+            Some(Signature::new([], [act_report(tag, c & 1)], []))
+        }
+        "done" => Some(Signature::empty()),
+        _ => None,
+    }
+}
+
+fn adversary_tail_transition(tag: &str, q: &Value, a: Action) -> Option<Disc<Value>> {
+    let parts = util::state_parts(q);
+    match parts.0 {
+        "saw" => {
+            let c = parts.1[0].as_int()?;
+            (a == act_dlv(tag)).then(|| Disc::dirac(state("rep", vec![Value::int(c)])))
+        }
+        "rep" => {
+            let c = parts.1[0].as_int()?;
+            (a == act_report(tag, c & 1)).then(|| Disc::dirac(state("done", vec![])))
+        }
+        _ => None,
+    }
+}
+
+/// The real-world adversary: observes the ciphertext, reports its parity
+/// to the environment, and orders delivery (in either order).
+pub fn eavesdropper(tag: &str) -> Arc<dyn Automaton> {
+    let tag = tag.to_owned();
+    LambdaAutomaton::new(
+        format!("Eve[{tag}]"),
+        state("watch", vec![]),
+        {
+            let tag = tag.clone();
+            move |q| {
+                if util::state_parts(q).0 == "watch" {
+                    Signature::new((0..MSG_SPACE).map(|c| act_net(&tag, c)), [], [])
+                } else {
+                    adversary_tail_signature(&tag, q).expect("known Eve state")
+                }
+            }
+        },
+        {
+            let tag = tag.clone();
+            move |q, a| {
+                if util::state_parts(q).0 == "watch" {
+                    (0..MSG_SPACE)
+                        .find(|&c| a == act_net(&tag, c))
+                        .map(|c| Disc::dirac(state("saw", vec![Value::int(c)])))
+                } else {
+                    adversary_tail_transition(&tag, q, a)
+                }
+            }
+        },
+    )
+    .shared()
+}
+
+/// The simulator: on the ideal leak it samples a *fake* uniform
+/// ciphertext (inside the input transition — PSIOA transitions are
+/// probabilistic, Def. 2.1), then behaves exactly like
+/// [`eavesdropper`].
+pub fn channel_simulator(tag: &str) -> Arc<dyn Automaton> {
+    let tag = tag.to_owned();
+    LambdaAutomaton::new(
+        format!("SimSC[{tag}]"),
+        state("watch", vec![]),
+        {
+            let tag = tag.clone();
+            move |q| {
+                if util::state_parts(q).0 == "watch" {
+                    Signature::new([act_leak(&tag)], [], [])
+                } else {
+                    adversary_tail_signature(&tag, q).expect("known Sim state")
+                }
+            }
+        },
+        {
+            let tag = tag.clone();
+            move |q, a| {
+                if util::state_parts(q).0 == "watch" {
+                    (a == act_leak(&tag)).then(|| {
+                        Disc::uniform_pow2(
+                            (0..MSG_SPACE)
+                                .map(|c| state("saw", vec![Value::int(c)]))
+                                .collect::<Vec<_>>(),
+                        )
+                        .expect("power-of-two fake space")
+                    })
+                } else {
+                    adversary_tail_transition(&tag, q, a)
+                }
+            }
+        },
+    )
+    .shared()
+}
+
+/// A *silent* real-world adversary: observes the ciphertext and orders
+/// delivery without reporting anything to the environment. Used by the
+/// composite-emulation experiment (E6) to keep the contended visible
+/// action set small while still exercising the full adversary interface.
+pub fn courier(tag: &str) -> Arc<dyn Automaton> {
+    let tag = tag.to_owned();
+    LambdaAutomaton::new(
+        format!("Courier[{tag}]"),
+        state("watch", vec![]),
+        {
+            let tag = tag.clone();
+            move |q| match util::state_parts(q).0 {
+                "watch" => Signature::new((0..MSG_SPACE).map(|c| act_net(&tag, c)), [], []),
+                "saw" => Signature::new([], [act_dlv(&tag)], []),
+                _ => Signature::empty(),
+            }
+        },
+        {
+            let tag = tag.clone();
+            move |q, a| match util::state_parts(q).0 {
+                "watch" => (0..MSG_SPACE)
+                    .any(|c| a == act_net(&tag, c))
+                    .then(|| Disc::dirac(state("saw", vec![]))),
+                "saw" => (a == act_dlv(&tag)).then(|| Disc::dirac(state("done", vec![]))),
+                _ => None,
+            }
+        },
+    )
+    .shared()
+}
+
+/// The simulator matching [`courier`]: the leak notification triggers
+/// the delivery order.
+pub fn courier_simulator(tag: &str) -> Arc<dyn Automaton> {
+    let tag = tag.to_owned();
+    LambdaAutomaton::new(
+        format!("SimCourier[{tag}]"),
+        state("watch", vec![]),
+        {
+            let tag = tag.clone();
+            move |q| match util::state_parts(q).0 {
+                "watch" => Signature::new([act_leak(&tag)], [], []),
+                "saw" => Signature::new([], [act_dlv(&tag)], []),
+                _ => Signature::empty(),
+            }
+        },
+        {
+            let tag = tag.clone();
+            move |q, a| match util::state_parts(q).0 {
+                "watch" => {
+                    (a == act_leak(&tag)).then(|| Disc::dirac(state("saw", vec![])))
+                }
+                "saw" => (a == act_dlv(&tag)).then(|| Disc::dirac(state("done", vec![]))),
+                _ => None,
+            }
+        },
+    )
+    .shared()
+}
+
+/// An environment that sends a fixed message and waits for delivery and
+/// the adversary's report.
+pub fn fixed_sender(tag: &str, message: i64) -> Arc<dyn Automaton> {
+    let tag = tag.to_owned();
+    LambdaAutomaton::new(
+        format!("Env[{tag},m={message}]"),
+        state("start", vec![]),
+        {
+            let tag = tag.clone();
+            move |q| {
+                let parts = util::state_parts(q);
+                match parts.0 {
+                    "start" => Signature::new([], [act_send(&tag, message)], []),
+                    "sent" => {
+                        let mut inputs: Vec<Action> =
+                            (0..MSG_SPACE).map(|m| act_recv(&tag, m)).collect();
+                        inputs.extend([act_report(&tag, 0), act_report(&tag, 1)]);
+                        Signature::new(inputs, [], [])
+                    }
+                    _ => Signature::empty(),
+                }
+            }
+        },
+        {
+            let tag = tag.clone();
+            move |q, a| {
+                let parts = util::state_parts(q);
+                match parts.0 {
+                    "start" => (a == act_send(&tag, message))
+                        .then(|| Disc::dirac(state("sent", vec![]))),
+                    "sent" => {
+                        let known = (0..MSG_SPACE).any(|m| a == act_recv(&tag, m))
+                            || a == act_report(&tag, 0)
+                            || a == act_report(&tag, 1);
+                        known.then(|| Disc::dirac(q.clone()))
+                    }
+                    _ => None,
+                }
+            }
+        },
+    )
+    .shared()
+}
+
+/// The packaged real/ideal emulation instance.
+pub fn channel_instance(tag: &str) -> EmulationInstance {
+    EmulationInstance::new(real_channel(tag), ideal_channel(tag))
+}
+
+/// The packaged *leaky* instance (for the negative experiment).
+pub fn leaky_instance(tag: &str) -> EmulationInstance {
+    EmulationInstance::new(leaky_channel(tag), ideal_channel(tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::explore::{reachable, ExploreLimits};
+    use dpioa_core::{audit::audit_psioa, AutomatonExt};
+    use dpioa_insight::TraceInsight;
+    use dpioa_sched::SchedulerSchema;
+    use dpioa_secure::{is_adversary_in_context, secure_emulation_epsilon};
+
+    #[test]
+    fn real_channel_delivers_the_message() {
+        let p = real_channel("t-dlv");
+        let q0 = p.start_state();
+        let q1 = p
+            .transition(&q0, act_send("t-dlv", 2))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        // Encrypt: four equally likely ciphertext states.
+        let eta = p.transition(&q1, act_enc("t-dlv")).unwrap();
+        assert_eq!(eta.support_len(), 4);
+        for (q, w) in eta.iter() {
+            assert_eq!(*w, 0.25);
+            // Message preserved in the state.
+            assert_eq!(util::state_parts(q).1[0], Value::int(2));
+        }
+    }
+
+    #[test]
+    fn ciphertext_is_message_independent() {
+        // For each message, the distribution of net(c) actions is uniform.
+        for m in 0..MSG_SPACE {
+            let p = real_channel("t-unif");
+            let q0 = p.start_state();
+            let q1 = p
+                .transition(&q0, act_send("t-unif", m))
+                .unwrap()
+                .support()
+                .next()
+                .unwrap()
+                .clone();
+            let eta = p.transition(&q1, act_enc("t-unif")).unwrap();
+            let cipher_dist = eta.map(|q| util::state_parts(q).1[1].clone());
+            for c in 0..MSG_SPACE {
+                assert_eq!(cipher_dist.prob(&Value::int(c)), 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn automata_pass_psioa_audit() {
+        for auto in [
+            Arc::new(real_channel("t-aud")) as Arc<dyn Automaton>,
+            Arc::new(ideal_channel("t-aud2")) as Arc<dyn Automaton>,
+            eavesdropper("t-aud3"),
+            channel_simulator("t-aud4"),
+            fixed_sender("t-aud5", 1),
+        ] {
+            audit_psioa(&*auto, ExploreLimits::default()).assert_valid();
+        }
+    }
+
+    #[test]
+    fn eavesdropper_is_an_adversary() {
+        let p = real_channel("t-adv");
+        for m in 0..MSG_SPACE {
+            assert!(is_adversary_in_context(
+                &fixed_sender("t-adv", m),
+                &p,
+                &eavesdropper("t-adv")
+            ));
+        }
+    }
+
+    #[test]
+    fn simulator_is_an_adversary_for_the_ideal() {
+        let f = ideal_channel("t-sim");
+        for m in 0..MSG_SPACE {
+            assert!(is_adversary_in_context(
+                &fixed_sender("t-sim", m),
+                &f,
+                &channel_simulator("t-sim")
+            ));
+        }
+    }
+
+    /// The exhaustive contended-action schema for the channel worlds:
+    /// the adversary's reports and the deliveries can race.
+    fn channel_schema(tag: &str) -> SchedulerSchema {
+        let mut contended = vec![act_report(tag, 0), act_report(tag, 1)];
+        contended.extend((0..MSG_SPACE).map(|m| act_recv(tag, m)));
+        SchedulerSchema::priority_exhaustive_over(contended)
+    }
+
+    #[test]
+    fn otp_channel_emulates_ideal_exactly() {
+        let tag = "t-emu";
+        let inst = channel_instance(tag);
+        let envs: Vec<Arc<dyn Automaton>> =
+            (0..MSG_SPACE).map(|m| fixed_sender(tag, m)).collect();
+        let schema = channel_schema(tag);
+        let r = secure_emulation_epsilon(
+            &inst,
+            &eavesdropper(tag),
+            &channel_simulator(tag),
+            &envs,
+            &schema,
+            &TraceInsight,
+            12,
+        );
+        assert_eq!(r.epsilon, 0.0, "witness: {:?}", r.worst);
+    }
+
+    #[test]
+    fn leaky_channel_is_distinguishable() {
+        let tag = "t-leaky";
+        let inst = leaky_instance(tag);
+        // Send message 1 (odd parity) — the report gives it away.
+        let envs: Vec<Arc<dyn Automaton>> = vec![fixed_sender(tag, 1)];
+        let schema = channel_schema(tag);
+        let r = secure_emulation_epsilon(
+            &inst,
+            &eavesdropper(tag),
+            &channel_simulator(tag),
+            &envs,
+            &schema,
+            &TraceInsight,
+            12,
+        );
+        // Real: report(1) always. Ideal: report parity of a uniform fake
+        // ciphertext: 1/2 each — TV distance 1/2.
+        assert!((r.epsilon - 0.5).abs() < 1e-9, "eps = {}", r.epsilon);
+    }
+
+    #[test]
+    fn state_space_is_small_and_closed() {
+        let p = real_channel("t-space");
+        let r = reachable(&p, ExploreLimits::default());
+        assert!(!r.truncated);
+        // idle + 4 got + 16 cipher + 4 transit + 4 deliver + done = 30.
+        assert_eq!(r.state_count(), 30);
+        let done = p.transition(
+            &state("deliver", vec![Value::int(0)]),
+            act_recv("t-space", 0),
+        );
+        let done = done.unwrap().support().next().unwrap().clone();
+        assert!(p.enabled(&done).is_empty());
+    }
+}

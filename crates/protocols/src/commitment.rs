@@ -1,0 +1,565 @@
+//! Equivocal bit commitment: XOR commitment vs. `F_COM`.
+//!
+//! **Real protocol**: on `commit(b)` the committer samples a uniform bit
+//! `r` and publishes `com(c)` with `c = b ⊕ r` to the adversary, then
+//! issues a `receipt` to the environment. On `open` it publishes
+//! `reveal(b, r)`; the adversary checks `b ⊕ r = c` and reports the
+//! verdict; the protocol announces `opened(b)`.
+//!
+//! The XOR commitment is **perfectly hiding** (`c` is uniform whatever
+//! `b` is) and **not binding** — which is exactly what the simulator
+//! exploits: it fabricates the commitment *before* knowing `b` and
+//! *equivocates* the opening (`r' = c' ⊕ b`) when the ideal
+//! functionality finally reveals `b`. The emulation distance is exactly
+//! zero — the classic equivocation argument, executed.
+//!
+//! **Ideal functionality** `F_COM`: leaks only `committed` at commit
+//! time and `notify-open(b)` at open time.
+//!
+//! The deterministic variant [`deterministic_commitment`] (always
+//! `r = 0`, so `c = b`) leaks the bit and is measurably distinguishable.
+
+use crate::util::{self, state};
+use dpioa_core::{Action, Automaton, LambdaAutomaton, Signature, Value};
+use dpioa_prob::Disc;
+use dpioa_secure::{EmulationInstance, StructuredAutomaton};
+use std::sync::Arc;
+
+/// `commit(b)` environment input.
+pub fn act_commit(tag: &str, b: i64) -> Action {
+    Action::named(format!("cm/{tag}/commit({b})"))
+}
+
+/// `open` environment input.
+pub fn act_open(tag: &str) -> Action {
+    Action::named(format!("cm/{tag}/open"))
+}
+
+/// `receipt` environment output (the receiver acknowledges the commit).
+pub fn act_receipt(tag: &str) -> Action {
+    Action::named(format!("cm/{tag}/receipt"))
+}
+
+/// `opened(b)` environment output.
+pub fn act_opened(tag: &str, b: i64) -> Action {
+    Action::named(format!("cm/{tag}/opened({b})"))
+}
+
+/// `com(c)` adversary leak: the commitment value.
+pub fn act_com(tag: &str, c: i64) -> Action {
+    Action::named(format!("cm/{tag}/com({c})"))
+}
+
+/// `reveal(b, r)` adversary leak: the opening.
+pub fn act_reveal(tag: &str, b: i64, r: i64) -> Action {
+    Action::named(format!("cm/{tag}/reveal({b},{r})"))
+}
+
+/// `committed` — the ideal functionality's commit-time leak.
+pub fn act_committed(tag: &str) -> Action {
+    Action::named(format!("cm/{tag}/committed"))
+}
+
+/// `notify-open(b)` — the ideal functionality's open-time leak.
+pub fn act_notify_open(tag: &str, b: i64) -> Action {
+    Action::named(format!("cm/{tag}/notify-open({b})"))
+}
+
+/// The adversary's env-facing report of the commitment value it saw.
+pub fn act_view(tag: &str, c: i64) -> Action {
+    Action::named(format!("cm/{tag}/adv-view({c})"))
+}
+
+/// The adversary's env-facing verification verdict.
+pub fn act_check(tag: &str, ok: bool) -> Action {
+    Action::named(format!("cm/{tag}/adv-check({})", i64::from(ok)))
+}
+
+/// The internal randomness-sampling step of the real committer.
+fn act_enc(tag: &str) -> Action {
+    Action::named(format!("cm/{tag}/enc"))
+}
+
+/// The environment-facing actions of a commitment instance.
+pub fn env_actions(tag: &str) -> Vec<Action> {
+    vec![
+        act_commit(tag, 0),
+        act_commit(tag, 1),
+        act_open(tag),
+        act_receipt(tag),
+        act_opened(tag, 0),
+        act_opened(tag, 1),
+    ]
+}
+
+fn real_commitment_with(tag: &str, equivocal: bool) -> StructuredAutomaton {
+    let tag_o = tag.to_owned();
+    let sig_tag = tag_o.clone();
+    let auto = LambdaAutomaton::new(
+        format!(
+            "{}COM[{tag_o}]",
+            if equivocal { "Real" } else { "Det" }
+        ),
+        state("idle", vec![]),
+        move |q| {
+            let tag = &sig_tag;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "idle" => Signature::new([act_commit(tag, 0), act_commit(tag, 1)], [], []),
+                "got" => Signature::new([], [], [act_enc(tag)]),
+                "com-ready" => {
+                    let c = parts.1[2].as_int().expect("com-ready carries c");
+                    Signature::new([], [act_com(tag, c)], [])
+                }
+                "held" => Signature::new([], [act_receipt(tag)], []),
+                "wait" => Signature::new([act_open(tag)], [], []),
+                "opening" => {
+                    let b = parts.1[0].as_int().expect("opening carries b");
+                    let r = parts.1[1].as_int().expect("opening carries r");
+                    Signature::new([], [act_reveal(tag, b, r)], [])
+                }
+                "revealed" => {
+                    let b = parts.1[0].as_int().expect("revealed carries b");
+                    Signature::new([], [act_opened(tag, b)], [])
+                }
+                _ => Signature::empty(),
+            }
+        },
+        move |q, a| {
+            let tag = &tag_o;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "idle" => (0..2)
+                    .find(|&b| a == act_commit(tag, b))
+                    .map(|b| Disc::dirac(state("got", vec![Value::int(b)]))),
+                "got" => (a == act_enc(tag)).then(|| {
+                    let b = parts.1[0].as_int().expect("got carries b");
+                    let mk = |r: i64| {
+                        state(
+                            "com-ready",
+                            vec![Value::int(b), Value::int(r), Value::int(b ^ r)],
+                        )
+                    };
+                    if equivocal {
+                        // Uniform randomness: perfectly hiding.
+                        Disc::uniform_pow2(vec![mk(0), mk(1)]).expect("two outcomes")
+                    } else {
+                        // Broken deterministic variant: r = 0, c = b.
+                        Disc::dirac(mk(0))
+                    }
+                }),
+                "com-ready" => {
+                    let (b, r, c) = (
+                        parts.1[0].as_int()?,
+                        parts.1[1].as_int()?,
+                        parts.1[2].as_int()?,
+                    );
+                    (a == act_com(tag, c)).then(|| {
+                        Disc::dirac(state("held", vec![Value::int(b), Value::int(r)]))
+                    })
+                }
+                "held" => (a == act_receipt(tag)).then(|| {
+                    Disc::dirac(state(
+                        "wait",
+                        vec![parts.1[0].clone(), parts.1[1].clone()],
+                    ))
+                }),
+                "wait" => (a == act_open(tag)).then(|| {
+                    Disc::dirac(state(
+                        "opening",
+                        vec![parts.1[0].clone(), parts.1[1].clone()],
+                    ))
+                }),
+                "opening" => {
+                    let (b, r) = (parts.1[0].as_int()?, parts.1[1].as_int()?);
+                    (a == act_reveal(tag, b, r))
+                        .then(|| Disc::dirac(state("revealed", vec![Value::int(b)])))
+                }
+                "revealed" => {
+                    let b = parts.1[0].as_int()?;
+                    (a == act_opened(tag, b)).then(|| Disc::dirac(state("done", vec![])))
+                }
+                _ => None,
+            }
+        },
+    )
+    .shared();
+    StructuredAutomaton::with_env_actions(auto, env_actions(tag))
+}
+
+/// The real (perfectly hiding) XOR commitment.
+pub fn real_commitment(tag: &str) -> StructuredAutomaton {
+    real_commitment_with(tag, true)
+}
+
+/// The broken deterministic commitment (`c = b`): leaks the bit.
+pub fn deterministic_commitment(tag: &str) -> StructuredAutomaton {
+    real_commitment_with(tag, false)
+}
+
+/// The ideal functionality `F_COM`.
+pub fn ideal_commitment(tag: &str) -> StructuredAutomaton {
+    let tag_o = tag.to_owned();
+    let sig_tag = tag_o.clone();
+    let auto = LambdaAutomaton::new(
+        format!("F_COM[{tag_o}]"),
+        state("idle", vec![]),
+        move |q| {
+            let tag = &sig_tag;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "idle" => Signature::new([act_commit(tag, 0), act_commit(tag, 1)], [], []),
+                "got" => Signature::new([], [act_committed(tag)], []),
+                "held" => Signature::new([], [act_receipt(tag)], []),
+                "wait" => Signature::new([act_open(tag)], [], []),
+                "opening" => {
+                    let b = parts.1[0].as_int().expect("opening carries b");
+                    Signature::new([], [act_notify_open(tag, b)], [])
+                }
+                "revealed" => {
+                    let b = parts.1[0].as_int().expect("revealed carries b");
+                    Signature::new([], [act_opened(tag, b)], [])
+                }
+                _ => Signature::empty(),
+            }
+        },
+        move |q, a| {
+            let tag = &tag_o;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "idle" => (0..2)
+                    .find(|&b| a == act_commit(tag, b))
+                    .map(|b| Disc::dirac(state("got", vec![Value::int(b)]))),
+                "got" => (a == act_committed(tag))
+                    .then(|| Disc::dirac(state("held", vec![parts.1[0].clone()]))),
+                "held" => (a == act_receipt(tag))
+                    .then(|| Disc::dirac(state("wait", vec![parts.1[0].clone()]))),
+                "wait" => (a == act_open(tag))
+                    .then(|| Disc::dirac(state("opening", vec![parts.1[0].clone()]))),
+                "opening" => {
+                    let b = parts.1[0].as_int()?;
+                    (a == act_notify_open(tag, b))
+                        .then(|| Disc::dirac(state("revealed", vec![Value::int(b)])))
+                }
+                "revealed" => {
+                    let b = parts.1[0].as_int()?;
+                    (a == act_opened(tag, b)).then(|| Disc::dirac(state("done", vec![])))
+                }
+                _ => None,
+            }
+        },
+    )
+    .shared();
+    StructuredAutomaton::with_env_actions(auto, env_actions(tag))
+}
+
+/// The real-world adversary: reports the commitment value it observes,
+/// then (after the reveal) reports whether the opening verified.
+pub fn commitment_adversary(tag: &str) -> Arc<dyn Automaton> {
+    let tag_o = tag.to_owned();
+    let sig_tag = tag_o.clone();
+    LambdaAutomaton::new(
+        format!("AdvCOM[{tag_o}]"),
+        state("watch", vec![]),
+        move |q| {
+            let tag = &sig_tag;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "watch" => Signature::new([act_com(tag, 0), act_com(tag, 1)], [], []),
+                "seen" => {
+                    let c = parts.1[0].as_int().expect("seen carries c");
+                    Signature::new([], [act_view(tag, c)], [])
+                }
+                "viewed" => {
+                    let reveals = (0..2)
+                        .flat_map(|b| (0..2).map(move |r| act_reveal(tag, b, r)))
+                        .collect::<Vec<_>>();
+                    Signature::new(reveals, [], [])
+                }
+                "checking" => {
+                    let ok = parts.1[0].as_bool().expect("checking carries verdict");
+                    Signature::new([], [act_check(tag, ok)], [])
+                }
+                _ => Signature::empty(),
+            }
+        },
+        move |q, a| {
+            let tag = &tag_o;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "watch" => (0..2)
+                    .find(|&c| a == act_com(tag, c))
+                    .map(|c| Disc::dirac(state("seen", vec![Value::int(c)]))),
+                "seen" => {
+                    let c = parts.1[0].as_int()?;
+                    (a == act_view(tag, c))
+                        .then(|| Disc::dirac(state("viewed", vec![Value::int(c)])))
+                }
+                "viewed" => {
+                    let c = parts.1[0].as_int()?;
+                    for b in 0..2 {
+                        for r in 0..2 {
+                            if a == act_reveal(tag, b, r) {
+                                let ok = (b ^ r) == c;
+                                return Some(Disc::dirac(state(
+                                    "checking",
+                                    vec![Value::Bool(ok)],
+                                )));
+                            }
+                        }
+                    }
+                    None
+                }
+                "checking" => {
+                    let ok = parts.1[0].as_bool()?;
+                    (a == act_check(tag, ok)).then(|| Disc::dirac(state("done", vec![])))
+                }
+                _ => None,
+            }
+        },
+    )
+    .shared()
+}
+
+/// The equivocating simulator: fabricates a uniform commitment value on
+/// `committed` (before knowing `b`!), and on `notify-open(b)` retrofits
+/// the opening `r' = c' ⊕ b`, which always verifies.
+pub fn commitment_simulator(tag: &str) -> Arc<dyn Automaton> {
+    let tag_o = tag.to_owned();
+    let sig_tag = tag_o.clone();
+    LambdaAutomaton::new(
+        format!("SimCOM[{tag_o}]"),
+        state("watch", vec![]),
+        move |q| {
+            let tag = &sig_tag;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "watch" => Signature::new([act_committed(tag)], [], []),
+                "seen" => {
+                    let c = parts.1[0].as_int().expect("seen carries c");
+                    Signature::new([], [act_view(tag, c)], [])
+                }
+                "viewed" => Signature::new(
+                    [act_notify_open(tag, 0), act_notify_open(tag, 1)],
+                    [],
+                    [],
+                ),
+                // Equivocation always verifies: verdict fixed to true.
+                "checking" => Signature::new([], [act_check(tag, true)], []),
+                _ => Signature::empty(),
+            }
+        },
+        move |q, a| {
+            let tag = &tag_o;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "watch" => (a == act_committed(tag)).then(|| {
+                    // Fabricate c' uniform before b is known.
+                    Disc::uniform_pow2(vec![
+                        state("seen", vec![Value::int(0)]),
+                        state("seen", vec![Value::int(1)]),
+                    ])
+                    .expect("two outcomes")
+                }),
+                "seen" => {
+                    let c = parts.1[0].as_int()?;
+                    (a == act_view(tag, c))
+                        .then(|| Disc::dirac(state("viewed", vec![Value::int(c)])))
+                }
+                "viewed" => (0..2).find(|&b| a == act_notify_open(tag, b)).map(|_b| {
+                    // r' = c' ⊕ b would be revealed here; the verdict is
+                    // true by construction.
+                    Disc::dirac(state("checking", vec![]))
+                }),
+                "checking" => {
+                    (a == act_check(tag, true)).then(|| Disc::dirac(state("done", vec![])))
+                }
+                _ => None,
+            }
+        },
+    )
+    .shared()
+}
+
+/// An environment that commits a fixed bit, waits for the receipt (and
+/// the adversary's view report), opens, and collects the outcome.
+pub fn committing_env(tag: &str, bit: i64) -> Arc<dyn Automaton> {
+    let tag_o = tag.to_owned();
+    let sig_tag = tag_o.clone();
+    LambdaAutomaton::new(
+        format!("EnvCOM[{tag_o},b={bit}]"),
+        state("start", vec![]),
+        move |q| {
+            let tag = &sig_tag;
+            let parts = util::state_parts(q);
+            let listen = vec![
+                act_receipt(tag),
+                act_opened(tag, 0),
+                act_opened(tag, 1),
+                act_view(tag, 0),
+                act_view(tag, 1),
+                act_check(tag, false),
+                act_check(tag, true),
+            ];
+            match parts.0 {
+                "start" => Signature::new(listen, [act_commit(tag, bit)], []),
+                "committed" => Signature::new(listen, [act_open(tag)], []),
+                "opened" => Signature::new(listen, [], []),
+                _ => Signature::empty(),
+            }
+        },
+        move |q, a| {
+            let tag = &tag_o;
+            let parts = util::state_parts(q);
+            let is_listen = |a: Action| {
+                a == act_receipt(tag)
+                    || (0..2).any(|b| a == act_opened(tag, b))
+                    || (0..2).any(|c| a == act_view(tag, c))
+                    || a == act_check(tag, false)
+                    || a == act_check(tag, true)
+            };
+            match parts.0 {
+                "start" => {
+                    if a == act_commit(tag, bit) {
+                        Some(Disc::dirac(state("committed", vec![])))
+                    } else if a == act_receipt(tag) {
+                        // Receipt arrives before we advance: stay put.
+                        Some(Disc::dirac(q.clone()))
+                    } else {
+                        is_listen(a).then(|| Disc::dirac(q.clone()))
+                    }
+                }
+                "committed" => {
+                    if a == act_open(tag) {
+                        Some(Disc::dirac(state("opened", vec![])))
+                    } else {
+                        is_listen(a).then(|| Disc::dirac(q.clone()))
+                    }
+                }
+                "opened" => is_listen(a).then(|| Disc::dirac(q.clone())),
+                _ => None,
+            }
+        },
+    )
+    .shared()
+}
+
+/// The packaged real/ideal instance (perfectly hiding commitment).
+pub fn commitment_instance(tag: &str) -> EmulationInstance {
+    EmulationInstance::new(real_commitment(tag), ideal_commitment(tag))
+}
+
+/// The packaged broken instance (deterministic commitment).
+pub fn broken_instance(tag: &str) -> EmulationInstance {
+    EmulationInstance::new(deterministic_commitment(tag), ideal_commitment(tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::audit::audit_psioa;
+    use dpioa_core::explore::ExploreLimits;
+    use dpioa_insight::TraceInsight;
+    use dpioa_sched::SchedulerSchema;
+    use dpioa_secure::secure_emulation_epsilon;
+
+    #[test]
+    fn commitment_value_is_uniform() {
+        let p = real_commitment("cm-unif");
+        let q0 = p.start_state();
+        let q1 = p
+            .transition(&q0, act_commit("cm-unif", 1))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        let eta = p.transition(&q1, act_enc("cm-unif")).unwrap();
+        let c_dist = eta.map(|q| util::state_parts(q).1[2].clone());
+        assert_eq!(c_dist.prob(&Value::int(0)), 0.5);
+        assert_eq!(c_dist.prob(&Value::int(1)), 0.5);
+    }
+
+    #[test]
+    fn deterministic_variant_leaks_the_bit() {
+        let p = deterministic_commitment("cm-det");
+        let q0 = p.start_state();
+        for b in 0..2 {
+            let q1 = p
+                .transition(&q0, act_commit("cm-det", b))
+                .unwrap()
+                .support()
+                .next()
+                .unwrap()
+                .clone();
+            let eta = p.transition(&q1, act_enc("cm-det")).unwrap();
+            let c_dist = eta.map(|q| util::state_parts(q).1[2].clone());
+            assert_eq!(c_dist.prob(&Value::int(b)), 1.0);
+        }
+    }
+
+    #[test]
+    fn automata_pass_psioa_audit() {
+        for auto in [
+            Arc::new(real_commitment("cm-aud")) as Arc<dyn Automaton>,
+            Arc::new(ideal_commitment("cm-aud2")) as Arc<dyn Automaton>,
+            commitment_adversary("cm-aud3"),
+            commitment_simulator("cm-aud4"),
+            committing_env("cm-aud5", 1),
+        ] {
+            audit_psioa(&*auto, ExploreLimits::default()).assert_valid();
+        }
+    }
+
+    #[test]
+    fn equivocation_achieves_zero_epsilon() {
+        let tag = "cm-emu";
+        let inst = commitment_instance(tag);
+        let envs: Vec<Arc<dyn Automaton>> =
+            (0..2).map(|b| committing_env(tag, b)).collect();
+        let schema = SchedulerSchema::priority_exhaustive_over(vec![
+            act_view(tag, 0),
+            act_view(tag, 1),
+            act_receipt(tag),
+            act_check(tag, true),
+            act_opened(tag, 0),
+            act_opened(tag, 1),
+        ]);
+        let r = secure_emulation_epsilon(
+            &inst,
+            &commitment_adversary(tag),
+            &commitment_simulator(tag),
+            &envs,
+            &schema,
+            &TraceInsight,
+            12,
+        );
+        assert_eq!(r.epsilon, 0.0, "witness: {:?}", r.worst);
+    }
+
+    #[test]
+    fn deterministic_commitment_is_distinguishable() {
+        let tag = "cm-brk";
+        let inst = broken_instance(tag);
+        let envs: Vec<Arc<dyn Automaton>> = vec![committing_env(tag, 1)];
+        let schema = SchedulerSchema::priority_exhaustive_over(vec![
+            act_view(tag, 0),
+            act_view(tag, 1),
+            act_receipt(tag),
+            act_check(tag, true),
+            act_opened(tag, 0),
+            act_opened(tag, 1),
+        ]);
+        let r = secure_emulation_epsilon(
+            &inst,
+            &commitment_adversary(tag),
+            &commitment_simulator(tag),
+            &envs,
+            &schema,
+            &TraceInsight,
+            12,
+        );
+        // Real: adv-view(1) always; ideal: adv-view uniform → TV = 1/2.
+        assert!((r.epsilon - 0.5).abs() < 1e-9, "eps = {}", r.epsilon);
+    }
+}

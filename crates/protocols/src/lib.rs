@@ -1,0 +1,35 @@
+//! # dpioa-protocols — case-study systems
+//!
+//! Concrete protocols modeled in the dpioa framework, exercising the
+//! paper's machinery end-to-end:
+//!
+//! * [`channel`] — **secure message transmission**: a one-time-pad
+//!   channel (real) vs. the ideal functionality `F_SC` that leaks only a
+//!   length notification, with the textbook simulator. The OTP's perfect
+//!   hiding makes the emulation distance *exactly zero*; a deliberately
+//!   leaky variant shows a measurable distance. (Experiments E6/E10.)
+//! * [`commitment`] — **equivocal commitment**: a perfectly hiding
+//!   XOR commitment (real) vs. `F_COM` (ideal), with the classic
+//!   equivocating simulator that fabricates the commitment first and
+//!   retro-fits the opening. (Also a binding-less broken variant.)
+//! * [`coinflip`] — **Blum coin flipping** over the commitment: the coin
+//!   stays uniform against every adversary choice strategy, and the
+//!   ideal coin functionality is securely emulated by equivocation.
+//! * [`subchain`] — **dynamic subchain ledger** (the Platypus-style
+//!   motivation [13] of the paper): a parent ledger PCA that creates
+//!   and destroys child subchain automata at run time — the
+//!   creation/destruction semantics of Defs. 2.12–2.16 on a realistic
+//!   workload. (Experiment E8.)
+//!
+//! Every module exposes constructors parameterized by a `tag` so that
+//! multiple independent instances can be composed (needed by the
+//! Theorem 4.30 composability experiment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod util;
+pub mod coinflip;
+pub mod commitment;
+pub mod subchain;

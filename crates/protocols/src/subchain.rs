@@ -1,0 +1,376 @@
+//! A dynamic subchain ledger — the Platypus-style motivation [13] of the
+//! paper, exercised on the PCA layer.
+//!
+//! A root ledger accepts `open(i)` requests; the enclosing
+//! [`ConfigAutomaton`] *creates* a child subchain automaton `sub[i]` at
+//! that moment (Def. 2.14's `φ`). Each child accumulates transactions
+//! `tx(i, v)` into a (saturating, hence finite-state) balance; on
+//! `close(i)` it settles — emits `settle(i, total)` — and moves to an
+//! empty-signature state, so the reduction of Def. 2.12 *destroys* it
+//! and it disappears from the configuration.
+//!
+//! Two behaviorally equivalent child variants are provided — an eager
+//! one and a buffered one that takes an extra internal hop before
+//! settling — to exercise the implementation relation on dynamically
+//! *created* components (the monotonicity-w.r.t.-creation discussion of
+//! §4.4; experiment E8).
+
+use crate::util::{self, state};
+use dpioa_config::{Autid, ConfigAutomaton, Pca, Registry};
+use dpioa_core::{Action, Automaton, LambdaAutomaton, Signature, Value};
+use dpioa_prob::Disc;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Number of subchain slots.
+pub const MAX_SUB: i64 = 3;
+/// Saturation cap on a child's accumulated balance (keeps every child
+/// finite-state and `b`-time-bounded in the Def. 4.1 sense).
+pub const TOTAL_CAP: i64 = 7;
+/// Transaction values.
+pub const TX_VALUES: [i64; 2] = [1, 2];
+
+/// `open(i)`: request to open subchain `i` (input of the root).
+pub fn act_open(tag: &str, i: i64) -> Action {
+    Action::named(format!("sub/{tag}/open({i})"))
+}
+
+/// `tx(i, v)`: append a transaction of value `v` to subchain `i`.
+pub fn act_tx(tag: &str, i: i64, v: i64) -> Action {
+    Action::named(format!("sub/{tag}/tx({i},{v})"))
+}
+
+/// `close(i)`: ask subchain `i` to settle and shut down.
+pub fn act_close(tag: &str, i: i64) -> Action {
+    Action::named(format!("sub/{tag}/close({i})"))
+}
+
+/// `settle(i, total)`: the subchain's final settlement announcement.
+pub fn act_settle(tag: &str, i: i64, total: i64) -> Action {
+    Action::named(format!("sub/{tag}/settle({i},{total})"))
+}
+
+/// The buffered child's internal pre-settlement hop.
+fn act_flush(tag: &str, i: i64) -> Action {
+    Action::named(format!("sub/{tag}/flush({i})"))
+}
+
+/// The child identifier for slot `i`.
+pub fn child_id(tag: &str, i: i64) -> Autid {
+    Autid::named(format!("sub[{tag}][{i}]"))
+}
+
+/// The root identifier.
+pub fn root_id(tag: &str) -> Autid {
+    Autid::named(format!("sub-root[{tag}]"))
+}
+
+/// A subchain child automaton.
+///
+/// `buffered` children settle through an extra internal `flush` step —
+/// externally indistinguishable from eager children.
+pub fn subchain_child(tag: &str, i: i64, buffered: bool) -> Arc<dyn Automaton> {
+    let tag_o = tag.to_owned();
+    let sig_tag = tag_o.clone();
+    LambdaAutomaton::new(
+        format!(
+            "{}Sub[{tag_o}][{i}]",
+            if buffered { "Buf" } else { "" }
+        ),
+        state("run", vec![Value::int(0)]),
+        move |q| {
+            let tag = &sig_tag;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "run" => {
+                    let mut inputs: Vec<Action> =
+                        TX_VALUES.iter().map(|&v| act_tx(tag, i, v)).collect();
+                    inputs.push(act_close(tag, i));
+                    Signature::new(inputs, [], [])
+                }
+                "flush" => Signature::new([], [], [act_flush(tag, i)]),
+                "settle" => {
+                    let total = parts.1[0].as_int().expect("settle carries total");
+                    Signature::new([], [act_settle(tag, i, total)], [])
+                }
+                // "dead": empty signature — destroyed by reduction.
+                _ => Signature::empty(),
+            }
+        },
+        move |q, a| {
+            let tag = &tag_o;
+            let parts = util::state_parts(q);
+            match parts.0 {
+                "run" => {
+                    let total = parts.1[0].as_int()?;
+                    for &v in &TX_VALUES {
+                        if a == act_tx(tag, i, v) {
+                            let next = (total + v).min(TOTAL_CAP);
+                            return Some(Disc::dirac(state("run", vec![Value::int(next)])));
+                        }
+                    }
+                    (a == act_close(tag, i)).then(|| {
+                        let next_phase = if buffered { "flush" } else { "settle" };
+                        Disc::dirac(state(next_phase, vec![Value::int(total)]))
+                    })
+                }
+                "flush" => {
+                    let total = parts.1[0].as_int()?;
+                    (a == act_flush(tag, i))
+                        .then(|| Disc::dirac(state("settle", vec![Value::int(total)])))
+                }
+                "settle" => {
+                    let total = parts.1[0].as_int()?;
+                    (a == act_settle(tag, i, total))
+                        .then(|| Disc::dirac(state("dead", vec![])))
+                }
+                _ => None,
+            }
+        },
+    )
+    .shared()
+}
+
+/// The root ledger: accepts `open(i)` requests forever. Creation is the
+/// PCA's job, not the root's — the root merely keeps the actions in the
+/// configuration's signature.
+pub fn ledger_root(tag: &str) -> Arc<dyn Automaton> {
+    let tag_o = tag.to_owned();
+    let sig_tag = tag_o.clone();
+    LambdaAutomaton::new(
+        format!("Root[{tag_o}]"),
+        Value::Unit,
+        move |_| Signature::new((0..MAX_SUB).map(|i| act_open(&sig_tag, i)), [], []),
+        move |q, a| {
+            (0..MAX_SUB)
+                .any(|i| a == act_open(&tag_o, i))
+                .then(|| Disc::dirac(q.clone()))
+        },
+    )
+    .shared()
+}
+
+/// The dynamic ledger PCA: `open(i)` creates child `i`; children
+/// destroy themselves by settling.
+pub fn ledger_pca(tag: &str, buffered_children: bool) -> Arc<dyn Pca> {
+    let mut reg = Registry::builder().register(root_id(tag), ledger_root(tag));
+    for i in 0..MAX_SUB {
+        reg = reg.register(child_id(tag, i), subchain_child(tag, i, buffered_children));
+    }
+    let registry = reg.build();
+    let tag_o = tag.to_owned();
+    ConfigAutomaton::builder(
+        format!(
+            "Ledger[{tag}]{}",
+            if buffered_children { "(buf)" } else { "" }
+        ),
+        registry,
+    )
+    .member(root_id(tag))
+    .created(move |_, a| {
+        for i in 0..MAX_SUB {
+            if a == act_open(&tag_o, i) {
+                return [child_id(&tag_o, i)].into_iter().collect();
+            }
+        }
+        BTreeSet::new()
+    })
+    .build()
+    .shared()
+}
+
+/// A scripted driver environment: emits the given action sequence and
+/// absorbs every settlement. Script entries that are *settlement*
+/// actions are treated as synchronization points: the driver waits for
+/// the child's settle instead of emitting, which lets churn scripts
+/// safely reuse a slot only after its previous child is gone.
+pub fn driver(tag: &str, script: Vec<Action>) -> Arc<dyn Automaton> {
+    let tag_o = tag.to_owned();
+    let script = Arc::<[Action]>::from(script.into_boxed_slice());
+    let sig_script = script.clone();
+    let sig_tag = tag_o.clone();
+    let settles: Arc<[Action]> = (0..MAX_SUB)
+        .flat_map(|i| (0..=TOTAL_CAP).map(move |t| (i, t)))
+        .map(|(i, t)| act_settle(tag, i, t))
+        .collect::<Vec<_>>()
+        .into();
+    let sig_settles = settles.clone();
+    LambdaAutomaton::new(
+        format!("Driver[{tag_o}]"),
+        Value::int(0),
+        move |q| {
+            let _ = &sig_tag;
+            let pos = q.as_int().expect("driver state is an index") as usize;
+            match sig_script.get(pos) {
+                // Settlement entries are waited for, not emitted.
+                Some(&a) if !sig_settles.contains(&a) => {
+                    Signature::new(sig_settles.iter().copied(), [a], [])
+                }
+                _ => Signature::new(sig_settles.iter().copied(), [], []),
+            }
+        },
+        move |q, a| {
+            let pos = q.as_int()? as usize;
+            if script.get(pos) == Some(&a) {
+                Some(Disc::dirac(Value::int(pos as i64 + 1)))
+            } else if settles.contains(&a) {
+                Some(Disc::dirac(q.clone()))
+            } else {
+                None
+            }
+        },
+    )
+    .shared()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_config::{audit_pca, Configuration};
+    use dpioa_core::explore::{reachable_closed, ExploreLimits};
+    use dpioa_core::{compose2, AutomatonExt};
+    use dpioa_insight::TraceInsight;
+    use dpioa_sched::{execution_measure, FirstEnabled, SchedulerSchema};
+    use dpioa_secure::implementation_epsilon;
+
+    fn step(pca: &Arc<dyn Pca>, q: &Value, a: Action) -> Value {
+        pca.transition(q, a)
+            .unwrap_or_else(|| panic!("action {a} not enabled at {q}"))
+            .support()
+            .next()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn open_creates_child_and_close_destroys_it() {
+        let tag = "sb-life";
+        let pca = ledger_pca(tag, false);
+        let q0 = pca.start_state();
+        assert_eq!(pca.config(&q0).len(), 1); // root only
+        let q1 = step(&pca, &q0, act_open(tag, 0));
+        let c1 = pca.config(&q1);
+        assert!(c1.contains(child_id(tag, 0)));
+        assert_eq!(c1.len(), 2);
+        // Transactions accumulate.
+        let q2 = step(&pca, &q1, act_tx(tag, 0, 2));
+        let q3 = step(&pca, &q2, act_tx(tag, 0, 1));
+        let child_state = pca.config(&q3).state_of(child_id(tag, 0)).unwrap().clone();
+        assert_eq!(util::state_parts(&child_state).1[0], Value::int(3));
+        // Close, settle, and the child disappears.
+        let q4 = step(&pca, &q3, act_close(tag, 0));
+        let q5 = step(&pca, &q4, act_settle(tag, 0, 3));
+        assert!(!pca.config(&q5).contains(child_id(tag, 0)));
+        assert_eq!(pca.config(&q5), Configuration::new([(root_id(tag), Value::Unit)]));
+    }
+
+    #[test]
+    fn balance_saturates_at_cap() {
+        let tag = "sb-cap";
+        let pca = ledger_pca(tag, false);
+        let mut q = step(&pca, &pca.start_state(), act_open(tag, 1));
+        for _ in 0..10 {
+            q = step(&pca, &q, act_tx(tag, 1, 2));
+        }
+        let child_state = pca.config(&q).state_of(child_id(tag, 1)).unwrap().clone();
+        assert_eq!(util::state_parts(&child_state).1[0], Value::int(TOTAL_CAP));
+    }
+
+    #[test]
+    fn reopening_a_live_subchain_does_not_reset_it() {
+        let tag = "sb-reopen";
+        let pca = ledger_pca(tag, false);
+        let q1 = step(&pca, &pca.start_state(), act_open(tag, 0));
+        let q2 = step(&pca, &q1, act_tx(tag, 0, 2));
+        // `open(0)` again: the child already exists — creation ignored.
+        let q3 = step(&pca, &q2, act_open(tag, 0));
+        let child_state = pca.config(&q3).state_of(child_id(tag, 0)).unwrap().clone();
+        assert_eq!(util::state_parts(&child_state).1[0], Value::int(2));
+    }
+
+    #[test]
+    fn pca_passes_the_four_constraint_audit() {
+        let pca = ledger_pca("sb-aud", false);
+        let report = audit_pca(
+            &*pca,
+            ExploreLimits {
+                max_states: 3000,
+                max_depth: 12,
+            },
+        );
+        report.assert_valid();
+        assert!(report.states_checked > 10);
+    }
+
+    #[test]
+    fn driven_ledger_settles_expected_totals() {
+        let tag = "sb-drv";
+        let script = vec![
+            act_open(tag, 0),
+            act_tx(tag, 0, 2),
+            act_open(tag, 1),
+            act_tx(tag, 1, 1),
+            act_tx(tag, 0, 1),
+            act_close(tag, 0),
+            act_close(tag, 1),
+        ];
+        let world = compose2(
+            driver(tag, script),
+            ledger_pca(tag, false) as Arc<dyn Automaton>,
+        );
+        let m = execution_measure(&*world, &FirstEnabled, 32);
+        assert_eq!(m.len(), 1); // fully deterministic
+        let (exec, w) = m.iter().next().unwrap();
+        assert_eq!(*w, 1.0);
+        let actions: Vec<Action> = exec.actions().to_vec();
+        assert!(actions.contains(&act_settle(tag, 0, 3)));
+        assert!(actions.contains(&act_settle(tag, 1, 1)));
+    }
+
+    #[test]
+    fn eager_and_buffered_ledgers_are_trace_equivalent() {
+        let tag = "sb-eq";
+        let script = vec![
+            act_open(tag, 0),
+            act_tx(tag, 0, 2),
+            act_close(tag, 0),
+            act_open(tag, 1),
+            act_close(tag, 1),
+        ];
+        let envs: Vec<Arc<dyn Automaton>> = vec![driver(tag, script.clone())];
+        let eager = ledger_pca(tag, false) as Arc<dyn Automaton>;
+        let buffered = ledger_pca(tag, true) as Arc<dyn Automaton>;
+        // Explicit scheduler universe: the driver script plus every
+        // settlement and flush — avoids exploring the PCA's full open
+        // state space just to enumerate actions.
+        let mut universe = script;
+        for i in 0..MAX_SUB {
+            universe.push(act_flush(tag, i));
+            for t in 0..=TOTAL_CAP {
+                universe.push(act_settle(tag, i, t));
+            }
+        }
+        let r = implementation_epsilon(
+            &eager,
+            &buffered,
+            &envs,
+            &SchedulerSchema::shared_priority(16, 5, universe),
+            &TraceInsight,
+            24,
+        );
+        assert_eq!(r.epsilon, 0.0, "witness: {:?}", r.worst);
+    }
+
+    #[test]
+    fn closed_state_space_is_finite() {
+        let tag = "sb-space";
+        let script = vec![act_open(tag, 0), act_tx(tag, 0, 1), act_close(tag, 0)];
+        let world = compose2(driver(tag, script), ledger_pca(tag, false) as Arc<dyn Automaton>);
+        let r = reachable_closed(&*world, ExploreLimits::default());
+        assert!(!r.truncated);
+        assert!(r.state_count() < 50, "states = {}", r.state_count());
+        // Terminal state: driver exhausted, ledger back to root only.
+        let last = r.states.last().unwrap();
+        assert!(world.locally_controlled(last).is_empty());
+    }
+}

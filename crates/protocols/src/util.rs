@@ -1,0 +1,56 @@
+//! Small helpers shared by the protocol automata.
+//!
+//! Protocol states follow the convention `("phase", [payload…])`,
+//! built by [`state`] and destructured by [`state_parts`]. Keeping the
+//! convention in one place keeps the per-protocol transition functions
+//! readable.
+
+use dpioa_core::Value;
+
+/// Build the conventional protocol state `(phase, payload…)`.
+pub fn state(phase: &str, payload: Vec<Value>) -> Value {
+    let mut items = Vec::with_capacity(payload.len() + 1);
+    items.push(Value::str(phase));
+    items.extend(payload);
+    Value::tuple(items)
+}
+
+/// Destructure a conventional protocol state into `(phase, payload)`.
+///
+/// Panics on malformed states — protocol automata only ever see states
+/// they constructed themselves.
+pub fn state_parts(q: &Value) -> (&str, &[Value]) {
+    let items = q.items().expect("protocol state must be a tuple");
+    let phase = items
+        .first()
+        .and_then(|v| v.as_str())
+        .expect("protocol state must start with a phase label");
+    (phase, &items[1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let s = state("got", vec![Value::int(3), Value::Bool(true)]);
+        let (phase, payload) = state_parts(&s);
+        assert_eq!(phase, "got");
+        assert_eq!(payload, &[Value::int(3), Value::Bool(true)]);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let s = state("idle", vec![]);
+        let (phase, payload) = state_parts(&s);
+        assert_eq!(phase, "idle");
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn malformed_state_panics() {
+        state_parts(&Value::int(3));
+    }
+}

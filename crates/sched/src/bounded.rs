@@ -1,0 +1,125 @@
+//! Bounded schedulers (paper Def. 4.6).
+//!
+//! `σ` is *b-time bounded* if `supp(σ(α)) = ∅` for every `|α| > b` — the
+//! scheduler never executes more than `b` actions. [`BoundedScheduler`]
+//! imposes the bound on any inner scheduler. (The paper notes the bound is
+//! `|α| > b`, so exactly `b` further steps may still be ordered when
+//! `|α| = b`; we match the definition literally: choices are suppressed
+//! strictly *after* the length exceeds `b` — i.e. when `|α| ≥ b` the next
+//! action would make `|α'| > b`, so it is suppressed.)
+
+use crate::scheduler::Scheduler;
+use dpioa_core::{Action, Automaton, Execution};
+use dpioa_prob::SubDisc;
+
+/// A wrapper imposing the Def. 4.6 activation bound on a scheduler.
+pub struct BoundedScheduler<S> {
+    inner: S,
+    bound: usize,
+}
+
+impl<S: Scheduler> BoundedScheduler<S> {
+    /// Bound `inner` to at most `bound` scheduled actions.
+    pub fn new(inner: S, bound: usize) -> BoundedScheduler<S> {
+        BoundedScheduler { inner, bound }
+    }
+
+    /// The activation bound `b`.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+}
+
+impl<S: Scheduler> Scheduler for BoundedScheduler<S> {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        if exec.len() >= self.bound {
+            SubDisc::halt()
+        } else {
+            self.inner.schedule(auto, exec)
+        }
+    }
+    fn describe(&self) -> String {
+        format!("{}≤{}", self.inner.describe(), self.bound)
+    }
+}
+
+/// Check Def. 4.6 empirically: sample executions under the scheduler and
+/// verify none exceeds the bound. Used by tests on arbitrary schedulers.
+pub fn respects_bound(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    bound: usize,
+    probes: usize,
+) -> bool {
+    use dpioa_prob::sample::{sample_disc, sample_subdisc};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0xB07Du64);
+    for _ in 0..probes {
+        let mut exec = Execution::start_of(auto);
+        loop {
+            let choice = sched.schedule(auto, &exec);
+            let Some(a) = sample_subdisc(&choice, &mut rng) else {
+                break;
+            };
+            if exec.len() >= bound {
+                return false; // scheduler ordered an action past the bound
+            }
+            let eta = auto
+                .transition(exec.lstate(), a)
+                .expect("scheduler chose a disabled action");
+            let q2 = sample_disc(&eta, &mut rng);
+            exec.push(a, q2);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FirstEnabled;
+    use dpioa_core::{ExplicitAutomaton, Signature, Value};
+
+    fn spinner() -> ExplicitAutomaton {
+        let spin = Action::named("bnd-spin");
+        ExplicitAutomaton::builder("spinner", Value::int(0))
+            .state(0, Signature::new([], [], [spin]))
+            .step(0, spin, 0)
+            .build()
+    }
+
+    #[test]
+    fn bound_halts_after_b_actions() {
+        let auto = spinner();
+        let s = BoundedScheduler::new(FirstEnabled, 3);
+        let mut exec = Execution::start_of(&auto);
+        for _ in 0..3 {
+            let choice = s.schedule(&auto, &exec);
+            assert_eq!(choice.mass(), 1.0);
+            let a = *choice.support().next().unwrap();
+            exec.push(a, Value::int(0));
+        }
+        assert!(s.schedule(&auto, &exec).is_halt());
+        assert_eq!(s.bound(), 3);
+    }
+
+    #[test]
+    fn unbounded_inner_violates_check() {
+        let auto = spinner();
+        assert!(!respects_bound(&auto, &FirstEnabled, 5, 3));
+    }
+
+    #[test]
+    fn bounded_wrapper_passes_check() {
+        let auto = spinner();
+        let s = BoundedScheduler::new(FirstEnabled, 5);
+        assert!(respects_bound(&auto, &s, 5, 10));
+    }
+
+    #[test]
+    fn describe_includes_bound() {
+        let s = BoundedScheduler::new(FirstEnabled, 7);
+        assert!(s.describe().contains("≤7"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # dpioa-sched — schedulers and execution measures
+//!
+//! This crate implements Section 3 (schedulers) and the scheduling part of
+//! Section 4.4 of *"Composable Dynamic Secure Emulation"*.
+//!
+//! * A [`Scheduler`] (Def. 3.1) resolves the non-determinism of a PSIOA:
+//!   given a finite execution fragment it returns a *sub*-probability
+//!   measure over the enabled transitions — the missing mass is the
+//!   probability of halting. Scheduling transitions is equivalent to
+//!   scheduling actions because `η_{(A,q,a)}` is unique per `(q, a)`
+//!   (Def. 2.1).
+//! * A [`SchedulerSchema`] (Def. 3.2) is a named family of schedulers;
+//!   shipped schemas include deterministic policies, scripted ("off-line")
+//!   schedules, trace-oblivious schedulers (the paper's §4.4 oblivious /
+//!   creation-oblivious discussion: decisions depend only on externally
+//!   visible history, never on the internal state of dynamically created
+//!   components) and [`bounded::BoundedScheduler`] (Def. 4.6).
+//! * [`measure`] computes the execution measure `ε_σ` exactly by cone
+//!   expansion, and approximately by parallel Monte-Carlo sampling
+//!   (crossbeam fan-out, per-thread RNGs, merged histograms).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod measure;
+pub mod sample;
+pub mod scheduler;
+pub mod schema;
+
+pub use bounded::BoundedScheduler;
+pub use measure::{execution_measure, execution_measure_exact, observation_dist, ExecutionMeasure};
+pub use sample::{sample_execution, sample_observations, sample_observations_parallel};
+pub use scheduler::{
+    choice_from_disc, choose_uniform, HaltingMix, PriorityScheduler,
+    DeterministicScheduler, FirstEnabled, RandomScheduler, Scheduler, ScriptedScheduler,
+    TraceOblivious,
+};
+pub use schema::{enumerate_scripts, permutations, SchedulerSchema};

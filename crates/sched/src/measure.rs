@@ -1,0 +1,276 @@
+//! The execution measure `ε_σ` (paper §3), computed exactly.
+//!
+//! A scheduler `σ` induces a probability measure on the σ-field generated
+//! by cones of execution fragments. Over a finite horizon the measure is
+//! fully described by the weights of *terminal* executions — executions
+//! where `σ` halted (possibly with partial probability), where nothing is
+//! enabled, or that reached the horizon. [`execution_measure`] expands the
+//! cone tree and returns exactly that description; image measures under
+//! insight functions (`f-dist`, Def. 3.5) follow by [`Disc::map`].
+//!
+//! The engine is generic over the weight domain: [`execution_measure`] is
+//! the `f64` fast path, [`execution_measure_exact`] lifts every dyadic
+//! weight into exact rationals for certification runs.
+
+use crate::scheduler::Scheduler;
+use dpioa_core::{Automaton, Execution, Value};
+use dpioa_prob::{Disc, Ratio, Weight};
+
+/// The finite-horizon description of `ε_σ`: terminal executions with
+/// their probabilities, summing to one.
+#[derive(Clone, Debug)]
+pub struct ExecutionMeasure<W = f64> {
+    entries: Vec<(Execution, W)>,
+    horizon: usize,
+}
+
+impl<W: Weight> ExecutionMeasure<W> {
+    /// Iterate `(execution, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Execution, &W)> {
+        self.entries.iter().map(|(e, w)| (e, w))
+    }
+
+    /// Number of terminal executions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the measure has no entries (cannot happen for a valid
+    /// automaton: the start execution itself is terminal when σ halts).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The expansion horizon used.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Total mass (should be 1; exposed for tests).
+    pub fn total(&self) -> W {
+        let mut t = W::zero();
+        for (_, w) in &self.entries {
+            t = t.add(w);
+        }
+        t
+    }
+
+    /// The image measure under an observation function — the basis of
+    /// `f-dist` (Def. 3.5).
+    pub fn observe(&self, mut f: impl FnMut(&Execution) -> Value) -> Disc<Value, W> {
+        Disc::from_entries(
+            self.entries
+                .iter()
+                .map(|(e, w)| (f(e), w.clone()))
+                .collect(),
+        )
+        .expect("execution measure weights sum to one")
+    }
+
+    /// The probability of the cone `C_α` (executions extending `α`),
+    /// i.e. `ε_σ(C_α)` restricted to the horizon.
+    pub fn cone_prob(&self, alpha: &Execution) -> W {
+        let mut t = W::zero();
+        for (e, w) in &self.entries {
+            if alpha.is_prefix_of(e) {
+                t = t.add(w);
+            }
+        }
+        t
+    }
+}
+
+/// Expand `ε_σ` exactly over `horizon` steps with a weight-lifting
+/// function (applied to every scheduler and transition weight).
+pub fn execution_measure_in<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    lift: impl Fn(f64) -> W + Copy,
+) -> ExecutionMeasure<W> {
+    let mut entries: Vec<(Execution, W)> = Vec::new();
+    let mut stack: Vec<(Execution, W)> = vec![(Execution::start_of(auto), W::one())];
+
+    while let Some((exec, weight)) = stack.pop() {
+        if exec.len() >= horizon {
+            entries.push((exec, weight));
+            continue;
+        }
+        let choice = sched.schedule(auto, &exec);
+        let halt = lift(choice.halt_prob().to_f64());
+        if choice.is_halt() {
+            entries.push((exec, weight));
+            continue;
+        }
+        if !halt.is_zero() {
+            entries.push((exec.clone(), weight.mul(&halt)));
+        }
+        for (&a, p) in choice.iter() {
+            let p = lift(p.to_f64());
+            let eta = auto.transition(exec.lstate(), a).unwrap_or_else(|| {
+                panic!(
+                    "scheduler {} chose disabled action {a} at {}",
+                    sched.describe(),
+                    exec.lstate()
+                )
+            });
+            for (q2, r) in eta.iter() {
+                let r = lift(r.to_f64());
+                stack.push((exec.extend(a, q2.clone()), weight.mul(&p).mul(&r)));
+            }
+        }
+    }
+
+    ExecutionMeasure { entries, horizon }
+}
+
+/// The `f64` execution measure.
+pub fn execution_measure(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+) -> ExecutionMeasure<f64> {
+    execution_measure_in(auto, sched, horizon, |w| w)
+}
+
+/// The exact-rational execution measure. Panics if any weight in the
+/// model is not exactly representable (i.e. not dyadic within `i128`
+/// range) — certification runs must fail loudly.
+pub fn execution_measure_exact(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+) -> ExecutionMeasure<Ratio> {
+    execution_measure_in(auto, sched, horizon, |w| {
+        Ratio::from_f64_exact(w).expect("non-dyadic weight in exact certification run")
+    })
+}
+
+/// One-call helper: the distribution of `f(execution)` under `ε_σ`.
+pub fn observation_dist(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    f: impl FnMut(&Execution) -> Value,
+) -> Disc<Value> {
+    execution_measure(auto, sched, horizon).observe(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FirstEnabled, HaltingMix, ScriptedScheduler};
+    use dpioa_core::{Action, ExplicitAutomaton, Signature, Value};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// flip: 0 →(1/2) heads(1) / tails(2); then report from either.
+    fn coin() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("m-coin", Value::int(0))
+            .state(0, Signature::new([], [], [act("m-flip")]))
+            .state(1, Signature::new([], [act("m-report")], []))
+            .state(2, Signature::new([], [act("m-report")], []))
+            .transition(
+                0,
+                act("m-flip"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+            )
+            .step(1, act("m-report"), 1)
+            .step(2, act("m-report"), 2)
+            .build()
+    }
+
+    #[test]
+    fn measure_is_normalized() {
+        let auto = coin();
+        let m = execution_measure(&auto, &FirstEnabled, 3);
+        assert!((m.total() - 1.0).abs() < 1e-12);
+        assert_eq!(m.horizon(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn coin_splits_mass_evenly() {
+        let auto = coin();
+        let m = execution_measure(&auto, &FirstEnabled, 1);
+        // Two terminal executions, each 1/2.
+        assert_eq!(m.len(), 2);
+        for (_, w) in m.iter() {
+            assert_eq!(*w, 0.5);
+        }
+    }
+
+    #[test]
+    fn observation_distribution() {
+        let auto = coin();
+        let d = observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone());
+        assert_eq!(d.prob(&Value::int(1)), 0.5);
+        assert_eq!(d.prob(&Value::int(2)), 0.5);
+    }
+
+    #[test]
+    fn halting_scheduler_leaves_mass_on_short_executions() {
+        let auto = coin();
+        // Follow with prob 1/2, halt with prob 1/2 at every step.
+        let s = HaltingMix::new(FirstEnabled, 1, 1);
+        let m = execution_measure(&auto, &s, 1);
+        assert!((m.total() - 1.0).abs() < 1e-12);
+        // Empty execution keeps mass 1/2.
+        let empty = Execution::start_of(&auto);
+        let w = m
+            .iter()
+            .find(|(e, _)| **e == empty)
+            .map(|(_, w)| *w)
+            .unwrap();
+        assert_eq!(w, 0.5);
+    }
+
+    #[test]
+    fn cone_probabilities() {
+        let auto = coin();
+        let m = execution_measure(&auto, &FirstEnabled, 2);
+        let root = Execution::start_of(&auto);
+        assert!((m.cone_prob(&root) - 1.0).abs() < 1e-12);
+        let heads = root.extend(act("m-flip"), Value::int(1));
+        assert_eq!(m.cone_prob(&heads), 0.5);
+    }
+
+    #[test]
+    fn scripted_schedule_produces_single_path_per_branch() {
+        let auto = coin();
+        let s = ScriptedScheduler::new(vec![act("m-flip"), act("m-report")]);
+        let m = execution_measure(&auto, &s, 10);
+        // flip then report on both branches: 2 executions of length 2.
+        assert_eq!(m.len(), 2);
+        for (e, w) in m.iter() {
+            assert_eq!(e.len(), 2);
+            assert_eq!(*w, 0.5);
+        }
+    }
+
+    #[test]
+    fn exact_measure_matches_f64_on_dyadics() {
+        let auto = coin();
+        let mf = execution_measure(&auto, &FirstEnabled, 2);
+        let mr = execution_measure_exact(&auto, &FirstEnabled, 2);
+        assert_eq!(mr.total(), Ratio::ONE);
+        assert_eq!(mf.len(), mr.len());
+        for (e, w) in mf.iter() {
+            let exact: Vec<_> = mr.iter().filter(|(e2, _)| *e2 == e).collect();
+            assert_eq!(exact.len(), 1);
+            assert_eq!(Ratio::from_f64_exact(*w).unwrap(), *exact[0].1);
+        }
+    }
+
+    #[test]
+    fn horizon_zero_is_the_start_execution() {
+        let auto = coin();
+        let m = execution_measure(&auto, &FirstEnabled, 0);
+        assert_eq!(m.len(), 1);
+        let (e, w) = m.iter().next().unwrap();
+        assert_eq!(e.len(), 0);
+        assert_eq!(*w, 1.0);
+    }
+}

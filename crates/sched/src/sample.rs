@@ -1,0 +1,195 @@
+//! Monte-Carlo estimation of `ε_σ` and of observation distributions.
+//!
+//! The exact cone expansion of [`crate::measure`] is exponential in the
+//! horizon; the sampler trades exactness for scalability. The parallel
+//! variant fans out over `crossbeam::scope` with one deterministically
+//! seeded RNG per worker and per-thread histograms merged at join — no
+//! shared mutable state inside the hot loop.
+
+use crate::scheduler::Scheduler;
+use dpioa_core::{Automaton, Execution, Value};
+use dpioa_prob::sample::{sample_disc, sample_subdisc};
+use dpioa_prob::Disc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Sample one execution of `auto` under `sched`, stopping on halt, on a
+/// disabled universe, or at `horizon` steps.
+pub fn sample_execution<R: Rng + ?Sized>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    rng: &mut R,
+) -> Execution {
+    let mut exec = Execution::start_of(auto);
+    while exec.len() < horizon {
+        let choice = sched.schedule(auto, &exec);
+        let Some(a) = sample_subdisc(&choice, rng) else {
+            break;
+        };
+        let eta = auto.transition(exec.lstate(), a).unwrap_or_else(|| {
+            panic!(
+                "scheduler {} chose disabled action {a} at {}",
+                sched.describe(),
+                exec.lstate()
+            )
+        });
+        let q2 = sample_disc(&eta, rng);
+        exec.push(a, q2);
+    }
+    exec
+}
+
+/// Estimate the observation distribution by `n` sequential samples.
+pub fn sample_observations(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    n: usize,
+    seed: u64,
+    mut observe: impl FnMut(&Execution) -> Value,
+) -> Disc<Value> {
+    assert!(n > 0, "cannot estimate from zero samples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hist: HashMap<Value, u64> = HashMap::new();
+    for _ in 0..n {
+        let e = sample_execution(auto, sched, horizon, &mut rng);
+        *hist.entry(observe(&e)).or_insert(0) += 1;
+    }
+    hist_to_disc(hist, n)
+}
+
+/// Estimate the observation distribution by `n` samples fanned out over
+/// `threads` workers. Worker `i` is seeded with `seed + i`, so the result
+/// is deterministic for a fixed `(seed, threads, n)`.
+pub fn sample_observations_parallel(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    observe: impl Fn(&Execution) -> Value + Sync,
+) -> Disc<Value> {
+    assert!(n > 0, "cannot estimate from zero samples");
+    assert!(threads > 0, "need at least one worker");
+    let per = n / threads;
+    let extra = n % threads;
+    let mut partials: Vec<HashMap<Value, u64>> = Vec::with_capacity(threads);
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let count = per + usize::from(t < extra);
+            let observe = &observe;
+            handles.push(scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+                let mut hist: HashMap<Value, u64> = HashMap::new();
+                for _ in 0..count {
+                    let e = sample_execution(auto, sched, horizon, &mut rng);
+                    *hist.entry(observe(&e)).or_insert(0) += 1;
+                }
+                hist
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("sampler worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut merged: HashMap<Value, u64> = HashMap::new();
+    for p in partials {
+        for (k, v) in p {
+            *merged.entry(k).or_insert(0) += v;
+        }
+    }
+    hist_to_disc(merged, n)
+}
+
+fn hist_to_disc(hist: HashMap<Value, u64>, n: usize) -> Disc<Value> {
+    Disc::from_entries(
+        hist.into_iter()
+            .map(|(v, c)| (v, c as f64 / n as f64))
+            .collect(),
+    )
+    .expect("histogram frequencies sum to one")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::observation_dist;
+    use crate::scheduler::FirstEnabled;
+    use dpioa_core::{Action, ExplicitAutomaton, Signature};
+    use dpioa_prob::tv_distance;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn coin() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("s-coin", Value::int(0))
+            .state(0, Signature::new([], [], [act("s-flip")]))
+            .state(1, Signature::new([], [], []))
+            .state(2, Signature::new([], [], []))
+            .transition(
+                0,
+                act("s-flip"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 2),
+            )
+            .build()
+    }
+
+    #[test]
+    fn single_sample_respects_horizon() {
+        let auto = coin();
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = sample_execution(&auto, &FirstEnabled, 0, &mut rng);
+        assert_eq!(e.len(), 0);
+        let e = sample_execution(&auto, &FirstEnabled, 5, &mut rng);
+        assert_eq!(e.len(), 1); // sink after one flip
+    }
+
+    #[test]
+    fn sequential_sampler_converges_to_exact() {
+        let auto = coin();
+        let exact = observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone());
+        let est = sample_observations(&auto, &FirstEnabled, 1, 50_000, 7, |e| e.lstate().clone());
+        assert!(tv_distance(&exact, &est) < 0.01);
+    }
+
+    #[test]
+    fn parallel_sampler_matches_exact() {
+        let auto = coin();
+        let exact = observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone());
+        let est = sample_observations_parallel(&auto, &FirstEnabled, 1, 50_000, 7, 4, |e| {
+            e.lstate().clone()
+        });
+        assert!(tv_distance(&exact, &est) < 0.01);
+    }
+
+    #[test]
+    fn parallel_sampler_is_deterministic_for_fixed_seed() {
+        let auto = coin();
+        let a = sample_observations_parallel(&auto, &FirstEnabled, 1, 10_000, 3, 4, |e| {
+            e.lstate().clone()
+        });
+        let b = sample_observations_parallel(&auto, &FirstEnabled, 1, 10_000, 3, 4, |e| {
+            e.lstate().clone()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uneven_split_counts_all_samples() {
+        let auto = coin();
+        // n not divisible by threads must still produce a full measure.
+        let d = sample_observations_parallel(&auto, &FirstEnabled, 1, 10_001, 3, 4, |e| {
+            e.lstate().clone()
+        });
+        let total: f64 = d.iter().map(|(_, w)| *w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,424 @@
+//! Schedulers (paper Def. 3.1).
+//!
+//! A scheduler of a PSIOA `A` is a function `σ : Frags*(A) →
+//! SubDisc(dtrans(A))` whose chosen transitions start at `lstate(α)`.
+//! Because `η_{(A,q,a)}` is unique per `(q, a)`, a choice of transition is
+//! exactly a choice of *action*, so the trait returns `SubDisc<Action>`
+//! over the actions enabled at `lstate(α)` — the start-state side
+//! condition holds by construction.
+
+use dpioa_core::{Action, Automaton, AutomatonExt, Execution};
+use dpioa_prob::{Disc, SubDisc};
+use std::sync::Arc;
+
+/// A scheduler for a PSIOA (Def. 3.1). The returned sub-measure must be
+/// supported on actions enabled at `lstate(exec)`; the engines
+/// double-check this in debug builds.
+pub trait Scheduler: Send + Sync {
+    /// `σ(α)`: the (sub-)probabilistic choice of the next action.
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action>;
+
+    /// A short display name for reports.
+    fn describe(&self) -> String {
+        "scheduler".into()
+    }
+}
+
+impl Scheduler for Arc<dyn Scheduler> {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        (**self).schedule(auto, exec)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// The scheduler that always picks the least *locally controlled*
+/// action (by the deterministic action order) and never halts while one
+/// is enabled. The simplest "demonic resolution" used in smoke tests.
+///
+/// Schedulers in this workspace choose among `out ∪ int` actions only —
+/// the task-PIOA convention: inputs fire through synchronization with an
+/// output, never spontaneously.
+#[derive(Clone, Copy, Default)]
+pub struct FirstEnabled;
+
+impl Scheduler for FirstEnabled {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        match auto.locally_controlled(exec.lstate()).first() {
+            Some(&a) => SubDisc::dirac(a),
+            None => SubDisc::halt(),
+        }
+    }
+    fn describe(&self) -> String {
+        "first-enabled".into()
+    }
+}
+
+/// A deterministic scheduler defined by a policy closure; returning
+/// `None` halts.
+pub struct DeterministicScheduler {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    policy: Box<dyn Fn(&Execution, &[Action]) -> Option<Action> + Send + Sync>,
+}
+
+impl DeterministicScheduler {
+    /// Build from a policy `(α, enabled) ↦ action`.
+    pub fn new(
+        name: impl Into<String>,
+        policy: impl Fn(&Execution, &[Action]) -> Option<Action> + Send + Sync + 'static,
+    ) -> DeterministicScheduler {
+        DeterministicScheduler {
+            name: name.into(),
+            policy: Box::new(policy),
+        }
+    }
+}
+
+impl Scheduler for DeterministicScheduler {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        let enabled = auto.locally_controlled(exec.lstate());
+        match (self.policy)(exec, &enabled) {
+            Some(a) if enabled.contains(&a) => SubDisc::dirac(a),
+            _ => SubDisc::halt(),
+        }
+    }
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// The uniformly random scheduler: picks among the locally controlled
+/// actions with equal probability, halting only when none is enabled.
+/// (Weights are
+/// `1/n`, not necessarily dyadic — exact-rational certification uses
+/// scripted or deterministic schedulers instead.)
+#[derive(Clone, Copy, Default)]
+pub struct RandomScheduler;
+
+impl Scheduler for RandomScheduler {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        let enabled = auto.locally_controlled(exec.lstate());
+        if enabled.is_empty() {
+            return SubDisc::halt();
+        }
+        let w = 1.0 / enabled.len() as f64;
+        SubDisc::from_entries(enabled.into_iter().map(|a| (a, w)).collect())
+            .expect("uniform weights are a valid sub-measure")
+    }
+    fn describe(&self) -> String {
+        "uniform-random".into()
+    }
+}
+
+/// An *off-line* (fully oblivious) schedule: a fixed action sequence
+/// decided in advance, the dynamic analogue of the task-schedules of
+/// Canetti et al. that §4.4 generalizes. At step `i` the scheduler orders
+/// `script[i]` if it is locally controlled at the current state and halts
+/// otherwise (or when the script is exhausted).
+#[derive(Clone)]
+pub struct ScriptedScheduler {
+    script: Arc<[Action]>,
+}
+
+impl ScriptedScheduler {
+    /// Build from an action sequence.
+    pub fn new(script: impl Into<Vec<Action>>) -> ScriptedScheduler {
+        ScriptedScheduler {
+            script: Arc::from(script.into().into_boxed_slice()),
+        }
+    }
+
+    /// The scripted actions.
+    pub fn script(&self) -> &[Action] {
+        &self.script
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        let sig = auto.signature(exec.lstate());
+        match self.script.get(exec.len()) {
+            Some(&a) if sig.output.contains(&a) || sig.internal.contains(&a) => {
+                SubDisc::dirac(a)
+            }
+            _ => SubDisc::halt(),
+        }
+    }
+    fn describe(&self) -> String {
+        format!(
+            "script[{}]",
+            self.script
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    }
+}
+
+/// A *trace-oblivious* scheduler: its choice is a function of the actions
+/// taken so far and the currently enabled set only — never of the states.
+///
+/// This realizes the schema the paper needs in §4.4: such a scheduler is
+/// *oblivious* (it cannot read internal state) and *creation-oblivious*
+/// (its decisions cannot depend on the internal history of dynamically
+/// created sub-automata, because it never sees states at all) — the
+/// property [7] shows necessary for implementation to be monotonic w.r.t.
+/// PSIOA creation.
+pub struct TraceOblivious {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    policy: Box<dyn Fn(&[Action], &[Action]) -> SubDisc<Action> + Send + Sync>,
+}
+
+impl TraceOblivious {
+    /// Build from a policy `(past actions, enabled) ↦ sub-choice`.
+    pub fn new(
+        name: impl Into<String>,
+        policy: impl Fn(&[Action], &[Action]) -> SubDisc<Action> + Send + Sync + 'static,
+    ) -> TraceOblivious {
+        TraceOblivious {
+            name: name.into(),
+            policy: Box::new(policy),
+        }
+    }
+
+    /// The trace-oblivious analogue of [`FirstEnabled`].
+    pub fn first_enabled() -> TraceOblivious {
+        TraceOblivious::new("oblivious-first", |_, enabled| match enabled.first() {
+            Some(&a) => SubDisc::dirac(a),
+            None => SubDisc::halt(),
+        })
+    }
+}
+
+impl Scheduler for TraceOblivious {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        let enabled = auto.locally_controlled(exec.lstate());
+        let choice = (self.policy)(exec.actions(), &enabled);
+        debug_assert!(
+            choice.support().all(|a| enabled.contains(a)),
+            "trace-oblivious policy chose a disabled action"
+        );
+        choice
+    }
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// A deterministic *priority* scheduler: at every step it triggers the
+/// enabled locally-controlled action that appears earliest in a fixed
+/// total order over action names; when none of the listed actions is
+/// enabled it falls back to the least enabled action in the canonical
+/// order (so the order list only needs to cover the *contended*
+/// actions). State-oblivious (the order is fixed in advance), so it
+/// belongs to the oblivious / creation-oblivious schema of §4.4 while
+/// still driving protocols through complete runs — the workhorse of the
+/// emulation experiments.
+#[derive(Clone)]
+pub struct PriorityScheduler {
+    order: Arc<[Action]>,
+}
+
+impl PriorityScheduler {
+    /// Build from a priority list (earlier = higher priority). Enabled
+    /// actions outside the list rank below every listed action, ordered
+    /// canonically among themselves.
+    pub fn new(order: impl Into<Vec<Action>>) -> PriorityScheduler {
+        PriorityScheduler {
+            order: Arc::from(order.into().into_boxed_slice()),
+        }
+    }
+
+    /// The priority order.
+    pub fn order(&self) -> &[Action] {
+        &self.order
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        let enabled = auto.locally_controlled(exec.lstate());
+        match self.order.iter().find(|a| enabled.contains(a)) {
+            Some(&a) => SubDisc::dirac(a),
+            None => match enabled.first() {
+                Some(&a) => SubDisc::dirac(a),
+                None => SubDisc::halt(),
+            },
+        }
+    }
+    fn describe(&self) -> String {
+        format!(
+            "priority[{}]",
+            self.order
+                .iter()
+                .take(4)
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(">")
+        )
+    }
+}
+
+/// A probabilistic mixture of a scheduler's choice with halting: with
+/// probability `num/2^log_denom` follow `inner`, otherwise halt. Used by
+/// tests to exercise sub-probability semantics.
+pub struct HaltingMix<S> {
+    inner: S,
+    num: u64,
+    log_denom: u32,
+}
+
+impl<S: Scheduler> HaltingMix<S> {
+    /// Follow `inner` with dyadic probability `num/2^log_denom`.
+    pub fn new(inner: S, num: u64, log_denom: u32) -> HaltingMix<S> {
+        assert!(num <= 1 << log_denom);
+        HaltingMix {
+            inner,
+            num,
+            log_denom,
+        }
+    }
+}
+
+impl<S: Scheduler> Scheduler for HaltingMix<S> {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        let base = self.inner.schedule(auto, exec);
+        let p = f64::from_dyadic(self.num, self.log_denom);
+        SubDisc::from_entries(base.iter().map(|(a, w)| (*a, w * p)).collect())
+            .expect("scaling a sub-measure by p ≤ 1 keeps mass ≤ 1")
+    }
+    fn describe(&self) -> String {
+        format!(
+            "halting-mix({}, {}/{})",
+            self.inner.describe(),
+            self.num,
+            1u64 << self.log_denom
+        )
+    }
+}
+
+use dpioa_prob::Weight;
+
+/// Convenience: a full probability choice among given actions.
+pub fn choose_uniform(actions: &[Action]) -> SubDisc<Action> {
+    if actions.is_empty() {
+        return SubDisc::halt();
+    }
+    let w = 1.0 / actions.len() as f64;
+    SubDisc::from_entries(actions.iter().map(|&a| (a, w)).collect())
+        .expect("uniform weights are a valid sub-measure")
+}
+
+/// Convenience: lift a `Disc<Action>` into a scheduler choice.
+pub fn choice_from_disc(d: Disc<Action>) -> SubDisc<Action> {
+    SubDisc::from_disc(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{ExplicitAutomaton, Signature, Value};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn two_choice() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("two", Value::int(0))
+            .state(0, Signature::new([], [act("sch-a"), act("sch-b")], []))
+            .state(1, Signature::new([], [], []))
+            .step(0, act("sch-a"), 1)
+            .step(0, act("sch-b"), 1)
+            .build()
+    }
+
+    #[test]
+    fn first_enabled_picks_least_action() {
+        let auto = two_choice();
+        let exec = Execution::start_of(&auto);
+        let choice = FirstEnabled.schedule(&auto, &exec);
+        assert_eq!(choice.mass(), 1.0);
+        // The least action in the deterministic order.
+        let expected = *auto.enabled(&Value::int(0)).first().unwrap();
+        assert_eq!(choice.prob(&expected), 1.0);
+    }
+
+    #[test]
+    fn first_enabled_halts_in_sink() {
+        let auto = two_choice();
+        let exec = Execution::from_state(Value::int(1));
+        assert!(FirstEnabled.schedule(&auto, &exec).is_halt());
+    }
+
+    #[test]
+    fn deterministic_scheduler_rejects_disabled_choice() {
+        let auto = two_choice();
+        let exec = Execution::start_of(&auto);
+        let s = DeterministicScheduler::new("pick-ghost", |_, _| Some(Action::named("ghost")));
+        assert!(s.schedule(&auto, &exec).is_halt());
+    }
+
+    #[test]
+    fn random_scheduler_uniform() {
+        let auto = two_choice();
+        let exec = Execution::start_of(&auto);
+        let choice = RandomScheduler.schedule(&auto, &exec);
+        assert_eq!(choice.prob(&act("sch-a")), 0.5);
+        assert_eq!(choice.prob(&act("sch-b")), 0.5);
+    }
+
+    #[test]
+    fn scripted_scheduler_follows_script_then_halts() {
+        let auto = two_choice();
+        let s = ScriptedScheduler::new(vec![act("sch-b")]);
+        let e0 = Execution::start_of(&auto);
+        assert_eq!(s.schedule(&auto, &e0).prob(&act("sch-b")), 1.0);
+        let e1 = e0.extend(act("sch-b"), Value::int(1));
+        assert!(s.schedule(&auto, &e1).is_halt());
+    }
+
+    #[test]
+    fn scripted_scheduler_halts_on_disabled_action() {
+        let auto = two_choice();
+        let s = ScriptedScheduler::new(vec![act("never-enabled")]);
+        assert!(s.schedule(&auto, &Execution::start_of(&auto)).is_halt());
+    }
+
+    #[test]
+    fn trace_oblivious_sees_only_actions() {
+        let auto = two_choice();
+        // Alternate based on history length parity.
+        let s = TraceOblivious::new("alt", |past, enabled| {
+            if enabled.is_empty() {
+                SubDisc::halt()
+            } else if past.len() % 2 == 0 {
+                SubDisc::dirac(enabled[0])
+            } else {
+                SubDisc::dirac(*enabled.last().unwrap())
+            }
+        });
+        let e0 = Execution::start_of(&auto);
+        assert_eq!(s.schedule(&auto, &e0).mass(), 1.0);
+    }
+
+    #[test]
+    fn halting_mix_scales_mass() {
+        let auto = two_choice();
+        let s = HaltingMix::new(FirstEnabled, 1, 2); // follow with prob 1/4
+        let choice = s.schedule(&auto, &Execution::start_of(&auto));
+        assert_eq!(choice.mass(), 0.25);
+        assert_eq!(choice.halt_prob(), 0.75);
+    }
+
+    #[test]
+    fn describe_strings() {
+        assert_eq!(FirstEnabled.describe(), "first-enabled");
+        assert!(ScriptedScheduler::new(vec![act("sch-a")])
+            .describe()
+            .contains("sch-a"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Scheduler schemas (paper Def. 3.2).
+//!
+//! A scheduler schema maps any PSIOA or PCA to a subset of its
+//! schedulers. The implementation relation (Def. 4.12) quantifies over a
+//! schema, so the search engines need schemas that can *enumerate* their
+//! members for finite systems: a [`SchedulerSchema`] carries a generator.
+//!
+//! The workhorse enumerable schema is the scripted ("off-line") schema —
+//! all action scripts of bounded length over a finite action universe —
+//! which is oblivious and creation-oblivious by construction (§4.4).
+
+use crate::scheduler::{Scheduler, ScriptedScheduler};
+use dpioa_core::explore::{reachable, ExploreLimits};
+use dpioa_core::{Action, Automaton};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A named scheduler schema with an enumerator for finite search.
+pub struct SchedulerSchema {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    generate: Box<dyn Fn(&dyn Automaton) -> Vec<Arc<dyn Scheduler>> + Send + Sync>,
+}
+
+impl SchedulerSchema {
+    /// Build a schema from a name and a generator.
+    pub fn new(
+        name: impl Into<String>,
+        generate: impl Fn(&dyn Automaton) -> Vec<Arc<dyn Scheduler>> + Send + Sync + 'static,
+    ) -> SchedulerSchema {
+        SchedulerSchema {
+            name: name.into(),
+            generate: Box::new(generate),
+        }
+    }
+
+    /// The schema's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `Sch(W)`: the schedulers this schema assigns to the automaton.
+    pub fn members(&self, auto: &dyn Automaton) -> Vec<Arc<dyn Scheduler>> {
+        (self.generate)(auto)
+    }
+
+    /// The scripted (off-line, oblivious, creation-oblivious) schema: all
+    /// scripts up to `max_len` over the actions observed on the reachable
+    /// prefix of the automaton. Enumeration size is `|acts|^len` summed
+    /// over lengths — keep `max_len` small.
+    pub fn scripted(max_len: usize) -> SchedulerSchema {
+        SchedulerSchema::new(format!("scripted≤{max_len}"), move |auto| {
+            let universe = action_universe(auto);
+            enumerate_scripts(&universe, max_len)
+                .into_iter()
+                .map(|s| Arc::new(s) as Arc<dyn Scheduler>)
+                .collect()
+        })
+    }
+
+    /// The *exhaustive* priority schema over a contended subset: every
+    /// permutation of `subset` (≤ 7 actions) is placed at the top of the
+    /// priority order, followed by the rest of the universe in canonical
+    /// order. If `subset` contains every action that can ever be
+    /// co-enabled with a behaviorally distinct alternative, this schema
+    /// is *complete* for priority scheduling: each member of one world
+    /// has its exactly-matching counterpart in the other world's schema,
+    /// which makes measured implementation ε's exact rather than
+    /// battery-dependent.
+    pub fn priority_exhaustive_over(subset: Vec<Action>) -> SchedulerSchema {
+        assert!(
+            subset.len() <= 7,
+            "exhaustive priority schema capped at 7 contended actions (5040 permutations)"
+        );
+        SchedulerSchema::new(
+            format!("priority-exhaustive×{}!", subset.len()),
+            move |_| {
+                use crate::scheduler::PriorityScheduler;
+                // Actions outside the subset fall back to canonical
+                // order inside PriorityScheduler, so no universe
+                // computation is needed here.
+                permutations(&subset)
+                    .into_iter()
+                    .map(|head| Arc::new(PriorityScheduler::new(head)) as Arc<dyn Scheduler>)
+                    .collect()
+            },
+        )
+    }
+
+    /// A priority schema over a *caller-provided* shared universe:
+    /// `count` seeded shuffles of `universe` (plus its canonical order).
+    /// Because the orders do not depend on the automaton, the SAME order
+    /// list is offered in both worlds of an implementation comparison —
+    /// the σ′ matching a given σ is typically the very same order, which
+    /// keeps measured ε's tight for composite systems whose contended
+    /// sets are too large for the exhaustive schema.
+    pub fn shared_priority(count: usize, seed: u64, universe: Vec<Action>) -> SchedulerSchema {
+        use crate::scheduler::PriorityScheduler;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        SchedulerSchema::new(format!("shared-priority×{count}"), move |_| {
+            let mut out: Vec<Arc<dyn Scheduler>> =
+                vec![Arc::new(PriorityScheduler::new(universe.clone()))];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..count {
+                let mut order = universe.clone();
+                order.shuffle(&mut rng);
+                out.push(Arc::new(PriorityScheduler::new(order)));
+            }
+            out
+        })
+    }
+
+    /// The priority schema: `count` deterministically-seeded random total
+    /// orders over the action universe (plus the canonical order), each
+    /// inducing a [`PriorityScheduler`]. Still oblivious (§4.4) — the
+    /// order is fixed in advance — but drives protocols through complete
+    /// runs, unlike short scripts.
+    pub fn priority(count: usize, seed: u64) -> SchedulerSchema {
+        use crate::scheduler::PriorityScheduler;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        SchedulerSchema::new(format!("priority×{count}"), move |auto| {
+            let universe = action_universe(auto);
+            let mut out: Vec<Arc<dyn Scheduler>> =
+                vec![Arc::new(PriorityScheduler::new(universe.clone()))];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..count {
+                let mut order = universe.clone();
+                order.shuffle(&mut rng);
+                out.push(Arc::new(PriorityScheduler::new(order)));
+            }
+            out
+        })
+    }
+}
+
+/// The actions appearing in any signature on the (capped) reachable
+/// prefix of `auto`, in deterministic order.
+pub fn action_universe(auto: &dyn Automaton) -> Vec<Action> {
+    let r = reachable(auto, ExploreLimits::default());
+    let mut set: BTreeSet<Action> = BTreeSet::new();
+    for q in &r.states {
+        set.extend(auto.signature(q).all());
+    }
+    set.into_iter().collect()
+}
+
+/// All permutations of a small action list.
+pub fn permutations(items: &[Action]) -> Vec<Vec<Action>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest: Vec<Action> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// All scripts of length `0 ≤ ℓ ≤ max_len` over the given actions.
+pub fn enumerate_scripts(actions: &[Action], max_len: usize) -> Vec<ScriptedScheduler> {
+    let mut out = vec![ScriptedScheduler::new(Vec::new())];
+    let mut frontier: Vec<Vec<Action>> = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::with_capacity(frontier.len() * actions.len());
+        for prefix in &frontier {
+            for &a in actions {
+                let mut s = prefix.clone();
+                s.push(a);
+                out.push(ScriptedScheduler::new(s.clone()));
+                next.push(s);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{ExplicitAutomaton, Signature, Value};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn toy() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("schema-toy", Value::int(0))
+            .state(0, Signature::new([], [act("sa")], [act("sb")]))
+            .state(1, Signature::new([], [], []))
+            .step(0, act("sa"), 1)
+            .step(0, act("sb"), 0)
+            .build()
+    }
+
+    #[test]
+    fn action_universe_is_sorted_and_complete() {
+        let u = action_universe(&toy());
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(&act("sa")) && u.contains(&act("sb")));
+    }
+
+    #[test]
+    fn script_enumeration_counts() {
+        let u = vec![act("sa"), act("sb")];
+        // lengths 0..=2 over 2 actions: 1 + 2 + 4 = 7.
+        assert_eq!(enumerate_scripts(&u, 2).len(), 7);
+        assert_eq!(enumerate_scripts(&u, 0).len(), 1);
+        assert_eq!(enumerate_scripts(&[], 3).len(), 1);
+    }
+
+    #[test]
+    fn scripted_schema_members() {
+        let schema = SchedulerSchema::scripted(1);
+        assert_eq!(schema.name(), "scripted≤1");
+        let members = schema.members(&toy());
+        assert_eq!(members.len(), 3); // empty + two singletons
+    }
+}

@@ -1,0 +1,629 @@
+//! The dummy adversary (paper Def. 4.27) and the Forward constructions
+//! of Appendix D (Lemma 4.29 / D.1).
+//!
+//! `Dummy(A, g)` is a pure forwarder sitting between a structured
+//! automaton `A` and an outer adversary that speaks the `g`-renamed
+//! adversary dialect: it receives `A`'s adversary outputs and re-emits
+//! them renamed, and receives renamed adversary orders and re-emits them
+//! for `A`. Its state is the single `pending` variable of Def. 4.27.
+//!
+//! Lemma 4.29 states that inserting the dummy is invisible:
+//! `g(A)‖Adv ≤ hide(A‖Dummy(A,g), AAct_A)‖Adv` with ε = 0. The proof
+//! constructs, for every scheduler σ of the direct world, a scheduler
+//! `Forward^s(σ)` of the dummy world that replays σ and forwards
+//! immediately — and an execution correspondence `Forward^e` under which
+//! the two worlds produce identical perceptions. [`DummyInsertion`]
+//! packages both worlds, [`ForwardScheduler`] is `Forward^s`, and
+//! [`DummyInsertion::collapse_execution`] is the inverse direction of
+//! `Forward^e` (collapsing forward pairs back to single steps).
+
+use crate::structured::StructuredAutomaton;
+use dpioa_core::{compose, Action, ActionSet, Automaton, Execution, Signature, Value};
+use dpioa_prob::{Disc, SubDisc};
+use dpioa_sched::Scheduler;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The dummy adversary `Dummy(A, g)` of Def. 4.27.
+pub struct DummyAdversary {
+    name: String,
+    /// Universal adversary outputs `AO_A` (received, forwarded renamed).
+    ao: ActionSet,
+    /// `g(AI_A)` (received from the outer adversary, forwarded un-renamed).
+    g_ai: ActionSet,
+    /// The renaming on `AO_A` (forward direction).
+    g: HashMap<Action, Action>,
+    /// The inverse renaming on `g(AI_A)`.
+    g_inv: HashMap<Action, Action>,
+}
+
+impl DummyAdversary {
+    /// Build the dummy for a structured automaton and a renaming `g`
+    /// (a bijection from `AAct_A` to fresh names).
+    pub fn new(system: &StructuredAutomaton, g: &HashMap<Action, Action>) -> DummyAdversary {
+        let (ai, ao) = system.universal_adv_io();
+        let g_ai: ActionSet = ai.iter().map(|a| g[a]).collect();
+        let g_inv: HashMap<Action, Action> = g.iter().map(|(&a, &b)| (b, a)).collect();
+        assert_eq!(g_inv.len(), g.len(), "adversary renaming g must be injective");
+        DummyAdversary {
+            name: format!("Dummy({})", system.name()),
+            ao,
+            g_ai,
+            g: g.clone(),
+            g_inv,
+        }
+    }
+
+    fn pending_of(q: &Value) -> Option<Action> {
+        match q {
+            Value::Unit => None,
+            Value::Str(s) => Some(Action::named(s.as_ref())),
+            other => panic!("malformed dummy state {other}"),
+        }
+    }
+
+    /// The action the dummy will emit from a pending state.
+    fn forward_of(&self, pending: Action) -> Action {
+        if let Some(&renamed) = self.g.get(&pending) {
+            renamed // pending ∈ AO_A: forward renamed to the adversary
+        } else if let Some(&orig) = self.g_inv.get(&pending) {
+            orig // pending ∈ g(AI_A): forward un-renamed to A
+        } else {
+            panic!("dummy pending {pending} is neither AO nor g(AI)")
+        }
+    }
+}
+
+impl Automaton for DummyAdversary {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn start_state(&self) -> Value {
+        Value::Unit // pending = ⊥
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        let inputs: ActionSet = self.ao.union(&self.g_ai).copied().collect();
+        let output = Self::pending_of(q).map(|p| self.forward_of(p));
+        Signature::new(inputs, output, [])
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        let sig = self.signature(q);
+        if sig.input.contains(&a) {
+            // Receive: record as pending (Def. 4.27: q'.pending = a).
+            Some(Disc::dirac(Value::str(a.name())))
+        } else if sig.output.contains(&a) {
+            // Forward: clear pending.
+            Some(Disc::dirac(Value::Unit))
+        } else {
+            None
+        }
+    }
+}
+
+/// The packaged Lemma 4.29 instance: a structured automaton `A`, a fresh
+/// renaming `g`, and the two worlds to compare.
+///
+/// * world 1 — `E ‖ g(A) ‖ Adv` (the direct world);
+/// * world 2 — `hide(E ‖ A ‖ Dummy(A,g) ‖ Adv, AAct_A)` (the dummy
+///   world; flat composition with the original adversary channel hidden,
+///   which is perception-equivalent to the paper's
+///   `hide(A‖Dummy, AAct_A)‖Adv` grouping and keeps state tuples flat
+///   for the Forward constructions).
+pub struct DummyInsertion {
+    system: StructuredAutomaton,
+    g: HashMap<Action, Action>,
+    g_inv: HashMap<Action, Action>,
+    ai: ActionSet,
+    ao: ActionSet,
+    dummy: Arc<DummyAdversary>,
+    renamed: StructuredAutomaton,
+}
+
+impl DummyInsertion {
+    /// Build an insertion instance with `g = suffix renaming` of the
+    /// universal adversary actions of `system`.
+    pub fn new(system: StructuredAutomaton, suffix: &str) -> DummyInsertion {
+        let (ai, ao) = system.universal_adv_io();
+        let mut g = HashMap::new();
+        for &a in ai.iter().chain(ao.iter()) {
+            g.insert(a, a.suffixed(suffix));
+        }
+        let g_inv: HashMap<Action, Action> = g.iter().map(|(&a, &b)| (b, a)).collect();
+        let dummy = Arc::new(DummyAdversary::new(&system, &g));
+        let g_for_rename = g.clone();
+        let renamed = system.rename(move |a| g_for_rename.get(&a).copied().unwrap_or(a));
+        DummyInsertion {
+            system,
+            g,
+            g_inv,
+            ai,
+            ao,
+            dummy,
+            renamed,
+        }
+    }
+
+    /// The renaming `g` (original adversary action → fresh name).
+    pub fn g(&self) -> &HashMap<Action, Action> {
+        &self.g
+    }
+
+    /// The renamed system `g(A)`.
+    pub fn renamed_system(&self) -> &StructuredAutomaton {
+        &self.renamed
+    }
+
+    /// The dummy adversary automaton.
+    pub fn dummy(&self) -> Arc<dyn Automaton> {
+        self.dummy.clone()
+    }
+
+    /// World 1: `E ‖ g(A) ‖ Adv` (flat 3-component composition).
+    pub fn world_direct(
+        &self,
+        env: &Arc<dyn Automaton>,
+        adv: &Arc<dyn Automaton>,
+    ) -> Arc<dyn Automaton> {
+        compose(vec![
+            env.clone(),
+            Arc::new(self.renamed.clone()) as Arc<dyn Automaton>,
+            adv.clone(),
+        ])
+    }
+
+    /// World 2: `hide(E ‖ A ‖ Dummy ‖ Adv, AAct_A)` (flat 4-component
+    /// composition; component order: env, A, dummy, adv).
+    pub fn world_dummy(
+        &self,
+        env: &Arc<dyn Automaton>,
+        adv: &Arc<dyn Automaton>,
+    ) -> Arc<dyn Automaton> {
+        let composed = compose(vec![
+            env.clone(),
+            Arc::new(self.system.clone()) as Arc<dyn Automaton>,
+            self.dummy(),
+            adv.clone(),
+        ]);
+        let hidden: ActionSet = self.ai.union(&self.ao).copied().collect();
+        dpioa_core::hide_static(composed, hidden)
+    }
+
+    pub(crate) fn drop_dummy_component(q: &Value) -> Value {
+        Value::tuple(vec![q.proj(0).clone(), q.proj(1).clone(), q.proj(3).clone()])
+    }
+
+    /// The inverse of `Forward^e`: collapse a world-2 execution back into
+    /// the corresponding world-1 execution by merging each forward pair
+    /// `(a, g(a))` (for `a ∈ AO_A`) or `(g(a), a)` (for `a ∈ AI_A`) into
+    /// the single world-1 action `g(a)`, and dropping the dummy state
+    /// component. Returns `None` when the execution is mid-pair or
+    /// interleaves other actions inside a pair (such executions carry
+    /// zero probability under `Forward^s(σ)`).
+    pub fn collapse_execution(&self, exec2: &Execution) -> Option<Execution> {
+        collapse_impl(&self.g, &self.g_inv, &self.ai, &self.ao, exec2)
+    }
+
+    /// `Forward^e`: the world-2 pending action at the end of a world-2
+    /// execution, if the dummy holds one (i.e. the execution is mid-pair
+    /// and the forward must fire next).
+    pub fn pending_forward(&self, exec2: &Execution) -> Option<Action> {
+        let q_dummy = exec2.lstate().proj(2);
+        DummyAdversary::pending_of(q_dummy).map(|p| self.dummy.forward_of(p))
+    }
+
+    /// `Forward^s` (Lemma D.1): lift a world-1 scheduler to the world-2
+    /// scheduler that mimics it and forwards immediately.
+    pub fn forward_scheduler(
+        &self,
+        world1: Arc<dyn Automaton>,
+        inner: Arc<dyn Scheduler>,
+    ) -> ForwardScheduler {
+        ForwardScheduler {
+            insertion: DummyInsertionRef {
+                g: self.g.clone(),
+                g_inv: self.g_inv.clone(),
+                ai: self.ai.clone(),
+                ao: self.ao.clone(),
+                dummy: self.dummy.clone(),
+            },
+            world1,
+            inner,
+        }
+    }
+}
+
+/// The collapse algorithm shared by [`DummyInsertion`] and
+/// [`ForwardScheduler`]: merge forward pairs into single renamed steps
+/// and drop the dummy state component.
+fn collapse_impl(
+    g: &HashMap<Action, Action>,
+    g_inv: &HashMap<Action, Action>,
+    ai: &ActionSet,
+    ao: &ActionSet,
+    exec2: &Execution,
+) -> Option<Execution> {
+    let drop_dummy = DummyInsertion::drop_dummy_component;
+    let mut out = Execution::from_state(drop_dummy(exec2.fstate()));
+    let mut expecting: Option<Action> = None;
+    for (_, a, q2) in exec2.steps() {
+        if let Some(expected) = expecting {
+            if a != expected {
+                return None; // interleaved action inside a forward pair
+            }
+            expecting = None;
+            // Pair complete: emit the world-1 (renamed) action.
+            let world1_action = if ao.contains(&a) || ai.contains(&a) {
+                g[&a]
+            } else {
+                a
+            };
+            out.push(world1_action, drop_dummy(q2));
+            continue;
+        }
+        if ao.contains(&a) {
+            // A emitted an adversary output; the dummy must forward g(a).
+            expecting = Some(g[&a]);
+        } else if let Some(&orig) = g_inv.get(&a) {
+            if ai.contains(&orig) {
+                // Adv emitted a renamed order; the dummy must forward orig.
+                expecting = Some(orig);
+            } else {
+                // g(AO): a dummy→Adv forward cannot lead a pair.
+                return None;
+            }
+        } else if ai.contains(&a) {
+            return None; // un-renamed adversary order with no first half
+        } else {
+            out.push(a, drop_dummy(q2));
+        }
+    }
+    expecting.is_none().then_some(out)
+}
+
+/// The shareable core of a [`DummyInsertion`] used by the scheduler
+/// (cloned maps; the full insertion keeps the automata).
+struct DummyInsertionRef {
+    g: HashMap<Action, Action>,
+    g_inv: HashMap<Action, Action>,
+    ai: ActionSet,
+    ao: ActionSet,
+    dummy: Arc<DummyAdversary>,
+}
+
+impl DummyInsertionRef {
+    fn collapse(&self, exec2: &Execution) -> Option<Execution> {
+        collapse_impl(&self.g, &self.g_inv, &self.ai, &self.ao, exec2)
+    }
+}
+
+/// The `Forward^s(σ)` scheduler of Lemma D.1: replays a world-1
+/// scheduler in the dummy world, inserting the forced forward step after
+/// every adversary-channel action. If σ is `q₁`-bounded, `Forward^s(σ)`
+/// is `2·q₁`-bounded, matching the proof's `q₂ := 2·q₁`.
+pub struct ForwardScheduler {
+    insertion: DummyInsertionRef,
+    world1: Arc<dyn Automaton>,
+    inner: Arc<dyn Scheduler>,
+}
+
+impl Scheduler for ForwardScheduler {
+    fn schedule(&self, _world2: &dyn Automaton, exec2: &Execution) -> SubDisc<Action> {
+        // Mid-pair: the forward fires deterministically.
+        let q_dummy = exec2.lstate().proj(2);
+        if let Some(pending) = DummyAdversary::pending_of(q_dummy) {
+            return SubDisc::dirac(self.insertion.dummy.forward_of(pending));
+        }
+        // Otherwise mimic σ on the collapsed execution.
+        let Some(exec1) = self.insertion.collapse(exec2) else {
+            return SubDisc::halt(); // unreachable under this scheduler
+        };
+        let choice = self.inner.schedule(&*self.world1, &exec1);
+        if choice.is_halt() {
+            return SubDisc::halt();
+        }
+        SubDisc::from_entries(
+            choice
+                .iter()
+                .map(|(&c, w)| {
+                    let mapped = match self.insertion.g_inv.get(&c) {
+                        // σ ordered a renamed adversary-channel action.
+                        Some(&orig) if self.insertion.ao.contains(&orig) => orig, // A leads
+                        Some(_) => c, // AI pair: the renamed order leads
+                        None => c,    // environment-side action: unchanged
+                    };
+                    (mapped, *w)
+                })
+                .collect(),
+        )
+        .expect("weight-preserving relabeling keeps a valid sub-measure")
+    }
+
+    fn describe(&self) -> String {
+        format!("Forward^s({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{AutomatonExt, ExplicitAutomaton};
+    use dpioa_insight::{balanced_epsilon_exact, PrintInsight};
+    use dpioa_prob::Ratio;
+    use dpioa_sched::{FirstEnabled, ScriptedScheduler};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// A structured party: env input `du-go` triggers an adversary leak
+    /// `du-leak` (probabilistic content), adversary order `du-cmd` makes
+    /// it report `du-rep` to the environment.
+    fn party() -> StructuredAutomaton {
+        let go = act("du-go");
+        let rep = act("du-rep");
+        let leak = act("du-leak");
+        let cmd = act("du-cmd");
+        let auto = ExplicitAutomaton::builder("du-party", Value::int(0))
+            .state(0, Signature::new([go], [], []))
+            .state(1, Signature::new([], [leak], []))
+            .state(2, Signature::new([cmd], [], []))
+            .state(3, Signature::new([], [rep], []))
+            .state(4, Signature::new([], [], []))
+            .step(0, go, 1)
+            .step(1, leak, 2)
+            .step(2, cmd, 3)
+            .step(3, rep, 4)
+            .build()
+            .shared();
+        StructuredAutomaton::with_env_actions(auto, [go, rep])
+    }
+
+    /// Environment: outputs `du-go`, then waits for `du-rep`.
+    fn env() -> Arc<dyn Automaton> {
+        let go = act("du-go");
+        let rep = act("du-rep");
+        ExplicitAutomaton::builder("du-env", Value::int(0))
+            .state(0, Signature::new([], [go], []))
+            .state(1, Signature::new([rep], [], []))
+            .state(2, Signature::new([], [], []))
+            .step(0, go, 1)
+            .step(1, rep, 2)
+            .build()
+            .shared()
+    }
+
+    /// Outer adversary speaking the RENAMED dialect: receives
+    /// `du-leak@g`, then orders `du-cmd@g`.
+    fn adv() -> Arc<dyn Automaton> {
+        let leak_g = act("du-leak@g");
+        let cmd_g = act("du-cmd@g");
+        ExplicitAutomaton::builder("du-adv", Value::int(0))
+            .state(0, Signature::new([leak_g], [], []))
+            .state(1, Signature::new([], [cmd_g], []))
+            .state(2, Signature::new([leak_g], [], []))
+            .step(0, leak_g, 1)
+            .step(1, cmd_g, 2)
+            .step(2, leak_g, 2)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn dummy_signature_follows_def_4_27() {
+        let p = party();
+        let ins = DummyInsertion::new(p, "@g");
+        let d = ins.dummy();
+        let q0 = d.start_state();
+        assert_eq!(q0, Value::Unit);
+        let sig0 = d.signature(&q0);
+        // Inputs: AO ∪ g(AI) — always enabled.
+        assert!(sig0.input.contains(&act("du-leak")));
+        assert!(sig0.input.contains(&act("du-cmd@g")));
+        assert!(sig0.output.is_empty());
+        // After receiving the leak, the dummy must forward it renamed.
+        let q1 = d
+            .transition(&q0, act("du-leak"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        let sig1 = d.signature(&q1);
+        assert_eq!(sig1.output, [act("du-leak@g")].into_iter().collect());
+        // After forwarding, pending clears.
+        let q2 = d
+            .transition(&q1, act("du-leak@g"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        assert_eq!(q2, Value::Unit);
+        // Receiving a renamed order forwards it un-renamed.
+        let q3 = d
+            .transition(&q2, act("du-cmd@g"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        assert_eq!(
+            d.signature(&q3).output,
+            [act("du-cmd")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn dummy_input_overwrites_pending() {
+        let p = party();
+        let ins = DummyInsertion::new(p, "@g");
+        let d = ins.dummy();
+        let q1 = d
+            .transition(&d.start_state(), act("du-leak"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        // A new input while pending overwrites (inputs always enabled).
+        let q2 = d
+            .transition(&q1, act("du-cmd@g"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        assert_eq!(q2, Value::str("du-cmd@g"));
+    }
+
+    #[test]
+    fn worlds_compose_and_run() {
+        let ins = DummyInsertion::new(party(), "@g");
+        let (e, a) = (env(), adv());
+        let w1 = ins.world_direct(&e, &a);
+        let w2 = ins.world_dummy(&e, &a);
+        assert_eq!(w1.start_state().tuple_len(), Some(3));
+        assert_eq!(w2.start_state().tuple_len(), Some(4));
+        // Both worlds can take the initial env step.
+        assert!(w1.transition(&w1.start_state(), act("du-go")).is_some());
+        assert!(w2.transition(&w2.start_state(), act("du-go")).is_some());
+    }
+
+    /// Drive world 2 with Forward^s and collapse the resulting executions
+    /// back to world 1.
+    #[test]
+    fn collapse_inverts_forwarding() {
+        let ins = DummyInsertion::new(party(), "@g");
+        let (e, a) = (env(), adv());
+        let w1 = ins.world_direct(&e, &a);
+        let w2 = ins.world_dummy(&e, &a);
+        let sched1: Arc<dyn Scheduler> = Arc::new(FirstEnabled);
+        let sched2 = ins.forward_scheduler(w1.clone(), sched1);
+        // Step world 2 under Forward^s, greedily taking the chosen action.
+        let mut exec2 = Execution::start_of(&*w2);
+        for _ in 0..8 {
+            let choice = sched2.schedule(&*w2, &exec2);
+            if choice.is_halt() {
+                break;
+            }
+            let act2 = *choice.support().next().unwrap();
+            let eta = w2.transition(exec2.lstate(), act2).unwrap();
+            let q2 = eta.support().next().unwrap().clone();
+            exec2.push(act2, q2);
+        }
+        // The full run: go, leak(+fwd), cmd(+fwd), rep = 6 world-2 steps.
+        assert_eq!(exec2.len(), 6);
+        let exec1 = ins.collapse_execution(&exec2).expect("collapse succeeds");
+        assert_eq!(exec1.len(), 4);
+        assert_eq!(
+            exec1.actions(),
+            &[act("du-go"), act("du-leak@g"), act("du-cmd@g"), act("du-rep")]
+        );
+        // The collapsed execution is a genuine world-1 execution.
+        for (q, a, _) in exec1.steps() {
+            assert!(w1.transition(q, a).is_some(), "world1 rejects {a} at {q}");
+        }
+    }
+
+    #[test]
+    fn collapse_rejects_mid_pair_executions() {
+        let ins = DummyInsertion::new(party(), "@g");
+        let (e, a) = (env(), adv());
+        let w2 = ins.world_dummy(&e, &a);
+        let q0 = w2.start_state();
+        let q1 = w2
+            .transition(&q0, act("du-go"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        let q2 = w2
+            .transition(&q1, act("du-leak"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        let exec = Execution::from_state(q0)
+            .extend(act("du-go"), q1)
+            .extend(act("du-leak"), q2);
+        assert!(ins.collapse_execution(&exec).is_none());
+    }
+
+    /// Lemma 4.29, certified exactly: the f-dists of the two worlds are
+    /// EQUAL (ε = 0) under σ and Forward^s(σ), for the environment's
+    /// print perception.
+    #[test]
+    fn lemma_4_29_zero_epsilon_certified() {
+        let ins = DummyInsertion::new(party(), "@g");
+        let (e, a) = (env(), adv());
+        let w1 = ins.world_direct(&e, &a);
+        let w2 = ins.world_dummy(&e, &a);
+        let insight = PrintInsight::new([act("du-go"), act("du-rep")]);
+
+        let schedulers: Vec<Arc<dyn Scheduler>> = vec![
+            Arc::new(FirstEnabled),
+            Arc::new(ScriptedScheduler::new(vec![
+                act("du-go"),
+                act("du-leak@g"),
+                act("du-cmd@g"),
+                act("du-rep"),
+            ])),
+            Arc::new(ScriptedScheduler::new(vec![act("du-go"), act("du-leak@g")])),
+            Arc::new(ScriptedScheduler::new(vec![act("du-go")])),
+        ];
+        for sched1 in schedulers {
+            let sched2 = ins.forward_scheduler(w1.clone(), sched1.clone());
+            let eps = balanced_epsilon_exact(&*w1, &*sched1, &*w2, &sched2, &insight, 16);
+            assert_eq!(
+                eps,
+                Ratio::ZERO,
+                "Lemma 4.29 violated for {}",
+                sched1.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_scheduler_is_2q_bounded() {
+        // A q₁-bounded σ yields a ≤ 2·q₁ activation count: the full run
+        // above used 4 world-1 steps and 6 ≤ 8 world-2 steps.
+        let ins = DummyInsertion::new(party(), "@g");
+        let (e, a) = (env(), adv());
+        let w1 = ins.world_direct(&e, &a);
+        let w2 = ins.world_dummy(&e, &a);
+        let sched1: Arc<dyn Scheduler> = Arc::new(dpioa_sched::BoundedScheduler::new(
+            FirstEnabled,
+            4,
+        ));
+        let sched2 = ins.forward_scheduler(w1, sched1);
+        let m = dpioa_sched::execution_measure(&*w2, &sched2, 64);
+        for (exec, _) in m.iter() {
+            assert!(exec.len() <= 8, "execution of length {}", exec.len());
+        }
+    }
+
+    #[test]
+    fn world2_hides_original_adversary_channel() {
+        let ins = DummyInsertion::new(party(), "@g");
+        let (e, a) = (env(), adv());
+        let w2 = ins.world_dummy(&e, &a);
+        // Walk to the state where the leak is enabled and check class.
+        let q0 = w2.start_state();
+        let q1 = w2
+            .transition(&q0, act("du-go"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        let sig = w2.signature(&q1);
+        assert!(sig.internal.contains(&act("du-leak")));
+        assert!(!sig.output.contains(&act("du-leak")));
+        assert!(w2.enabled(&q1).contains(&act("du-leak")));
+    }
+}

@@ -1,0 +1,259 @@
+//! Dynamic secure emulation (paper Def. 4.26 and Theorem 4.30).
+//!
+//! `A ≤_SE B` holds when for every polynomially-bounded adversary `Adv`
+//! for `A` there is a simulator `Sim` for `B` with
+//! `hide(A‖Adv, AAct_A) ≤_{neg,pt} hide(B‖Sim, AAct_B)`.
+//!
+//! [`secure_emulation_epsilon`] measures the inner implementation
+//! distance for one concrete `(Adv, Sim)` pair; protocol crates provide
+//! the simulator constructively (as the paper's proofs do).
+//! [`compose_simulators`] is the constructive step of Theorem 4.30: given
+//! per-component dummy-simulators `DSim^i` and the composite adversary
+//! renamed away from the real protocols, the composite simulator is
+//! `Sim = hide(DSim¹‖…‖DSimᵇ‖g(Adv), g(AAct_Â))`.
+
+use crate::implementation::{implementation_epsilon, ImplementationReport};
+use crate::structured::StructuredAutomaton;
+use dpioa_core::{compose, compose2, ActionSet, Automaton};
+use dpioa_insight::Insight;
+use dpioa_sched::SchedulerSchema;
+use std::sync::Arc;
+
+/// A real/ideal pair under secure-emulation comparison.
+#[derive(Clone)]
+pub struct EmulationInstance {
+    /// The real protocol `A`.
+    pub real: StructuredAutomaton,
+    /// The ideal functionality `B`.
+    pub ideal: StructuredAutomaton,
+}
+
+impl EmulationInstance {
+    /// Package a real/ideal pair.
+    pub fn new(real: StructuredAutomaton, ideal: StructuredAutomaton) -> EmulationInstance {
+        EmulationInstance { real, ideal }
+    }
+
+    /// The Def. 4.26 left world for a given adversary:
+    /// `hide(A‖Adv, AAct_A)`.
+    pub fn real_world(&self, adv: &Arc<dyn Automaton>) -> Arc<dyn Automaton> {
+        let hidden = self.real.universal_adv_actions();
+        dpioa_core::hide_static(
+            compose2(Arc::new(self.real.clone()) as Arc<dyn Automaton>, adv.clone()),
+            hidden,
+        )
+    }
+
+    /// The Def. 4.26 right world for a given simulator:
+    /// `hide(B‖Sim, AAct_B)`.
+    pub fn ideal_world(&self, sim: &Arc<dyn Automaton>) -> Arc<dyn Automaton> {
+        let hidden = self.ideal.universal_adv_actions();
+        dpioa_core::hide_static(
+            compose2(
+                Arc::new(self.ideal.clone()) as Arc<dyn Automaton>,
+                sim.clone(),
+            ),
+            hidden,
+        )
+    }
+}
+
+/// Measure the Def. 4.26 implementation distance for a concrete
+/// adversary/simulator pair over an environment battery and scheduler
+/// schema. A (near-)zero value certifies that `Sim` successfully
+/// simulates `Adv`'s view for these distinguishers.
+pub fn secure_emulation_epsilon(
+    instance: &EmulationInstance,
+    adv: &Arc<dyn Automaton>,
+    sim: &Arc<dyn Automaton>,
+    envs: &[Arc<dyn Automaton>],
+    schema: &SchedulerSchema,
+    insight: &dyn Insight,
+    horizon: usize,
+) -> ImplementationReport {
+    let real_world = instance.real_world(adv);
+    let ideal_world = instance.ideal_world(sim);
+    implementation_epsilon(&real_world, &ideal_world, envs, schema, insight, horizon)
+}
+
+/// The Theorem 4.30 simulator composition:
+/// `Sim = hide(DSim¹‖…‖DSimᵇ‖g(Adv), g(AAct_Â))`.
+///
+/// * `dsims` — the simulators obtained for each component against its
+///   dummy adversary;
+/// * `renamed_adv` — the composite adversary with its actions renamed by
+///   `g` (so it speaks to the dummy interfaces, not the protocols);
+/// * `hidden` — `g(AAct_Â)`, the renamed adversary channel to hide.
+pub fn compose_simulators(
+    dsims: Vec<Arc<dyn Automaton>>,
+    renamed_adv: Arc<dyn Automaton>,
+    hidden: ActionSet,
+) -> Arc<dyn Automaton> {
+    let mut parts = dsims;
+    parts.push(renamed_adv);
+    dpioa_core::hide_static(compose(parts), hidden)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Action, ExplicitAutomaton, Signature, Value};
+    use dpioa_insight::TraceInsight;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// Real protocol: env input `em-send`, leaks `em-leak` to the
+    /// adversary, then (on adversary `em-ok`) delivers `em-recv`.
+    fn real() -> StructuredAutomaton {
+        let auto = ExplicitAutomaton::builder("em-real", Value::int(0))
+            .state(0, Signature::new([act("em-send")], [], []))
+            .state(1, Signature::new([], [act("em-leak")], []))
+            .state(2, Signature::new([act("em-ok")], [], []))
+            .state(3, Signature::new([], [act("em-recv")], []))
+            .state(4, Signature::new([], [], []))
+            .step(0, act("em-send"), 1)
+            .step(1, act("em-leak"), 2)
+            .step(2, act("em-ok"), 3)
+            .step(3, act("em-recv"), 4)
+            .build()
+            .shared();
+        StructuredAutomaton::with_env_actions(auto, [act("em-send"), act("em-recv")])
+    }
+
+    /// Ideal functionality: same env interface, leaks only `em-notify`
+    /// to its simulator interface.
+    fn ideal() -> StructuredAutomaton {
+        let auto = ExplicitAutomaton::builder("em-ideal", Value::int(0))
+            .state(0, Signature::new([act("em-send")], [], []))
+            .state(1, Signature::new([], [act("em-notify")], []))
+            .state(2, Signature::new([act("em-go")], [], []))
+            .state(3, Signature::new([], [act("em-recv")], []))
+            .state(4, Signature::new([], [], []))
+            .step(0, act("em-send"), 1)
+            .step(1, act("em-notify"), 2)
+            .step(2, act("em-go"), 3)
+            .step(3, act("em-recv"), 4)
+            .build()
+            .shared();
+        StructuredAutomaton::with_env_actions(auto, [act("em-send"), act("em-recv")])
+    }
+
+    /// The adversary for the real protocol: receives the leak, approves.
+    fn adv() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("em-adv", Value::int(0))
+            .state(0, Signature::new([act("em-leak")], [], []))
+            .state(1, Signature::new([], [act("em-ok")], []))
+            .state(2, Signature::new([], [], []))
+            .step(0, act("em-leak"), 1)
+            .step(1, act("em-ok"), 2)
+            .build()
+            .shared()
+    }
+
+    /// The simulator: translates the ideal notification into the same
+    /// approval flow.
+    fn sim() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("em-sim", Value::int(0))
+            .state(0, Signature::new([act("em-notify")], [], []))
+            .state(1, Signature::new([], [act("em-go")], []))
+            .state(2, Signature::new([], [], []))
+            .step(0, act("em-notify"), 1)
+            .step(1, act("em-go"), 2)
+            .build()
+            .shared()
+    }
+
+    fn env() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("em-env", Value::int(0))
+            .state(0, Signature::new([], [act("em-send")], []))
+            .state(1, Signature::new([act("em-recv")], [], []))
+            .state(2, Signature::new([], [], []))
+            .step(0, act("em-send"), 1)
+            .step(1, act("em-recv"), 2)
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn worlds_hide_adversary_channels() {
+        let inst = EmulationInstance::new(real(), ideal());
+        let rw = inst.real_world(&adv());
+        // Walk: em-send then the leak must be internal.
+        let q0 = rw.start_state();
+        let q1 = rw
+            .transition(&q0, act("em-send"))
+            .unwrap()
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+        let sig = rw.signature(&q1);
+        assert!(sig.internal.contains(&act("em-leak")));
+        assert!(!sig.output.contains(&act("em-leak")));
+    }
+
+    #[test]
+    fn correct_simulator_achieves_zero_epsilon() {
+        let inst = EmulationInstance::new(real(), ideal());
+        let r = secure_emulation_epsilon(
+            &inst,
+            &adv(),
+            &sim(),
+            &[env()],
+            &SchedulerSchema::scripted(4),
+            &TraceInsight,
+            8,
+        );
+        assert_eq!(r.epsilon, 0.0, "witness: {:?}", r.worst);
+    }
+
+    #[test]
+    fn broken_simulator_is_detected() {
+        // A simulator that never approves: the ideal world cannot match
+        // executions where the environment sees em-recv.
+        let stuck: Arc<dyn Automaton> = ExplicitAutomaton::builder("em-stuck", Value::int(0))
+            .state(0, Signature::new([act("em-notify")], [], []))
+            .step(0, act("em-notify"), 0)
+            .build()
+            .shared();
+        let inst = EmulationInstance::new(real(), ideal());
+        let r = secure_emulation_epsilon(
+            &inst,
+            &adv(),
+            &stuck,
+            &[env()],
+            &SchedulerSchema::scripted(4),
+            &TraceInsight,
+            8,
+        );
+        assert!(r.epsilon > 0.9, "eps = {}", r.epsilon);
+    }
+
+    #[test]
+    fn simulator_composition_shape() {
+        // Structural check of compose_simulators: parts compose and the
+        // requested channel is hidden.
+        let d1: Arc<dyn Automaton> = ExplicitAutomaton::builder("em-d1", Value::Unit)
+            .state(Value::Unit, Signature::new([], [act("em-chan1")], []))
+            .step(Value::Unit, act("em-chan1"), Value::Unit)
+            .build()
+            .shared();
+        let d2: Arc<dyn Automaton> = ExplicitAutomaton::builder("em-d2", Value::Unit)
+            .state(Value::Unit, Signature::new([act("em-chan1")], [act("em-chan2")], []))
+            .step(Value::Unit, act("em-chan1"), Value::Unit)
+            .step(Value::Unit, act("em-chan2"), Value::Unit)
+            .build()
+            .shared();
+        let sim = compose_simulators(
+            vec![d1],
+            d2,
+            [act("em-chan2")].into_iter().collect(),
+        );
+        let q0 = sim.start_state();
+        let sig = sim.signature(&q0);
+        assert!(sig.internal.contains(&act("em-chan2")));
+        assert!(sig.output.contains(&act("em-chan1")));
+    }
+}

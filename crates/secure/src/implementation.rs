@@ -1,0 +1,199 @@
+//! The approximate implementation relation (paper Defs. 4.11–4.12,
+//! Lemmas 4.13–4.14, Theorems 4.15–4.16), as a *measured* quantity.
+//!
+//! `A ≤^{Sch,f}_{p,q₁,q₂,ε} B` demands: for every bounded environment
+//! `E` and every `σ ∈ Sch(E‖A)` there is a `σ' ∈ Sch(E‖B)` with
+//! `σ S^{≤ε}_{E,f} σ'`. Over a finite battery of environments and an
+//! enumerable scheduler schema this becomes a max–min computation:
+//!
+//! ```text
+//! ε̂ = max_E max_{σ ∈ Sch(E‖A)} min_{σ' ∈ Sch(E‖B)}
+//!        TV( f-dist_{(E,A)}(σ), f-dist_{(E,B)}(σ') )
+//! ```
+//!
+//! [`implementation_epsilon`] computes `ε̂` exactly (finite horizon).
+//! The measured value under-approximates the true supremum over all
+//! environments — the experiments treat a small `ε̂` as evidence, and the
+//! *theorem* tests (transitivity, composability) check the relations the
+//! paper proves between such measured values, which hold for any battery.
+
+use dpioa_core::{compose2, Automaton};
+use dpioa_insight::{f_dist, Insight};
+use dpioa_prob::{tv_distance, Disc};
+use dpioa_sched::SchedulerSchema;
+use dpioa_core::Value;
+use std::sync::Arc;
+
+/// The result of measuring the implementation relation.
+#[derive(Clone, Debug)]
+pub struct ImplementationReport {
+    /// The measured `ε̂` (max–min total variation).
+    pub epsilon: f64,
+    /// The witness of the maximum: `(environment name, scheduler description)`.
+    pub worst: Option<(String, String)>,
+    /// How many `(E, σ)` pairs were examined.
+    pub pairs_checked: usize,
+}
+
+/// Measure `ε̂` for `A ≤ B` over the given environment battery and
+/// scheduler schema (the same schema is applied to both worlds, per
+/// Def. 4.12's `Sch(E‖A)` / `Sch(E‖B)`).
+pub fn implementation_epsilon(
+    a: &Arc<dyn Automaton>,
+    b: &Arc<dyn Automaton>,
+    envs: &[Arc<dyn Automaton>],
+    schema: &SchedulerSchema,
+    insight: &dyn Insight,
+    horizon: usize,
+) -> ImplementationReport {
+    let mut report = ImplementationReport {
+        epsilon: 0.0,
+        worst: None,
+        pairs_checked: 0,
+    };
+    for env in envs {
+        let world_a = compose2(env.clone(), a.clone());
+        let world_b = compose2(env.clone(), b.clone());
+        let scheds_a = schema.members(&*world_a);
+        let scheds_b = schema.members(&*world_b);
+        assert!(
+            !scheds_b.is_empty(),
+            "schema {} yields no schedulers for {}",
+            schema.name(),
+            world_b.name()
+        );
+        // Precompute the B-side image measures once.
+        let dists_b: Vec<Disc<Value>> = scheds_b
+            .iter()
+            .map(|s| f_dist(&*world_b, &**s, insight, horizon))
+            .collect();
+        for sched_a in &scheds_a {
+            let da = f_dist(&*world_a, &**sched_a, insight, horizon);
+            let best = dists_b
+                .iter()
+                .map(|db| tv_distance(&da, db))
+                .fold(f64::INFINITY, f64::min);
+            report.pairs_checked += 1;
+            if best > report.epsilon {
+                report.epsilon = best;
+                report.worst = Some((env.name(), sched_a.describe()));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Action, ExplicitAutomaton, Signature, Value};
+    use dpioa_insight::TraceInsight;
+    use dpioa_prob::Disc as PDisc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// A biased announcer: on env input `imp-ask`, announces `imp-yes`
+    /// with probability num/8, `imp-no` otherwise.
+    fn announcer(name: &str, num: u64) -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder(name, Value::int(0))
+            .state(0, Signature::new([act("imp-ask")], [], []))
+            .state(1, Signature::new([], [], [act("imp-mix")]))
+            .state(2, Signature::new([], [act("imp-yes")], []))
+            .state(3, Signature::new([], [act("imp-no")], []))
+            .state(4, Signature::new([], [], []))
+            .step(0, act("imp-ask"), 1)
+            .transition(
+                1,
+                act("imp-mix"),
+                PDisc::bernoulli_dyadic(Value::int(2), Value::int(3), num, 3),
+            )
+            .step(2, act("imp-yes"), 4)
+            .step(3, act("imp-no"), 4)
+            .build()
+            .shared()
+    }
+
+    fn asker() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("imp-env", Value::int(0))
+            .state(0, Signature::new([], [act("imp-ask")], []))
+            .state(1, Signature::new([act("imp-yes"), act("imp-no")], [], []))
+            .state(2, Signature::new([], [], []))
+            .step(0, act("imp-ask"), 1)
+            .step(1, act("imp-yes"), 2)
+            .step(1, act("imp-no"), 2)
+            .build()
+            .shared()
+    }
+
+    fn schema() -> SchedulerSchema {
+        // Scripts of length ≤ 4 over the world's own action universe.
+        SchedulerSchema::scripted(4)
+    }
+
+    #[test]
+    fn identical_systems_have_zero_epsilon() {
+        let a = announcer("imp-a0", 3);
+        let b = announcer("imp-b0", 3);
+        let r = implementation_epsilon(&a, &b, &[asker()], &schema(), &TraceInsight, 6);
+        assert_eq!(r.epsilon, 0.0);
+        assert!(r.pairs_checked > 0);
+    }
+
+    #[test]
+    fn bias_gap_is_measured() {
+        let a = announcer("imp-a1", 3); // yes with 3/8
+        let b = announcer("imp-b1", 5); // yes with 5/8
+        let r = implementation_epsilon(&a, &b, &[asker()], &schema(), &TraceInsight, 6);
+        assert!((r.epsilon - 0.25).abs() < 1e-9, "eps = {}", r.epsilon);
+        assert!(r.worst.is_some());
+    }
+
+    #[test]
+    fn theorem_4_16_transitivity_of_measured_epsilon() {
+        let a1 = announcer("imp-t1", 2);
+        let a2 = announcer("imp-t2", 4);
+        let a3 = announcer("imp-t3", 7);
+        let envs = [asker()];
+        let sch = schema();
+        let e12 = implementation_epsilon(&a1, &a2, &envs, &sch, &TraceInsight, 6).epsilon;
+        let e23 = implementation_epsilon(&a2, &a3, &envs, &sch, &TraceInsight, 6).epsilon;
+        let e13 = implementation_epsilon(&a1, &a3, &envs, &sch, &TraceInsight, 6).epsilon;
+        assert!(e13 <= e12 + e23 + 1e-12, "{e13} > {e12} + {e23}");
+    }
+
+    #[test]
+    fn lemma_4_13_composability_of_measured_epsilon() {
+        // A context C that relays the announcement to its own output.
+        let relay: Arc<dyn Automaton> = ExplicitAutomaton::builder("imp-relay", Value::int(0))
+            .state(0, Signature::new([act("imp-yes")], [], []))
+            .state(1, Signature::new([], [act("imp-relayed")], []))
+            .step(0, act("imp-yes"), 1)
+            .step(1, act("imp-relayed"), 1)
+            .build()
+            .shared();
+        let a = announcer("imp-c-a", 3);
+        let b = announcer("imp-c-b", 5);
+        let envs = [asker()];
+        let sch = schema();
+        let base = implementation_epsilon(&a, &b, &envs, &sch, &TraceInsight, 6).epsilon;
+        let ca = compose2(relay.clone(), a);
+        let cb = compose2(relay, b);
+        let composed = implementation_epsilon(&ca, &cb, &envs, &sch, &TraceInsight, 6).epsilon;
+        // Lemma 4.13: composing a context never increases ε (the context
+        // is absorbed into the environment side of the quantifier).
+        assert!(composed <= base + 1e-12, "{composed} > {base}");
+    }
+
+    #[test]
+    fn schema_mismatch_can_only_shrink_via_min() {
+        // With the trivial schema containing only the empty script, both
+        // worlds produce the empty observation: ε = 0.
+        let a = announcer("imp-e-a", 1);
+        let b = announcer("imp-e-b", 7);
+        let sch = SchedulerSchema::scripted(0);
+        let r = implementation_epsilon(&a, &b, &[asker()], &sch, &TraceInsight, 6);
+        assert_eq!(r.epsilon, 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dpioa-secure — structured automata, adversaries and dynamic
+//! secure emulation
+//!
+//! This crate implements Sections 4.6–4.9 of *"Composable Dynamic Secure
+//! Emulation"* — the security layer and the paper's main contribution:
+//!
+//! * [`structured`] — structured PSIOA/PCA (Defs. 4.17–4.23): the
+//!   environment/adversary partition `(EAct, AAct)` of external actions,
+//!   structured compatibility ("every shared action must be an
+//!   environment action of both"), structured composition and hiding, and
+//!   the closure checks of Lemmas 4.23/C.1;
+//! * [`adversary`] — adversaries for structured automata (Def. 4.24) and
+//!   the restriction property (Lemma 4.25);
+//! * [`dummy`] — the dummy adversary `Dummy(A, g)` (Def. 4.27), the
+//!   `Forward^e`/`Forward^s` constructions of Appendix D, and the
+//!   machinery to certify Lemma 4.29 (dummy-adversary insertion is a
+//!   zero-ε implementation) exactly;
+//! * [`implementation`] — the approximate implementation relation
+//!   `≤^{Sch,f}_{p,q₁,q₂,ε}` (Def. 4.12) as a *measured* quantity over
+//!   finite environment batteries and enumerable scheduler schemas, with
+//!   transitivity (Thm. 4.16) and composability (Lemma 4.13 / Thm. 4.15)
+//!   checked numerically;
+//! * [`emulation`] — dynamic secure emulation `≤_SE` (Def. 4.26) and the
+//!   constructive simulator composition of Theorem 4.30.
+//!
+//! **Substitution note.** Defs. 4.12/4.26 quantify over *all* bounded
+//! environments/schedulers/adversaries, which is not decidable. The
+//! paper's own proofs are constructive reductions; we implement those
+//! constructions verbatim (Forward^s, the Thm. 4.30 simulator) and
+//! *measure* the relations over explicit finite batteries — the measured
+//! ε is an under-approximation of the true supremum, which is exactly
+//! what an executable reproduction can certify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod dummy;
+pub mod emulation;
+pub mod implementation;
+pub mod structured;
+
+pub use adversary::{is_adversary, is_adversary_in_context};
+pub use dummy::{DummyAdversary, DummyInsertion, ForwardScheduler};
+pub use emulation::{compose_simulators, secure_emulation_epsilon, EmulationInstance};
+pub use implementation::{implementation_epsilon, ImplementationReport};
+pub use structured::{compose_structured, structured_compatible, StructuredAutomaton};

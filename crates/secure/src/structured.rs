@@ -1,0 +1,455 @@
+//! Structured automata (paper Defs. 4.17–4.23).
+//!
+//! A structured PSIOA partitions its external actions, state by state,
+//! into *environment* actions `EAct_A(q)` and *adversary* actions
+//! `AAct_A(q) = ext(A)(q) ∖ EAct_A(q)`. Structured compatibility
+//! (Def. 4.18) additionally requires every action *shared* by two
+//! structured automata to be an environment action of both — adversary
+//! channels are private. Composition (Def. 4.19) unions the `EAct`
+//! mappings; hiding removes hidden actions from `EAct` (Def. 4.17).
+//!
+//! [`StructuredAutomaton`] wraps any [`Automaton`] — including a PCA —
+//! with an `EAct` mapping, so the structured-PCA closure (Lemma 4.23 /
+//! C.1) is exercised by wrapping composed PCA; the integration tests
+//! verify the C.1 equation `EAct_X(q) = EAct(config(X)(q)) ∖
+//! hidden-actions(X)(q)` on concrete dynamic systems.
+
+use dpioa_core::compose::Composition;
+use dpioa_core::explore::{reachable, ExploreLimits};
+use dpioa_core::{Action, ActionSet, Automaton, Signature, Value};
+use dpioa_prob::Disc;
+use std::sync::Arc;
+
+type EactFn = dyn Fn(&Value) -> ActionSet + Send + Sync;
+
+/// A structured PSIOA (or PCA): an automaton with an environment-action
+/// mapping (Def. 4.17).
+#[derive(Clone)]
+pub struct StructuredAutomaton {
+    inner: Arc<dyn Automaton>,
+    eact: Arc<EactFn>,
+}
+
+impl StructuredAutomaton {
+    /// Wrap an automaton with a state-dependent environment-action
+    /// mapping. The effective `EAct_A(q)` is clamped to `ext(A)(q)` as
+    /// Def. 4.17 requires.
+    pub fn new(
+        inner: Arc<dyn Automaton>,
+        eact: impl Fn(&Value) -> ActionSet + Send + Sync + 'static,
+    ) -> StructuredAutomaton {
+        StructuredAutomaton {
+            inner,
+            eact: Arc::new(eact),
+        }
+    }
+
+    /// Wrap with a *fixed* environment action set (the common case: the
+    /// partition does not vary with the state).
+    pub fn with_env_actions(
+        inner: Arc<dyn Automaton>,
+        env_actions: impl IntoIterator<Item = Action>,
+    ) -> StructuredAutomaton {
+        let set: ActionSet = env_actions.into_iter().collect();
+        StructuredAutomaton::new(inner, move |_| set.clone())
+    }
+
+    /// The wrapped automaton.
+    pub fn inner(&self) -> &Arc<dyn Automaton> {
+        &self.inner
+    }
+
+    /// `EAct_A(q)`: the environment actions at `q`.
+    pub fn env_actions(&self, q: &Value) -> ActionSet {
+        let mut e = (self.eact)(q);
+        let ext = self.inner.signature(q).external();
+        e.retain(|a| ext.contains(a));
+        e
+    }
+
+    /// `AAct_A(q) = ext(A)(q) ∖ EAct_A(q)`: the adversary actions at `q`.
+    pub fn adv_actions(&self, q: &Value) -> ActionSet {
+        let e = self.env_actions(q);
+        let mut ext = self.inner.signature(q).external();
+        ext.retain(|a| !e.contains(a));
+        ext
+    }
+
+    /// `EI_A(q)`: environment inputs.
+    pub fn env_inputs(&self, q: &Value) -> ActionSet {
+        let e = self.env_actions(q);
+        self.inner
+            .signature(q)
+            .input
+            .intersection(&e)
+            .copied()
+            .collect()
+    }
+
+    /// `EO_A(q)`: environment outputs.
+    pub fn env_outputs(&self, q: &Value) -> ActionSet {
+        let e = self.env_actions(q);
+        self.inner
+            .signature(q)
+            .output
+            .intersection(&e)
+            .copied()
+            .collect()
+    }
+
+    /// `AI_A(q)`: adversary inputs.
+    pub fn adv_inputs(&self, q: &Value) -> ActionSet {
+        let a = self.adv_actions(q);
+        self.inner
+            .signature(q)
+            .input
+            .intersection(&a)
+            .copied()
+            .collect()
+    }
+
+    /// `AO_A(q)`: adversary outputs.
+    pub fn adv_outputs(&self, q: &Value) -> ActionSet {
+        let a = self.adv_actions(q);
+        self.inner
+            .signature(q)
+            .output
+            .intersection(&a)
+            .copied()
+            .collect()
+    }
+
+    /// The *universal* adversary action set over the (capped) reachable
+    /// prefix: `AAct_A = ⋃_q AAct_A(q)`. Used by the dummy-adversary
+    /// construction and by the `hide(…, AAct_A)` operator of Def. 4.26.
+    pub fn universal_adv_actions(&self) -> ActionSet {
+        let r = reachable(&*self.inner, ExploreLimits::default());
+        let mut out = ActionSet::new();
+        for q in &r.states {
+            out.extend(self.adv_actions(q));
+        }
+        out
+    }
+
+    /// The universal partition `(AI_A, AO_A)` over the reachable prefix.
+    pub fn universal_adv_io(&self) -> (ActionSet, ActionSet) {
+        let r = reachable(&*self.inner, ExploreLimits::default());
+        let (mut ai, mut ao) = (ActionSet::new(), ActionSet::new());
+        for q in &r.states {
+            ai.extend(self.adv_inputs(q));
+            ao.extend(self.adv_outputs(q));
+        }
+        (ai, ao)
+    }
+
+    /// Structured hiding (Def. 4.17): `hide((A, EAct), S) = (hide(A, S),
+    /// EAct ∖ S)` with a fixed action set `S`.
+    pub fn hide(&self, hidden: impl IntoIterator<Item = Action>) -> StructuredAutomaton {
+        let set: ActionSet = hidden.into_iter().collect();
+        let hidden_auto = dpioa_core::hide_static(self.inner.clone(), set.iter().copied());
+        let eact = self.eact.clone();
+        let removed = set;
+        StructuredAutomaton::new(hidden_auto, move |q| {
+            let mut e = eact(q);
+            e.retain(|a| !removed.contains(a));
+            e
+        })
+    }
+
+    /// `hide(A‖Adv, AAct_A)` convenience: hide this automaton's universal
+    /// adversary actions (the operation of Def. 4.26).
+    pub fn hide_adv_actions(&self) -> StructuredAutomaton {
+        self.hide(self.universal_adv_actions())
+    }
+
+    /// Rename through an injective action map, relabeling `EAct`
+    /// consistently (used for the `g(A)` renaming of §4.9).
+    pub fn rename(&self, map: impl Fn(Action) -> Action + Send + Sync + Clone + 'static) -> StructuredAutomaton {
+        let renamed = dpioa_core::rename_with(self.inner.clone(), {
+            let map = map.clone();
+            move |_, a| map(a)
+        });
+        let eact = self.eact.clone();
+        StructuredAutomaton::new(renamed, move |q| eact(q).into_iter().map(&map).collect())
+    }
+}
+
+impl Automaton for StructuredAutomaton {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn start_state(&self) -> Value {
+        self.inner.start_state()
+    }
+    fn signature(&self, q: &Value) -> Signature {
+        self.inner.signature(q)
+    }
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        self.inner.transition(q, a)
+    }
+}
+
+/// Structured compatibility (Def. 4.18): on every (capped) reachable
+/// state of `A₁‖A₂`, the shared executable actions must be environment
+/// actions of both.
+pub fn structured_compatible(a1: &StructuredAutomaton, a2: &StructuredAutomaton) -> bool {
+    let comp = Composition::new(vec![
+        Arc::new(a1.clone()) as Arc<dyn Automaton>,
+        Arc::new(a2.clone()) as Arc<dyn Automaton>,
+    ]);
+    let start = comp.start_state();
+    if !comp.compatible_at(&start) {
+        return false;
+    }
+    let r = reachable(&comp, ExploreLimits::default());
+    for q in &r.states {
+        if !comp.compatible_at(q) {
+            return false;
+        }
+        let (q1, q2) = (q.proj(0), q.proj(1));
+        let sig1 = a1.signature(q1).all();
+        let sig2 = a2.signature(q2).all();
+        let e1 = a1.env_actions(q1);
+        let e2 = a2.env_actions(q2);
+        for a in sig1.intersection(&sig2) {
+            if !(e1.contains(a) && e2.contains(a)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Structured composition (Def. 4.19): `(A₁‖A₂, EAct_{A₁} ∪ EAct_{A₂})`.
+///
+/// Panics if the pair is not structured-compatible (checked on the capped
+/// reachable prefix).
+pub fn compose_structured(
+    a1: &StructuredAutomaton,
+    a2: &StructuredAutomaton,
+) -> StructuredAutomaton {
+    assert!(
+        structured_compatible(a1, a2),
+        "structured composition of incompatible automata {} / {}",
+        a1.name(),
+        a2.name()
+    );
+    let composed: Arc<dyn Automaton> = Arc::new(Composition::new(vec![
+        Arc::new(a1.clone()) as Arc<dyn Automaton>,
+        Arc::new(a2.clone()) as Arc<dyn Automaton>,
+    ]));
+    let (e1, e2) = (a1.clone(), a2.clone());
+    StructuredAutomaton::new(composed, move |q| {
+        let mut e = e1.env_actions(q.proj(0));
+        e.extend(e2.env_actions(q.proj(1)));
+        e
+    })
+}
+
+/// Fold a list of structured automata into one composition.
+pub fn compose_structured_all(parts: &[StructuredAutomaton]) -> StructuredAutomaton {
+    assert!(!parts.is_empty(), "composition of zero structured automata");
+    let mut acc = parts[0].clone();
+    for p in &parts[1..] {
+        acc = compose_structured(&acc, p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{ExplicitAutomaton, Signature};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// A protocol party with one environment-facing action and one
+    /// adversary-facing action in each direction.
+    fn party(tag: &str) -> StructuredAutomaton {
+        let env_in = act(&format!("st-envin-{tag}"));
+        let env_out = act(&format!("st-envout-{tag}"));
+        let adv_in = act(&format!("st-advin-{tag}"));
+        let adv_out = act(&format!("st-advout-{tag}"));
+        let auto = ExplicitAutomaton::builder(format!("party-{tag}"), Value::int(0))
+            .state(0, Signature::new([env_in, adv_in], [env_out, adv_out], []))
+            .step(0, env_in, 0)
+            .step(0, adv_in, 0)
+            .step(0, env_out, 0)
+            .step(0, adv_out, 0)
+            .build()
+            .shared();
+        StructuredAutomaton::with_env_actions(auto, [env_in, env_out])
+    }
+
+    #[test]
+    fn partition_accessors() {
+        let p = party("acc");
+        let q = Value::int(0);
+        assert_eq!(
+            p.env_actions(&q),
+            [act("st-envin-acc"), act("st-envout-acc")].into_iter().collect()
+        );
+        assert_eq!(
+            p.adv_actions(&q),
+            [act("st-advin-acc"), act("st-advout-acc")].into_iter().collect()
+        );
+        assert_eq!(p.env_inputs(&q), [act("st-envin-acc")].into_iter().collect());
+        assert_eq!(p.env_outputs(&q), [act("st-envout-acc")].into_iter().collect());
+        assert_eq!(p.adv_inputs(&q), [act("st-advin-acc")].into_iter().collect());
+        assert_eq!(p.adv_outputs(&q), [act("st-advout-acc")].into_iter().collect());
+    }
+
+    #[test]
+    fn eact_clamped_to_external() {
+        let auto = ExplicitAutomaton::builder("clamp", Value::int(0))
+            .state(0, Signature::new([], [act("st-real")], [act("st-internal")]))
+            .step(0, act("st-real"), 0)
+            .step(0, act("st-internal"), 0)
+            .build()
+            .shared();
+        // Claim the internal action as environment action: clamp drops it.
+        let s = StructuredAutomaton::with_env_actions(auto, [act("st-internal"), act("st-real")]);
+        assert_eq!(
+            s.env_actions(&Value::int(0)),
+            [act("st-real")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn universal_sets_cover_reachable_states() {
+        let p = party("uni");
+        let aa = p.universal_adv_actions();
+        assert!(aa.contains(&act("st-advin-uni")));
+        assert!(aa.contains(&act("st-advout-uni")));
+        assert_eq!(aa.len(), 2);
+        let (ai, ao) = p.universal_adv_io();
+        assert_eq!(ai, [act("st-advin-uni")].into_iter().collect());
+        assert_eq!(ao, [act("st-advout-uni")].into_iter().collect());
+    }
+
+    #[test]
+    fn structured_hiding_def_4_17() {
+        let p = party("hid");
+        let h = p.hide([act("st-envout-hid")]);
+        let q = Value::int(0);
+        // Hidden action left EAct and became internal.
+        assert!(!h.env_actions(&q).contains(&act("st-envout-hid")));
+        assert!(h.signature(&q).internal.contains(&act("st-envout-hid")));
+        // Adversary partition untouched.
+        assert_eq!(h.adv_actions(&q), p.adv_actions(&q));
+    }
+
+    #[test]
+    fn hide_adv_actions_leaves_env_interface() {
+        let p = party("hadv");
+        let h = p.hide_adv_actions();
+        let q = Value::int(0);
+        // Adversary outputs became internal; adversary inputs remain
+        // inputs (hiding affects outputs only) but leave EAct.
+        assert!(h.signature(&q).internal.contains(&act("st-advout-hadv")));
+        assert!(h.env_actions(&q).contains(&act("st-envout-hadv")));
+    }
+
+    #[test]
+    fn compatible_when_shared_actions_are_env_on_both() {
+        let say = act("st-shared-ok");
+        let talker = StructuredAutomaton::with_env_actions(
+            ExplicitAutomaton::builder("talk", Value::int(0))
+                .state(0, Signature::new([], [say], []))
+                .step(0, say, 0)
+                .build()
+                .shared(),
+            [say],
+        );
+        let listener = StructuredAutomaton::with_env_actions(
+            ExplicitAutomaton::builder("listen", Value::int(0))
+                .state(0, Signature::new([say], [], []))
+                .step(0, say, 0)
+                .build()
+                .shared(),
+            [say],
+        );
+        assert!(structured_compatible(&talker, &listener));
+        let comp = compose_structured(&talker, &listener);
+        let q = comp.start_state();
+        assert!(comp.env_actions(&q).contains(&say));
+    }
+
+    #[test]
+    fn incompatible_when_shared_action_is_adversarial() {
+        let covert = act("st-shared-bad");
+        let talker = StructuredAutomaton::with_env_actions(
+            ExplicitAutomaton::builder("talk2", Value::int(0))
+                .state(0, Signature::new([], [covert], []))
+                .step(0, covert, 0)
+                .build()
+                .shared(),
+            [], // covert is an ADVERSARY action of the talker
+        );
+        let listener = StructuredAutomaton::with_env_actions(
+            ExplicitAutomaton::builder("listen2", Value::int(0))
+                .state(0, Signature::new([covert], [], []))
+                .step(0, covert, 0)
+                .build()
+                .shared(),
+            [covert],
+        );
+        assert!(!structured_compatible(&talker, &listener));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn composing_incompatible_panics() {
+        let covert = act("st-shared-panic");
+        let t = StructuredAutomaton::with_env_actions(
+            ExplicitAutomaton::builder("t3", Value::int(0))
+                .state(0, Signature::new([], [covert], []))
+                .step(0, covert, 0)
+                .build()
+                .shared(),
+            [],
+        );
+        let l = StructuredAutomaton::with_env_actions(
+            ExplicitAutomaton::builder("l3", Value::int(0))
+                .state(0, Signature::new([covert], [], []))
+                .step(0, covert, 0)
+                .build()
+                .shared(),
+            [covert],
+        );
+        let _ = compose_structured(&t, &l);
+    }
+
+    #[test]
+    fn composition_unions_partitions() {
+        let p1 = party("u1");
+        let p2 = party("u2");
+        let c = compose_structured(&p1, &p2);
+        let q = c.start_state();
+        let e = c.env_actions(&q);
+        assert!(e.contains(&act("st-envin-u1")) && e.contains(&act("st-envout-u2")));
+        let a = c.adv_actions(&q);
+        assert!(a.contains(&act("st-advin-u1")) && a.contains(&act("st-advout-u2")));
+    }
+
+    #[test]
+    fn renaming_relabels_partition() {
+        let p = party("ren");
+        let g = p.rename(|a| a.suffixed("@g"));
+        let q = Value::int(0);
+        assert!(g.env_actions(&q).contains(&act("st-envin-ren@g")));
+        assert!(g.adv_actions(&q).contains(&act("st-advout-ren@g")));
+        assert!(!g.env_actions(&q).contains(&act("st-envin-ren")));
+    }
+
+    #[test]
+    fn compose_all_folds() {
+        let parts = vec![party("f1"), party("f2"), party("f3")];
+        let c = compose_structured_all(&parts);
+        // Nested tuple states: ((q1, q2), q3).
+        let q = c.start_state();
+        assert!(c.env_actions(&q).contains(&act("st-envin-f3")));
+    }
+}

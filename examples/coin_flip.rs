@@ -1,0 +1,54 @@
+//! Blum coin flipping over a hiding commitment: the coin stays uniform
+//! against every adversary strategy, and the ideal coin functionality is
+//! emulated exactly via the equivocating simulator.
+//!
+//! Run with: `cargo run -p dpioa-examples --bin coin_flip`
+
+use dpioa_core::{Automaton, Value};
+use dpioa_insight::TraceInsight;
+use dpioa_protocols::coinflip::{
+    coin_distribution, coinflip_adversary, coinflip_instance, coinflip_simulator, flipping_env,
+    Strategy,
+};
+use dpioa_sched::SchedulerSchema;
+use dpioa_secure::secure_emulation_epsilon;
+use std::sync::Arc;
+
+fn main() {
+    println!("== Blum coin flip over the XOR commitment ==\n");
+
+    // 1. Fairness: whatever the adversary's strategy for choosing its
+    //    bit after seeing the commitment, the coin is exactly uniform —
+    //    because the commitment is perfectly hiding.
+    println!("coin distribution by adversary strategy:");
+    for (i, strategy) in Strategy::all().into_iter().enumerate() {
+        let d = coin_distribution(&format!("demo{i}"), strategy);
+        let p0 = d.prob(&Value::int(0));
+        let p1 = d.prob(&Value::int(1));
+        println!("  {:<18} P(0) = {p0}, P(1) = {p1}", format!("{strategy:?}"));
+        assert_eq!((p0, p1), (0.5, 0.5));
+    }
+
+    // 2. Secure emulation of F_coin, strategy by strategy: the simulator
+    //    fabricates the commitment, derives the adversary's bit from it,
+    //    and equivocates the revealed b1 to match the ideal coin.
+    println!("\nsecure emulation of F_coin (Def. 4.26):");
+    for (i, strategy) in Strategy::all().into_iter().enumerate() {
+        let tag = format!("emu{i}");
+        let inst = coinflip_instance(&tag);
+        let envs: Vec<Arc<dyn Automaton>> = vec![flipping_env(&tag)];
+        let r = secure_emulation_epsilon(
+            &inst,
+            &coinflip_adversary(&tag, strategy),
+            &coinflip_simulator(&tag, strategy),
+            &envs,
+            &SchedulerSchema::priority(48, 13),
+            &TraceInsight,
+            12,
+        );
+        println!("  {:<18} measured eps = {}", format!("{strategy:?}"), r.epsilon);
+        assert_eq!(r.epsilon, 0.0);
+    }
+
+    println!("\nthe equivocation argument holds exactly for every strategy. ok.");
+}

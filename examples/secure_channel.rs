@@ -1,0 +1,60 @@
+//! Secure channel case study: the one-time-pad channel securely emulates
+//! the ideal functionality `F_SC` — with distance *exactly zero* — while
+//! a plaintext channel is caught with the predicted advantage.
+//!
+//! This walks the full Def. 4.26 pipeline: structured automata,
+//! adversary validity (Def. 4.24), the hide(·‖Adv, AAct) worlds, and the
+//! measured max–min implementation distance over an environment battery
+//! and an oblivious scheduler schema.
+//!
+//! Run with: `cargo run -p dpioa-examples --bin secure_channel`
+
+use dpioa_core::Automaton;
+use dpioa_insight::TraceInsight;
+use dpioa_protocols::channel::{
+    channel_instance, channel_simulator, eavesdropper, fixed_sender, leaky_instance, MSG_SPACE,
+};
+use dpioa_sched::SchedulerSchema;
+use dpioa_secure::{is_adversary_in_context, secure_emulation_epsilon};
+use std::sync::Arc;
+
+fn main() {
+    println!("== secure channel: real OTP vs ideal F_SC ==\n");
+    let tag = "demo";
+    let inst = channel_instance(tag);
+    let adv = eavesdropper(tag);
+    let sim = channel_simulator(tag);
+    let envs: Vec<Arc<dyn Automaton>> = (0..MSG_SPACE).map(|m| fixed_sender(tag, m)).collect();
+    let schema = SchedulerSchema::priority(48, 7);
+
+    // Validity of the adversary and the simulator (Def. 4.24), checked
+    // in every environment context.
+    for env in &envs {
+        assert!(is_adversary_in_context(env, &inst.real, &adv));
+        assert!(is_adversary_in_context(env, &inst.ideal, &sim));
+    }
+    println!("adversary and simulator pass the Def. 4.24 checks");
+
+    // The emulation distance (Def. 4.26): max over environments and
+    // schedulers of the min-matched total-variation distance.
+    let r = secure_emulation_epsilon(&inst, &adv, &sim, &envs, &schema, &TraceInsight, 12);
+    println!(
+        "OTP channel:    measured eps = {} over {} (env, scheduler) pairs",
+        r.epsilon, r.pairs_checked
+    );
+    assert_eq!(r.epsilon, 0.0);
+    println!("  -> the simulator's fake uniform ciphertext is a PERFECT match\n");
+
+    // The leaky channel transmits in the clear; the same simulator now
+    // fails: the adversary's parity report correlates with the message.
+    let broken = leaky_instance("demo-leaky");
+    let adv2 = eavesdropper("demo-leaky");
+    let sim2 = channel_simulator("demo-leaky");
+    let envs2: Vec<Arc<dyn Automaton>> = vec![fixed_sender("demo-leaky", 1)];
+    let r2 = secure_emulation_epsilon(&broken, &adv2, &sim2, &envs2, &schema, &TraceInsight, 12);
+    println!("leaky channel:  measured eps = {}", r2.epsilon);
+    assert!((r2.epsilon - 0.5).abs() < 1e-9);
+    println!("  -> plaintext leakage detected with the predicted advantage 1/2");
+
+    println!("\nok.");
+}

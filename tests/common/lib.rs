@@ -1,0 +1,79 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The generators here build small randomized-but-deterministic PSIOA
+//! (seeded), used by the property tests to stress closure lemmas,
+//! audits and the implementation relation across module boundaries.
+
+use dpioa_core::{Action, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_prob::Disc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+// Re-export so test files can use one import.
+pub use dpioa_core as core;
+
+/// Build a random acyclic PSIOA with `n_states` states over the given
+/// action alphabet prefix. Deterministic for a fixed seed.
+///
+/// Layout: states `0..n`, each state `i < n-1` gets 1–2 locally
+/// controlled actions whose (possibly probabilistic, always dyadic)
+/// transitions move strictly forward; the last state is a sink.
+pub fn random_automaton(name: &str, prefix: &str, n_states: i64, seed: u64) -> Arc<dyn Automaton> {
+    assert!(n_states >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ExplicitAutomaton::builder(name, Value::int(0));
+    for i in 0..n_states {
+        if i == n_states - 1 {
+            b = b.state(i, Signature::new([], [], []));
+            continue;
+        }
+        let n_actions = rng.gen_range(1..=2usize);
+        let mut outs = Vec::new();
+        let mut ints = Vec::new();
+        let mut trans: Vec<(Action, Disc<Value>)> = Vec::new();
+        for k in 0..n_actions {
+            let a = Action::named(format!("{prefix}-s{i}a{k}"));
+            if rng.gen_bool(0.5) {
+                outs.push(a);
+            } else {
+                ints.push(a);
+            }
+            // Forward targets, dyadic split.
+            let t1 = rng.gen_range(i + 1..=n_states - 1);
+            let t2 = rng.gen_range(i + 1..=n_states - 1);
+            let eta = if t1 == t2 {
+                Disc::dirac(Value::int(t1))
+            } else {
+                Disc::bernoulli_dyadic(Value::int(t1), Value::int(t2), 1, 1)
+            };
+            trans.push((a, eta));
+        }
+        b = b.state(i, Signature::new([], outs, ints));
+        for (a, eta) in trans {
+            b = b.transition(i, a, eta);
+        }
+    }
+    b.build().shared()
+}
+
+/// A trivial single-state automaton with no actions.
+pub fn idle(name: &str) -> Arc<dyn Automaton> {
+    ExplicitAutomaton::builder(name, Value::Unit)
+        .state(Value::Unit, Signature::new([], [], []))
+        .build()
+        .shared()
+}
+
+/// A two-phase environment: output `trigger`, then absorb a list of
+/// observable inputs forever.
+pub fn simple_env(name: &str, trigger: Action, listens: Vec<Action>) -> Arc<dyn Automaton> {
+    let mut b = ExplicitAutomaton::builder(name, Value::int(0))
+        .state(0, Signature::new(listens.clone(), [trigger], []))
+        .state(1, Signature::new(listens.clone(), [], []))
+        .step(0, trigger, 1);
+    for a in listens {
+        b = b.step(0, a, 0).step(1, a, 1);
+    }
+    b.build().shared()
+}

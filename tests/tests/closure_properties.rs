@@ -1,0 +1,108 @@
+//! Property tests for the closure lemmas, across seeded random systems:
+//! Lemma A.1 (renaming), closure under composition and hiding, and the
+//! invariance of observable behavior under renaming round-trips.
+
+use dpioa_core::audit::audit_psioa;
+use dpioa_core::explore::{reachable, ExploreLimits};
+use dpioa_core::{compose2, hide_static, rename_with, Action, Automaton, AutomatonExt};
+use dpioa_insight::{f_dist, TraceInsight};
+use dpioa_integration::random_automaton;
+use dpioa_sched::FirstEnabled;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma A.1: r(A) is a PSIOA for every injective renaming.
+    #[test]
+    fn renaming_closure_lemma_a1(seed in 0u64..500, n in 3i64..7) {
+        let a = random_automaton("cl-ren", "clr", n, seed);
+        let renamed = rename_with(a, |_, x| x.suffixed("@cl"));
+        prop_assert!(audit_psioa(&*renamed, ExploreLimits::default()).is_valid());
+    }
+
+    /// Composition of valid PSIOA with disjoint alphabets is valid.
+    #[test]
+    fn composition_closure(seed in 0u64..500, n in 3i64..6) {
+        let a = random_automaton("cl-ca", &format!("cca{seed}"), n, seed);
+        let b = random_automaton("cl-cb", &format!("ccb{seed}"), n, seed + 999);
+        let c = compose2(a, b);
+        prop_assert!(audit_psioa(&*c, ExploreLimits::default()).is_valid());
+    }
+
+    /// Hiding any subset of outputs preserves validity.
+    #[test]
+    fn hiding_closure(seed in 0u64..500, n in 3i64..7) {
+        let a = random_automaton("cl-h", &format!("clh{seed}"), n, seed);
+        // Collect every reachable output and hide all of them.
+        let r = reachable(&*a, ExploreLimits::default());
+        let mut outs: Vec<Action> = Vec::new();
+        for q in &r.states {
+            outs.extend(a.signature(q).output);
+        }
+        let h = hide_static(a, outs);
+        prop_assert!(audit_psioa(&*h, ExploreLimits::default()).is_valid());
+    }
+
+    /// Renaming is invisible modulo the renaming itself: the f-dist of
+    /// the renamed automaton is the renamed f-dist. The scheduler must
+    /// itself be renaming-equivariant, so order by action NAME (a suffix
+    /// renaming preserves lexicographic name order), not interning id.
+    #[test]
+    fn renaming_commutes_with_observation(seed in 0u64..200, n in 3i64..6) {
+        let by_name = || dpioa_sched::DeterministicScheduler::new(
+            "lexicographic",
+            |_, enabled: &[Action]| enabled.iter().min_by_key(|a| a.name()).copied(),
+        );
+        let a = random_automaton("cl-o", &format!("clo{seed}"), n, seed);
+        let renamed = rename_with(a.clone(), |_, x| x.suffixed("@obs"));
+        let d1 = f_dist(&*a, &by_name(), &TraceInsight, 8);
+        let d2 = f_dist(&*renamed, &by_name(), &TraceInsight, 8);
+        // Rename observations of d1 and compare.
+        let d1r = d1.map(|v| {
+            let items = v.items().unwrap_or(&[]);
+            dpioa_core::Value::list(
+                items
+                    .iter()
+                    .map(|s| {
+                        dpioa_core::Value::str(format!(
+                            "{}@obs",
+                            s.as_str().expect("trace entries are strings")
+                        ))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        });
+        prop_assert_eq!(d1r, d2);
+    }
+
+    /// Hiding can only shrink the external perception (data processing).
+    #[test]
+    fn hiding_never_reveals(seed in 0u64..200, n in 3i64..6) {
+        let a = random_automaton("cl-dp", &format!("cldp{seed}"), n, seed);
+        let r = reachable(&*a, ExploreLimits::default());
+        let mut outs: Vec<Action> = Vec::new();
+        for q in &r.states {
+            outs.extend(a.signature(q).output);
+        }
+        let h = hide_static(a.clone(), outs);
+        let d_hidden = f_dist(&*h, &FirstEnabled, &TraceInsight, 8);
+        // All outputs hidden and no inputs driven: the trace is empty.
+        for (obs, _) in d_hidden.iter() {
+            prop_assert_eq!(obs.items().map(|i| i.len()), Some(0));
+        }
+    }
+
+    /// locally_controlled ⊆ enabled, always.
+    #[test]
+    fn locally_controlled_is_a_subset(seed in 0u64..300, n in 3i64..7) {
+        let a = random_automaton("cl-lc", &format!("cllc{seed}"), n, seed);
+        let r = reachable(&*a, ExploreLimits::default());
+        for q in &r.states {
+            let enabled = a.enabled(q);
+            for lc in a.locally_controlled(q) {
+                prop_assert!(enabled.contains(&lc));
+            }
+        }
+    }
+}

