@@ -1,0 +1,24 @@
+//! E11 bench — cost of one fault-injected secure-channel emulation
+//! measurement (crash and loss variants) at a representative rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::experiments::e11_faults::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_fault_injection");
+    g.sample_size(10);
+    // p = 4/16 = 1/4: faults present but the fault-free branch dominates.
+    let k = 4u64;
+    g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+        b.iter(|| {
+            let (crash, loss, _) = measure(k);
+            assert!(crash > 0.0, "crash faults must be distinguishable");
+            assert!(loss > 0.0, "loss faults must be distinguishable");
+            assert!(crash <= 1.0 && loss <= 1.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

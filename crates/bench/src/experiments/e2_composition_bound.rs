@@ -29,7 +29,10 @@ pub fn measure(n: usize, seed: u64) -> Point {
         .map(|i| random_automaton(&format!("e2s{seed}n{n}c{i}"), 4, seed + i as u64))
         .collect();
     let limits = ExploreLimits::default();
-    let sum_parts: u64 = parts.iter().map(|p| measure_bound(&**p, limits).bound()).sum();
+    let sum_parts: u64 = parts
+        .iter()
+        .map(|p| measure_bound(&**p, limits).bound())
+        .sum();
     let composite = measure_bound(&*compose(parts), limits).bound();
     Point {
         n,

@@ -56,8 +56,7 @@ pub fn measure(tag: &str, context_len: usize) -> Point {
     }
     let envs = [asker(tag)];
     let schema = SchedulerSchema::priority(8, 5);
-    let composed_eps =
-        implementation_epsilon(&ca, &cb, &envs, &schema, &TraceInsight, 10).epsilon;
+    let composed_eps = implementation_epsilon(&ca, &cb, &envs, &schema, &TraceInsight, 10).epsilon;
     Point {
         context_len,
         composed_eps,

@@ -25,8 +25,7 @@ use std::time::Instant;
 /// Measure the composite emulation distance for `b` channel instances.
 pub fn measure(b: usize) -> (f64, usize, std::time::Duration) {
     let tags: Vec<String> = (0..b).map(|i| format!("e6b{b}i{i}")).collect();
-    let instances: Vec<EmulationInstance> =
-        tags.iter().map(|t| channel_instance(t)).collect();
+    let instances: Vec<EmulationInstance> = tags.iter().map(|t| channel_instance(t)).collect();
     // Composite real/ideal (structured composition, Def. 4.19).
     let reals: Vec<_> = instances.iter().map(|i| i.real.clone()).collect();
     let ideals: Vec<_> = instances.iter().map(|i| i.ideal.clone()).collect();

@@ -34,8 +34,7 @@ pub fn mc_row(samples: usize) -> (usize, f64, std::time::Duration) {
     let exact = f_dist(&*sys, &FirstEnabled, &TraceInsight, n + 1);
     let _ = &exact;
     // Observe the full final state (coins landed).
-    let exact = execution_measure(&*sys, &FirstEnabled, n + 1)
-        .observe(|e| e.lstate().clone());
+    let exact = execution_measure(&*sys, &FirstEnabled, n + 1).observe(|e| e.lstate().clone());
     let start = Instant::now();
     let est = sample_observations_parallel(&*sys, &FirstEnabled, n + 1, samples, 23, 4, |e| {
         e.lstate().clone()
@@ -65,7 +64,12 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "E7",
         "Engine scaling: composition growth, exact vs Monte-Carlo, parallel speedup",
-        &["series", "x", "states / TV error / time", "exact paths / time (ms)"],
+        &[
+            "series",
+            "x",
+            "states / TV error / time",
+            "exact paths / time (ms)",
+        ],
     );
     for n in [2usize, 4, 6, 8] {
         let (n, states, paths, dt) = growth_row(n);

@@ -83,7 +83,12 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "E8",
         "Dynamic subchain churn: creation/destruction at scale + creation monotonicity",
-        &["churn rounds", "closed states", "audit time (ms)", "eager-vs-buffered ε"],
+        &[
+            "churn rounds",
+            "closed states",
+            "audit time (ms)",
+            "eager-vs-buffered ε",
+        ],
     );
     let mut all_zero = true;
     for rounds in [1usize, 2, 4, 6] {

@@ -40,14 +40,10 @@ pub fn measure(seed: u64) -> (bool, bool, bool, bool) {
 
     // Structured composition (Def. 4.19) + Lemma 4.23-style closure: the
     // composite stays a valid automaton and its partition is the union.
-    let sa = StructuredAutomaton::with_env_actions(
-        a.clone(),
-        a.locally_controlled(&a.start_state()),
-    );
-    let sb = StructuredAutomaton::with_env_actions(
-        b.clone(),
-        b.locally_controlled(&b.start_state()),
-    );
+    let sa =
+        StructuredAutomaton::with_env_actions(a.clone(), a.locally_controlled(&a.start_state()));
+    let sb =
+        StructuredAutomaton::with_env_actions(b.clone(), b.locally_controlled(&b.start_state()));
     let ok_structured = if structured_compatible(&sa, &sb) {
         let sc = compose_structured(&sa, &sb);
         let composite: Arc<dyn Automaton> = Arc::new(sc.clone());
@@ -68,7 +64,13 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "E9",
         "Structural closure audits (Lemmas A.1, 4.23/C.1) over seeded random systems",
-        &["seed", "rename ok", "compose ok", "hide ok", "structured ok"],
+        &[
+            "seed",
+            "rename ok",
+            "compose ok",
+            "hide ok",
+            "structured ok",
+        ],
     );
     let mut all = true;
     for seed in 0..12u64 {

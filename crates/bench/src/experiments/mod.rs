@@ -1,5 +1,7 @@
-//! The experiment suite E1–E10 (see `DESIGN.md` §3 and `EXPERIMENTS.md`).
+//! The experiment suite E1–E11 (see `DESIGN.md` §3 and `EXPERIMENTS.md`).
 
+pub mod e10_channel;
+pub mod e11_faults;
 pub mod e1_transitivity;
 pub mod e2_composition_bound;
 pub mod e3_hiding_bound;
@@ -9,11 +11,10 @@ pub mod e6_secure_emulation;
 pub mod e7_engine;
 pub mod e8_dynamic;
 pub mod e9_structural;
-pub mod e10_channel;
 
 use crate::table::Table;
 
-/// Run one experiment by id (`"e1"`…`"e10"`).
+/// Run one experiment by id (`"e1"`…`"e11"`).
 pub fn run(id: &str) -> Option<Table> {
     Some(match id {
         "e1" => e1_transitivity::run(),
@@ -26,11 +27,12 @@ pub fn run(id: &str) -> Option<Table> {
         "e8" => e8_dynamic::run(),
         "e9" => e9_structural::run(),
         "e10" => e10_channel::run(),
+        "e11" => e11_faults::run(),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 10] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
 ];

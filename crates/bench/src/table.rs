@@ -1,10 +1,14 @@
 //! Experiment result tables: markdown rendering + JSON serialization.
+//!
+//! JSON writing/reading is hand-rolled (the build environment has no
+//! registry access for serde): [`Table::to_json`] emits the same pretty
+//! layout `serde_json` would for this shape, and [`Table::from_json`]
+//! parses exactly that shape back.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One experiment's result table.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment id, e.g. `"E1"`.
     pub id: String,
@@ -43,7 +47,211 @@ impl Table {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        let mut out = String::from("{\n");
+        json_field(&mut out, "id", &json_str(&self.id), false);
+        json_field(&mut out, "title", &json_str(&self.title), false);
+        json_field(
+            &mut out,
+            "columns",
+            &json_str_array(&self.columns, 1),
+            false,
+        );
+        let rows: Vec<String> = self.rows.iter().map(|r| json_str_array(r, 2)).collect();
+        json_field(&mut out, "rows", &json_array(&rows, 1), false);
+        json_field(&mut out, "verdict", &json_str(&self.verdict), true);
+        out.push('}');
+        out
+    }
+
+    /// Parse the JSON produced by [`Table::to_json`] (or any JSON object
+    /// with the same five fields). Returns `None` on malformed input.
+    pub fn from_json(input: &str) -> Option<Table> {
+        let mut p = JsonParser::new(input);
+        let table = p.object()?;
+        p.skip_ws();
+        if p.rest().is_empty() {
+            Some(table)
+        } else {
+            None
+        }
+    }
+}
+
+fn json_field(out: &mut String, key: &str, value: &str, last: bool) {
+    out.push_str("  ");
+    out.push_str(&json_str(key));
+    out.push_str(": ");
+    out.push_str(value);
+    if !last {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String], indent: usize) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    json_array(&quoted, indent)
+}
+
+fn json_array(rendered_items: &[String], indent: usize) -> String {
+    if rendered_items.is_empty() {
+        return "[]".into();
+    }
+    let pad = "  ".repeat(indent + 1);
+    let mut out = String::from("[\n");
+    for (i, item) in rendered_items.iter().enumerate() {
+        out.push_str(&pad);
+        out.push_str(item);
+        if i + 1 < rendered_items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&"  ".repeat(indent));
+    out.push(']');
+    out
+}
+
+/// Minimal recursive-descent parser for the table's JSON shape.
+struct JsonParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(input: &'a str) -> JsonParser<'a> {
+        JsonParser { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with([' ', '\n', '\r', '\t']) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> Option<()> {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest().char_indices();
+        loop {
+            let (i, c) = chars.next()?;
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Some(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next()?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars.next()?;
+                                code = code * 16 + h.to_digit(16)?;
+                            }
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn string_array(&mut self) -> Option<Vec<String>> {
+        self.array(JsonParser::string)
+    }
+
+    fn array<T>(&mut self, mut item: impl FnMut(&mut Self) -> Option<T>) -> Option<Vec<T>> {
+        self.eat('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.rest().starts_with(']') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            out.push(item(self)?);
+            self.skip_ws();
+            if self.eat(',').is_some() {
+                continue;
+            }
+            self.eat(']')?;
+            return Some(out);
+        }
+    }
+
+    fn object(&mut self) -> Option<Table> {
+        self.eat('{')?;
+        let mut id = None;
+        let mut title = None;
+        let mut columns = None;
+        let mut rows = None;
+        let mut verdict = None;
+        loop {
+            self.skip_ws();
+            if self.eat('}').is_some() {
+                break;
+            }
+            let key = self.string()?;
+            self.eat(':')?;
+            match key.as_str() {
+                "id" => id = Some(self.string()?),
+                "title" => title = Some(self.string()?),
+                "columns" => columns = Some(self.string_array()?),
+                "rows" => rows = Some(self.array(JsonParser::string_array)?),
+                "verdict" => verdict = Some(self.string()?),
+                _ => return None,
+            }
+            self.skip_ws();
+            let _ = self.eat(',');
+        }
+        Some(Table {
+            id: id?,
+            title: title?,
+            columns: columns?,
+            rows: rows?,
+            verdict: verdict?,
+        })
     }
 }
 
@@ -54,7 +262,11 @@ impl fmt::Display for Table {
         writeln!(
             f,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         )?;
         for row in &self.rows {
             writeln!(f, "| {} |", row.join(" | "))?;
@@ -104,8 +316,27 @@ mod tests {
         let mut t = Table::new("E0", "demo", &["a"]);
         t.row(vec!["x".into()]);
         let j = t.to_json();
-        let back: Table = serde_json::from_str(&j).unwrap();
+        let back = Table::from_json(&j).unwrap();
         assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    fn json_round_trips_escapes_and_empties() {
+        let mut t = Table::new("E0", "quote \" slash \\ tab\t", &["α", "b"]);
+        t.row(vec!["new\nline".into(), String::new()]);
+        t.verdict("done");
+        let back = Table::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.title, t.title);
+        assert_eq!(back.columns, t.columns);
+        assert_eq!(back.rows, t.rows);
+        assert_eq!(back.verdict, t.verdict);
+    }
+
+    #[test]
+    fn json_rejects_malformed() {
+        assert!(Table::from_json("{").is_none());
+        assert!(Table::from_json("{}").is_none());
+        assert!(Table::from_json("not json").is_none());
     }
 
     #[test]

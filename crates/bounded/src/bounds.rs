@@ -71,9 +71,7 @@ fn measure_state(auto: &dyn Automaton, q: &Value, report: &mut BoundReport) {
     report.max_decode_steps = report.max_decode_steps.max(start_cost(auto, q));
     let sig = auto.signature(q);
     for a in sig.all() {
-        report.max_action_bytes = report
-            .max_action_bytes
-            .max(encode_action(a).len() as u64);
+        report.max_action_bytes = report.max_action_bytes.max(encode_action(a).len() as u64);
         report.max_decode_steps = report
             .max_decode_steps
             .max(sig_cost(auto, q, a))
@@ -84,8 +82,7 @@ fn measure_state(auto: &dyn Automaton, q: &Value, report: &mut BoundReport) {
                 .max_transition_bytes
                 .max(encode_transition(q, a, &eta).len() as u64);
             for (q2, _) in eta.iter() {
-                report.max_decode_steps =
-                    report.max_decode_steps.max(step_cost(auto, q, a, q2));
+                report.max_decode_steps = report.max_decode_steps.max(step_cost(auto, q, a, q2));
             }
         }
     }
@@ -111,10 +108,7 @@ pub fn measure_pca_bound(pca: &dyn Pca, limits: ExploreLimits) -> BoundReport {
         report.max_pca_bytes = report.max_pca_bytes.max(hidden_bytes);
         for a in pca.signature(q).all() {
             let created = pca.created(q, a);
-            let created_bytes: u64 = created
-                .iter()
-                .map(|id| id.name().len() as u64 + 1)
-                .sum();
+            let created_bytes: u64 = created.iter().map(|id| id.name().len() as u64 + 1).sum();
             report.max_pca_bytes = report.max_pca_bytes.max(created_bytes);
             // M_conf / M_created / M_hidden: read ⟨q⟩⟨a⟩, write output.
             let cost = encode_value(q).len() as u64

@@ -178,10 +178,7 @@ pub fn encode_action(a: Action) -> Vec<u8> {
 /// `(state, weight-bits)` pairs. Weights are encoded as raw IEEE-754 bits
 /// — every shipped weight is dyadic, so this is exact.
 pub fn encode_disc(eta: &Disc<Value>) -> Vec<u8> {
-    let mut entries: Vec<(Vec<u8>, f64)> = eta
-        .iter()
-        .map(|(q, w)| (encode_value(q), *w))
-        .collect();
+    let mut entries: Vec<(Vec<u8>, f64)> = eta.iter().map(|(q, w)| (encode_value(q), *w)).collect();
     // Encodings are injective, so sorting by them alone is canonical.
     entries.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = Vec::new();
@@ -283,7 +280,9 @@ mod tests {
     fn transition_encoding_composes_parts() {
         let eta = Disc::dirac(Value::int(1));
         let enc = encode_transition(&Value::int(0), act("enc-t"), &eta);
-        assert!(enc.len() >= encode_value(&Value::int(0)).len() + encode_action(act("enc-t")).len());
+        assert!(
+            enc.len() >= encode_value(&Value::int(0)).len() + encode_action(act("enc-t")).len()
+        );
     }
 
     fn arb_value() -> impl Strategy<Value = Value> {
@@ -298,8 +297,7 @@ mod tests {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::tuple),
                 proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
-                proptest::collection::vec((inner.clone(), inner), 0..3)
-                    .prop_map(|pairs| Value::map(pairs)),
+                proptest::collection::vec((inner.clone(), inner), 0..3).prop_map(Value::map),
             ]
         })
     }

@@ -82,9 +82,7 @@ impl AutomatonFamily {
     /// Compose two families index-wise (Def. 4.7: `C_k = A_k‖B_k`).
     pub fn compose(self: Arc<Self>, other: Arc<AutomatonFamily>) -> AutomatonFamily {
         let name = format!("{}‖{}", self.name, other.name);
-        AutomatonFamily::new(name, move |k| {
-            dpioa_core::compose2(self.at(k), other.at(k))
-        })
+        AutomatonFamily::new(name, move |k| dpioa_core::compose2(self.at(k), other.at(k)))
     }
 
     /// Check Def. 4.8 on an index window: `A_k` must be `b(k)`-bounded for

@@ -313,7 +313,10 @@ mod tests {
         assert_eq!(u.len(), 2);
         assert_eq!(u.restrict([a]), ca);
         assert_eq!(u.without(b), ca);
-        assert_eq!(u.with_state(a, Value::int(1)).state_of(a), Some(&Value::int(1)));
+        assert_eq!(
+            u.with_state(a, Value::int(1)).state_of(a),
+            Some(&Value::int(1))
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
             h.transition(&q0, act("shout-h")),
             x.transition(&q0, act("shout-h"))
         );
-        assert_eq!(h.created(&q0, act("shout-h")), x.created(&q0, act("shout-h")));
+        assert_eq!(
+            h.created(&q0, act("shout-h")),
+            x.created(&q0, act("shout-h"))
+        );
     }
 
     #[test]

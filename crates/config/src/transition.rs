@@ -37,9 +37,7 @@ pub fn preserving_transition(
         let auto = registry.resolve(id);
         let eta_i = if auto.signature(q).contains(a) {
             auto.transition(q, a).unwrap_or_else(|| {
-                panic!(
-                    "member {id} enables {a} at {q} but has no transition (Def 2.1 violation)"
-                )
+                panic!("member {id} enables {a} at {q} but has no transition (Def 2.1 violation)")
             })
         } else {
             Disc::dirac(q.clone())

@@ -53,10 +53,16 @@ impl fmt::Display for Violation {
                 write!(f, "signature classes overlap at {state}")
             }
             Violation::MissingTransition { state, action } => {
-                write!(f, "action {action} enabled at {state} but has no transition")
+                write!(
+                    f,
+                    "action {action} enabled at {state} but has no transition"
+                )
             }
             Violation::SpuriousTransition { state, action } => {
-                write!(f, "action {action} NOT enabled at {state} but has a transition")
+                write!(
+                    f,
+                    "action {action} NOT enabled at {state} but has a transition"
+                )
             }
             Violation::NonDeterministic { state, what } => {
                 write!(f, "non-deterministic result for {what} at {state}")

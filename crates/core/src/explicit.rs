@@ -60,7 +60,10 @@ impl Automaton for ExplicitAutomaton {
     }
 
     fn signature(&self, q: &Value) -> Signature {
-        self.signatures.get(q).cloned().unwrap_or_else(Signature::empty)
+        self.signatures
+            .get(q)
+            .cloned()
+            .unwrap_or_else(Signature::empty)
     }
 
     fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {

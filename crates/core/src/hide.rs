@@ -99,7 +99,10 @@ mod tests {
 
     fn emitter() -> Arc<dyn Automaton> {
         ExplicitAutomaton::builder("emitter", Value::int(0))
-            .state(0, Signature::new([act("poke")], [act("loud"), act("quiet")], []))
+            .state(
+                0,
+                Signature::new([act("poke")], [act("loud"), act("quiet")], []),
+            )
             .state(1, Signature::new([], [], []))
             .step(0, act("poke"), 1)
             .step(0, act("loud"), 1)

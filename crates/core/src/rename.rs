@@ -47,9 +47,7 @@ impl Renamed {
     /// `ŝig(A)(q)`).
     fn invert(&self, q: &Value, b: Action) -> Option<Action> {
         let sig = self.inner.signature(q);
-        sig.all()
-            .into_iter()
-            .find(|&a| (self.forward)(q, a) == b)
+        sig.all().into_iter().find(|&a| (self.forward)(q, a) == b)
     }
 
     /// Borrow the wrapped automaton.
@@ -112,7 +110,10 @@ mod tests {
 
     fn machine() -> Arc<dyn Automaton> {
         ExplicitAutomaton::builder("m", Value::int(0))
-            .state(0, Signature::new([act("req")], [act("rsp")], [act("think")]))
+            .state(
+                0,
+                Signature::new([act("req")], [act("rsp")], [act("think")]),
+            )
             .state(1, Signature::new([], [], []))
             .transition(
                 0,

@@ -271,10 +271,7 @@ mod tests {
         let s2 = Signature::new([a("q")], [a("r")], []);
         let s3 = Signature::new([a("r")], [], [a("s")]);
         assert_eq!(s1.compose(&s2), s2.compose(&s1));
-        assert_eq!(
-            s1.compose(&s2).compose(&s3),
-            s1.compose(&s2.compose(&s3))
-        );
+        assert_eq!(s1.compose(&s2).compose(&s3), s1.compose(&s2.compose(&s3)));
         assert_eq!(
             Signature::compose_all([&s1, &s2, &s3]),
             s1.compose(&s2).compose(&s3)

@@ -249,15 +249,24 @@ mod tests {
 
     #[test]
     fn equality_is_structural() {
-        assert_eq!(Value::tuple(vec![1.into(), 2.into()]), Value::tuple(vec![1.into(), 2.into()]));
+        assert_eq!(
+            Value::tuple(vec![1.into(), 2.into()]),
+            Value::tuple(vec![1.into(), 2.into()])
+        );
         assert_ne!(Value::tuple(vec![1.into()]), Value::list(vec![1.into()]));
         assert_eq!(Value::str("abc"), Value::from("abc"));
     }
 
     #[test]
     fn maps_are_order_insensitive() {
-        let a = Value::map(vec![(Value::int(1), Value::str("x")), (Value::int(2), Value::str("y"))]);
-        let b = Value::map(vec![(Value::int(2), Value::str("y")), (Value::int(1), Value::str("x"))]);
+        let a = Value::map(vec![
+            (Value::int(1), Value::str("x")),
+            (Value::int(2), Value::str("y")),
+        ]);
+        let b = Value::map(vec![
+            (Value::int(2), Value::str("y")),
+            (Value::int(1), Value::str("x")),
+        ]);
         assert_eq!(a, b);
     }
 
@@ -292,7 +301,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Value::Unit.to_string(), "()");
-        assert_eq!(Value::tuple(vec![1.into(), true.into()]).to_string(), "(1, true)");
+        assert_eq!(
+            Value::tuple(vec![1.into(), true.into()]).to_string(),
+            "(1, true)"
+        );
         assert_eq!(Value::bytes(vec![0xab, 0x01]).to_string(), "0xab01");
         assert_eq!(
             Value::map(vec![(Value::int(1), Value::Unit)]).to_string(),

@@ -59,7 +59,7 @@ mod tests {
         let ones = (0..n)
             .map(|_| {
                 let pad = [rng.gen::<u8>()];
-                u32::from(otp_encrypt(&m, &pad)[0].count_ones())
+                otp_encrypt(&m, &pad)[0].count_ones()
             })
             .sum::<u32>() as f64;
         let mean = ones / n as f64;

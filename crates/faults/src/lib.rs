@@ -1,0 +1,616 @@
+//! # dpioa-faults — fault-injection combinators for PSIOA and PCA
+//!
+//! Robustness of the emulation framework is tested by *injecting* faults
+//! into otherwise-correct automata and checking that (a) the wrapped
+//! objects are still legal PSIOA/PCA in the sense of Defs. 2.1 and 2.16,
+//! and (b) emulation distances degrade *gracefully* as fault rates rise.
+//! This crate provides the combinators; the experiments live in
+//! `dpioa-bench` (E11) and the integration tests in `tests/`.
+//!
+//! * [`CrashStop`] — wraps any [`Automaton`]: every transition crashes
+//!   with a fixed dyadic probability, after which the signature collapses
+//!   to the empty signature. An empty signature is exactly the paper's
+//!   notion of a *destroyed* automaton (Def. 2.12), so a crashed member
+//!   of a configuration is removed by the reduction step of the
+//!   intrinsic transition (Def. 2.14).
+//! * [`LossyChannel`] — a targeted set of actions is *lost* with dyadic
+//!   probability: the action occurs but the state does not advance, the
+//!   classic lossy-link model.
+//! * [`DuplicatingChannel`] — a targeted set of actions is *duplicated*
+//!   with dyadic probability: the transition effect is applied twice
+//!   (when still enabled after the first application).
+//! * [`crash_restart`] — a PCA (built on [`ConfigAutomaton`]) pairing a
+//!   crash-prone child with a supervisor whose `restart` output
+//!   *re-creates* the child through the `created` mapping of Def. 2.16.
+//!   Destruction and re-creation both go through the genuine intrinsic
+//!   transition relation, so the construction is auditable by
+//!   [`dpioa_config::audit_pca`].
+//!
+//! Fault probabilities are dyadic (`num / 2^log_denom`) so that the
+//! exact certification engine of `dpioa-sched` applies unchanged to
+//! fault-injected systems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dpioa_config::{Autid, ConfigAutomaton, Pca, Registry};
+use dpioa_core::{Action, ActionSet, Automaton, LambdaAutomaton, Signature, Value};
+use dpioa_prob::Disc;
+use std::sync::Arc;
+
+/// A dyadic fault probability `num / 2^log_denom`.
+///
+/// Dyadic rates keep fault-injected transition measures inside the
+/// exactly-representable weight class, so `execution_measure_exact`
+/// certifies fault-injected systems with zero rounding error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultProb {
+    num: u64,
+    log_denom: u32,
+}
+
+impl FaultProb {
+    /// Build `num / 2^log_denom`. Panics when the rate exceeds one.
+    pub fn new(num: u64, log_denom: u32) -> FaultProb {
+        assert!(
+            log_denom < 64 && num <= 1 << log_denom,
+            "fault probability {num}/2^{log_denom} exceeds one"
+        );
+        FaultProb { num, log_denom }
+    }
+
+    /// The zero rate (faults disabled).
+    pub fn zero() -> FaultProb {
+        FaultProb::new(0, 0)
+    }
+
+    /// True iff the rate is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff the rate is `1`.
+    pub fn is_one(&self) -> bool {
+        self.num == 1 << self.log_denom
+    }
+
+    /// The rate as an `f64` (exact: dyadics are representable).
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / (1u64 << self.log_denom) as f64
+    }
+
+    /// Mix two outcome distributions: `self·faulty + (1−self)·normal`.
+    ///
+    /// Degenerate rates short-circuit so supports stay minimal (a `0`
+    /// rate must not leave a zero-probability crash branch behind).
+    fn mix<T: Eq + std::hash::Hash + Clone>(&self, faulty: Disc<T>, normal: Disc<T>) -> Disc<T> {
+        if self.is_zero() {
+            normal
+        } else if self.is_one() {
+            faulty
+        } else {
+            Disc::bernoulli_dyadic(true, false, self.num, self.log_denom).bind(|&fault| {
+                if fault {
+                    faulty.clone()
+                } else {
+                    normal.clone()
+                }
+            })
+        }
+    }
+}
+
+impl std::fmt::Display for FaultProb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/2^{}", self.num, self.log_denom)
+    }
+}
+
+/// The absorbing state a [`CrashStop`] automaton occupies after a crash.
+pub fn crashed_state() -> Value {
+    Value::str("crashed")
+}
+
+fn ok_state(inner: Value) -> Value {
+    Value::tuple(vec![Value::str("ok"), inner])
+}
+
+fn ok_inner(q: &Value) -> Option<&Value> {
+    match q.items() {
+        Some([tag, inner]) if tag.as_str() == Some("ok") => Some(inner),
+        _ => None,
+    }
+}
+
+/// Crash-stop fault injection (the classic fail-stop model).
+///
+/// States are `("ok", q)` for every inner state `q`, plus the absorbing
+/// [`crashed_state`]. Every transition of the inner automaton is
+/// preceded by a Bernoulli crash draw: with probability `p` the outcome
+/// is the crashed state, with probability `1−p` the inner measure
+/// applies. The crashed state has the *empty* signature, i.e. the
+/// automaton is destroyed in the sense of Def. 2.12 — inside a
+/// configuration the reduction step of the intrinsic transition
+/// (Def. 2.14) then removes it.
+pub struct CrashStop {
+    inner: Arc<dyn Automaton>,
+    p: FaultProb,
+}
+
+impl CrashStop {
+    /// Wrap `inner` with per-step crash probability `p`.
+    pub fn new(inner: Arc<dyn Automaton>, p: FaultProb) -> CrashStop {
+        CrashStop { inner, p }
+    }
+
+    /// Convenience: wrap and erase to a shared trait object.
+    pub fn wrap(inner: Arc<dyn Automaton>, p: FaultProb) -> Arc<dyn Automaton> {
+        Arc::new(CrashStop::new(inner, p))
+    }
+}
+
+impl Automaton for CrashStop {
+    fn name(&self) -> String {
+        format!("crash-stop[{}]({})", self.p, self.inner.name())
+    }
+
+    fn start_state(&self) -> Value {
+        ok_state(self.inner.start_state())
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        match ok_inner(q) {
+            Some(inner_q) => self.inner.signature(inner_q),
+            // Crashed (and any malformed encoding): destroyed.
+            None => Signature::empty(),
+        }
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        let inner_q = ok_inner(q)?;
+        let eta = self.inner.transition(inner_q, a)?;
+        let alive = eta.map(|q2: &Value| ok_state(q2.clone()));
+        Some(self.p.mix(Disc::dirac(crashed_state()), alive))
+    }
+}
+
+/// Message-loss fault injection for channel-like automata.
+///
+/// Actions in the `lossy` set are lost with probability `p`: the action
+/// still occurs (it remains externally visible — the loss happens *in
+/// transit*, after the sender committed to it) but the wrapped
+/// automaton's state does not advance. All other actions pass through
+/// untouched, and the signature is exactly the inner signature.
+pub struct LossyChannel {
+    inner: Arc<dyn Automaton>,
+    lossy: ActionSet,
+    p: FaultProb,
+}
+
+impl LossyChannel {
+    /// Wrap `inner`, losing each action of `lossy` with probability `p`.
+    pub fn new(
+        inner: Arc<dyn Automaton>,
+        lossy: impl IntoIterator<Item = Action>,
+        p: FaultProb,
+    ) -> LossyChannel {
+        LossyChannel {
+            inner,
+            lossy: lossy.into_iter().collect(),
+            p,
+        }
+    }
+
+    /// Convenience: wrap and erase to a shared trait object.
+    pub fn wrap(
+        inner: Arc<dyn Automaton>,
+        lossy: impl IntoIterator<Item = Action>,
+        p: FaultProb,
+    ) -> Arc<dyn Automaton> {
+        Arc::new(LossyChannel::new(inner, lossy, p))
+    }
+}
+
+impl Automaton for LossyChannel {
+    fn name(&self) -> String {
+        format!("lossy[{}]({})", self.p, self.inner.name())
+    }
+
+    fn start_state(&self) -> Value {
+        self.inner.start_state()
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        self.inner.signature(q)
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        let eta = self.inner.transition(q, a)?;
+        if !self.lossy.contains(&a) {
+            return Some(eta);
+        }
+        Some(self.p.mix(Disc::dirac(q.clone()), eta))
+    }
+}
+
+/// Message-duplication fault injection for channel-like automata.
+///
+/// Actions in the `dup` set are duplicated with probability `p`: the
+/// transition effect is applied a second time, provided the action is
+/// still enabled in the intermediate state (a channel that has already
+/// delivered ignores the duplicate). Signature and state space are the
+/// inner ones.
+pub struct DuplicatingChannel {
+    inner: Arc<dyn Automaton>,
+    dup: ActionSet,
+    p: FaultProb,
+}
+
+impl DuplicatingChannel {
+    /// Wrap `inner`, duplicating each action of `dup` with probability
+    /// `p`.
+    pub fn new(
+        inner: Arc<dyn Automaton>,
+        dup: impl IntoIterator<Item = Action>,
+        p: FaultProb,
+    ) -> DuplicatingChannel {
+        DuplicatingChannel {
+            inner,
+            dup: dup.into_iter().collect(),
+            p,
+        }
+    }
+
+    /// Convenience: wrap and erase to a shared trait object.
+    pub fn wrap(
+        inner: Arc<dyn Automaton>,
+        dup: impl IntoIterator<Item = Action>,
+        p: FaultProb,
+    ) -> Arc<dyn Automaton> {
+        Arc::new(DuplicatingChannel::new(inner, dup, p))
+    }
+}
+
+impl Automaton for DuplicatingChannel {
+    fn name(&self) -> String {
+        format!("dup[{}]({})", self.p, self.inner.name())
+    }
+
+    fn start_state(&self) -> Value {
+        self.inner.start_state()
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        self.inner.signature(q)
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        let eta = self.inner.transition(q, a)?;
+        if !self.dup.contains(&a) {
+            return Some(eta);
+        }
+        let twice = eta.bind(|q1: &Value| {
+            if self.inner.signature(q1).contains(a) {
+                self.inner
+                    .transition(q1, a)
+                    .unwrap_or_else(|| Disc::dirac(q1.clone()))
+            } else {
+                Disc::dirac(q1.clone())
+            }
+        });
+        Some(self.p.mix(twice, eta))
+    }
+}
+
+/// A crash/restart system built as a genuine PCA (Def. 2.16).
+///
+/// Returned by [`crash_restart`]; the interesting dynamics all go
+/// through the intrinsic transition relation of Defs. 2.13–2.14:
+///
+/// * when the (crash-prone) child reaches an empty-signature state, the
+///   **reduction** step destroys it — the child vanishes from the
+///   attached configuration;
+/// * the supervisor's `restart` output has `created = {child}`, so the
+///   intrinsic transition **re-creates** a fresh child at its start
+///   state — and, per the `φ ∖ A` clause of Def. 2.14, a restart while
+///   the child is still alive is a no-op rather than a state reset.
+pub struct CrashRestart {
+    /// The PCA itself.
+    pub pca: Arc<dyn Pca>,
+    /// Identifier of the supervisor member.
+    pub supervisor: Autid,
+    /// Identifier of the (crash-prone) child member.
+    pub child: Autid,
+    /// The restart output action.
+    pub restart: Action,
+}
+
+/// Build a crash/restart PCA around `child` (typically a
+/// [`CrashStop`]-wrapped automaton).
+///
+/// The supervisor is a one-state automaton whose single output
+/// `restart` is always enabled; firing it re-creates the child whenever
+/// the child has crashed out of the configuration. `restart` must not
+/// clash with any action of `child` (the initial configuration is
+/// compatibility-checked by the builder).
+pub fn crash_restart(
+    name: impl Into<String>,
+    child_id: Autid,
+    child: Arc<dyn Automaton>,
+    restart: Action,
+) -> CrashRestart {
+    let name = name.into();
+    let supervisor_id = Autid::named(format!("{name}/supervisor"));
+    let supervisor = LambdaAutomaton::new(
+        format!("{name}/supervisor"),
+        Value::Unit,
+        move |_| Signature::new([], [restart], []),
+        move |_, a| (a == restart).then(|| Disc::dirac(Value::Unit)),
+    )
+    .shared();
+    let registry = Registry::builder()
+        .register(supervisor_id, supervisor)
+        .register(child_id, child)
+        .build();
+    let pca = ConfigAutomaton::builder(name, registry)
+        .member(supervisor_id)
+        .member(child_id)
+        .created(move |_, a| {
+            if a == restart {
+                [child_id].into_iter().collect()
+            } else {
+                std::collections::BTreeSet::new()
+            }
+        })
+        .build()
+        .shared();
+    CrashRestart {
+        pca,
+        supervisor: supervisor_id,
+        child: child_id,
+        restart,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_config::audit_pca;
+    use dpioa_core::audit::audit_psioa;
+    use dpioa_core::explore::ExploreLimits;
+    use dpioa_core::{AutomatonExt, ExplicitAutomaton};
+    use dpioa_prob::{Ratio, Weight};
+    use dpioa_sched::{execution_measure_exact, FirstEnabled};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// A ticker: one internal action looping on a single state.
+    fn ticker() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("f-ticker", Value::int(0))
+            .state(0, Signature::new([], [], [act("f-tick")]))
+            .step(0, act("f-tick"), 0)
+            .build()
+            .shared()
+    }
+
+    /// A two-outcome stepper: internal `f-step` moves 0 → {1, 2}
+    /// uniformly; 1 and 2 are terminal (empty signature).
+    fn stepper() -> Arc<dyn Automaton> {
+        ExplicitAutomaton::builder("f-stepper", Value::int(0))
+            .state(0, Signature::new([], [], [act("f-step")]))
+            .state(1, Signature::empty())
+            .state(2, Signature::empty())
+            .transition(
+                0,
+                act("f-step"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+            )
+            .build()
+            .shared()
+    }
+
+    #[test]
+    fn fault_prob_arithmetic_and_bounds() {
+        let p = FaultProb::new(3, 3);
+        assert_eq!(p.as_f64(), 0.375);
+        assert!(!p.is_zero() && !p.is_one());
+        assert!(FaultProb::zero().is_zero());
+        assert!(FaultProb::new(8, 3).is_one());
+        assert_eq!(format!("{}", FaultProb::new(1, 2)), "1/2^2");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds one")]
+    fn fault_prob_rejects_rates_above_one() {
+        let _ = FaultProb::new(9, 3);
+    }
+
+    #[test]
+    fn crash_stop_mixes_crash_mass_into_every_transition() {
+        let a = CrashStop::new(stepper(), FaultProb::new(1, 2));
+        let q0 = a.start_state();
+        let eta = a.transition(&q0, act("f-step")).unwrap();
+        assert_eq!(eta.prob(&crashed_state()), 0.25);
+        assert_eq!(eta.prob(&ok_state(Value::int(1))), 0.375);
+        assert_eq!(eta.prob(&ok_state(Value::int(2))), 0.375);
+    }
+
+    #[test]
+    fn crash_stop_signature_collapses_after_crash() {
+        let a = CrashStop::new(ticker(), FaultProb::new(1, 0));
+        let q0 = a.start_state();
+        let eta = a.transition(&q0, act("f-tick")).unwrap();
+        assert_eq!(eta.prob(&crashed_state()), 1.0);
+        assert!(a.signature(&crashed_state()).is_empty());
+        assert!(a.is_destroyed(&crashed_state()));
+        assert!(a.transition(&crashed_state(), act("f-tick")).is_none());
+    }
+
+    #[test]
+    fn crash_stop_zero_rate_is_transparent() {
+        let inner = stepper();
+        let a = CrashStop::new(inner.clone(), FaultProb::zero());
+        let eta = a.transition(&a.start_state(), act("f-step")).unwrap();
+        assert_eq!(eta.support_len(), 2);
+        assert_eq!(eta.prob(&ok_state(Value::int(1))), 0.5);
+        assert_eq!(
+            a.signature(&a.start_state()).all(),
+            inner.signature(&inner.start_state()).all()
+        );
+    }
+
+    #[test]
+    fn crash_stop_is_a_valid_psioa() {
+        let a = CrashStop::new(stepper(), FaultProb::new(1, 3));
+        let report = audit_psioa(&a, ExploreLimits::default());
+        assert!(report.is_valid(), "audit failed: {report:?}");
+    }
+
+    #[test]
+    fn crash_stop_execution_measure_stays_exactly_normalized() {
+        let a = CrashStop::new(ticker(), FaultProb::new(3, 4));
+        let m = execution_measure_exact(&a, &FirstEnabled, 6);
+        assert_eq!(m.total(), Ratio::one());
+    }
+
+    #[test]
+    fn lossy_channel_keeps_state_on_loss() {
+        let inner = ExplicitAutomaton::builder("f-link", Value::int(0))
+            .state(0, Signature::new([act("f-deliver")], [], []))
+            .state(1, Signature::new([act("f-deliver")], [], []))
+            .step(0, act("f-deliver"), 1)
+            .step(1, act("f-deliver"), 1)
+            .build()
+            .shared();
+        let a = LossyChannel::new(inner, [act("f-deliver")], FaultProb::new(1, 1));
+        let eta = a.transition(&Value::int(0), act("f-deliver")).unwrap();
+        assert_eq!(eta.prob(&Value::int(0)), 0.5);
+        assert_eq!(eta.prob(&Value::int(1)), 0.5);
+        let report = audit_psioa(&a, ExploreLimits::default());
+        assert!(report.is_valid(), "audit failed: {report:?}");
+    }
+
+    #[test]
+    fn lossy_channel_ignores_untargeted_actions() {
+        let a = LossyChannel::new(stepper(), [act("f-other")], FaultProb::new(1, 1));
+        let eta = a.transition(&Value::int(0), act("f-step")).unwrap();
+        assert_eq!(eta.prob(&Value::int(0)), 0.0);
+        assert_eq!(eta.prob(&Value::int(1)), 0.5);
+    }
+
+    #[test]
+    fn duplicating_channel_applies_effect_twice() {
+        // A three-state counter: `f-inc` moves 0 → 1 → 2; 2 ignores it.
+        let counter = ExplicitAutomaton::builder("f-counter", Value::int(0))
+            .state(0, Signature::new([act("f-inc")], [], []))
+            .state(1, Signature::new([act("f-inc")], [], []))
+            .state(2, Signature::new([act("f-inc")], [], []))
+            .step(0, act("f-inc"), 1)
+            .step(1, act("f-inc"), 2)
+            .step(2, act("f-inc"), 2)
+            .build()
+            .shared();
+        let a = DuplicatingChannel::new(counter, [act("f-inc")], FaultProb::new(1, 0));
+        // Always duplicated: one `f-inc` from 0 lands on 2.
+        let eta = a.transition(&Value::int(0), act("f-inc")).unwrap();
+        assert_eq!(eta.prob(&Value::int(2)), 1.0);
+        // From 1 a duplicate saturates at 2 just like a single step.
+        let eta1 = a.transition(&Value::int(1), act("f-inc")).unwrap();
+        assert_eq!(eta1.prob(&Value::int(2)), 1.0);
+        // Half-rate duplication splits the mass.
+        let b = DuplicatingChannel::new(
+            ExplicitAutomaton::builder("f-counter2", Value::int(0))
+                .state(0, Signature::new([act("f-inc")], [], []))
+                .state(1, Signature::new([act("f-inc")], [], []))
+                .state(2, Signature::new([act("f-inc")], [], []))
+                .step(0, act("f-inc"), 1)
+                .step(1, act("f-inc"), 2)
+                .step(2, act("f-inc"), 2)
+                .build()
+                .shared(),
+            [act("f-inc")],
+            FaultProb::new(1, 1),
+        );
+        let etab = b.transition(&Value::int(0), act("f-inc")).unwrap();
+        assert_eq!(etab.prob(&Value::int(1)), 0.5);
+        assert_eq!(etab.prob(&Value::int(2)), 0.5);
+    }
+
+    #[test]
+    fn duplicating_channel_skips_disabled_duplicate() {
+        // After the first `f-step` the stepper's terminal states do not
+        // enable it again, so the duplicate must be a no-op.
+        let a = DuplicatingChannel::new(stepper(), [act("f-step")], FaultProb::new(1, 0));
+        let eta = a.transition(&Value::int(0), act("f-step")).unwrap();
+        assert_eq!(eta.prob(&Value::int(1)), 0.5);
+        assert_eq!(eta.prob(&Value::int(2)), 0.5);
+    }
+
+    #[test]
+    fn crash_restart_destroys_and_recreates_via_intrinsic_transition() {
+        let child_id = Autid::named("f-cr-child");
+        let child = CrashStop::wrap(ticker(), FaultProb::new(1, 0));
+        let child_start = child.start_state();
+        let sys = crash_restart("f-cr", child_id, child, act("f-restart"));
+        let q0 = sys.pca.start_state();
+        assert!(sys.pca.config(&q0).contains(sys.child));
+
+        // The tick always crashes the child; reduction destroys it.
+        let q1 = sys.pca.transition(&q0, act("f-tick")).unwrap();
+        assert_eq!(q1.support_len(), 1);
+        let q1 = q1.support().next().unwrap().clone();
+        let c1 = sys.pca.config(&q1);
+        assert!(!c1.contains(sys.child), "crashed child must be destroyed");
+        assert!(c1.contains(sys.supervisor));
+        // With the child gone, its actions leave the PCA signature.
+        assert!(!sys.pca.signature(&q1).contains(act("f-tick")));
+
+        // Restart re-creates a fresh child at its start state.
+        let q2 = sys.pca.transition(&q1, sys.restart).unwrap();
+        let q2 = q2.support().next().unwrap().clone();
+        let c2 = sys.pca.config(&q2);
+        assert_eq!(c2.state_of(sys.child), Some(&child_start));
+        assert!(sys.pca.signature(&q2).contains(act("f-tick")));
+    }
+
+    #[test]
+    fn crash_restart_while_alive_is_not_a_reset() {
+        // Child that can make progress before crashing: restart while it
+        // is alive must NOT reset it (Def. 2.14's φ ∖ A clause).
+        let child_id = Autid::named("f-cr2-child");
+        let mover = ExplicitAutomaton::builder("f-mover", Value::int(0))
+            .state(0, Signature::new([], [], [act("f-move")]))
+            .state(1, Signature::new([], [], [act("f-move")]))
+            .step(0, act("f-move"), 1)
+            .step(1, act("f-move"), 1)
+            .build()
+            .shared();
+        let sys = crash_restart("f-cr2", child_id, mover, act("f-restart2"));
+        let q0 = sys.pca.start_state();
+        let q1 = sys.pca.transition(&q0, act("f-move")).unwrap();
+        let q1 = q1.support().next().unwrap().clone();
+        assert_eq!(
+            sys.pca.config(&q1).state_of(sys.child),
+            Some(&Value::int(1))
+        );
+        let q2 = sys.pca.transition(&q1, sys.restart).unwrap();
+        let q2 = q2.support().next().unwrap().clone();
+        assert_eq!(
+            sys.pca.config(&q2).state_of(sys.child),
+            Some(&Value::int(1)),
+            "restart of a live child must be a no-op"
+        );
+    }
+
+    #[test]
+    fn crash_restart_passes_the_pca_audit() {
+        let child_id = Autid::named("f-cr3-child");
+        let child = CrashStop::wrap(ticker(), FaultProb::new(1, 1));
+        let sys = crash_restart("f-cr3", child_id, child, act("f-restart3"));
+        let report = audit_pca(&*sys.pca, ExploreLimits::default());
+        assert!(report.is_valid(), "PCA audit failed: {report:?}");
+        assert!(report.states_checked >= 2);
+    }
+}

@@ -45,7 +45,9 @@ pub fn is_environment(env: &Arc<dyn Automaton>, system: &Arc<dyn Automaton>) -> 
             q: &dpioa_core::Value,
             a: dpioa_core::Action,
         ) -> Option<dpioa_prob::Disc<dpioa_core::Value>> {
-            self.inner.compatible_at(q).then(|| self.inner.transition(q, a))?
+            self.inner
+                .compatible_at(q)
+                .then(|| self.inner.transition(q, a))?
         }
     }
     let guarded = Guarded { inner: comp };

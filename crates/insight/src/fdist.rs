@@ -139,8 +139,7 @@ mod tests {
     fn exact_balanced_epsilon_is_rational() {
         let a = gambler("fd-ae", 3);
         let b = gambler("fd-be", 5);
-        let eps =
-            balanced_epsilon_exact(&a, &FirstEnabled, &b, &FirstEnabled, &TraceInsight, 2);
+        let eps = balanced_epsilon_exact(&a, &FirstEnabled, &b, &FirstEnabled, &TraceInsight, 2);
         assert_eq!(eps, Ratio::new(1, 4));
     }
 

@@ -165,7 +165,10 @@ mod tests {
         let e = Execution::start_of(&w)
             .extend(act("ins-pub"), Value::int(0))
             .extend(act("ins-acc"), Value::int(1));
-        assert_eq!(ins.observe(&w, &e), Value::list(vec![Value::str("ins-pub")]));
+        assert_eq!(
+            ins.observe(&w, &e),
+            Value::list(vec![Value::str("ins-pub")])
+        );
     }
 
     #[test]
@@ -180,7 +183,9 @@ mod tests {
     #[test]
     fn names_are_informative() {
         assert_eq!(TraceInsight.name(), "trace");
-        assert!(AcceptInsight::new(act("ins-acc")).name().contains("ins-acc"));
+        assert!(AcceptInsight::new(act("ins-acc"))
+            .name()
+            .contains("ins-acc"));
         assert_eq!(PrintInsight::new([]).name(), "print");
     }
 }

@@ -84,18 +84,9 @@ mod tests {
         let a = world("fineA");
         let b = world("fineB");
         let coarse = PrintInsight::new([act("st-pub")]);
-        let fine =
-            PrintInsight::new([act("st-pub"), act("st-fineA"), act("st-fineB")]);
+        let fine = PrintInsight::new([act("st-pub"), act("st-fineA"), act("st-fineB")]);
         // The fine observer fully distinguishes; the coarse one cannot.
-        let (ef, ec) = stability_epsilons(
-            &a,
-            &FirstEnabled,
-            &b,
-            &FirstEnabled,
-            &coarse,
-            &fine,
-            4,
-        );
+        let (ef, ec) = stability_epsilons(&a, &FirstEnabled, &b, &FirstEnabled, &coarse, &fine, 4);
         assert_eq!(ef, 1.0);
         assert_eq!(ec, 0.0);
         assert!(stability_holds(
@@ -114,8 +105,7 @@ mod tests {
         let a = world("fineC");
         let coarse = PrintInsight::new([act("st-pub")]);
         let fine = PrintInsight::new([act("st-pub"), act("st-fineC")]);
-        let (ef, ec) =
-            stability_epsilons(&a, &FirstEnabled, &a, &FirstEnabled, &coarse, &fine, 4);
+        let (ef, ec) = stability_epsilons(&a, &FirstEnabled, &a, &FirstEnabled, &coarse, &fine, 4);
         assert_eq!((ef, ec), (0.0, 0.0));
     }
 }

@@ -139,7 +139,10 @@ impl<T: Eq + Hash + Clone, W: Weight> Disc<T, W> {
         if n == 0 {
             return Err(DiscError::EmptySupport);
         }
-        assert!(n.is_power_of_two(), "uniform_pow2 requires a power-of-two support");
+        assert!(
+            n.is_power_of_two(),
+            "uniform_pow2 requires a power-of-two support"
+        );
         let w = W::from_dyadic(1, n.trailing_zeros());
         Disc::from_entries(outcomes.into_iter().map(|t| (t, w.clone())).collect())
     }
@@ -415,7 +418,10 @@ mod tests {
             Disc::<u32>::from_entries(vec![(1, -0.5), (2, 1.5)]),
             Err(DiscError::NegativeWeight)
         );
-        assert_eq!(Disc::<u32>::from_entries(vec![]), Err(DiscError::EmptySupport));
+        assert_eq!(
+            Disc::<u32>::from_entries(vec![]),
+            Err(DiscError::EmptySupport)
+        );
         assert_eq!(
             Disc::<u32>::from_entries(vec![(1, 0.0)]),
             Err(DiscError::EmptySupport)

@@ -146,6 +146,8 @@ impl fmt::Display for Ratio {
 
 impl Add for Ratio {
     type Output = Ratio;
+    // Fraction addition legitimately divides by the gcd.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Ratio) -> Ratio {
         // Reduce before cross-multiplying to delay overflow.
         let g = gcd(self.den, rhs.den);
@@ -155,7 +157,9 @@ impl Add for Ratio {
                 .checked_mul(lcm_factor)
                 .and_then(|a| (rhs.num.checked_mul(self.den / g)).and_then(|b| a.checked_add(b)))
                 .expect("Ratio add overflow"),
-            self.den.checked_mul(lcm_factor).expect("Ratio add overflow"),
+            self.den
+                .checked_mul(lcm_factor)
+                .expect("Ratio add overflow"),
         )
     }
 }
@@ -184,6 +188,8 @@ impl Mul for Ratio {
 
 impl Div for Ratio {
     type Output = Ratio;
+    // Division by a fraction is multiplication by its reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Ratio) -> Ratio {
         self * rhs.recip()
     }

@@ -139,9 +139,9 @@ fn channel_signature(tag: &str, q: &Value, _otp: bool) -> Signature {
 fn channel_transition(tag: &str, q: &Value, a: Action, otp: bool) -> Option<Disc<Value>> {
     let parts = util::state_parts(q);
     match parts.0 {
-        "idle" => (0..MSG_SPACE).find(|&m| a == act_send(tag, m)).map(|m| {
-            Disc::dirac(state("got", vec![Value::int(m)]))
-        }),
+        "idle" => (0..MSG_SPACE)
+            .find(|&m| a == act_send(tag, m))
+            .map(|m| Disc::dirac(state("got", vec![Value::int(m)]))),
         "got" => (a == act_enc(tag)).then(|| {
             let m = parts.1[0].as_int().expect("got state carries m");
             if otp {
@@ -386,9 +386,7 @@ pub fn courier_simulator(tag: &str) -> Arc<dyn Automaton> {
         {
             let tag = tag.clone();
             move |q, a| match util::state_parts(q).0 {
-                "watch" => {
-                    (a == act_leak(&tag)).then(|| Disc::dirac(state("saw", vec![])))
-                }
+                "watch" => (a == act_leak(&tag)).then(|| Disc::dirac(state("saw", vec![]))),
                 "saw" => (a == act_dlv(&tag)).then(|| Disc::dirac(state("done", vec![]))),
                 _ => None,
             }
@@ -425,8 +423,9 @@ pub fn fixed_sender(tag: &str, message: i64) -> Arc<dyn Automaton> {
             move |q, a| {
                 let parts = util::state_parts(q);
                 match parts.0 {
-                    "start" => (a == act_send(&tag, message))
-                        .then(|| Disc::dirac(state("sent", vec![]))),
+                    "start" => {
+                        (a == act_send(&tag, message)).then(|| Disc::dirac(state("sent", vec![])))
+                    }
                     "sent" => {
                         let known = (0..MSG_SPACE).any(|m| a == act_recv(&tag, m))
                             || a == act_report(&tag, 0)
@@ -551,8 +550,7 @@ mod tests {
     fn otp_channel_emulates_ideal_exactly() {
         let tag = "t-emu";
         let inst = channel_instance(tag);
-        let envs: Vec<Arc<dyn Automaton>> =
-            (0..MSG_SPACE).map(|m| fixed_sender(tag, m)).collect();
+        let envs: Vec<Arc<dyn Automaton>> = (0..MSG_SPACE).map(|m| fixed_sender(tag, m)).collect();
         let schema = channel_schema(tag);
         let r = secure_emulation_epsilon(
             &inst,

@@ -100,9 +100,7 @@ pub fn real_coinflip(tag: &str) -> StructuredAutomaton {
             let tag = &tag_o;
             let parts = util::state_parts(q);
             match parts.0 {
-                "idle" => {
-                    (a == act_start(tag)).then(|| Disc::dirac(state("starting", vec![])))
-                }
+                "idle" => (a == act_start(tag)).then(|| Disc::dirac(state("starting", vec![]))),
                 "starting" => (a == act_pick(tag)).then(|| {
                     // Sample b1 and r independently and uniformly.
                     let outcomes: Vec<Value> = (0..2)
@@ -123,9 +121,8 @@ pub fn real_coinflip(tag: &str) -> StructuredAutomaton {
                         parts.1[1].as_int()?,
                         parts.1[2].as_int()?,
                     );
-                    (a == act_com(tag, c)).then(|| {
-                        Disc::dirac(state("wait-b2", vec![Value::int(b1), Value::int(r)]))
-                    })
+                    (a == act_com(tag, c))
+                        .then(|| Disc::dirac(state("wait-b2", vec![Value::int(b1), Value::int(r)])))
                 }
                 "wait-b2" => {
                     let (b1, r) = (parts.1[0].as_int()?, parts.1[1].as_int()?);
@@ -187,9 +184,7 @@ pub fn ideal_coinflip(tag: &str) -> StructuredAutomaton {
             let tag = &tag_o;
             let parts = util::state_parts(q);
             match parts.0 {
-                "idle" => {
-                    (a == act_start(tag)).then(|| Disc::dirac(state("starting", vec![])))
-                }
+                "idle" => (a == act_start(tag)).then(|| Disc::dirac(state("starting", vec![]))),
                 "starting" => (a == act_pick(tag)).then(|| {
                     Disc::uniform_pow2(vec![
                         state("leaking", vec![Value::int(0)]),
@@ -205,9 +200,9 @@ pub fn ideal_coinflip(tag: &str) -> StructuredAutomaton {
                 // The simulator's b2 acts as the delivery go-ahead.
                 "wait-go" => {
                     let x = parts.1[0].as_int()?;
-                    (0..2).find(|&b| a == act_b2(tag, b)).map(|_| {
-                        Disc::dirac(state("announcing", vec![Value::int(x)]))
-                    })
+                    (0..2)
+                        .find(|&b| a == act_b2(tag, b))
+                        .map(|_| Disc::dirac(state("announcing", vec![Value::int(x)])))
                 }
                 "announcing" => {
                     let x = parts.1[0].as_int()?;
@@ -288,9 +283,9 @@ pub fn coinflip_adversary(tag: &str, strategy: Strategy) -> Arc<dyn Automaton> {
             let tag = &tag_o;
             let parts = util::state_parts(q);
             match parts.0 {
-                "watch" => (0..2).find(|&c| a == act_com(tag, c)).map(|c| {
-                    Disc::dirac(state("answering", vec![Value::int(strategy.choose(c))]))
-                }),
+                "watch" => (0..2)
+                    .find(|&c| a == act_com(tag, c))
+                    .map(|c| Disc::dirac(state("answering", vec![Value::int(strategy.choose(c))]))),
                 "answering" => {
                     let b2 = parts.1[0].as_int()?;
                     (a == act_b2(tag, b2)).then(|| Disc::dirac(state("waiting", vec![])))
@@ -299,10 +294,7 @@ pub fn coinflip_adversary(tag: &str, strategy: Strategy) -> Arc<dyn Automaton> {
                     for b1 in 0..2 {
                         for r in 0..2 {
                             if a == act_reveal(tag, b1, r) {
-                                return Some(Disc::dirac(state(
-                                    "reporting",
-                                    vec![Value::int(b1)],
-                                )));
+                                return Some(Disc::dirac(state("reporting", vec![Value::int(b1)])));
                             }
                         }
                     }
@@ -332,11 +324,7 @@ pub fn coinflip_simulator(tag: &str, strategy: Strategy) -> Arc<dyn Automaton> {
             let tag = &sig_tag;
             let parts = util::state_parts(q);
             match parts.0 {
-                "watch" => Signature::new(
-                    [act_leak_coin(tag, 0), act_leak_coin(tag, 1)],
-                    [],
-                    [],
-                ),
+                "watch" => Signature::new([act_leak_coin(tag, 0), act_leak_coin(tag, 1)], [], []),
                 "answering" => {
                     let b2 = parts.1[0].as_int().expect("answering carries b2");
                     Signature::new([], [act_b2(tag, b2)], [])
@@ -358,10 +346,7 @@ pub fn coinflip_simulator(tag: &str, strategy: Strategy) -> Arc<dyn Automaton> {
                         (0..2)
                             .map(|c| {
                                 let b2 = strategy.choose(c);
-                                state(
-                                    "answering",
-                                    vec![Value::int(b2), Value::int(x ^ b2)],
-                                )
+                                state("answering", vec![Value::int(b2), Value::int(x ^ b2)])
                             })
                             .collect::<Vec<_>>(),
                     )
@@ -370,7 +355,10 @@ pub fn coinflip_simulator(tag: &str, strategy: Strategy) -> Arc<dyn Automaton> {
                 "answering" => {
                     let b2 = parts.1[0].as_int()?;
                     (a == act_b2(tag, b2)).then(|| {
-                        Disc::dirac(state("reporting", vec![parts.1[0].clone(), parts.1[1].clone()]))
+                        Disc::dirac(state(
+                            "reporting",
+                            vec![parts.1[0].clone(), parts.1[1].clone()],
+                        ))
                     })
                 }
                 "reporting" => {
@@ -524,26 +512,21 @@ mod tests {
             Arc::new(real_coinflip(tag)) as Arc<dyn Automaton>,
             coinflip_adversary(tag, Strategy::MatchCom),
         ]);
-        let d = dpioa_sched::observation_dist(
-            &*world,
-            &dpioa_sched::FirstEnabled,
-            16,
-            |e| {
-                let mut coin = -1;
-                let mut saw = -1;
-                for (_, a, _) in e.steps() {
-                    for x in 0..2 {
-                        if a == act_coin(tag, x) {
-                            coin = x;
-                        }
-                        if a == act_saw(tag, x) {
-                            saw = x;
-                        }
+        let d = dpioa_sched::observation_dist(&*world, &dpioa_sched::FirstEnabled, 16, |e| {
+            let mut coin = -1;
+            let mut saw = -1;
+            for (_, a, _) in e.steps() {
+                for x in 0..2 {
+                    if a == act_coin(tag, x) {
+                        coin = x;
+                    }
+                    if a == act_saw(tag, x) {
+                        saw = x;
                     }
                 }
-                Value::tuple(vec![Value::int(coin), Value::int(saw)])
-            },
-        );
+            }
+            Value::tuple(vec![Value::int(coin), Value::int(saw)])
+        });
         // All four (coin, b1) combinations occur with probability 1/4.
         for coin in 0..2 {
             for b1 in 0..2 {
@@ -560,12 +543,15 @@ mod tests {
         let tag = "cf-run";
         let p = real_coinflip(tag);
         let mut q = p.start_state();
-        let path = [
-            act_start(tag),
-            act_pick(tag),
-        ];
+        let path = [act_start(tag), act_pick(tag)];
         for a in path {
-            q = p.transition(&q, a).unwrap().support().next().unwrap().clone();
+            q = p
+                .transition(&q, a)
+                .unwrap()
+                .support()
+                .next()
+                .unwrap()
+                .clone();
         }
         // After pick: a commitment output is enabled.
         assert_eq!(p.locally_controlled(&q).len(), 1);

@@ -96,10 +96,7 @@ fn real_commitment_with(tag: &str, equivocal: bool) -> StructuredAutomaton {
     let tag_o = tag.to_owned();
     let sig_tag = tag_o.clone();
     let auto = LambdaAutomaton::new(
-        format!(
-            "{}COM[{tag_o}]",
-            if equivocal { "Real" } else { "Det" }
-        ),
+        format!("{}COM[{tag_o}]", if equivocal { "Real" } else { "Det" }),
         state("idle", vec![]),
         move |q| {
             let tag = &sig_tag;
@@ -154,15 +151,11 @@ fn real_commitment_with(tag: &str, equivocal: bool) -> StructuredAutomaton {
                         parts.1[1].as_int()?,
                         parts.1[2].as_int()?,
                     );
-                    (a == act_com(tag, c)).then(|| {
-                        Disc::dirac(state("held", vec![Value::int(b), Value::int(r)]))
-                    })
+                    (a == act_com(tag, c))
+                        .then(|| Disc::dirac(state("held", vec![Value::int(b), Value::int(r)])))
                 }
                 "held" => (a == act_receipt(tag)).then(|| {
-                    Disc::dirac(state(
-                        "wait",
-                        vec![parts.1[0].clone(), parts.1[1].clone()],
-                    ))
+                    Disc::dirac(state("wait", vec![parts.1[0].clone(), parts.1[1].clone()]))
                 }),
                 "wait" => (a == act_open(tag)).then(|| {
                     Disc::dirac(state(
@@ -301,10 +294,7 @@ pub fn commitment_adversary(tag: &str) -> Arc<dyn Automaton> {
                         for r in 0..2 {
                             if a == act_reveal(tag, b, r) {
                                 let ok = (b ^ r) == c;
-                                return Some(Disc::dirac(state(
-                                    "checking",
-                                    vec![Value::Bool(ok)],
-                                )));
+                                return Some(Disc::dirac(state("checking", vec![Value::Bool(ok)])));
                             }
                         }
                     }
@@ -339,11 +329,9 @@ pub fn commitment_simulator(tag: &str) -> Arc<dyn Automaton> {
                     let c = parts.1[0].as_int().expect("seen carries c");
                     Signature::new([], [act_view(tag, c)], [])
                 }
-                "viewed" => Signature::new(
-                    [act_notify_open(tag, 0), act_notify_open(tag, 1)],
-                    [],
-                    [],
-                ),
+                "viewed" => {
+                    Signature::new([act_notify_open(tag, 0), act_notify_open(tag, 1)], [], [])
+                }
                 // Equivocation always verifies: verdict fixed to true.
                 "checking" => Signature::new([], [act_check(tag, true)], []),
                 _ => Signature::empty(),
@@ -515,8 +503,7 @@ mod tests {
     fn equivocation_achieves_zero_epsilon() {
         let tag = "cm-emu";
         let inst = commitment_instance(tag);
-        let envs: Vec<Arc<dyn Automaton>> =
-            (0..2).map(|b| committing_env(tag, b)).collect();
+        let envs: Vec<Arc<dyn Automaton>> = (0..2).map(|b| committing_env(tag, b)).collect();
         let schema = SchedulerSchema::priority_exhaustive_over(vec![
             act_view(tag, 0),
             act_view(tag, 1),

@@ -29,7 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
-pub mod util;
 pub mod coinflip;
 pub mod commitment;
 pub mod subchain;
+pub mod util;

@@ -73,10 +73,7 @@ pub fn subchain_child(tag: &str, i: i64, buffered: bool) -> Arc<dyn Automaton> {
     let tag_o = tag.to_owned();
     let sig_tag = tag_o.clone();
     LambdaAutomaton::new(
-        format!(
-            "{}Sub[{tag_o}][{i}]",
-            if buffered { "Buf" } else { "" }
-        ),
+        format!("{}Sub[{tag_o}][{i}]", if buffered { "Buf" } else { "" }),
         state("run", vec![Value::int(0)]),
         move |q| {
             let tag = &sig_tag;
@@ -121,8 +118,7 @@ pub fn subchain_child(tag: &str, i: i64, buffered: bool) -> Arc<dyn Automaton> {
                 }
                 "settle" => {
                     let total = parts.1[0].as_int()?;
-                    (a == act_settle(tag, i, total))
-                        .then(|| Disc::dirac(state("dead", vec![])))
+                    (a == act_settle(tag, i, total)).then(|| Disc::dirac(state("dead", vec![])))
                 }
                 _ => None,
             }
@@ -261,7 +257,10 @@ mod tests {
         let q4 = step(&pca, &q3, act_close(tag, 0));
         let q5 = step(&pca, &q4, act_settle(tag, 0, 3));
         assert!(!pca.config(&q5).contains(child_id(tag, 0)));
-        assert_eq!(pca.config(&q5), Configuration::new([(root_id(tag), Value::Unit)]));
+        assert_eq!(
+            pca.config(&q5),
+            Configuration::new([(root_id(tag), Value::Unit)])
+        );
     }
 
     #[test]
@@ -365,7 +364,10 @@ mod tests {
     fn closed_state_space_is_finite() {
         let tag = "sb-space";
         let script = vec![act_open(tag, 0), act_tx(tag, 0, 1), act_close(tag, 0)];
-        let world = compose2(driver(tag, script), ledger_pca(tag, false) as Arc<dyn Automaton>);
+        let world = compose2(
+            driver(tag, script),
+            ledger_pca(tag, false) as Arc<dyn Automaton>,
+        );
         let r = reachable_closed(&*world, ExploreLimits::default());
         assert!(!r.truncated);
         assert!(r.state_count() < 50, "states = {}", r.state_count());

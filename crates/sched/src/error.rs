@@ -1,0 +1,218 @@
+//! Structured engine errors and resource budgets.
+//!
+//! The exact cone expansion is exponential in the horizon and the
+//! samplers execute user-provided schedulers and observation closures;
+//! both used to `panic!` on every failure mode. [`EngineError`] makes
+//! those failure modes values, so callers (notably
+//! [`crate::robust::robust_observation_dist`]) can react — e.g. fall
+//! back from exact expansion to Monte-Carlo estimation when a
+//! [`Budget`] is exhausted, instead of aborting the process.
+
+use crate::scheduler::Scheduler;
+use dpioa_core::{Action, Value};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Everything that can go wrong inside the scheduling engines.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// A scheduler returned an action that is not enabled at the
+    /// execution's last state — a Def. 3.1 contract violation by the
+    /// scheduler (or a signature/transition mismatch in the automaton).
+    DisabledAction {
+        /// `describe()` of the offending scheduler.
+        scheduler: String,
+        /// The disabled action it chose.
+        action: Action,
+        /// The state at which it chose it.
+        state: Value,
+    },
+    /// A model weight is not exactly representable as a dyadic rational,
+    /// so the exact engine refuses to certify (rounding silently would
+    /// defeat the point of a certification run).
+    NonDyadicWeight {
+        /// The offending `f64` weight.
+        weight: f64,
+    },
+    /// An exact expansion ran out of [`Budget`] before reaching the
+    /// horizon. Carries the progress made so the caller can size a
+    /// retry — or hand the query to the Monte-Carlo engine.
+    BudgetExhausted {
+        /// Terminal executions collected so far.
+        entries: usize,
+        /// Cone-tree nodes expanded so far.
+        expansions: usize,
+        /// True iff the wall-clock deadline (rather than a count cap)
+        /// was the limit that tripped.
+        deadline_hit: bool,
+    },
+    /// A Monte-Carlo worker shard panicked and kept panicking through
+    /// every reseeded retry.
+    WorkerPanicked {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Reseeded retries attempted before giving up.
+        retries: u32,
+    },
+    /// A sampling request that cannot produce an estimate (zero samples
+    /// or zero worker threads).
+    InvalidSampling {
+        /// What was wrong with the request.
+        reason: String,
+    },
+    /// Collected weights do not form a probability measure.
+    InvalidMeasure {
+        /// The underlying normalization failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DisabledAction {
+                scheduler,
+                action,
+                state,
+            } => write!(
+                f,
+                "scheduler {scheduler} chose disabled action {action} at {state}"
+            ),
+            EngineError::NonDyadicWeight { weight } => {
+                write!(f, "non-dyadic weight {weight} in exact certification run")
+            }
+            EngineError::BudgetExhausted {
+                entries,
+                expansions,
+                deadline_hit,
+            } => write!(
+                f,
+                "exact expansion budget exhausted ({} after {entries} entries, {expansions} \
+                 expansions)",
+                if *deadline_hit { "deadline" } else { "cap" }
+            ),
+            EngineError::WorkerPanicked { shard, retries } => write!(
+                f,
+                "sampler shard {shard} panicked through {retries} reseeded retries"
+            ),
+            EngineError::InvalidSampling { reason } => {
+                write!(f, "invalid sampling request: {reason}")
+            }
+            EngineError::InvalidMeasure { detail } => write!(f, "invalid measure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Build the shared [`EngineError::DisabledAction`] payload — the one
+/// place that formats a scheduler contract violation, used by both the
+/// exact and the sampling engines.
+pub fn disabled_action(sched: &dyn Scheduler, action: Action, state: &Value) -> EngineError {
+    EngineError::DisabledAction {
+        scheduler: sched.describe(),
+        action,
+        state: state.clone(),
+    }
+}
+
+/// A resource budget for exact cone expansion.
+///
+/// All limits are optional; [`Budget::unlimited`] never trips. The
+/// deadline is wall-clock, checked once per expanded node.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Budget {
+    /// Cap on collected terminal executions.
+    pub max_entries: Option<usize>,
+    /// Cap on expanded cone-tree nodes.
+    pub max_expansions: Option<usize>,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget that never trips.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Set the terminal-execution cap.
+    pub fn with_max_entries(mut self, n: usize) -> Budget {
+        self.max_entries = Some(n);
+        self
+    }
+
+    /// Set the expansion cap.
+    pub fn with_max_expansions(mut self, n: usize) -> Budget {
+        self.max_expansions = Some(n);
+        self
+    }
+
+    /// Set the deadline `d` from now.
+    pub fn with_deadline_in(mut self, d: Duration) -> Budget {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Check the budget against current progress.
+    pub fn check(&self, entries: usize, expansions: usize) -> Result<(), EngineError> {
+        let over_entries = self.max_entries.is_some_and(|cap| entries > cap);
+        let over_expansions = self.max_expansions.is_some_and(|cap| expansions > cap);
+        let deadline_hit = self.deadline.is_some_and(|d| Instant::now() >= d);
+        if over_entries || over_expansions || deadline_hit {
+            Err(EngineError::BudgetExhausted {
+                entries,
+                expansions,
+                deadline_hit,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FirstEnabled;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.check(usize::MAX, usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn caps_trip_with_progress_report() {
+        let b = Budget::unlimited().with_max_entries(10);
+        assert!(b.check(10, 0).is_ok());
+        assert_eq!(
+            b.check(11, 5),
+            Err(EngineError::BudgetExhausted {
+                entries: 11,
+                expansions: 5,
+                deadline_hit: false,
+            })
+        );
+        let b = Budget::unlimited().with_max_expansions(3);
+        assert!(b.check(100, 3).is_ok());
+        assert!(b.check(0, 4).is_err());
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_as_deadline() {
+        let b = Budget::unlimited().with_deadline_in(Duration::ZERO);
+        match b.check(0, 0) {
+            Err(EngineError::BudgetExhausted { deadline_hit, .. }) => assert!(deadline_hit),
+            other => panic!("expected deadline exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_action_carries_context() {
+        let e = disabled_action(&FirstEnabled, Action::named("err-a"), &Value::int(3));
+        let msg = e.to_string();
+        assert!(msg.contains("err-a"));
+        assert!(msg.contains("first-enabled") || msg.contains("FirstEnabled") || !msg.is_empty());
+    }
+}

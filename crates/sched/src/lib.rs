@@ -17,23 +17,38 @@
 //!   components) and [`bounded::BoundedScheduler`] (Def. 4.6).
 //! * [`measure`] computes the execution measure `ε_σ` exactly by cone
 //!   expansion, and approximately by parallel Monte-Carlo sampling
-//!   (crossbeam fan-out, per-thread RNGs, merged histograms).
+//!   (scoped-thread fan-out, per-thread RNGs, merged histograms).
+//! * [`error`] and [`robust`] make the engines production-robust: every
+//!   failure mode is an [`EngineError`] value, exact expansion runs
+//!   under a [`Budget`], and [`robust_observation_dist`] degrades
+//!   gracefully from exact expansion to Monte-Carlo estimation with a
+//!   [`Provenance`] record saying which engine answered and with what
+//!   error bound.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounded;
+pub mod error;
 pub mod measure;
+pub mod robust;
 pub mod sample;
 pub mod scheduler;
 pub mod schema;
 
 pub use bounded::BoundedScheduler;
-pub use measure::{execution_measure, execution_measure_exact, observation_dist, ExecutionMeasure};
-pub use sample::{sample_execution, sample_observations, sample_observations_parallel};
+pub use error::{disabled_action, Budget, EngineError};
+pub use measure::{
+    execution_measure, execution_measure_exact, observation_dist, try_execution_measure,
+    try_execution_measure_exact, try_execution_measure_in, ExecutionMeasure,
+};
+pub use robust::{robust_observation_dist, EngineKind, Provenance, RobustConfig};
+pub use sample::{
+    sample_execution, sample_observations, sample_observations_parallel, try_sample_execution,
+    try_sample_observations, try_sample_observations_parallel, MAX_SHARD_RETRIES,
+};
 pub use scheduler::{
-    choice_from_disc, choose_uniform, HaltingMix, PriorityScheduler,
-    DeterministicScheduler, FirstEnabled, RandomScheduler, Scheduler, ScriptedScheduler,
-    TraceOblivious,
+    choice_from_disc, choose_uniform, DeterministicScheduler, FirstEnabled, HaltingMix,
+    PriorityScheduler, RandomScheduler, Scheduler, ScriptedScheduler, TraceOblivious,
 };
 pub use schema::{enumerate_scripts, permutations, SchedulerSchema};

@@ -11,7 +11,16 @@
 //! The engine is generic over the weight domain: [`execution_measure`] is
 //! the `f64` fast path, [`execution_measure_exact`] lifts every dyadic
 //! weight into exact rationals for certification runs.
+//!
+//! Expansion is exponential in the horizon, so the fallible entry points
+//! ([`try_execution_measure`], [`try_execution_measure_in`]) thread a
+//! [`Budget`] through the loop and return
+//! [`EngineError::BudgetExhausted`] instead of running away — the
+//! degradation path that [`crate::robust::robust_observation_dist`]
+//! turns into a Monte-Carlo fallback. The panicking wrappers are kept
+//! for call sites that treat these failures as model bugs.
 
+use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::{Automaton, Execution, Value};
 use dpioa_prob::{Disc, Ratio, Weight};
@@ -56,15 +65,27 @@ impl<W: Weight> ExecutionMeasure<W> {
     }
 
     /// The image measure under an observation function — the basis of
-    /// `f-dist` (Def. 3.5).
-    pub fn observe(&self, mut f: impl FnMut(&Execution) -> Value) -> Disc<Value, W> {
+    /// `f-dist` (Def. 3.5). Fallible form of [`ExecutionMeasure::observe`].
+    pub fn try_observe(
+        &self,
+        mut f: impl FnMut(&Execution) -> Value,
+    ) -> Result<Disc<Value, W>, EngineError> {
         Disc::from_entries(
             self.entries
                 .iter()
                 .map(|(e, w)| (f(e), w.clone()))
                 .collect(),
         )
-        .expect("execution measure weights sum to one")
+        .map_err(|e| EngineError::InvalidMeasure {
+            detail: format!("execution measure weights do not sum to one: {e:?}"),
+        })
+    }
+
+    /// The image measure under an observation function; panics if the
+    /// collected weights do not normalize.
+    pub fn observe(&self, f: impl FnMut(&Execution) -> Value) -> Disc<Value, W> {
+        self.try_observe(f)
+            .expect("execution measure weights sum to one")
     }
 
     /// The probability of the cone `C_α` (executions extending `α`),
@@ -80,24 +101,30 @@ impl<W: Weight> ExecutionMeasure<W> {
     }
 }
 
-/// Expand `ε_σ` exactly over `horizon` steps with a weight-lifting
-/// function (applied to every scheduler and transition weight).
-pub fn execution_measure_in<W: Weight>(
+/// Expand `ε_σ` over `horizon` steps under a [`Budget`], with a fallible
+/// weight-lifting function (applied to every scheduler and transition
+/// weight). This is the engine core; every other expansion entry point
+/// delegates here.
+pub fn try_execution_measure_in<W: Weight>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     horizon: usize,
-    lift: impl Fn(f64) -> W + Copy,
-) -> ExecutionMeasure<W> {
+    budget: &Budget,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+) -> Result<ExecutionMeasure<W>, EngineError> {
     let mut entries: Vec<(Execution, W)> = Vec::new();
     let mut stack: Vec<(Execution, W)> = vec![(Execution::start_of(auto), W::one())];
+    let mut expansions: usize = 0;
 
     while let Some((exec, weight)) = stack.pop() {
+        expansions += 1;
+        budget.check(entries.len(), expansions)?;
         if exec.len() >= horizon {
             entries.push((exec, weight));
             continue;
         }
         let choice = sched.schedule(auto, &exec);
-        let halt = lift(choice.halt_prob().to_f64());
+        let halt = lift(choice.halt_prob().to_f64())?;
         if choice.is_halt() {
             entries.push((exec, weight));
             continue;
@@ -106,22 +133,43 @@ pub fn execution_measure_in<W: Weight>(
             entries.push((exec.clone(), weight.mul(&halt)));
         }
         for (&a, p) in choice.iter() {
-            let p = lift(p.to_f64());
-            let eta = auto.transition(exec.lstate(), a).unwrap_or_else(|| {
-                panic!(
-                    "scheduler {} chose disabled action {a} at {}",
-                    sched.describe(),
-                    exec.lstate()
-                )
-            });
+            let p = lift(p.to_f64())?;
+            let Some(eta) = auto.transition(exec.lstate(), a) else {
+                return Err(disabled_action(sched, a, exec.lstate()));
+            };
             for (q2, r) in eta.iter() {
-                let r = lift(r.to_f64());
+                let r = lift(r.to_f64())?;
                 stack.push((exec.extend(a, q2.clone()), weight.mul(&p).mul(&r)));
             }
         }
     }
 
-    ExecutionMeasure { entries, horizon }
+    Ok(ExecutionMeasure { entries, horizon })
+}
+
+/// Expand `ε_σ` exactly over `horizon` steps with an infallible
+/// weight-lifting function and no budget. Panics on scheduler contract
+/// violations; prefer [`try_execution_measure_in`] in library code.
+pub fn execution_measure_in<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    lift: impl Fn(f64) -> W + Copy,
+) -> ExecutionMeasure<W> {
+    match try_execution_measure_in(auto, sched, horizon, &Budget::unlimited(), |w| Ok(lift(w))) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The `f64` execution measure under a [`Budget`].
+pub fn try_execution_measure(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+) -> Result<ExecutionMeasure<f64>, EngineError> {
+    try_execution_measure_in(auto, sched, horizon, budget, Ok)
 }
 
 /// The `f64` execution measure.
@@ -133,6 +181,21 @@ pub fn execution_measure(
     execution_measure_in(auto, sched, horizon, |w| w)
 }
 
+/// The exact-rational execution measure under a [`Budget`]. Returns
+/// [`EngineError::NonDyadicWeight`] if any weight in the model is not
+/// exactly representable (i.e. not a ratio within `i128` range) —
+/// certification runs must fail loudly rather than silently round.
+pub fn try_execution_measure_exact(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+) -> Result<ExecutionMeasure<Ratio>, EngineError> {
+    try_execution_measure_in(auto, sched, horizon, budget, |w| {
+        Ratio::from_f64_exact(w).ok_or(EngineError::NonDyadicWeight { weight: w })
+    })
+}
+
 /// The exact-rational execution measure. Panics if any weight in the
 /// model is not exactly representable (i.e. not dyadic within `i128`
 /// range) — certification runs must fail loudly.
@@ -141,9 +204,10 @@ pub fn execution_measure_exact(
     sched: &dyn Scheduler,
     horizon: usize,
 ) -> ExecutionMeasure<Ratio> {
-    execution_measure_in(auto, sched, horizon, |w| {
-        Ratio::from_f64_exact(w).expect("non-dyadic weight in exact certification run")
-    })
+    match try_execution_measure_exact(auto, sched, horizon, &Budget::unlimited()) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// One-call helper: the distribution of `f(execution)` under `ε_σ`.
@@ -272,5 +336,89 @@ mod tests {
         let (e, w) = m.iter().next().unwrap();
         assert_eq!(e.len(), 0);
         assert_eq!(*w, 1.0);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_run() {
+        let auto = coin();
+        let free = execution_measure(&auto, &FirstEnabled, 3);
+        let budgeted = try_execution_measure(
+            &auto,
+            &FirstEnabled,
+            3,
+            &Budget::unlimited()
+                .with_max_entries(1_000)
+                .with_max_expansions(1_000),
+        )
+        .unwrap();
+        assert_eq!(free.len(), budgeted.len());
+        assert!((budgeted.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_expansion_budget_exhausts_with_progress() {
+        let auto = coin();
+        let err = try_execution_measure(
+            &auto,
+            &FirstEnabled,
+            5,
+            &Budget::unlimited().with_max_expansions(2),
+        )
+        .unwrap_err();
+        match err {
+            EngineError::BudgetExhausted {
+                expansions,
+                deadline_hit,
+                ..
+            } => {
+                assert_eq!(expansions, 3);
+                assert!(!deadline_hit);
+            }
+            other => panic!("expected budget exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn exact_budget_variant_exhausts_too() {
+        let auto = coin();
+        let err = try_execution_measure_exact(
+            &auto,
+            &FirstEnabled,
+            5,
+            &Budget::unlimited().with_max_entries(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { .. }));
+    }
+
+    /// A scheduler that deliberately violates Def. 3.1 by choosing an
+    /// action that is never enabled.
+    struct Rogue;
+    impl crate::scheduler::Scheduler for Rogue {
+        fn schedule(
+            &self,
+            _auto: &dyn Automaton,
+            _exec: &Execution,
+        ) -> dpioa_prob::SubDisc<Action> {
+            dpioa_prob::SubDisc::dirac(act("m-rogue"))
+        }
+        fn describe(&self) -> String {
+            "rogue".into()
+        }
+    }
+
+    #[test]
+    fn disabled_action_is_an_error_not_a_panic() {
+        let auto = coin();
+        let err = try_execution_measure(&auto, &Rogue, 3, &Budget::unlimited()).unwrap_err();
+        match err {
+            EngineError::DisabledAction {
+                scheduler, action, ..
+            } => {
+                assert_eq!(scheduler, "rogue");
+                assert_eq!(action, act("m-rogue"));
+            }
+            other => panic!("expected disabled-action error, got {other}"),
+        }
     }
 }

@@ -1,0 +1,236 @@
+//! Graceful degradation: exact expansion under budget, Monte-Carlo
+//! fallback with provenance.
+//!
+//! [`robust_observation_dist`] is the production entry point for
+//! observation distributions: it first attempts the exact cone expansion
+//! under a caller-supplied [`Budget`]; if (and only if) the budget is
+//! exhausted it degrades to the parallel Monte-Carlo sampler and reports
+//! that it did so — the returned [`Provenance`] names the engine that
+//! answered and a statistical error bound, so downstream emulation
+//! distances can widen their ε accordingly instead of silently treating
+//! an estimate as exact.
+
+use crate::error::{Budget, EngineError};
+use crate::measure::try_execution_measure;
+use crate::sample::try_sample_observations_parallel;
+use crate::scheduler::Scheduler;
+use dpioa_core::{Automaton, Execution, Value};
+use dpioa_prob::Disc;
+
+/// Which engine produced an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Exact cone expansion: the distribution is exact (up to `f64`
+    /// weight arithmetic).
+    Exact,
+    /// Parallel Monte-Carlo sampling: the distribution is an estimate.
+    MonteCarlo,
+}
+
+/// How a [`robust_observation_dist`] answer was produced.
+#[derive(Clone, Debug)]
+pub struct Provenance {
+    /// The engine that answered.
+    pub engine: EngineKind,
+    /// Why the exact engine was abandoned (`None` when it answered).
+    pub fallback_reason: Option<EngineError>,
+    /// Samples drawn (Monte-Carlo only).
+    pub samples: Option<usize>,
+    /// Worker threads used (Monte-Carlo only).
+    pub threads: Option<usize>,
+    /// A bound `b` such that every event probability in the returned
+    /// distribution is within `b` of its true value with probability at
+    /// least `1 − confidence_delta` (DKW inequality). `0.0` for exact
+    /// answers.
+    pub error_bound: f64,
+    /// The `δ` used for [`Provenance::error_bound`].
+    pub confidence_delta: f64,
+}
+
+impl Provenance {
+    fn exact() -> Provenance {
+        Provenance {
+            engine: EngineKind::Exact,
+            fallback_reason: None,
+            samples: None,
+            threads: None,
+            error_bound: 0.0,
+            confidence_delta: 0.0,
+        }
+    }
+}
+
+/// Configuration for [`robust_observation_dist`].
+#[derive(Clone, Debug)]
+pub struct RobustConfig {
+    /// Budget for the exact attempt.
+    pub budget: Budget,
+    /// Monte-Carlo samples on fallback.
+    pub mc_samples: usize,
+    /// Monte-Carlo worker threads.
+    pub mc_threads: usize,
+    /// Monte-Carlo base seed.
+    pub mc_seed: u64,
+    /// Confidence parameter `δ` for the reported DKW error bound.
+    pub confidence_delta: f64,
+}
+
+impl Default for RobustConfig {
+    fn default() -> RobustConfig {
+        RobustConfig {
+            budget: Budget::unlimited().with_max_entries(1 << 16),
+            mc_samples: 100_000,
+            mc_threads: 4,
+            mc_seed: 0xD10A,
+            confidence_delta: 1e-3,
+        }
+    }
+}
+
+/// The DKW sampling-error bound `sqrt(ln(2/δ) / 2n)`.
+fn dkw_bound(n: usize, delta: f64) -> f64 {
+    ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// The distribution of `observe(execution)` under `ε_σ`, computed
+/// exactly when the budget allows and estimated by Monte-Carlo when it
+/// does not.
+///
+/// Errors other than budget exhaustion (scheduler contract violations,
+/// invalid sampling parameters, a sampler shard that keeps panicking)
+/// are returned as-is: they are deterministic and a different engine
+/// would not fix them.
+pub fn robust_observation_dist(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    observe: impl Fn(&Execution) -> Value + Sync,
+    config: &RobustConfig,
+) -> Result<(Disc<Value>, Provenance), EngineError> {
+    match try_execution_measure(auto, sched, horizon, &config.budget) {
+        Ok(measure) => {
+            let dist = measure.try_observe(&observe)?;
+            Ok((dist, Provenance::exact()))
+        }
+        Err(reason @ EngineError::BudgetExhausted { .. }) => {
+            let dist = try_sample_observations_parallel(
+                auto,
+                sched,
+                horizon,
+                config.mc_samples,
+                config.mc_seed,
+                config.mc_threads,
+                &observe,
+            )?;
+            Ok((
+                dist,
+                Provenance {
+                    engine: EngineKind::MonteCarlo,
+                    fallback_reason: Some(reason),
+                    samples: Some(config.mc_samples),
+                    threads: Some(config.mc_threads),
+                    error_bound: dkw_bound(config.mc_samples, config.confidence_delta),
+                    confidence_delta: config.confidence_delta,
+                },
+            ))
+        }
+        Err(other) => Err(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FirstEnabled;
+    use dpioa_core::{Action, ExplicitAutomaton, Signature};
+    use dpioa_prob::tv_distance;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn coin() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("r-coin", Value::int(0))
+            .state(0, Signature::new([], [], [act("r-flip")]))
+            .state(1, Signature::new([], [], []))
+            .state(2, Signature::new([], [], []))
+            .transition(
+                0,
+                act("r-flip"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+            )
+            .build()
+    }
+
+    #[test]
+    fn exact_engine_answers_under_generous_budget() {
+        let auto = coin();
+        let (dist, prov) =
+            robust_observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone(), &{
+                RobustConfig::default()
+            })
+            .unwrap();
+        assert_eq!(prov.engine, EngineKind::Exact);
+        assert!(prov.fallback_reason.is_none());
+        assert_eq!(prov.error_bound, 0.0);
+        assert_eq!(dist.prob(&Value::int(1)), 0.5);
+    }
+
+    #[test]
+    fn exhausted_budget_falls_back_to_monte_carlo_with_provenance() {
+        let auto = coin();
+        let config = RobustConfig {
+            budget: Budget::unlimited().with_max_expansions(1),
+            mc_samples: 40_000,
+            mc_threads: 2,
+            ..RobustConfig::default()
+        };
+        let (dist, prov) =
+            robust_observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone(), &config)
+                .unwrap();
+        assert_eq!(prov.engine, EngineKind::MonteCarlo);
+        assert!(matches!(
+            prov.fallback_reason,
+            Some(EngineError::BudgetExhausted { .. })
+        ));
+        assert_eq!(prov.samples, Some(40_000));
+        assert!(prov.error_bound > 0.0 && prov.error_bound < 0.05);
+        // The estimate still tracks the exact answer.
+        let exact =
+            crate::measure::observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone());
+        assert!(tv_distance(&exact, &dist) < 0.02);
+    }
+
+    #[test]
+    fn non_budget_errors_are_not_masked() {
+        struct Rogue;
+        impl Scheduler for Rogue {
+            fn schedule(
+                &self,
+                _auto: &dyn Automaton,
+                _exec: &Execution,
+            ) -> dpioa_prob::SubDisc<Action> {
+                dpioa_prob::SubDisc::dirac(act("r-rogue"))
+            }
+            fn describe(&self) -> String {
+                "rogue".into()
+            }
+        }
+        let auto = coin();
+        let err = robust_observation_dist(
+            &auto,
+            &Rogue,
+            1,
+            |e| e.lstate().clone(),
+            &RobustConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::DisabledAction { .. }));
+    }
+
+    #[test]
+    fn dkw_bound_shrinks_with_samples() {
+        assert!(dkw_bound(100, 1e-3) > dkw_bound(10_000, 1e-3));
+        assert!((dkw_bound(50_000, 1e-3) - ((2000.0f64).ln() / 100_000.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -2,10 +2,18 @@
 //!
 //! The exact cone expansion of [`crate::measure`] is exponential in the
 //! horizon; the sampler trades exactness for scalability. The parallel
-//! variant fans out over `crossbeam::scope` with one deterministically
+//! variant fans out over `std::thread::scope` with one deterministically
 //! seeded RNG per worker and per-thread histograms merged at join — no
 //! shared mutable state inside the hot loop.
+//!
+//! Robustness: the `try_*` entry points return [`EngineError`] instead
+//! of panicking, and the parallel sampler isolates worker panics per
+//! shard — a shard that panics (e.g. a user observation closure hitting
+//! a transient bug) is re-run with a fresh seed up to
+//! [`MAX_SHARD_RETRIES`] times before the whole call gives up with
+//! [`EngineError::WorkerPanicked`]. Other shards are unaffected.
 
+use crate::error::{disabled_action, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::{Automaton, Execution, Value};
 use dpioa_prob::sample::{sample_disc, sample_subdisc};
@@ -14,55 +22,188 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
+/// Reseeded re-runs granted to a panicking sampler shard before the
+/// parallel sampler reports [`EngineError::WorkerPanicked`].
+pub const MAX_SHARD_RETRIES: u32 = 3;
+
 /// Sample one execution of `auto` under `sched`, stopping on halt, on a
-/// disabled universe, or at `horizon` steps.
-pub fn sample_execution<R: Rng + ?Sized>(
+/// disabled universe, or at `horizon` steps. Returns
+/// [`EngineError::DisabledAction`] if the scheduler chooses an action
+/// with no transition (a Def. 3.1 contract violation).
+pub fn try_sample_execution<R: Rng + ?Sized>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     horizon: usize,
     rng: &mut R,
-) -> Execution {
+) -> Result<Execution, EngineError> {
     let mut exec = Execution::start_of(auto);
     while exec.len() < horizon {
         let choice = sched.schedule(auto, &exec);
         let Some(a) = sample_subdisc(&choice, rng) else {
             break;
         };
-        let eta = auto.transition(exec.lstate(), a).unwrap_or_else(|| {
-            panic!(
-                "scheduler {} chose disabled action {a} at {}",
-                sched.describe(),
-                exec.lstate()
-            )
-        });
+        let Some(eta) = auto.transition(exec.lstate(), a) else {
+            return Err(disabled_action(sched, a, exec.lstate()));
+        };
         let q2 = sample_disc(&eta, rng);
         exec.push(a, q2);
     }
-    exec
+    Ok(exec)
+}
+
+/// Sample one execution; panics on scheduler contract violations.
+pub fn sample_execution<R: Rng + ?Sized>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    rng: &mut R,
+) -> Execution {
+    match try_sample_execution(auto, sched, horizon, rng) {
+        Ok(e) => e,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Estimate the observation distribution by `n` sequential samples.
-pub fn sample_observations(
+pub fn try_sample_observations(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     horizon: usize,
     n: usize,
     seed: u64,
     mut observe: impl FnMut(&Execution) -> Value,
-) -> Disc<Value> {
-    assert!(n > 0, "cannot estimate from zero samples");
+) -> Result<Disc<Value>, EngineError> {
+    if n == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot estimate from zero samples".into(),
+        });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hist: HashMap<Value, u64> = HashMap::new();
     for _ in 0..n {
-        let e = sample_execution(auto, sched, horizon, &mut rng);
+        let e = try_sample_execution(auto, sched, horizon, &mut rng)?;
         *hist.entry(observe(&e)).or_insert(0) += 1;
     }
     hist_to_disc(hist, n)
 }
 
+/// Estimate the observation distribution by `n` sequential samples;
+/// panics on any engine error.
+pub fn sample_observations(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    n: usize,
+    seed: u64,
+    observe: impl FnMut(&Execution) -> Value,
+) -> Disc<Value> {
+    match try_sample_observations(auto, sched, horizon, n, seed, observe) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The seed for one shard's RNG: attempt 0 reproduces the historical
+/// `seed + shard` streams; each retry re-mixes so a panic caused by an
+/// unlucky sample path is not replayed verbatim.
+fn shard_seed(seed: u64, shard: usize, attempt: u32) -> u64 {
+    seed.wrapping_add(shard as u64)
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Estimate the observation distribution by `n` samples fanned out over
 /// `threads` workers. Worker `i` is seeded with `seed + i`, so the result
-/// is deterministic for a fixed `(seed, threads, n)`.
+/// is deterministic for a fixed `(seed, threads, n)` (as long as no shard
+/// needed a panic retry).
+///
+/// Worker panics are isolated per shard: a panicking shard is re-run
+/// with a reseeded RNG up to [`MAX_SHARD_RETRIES`] times; deterministic
+/// failures ([`EngineError`] values) are returned immediately.
+pub fn try_sample_observations_parallel(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    observe: impl Fn(&Execution) -> Value + Sync,
+) -> Result<Disc<Value>, EngineError> {
+    if n == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot estimate from zero samples".into(),
+        });
+    }
+    if threads == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "need at least one worker".into(),
+        });
+    }
+    let per = n / threads;
+    let extra = n % threads;
+    let mut shards: Vec<Option<HashMap<Value, u64>>> = (0..threads).map(|_| None).collect();
+
+    for attempt in 0..=MAX_SHARD_RETRIES {
+        let pending: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(t, _)| t)
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        type ShardOutcome = std::thread::Result<Result<HashMap<Value, u64>, EngineError>>;
+        let joined: Vec<(usize, ShardOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pending
+                .iter()
+                .map(|&t| {
+                    let observe = &observe;
+                    let count = per + usize::from(t < extra);
+                    let handle = scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(shard_seed(seed, t, attempt));
+                        let mut hist: HashMap<Value, u64> = HashMap::new();
+                        for _ in 0..count {
+                            let e = try_sample_execution(auto, sched, horizon, &mut rng)?;
+                            *hist.entry(observe(&e)).or_insert(0) += 1;
+                        }
+                        Ok(hist)
+                    });
+                    (t, handle)
+                })
+                .collect();
+            handles.into_iter().map(|(t, h)| (t, h.join())).collect()
+        });
+        for (t, outcome) in joined {
+            match outcome {
+                Ok(Ok(hist)) => shards[t] = Some(hist),
+                // A structured engine error is deterministic — retrying
+                // the shard would fail identically.
+                Ok(Err(e)) => return Err(e),
+                // The shard panicked; leave it pending for the next
+                // (reseeded) attempt.
+                Err(_panic_payload) => {}
+            }
+        }
+    }
+
+    if let Some(shard) = shards.iter().position(|s| s.is_none()) {
+        return Err(EngineError::WorkerPanicked {
+            shard,
+            retries: MAX_SHARD_RETRIES,
+        });
+    }
+
+    let mut merged: HashMap<Value, u64> = HashMap::new();
+    for hist in shards.into_iter().flatten() {
+        for (k, v) in hist {
+            *merged.entry(k).or_insert(0) += v;
+        }
+    }
+    hist_to_disc(merged, n)
+}
+
+/// Estimate the observation distribution in parallel; panics on any
+/// engine error (including a shard that exhausted its panic retries).
 pub fn sample_observations_parallel(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
@@ -72,49 +213,33 @@ pub fn sample_observations_parallel(
     threads: usize,
     observe: impl Fn(&Execution) -> Value + Sync,
 ) -> Disc<Value> {
-    assert!(n > 0, "cannot estimate from zero samples");
-    assert!(threads > 0, "need at least one worker");
-    let per = n / threads;
-    let extra = n % threads;
-    let mut partials: Vec<HashMap<Value, u64>> = Vec::with_capacity(threads);
-
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let count = per + usize::from(t < extra);
-            let observe = &observe;
-            handles.push(scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
-                let mut hist: HashMap<Value, u64> = HashMap::new();
-                for _ in 0..count {
-                    let e = sample_execution(auto, sched, horizon, &mut rng);
-                    *hist.entry(observe(&e)).or_insert(0) += 1;
-                }
-                hist
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("sampler worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-
-    let mut merged: HashMap<Value, u64> = HashMap::new();
-    for p in partials {
-        for (k, v) in p {
-            *merged.entry(k).or_insert(0) += v;
-        }
+    match try_sample_observations_parallel(auto, sched, horizon, n, seed, threads, observe) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
     }
-    hist_to_disc(merged, n)
 }
 
-fn hist_to_disc(hist: HashMap<Value, u64>, n: usize) -> Disc<Value> {
-    Disc::from_entries(
-        hist.into_iter()
-            .map(|(v, c)| (v, c as f64 / n as f64))
-            .collect(),
-    )
-    .expect("histogram frequencies sum to one")
+/// Turn a sample histogram into a distribution. The naive frequencies
+/// `c / n` need not sum to exactly 1.0 in floating point when `n` is not
+/// a power of two, so the frequencies are renormalized by their actual
+/// sum instead of leaning on `Disc::from_entries`' tolerance.
+fn hist_to_disc(hist: HashMap<Value, u64>, n: usize) -> Result<Disc<Value>, EngineError> {
+    let total: u64 = hist.values().sum();
+    if total as usize != n {
+        return Err(EngineError::InvalidSampling {
+            reason: format!("histogram holds {total} samples, expected {n}"),
+        });
+    }
+    let raw: Vec<(Value, f64)> = hist
+        .into_iter()
+        .map(|(v, c)| (v, c as f64 / total as f64))
+        .collect();
+    let sum: f64 = raw.iter().map(|(_, w)| *w).sum();
+    Disc::from_entries(raw.into_iter().map(|(v, w)| (v, w / sum)).collect()).map_err(|e| {
+        EngineError::InvalidMeasure {
+            detail: format!("sample histogram does not normalize: {e:?}"),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -124,6 +249,7 @@ mod tests {
     use crate::scheduler::FirstEnabled;
     use dpioa_core::{Action, ExplicitAutomaton, Signature};
     use dpioa_prob::tv_distance;
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
     fn act(s: &str) -> Action {
         Action::named(s)
@@ -191,5 +317,91 @@ mod tests {
         });
         let total: f64 = d.iter().map(|(_, w)| *w).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_power_of_two_sample_counts_normalize_exactly() {
+        let auto = coin();
+        // 3 and 7 divide into non-dyadic frequencies; the renormalized
+        // histogram must sum to exactly 1.0.
+        for n in [3usize, 7, 997, 10_001] {
+            let d = sample_observations(&auto, &FirstEnabled, 1, n, 11, |e| e.lstate().clone());
+            let total: f64 = d.iter().map(|(_, w)| *w).sum();
+            assert_eq!(total, 1.0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn zero_samples_is_a_structured_error() {
+        let auto = coin();
+        let err = try_sample_observations(&auto, &FirstEnabled, 1, 0, 1, |e| e.lstate().clone())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSampling { .. }));
+        let err = try_sample_observations_parallel(&auto, &FirstEnabled, 1, 100, 1, 0, |e| {
+            e.lstate().clone()
+        })
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSampling { .. }));
+    }
+
+    /// A scheduler that violates Def. 3.1 by choosing a disabled action.
+    struct Rogue;
+    impl Scheduler for Rogue {
+        fn schedule(
+            &self,
+            _auto: &dyn Automaton,
+            _exec: &Execution,
+        ) -> dpioa_prob::SubDisc<Action> {
+            dpioa_prob::SubDisc::dirac(act("s-rogue"))
+        }
+        fn describe(&self) -> String {
+            "rogue".into()
+        }
+    }
+
+    #[test]
+    fn disabled_action_propagates_from_workers() {
+        let auto = coin();
+        let err =
+            try_sample_observations_parallel(&auto, &Rogue, 3, 1_000, 1, 4, |e| e.lstate().clone())
+                .unwrap_err();
+        assert!(matches!(err, EngineError::DisabledAction { .. }));
+    }
+
+    #[test]
+    fn transient_worker_panic_is_retried_and_recovered() {
+        let auto = coin();
+        let tripped = AtomicBool::new(false);
+        // The first observation ever panics; every later one succeeds.
+        // The panicking shard must be re-run (reseeded) and the call
+        // still deliver a full, normalized estimate.
+        let d = try_sample_observations_parallel(&auto, &FirstEnabled, 1, 4_000, 5, 2, |e| {
+            if !tripped.swap(true, Ordering::SeqCst) {
+                panic!("transient fault injected by test");
+            }
+            e.lstate().clone()
+        })
+        .unwrap();
+        let total: f64 = d.iter().map(|(_, w)| *w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persistent_worker_panic_exhausts_retries() {
+        let auto = coin();
+        let calls = AtomicU32::new(0);
+        let err = try_sample_observations_parallel(&auto, &FirstEnabled, 1, 400, 5, 2, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            panic!("permanent fault injected by test");
+        })
+        .unwrap_err();
+        match err {
+            EngineError::WorkerPanicked { retries, .. } => {
+                assert_eq!(retries, MAX_SHARD_RETRIES);
+            }
+            other => panic!("expected worker-panic error, got {other}"),
+        }
+        // Both shards were attempted on every round.
+        assert_eq!(calls.load(Ordering::SeqCst), 2 * (MAX_SHARD_RETRIES + 1));
     }
 }

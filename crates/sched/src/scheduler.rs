@@ -140,9 +140,7 @@ impl Scheduler for ScriptedScheduler {
     fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
         let sig = auto.signature(exec.lstate());
         match self.script.get(exec.len()) {
-            Some(&a) if sig.output.contains(&a) || sig.internal.contains(&a) => {
-                SubDisc::dirac(a)
-            }
+            Some(&a) if sig.output.contains(&a) || sig.internal.contains(&a) => SubDisc::dirac(a),
             _ => SubDisc::halt(),
         }
     }

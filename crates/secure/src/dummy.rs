@@ -22,7 +22,35 @@ use dpioa_core::{compose, Action, ActionSet, Automaton, Execution, Signature, Va
 use dpioa_prob::{Disc, SubDisc};
 use dpioa_sched::Scheduler;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
+
+/// A dummy-adversary state (or pending action) that does not decode.
+///
+/// These can only arise from states fabricated outside the dummy's own
+/// transition function; the `Automaton` impl treats them as *destroyed*
+/// (empty signature) instead of panicking, and the fallible decoders
+/// surface the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DummyError {
+    /// The state value is neither `⊥` (`Unit`) nor a pending action name.
+    MalformedState(String),
+    /// The pending action is neither in `AO_A` nor in `g(AI_A)`.
+    UnknownPending(Action),
+}
+
+impl fmt::Display for DummyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DummyError::MalformedState(s) => write!(f, "malformed dummy state {s}"),
+            DummyError::UnknownPending(a) => {
+                write!(f, "dummy pending {a} is neither AO nor g(AI)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DummyError {}
 
 /// The dummy adversary `Dummy(A, g)` of Def. 4.27.
 pub struct DummyAdversary {
@@ -44,7 +72,11 @@ impl DummyAdversary {
         let (ai, ao) = system.universal_adv_io();
         let g_ai: ActionSet = ai.iter().map(|a| g[a]).collect();
         let g_inv: HashMap<Action, Action> = g.iter().map(|(&a, &b)| (b, a)).collect();
-        assert_eq!(g_inv.len(), g.len(), "adversary renaming g must be injective");
+        assert_eq!(
+            g_inv.len(),
+            g.len(),
+            "adversary renaming g must be injective"
+        );
         DummyAdversary {
             name: format!("Dummy({})", system.name()),
             ao,
@@ -54,22 +86,31 @@ impl DummyAdversary {
         }
     }
 
-    fn pending_of(q: &Value) -> Option<Action> {
+    /// Decode the `pending` variable of Def. 4.27 (`None` = `⊥`).
+    fn try_pending_of(q: &Value) -> Result<Option<Action>, DummyError> {
         match q {
-            Value::Unit => None,
-            Value::Str(s) => Some(Action::named(s.as_ref())),
-            other => panic!("malformed dummy state {other}"),
+            Value::Unit => Ok(None),
+            Value::Str(s) => Ok(Some(Action::named(s.as_ref()))),
+            other => Err(DummyError::MalformedState(other.to_string())),
         }
     }
 
     /// The action the dummy will emit from a pending state.
-    fn forward_of(&self, pending: Action) -> Action {
+    fn try_forward_of(&self, pending: Action) -> Result<Action, DummyError> {
         if let Some(&renamed) = self.g.get(&pending) {
-            renamed // pending ∈ AO_A: forward renamed to the adversary
+            Ok(renamed) // pending ∈ AO_A: forward renamed to the adversary
         } else if let Some(&orig) = self.g_inv.get(&pending) {
-            orig // pending ∈ g(AI_A): forward un-renamed to A
+            Ok(orig) // pending ∈ g(AI_A): forward un-renamed to A
         } else {
-            panic!("dummy pending {pending} is neither AO nor g(AI)")
+            Err(DummyError::UnknownPending(pending))
+        }
+    }
+
+    /// The forward enabled at `q`, if any. Errors on undecodable states.
+    pub fn try_forward_at(&self, q: &Value) -> Result<Option<Action>, DummyError> {
+        match Self::try_pending_of(q)? {
+            None => Ok(None),
+            Some(p) => self.try_forward_of(p).map(Some),
         }
     }
 }
@@ -84,8 +125,14 @@ impl Automaton for DummyAdversary {
     }
 
     fn signature(&self, q: &Value) -> Signature {
+        // An undecodable state is treated as destroyed (empty signature)
+        // rather than a panic; `transition` is consistent because it
+        // derives enabling from this signature.
+        let output = match self.try_forward_at(q) {
+            Ok(output) => output,
+            Err(_) => return Signature::empty(),
+        };
         let inputs: ActionSet = self.ao.union(&self.g_ai).copied().collect();
-        let output = Self::pending_of(q).map(|p| self.forward_of(p));
         Signature::new(inputs, output, [])
     }
 
@@ -192,7 +239,11 @@ impl DummyInsertion {
     }
 
     pub(crate) fn drop_dummy_component(q: &Value) -> Value {
-        Value::tuple(vec![q.proj(0).clone(), q.proj(1).clone(), q.proj(3).clone()])
+        Value::tuple(vec![
+            q.proj(0).clone(),
+            q.proj(1).clone(),
+            q.proj(3).clone(),
+        ])
     }
 
     /// The inverse of `Forward^e`: collapse a world-2 execution back into
@@ -211,7 +262,7 @@ impl DummyInsertion {
     /// and the forward must fire next).
     pub fn pending_forward(&self, exec2: &Execution) -> Option<Action> {
         let q_dummy = exec2.lstate().proj(2);
-        DummyAdversary::pending_of(q_dummy).map(|p| self.dummy.forward_of(p))
+        self.dummy.try_forward_at(q_dummy).ok().flatten()
     }
 
     /// `Forward^s` (Lemma D.1): lift a world-1 scheduler to the world-2
@@ -311,10 +362,14 @@ pub struct ForwardScheduler {
 
 impl Scheduler for ForwardScheduler {
     fn schedule(&self, _world2: &dyn Automaton, exec2: &Execution) -> SubDisc<Action> {
-        // Mid-pair: the forward fires deterministically.
+        // Mid-pair: the forward fires deterministically. Undecodable
+        // dummy states halt (they are unreachable under this scheduler,
+        // and halting keeps the sub-measure valid instead of panicking).
         let q_dummy = exec2.lstate().proj(2);
-        if let Some(pending) = DummyAdversary::pending_of(q_dummy) {
-            return SubDisc::dirac(self.insertion.dummy.forward_of(pending));
+        match self.insertion.dummy.try_forward_at(q_dummy) {
+            Ok(Some(forward)) => return SubDisc::dirac(forward),
+            Ok(None) => {}
+            Err(_) => return SubDisc::halt(),
         }
         // Otherwise mimic σ on the collapsed execution.
         let Some(exec1) = self.insertion.collapse(exec2) else {
@@ -480,6 +535,48 @@ mod tests {
     }
 
     #[test]
+    fn malformed_dummy_states_degrade_instead_of_panicking() {
+        let ins = DummyInsertion::new(party(), "@g");
+        let d = ins.dummy();
+        // A tuple is not a valid dummy state: destroyed, not a panic.
+        let bad = Value::tuple(vec![Value::int(1)]);
+        assert!(d.signature(&bad).is_empty());
+        assert!(d.transition(&bad, act("du-leak")).is_none());
+        // A pending action outside AO ∪ g(AI) likewise.
+        let rogue = Value::str("du-not-an-action");
+        assert!(d.signature(&rogue).is_empty());
+        // The fallible decoders surface the reasons.
+        assert_eq!(
+            ins.dummy.try_forward_at(&bad),
+            Err(DummyError::MalformedState(bad.to_string()))
+        );
+        assert_eq!(
+            ins.dummy.try_forward_at(&rogue),
+            Err(DummyError::UnknownPending(act("du-not-an-action")))
+        );
+        assert_eq!(ins.dummy.try_forward_at(&Value::Unit), Ok(None));
+    }
+
+    #[test]
+    fn forward_scheduler_halts_on_undecodable_dummy_state() {
+        let ins = DummyInsertion::new(party(), "@g");
+        let (e, a) = (env(), adv());
+        let w1 = ins.world_direct(&e, &a);
+        let w2 = ins.world_dummy(&e, &a);
+        let sched2 = ins.forward_scheduler(w1, Arc::new(FirstEnabled));
+        // Fabricate a world-2 state whose dummy component is malformed.
+        let q0 = w2.start_state();
+        let bad = Value::tuple(vec![
+            q0.proj(0).clone(),
+            q0.proj(1).clone(),
+            Value::tuple(vec![Value::int(9)]),
+            q0.proj(3).clone(),
+        ]);
+        let exec = Execution::from_state(bad);
+        assert!(sched2.schedule(&*w2, &exec).is_halt());
+    }
+
+    #[test]
     fn worlds_compose_and_run() {
         let ins = DummyInsertion::new(party(), "@g");
         let (e, a) = (env(), adv());
@@ -520,7 +617,12 @@ mod tests {
         assert_eq!(exec1.len(), 4);
         assert_eq!(
             exec1.actions(),
-            &[act("du-go"), act("du-leak@g"), act("du-cmd@g"), act("du-rep")]
+            &[
+                act("du-go"),
+                act("du-leak@g"),
+                act("du-cmd@g"),
+                act("du-rep")
+            ]
         );
         // The collapsed execution is a genuine world-1 execution.
         for (q, a, _) in exec1.steps() {
@@ -596,10 +698,8 @@ mod tests {
         let (e, a) = (env(), adv());
         let w1 = ins.world_direct(&e, &a);
         let w2 = ins.world_dummy(&e, &a);
-        let sched1: Arc<dyn Scheduler> = Arc::new(dpioa_sched::BoundedScheduler::new(
-            FirstEnabled,
-            4,
-        ));
+        let sched1: Arc<dyn Scheduler> =
+            Arc::new(dpioa_sched::BoundedScheduler::new(FirstEnabled, 4));
         let sched2 = ins.forward_scheduler(w1, sched1);
         let m = dpioa_sched::execution_measure(&*w2, &sched2, 64);
         for (exec, _) in m.iter() {

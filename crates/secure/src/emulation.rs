@@ -39,7 +39,10 @@ impl EmulationInstance {
     pub fn real_world(&self, adv: &Arc<dyn Automaton>) -> Arc<dyn Automaton> {
         let hidden = self.real.universal_adv_actions();
         dpioa_core::hide_static(
-            compose2(Arc::new(self.real.clone()) as Arc<dyn Automaton>, adv.clone()),
+            compose2(
+                Arc::new(self.real.clone()) as Arc<dyn Automaton>,
+                adv.clone(),
+            ),
             hidden,
         )
     }
@@ -241,16 +244,15 @@ mod tests {
             .build()
             .shared();
         let d2: Arc<dyn Automaton> = ExplicitAutomaton::builder("em-d2", Value::Unit)
-            .state(Value::Unit, Signature::new([act("em-chan1")], [act("em-chan2")], []))
+            .state(
+                Value::Unit,
+                Signature::new([act("em-chan1")], [act("em-chan2")], []),
+            )
             .step(Value::Unit, act("em-chan1"), Value::Unit)
             .step(Value::Unit, act("em-chan2"), Value::Unit)
             .build()
             .shared();
-        let sim = compose_simulators(
-            vec![d1],
-            d2,
-            [act("em-chan2")].into_iter().collect(),
-        );
+        let sim = compose_simulators(vec![d1], d2, [act("em-chan2")].into_iter().collect());
         let q0 = sim.start_state();
         let sig = sim.signature(&q0);
         assert!(sig.internal.contains(&act("em-chan2")));

@@ -17,11 +17,11 @@
 //! *theorem* tests (transitivity, composability) check the relations the
 //! paper proves between such measured values, which hold for any battery.
 
+use dpioa_core::Value;
 use dpioa_core::{compose2, Automaton};
 use dpioa_insight::{f_dist, Insight};
 use dpioa_prob::{tv_distance, Disc};
 use dpioa_sched::SchedulerSchema;
-use dpioa_core::Value;
 use std::sync::Arc;
 
 /// The result of measuring the implementation relation.

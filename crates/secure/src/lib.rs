@@ -41,7 +41,7 @@ pub mod implementation;
 pub mod structured;
 
 pub use adversary::{is_adversary, is_adversary_in_context};
-pub use dummy::{DummyAdversary, DummyInsertion, ForwardScheduler};
+pub use dummy::{DummyAdversary, DummyError, DummyInsertion, ForwardScheduler};
 pub use emulation::{compose_simulators, secure_emulation_epsilon, EmulationInstance};
 pub use implementation::{implementation_epsilon, ImplementationReport};
 pub use structured::{compose_structured, structured_compatible, StructuredAutomaton};

@@ -164,7 +164,10 @@ impl StructuredAutomaton {
 
     /// Rename through an injective action map, relabeling `EAct`
     /// consistently (used for the `g(A)` renaming of §4.9).
-    pub fn rename(&self, map: impl Fn(Action) -> Action + Send + Sync + Clone + 'static) -> StructuredAutomaton {
+    pub fn rename(
+        &self,
+        map: impl Fn(Action) -> Action + Send + Sync + Clone + 'static,
+    ) -> StructuredAutomaton {
         let renamed = dpioa_core::rename_with(self.inner.clone(), {
             let map = map.clone();
             move |_, a| map(a)
@@ -289,22 +292,41 @@ mod tests {
         let q = Value::int(0);
         assert_eq!(
             p.env_actions(&q),
-            [act("st-envin-acc"), act("st-envout-acc")].into_iter().collect()
+            [act("st-envin-acc"), act("st-envout-acc")]
+                .into_iter()
+                .collect()
         );
         assert_eq!(
             p.adv_actions(&q),
-            [act("st-advin-acc"), act("st-advout-acc")].into_iter().collect()
+            [act("st-advin-acc"), act("st-advout-acc")]
+                .into_iter()
+                .collect()
         );
-        assert_eq!(p.env_inputs(&q), [act("st-envin-acc")].into_iter().collect());
-        assert_eq!(p.env_outputs(&q), [act("st-envout-acc")].into_iter().collect());
-        assert_eq!(p.adv_inputs(&q), [act("st-advin-acc")].into_iter().collect());
-        assert_eq!(p.adv_outputs(&q), [act("st-advout-acc")].into_iter().collect());
+        assert_eq!(
+            p.env_inputs(&q),
+            [act("st-envin-acc")].into_iter().collect()
+        );
+        assert_eq!(
+            p.env_outputs(&q),
+            [act("st-envout-acc")].into_iter().collect()
+        );
+        assert_eq!(
+            p.adv_inputs(&q),
+            [act("st-advin-acc")].into_iter().collect()
+        );
+        assert_eq!(
+            p.adv_outputs(&q),
+            [act("st-advout-acc")].into_iter().collect()
+        );
     }
 
     #[test]
     fn eact_clamped_to_external() {
         let auto = ExplicitAutomaton::builder("clamp", Value::int(0))
-            .state(0, Signature::new([], [act("st-real")], [act("st-internal")]))
+            .state(
+                0,
+                Signature::new([], [act("st-real")], [act("st-internal")]),
+            )
             .step(0, act("st-real"), 0)
             .step(0, act("st-internal"), 0)
             .build()

@@ -46,7 +46,11 @@ fn main() {
             &TraceInsight,
             12,
         );
-        println!("  {:<18} measured eps = {}", format!("{strategy:?}"), r.epsilon);
+        println!(
+            "  {:<18} measured eps = {}",
+            format!("{strategy:?}"),
+            r.epsilon
+        );
         assert_eq!(r.epsilon, 0.0);
     }
 

@@ -12,9 +12,7 @@
 use dpioa_config::audit_pca;
 use dpioa_core::explore::ExploreLimits;
 use dpioa_core::{compose2, Automaton};
-use dpioa_protocols::subchain::{
-    act_close, act_open, act_settle, act_tx, driver, ledger_pca,
-};
+use dpioa_protocols::subchain::{act_close, act_open, act_settle, act_tx, driver, ledger_pca};
 use dpioa_sched::{execution_measure, FirstEnabled};
 use std::sync::Arc;
 

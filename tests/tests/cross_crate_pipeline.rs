@@ -7,8 +7,7 @@ use dpioa_insight::{balanced_epsilon, balanced_epsilon_exact, f_dist, TraceInsig
 use dpioa_integration::simple_env;
 use dpioa_prob::{Ratio, SubDisc};
 use dpioa_sched::{
-    execution_measure, execution_measure_exact, BoundedScheduler, FirstEnabled,
-    ScriptedScheduler,
+    execution_measure, execution_measure_exact, BoundedScheduler, FirstEnabled, ScriptedScheduler,
 };
 
 fn act(s: &str) -> Action {
@@ -131,10 +130,23 @@ fn identical_worlds_are_exactly_balanced() {
         vec![act("pipe5-ok"), act("pipe5-retry")],
     );
     let world = compose2(env, svc);
-    let eps = balanced_epsilon(&*world, &FirstEnabled, &*world, &FirstEnabled, &TraceInsight, 8);
+    let eps = balanced_epsilon(
+        &*world,
+        &FirstEnabled,
+        &*world,
+        &FirstEnabled,
+        &TraceInsight,
+        8,
+    );
     assert_eq!(eps, 0.0);
-    let exact =
-        balanced_epsilon_exact(&*world, &FirstEnabled, &*world, &FirstEnabled, &TraceInsight, 8);
+    let exact = balanced_epsilon_exact(
+        &*world,
+        &FirstEnabled,
+        &*world,
+        &FirstEnabled,
+        &TraceInsight,
+        8,
+    );
     assert_eq!(exact, Ratio::ZERO);
 }
 
@@ -151,11 +163,7 @@ fn halting_mass_is_conserved_through_the_pipeline() {
     // A scheduler that halts with probability 1/2 at each step.
     struct Half;
     impl dpioa_sched::Scheduler for Half {
-        fn schedule(
-            &self,
-            auto: &dyn Automaton,
-            exec: &Execution,
-        ) -> SubDisc<Action> {
+        fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
             match auto.locally_controlled(exec.lstate()).first() {
                 Some(&a) => SubDisc::from_entries(vec![(a, 0.5)]).unwrap(),
                 None => SubDisc::halt(),

@@ -54,7 +54,7 @@ proptest! {
         let a = random_automaton("ex-cn", &format!("excn{seed}"), n, seed);
         let m = execution_measure(&*a, &FirstEnabled, 6);
         for (e, _) in m.iter() {
-            if e.len() >= 1 {
+            if !e.is_empty() {
                 // A prefix's cone contains the full execution's cone.
                 let mut prefix = dpioa_core::Execution::from_state(e.fstate().clone());
                 let (q0, a0, q1) = e.steps().next().unwrap();
@@ -99,11 +99,7 @@ fn exact_engine_rejects_non_dyadic_weights() {
 #[test]
 fn pipeline_with_environment_is_exact() {
     let svc = random_automaton("ex-p", "exp0", 5, 42);
-    let trigger = svc
-        .signature(&svc.start_state())
-        .output
-        .into_iter()
-        .next();
+    let trigger = svc.signature(&svc.start_state()).output.into_iter().next();
     // Compose with a listening environment when the model has an output.
     if let Some(out) = trigger {
         let env = simple_env("ex-env", dpioa_core::Action::named("ex-env-go"), vec![out]);

@@ -1,0 +1,194 @@
+//! Fault injection meets the engine: wrapped automata stay legal PSIOA
+//! (Def. 2.1), execution measures stay exactly normalized under crash
+//! faults, the crash/restart PCA passes the Def. 2.16 audit, and budget
+//! exhaustion degrades gracefully to Monte-Carlo with provenance.
+
+use dpioa_config::{audit_pca, Autid};
+use dpioa_core::audit::audit_psioa;
+use dpioa_core::explore::ExploreLimits;
+use dpioa_core::{Action, Automaton, AutomatonExt, ExplicitAutomaton, Signature, Value};
+use dpioa_faults::{crash_restart, CrashStop, DuplicatingChannel, FaultProb, LossyChannel};
+use dpioa_integration::random_automaton;
+use dpioa_prob::{Disc, Ratio, Weight};
+use dpioa_sched::{
+    execution_measure_exact, robust_observation_dist, Budget, EngineError, EngineKind,
+    FirstEnabled, RandomScheduler, RobustConfig,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn act(s: &str) -> Action {
+    Action::named(s)
+}
+
+/// Every action any seeded random automaton can take (used to target
+/// the channel wrappers at the full alphabet).
+fn all_actions(a: &Arc<dyn Automaton>) -> Vec<Action> {
+    let r = dpioa_core::explore::reachable(&**a, ExploreLimits::default());
+    let mut out = Vec::new();
+    for q in &r.states {
+        out.extend(a.signature(q).all());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CrashStop-wrapped automata satisfy Def. 2.1 for every seed and
+    /// every dyadic crash rate.
+    #[test]
+    fn crash_stop_preserves_psioa_validity(seed in 0u64..400, n in 3i64..7, num in 0u64..=8) {
+        let inner = random_automaton("fi-cs", &format!("fcs{seed}"), n, seed);
+        let wrapped = CrashStop::wrap(inner, FaultProb::new(num, 3));
+        prop_assert!(audit_psioa(&*wrapped, ExploreLimits::default()).is_valid());
+    }
+
+    /// LossyChannel-wrapped automata satisfy Def. 2.1 when every action
+    /// is subject to loss.
+    #[test]
+    fn lossy_channel_preserves_psioa_validity(seed in 0u64..400, n in 3i64..6, num in 0u64..=4) {
+        let inner = random_automaton("fi-lc", &format!("flc{seed}"), n, seed);
+        let targets = all_actions(&inner);
+        let wrapped = LossyChannel::wrap(inner, targets, FaultProb::new(num, 2));
+        prop_assert!(audit_psioa(&*wrapped, ExploreLimits::default()).is_valid());
+    }
+
+    /// DuplicatingChannel-wrapped automata satisfy Def. 2.1 when every
+    /// action is subject to duplication.
+    #[test]
+    fn duplicating_channel_preserves_psioa_validity(seed in 0u64..400, n in 3i64..6, num in 0u64..=4) {
+        let inner = random_automaton("fi-dc", &format!("fdc{seed}"), n, seed);
+        let targets = all_actions(&inner);
+        let wrapped = DuplicatingChannel::wrap(inner, targets, FaultProb::new(num, 2));
+        prop_assert!(audit_psioa(&*wrapped, ExploreLimits::default()).is_valid());
+    }
+
+    /// The exact execution measure of a crash-wrapped automaton is a
+    /// genuine probability measure: total mass exactly 1 (as a rational,
+    /// zero rounding), for random systems, schedulers and crash rates.
+    #[test]
+    fn execution_measure_exactly_normalized_under_crash(
+        seed in 0u64..400,
+        n in 3i64..7,
+        num in 0u64..=8,
+        horizon in 1usize..8,
+    ) {
+        let inner = random_automaton("fi-nm", &format!("fnm{seed}"), n, seed);
+        let wrapped = CrashStop::wrap(inner, FaultProb::new(num, 3));
+        let m = execution_measure_exact(&*wrapped, &RandomScheduler, horizon);
+        prop_assert_eq!(m.total(), Ratio::one());
+    }
+}
+
+/// A coin automaton with a long dyadic tail, used to exhaust budgets.
+fn deep_coin() -> Arc<dyn Automaton> {
+    let mut b = ExplicitAutomaton::builder("fi-deep", Value::int(0));
+    for i in 0..10 {
+        b = b
+            .state(i, Signature::new([], [], [act("fi-step")]))
+            .transition(
+                i,
+                act("fi-step"),
+                Disc::bernoulli_dyadic(Value::int(i + 1), Value::int(100 + i), 1, 1),
+            );
+    }
+    for i in 0..10 {
+        b = b.state(100 + i, Signature::new([], [], []));
+    }
+    b.state(10, Signature::new([], [], [])).build().shared()
+}
+
+/// Budget exhaustion on a fault-wrapped system triggers the Monte-Carlo
+/// fallback, and the provenance says so — deterministically.
+#[test]
+fn budget_exhaustion_falls_back_to_monte_carlo_with_provenance() {
+    let auto = CrashStop::wrap(deep_coin(), FaultProb::new(1, 2));
+    let config = RobustConfig {
+        budget: Budget::unlimited().with_max_expansions(3),
+        mc_samples: 20_000,
+        mc_threads: 2,
+        ..RobustConfig::default()
+    };
+    let observe = |e: &dpioa_core::Execution| Value::int(e.len() as i64);
+    let (dist, prov) = robust_observation_dist(&*auto, &FirstEnabled, 6, observe, &config).unwrap();
+    assert_eq!(prov.engine, EngineKind::MonteCarlo);
+    assert!(matches!(
+        prov.fallback_reason,
+        Some(EngineError::BudgetExhausted { .. })
+    ));
+    assert_eq!(prov.samples, Some(20_000));
+    assert_eq!(prov.threads, Some(2));
+    assert!(prov.error_bound > 0.0 && prov.error_bound < 0.05);
+    let total: f64 = dist.iter().map(|(_, w)| *w).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+
+    // The same system under a generous budget answers exactly, and the
+    // Monte-Carlo estimate tracks that exact answer.
+    let exact_config = RobustConfig::default();
+    let (exact, exact_prov) =
+        robust_observation_dist(&*auto, &FirstEnabled, 6, observe, &exact_config).unwrap();
+    assert_eq!(exact_prov.engine, EngineKind::Exact);
+    assert_eq!(exact_prov.error_bound, 0.0);
+    assert!(dpioa_prob::tv_distance(&exact, &dist) < 0.05);
+}
+
+/// The crash/restart PCA: destruction by reduction, re-creation by the
+/// `created` mapping, audited against all four Def. 2.16 constraints.
+#[test]
+fn crash_restart_lifecycle_and_audit() {
+    let child_id = Autid::named("fi-cr-child");
+    let ticker = ExplicitAutomaton::builder("fi-ticker", Value::int(0))
+        .state(0, Signature::new([], [], [act("fi-tick")]))
+        .step(0, act("fi-tick"), 0)
+        .build()
+        .shared();
+    let child = CrashStop::wrap(ticker, FaultProb::new(1, 1));
+    let child_start = child.start_state();
+    let sys = crash_restart("fi-cr", child_id, child, act("fi-restart"));
+
+    // Half the tick mass crashes the child; the crashed branch must be
+    // the configuration WITHOUT the child (destroyed by reduction).
+    let q0 = sys.pca.start_state();
+    let eta = sys.pca.transition(&q0, act("fi-tick")).unwrap();
+    assert_eq!(eta.support_len(), 2);
+    let (mut dead, mut alive) = (None, None);
+    for q in eta.support() {
+        if sys.pca.config(q).contains(sys.child) {
+            alive = Some(q.clone());
+        } else {
+            dead = Some(q.clone());
+        }
+    }
+    let (dead, alive) = (dead.expect("crash branch"), alive.expect("survive branch"));
+    assert_eq!(eta.prob(&dead), 0.5);
+    assert_eq!(eta.prob(&alive), 0.5);
+    // The dead branch lost the child's actions; restart stays enabled.
+    assert!(!sys.pca.signature(&dead).contains(act("fi-tick")));
+    assert!(sys.pca.signature(&dead).contains(sys.restart));
+
+    // Restart from the dead branch re-creates the child at start.
+    let eta_r = sys.pca.transition(&dead, sys.restart).unwrap();
+    let q_restarted = eta_r.support().next().unwrap().clone();
+    assert_eq!(
+        sys.pca.config(&q_restarted).state_of(sys.child),
+        Some(&child_start)
+    );
+    assert!(sys.pca.enabled(&q_restarted).contains(&act("fi-tick")));
+
+    // Restart from the alive branch does NOT reset the child (φ ∖ A).
+    let eta_noop = sys.pca.transition(&alive, sys.restart).unwrap();
+    let q_noop = eta_noop.support().next().unwrap().clone();
+    assert_eq!(
+        sys.pca.config(&q_noop).state_of(sys.child),
+        sys.pca.config(&alive).state_of(sys.child)
+    );
+
+    // All four Def. 2.16 constraints hold on the reachable prefix.
+    let report = audit_pca(&*sys.pca, ExploreLimits::default());
+    assert!(report.is_valid(), "PCA audit failed: {report:?}");
+
+    // And the PCA's own execution measure stays exactly normalized.
+    let m = execution_measure_exact(&*sys.pca, &FirstEnabled, 5);
+    assert_eq!(m.total(), Ratio::one());
+}

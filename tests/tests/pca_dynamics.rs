@@ -188,7 +188,10 @@ fn reduction_merges_probability_mass_across_crates() {
         .step(Value::Unit, act("pd-keep"), Value::Unit)
         .build()
         .shared();
-    let reg = Registry::builder().register(d, dying).register(keep, keeper).build();
+    let reg = Registry::builder()
+        .register(d, dying)
+        .register(keep, keeper)
+        .build();
     let pca = ConfigAutomaton::builder("pd-merge", reg)
         .member(d)
         .member(keep)

@@ -1,0 +1,205 @@
+//! Workspace-local stand-in for the subset of `criterion` 0.5 this
+//! repository's benches use. The build environment has no registry
+//! access, so the workspace vendors a minimal harness with the same
+//! surface (`criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher::iter`,
+//! `black_box`).
+//!
+//! Semantics: each `iter` body runs a small fixed number of times and
+//! the wall-clock median is printed. There is no statistical analysis,
+//! warm-up, or HTML report — benches stay runnable and their assertions
+//! stay checked, which is what `cargo test`/CI need. Under `--test`
+//! (what `cargo test` passes to bench targets) each body runs once.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier (a display label).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label from a function name + parameter, as upstream.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    /// Label from a bare parameter, as upstream.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation (recorded but not analyzed).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `self.iters` times, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` runs bench targets with `--test`: one pass only.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            iters: if test_mode { 1 } else { 3 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a single routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let iters = self.iters;
+        run_one(&id.0, iters, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u32, mut f: F) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per = b.elapsed.as_secs_f64() / f64::from(iters.max(1));
+    println!("bench {label}: {:.3} ms/iter ({iters} iters)", per * 1000.0);
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.criterion.iters, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark an input-free routine inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.criterion.iters, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group runner, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut c = Criterion { iters: 2 };
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u32;
+        g.sample_size(10)
+            .bench_with_input(BenchmarkId::from_parameter(1), &3u32, |b, &x| {
+                b.iter(|| count += x)
+            });
+        g.finish();
+        assert_eq!(count, 6);
+    }
+}

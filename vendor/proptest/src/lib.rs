@@ -1,0 +1,674 @@
+//! Workspace-local stand-in for the subset of `proptest` this
+//! repository's property tests use. The build environment has no
+//! registry access, so the workspace vendors a minimal, dependency-free
+//! implementation: the `proptest!` macro, `Strategy` (`prop_map`,
+//! `prop_recursive`), `prop_oneof!`, `Just`, `any`, integer-range and
+//! string-pattern strategies, `collection::vec`, tuple strategies, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed derived from the test name (fully reproducible
+//! runs, no `PROPTEST_*` env handling), and failing cases are reported
+//! without shrinking. Regression files are ignored.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Bounded recursion: at each of `depth` levels, generate either
+        /// a value of the inner strategy built so far or a leaf value.
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// API compatibility and ignored (container strategies already
+        /// bound their own sizes).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = BoxedStrategy::new(self);
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = BoxedStrategy::new(recurse(strat));
+                strat = BoxedStrategy::new(Union::new(vec![leaf.clone(), deeper]));
+            }
+            strat
+        }
+
+        /// Erase the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    /// Object-safe mirror of [`Strategy`] for boxing.
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A cheaply clonable type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Erase a concrete strategy.
+        pub fn new<S: Strategy<Value = T> + 'static>(inner: S) -> BoxedStrategy<T> {
+            BoxedStrategy(Rc::new(inner))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies (the `prop_oneof!` body).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the (non-empty) list of arms.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end.wrapping_sub(self.start)) as u128;
+                    self.start.wrapping_add((rng.next_u128() % span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty range strategy");
+                    let span = (e.wrapping_sub(s) as u128).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range.
+                        return s.wrapping_add(rng.next_u128() as $t);
+                    }
+                    s.wrapping_add((rng.next_u128() % span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+    /// String-pattern strategy: a small interpreter for the regex-like
+    /// patterns used in this workspace (literals, `[a-z]` classes,
+    /// `{m,n}` repetition). Unsupported syntax falls back to emitting
+    /// the pattern literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident/$idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for collection strategies.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy and length range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny `[class]{m,n}` / literal pattern interpreter.
+
+    use crate::test_runner::TestRng;
+
+    enum Piece {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<Vec<char>> {
+        let mut members = Vec::new();
+        loop {
+            let c = chars.next()?;
+            match c {
+                ']' => {
+                    return if members.is_empty() {
+                        None
+                    } else {
+                        Some(members)
+                    }
+                }
+                lo => {
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next()?;
+                        if hi == ']' || (hi as u32) < (lo as u32) {
+                            return None;
+                        }
+                        for u in lo as u32..=hi as u32 {
+                            members.push(char::from_u32(u)?);
+                        }
+                    } else {
+                        members.push(lo);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Option<(usize, usize)> {
+        let mut body = String::new();
+        loop {
+            let c = chars.next()?;
+            if c == '}' {
+                break;
+            }
+            body.push(c);
+        }
+        let (lo, hi) = match body.split_once(',') {
+            Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+            None => {
+                let n = body.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((lo, hi))
+    }
+
+    fn parse(pattern: &str) -> Option<Vec<(Piece, usize, usize)>> {
+        let mut chars = pattern.chars().peekable();
+        let mut out = Vec::new();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '[' => Piece::Class(parse_class(&mut chars)?),
+                '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => return None,
+                '\\' => Piece::Literal(chars.next()?),
+                lit => Piece::Literal(lit),
+            };
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                parse_repeat(&mut chars)?
+            } else {
+                (1, 1)
+            };
+            out.push((piece, lo, hi));
+        }
+        Some(out)
+    }
+
+    /// Generate a string matching the supported pattern subset; emit the
+    /// pattern itself verbatim if it uses unsupported syntax.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let Some(pieces) = parse(pattern) else {
+            return pattern.to_string();
+        };
+        let mut out = String::new();
+        for (piece, lo, hi) in &pieces {
+            let count = lo + rng.below(hi - lo + 1);
+            for _ in 0..count {
+                match piece {
+                    Piece::Literal(c) => out.push(*c),
+                    Piece::Class(members) => out.push(members[rng.below(members.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation and failure reporting.
+
+    use std::fmt;
+
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case (carried by `prop_assert*`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) used for case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name, deterministically (FNV-1a).
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next raw 128-bit output.
+        pub fn next_u128(&mut self) -> u128 {
+            (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+        }
+
+        /// Uniform draw from `0..n` (`n > 0`).
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-import surface, as upstream.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each generated `fn` runs `cases` deterministic
+/// cases; `prop_assert*` failures abort with the case's arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\n  args: {:?}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        ($(&$arg,)+)
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::BoxedStrategy::new($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property; failure aborts the case (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*))
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, "assertion failed: `{:?}` == `{:?}`", lhs, rhs);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: `{:?}` != `{:?}`", lhs, rhs);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in -1000i128..1000, b in 0u64..300, c in 1usize..8) {
+            prop_assert!((-1000..1000).contains(&a));
+            prop_assert!(b < 300);
+            prop_assert!((1..8).contains(&c));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![Just(1i64), 10i64..20, any::<bool>().prop_map(i64::from)]) {
+            prop_assert!(v == 0 || v == 1 || (10..20).contains(&v));
+        }
+
+        #[test]
+        fn vec_and_tuple(v in crate::collection::vec((0u8..5, any::<bool>()), 0..4)) {
+            prop_assert!(v.len() < 4);
+            for (x, _) in &v {
+                prop_assert!(*x < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::deterministic("string_pattern_subset");
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let lit = crate::string::generate_from_pattern("ab-c", &mut rng);
+        assert_eq!(lit, "ab-c");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::deterministic("recursive_strategies_terminate");
+        for _ in 0..100 {
+            // Depth is bounded, so generation must terminate.
+            let _ = strat.generate(&mut rng);
+        }
+    }
+}
