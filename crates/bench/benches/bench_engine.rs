@@ -1,0 +1,113 @@
+//! Engine bench — the three-tier exact engine across horizons 4–12:
+//! state-lumped vs general cone expansion on the bounded walk, the
+//! parallel frontier, the OTP/F_SC world, and a fault-wrapped system.
+//!
+//! `cargo bench --bench bench_engine`; the JSON artifact comes from the
+//! `bench_engine` *bin*, this suite is the criterion view of the same
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpioa_bench::util::{coin_bank, random_walk, seed_execution_measure};
+use dpioa_core::compose;
+use dpioa_faults::{CrashStop, FaultProb};
+use dpioa_sched::{
+    try_execution_measure, try_execution_measure_parallel, try_lumped_observation_dist, Budget,
+    FirstEnabled, Observation,
+};
+
+const HORIZONS: [usize; 5] = [4, 6, 8, 10, 12];
+
+fn bench_walk_tiers(c: &mut Criterion) {
+    let walk = random_walk("bgw", 6);
+    let budget = Budget::unlimited();
+    let observe = Observation::final_state();
+
+    let mut g = c.benchmark_group("engine_walk_seed");
+    g.sample_size(10);
+    for h in HORIZONS {
+        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| seed_execution_measure(&*walk, &FirstEnabled, h).len())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("engine_walk_general");
+    g.sample_size(10);
+    for h in HORIZONS {
+        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                try_execution_measure(&*walk, &FirstEnabled, h, &budget)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("engine_walk_lumped");
+    g.sample_size(10);
+    for h in HORIZONS {
+        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                try_lumped_observation_dist(&*walk, &FirstEnabled, h, &observe, &budget)
+                    .unwrap()
+                    .support_len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_frontier(c: &mut Criterion) {
+    let bank = compose(coin_bank("bgp", 8));
+    let budget = Budget::unlimited();
+    let mut g = c.benchmark_group("engine_parallel_frontier");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    try_execution_measure_parallel(&*bank, &FirstEnabled, 9, &budget, threads)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fault_wrapped(c: &mut Criterion) {
+    let faulty = CrashStop::wrap(random_walk("bgf", 5), FaultProb::new(1, 2));
+    let budget = Budget::unlimited();
+    let observe = Observation::final_state();
+    let mut g = c.benchmark_group("engine_fault_lumped_vs_general");
+    g.sample_size(10);
+    for h in [4usize, 8, 10] {
+        g.bench_with_input(BenchmarkId::new("general", h), &h, |b, &h| {
+            b.iter(|| {
+                try_execution_measure(&*faulty, &FirstEnabled, h, &budget)
+                    .unwrap()
+                    .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lumped", h), &h, |b, &h| {
+            b.iter(|| {
+                try_lumped_observation_dist(&*faulty, &FirstEnabled, h, &observe, &budget)
+                    .unwrap()
+                    .support_len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walk_tiers,
+    bench_parallel_frontier,
+    bench_fault_wrapped
+);
+criterion_main!(benches);

@@ -1,0 +1,390 @@
+//! Engine benchmark harness: before/after medians for the exact-engine
+//! rework, emitted as `BENCH_engine.json`.
+//!
+//! Four tiers are timed on each workload × horizon:
+//!
+//! * `seed_exact` — the seed engine's clone-on-extend dense
+//!   representation, preserved verbatim in
+//!   [`dpioa_bench::util::seed_execution_measure`];
+//! * `general_exact` — the current spine-backed sequential engine;
+//! * `parallel_exact` — the chunked frontier over scoped threads;
+//! * `lumped` — the state-lumped forward pass (memoryless schedulers,
+//!   observations factoring through trace or last state only).
+//!
+//! Every lumped answer is asserted bit-identical to the general-exact
+//! answer before its timing is reported, so the speedup column can never
+//! be quoted for a wrong result.
+//!
+//! Usage: `bench_engine [--quick] [OUTPUT_PATH]` (default
+//! `BENCH_engine.json` in the current directory). `--quick` trims
+//! horizons and repeats for CI smoke runs.
+
+use dpioa_bench::util::{coin_bank, random_walk, seed_execution_measure};
+use dpioa_core::{compose, compose2, Action, Automaton, Execution, Value};
+use dpioa_faults::{CrashStop, FaultProb};
+use dpioa_prob::Disc;
+use dpioa_protocols::channel::{
+    act_recv, act_report, channel_instance, eavesdropper, fixed_sender, MSG_SPACE,
+};
+use dpioa_sched::{
+    try_execution_measure, try_execution_measure_parallel, try_lumped_observation_dist, Budget,
+    FirstEnabled, Observation, PriorityScheduler, Scheduler,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One timed tier within a workload × horizon cell.
+struct TierStat {
+    tier: &'static str,
+    median_ns: u64,
+    /// Terminal executions for the execution-measure tiers; support size
+    /// of the observation distribution for the lumped tier.
+    entries: usize,
+    threads: Option<usize>,
+}
+
+/// One workload × horizon cell.
+struct Cell {
+    workload: &'static str,
+    scheduler: &'static str,
+    observation: &'static str,
+    horizon: usize,
+    tiers: Vec<TierStat>,
+    /// `median(general_exact) / median(lumped)`, when both ran.
+    lumped_speedup: Option<f64>,
+    /// `median(seed_exact) / median(general_exact)`.
+    seed_speedup: Option<f64>,
+}
+
+/// Median wall-clock nanoseconds of `f` over `repeats` runs, plus the
+/// last result (kept alive so the work cannot be optimized away).
+fn time_median<R>(repeats: usize, mut f: impl FnMut() -> R) -> (u64, R) {
+    assert!(repeats >= 1);
+    let mut ns: Vec<u128> = Vec::with_capacity(repeats);
+    let mut out = None;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let r = f();
+        ns.push(t.elapsed().as_nanos());
+        out = Some(r);
+    }
+    ns.sort_unstable();
+    (ns[ns.len() / 2] as u64, out.expect("repeats >= 1"))
+}
+
+fn median_of(tiers: &[TierStat], name: &str) -> Option<f64> {
+    tiers
+        .iter()
+        .find(|t| t.tier == name)
+        .map(|t| t.median_ns as f64)
+}
+
+/// Run all four tiers on one workload × horizon and cross-validate.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    workload: &'static str,
+    scheduler: &'static str,
+    observation: &'static str,
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    observe: &Observation,
+    horizon: usize,
+    repeats: usize,
+    threads: usize,
+    with_seed_tier: bool,
+) -> Cell {
+    let budget = Budget::unlimited();
+    let mut tiers = Vec::new();
+
+    if with_seed_tier {
+        let (ns, entries) = time_median(repeats, || seed_execution_measure(auto, sched, horizon));
+        tiers.push(TierStat {
+            tier: "seed_exact",
+            median_ns: ns,
+            entries: entries.len(),
+            threads: None,
+        });
+    }
+
+    let (ns, general) = time_median(repeats, || {
+        try_execution_measure(auto, sched, horizon, &budget).expect("unlimited budget")
+    });
+    let general_dist: Disc<Value> = general.observe(|e: &Execution| observe.apply(auto, e));
+    tiers.push(TierStat {
+        tier: "general_exact",
+        median_ns: ns,
+        entries: general.len(),
+        threads: None,
+    });
+    if let Some(seed) = tiers.iter().find(|t| t.tier == "seed_exact") {
+        assert_eq!(
+            seed.entries,
+            general.len(),
+            "{workload} h={horizon}: seed and spine engines disagree on the cone tree"
+        );
+    }
+
+    let (ns, par) = time_median(repeats, || {
+        try_execution_measure_parallel(auto, sched, horizon, &budget, threads)
+            .expect("unlimited budget")
+    });
+    let par_dist: Disc<Value> = par.observe(|e: &Execution| observe.apply(auto, e));
+    assert_eq!(
+        general_dist, par_dist,
+        "{workload} h={horizon}: parallel frontier diverged from sequential"
+    );
+    tiers.push(TierStat {
+        tier: "parallel_exact",
+        median_ns: ns,
+        entries: par.len(),
+        threads: Some(threads),
+    });
+
+    let lumped = try_lumped_observation_dist(auto, sched, horizon, observe, &budget);
+    let mut lumped_speedup = None;
+    if let Ok(first) = lumped {
+        let (ns, dist) = time_median(repeats, || {
+            try_lumped_observation_dist(auto, sched, horizon, observe, &budget)
+                .expect("eligibility already checked")
+        });
+        assert_eq!(
+            general_dist, dist,
+            "{workload} h={horizon}: lumped distribution diverged from general exact"
+        );
+        assert_eq!(first, dist, "lumped expansion must be deterministic");
+        tiers.push(TierStat {
+            tier: "lumped",
+            median_ns: ns,
+            entries: dist.support_len(),
+            threads: None,
+        });
+        lumped_speedup =
+            Some(median_of(&tiers, "general_exact").expect("general ran") / (ns.max(1) as f64));
+    }
+
+    let seed_speedup = match (
+        median_of(&tiers, "seed_exact"),
+        median_of(&tiers, "general_exact"),
+    ) {
+        (Some(s), Some(g)) => Some(s / g.max(1.0)),
+        _ => None,
+    };
+    Cell {
+        workload,
+        scheduler,
+        observation,
+        horizon,
+        tiers,
+        lumped_speedup,
+        seed_speedup,
+    }
+}
+
+/// The OTP real world (F_SC emulation target) with a fixed sender:
+/// `hide(channel ‖ eavesdropper) ‖ sender`, scheduled by the E10
+/// contended-priority policy (memoryless), observed through its trace.
+fn otp_world(tag: &str) -> (Arc<dyn Automaton>, PriorityScheduler) {
+    let world = compose2(
+        channel_instance(tag).real_world(&eavesdropper(tag)),
+        fixed_sender(tag, 1),
+    );
+    let mut contended: Vec<Action> = vec![act_report(tag, 0), act_report(tag, 1)];
+    contended.extend((0..MSG_SPACE).map(|m| act_recv(tag, m)));
+    (world, PriorityScheduler::new(contended))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fjson(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    let tiers: Vec<String> = c
+        .tiers
+        .iter()
+        .map(|t| {
+            let threads = t
+                .threads
+                .map(|n| format!(",\"threads\":{n}"))
+                .unwrap_or_default();
+            format!(
+                "{{\"tier\":\"{}\",\"median_ns\":{},\"entries\":{}{}}}",
+                t.tier, t.median_ns, t.entries, threads
+            )
+        })
+        .collect();
+    let lumped = c
+        .lumped_speedup
+        .map(fjson)
+        .unwrap_or_else(|| "null".to_string());
+    let seed = c
+        .seed_speedup
+        .map(fjson)
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{}}}",
+        json_escape(c.workload),
+        json_escape(c.scheduler),
+        json_escape(c.observation),
+        c.horizon,
+        tiers.join(","),
+        lumped,
+        seed
+    )
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_engine.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let repeats = if quick { 3 } else { 7 };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // Workload 1: bounded random walk — tiny state space, 2^h cone tree.
+    // The canonical lumped-eligible workload: lump classes stay ≤ n while
+    // terminal executions double per step.
+    let walk = random_walk("bew", 6);
+    let walk_horizons: &[usize] = if quick { &[4, 6] } else { &[4, 6, 8, 10, 12] };
+    for &h in walk_horizons {
+        eprintln!("walk h={h}...");
+        cells.push(run_cell(
+            "walk6",
+            "first-enabled",
+            "last-state",
+            &*walk,
+            &FirstEnabled,
+            &Observation::final_state(),
+            h,
+            repeats,
+            threads,
+            h <= 12,
+        ));
+    }
+
+    // Workload 2: coin bank — the adversarial case for lumping: after k
+    // flips the composed state space has 2^k distinct states, so lump
+    // classes equal terminal executions and only the representation
+    // (spine vs dense clone) helps.
+    let bank_sizes: &[usize] = if quick { &[4] } else { &[4, 6, 8] };
+    for &n in bank_sizes {
+        eprintln!("coin-bank n={n}...");
+        let bank = compose(coin_bank("bec", n));
+        cells.push(run_cell(
+            "coin-bank",
+            "first-enabled",
+            "last-state",
+            &*bank,
+            &FirstEnabled,
+            &Observation::final_state(),
+            n + 1,
+            repeats,
+            threads,
+            true,
+        ));
+    }
+
+    // Workload 3: the OTP/F_SC real world from the secure-channel case
+    // study, trace-observed under the E10 contended-priority scheduler.
+    let otp_horizons: &[usize] = if quick { &[4] } else { &[4, 8, 12] };
+    for &h in otp_horizons {
+        eprintln!("otp-fsc h={h}...");
+        let (world, sched) = otp_world(&format!("beo{h}"));
+        cells.push(run_cell(
+            "otp-fsc",
+            "priority-contended",
+            "trace",
+            &*world,
+            &sched,
+            &Observation::trace(),
+            h,
+            repeats,
+            threads,
+            true,
+        ));
+    }
+
+    // Workload 4: fault-wrapped walk — CrashStop doubles the state space
+    // (crashed flag) but lumping still collapses the cone tree.
+    let fault_horizons: &[usize] = if quick { &[4] } else { &[4, 8, 10] };
+    let faulty = CrashStop::wrap(random_walk("bef", 5), FaultProb::new(1, 2));
+    for &h in fault_horizons {
+        eprintln!("fault-walk h={h}...");
+        cells.push(run_cell(
+            "fault-walk",
+            "first-enabled",
+            "last-state",
+            &*faulty,
+            &FirstEnabled,
+            &Observation::final_state(),
+            h,
+            repeats,
+            threads,
+            true,
+        ));
+    }
+
+    // Summary block.
+    let peak_entries = cells
+        .iter()
+        .flat_map(|c| c.tiers.iter())
+        .map(|t| t.entries)
+        .max()
+        .unwrap_or(0);
+    let max_lumped = cells
+        .iter()
+        .filter_map(|c| c.lumped_speedup)
+        .fold(0f64, f64::max);
+    let lumped_at_deep = cells
+        .iter()
+        .filter(|c| c.horizon >= 8)
+        .filter_map(|c| c.lumped_speedup)
+        .fold(0f64, f64::max);
+    let max_seed = cells
+        .iter()
+        .filter_map(|c| c.seed_speedup)
+        .fold(0f64, f64::max);
+
+    let rows: Vec<String> = cells.iter().map(cell_json).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"bench-engine/v1\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {}\n  }}\n}}\n",
+        quick,
+        repeats,
+        threads,
+        rows.join(",\n"),
+        peak_entries,
+        fjson(max_lumped),
+        fjson(lumped_at_deep),
+        fjson(max_seed)
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

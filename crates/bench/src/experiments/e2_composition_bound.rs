@@ -10,6 +10,7 @@ use crate::util::random_automaton;
 use dpioa_bounded::measure_bound;
 use dpioa_core::compose;
 use dpioa_core::explore::ExploreLimits;
+use dpioa_sched::{execution_measure, FirstEnabled};
 
 /// Measured data point for one composition arity.
 pub struct Point {
@@ -33,7 +34,23 @@ pub fn measure(n: usize, seed: u64) -> Point {
         .iter()
         .map(|p| measure_bound(&**p, limits).bound())
         .sum();
-    let composite = measure_bound(&*compose(parts), limits).bound();
+    let composed = compose(parts);
+    let composite = measure_bound(&*composed, limits).bound();
+    // Cone-probability batch queries on the composite go through the
+    // prefix-indexed table; the naive O(entries × |α|) scan stays as the
+    // oracle this cross-check compares against (dyadic weights, so the
+    // sums must agree bit-for-bit).
+    let m = execution_measure(&*composed, &FirstEnabled, 3);
+    let idx = m.cone_index();
+    for (e, _) in m.iter() {
+        for p in e.prefixes() {
+            assert_eq!(
+                idx.cone_prob(&p),
+                m.cone_prob(&p),
+                "cone index diverged from the naive oracle"
+            );
+        }
+    }
     Point {
         n,
         sum_parts,

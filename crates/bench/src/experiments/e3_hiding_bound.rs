@@ -45,6 +45,19 @@ pub fn measure(k: usize, seed: u64) -> Point {
         .max(1);
     let hidden_auto = hide_static(auto, hidden_set);
     let hidden = measure_bound(&*hidden_auto, limits).bound();
+    // Batch cone queries on the hidden automaton use the prefix-indexed
+    // table, cross-checked against the naive oracle (see E2).
+    let m = dpioa_sched::execution_measure(&*hidden_auto, &dpioa_sched::FirstEnabled, 3);
+    let idx = m.cone_index();
+    for (e, _) in m.iter() {
+        for p in e.prefixes() {
+            assert_eq!(
+                idx.cone_prob(&p),
+                m.cone_prob(&p),
+                "cone index diverged from the naive oracle"
+            );
+        }
+    }
     Point {
         k,
         base,

@@ -86,6 +86,83 @@ pub fn random_automaton(prefix: &str, n_states: i64, seed: u64) -> Arc<dyn Autom
     b.build().shared()
 }
 
+/// A bounded probabilistic walk on `n_states` states: one internal
+/// action per state, branching 1/2–1/2 between the next two states
+/// (mod `n_states`). The cone tree has `2^h` executions at horizon `h`
+/// while the state space stays at `n_states` — the canonical workload
+/// where state-lumped expansion beats general cone expansion
+/// exponentially.
+pub fn random_walk(prefix: &str, n_states: i64) -> Arc<dyn Automaton> {
+    assert!(n_states >= 3);
+    let mut b = ExplicitAutomaton::builder(format!("{prefix}-walk{n_states}"), Value::int(0));
+    for i in 0..n_states {
+        let step = Action::named(format!("{prefix}-w{i}"));
+        b = b.state(i, Signature::new([], [], [step])).transition(
+            i,
+            step,
+            Disc::bernoulli_dyadic(
+                Value::int((i + 1) % n_states),
+                Value::int((i + 2) % n_states),
+                1,
+                1,
+            ),
+        );
+    }
+    b.build().shared()
+}
+
+/// The *seed* engine, preserved as the benchmark baseline: the dense
+/// execution representation (a `Vec` of states plus a `Vec` of actions,
+/// both cloned in full at every extension) that `dpioa_sched`'s engines
+/// used before executions became persistent shared-prefix spines. Kept
+/// verbatim in cost model — O(|α|) per extension — so
+/// `BENCH_engine.json` can report before/after medians from one binary.
+pub fn seed_execution_measure(
+    auto: &dyn Automaton,
+    sched: &dyn dpioa_sched::Scheduler,
+    horizon: usize,
+) -> Vec<(Vec<Value>, Vec<Action>, f64)> {
+    use dpioa_core::Execution;
+    let mut entries: Vec<(Vec<Value>, Vec<Action>, f64)> = Vec::new();
+    let mut stack: Vec<(Vec<Value>, Vec<Action>, f64)> =
+        vec![(vec![auto.start_state()], Vec::new(), 1.0)];
+    while let Some((states, actions, weight)) = stack.pop() {
+        if actions.len() >= horizon {
+            entries.push((states, actions, weight));
+            continue;
+        }
+        // The seed engine carried dense vectors; rebuilding the spine
+        // here costs the same O(|α|) its per-node bookkeeping did.
+        let mut exec = Execution::from_state(states[0].clone());
+        for (a, q) in actions.iter().zip(&states[1..]) {
+            exec.push(*a, q.clone());
+        }
+        let choice = sched.schedule(auto, &exec);
+        if choice.is_halt() {
+            entries.push((states, actions, weight));
+            continue;
+        }
+        let halt = choice.halt_prob();
+        if halt > 0.0 {
+            entries.push((states.clone(), actions.clone(), weight * halt));
+        }
+        for (&a, &p) in choice.iter() {
+            let eta = auto
+                .transition(states.last().expect("non-empty"), a)
+                .expect("scheduler chose a disabled action");
+            for (q2, &r) in eta.iter() {
+                // The seed cost model: clone both dense vectors per child.
+                let mut s2 = states.clone();
+                let mut a2 = actions.clone();
+                s2.push(q2.clone());
+                a2.push(a);
+                stack.push((s2, a2, weight * p * r));
+            }
+        }
+    }
+    entries
+}
+
 /// A chain of `n` coin automata with disjoint alphabets (for state-space
 /// growth measurements, E7).
 pub fn coin_bank(prefix: &str, n: usize) -> Vec<Arc<dyn Automaton>> {

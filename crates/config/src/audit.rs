@@ -174,10 +174,10 @@ pub fn audit_pca(pca: &dyn Pca, limits: ExploreLimits) -> PcaAuditReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::autid::Autid;
     use crate::compose::compose_pca;
     use crate::configuration::Configuration;
     use crate::hide::hide_pca;
+    use crate::identifier::Autid;
     use crate::pca::ConfigAutomaton;
     use crate::registry::Registry;
     use dpioa_core::{Action, ActionSet, Automaton, ExplicitAutomaton, Signature, Value};

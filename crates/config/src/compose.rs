@@ -8,8 +8,8 @@
 //! Closure of PCA under composition (shown in [7]) is re-verified by the
 //! audit in the tests.
 
-use crate::autid::Autid;
 use crate::configuration::Configuration;
+use crate::identifier::Autid;
 use crate::pca::Pca;
 use crate::registry::Registry;
 use dpioa_core::{compose as compose_psioa, Action, ActionSet, Automaton, Signature, Value};

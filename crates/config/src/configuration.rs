@@ -6,7 +6,7 @@
 //! are methods here, and [`Configuration::reduce`] implements Def. 2.12:
 //! an automaton whose current signature is empty is removed (destroyed).
 
-use crate::autid::Autid;
+use crate::identifier::Autid;
 use crate::registry::Registry;
 use dpioa_core::{Action, Signature, Value};
 use std::collections::BTreeMap;

@@ -5,8 +5,8 @@
 //! h(q))` and `hidden-actions(X')(q) = hidden-actions(X)(q) ∪ h(q)`.
 //! Configurations, creation sets and transitions are untouched.
 
-use crate::autid::Autid;
 use crate::configuration::Configuration;
+use crate::identifier::Autid;
 use crate::pca::Pca;
 use crate::registry::Registry;
 use dpioa_core::{Action, ActionSet, Automaton, Signature, Value};

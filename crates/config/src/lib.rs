@@ -26,19 +26,24 @@
 #![warn(missing_docs)]
 
 pub mod audit;
-pub mod autid;
 pub mod compose;
 pub mod configuration;
 pub mod hide;
+pub mod identifier;
 pub mod pca;
 pub mod registry;
 pub mod transition;
 
 pub use audit::{audit_pca, PcaAuditReport};
-pub use autid::Autid;
+pub use identifier::Autid;
+
 pub use compose::{compose_pca, PcaComposition};
 pub use configuration::Configuration;
 pub use hide::hide_pca;
+/// Back-compat alias: the identifier module was historically named
+/// `autid` (after the paper's "Autids"), which collided confusingly
+/// with [`audit`]. Prefer [`identifier`].
+pub use identifier as autid;
 pub use pca::{ConfigAutomaton, ConfigAutomatonBuilder, Pca};
 pub use registry::Registry;
 pub use transition::{intrinsic_transition, preserving_transition};

@@ -12,8 +12,8 @@
 //! checker in [`crate::audit`] re-verifies all four constraints for any
 //! implementation.
 
-use crate::autid::Autid;
 use crate::configuration::Configuration;
+use crate::identifier::Autid;
 use crate::registry::Registry;
 use crate::transition::intrinsic_transition;
 use dpioa_core::{Action, ActionSet, Automaton, Signature, Value};

@@ -5,7 +5,7 @@
 //! universe of automata that a dynamic system may ever create is declared
 //! up front, mirroring the paper's fixed universal mapping.
 
-use crate::autid::Autid;
+use crate::identifier::Autid;
 use dpioa_core::Automaton;
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -13,8 +13,8 @@
 //! became empty. Probability mass of non-reduced configurations that share
 //! a reduction is merged, exactly as in the paper's last bullet.
 
-use crate::autid::Autid;
 use crate::configuration::Configuration;
+use crate::identifier::Autid;
 use crate::registry::Registry;
 use dpioa_core::{Action, Value};
 use dpioa_prob::Disc;

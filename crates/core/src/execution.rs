@@ -1,9 +1,21 @@
 //! Execution fragments, executions and traces (paper Def. 2.2).
 //!
 //! An execution fragment is an alternating sequence `q⁰ a¹ q¹ a² …` of
-//! states and actions. [`Execution`] stores the two interleaved sequences
-//! densely; the invariant `states.len() == actions.len() + 1` (finite
-//! fragments end with a state) is enforced by the constructors.
+//! states and actions. [`Execution`] stores it as a *persistent
+//! shared-prefix spine*: an `Arc`-linked chain of nodes, one per state,
+//! each carrying the action that led to it, the prefix length and a
+//! cached incremental hash of the whole prefix. Consequences:
+//!
+//! * [`Execution::extend`] and [`Execution::clone`] are O(1) — the cone
+//!   expansion engine no longer deep-copies the prefix at every branch;
+//! * two executions produced by extending a common prefix *share* that
+//!   prefix, so equality and [`Execution::is_prefix_of`] short-circuit on
+//!   `Arc::ptr_eq` instead of comparing element-wise;
+//! * `Hash` is O(1): it emits the cached spine hash.
+//!
+//! The invariant `states.len() == actions.len() + 1` of the dense
+//! representation becomes structural: a spine node is a state, and every
+//! non-root node records exactly one action.
 //!
 //! The *trace* of a fragment is its restriction to actions that were
 //! external (`in ∪ out`) *in the state where they were taken* — signatures
@@ -11,22 +23,53 @@
 
 use crate::action::Action;
 use crate::automaton::Automaton;
+use crate::fxhash::FxHasher;
 use crate::value::Value;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-/// A finite execution fragment `q⁰ a¹ q¹ … aⁿ qⁿ`.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// One spine node: the state reached after `len` transitions, the action
+/// that reached it (absent at the root), and the cached hash of the
+/// whole prefix ending here.
+struct Node {
+    prev: Option<(Arc<Node>, Action)>,
+    state: Value,
+    len: usize,
+    hash: u64,
+}
+
+fn root_hash(q0: &Value) -> u64 {
+    let mut h = FxHasher::with_seed(0xE0EC);
+    q0.hash(&mut h);
+    h.finish()
+}
+
+fn step_hash(prefix: u64, a: Action, q2: &Value) -> u64 {
+    let mut h = FxHasher::with_seed(prefix);
+    h.write_u32(a.id());
+    q2.hash(&mut h);
+    h.finish()
+}
+
+/// A finite execution fragment `q⁰ a¹ q¹ … aⁿ qⁿ` with O(1) extension,
+/// cloning and hashing (see the module docs for the representation).
+#[derive(Clone)]
 pub struct Execution {
-    states: Vec<Value>,
-    actions: Vec<Action>,
+    tip: Arc<Node>,
 }
 
 impl Execution {
     /// The zero-length fragment consisting of the single state `q0`.
     pub fn from_state(q0: Value) -> Execution {
+        let hash = root_hash(&q0);
         Execution {
-            states: vec![q0],
-            actions: Vec::new(),
+            tip: Arc::new(Node {
+                prev: None,
+                state: q0,
+                len: 0,
+                hash,
+            }),
         }
     }
 
@@ -37,55 +80,81 @@ impl Execution {
 
     /// `fstate(α)`: the first state.
     pub fn fstate(&self) -> &Value {
-        &self.states[0]
+        let mut n: &Node = &self.tip;
+        while let Some((p, _)) = &n.prev {
+            n = p;
+        }
+        &n.state
     }
 
     /// `lstate(α)`: the last state.
     pub fn lstate(&self) -> &Value {
-        self.states.last().expect("executions are non-empty")
+        &self.tip.state
     }
 
     /// `|α|`: the number of transitions along the fragment.
     pub fn len(&self) -> usize {
-        self.actions.len()
+        self.tip.len
     }
 
     /// True iff the fragment has zero transitions.
     pub fn is_empty(&self) -> bool {
-        self.actions.is_empty()
+        self.tip.len == 0
     }
 
     /// Extend by one step `α ⌢ (a, q')` (the paper's `α a q'` notation).
+    /// O(1): allocates one spine node sharing the whole prefix.
     pub fn extend(&self, a: Action, q2: Value) -> Execution {
-        let mut next = self.clone();
-        next.actions.push(a);
-        next.states.push(q2);
-        next
+        let hash = step_hash(self.tip.hash, a, &q2);
+        Execution {
+            tip: Arc::new(Node {
+                prev: Some((Arc::clone(&self.tip), a)),
+                len: self.tip.len + 1,
+                hash,
+                state: q2,
+            }),
+        }
     }
 
-    /// In-place extension (hot path of the samplers).
+    /// In-place extension (hot path of the samplers). O(1), like
+    /// [`Execution::extend`].
     pub fn push(&mut self, a: Action, q2: Value) {
-        self.actions.push(a);
-        self.states.push(q2);
+        *self = self.extend(a, q2);
     }
 
     /// Concatenation `α ⌢ α'`, defined only when `fstate(α') = lstate(α)`.
+    /// Shares `α`'s spine; only `α'`'s steps are re-linked.
     pub fn concat(&self, other: &Execution) -> Option<Execution> {
         if other.fstate() != self.lstate() {
             return None;
         }
-        let mut states = self.states.clone();
-        states.extend(other.states.iter().skip(1).cloned());
-        let mut actions = self.actions.clone();
-        actions.extend(other.actions.iter().copied());
-        Some(Execution { states, actions })
+        let mut out = self.clone();
+        for (_, a, q2) in other.steps() {
+            out = out.extend(a, q2.clone());
+        }
+        Some(out)
     }
 
-    /// Prefix order `α ≤ α'`.
+    /// The spine node holding the length-`len` prefix, if `len ≤ |α|`.
+    fn node_at(&self, len: usize) -> Option<&Arc<Node>> {
+        if len > self.tip.len {
+            return None;
+        }
+        let mut n = &self.tip;
+        while n.len > len {
+            n = &n.prev.as_ref().expect("non-root nodes have parents").0;
+        }
+        Some(n)
+    }
+
+    /// Prefix order `α ≤ α'`. Walks `α'`'s spine down to `|α|` and
+    /// compares there — shared spines short-circuit on pointer identity
+    /// instead of comparing element-wise.
     pub fn is_prefix_of(&self, other: &Execution) -> bool {
-        self.len() <= other.len()
-            && self.states[..] == other.states[..self.states.len()]
-            && self.actions[..] == other.actions[..self.actions.len()]
+        match other.node_at(self.tip.len) {
+            Some(n) => self.tip.hash == n.hash && spine_eq(&self.tip, n),
+            None => false,
+        }
     }
 
     /// Proper prefix `α < α'`.
@@ -93,22 +162,60 @@ impl Execution {
         self.len() < other.len() && self.is_prefix_of(other)
     }
 
-    /// The states visited, in order.
-    pub fn states(&self) -> &[Value] {
-        &self.states
+    /// Every prefix `α' ≤ α`, longest first, each an O(1) handle onto the
+    /// shared spine. Used by the prefix-indexed cone table.
+    pub fn prefixes(&self) -> impl Iterator<Item = Execution> {
+        let mut cur = Some(Arc::clone(&self.tip));
+        std::iter::from_fn(move || {
+            let tip = cur.take()?;
+            cur = tip.prev.as_ref().map(|(p, _)| Arc::clone(p));
+            Some(Execution { tip })
+        })
     }
 
-    /// The actions taken, in order.
-    pub fn actions(&self) -> &[Action] {
-        &self.actions
+    /// The states visited, in order (materialized from the spine).
+    pub fn states(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.tip.len + 1);
+        let mut n: &Node = &self.tip;
+        loop {
+            out.push(n.state.clone());
+            match &n.prev {
+                Some((p, _)) => n = p,
+                None => break,
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// The actions taken, in order (materialized from the spine).
+    pub fn actions(&self) -> Vec<Action> {
+        let mut out = Vec::with_capacity(self.tip.len);
+        let mut n: &Node = &self.tip;
+        while let Some((p, a)) = &n.prev {
+            out.push(*a);
+            n = p;
+        }
+        out.reverse();
+        out
     }
 
     /// Iterate the steps `(qᵢ, aᵢ₊₁, qᵢ₊₁)`.
     pub fn steps(&self) -> impl Iterator<Item = (&Value, Action, &Value)> {
-        self.actions
-            .iter()
-            .enumerate()
-            .map(move |(i, &a)| (&self.states[i], a, &self.states[i + 1]))
+        let mut nodes: Vec<&Node> = Vec::with_capacity(self.tip.len + 1);
+        let mut n: &Node = &self.tip;
+        loop {
+            nodes.push(n);
+            match &n.prev {
+                Some((p, _)) => n = p,
+                None => break,
+            }
+        }
+        nodes.reverse();
+        (1..nodes.len()).map(move |i| {
+            let a = nodes[i].prev.as_ref().expect("non-root node").1;
+            (&nodes[i - 1].state, a, &nodes[i].state)
+        })
     }
 
     /// `trace(α)` (Def. 2.2): the restriction to actions external in the
@@ -123,11 +230,55 @@ impl Execution {
     }
 }
 
+/// Structural equality of two spines of equal length, with an
+/// `Arc::ptr_eq` shortcut at every level — executions grown from a
+/// common prefix compare in O(divergence), not O(length).
+fn spine_eq(a: &Arc<Node>, b: &Arc<Node>) -> bool {
+    debug_assert_eq!(a.len, b.len);
+    let (mut a, mut b) = (a, b);
+    loop {
+        if Arc::ptr_eq(a, b) {
+            return true;
+        }
+        if a.hash != b.hash || a.state != b.state {
+            return false;
+        }
+        match (&a.prev, &b.prev) {
+            (Some((pa, aa)), Some((pb, ab))) => {
+                if aa != ab {
+                    return false;
+                }
+                a = pa;
+                b = pb;
+            }
+            (None, None) => return true,
+            _ => unreachable!("equal-length spines have equal depth"),
+        }
+    }
+}
+
+impl PartialEq for Execution {
+    fn eq(&self, other: &Execution) -> bool {
+        self.tip.len == other.tip.len
+            && self.tip.hash == other.tip.hash
+            && spine_eq(&self.tip, &other.tip)
+    }
+}
+
+impl Eq for Execution {}
+
+impl Hash for Execution {
+    /// O(1): the cached spine hash covers the whole alternating sequence.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.tip.hash);
+    }
+}
+
 impl fmt::Debug for Execution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.states[0])?;
-        for (i, a) in self.actions.iter().enumerate() {
-            write!(f, " --{a}--> {}", self.states[i + 1])?;
+        write!(f, "{}", self.fstate())?;
+        for (_, a, q2) in self.steps() {
+            write!(f, " --{a}--> {q2}")?;
         }
         Ok(())
     }
@@ -219,6 +370,11 @@ mod tests {
         assert_eq!(e.lstate(), &Value::int(2));
         let steps: Vec<_> = e.steps().collect();
         assert_eq!(steps[0], (&Value::int(0), act("silent"), &Value::int(1)));
+        assert_eq!(
+            e.states(),
+            vec![Value::int(0), Value::int(1), Value::int(2)]
+        );
+        assert_eq!(e.actions(), vec![act("silent"), act("ext1")]);
     }
 
     #[test]
@@ -244,6 +400,38 @@ mod tests {
         // Divergent fragment is not a prefix.
         let c = Execution::from_state(Value::int(0)).extend(act("ext0"), Value::int(0));
         assert!(!c.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn prefix_order_without_sharing() {
+        // Rebuild the same sequence independently: no spine sharing, so
+        // the structural (non-ptr_eq) path must agree.
+        let a = Execution::from_state(Value::int(0)).extend(act("silent"), Value::int(1));
+        let a2 = Execution::from_state(Value::int(0)).extend(act("silent"), Value::int(1));
+        let b = a.extend(act("ext1"), Value::int(2));
+        assert_eq!(a, a2);
+        assert!(a2.is_prefix_of(&b));
+        use std::collections::hash_map::DefaultHasher;
+        let h = |e: &Execution| {
+            let mut s = DefaultHasher::new();
+            e.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&a2));
+    }
+
+    #[test]
+    fn prefixes_enumerate_the_spine() {
+        let e = Execution::from_state(Value::int(0))
+            .extend(act("silent"), Value::int(1))
+            .extend(act("ext1"), Value::int(2));
+        let ps: Vec<_> = e.prefixes().collect();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0], e);
+        assert_eq!(ps[2], Execution::from_state(Value::int(0)));
+        for p in &ps {
+            assert!(p.is_prefix_of(&e));
+        }
     }
 
     #[test]

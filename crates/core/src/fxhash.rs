@@ -1,0 +1,136 @@
+//! A deterministic, allocation-free hash for engine-internal tables.
+//!
+//! The exact engines key hash maps by states, interned values and
+//! executions millions of times per query; `std`'s default SipHash (with
+//! its per-map random keys) is both slower than needed and
+//! non-deterministic across maps, which would make cached execution
+//! hashes (see [`crate::execution`]) impossible. [`FxHasher`] is the
+//! Firefox/rustc multiply-rotate hash: not DoS-resistant, but the keys
+//! here are machine-generated model states, not attacker-controlled
+//! input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hash, Hasher};
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The rustc-style multiply-rotate hasher, seedable so hash chains can be
+/// continued incrementally (cached execution-prefix hashes).
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// A hasher continuing from a previous chain value.
+    pub fn with_seed(seed: u64) -> FxHasher {
+        FxHasher { hash: seed }
+    }
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+        self.add(bytes.len() as u64);
+    }
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A [`BuildHasher`] producing [`FxHasher`]s — deterministic across maps
+/// and process runs (unlike `RandomState`).
+#[derive(Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed with the deterministic fast hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the deterministic fast hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash one value with the deterministic fast hash.
+pub fn fx_hash<T: Hash + ?Sized>(t: &T) -> u64 {
+    let mut h = FxHasher::default();
+    t.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(fx_hash(&42u64), fx_hash(&42u64));
+        assert_ne!(fx_hash(&42u64), fx_hash(&43u64));
+        let mut a = FxHasher::default();
+        "abc".hash(&mut a);
+        let mut b = FxHasher::default();
+        "abc".hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn seeded_chains_differ_by_seed() {
+        let mut a = FxHasher::with_seed(1);
+        let mut b = FxHasher::with_seed(2);
+        a.write_u64(7);
+        b.write_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fx_map_works() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        assert_eq!(m.get("x"), Some(&1));
+    }
+}

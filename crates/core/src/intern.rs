@@ -1,0 +1,134 @@
+//! Hash-consing for compound [`Value`]s.
+//!
+//! The exact engines revisit the same composed/configuration states
+//! (`Value::Tuple`/`Value::Map` trees) many times per expansion — every
+//! revisit pays a deep structural hash and a deep equality in
+//! `Disc::canonicalize` and the frontier maps. Interning maps each
+//! distinct `Value` to a process-global id ([`IValue`]) and a single
+//! canonical `Arc`-backed representative, so:
+//!
+//! * `IValue` equality/hash are a `u32` compare — pointer-id semantics;
+//! * [`canonical`] returns a clone of the shared representative, so two
+//!   structurally equal states canonicalized separately share their
+//!   `Arc` allocations and `Value`'s own `==` short-circuits on
+//!   `Arc::ptr_eq` (see [`crate::value`]).
+//!
+//! Same interner pattern as [`crate::action`]: a `RwLock`-guarded
+//! map+vector with a read-then-write double check.
+
+use crate::fxhash::FxBuildHasher;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+struct Interner {
+    ids: HashMap<Value, u32, FxBuildHasher>,
+    values: Vec<Value>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            ids: HashMap::default(),
+            values: Vec::new(),
+        })
+    })
+}
+
+/// An interned [`Value`]: a process-global id with O(1) equality and
+/// hashing. Two `IValue`s are equal iff the underlying values are
+/// structurally equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IValue(u32);
+
+impl IValue {
+    /// Intern a value, returning its global id. First interning of a
+    /// distinct value takes the write lock; revisits only the read lock.
+    pub fn of(v: &Value) -> IValue {
+        {
+            let guard = interner().read().expect("value interner poisoned");
+            if let Some(&id) = guard.ids.get(v) {
+                return IValue(id);
+            }
+        }
+        let mut guard = interner().write().expect("value interner poisoned");
+        if let Some(&id) = guard.ids.get(v) {
+            return IValue(id);
+        }
+        let id = u32::try_from(guard.values.len()).expect("value interner overflow");
+        guard.values.push(v.clone());
+        guard.ids.insert(v.clone(), id);
+        IValue(id)
+    }
+
+    /// The canonical shared representative (cheap clone of `Arc`-backed
+    /// spines).
+    pub fn value(self) -> Value {
+        interner().read().expect("value interner poisoned").values[self.0 as usize].clone()
+    }
+
+    /// The raw interner id (stable within a process run only).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for IValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl fmt::Display for IValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl From<&Value> for IValue {
+    fn from(v: &Value) -> IValue {
+        IValue::of(v)
+    }
+}
+
+/// Replace `v` with the canonical shared representative of its
+/// equivalence class: structurally equal, but `Arc`-sharing with every
+/// other canonicalized copy, so subsequent `==`/prefix checks
+/// short-circuit on pointer identity.
+pub fn canonical(v: &Value) -> Value {
+    IValue::of(v).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_value_same_id() {
+        let a = Value::tuple(vec![Value::int(1), Value::str("x")]);
+        let b = Value::tuple(vec![Value::int(1), Value::str("x")]);
+        assert_eq!(IValue::of(&a), IValue::of(&b));
+        assert_ne!(IValue::of(&a), IValue::of(&Value::int(1)));
+    }
+
+    #[test]
+    fn roundtrip_is_structural_identity() {
+        let v = Value::map(vec![(Value::int(1), Value::list(vec![Value::Unit]))]);
+        assert_eq!(IValue::of(&v).value(), v);
+        assert_eq!(canonical(&v), v);
+    }
+
+    #[test]
+    fn canonical_copies_share_allocations() {
+        let a = canonical(&Value::tuple(vec![Value::int(7)]));
+        let b = canonical(&Value::tuple(vec![Value::int(7)]));
+        match (&a, &b) {
+            (Value::Tuple(x), Value::Tuple(y)) => {
+                assert!(std::sync::Arc::ptr_eq(x, y));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

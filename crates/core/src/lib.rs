@@ -32,7 +32,9 @@ pub mod compose;
 pub mod execution;
 pub mod explicit;
 pub mod explore;
+pub mod fxhash;
 pub mod hide;
+pub mod intern;
 pub mod rename;
 pub mod signature;
 pub mod value;
@@ -42,7 +44,9 @@ pub use automaton::{Automaton, AutomatonExt, LambdaAutomaton};
 pub use compose::{compose, compose2, Composition};
 pub use execution::{Execution, Trace};
 pub use explicit::{ExplicitAutomaton, ExplicitBuilder};
+pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hide::{hide_static, hide_with, Hidden};
+pub use intern::{canonical, IValue};
 pub use rename::{rename_static, rename_with, Renamed};
 pub use signature::{ActionSet, Signature};
 pub use value::Value;

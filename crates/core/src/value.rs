@@ -19,7 +19,11 @@ use std::sync::Arc;
 /// `Tuple` is the canonical product-state constructor used by composition;
 /// `Map` (sorted) is used by configuration states (`Autid → state`) so
 /// that equal configurations have equal `Value`s.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+// The manual `PartialEq` below is semantically the derived structural
+// equality plus `Arc::ptr_eq` fast paths, so the derived `Hash` stays
+// consistent with it.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// The unit value (used for single-state automata).
     Unit,
@@ -149,6 +153,28 @@ impl Value {
             Value::Tuple(_) => "tuple",
             Value::List(_) => "list",
             Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Structural equality with `Arc::ptr_eq` fast paths on the compound
+/// variants: interned values (see [`crate::intern`]) and clones share
+/// their spines, so the common case is a pointer compare rather than a
+/// deep walk. Semantically identical to the derived structural equality,
+/// so the derived `Ord`/`Hash` remain consistent.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Tuple(a), Value::Tuple(b)) | (Value::List(a), Value::List(b)) => {
+                Arc::ptr_eq(a, b) || a == b
+            }
+            (Value::Map(a), Value::Map(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
         }
     }
 }

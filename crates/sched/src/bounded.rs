@@ -9,7 +9,7 @@
 //! action would make `|α'| > b`, so it is suppressed.)
 
 use crate::scheduler::Scheduler;
-use dpioa_core::{Action, Automaton, Execution};
+use dpioa_core::{Action, Automaton, Execution, Value};
 use dpioa_prob::SubDisc;
 
 /// A wrapper imposing the Def. 4.6 activation bound on a scheduler.
@@ -36,6 +36,20 @@ impl<S: Scheduler> Scheduler for BoundedScheduler<S> {
             SubDisc::halt()
         } else {
             self.inner.schedule(auto, exec)
+        }
+    }
+    fn schedule_memoryless(
+        &self,
+        auto: &dyn Automaton,
+        step: usize,
+        lstate: &Value,
+    ) -> Option<SubDisc<Action>> {
+        if step >= self.bound {
+            // The bound is a function of |α| alone, so it preserves
+            // memorylessness of the inner scheduler.
+            Some(SubDisc::halt())
+        } else {
+            self.inner.schedule_memoryless(auto, step, lstate)
         }
     }
     fn describe(&self) -> String {

@@ -65,6 +65,14 @@ pub enum EngineError {
         /// The underlying normalization failure.
         detail: String,
     },
+    /// The query does not satisfy the eligibility conditions of the
+    /// state-lumped engine (memoryless scheduler + observation factoring
+    /// through trace or last state) — callers should fall through to the
+    /// general exact expansion.
+    NotLumpable {
+        /// Which eligibility condition failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -99,6 +107,9 @@ impl fmt::Display for EngineError {
                 write!(f, "invalid sampling request: {reason}")
             }
             EngineError::InvalidMeasure { detail } => write!(f, "invalid measure: {detail}"),
+            EngineError::NotLumpable { reason } => {
+                write!(f, "query not eligible for state-lumped expansion: {reason}")
+            }
         }
     }
 }

@@ -16,12 +16,21 @@
 //!   visible history, never on the internal state of dynamically created
 //!   components) and [`bounded::BoundedScheduler`] (Def. 4.6).
 //! * [`measure`] computes the execution measure `ε_σ` exactly by cone
-//!   expansion, and approximately by parallel Monte-Carlo sampling
-//!   (scoped-thread fan-out, per-thread RNGs, merged histograms).
+//!   expansion — sequentially or with the per-depth frontier fanned out
+//!   over scoped threads — and approximately by parallel Monte-Carlo
+//!   sampling (scoped-thread fan-out, per-thread RNGs, merged
+//!   histograms). [`measure::ConeIndex`] answers batches of cone
+//!   probability queries in O(1) each.
+//! * [`lumped`] is the state-lumped exact engine: when the scheduler is
+//!   memoryless ([`Scheduler::schedule_memoryless`]) and the observation
+//!   factors through trace or last state ([`Observation`]), the
+//!   exponential cone tree folds into a polynomial forward pass over
+//!   `(state → weight)` maps — exactly, in the spirit of the Task-PIOA
+//!   trace-distribution computation.
 //! * [`error`] and [`robust`] make the engines production-robust: every
 //!   failure mode is an [`EngineError`] value, exact expansion runs
 //!   under a [`Budget`], and [`robust_observation_dist`] degrades
-//!   gracefully from exact expansion to Monte-Carlo estimation with a
+//!   gracefully lumped → general-exact → Monte-Carlo with a
 //!   [`Provenance`] record saying which engine answered and with what
 //!   error bound.
 
@@ -30,6 +39,7 @@
 
 pub mod bounded;
 pub mod error;
+pub mod lumped;
 pub mod measure;
 pub mod robust;
 pub mod sample;
@@ -38,9 +48,14 @@ pub mod schema;
 
 pub use bounded::BoundedScheduler;
 pub use error::{disabled_action, Budget, EngineError};
+pub use lumped::{
+    lumped_observation_dist, try_lumped_observation_dist, try_lumped_observation_dist_exact,
+    try_lumped_observation_dist_in, Observation,
+};
 pub use measure::{
     execution_measure, execution_measure_exact, observation_dist, try_execution_measure,
-    try_execution_measure_exact, try_execution_measure_in, ExecutionMeasure,
+    try_execution_measure_exact, try_execution_measure_in, try_execution_measure_parallel,
+    try_execution_measure_parallel_in, ConeIndex, ExecutionMeasure,
 };
 pub use robust::{robust_observation_dist, EngineKind, Provenance, RobustConfig};
 pub use sample::{

@@ -1,0 +1,406 @@
+//! State-lumped exact expansion of observation distributions.
+//!
+//! The general engine ([`crate::measure`]) enumerates the cone tree of
+//! §3 execution-by-execution — exponential in the horizon even when most
+//! of those executions are *indistinguishable* to both the scheduler and
+//! the observation. The Task-PIOA line (Canetti et al., CSF 2007)
+//! computes trace distributions over *states*; the same collapse is
+//! exact here whenever
+//!
+//! 1. the scheduler is **memoryless**: `σ(α)` factors through
+//!    `(|α|, lstate(α))` — witnessed by
+//!    [`Scheduler::schedule_memoryless`] returning `Some`; and
+//! 2. the **observation factors through** the pair the engine tracks:
+//!    either a function of the last state ([`Observation::LastState`])
+//!    or the trace ([`Observation::Trace`]).
+//!
+//! Under (1)+(2) every execution in the lump class
+//! `[(step, lstate, trace)]` has the same future behaviour *and* the
+//! same observation value, so the engine folds the cone tree into a
+//! forward pass over `(class → weight)` maps: per step the work is
+//! `O(classes × branching)` — polynomial where the cone tree is
+//! exponential — while the resulting distribution is **identical**
+//! (not approximately: the same sums of the same dyadic products) to
+//! `ε_σ` pushed through the observation.
+//!
+//! When either condition fails the entry points return
+//! [`EngineError::NotLumpable`] and callers fall through to the general
+//! engine — the first tier of
+//! [`crate::robust::robust_observation_dist`]'s cascade.
+
+use crate::error::{disabled_action, Budget, EngineError};
+use crate::scheduler::Scheduler;
+use dpioa_core::fxhash::FxHashMap;
+use dpioa_core::{Action, Automaton, Execution, IValue, Value};
+use dpioa_prob::{Disc, Ratio, Weight};
+use std::sync::Arc;
+
+/// An observation function `f : Execs*(A) → Value`, restricted to the
+/// shapes the lumped engine can factor. [`Observation::apply`] evaluates
+/// it on a concrete execution, so the same value drives the general
+/// exact engine and the Monte-Carlo sampler — one observation, three
+/// tiers.
+#[derive(Clone)]
+pub enum Observation {
+    /// `f(α) = g(lstate(α))` — insight functions of the final state.
+    LastState(Arc<dyn Fn(&Value) -> Value + Send + Sync>),
+    /// `f(α) = trace(α)` encoded as a `Value` (exactly
+    /// [`dpioa_core::Trace::to_value`]).
+    Trace,
+    /// An arbitrary function of the whole execution — never lumpable;
+    /// served by the general exact and Monte-Carlo tiers.
+    Full(Arc<dyn Fn(&Execution) -> Value + Send + Sync>),
+}
+
+impl Observation {
+    /// Observe a function of the last state.
+    pub fn last_state(g: impl Fn(&Value) -> Value + Send + Sync + 'static) -> Observation {
+        Observation::LastState(Arc::new(g))
+    }
+
+    /// Observe the last state itself.
+    pub fn final_state() -> Observation {
+        Observation::last_state(|q| q.clone())
+    }
+
+    /// Observe the trace.
+    pub fn trace() -> Observation {
+        Observation::Trace
+    }
+
+    /// Observe an arbitrary function of the execution (forfeits the
+    /// lumped tier).
+    pub fn full(g: impl Fn(&Execution) -> Value + Send + Sync + 'static) -> Observation {
+        Observation::Full(Arc::new(g))
+    }
+
+    /// Evaluate the observation on a concrete execution (used by the
+    /// general-exact and Monte-Carlo tiers).
+    pub fn apply(&self, auto: &dyn Automaton, exec: &Execution) -> Value {
+        match self {
+            Observation::LastState(g) => g(exec.lstate()),
+            Observation::Trace => exec.trace(auto).to_value(),
+            Observation::Full(g) => g(exec),
+        }
+    }
+
+    /// A short display name for reports.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Observation::LastState(_) => "last-state",
+            Observation::Trace => "trace",
+            Observation::Full(_) => "full-execution",
+        }
+    }
+}
+
+/// A lump class: every execution of length `step` (implicit — classes
+/// live inside a per-step frontier) with this last state and, when the
+/// observation is the trace, this trace. Interned states make the
+/// per-class hash O(trace length), not O(state size).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Key {
+    state: IValue,
+    trace: Vec<Action>,
+}
+
+/// An insertion-ordered weighted map: deterministic iteration order
+/// (first-reached first) independent of hash layout, so `f64` sums
+/// accumulate in a reproducible order across runs and thread counts.
+struct WeightedClasses<K, W> {
+    entries: Vec<(K, W)>,
+    index: FxHashMap<K, usize>,
+}
+
+impl<K: Clone + Eq + std::hash::Hash, W: Weight> WeightedClasses<K, W> {
+    fn new() -> WeightedClasses<K, W> {
+        WeightedClasses {
+            entries: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    fn add(&mut self, key: K, w: W) {
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = &mut self.entries[*e.get()].1;
+                *slot = slot.add(&w);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.entries.push((e.key().clone(), w));
+                e.insert(self.entries.len() - 1);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Lumped expansion with a weight-lifting function — the engine core;
+/// the typed entry points below delegate here.
+///
+/// Returns [`EngineError::NotLumpable`] when the scheduler declines
+/// [`Scheduler::schedule_memoryless`] at any reached class (the cascade
+/// then falls back to the general engine), and threads the [`Budget`]
+/// through every class expansion (`entries` counts live lump classes,
+/// `expansions` counts class expansions).
+pub fn try_lumped_observation_dist_in<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    obs: &Observation,
+    budget: &Budget,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+) -> Result<Disc<Value, W>, EngineError> {
+    if let Observation::Full(_) = obs {
+        return Err(EngineError::NotLumpable {
+            reason: "observation does not factor through trace or last state".into(),
+        });
+    }
+    let observe_key = |key: &Key| -> Value {
+        match obs {
+            Observation::LastState(g) => g(&key.state.value()),
+            Observation::Trace => Value::list(
+                key.trace
+                    .iter()
+                    .map(|a| Value::str(a.name()))
+                    .collect::<Vec<_>>(),
+            ),
+            Observation::Full(_) => unreachable!("rejected above"),
+        }
+    };
+
+    let mut absorbed: WeightedClasses<Value, W> = WeightedClasses::new();
+    let mut frontier: WeightedClasses<Key, W> = WeightedClasses::new();
+    frontier.add(
+        Key {
+            state: IValue::of(&auto.start_state()),
+            trace: Vec::new(),
+        },
+        W::one(),
+    );
+    let mut expansions: usize = 0;
+
+    for step in 0..horizon {
+        let mut next: WeightedClasses<Key, W> = WeightedClasses::new();
+        for (key, weight) in frontier.entries {
+            expansions += 1;
+            budget.check(absorbed.len() + next.len(), expansions)?;
+            let state = key.state.value();
+            let Some(choice) = sched.schedule_memoryless(auto, step, &state) else {
+                return Err(EngineError::NotLumpable {
+                    reason: format!(
+                        "scheduler {} is not memoryless at step {step}",
+                        sched.describe()
+                    ),
+                });
+            };
+            if choice.is_halt() {
+                absorbed.add(observe_key(&key), weight);
+                continue;
+            }
+            let halt = lift(choice.halt_prob().to_f64())?;
+            if !halt.is_zero() {
+                absorbed.add(observe_key(&key), weight.mul(&halt));
+            }
+            let track_trace = matches!(obs, Observation::Trace);
+            for (&a, p) in choice.iter() {
+                let p = lift(p.to_f64())?;
+                let Some(eta) = auto.transition(&state, a) else {
+                    return Err(disabled_action(sched, a, &state));
+                };
+                let extend_trace = track_trace && auto.signature(&state).is_external(a);
+                for (q2, r) in eta.iter() {
+                    let r = lift(r.to_f64())?;
+                    let mut trace = key.trace.clone();
+                    if extend_trace {
+                        trace.push(a);
+                    }
+                    next.add(
+                        Key {
+                            state: IValue::of(q2),
+                            trace,
+                        },
+                        weight.mul(&p).mul(&r),
+                    );
+                }
+            }
+        }
+        frontier = next;
+    }
+    for (key, weight) in frontier.entries {
+        absorbed.add(observe_key(&key), weight);
+    }
+
+    Disc::from_entries(absorbed.entries).map_err(|e| EngineError::InvalidMeasure {
+        detail: format!("lumped weights do not sum to one: {e:?}"),
+    })
+}
+
+/// The `f64` lumped observation distribution under a [`Budget`].
+pub fn try_lumped_observation_dist(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    obs: &Observation,
+    budget: &Budget,
+) -> Result<Disc<Value>, EngineError> {
+    try_lumped_observation_dist_in(auto, sched, horizon, obs, budget, Ok)
+}
+
+/// The exact-rational lumped observation distribution under a
+/// [`Budget`]; fails with [`EngineError::NonDyadicWeight`] on weights
+/// that are not exactly representable.
+pub fn try_lumped_observation_dist_exact(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    obs: &Observation,
+    budget: &Budget,
+) -> Result<Disc<Value, Ratio>, EngineError> {
+    try_lumped_observation_dist_in(auto, sched, horizon, obs, budget, |w| {
+        Ratio::from_f64_exact(w).ok_or(EngineError::NonDyadicWeight { weight: w })
+    })
+}
+
+/// The `f64` lumped observation distribution; panics on any engine
+/// error (including ineligibility). Prefer the `try_` forms or
+/// [`crate::robust::robust_observation_dist`] in library code.
+pub fn lumped_observation_dist(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    obs: &Observation,
+) -> Disc<Value> {
+    match try_lumped_observation_dist(auto, sched, horizon, obs, &Budget::unlimited()) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::execution_measure;
+    use crate::scheduler::{DeterministicScheduler, FirstEnabled, HaltingMix, ScriptedScheduler};
+    use dpioa_core::{ExplicitAutomaton, Signature};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// flip (internal) then report (output) from either face.
+    fn coin() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("l-coin", Value::int(0))
+            .state(0, Signature::new([], [], [act("l-flip")]))
+            .state(1, Signature::new([], [act("l-report")], []))
+            .state(2, Signature::new([], [act("l-report")], []))
+            .transition(
+                0,
+                act("l-flip"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+            )
+            .step(1, act("l-report"), 1)
+            .step(2, act("l-report"), 2)
+            .build()
+    }
+
+    #[test]
+    fn lumped_matches_general_on_final_state() {
+        let auto = coin();
+        for h in 0..4 {
+            let general =
+                execution_measure(&auto, &FirstEnabled, h).observe(|e| e.lstate().clone());
+            let lumped =
+                lumped_observation_dist(&auto, &FirstEnabled, h, &Observation::final_state());
+            assert_eq!(general, lumped, "horizon {h}");
+        }
+    }
+
+    #[test]
+    fn lumped_matches_general_on_trace() {
+        let auto = coin();
+        let sched = ScriptedScheduler::new(vec![act("l-flip"), act("l-report")]);
+        for h in 0..4 {
+            let general =
+                execution_measure(&auto, &sched, h).observe(|e| e.trace(&auto).to_value());
+            let lumped = lumped_observation_dist(&auto, &sched, h, &Observation::trace());
+            assert_eq!(general, lumped, "horizon {h}");
+        }
+    }
+
+    #[test]
+    fn lumped_handles_partial_halting() {
+        let auto = coin();
+        let sched = HaltingMix::new(FirstEnabled, 1, 1);
+        let general = execution_measure(&auto, &sched, 2).observe(|e| e.lstate().clone());
+        let lumped = lumped_observation_dist(&auto, &sched, 2, &Observation::final_state());
+        assert_eq!(general, lumped);
+    }
+
+    #[test]
+    fn history_dependent_scheduler_is_not_lumpable() {
+        let auto = coin();
+        let sched = DeterministicScheduler::new("peeks", |exec, enabled| {
+            if exec.len() > 1 {
+                None
+            } else {
+                enabled.first().copied()
+            }
+        });
+        let err = try_lumped_observation_dist(
+            &auto,
+            &sched,
+            2,
+            &Observation::final_state(),
+            &Budget::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::NotLumpable { .. }));
+    }
+
+    #[test]
+    fn exact_rational_variant_agrees_with_f64() {
+        let auto = coin();
+        let f = lumped_observation_dist(&auto, &FirstEnabled, 3, &Observation::final_state());
+        let r = try_lumped_observation_dist_exact(
+            &auto,
+            &FirstEnabled,
+            3,
+            &Observation::final_state(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        for (v, w) in f.iter() {
+            assert_eq!(Ratio::from_f64_exact(*w).unwrap(), r.prob(v));
+        }
+    }
+
+    #[test]
+    fn budget_applies_to_lump_classes() {
+        let auto = coin();
+        let err = try_lumped_observation_dist(
+            &auto,
+            &FirstEnabled,
+            4,
+            &Observation::final_state(),
+            &Budget::unlimited().with_max_expansions(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn observation_apply_matches_key_projection() {
+        let auto = coin();
+        let e = Execution::start_of(&auto).extend(act("l-flip"), Value::int(1));
+        assert_eq!(Observation::final_state().apply(&auto, &e), Value::int(1));
+        // l-flip is internal at state 0, so the trace is empty.
+        assert_eq!(
+            Observation::trace().apply(&auto, &e),
+            Value::list(Vec::new())
+        );
+    }
+}

@@ -22,8 +22,10 @@
 
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
+use dpioa_core::fxhash::FxHashMap;
 use dpioa_core::{Automaton, Execution, Value};
 use dpioa_prob::{Disc, Ratio, Weight};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The finite-horizon description of `ε_σ`: terminal executions with
 /// their probabilities, summing to one.
@@ -90,6 +92,10 @@ impl<W: Weight> ExecutionMeasure<W> {
 
     /// The probability of the cone `C_α` (executions extending `α`),
     /// i.e. `ε_σ(C_α)` restricted to the horizon.
+    ///
+    /// O(entries × |α|) per query — kept as the oracle the property
+    /// tests compare against; batch query workloads (the E2/E3 bound
+    /// experiments) should build a [`ConeIndex`] once instead.
     pub fn cone_prob(&self, alpha: &Execution) -> W {
         let mut t = W::zero();
         for (e, w) in &self.entries {
@@ -98,6 +104,64 @@ impl<W: Weight> ExecutionMeasure<W> {
             }
         }
         t
+    }
+
+    /// Build a prefix-indexed cone table: every prefix of every terminal
+    /// execution, mapped to its cone probability. O(entries × horizon)
+    /// once (the prefixes are O(1) handles onto the shared spine), then
+    /// each [`ConeIndex::cone_prob`] query is a single hash lookup.
+    pub fn cone_index(&self) -> ConeIndex<W> {
+        let mut weights: FxHashMap<Execution, W> = FxHashMap::default();
+        for (e, w) in &self.entries {
+            for p in e.prefixes() {
+                match weights.entry(p) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        let slot = o.get_mut();
+                        *slot = slot.add(w);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(w.clone());
+                    }
+                }
+            }
+        }
+        ConeIndex {
+            weights,
+            horizon: self.horizon,
+        }
+    }
+}
+
+/// A prefix-indexed view of an [`ExecutionMeasure`]: cone probabilities
+/// `ε_σ(C_α)` precomputed for every prefix `α` of a terminal execution,
+/// answerable in O(1) per query. Built by [`ExecutionMeasure::cone_index`].
+#[derive(Clone, Debug)]
+pub struct ConeIndex<W = f64> {
+    weights: FxHashMap<Execution, W>,
+    horizon: usize,
+}
+
+impl<W: Weight> ConeIndex<W> {
+    /// `ε_σ(C_α)` restricted to the horizon — identical to
+    /// [`ExecutionMeasure::cone_prob`] (the property tests assert it),
+    /// in O(1) per query.
+    pub fn cone_prob(&self, alpha: &Execution) -> W {
+        self.weights.get(alpha).cloned().unwrap_or_else(W::zero)
+    }
+
+    /// Number of indexed prefixes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True iff no prefix is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The expansion horizon of the underlying measure.
+    pub fn horizon(&self) -> usize {
+        self.horizon
     }
 }
 
@@ -208,6 +272,131 @@ pub fn execution_measure_exact(
         Ok(m) => m,
         Err(e) => panic!("{e}"),
     }
+}
+
+/// Frontier batches smaller than this expand sequentially even when
+/// `threads > 1` — thread spawn/join overhead dominates below it.
+const PAR_SEQ_THRESHOLD: usize = 64;
+
+/// One worker's share of a depth step: the executions that terminated in
+/// this chunk, and the chunk's contribution to the next frontier.
+type DepthBatch<W> = (Vec<(Execution, W)>, Vec<(Execution, W)>);
+
+/// Breadth-first expansion of `ε_σ` with the per-depth frontier fanned
+/// out over `threads` scoped workers.
+///
+/// Each depth's frontier is split into `threads` contiguous chunks;
+/// workers expand their chunk into local `(terminal, next)` vectors
+/// which are merged **in chunk order**, so the resulting entry list is
+/// deterministic (independent of thread scheduling), and — because
+/// model weights are dyadic, hence `f64` sums are order-exact — the
+/// weights are bit-identical to the sequential engines'. Budget
+/// granularity: `expansions` is shared exactly (one atomic per node);
+/// the `entries` count a worker checks against is the depth-start count
+/// plus its own local terminals, so the entry cap can overshoot by at
+/// most one depth's worth of parallel discoveries.
+pub fn try_execution_measure_parallel_in<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    threads: usize,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync,
+) -> Result<ExecutionMeasure<W>, EngineError> {
+    if threads == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot expand with zero worker threads".into(),
+        });
+    }
+    let expansions = AtomicUsize::new(0);
+
+    // Expand one frontier node into a worker-local terminal/next pair.
+    let expand = |exec: &Execution,
+                  weight: &W,
+                  entries_base: usize,
+                  terminal: &mut Vec<(Execution, W)>,
+                  next: &mut Vec<(Execution, W)>|
+     -> Result<(), EngineError> {
+        let n = expansions.fetch_add(1, Ordering::Relaxed) + 1;
+        budget.check(entries_base + terminal.len(), n)?;
+        if exec.len() >= horizon {
+            terminal.push((exec.clone(), weight.clone()));
+            return Ok(());
+        }
+        let choice = sched.schedule(auto, exec);
+        if choice.is_halt() {
+            terminal.push((exec.clone(), weight.clone()));
+            return Ok(());
+        }
+        let halt = lift(choice.halt_prob().to_f64())?;
+        if !halt.is_zero() {
+            terminal.push((exec.clone(), weight.mul(&halt)));
+        }
+        for (&a, p) in choice.iter() {
+            let p = lift(p.to_f64())?;
+            let Some(eta) = auto.transition(exec.lstate(), a) else {
+                return Err(disabled_action(sched, a, exec.lstate()));
+            };
+            for (q2, r) in eta.iter() {
+                let r = lift(r.to_f64())?;
+                next.push((exec.extend(a, q2.clone()), weight.mul(&p).mul(&r)));
+            }
+        }
+        Ok(())
+    };
+
+    let mut entries: Vec<(Execution, W)> = Vec::new();
+    let mut frontier: Vec<(Execution, W)> = vec![(Execution::start_of(auto), W::one())];
+    while !frontier.is_empty() {
+        let entries_base = entries.len();
+        let mut next: Vec<(Execution, W)> = Vec::new();
+        if threads <= 1 || frontier.len() < PAR_SEQ_THRESHOLD {
+            for (exec, weight) in &frontier {
+                expand(exec, weight, entries_base, &mut entries, &mut next)?;
+            }
+        } else {
+            let chunk = frontier.len().div_ceil(threads);
+            let expand = &expand;
+            let batch = &frontier;
+            let results: Vec<Result<DepthBatch<W>, EngineError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = batch
+                    .chunks(chunk)
+                    .map(|items| {
+                        s.spawn(move || {
+                            let mut terminal = Vec::new();
+                            let mut local_next = Vec::new();
+                            for (exec, weight) in items {
+                                expand(exec, weight, entries_base, &mut terminal, &mut local_next)?;
+                            }
+                            Ok((terminal, local_next))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("exact expansion worker panicked"))
+                    .collect()
+            });
+            for r in results {
+                let (terminal, local_next) = r?;
+                entries.extend(terminal);
+                next.extend(local_next);
+            }
+        }
+        frontier = next;
+    }
+    Ok(ExecutionMeasure { entries, horizon })
+}
+
+/// The `f64` parallel execution measure under a [`Budget`].
+pub fn try_execution_measure_parallel(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    threads: usize,
+) -> Result<ExecutionMeasure<f64>, EngineError> {
+    try_execution_measure_parallel_in(auto, sched, horizon, budget, threads, Ok)
 }
 
 /// One-call helper: the distribution of `f(execution)` under `ε_σ`.
@@ -389,6 +578,67 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn cone_index_matches_naive_oracle() {
+        let auto = coin();
+        let s = HaltingMix::new(FirstEnabled, 3, 2);
+        let m = execution_measure(&auto, &s, 3);
+        let idx = m.cone_index();
+        assert!(!idx.is_empty());
+        assert_eq!(idx.horizon(), 3);
+        // Every indexed prefix agrees with the naive scan; plus a probe
+        // of executions outside the tree.
+        for (e, _) in m.iter() {
+            for p in e.prefixes() {
+                assert_eq!(idx.cone_prob(&p), m.cone_prob(&p));
+            }
+        }
+        let ghost = Execution::from_state(Value::int(77));
+        assert_eq!(idx.cone_prob(&ghost), 0.0);
+        assert_eq!(m.cone_prob(&ghost), 0.0);
+    }
+
+    #[test]
+    fn parallel_frontier_matches_sequential_bitwise() {
+        let auto = coin();
+        for threads in [1, 2, 4] {
+            let seq = execution_measure(&auto, &FirstEnabled, 3);
+            let par = try_execution_measure_parallel(
+                &auto,
+                &FirstEnabled,
+                3,
+                &Budget::unlimited(),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par.len(), seq.len());
+            assert_eq!(par.total(), seq.total());
+            // Same set of (execution, weight) pairs, bit-identical.
+            for (e, w) in seq.iter() {
+                let found: Vec<_> = par.iter().filter(|(e2, _)| *e2 == e).collect();
+                assert_eq!(found.len(), 1);
+                assert_eq!(*found[0].1, *w);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_frontier_respects_budget_and_thread_validation() {
+        let auto = coin();
+        let err = try_execution_measure_parallel(
+            &auto,
+            &FirstEnabled,
+            5,
+            &Budget::unlimited().with_max_expansions(2),
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { .. }));
+        let err = try_execution_measure_parallel(&auto, &FirstEnabled, 2, &Budget::unlimited(), 0)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSampling { .. }));
     }
 
     /// A scheduler that deliberately violates Def. 3.1 by choosing an

@@ -1,27 +1,44 @@
-//! Graceful degradation: exact expansion under budget, Monte-Carlo
-//! fallback with provenance.
+//! Graceful degradation: lumped → general-exact → Monte-Carlo, with
+//! provenance.
 //!
 //! [`robust_observation_dist`] is the production entry point for
-//! observation distributions: it first attempts the exact cone expansion
-//! under a caller-supplied [`Budget`]; if (and only if) the budget is
-//! exhausted it degrades to the parallel Monte-Carlo sampler and reports
-//! that it did so — the returned [`Provenance`] names the engine that
-//! answered and a statistical error bound, so downstream emulation
-//! distances can widen their ε accordingly instead of silently treating
-//! an estimate as exact.
+//! observation distributions. It tries the engines from cheapest-exact
+//! to approximate:
+//!
+//! 1. **state-lumped exact** ([`crate::lumped`]): polynomial forward
+//!    pass, eligible when the scheduler is memoryless and the
+//!    observation factors through trace or last state;
+//! 2. **general exact** ([`crate::measure`]): full cone expansion
+//!    (parallel over the frontier when
+//!    [`RobustConfig::exact_threads`] > 1), for history-dependent
+//!    schedulers;
+//! 3. **Monte-Carlo** ([`crate::sample`]): when the exact [`Budget`] is
+//!    exhausted.
+//!
+//! The returned [`Provenance`] names the tier that answered and a
+//! statistical error bound, so downstream emulation distances can widen
+//! their ε accordingly instead of silently treating an estimate as
+//! exact. A lumped-tier budget exhaustion skips straight to Monte-Carlo:
+//! the lumped class space is a quotient of the general execution space,
+//! so a budget too small for the quotient is certainly too small for the
+//! cover.
 
 use crate::error::{Budget, EngineError};
-use crate::measure::try_execution_measure;
+use crate::lumped::{try_lumped_observation_dist, Observation};
+use crate::measure::{try_execution_measure, try_execution_measure_parallel};
 use crate::sample::try_sample_observations_parallel;
 use crate::scheduler::Scheduler;
-use dpioa_core::{Automaton, Execution, Value};
+use dpioa_core::{Automaton, Value};
 use dpioa_prob::Disc;
 
 /// Which engine produced an answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
-    /// Exact cone expansion: the distribution is exact (up to `f64`
-    /// weight arithmetic).
+    /// State-lumped exact expansion: exact, polynomial in the reachable
+    /// lump classes.
+    Lumped,
+    /// General exact cone expansion: the distribution is exact (up to
+    /// `f64` weight arithmetic).
     Exact,
     /// Parallel Monte-Carlo sampling: the distribution is an estimate.
     MonteCarlo,
@@ -32,11 +49,14 @@ pub enum EngineKind {
 pub struct Provenance {
     /// The engine that answered.
     pub engine: EngineKind,
-    /// Why the exact engine was abandoned (`None` when it answered).
+    /// Why the preceding exact tier(s) were abandoned (`None` when the
+    /// lumped tier answered; the lumped ineligibility reason when the
+    /// general tier answered; the budget exhaustion when Monte-Carlo
+    /// answered).
     pub fallback_reason: Option<EngineError>,
     /// Samples drawn (Monte-Carlo only).
     pub samples: Option<usize>,
-    /// Worker threads used (Monte-Carlo only).
+    /// Worker threads used (parallel general-exact and Monte-Carlo).
     pub threads: Option<usize>,
     /// A bound `b` such that every event probability in the returned
     /// distribution is within `b` of its true value with probability at
@@ -48,12 +68,23 @@ pub struct Provenance {
 }
 
 impl Provenance {
-    fn exact() -> Provenance {
+    fn lumped() -> Provenance {
         Provenance {
-            engine: EngineKind::Exact,
+            engine: EngineKind::Lumped,
             fallback_reason: None,
             samples: None,
             threads: None,
+            error_bound: 0.0,
+            confidence_delta: 0.0,
+        }
+    }
+
+    fn exact(reason: EngineError, threads: usize) -> Provenance {
+        Provenance {
+            engine: EngineKind::Exact,
+            fallback_reason: Some(reason),
+            samples: None,
+            threads: (threads > 1).then_some(threads),
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
@@ -63,8 +94,11 @@ impl Provenance {
 /// Configuration for [`robust_observation_dist`].
 #[derive(Clone, Debug)]
 pub struct RobustConfig {
-    /// Budget for the exact attempt.
+    /// Budget for the exact attempts (lumped and general).
     pub budget: Budget,
+    /// Worker threads for the general exact frontier expansion; `1`
+    /// keeps the sequential depth-first engine.
+    pub exact_threads: usize,
     /// Monte-Carlo samples on fallback.
     pub mc_samples: usize,
     /// Monte-Carlo worker threads.
@@ -79,6 +113,7 @@ impl Default for RobustConfig {
     fn default() -> RobustConfig {
         RobustConfig {
             budget: Budget::unlimited().with_max_entries(1 << 16),
+            exact_threads: 1,
             mc_samples: 100_000,
             mc_threads: 4,
             mc_seed: 0xD10A,
@@ -92,47 +127,73 @@ fn dkw_bound(n: usize, delta: f64) -> f64 {
     ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
 }
 
-/// The distribution of `observe(execution)` under `ε_σ`, computed
-/// exactly when the budget allows and estimated by Monte-Carlo when it
-/// does not.
+fn monte_carlo(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    observe: &Observation,
+    config: &RobustConfig,
+    reason: EngineError,
+) -> Result<(Disc<Value>, Provenance), EngineError> {
+    let dist = try_sample_observations_parallel(
+        auto,
+        sched,
+        horizon,
+        config.mc_samples,
+        config.mc_seed,
+        config.mc_threads,
+        |e: &dpioa_core::Execution| observe.apply(auto, e),
+    )?;
+    Ok((
+        dist,
+        Provenance {
+            engine: EngineKind::MonteCarlo,
+            fallback_reason: Some(reason),
+            samples: Some(config.mc_samples),
+            threads: Some(config.mc_threads),
+            error_bound: dkw_bound(config.mc_samples, config.confidence_delta),
+            confidence_delta: config.confidence_delta,
+        },
+    ))
+}
+
+/// The distribution of `observe(α)` under `ε_σ`, computed by the
+/// cheapest eligible tier: lumped exact, then general exact, then
+/// Monte-Carlo (see the module docs for the cascade).
 ///
-/// Errors other than budget exhaustion (scheduler contract violations,
-/// invalid sampling parameters, a sampler shard that keeps panicking)
-/// are returned as-is: they are deterministic and a different engine
-/// would not fix them.
+/// Errors other than lumped ineligibility and budget exhaustion
+/// (scheduler contract violations, invalid sampling parameters, a
+/// sampler shard that keeps panicking) are returned as-is: they are
+/// deterministic and a different engine would not fix them.
 pub fn robust_observation_dist(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     horizon: usize,
-    observe: impl Fn(&Execution) -> Value + Sync,
+    observe: &Observation,
     config: &RobustConfig,
 ) -> Result<(Disc<Value>, Provenance), EngineError> {
-    match try_execution_measure(auto, sched, horizon, &config.budget) {
+    let not_lumpable =
+        match try_lumped_observation_dist(auto, sched, horizon, observe, &config.budget) {
+            Ok(dist) => return Ok((dist, Provenance::lumped())),
+            Err(reason @ EngineError::NotLumpable { .. }) => reason,
+            Err(reason @ EngineError::BudgetExhausted { .. }) => {
+                return monte_carlo(auto, sched, horizon, observe, config, reason);
+            }
+            Err(other) => return Err(other),
+        };
+
+    let general = if config.exact_threads > 1 {
+        try_execution_measure_parallel(auto, sched, horizon, &config.budget, config.exact_threads)
+    } else {
+        try_execution_measure(auto, sched, horizon, &config.budget)
+    };
+    match general {
         Ok(measure) => {
-            let dist = measure.try_observe(&observe)?;
-            Ok((dist, Provenance::exact()))
+            let dist = measure.try_observe(|e| observe.apply(auto, e))?;
+            Ok((dist, Provenance::exact(not_lumpable, config.exact_threads)))
         }
         Err(reason @ EngineError::BudgetExhausted { .. }) => {
-            let dist = try_sample_observations_parallel(
-                auto,
-                sched,
-                horizon,
-                config.mc_samples,
-                config.mc_seed,
-                config.mc_threads,
-                &observe,
-            )?;
-            Ok((
-                dist,
-                Provenance {
-                    engine: EngineKind::MonteCarlo,
-                    fallback_reason: Some(reason),
-                    samples: Some(config.mc_samples),
-                    threads: Some(config.mc_threads),
-                    error_bound: dkw_bound(config.mc_samples, config.confidence_delta),
-                    confidence_delta: config.confidence_delta,
-                },
-            ))
+            monte_carlo(auto, sched, horizon, observe, config, reason)
         }
         Err(other) => Err(other),
     }
@@ -141,8 +202,8 @@ pub fn robust_observation_dist(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::FirstEnabled;
-    use dpioa_core::{Action, ExplicitAutomaton, Signature};
+    use crate::scheduler::{DeterministicScheduler, FirstEnabled};
+    use dpioa_core::{Action, Execution, ExplicitAutomaton, Signature};
     use dpioa_prob::tv_distance;
 
     fn act(s: &str) -> Action {
@@ -163,22 +224,71 @@ mod tests {
     }
 
     #[test]
-    fn exact_engine_answers_under_generous_budget() {
+    fn memoryless_query_answers_at_the_lumped_tier() {
         let auto = coin();
-        let (dist, prov) =
-            robust_observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone(), &{
-                RobustConfig::default()
-            })
-            .unwrap();
-        assert_eq!(prov.engine, EngineKind::Exact);
+        let (dist, prov) = robust_observation_dist(
+            &auto,
+            &FirstEnabled,
+            1,
+            &Observation::final_state(),
+            &RobustConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(prov.engine, EngineKind::Lumped);
         assert!(prov.fallback_reason.is_none());
         assert_eq!(prov.error_bound, 0.0);
         assert_eq!(dist.prob(&Value::int(1)), 0.5);
     }
 
     #[test]
+    fn history_dependent_scheduler_falls_to_general_exact() {
+        let auto = coin();
+        // Memoryful: halts after one step by inspecting the execution.
+        let sched = DeterministicScheduler::new("one-step", |exec, enabled| {
+            if exec.is_empty() {
+                enabled.first().copied()
+            } else {
+                None
+            }
+        });
+        let (dist, prov) = robust_observation_dist(
+            &auto,
+            &sched,
+            3,
+            &Observation::final_state(),
+            &RobustConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(prov.engine, EngineKind::Exact);
+        assert!(matches!(
+            prov.fallback_reason,
+            Some(EngineError::NotLumpable { .. })
+        ));
+        assert_eq!(prov.error_bound, 0.0);
+        assert_eq!(dist.prob(&Value::int(1)), 0.5);
+        // The parallel general tier gives the same distribution.
+        let (par, prov2) = robust_observation_dist(
+            &auto,
+            &sched,
+            3,
+            &Observation::final_state(),
+            &RobustConfig {
+                exact_threads: 3,
+                ..RobustConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(prov2.engine, EngineKind::Exact);
+        assert_eq!(dist, par);
+    }
+
+    #[test]
     fn exhausted_budget_falls_back_to_monte_carlo_with_provenance() {
         let auto = coin();
+        // History-dependent (ineligible for lumping) so the general
+        // exact tier runs — and exhausts its one-expansion budget.
+        let sched =
+            DeterministicScheduler::new("memoryful-first", |_, enabled| enabled.first().copied());
         let config = RobustConfig {
             budget: Budget::unlimited().with_max_expansions(1),
             mc_samples: 40_000,
@@ -186,7 +296,7 @@ mod tests {
             ..RobustConfig::default()
         };
         let (dist, prov) =
-            robust_observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone(), &config)
+            robust_observation_dist(&auto, &sched, 1, &Observation::final_state(), &config)
                 .unwrap();
         assert_eq!(prov.engine, EngineKind::MonteCarlo);
         assert!(matches!(
@@ -199,6 +309,30 @@ mod tests {
         let exact =
             crate::measure::observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone());
         assert!(tv_distance(&exact, &dist) < 0.02);
+    }
+
+    #[test]
+    fn lumped_budget_exhaustion_skips_straight_to_monte_carlo() {
+        let auto = coin();
+        let config = RobustConfig {
+            budget: Budget::unlimited().with_max_expansions(0),
+            mc_samples: 20_000,
+            mc_threads: 2,
+            ..RobustConfig::default()
+        };
+        let (_, prov) = robust_observation_dist(
+            &auto,
+            &FirstEnabled,
+            1,
+            &Observation::final_state(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(prov.engine, EngineKind::MonteCarlo);
+        assert!(matches!(
+            prov.fallback_reason,
+            Some(EngineError::BudgetExhausted { .. })
+        ));
     }
 
     #[test]
@@ -221,7 +355,7 @@ mod tests {
             &auto,
             &Rogue,
             1,
-            |e| e.lstate().clone(),
+            &Observation::final_state(),
             &RobustConfig::default(),
         )
         .unwrap_err();

@@ -7,7 +7,7 @@
 //! over the actions enabled at `lstate(α)` — the start-state side
 //! condition holds by construction.
 
-use dpioa_core::{Action, Automaton, AutomatonExt, Execution};
+use dpioa_core::{Action, Automaton, AutomatonExt, Execution, Value};
 use dpioa_prob::{Disc, SubDisc};
 use std::sync::Arc;
 
@@ -18,6 +18,29 @@ pub trait Scheduler: Send + Sync {
     /// `σ(α)`: the (sub-)probabilistic choice of the next action.
     fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action>;
 
+    /// The *memoryless* restriction of `σ`, when one exists.
+    ///
+    /// Returning `Some(choice)` asserts that for **every** fragment `α`
+    /// with `|α| = step` and `lstate(α) = lstate`,
+    /// `σ(α) = choice` — i.e. `σ` factors through `(|α|, lstate(α))`.
+    /// This is the eligibility condition of the state-lumped exact
+    /// engine ([`crate::lumped`]): it licenses folding the exponential
+    /// cone tree into a per-step `(state → weight)` forward pass.
+    ///
+    /// The default is `None` (assume history-dependent). Implementors
+    /// must only override when the factoring holds *exactly*; the
+    /// property tests in `tests/` cross-check lumped against general
+    /// expansion.
+    fn schedule_memoryless(
+        &self,
+        auto: &dyn Automaton,
+        step: usize,
+        lstate: &Value,
+    ) -> Option<SubDisc<Action>> {
+        let _ = (auto, step, lstate);
+        None
+    }
+
     /// A short display name for reports.
     fn describe(&self) -> String {
         "scheduler".into()
@@ -27,6 +50,14 @@ pub trait Scheduler: Send + Sync {
 impl Scheduler for Arc<dyn Scheduler> {
     fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
         (**self).schedule(auto, exec)
+    }
+    fn schedule_memoryless(
+        &self,
+        auto: &dyn Automaton,
+        step: usize,
+        lstate: &Value,
+    ) -> Option<SubDisc<Action>> {
+        (**self).schedule_memoryless(auto, step, lstate)
     }
     fn describe(&self) -> String {
         (**self).describe()
@@ -43,12 +74,26 @@ impl Scheduler for Arc<dyn Scheduler> {
 #[derive(Clone, Copy, Default)]
 pub struct FirstEnabled;
 
-impl Scheduler for FirstEnabled {
-    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
-        match auto.locally_controlled(exec.lstate()).first() {
+impl FirstEnabled {
+    fn at_state(auto: &dyn Automaton, lstate: &Value) -> SubDisc<Action> {
+        match auto.locally_controlled(lstate).first() {
             Some(&a) => SubDisc::dirac(a),
             None => SubDisc::halt(),
         }
+    }
+}
+
+impl Scheduler for FirstEnabled {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        FirstEnabled::at_state(auto, exec.lstate())
+    }
+    fn schedule_memoryless(
+        &self,
+        auto: &dyn Automaton,
+        _step: usize,
+        lstate: &Value,
+    ) -> Option<SubDisc<Action>> {
+        Some(FirstEnabled::at_state(auto, lstate))
     }
     fn describe(&self) -> String {
         "first-enabled".into()
@@ -97,15 +142,29 @@ impl Scheduler for DeterministicScheduler {
 #[derive(Clone, Copy, Default)]
 pub struct RandomScheduler;
 
-impl Scheduler for RandomScheduler {
-    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
-        let enabled = auto.locally_controlled(exec.lstate());
+impl RandomScheduler {
+    fn at_state(auto: &dyn Automaton, lstate: &Value) -> SubDisc<Action> {
+        let enabled = auto.locally_controlled(lstate);
         if enabled.is_empty() {
             return SubDisc::halt();
         }
         let w = 1.0 / enabled.len() as f64;
         SubDisc::from_entries(enabled.into_iter().map(|a| (a, w)).collect())
             .expect("uniform weights are a valid sub-measure")
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        RandomScheduler::at_state(auto, exec.lstate())
+    }
+    fn schedule_memoryless(
+        &self,
+        auto: &dyn Automaton,
+        _step: usize,
+        lstate: &Value,
+    ) -> Option<SubDisc<Action>> {
+        Some(RandomScheduler::at_state(auto, lstate))
     }
     fn describe(&self) -> String {
         "uniform-random".into()
@@ -136,13 +195,29 @@ impl ScriptedScheduler {
     }
 }
 
-impl Scheduler for ScriptedScheduler {
-    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
-        let sig = auto.signature(exec.lstate());
-        match self.script.get(exec.len()) {
+impl ScriptedScheduler {
+    /// The script is a function of the step index and the signature at
+    /// the current state only — the canonical memoryless scheduler.
+    fn at_step(&self, auto: &dyn Automaton, step: usize, lstate: &Value) -> SubDisc<Action> {
+        let sig = auto.signature(lstate);
+        match self.script.get(step) {
             Some(&a) if sig.output.contains(&a) || sig.internal.contains(&a) => SubDisc::dirac(a),
             _ => SubDisc::halt(),
         }
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        self.at_step(auto, exec.len(), exec.lstate())
+    }
+    fn schedule_memoryless(
+        &self,
+        auto: &dyn Automaton,
+        step: usize,
+        lstate: &Value,
+    ) -> Option<SubDisc<Action>> {
+        Some(self.at_step(auto, step, lstate))
     }
     fn describe(&self) -> String {
         format!(
@@ -195,7 +270,7 @@ impl TraceOblivious {
 impl Scheduler for TraceOblivious {
     fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
         let enabled = auto.locally_controlled(exec.lstate());
-        let choice = (self.policy)(exec.actions(), &enabled);
+        let choice = (self.policy)(&exec.actions(), &enabled);
         debug_assert!(
             choice.support().all(|a| enabled.contains(a)),
             "trace-oblivious policy chose a disabled action"
@@ -237,9 +312,9 @@ impl PriorityScheduler {
     }
 }
 
-impl Scheduler for PriorityScheduler {
-    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
-        let enabled = auto.locally_controlled(exec.lstate());
+impl PriorityScheduler {
+    fn at_state(&self, auto: &dyn Automaton, lstate: &Value) -> SubDisc<Action> {
+        let enabled = auto.locally_controlled(lstate);
         match self.order.iter().find(|a| enabled.contains(a)) {
             Some(&a) => SubDisc::dirac(a),
             None => match enabled.first() {
@@ -247,6 +322,20 @@ impl Scheduler for PriorityScheduler {
                 None => SubDisc::halt(),
             },
         }
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        self.at_state(auto, exec.lstate())
+    }
+    fn schedule_memoryless(
+        &self,
+        auto: &dyn Automaton,
+        _step: usize,
+        lstate: &Value,
+    ) -> Option<SubDisc<Action>> {
+        Some(self.at_state(auto, lstate))
     }
     fn describe(&self) -> String {
         format!(
@@ -282,12 +371,27 @@ impl<S: Scheduler> HaltingMix<S> {
     }
 }
 
-impl<S: Scheduler> Scheduler for HaltingMix<S> {
-    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
-        let base = self.inner.schedule(auto, exec);
+impl<S> HaltingMix<S> {
+    fn scale(&self, base: SubDisc<Action>) -> SubDisc<Action> {
         let p = f64::from_dyadic(self.num, self.log_denom);
         SubDisc::from_entries(base.iter().map(|(a, w)| (*a, w * p)).collect())
             .expect("scaling a sub-measure by p ≤ 1 keeps mass ≤ 1")
+    }
+}
+
+impl<S: Scheduler> Scheduler for HaltingMix<S> {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        self.scale(self.inner.schedule(auto, exec))
+    }
+    fn schedule_memoryless(
+        &self,
+        auto: &dyn Automaton,
+        step: usize,
+        lstate: &Value,
+    ) -> Option<SubDisc<Action>> {
+        self.inner
+            .schedule_memoryless(auto, step, lstate)
+            .map(|base| self.scale(base))
     }
     fn describe(&self) -> String {
         format!(

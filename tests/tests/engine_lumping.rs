@@ -1,0 +1,122 @@
+//! State-lumped expansion vs the general cone engine: on random
+//! memoryless scheduler/automaton pairs the lumped forward pass must
+//! reproduce the general-exact observation distribution bit-for-bit
+//! (dyadic weights make f64 sums order-independent), and hash-consing
+//! values through the interner must preserve `Disc` canonicalization.
+
+use dpioa_core::{canonical, Automaton, Execution, IValue, Value};
+use dpioa_integration::random_automaton;
+use dpioa_prob::{Disc, Ratio, Weight};
+use dpioa_sched::{
+    execution_measure_exact, observation_dist, try_lumped_observation_dist,
+    try_lumped_observation_dist_exact, BoundedScheduler, Budget, FirstEnabled, HaltingMix,
+    Observation, PriorityScheduler, RandomScheduler, Scheduler,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A memoryless scheduler from a small enumerated family. Every member
+/// implements `schedule_memoryless`, so the lumped tier must accept it.
+fn memoryless_scheduler(kind: u8, auto: &Arc<dyn Automaton>) -> Arc<dyn Scheduler> {
+    match kind % 5 {
+        0 => Arc::new(FirstEnabled),
+        1 => Arc::new(RandomScheduler),
+        2 => {
+            // Priority over the automaton's start-state actions,
+            // reversed — still a fixed state-only policy.
+            let mut order: Vec<_> = auto
+                .signature(&auto.start_state())
+                .all()
+                .into_iter()
+                .collect();
+            order.reverse();
+            Arc::new(PriorityScheduler::new(order))
+        }
+        3 => Arc::new(HaltingMix::new(FirstEnabled, 3, 2)),
+        _ => Arc::new(BoundedScheduler::new(FirstEnabled, 3)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The lumped and general engines agree exactly on last-state
+    /// observations, for random automata and every memoryless scheduler
+    /// in the family.
+    #[test]
+    fn lumped_matches_general_on_last_state(
+        seed in 0u64..500,
+        n in 3i64..7,
+        kind in 0u8..5,
+        horizon in 0usize..6,
+    ) {
+        let auto = random_automaton("el-ls", &format!("els{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let observe = Observation::final_state();
+        let lumped = try_lumped_observation_dist(
+            &*auto, &sched, horizon, &observe, &Budget::unlimited(),
+        ).expect("family is memoryless, observation factors through last state");
+        let general = observation_dist(&*auto, &sched, horizon, |e: &Execution| {
+            observe.apply(&*auto, e)
+        });
+        prop_assert_eq!(lumped, general);
+    }
+
+    /// Same agreement for trace observations, and the exact-rational
+    /// lumped pass totals exactly one.
+    #[test]
+    fn lumped_matches_general_on_trace(
+        seed in 0u64..500,
+        n in 3i64..7,
+        kind in 0u8..5,
+        horizon in 0usize..6,
+    ) {
+        let auto = random_automaton("el-tr", &format!("elt{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let observe = Observation::trace();
+        let lumped = try_lumped_observation_dist(
+            &*auto, &sched, horizon, &observe, &Budget::unlimited(),
+        ).expect("trace observations are lumpable");
+        let general = observation_dist(&*auto, &sched, horizon, |e: &Execution| {
+            observe.apply(&*auto, e)
+        });
+        prop_assert_eq!(lumped, general);
+
+        let exact = try_lumped_observation_dist_exact(
+            &*auto, &sched, horizon, &observe, &Budget::unlimited(),
+        ).expect("dyadic weights are exactly representable");
+        let total = exact.iter().fold(Ratio::from_int(0), |t, (_, w)| t.add(w));
+        prop_assert_eq!(total, Ratio::from_int(1));
+    }
+
+    /// Interning values preserves `Disc` canonicalization: rebuilding a
+    /// transition distribution through `canonical` leaves it equal, and
+    /// equal values intern to the same id.
+    #[test]
+    fn interning_preserves_disc_canonicalization(
+        seed in 0u64..500,
+        n in 3i64..7,
+        horizon in 1usize..5,
+    ) {
+        let auto = random_automaton("el-in", &format!("eli{seed}"), n, seed);
+        let m = execution_measure_exact(&*auto, &FirstEnabled, horizon);
+        for (exec, _) in m.iter() {
+            for (q, a, _) in exec.steps() {
+                let eta = auto.transition(q, a).expect("step came from a transition");
+                let interned: Disc<Value, Ratio> = Disc::from_entries(
+                    eta.iter().map(|(v, w)| (canonical(v), Ratio::from_f64_exact(*w)
+                        .expect("dyadic"))).collect(),
+                ).expect("canonical is injective on equal values");
+                let direct: Disc<Value, Ratio> = Disc::from_entries(
+                    eta.iter().map(|(v, w)| (v.clone(), Ratio::from_f64_exact(*w)
+                        .expect("dyadic"))).collect(),
+                ).expect("original entries");
+                prop_assert_eq!(&interned, &direct);
+                for v in eta.support() {
+                    prop_assert_eq!(IValue::of(v), IValue::of(&canonical(v)));
+                    prop_assert!(IValue::of(v).value() == *v);
+                }
+            }
+        }
+    }
+}

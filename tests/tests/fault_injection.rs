@@ -12,7 +12,7 @@ use dpioa_integration::random_automaton;
 use dpioa_prob::{Disc, Ratio, Weight};
 use dpioa_sched::{
     execution_measure_exact, robust_observation_dist, Budget, EngineError, EngineKind,
-    FirstEnabled, RandomScheduler, RobustConfig,
+    FirstEnabled, Observation, RandomScheduler, RobustConfig,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -110,8 +110,11 @@ fn budget_exhaustion_falls_back_to_monte_carlo_with_provenance() {
         mc_threads: 2,
         ..RobustConfig::default()
     };
-    let observe = |e: &dpioa_core::Execution| Value::int(e.len() as i64);
-    let (dist, prov) = robust_observation_dist(&*auto, &FirstEnabled, 6, observe, &config).unwrap();
+    // Execution length factors through neither trace nor last state, so
+    // the lumped tier is ineligible and the general tier's budget rules.
+    let observe = Observation::full(|e| Value::int(e.len() as i64));
+    let (dist, prov) =
+        robust_observation_dist(&*auto, &FirstEnabled, 6, &observe, &config).unwrap();
     assert_eq!(prov.engine, EngineKind::MonteCarlo);
     assert!(matches!(
         prov.fallback_reason,
@@ -127,7 +130,7 @@ fn budget_exhaustion_falls_back_to_monte_carlo_with_provenance() {
     // Monte-Carlo estimate tracks that exact answer.
     let exact_config = RobustConfig::default();
     let (exact, exact_prov) =
-        robust_observation_dist(&*auto, &FirstEnabled, 6, observe, &exact_config).unwrap();
+        robust_observation_dist(&*auto, &FirstEnabled, 6, &observe, &exact_config).unwrap();
     assert_eq!(exact_prov.engine, EngineKind::Exact);
     assert_eq!(exact_prov.error_bound, 0.0);
     assert!(dpioa_prob::tv_distance(&exact, &dist) < 0.05);
