@@ -11,8 +11,8 @@ use dpioa_bench::util::{coin_bank, random_walk, seed_execution_measure};
 use dpioa_core::compose;
 use dpioa_faults::{CrashStop, FaultProb};
 use dpioa_sched::{
-    try_execution_measure, try_execution_measure_parallel, try_lumped_observation_dist, Budget,
-    FirstEnabled, Observation,
+    try_execution_measure, try_execution_measure_parallel, try_execution_measure_pooled,
+    try_lumped_observation_dist, Budget, EngineCache, FirstEnabled, Observation, ParallelPolicy,
 };
 
 const HORIZONS: [usize; 5] = [4, 6, 8, 10, 12];
@@ -39,6 +39,28 @@ fn bench_walk_tiers(c: &mut Criterion) {
                 try_execution_measure(&*walk, &FirstEnabled, h, &budget)
                     .unwrap()
                     .len()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("engine_walk_memoized");
+    g.sample_size(10);
+    let cache = EngineCache::new();
+    for h in HORIZONS {
+        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                try_execution_measure_pooled(
+                    &*walk,
+                    &FirstEnabled,
+                    h,
+                    &budget,
+                    ParallelPolicy::sequential(),
+                    &cache,
+                )
+                .unwrap()
+                .0
+                .len()
             })
         });
     }
@@ -71,6 +93,28 @@ fn bench_parallel_frontier(c: &mut Criterion) {
                 b.iter(|| {
                     try_execution_measure_parallel(&*bank, &FirstEnabled, 9, &budget, threads)
                         .unwrap()
+                        .len()
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // The adaptive pooled engine on the same workload: lanes clamped to
+    // the machine, frontier depths below the cutover stay inline.
+    let mut g = c.benchmark_group("engine_pooled_adaptive");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let policy = ParallelPolicy::auto(threads);
+        let cache = EngineCache::new();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &_threads| {
+                b.iter(|| {
+                    try_execution_measure_pooled(&*bank, &FirstEnabled, 9, &budget, policy, &cache)
+                        .unwrap()
+                        .0
                         .len()
                 })
             },

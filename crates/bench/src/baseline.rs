@@ -1,0 +1,545 @@
+//! Committed-baseline loading and regression comparison for
+//! `BENCH_engine.json`.
+//!
+//! The `bench_engine` binary's `--compare` mode guards against
+//! performance regressions: it loads a committed report (schema
+//! `bench-engine/v1` or `/v2`), re-derives per-tier **speedup ratios**
+//! and fails when a fresh run is more than a tolerance worse. Raw
+//! nanosecond medians are never compared across runs — machines and
+//! load differ — instead every tier is normalized by a same-run
+//! reference tier: `general_exact` is normalized by `seed_exact` (the
+//! frozen seed engine is the stable yardstick) and every other tier by
+//! `general_exact`. A ratio is a machine-independent statement like
+//! "lumped is 60× faster than general here", which *is* comparable
+//! across runs.
+//!
+//! The crate deliberately has no JSON dependency, so this module
+//! carries a minimal recursive-descent parser for the subset the
+//! harness emits (which is plain RFC 8259 JSON).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (the subset the bench harness emits).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`; the harness emits nothing wider).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|_| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("non-ascii \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            // The harness never emits surrogate pairs.
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// Parse a JSON document (the subset `bench_engine` emits).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// One workload × horizon cell of a bench report: tier → median ns.
+#[derive(Clone, Debug, Default)]
+pub struct CellSample {
+    /// `tier name → median_ns` for every tier the cell timed.
+    pub tiers: BTreeMap<String, f64>,
+}
+
+/// A parsed `BENCH_engine.json` (v1 or v2), reduced to what the
+/// comparison needs.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// The report's `schema` field, e.g. `bench-engine/v2`.
+    pub schema: String,
+    /// `(workload, horizon) → cell`, sorted for deterministic reports.
+    pub cells: BTreeMap<(String, u64), CellSample>,
+}
+
+impl BenchReport {
+    /// Parse a report from JSON text.
+    pub fn from_json_str(text: &str) -> Result<BenchReport, String> {
+        let root = parse_json(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema field")?
+            .to_string();
+        if !schema.starts_with("bench-engine/") {
+            return Err(format!("not a bench-engine report: schema {schema}"));
+        }
+        let mut cells = BTreeMap::new();
+        for cell in root
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or("missing workloads array")?
+        {
+            let workload = cell
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or("cell missing workload")?
+                .to_string();
+            let horizon = cell
+                .get("horizon")
+                .and_then(Json::as_f64)
+                .ok_or("cell missing horizon")? as u64;
+            let mut sample = CellSample::default();
+            for tier in cell
+                .get("tiers")
+                .and_then(Json::as_arr)
+                .ok_or("cell missing tiers")?
+            {
+                let name = tier
+                    .get("tier")
+                    .and_then(Json::as_str)
+                    .ok_or("tier missing name")?
+                    .to_string();
+                let median = tier
+                    .get("median_ns")
+                    .and_then(Json::as_f64)
+                    .ok_or("tier missing median_ns")?;
+                sample.tiers.insert(name, median);
+            }
+            cells.insert((workload, horizon), sample);
+        }
+        Ok(BenchReport { schema, cells })
+    }
+
+    /// Load a report from a file.
+    pub fn from_path(path: &str) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchReport::from_json_str(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// A tier whose normalized ratio got worse than the tolerance allows.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Workload name.
+    pub workload: String,
+    /// Horizon.
+    pub horizon: u64,
+    /// The regressed tier.
+    pub tier: String,
+    /// The tier it was normalized by.
+    pub reference: &'static str,
+    /// `tier / reference` in the baseline run.
+    pub base_ratio: f64,
+    /// `tier / reference` in the fresh run.
+    pub fresh_ratio: f64,
+}
+
+impl Regression {
+    /// How many times worse the fresh ratio is (`> 1` is slower).
+    pub fn factor(&self) -> f64 {
+        self.fresh_ratio / self.base_ratio.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The outcome of comparing a fresh report against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// `(workload, horizon, tier)` triples compared.
+    pub compared: usize,
+    /// Cells or tiers present in only one report (skipped, listed for
+    /// the log so silent coverage loss is visible).
+    pub skipped: Vec<String>,
+    /// Tiers that got more than the tolerance slower.
+    pub regressions: Vec<Regression>,
+}
+
+/// The same-run tier each tier is normalized by: the frozen seed engine
+/// anchors `general_exact`, and `general_exact` anchors everything
+/// else. `seed_exact` itself is the yardstick and is never compared.
+fn reference_tier(tier: &str) -> Option<&'static str> {
+    match tier {
+        "seed_exact" => None,
+        "general_exact" => Some("seed_exact"),
+        _ => Some("general_exact"),
+    }
+}
+
+/// Cells whose tier median is below this floor on *both* sides are
+/// timing-noise-dominated and are skipped rather than compared — a 25%
+/// ratio tolerance is meaningless at that scale. 100 µs is calibrated
+/// on back-to-back identical-code full runs: cells above it hold their
+/// ratios within tolerance, cells below it wiggle 1.3–2x from
+/// allocator/scheduler jitter alone.
+pub const NOISE_FLOOR_NS: f64 = 100_000.0;
+
+/// Compare `fresh` against `base`: for every `(workload, horizon,
+/// tier)` present in both, a regression is recorded when the fresh
+/// normalized ratio exceeds the baseline's by more than `tolerance`
+/// (0.25 = 25% worse). Cells under [`NOISE_FLOOR_NS`] on both sides
+/// are skipped.
+pub fn compare(base: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Comparison {
+    let mut out = Comparison::default();
+    for (key, fresh_cell) in &fresh.cells {
+        let Some(base_cell) = base.cells.get(key) else {
+            out.skipped
+                .push(format!("{} h={} (not in baseline)", key.0, key.1));
+            continue;
+        };
+        for (tier, &fresh_ns) in &fresh_cell.tiers {
+            let Some(reference) = reference_tier(tier) else {
+                continue;
+            };
+            let (Some(&base_ns), Some(&base_ref), Some(&fresh_ref)) = (
+                base_cell.tiers.get(tier),
+                base_cell.tiers.get(reference),
+                fresh_cell.tiers.get(reference),
+            ) else {
+                out.skipped.push(format!(
+                    "{} h={} {tier} (missing in baseline)",
+                    key.0, key.1
+                ));
+                continue;
+            };
+            if base_ns < NOISE_FLOOR_NS && fresh_ns < NOISE_FLOOR_NS {
+                out.skipped
+                    .push(format!("{} h={} {tier} (below noise floor)", key.0, key.1));
+                continue;
+            }
+            let base_ratio = base_ns / base_ref.max(1.0);
+            let fresh_ratio = fresh_ns / fresh_ref.max(1.0);
+            out.compared += 1;
+            if fresh_ratio > base_ratio * (1.0 + tolerance) {
+                out.regressions.push(Regression {
+                    workload: key.0.clone(),
+                    horizon: key.1,
+                    tier: tier.clone(),
+                    reference,
+                    base_ratio,
+                    fresh_ratio,
+                });
+            }
+        }
+    }
+    for key in base.cells.keys() {
+        if !fresh.cells.contains_key(key) {
+            out.skipped
+                .push(format!("{} h={} (not in fresh run)", key.0, key.1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(walk_general: f64, walk_lumped: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "bench-engine/v2",
+  "quick": false,
+  "repeats": 7,
+  "threads": 2,
+  "workloads": [
+    {{"workload":"walk6","scheduler":"first-enabled","observation":"last-state","horizon":8,
+     "tiers":[{{"tier":"seed_exact","median_ns":10000000,"entries":256}},
+              {{"tier":"general_exact","median_ns":{walk_general},"entries":256}},
+              {{"tier":"lumped","median_ns":{walk_lumped},"entries":6}}],
+     "lumped_speedup":10.0,"seed_speedup":10.0}}
+  ],
+  "summary": {{"peak_entries": 256}}
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn parses_escapes_and_shapes() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\n\"yA"], "b": null, "c": true}"#).unwrap();
+        assert_eq!(v.get("b"), Some(&Json::Null));
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[2].as_str(), Some("x\n\"yA"));
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn loads_a_report() {
+        let r = BenchReport::from_json_str(&report(1_000_000.0, 100_000.0)).unwrap();
+        assert_eq!(r.schema, "bench-engine/v2");
+        let cell = r.cells.get(&("walk6".to_string(), 8)).unwrap();
+        assert_eq!(cell.tiers["general_exact"], 1_000_000.0);
+        assert_eq!(cell.tiers.len(), 3);
+    }
+
+    #[test]
+    fn unchanged_ratios_pass_and_regressions_fail() {
+        let base = BenchReport::from_json_str(&report(1_000_000.0, 100_000.0)).unwrap();
+        // Identical ratios: no regression (a slower machine with the
+        // same relative shape must not fail the gate).
+        let same = BenchReport::from_json_str(&report(1_000_000.0, 100_000.0)).unwrap();
+        let cmp = compare(&base, &same, 0.25);
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.compared, 2); // general (vs seed) + lumped (vs general)
+
+        // Lumped 2x slower relative to general: regression.
+        let bad = BenchReport::from_json_str(&report(1_000_000.0, 200_000.0)).unwrap();
+        let cmp = compare(&base, &bad, 0.25);
+        assert_eq!(cmp.regressions.len(), 1);
+        let r = &cmp.regressions[0];
+        assert_eq!(r.tier, "lumped");
+        assert_eq!(r.reference, "general_exact");
+        assert!((r.factor() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_floor_cells_are_skipped() {
+        // A lumped cell of a few µs on both sides is noise-dominated:
+        // even a 10x ratio swing must not fail the gate.
+        let base = BenchReport::from_json_str(&report(1_000_000.0, 1_000.0)).unwrap();
+        let bad = BenchReport::from_json_str(&report(1_000_000.0, 10_000.0)).unwrap();
+        let cmp = compare(&base, &bad, 0.25);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.skipped.iter().any(|s| s.contains("below noise floor")));
+        assert_eq!(cmp.compared, 1); // only general (vs seed) survives
+
+        // One loud side is enough to compare: base above the floor,
+        // fresh below it still gets checked (and passes — it got faster).
+        let fast = BenchReport::from_json_str(&report(1_000_000.0, 10_000.0)).unwrap();
+        let cmp = compare(
+            &BenchReport::from_json_str(&report(1_000_000.0, 100_000.0)).unwrap(),
+            &fast,
+            0.25,
+        );
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.compared, 2);
+    }
+
+    #[test]
+    fn missing_cells_are_skipped_not_failed() {
+        let base = BenchReport::from_json_str(&report(1_000_000.0, 100_000.0)).unwrap();
+        let mut fresh = base.clone();
+        fresh
+            .cells
+            .insert(("new-workload".into(), 4), CellSample::default());
+        let cmp = compare(&base, &fresh, 0.25);
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.skipped.len(), 1);
+    }
+}

@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod table;
 pub mod util;

@@ -35,6 +35,8 @@ pub mod explore;
 pub mod fxhash;
 pub mod hide;
 pub mod intern;
+pub mod memo;
+pub mod pool;
 pub mod rename;
 pub mod signature;
 pub mod value;
@@ -47,6 +49,8 @@ pub use explicit::{ExplicitAutomaton, ExplicitBuilder};
 pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hide::{hide_static, hide_with, Hidden};
 pub use intern::{canonical, IValue};
+pub use memo::{CacheStats, TransEntry, TransitionCache};
+pub use pool::{with_pool, PoolStats, WorkerPool};
 pub use rename::{rename_static, rename_with, Renamed};
 pub use signature::{ActionSet, Signature};
 pub use value::Value;

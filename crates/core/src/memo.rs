@@ -1,0 +1,254 @@
+//! Memoization of transition successors, keyed on interned state ids.
+//!
+//! Every engine tier — lumped, general exact, pooled parallel, and the
+//! Monte-Carlo sampler — asks the same question over and over:
+//! *"what is `η_{(A,q,a)}`?"*. By Def. 2.1 `transition` is a function
+//! of `(q, a)`, so the answer may be computed once and shared. For
+//! composed automata the answer is expensive (a product measure built
+//! from per-component signatures), which is precisely where the exact
+//! engines spend their time.
+//!
+//! [`TransitionCache`] is a sharded hash map from
+//! `(`[`IValue`]` state, `[`Action`]`)` to the successor distribution,
+//! reusing the [`crate::intern`] ids so a key is two `u32`s. Sharded
+//! `RwLock`s keep concurrent frontier workers mostly on uncontended
+//! read locks; hit/miss counters feed provenance records and bench
+//! output.
+//!
+//! Entries store the [`Disc`] exactly as `transition` returned it —
+//! same support order, same weights — so cached expansion is
+//! bit-identical to uncached expansion, plus a parallel vector of
+//! interned successor ids so hot loops never re-hash a state they are
+//! about to revisit.
+
+use crate::action::Action;
+use crate::automaton::Automaton;
+use crate::fxhash::FxBuildHasher;
+use crate::intern::IValue;
+use crate::value::Value;
+use dpioa_prob::Disc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Shard count; a power of two so the shard index is a mask.
+const SHARDS: usize = 16;
+
+/// A memoized successor distribution: the [`Disc`] exactly as the
+/// automaton returned it, plus the interned id of each support state
+/// (parallel to [`Disc::iter`] order).
+#[derive(Clone, Debug)]
+pub struct TransEntry {
+    /// `η_{(A,q,a)}` verbatim — iteration order and weights untouched.
+    pub eta: Disc<Value>,
+    /// `ids[j]` interns the `j`-th support state of `eta`.
+    pub ids: Box<[IValue]>,
+}
+
+/// Hit/miss counters for a cache, snapshotable and diffable so a
+/// provenance record can report exactly the activity of one query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored) the answer.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise sum, for combining sub-cache stats.
+    pub fn plus(&self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+
+    /// The activity since an earlier snapshot of the same cache.
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+type Shard = RwLock<HashMap<(IValue, Action), Option<Arc<TransEntry>>, FxBuildHasher>>;
+
+/// A concurrent memo table for `(state, action) ↦ η_{(A,q,a)}`.
+///
+/// `None` entries record *disabled* pairs — `transition` returned
+/// `None` — so repeated contract-violation probes are cheap too.
+pub struct TransitionCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for TransitionCache {
+    fn default() -> TransitionCache {
+        TransitionCache::new()
+    }
+}
+
+impl TransitionCache {
+    /// An empty cache.
+    pub fn new() -> TransitionCache {
+        TransitionCache {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, state: IValue, action: Action) -> &Shard {
+        let mix = state.id().wrapping_mul(0x9E37_79B9) ^ action.id();
+        &self.shards[mix as usize & (SHARDS - 1)]
+    }
+
+    /// The successor distribution of `(state, action)` — from the cache
+    /// when present, else computed via `auto.transition` and stored.
+    /// `state` must be the [`Value`] interned as `id`; `None` means the
+    /// action is disabled in `state`.
+    pub fn successors(
+        &self,
+        auto: &dyn Automaton,
+        state: &Value,
+        id: IValue,
+        action: Action,
+    ) -> Option<Arc<TransEntry>> {
+        let shard = self.shard(id, action);
+        {
+            let guard = shard.read().expect("transition cache poisoned");
+            if let Some(entry) = guard.get(&(id, action)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside any lock: transitions can be expensive and
+        // are deterministic, so a racing double-compute is harmless.
+        let entry = auto.transition(state, action).map(|eta| {
+            let ids = eta.iter().map(|(q, _)| IValue::of(q)).collect();
+            Arc::new(TransEntry { eta, ids })
+        });
+        let mut guard = shard.write().expect("transition cache poisoned");
+        guard.entry((id, action)).or_insert(entry).clone()
+    }
+
+    /// Distinct `(state, action)` pairs currently memoized.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("transition cache poisoned").len())
+            .sum()
+    }
+
+    /// True iff nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for TransitionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransitionCache")
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitAutomaton;
+    use crate::signature::Signature;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn coin() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("memo-coin", Value::int(0))
+            .state(0, Signature::new([], [], [act("memo-flip")]))
+            .state(1, Signature::new([], [], []))
+            .state(2, Signature::new([], [], []))
+            .transition(
+                0,
+                act("memo-flip"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+            )
+            .build()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_entry() {
+        let auto = coin();
+        let cache = TransitionCache::new();
+        let q = Value::int(0);
+        let id = IValue::of(&q);
+        let a = cache.successors(&auto, &q, id, act("memo-flip")).unwrap();
+        let b = cache.successors(&auto, &q, id, act("memo-flip")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_disc_is_verbatim() {
+        let auto = coin();
+        let cache = TransitionCache::new();
+        let q = Value::int(0);
+        let entry = cache
+            .successors(&auto, &q, IValue::of(&q), act("memo-flip"))
+            .unwrap();
+        let fresh = auto.transition(&q, act("memo-flip")).unwrap();
+        let cached: Vec<_> = entry.eta.iter().collect();
+        let direct: Vec<_> = fresh.iter().collect();
+        assert_eq!(cached, direct, "same support order, same weights");
+        assert_eq!(entry.ids.len(), entry.eta.support_len());
+        for ((q2, _), id2) in entry.eta.iter().zip(entry.ids.iter()) {
+            assert_eq!(IValue::of(q2), *id2);
+        }
+    }
+
+    #[test]
+    fn disabled_pairs_are_memoized_as_none() {
+        let auto = coin();
+        let cache = TransitionCache::new();
+        let q = Value::int(1);
+        let id = IValue::of(&q);
+        assert!(cache.successors(&auto, &q, id, act("memo-flip")).is_none());
+        assert!(cache.successors(&auto, &q, id, act("memo-flip")).is_none());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn stats_arithmetic() {
+        let a = CacheStats { hits: 5, misses: 2 };
+        let b = CacheStats { hits: 1, misses: 1 };
+        assert_eq!(a.plus(b), CacheStats { hits: 6, misses: 3 });
+        assert_eq!(a.since(b), CacheStats { hits: 4, misses: 1 });
+        assert!((a.hit_rate() - 5.0 / 7.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,449 @@
+//! A persistent, scoped worker pool shared across engine tiers.
+//!
+//! The exact frontier expansion and the Monte-Carlo sampler both need
+//! short bursts of data parallelism many times per query. Spawning a
+//! fresh `std::thread::scope` per burst (the pre-pool engines did this
+//! once per frontier depth) pays thread spawn/join latency every time;
+//! [`WorkerPool`] amortizes it: workers are spawned **once**, lazily, on
+//! the first submitted batch, then park on a condvar between batches.
+//!
+//! Design constraints and how they are met:
+//!
+//! * **No `unsafe`** (this crate is `#![forbid(unsafe_code)]`), so the
+//!   crossbeam/rayon trick of lifetime-erasing borrowed jobs is out.
+//!   Instead the pool is *scoped*: [`with_pool`] owns a
+//!   `std::thread::scope` for the pool's whole lifetime and the job
+//!   queue (declared outside the scope) holds `'env`-bounded closures —
+//!   the borrow checker proves every captured reference outlives every
+//!   worker.
+//! * **Deterministic results**: [`WorkerPool::run_batch`] returns
+//!   outputs indexed exactly like its inputs, whatever the order
+//!   workers finished in, so chunk-order merges stay bit-identical to a
+//!   sequential run.
+//! * **Panic isolation**: each job runs under
+//!   `catch_unwind`, and the per-item [`std::thread::Result`] is handed
+//!   back to the caller — a panicking observation closure cannot kill a
+//!   worker or poison the queue, which is what lets the Monte-Carlo
+//!   sampler keep its per-shard retry semantics on a shared pool.
+//! * **The caller helps**: the submitting thread runs the first chunk
+//!   itself and then drains the queue alongside the workers, so a pool
+//!   of `n` has `n` lanes with only `n - 1` spawned threads, and a pool
+//!   of 1 degrades to plain inline iteration with no queue, no channel
+//!   and no scope at all.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+/// A queued unit of work: type-erased, `'env`-bounded so it may borrow
+/// anything that outlives the pool scope.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct QueueState<'env> {
+    jobs: VecDeque<Job<'env>>,
+    shutdown: bool,
+}
+
+/// The shared injector queue workers park on.
+struct Queue<'env> {
+    state: Mutex<QueueState<'env>>,
+    ready: Condvar,
+    worker_jobs: AtomicUsize,
+}
+
+impl<'env> Queue<'env> {
+    fn new() -> Queue<'env> {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            worker_jobs: AtomicUsize::new(0),
+        }
+    }
+
+    fn push_all(&self, batch: Vec<Job<'env>>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut guard = self.state.lock().expect("pool queue poisoned");
+        guard.jobs.extend(batch);
+        drop(guard);
+        self.ready.notify_all();
+    }
+
+    /// Non-blocking pop, used by the submitting thread to help drain.
+    fn try_pop(&self) -> Option<Job<'env>> {
+        self.state
+            .lock()
+            .expect("pool queue poisoned")
+            .jobs
+            .pop_front()
+    }
+
+    /// Blocking pop; `None` means the pool is shutting down.
+    fn pop_wait(&self) -> Option<Job<'env>> {
+        let mut guard = self.state.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(job) = guard.jobs.pop_front() {
+                return Some(job);
+            }
+            if guard.shutdown {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("pool queue poisoned");
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("pool queue poisoned").shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Unparks and drains until shutdown. Jobs are panic-wrapped at
+/// submission, so this loop cannot unwind on user code.
+fn worker_loop(queue: &Queue<'_>) {
+    while let Some(job) = queue.pop_wait() {
+        job();
+        queue.worker_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The one capability the pool needs from `std::thread::scope`,
+/// expressed as a trait so the `Scope`'s own environment lifetime stays
+/// erased — storing `&'scope Scope<'scope, 'env>` directly would force
+/// the scope's environment to unify with the pool's `'env` and reject
+/// the queue local.
+trait Spawn<'scope> {
+    fn spawn_worker(&'scope self, job: Box<dyn FnOnce() + Send + 'scope>);
+}
+
+impl<'scope, 'senv> Spawn<'scope> for thread::Scope<'scope, 'senv> {
+    fn spawn_worker(&'scope self, job: Box<dyn FnOnce() + Send + 'scope>) {
+        self.spawn(job);
+    }
+}
+
+/// Ensures workers are released even if the pool user panics — without
+/// it, `thread::scope` would join workers that are still parked.
+struct ShutdownGuard<'scope, 'env>(&'scope Queue<'env>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Counters describing what a [`WorkerPool`] actually did, for
+/// provenance records and bench output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel lanes the pool was provisioned with (including the
+    /// caller's own lane).
+    pub workers: usize,
+    /// Worker threads actually spawned (0 until the first batch big
+    /// enough to need them — lazy spawn keeps unused pools free).
+    pub spawned: usize,
+    /// Jobs executed on spawned worker threads.
+    pub worker_jobs: usize,
+    /// Jobs the submitting thread executed itself (its own chunk plus
+    /// queue-draining steals).
+    pub caller_jobs: usize,
+    /// Batches submitted via [`WorkerPool::run_batch`].
+    pub batches: usize,
+}
+
+impl PoolStats {
+    /// The activity since an earlier snapshot of the same pool
+    /// (`workers` and `spawned` are levels, not counters, and are kept).
+    pub fn since(&self, earlier: PoolStats) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            spawned: self.spawned,
+            worker_jobs: self.worker_jobs - earlier.worker_jobs,
+            caller_jobs: self.caller_jobs - earlier.caller_jobs,
+            batches: self.batches - earlier.batches,
+        }
+    }
+}
+
+/// A handle to a scoped worker pool; create one with [`with_pool`] and
+/// submit work with [`WorkerPool::run_batch`].
+pub struct WorkerPool<'scope, 'env> {
+    /// `None` — single-lane pool: everything runs inline on the caller.
+    shared: Option<(&'scope Queue<'env>, &'scope dyn Spawn<'scope>)>,
+    workers: usize,
+    spawned: AtomicUsize,
+    caller_jobs: AtomicUsize,
+    batches: AtomicUsize,
+}
+
+impl<'scope, 'env> WorkerPool<'scope, 'env> {
+    /// Parallel lanes (caller included). Always at least 1.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshot of the pool's activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            spawned: self.spawned.load(Ordering::Relaxed),
+            worker_jobs: self
+                .shared
+                .map_or(0, |(q, _)| q.worker_jobs.load(Ordering::Relaxed)),
+            caller_jobs: self.caller_jobs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Spawn the worker threads on first use. `run_batch` is `&self`
+    /// and may be called from several threads, so guard with a CAS.
+    fn ensure_spawned(&self) {
+        let Some((queue, scope)) = self.shared else {
+            return;
+        };
+        let target = self.workers - 1;
+        if target == 0 || self.spawned.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        if self
+            .spawned
+            .compare_exchange(0, target, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            for _ in 0..target {
+                scope.spawn_worker(Box::new(move || worker_loop(queue)));
+            }
+        }
+    }
+
+    /// Run `run(index, item)` for every item, fanned out over the pool,
+    /// and return the outcomes **in input order**. Each outcome is a
+    /// [`std::thread::Result`]: a panicking item surfaces as `Err` with
+    /// its payload while every other item still completes — callers
+    /// decide whether to resume the unwind or retry.
+    ///
+    /// The submitting thread runs the first item itself and then helps
+    /// drain the queue, so a batch is never blocked on parked workers.
+    pub fn run_batch<T, O, F>(&self, items: Vec<T>, run: F) -> Vec<thread::Result<O>>
+    where
+        T: Send + 'env,
+        O: Send + 'env,
+        F: Fn(usize, T) -> O + Send + Sync + 'env,
+    {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let Some((queue, _)) = self.shared else {
+            // Single lane: plain inline iteration, same panic isolation.
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    self.caller_jobs.fetch_add(1, Ordering::Relaxed);
+                    catch_unwind(AssertUnwindSafe(|| run(i, t)))
+                })
+                .collect();
+        };
+        self.ensure_spawned();
+
+        let run = Arc::new(run);
+        let (tx, rx) = mpsc::channel::<(usize, thread::Result<O>)>();
+        let mut first: Option<(usize, T)> = None;
+        let mut jobs: Vec<Job<'env>> = Vec::with_capacity(n.saturating_sub(1));
+        for (i, t) in items.into_iter().enumerate() {
+            if first.is_none() {
+                first = Some((i, t));
+                continue;
+            }
+            let run = Arc::clone(&run);
+            let tx = tx.clone();
+            jobs.push(Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| run(i, t)));
+                // The receiver lives until every job reported; a send
+                // failure is unreachable but must not panic a worker.
+                let _ = tx.send((i, outcome));
+            }));
+        }
+        drop(tx);
+        queue.push_all(jobs);
+
+        let mut results: Vec<Option<thread::Result<O>>> = (0..n).map(|_| None).collect();
+        let mut done = 0usize;
+        if let Some((i, t)) = first {
+            let outcome = catch_unwind(AssertUnwindSafe(|| (run)(i, t)));
+            self.caller_jobs.fetch_add(1, Ordering::Relaxed);
+            results[i] = Some(outcome);
+            done += 1;
+        }
+        while done < n {
+            if let Some(job) = queue.try_pop() {
+                job();
+                self.caller_jobs.fetch_add(1, Ordering::Relaxed);
+            } else if let Ok((i, outcome)) = rx.recv() {
+                debug_assert!(results[i].is_none());
+                results[i] = Some(outcome);
+                done += 1;
+            } else {
+                // All senders gone with results missing: every job either
+                // reported or was dropped unexecuted, which cannot happen
+                // while the queue and scope are alive.
+                unreachable!("worker pool lost a batch job");
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch job reports exactly once"))
+            .collect()
+    }
+}
+
+/// Provision a pool of `workers` parallel lanes for the duration of
+/// `f`. Worker threads (if `workers > 1`) are spawned lazily on the
+/// first [`WorkerPool::run_batch`] and joined when `f` returns, so an
+/// unused pool costs one queue allocation and nothing else; `workers
+/// <= 1` skips even that and runs everything inline.
+pub fn with_pool<'env, R>(
+    workers: usize,
+    f: impl for<'scope> FnOnce(&WorkerPool<'scope, 'env>) -> R,
+) -> R {
+    let workers = workers.max(1);
+    if workers == 1 {
+        return f(&WorkerPool {
+            shared: None,
+            workers: 1,
+            spawned: AtomicUsize::new(0),
+            caller_jobs: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+        });
+    }
+    let queue = Queue::new();
+    thread::scope(|scope| {
+        let pool = WorkerPool {
+            shared: Some((&queue, scope)),
+            workers,
+            spawned: AtomicUsize::new(0),
+            caller_jobs: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+        };
+        let _guard = ShutdownGuard(&queue);
+        f(&pool)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn inline_pool_runs_everything_on_the_caller() {
+        let out = with_pool(1, |pool| {
+            assert_eq!(pool.workers(), 1);
+            let r = pool.run_batch(vec![10u32, 20, 30], |i, x| x + i as u32);
+            let stats = pool.stats();
+            assert_eq!(stats.spawned, 0);
+            assert_eq!(stats.caller_jobs, 3);
+            assert_eq!(stats.batches, 1);
+            r
+        });
+        let values: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn pooled_batches_preserve_input_order() {
+        with_pool(4, |pool| {
+            let items: Vec<usize> = (0..100).collect();
+            let out = pool.run_batch(items, |_, x| x * 2);
+            let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+            let stats = pool.stats();
+            assert_eq!(stats.workers, 4);
+            assert_eq!(stats.spawned, 3);
+            assert_eq!(stats.worker_jobs + stats.caller_jobs, 100);
+            assert!(stats.caller_jobs >= 1, "caller runs its own chunk");
+        });
+    }
+
+    #[test]
+    fn workers_spawn_lazily() {
+        with_pool(4, |pool| {
+            assert_eq!(pool.stats().spawned, 0);
+            pool.run_batch(vec![1], |_, x: i32| x);
+            assert_eq!(pool.stats().spawned, 3);
+        });
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_pool_stays_usable() {
+        with_pool(3, |pool| {
+            let out = pool.run_batch(vec![0u32, 1, 2, 3], |_, x| {
+                if x == 2 {
+                    panic!("injected");
+                }
+                x
+            });
+            assert!(out[0].is_ok() && out[1].is_ok() && out[3].is_ok());
+            assert!(out[2].is_err());
+            // The pool survives a panicking batch.
+            let again = pool.run_batch(vec![5u32], |_, x| x);
+            assert_eq!(*again[0].as_ref().unwrap(), 5);
+        });
+    }
+
+    #[test]
+    fn multiple_batches_reuse_the_same_workers() {
+        // Declared outside the pool scope: batch closures must outlive
+        // `'env`, which is exactly the discipline engine callers follow.
+        let counter = AtomicU32::new(0);
+        with_pool(2, |pool| {
+            for _ in 0..10 {
+                let out = pool.run_batch(vec![(); 8], |_, ()| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(out.len(), 8);
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 80);
+            let stats = pool.stats();
+            assert_eq!(stats.batches, 10);
+            assert_eq!(stats.spawned, 1);
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        with_pool(2, |pool| {
+            let out: Vec<thread::Result<u8>> = pool.run_batch(Vec::new(), |_, x| x);
+            assert!(out.is_empty());
+            assert_eq!(pool.stats().spawned, 0, "no work, no threads");
+        });
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        with_pool(0, |pool| {
+            assert_eq!(pool.workers(), 1);
+        });
+    }
+
+    #[test]
+    fn user_panic_releases_workers() {
+        let caught = std::panic::catch_unwind(|| {
+            with_pool(2, |pool| {
+                pool.run_batch(vec![1u8], |_, x| x);
+                panic!("user code panicked after a batch");
+            })
+        });
+        assert!(caught.is_err());
+        // Reaching this line at all proves the parked worker was
+        // released (otherwise the scope join would deadlock).
+    }
+}

@@ -1,0 +1,213 @@
+//! A per-query (or shared) memo cache for the engine tiers.
+//!
+//! [`EngineCache`] bundles two memo tables the tiers share:
+//!
+//! * **transitions** — [`dpioa_core::TransitionCache`]: `(state, action)
+//!   ↦ η_{(A,q,a)}`, sound unconditionally because Def. 2.1 makes
+//!   `transition` a function;
+//! * **memoryless choices** — `(step, state) ↦ σ(α)`: sound whenever
+//!   [`Scheduler::schedule_memoryless`] returns `Some`, because that
+//!   method's contract says the returned measure equals `σ(α)` for
+//!   *every* `α` with that length and last state — exactly the
+//!   factoring the lumped tier relies on. A `None` is memoized too, so
+//!   a history-dependent scheduler is probed once per `(step, state)`
+//!   class and the engines fall back to the full
+//!   [`Scheduler::schedule`] per execution.
+//!
+//! Both tables key on interned [`IValue`] ids, are shard-locked for the
+//! pooled frontier workers, and keep hit/miss counters that
+//! [`crate::robust::Provenance`] and the engine bench report. A cache
+//! handle in [`crate::robust::RobustConfig`] can be shared across
+//! queries — states revisited by later queries (or later Monte-Carlo
+//! samples) stop recomputing successor distributions entirely.
+
+use crate::scheduler::Scheduler;
+use dpioa_core::fxhash::FxBuildHasher;
+use dpioa_core::{Action, Automaton, CacheStats, IValue, TransEntry, TransitionCache, Value};
+use dpioa_prob::SubDisc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Shard count for the choice table; a power of two.
+const CHOICE_SHARDS: usize = 16;
+
+type ChoiceShard = RwLock<HashMap<(usize, IValue), Option<Arc<SubDisc<Action>>>, FxBuildHasher>>;
+
+/// Shared memoization for transitions and memoryless scheduler choices.
+/// See the module docs for the soundness argument of each table.
+pub struct EngineCache {
+    transitions: TransitionCache,
+    choices: Vec<ChoiceShard>,
+    choice_hits: AtomicU64,
+    choice_misses: AtomicU64,
+}
+
+impl Default for EngineCache {
+    fn default() -> EngineCache {
+        EngineCache::new()
+    }
+}
+
+impl EngineCache {
+    /// An empty cache.
+    pub fn new() -> EngineCache {
+        EngineCache {
+            transitions: TransitionCache::new(),
+            choices: (0..CHOICE_SHARDS).map(|_| ChoiceShard::default()).collect(),
+            choice_hits: AtomicU64::new(0),
+            choice_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh cache behind a shareable handle (for
+    /// [`crate::robust::RobustConfig::cache`]).
+    pub fn shared() -> Arc<EngineCache> {
+        Arc::new(EngineCache::new())
+    }
+
+    /// Memoized successor distribution of `(state, action)`; `None`
+    /// means the action is disabled in `state`. `state` must be the
+    /// value interned as `id`.
+    pub fn successors(
+        &self,
+        auto: &dyn Automaton,
+        state: &Value,
+        id: IValue,
+        action: Action,
+    ) -> Option<Arc<TransEntry>> {
+        self.transitions.successors(auto, state, id, action)
+    }
+
+    /// The memoized `σ(α)` for executions of length `step` ending in
+    /// `state`, when the scheduler factors through that pair —
+    /// `None` records that it does not (callers then fall back to the
+    /// per-execution [`Scheduler::schedule`]).
+    pub fn memoryless_choice(
+        &self,
+        sched: &dyn Scheduler,
+        auto: &dyn Automaton,
+        step: usize,
+        state: &Value,
+        id: IValue,
+    ) -> Option<Arc<SubDisc<Action>>> {
+        let shard = &self.choices
+            [(id.id().wrapping_mul(0x9E37_79B9) as usize ^ step) & (CHOICE_SHARDS - 1)];
+        {
+            let guard = shard.read().expect("choice cache poisoned");
+            if let Some(cached) = guard.get(&(step, id)) {
+                self.choice_hits.fetch_add(1, Ordering::Relaxed);
+                return cached.clone();
+            }
+        }
+        self.choice_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = sched.schedule_memoryless(auto, step, state).map(Arc::new);
+        let mut guard = shard.write().expect("choice cache poisoned");
+        guard.entry((step, id)).or_insert(computed).clone()
+    }
+
+    /// Hit/miss counters of the transition table alone.
+    pub fn transition_stats(&self) -> CacheStats {
+        self.transitions.stats()
+    }
+
+    /// Hit/miss counters of the choice table alone.
+    pub fn choice_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.choice_hits.load(Ordering::Relaxed),
+            misses: self.choice_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Combined hit/miss counters (transitions + choices). Snapshot
+    /// before and after a query and diff with [`CacheStats::since`] to
+    /// attribute activity to that query.
+    pub fn stats(&self) -> CacheStats {
+        self.transition_stats().plus(self.choice_stats())
+    }
+
+    /// Distinct `(state, action)` transition entries memoized.
+    pub fn transition_entries(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+impl std::fmt::Debug for EngineCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCache")
+            .field("transitions", &self.transition_stats())
+            .field("choices", &self.choice_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{DeterministicScheduler, FirstEnabled};
+    use dpioa_core::{ExplicitAutomaton, Signature};
+    use dpioa_prob::Disc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn coin() -> ExplicitAutomaton {
+        ExplicitAutomaton::builder("c-coin", Value::int(0))
+            .state(0, Signature::new([], [], [act("c-flip")]))
+            .state(1, Signature::new([], [], []))
+            .state(2, Signature::new([], [], []))
+            .transition(
+                0,
+                act("c-flip"),
+                Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+            )
+            .build()
+    }
+
+    #[test]
+    fn memoryless_choice_is_cached_and_matches_fresh() {
+        let auto = coin();
+        let cache = EngineCache::new();
+        let q = Value::int(0);
+        let id = IValue::of(&q);
+        let a = cache
+            .memoryless_choice(&FirstEnabled, &auto, 0, &q, id)
+            .unwrap();
+        let b = cache
+            .memoryless_choice(&FirstEnabled, &auto, 0, &q, id)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let fresh = FirstEnabled.schedule_memoryless(&auto, 0, &q).unwrap();
+        assert_eq!(*a, fresh);
+        assert_eq!(cache.choice_stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn history_dependence_is_memoized_as_none() {
+        let auto = coin();
+        let cache = EngineCache::new();
+        let sched = DeterministicScheduler::new("memoryful", |_, enabled: &[Action]| {
+            enabled.first().copied()
+        });
+        let q = Value::int(0);
+        let id = IValue::of(&q);
+        assert!(cache.memoryless_choice(&sched, &auto, 0, &q, id).is_none());
+        assert!(cache.memoryless_choice(&sched, &auto, 0, &q, id).is_none());
+        assert_eq!(cache.choice_stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn combined_stats_sum_both_tables() {
+        let auto = coin();
+        let cache = EngineCache::new();
+        let q = Value::int(0);
+        let id = IValue::of(&q);
+        cache.successors(&auto, &q, id, act("c-flip"));
+        cache.successors(&auto, &q, id, act("c-flip"));
+        cache.memoryless_choice(&FirstEnabled, &auto, 0, &q, id);
+        let s = cache.stats();
+        assert_eq!(s, CacheStats { hits: 1, misses: 2 });
+        assert_eq!(cache.transition_entries(), 1);
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod bounded;
+pub mod cache;
 pub mod error;
 pub mod lumped;
 pub mod measure;
@@ -47,20 +48,24 @@ pub mod scheduler;
 pub mod schema;
 
 pub use bounded::BoundedScheduler;
+pub use cache::EngineCache;
 pub use error::{disabled_action, Budget, EngineError};
 pub use lumped::{
-    lumped_observation_dist, try_lumped_observation_dist, try_lumped_observation_dist_exact,
-    try_lumped_observation_dist_in, Observation,
+    lumped_observation_dist, try_lumped_observation_dist, try_lumped_observation_dist_cached,
+    try_lumped_observation_dist_exact, try_lumped_observation_dist_in, Observation,
 };
 pub use measure::{
     execution_measure, execution_measure_exact, observation_dist, try_execution_measure,
     try_execution_measure_exact, try_execution_measure_in, try_execution_measure_parallel,
-    try_execution_measure_parallel_in, ConeIndex, ExecutionMeasure,
+    try_execution_measure_parallel_in, try_execution_measure_pooled,
+    try_execution_measure_pooled_in, try_execution_measure_pooled_with, ConeIndex, ExactStats,
+    ExecutionMeasure, ParallelPolicy, SEQ_CUTOVER_PER_LANE,
 };
 pub use robust::{robust_observation_dist, EngineKind, Provenance, RobustConfig};
 pub use sample::{
     sample_execution, sample_observations, sample_observations_parallel, try_sample_execution,
-    try_sample_observations, try_sample_observations_parallel, MAX_SHARD_RETRIES,
+    try_sample_execution_cached, try_sample_observations, try_sample_observations_parallel,
+    try_sample_observations_pooled_with, MAX_SHARD_RETRIES,
 };
 pub use scheduler::{
     choice_from_disc, choose_uniform, DeterministicScheduler, FirstEnabled, HaltingMix,

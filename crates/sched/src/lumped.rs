@@ -28,11 +28,12 @@
 //! engine — the first tier of
 //! [`crate::robust::robust_observation_dist`]'s cascade.
 
+use crate::cache::EngineCache;
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::FxHashMap;
 use dpioa_core::{Action, Automaton, Execution, IValue, Value};
-use dpioa_prob::{Disc, Ratio, Weight};
+use dpioa_prob::{Disc, Ratio, SubDisc, Weight};
 use std::sync::Arc;
 
 /// An observation function `f : Execs*(A) → Value`, restricted to the
@@ -154,6 +155,23 @@ pub fn try_lumped_observation_dist_in<W: Weight>(
     budget: &Budget,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
 ) -> Result<Disc<Value, W>, EngineError> {
+    lumped_core(auto, sched, horizon, obs, budget, None, lift)
+}
+
+/// The engine core behind every lumped entry point. With `cache: Some`,
+/// memoryless choices and successor distributions are drawn through the
+/// shared [`EngineCache`] — same values, so the answer is unchanged —
+/// letting repeated queries (and the other tiers) reuse the work; with
+/// `None` each class computes them directly.
+fn lumped_core<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    obs: &Observation,
+    budget: &Budget,
+    cache: Option<&EngineCache>,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+) -> Result<Disc<Value, W>, EngineError> {
     if let Observation::Full(_) = obs {
         return Err(EngineError::NotLumpable {
             reason: "observation does not factor through trace or last state".into(),
@@ -189,13 +207,35 @@ pub fn try_lumped_observation_dist_in<W: Weight>(
             expansions += 1;
             budget.check(absorbed.len() + next.len(), expansions)?;
             let state = key.state.value();
-            let Some(choice) = sched.schedule_memoryless(auto, step, &state) else {
-                return Err(EngineError::NotLumpable {
-                    reason: format!(
-                        "scheduler {} is not memoryless at step {step}",
-                        sched.describe()
-                    ),
-                });
+            let cached_choice;
+            let fresh_choice;
+            let choice: &SubDisc<Action> = match cache {
+                Some(c) => {
+                    cached_choice = c.memoryless_choice(sched, auto, step, &state, key.state);
+                    match &cached_choice {
+                        Some(arc) => arc.as_ref(),
+                        None => {
+                            return Err(EngineError::NotLumpable {
+                                reason: format!(
+                                    "scheduler {} is not memoryless at step {step}",
+                                    sched.describe()
+                                ),
+                            })
+                        }
+                    }
+                }
+                None => {
+                    let Some(ch) = sched.schedule_memoryless(auto, step, &state) else {
+                        return Err(EngineError::NotLumpable {
+                            reason: format!(
+                                "scheduler {} is not memoryless at step {step}",
+                                sched.describe()
+                            ),
+                        });
+                    };
+                    fresh_choice = ch;
+                    &fresh_choice
+                }
             };
             if choice.is_halt() {
                 absorbed.add(observe_key(&key), weight);
@@ -208,23 +248,35 @@ pub fn try_lumped_observation_dist_in<W: Weight>(
             let track_trace = matches!(obs, Observation::Trace);
             for (&a, p) in choice.iter() {
                 let p = lift(p.to_f64())?;
-                let Some(eta) = auto.transition(&state, a) else {
-                    return Err(disabled_action(sched, a, &state));
-                };
                 let extend_trace = track_trace && auto.signature(&state).is_external(a);
-                for (q2, r) in eta.iter() {
-                    let r = lift(r.to_f64())?;
+                let mut push = |iq2: IValue, r: f64| -> Result<(), EngineError> {
+                    let r = lift(r)?;
                     let mut trace = key.trace.clone();
                     if extend_trace {
                         trace.push(a);
                     }
-                    next.add(
-                        Key {
-                            state: IValue::of(q2),
-                            trace,
-                        },
-                        weight.mul(&p).mul(&r),
-                    );
+                    next.add(Key { state: iq2, trace }, weight.mul(&p).mul(&r));
+                    Ok(())
+                };
+                match cache {
+                    Some(c) => {
+                        let Some(entry) = c.successors(auto, &state, key.state, a) else {
+                            return Err(disabled_action(sched, a, &state));
+                        };
+                        for ((_, r), &iq2) in entry.eta.iter().zip(entry.ids.iter()) {
+                            push(iq2, r.to_f64())?;
+                        }
+                    }
+                    // Uncached: intern successors inline — no `TransEntry`
+                    // allocation on the fresh-per-call path.
+                    None => {
+                        let Some(eta) = auto.transition(&state, a) else {
+                            return Err(disabled_action(sched, a, &state));
+                        };
+                        for (q2, r) in eta.iter() {
+                            push(IValue::of(q2), r.to_f64())?;
+                        }
+                    }
                 }
             }
         }
@@ -237,6 +289,21 @@ pub fn try_lumped_observation_dist_in<W: Weight>(
     Disc::from_entries(absorbed.entries).map_err(|e| EngineError::InvalidMeasure {
         detail: format!("lumped weights do not sum to one: {e:?}"),
     })
+}
+
+/// The `f64` lumped observation distribution under a [`Budget`],
+/// drawing memoryless choices and transitions through a shared
+/// [`EngineCache`] — the entry point the robust cascade uses, so a
+/// cache handle shared across queries keeps its warm entries.
+pub fn try_lumped_observation_dist_cached(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    obs: &Observation,
+    budget: &Budget,
+    cache: &EngineCache,
+) -> Result<Disc<Value>, EngineError> {
+    lumped_core(auto, sched, horizon, obs, budget, Some(cache), Ok)
 }
 
 /// The `f64` lumped observation distribution under a [`Budget`].

@@ -20,12 +20,16 @@
 //! turns into a Monte-Carlo fallback. The panicking wrappers are kept
 //! for call sites that treat these failures as model bugs.
 
+use crate::cache::EngineCache;
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::FxHashMap;
-use dpioa_core::{Automaton, Execution, Value};
-use dpioa_prob::{Disc, Ratio, Weight};
+use dpioa_core::memo::CacheStats;
+use dpioa_core::pool::{with_pool, PoolStats, WorkerPool};
+use dpioa_core::{Action, Automaton, Execution, IValue, Value};
+use dpioa_prob::{Disc, Ratio, SubDisc, Weight};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The finite-horizon description of `ε_σ`: terminal executions with
 /// their probabilities, summing to one.
@@ -274,27 +278,307 @@ pub fn execution_measure_exact(
     }
 }
 
-/// Frontier batches smaller than this expand sequentially even when
-/// `threads > 1` — thread spawn/join overhead dominates below it.
-const PAR_SEQ_THRESHOLD: usize = 64;
+/// Per-lane sequential cutover: a depth's frontier expands inline
+/// unless it holds at least this many nodes **per pool lane** — below
+/// that, batch submission and merge overhead dominate the expansion
+/// work itself. Calibrated on the BENCH workloads (walk6 / coin-bank /
+/// fault-walk); override via [`ParallelPolicy::new`].
+pub const SEQ_CUTOVER_PER_LANE: usize = 128;
+
+/// How the pooled exact engine dispatches each frontier depth:
+/// sequentially inline below the cutover, fanned out over the worker
+/// pool at or above it. This is the adaptive replacement for the old
+/// fixed spawn threshold — with a lazily-spawning pool, a query whose
+/// frontiers never reach `seq_cutover` pays **zero** thread overhead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelPolicy {
+    /// Parallel lanes requested (caller included). `1` never pools.
+    pub threads: usize,
+    /// Minimum frontier size for a depth to be pooled.
+    pub seq_cutover: usize,
+}
+
+impl ParallelPolicy {
+    /// An explicit policy; `threads` is clamped to at least 1.
+    pub fn new(threads: usize, seq_cutover: usize) -> ParallelPolicy {
+        ParallelPolicy {
+            threads: threads.max(1),
+            seq_cutover,
+        }
+    }
+
+    /// The calibrated policy for `threads` requested lanes: lanes are
+    /// clamped to the machine's available parallelism (asking a 1-core
+    /// box for 4 workers only adds contention) and the cutover scales
+    /// per lane ([`SEQ_CUTOVER_PER_LANE`]).
+    pub fn auto(threads: usize) -> ParallelPolicy {
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let lanes = threads.clamp(1, avail);
+        ParallelPolicy {
+            threads: lanes,
+            seq_cutover: if lanes <= 1 {
+                usize::MAX
+            } else {
+                SEQ_CUTOVER_PER_LANE * lanes
+            },
+        }
+    }
+
+    /// Never pool: the sequential (but still memoizing) engine.
+    pub fn sequential() -> ParallelPolicy {
+        ParallelPolicy {
+            threads: 1,
+            seq_cutover: usize::MAX,
+        }
+    }
+}
+
+/// What the pooled exact engine actually did, for [`Provenance`]
+/// records and bench output.
+///
+/// [`Provenance`]: crate::robust::Provenance
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExactStats {
+    /// Lanes used on pooled depths (1 when every depth stayed inline).
+    pub threads: usize,
+    /// Depths fanned out over the pool.
+    pub pooled_depths: usize,
+    /// Depths expanded inline on the calling thread.
+    pub sequential_depths: usize,
+    /// Pool activity attributable to this expansion.
+    pub pool: PoolStats,
+    /// Cache activity attributable to this expansion.
+    pub cache: CacheStats,
+}
+
+/// A frontier node: the execution, the interned id of its last state
+/// (so cache lookups never re-hash), and its cone weight.
+type Node<W> = (Execution, IValue, W);
 
 /// One worker's share of a depth step: the executions that terminated in
 /// this chunk, and the chunk's contribution to the next frontier.
-type DepthBatch<W> = (Vec<(Execution, W)>, Vec<(Execution, W)>);
+type DepthBatch<W> = (Vec<(Execution, W)>, Vec<Node<W>>);
 
-/// Breadth-first expansion of `ε_σ` with the per-depth frontier fanned
-/// out over `threads` scoped workers.
+/// Expand one frontier node into a (worker-local) terminal/next pair,
+/// resolving the scheduler choice and the successor distribution
+/// through the [`EngineCache`]. Bit-identical to the uncached engines:
+/// cached `Disc`s are stored verbatim and the memoryless-choice memo is
+/// licensed by the [`Scheduler::schedule_memoryless`] exactness
+/// contract.
+#[allow(clippy::too_many_arguments)]
+fn expand_node<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    cache: &EngineCache,
+    budget: &Budget,
+    horizon: usize,
+    expansions: &AtomicUsize,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+    node: &Node<W>,
+    entries_base: usize,
+    terminal: &mut Vec<(Execution, W)>,
+    next: &mut Vec<Node<W>>,
+) -> Result<(), EngineError> {
+    let (exec, id, weight) = node;
+    let n = expansions.fetch_add(1, Ordering::Relaxed) + 1;
+    budget.check(entries_base + terminal.len(), n)?;
+    if exec.len() >= horizon {
+        terminal.push((exec.clone(), weight.clone()));
+        return Ok(());
+    }
+    let cached = cache.memoryless_choice(sched, auto, exec.len(), exec.lstate(), *id);
+    let fresh;
+    let choice: &SubDisc<Action> = match &cached {
+        Some(c) => c,
+        // History-dependent at this (step, state): ask per execution.
+        None => {
+            fresh = sched.schedule(auto, exec);
+            &fresh
+        }
+    };
+    if choice.is_halt() {
+        terminal.push((exec.clone(), weight.clone()));
+        return Ok(());
+    }
+    let halt = lift(choice.halt_prob().to_f64())?;
+    if !halt.is_zero() {
+        terminal.push((exec.clone(), weight.mul(&halt)));
+    }
+    for (&a, p) in choice.iter() {
+        let p = lift(p.to_f64())?;
+        let Some(entry) = cache.successors(auto, exec.lstate(), *id, a) else {
+            return Err(disabled_action(sched, a, exec.lstate()));
+        };
+        for ((q2, r), id2) in entry.eta.iter().zip(entry.ids.iter()) {
+            let r = lift(r.to_f64())?;
+            next.push((exec.extend(a, q2.clone()), *id2, weight.mul(&p).mul(&r)));
+        }
+    }
+    Ok(())
+}
+
+/// Breadth-first expansion of `ε_σ` on a caller-provided
+/// [`WorkerPool`], memoizing through `cache` — the engine behind the
+/// general-exact tier. Depths below [`ParallelPolicy::seq_cutover`]
+/// expand inline; at or above it the frontier is split into contiguous
+/// chunks fanned out over the pool and merged **in chunk order**, so
+/// the resulting entry list is deterministic (independent of thread
+/// scheduling), and — because model weights are dyadic, hence `f64`
+/// sums are order-exact — the weights are bit-identical to the
+/// sequential engines'. Budget granularity: `expansions` is shared
+/// exactly (one atomic per node); the `entries` count a worker checks
+/// against is the depth-start count plus its own local terminals, so
+/// the entry cap can overshoot by at most one depth's worth of parallel
+/// discoveries.
 ///
-/// Each depth's frontier is split into `threads` contiguous chunks;
-/// workers expand their chunk into local `(terminal, next)` vectors
-/// which are merged **in chunk order**, so the resulting entry list is
-/// deterministic (independent of thread scheduling), and — because
-/// model weights are dyadic, hence `f64` sums are order-exact — the
-/// weights are bit-identical to the sequential engines'. Budget
-/// granularity: `expansions` is shared exactly (one atomic per node);
-/// the `entries` count a worker checks against is the depth-start count
-/// plus its own local terminals, so the entry cap can overshoot by at
-/// most one depth's worth of parallel discoveries.
+/// A worker panic (only possible through user code in the automaton,
+/// scheduler or lift function) is resumed on the calling thread after
+/// the depth's surviving chunks are drained.
+#[allow(clippy::too_many_arguments)]
+pub fn try_execution_measure_pooled_with<'env, W, L>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &'env EngineCache,
+    pool: &WorkerPool<'_, 'env>,
+    lift: L,
+) -> Result<(ExecutionMeasure<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
+{
+    let lanes = pool.workers().min(policy.threads.max(1));
+    let cache_base = cache.stats();
+    let pool_base = pool.stats();
+    // Shared by value with batch jobs (which must outlive `'env`), so
+    // the counter lives behind an `Arc` and the budget is copied.
+    let expansions = Arc::new(AtomicUsize::new(0));
+    let budget = *budget;
+    let mut pooled_depths = 0usize;
+    let mut sequential_depths = 0usize;
+
+    let start = Execution::start_of(auto);
+    let root_id = IValue::of(start.lstate());
+    let mut entries: Vec<(Execution, W)> = Vec::new();
+    let mut frontier: Vec<Node<W>> = vec![(start, root_id, W::one())];
+    while !frontier.is_empty() {
+        let entries_base = entries.len();
+        let mut next: Vec<Node<W>> = Vec::new();
+        if lanes <= 1 || frontier.len() < policy.seq_cutover {
+            sequential_depths += 1;
+            for node in &frontier {
+                expand_node(
+                    auto,
+                    sched,
+                    cache,
+                    &budget,
+                    horizon,
+                    &expansions,
+                    lift,
+                    node,
+                    entries_base,
+                    &mut entries,
+                    &mut next,
+                )?;
+            }
+        } else {
+            pooled_depths += 1;
+            let chunk = frontier.len().div_ceil(lanes);
+            let mut chunks: Vec<Vec<Node<W>>> = Vec::with_capacity(lanes);
+            let mut rest = frontier;
+            while !rest.is_empty() {
+                let tail = rest.split_off(chunk.min(rest.len()));
+                chunks.push(rest);
+                rest = tail;
+            }
+            let expansions = Arc::clone(&expansions);
+            let results = pool.run_batch(chunks, move |_, chunk: Vec<Node<W>>| {
+                let mut terminal = Vec::new();
+                let mut local_next = Vec::new();
+                for node in &chunk {
+                    expand_node(
+                        auto,
+                        sched,
+                        cache,
+                        &budget,
+                        horizon,
+                        &expansions,
+                        lift,
+                        node,
+                        entries_base,
+                        &mut terminal,
+                        &mut local_next,
+                    )?;
+                }
+                Ok::<DepthBatch<W>, EngineError>((terminal, local_next))
+            });
+            for outcome in results {
+                match outcome {
+                    Ok(Ok((terminal, local_next))) => {
+                        entries.extend(terminal);
+                        next.extend(local_next);
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        }
+        frontier = next;
+    }
+    let stats = ExactStats {
+        threads: if pooled_depths > 0 { lanes } else { 1 },
+        pooled_depths,
+        sequential_depths,
+        pool: pool.stats().since(pool_base),
+        cache: cache.stats().since(cache_base),
+    };
+    Ok((ExecutionMeasure { entries, horizon }, stats))
+}
+
+/// [`try_execution_measure_pooled_with`] on a self-provisioned pool:
+/// workers spawn lazily on the first pooled depth, so a query whose
+/// frontiers stay below the cutover never pays thread overhead.
+pub fn try_execution_measure_pooled_in<W, L>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+    lift: L,
+) -> Result<(ExecutionMeasure<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync,
+{
+    if policy.threads == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot expand with zero worker threads".into(),
+        });
+    }
+    with_pool(policy.threads, |pool| {
+        try_execution_measure_pooled_with(auto, sched, horizon, budget, policy, cache, pool, lift)
+    })
+}
+
+/// The `f64` pooled + memoized execution measure under a [`Budget`].
+pub fn try_execution_measure_pooled(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+) -> Result<(ExecutionMeasure<f64>, ExactStats), EngineError> {
+    try_execution_measure_pooled_in(auto, sched, horizon, budget, policy, cache, Ok)
+}
+
+/// Parallel expansion with a fresh per-call cache — kept as the
+/// compatibility entry point; now a thin wrapper over the pooled engine
+/// (persistent lazily-spawned workers instead of a `thread::scope` per
+/// depth).
 pub fn try_execution_measure_parallel_in<W: Weight>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
@@ -308,84 +592,10 @@ pub fn try_execution_measure_parallel_in<W: Weight>(
             reason: "cannot expand with zero worker threads".into(),
         });
     }
-    let expansions = AtomicUsize::new(0);
-
-    // Expand one frontier node into a worker-local terminal/next pair.
-    let expand = |exec: &Execution,
-                  weight: &W,
-                  entries_base: usize,
-                  terminal: &mut Vec<(Execution, W)>,
-                  next: &mut Vec<(Execution, W)>|
-     -> Result<(), EngineError> {
-        let n = expansions.fetch_add(1, Ordering::Relaxed) + 1;
-        budget.check(entries_base + terminal.len(), n)?;
-        if exec.len() >= horizon {
-            terminal.push((exec.clone(), weight.clone()));
-            return Ok(());
-        }
-        let choice = sched.schedule(auto, exec);
-        if choice.is_halt() {
-            terminal.push((exec.clone(), weight.clone()));
-            return Ok(());
-        }
-        let halt = lift(choice.halt_prob().to_f64())?;
-        if !halt.is_zero() {
-            terminal.push((exec.clone(), weight.mul(&halt)));
-        }
-        for (&a, p) in choice.iter() {
-            let p = lift(p.to_f64())?;
-            let Some(eta) = auto.transition(exec.lstate(), a) else {
-                return Err(disabled_action(sched, a, exec.lstate()));
-            };
-            for (q2, r) in eta.iter() {
-                let r = lift(r.to_f64())?;
-                next.push((exec.extend(a, q2.clone()), weight.mul(&p).mul(&r)));
-            }
-        }
-        Ok(())
-    };
-
-    let mut entries: Vec<(Execution, W)> = Vec::new();
-    let mut frontier: Vec<(Execution, W)> = vec![(Execution::start_of(auto), W::one())];
-    while !frontier.is_empty() {
-        let entries_base = entries.len();
-        let mut next: Vec<(Execution, W)> = Vec::new();
-        if threads <= 1 || frontier.len() < PAR_SEQ_THRESHOLD {
-            for (exec, weight) in &frontier {
-                expand(exec, weight, entries_base, &mut entries, &mut next)?;
-            }
-        } else {
-            let chunk = frontier.len().div_ceil(threads);
-            let expand = &expand;
-            let batch = &frontier;
-            let results: Vec<Result<DepthBatch<W>, EngineError>> = std::thread::scope(|s| {
-                let handles: Vec<_> = batch
-                    .chunks(chunk)
-                    .map(|items| {
-                        s.spawn(move || {
-                            let mut terminal = Vec::new();
-                            let mut local_next = Vec::new();
-                            for (exec, weight) in items {
-                                expand(exec, weight, entries_base, &mut terminal, &mut local_next)?;
-                            }
-                            Ok((terminal, local_next))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("exact expansion worker panicked"))
-                    .collect()
-            });
-            for r in results {
-                let (terminal, local_next) = r?;
-                entries.extend(terminal);
-                next.extend(local_next);
-            }
-        }
-        frontier = next;
-    }
-    Ok(ExecutionMeasure { entries, horizon })
+    let cache = EngineCache::new();
+    let policy = ParallelPolicy::new(threads, SEQ_CUTOVER_PER_LANE * threads.max(1));
+    try_execution_measure_pooled_in(auto, sched, horizon, budget, policy, &cache, lift)
+        .map(|(measure, _)| measure)
 }
 
 /// The `f64` parallel execution measure under a [`Budget`].

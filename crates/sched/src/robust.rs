@@ -23,13 +23,17 @@
 //! so a budget too small for the quotient is certainly too small for the
 //! cover.
 
+use crate::cache::EngineCache;
 use crate::error::{Budget, EngineError};
-use crate::lumped::{try_lumped_observation_dist, Observation};
-use crate::measure::{try_execution_measure, try_execution_measure_parallel};
-use crate::sample::try_sample_observations_parallel;
+use crate::lumped::{try_lumped_observation_dist_cached, Observation};
+use crate::measure::{try_execution_measure_pooled_with, ExactStats, ParallelPolicy};
+use crate::sample::try_sample_observations_pooled_with;
 use crate::scheduler::Scheduler;
-use dpioa_core::{Automaton, Value};
+use dpioa_core::memo::CacheStats;
+use dpioa_core::pool::{with_pool, PoolStats, WorkerPool};
+use dpioa_core::{Automaton, Execution, Value};
 use dpioa_prob::Disc;
+use std::sync::Arc;
 
 /// Which engine produced an answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,8 +60,21 @@ pub struct Provenance {
     pub fallback_reason: Option<EngineError>,
     /// Samples drawn (Monte-Carlo only).
     pub samples: Option<usize>,
-    /// Worker threads used (parallel general-exact and Monte-Carlo).
+    /// Worker lanes used by the answering tier (`Some(1)` when it ran
+    /// single-threaded — every tier reports this uniformly).
     pub threads: Option<usize>,
+    /// Memo-cache lookups answered from the cache while this query's
+    /// answering tier ran (transitions + memoryless choices).
+    pub cache_hits: Option<u64>,
+    /// Memo-cache lookups that had to compute their answer.
+    pub cache_misses: Option<u64>,
+    /// Frontier depths the exact tier fanned out over the pool
+    /// (exact tier only; `Some(0)` means every depth stayed below the
+    /// adaptive cutover and ran inline).
+    pub pooled_depths: Option<usize>,
+    /// Worker-pool activity of the answering tier (pool-capable tiers:
+    /// general exact and Monte-Carlo).
+    pub pool: Option<PoolStats>,
     /// A bound `b` such that every event probability in the returned
     /// distribution is within `b` of its true value with probability at
     /// least `1 − confidence_delta` (DKW inequality). `0.0` for exact
@@ -68,23 +85,31 @@ pub struct Provenance {
 }
 
 impl Provenance {
-    fn lumped() -> Provenance {
+    fn lumped(cache: CacheStats) -> Provenance {
         Provenance {
             engine: EngineKind::Lumped,
             fallback_reason: None,
             samples: None,
-            threads: None,
+            threads: Some(1),
+            cache_hits: Some(cache.hits),
+            cache_misses: Some(cache.misses),
+            pooled_depths: None,
+            pool: None,
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
     }
 
-    fn exact(reason: EngineError, threads: usize) -> Provenance {
+    fn exact(reason: EngineError, stats: ExactStats) -> Provenance {
         Provenance {
             engine: EngineKind::Exact,
             fallback_reason: Some(reason),
             samples: None,
-            threads: (threads > 1).then_some(threads),
+            threads: Some(stats.threads),
+            cache_hits: Some(stats.cache.hits),
+            cache_misses: Some(stats.cache.misses),
+            pooled_depths: Some(stats.pooled_depths),
+            pool: Some(stats.pool),
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
@@ -96,9 +121,23 @@ impl Provenance {
 pub struct RobustConfig {
     /// Budget for the exact attempts (lumped and general).
     pub budget: Budget,
-    /// Worker threads for the general exact frontier expansion; `1`
-    /// keeps the sequential depth-first engine.
+    /// Worker lanes for the general exact frontier expansion; `1` keeps
+    /// the expansion on the calling thread. Lanes are clamped to the
+    /// machine's available parallelism unless [`RobustConfig::par_cutover`]
+    /// pins an explicit policy.
     pub exact_threads: usize,
+    /// Explicit frontier-size cutover below which a depth expands
+    /// inline even when `exact_threads > 1`; `None` picks the
+    /// calibrated adaptive policy ([`ParallelPolicy::auto`]), which is
+    /// what keeps small-horizon queries from ever paying spawn
+    /// overhead.
+    pub par_cutover: Option<usize>,
+    /// A transition/choice memo cache shared across queries; `None`
+    /// provisions a fresh per-call cache. Share a handle
+    /// ([`EngineCache::shared`]) when issuing many queries against the
+    /// same automaton — later queries then reuse every successor
+    /// distribution the earlier ones computed.
+    pub cache: Option<Arc<EngineCache>>,
     /// Monte-Carlo samples on fallback.
     pub mc_samples: usize,
     /// Monte-Carlo worker threads.
@@ -114,6 +153,8 @@ impl Default for RobustConfig {
         RobustConfig {
             budget: Budget::unlimited().with_max_entries(1 << 16),
             exact_threads: 1,
+            par_cutover: None,
+            cache: None,
             mc_samples: 100_000,
             mc_threads: 4,
             mc_seed: 0xD10A,
@@ -127,23 +168,36 @@ fn dkw_bound(n: usize, delta: f64) -> f64 {
     ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
 }
 
-fn monte_carlo(
-    auto: &dyn Automaton,
-    sched: &dyn Scheduler,
+/// The Monte-Carlo fallback tier on a caller-provided pool, sampling
+/// through the shared memo cache.
+#[allow(clippy::too_many_arguments)]
+fn monte_carlo_pooled<'env, O>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
     horizon: usize,
-    observe: &Observation,
     config: &RobustConfig,
+    cache: &'env EngineCache,
+    pool: &WorkerPool<'_, 'env>,
+    obs_fn: &'env O,
     reason: EngineError,
-) -> Result<(Disc<Value>, Provenance), EngineError> {
-    let dist = try_sample_observations_parallel(
+) -> Result<(Disc<Value>, Provenance), EngineError>
+where
+    O: Fn(&Execution) -> Value + Sync + ?Sized,
+{
+    let cache_base = cache.stats();
+    let pool_base = pool.stats();
+    let dist = try_sample_observations_pooled_with(
         auto,
         sched,
         horizon,
         config.mc_samples,
         config.mc_seed,
         config.mc_threads,
-        |e: &dpioa_core::Execution| observe.apply(auto, e),
+        Some(cache),
+        pool,
+        obs_fn,
     )?;
+    let cache_stats = cache.stats().since(cache_base);
     Ok((
         dist,
         Provenance {
@@ -151,6 +205,10 @@ fn monte_carlo(
             fallback_reason: Some(reason),
             samples: Some(config.mc_samples),
             threads: Some(config.mc_threads),
+            cache_hits: Some(cache_stats.hits),
+            cache_misses: Some(cache_stats.misses),
+            pooled_depths: None,
+            pool: Some(pool.stats().since(pool_base)),
             error_bound: dkw_bound(config.mc_samples, config.confidence_delta),
             confidence_delta: config.confidence_delta,
         },
@@ -160,6 +218,13 @@ fn monte_carlo(
 /// The distribution of `observe(α)` under `ε_σ`, computed by the
 /// cheapest eligible tier: lumped exact, then general exact, then
 /// Monte-Carlo (see the module docs for the cascade).
+///
+/// Every tier draws transitions and memoryless scheduler choices
+/// through one [`EngineCache`] — [`RobustConfig::cache`] when set
+/// (shared across calls), else a fresh per-call cache — and the general
+/// and Monte-Carlo tiers share one lazily-spawned [`WorkerPool`], so a
+/// query that stays sequential (small frontiers under the adaptive
+/// cutover, or a 1-lane config) never spawns a thread.
 ///
 /// Errors other than lumped ineligibility and budget exhaustion
 /// (scheduler contract violations, invalid sampling parameters, a
@@ -172,31 +237,70 @@ pub fn robust_observation_dist(
     observe: &Observation,
     config: &RobustConfig,
 ) -> Result<(Disc<Value>, Provenance), EngineError> {
-    let not_lumpable =
-        match try_lumped_observation_dist(auto, sched, horizon, observe, &config.budget) {
-            Ok(dist) => return Ok((dist, Provenance::lumped())),
-            Err(reason @ EngineError::NotLumpable { .. }) => reason,
-            Err(reason @ EngineError::BudgetExhausted { .. }) => {
-                return monte_carlo(auto, sched, horizon, observe, config, reason);
-            }
-            Err(other) => return Err(other),
-        };
-
-    let general = if config.exact_threads > 1 {
-        try_execution_measure_parallel(auto, sched, horizon, &config.budget, config.exact_threads)
-    } else {
-        try_execution_measure(auto, sched, horizon, &config.budget)
+    let local_cache;
+    let cache: &EngineCache = match &config.cache {
+        Some(shared) => shared.as_ref(),
+        None => {
+            local_cache = EngineCache::new();
+            &local_cache
+        }
     };
-    match general {
-        Ok(measure) => {
-            let dist = measure.try_observe(|e| observe.apply(auto, e))?;
-            Ok((dist, Provenance::exact(not_lumpable, config.exact_threads)))
+    let obs_fn = |e: &Execution| observe.apply(auto, e);
+
+    let cache_base = cache.stats();
+    let not_lumpable = match try_lumped_observation_dist_cached(
+        auto,
+        sched,
+        horizon,
+        observe,
+        &config.budget,
+        cache,
+    ) {
+        Ok(dist) => {
+            return Ok((dist, Provenance::lumped(cache.stats().since(cache_base))));
         }
+        Err(reason @ EngineError::NotLumpable { .. }) => reason,
         Err(reason @ EngineError::BudgetExhausted { .. }) => {
-            monte_carlo(auto, sched, horizon, observe, config, reason)
+            // The lumped class space is a quotient of the execution
+            // space, so the general tier cannot fit either — go
+            // straight to sampling on an MC-sized pool.
+            return with_pool(config.mc_threads.max(1), |pool| {
+                monte_carlo_pooled(auto, sched, horizon, config, cache, pool, &obs_fn, reason)
+            });
         }
-        Err(other) => Err(other),
-    }
+        Err(other) => return Err(other),
+    };
+
+    let policy = match config.par_cutover {
+        Some(cutover) => ParallelPolicy::new(config.exact_threads, cutover),
+        None => ParallelPolicy::auto(config.exact_threads),
+    };
+    // One pool serves both remaining tiers; workers spawn lazily, so
+    // provisioning for the wider of the two costs nothing if the exact
+    // tier answers below its cutover.
+    let lanes = policy.threads.max(config.mc_threads.max(1));
+    with_pool(lanes, |pool| {
+        let general = try_execution_measure_pooled_with(
+            auto,
+            sched,
+            horizon,
+            &config.budget,
+            policy,
+            cache,
+            pool,
+            Ok,
+        );
+        match general {
+            Ok((measure, stats)) => {
+                let dist = measure.try_observe(|e| observe.apply(auto, e))?;
+                Ok((dist, Provenance::exact(not_lumpable, stats)))
+            }
+            Err(reason @ EngineError::BudgetExhausted { .. }) => {
+                monte_carlo_pooled(auto, sched, horizon, config, cache, pool, &obs_fn, reason)
+            }
+            Err(other) => Err(other),
+        }
+    })
 }
 
 #[cfg(test)]

@@ -2,9 +2,16 @@
 //!
 //! The exact cone expansion of [`crate::measure`] is exponential in the
 //! horizon; the sampler trades exactness for scalability. The parallel
-//! variant fans out over `std::thread::scope` with one deterministically
-//! seeded RNG per worker and per-thread histograms merged at join — no
-//! shared mutable state inside the hot loop.
+//! variant fans the sample shards out over a persistent
+//! [`WorkerPool`] (one deterministically seeded RNG per shard,
+//! per-shard histograms merged in shard order — no shared mutable state
+//! inside the hot loop), and can draw transitions and memoryless
+//! scheduler choices through an [`EngineCache`] shared with the exact
+//! tiers. Cached sampling consumes the **identical RNG stream** as
+//! uncached sampling — the cache returns the same `Disc`/`SubDisc`
+//! values and [`sample_disc`]/[`sample_subdisc`] are inverse-CDF walks
+//! over their canonical entry order — so estimates are bit-for-bit
+//! reproducible either way.
 //!
 //! Robustness: the `try_*` entry points return [`EngineError`] instead
 //! of panicking, and the parallel sampler isolates worker panics per
@@ -13,9 +20,11 @@
 //! [`MAX_SHARD_RETRIES`] times before the whole call gives up with
 //! [`EngineError::WorkerPanicked`]. Other shards are unaffected.
 
+use crate::cache::EngineCache;
 use crate::error::{disabled_action, EngineError};
 use crate::scheduler::Scheduler;
-use dpioa_core::{Automaton, Execution, Value};
+use dpioa_core::pool::{with_pool, WorkerPool};
+use dpioa_core::{Automaton, Execution, IValue, Value};
 use dpioa_prob::sample::{sample_disc, sample_subdisc};
 use dpioa_prob::Disc;
 use rand::rngs::StdRng;
@@ -46,6 +55,44 @@ pub fn try_sample_execution<R: Rng + ?Sized>(
             return Err(disabled_action(sched, a, exec.lstate()));
         };
         let q2 = sample_disc(&eta, rng);
+        exec.push(a, q2);
+    }
+    Ok(exec)
+}
+
+/// [`try_sample_execution`] drawing transitions and memoryless
+/// scheduler choices through `cache`, so repeated samples stop
+/// recomputing successor distributions. Consumes the identical RNG
+/// stream as the uncached sampler (see the module docs), so for a fixed
+/// seed the sampled execution is the same with or without a cache.
+pub fn try_sample_execution_cached<R: Rng + ?Sized>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    cache: &EngineCache,
+    rng: &mut R,
+) -> Result<Execution, EngineError> {
+    let mut exec = Execution::start_of(auto);
+    let mut id = IValue::of(exec.lstate());
+    while exec.len() < horizon {
+        let cached = cache.memoryless_choice(sched, auto, exec.len(), exec.lstate(), id);
+        let fresh;
+        let choice = match &cached {
+            Some(c) => c.as_ref(),
+            // History-dependent at this (step, state): ask per execution.
+            None => {
+                fresh = sched.schedule(auto, &exec);
+                &fresh
+            }
+        };
+        let Some(a) = sample_subdisc(choice, rng) else {
+            break;
+        };
+        let Some(entry) = cache.successors(auto, exec.lstate(), id, a) else {
+            return Err(disabled_action(sched, a, exec.lstate()));
+        };
+        let q2 = sample_disc(&entry.eta, rng);
+        id = IValue::of(&q2);
         exec.push(a, q2);
     }
     Ok(exec)
@@ -111,39 +158,50 @@ fn shard_seed(seed: u64, shard: usize, attempt: u32) -> u64 {
         .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Estimate the observation distribution by `n` samples fanned out over
-/// `threads` workers. Worker `i` is seeded with `seed + i`, so the result
-/// is deterministic for a fixed `(seed, threads, n)` (as long as no shard
-/// needed a panic retry).
+/// Estimate the observation distribution by `n` samples split into
+/// `shards` shards fanned out over a caller-provided [`WorkerPool`]
+/// (which may be shared with the pooled exact engine). Shard `t` is
+/// seeded with `seed + t`, so the result is deterministic for a fixed
+/// `(seed, shards, n)` — independently of the pool's lane count — as
+/// long as no shard needed a panic retry. With `cache: Some`,
+/// transitions and memoryless choices are drawn through the shared
+/// memo cache ([`try_sample_execution_cached`]) without changing any
+/// sampled value.
 ///
 /// Worker panics are isolated per shard: a panicking shard is re-run
 /// with a reseeded RNG up to [`MAX_SHARD_RETRIES`] times; deterministic
 /// failures ([`EngineError`] values) are returned immediately.
-pub fn try_sample_observations_parallel(
-    auto: &dyn Automaton,
-    sched: &dyn Scheduler,
+#[allow(clippy::too_many_arguments)]
+pub fn try_sample_observations_pooled_with<'env, O>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
     horizon: usize,
     n: usize,
     seed: u64,
-    threads: usize,
-    observe: impl Fn(&Execution) -> Value + Sync,
-) -> Result<Disc<Value>, EngineError> {
+    shards: usize,
+    cache: Option<&'env EngineCache>,
+    pool: &WorkerPool<'_, 'env>,
+    observe: &'env O,
+) -> Result<Disc<Value>, EngineError>
+where
+    O: Fn(&Execution) -> Value + Sync + ?Sized,
+{
     if n == 0 {
         return Err(EngineError::InvalidSampling {
             reason: "cannot estimate from zero samples".into(),
         });
     }
-    if threads == 0 {
+    if shards == 0 {
         return Err(EngineError::InvalidSampling {
             reason: "need at least one worker".into(),
         });
     }
-    let per = n / threads;
-    let extra = n % threads;
-    let mut shards: Vec<Option<HashMap<Value, u64>>> = (0..threads).map(|_| None).collect();
+    let per = n / shards;
+    let extra = n % shards;
+    let mut done: Vec<Option<HashMap<Value, u64>>> = (0..shards).map(|_| None).collect();
 
     for attempt in 0..=MAX_SHARD_RETRIES {
-        let pending: Vec<usize> = shards
+        let pending: Vec<usize> = done
             .iter()
             .enumerate()
             .filter(|(_, s)| s.is_none())
@@ -152,30 +210,22 @@ pub fn try_sample_observations_parallel(
         if pending.is_empty() {
             break;
         }
-        type ShardOutcome = std::thread::Result<Result<HashMap<Value, u64>, EngineError>>;
-        let joined: Vec<(usize, ShardOutcome)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = pending
-                .iter()
-                .map(|&t| {
-                    let observe = &observe;
-                    let count = per + usize::from(t < extra);
-                    let handle = scope.spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(shard_seed(seed, t, attempt));
-                        let mut hist: HashMap<Value, u64> = HashMap::new();
-                        for _ in 0..count {
-                            let e = try_sample_execution(auto, sched, horizon, &mut rng)?;
-                            *hist.entry(observe(&e)).or_insert(0) += 1;
-                        }
-                        Ok(hist)
-                    });
-                    (t, handle)
-                })
-                .collect();
-            handles.into_iter().map(|(t, h)| (t, h.join())).collect()
+        let outcomes = pool.run_batch(pending.clone(), move |_, t: usize| {
+            let count = per + usize::from(t < extra);
+            let mut rng = StdRng::seed_from_u64(shard_seed(seed, t, attempt));
+            let mut hist: HashMap<Value, u64> = HashMap::new();
+            for _ in 0..count {
+                let e = match cache {
+                    Some(c) => try_sample_execution_cached(auto, sched, horizon, c, &mut rng)?,
+                    None => try_sample_execution(auto, sched, horizon, &mut rng)?,
+                };
+                *hist.entry(observe(&e)).or_insert(0) += 1;
+            }
+            Ok::<_, EngineError>(hist)
         });
-        for (t, outcome) in joined {
+        for (t, outcome) in pending.into_iter().zip(outcomes) {
             match outcome {
-                Ok(Ok(hist)) => shards[t] = Some(hist),
+                Ok(Ok(hist)) => done[t] = Some(hist),
                 // A structured engine error is deterministic — retrying
                 // the shard would fail identically.
                 Ok(Err(e)) => return Err(e),
@@ -186,7 +236,7 @@ pub fn try_sample_observations_parallel(
         }
     }
 
-    if let Some(shard) = shards.iter().position(|s| s.is_none()) {
+    if let Some(shard) = done.iter().position(|s| s.is_none()) {
         return Err(EngineError::WorkerPanicked {
             shard,
             retries: MAX_SHARD_RETRIES,
@@ -194,12 +244,36 @@ pub fn try_sample_observations_parallel(
     }
 
     let mut merged: HashMap<Value, u64> = HashMap::new();
-    for hist in shards.into_iter().flatten() {
+    for hist in done.into_iter().flatten() {
         for (k, v) in hist {
             *merged.entry(k).or_insert(0) += v;
         }
     }
     hist_to_disc(merged, n)
+}
+
+/// Estimate the observation distribution by `n` samples fanned out over
+/// `threads` workers. Worker `i` is seeded with `seed + i`, so the result
+/// is deterministic for a fixed `(seed, threads, n)` (as long as no shard
+/// needed a panic retry).
+///
+/// Kept as the compatibility entry point; now a thin wrapper over
+/// [`try_sample_observations_pooled_with`] on a self-provisioned pool
+/// whose workers spawn lazily on the first shard batch.
+pub fn try_sample_observations_parallel(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    observe: impl Fn(&Execution) -> Value + Sync,
+) -> Result<Disc<Value>, EngineError> {
+    with_pool(threads, |pool| {
+        try_sample_observations_pooled_with(
+            auto, sched, horizon, n, seed, threads, None, pool, &observe,
+        )
+    })
 }
 
 /// Estimate the observation distribution in parallel; panics on any

@@ -8,9 +8,10 @@ use dpioa_core::{canonical, Automaton, Execution, IValue, Value};
 use dpioa_integration::random_automaton;
 use dpioa_prob::{Disc, Ratio, Weight};
 use dpioa_sched::{
-    execution_measure_exact, observation_dist, try_lumped_observation_dist,
-    try_lumped_observation_dist_exact, BoundedScheduler, Budget, FirstEnabled, HaltingMix,
-    Observation, PriorityScheduler, RandomScheduler, Scheduler,
+    execution_measure_exact, observation_dist, try_execution_measure, try_execution_measure_pooled,
+    try_lumped_observation_dist, try_lumped_observation_dist_exact, BoundedScheduler, Budget,
+    EngineCache, FirstEnabled, HaltingMix, Observation, ParallelPolicy, PriorityScheduler,
+    RandomScheduler, Scheduler,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -87,6 +88,88 @@ proptest! {
         ).expect("dyadic weights are exactly representable");
         let total = exact.iter().fold(Ratio::from_int(0), |t, (_, w)| t.add(w));
         prop_assert_eq!(total, Ratio::from_int(1));
+    }
+
+    /// The pooled engine is bit-identical to the sequential general
+    /// engine for every lane count: same entry count, same total, the
+    /// same (execution, weight) pairs with bit-equal f64 weights, and
+    /// the same observed distribution — regardless of how the frontier
+    /// was chunked across workers (cutover 0 forces pooled dispatch at
+    /// every depth).
+    #[test]
+    fn pooled_parallel_matches_sequential_bitwise(
+        seed in 0u64..500,
+        n in 3i64..7,
+        kind in 0u8..5,
+        horizon in 0usize..6,
+    ) {
+        let auto = random_automaton("el-pp", &format!("elp{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let observe = Observation::final_state();
+        let budget = Budget::unlimited();
+        let seq = try_execution_measure(&*auto, &sched, horizon, &budget)
+            .expect("unlimited budget");
+        let seq_dist = seq.observe(|e: &Execution| observe.apply(&*auto, e));
+        for threads in [1usize, 2, 4] {
+            let cache = EngineCache::new();
+            let (pooled, stats) = try_execution_measure_pooled(
+                &*auto, &sched, horizon, &budget,
+                ParallelPolicy::new(threads, 0), &cache,
+            ).expect("unlimited budget");
+            prop_assert_eq!(pooled.len(), seq.len());
+            prop_assert_eq!(pooled.total().to_bits(), seq.total().to_bits());
+            for (e, w) in seq.iter() {
+                let found: Vec<_> = pooled.iter().filter(|(e2, _)| *e2 == e).collect();
+                prop_assert_eq!(found.len(), 1);
+                prop_assert_eq!(found[0].1.to_bits(), w.to_bits());
+            }
+            let pooled_dist = pooled.observe(|e: &Execution| observe.apply(&*auto, e));
+            prop_assert_eq!(&pooled_dist, &seq_dist);
+            prop_assert_eq!(stats.threads, threads.max(1));
+        }
+    }
+
+    /// Transition/choice memoization is invisible to results: a cold
+    /// cache, the same cache warm (second run), and a cache reused
+    /// across a different horizon all reproduce the unmemoized general
+    /// engine's observation distribution exactly.
+    #[test]
+    fn memoized_engine_matches_unmemoized(
+        seed in 0u64..500,
+        n in 3i64..7,
+        kind in 0u8..5,
+        horizon in 0usize..6,
+    ) {
+        let auto = random_automaton("el-mm", &format!("elm{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let observe = Observation::final_state();
+        let budget = Budget::unlimited();
+        let plain = try_execution_measure(&*auto, &sched, horizon, &budget)
+            .expect("unlimited budget")
+            .observe(|e: &Execution| observe.apply(&*auto, e));
+        let cache = EngineCache::new();
+        let cold = try_execution_measure_pooled(
+            &*auto, &sched, horizon, &budget, ParallelPolicy::sequential(), &cache,
+        ).expect("unlimited budget");
+        let cold_dist = cold.0.observe(|e: &Execution| observe.apply(&*auto, e));
+        prop_assert_eq!(&cold_dist, &plain);
+        let warm = try_execution_measure_pooled(
+            &*auto, &sched, horizon, &budget, ParallelPolicy::sequential(), &cache,
+        ).expect("unlimited budget");
+        let warm_dist = warm.0.observe(|e: &Execution| observe.apply(&*auto, e));
+        prop_assert_eq!(&warm_dist, &plain);
+        // On the warm pass every expansion hits the memo: misses must
+        // not grow when the exact same query repeats.
+        prop_assert_eq!(warm.1.cache.misses, 0);
+        // Reusing the cache at a longer horizon is still exact.
+        let longer = try_execution_measure_pooled(
+            &*auto, &sched, horizon + 1, &budget, ParallelPolicy::sequential(), &cache,
+        ).expect("unlimited budget");
+        let longer_plain = try_execution_measure(&*auto, &sched, horizon + 1, &budget)
+            .expect("unlimited budget")
+            .observe(|e: &Execution| observe.apply(&*auto, e));
+        let longer_dist = longer.0.observe(|e: &Execution| observe.apply(&*auto, e));
+        prop_assert_eq!(&longer_dist, &longer_plain);
     }
 
     /// Interning values preserves `Disc` canonicalization: rebuilding a

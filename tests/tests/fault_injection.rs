@@ -122,6 +122,11 @@ fn budget_exhaustion_falls_back_to_monte_carlo_with_provenance() {
     ));
     assert_eq!(prov.samples, Some(20_000));
     assert_eq!(prov.threads, Some(2));
+    // Every tier reports the shared transition-memo counters; the MC
+    // sampler walks cached successors, so the totals must be populated.
+    assert!(prov.cache_hits.is_some());
+    assert!(prov.cache_misses.is_some());
+    assert!(prov.cache_hits.unwrap() + prov.cache_misses.unwrap() > 0);
     assert!(prov.error_bound > 0.0 && prov.error_bound < 0.05);
     let total: f64 = dist.iter().map(|(_, w)| *w).sum();
     assert!((total - 1.0).abs() < 1e-9);
@@ -133,6 +138,11 @@ fn budget_exhaustion_falls_back_to_monte_carlo_with_provenance() {
         robust_observation_dist(&*auto, &FirstEnabled, 6, &observe, &exact_config).unwrap();
     assert_eq!(exact_prov.engine, EngineKind::Exact);
     assert_eq!(exact_prov.error_bound, 0.0);
+    // The exact tier reports pool and memo statistics uniformly too.
+    assert!(exact_prov.threads.is_some());
+    assert!(exact_prov.cache_hits.is_some());
+    assert!(exact_prov.cache_misses.is_some());
+    assert!(exact_prov.pooled_depths.is_some());
     assert!(dpioa_prob::tv_distance(&exact, &dist) < 0.05);
 }
 
