@@ -37,8 +37,9 @@
 //! reports without running anything.
 
 use dpioa_bench::baseline::{compare, BenchReport};
-use dpioa_bench::util::{coin_bank, random_walk, seed_execution_measure};
+use dpioa_bench::util::{coin_bank, mixer, random_walk, seed_execution_measure};
 use dpioa_core::memo::CacheStats;
+use dpioa_core::pool::{with_pool_seeded, PoolStats};
 use dpioa_core::{compose, compose2, Action, Automaton, Execution, Value};
 use dpioa_faults::{CrashStop, FaultProb};
 use dpioa_prob::Disc;
@@ -46,8 +47,9 @@ use dpioa_protocols::channel::{
     act_recv, act_report, channel_instance, eavesdropper, fixed_sender, MSG_SPACE,
 };
 use dpioa_sched::{
-    try_execution_measure, try_execution_measure_pooled, try_lumped_observation_dist, Budget,
-    EngineCache, FirstEnabled, Observation, ParallelPolicy, PriorityScheduler, Scheduler,
+    try_execution_measure, try_execution_measure_pooled, try_execution_measure_pooled_with,
+    try_lumped_observation_dist, Budget, EngineCache, FirstEnabled, Observation, ParallelPolicy,
+    PriorityScheduler, RandomScheduler, Scheduler,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -66,6 +68,9 @@ struct TierStat {
     threads: Option<usize>,
     cache: Option<CacheStats>,
     pooled_depths: Option<usize>,
+    /// Work-stealing pool activity (steals / failed steals / splits /
+    /// per-lane job counts) for the pooled tiers.
+    pool: Option<PoolStats>,
 }
 
 impl TierStat {
@@ -77,6 +82,7 @@ impl TierStat {
             threads: None,
             cache: None,
             pooled_depths: None,
+            pool: None,
         }
     }
 }
@@ -96,6 +102,9 @@ struct Cell {
     memo_speedup: Option<f64>,
     /// `median(general_exact) / median(parallel_exact)`.
     parallel_speedup: Option<f64>,
+    /// `median(memoized_exact) / median(parallel_exact)` — the direct
+    /// work-stealing win over the same engine pinned to one lane.
+    parallel_vs_memo: Option<f64>,
 }
 
 /// A named timed closure for one tier of a cell.
@@ -148,6 +157,10 @@ fn speedup_vs_general(tiers: &[TierStat], name: &str) -> Option<f64> {
 }
 
 /// Run all five tiers on one workload × horizon and cross-validate.
+/// `expect_pooled` cells additionally assert that the parallel tier
+/// genuinely crossed the cutover (`threads > 1`, `pooled_depths > 0`)
+/// — the guard that keeps the parallel tier from silently regressing
+/// to sequential ever again.
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
     workload: &'static str,
@@ -160,6 +173,7 @@ fn run_cell(
     repeats: usize,
     threads: usize,
     with_seed_tier: bool,
+    expect_pooled: bool,
 ) -> Cell {
     let budget = Budget::unlimited();
 
@@ -208,146 +222,181 @@ fn run_cell(
     .expect("unlimited budget");
 
     // Parallel tier: the same pooled engine under the calibrated
-    // adaptive policy (lanes clamped to the machine, per-lane cutover),
-    // again on a warm per-tier cache.
+    // adaptive policy (work-stealing lanes, per-lane cutover), again on
+    // a warm per-tier cache. The pool itself is provisioned ONCE and
+    // held across warm-up and every timed repeat — a query stream
+    // against a long-lived `RobustConfig` amortizes worker spawn/join
+    // exactly like this, and timing a fresh pool per repeat would
+    // charge the parallel tier a spawn cost no steady-state caller
+    // pays.
     let policy = ParallelPolicy::auto(threads);
     let par_cache = EngineCache::new();
-    let (warm, _) = try_execution_measure_pooled(auto, sched, horizon, &budget, policy, &par_cache)
+    with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
+        let (warm, _) = try_execution_measure_pooled_with(
+            auto, sched, horizon, &budget, policy, &par_cache, pool, Ok,
+        )
         .expect("unlimited budget");
-    let par_dist: Disc<Value> = warm.observe(|e: &Execution| observe.apply(auto, e));
-    assert_eq!(
-        general_dist, par_dist,
-        "{workload} h={horizon}: parallel frontier diverged from sequential"
-    );
-    let (par, par_stats) =
-        try_execution_measure_pooled(auto, sched, horizon, &budget, policy, &par_cache)
-            .expect("unlimited budget");
-
-    let lumped = try_lumped_observation_dist(auto, sched, horizon, observe, &budget);
-    let lumped_support = match &lumped {
-        Ok(first) => {
-            assert_eq!(
-                &general_dist, first,
-                "{workload} h={horizon}: lumped distribution diverged from general exact"
+        let par_dist: Disc<Value> = warm.observe(|e: &Execution| observe.apply(auto, e));
+        assert_eq!(
+            general_dist, par_dist,
+            "{workload} h={horizon}: parallel frontier diverged from sequential"
+        );
+        let (par, par_stats) = try_execution_measure_pooled_with(
+            auto, sched, horizon, &budget, policy, &par_cache, pool, Ok,
+        )
+        .expect("unlimited budget");
+        if expect_pooled {
+            assert!(
+                par_stats.threads > 1,
+                "{workload} h={horizon}: parallel tier recorded threads={} — \
+             the pool never engaged on a cell sized past the cutover",
+                par_stats.threads
             );
-            let again = try_lumped_observation_dist(auto, sched, horizon, observe, &budget)
-                .expect("eligibility already checked");
-            assert_eq!(first, &again, "lumped expansion must be deterministic");
-            Some(first.support_len())
+            assert!(
+                par_stats.pooled_depths > 0,
+                "{workload} h={horizon}: parallel tier recorded pooled_depths=0 — \
+             the adaptive cutover silently kept a large cell sequential"
+            );
         }
-        Err(_) => None,
-    };
 
-    // --- Interleaved timing pass -----------------------------------
-    let mut runs: Vec<TimedRun<'_>> = Vec::new();
-    if with_seed_tier {
+        let lumped = try_lumped_observation_dist(auto, sched, horizon, observe, &budget);
+        let lumped_support = match &lumped {
+            Ok(first) => {
+                assert_eq!(
+                    &general_dist, first,
+                    "{workload} h={horizon}: lumped distribution diverged from general exact"
+                );
+                let again = try_lumped_observation_dist(auto, sched, horizon, observe, &budget)
+                    .expect("eligibility already checked");
+                assert_eq!(first, &again, "lumped expansion must be deterministic");
+                Some(first.support_len())
+            }
+            Err(_) => None,
+        };
+
+        // --- Interleaved timing pass -----------------------------------
+        let mut runs: Vec<TimedRun<'_>> = Vec::new();
+        if with_seed_tier {
+            runs.push((
+                "seed_exact",
+                Box::new(|| {
+                    std::hint::black_box(seed_execution_measure(auto, sched, horizon));
+                }),
+            ));
+        }
         runs.push((
-            "seed_exact",
-            Box::new(|| {
-                std::hint::black_box(seed_execution_measure(auto, sched, horizon));
-            }),
-        ));
-    }
-    runs.push((
-        "general_exact",
-        Box::new(|| {
-            std::hint::black_box(
-                try_execution_measure(auto, sched, horizon, &budget).expect("unlimited budget"),
-            );
-        }),
-    ));
-    runs.push((
-        "memoized_exact",
-        Box::new(|| {
-            std::hint::black_box(
-                try_execution_measure_pooled(
-                    auto,
-                    sched,
-                    horizon,
-                    &budget,
-                    ParallelPolicy::sequential(),
-                    &memo_cache,
-                )
-                .expect("unlimited budget"),
-            );
-        }),
-    ));
-    runs.push((
-        "parallel_exact",
-        Box::new(|| {
-            std::hint::black_box(
-                try_execution_measure_pooled(auto, sched, horizon, &budget, policy, &par_cache)
-                    .expect("unlimited budget"),
-            );
-        }),
-    ));
-    if lumped_support.is_some() {
-        runs.push((
-            "lumped",
+            "general_exact",
             Box::new(|| {
                 std::hint::black_box(
-                    try_lumped_observation_dist(auto, sched, horizon, observe, &budget)
-                        .expect("eligibility already checked"),
+                    try_execution_measure(auto, sched, horizon, &budget).expect("unlimited budget"),
                 );
             }),
         ));
-    }
-    let names: Vec<&'static str> = runs.iter().map(|(n, _)| *n).collect();
-    let medians = interleaved_medians(repeats, &mut runs);
-    drop(runs);
-
-    let mut tiers = Vec::new();
-    for (name, ns) in names.into_iter().zip(medians) {
-        match name {
-            "seed_exact" => tiers.push(TierStat::plain("seed_exact", ns, general.len())),
-            "general_exact" => tiers.push(TierStat::plain("general_exact", ns, general.len())),
-            "memoized_exact" => tiers.push(TierStat {
-                tier: "memoized_exact",
-                median_ns: ns,
-                entries: memo.len(),
-                threads: Some(memo_stats.threads),
-                cache: Some(memo_stats.cache),
-                pooled_depths: Some(memo_stats.pooled_depths),
+        runs.push((
+            "memoized_exact",
+            Box::new(|| {
+                std::hint::black_box(
+                    try_execution_measure_pooled(
+                        auto,
+                        sched,
+                        horizon,
+                        &budget,
+                        ParallelPolicy::sequential(),
+                        &memo_cache,
+                    )
+                    .expect("unlimited budget"),
+                );
             }),
-            "parallel_exact" => tiers.push(TierStat {
-                tier: "parallel_exact",
-                median_ns: ns,
-                entries: par.len(),
-                threads: Some(par_stats.threads),
-                cache: Some(par_stats.cache),
-                pooled_depths: Some(par_stats.pooled_depths),
+        ));
+        runs.push((
+            "parallel_exact",
+            Box::new(|| {
+                std::hint::black_box(
+                    try_execution_measure_pooled_with(
+                        auto, sched, horizon, &budget, policy, &par_cache, pool, Ok,
+                    )
+                    .expect("unlimited budget"),
+                );
             }),
-            "lumped" => tiers.push(TierStat::plain(
+        ));
+        if lumped_support.is_some() {
+            runs.push((
                 "lumped",
-                ns,
-                lumped_support.expect("lumped timed only when eligible"),
-            )),
-            _ => unreachable!("unknown tier"),
+                Box::new(|| {
+                    std::hint::black_box(
+                        try_lumped_observation_dist(auto, sched, horizon, observe, &budget)
+                            .expect("eligibility already checked"),
+                    );
+                }),
+            ));
         }
-    }
-    let lumped_speedup = median_of(&tiers, "lumped")
-        .map(|l| median_of(&tiers, "general_exact").expect("general ran") / l.max(1.0));
+        let names: Vec<&'static str> = runs.iter().map(|(n, _)| *n).collect();
+        let medians = interleaved_medians(repeats, &mut runs);
+        drop(runs);
 
-    let seed_speedup = match (
-        median_of(&tiers, "seed_exact"),
-        median_of(&tiers, "general_exact"),
-    ) {
-        (Some(s), Some(g)) => Some(s / g.max(1.0)),
-        _ => None,
-    };
-    let memo_speedup = speedup_vs_general(&tiers, "memoized_exact");
-    let parallel_speedup = speedup_vs_general(&tiers, "parallel_exact");
-    Cell {
-        workload,
-        scheduler,
-        observation,
-        horizon,
-        tiers,
-        lumped_speedup,
-        seed_speedup,
-        memo_speedup,
-        parallel_speedup,
-    }
+        let mut tiers = Vec::new();
+        for (name, ns) in names.into_iter().zip(medians) {
+            match name {
+                "seed_exact" => tiers.push(TierStat::plain("seed_exact", ns, general.len())),
+                "general_exact" => tiers.push(TierStat::plain("general_exact", ns, general.len())),
+                "memoized_exact" => tiers.push(TierStat {
+                    tier: "memoized_exact",
+                    median_ns: ns,
+                    entries: memo.len(),
+                    threads: Some(memo_stats.threads),
+                    cache: Some(memo_stats.cache),
+                    pooled_depths: Some(memo_stats.pooled_depths),
+                    pool: Some(memo_stats.pool.clone()),
+                }),
+                "parallel_exact" => tiers.push(TierStat {
+                    tier: "parallel_exact",
+                    median_ns: ns,
+                    entries: par.len(),
+                    threads: Some(par_stats.threads),
+                    cache: Some(par_stats.cache),
+                    pooled_depths: Some(par_stats.pooled_depths),
+                    pool: Some(par_stats.pool.clone()),
+                }),
+                "lumped" => tiers.push(TierStat::plain(
+                    "lumped",
+                    ns,
+                    lumped_support.expect("lumped timed only when eligible"),
+                )),
+                _ => unreachable!("unknown tier"),
+            }
+        }
+        let lumped_speedup = median_of(&tiers, "lumped")
+            .map(|l| median_of(&tiers, "general_exact").expect("general ran") / l.max(1.0));
+
+        let seed_speedup = match (
+            median_of(&tiers, "seed_exact"),
+            median_of(&tiers, "general_exact"),
+        ) {
+            (Some(s), Some(g)) => Some(s / g.max(1.0)),
+            _ => None,
+        };
+        let memo_speedup = speedup_vs_general(&tiers, "memoized_exact");
+        let parallel_speedup = speedup_vs_general(&tiers, "parallel_exact");
+        let parallel_vs_memo = match (
+            median_of(&tiers, "memoized_exact"),
+            median_of(&tiers, "parallel_exact"),
+        ) {
+            (Some(m), Some(p)) => Some(m / p.max(1.0)),
+            _ => None,
+        };
+        Cell {
+            workload,
+            scheduler,
+            observation,
+            horizon,
+            tiers,
+            lumped_speedup,
+            seed_speedup,
+            memo_speedup,
+            parallel_speedup,
+            parallel_vs_memo,
+        }
+    })
 }
 
 /// The OTP real world (F_SC emulation target) with a fixed sender:
@@ -400,12 +449,22 @@ fn cell_json(c: &Cell) -> String {
             }
             if let Some(cs) = t.cache {
                 extra.push_str(&format!(
-                    ",\"cache_hits\":{},\"cache_misses\":{}",
-                    cs.hits, cs.misses
+                    ",\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{}",
+                    cs.hits, cs.misses, cs.evictions
                 ));
             }
             if let Some(d) = t.pooled_depths {
                 extra.push_str(&format!(",\"pooled_depths\":{d}"));
+            }
+            if let Some(p) = &t.pool {
+                let lanes: Vec<String> = p.lane_jobs.iter().map(|n| n.to_string()).collect();
+                extra.push_str(&format!(
+                    ",\"steals\":{},\"failed_steals\":{},\"splits\":{},\"lane_jobs\":[{}]",
+                    p.steals,
+                    p.failed_steals,
+                    p.splits,
+                    lanes.join(",")
+                ));
             }
             format!(
                 "{{\"tier\":\"{}\",\"median_ns\":{},\"entries\":{}{}}}",
@@ -414,7 +473,7 @@ fn cell_json(c: &Cell) -> String {
         })
         .collect();
     format!(
-        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{},\"memo_speedup\":{},\"parallel_speedup\":{}}}",
+        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{},\"memo_speedup\":{},\"parallel_speedup\":{},\"parallel_vs_memo\":{}}}",
         json_escape(c.workload),
         json_escape(c.scheduler),
         json_escape(c.observation),
@@ -424,6 +483,7 @@ fn cell_json(c: &Cell) -> String {
         opt_speedup(c.seed_speedup),
         opt_speedup(c.memo_speedup),
         opt_speedup(c.parallel_speedup),
+        opt_speedup(c.parallel_vs_memo),
     )
 }
 
@@ -496,12 +556,21 @@ fn main() {
         }
     }
     let repeats = if quick { 3 } else { 7 };
-    // One lane per hardware thread — requesting more than the machine
-    // has only adds contention (ParallelPolicy::auto clamps the same
-    // way; this is the value recorded in the report header).
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Lane count for the parallel tier. The stealing pool makes
+    // overcommit cheap (idle lanes park; busy ones split on steal), so
+    // we default to at least 4 lanes even on narrow machines — that
+    // keeps the per-lane cutover (and therefore which cells pool) stable
+    // across hosts. `DPIOA_BENCH_LANES` overrides for experiments.
+    let threads = std::env::var("DPIOA_BENCH_LANES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(4)
+        });
 
     let mut cells: Vec<Cell> = Vec::new();
 
@@ -523,8 +592,25 @@ fn main() {
             repeats,
             threads,
             h <= 12,
+            false,
         ));
     }
+    // Deep-cone walk cell: 2^14 terminal executions, frontier far past
+    // the per-lane cutover — the cell that proves the pool engages.
+    eprintln!("walk h=14 (pooled)...");
+    cells.push(run_cell(
+        "walk6",
+        "first-enabled",
+        "last-state",
+        &*walk,
+        &FirstEnabled,
+        &Observation::final_state(),
+        14,
+        repeats,
+        threads,
+        false,
+        true,
+    ));
 
     // Workload 2: coin bank — the adversarial case for lumping: after k
     // flips the composed state space has 2^k distinct states, so lump
@@ -545,8 +631,27 @@ fn main() {
             repeats,
             threads,
             true,
+            false,
         ));
     }
+    // Large coin bank: 2^10 distinct composed states, frontier crosses
+    // the cutover at depth 10 — an adversarial (lump-resistant) pooled
+    // cell, unlike the walk whose state space is tiny.
+    eprintln!("coin-bank n=10 (pooled)...");
+    let bank10 = compose(coin_bank("bec", 10));
+    cells.push(run_cell(
+        "coin-bank",
+        "first-enabled",
+        "last-state",
+        &*bank10,
+        &FirstEnabled,
+        &Observation::final_state(),
+        11,
+        repeats,
+        threads,
+        false,
+        true,
+    ));
 
     // Workload 3: the OTP/F_SC real world from the secure-channel case
     // study, trace-observed under the E10 contended-priority scheduler.
@@ -565,6 +670,7 @@ fn main() {
             repeats,
             threads,
             true,
+            false,
         ));
     }
 
@@ -585,8 +691,64 @@ fn main() {
             repeats,
             threads,
             true,
+            false,
         ));
     }
+    // Deep fault-wrapped cell: the crashed flag multiplies the frontier,
+    // so h=12 is comfortably past the cutover with fault branching on.
+    eprintln!("fault-walk h=12 (pooled)...");
+    cells.push(run_cell(
+        "fault-walk",
+        "first-enabled",
+        "last-state",
+        &*faulty,
+        &FirstEnabled,
+        &Observation::final_state(),
+        12,
+        repeats,
+        threads,
+        false,
+        true,
+    ));
+
+    // Workload 5: wide-fanout mixers — unlike the walks, whose
+    // branching lives inside a single transition, every cone-tree edge
+    // here is a *separate action* under the uniform memoryless
+    // scheduler, so the per-node scheduler-choice and per-action
+    // transition probes dominate the sequential engines. These are the
+    // flagship work-stealing cells: the compiled tail templates
+    // eliminate exactly those probes, so `parallel_vs_memo` is expected
+    // well above 1.5x even on a single hardware thread.
+    eprintln!("mixer5x4 h=7 (pooled)...");
+    let mix4 = mixer("bem", 5, 4);
+    cells.push(run_cell(
+        "mixer5x4",
+        "uniform-random",
+        "last-state",
+        &*mix4,
+        &RandomScheduler,
+        &Observation::final_state(),
+        7,
+        repeats,
+        threads,
+        false,
+        true,
+    ));
+    eprintln!("mixer5x8 h=5 (pooled)...");
+    let mix8 = mixer("bem8", 5, 8);
+    cells.push(run_cell(
+        "mixer5x8",
+        "uniform-random",
+        "last-state",
+        &*mix8,
+        &RandomScheduler,
+        &Observation::final_state(),
+        5,
+        repeats,
+        threads,
+        false,
+        true,
+    ));
 
     // Summary block.
     let peak_entries = cells
@@ -620,10 +782,23 @@ fn main() {
         .filter(|c| c.horizon >= 8)
         .filter_map(|c| c.parallel_speedup)
         .fold(f64::INFINITY, f64::min);
+    // Over the cells where the pool actually engaged, how much the
+    // parallel tier beats the single-lane memoized tier. This is the
+    // lane-local-memo + work-stealing win in isolation (both tiers run
+    // warm on their own shared cache).
+    let min_par_vs_memo_pooled = cells
+        .iter()
+        .filter(|c| {
+            c.tiers
+                .iter()
+                .any(|t| t.tier == "parallel_exact" && t.pooled_depths.unwrap_or(0) > 0)
+        })
+        .filter_map(|c| c.parallel_vs_memo)
+        .fold(f64::INFINITY, f64::min);
 
     let rows: Vec<String> = cells.iter().map(cell_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench-engine/v2\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {},\n    \"max_memo_speedup_vs_general\": {},\n    \"min_parallel_speedup_at_horizon_ge_8\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v2\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {},\n    \"max_memo_speedup_vs_general\": {},\n    \"min_parallel_speedup_at_horizon_ge_8\": {},\n    \"min_parallel_vs_memo_on_pooled_cells\": {}\n  }}\n}}\n",
         quick,
         repeats,
         threads,
@@ -634,6 +809,7 @@ fn main() {
         fjson(max_seed),
         fjson(max_memo),
         fjson(min_parallel_deep),
+        fjson(min_par_vs_memo_pooled),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("wrote {out_path}");

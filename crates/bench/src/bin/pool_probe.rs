@@ -1,0 +1,110 @@
+//! One-off diagnostic: isolate where the parallel tier's time goes.
+//! Not part of the shipped artifact; compare tiers under controlled
+//! policies on the pooled bench cells.
+
+use dpioa_bench::util::{coin_bank, mixer, random_walk};
+use dpioa_core::compose;
+use dpioa_core::pool::with_pool_seeded;
+use dpioa_faults::{CrashStop, FaultProb};
+use dpioa_sched::{
+    try_execution_measure_pooled_with, Budget, EngineCache, FirstEnabled, ParallelPolicy,
+    RandomScheduler, Scheduler,
+};
+use std::time::Instant;
+
+fn median(mut v: Vec<u128>) -> u128 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn time_policy(
+    auto: &dyn dpioa_core::Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+    reps: usize,
+) -> u128 {
+    let budget = Budget::unlimited();
+    // One pool across warm + reps, like a production query stream.
+    with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
+        let _ = try_execution_measure_pooled_with(
+            auto, sched, horizon, &budget, policy, cache, pool, Ok,
+        )
+        .expect("unlimited");
+        let mut times = Vec::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            let _ = try_execution_measure_pooled_with(
+                auto, sched, horizon, &budget, policy, cache, pool, Ok,
+            )
+            .expect("unlimited");
+            times.push(t.elapsed().as_nanos());
+        }
+        median(times)
+    })
+}
+
+fn probe(name: &str, auto: &dyn dpioa_core::Automaton, sched: &dyn Scheduler, horizon: usize) {
+    let reps = 5;
+    let seq = ParallelPolicy::sequential();
+    let inline1 = ParallelPolicy::new(1, 0); // pooled path, single lane, no threads
+    let auto4 = ParallelPolicy::auto(4);
+    let auto4_u256 = ParallelPolicy::auto(4).with_split_unit(256);
+    let auto2 = ParallelPolicy::auto(2);
+    let c = EngineCache::new();
+    let a = time_policy(auto, sched, horizon, seq, &c, reps);
+    let b = time_policy(auto, sched, horizon, inline1, &c, reps);
+    let d = time_policy(auto, sched, horizon, auto4, &c, reps);
+    let e = time_policy(auto, sched, horizon, auto4_u256, &c, reps);
+    let f = time_policy(auto, sched, horizon, auto2, &c, reps);
+    println!(
+        "{name} h={horizon}: memo_seq={:.2}ms pooled_inline1={:.2}ms ({:.2}x) auto4={:.2}ms ({:.2}x) auto4_u256={:.2}ms ({:.2}x) auto2={:.2}ms ({:.2}x)",
+        a as f64 / 1e6,
+        b as f64 / 1e6,
+        a as f64 / b as f64,
+        d as f64 / 1e6,
+        a as f64 / d as f64,
+        e as f64 / 1e6,
+        a as f64 / e as f64,
+        f as f64 / 1e6,
+        a as f64 / f as f64,
+    );
+}
+
+fn stats_dump(name: &str, auto: &dyn dpioa_core::Automaton, sched: &dyn Scheduler, horizon: usize) {
+    let budget = Budget::unlimited();
+    let policy = ParallelPolicy::auto(4);
+    let cache = EngineCache::new();
+    with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
+        let (m, stats) = try_execution_measure_pooled_with(
+            auto, sched, horizon, &budget, policy, &cache, pool, Ok,
+        )
+        .expect("unlimited");
+        println!(
+            "{name} h={horizon}: entries={} pooled={} seq={} pool={:?}",
+            m.len(),
+            stats.pooled_depths,
+            stats.sequential_depths,
+            stats.pool
+        );
+    });
+}
+
+fn main() {
+    let walk = random_walk("bew", 6);
+    probe("walk6", &*walk, &FirstEnabled, 14);
+    let bank = compose(coin_bank("bec", 10));
+    probe("coin-bank", &*bank, &FirstEnabled, 11);
+    let faulty = CrashStop::wrap(random_walk("bef", 5), FaultProb::new(1, 2));
+    probe("fault-walk", &*faulty, &FirstEnabled, 12);
+    let mix4 = mixer("bem", 5, 4);
+    probe("mixer5x4", &*mix4, &RandomScheduler, 7);
+    let mix8 = mixer("bem8", 5, 8);
+    probe("mixer5x8", &*mix8, &RandomScheduler, 5);
+    stats_dump("walk6", &*walk, &FirstEnabled, 14);
+    stats_dump("coin-bank", &*bank, &FirstEnabled, 11);
+    stats_dump("fault-walk", &*faulty, &FirstEnabled, 12);
+    stats_dump("mixer5x4", &*mix4, &RandomScheduler, 7);
+    stats_dump("mixer5x8", &*mix8, &RandomScheduler, 5);
+}

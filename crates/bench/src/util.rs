@@ -111,6 +111,32 @@ pub fn random_walk(prefix: &str, n_states: i64) -> Arc<dyn Automaton> {
     b.build().shared()
 }
 
+/// A `fanout`-way branching mixer on a ring of `n_states` states:
+/// every state enables `fanout` distinct internal actions, each moving
+/// deterministically to another ring state. Under the uniform
+/// memoryless scheduler the cone tree has `fanout^h` executions at
+/// horizon `h` while the state space stays at `n_states`, and —
+/// unlike [`random_walk`], whose branching lives inside a single
+/// transition — every edge of the tree is a *separate action*, so the
+/// per-node scheduler-choice and per-action transition lookups are the
+/// dominant cost. This is the workload shape where the pooled engine's
+/// decoded lane memos and compiled tail templates pay off most.
+pub fn mixer(prefix: &str, n_states: i64, fanout: usize) -> Arc<dyn Automaton> {
+    assert!(n_states >= 2 && fanout >= 1);
+    let mut b =
+        ExplicitAutomaton::builder(format!("{prefix}-mix{n_states}x{fanout}"), Value::int(0));
+    for i in 0..n_states {
+        let acts: Vec<Action> = (0..fanout)
+            .map(|k| Action::named(format!("{prefix}-m{i}a{k}")))
+            .collect();
+        b = b.state(i, Signature::new([], [], acts.clone()));
+        for (k, a) in acts.into_iter().enumerate() {
+            b = b.transition(i, a, Disc::dirac(Value::int((i + 1 + k as i64) % n_states)));
+        }
+    }
+    b.build().shared()
+}
+
 /// The *seed* engine, preserved as the benchmark baseline: the dense
 /// execution representation (a `Vec` of states plus a `Vec` of actions,
 /// both cloned in full at every extension) that `dpioa_sched`'s engines

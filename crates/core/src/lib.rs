@@ -49,8 +49,8 @@ pub use explicit::{ExplicitAutomaton, ExplicitBuilder};
 pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hide::{hide_static, hide_with, Hidden};
 pub use intern::{canonical, IValue};
-pub use memo::{CacheStats, TransEntry, TransitionCache};
-pub use pool::{with_pool, PoolStats, WorkerPool};
+pub use memo::{CacheStats, LaneTransMemo, TransEntry, TransitionCache};
+pub use pool::{with_pool, with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SEED};
 pub use rename::{rename_static, rename_with, Renamed};
 pub use signature::{ActionSet, Signature};
 pub use value::Value;

@@ -20,15 +20,39 @@
 //! bit-identical to uncached expansion, plus a parallel vector of
 //! interned successor ids so hot loops never re-hash a state they are
 //! about to revisit.
+//!
+//! Two capacity regimes:
+//!
+//! * **Unbounded** ([`TransitionCache::new`], the default): the cache
+//!   only grows — right for one-shot queries and bench runs.
+//! * **Bounded** ([`TransitionCache::bounded`]): long-lived shared
+//!   caches (a multi-query server, a fault sweep over many automata)
+//!   cap the entry count. Each shard runs a clock / second-chance
+//!   sweep: every hit sets the entry's `used` bit (an atomic store,
+//!   allowed under the read lock), and an insert at capacity rotates
+//!   the clock hand, clearing `used` bits until it finds a cold entry
+//!   to evict. Eviction changes *which* lookups hit, never what a
+//!   lookup returns — a re-miss recomputes the same deterministic
+//!   distribution — so results are unaffected (the eviction proptest
+//!   asserts this).
+//!
+//! [`LaneTransMemo`] is the third layer: a tiny *unsynchronized* L1 for
+//! one pool lane, sitting in front of a shared [`TransitionCache`].
+//! The work-stealing engine keeps successors produced by lane *i*
+//! flowing back to lane *i* (chunk affinity), so a lane's working set
+//! is highly repetitive — the L1 answers those repeats with a plain
+//! hash probe instead of an `RwLock` acquisition and two atomic
+//! counter bumps. It stores the same `Arc<TransEntry>` handles the
+//! shared cache returned, so it cannot change any result either.
 
 use crate::action::Action;
 use crate::automaton::Automaton;
-use crate::fxhash::FxBuildHasher;
+use crate::fxhash::{FxBuildHasher, FxHashMap};
 use crate::intern::IValue;
 use crate::value::Value;
 use dpioa_prob::Disc;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Shard count; a power of two so the shard index is a mask.
@@ -45,14 +69,17 @@ pub struct TransEntry {
     pub ids: Box<[IValue]>,
 }
 
-/// Hit/miss counters for a cache, snapshotable and diffable so a
-/// provenance record can report exactly the activity of one query.
+/// Hit/miss/eviction counters for a cache, snapshotable and diffable so
+/// a provenance record can report exactly the activity of one query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compute (and then stored) the answer.
     pub misses: u64,
+    /// Entries displaced by the clock sweep of a bounded cache (always
+    /// 0 for unbounded caches).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -71,6 +98,7 @@ impl CacheStats {
         CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
         }
     }
 
@@ -79,20 +107,84 @@ impl CacheStats {
         CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 }
 
-type Shard = RwLock<HashMap<(IValue, Action), Option<Arc<TransEntry>>, FxBuildHasher>>;
+/// One cached answer plus its clock bit. The `used` bit is set with a
+/// relaxed atomic store on every read-lock hit; only the write-locked
+/// clock sweep clears it, so no lock upgrade is ever needed.
+struct Slot {
+    entry: Option<Arc<TransEntry>>,
+    used: AtomicBool,
+}
+
+/// One shard's state: the map, plus (bounded caches only) the clock
+/// ring of keys in insertion order and the current hand position.
+#[derive(Default)]
+struct ShardState {
+    map: HashMap<(IValue, Action), Slot, FxBuildHasher>,
+    ring: Vec<(IValue, Action)>,
+    hand: usize,
+}
+
+impl ShardState {
+    /// Insert `key ↦ entry`, evicting one cold entry first if the shard
+    /// is at `cap`. Returns whether an eviction happened. The clock
+    /// terminates within two rotations: the first clears every `used`
+    /// bit it crosses, so the second finds a cold slot.
+    fn insert_bounded(
+        &mut self,
+        key: (IValue, Action),
+        entry: Option<Arc<TransEntry>>,
+        cap: usize,
+    ) -> bool {
+        let mut evicted = false;
+        if self.map.len() >= cap.max(1) && !self.ring.is_empty() {
+            loop {
+                let victim = self.ring[self.hand];
+                let slot = self.map.get(&victim).expect("clock ring key unmapped");
+                if slot.used.swap(false, Ordering::Relaxed) {
+                    self.hand = (self.hand + 1) % self.ring.len();
+                } else {
+                    self.map.remove(&victim);
+                    self.ring[self.hand] = key;
+                    self.hand = (self.hand + 1) % self.ring.len();
+                    evicted = true;
+                    break;
+                }
+            }
+        } else {
+            self.ring.push(key);
+        }
+        // Fresh entries start `used`: one full rotation of grace.
+        self.map.insert(
+            key,
+            Slot {
+                entry,
+                used: AtomicBool::new(true),
+            },
+        );
+        evicted
+    }
+}
+
+type Shard = RwLock<ShardState>;
 
 /// A concurrent memo table for `(state, action) ↦ η_{(A,q,a)}`.
 ///
 /// `None` entries record *disabled* pairs — `transition` returned
 /// `None` — so repeated contract-violation probes are cheap too.
+/// Unbounded by default; see [`TransitionCache::bounded`] for the
+/// clock-evicting variant.
 pub struct TransitionCache {
     shards: Vec<Shard>,
+    /// Per-shard entry cap; `None` never evicts.
+    shard_cap: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for TransitionCache {
@@ -102,13 +194,33 @@ impl Default for TransitionCache {
 }
 
 impl TransitionCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> TransitionCache {
         TransitionCache {
             shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            shard_cap: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// An empty cache bounded to roughly `max_entries` memoized pairs
+    /// (rounded up to a per-shard cap). At capacity, inserts displace
+    /// cold entries via a per-shard clock / second-chance sweep and
+    /// count them in [`CacheStats::evictions`].
+    pub fn bounded(max_entries: usize) -> TransitionCache {
+        TransitionCache {
+            shard_cap: Some(max_entries.div_ceil(SHARDS).max(1)),
+            ..TransitionCache::new()
+        }
+    }
+
+    /// The approximate entry bound, when one was set (`None` =
+    /// unbounded). The exact bound is this value rounded up to a
+    /// multiple of the shard count.
+    pub fn capacity(&self) -> Option<usize> {
+        self.shard_cap.map(|cap| cap * SHARDS)
     }
 
     fn shard(&self, state: IValue, action: Action) -> &Shard {
@@ -130,9 +242,10 @@ impl TransitionCache {
         let shard = self.shard(id, action);
         {
             let guard = shard.read().expect("transition cache poisoned");
-            if let Some(entry) = guard.get(&(id, action)) {
+            if let Some(slot) = guard.map.get(&(id, action)) {
+                slot.used.store(true, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return entry.clone();
+                return slot.entry.clone();
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -143,14 +256,34 @@ impl TransitionCache {
             Arc::new(TransEntry { eta, ids })
         });
         let mut guard = shard.write().expect("transition cache poisoned");
-        guard.entry((id, action)).or_insert(entry).clone()
+        if let Some(slot) = guard.map.get(&(id, action)) {
+            // Lost the compute race; keep the incumbent entry.
+            return slot.entry.clone();
+        }
+        match self.shard_cap {
+            None => {
+                guard.map.insert(
+                    (id, action),
+                    Slot {
+                        entry: entry.clone(),
+                        used: AtomicBool::new(true),
+                    },
+                );
+            }
+            Some(cap) => {
+                if guard.insert_bounded((id, action), entry.clone(), cap) {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        entry
     }
 
     /// Distinct `(state, action)` pairs currently memoized.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("transition cache poisoned").len())
+            .map(|s| s.read().expect("transition cache poisoned").map.len())
             .sum()
     }
 
@@ -159,11 +292,12 @@ impl TransitionCache {
         self.len() == 0
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -172,8 +306,73 @@ impl std::fmt::Debug for TransitionCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TransitionCache")
             .field("len", &self.len())
+            .field("capacity", &self.capacity())
             .field("stats", &self.stats())
             .finish()
+    }
+}
+
+/// Entries a [`LaneTransMemo`] holds before it resets. Reset (not LRU)
+/// keeps the hot path to one hash probe; the map retains its allocation
+/// so a reset costs a memset, and the shared cache still answers the
+/// re-misses without recomputing.
+pub const LANE_MEMO_CAP: usize = 8 * 1024;
+
+/// An unsynchronized per-lane L1 over a shared [`TransitionCache`]:
+/// same keys, same `Arc<TransEntry>` handles, no locks, no counters.
+/// Exists because the work-stealing engine's chunk affinity makes each
+/// lane's lookups highly repetitive — see the module docs. Hits here
+/// are invisible to [`TransitionCache::stats`] (nothing was looked up
+/// in the shared cache); misses fall through and are counted there as
+/// usual.
+pub struct LaneTransMemo {
+    map: FxHashMap<(IValue, Action), Option<Arc<TransEntry>>>,
+    cap: usize,
+}
+
+impl Default for LaneTransMemo {
+    fn default() -> LaneTransMemo {
+        LaneTransMemo::new(LANE_MEMO_CAP)
+    }
+}
+
+impl LaneTransMemo {
+    /// An empty lane memo that resets after `cap` entries.
+    pub fn new(cap: usize) -> LaneTransMemo {
+        LaneTransMemo {
+            map: FxHashMap::default(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// [`TransitionCache::successors`] through this lane's L1.
+    pub fn successors(
+        &mut self,
+        shared: &TransitionCache,
+        auto: &dyn Automaton,
+        state: &Value,
+        id: IValue,
+        action: Action,
+    ) -> Option<Arc<TransEntry>> {
+        if let Some(hit) = self.map.get(&(id, action)) {
+            return hit.clone();
+        }
+        let entry = shared.successors(auto, state, id, action);
+        if self.map.len() >= self.cap {
+            self.map.clear();
+        }
+        self.map.insert((id, action), entry.clone());
+        entry
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -200,6 +399,14 @@ mod tests {
             .build()
     }
 
+    fn stats(hits: u64, misses: u64) -> CacheStats {
+        CacheStats {
+            hits,
+            misses,
+            evictions: 0,
+        }
+    }
+
     #[test]
     fn second_lookup_hits_and_shares_the_entry() {
         let auto = coin();
@@ -209,7 +416,7 @@ mod tests {
         let a = cache.successors(&auto, &q, id, act("memo-flip")).unwrap();
         let b = cache.successors(&auto, &q, id, act("memo-flip")).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), stats(1, 1));
         assert_eq!(cache.len(), 1);
     }
 
@@ -239,16 +446,171 @@ mod tests {
         let id = IValue::of(&q);
         assert!(cache.successors(&auto, &q, id, act("memo-flip")).is_none());
         assert!(cache.successors(&auto, &q, id, act("memo-flip")).is_none());
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), stats(1, 1));
     }
 
     #[test]
     fn stats_arithmetic() {
-        let a = CacheStats { hits: 5, misses: 2 };
-        let b = CacheStats { hits: 1, misses: 1 };
-        assert_eq!(a.plus(b), CacheStats { hits: 6, misses: 3 });
-        assert_eq!(a.since(b), CacheStats { hits: 4, misses: 1 });
+        let a = CacheStats {
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+        };
+        let b = CacheStats {
+            hits: 1,
+            misses: 1,
+            evictions: 1,
+        };
+        assert_eq!(
+            a.plus(b),
+            CacheStats {
+                hits: 6,
+                misses: 3,
+                evictions: 2
+            }
+        );
+        assert_eq!(
+            a.since(b),
+            CacheStats {
+                hits: 4,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert!((a.hit_rate() - 5.0 / 7.0).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    /// A chain automaton with a disabled-probe-friendly shape: state k
+    /// steps to k+1 under one shared action, giving us as many distinct
+    /// (state, action) keys as we like.
+    fn probe_keys(cache: &TransitionCache, auto: &ExplicitAutomaton, states: &[i64]) {
+        for &k in states {
+            let q = Value::int(k);
+            let id = IValue::of(&q);
+            cache.successors(auto, &q, id, act("memo-step"));
+        }
+    }
+
+    fn chain(n: i64) -> ExplicitAutomaton {
+        let mut b = ExplicitAutomaton::builder("memo-chain", Value::int(0));
+        for k in 0..n {
+            b = b
+                .state(k, Signature::new([], [], [act("memo-step")]))
+                .transition(k, act("memo-step"), Disc::dirac(Value::int(k + 1)));
+        }
+        b = b.state(n, Signature::new([], [], []));
+        b.build()
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        let auto = chain(200);
+        let cache = TransitionCache::bounded(64);
+        assert_eq!(cache.capacity(), Some(64));
+        probe_keys(&cache, &auto, &(0..200).collect::<Vec<_>>());
+        assert!(cache.len() <= 64, "len {} over capacity", cache.len());
+        let s = cache.stats();
+        assert!(s.evictions > 0, "expected evictions, got {s:?}");
+        assert_eq!(s.misses, 200);
+    }
+
+    #[test]
+    fn eviction_never_changes_answers() {
+        let auto = chain(100);
+        let bounded = TransitionCache::bounded(16);
+        let unbounded = TransitionCache::new();
+        // Two interleaved passes so the bounded cache re-misses evicted
+        // keys; every answer must equal the unbounded cache's.
+        for pass in 0..2 {
+            for k in 0..100 {
+                let q = Value::int(k);
+                let id = IValue::of(&q);
+                let a = bounded.successors(&auto, &q, id, act("memo-step"));
+                let b = unbounded.successors(&auto, &q, id, act("memo-step"));
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        let av: Vec<_> = a.eta.iter().collect();
+                        let bv: Vec<_> = b.eta.iter().collect();
+                        assert_eq!(av, bv, "pass {pass}, state {k}");
+                        assert_eq!(a.ids, b.ids);
+                    }
+                    (None, None) => {}
+                    other => panic!("bounded/unbounded disagree: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(unbounded.stats().evictions, 0);
+    }
+
+    #[test]
+    fn hot_entries_survive_the_clock() {
+        let auto = chain(100);
+        let cache = TransitionCache::bounded(32);
+        let hot = Value::int(0);
+        let hot_id = IValue::of(&hot);
+        cache.successors(&auto, &hot, hot_id, act("memo-step"));
+        for k in 1..100 {
+            let q = Value::int(k);
+            let id = IValue::of(&q);
+            cache.successors(&auto, &q, id, act("memo-step"));
+            // Re-touch the hot key so its used bit stays set.
+            cache.successors(&auto, &hot, hot_id, act("memo-step"));
+        }
+        let before = cache.stats();
+        cache.successors(&auto, &hot, hot_id, act("memo-step"));
+        let after = cache.stats();
+        assert_eq!(after.misses, before.misses, "hot key was evicted");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let auto = chain(500);
+        let cache = TransitionCache::new();
+        assert_eq!(cache.capacity(), None);
+        probe_keys(&cache, &auto, &(0..500).collect::<Vec<_>>());
+        assert_eq!(cache.len(), 500);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn lane_memo_shares_entries_and_skips_shared_counters() {
+        let auto = coin();
+        let shared = TransitionCache::new();
+        let mut lane = LaneTransMemo::new(8);
+        let q = Value::int(0);
+        let id = IValue::of(&q);
+        let a = lane
+            .successors(&shared, &auto, &q, id, act("memo-flip"))
+            .unwrap();
+        // L1 hit: identical handle, shared stats untouched.
+        let b = lane
+            .successors(&shared, &auto, &q, id, act("memo-flip"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(shared.stats(), stats(0, 1));
+        assert_eq!(lane.len(), 1);
+        assert!(!lane.is_empty());
+    }
+
+    #[test]
+    fn lane_memo_resets_at_cap_without_changing_answers() {
+        let auto = chain(50);
+        let shared = TransitionCache::new();
+        let mut lane = LaneTransMemo::new(4);
+        for pass in 0..2 {
+            for k in 0..50 {
+                let q = Value::int(k);
+                let id = IValue::of(&q);
+                let via_lane = lane.successors(&shared, &auto, &q, id, act("memo-step"));
+                let direct = shared.successors(&auto, &q, id, act("memo-step"));
+                match (via_lane, direct) {
+                    (Some(a), Some(b)) => assert!(Arc::ptr_eq(&a, &b), "pass {pass} state {k}"),
+                    (None, None) => {}
+                    other => panic!("lane/shared disagree: {other:?}"),
+                }
+            }
+        }
+        assert!(lane.len() <= 4);
     }
 }

@@ -1,4 +1,5 @@
-//! A persistent, scoped worker pool shared across engine tiers.
+//! A persistent, scoped, work-stealing worker pool shared across engine
+//! tiers.
 //!
 //! The exact frontier expansion and the Monte-Carlo sampler both need
 //! short bursts of data parallelism many times per query. Spawning a
@@ -7,109 +8,387 @@
 //! [`WorkerPool`] amortizes it: workers are spawned **once**, lazily, on
 //! the first submitted batch, then park on a condvar between batches.
 //!
-//! Design constraints and how they are met:
+//! ## Lanes, deques, stealing, splitting
 //!
-//! * **No `unsafe`** (this crate is `#![forbid(unsafe_code)]`), so the
-//!   crossbeam/rayon trick of lifetime-erasing borrowed jobs is out.
-//!   Instead the pool is *scoped*: [`with_pool`] owns a
-//!   `std::thread::scope` for the pool's whole lifetime and the job
-//!   queue (declared outside the scope) holds `'env`-bounded closures —
-//!   the borrow checker proves every captured reference outlives every
-//!   worker.
-//! * **Deterministic results**: [`WorkerPool::run_batch`] returns
-//!   outputs indexed exactly like its inputs, whatever the order
-//!   workers finished in, so chunk-order merges stay bit-identical to a
-//!   sequential run.
-//! * **Panic isolation**: each job runs under
-//!   `catch_unwind`, and the per-item [`std::thread::Result`] is handed
-//!   back to the caller — a panicking observation closure cannot kill a
-//!   worker or poison the queue, which is what lets the Monte-Carlo
-//!   sampler keep its per-shard retry semantics on a shared pool.
-//! * **The caller helps**: the submitting thread runs the first chunk
-//!   itself and then drains the queue alongside the workers, so a pool
-//!   of `n` has `n` lanes with only `n - 1` spawned threads, and a pool
-//!   of 1 degrades to plain inline iteration with no queue, no channel
-//!   and no scope at all.
+//! The pool has `workers` **lanes**: lane 0 is the submitting caller
+//! itself, lanes `1..workers` are spawned threads. Each lane owns a
+//! private `Mutex<VecDeque>` deque (the `std`-only stand-in for a
+//! Chase–Lev deque — this crate is `#![forbid(unsafe_code)]`, so the
+//! lock-free version is out). A lane pops its **own** deque from the
+//! back (LIFO — freshest, cache-hottest work first) and, when empty,
+//! sweeps the other lanes **from the front** (FIFO — the oldest, hence
+//! largest-remaining, work), starting at a victim drawn from a
+//! deterministic seeded xorshift RNG so concurrent thieves fan out over
+//! different victims instead of convoying on one lock.
+//!
+//! Work comes in two shapes:
+//!
+//! * **jobs** ([`WorkerPool::run_batch`]): opaque closures, one per
+//!   item, distributed round-robin over the lanes;
+//! * **spans** ([`WorkerPool::run_splittable`]): index ranges of a
+//!   caller-owned slice. A lane executing a span runs it `unit` items
+//!   at a time, re-queueing the remainder on its own deque between
+//!   units, so the tail of a hot span stays continuously stealable. A
+//!   *thief* popping a span of at least `2 × unit` items **splits on
+//!   steal**: the victim keeps the front half (preserving its lane
+//!   affinity), the thief takes the back half. One oversized span
+//!   therefore subdivides adaptively across however many lanes are
+//!   idle, instead of being pinned to a fixed per-depth chunking.
+//!
+//! Determinism: the pool never merges results itself. `run_batch`
+//! returns outcomes indexed like its inputs; `run_splittable` reports
+//! every completed index range to the caller's closure, tagged with its
+//! start index, so callers reassemble outputs in input order no matter
+//! which lane ran (or split) what. Steal-RNG seeds ([`with_pool_seeded`])
+//! only move work between lanes; they cannot reorder a merge keyed on
+//! input indices.
+//!
+//! Parking is lost-wakeup-safe: a pusher increments the `pending` task
+//! count, then wakes a sleeper only if one is advertised; a would-be
+//! sleeper advertises itself under the sleep mutex and re-checks
+//! `pending` *after* advertising, so (with the total order SeqCst gives
+//! these four operations) either the pusher sees the sleeper or the
+//! sleeper sees the task.
+//!
+//! Wakeups are **throttled**: a batch submission wakes exactly one
+//! sleeper, and each worker that takes a task while more work stays
+//! queued recruits one more (the *wake ramp*) — an idle pool spins up
+//! exponentially, but a pool whose awake lanes are keeping up recruits
+//! nobody. On an oversubscribed host this is the difference between
+//! paying one futex per batch and paying a context switch per span:
+//! the submitting caller drains its own deque (and steals the rest)
+//! without ever being descheduled by workers it did not need. On a
+//! host with a single hardware thread wakeups are disabled outright —
+//! a woken worker could only time-share the caller's core — and the
+//! caller drains every lane itself (the steal/split accounting is
+//! unchanged; it all happens on lane 0).
+//!
+//! Panic isolation: every job and span runs under `catch_unwind`, so a
+//! panicking observation closure cannot kill a worker or poison a
+//! deque; `run_batch` hands back per-item [`std::thread::Result`]s and
+//! `run_splittable` collects payloads for the caller to resume.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
+
+/// The steal-RNG seed [`with_pool`] uses; [`with_pool_seeded`] lets
+/// callers (and the determinism proptests) pick their own.
+pub const DEFAULT_STEAL_SEED: u64 = 0xD10A_5EED;
 
 /// A queued unit of work: type-erased, `'env`-bounded so it may borrow
 /// anything that outlives the pool scope.
 type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
 
-struct QueueState<'env> {
-    jobs: VecDeque<Job<'env>>,
+/// The splittable-range capability a queued span points back to: run
+/// `[start, start + len)` on `lane`. Implemented by the per-call state
+/// of [`WorkerPool::run_splittable`].
+trait SpanRun: Send + Sync {
+    fn run_span(&self, lane: usize, start: usize, len: usize);
+}
+
+/// One queued task on a lane deque.
+enum Task<'env> {
+    /// An opaque batch job.
+    Job(Job<'env>),
+    /// An index range of a splittable call; `unit` is the grain an
+    /// owner drains it at (and twice the minimum size a thief splits).
+    Span {
+        start: usize,
+        len: usize,
+        unit: usize,
+        call: Arc<dyn SpanRun + 'env>,
+    },
+}
+
+struct SleepState {
     shutdown: bool,
 }
 
-/// The shared injector queue workers park on.
-struct Queue<'env> {
-    state: Mutex<QueueState<'env>>,
+/// State shared between the caller and the spawned workers.
+struct Shared<'env> {
+    /// One private deque per lane (index 0 is the caller's).
+    lanes: Vec<Mutex<VecDeque<Task<'env>>>>,
+    /// Tasks queued across all deques (split/steal keeps this exact:
+    /// a split replaces one queued task by one queued + one taken).
+    pending: AtomicUsize,
+    /// Workers currently advertised as parked (see the module docs for
+    /// the wakeup protocol).
+    sleepers: AtomicUsize,
+    /// Whether wakeups are enabled at all: on a host with a single
+    /// hardware thread a woken worker can only time-share the caller's
+    /// core (each wake costs a context-switch round trip and speeds up
+    /// nothing), so the caller drains every lane itself — stealing and
+    /// split-on-steal keep working, they just all happen on lane 0.
+    wake_enabled: bool,
+    sleep: Mutex<SleepState>,
     ready: Condvar,
+    /// Base seed for the per-lane steal RNGs.
+    seed: u64,
     worker_jobs: AtomicUsize,
+    steals: AtomicU64,
+    failed_steals: AtomicU64,
+    splits: AtomicU64,
+    lane_jobs: Vec<AtomicU64>,
 }
 
-impl<'env> Queue<'env> {
-    fn new() -> Queue<'env> {
-        Queue {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
+/// SplitMix64 finalizer: decorrelates per-lane RNG streams derived from
+/// one seed.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic xorshift64 for victim selection. Quality needs
+/// are modest (spread thieves over victims); determinism for a fixed
+/// seed is what the bit-identity proptests exercise.
+struct StealRng(u64);
+
+impl StealRng {
+    fn new(seed: u64) -> StealRng {
+        // Never zero: xorshift has a fixed point at 0.
+        StealRng(mix64(seed) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+impl<'env> Shared<'env> {
+    fn new(workers: usize, seed: u64) -> Shared<'env> {
+        Shared {
+            lanes: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            wake_enabled: thread::available_parallelism().map_or(true, |n| n.get() > 1),
+            sleep: Mutex::new(SleepState { shutdown: false }),
             ready: Condvar::new(),
+            seed,
             worker_jobs: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            failed_steals: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            lane_jobs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    fn push_all(&self, batch: Vec<Job<'env>>) {
-        if batch.is_empty() {
-            return;
-        }
-        let mut guard = self.state.lock().expect("pool queue poisoned");
-        guard.jobs.extend(batch);
-        drop(guard);
-        self.ready.notify_all();
-    }
-
-    /// Non-blocking pop, used by the submitting thread to help drain.
-    fn try_pop(&self) -> Option<Job<'env>> {
-        self.state
+    /// Queue a task on `lane`'s deque **without** waking a sleeper.
+    /// Only sound when the pusher is an active drainer that will sweep
+    /// every deque again before idling (the worker loop and the
+    /// splittable caller loop both do), or when the batch submitter
+    /// follows the whole batch with one [`Shared::wake_one`] (the
+    /// throttled-wakeup protocol — see the module docs): either way the
+    /// task cannot be stranded. SeqCst on `pending`/`sleepers` gives
+    /// the racing operations (push's add, park's add+load) a total
+    /// order; see the module docs.
+    fn push_quiet(&self, lane: usize, task: Task<'env>) {
+        self.lanes[lane]
             .lock()
-            .expect("pool queue poisoned")
-            .jobs
-            .pop_front()
+            .expect("pool deque poisoned")
+            .push_back(task);
+        self.pending.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Blocking pop; `None` means the pool is shutting down.
-    fn pop_wait(&self) -> Option<Job<'env>> {
-        let mut guard = self.state.lock().expect("pool queue poisoned");
-        loop {
-            if let Some(job) = guard.jobs.pop_front() {
-                return Some(job);
-            }
-            if guard.shutdown {
-                return None;
-            }
-            guard = self.ready.wait(guard).expect("pool queue poisoned");
+    /// Wake one parked worker, if any is advertised. Lock-then-notify:
+    /// a sleeper between its pending re-check and `Condvar::wait` still
+    /// holds the sleep mutex, so the notification cannot slip into that
+    /// window.
+    fn wake_one(&self) {
+        if self.wake_enabled && self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.lock().expect("pool sleep lock poisoned");
+            self.ready.notify_one();
         }
     }
 
-    fn shutdown(&self) {
-        self.state.lock().expect("pool queue poisoned").shutdown = true;
-        self.ready.notify_all();
+    /// Pop from a lane's own deque — the back, LIFO: the freshest task
+    /// is the remainder of the span this lane just ran a grain of, so
+    /// owners drain one span to completion (cache-hot) while thieves
+    /// take the oldest, least-recently-touched work from the front.
+    fn pop_own(&self, lane: usize) -> Option<Task<'env>> {
+        let task = self.lanes[lane]
+            .lock()
+            .expect("pool deque poisoned")
+            .pop_back();
+        if task.is_some() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        task
+    }
+
+    /// Sweep every other lane once, starting at a seeded-random offset,
+    /// stealing from the front (oldest = largest remaining). An
+    /// oversized span is split: the victim keeps the front half (its
+    /// affinity is preserved), the thief takes the back half.
+    fn steal(&self, thief: usize, rng: &mut StealRng) -> Option<Task<'env>> {
+        let n = self.lanes.len();
+        if n <= 1 {
+            return None;
+        }
+        let offset = rng.next() as usize % n;
+        for k in 0..n {
+            let victim = (offset + k) % n;
+            if victim == thief {
+                continue;
+            }
+            let mut deque = self.lanes[victim].lock().expect("pool deque poisoned");
+            match deque.pop_front() {
+                Some(Task::Span {
+                    start,
+                    len,
+                    unit,
+                    call,
+                }) => {
+                    if len >= 2 * unit.max(1) {
+                        let keep = len / 2;
+                        // The kept half returns to the *front* it came
+                        // from, preserving the deque's age order.
+                        deque.push_front(Task::Span {
+                            start,
+                            len: keep,
+                            unit,
+                            call: Arc::clone(&call),
+                        });
+                        drop(deque);
+                        // One queued task became one queued + one taken:
+                        // `pending` is unchanged and the kept half needs
+                        // no extra wakeup (its push-era wakeup stands).
+                        self.splits.fetch_add(1, Ordering::Relaxed);
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(Task::Span {
+                            start: start + keep,
+                            len: len - keep,
+                            unit,
+                            call,
+                        });
+                    }
+                    drop(deque);
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(Task::Span {
+                        start,
+                        len,
+                        unit,
+                        call,
+                    });
+                }
+                Some(task) => {
+                    drop(deque);
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(task);
+                }
+                None => {
+                    drop(deque);
+                    self.failed_steals.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        None
+    }
+
+    /// Own deque first, then one stealing sweep.
+    fn find_task(&self, lane: usize, rng: &mut StealRng) -> Option<Task<'env>> {
+        self.pop_own(lane).or_else(|| self.steal(lane, rng))
+    }
+
+    /// Run one task on `lane`. A span runs one `unit` grain and
+    /// re-queues its remainder on this lane's deque first, so the tail
+    /// stays stealable while the grain executes.
+    fn execute(&self, lane: usize, task: Task<'env>) {
+        match task {
+            Task::Job(job) => job(),
+            Task::Span {
+                start,
+                len,
+                unit,
+                call,
+            } => {
+                let grain = unit.max(1).min(len);
+                if len > grain {
+                    // Quiet re-push: this lane drains its own deque
+                    // before idling, so the remainder needs no wakeup —
+                    // sleepers were already notified when the span
+                    // batch was submitted.
+                    self.push_quiet(
+                        lane,
+                        Task::Span {
+                            start: start + grain,
+                            len: len - grain,
+                            unit,
+                            call: Arc::clone(&call),
+                        },
+                    );
+                }
+                call.run_span(lane, start, grain);
+            }
+        }
+        self.lane_jobs[lane].fetch_add(1, Ordering::Relaxed);
     }
 }
 
-/// Unparks and drains until shutdown. Jobs are panic-wrapped at
-/// submission, so this loop cannot unwind on user code.
-fn worker_loop(queue: &Queue<'_>) {
-    while let Some(job) = queue.pop_wait() {
-        job();
-        queue.worker_jobs.fetch_add(1, Ordering::Relaxed);
+/// Drains tasks until shutdown; parks between bursts. Jobs and spans
+/// are panic-wrapped before they reach a deque, so this loop cannot
+/// unwind on user code.
+fn worker_loop(shared: &Shared<'_>, lane: usize) {
+    let mut rng = StealRng::new(shared.seed ^ mix64(lane as u64));
+    loop {
+        while let Some(task) = shared.find_task(lane, &mut rng) {
+            // Wake ramp: a worker that found work while more stays
+            // queued recruits one more sleeper, so an idle pool spins up
+            // exponentially (1, 2, 4, …) from the single batch wakeup —
+            // but a pool whose awake lanes already keep up recruits
+            // nobody.
+            if shared.pending.load(Ordering::SeqCst) > 0 {
+                shared.wake_one();
+            }
+            shared.execute(lane, task);
+            shared.worker_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut guard = shared.sleep.lock().expect("pool sleep lock poisoned");
+        loop {
+            if guard.shutdown {
+                return;
+            }
+            if shared.pending.load(Ordering::SeqCst) > 0 {
+                break;
+            }
+            // Advertise, then re-check: a pusher that read `sleepers`
+            // before this advertisement added its task before the load
+            // below (SeqCst total order), so we see the task here and
+            // do not park; a pusher that read it after will notify.
+            shared.sleepers.fetch_add(1, Ordering::SeqCst);
+            if shared.pending.load(Ordering::SeqCst) > 0 {
+                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                break;
+            }
+            guard = shared.ready.wait(guard).expect("pool sleep lock poisoned");
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Ensures workers are released even if the pool user panics — without
+/// it, `thread::scope` would join workers that are still parked.
+struct ShutdownGuard<'scope, 'env>(&'scope Shared<'env>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0
+            .sleep
+            .lock()
+            .expect("pool sleep lock poisoned")
+            .shutdown = true;
+        self.0.ready.notify_all();
     }
 }
 
@@ -117,7 +396,7 @@ fn worker_loop(queue: &Queue<'_>) {
 /// expressed as a trait so the `Scope`'s own environment lifetime stays
 /// erased — storing `&'scope Scope<'scope, 'env>` directly would force
 /// the scope's environment to unify with the pool's `'env` and reject
-/// the queue local.
+/// the shared-state local.
 trait Spawn<'scope> {
     fn spawn_worker(&'scope self, job: Box<dyn FnOnce() + Send + 'scope>);
 }
@@ -128,19 +407,9 @@ impl<'scope, 'senv> Spawn<'scope> for thread::Scope<'scope, 'senv> {
     }
 }
 
-/// Ensures workers are released even if the pool user panics — without
-/// it, `thread::scope` would join workers that are still parked.
-struct ShutdownGuard<'scope, 'env>(&'scope Queue<'env>);
-
-impl Drop for ShutdownGuard<'_, '_> {
-    fn drop(&mut self) {
-        self.0.shutdown();
-    }
-}
-
 /// Counters describing what a [`WorkerPool`] actually did, for
 /// provenance records and bench output.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Parallel lanes the pool was provisioned with (including the
     /// caller's own lane).
@@ -148,35 +417,94 @@ pub struct PoolStats {
     /// Worker threads actually spawned (0 until the first batch big
     /// enough to need them — lazy spawn keeps unused pools free).
     pub spawned: usize,
-    /// Jobs executed on spawned worker threads.
+    /// Tasks executed on spawned worker threads.
     pub worker_jobs: usize,
-    /// Jobs the submitting thread executed itself (its own chunk plus
-    /// queue-draining steals).
+    /// Tasks the submitting thread executed itself (its own work plus
+    /// deque-draining steals).
     pub caller_jobs: usize,
-    /// Batches submitted via [`WorkerPool::run_batch`].
+    /// Batches submitted via [`WorkerPool::run_batch`] or
+    /// [`WorkerPool::run_splittable`].
     pub batches: usize,
+    /// Tasks taken from another lane's deque.
+    pub steals: u64,
+    /// Steal probes that found an empty deque.
+    pub failed_steals: u64,
+    /// Spans split on steal (victim kept the front half, the thief took
+    /// the back half). Owner-side grain re-queueing is not a split.
+    pub splits: u64,
+    /// Tasks executed per lane (`lane_jobs[0]` is the caller's lane).
+    pub lane_jobs: Vec<u64>,
 }
 
 impl PoolStats {
+    /// The stats of a pool that never left the calling thread: one
+    /// lane, nothing spawned, nothing stolen. Used by engine tiers that
+    /// report pool activity uniformly even when they are pool-free.
+    pub fn single_lane() -> PoolStats {
+        PoolStats {
+            workers: 1,
+            lane_jobs: vec![0],
+            ..PoolStats::default()
+        }
+    }
+
     /// The activity since an earlier snapshot of the same pool
     /// (`workers` and `spawned` are levels, not counters, and are kept).
-    pub fn since(&self, earlier: PoolStats) -> PoolStats {
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
         PoolStats {
             workers: self.workers,
             spawned: self.spawned,
             worker_jobs: self.worker_jobs - earlier.worker_jobs,
             caller_jobs: self.caller_jobs - earlier.caller_jobs,
             batches: self.batches - earlier.batches,
+            steals: self.steals - earlier.steals,
+            failed_steals: self.failed_steals - earlier.failed_steals,
+            splits: self.splits - earlier.splits,
+            lane_jobs: self
+                .lane_jobs
+                .iter()
+                .enumerate()
+                .map(|(i, &jobs)| jobs - earlier.lane_jobs.get(i).copied().unwrap_or(0))
+                .collect(),
         }
     }
 }
 
-/// A handle to a scoped worker pool; create one with [`with_pool`] and
-/// submit work with [`WorkerPool::run_batch`].
+/// Per-call completion state of one [`WorkerPool::run_splittable`].
+struct SplitProgress {
+    /// Items completed (every span grain counts its `len` whether the
+    /// closure returned or panicked, so the caller's wait terminates).
+    done: usize,
+    panics: Vec<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+/// The shared state behind every `Task::Span` of one splittable call.
+struct SplitCall<'env> {
+    run: Box<dyn Fn(usize, usize, usize) + Send + Sync + 'env>,
+    progress: Mutex<SplitProgress>,
+    finished: Condvar,
+}
+
+impl SpanRun for SplitCall<'_> {
+    fn run_span(&self, lane: usize, start: usize, len: usize) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| (self.run)(lane, start, len)));
+        let mut progress = self.progress.lock().expect("split progress poisoned");
+        progress.done += len;
+        if let Err(payload) = outcome {
+            progress.panics.push(payload);
+        }
+        self.finished.notify_all();
+    }
+}
+
+/// A handle to a scoped worker pool; create one with [`with_pool`] /
+/// [`with_pool_seeded`] and submit work with [`WorkerPool::run_batch`]
+/// or [`WorkerPool::run_splittable`].
 pub struct WorkerPool<'scope, 'env> {
     /// `None` — single-lane pool: everything runs inline on the caller.
-    shared: Option<(&'scope Queue<'env>, &'scope dyn Spawn<'scope>)>,
+    shared: Option<(&'scope Shared<'env>, &'scope dyn Spawn<'scope>)>,
     workers: usize,
+    seed: u64,
     spawned: AtomicUsize,
     caller_jobs: AtomicUsize,
     batches: AtomicUsize,
@@ -190,21 +518,40 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
 
     /// Snapshot of the pool's activity counters.
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            workers: self.workers,
-            spawned: self.spawned.load(Ordering::Relaxed),
-            worker_jobs: self
-                .shared
-                .map_or(0, |(q, _)| q.worker_jobs.load(Ordering::Relaxed)),
-            caller_jobs: self.caller_jobs.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
+        match self.shared {
+            None => PoolStats {
+                workers: 1,
+                spawned: 0,
+                worker_jobs: 0,
+                caller_jobs: self.caller_jobs.load(Ordering::Relaxed),
+                batches: self.batches.load(Ordering::Relaxed),
+                steals: 0,
+                failed_steals: 0,
+                splits: 0,
+                lane_jobs: vec![self.caller_jobs.load(Ordering::Relaxed) as u64],
+            },
+            Some((shared, _)) => PoolStats {
+                workers: self.workers,
+                spawned: self.spawned.load(Ordering::Relaxed),
+                worker_jobs: shared.worker_jobs.load(Ordering::Relaxed),
+                caller_jobs: self.caller_jobs.load(Ordering::Relaxed),
+                batches: self.batches.load(Ordering::Relaxed),
+                steals: shared.steals.load(Ordering::Relaxed),
+                failed_steals: shared.failed_steals.load(Ordering::Relaxed),
+                splits: shared.splits.load(Ordering::Relaxed),
+                lane_jobs: shared
+                    .lane_jobs
+                    .iter()
+                    .map(|j| j.load(Ordering::Relaxed))
+                    .collect(),
+            },
         }
     }
 
-    /// Spawn the worker threads on first use. `run_batch` is `&self`
-    /// and may be called from several threads, so guard with a CAS.
+    /// Spawn the worker threads on first use. Submission is `&self`
+    /// and may race from several threads, so guard with a CAS.
     fn ensure_spawned(&self) {
-        let Some((queue, scope)) = self.shared else {
+        let Some((shared, scope)) = self.shared else {
             return;
         };
         let target = self.workers - 1;
@@ -216,10 +563,16 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
             .compare_exchange(0, target, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
-            for _ in 0..target {
-                scope.spawn_worker(Box::new(move || worker_loop(queue)));
+            for lane in 1..self.workers {
+                scope.spawn_worker(Box::new(move || worker_loop(shared, lane)));
             }
         }
+    }
+
+    /// A fresh steal RNG for one caller-side drain, decorrelated across
+    /// batches.
+    fn caller_rng(&self) -> StealRng {
+        StealRng::new(self.seed ^ mix64(self.batches.load(Ordering::Relaxed) as u64))
     }
 
     /// Run `run(index, item)` for every item, fanned out over the pool,
@@ -228,8 +581,10 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
     /// its payload while every other item still completes — callers
     /// decide whether to resume the unwind or retry.
     ///
-    /// The submitting thread runs the first item itself and then helps
-    /// drain the queue, so a batch is never blocked on parked workers.
+    /// Jobs are distributed round-robin over the lane deques; the
+    /// submitting thread runs the first item itself and then helps
+    /// drain (its own lane first, then stealing), so a batch is never
+    /// blocked on parked workers.
     pub fn run_batch<T, O, F>(&self, items: Vec<T>, run: F) -> Vec<thread::Result<O>>
     where
         T: Send + 'env,
@@ -241,7 +596,7 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
         if n == 0 {
             return Vec::new();
         }
-        let Some((queue, _)) = self.shared else {
+        let Some((shared, _)) = self.shared else {
             // Single lane: plain inline iteration, same panic isolation.
             return items
                 .into_iter()
@@ -257,7 +612,6 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
         let run = Arc::new(run);
         let (tx, rx) = mpsc::channel::<(usize, thread::Result<O>)>();
         let mut first: Option<(usize, T)> = None;
-        let mut jobs: Vec<Job<'env>> = Vec::with_capacity(n.saturating_sub(1));
         for (i, t) in items.into_iter().enumerate() {
             if first.is_none() {
                 first = Some((i, t));
@@ -265,27 +619,32 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
             }
             let run = Arc::clone(&run);
             let tx = tx.clone();
-            jobs.push(Box::new(move || {
+            let job: Job<'env> = Box::new(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(|| run(i, t)));
                 // The receiver lives until every job reported; a send
                 // failure is unreachable but must not panic a worker.
                 let _ = tx.send((i, outcome));
-            }));
+            });
+            shared.push_quiet((i - 1) % self.workers, Task::Job(job));
         }
         drop(tx);
-        queue.push_all(jobs);
+        // Throttled wakeup (see `run_splittable`): one sleeper now, the
+        // worker wake ramp recruits the rest while work remains.
+        shared.wake_one();
 
         let mut results: Vec<Option<thread::Result<O>>> = (0..n).map(|_| None).collect();
         let mut done = 0usize;
+        let mut rng = self.caller_rng();
         if let Some((i, t)) = first {
             let outcome = catch_unwind(AssertUnwindSafe(|| (run)(i, t)));
             self.caller_jobs.fetch_add(1, Ordering::Relaxed);
+            shared.lane_jobs[0].fetch_add(1, Ordering::Relaxed);
             results[i] = Some(outcome);
             done += 1;
         }
         while done < n {
-            if let Some(job) = queue.try_pop() {
-                job();
+            if let Some(task) = shared.find_task(0, &mut rng) {
+                shared.execute(0, task);
                 self.caller_jobs.fetch_add(1, Ordering::Relaxed);
             } else if let Ok((i, outcome)) = rx.recv() {
                 debug_assert!(results[i].is_none());
@@ -294,7 +653,7 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
             } else {
                 // All senders gone with results missing: every job either
                 // reported or was dropped unexecuted, which cannot happen
-                // while the queue and scope are alive.
+                // while the deques and scope are alive.
                 unreachable!("worker pool lost a batch job");
             }
         }
@@ -303,15 +662,126 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
             .map(|r| r.expect("every batch job reports exactly once"))
             .collect()
     }
+
+    /// Run `run(lane, start, len)` until the ranges cover all of
+    /// `0..total`, starting from the caller-placed `spans` (each a
+    /// `(lane, start, len)` placement hint — the chunk-affinity input)
+    /// and letting idle lanes steal-and-split from busy ones. `unit` is
+    /// the grain: owners drain their spans `unit` items at a time, and
+    /// a thief splits any span of at least `2 × unit`.
+    ///
+    /// `spans` must partition `0..total` into disjoint ranges (callers
+    /// pass either last depth's output spans or an even split). The
+    /// closure observes each completed range exactly once, tagged with
+    /// its `start`; callers that record `(start, output)` pairs and
+    /// sort by `start` reassemble the sequential order exactly.
+    ///
+    /// Returns the panic payloads of any grains that unwound (empty on
+    /// clean runs); every non-panicking grain still completes first.
+    pub fn run_splittable<F>(
+        &self,
+        total: usize,
+        spans: Vec<(usize, usize, usize)>,
+        unit: usize,
+        run: F,
+    ) -> Vec<Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: Fn(usize, usize, usize) + Send + Sync + 'env,
+    {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if total == 0 {
+            return Vec::new();
+        }
+        let Some((shared, _)) = self.shared else {
+            // Single lane: run the spans inline, in placement order.
+            let mut panics = Vec::new();
+            for (_, start, len) in spans {
+                if len == 0 {
+                    continue;
+                }
+                self.caller_jobs.fetch_add(1, Ordering::Relaxed);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(0, start, len))) {
+                    panics.push(payload);
+                }
+            }
+            return panics;
+        };
+        self.ensure_spawned();
+
+        let call = Arc::new(SplitCall {
+            run: Box::new(run),
+            progress: Mutex::new(SplitProgress {
+                done: 0,
+                panics: Vec::new(),
+            }),
+            finished: Condvar::new(),
+        });
+        let span_run: Arc<dyn SpanRun + 'env> = Arc::clone(&call) as Arc<dyn SpanRun + 'env>;
+        let unit = unit.max(1);
+        for (lane, start, len) in spans {
+            if len == 0 {
+                continue;
+            }
+            shared.push_quiet(
+                lane % self.workers,
+                Task::Span {
+                    start,
+                    len,
+                    unit,
+                    call: Arc::clone(&span_run),
+                },
+            );
+        }
+        // Throttled wakeup: one sleeper per batch; workers recruit more
+        // through the wake ramp in `worker_loop` as long as work keeps
+        // outpacing the awake lanes. Waking the whole pool per span is
+        // pure overhead when the caller drains faster than workers can
+        // be scheduled (oversubscribed hosts, small depths).
+        shared.wake_one();
+
+        let mut rng = self.caller_rng();
+        loop {
+            while let Some(task) = shared.find_task(0, &mut rng) {
+                shared.execute(0, task);
+                self.caller_jobs.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut progress = call.progress.lock().expect("split progress poisoned");
+            if progress.done >= total {
+                return std::mem::take(&mut progress.panics);
+            }
+            // In-flight grains bump `done` under this lock and notify;
+            // queued work we raced past will be found on the next sweep.
+            drop(
+                call.finished
+                    .wait(progress)
+                    .expect("split progress poisoned"),
+            );
+        }
+    }
 }
 
 /// Provision a pool of `workers` parallel lanes for the duration of
-/// `f`. Worker threads (if `workers > 1`) are spawned lazily on the
-/// first [`WorkerPool::run_batch`] and joined when `f` returns, so an
-/// unused pool costs one queue allocation and nothing else; `workers
-/// <= 1` skips even that and runs everything inline.
+/// `f`, with the default steal seed. See [`with_pool_seeded`].
 pub fn with_pool<'env, R>(
     workers: usize,
+    f: impl for<'scope> FnOnce(&WorkerPool<'scope, 'env>) -> R,
+) -> R {
+    with_pool_seeded(workers, DEFAULT_STEAL_SEED, f)
+}
+
+/// Provision a pool of `workers` parallel lanes for the duration of
+/// `f`, seeding the deterministic steal RNGs with `seed`. Worker
+/// threads (if `workers > 1`) are spawned lazily on the first submitted
+/// batch and joined when `f` returns, so an unused pool costs a few
+/// empty deques and nothing else; `workers <= 1` skips even that and
+/// runs everything inline.
+///
+/// The seed moves work between lanes but cannot change any result: both
+/// submission APIs key their merges on input indices (see the module
+/// docs), which the determinism proptests assert across seeds.
+pub fn with_pool_seeded<'env, R>(
+    workers: usize,
+    seed: u64,
     f: impl for<'scope> FnOnce(&WorkerPool<'scope, 'env>) -> R,
 ) -> R {
     let workers = workers.max(1);
@@ -319,21 +789,23 @@ pub fn with_pool<'env, R>(
         return f(&WorkerPool {
             shared: None,
             workers: 1,
+            seed,
             spawned: AtomicUsize::new(0),
             caller_jobs: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
         });
     }
-    let queue = Queue::new();
+    let shared = Shared::new(workers, seed);
     thread::scope(|scope| {
         let pool = WorkerPool {
-            shared: Some((&queue, scope)),
+            shared: Some((&shared, scope)),
             workers,
+            seed,
             spawned: AtomicUsize::new(0),
             caller_jobs: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
         };
-        let _guard = ShutdownGuard(&queue);
+        let _guard = ShutdownGuard(&shared);
         f(&pool)
     })
 }
@@ -352,6 +824,8 @@ mod tests {
             assert_eq!(stats.spawned, 0);
             assert_eq!(stats.caller_jobs, 3);
             assert_eq!(stats.batches, 1);
+            assert_eq!(stats.steals, 0);
+            assert_eq!(stats.splits, 0);
             r
         });
         let values: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
@@ -370,6 +844,7 @@ mod tests {
             assert_eq!(stats.spawned, 3);
             assert_eq!(stats.worker_jobs + stats.caller_jobs, 100);
             assert!(stats.caller_jobs >= 1, "caller runs its own chunk");
+            assert_eq!(stats.lane_jobs.iter().sum::<u64>(), 100);
         });
     }
 
@@ -445,5 +920,128 @@ mod tests {
         assert!(caught.is_err());
         // Reaching this line at all proves the parked worker was
         // released (otherwise the scope join would deadlock).
+    }
+
+    /// Collects each completed `(start, len)` grain and checks that the
+    /// grains exactly tile `0..total` with no overlap.
+    fn assert_tiling(total: usize, grains: &[(usize, usize)]) {
+        let mut covered = vec![false; total];
+        for &(start, len) in grains {
+            for slot in covered.iter_mut().skip(start).take(len) {
+                assert!(!*slot, "index covered twice");
+                *slot = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "index never covered");
+    }
+
+    #[test]
+    fn splittable_covers_every_index_exactly_once() {
+        for workers in [1usize, 2, 4, 8] {
+            let grains: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+            let touched: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+            with_pool(workers, |pool| {
+                let spans = vec![(0usize, 0usize, 250usize), (1, 250, 250), (2, 500, 500)];
+                let panics = pool.run_splittable(1000, spans, 16, |_, start, len| {
+                    for t in touched.iter().skip(start).take(len) {
+                        t.fetch_add(1, Ordering::Relaxed);
+                    }
+                    grains.lock().unwrap().push((start, len));
+                });
+                assert!(panics.is_empty());
+            });
+            assert!(touched.iter().all(|t| t.load(Ordering::Relaxed) == 1));
+            assert_tiling(1000, &grains.into_inner().unwrap());
+        }
+    }
+
+    #[test]
+    fn splittable_steals_and_splits_when_one_lane_is_loaded() {
+        // All the work starts on lane 1's deque; lanes 0 (caller),
+        // 2 and 3 must steal it, splitting the big span as they go.
+        let stats = with_pool(4, |pool| {
+            let panics = pool.run_splittable(4096, vec![(1, 0, 4096)], 8, |_, _, len| {
+                // A little work per grain so thieves get a window.
+                std::hint::black_box((0..len * 50).map(|x| x * x).sum::<usize>());
+            });
+            assert!(panics.is_empty());
+            pool.stats()
+        });
+        assert!(stats.steals > 0, "idle lanes must steal: {stats:?}");
+        assert_eq!(
+            stats.lane_jobs.iter().sum::<u64>() as usize,
+            stats.caller_jobs + stats.worker_jobs
+        );
+    }
+
+    #[test]
+    fn splittable_is_deterministic_across_steal_seeds() {
+        // The sum over covered indices is seed- and schedule-invariant.
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let sum = AtomicUsize::new(0);
+            with_pool_seeded(4, seed, |pool| {
+                let panics = pool.run_splittable(512, vec![(0, 0, 512)], 4, |_, start, len| {
+                    let local: usize = (start..start + len).sum();
+                    sum.fetch_add(local, Ordering::Relaxed);
+                });
+                assert!(panics.is_empty());
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 512 * 511 / 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn splittable_panics_are_collected_and_work_completes() {
+        let ran = AtomicU32::new(0);
+        let panics = with_pool(3, |pool| {
+            pool.run_splittable(100, vec![(0, 0, 100)], 10, |_, start, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if start == 50 {
+                    panic!("injected grain panic");
+                }
+            })
+        });
+        assert_eq!(panics.len(), 1);
+        assert_eq!(ran.load(Ordering::Relaxed), 10, "all grains still ran");
+    }
+
+    #[test]
+    fn splittable_empty_and_inline() {
+        with_pool(4, |pool| {
+            let panics = pool.run_splittable(0, Vec::new(), 8, |_, _, _| {});
+            assert!(panics.is_empty());
+            assert_eq!(pool.stats().spawned, 0, "no work, no threads");
+        });
+        // Single-lane pools run spans inline without splitting.
+        let stats = with_pool(1, |pool| {
+            let panics = pool.run_splittable(64, vec![(0, 0, 64)], 4, |lane, _, _| {
+                assert_eq!(lane, 0);
+            });
+            assert!(panics.is_empty());
+            pool.stats()
+        });
+        assert_eq!(stats.steals + stats.splits, 0);
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters() {
+        with_pool(2, |pool| {
+            pool.run_batch(vec![1u8, 2, 3], |_, x| x);
+            let base = pool.stats();
+            pool.run_batch(vec![4u8, 5], |_, x| x);
+            let delta = pool.stats().since(&base);
+            assert_eq!(delta.batches, 1);
+            assert_eq!(delta.caller_jobs + delta.worker_jobs, 2);
+            assert_eq!(delta.lane_jobs.iter().sum::<u64>(), 2);
+            assert_eq!(delta.workers, 2, "workers is a level, not a counter");
+        });
+    }
+
+    #[test]
+    fn single_lane_stats_shape() {
+        let s = PoolStats::single_lane();
+        assert_eq!(s.workers, 1);
+        assert_eq!(s.lane_jobs, vec![0]);
+        assert_eq!(s.steals + s.splits + s.failed_steals, 0);
     }
 }

@@ -19,12 +19,30 @@
 //! [`crate::robust::Provenance`] and the engine bench report. A cache
 //! handle in [`crate::robust::RobustConfig`] can be shared across
 //! queries — states revisited by later queries (or later Monte-Carlo
-//! samples) stop recomputing successor distributions entirely.
+//! samples) stop recomputing successor distributions entirely. Long-
+//! lived shared caches can bound their transition table with
+//! [`EngineCache::bounded`]; evictions show up in
+//! [`CacheStats::evictions`] and never change results.
+//!
+//! [`LaneMemo`] is the unsynchronized L1 in front of an [`EngineCache`]
+//! that each work-stealing pool lane owns during a pooled expansion.
+//! Chunk affinity keeps a lane's working set repetitive, so most
+//! lookups are answered by a plain hash probe with no `RwLock` traffic
+//! and no shared-counter contention; misses fall through to the shared
+//! cache as usual. Unlike the shared cache — which stores verbatim,
+//! weight-type-agnostic `Disc`s so one table can serve every engine
+//! instantiation — a lane memo is scoped to one expansion with one
+//! weight type, so it stores **decoded** entries: probabilities
+//! pre-lifted through the engine's `lift` function and successor
+//! states pre-zipped with their interned ids. Decoding is a pure
+//! function of the shared entry, computed once per key, so a decoded
+//! hit yields bit-identical weights to re-lifting per node.
 
+use crate::error::EngineError;
 use crate::scheduler::Scheduler;
-use dpioa_core::fxhash::FxBuildHasher;
+use dpioa_core::fxhash::{FxBuildHasher, FxHashMap};
 use dpioa_core::{Action, Automaton, CacheStats, IValue, TransEntry, TransitionCache, Value};
-use dpioa_prob::SubDisc;
+use dpioa_prob::{SubDisc, Weight};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -50,13 +68,25 @@ impl Default for EngineCache {
 }
 
 impl EngineCache {
-    /// An empty cache.
+    /// An empty cache with an unbounded transition table.
     pub fn new() -> EngineCache {
         EngineCache {
             transitions: TransitionCache::new(),
             choices: (0..CHOICE_SHARDS).map(|_| ChoiceShard::default()).collect(),
             choice_hits: AtomicU64::new(0),
             choice_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty cache whose transition table is bounded to roughly
+    /// `max_entries` memoized pairs (clock/second-chance eviction, see
+    /// [`TransitionCache::bounded`]). The choice table stays unbounded:
+    /// it is keyed per `(step, state)` and bounded by `horizon ×
+    /// reachable states`, far smaller than the transition table.
+    pub fn bounded(max_entries: usize) -> EngineCache {
+        EngineCache {
+            transitions: TransitionCache::bounded(max_entries),
+            ..EngineCache::new()
         }
     }
 
@@ -106,24 +136,30 @@ impl EngineCache {
         guard.entry((step, id)).or_insert(computed).clone()
     }
 
-    /// Hit/miss counters of the transition table alone.
+    /// Hit/miss/eviction counters of the transition table alone.
     pub fn transition_stats(&self) -> CacheStats {
         self.transitions.stats()
     }
 
-    /// Hit/miss counters of the choice table alone.
+    /// Hit/miss counters of the choice table alone (never evicts).
     pub fn choice_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.choice_hits.load(Ordering::Relaxed),
             misses: self.choice_misses.load(Ordering::Relaxed),
+            evictions: 0,
         }
     }
 
-    /// Combined hit/miss counters (transitions + choices). Snapshot
-    /// before and after a query and diff with [`CacheStats::since`] to
-    /// attribute activity to that query.
+    /// Combined counters (transitions + choices). Snapshot before and
+    /// after a query and diff with [`CacheStats::since`] to attribute
+    /// activity to that query.
     pub fn stats(&self) -> CacheStats {
         self.transition_stats().plus(self.choice_stats())
+    }
+
+    /// The transition-table entry bound, when one was set.
+    pub fn transition_capacity(&self) -> Option<usize> {
+        self.transitions.capacity()
     }
 
     /// Distinct `(state, action)` transition entries memoized.
@@ -141,6 +177,403 @@ impl std::fmt::Debug for EngineCache {
     }
 }
 
+/// Entries each of a [`LaneMemo`]'s tables holds before resetting (the
+/// reset keeps the hot path to one hash probe; re-misses are answered
+/// by the shared cache without recomputation).
+pub const LANE_CHOICE_CAP: usize = 4 * 1024;
+
+/// Entry cap of a [`LaneMemo`]'s decoded transition table.
+pub const LANE_TRANS_CAP: usize = 8 * 1024;
+
+/// Entry cap of a [`LaneMemo`]'s compiled tail-template table (each
+/// entry is a whole flattened subtree, so the cap is smaller).
+pub const LANE_TAIL_CAP: usize = 1024;
+
+/// A memoryless scheduler choice decoded for one engine instantiation:
+/// the halt weight and every action probability already lifted into
+/// `W`, in the exact order the shared `SubDisc` iterates. Produced by
+/// [`LaneMemo::choice`].
+pub struct LaneChoice<W> {
+    /// The scheduler halts at this `(step, state)` with probability 1.
+    pub is_halt: bool,
+    /// Lifted halt weight (`None` exactly when `is_halt` — the lift is
+    /// skipped then, as in the undecoded engines).
+    pub halt: Option<W>,
+    /// Support actions with lifted probabilities, in `SubDisc` order.
+    pub acts: Vec<(Action, W)>,
+}
+
+/// A successor distribution decoded for one engine instantiation: each
+/// support state pre-zipped with its interned id and its probability
+/// lifted into `W`, in the exact order the shared [`TransEntry`]
+/// iterates. Produced by [`LaneMemo::successors`].
+pub struct LaneTrans<W> {
+    /// `(successor state, interned id, lifted probability)` triples.
+    pub succ: Vec<(Value, IValue, W)>,
+}
+
+/// What a tail-subtree node emits into its depth's terminal segment
+/// when reached (see [`TailTemplate`]).
+pub(crate) enum TailHalt<W> {
+    /// Non-halting node: emit nothing, children follow.
+    Continue,
+    /// The scheduler halts with probability 1: emit the node's own
+    /// `(execution, weight)`; no children follow in the template.
+    Full,
+    /// Partial halt: emit `weight · halt`, then children follow.
+    Partial(W),
+}
+
+/// One DFS-ordered edge of a compiled tail subtree: the transition into
+/// a node at relative `depth`, with the scheduler probability `p` of
+/// `action` at the parent and the transition probability `r` of landing
+/// in `value` — both pre-lifted — plus what the node emits on arrival.
+pub(crate) struct TailStep<W> {
+    pub(crate) depth: u8,
+    pub(crate) action: Action,
+    pub(crate) value: Value,
+    pub(crate) p: W,
+    pub(crate) r: W,
+    pub(crate) halt: TailHalt<W>,
+}
+
+/// A **compiled tail**: the entire remaining subtree of a `(step,
+/// state)` pair sitting `depths` steps from the horizon, flattened in
+/// DFS pre-order. Replaying it against a concrete frontier node is
+/// pure straight-line work — one `Execution::extend` and two weight
+/// multiplications per edge, no cache probes, no scheduler calls — and
+/// emits terminals in exactly the per-depth sequential order (DFS
+/// pre-order restricted to a depth *is* that depth's frontier order).
+/// Only built when every node in the subtree has a memoryless choice;
+/// one history-dependent `(step, state)` anywhere makes the whole
+/// template `None` and callers fall back to per-node expansion.
+pub(crate) struct TailTemplate<W> {
+    /// What the root node itself emits at relative depth 0.
+    pub(crate) root_halt: TailHalt<W>,
+    /// The subtree edges, DFS pre-order, children right after parents.
+    pub(crate) steps: Vec<TailStep<W>>,
+}
+
+/// Compile the tail subtree of `(step, state)` down to the horizon
+/// (`depths` levels below `step`), or `None` if any reachable
+/// `(step', state')` in it is history-dependent. Weights are decoded
+/// through the same [`decode_choice`]/[`decode_trans`] paths the
+/// per-node engines use, so a replayed template multiplies bit-identical
+/// factors in the identical order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_tail_template<W: Weight>(
+    shared: &EngineCache,
+    sched: &dyn Scheduler,
+    auto: &dyn Automaton,
+    step: usize,
+    state: &Value,
+    id: IValue,
+    depths: usize,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+) -> Result<Option<TailTemplate<W>>, EngineError> {
+    let Some(root) = decode_choice(shared, sched, auto, step, state, id, lift)? else {
+        return Ok(None);
+    };
+    let (root_halt, expand_root) = emit_of(&root);
+    let mut steps = Vec::new();
+    if expand_root
+        && !fill_tail(
+            shared, sched, auto, step, 1, depths, state, id, &root, lift, &mut steps,
+        )?
+    {
+        return Ok(None);
+    }
+    Ok(Some(TailTemplate { root_halt, steps }))
+}
+
+/// The per-lane compilation state of one `(step, state)` tail key (see
+/// [`lane_tail`]). Compilation is **two-touch**: the first sighting
+/// only marks the key, the second compiles. On workloads whose state
+/// space explodes (every frontier node a fresh state, e.g. a composed
+/// coin bank) each key is seen exactly once per query, so the lane
+/// never pays for a template it would never replay — those nodes take
+/// the per-node fallback path, which costs the same as the sequential
+/// engine.
+pub(crate) enum TailSlot<W> {
+    /// Key seen once; compile if it is ever probed again.
+    Seen,
+    /// Compilation ran and found a history-dependent node — the
+    /// subtree can never be templated, stop trying.
+    Absent,
+    /// Compiled and ready to replay.
+    Ready(Arc<TailTemplate<W>>),
+}
+
+/// [`build_tail_template`] behind a [`LaneMemo`] probe: compiled on the
+/// second sighting of a `(step, state)` pair per lane (see
+/// [`TailSlot`]), then replayed by handle. `Ok(None)` sends the caller
+/// to the per-node fallback expansion, which is bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lane_tail<W: Weight>(
+    lane: &mut LaneMemo<W>,
+    shared: &EngineCache,
+    sched: &dyn Scheduler,
+    auto: &dyn Automaton,
+    step: usize,
+    state: &Value,
+    id: IValue,
+    depths: usize,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+) -> Result<Option<Arc<TailTemplate<W>>>, EngineError> {
+    match lane.tails.get(&(step, id)) {
+        Some(TailSlot::Ready(tpl)) => return Ok(Some(tpl.clone())),
+        Some(TailSlot::Absent) => return Ok(None),
+        Some(TailSlot::Seen) => {
+            let built = build_tail_template(shared, sched, auto, step, state, id, depths, lift)?
+                .map(Arc::new);
+            let slot = match &built {
+                Some(tpl) => TailSlot::Ready(tpl.clone()),
+                None => TailSlot::Absent,
+            };
+            lane.tails.insert((step, id), slot);
+            return Ok(built);
+        }
+        None => {}
+    }
+    if lane.tails.len() >= lane.tail_cap {
+        lane.tails.clear();
+    }
+    lane.tails.insert((step, id), TailSlot::Seen);
+    Ok(None)
+}
+
+/// The emission of a decoded choice, plus whether children follow.
+fn emit_of<W: Weight>(choice: &LaneChoice<W>) -> (TailHalt<W>, bool) {
+    if choice.is_halt {
+        return (TailHalt::Full, false);
+    }
+    let halt = choice.halt.as_ref().expect("non-halt choice lifts halt");
+    if halt.is_zero() {
+        (TailHalt::Continue, true)
+    } else {
+        (TailHalt::Partial(halt.clone()), true)
+    }
+}
+
+/// Append the depth-`child_depth` children of one tail node (and,
+/// recursively, their subtrees) to `steps`. Returns `Ok(false)` when a
+/// history-dependent `(step, state)` is reached — the template cannot
+/// be compiled.
+#[allow(clippy::too_many_arguments)]
+fn fill_tail<W: Weight>(
+    shared: &EngineCache,
+    sched: &dyn Scheduler,
+    auto: &dyn Automaton,
+    base_step: usize,
+    child_depth: usize,
+    depths: usize,
+    parent_state: &Value,
+    parent_id: IValue,
+    parent_choice: &LaneChoice<W>,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+    steps: &mut Vec<TailStep<W>>,
+) -> Result<bool, EngineError> {
+    for (a, p) in &parent_choice.acts {
+        let Some(entry) = decode_trans(shared, auto, parent_state, parent_id, *a, lift)? else {
+            return Err(crate::error::disabled_action(sched, *a, parent_state));
+        };
+        for (q2, id2, r) in &entry.succ {
+            if child_depth == depths {
+                // Horizon leaf: emitted unconditionally on replay.
+                steps.push(TailStep {
+                    depth: child_depth as u8,
+                    action: *a,
+                    value: q2.clone(),
+                    p: p.clone(),
+                    r: r.clone(),
+                    halt: TailHalt::Continue,
+                });
+                continue;
+            }
+            let Some(choice) =
+                decode_choice(shared, sched, auto, base_step + child_depth, q2, *id2, lift)?
+            else {
+                return Ok(false);
+            };
+            let (halt, expand) = emit_of(&choice);
+            steps.push(TailStep {
+                depth: child_depth as u8,
+                action: *a,
+                value: q2.clone(),
+                p: p.clone(),
+                r: r.clone(),
+                halt,
+            });
+            if expand
+                && !fill_tail(
+                    shared,
+                    sched,
+                    auto,
+                    base_step,
+                    child_depth + 1,
+                    depths,
+                    q2,
+                    *id2,
+                    &choice,
+                    lift,
+                    steps,
+                )?
+            {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// One pool lane's unsynchronized L1 over a shared [`EngineCache`]:
+/// the same two tables (transitions, memoryless choices) as decoded
+/// entries ([`LaneTrans`], [`LaneChoice`]) — no locks, no shared
+/// counters, no per-node re-lifting. L1 hits are invisible to
+/// [`EngineCache::stats`]; misses fall through (and are counted there
+/// as usual), decode once, and are cached locally. Decoding is
+/// deterministic, so decoded weights are bit-identical to what the
+/// sequential engines compute per node.
+pub struct LaneMemo<W> {
+    // pub(crate): the pooled grain loop in `measure` probes the two
+    // tables through disjoint field borrows (choice held while the
+    // transition table is probed mutably) — a shape method calls
+    // cannot express without cloning an `Arc` per node.
+    pub(crate) trans: FxHashMap<(IValue, Action), Option<Arc<LaneTrans<W>>>>,
+    pub(crate) choices: FxHashMap<(usize, IValue), Option<Arc<LaneChoice<W>>>>,
+    pub(crate) tails: FxHashMap<(usize, IValue), TailSlot<W>>,
+    pub(crate) trans_cap: usize,
+    pub(crate) choice_cap: usize,
+    pub(crate) tail_cap: usize,
+}
+
+impl<W: Weight> Default for LaneMemo<W> {
+    fn default() -> LaneMemo<W> {
+        LaneMemo::new()
+    }
+}
+
+/// Decode one shared transition entry for a `W` instantiation (the
+/// miss path of [`LaneMemo::successors`]).
+pub(crate) fn decode_trans<W: Weight>(
+    shared: &EngineCache,
+    auto: &dyn Automaton,
+    state: &Value,
+    id: IValue,
+    action: Action,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+) -> Result<Option<Arc<LaneTrans<W>>>, EngineError> {
+    match shared.successors(auto, state, id, action) {
+        None => Ok(None),
+        Some(entry) => {
+            let mut succ = Vec::with_capacity(entry.ids.len());
+            for ((q2, r), id2) in entry.eta.iter().zip(entry.ids.iter()) {
+                succ.push((q2.clone(), *id2, lift(r.to_f64())?));
+            }
+            Ok(Some(Arc::new(LaneTrans { succ })))
+        }
+    }
+}
+
+/// Decode one shared memoryless choice for a `W` instantiation (the
+/// miss path of [`LaneMemo::choice`]).
+pub(crate) fn decode_choice<W: Weight>(
+    shared: &EngineCache,
+    sched: &dyn Scheduler,
+    auto: &dyn Automaton,
+    step: usize,
+    state: &Value,
+    id: IValue,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+) -> Result<Option<Arc<LaneChoice<W>>>, EngineError> {
+    match shared.memoryless_choice(sched, auto, step, state, id) {
+        None => Ok(None),
+        Some(sd) => {
+            if sd.is_halt() {
+                return Ok(Some(Arc::new(LaneChoice {
+                    is_halt: true,
+                    halt: None,
+                    acts: Vec::new(),
+                })));
+            }
+            let halt = lift(sd.halt_prob().to_f64())?;
+            let mut acts = Vec::new();
+            for (&a, p) in sd.iter() {
+                acts.push((a, lift(p.to_f64())?));
+            }
+            Ok(Some(Arc::new(LaneChoice {
+                is_halt: false,
+                halt: Some(halt),
+                acts,
+            })))
+        }
+    }
+}
+
+impl<W: Weight> LaneMemo<W> {
+    /// An empty lane memo with the default caps.
+    pub fn new() -> LaneMemo<W> {
+        LaneMemo {
+            trans: FxHashMap::default(),
+            choices: FxHashMap::default(),
+            tails: FxHashMap::default(),
+            trans_cap: LANE_TRANS_CAP,
+            choice_cap: LANE_CHOICE_CAP,
+            tail_cap: LANE_TAIL_CAP,
+        }
+    }
+
+    /// [`EngineCache::successors`] through this lane's L1, decoded:
+    /// `None` means the action is disabled in `state`. `lift` must be
+    /// the engine's weight lift; it is applied once per entry, on the
+    /// decode miss.
+    pub fn successors(
+        &mut self,
+        shared: &EngineCache,
+        auto: &dyn Automaton,
+        state: &Value,
+        id: IValue,
+        action: Action,
+        lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+    ) -> Result<Option<Arc<LaneTrans<W>>>, EngineError> {
+        if let Some(hit) = self.trans.get(&(id, action)) {
+            return Ok(hit.clone());
+        }
+        let decoded = decode_trans(shared, auto, state, id, action, lift)?;
+        if self.trans.len() >= self.trans_cap {
+            self.trans.clear();
+        }
+        self.trans.insert((id, action), decoded.clone());
+        Ok(decoded)
+    }
+
+    /// [`EngineCache::memoryless_choice`] through this lane's L1,
+    /// decoded: `None` means the scheduler is history-dependent at this
+    /// `(step, state)` (callers fall back to the per-execution
+    /// [`Scheduler::schedule`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn choice(
+        &mut self,
+        shared: &EngineCache,
+        sched: &dyn Scheduler,
+        auto: &dyn Automaton,
+        step: usize,
+        state: &Value,
+        id: IValue,
+        lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+    ) -> Result<Option<Arc<LaneChoice<W>>>, EngineError> {
+        if let Some(hit) = self.choices.get(&(step, id)) {
+            return Ok(hit.clone());
+        }
+        let decoded = decode_choice(shared, sched, auto, step, state, id, lift)?;
+        if self.choices.len() >= self.choice_cap {
+            self.choices.clear();
+        }
+        self.choices.insert((step, id), decoded.clone());
+        Ok(decoded)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +583,14 @@ mod tests {
 
     fn act(s: &str) -> Action {
         Action::named(s)
+    }
+
+    fn stats(hits: u64, misses: u64) -> CacheStats {
+        CacheStats {
+            hits,
+            misses,
+            evictions: 0,
+        }
     }
 
     fn coin() -> ExplicitAutomaton {
@@ -180,7 +621,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let fresh = FirstEnabled.schedule_memoryless(&auto, 0, &q).unwrap();
         assert_eq!(*a, fresh);
-        assert_eq!(cache.choice_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.choice_stats(), stats(1, 1));
     }
 
     #[test]
@@ -194,7 +635,7 @@ mod tests {
         let id = IValue::of(&q);
         assert!(cache.memoryless_choice(&sched, &auto, 0, &q, id).is_none());
         assert!(cache.memoryless_choice(&sched, &auto, 0, &q, id).is_none());
-        assert_eq!(cache.choice_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.choice_stats(), stats(1, 1));
     }
 
     #[test]
@@ -207,7 +648,98 @@ mod tests {
         cache.successors(&auto, &q, id, act("c-flip"));
         cache.memoryless_choice(&FirstEnabled, &auto, 0, &q, id);
         let s = cache.stats();
-        assert_eq!(s, CacheStats { hits: 1, misses: 2 });
+        assert_eq!(s, stats(1, 2));
         assert_eq!(cache.transition_entries(), 1);
+    }
+
+    #[test]
+    fn bounded_engine_cache_reports_capacity_and_evictions() {
+        let cache = EngineCache::bounded(32);
+        assert_eq!(cache.transition_capacity(), Some(32));
+        assert_eq!(EngineCache::new().transition_capacity(), None);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn lane_memo_decodes_once_and_skips_shared_counters() {
+        let auto = coin();
+        let shared = EngineCache::new();
+        let mut lane: LaneMemo<f64> = LaneMemo::new();
+        let q = Value::int(0);
+        let id = IValue::of(&q);
+        let lift = |x: f64| Ok(x);
+        let t1 = lane
+            .successors(&shared, &auto, &q, id, act("c-flip"), lift)
+            .unwrap()
+            .unwrap();
+        let t2 = lane
+            .successors(&shared, &auto, &q, id, act("c-flip"), lift)
+            .unwrap()
+            .unwrap();
+        // The decoded entry is built once and re-served by handle.
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(shared.transition_stats(), stats(0, 1));
+        // Decoded successors mirror the shared entry exactly: same
+        // order, same states, same ids, identity-lifted weights.
+        let direct = shared.successors(&auto, &q, id, act("c-flip")).unwrap();
+        assert_eq!(t1.succ.len(), direct.ids.len());
+        for ((q2, id2, r), ((dq, dr), did)) in
+            t1.succ.iter().zip(direct.eta.iter().zip(direct.ids.iter()))
+        {
+            assert_eq!(q2, dq);
+            assert_eq!(id2, did);
+            assert_eq!(r.to_bits(), dr.to_bits());
+        }
+        let c1 = lane
+            .choice(&shared, &FirstEnabled, &auto, 0, &q, id, lift)
+            .unwrap()
+            .unwrap();
+        let c2 = lane
+            .choice(&shared, &FirstEnabled, &auto, 0, &q, id, lift)
+            .unwrap()
+            .unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2));
+        assert_eq!(shared.choice_stats(), stats(0, 1));
+        assert!(!c1.is_halt);
+        let fresh = FirstEnabled.schedule_memoryless(&auto, 0, &q).unwrap();
+        assert_eq!(
+            c1.halt.unwrap().to_bits(),
+            fresh.halt_prob().to_bits(),
+            "decoded halt weight must be the bit-exact lift of the shared one"
+        );
+        let fresh_acts: Vec<(Action, f64)> = fresh.iter().map(|(&a, &p)| (a, p)).collect();
+        assert_eq!(c1.acts, fresh_acts);
+    }
+
+    #[test]
+    fn lane_memo_caches_disabled_and_history_dependent_as_none() {
+        let auto = coin();
+        let shared = EngineCache::new();
+        let mut lane: LaneMemo<f64> = LaneMemo::new();
+        let q = Value::int(1);
+        let id = IValue::of(&q);
+        let lift = |x: f64| Ok(x);
+        // `c-flip` is not enabled in state 1: decoded as None, cached.
+        assert!(lane
+            .successors(&shared, &auto, &q, id, act("c-flip"), lift)
+            .unwrap()
+            .is_none());
+        assert!(lane
+            .successors(&shared, &auto, &q, id, act("c-flip"), lift)
+            .unwrap()
+            .is_none());
+        assert_eq!(shared.transition_stats(), stats(0, 1));
+        let memoryful = DeterministicScheduler::new("memoryful", |_, enabled: &[Action]| {
+            enabled.first().copied()
+        });
+        assert!(lane
+            .choice(&shared, &memoryful, &auto, 0, &q, id, lift)
+            .unwrap()
+            .is_none());
+        assert!(lane
+            .choice(&shared, &memoryful, &auto, 0, &q, id, lift)
+            .unwrap()
+            .is_none());
+        assert_eq!(shared.choice_stats(), stats(0, 1));
     }
 }

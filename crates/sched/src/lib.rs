@@ -48,7 +48,7 @@ pub mod scheduler;
 pub mod schema;
 
 pub use bounded::BoundedScheduler;
-pub use cache::EngineCache;
+pub use cache::{EngineCache, LaneMemo};
 pub use error::{disabled_action, Budget, EngineError};
 pub use lumped::{
     lumped_observation_dist, try_lumped_observation_dist, try_lumped_observation_dist_cached,
@@ -59,7 +59,7 @@ pub use measure::{
     try_execution_measure_exact, try_execution_measure_in, try_execution_measure_parallel,
     try_execution_measure_parallel_in, try_execution_measure_pooled,
     try_execution_measure_pooled_in, try_execution_measure_pooled_with, ConeIndex, ExactStats,
-    ExecutionMeasure, ParallelPolicy, SEQ_CUTOVER_PER_LANE,
+    ExecutionMeasure, ParallelPolicy, DEFAULT_SPLIT_UNIT, SEQ_CUTOVER_PER_LANE,
 };
 pub use robust::{robust_observation_dist, EngineKind, Provenance, RobustConfig};
 pub use sample::{

@@ -20,16 +20,18 @@
 //! turns into a Monte-Carlo fallback. The panicking wrappers are kept
 //! for call sites that treat these failures as model bugs.
 
-use crate::cache::EngineCache;
+use crate::cache::{
+    decode_choice, decode_trans, lane_tail, EngineCache, LaneMemo, TailHalt, TailTemplate,
+};
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::FxHashMap;
 use dpioa_core::memo::CacheStats;
-use dpioa_core::pool::{with_pool, PoolStats, WorkerPool};
+use dpioa_core::pool::{with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SEED};
 use dpioa_core::{Action, Automaton, Execution, IValue, Value};
 use dpioa_prob::{Disc, Ratio, SubDisc, Weight};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The finite-horizon description of `ε_σ`: terminal executions with
 /// their probabilities, summing to one.
@@ -285,17 +287,45 @@ pub fn execution_measure_exact(
 /// fault-walk); override via [`ParallelPolicy::new`].
 pub const SEQ_CUTOVER_PER_LANE: usize = 128;
 
+/// Default steal-split granularity: a stolen span is subdivided down to
+/// (roughly) this many frontier nodes per grain. Large enough that the
+/// per-grain bookkeeping (one atomic add, one contribution record, the
+/// output vec allocations) amortizes; small enough that a hot span
+/// redistributes. Retuned from 64 after the throttled-wakeup rework:
+/// grains this size keep the caller's drain loop out of the deque
+/// locks long enough to matter, and split-on-steal still subdivides a
+/// stolen span down to `unit` for idle lanes.
+pub const DEFAULT_SPLIT_UNIT: usize = 256;
+
+/// Once a pooled frontier is within this many steps of the horizon,
+/// each grain expands its entire remaining subtree in-grain
+/// ([`expand_tail_grain`]) instead of round-tripping the last few
+/// frontiers through dispatch/merge. With fanout-two workloads the
+/// tail holds the overwhelming majority of the cone tree's nodes
+/// (about `1 - 2^-K` of them), so this is where the pooled engine
+/// earns its speedup; the per-depth segment merge keeps the result
+/// bit-identical to sequential expansion.
+const TAIL_DEPTHS: usize = 5;
+
 /// How the pooled exact engine dispatches each frontier depth:
-/// sequentially inline below the cutover, fanned out over the worker
-/// pool at or above it. This is the adaptive replacement for the old
-/// fixed spawn threshold — with a lazily-spawning pool, a query whose
-/// frontiers never reach `seq_cutover` pays **zero** thread overhead.
+/// sequentially inline below the cutover, fanned out as splittable
+/// spans over the work-stealing pool at or above it. This is the
+/// adaptive replacement for the old fixed spawn threshold — with a
+/// lazily-spawning pool, a query whose frontiers never reach
+/// `seq_cutover` pays **zero** thread overhead.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ParallelPolicy {
     /// Parallel lanes requested (caller included). `1` never pools.
     pub threads: usize,
     /// Minimum frontier size for a depth to be pooled.
     pub seq_cutover: usize,
+    /// Steal-split granularity in frontier nodes (see
+    /// [`DEFAULT_SPLIT_UNIT`]); clamped to at least 1.
+    pub split_unit: usize,
+    /// Seed for the pool's deterministic steal-victim RNG. Only the
+    /// schedule of steals depends on it — results never do (the
+    /// bit-identity proptests sweep seeds).
+    pub steal_seed: u64,
 }
 
 impl ParallelPolicy {
@@ -304,16 +334,19 @@ impl ParallelPolicy {
         ParallelPolicy {
             threads: threads.max(1),
             seq_cutover,
+            split_unit: DEFAULT_SPLIT_UNIT,
+            steal_seed: DEFAULT_STEAL_SEED,
         }
     }
 
-    /// The calibrated policy for `threads` requested lanes: lanes are
-    /// clamped to the machine's available parallelism (asking a 1-core
-    /// box for 4 workers only adds contention) and the cutover scales
-    /// per lane ([`SEQ_CUTOVER_PER_LANE`]).
+    /// The calibrated policy for `threads` requested lanes: the cutover
+    /// scales per lane ([`SEQ_CUTOVER_PER_LANE`]). Lanes are **not**
+    /// clamped to `available_parallelism` — with work-stealing deques
+    /// an overcommitted lane is just a deque another lane drains, and
+    /// containerized bench boxes routinely under-report their
+    /// parallelism. The cutover still keeps small queries inline.
     pub fn auto(threads: usize) -> ParallelPolicy {
-        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let lanes = threads.clamp(1, avail);
+        let lanes = threads.max(1);
         ParallelPolicy {
             threads: lanes,
             seq_cutover: if lanes <= 1 {
@@ -321,6 +354,8 @@ impl ParallelPolicy {
             } else {
                 SEQ_CUTOVER_PER_LANE * lanes
             },
+            split_unit: DEFAULT_SPLIT_UNIT,
+            steal_seed: DEFAULT_STEAL_SEED,
         }
     }
 
@@ -329,7 +364,22 @@ impl ParallelPolicy {
         ParallelPolicy {
             threads: 1,
             seq_cutover: usize::MAX,
+            split_unit: DEFAULT_SPLIT_UNIT,
+            steal_seed: DEFAULT_STEAL_SEED,
         }
+    }
+
+    /// This policy with a different steal-split granularity.
+    pub fn with_split_unit(self, split_unit: usize) -> ParallelPolicy {
+        ParallelPolicy {
+            split_unit: split_unit.max(1),
+            ..self
+        }
+    }
+
+    /// This policy with a different steal-RNG seed.
+    pub fn with_steal_seed(self, steal_seed: u64) -> ParallelPolicy {
+        ParallelPolicy { steal_seed, ..self }
     }
 }
 
@@ -337,7 +387,7 @@ impl ParallelPolicy {
 /// records and bench output.
 ///
 /// [`Provenance`]: crate::robust::Provenance
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExactStats {
     /// Lanes used on pooled depths (1 when every depth stayed inline).
     pub threads: usize,
@@ -355,15 +405,48 @@ pub struct ExactStats {
 /// (so cache lookups never re-hash), and its cone weight.
 type Node<W> = (Execution, IValue, W);
 
-/// One worker's share of a depth step: the executions that terminated in
-/// this chunk, and the chunk's contribution to the next frontier.
-type DepthBatch<W> = (Vec<(Execution, W)>, Vec<Node<W>>);
+/// One grain's output at a pooled depth: the frontier range it covered
+/// (identified by `start`), the lane that ran it, its per-depth
+/// terminal segments, and its contribution to the next frontier.
+///
+/// `segs[k]` holds the executions that terminate `k` steps past this
+/// grain's frontier depth. On a normal pooled depth `segs` has length
+/// 1 (only this depth's halts); within [`TAIL_DEPTHS`] of the horizon
+/// the grain expands its whole remaining subtree in place
+/// ([`expand_tail_grain`]) and `segs` has one slot per remaining depth.
+/// Sorting grains by `start` and concatenating segment `k` across all
+/// grains, for `k = 0, 1, …`, reproduces exactly the per-depth
+/// sequential processing order (see the determinism note on
+/// [`try_execution_measure_pooled_with`]).
+struct Contribution<W> {
+    start: usize,
+    lane: usize,
+    segs: Vec<Vec<(Execution, W)>>,
+    next: Vec<Node<W>>,
+}
+
+/// Split `0..len` into `lanes` near-even contiguous spans, span `j`
+/// placed on lane `j` — the affinity-free fallback placement for the
+/// first pooled depth (or after an inline depth).
+fn even_spans(len: usize, lanes: usize) -> Vec<(usize, usize, usize)> {
+    let chunk = len.div_ceil(lanes.max(1)).max(1);
+    let mut spans = Vec::new();
+    let mut start = 0;
+    while start < len {
+        let take = chunk.min(len - start);
+        spans.push((spans.len(), start, take));
+        start += take;
+    }
+    spans
+}
 
 /// Expand one frontier node into a (worker-local) terminal/next pair,
 /// resolving the scheduler choice and the successor distribution
-/// through the [`EngineCache`]. Bit-identical to the uncached engines:
-/// cached `Disc`s are stored verbatim and the memoryless-choice memo is
-/// licensed by the [`Scheduler::schedule_memoryless`] exactness
+/// through the shared [`EngineCache`] — the inline-depth path.
+/// `ordinal` is this node's position in the global expansion count
+/// (for budget accounting). Bit-identical to the uncached engines:
+/// cached `Disc`s are stored verbatim and the memoryless-choice memo
+/// is licensed by the [`Scheduler::schedule_memoryless`] exactness
 /// contract.
 #[allow(clippy::too_many_arguments)]
 fn expand_node<W: Weight>(
@@ -372,7 +455,7 @@ fn expand_node<W: Weight>(
     cache: &EngineCache,
     budget: &Budget,
     horizon: usize,
-    expansions: &AtomicUsize,
+    ordinal: usize,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
     node: &Node<W>,
     entries_base: usize,
@@ -380,8 +463,7 @@ fn expand_node<W: Weight>(
     next: &mut Vec<Node<W>>,
 ) -> Result<(), EngineError> {
     let (exec, id, weight) = node;
-    let n = expansions.fetch_add(1, Ordering::Relaxed) + 1;
-    budget.check(entries_base + terminal.len(), n)?;
+    budget.check(entries_base + terminal.len(), ordinal)?;
     if exec.len() >= horizon {
         terminal.push((exec.clone(), weight.clone()));
         return Ok(());
@@ -417,23 +499,348 @@ fn expand_node<W: Weight>(
     Ok(())
 }
 
+/// [`expand_node`] for a pooled grain on a *normal* depth (more than
+/// [`TAIL_DEPTHS`] steps from the horizon): lookups go through the
+/// lane's decoded L1 ([`LaneMemo`]) — plain hash probes, probabilities
+/// already lifted — and every child goes to the next frontier.
+///
+/// Bit-identity: decoded weights are the same lifts the shared path
+/// computes per node and the per-entry `weight.mul(&p).mul(&r)` order
+/// is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn expand_node_lane<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    shared: &EngineCache,
+    lane: &mut LaneMemo<W>,
+    budget: &Budget,
+    ordinal: usize,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+    node: &Node<W>,
+    entries_base: usize,
+    terminal: &mut Vec<(Execution, W)>,
+    next: &mut Vec<Node<W>>,
+) -> Result<(), EngineError> {
+    let (exec, id, weight) = node;
+    budget.check(entries_base + terminal.len(), ordinal)?;
+    let step = exec.len();
+    // Disjoint field borrows: the decoded choice stays borrowed from
+    // `choices` while `trans` is probed mutably per action — no `Arc`
+    // clones on the hit path (the whole point of the L1).
+    let LaneMemo {
+        trans,
+        choices,
+        trans_cap,
+        choice_cap,
+        ..
+    } = lane;
+    if choices.len() >= *choice_cap {
+        choices.clear();
+    }
+    let cached = match choices.entry((step, *id)) {
+        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => v.insert(decode_choice(
+            shared,
+            sched,
+            auto,
+            step,
+            exec.lstate(),
+            *id,
+            lift,
+        )?),
+    };
+    if let Some(choice) = cached {
+        if choice.is_halt {
+            terminal.push((exec.clone(), weight.clone()));
+            return Ok(());
+        }
+        let halt = choice.halt.as_ref().expect("non-halt choice lifts halt");
+        if !halt.is_zero() {
+            terminal.push((exec.clone(), weight.mul(halt)));
+        }
+        for (a, p) in &choice.acts {
+            if trans.len() >= *trans_cap {
+                trans.clear();
+            }
+            let slot = match trans.entry((*id, *a)) {
+                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(decode_trans(shared, auto, exec.lstate(), *id, *a, lift)?)
+                }
+            };
+            let Some(entry) = slot else {
+                return Err(disabled_action(sched, *a, exec.lstate()));
+            };
+            for (q2, id2, r) in &entry.succ {
+                next.push((exec.extend(*a, q2.clone()), *id2, weight.mul(p).mul(r)));
+            }
+        }
+        return Ok(());
+    }
+    // History-dependent at this (step, state): ask per execution and
+    // lift per node, exactly like the shared path.
+    let fresh = sched.schedule(auto, exec);
+    if fresh.is_halt() {
+        terminal.push((exec.clone(), weight.clone()));
+        return Ok(());
+    }
+    let halt = lift(fresh.halt_prob().to_f64())?;
+    if !halt.is_zero() {
+        terminal.push((exec.clone(), weight.mul(&halt)));
+    }
+    for (&a, p) in fresh.iter() {
+        let p = lift(p.to_f64())?;
+        if trans.len() >= *trans_cap {
+            trans.clear();
+        }
+        let slot = match trans.entry((*id, a)) {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(decode_trans(shared, auto, exec.lstate(), *id, a, lift)?)
+            }
+        };
+        let Some(entry) = slot else {
+            return Err(disabled_action(sched, a, exec.lstate()));
+        };
+        for (q2, id2, r) in &entry.succ {
+            next.push((exec.extend(a, q2.clone()), *id2, weight.mul(&p).mul(r)));
+        }
+    }
+    Ok(())
+}
+
+/// The tail arm of a pooled grain: the grain's span sits within
+/// [`TAIL_DEPTHS`] steps of the horizon, so each node's entire
+/// remaining subtree is expanded in-grain — none of the last `K`
+/// frontiers (the overwhelming majority of the cone tree's nodes)
+/// round-trips through dispatch/merge. The common path compiles the
+/// `(step, state)` subtree once per lane into a [`TailTemplate`] and
+/// replays it per node ([`replay_tail`]): no cache probes, no
+/// scheduler calls, just extend/multiply/push per edge. Terminals `k`
+/// steps past the grain's frontier depth are emitted into `segs[k]`;
+/// `segs.len()` is the remaining depth count plus one.
+///
+/// Order reproduction: each local level is the sequential engine's
+/// frontier at that depth *restricted to this grain's subtree*, in the
+/// same order (each frontier is the concatenation of the previous
+/// depth's children in parent order — induction over `k`). So the
+/// per-level emission into `segs[k]` reproduces each skipped depth's
+/// sequential order exactly, and the weight products multiply in the
+/// same per-node order as the per-depth engine: dyadic weights stay
+/// bit-identical.
+///
+/// Returns the number of descendant nodes visited past the span itself
+/// — the sequential engine counts each as one frontier-node expansion,
+/// so the grain reserves their ordinals in one batched add.
+#[allow(clippy::too_many_arguments)]
+fn expand_tail_grain<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    shared: &EngineCache,
+    lane: &mut LaneMemo<W>,
+    budget: &Budget,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+    work: &[Node<W>],
+    entries_base: usize,
+    base: usize,
+    segs: &mut [Vec<(Execution, W)>],
+) -> Result<usize, EngineError> {
+    let remaining = segs.len() - 1;
+    if remaining == 0 {
+        // The span already sits at the horizon: unconditional terminal
+        // copies, exactly like the sequential engine's horizon check.
+        let seg = &mut segs[0];
+        for (i, (exec, _id, w)) in work.iter().enumerate() {
+            budget.check(entries_base + seg.len(), base + i + 1)?;
+            seg.push((exec.clone(), w.clone()));
+        }
+        return Ok(0);
+    }
+    let step = work[0].0.len();
+    let mut extra = 0usize;
+    // Replay scratch: `stack[k]` holds the depth-`k` node currently on
+    // the DFS path (slot 0 is re-seeded per frontier node; deeper slots
+    // are always written before they are read). Allocated once per
+    // grain.
+    let mut stack: Vec<(Execution, W)> = vec![(work[0].0.clone(), W::one()); remaining];
+    for (i, (exec, id, weight)) in work.iter().enumerate() {
+        budget.check(
+            entries_base + segs.iter().map(Vec::len).sum::<usize>(),
+            base + i + 1,
+        )?;
+        match lane_tail(
+            lane,
+            shared,
+            sched,
+            auto,
+            step,
+            exec.lstate(),
+            *id,
+            remaining,
+            lift,
+        )? {
+            Some(tpl) => {
+                replay_tail(&tpl, exec, weight, &mut stack, segs);
+                extra += tpl.steps.len();
+            }
+            // No template: the subtree is history-dependent somewhere,
+            // or this is the key's first sighting (two-touch
+            // compilation). Expand this node's cone recursively.
+            None => {
+                extra += expand_node_tail(auto, sched, shared, lift, exec, *id, weight, 0, segs)?;
+            }
+        }
+    }
+    Ok(extra)
+}
+
+/// Replay a compiled [`TailTemplate`] against one concrete frontier
+/// node: straight-line `extend`/multiply/push per edge, emitting each
+/// subtree node's terminals into its depth segment. `stack` must have
+/// one slot per non-horizon depth (`segs.len() - 1`).
+fn replay_tail<W: Weight>(
+    tpl: &TailTemplate<W>,
+    exec: &Execution,
+    weight: &W,
+    stack: &mut [(Execution, W)],
+    segs: &mut [Vec<(Execution, W)>],
+) {
+    match &tpl.root_halt {
+        TailHalt::Full => {
+            segs[0].push((exec.clone(), weight.clone()));
+            return;
+        }
+        TailHalt::Partial(h) => segs[0].push((exec.clone(), weight.mul(h))),
+        TailHalt::Continue => {}
+    }
+    let horizon_depth = segs.len() - 1;
+    stack[0] = (exec.clone(), weight.clone());
+    for s in &tpl.steps {
+        let k = s.depth as usize;
+        let (pe, pw) = &stack[k - 1];
+        let w = pw.mul(&s.p).mul(&s.r);
+        let e = pe.extend(s.action, s.value.clone());
+        if k == horizon_depth {
+            segs[k].push((e, w));
+            continue;
+        }
+        match &s.halt {
+            TailHalt::Full => {
+                segs[k].push((e, w));
+                continue;
+            }
+            TailHalt::Partial(h) => segs[k].push((e.clone(), w.mul(h))),
+            TailHalt::Continue => {}
+        }
+        stack[k] = (e, w);
+    }
+}
+
+/// Per-node tail expansion for subtrees without a template — some
+/// reachable `(step, state)` is history-dependent, or the key was seen
+/// for the first time (two-touch compilation): depth-first recursion,
+/// one scheduler/cache probe per node, emitting into the same
+/// per-depth segments as [`replay_tail`] in the same DFS pre-order.
+///
+/// Deliberately probes the **shared** cache rather than the lane L1:
+/// first-touch keys may never repeat (state-exploding workloads such
+/// as a composed coin bank visit every tail key exactly once), and
+/// decoding them into lane entries would allocate memos that are never
+/// read back. The per-node lifts here compute exactly the weights the
+/// decoded paths pre-store, so either path is bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn expand_node_tail<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    shared: &EngineCache,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+    exec: &Execution,
+    id: IValue,
+    weight: &W,
+    offset: usize,
+    segs: &mut [Vec<(Execution, W)>],
+) -> Result<usize, EngineError> {
+    if offset + 1 == segs.len() {
+        // At the horizon: unconditional terminal copy.
+        segs[offset].push((exec.clone(), weight.clone()));
+        return Ok(0);
+    }
+    let mut extra = 0usize;
+    let cached = shared.memoryless_choice(sched, auto, exec.len(), exec.lstate(), id);
+    let fresh;
+    let choice: &SubDisc<Action> = match &cached {
+        Some(c) => c,
+        // History-dependent at this (step, state): ask per execution.
+        None => {
+            fresh = sched.schedule(auto, exec);
+            &fresh
+        }
+    };
+    if choice.is_halt() {
+        segs[offset].push((exec.clone(), weight.clone()));
+        return Ok(0);
+    }
+    let halt = lift(choice.halt_prob().to_f64())?;
+    if !halt.is_zero() {
+        segs[offset].push((exec.clone(), weight.mul(&halt)));
+    }
+    for (&a, p) in choice.iter() {
+        let p = lift(p.to_f64())?;
+        let Some(entry) = shared.successors(auto, exec.lstate(), id, a) else {
+            return Err(disabled_action(sched, a, exec.lstate()));
+        };
+        for ((q2, r), id2) in entry.eta.iter().zip(entry.ids.iter()) {
+            let r = lift(r.to_f64())?;
+            let w2 = weight.mul(&p).mul(&r);
+            let exec2 = exec.extend(a, q2.clone());
+            extra += 1 + expand_node_tail(
+                auto,
+                sched,
+                shared,
+                lift,
+                &exec2,
+                *id2,
+                &w2,
+                offset + 1,
+                segs,
+            )?;
+        }
+    }
+    Ok(extra)
+}
+
 /// Breadth-first expansion of `ε_σ` on a caller-provided
 /// [`WorkerPool`], memoizing through `cache` — the engine behind the
 /// general-exact tier. Depths below [`ParallelPolicy::seq_cutover`]
-/// expand inline; at or above it the frontier is split into contiguous
-/// chunks fanned out over the pool and merged **in chunk order**, so
-/// the resulting entry list is deterministic (independent of thread
-/// scheduling), and — because model weights are dyadic, hence `f64`
-/// sums are order-exact — the weights are bit-identical to the
-/// sequential engines'. Budget granularity: `expansions` is shared
-/// exactly (one atomic per node); the `entries` count a worker checks
-/// against is the depth-start count plus its own local terminals, so
-/// the entry cap can overshoot by at most one depth's worth of parallel
-/// discoveries.
+/// expand inline; at or above it the frontier is submitted to the pool
+/// as splittable spans placed by **chunk affinity** — the range of the
+/// next frontier produced by lane *i* at depth *d* is enqueued on lane
+/// *i*'s deque at depth *d+1*, so each lane re-expands the successors
+/// it just created (hot interner, memo and allocator state), with a
+/// lane-local [`LaneMemo`] L1 in front of the shared cache. Idle lanes
+/// steal from seeded-RNG-chosen victims and oversized spans split on
+/// steal ([`ParallelPolicy::split_unit`]).
+///
+/// **Determinism:** every grain records its frontier start index;
+/// grains are disjoint and cover the frontier, so sorting the grain
+/// contributions by start index and concatenating reproduces exactly
+/// the sequential processing order — independent of which lane ran
+/// what, of steal/split timing, and of the steal seed. Because model
+/// weights are dyadic, each entry's weight is an order-exact per-node
+/// `f64` product, so the merged measure is bit-identical to the
+/// sequential engines'.
+///
+/// Budget granularity: each grain reserves its expansion ordinals with
+/// one atomic add (instead of one per node), so the expansion cap is
+/// still exact up to grain granularity; the `entries` count a grain
+/// checks against is the depth-start count plus its own local
+/// terminals, so the entry cap can overshoot by at most one depth's
+/// worth of parallel discoveries. After the first budget (or engine)
+/// error, remaining grains of that depth drain without expanding.
 ///
 /// A worker panic (only possible through user code in the automaton,
 /// scheduler or lift function) is resumed on the calling thread after
-/// the depth's surviving chunks are drained.
+/// the depth's surviving grains are drained.
 #[allow(clippy::too_many_arguments)]
 pub fn try_execution_measure_pooled_with<'env, W, L>(
     auto: &'env dyn Automaton,
@@ -452,30 +859,45 @@ where
     let lanes = pool.workers().min(policy.threads.max(1));
     let cache_base = cache.stats();
     let pool_base = pool.stats();
-    // Shared by value with batch jobs (which must outlive `'env`), so
-    // the counter lives behind an `Arc` and the budget is copied.
+    // Shared by value with pooled grains (which must outlive `'env`),
+    // so the counter lives behind an `Arc` and the budget is copied.
     let expansions = Arc::new(AtomicUsize::new(0));
     let budget = *budget;
     let mut pooled_depths = 0usize;
     let mut sequential_depths = 0usize;
+    // One decoded L1 memo per pool lane, indexed by the executing lane.
+    // Each lane is one thread, so the mutexes are uncontended; they
+    // exist to make the scratch table `Sync` without unsafe code.
+    let scratch: Arc<Vec<Mutex<LaneMemo<W>>>> = Arc::new(
+        (0..pool.workers().max(1))
+            .map(|_| Mutex::new(LaneMemo::new()))
+            .collect(),
+    );
 
     let start = Execution::start_of(auto);
     let root_id = IValue::of(start.lstate());
     let mut entries: Vec<(Execution, W)> = Vec::new();
     let mut frontier: Vec<Node<W>> = vec![(start, root_id, W::one())];
+    // Affinity placement for the *current* frontier: contiguous
+    // `(lane, start, len)` spans recording which lane produced which
+    // range at the previous pooled depth. `None` after an inline depth
+    // (fall back to even spans).
+    let mut placement: Option<Vec<(usize, usize, usize)>> = None;
     while !frontier.is_empty() {
         let entries_base = entries.len();
         let mut next: Vec<Node<W>> = Vec::new();
         if lanes <= 1 || frontier.len() < policy.seq_cutover {
             sequential_depths += 1;
+            placement = None;
             for node in &frontier {
+                let ordinal = expansions.fetch_add(1, Ordering::Relaxed) + 1;
                 expand_node(
                     auto,
                     sched,
                     cache,
                     &budget,
                     horizon,
-                    &expansions,
+                    ordinal,
                     lift,
                     node,
                     entries_base,
@@ -483,55 +905,182 @@ where
                     &mut next,
                 )?;
             }
+            frontier = next;
         } else {
             pooled_depths += 1;
-            let chunk = frontier.len().div_ceil(lanes);
-            let mut chunks: Vec<Vec<Node<W>>> = Vec::with_capacity(lanes);
-            let mut rest = frontier;
-            while !rest.is_empty() {
-                let tail = rest.split_off(chunk.min(rest.len()));
-                chunks.push(rest);
-                rest = tail;
+            let spans = placement
+                .take()
+                .unwrap_or_else(|| even_spans(frontier.len(), lanes));
+            let work: Arc<Vec<Node<W>>> = Arc::new(std::mem::take(&mut frontier));
+            let results: Arc<Mutex<Vec<Contribution<W>>>> = Arc::new(Mutex::new(Vec::new()));
+            let first_error: Arc<Mutex<Option<EngineError>>> = Arc::new(Mutex::new(None));
+            let total = work.len();
+            let panics = {
+                let work = Arc::clone(&work);
+                let results = Arc::clone(&results);
+                let first_error = Arc::clone(&first_error);
+                let expansions = Arc::clone(&expansions);
+                let scratch = Arc::clone(&scratch);
+                pool.run_splittable(
+                    total,
+                    spans,
+                    policy.split_unit.max(1),
+                    move |lane, start, len| {
+                        // Fast-drain once a grain has failed: the
+                        // pool still needs every grain accounted for,
+                        // but no further expansion work is useful.
+                        if first_error.lock().expect("error slot poisoned").is_some() {
+                            return;
+                        }
+                        let mut memo = scratch[lane % scratch.len()]
+                            .lock()
+                            .expect("lane memo poisoned");
+                        let base = expansions.fetch_add(len, Ordering::Relaxed);
+                        // Frontier depth is uniform, so the whole grain
+                        // is either in the tail window or not.
+                        let step = work[start].0.len();
+                        let remaining = horizon.saturating_sub(step);
+                        let tail = remaining <= TAIL_DEPTHS;
+                        // Pre-size the output vecs for a fanout-two
+                        // grain (the dominant shape) — wider workloads
+                        // fall back to doubling from there. Without
+                        // this every grain re-runs the whole doubling
+                        // ladder from empty.
+                        // In the tail window the horizon segment is
+                        // the big one (len·2^remaining for fanout-two);
+                        // intermediate halt segments stay small and
+                        // grow from empty.
+                        let mut segs: Vec<Vec<(Execution, W)>> = if tail {
+                            (0..=remaining)
+                                .map(|k| {
+                                    let cap = if k == remaining {
+                                        (len << remaining.min(16)).min(1 << 16)
+                                    } else {
+                                        0
+                                    };
+                                    Vec::with_capacity(cap)
+                                })
+                                .collect()
+                        } else {
+                            vec![Vec::new()]
+                        };
+                        let mut local_next = Vec::with_capacity(if tail { 0 } else { 2 * len });
+                        let mut extra = 0usize;
+                        if tail {
+                            match expand_tail_grain(
+                                auto,
+                                sched,
+                                cache,
+                                &mut memo,
+                                &budget,
+                                lift,
+                                &work[start..start + len],
+                                entries_base,
+                                base,
+                                &mut segs,
+                            ) {
+                                Ok(children) => extra += children,
+                                Err(e) => {
+                                    let mut slot = first_error.lock().expect("error slot poisoned");
+                                    if slot.is_none() {
+                                        *slot = Some(e);
+                                    }
+                                    return;
+                                }
+                            }
+                        } else {
+                            for i in 0..len {
+                                if let Err(e) = expand_node_lane(
+                                    auto,
+                                    sched,
+                                    cache,
+                                    &mut memo,
+                                    &budget,
+                                    base + i + 1,
+                                    lift,
+                                    &work[start + i],
+                                    entries_base,
+                                    &mut segs[0],
+                                    &mut local_next,
+                                ) {
+                                    let mut slot = first_error.lock().expect("error slot poisoned");
+                                    if slot.is_none() {
+                                        *slot = Some(e);
+                                    }
+                                    return;
+                                }
+                            }
+                        }
+                        // Tail descendants still count as expansions
+                        // (the sequential engine visits each of them
+                        // as a frontier node of a later depth).
+                        if extra > 0 {
+                            expansions.fetch_add(extra, Ordering::Relaxed);
+                        }
+                        results
+                            .lock()
+                            .expect("contributions poisoned")
+                            .push(Contribution {
+                                start,
+                                lane,
+                                segs,
+                                next: local_next,
+                            });
+                    },
+                )
+            };
+            if let Some(payload) = panics.into_iter().next() {
+                std::panic::resume_unwind(payload);
             }
-            let expansions = Arc::clone(&expansions);
-            let results = pool.run_batch(chunks, move |_, chunk: Vec<Node<W>>| {
-                let mut terminal = Vec::new();
-                let mut local_next = Vec::new();
-                for node in &chunk {
-                    expand_node(
-                        auto,
-                        sched,
-                        cache,
-                        &budget,
-                        horizon,
-                        &expansions,
-                        lift,
-                        node,
-                        entries_base,
-                        &mut terminal,
-                        &mut local_next,
-                    )?;
-                }
-                Ok::<DepthBatch<W>, EngineError>((terminal, local_next))
-            });
-            for outcome in results {
-                match outcome {
-                    Ok(Ok((terminal, local_next))) => {
-                        entries.extend(terminal);
-                        next.extend(local_next);
+            if let Some(e) = first_error.lock().expect("error slot poisoned").take() {
+                return Err(e);
+            }
+            // Deterministic merge: grain order == frontier order.
+            // Segment `k` across all grains (in start order) is
+            // exactly depth `step + k`'s terminal list in its
+            // sequential processing order, so appending segment-major
+            // reproduces the per-depth order the skipped frontiers
+            // would have produced.
+            let mut contributions =
+                std::mem::take(&mut *results.lock().expect("contributions poisoned"));
+            contributions.sort_unstable_by_key(|c| c.start);
+            entries.reserve(
+                contributions
+                    .iter()
+                    .map(|c| c.segs.iter().map(Vec::len).sum::<usize>())
+                    .sum(),
+            );
+            next.reserve(contributions.iter().map(|c| c.next.len()).sum());
+            let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+            let depth_segs = contributions
+                .iter()
+                .map(|c| c.segs.len())
+                .max()
+                .unwrap_or(0);
+            for k in 0..depth_segs {
+                for c in &mut contributions {
+                    if let Some(seg) = c.segs.get_mut(k) {
+                        entries.append(seg);
                     }
-                    Ok(Err(e)) => return Err(e),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    if k == 0 && !c.next.is_empty() {
+                        match runs.last_mut() {
+                            // Merge adjacent ranges produced by one lane.
+                            Some((lane, _, len)) if *lane == c.lane => *len += c.next.len(),
+                            _ => runs.push((c.lane, next.len(), c.next.len())),
+                        }
+                        next.append(&mut c.next);
+                    }
                 }
             }
+            placement = Some(runs);
+            frontier = next;
         }
-        frontier = next;
     }
     let stats = ExactStats {
         threads: if pooled_depths > 0 { lanes } else { 1 },
         pooled_depths,
         sequential_depths,
-        pool: pool.stats().since(pool_base),
+        pool: pool.stats().since(&pool_base),
         cache: cache.stats().since(cache_base),
     };
     Ok((ExecutionMeasure { entries, horizon }, stats))
@@ -558,7 +1107,7 @@ where
             reason: "cannot expand with zero worker threads".into(),
         });
     }
-    with_pool(policy.threads, |pool| {
+    with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
         try_execution_measure_pooled_with(auto, sched, horizon, budget, policy, cache, pool, lift)
     })
 }

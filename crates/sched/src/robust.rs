@@ -30,7 +30,7 @@ use crate::measure::{try_execution_measure_pooled_with, ExactStats, ParallelPoli
 use crate::sample::try_sample_observations_pooled_with;
 use crate::scheduler::Scheduler;
 use dpioa_core::memo::CacheStats;
-use dpioa_core::pool::{with_pool, PoolStats, WorkerPool};
+use dpioa_core::pool::{with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SEED};
 use dpioa_core::{Automaton, Execution, Value};
 use dpioa_prob::Disc;
 use std::sync::Arc;
@@ -94,7 +94,9 @@ impl Provenance {
             cache_hits: Some(cache.hits),
             cache_misses: Some(cache.misses),
             pooled_depths: None,
-            pool: None,
+            // The lumped tier never pools; report an idle single lane
+            // so every tier's provenance carries pool counters.
+            pool: Some(PoolStats::single_lane()),
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
@@ -122,9 +124,9 @@ pub struct RobustConfig {
     /// Budget for the exact attempts (lumped and general).
     pub budget: Budget,
     /// Worker lanes for the general exact frontier expansion; `1` keeps
-    /// the expansion on the calling thread. Lanes are clamped to the
-    /// machine's available parallelism unless [`RobustConfig::par_cutover`]
-    /// pins an explicit policy.
+    /// the expansion on the calling thread. Lanes are taken as asked —
+    /// the work-stealing pool rebalances an overcommitted lane — and
+    /// the adaptive cutover keeps small queries inline.
     pub exact_threads: usize,
     /// Explicit frontier-size cutover below which a depth expands
     /// inline even when `exact_threads > 1`; `None` picks the
@@ -208,7 +210,7 @@ where
             cache_hits: Some(cache_stats.hits),
             cache_misses: Some(cache_stats.misses),
             pooled_depths: None,
-            pool: Some(pool.stats().since(pool_base)),
+            pool: Some(pool.stats().since(&pool_base)),
             error_bound: dkw_bound(config.mc_samples, config.confidence_delta),
             confidence_delta: config.confidence_delta,
         },
@@ -264,7 +266,7 @@ pub fn robust_observation_dist(
             // The lumped class space is a quotient of the execution
             // space, so the general tier cannot fit either — go
             // straight to sampling on an MC-sized pool.
-            return with_pool(config.mc_threads.max(1), |pool| {
+            return with_pool_seeded(config.mc_threads.max(1), DEFAULT_STEAL_SEED, |pool| {
                 monte_carlo_pooled(auto, sched, horizon, config, cache, pool, &obs_fn, reason)
             });
         }
@@ -279,7 +281,7 @@ pub fn robust_observation_dist(
     // provisioning for the wider of the two costs nothing if the exact
     // tier answers below its cutover.
     let lanes = policy.threads.max(config.mc_threads.max(1));
-    with_pool(lanes, |pool| {
+    with_pool_seeded(lanes, policy.steal_seed, |pool| {
         let general = try_execution_measure_pooled_with(
             auto,
             sched,

@@ -90,18 +90,23 @@ proptest! {
         prop_assert_eq!(total, Ratio::from_int(1));
     }
 
-    /// The pooled engine is bit-identical to the sequential general
-    /// engine for every lane count: same entry count, same total, the
-    /// same (execution, weight) pairs with bit-equal f64 weights, and
-    /// the same observed distribution — regardless of how the frontier
-    /// was chunked across workers (cutover 0 forces pooled dispatch at
-    /// every depth).
+    /// The work-stealing pooled engine is bit-identical to the
+    /// sequential general engine for every lane count × steal-RNG seed
+    /// × split threshold: same entry count, same total, the same
+    /// (execution, weight) pairs with bit-equal f64 weights, and the
+    /// same observed distribution — regardless of how the frontier was
+    /// chunked, stolen or split across lanes (cutover 0 forces pooled
+    /// dispatch at every depth; split unit 1–4 forces splits on tiny
+    /// spans). `DPIOA_POOL_LANES` pins the lane count for CI matrix
+    /// runs; unset, all of {1, 2, 4, 8} are exercised.
     #[test]
     fn pooled_parallel_matches_sequential_bitwise(
         seed in 0u64..500,
         n in 3i64..7,
         kind in 0u8..5,
         horizon in 0usize..6,
+        steal_seed in any::<u64>(),
+        split_unit in 1usize..5,
     ) {
         let auto = random_automaton("el-pp", &format!("elp{seed}"), n, seed);
         let sched = memoryless_scheduler(kind, &auto);
@@ -110,11 +115,18 @@ proptest! {
         let seq = try_execution_measure(&*auto, &sched, horizon, &budget)
             .expect("unlimited budget");
         let seq_dist = seq.observe(|e: &Execution| observe.apply(&*auto, e));
-        for threads in [1usize, 2, 4] {
+        let lanes: Vec<usize> = std::env::var("DPIOA_POOL_LANES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(|l: usize| vec![l])
+            .unwrap_or_else(|| vec![1, 2, 4, 8]);
+        for threads in lanes {
             let cache = EngineCache::new();
+            let policy = ParallelPolicy::new(threads, 0)
+                .with_steal_seed(steal_seed)
+                .with_split_unit(split_unit);
             let (pooled, stats) = try_execution_measure_pooled(
-                &*auto, &sched, horizon, &budget,
-                ParallelPolicy::new(threads, 0), &cache,
+                &*auto, &sched, horizon, &budget, policy, &cache,
             ).expect("unlimited budget");
             prop_assert_eq!(pooled.len(), seq.len());
             prop_assert_eq!(pooled.total().to_bits(), seq.total().to_bits());
@@ -127,6 +139,71 @@ proptest! {
             prop_assert_eq!(&pooled_dist, &seq_dist);
             prop_assert_eq!(stats.threads, threads.max(1));
         }
+    }
+
+    /// A workload whose frontiers never reach the adaptive cutover must
+    /// never touch the pool: zero pooled depths, zero steals, zero
+    /// failed steals, zero splits — the "a small query pays nothing"
+    /// half of the work-stealing contract.
+    #[test]
+    fn small_workload_never_steals_or_splits(
+        seed in 0u64..500,
+        n in 3i64..7,
+        kind in 0u8..5,
+        horizon in 0usize..6,
+        threads in 2usize..9,
+    ) {
+        let auto = random_automaton("el-ns", &format!("eln{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let budget = Budget::unlimited();
+        // auto(threads) sets the cutover at 128 per lane; a horizon-6
+        // frontier tops out at far fewer nodes, so every depth must
+        // stay inline.
+        let cache = EngineCache::new();
+        let (_, stats) = try_execution_measure_pooled(
+            &*auto, &sched, horizon, &budget, ParallelPolicy::auto(threads), &cache,
+        ).expect("unlimited budget");
+        prop_assert_eq!(stats.pooled_depths, 0);
+        prop_assert_eq!(stats.pool.steals, 0);
+        prop_assert_eq!(stats.pool.failed_steals, 0);
+        prop_assert_eq!(stats.pool.splits, 0);
+        prop_assert_eq!(stats.pool.batches, 0);
+    }
+
+    /// Bounded-cache eviction changes *which* probes hit, never the
+    /// answer: under a transition cache clamped small enough to churn,
+    /// the pooled engine (sequential and stealing) reproduces the
+    /// unbounded-cache distribution bit-for-bit, warm or cold.
+    #[test]
+    fn bounded_cache_eviction_never_changes_results(
+        seed in 0u64..500,
+        n in 3i64..7,
+        kind in 0u8..5,
+        horizon in 0usize..6,
+        cap in 1usize..6,
+    ) {
+        let auto = random_automaton("el-ev", &format!("ele{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let observe = Observation::final_state();
+        let budget = Budget::unlimited();
+        let plain = try_execution_measure(&*auto, &sched, horizon, &budget)
+            .expect("unlimited budget")
+            .observe(|e: &Execution| observe.apply(&*auto, e));
+        let bounded = EngineCache::bounded(cap);
+        for policy in [ParallelPolicy::sequential(), ParallelPolicy::new(4, 0)] {
+            // Two passes per policy: the second runs against whatever
+            // survived the first pass's eviction churn.
+            for _ in 0..2 {
+                let (m, _) = try_execution_measure_pooled(
+                    &*auto, &sched, horizon, &budget, policy, &bounded,
+                ).expect("unlimited budget");
+                let dist = m.observe(|e: &Execution| observe.apply(&*auto, e));
+                prop_assert_eq!(&dist, &plain);
+            }
+        }
+        // The bound is rounded up to a whole number of shards, but a
+        // bound there must be.
+        prop_assert!(bounded.transition_capacity().expect("bounded cache") >= cap);
     }
 
     /// Transition/choice memoization is invisible to results: a cold

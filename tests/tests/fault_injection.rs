@@ -143,6 +143,16 @@ fn budget_exhaustion_falls_back_to_monte_carlo_with_provenance() {
     assert!(exact_prov.cache_hits.is_some());
     assert!(exact_prov.cache_misses.is_some());
     assert!(exact_prov.pooled_depths.is_some());
+    // Work-stealing activity rides along: the pool record is present,
+    // and on a horizon-6 query (frontier far below the cutover) it must
+    // show an untouched pool — no batches, no steals, no splits.
+    let pool = exact_prov
+        .pool
+        .as_ref()
+        .expect("exact tier reports pool stats");
+    assert_eq!(pool.batches, 0);
+    assert_eq!(pool.steals, 0);
+    assert_eq!(pool.splits, 0);
     assert!(dpioa_prob::tv_distance(&exact, &dist) < 0.05);
 }
 
