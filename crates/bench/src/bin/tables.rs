@@ -1,4 +1,4 @@
-//! Regenerate the experiment tables (E1–E11).
+//! Regenerate the experiment tables (E1–E12).
 //!
 //! Usage:
 //!   tables all            # run every experiment, print markdown
@@ -11,7 +11,7 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: tables <all | e1 .. e11>... [--json DIR]");
+        eprintln!("usage: tables <all | e1 .. e12>... [--json DIR]");
         std::process::exit(2);
     }
     let mut json_dir: Option<PathBuf> = None;

@@ -1,7 +1,8 @@
-//! The experiment suite E1–E11 (see `DESIGN.md` §3 and `EXPERIMENTS.md`).
+//! The experiment suite E1–E12 (see `DESIGN.md` §3 and `EXPERIMENTS.md`).
 
 pub mod e10_channel;
 pub mod e11_faults;
+pub mod e12_checkpoint;
 pub mod e1_transitivity;
 pub mod e2_composition_bound;
 pub mod e3_hiding_bound;
@@ -14,7 +15,7 @@ pub mod e9_structural;
 
 use crate::table::Table;
 
-/// Run one experiment by id (`"e1"`…`"e11"`).
+/// Run one experiment by id (`"e1"`…`"e12"`).
 pub fn run(id: &str) -> Option<Table> {
     Some(match id {
         "e1" => e1_transitivity::run(),
@@ -28,11 +29,12 @@ pub fn run(id: &str) -> Option<Table> {
         "e9" => e9_structural::run(),
         "e10" => e10_channel::run(),
         "e11" => e11_faults::run(),
+        "e12" => e12_checkpoint::run(),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];

@@ -28,6 +28,7 @@
 pub mod action;
 pub mod audit;
 pub mod automaton;
+pub mod cancel;
 pub mod compose;
 pub mod execution;
 pub mod explicit;
@@ -43,6 +44,7 @@ pub mod value;
 
 pub use action::Action;
 pub use automaton::{Automaton, AutomatonExt, LambdaAutomaton};
+pub use cancel::CancelToken;
 pub use compose::{compose, compose2, Composition};
 pub use execution::{Execution, Trace};
 pub use explicit::{ExplicitAutomaton, ExplicitBuilder};

@@ -68,6 +68,7 @@
 //! deque; `run_batch` hands back per-item [`std::thread::Result`]s and
 //! `run_splittable` collects payloads for the caller to resume.
 
+use crate::cancel::CancelToken;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -481,13 +482,23 @@ struct SplitProgress {
 /// The shared state behind every `Task::Span` of one splittable call.
 struct SplitCall<'env> {
     run: Box<dyn Fn(usize, usize, usize) + Send + Sync + 'env>,
+    /// When set and cancelled, grains are *counted done without
+    /// running*: the batch drains within one in-flight grain per lane
+    /// (queued and stolen spans included), and the caller's completion
+    /// wait still terminates.
+    cancel: Option<CancelToken>,
     progress: Mutex<SplitProgress>,
     finished: Condvar,
 }
 
 impl SpanRun for SplitCall<'_> {
     fn run_span(&self, lane: usize, start: usize, len: usize) {
-        let outcome = catch_unwind(AssertUnwindSafe(|| (self.run)(lane, start, len)));
+        let skip = self.cancel.as_ref().is_some_and(|c| c.is_cancelled());
+        let outcome = if skip {
+            Ok(())
+        } else {
+            catch_unwind(AssertUnwindSafe(|| (self.run)(lane, start, len)))
+        };
         let mut progress = self.progress.lock().expect("split progress poisoned");
         progress.done += len;
         if let Err(payload) = outcome {
@@ -688,20 +699,52 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
     where
         F: Fn(usize, usize, usize) + Send + Sync + 'env,
     {
+        self.run_splittable_cancellable(total, spans, unit, None, run)
+    }
+
+    /// [`WorkerPool::run_splittable`] with a cooperative [`CancelToken`]:
+    /// once the token is cancelled, every not-yet-started grain —
+    /// queued, re-queued, or freshly stolen — is counted done *without
+    /// running*, so the batch returns within one in-flight grain per
+    /// lane. The closure itself is free to poll the same token at finer
+    /// granularity; the pool only guarantees the grain boundary.
+    ///
+    /// Skipped grains are indistinguishable from completed ones in the
+    /// return value (no panic payloads); callers detect cancellation by
+    /// polling the token they passed in.
+    pub fn run_splittable_cancellable<F>(
+        &self,
+        total: usize,
+        spans: Vec<(usize, usize, usize)>,
+        unit: usize,
+        cancel: Option<CancelToken>,
+        run: F,
+    ) -> Vec<Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: Fn(usize, usize, usize) + Send + Sync + 'env,
+    {
         self.batches.fetch_add(1, Ordering::Relaxed);
         if total == 0 {
             return Vec::new();
         }
         let Some((shared, _)) = self.shared else {
-            // Single lane: run the spans inline, in placement order.
+            // Single lane: run the spans inline, in placement order,
+            // observing the cancel token at grain (`unit`) granularity.
             let mut panics = Vec::new();
+            let unit = unit.max(1);
             for (_, start, len) in spans {
-                if len == 0 {
-                    continue;
-                }
-                self.caller_jobs.fetch_add(1, Ordering::Relaxed);
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(0, start, len))) {
-                    panics.push(payload);
+                let (mut start, mut len) = (start, len);
+                while len > 0 {
+                    if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                        return panics;
+                    }
+                    let grain = unit.min(len);
+                    self.caller_jobs.fetch_add(1, Ordering::Relaxed);
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(0, start, grain))) {
+                        panics.push(payload);
+                    }
+                    start += grain;
+                    len -= grain;
                 }
             }
             return panics;
@@ -710,6 +753,7 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
 
         let call = Arc::new(SplitCall {
             run: Box::new(run),
+            cancel,
             progress: Mutex::new(SplitProgress {
                 done: 0,
                 panics: Vec::new(),
@@ -1021,6 +1065,59 @@ mod tests {
             pool.stats()
         });
         assert_eq!(stats.steals + stats.splits, 0);
+    }
+
+    #[test]
+    fn cancelled_splittable_skips_remaining_grains() {
+        for workers in [1usize, 4] {
+            let token = CancelToken::new();
+            let ran = AtomicU32::new(0);
+            let ran_ref = &ran;
+            with_pool(workers, |pool| {
+                let t = token.clone();
+                let panics = pool.run_splittable_cancellable(
+                    1000,
+                    vec![(0, 0, 1000)],
+                    10,
+                    Some(token.clone()),
+                    move |_, _, _| {
+                        // The first grain cancels the rest of the batch.
+                        t.cancel();
+                        ran_ref.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+                assert!(panics.is_empty());
+            });
+            // At most one in-flight grain per lane can slip through the
+            // cancel; with 100 grains queued, nearly all must be skipped.
+            let executed = ran.load(Ordering::Relaxed) as usize;
+            assert!(executed >= 1, "first grain runs ({workers} lanes)");
+            assert!(
+                executed <= workers,
+                "cancel must land within one grain per lane: \
+                 {executed} grains ran on {workers} lanes"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_splittable_runs_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicU32::new(0);
+        with_pool(4, |pool| {
+            let panics = pool.run_splittable_cancellable(
+                100,
+                vec![(0, 0, 100)],
+                10,
+                Some(token.clone()),
+                |_, _, _| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert!(panics.is_empty());
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
     }
 
     #[test]

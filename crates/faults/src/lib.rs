@@ -19,6 +19,12 @@
 //! * [`DuplicatingChannel`] — a targeted set of actions is *duplicated*
 //!   with dyadic probability: the transition effect is applied twice
 //!   (when still enabled after the first application).
+//! * [`StallingChannel`] — a targeted set of actions is *stalled* for
+//!   the first `k` attempts: the action occurs but delivery is withheld
+//!   (the inner state does not advance); once the stall budget is spent
+//!   the wrapper is the identity channel. The deterministic counterpart
+//!   of [`LossyChannel`] — a cold link that drops a fixed warm-up
+//!   prefix instead of an i.i.d. fraction.
 //! * [`crash_restart`] — a PCA (built on [`ConfigAutomaton`]) pairing a
 //!   crash-prone child with a supervisor whose `restart` output
 //!   *re-creates* the child through the `created` mapping of Def. 2.16.
@@ -302,6 +308,93 @@ impl Automaton for DuplicatingChannel {
     }
 }
 
+/// Stalling fault injection for channel-like automata.
+///
+/// The first `delay` occurrences of a targeted action are *stalled*:
+/// the action still occurs (it remains externally visible — the message
+/// sits in transit), but the wrapped automaton's state does not
+/// advance. Once `delay` stalls have been absorbed the wrapper behaves
+/// like the identity channel — every action, targeted or not, passes
+/// through untouched. States are `("stall", remaining, q)`; the
+/// signature at every state is exactly the inner signature, so the
+/// wrapper is a legal PSIOA whenever the inner automaton is.
+pub struct StallingChannel {
+    inner: Arc<dyn Automaton>,
+    stalled: ActionSet,
+    delay: u64,
+}
+
+fn stall_state(remaining: u64, inner: Value) -> Value {
+    Value::tuple(vec![
+        Value::str("stall"),
+        Value::int(remaining as i64),
+        inner,
+    ])
+}
+
+fn stall_parts(q: &Value) -> Option<(u64, &Value)> {
+    match q.items() {
+        Some([tag, rem, inner]) if tag.as_str() == Some("stall") => {
+            Some((rem.as_int()? as u64, inner))
+        }
+        _ => None,
+    }
+}
+
+impl StallingChannel {
+    /// Wrap `inner`, stalling the first `delay` occurrences of each
+    /// action in `stalled`.
+    pub fn new(
+        inner: Arc<dyn Automaton>,
+        stalled: impl IntoIterator<Item = Action>,
+        delay: u64,
+    ) -> StallingChannel {
+        StallingChannel {
+            inner,
+            stalled: stalled.into_iter().collect(),
+            delay,
+        }
+    }
+
+    /// Convenience: wrap and erase to a shared trait object.
+    pub fn wrap(
+        inner: Arc<dyn Automaton>,
+        stalled: impl IntoIterator<Item = Action>,
+        delay: u64,
+    ) -> Arc<dyn Automaton> {
+        Arc::new(StallingChannel::new(inner, stalled, delay))
+    }
+}
+
+impl Automaton for StallingChannel {
+    fn name(&self) -> String {
+        format!("stall[{}]({})", self.delay, self.inner.name())
+    }
+
+    fn start_state(&self) -> Value {
+        stall_state(self.delay, self.inner.start_state())
+    }
+
+    fn signature(&self, q: &Value) -> Signature {
+        match stall_parts(q) {
+            Some((_, inner_q)) => self.inner.signature(inner_q),
+            None => Signature::empty(),
+        }
+    }
+
+    fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+        let (remaining, inner_q) = stall_parts(q)?;
+        // The inner automaton must enable the action either way — a
+        // stalled delivery of a disabled action is still disabled.
+        let eta = self.inner.transition(inner_q, a)?;
+        if remaining > 0 && self.stalled.contains(&a) {
+            // Withhold delivery: burn one stall, keep the inner state.
+            return Some(Disc::dirac(stall_state(remaining - 1, inner_q.clone())));
+        }
+        Some(eta.map(|q2: &Value| stall_state(remaining, q2.clone())))
+    }
+}
+
 /// A crash/restart system built as a genuine PCA (Def. 2.16).
 ///
 /// Returned by [`crash_restart`]; the interesting dynamics all go
@@ -546,6 +639,66 @@ mod tests {
         let eta = a.transition(&Value::int(0), act("f-step")).unwrap();
         assert_eq!(eta.prob(&Value::int(1)), 0.5);
         assert_eq!(eta.prob(&Value::int(2)), 0.5);
+    }
+
+    #[test]
+    fn stalling_channel_delays_then_delivers() {
+        // A link that advances 0 → 1 on delivery and then stays at 1.
+        let inner = ExplicitAutomaton::builder("f-slow-link", Value::int(0))
+            .state(0, Signature::new([act("f-deliver")], [], []))
+            .state(1, Signature::new([act("f-deliver")], [], []))
+            .step(0, act("f-deliver"), 1)
+            .step(1, act("f-deliver"), 1)
+            .build()
+            .shared();
+        let a = StallingChannel::new(inner, [act("f-deliver")], 2);
+        let q0 = a.start_state();
+        // First two deliveries stall: the inner state stays at 0.
+        let q1 = a.transition(&q0, act("f-deliver")).unwrap();
+        assert_eq!(q1.support_len(), 1);
+        let q1 = q1.support().next().unwrap().clone();
+        assert_eq!(stall_parts(&q1), Some((1, &Value::int(0))));
+        let q2 = a.transition(&q1, act("f-deliver")).unwrap();
+        let q2 = q2.support().next().unwrap().clone();
+        assert_eq!(stall_parts(&q2), Some((0, &Value::int(0))));
+        // The third delivery goes through — identity channel from now on.
+        let q3 = a.transition(&q2, act("f-deliver")).unwrap();
+        let q3 = q3.support().next().unwrap().clone();
+        assert_eq!(stall_parts(&q3), Some((0, &Value::int(1))));
+    }
+
+    #[test]
+    fn stalling_channel_zero_delay_is_identity() {
+        let a = StallingChannel::new(stepper(), [act("f-step")], 0);
+        let eta = a.transition(&a.start_state(), act("f-step")).unwrap();
+        assert_eq!(eta.prob(&stall_state(0, Value::int(1))), 0.5);
+        assert_eq!(eta.prob(&stall_state(0, Value::int(2))), 0.5);
+    }
+
+    #[test]
+    fn stalling_channel_ignores_untargeted_actions() {
+        let a = StallingChannel::new(stepper(), [act("f-other")], 3);
+        let eta = a.transition(&a.start_state(), act("f-step")).unwrap();
+        // Untargeted actions pass through with the stall budget intact.
+        assert_eq!(eta.prob(&stall_state(3, Value::int(1))), 0.5);
+        assert_eq!(eta.prob(&stall_state(3, Value::int(2))), 0.5);
+    }
+
+    #[test]
+    fn stalling_channel_keeps_disabled_actions_disabled() {
+        let a = StallingChannel::new(stepper(), [act("f-step")], 1);
+        assert!(a
+            .transition(&stall_state(1, Value::int(1)), act("f-step"))
+            .is_none());
+    }
+
+    #[test]
+    fn stalling_channel_is_a_valid_psioa_with_exact_measure() {
+        let a = StallingChannel::new(stepper(), [act("f-step")], 2);
+        let report = audit_psioa(&a, ExploreLimits::default());
+        assert!(report.is_valid(), "audit failed: {report:?}");
+        let m = execution_measure_exact(&a, &FirstEnabled, 4);
+        assert_eq!(m.total(), Ratio::one());
     }
 
     #[test]

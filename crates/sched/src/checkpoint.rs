@@ -1,0 +1,203 @@
+//! Checkpoints: the salvageable remains of a budget-tripped expansion.
+//!
+//! The paper's dynamic-budget reading of Defs. 4.1–4.2 treats the
+//! resource bound as a first-class object a query carries; PR 1's
+//! cascade honoured the bound but *discarded* everything the exact tier
+//! had paid for when it tripped. A checkpoint keeps that work: the
+//! terminal executions already **resolved** with their exact
+//! probabilities, plus the unresolved **frontier** nodes with their
+//! exact prefix (cone) masses. Two invariants make it useful:
+//!
+//! * **Conservation** — resolved mass + frontier mass = 1, *exactly*:
+//!   engines roll a tripped depth back to its start (entries truncated,
+//!   partial grain output discarded, the depth's full frontier kept),
+//!   so the checkpoint is a genuine partition of the probability-one
+//!   cone into disjoint sub-cones. Over dyadic models the invariant
+//!   holds bit-exactly even in `f64` (the proptests assert it over
+//!   exact rationals with no tolerance).
+//! * **Refinement** — the Monte-Carlo tier can *salvage* a checkpoint:
+//!   sample suffixes from frontier nodes proportionally to prefix mass
+//!   and combine them with the resolved mass into one hybrid estimate.
+//!   Only the frontier mass `F` is estimated, so the DKW error bound
+//!   scales by `F < 1` — a strict refinement of restarting MC from the
+//!   initial state at the same sample count.
+//!
+//! Checkpoints are also **resumable**: the exact engine restarts from
+//! the stored frontier under an enlarged budget and produces a result
+//! bit-identical to an unbudgeted run (same per-depth processing
+//! order; the proptests assert this too).
+
+use crate::error::EngineError;
+use crate::measure::ExecutionMeasure;
+use dpioa_core::{Action, Execution, Value};
+use dpioa_prob::Weight;
+
+/// A partial cone expansion from the general exact engine
+/// ([`crate::measure::try_execution_measure_ckpt_with`]): the work a
+/// tripped budget already paid for, in salvageable form.
+#[derive(Clone, Debug)]
+pub struct ConeCheckpoint<W = f64> {
+    /// Terminal executions already resolved, with exact probabilities,
+    /// in the engine's deterministic (per-depth sequential) order.
+    pub resolved: Vec<(Execution, W)>,
+    /// Unresolved frontier nodes — all at the depth the budget tripped
+    /// at — with their exact cone (prefix) masses, in frontier order.
+    pub frontier: Vec<(Execution, W)>,
+    /// The horizon the expansion was headed for.
+    pub horizon: usize,
+    /// The [`EngineError::BudgetExhausted`] that tripped (carries
+    /// which limit: cap, deadline, or cancellation).
+    pub reason: EngineError,
+}
+
+impl<W: Weight> ConeCheckpoint<W> {
+    /// Total mass of the resolved terminal executions.
+    pub fn resolved_mass(&self) -> W {
+        sum_weights(self.resolved.iter().map(|(_, w)| w))
+    }
+
+    /// Total mass of the unresolved frontier.
+    pub fn frontier_mass(&self) -> W {
+        sum_weights(self.frontier.iter().map(|(_, w)| w))
+    }
+
+    /// `resolved_mass + frontier_mass` — exactly one by conservation.
+    pub fn total_mass(&self) -> W {
+        self.resolved_mass().add(&self.frontier_mass())
+    }
+}
+
+/// One unresolved lump class of a partial lumped expansion: the
+/// `(state, trace)` pair every execution in the class shares, with the
+/// class's exact mass.
+#[derive(Clone, Debug)]
+pub struct LumpedClass<W = f64> {
+    /// The shared last state.
+    pub state: Value,
+    /// The shared (external-action) trace — empty unless the
+    /// observation tracks traces.
+    pub trace: Vec<Action>,
+    /// Exact probability mass of the class.
+    pub weight: W,
+}
+
+/// A partial state-lumped expansion
+/// ([`crate::lumped::try_lumped_observation_dist_ckpt`]). Unlike a
+/// [`ConeCheckpoint`] the frontier holds lump *classes*, not concrete
+/// executions — salvage samples class suffixes through the memoryless
+/// scheduler, and resolved mass is already keyed by observation value.
+#[derive(Clone, Debug)]
+pub struct LumpedCheckpoint<W = f64> {
+    /// Observation values already absorbed (halted classes), with exact
+    /// masses, in first-reached order.
+    pub resolved: Vec<(Value, W)>,
+    /// Unresolved lump classes, all at step [`LumpedCheckpoint::step`].
+    pub frontier: Vec<LumpedClass<W>>,
+    /// The step the frontier classes sit at.
+    pub step: usize,
+    /// The horizon the expansion was headed for.
+    pub horizon: usize,
+    /// The [`EngineError::BudgetExhausted`] that tripped.
+    pub reason: EngineError,
+}
+
+impl<W: Weight> LumpedCheckpoint<W> {
+    /// Total mass already absorbed into observation values.
+    pub fn resolved_mass(&self) -> W {
+        sum_weights(self.resolved.iter().map(|(_, w)| w))
+    }
+
+    /// Total mass of the unresolved classes.
+    pub fn frontier_mass(&self) -> W {
+        sum_weights(self.frontier.iter().map(|c| &c.weight))
+    }
+
+    /// `resolved_mass + frontier_mass` — exactly one by conservation.
+    pub fn total_mass(&self) -> W {
+        self.resolved_mass().add(&self.frontier_mass())
+    }
+}
+
+/// What an exact tier hands the robust cascade when its budget trips:
+/// the checkpoint of whichever engine was running.
+#[derive(Clone, Debug)]
+pub enum Checkpoint {
+    /// From the general exact (pooled cone) engine.
+    Cone(ConeCheckpoint<f64>),
+    /// From the state-lumped engine.
+    Lumped(LumpedCheckpoint<f64>),
+}
+
+impl Checkpoint {
+    /// Exact mass already resolved.
+    pub fn resolved_mass(&self) -> f64 {
+        match self {
+            Checkpoint::Cone(c) => c.resolved_mass(),
+            Checkpoint::Lumped(c) => c.resolved_mass(),
+        }
+    }
+
+    /// Mass still unresolved on the frontier.
+    pub fn frontier_mass(&self) -> f64 {
+        match self {
+            Checkpoint::Cone(c) => c.frontier_mass(),
+            Checkpoint::Lumped(c) => c.frontier_mass(),
+        }
+    }
+
+    /// Unresolved frontier entries (nodes or classes).
+    pub fn frontier_len(&self) -> usize {
+        match self {
+            Checkpoint::Cone(c) => c.frontier.len(),
+            Checkpoint::Lumped(c) => c.frontier.len(),
+        }
+    }
+
+    /// The budget error that produced this checkpoint.
+    pub fn reason(&self) -> &EngineError {
+        match self {
+            Checkpoint::Cone(c) => &c.reason,
+            Checkpoint::Lumped(c) => &c.reason,
+        }
+    }
+}
+
+/// The result of a checkpointed expansion: either the finished measure
+/// or the checkpoint the tripped budget left behind. Errors that carry
+/// no salvageable work (scheduler contract violations, non-dyadic
+/// weights, worker panics) still surface as `Err`.
+#[derive(Clone, Debug)]
+pub enum ExpansionOutcome<W = f64> {
+    /// The budget sufficed; the full measure, bit-identical to an
+    /// unbudgeted run.
+    Complete(ExecutionMeasure<W>),
+    /// The budget tripped; everything resolved so far plus the frontier.
+    Partial(ConeCheckpoint<W>),
+}
+
+impl<W: Weight> ExpansionOutcome<W> {
+    /// The finished measure, or `Err(reason)` on a partial outcome —
+    /// the compatibility shape of the pre-checkpoint engine.
+    pub fn into_measure(self) -> Result<ExecutionMeasure<W>, EngineError> {
+        match self {
+            ExpansionOutcome::Complete(m) => Ok(m),
+            ExpansionOutcome::Partial(ckpt) => Err(ckpt.reason),
+        }
+    }
+
+    /// The checkpoint, if the expansion was partial.
+    pub fn into_checkpoint(self) -> Option<ConeCheckpoint<W>> {
+        match self {
+            ExpansionOutcome::Complete(_) => None,
+            ExpansionOutcome::Partial(ckpt) => Some(ckpt),
+        }
+    }
+}
+
+fn sum_weights<'a, W: Weight + 'a>(weights: impl Iterator<Item = &'a W>) -> W {
+    let mut t = W::zero();
+    for w in weights {
+        t = t.add(w);
+    }
+    t
+}

@@ -9,7 +9,7 @@
 //! [`Budget`] is exhausted, instead of aborting the process.
 
 use crate::scheduler::Scheduler;
-use dpioa_core::{Action, Value};
+use dpioa_core::{Action, CancelToken, Value};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,12 @@ pub enum EngineError {
     /// An exact expansion ran out of [`Budget`] before reaching the
     /// horizon. Carries the progress made so the caller can size a
     /// retry — or hand the query to the Monte-Carlo engine.
+    ///
+    /// External cancellation reports through this variant too (with
+    /// `cancelled` set): a [`CancelToken`] is the dynamic-budget view of
+    /// the paper's Defs. 4.1–4.2 — the caller shrank the budget to zero
+    /// mid-flight — so every `BudgetExhausted` handler (checkpointing,
+    /// salvage, resumption) applies unchanged.
     BudgetExhausted {
         /// Terminal executions collected so far.
         entries: usize,
@@ -45,6 +51,8 @@ pub enum EngineError {
         /// True iff the wall-clock deadline (rather than a count cap)
         /// was the limit that tripped.
         deadline_hit: bool,
+        /// True iff the budget's [`CancelToken`] was cancelled.
+        cancelled: bool,
     },
     /// A Monte-Carlo worker shard panicked and kept panicking through
     /// every reseeded retry.
@@ -93,11 +101,18 @@ impl fmt::Display for EngineError {
                 entries,
                 expansions,
                 deadline_hit,
+                cancelled,
             } => write!(
                 f,
                 "exact expansion budget exhausted ({} after {entries} entries, {expansions} \
                  expansions)",
-                if *deadline_hit { "deadline" } else { "cap" }
+                if *cancelled {
+                    "cancelled"
+                } else if *deadline_hit {
+                    "deadline"
+                } else {
+                    "cap"
+                }
             ),
             EngineError::WorkerPanicked { shard, retries } => write!(
                 f,
@@ -130,8 +145,11 @@ pub fn disabled_action(sched: &dyn Scheduler, action: Action, state: &Value) -> 
 /// A resource budget for exact cone expansion.
 ///
 /// All limits are optional; [`Budget::unlimited`] never trips. The
-/// deadline is wall-clock, checked once per expanded node.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// deadline is wall-clock, checked once per expanded node (and once per
+/// pooled grain). An attached [`CancelToken`] lets the caller shrink
+/// the budget to zero from another thread mid-query; engines observe it
+/// through the same [`Budget::check`] the caps and deadline use.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Budget {
     /// Cap on collected terminal executions.
     pub max_entries: Option<usize>,
@@ -139,6 +157,8 @@ pub struct Budget {
     pub max_expansions: Option<usize>,
     /// Wall-clock deadline.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag shared with the caller.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -165,20 +185,34 @@ impl Budget {
         self
     }
 
+    /// Attach a cancellation token; the caller keeps a clone and
+    /// [`CancelToken::cancel`]s it to abort the query mid-flight.
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Check the budget against current progress.
     pub fn check(&self, entries: usize, expansions: usize) -> Result<(), EngineError> {
         let over_entries = self.max_entries.is_some_and(|cap| entries > cap);
         let over_expansions = self.max_expansions.is_some_and(|cap| expansions > cap);
+        let cancelled = self.cancel.as_ref().is_some_and(|c| c.is_cancelled());
         let deadline_hit = self.deadline.is_some_and(|d| Instant::now() >= d);
-        if over_entries || over_expansions || deadline_hit {
+        if over_entries || over_expansions || deadline_hit || cancelled {
             Err(EngineError::BudgetExhausted {
                 entries,
                 expansions,
                 deadline_hit,
+                cancelled,
             })
         } else {
             Ok(())
         }
+    }
+
+    /// True iff the attached [`CancelToken`] (if any) was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
     }
 }
 
@@ -203,6 +237,7 @@ mod tests {
                 entries: 11,
                 expansions: 5,
                 deadline_hit: false,
+                cancelled: false,
             })
         );
         let b = Budget::unlimited().with_max_expansions(3);
@@ -216,6 +251,28 @@ mod tests {
         match b.check(0, 0) {
             Err(EngineError::BudgetExhausted { deadline_hit, .. }) => assert!(deadline_hit),
             other => panic!("expected deadline exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_trips_as_cancellation() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(token.clone());
+        assert!(b.check(0, 0).is_ok());
+        assert!(!b.is_cancelled());
+        token.cancel();
+        assert!(b.is_cancelled());
+        match b.check(3, 7) {
+            Err(EngineError::BudgetExhausted {
+                entries,
+                expansions,
+                cancelled,
+                ..
+            }) => {
+                assert!(cancelled);
+                assert_eq!((entries, expansions), (3, 7));
+            }
+            other => panic!("expected cancellation, got {other:?}"),
         }
     }
 

@@ -39,6 +39,7 @@
 
 pub mod bounded;
 pub mod cache;
+pub mod checkpoint;
 pub mod error;
 pub mod lumped;
 pub mod measure;
@@ -49,23 +50,32 @@ pub mod schema;
 
 pub use bounded::BoundedScheduler;
 pub use cache::{EngineCache, LaneMemo};
+pub use checkpoint::{Checkpoint, ConeCheckpoint, ExpansionOutcome, LumpedCheckpoint, LumpedClass};
 pub use error::{disabled_action, Budget, EngineError};
 pub use lumped::{
     lumped_observation_dist, try_lumped_observation_dist, try_lumped_observation_dist_cached,
-    try_lumped_observation_dist_exact, try_lumped_observation_dist_in, Observation,
+    try_lumped_observation_dist_ckpt, try_lumped_observation_dist_exact,
+    try_lumped_observation_dist_in, try_lumped_observation_dist_resume, LumpedOutcome, Observation,
 };
 pub use measure::{
     execution_measure, execution_measure_exact, observation_dist, try_execution_measure,
+    try_execution_measure_ckpt, try_execution_measure_ckpt_in, try_execution_measure_ckpt_with,
     try_execution_measure_exact, try_execution_measure_in, try_execution_measure_parallel,
     try_execution_measure_parallel_in, try_execution_measure_pooled,
-    try_execution_measure_pooled_in, try_execution_measure_pooled_with, ConeIndex, ExactStats,
-    ExecutionMeasure, ParallelPolicy, DEFAULT_SPLIT_UNIT, SEQ_CUTOVER_PER_LANE,
+    try_execution_measure_pooled_in, try_execution_measure_pooled_with,
+    try_execution_measure_resume, ConeIndex, ExactStats, ExecutionMeasure, ParallelPolicy,
+    DEFAULT_SPLIT_UNIT, SEQ_CUTOVER_PER_LANE,
 };
-pub use robust::{robust_observation_dist, EngineKind, Provenance, RobustConfig};
+pub use robust::{
+    robust_observation_dist, robust_observation_dist_ckpt, CircuitBreaker, EngineKind, Provenance,
+    RobustConfig, RobustError,
+};
 pub use sample::{
-    sample_execution, sample_observations, sample_observations_parallel, try_sample_execution,
-    try_sample_execution_cached, try_sample_observations, try_sample_observations_parallel,
-    try_sample_observations_pooled_with, MAX_SHARD_RETRIES,
+    sample_execution, sample_observations, sample_observations_parallel,
+    try_salvage_lumped_pooled_with, try_salvage_observations_pooled_with, try_sample_execution,
+    try_sample_execution_cached, try_sample_observations,
+    try_sample_observations_cancellable_pooled_with, try_sample_observations_parallel,
+    try_sample_observations_pooled_with, try_sample_suffix, SalvageOutcome, MAX_SHARD_RETRIES,
 };
 pub use scheduler::{
     choice_from_disc, choose_uniform, DeterministicScheduler, FirstEnabled, HaltingMix,

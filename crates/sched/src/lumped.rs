@@ -29,6 +29,7 @@
 //! [`crate::robust::robust_observation_dist`]'s cascade.
 
 use crate::cache::EngineCache;
+use crate::checkpoint::{LumpedCheckpoint, LumpedClass};
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::FxHashMap;
@@ -155,7 +156,22 @@ pub fn try_lumped_observation_dist_in<W: Weight>(
     budget: &Budget,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
 ) -> Result<Disc<Value, W>, EngineError> {
-    lumped_core(auto, sched, horizon, obs, budget, None, lift)
+    match lumped_core(auto, sched, horizon, obs, budget, None, lift, None)? {
+        LumpedOutcome::Complete(d) => Ok(d),
+        LumpedOutcome::Partial(ckpt) => Err(ckpt.reason),
+    }
+}
+
+/// The result of a checkpointed lumped expansion: the finished
+/// distribution, or the [`LumpedCheckpoint`] a tripped budget left
+/// behind (resolved observation masses plus unresolved lump classes).
+#[derive(Clone, Debug)]
+pub enum LumpedOutcome<W = f64> {
+    /// The budget sufficed.
+    Complete(Disc<Value, W>),
+    /// The budget tripped at a class expansion; the depth was rolled
+    /// back so conservation holds exactly.
+    Partial(LumpedCheckpoint<W>),
 }
 
 /// The engine core behind every lumped entry point. With `cache: Some`,
@@ -163,6 +179,17 @@ pub fn try_lumped_observation_dist_in<W: Weight>(
 /// shared [`EngineCache`] — same values, so the answer is unchanged —
 /// letting repeated queries (and the other tiers) reuse the work; with
 /// `None` each class computes them directly.
+///
+/// Checkpointing mirrors the pooled cone engine: a budget trip rolls
+/// the tripping step back to its start (the step's halt absorptions are
+/// buffered and discarded, the step's full class frontier is kept), so
+/// the returned [`LumpedCheckpoint`] partitions mass exactly —
+/// resolved + frontier = 1 with no tolerance. The budget (deadline and
+/// [`dpioa_core::CancelToken`] included) is observed at every class
+/// expansion through [`Budget::check`]. `resume: Some` seeds the pass
+/// from a previous checkpoint; completing it yields a distribution
+/// bit-identical to an unbudgeted run (same insertion-ordered sums).
+#[allow(clippy::too_many_arguments)]
 fn lumped_core<W: Weight>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
@@ -171,7 +198,8 @@ fn lumped_core<W: Weight>(
     budget: &Budget,
     cache: Option<&EngineCache>,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
-) -> Result<Disc<Value, W>, EngineError> {
+    resume: Option<LumpedCheckpoint<W>>,
+) -> Result<LumpedOutcome<W>, EngineError> {
     if let Observation::Full(_) = obs {
         return Err(EngineError::NotLumpable {
             reason: "observation does not factor through trace or last state".into(),
@@ -192,20 +220,53 @@ fn lumped_core<W: Weight>(
 
     let mut absorbed: WeightedClasses<Value, W> = WeightedClasses::new();
     let mut frontier: WeightedClasses<Key, W> = WeightedClasses::new();
-    frontier.add(
-        Key {
-            state: IValue::of(&auto.start_state()),
-            trace: Vec::new(),
-        },
-        W::one(),
-    );
+    let start_step = match resume {
+        Some(ckpt) => {
+            for (v, w) in ckpt.resolved {
+                absorbed.add(v, w);
+            }
+            for class in ckpt.frontier {
+                frontier.add(
+                    Key {
+                        state: IValue::of(&class.state),
+                        trace: class.trace,
+                    },
+                    class.weight,
+                );
+            }
+            ckpt.step
+        }
+        None => {
+            frontier.add(
+                Key {
+                    state: IValue::of(&auto.start_state()),
+                    trace: Vec::new(),
+                },
+                W::one(),
+            );
+            0
+        }
+    };
     let mut expansions: usize = 0;
 
-    for step in 0..horizon {
+    for step in start_step..horizon {
         let mut next: WeightedClasses<Key, W> = WeightedClasses::new();
-        for (key, weight) in frontier.entries {
+        // Halt absorptions are buffered per step and folded into
+        // `absorbed` only once the step completes: a budget trip then
+        // rolls the step back for free (buffer dropped, `frontier`
+        // untouched), and the fold preserves the exact insertion order
+        // the unbuffered engine used.
+        let mut step_absorbed: Vec<(Value, W)> = Vec::new();
+        let mut trip: Option<EngineError> = None;
+        for (key, weight) in &frontier.entries {
             expansions += 1;
-            budget.check(absorbed.len() + next.len(), expansions)?;
+            if let Err(e) = budget.check(
+                absorbed.len() + step_absorbed.len() + next.len(),
+                expansions,
+            ) {
+                trip = Some(e);
+                break;
+            }
             let state = key.state.value();
             let cached_choice;
             let fresh_choice;
@@ -238,12 +299,12 @@ fn lumped_core<W: Weight>(
                 }
             };
             if choice.is_halt() {
-                absorbed.add(observe_key(&key), weight);
+                step_absorbed.push((observe_key(key), weight.clone()));
                 continue;
             }
             let halt = lift(choice.halt_prob().to_f64())?;
             if !halt.is_zero() {
-                absorbed.add(observe_key(&key), weight.mul(&halt));
+                step_absorbed.push((observe_key(key), weight.mul(&halt)));
             }
             let track_trace = matches!(obs, Observation::Trace);
             for (&a, p) in choice.iter() {
@@ -280,15 +341,37 @@ fn lumped_core<W: Weight>(
                 }
             }
         }
+        if let Some(reason) = trip {
+            return Ok(LumpedOutcome::Partial(LumpedCheckpoint {
+                resolved: absorbed.entries,
+                frontier: frontier
+                    .entries
+                    .into_iter()
+                    .map(|(key, weight)| LumpedClass {
+                        state: key.state.value(),
+                        trace: key.trace,
+                        weight,
+                    })
+                    .collect(),
+                step,
+                horizon,
+                reason,
+            }));
+        }
+        for (v, w) in step_absorbed {
+            absorbed.add(v, w);
+        }
         frontier = next;
     }
     for (key, weight) in frontier.entries {
         absorbed.add(observe_key(&key), weight);
     }
 
-    Disc::from_entries(absorbed.entries).map_err(|e| EngineError::InvalidMeasure {
-        detail: format!("lumped weights do not sum to one: {e:?}"),
-    })
+    Disc::from_entries(absorbed.entries)
+        .map(LumpedOutcome::Complete)
+        .map_err(|e| EngineError::InvalidMeasure {
+            detail: format!("lumped weights do not sum to one: {e:?}"),
+        })
 }
 
 /// The `f64` lumped observation distribution under a [`Budget`],
@@ -303,7 +386,53 @@ pub fn try_lumped_observation_dist_cached(
     budget: &Budget,
     cache: &EngineCache,
 ) -> Result<Disc<Value>, EngineError> {
-    lumped_core(auto, sched, horizon, obs, budget, Some(cache), Ok)
+    match lumped_core(auto, sched, horizon, obs, budget, Some(cache), Ok, None)? {
+        LumpedOutcome::Complete(d) => Ok(d),
+        LumpedOutcome::Partial(ckpt) => Err(ckpt.reason),
+    }
+}
+
+/// Checkpointed `f64` lumped expansion through a shared
+/// [`EngineCache`]: a tripped budget (cap, deadline, or cancellation)
+/// returns [`LumpedOutcome::Partial`] carrying the resolved observation
+/// masses and the unresolved lump classes instead of discarding the
+/// work. Ineligibility ([`EngineError::NotLumpable`]) and contract
+/// violations still surface as `Err` — they carry nothing salvageable.
+pub fn try_lumped_observation_dist_ckpt(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    obs: &Observation,
+    budget: &Budget,
+    cache: &EngineCache,
+) -> Result<LumpedOutcome, EngineError> {
+    lumped_core(auto, sched, horizon, obs, budget, Some(cache), Ok, None)
+}
+
+/// Resume a [`LumpedCheckpoint`] under a (presumably enlarged)
+/// [`Budget`]. Budget counters restart from zero — resumption *is* the
+/// enlarged-budget reading — and a completing resume is bit-identical
+/// to an unbudgeted run of the same query (the checkpoint preserved the
+/// absorption order and the class frontier of the rolled-back step).
+pub fn try_lumped_observation_dist_resume(
+    ckpt: LumpedCheckpoint,
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    obs: &Observation,
+    budget: &Budget,
+    cache: &EngineCache,
+) -> Result<LumpedOutcome, EngineError> {
+    let horizon = ckpt.horizon;
+    lumped_core(
+        auto,
+        sched,
+        horizon,
+        obs,
+        budget,
+        Some(cache),
+        Ok,
+        Some(ckpt),
+    )
 }
 
 /// The `f64` lumped observation distribution under a [`Budget`].

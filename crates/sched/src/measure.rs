@@ -23,6 +23,7 @@
 use crate::cache::{
     decode_choice, decode_trans, lane_tail, EngineCache, LaneMemo, TailHalt, TailTemplate,
 };
+use crate::checkpoint::{ConeCheckpoint, ExpansionOutcome};
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::FxHashMap;
@@ -841,6 +842,11 @@ fn expand_node_tail<W: Weight>(
 /// A worker panic (only possible through user code in the automaton,
 /// scheduler or lift function) is resumed on the calling thread after
 /// the depth's surviving grains are drained.
+///
+/// This is the compatibility wrapper over
+/// [`try_execution_measure_ckpt_with`]: a tripped budget surfaces as
+/// the bare [`EngineError::BudgetExhausted`] and the checkpoint is
+/// dropped.
 #[allow(clippy::too_many_arguments)]
 pub fn try_execution_measure_pooled_with<'env, W, L>(
     auto: &'env dyn Automaton,
@@ -856,13 +862,63 @@ where
     W: Weight,
     L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
 {
+    let (outcome, stats) = try_execution_measure_ckpt_with(
+        auto, sched, horizon, budget, policy, cache, pool, lift, None,
+    )?;
+    outcome.into_measure().map(|m| (m, stats))
+}
+
+/// The checkpointed pooled engine: [`try_execution_measure_pooled_with`]
+/// that, instead of discarding a budget-tripped expansion, returns it
+/// as an [`ExpansionOutcome::Partial`] checkpoint — and that can
+/// *resume* a previous checkpoint under a new budget.
+///
+/// **Depth-granularity rollback.** The budget is still enforced at
+/// node/grain granularity, but a trip rolls the engine back to the
+/// start of the tripping depth: terminals appended during the depth are
+/// truncated, partial grain contributions are discarded, and the
+/// depth's full frontier (still intact in both the inline and pooled
+/// paths) becomes the checkpoint frontier. That makes the conservation
+/// invariant exact — resolved mass + frontier mass = 1 with no
+/// tolerance — at the cost of re-expanding at most one depth on resume.
+///
+/// **Resume bit-identity.** `resume: Some(ckpt)` seeds the engine with
+/// the checkpoint's resolved entries and frontier. Because rollback is
+/// depth-aligned and the merge is deterministic (see above), resuming
+/// under a sufficient budget appends exactly the terminals the
+/// unbudgeted run would have appended next: the final measure is
+/// bit-identical. Budget counters restart from zero on resume — that is
+/// the "enlarged budget" the caller grants.
+///
+/// **Cancellation.** A [`crate::error::Budget::cancel`] token is
+/// observed at every per-node budget check, at the start of every
+/// pooled grain, and by the pool itself (queued and freshly-stolen
+/// spans are skipped once the token flips), so cancellation lands
+/// within one in-flight grain per lane and still yields a usable
+/// checkpoint with `cancelled: true` in its reason.
+#[allow(clippy::too_many_arguments)]
+pub fn try_execution_measure_ckpt_with<'env, W, L>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &'env EngineCache,
+    pool: &WorkerPool<'_, 'env>,
+    lift: L,
+    resume: Option<ConeCheckpoint<W>>,
+) -> Result<(ExpansionOutcome<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
+{
     let lanes = pool.workers().min(policy.threads.max(1));
     let cache_base = cache.stats();
     let pool_base = pool.stats();
     // Shared by value with pooled grains (which must outlive `'env`),
-    // so the counter lives behind an `Arc` and the budget is copied.
+    // so the counter lives behind an `Arc` and the budget is cloned.
     let expansions = Arc::new(AtomicUsize::new(0));
-    let budget = *budget;
+    let budget = budget.clone();
     let mut pooled_depths = 0usize;
     let mut sequential_depths = 0usize;
     // One decoded L1 memo per pool lane, indexed by the executing lane.
@@ -874,10 +930,26 @@ where
             .collect(),
     );
 
-    let start = Execution::start_of(auto);
-    let root_id = IValue::of(start.lstate());
-    let mut entries: Vec<(Execution, W)> = Vec::new();
-    let mut frontier: Vec<Node<W>> = vec![(start, root_id, W::one())];
+    let (mut entries, mut frontier): (Vec<(Execution, W)>, Vec<Node<W>>) = match resume {
+        Some(ckpt) => (
+            ckpt.resolved,
+            ckpt.frontier
+                .into_iter()
+                .map(|(e, w)| {
+                    let id = IValue::of(e.lstate());
+                    (e, id, w)
+                })
+                .collect(),
+        ),
+        None => {
+            let start = Execution::start_of(auto);
+            let root_id = IValue::of(start.lstate());
+            (Vec::new(), vec![(start, root_id, W::one())])
+        }
+    };
+    // Set when a depth trips the budget: the rolled-back frontier plus
+    // the budget error, turned into a checkpoint after stats close.
+    let mut tripped: Option<(Vec<Node<W>>, EngineError)> = None;
     // Affinity placement for the *current* frontier: contiguous
     // `(lane, start, len)` spans recording which lane produced which
     // range at the previous pooled depth. `None` after an inline depth
@@ -889,9 +961,10 @@ where
         if lanes <= 1 || frontier.len() < policy.seq_cutover {
             sequential_depths += 1;
             placement = None;
+            let mut depth_error: Option<EngineError> = None;
             for node in &frontier {
                 let ordinal = expansions.fetch_add(1, Ordering::Relaxed) + 1;
-                expand_node(
+                if let Err(e) = expand_node(
                     auto,
                     sched,
                     cache,
@@ -903,7 +976,20 @@ where
                     entries_base,
                     &mut entries,
                     &mut next,
-                )?;
+                ) {
+                    depth_error = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = depth_error {
+                if !matches!(e, EngineError::BudgetExhausted { .. }) {
+                    return Err(e);
+                }
+                // Roll the depth back: drop its partial terminals, keep
+                // its full (still intact) frontier for the checkpoint.
+                entries.truncate(entries_base);
+                tripped = Some((frontier, e));
+                break;
             }
             frontier = next;
         } else {
@@ -921,15 +1007,30 @@ where
                 let first_error = Arc::clone(&first_error);
                 let expansions = Arc::clone(&expansions);
                 let scratch = Arc::clone(&scratch);
-                pool.run_splittable(
+                let budget = budget.clone();
+                pool.run_splittable_cancellable(
                     total,
                     spans,
                     policy.split_unit.max(1),
+                    budget.cancel.clone(),
                     move |lane, start, len| {
                         // Fast-drain once a grain has failed: the
                         // pool still needs every grain accounted for,
                         // but no further expansion work is useful.
                         if first_error.lock().expect("error slot poisoned").is_some() {
+                            return;
+                        }
+                        // Grain-granularity budget check: the deadline
+                        // and the cancel token are observed here even
+                        // when every per-node check inside the grain
+                        // would be reached much later (tail grains
+                        // expand whole subtrees).
+                        let base = expansions.load(Ordering::Relaxed);
+                        if let Err(e) = budget.check(entries_base, base) {
+                            let mut slot = first_error.lock().expect("error slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
                             return;
                         }
                         let mut memo = scratch[lane % scratch.len()]
@@ -1032,8 +1133,34 @@ where
             if let Some(payload) = panics.into_iter().next() {
                 std::panic::resume_unwind(payload);
             }
-            if let Some(e) = first_error.lock().expect("error slot poisoned").take() {
-                return Err(e);
+            // A pool-level cancel skip leaves no recorded error (skipped
+            // grains never run the closure), so when the error slot is
+            // empty re-check the token directly.
+            let depth_error = first_error
+                .lock()
+                .expect("error slot poisoned")
+                .take()
+                .or_else(|| {
+                    if budget.is_cancelled() {
+                        budget
+                            .check(entries.len(), expansions.load(Ordering::Relaxed))
+                            .err()
+                    } else {
+                        None
+                    }
+                });
+            if let Some(e) = depth_error {
+                if !matches!(e, EngineError::BudgetExhausted { .. }) {
+                    return Err(e);
+                }
+                // Roll the depth back: discard every grain contribution
+                // (entries were not touched yet on the pooled path) and
+                // reclaim the depth's frontier for the checkpoint. The
+                // closure and the pool's span state are gone, so the
+                // `Arc` is ours again.
+                let work = Arc::try_unwrap(work).unwrap_or_else(|shared| shared.as_ref().clone());
+                tripped = Some((work, e));
+                break;
             }
             // Deterministic merge: grain order == frontier order.
             // Segment `k` across all grains (in start order) is
@@ -1083,7 +1210,87 @@ where
         pool: pool.stats().since(&pool_base),
         cache: cache.stats().since(cache_base),
     };
-    Ok((ExecutionMeasure { entries, horizon }, stats))
+    let outcome = match tripped {
+        None => ExpansionOutcome::Complete(ExecutionMeasure { entries, horizon }),
+        Some((nodes, reason)) => ExpansionOutcome::Partial(ConeCheckpoint {
+            resolved: entries,
+            frontier: nodes.into_iter().map(|(e, _, w)| (e, w)).collect(),
+            horizon,
+            reason,
+        }),
+    };
+    Ok((outcome, stats))
+}
+
+/// [`try_execution_measure_ckpt_with`] on a self-provisioned pool.
+#[allow(clippy::too_many_arguments)] // the full budget/policy/cache/lift/resume surface is the point
+pub fn try_execution_measure_ckpt_in<W, L>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+    lift: L,
+    resume: Option<ConeCheckpoint<W>>,
+) -> Result<(ExpansionOutcome<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync,
+{
+    if policy.threads == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot expand with zero worker threads".into(),
+        });
+    }
+    with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
+        try_execution_measure_ckpt_with(
+            auto, sched, horizon, budget, policy, cache, pool, lift, resume,
+        )
+    })
+}
+
+/// The `f64` checkpointed pooled expansion under a [`Budget`].
+pub fn try_execution_measure_ckpt(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+) -> Result<(ExpansionOutcome<f64>, ExactStats), EngineError> {
+    try_execution_measure_ckpt_in(auto, sched, horizon, budget, policy, cache, Ok, None)
+}
+
+/// Resume a [`ConeCheckpoint`] under a (presumably enlarged) budget:
+/// the exact tier picks up where the tripped run rolled back. With a
+/// sufficient budget the completed measure is bit-identical to an
+/// unbudgeted run (the checkpointing proptests assert this); with an
+/// insufficient one the result is another, further-along checkpoint.
+pub fn try_execution_measure_resume<W, L>(
+    ckpt: ConeCheckpoint<W>,
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+    lift: L,
+) -> Result<(ExpansionOutcome<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync,
+{
+    let horizon = ckpt.horizon;
+    try_execution_measure_ckpt_in(
+        auto,
+        sched,
+        horizon,
+        budget,
+        policy,
+        cache,
+        lift,
+        Some(ckpt),
+    )
 }
 
 /// [`try_execution_measure_pooled_with`] on a self-provisioned pool:

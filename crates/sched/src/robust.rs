@@ -1,5 +1,5 @@
 //! Graceful degradation: lumped → general-exact → Monte-Carlo, with
-//! provenance.
+//! checkpoint salvage, circuit breaking, and provenance.
 //!
 //! [`robust_observation_dist`] is the production entry point for
 //! observation distributions. It tries the engines from cheapest-exact
@@ -15,25 +15,50 @@
 //! 3. **Monte-Carlo** ([`crate::sample`]): when the exact [`Budget`] is
 //!    exhausted.
 //!
-//! The returned [`Provenance`] names the tier that answered and a
-//! statistical error bound, so downstream emulation distances can widen
-//! their ε accordingly instead of silently treating an estimate as
-//! exact. A lumped-tier budget exhaustion skips straight to Monte-Carlo:
-//! the lumped class space is a quotient of the general execution space,
-//! so a budget too small for the quotient is certainly too small for the
-//! cover.
+//! Since PR 5 the fall from an exact tier is *checkpointed*: a budget
+//! trip hands back everything the tier already resolved (exact masses)
+//! plus the unresolved frontier (exact prefix masses), and the
+//! Monte-Carlo tier **salvages** it — sampling only the frontier
+//! remainder and combining with the resolved part into one hybrid
+//! estimate whose DKW error bound scales by the frontier mass `F < 1`
+//! ([`EngineKind::Hybrid`]). Cancellation (a [`dpioa_core::CancelToken`]
+//! in the budget) aborts any tier mid-flight; the caller still receives
+//! the checkpoint built so far through [`RobustError`]. A lumped-tier
+//! budget exhaustion stays in class space for salvage — the lumped
+//! class space is a quotient of the general execution space, so a
+//! budget too small for the quotient is certainly too small for the
+//! cover, and class suffixes are cheaper to sample than execution
+//! suffixes.
+//!
+//! A shared [`CircuitBreaker`] (keyed by automaton name) records
+//! consecutive exact-tier budget failures; once the per-automaton count
+//! reaches the threshold, later queries skip the doomed exact tiers and
+//! go straight to Monte-Carlo — recorded in
+//! [`Provenance::breaker_tripped`]. Any exact-tier success closes the
+//! breaker for that automaton.
+//!
+//! The returned [`Provenance`] names the tier that answered, the mass
+//! resolved exactly, and a statistical error bound, so downstream
+//! emulation distances can widen their ε accordingly instead of
+//! silently treating an estimate as exact.
 
 use crate::cache::EngineCache;
+use crate::checkpoint::{Checkpoint, ExpansionOutcome};
 use crate::error::{Budget, EngineError};
-use crate::lumped::{try_lumped_observation_dist_cached, Observation};
-use crate::measure::{try_execution_measure_pooled_with, ExactStats, ParallelPolicy};
-use crate::sample::try_sample_observations_pooled_with;
+use crate::lumped::{try_lumped_observation_dist_ckpt, LumpedOutcome, Observation};
+use crate::measure::{try_execution_measure_ckpt_with, ExactStats, ParallelPolicy};
+use crate::sample::{
+    try_salvage_lumped_pooled_with, try_salvage_observations_pooled_with,
+    try_sample_observations_cancellable_pooled_with, SalvageOutcome,
+};
 use crate::scheduler::Scheduler;
+use dpioa_core::fxhash::FxHashMap;
 use dpioa_core::memo::CacheStats;
 use dpioa_core::pool::{with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SEED};
 use dpioa_core::{Automaton, Execution, Value};
 use dpioa_prob::Disc;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Which engine produced an answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +71,11 @@ pub enum EngineKind {
     Exact,
     /// Parallel Monte-Carlo sampling: the distribution is an estimate.
     MonteCarlo,
+    /// Checkpoint salvage: the mass an exact tier resolved before its
+    /// budget tripped is exact; only the frontier remainder is a
+    /// Monte-Carlo estimate. [`Provenance::resolved_mass`] says how
+    /// much is exact, and the error bound scales by the frontier mass.
+    Hybrid,
 }
 
 /// How a [`robust_observation_dist`] answer was produced.
@@ -54,11 +84,12 @@ pub struct Provenance {
     /// The engine that answered.
     pub engine: EngineKind,
     /// Why the preceding exact tier(s) were abandoned (`None` when the
-    /// lumped tier answered; the lumped ineligibility reason when the
-    /// general tier answered; the budget exhaustion when Monte-Carlo
-    /// answered).
+    /// lumped tier answered or the circuit breaker skipped the exact
+    /// tiers; the lumped ineligibility reason when the general tier
+    /// answered; the budget exhaustion when Monte-Carlo or the hybrid
+    /// salvage answered).
     pub fallback_reason: Option<EngineError>,
-    /// Samples drawn (Monte-Carlo only).
+    /// Samples drawn (Monte-Carlo and hybrid only).
     pub samples: Option<usize>,
     /// Worker lanes used by the answering tier (`Some(1)` when it ran
     /// single-threaded — every tier reports this uniformly).
@@ -73,12 +104,21 @@ pub struct Provenance {
     /// adaptive cutover and ran inline).
     pub pooled_depths: Option<usize>,
     /// Worker-pool activity of the answering tier (pool-capable tiers:
-    /// general exact and Monte-Carlo).
+    /// general exact, Monte-Carlo, hybrid).
     pub pool: Option<PoolStats>,
+    /// Probability mass resolved *exactly* by the tripped exact tier
+    /// and carried into the hybrid answer verbatim (hybrid only).
+    pub resolved_mass: Option<f64>,
+    /// Frontier entries (cone nodes or lump classes) the salvage
+    /// sampler drew suffixes from (hybrid only).
+    pub frontier_nodes: Option<usize>,
+    /// True iff the circuit breaker was open for this automaton and the
+    /// exact tiers were skipped without being tried.
+    pub breaker_tripped: bool,
     /// A bound `b` such that every event probability in the returned
     /// distribution is within `b` of its true value with probability at
-    /// least `1 − confidence_delta` (DKW inequality). `0.0` for exact
-    /// answers.
+    /// least `1 − confidence_delta` (DKW inequality; scaled by the
+    /// frontier mass for hybrid answers). `0.0` for exact answers.
     pub error_bound: f64,
     /// The `δ` used for [`Provenance::error_bound`].
     pub confidence_delta: f64,
@@ -97,6 +137,9 @@ impl Provenance {
             // The lumped tier never pools; report an idle single lane
             // so every tier's provenance carries pool counters.
             pool: Some(PoolStats::single_lane()),
+            resolved_mass: None,
+            frontier_nodes: None,
+            breaker_tripped: false,
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
@@ -112,16 +155,126 @@ impl Provenance {
             cache_misses: Some(stats.cache.misses),
             pooled_depths: Some(stats.pooled_depths),
             pool: Some(stats.pool),
+            resolved_mass: None,
+            frontier_nodes: None,
+            breaker_tripped: false,
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
     }
 }
 
+/// A failed robust query, possibly carrying the checkpoint the tripped
+/// tier built before the failure — most usefully on cancellation: the
+/// caller that cancelled mid-flight still receives everything the
+/// engine resolved up to the cancel, and can salvage or resume it
+/// later.
+#[derive(Clone, Debug)]
+pub struct RobustError {
+    /// What went wrong.
+    pub error: EngineError,
+    /// The partial work at the moment of failure, when any tier had
+    /// salvageable work in hand (budget/cancellation trips); `None` for
+    /// failures with nothing to salvage (contract violations, invalid
+    /// parameters).
+    pub checkpoint: Option<Checkpoint>,
+}
+
+impl fmt::Display for RobustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.checkpoint {
+            Some(c) => write!(
+                f,
+                "{} (checkpoint: {:.3} resolved, {} frontier entries)",
+                self.error,
+                c.resolved_mass(),
+                c.frontier_len()
+            ),
+            None => write!(f, "{}", self.error),
+        }
+    }
+}
+
+impl std::error::Error for RobustError {}
+
+impl From<EngineError> for RobustError {
+    fn from(error: EngineError) -> RobustError {
+        RobustError {
+            error,
+            checkpoint: None,
+        }
+    }
+}
+
+/// A per-automaton circuit breaker over exact-tier budget failures.
+///
+/// Keyed by [`Automaton::name`]. Every exact-tier budget exhaustion
+/// [`CircuitBreaker::record_failure`]s the automaton; once an automaton
+/// accumulates `threshold` *consecutive* failures the breaker is open
+/// for it and [`robust_observation_dist`] skips the doomed exact tiers
+/// entirely, going straight to Monte-Carlo (recorded in
+/// [`Provenance::breaker_tripped`]). Any exact-tier success closes the
+/// breaker for that automaton. Share one breaker
+/// (`Arc<CircuitBreaker>`) across the queries of a workload via
+/// [`RobustConfig::breaker`].
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    failures: Mutex<FxHashMap<String, u32>>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures per
+    /// automaton. `threshold` is clamped to at least 1 (a threshold of
+    /// 0 would mean "never try the exact tiers at all", which is a
+    /// budget decision, not a breaker one).
+    pub fn new(threshold: u32) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            failures: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// True iff `key` has reached the consecutive-failure threshold.
+    pub fn is_open(&self, key: &str) -> bool {
+        self.failures
+            .lock()
+            .expect("breaker lock poisoned")
+            .get(key)
+            .is_some_and(|&n| n >= self.threshold)
+    }
+
+    /// Record an exact-tier budget failure for `key`.
+    pub fn record_failure(&self, key: &str) {
+        let mut map = self.failures.lock().expect("breaker lock poisoned");
+        *map.entry(key.to_string()).or_insert(0) += 1;
+    }
+
+    /// Record an exact-tier success for `key`, closing its breaker.
+    pub fn record_success(&self, key: &str) {
+        self.failures
+            .lock()
+            .expect("breaker lock poisoned")
+            .remove(key);
+    }
+
+    /// Consecutive failures currently recorded for `key`.
+    pub fn failures(&self, key: &str) -> u32 {
+        self.failures
+            .lock()
+            .expect("breaker lock poisoned")
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
 /// Configuration for [`robust_observation_dist`].
 #[derive(Clone, Debug)]
 pub struct RobustConfig {
-    /// Budget for the exact attempts (lumped and general).
+    /// Budget for the exact attempts (lumped and general) — including
+    /// an optional [`dpioa_core::CancelToken`], which the Monte-Carlo
+    /// tier observes too.
     pub budget: Budget,
     /// Worker lanes for the general exact frontier expansion; `1` keeps
     /// the expansion on the calling thread. Lanes are taken as asked —
@@ -140,7 +293,7 @@ pub struct RobustConfig {
     /// same automaton — later queries then reuse every successor
     /// distribution the earlier ones computed.
     pub cache: Option<Arc<EngineCache>>,
-    /// Monte-Carlo samples on fallback.
+    /// Monte-Carlo samples on fallback (pure or salvage).
     pub mc_samples: usize,
     /// Monte-Carlo worker threads.
     pub mc_threads: usize,
@@ -148,6 +301,9 @@ pub struct RobustConfig {
     pub mc_seed: u64,
     /// Confidence parameter `δ` for the reported DKW error bound.
     pub confidence_delta: f64,
+    /// A circuit breaker shared across queries; `None` disables
+    /// breaking (every query tries the exact tiers).
+    pub breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl Default for RobustConfig {
@@ -161,6 +317,7 @@ impl Default for RobustConfig {
             mc_threads: 4,
             mc_seed: 0xD10A,
             confidence_delta: 1e-3,
+            breaker: None,
         }
     }
 }
@@ -170,8 +327,20 @@ fn dkw_bound(n: usize, delta: f64) -> f64 {
     ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
 }
 
+/// True iff `e` is a budget exhaustion caused by the cancel token.
+fn is_cancellation(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::BudgetExhausted {
+            cancelled: true,
+            ..
+        }
+    )
+}
+
 /// The Monte-Carlo fallback tier on a caller-provided pool, sampling
-/// through the shared memo cache.
+/// through the shared memo cache (and observing the budget's cancel
+/// token, one check per sample).
 #[allow(clippy::too_many_arguments)]
 fn monte_carlo_pooled<'env, O>(
     auto: &'env dyn Automaton,
@@ -181,14 +350,15 @@ fn monte_carlo_pooled<'env, O>(
     cache: &'env EngineCache,
     pool: &WorkerPool<'_, 'env>,
     obs_fn: &'env O,
-    reason: EngineError,
+    reason: Option<EngineError>,
+    breaker_tripped: bool,
 ) -> Result<(Disc<Value>, Provenance), EngineError>
 where
     O: Fn(&Execution) -> Value + Sync + ?Sized,
 {
     let cache_base = cache.stats();
     let pool_base = pool.stats();
-    let dist = try_sample_observations_pooled_with(
+    let dist = try_sample_observations_cancellable_pooled_with(
         auto,
         sched,
         horizon,
@@ -196,6 +366,7 @@ where
         config.mc_seed,
         config.mc_threads,
         Some(cache),
+        config.budget.cancel.clone(),
         pool,
         obs_fn,
     )?;
@@ -204,17 +375,61 @@ where
         dist,
         Provenance {
             engine: EngineKind::MonteCarlo,
-            fallback_reason: Some(reason),
+            fallback_reason: reason,
             samples: Some(config.mc_samples),
             threads: Some(config.mc_threads),
             cache_hits: Some(cache_stats.hits),
             cache_misses: Some(cache_stats.misses),
             pooled_depths: None,
             pool: Some(pool.stats().since(&pool_base)),
+            resolved_mass: None,
+            frontier_nodes: None,
+            breaker_tripped,
             error_bound: dkw_bound(config.mc_samples, config.confidence_delta),
             confidence_delta: config.confidence_delta,
         },
     ))
+}
+
+/// Build the provenance of a hybrid (checkpoint-salvage) answer: only
+/// the frontier mass was estimated, so the DKW bound scales by it.
+fn hybrid_provenance(
+    config: &RobustConfig,
+    salvage: &SalvageOutcome,
+    reason: EngineError,
+    cache: CacheStats,
+    pool: PoolStats,
+    pooled_depths: Option<usize>,
+) -> Provenance {
+    Provenance {
+        engine: EngineKind::Hybrid,
+        fallback_reason: Some(reason),
+        samples: Some(salvage.samples),
+        threads: Some(config.mc_threads),
+        cache_hits: Some(cache.hits),
+        cache_misses: Some(cache.misses),
+        pooled_depths,
+        pool: Some(pool),
+        resolved_mass: Some(salvage.resolved_mass),
+        frontier_nodes: Some(salvage.frontier_nodes),
+        breaker_tripped: false,
+        error_bound: salvage.frontier_mass * dkw_bound(salvage.samples, config.confidence_delta),
+        confidence_delta: config.confidence_delta,
+    }
+}
+
+/// The distribution of `observe(α)` under `ε_σ`, computed by the
+/// cheapest eligible tier — the compatibility entry point. Identical to
+/// [`robust_observation_dist_ckpt`] but drops the checkpoint from a
+/// failed query, returning the bare [`EngineError`].
+pub fn robust_observation_dist(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    observe: &Observation,
+    config: &RobustConfig,
+) -> Result<(Disc<Value>, Provenance), EngineError> {
+    robust_observation_dist_ckpt(auto, sched, horizon, observe, config).map_err(|e| e.error)
 }
 
 /// The distribution of `observe(α)` under `ε_σ`, computed by the
@@ -228,17 +443,29 @@ where
 /// query that stays sequential (small frontiers under the adaptive
 /// cutover, or a 1-lane config) never spawns a thread.
 ///
+/// Degradation semantics:
+///
+/// * An exact tier that trips a cap or deadline hands its checkpoint to
+///   the salvage sampler; the answer is [`EngineKind::Hybrid`] with the
+///   resolved mass reported in provenance.
+/// * A cancelled query ([`dpioa_core::CancelToken`] in the budget)
+///   fails with [`RobustError`] carrying the checkpoint built so far —
+///   cancellation means "stop now", so no salvage sampling is
+///   attempted (it would be cancelled too).
+/// * An open [`CircuitBreaker`] skips the exact tiers entirely.
+///
 /// Errors other than lumped ineligibility and budget exhaustion
 /// (scheduler contract violations, invalid sampling parameters, a
 /// sampler shard that keeps panicking) are returned as-is: they are
 /// deterministic and a different engine would not fix them.
-pub fn robust_observation_dist(
+#[allow(clippy::result_large_err)] // the Err variant carries the cancelled query's checkpoint by design
+pub fn robust_observation_dist_ckpt(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     horizon: usize,
     observe: &Observation,
     config: &RobustConfig,
-) -> Result<(Disc<Value>, Provenance), EngineError> {
+) -> Result<(Disc<Value>, Provenance), RobustError> {
     let local_cache;
     let cache: &EngineCache = match &config.cache {
         Some(shared) => shared.as_ref(),
@@ -248,9 +475,22 @@ pub fn robust_observation_dist(
         }
     };
     let obs_fn = |e: &Execution| observe.apply(auto, e);
+    let breaker = config.breaker.as_deref();
+    let breaker_key = auto.name();
+
+    // Open breaker: the exact tiers have tripped their budget on this
+    // automaton `threshold` consecutive times — skip them.
+    if breaker.is_some_and(|b| b.is_open(&breaker_key)) {
+        return with_pool_seeded(config.mc_threads.max(1), DEFAULT_STEAL_SEED, |pool| {
+            monte_carlo_pooled(
+                auto, sched, horizon, config, cache, pool, &obs_fn, None, true,
+            )
+        })
+        .map_err(RobustError::from);
+    }
 
     let cache_base = cache.stats();
-    let not_lumpable = match try_lumped_observation_dist_cached(
+    let not_lumpable = match try_lumped_observation_dist_ckpt(
         auto,
         sched,
         horizon,
@@ -258,19 +498,76 @@ pub fn robust_observation_dist(
         &config.budget,
         cache,
     ) {
-        Ok(dist) => {
+        Ok(LumpedOutcome::Complete(dist)) => {
+            if let Some(b) = breaker {
+                b.record_success(&breaker_key);
+            }
             return Ok((dist, Provenance::lumped(cache.stats().since(cache_base))));
         }
-        Err(reason @ EngineError::NotLumpable { .. }) => reason,
-        Err(reason @ EngineError::BudgetExhausted { .. }) => {
+        Ok(LumpedOutcome::Partial(ckpt)) => {
+            if let Some(b) = breaker {
+                b.record_failure(&breaker_key);
+            }
+            if is_cancellation(&ckpt.reason) {
+                return Err(RobustError {
+                    error: ckpt.reason.clone(),
+                    checkpoint: Some(Checkpoint::Lumped(ckpt)),
+                });
+            }
             // The lumped class space is a quotient of the execution
-            // space, so the general tier cannot fit either — go
-            // straight to sampling on an MC-sized pool.
+            // space, so the general tier cannot fit either — salvage
+            // the class-space checkpoint on an MC-sized pool.
             return with_pool_seeded(config.mc_threads.max(1), DEFAULT_STEAL_SEED, |pool| {
-                monte_carlo_pooled(auto, sched, horizon, config, cache, pool, &obs_fn, reason)
+                let cache_base = cache.stats();
+                let pool_base = pool.stats();
+                match try_salvage_lumped_pooled_with(
+                    &ckpt,
+                    auto,
+                    sched,
+                    observe,
+                    config.mc_samples,
+                    config.mc_seed,
+                    config.mc_threads,
+                    Some(cache),
+                    config.budget.cancel.clone(),
+                    pool,
+                ) {
+                    Ok(salvage) => {
+                        let prov = hybrid_provenance(
+                            config,
+                            &salvage,
+                            ckpt.reason.clone(),
+                            cache.stats().since(cache_base),
+                            pool.stats().since(&pool_base),
+                            None,
+                        );
+                        Ok((salvage.dist, prov))
+                    }
+                    // The scheduler stopped being memoryless below the
+                    // frontier (it may inspect the step index): class
+                    // suffixes are unsamplable, restart MC from scratch.
+                    Err(EngineError::NotLumpable { .. }) => monte_carlo_pooled(
+                        auto,
+                        sched,
+                        horizon,
+                        config,
+                        cache,
+                        pool,
+                        &obs_fn,
+                        Some(ckpt.reason.clone()),
+                        false,
+                    )
+                    .map_err(RobustError::from),
+                    Err(e) if is_cancellation(&e) => Err(RobustError {
+                        error: e,
+                        checkpoint: Some(Checkpoint::Lumped(ckpt.clone())),
+                    }),
+                    Err(other) => Err(RobustError::from(other)),
+                }
             });
         }
-        Err(other) => return Err(other),
+        Err(reason @ EngineError::NotLumpable { .. }) => reason,
+        Err(other) => return Err(RobustError::from(other)),
     };
 
     let policy = match config.par_cutover {
@@ -282,7 +579,7 @@ pub fn robust_observation_dist(
     // tier answers below its cutover.
     let lanes = policy.threads.max(config.mc_threads.max(1));
     with_pool_seeded(lanes, policy.steal_seed, |pool| {
-        let general = try_execution_measure_pooled_with(
+        let general = try_execution_measure_ckpt_with(
             auto,
             sched,
             horizon,
@@ -291,16 +588,61 @@ pub fn robust_observation_dist(
             cache,
             pool,
             Ok,
-        );
+            None,
+        )
+        .map_err(RobustError::from)?;
         match general {
-            Ok((measure, stats)) => {
-                let dist = measure.try_observe(|e| observe.apply(auto, e))?;
+            (ExpansionOutcome::Complete(measure), stats) => {
+                if let Some(b) = breaker {
+                    b.record_success(&breaker_key);
+                }
+                let dist = measure
+                    .try_observe(|e| observe.apply(auto, e))
+                    .map_err(RobustError::from)?;
                 Ok((dist, Provenance::exact(not_lumpable, stats)))
             }
-            Err(reason @ EngineError::BudgetExhausted { .. }) => {
-                monte_carlo_pooled(auto, sched, horizon, config, cache, pool, &obs_fn, reason)
+            (ExpansionOutcome::Partial(ckpt), stats) => {
+                if let Some(b) = breaker {
+                    b.record_failure(&breaker_key);
+                }
+                if is_cancellation(&ckpt.reason) {
+                    return Err(RobustError {
+                        error: ckpt.reason.clone(),
+                        checkpoint: Some(Checkpoint::Cone(ckpt)),
+                    });
+                }
+                let cache_base = cache.stats();
+                let pool_base = pool.stats();
+                match try_salvage_observations_pooled_with(
+                    &ckpt,
+                    auto,
+                    sched,
+                    config.mc_samples,
+                    config.mc_seed,
+                    config.mc_threads,
+                    Some(cache),
+                    config.budget.cancel.clone(),
+                    pool,
+                    &obs_fn,
+                ) {
+                    Ok(salvage) => {
+                        let prov = hybrid_provenance(
+                            config,
+                            &salvage,
+                            ckpt.reason.clone(),
+                            cache.stats().since(cache_base),
+                            pool.stats().since(&pool_base),
+                            Some(stats.pooled_depths),
+                        );
+                        Ok((salvage.dist, prov))
+                    }
+                    Err(e) if is_cancellation(&e) => Err(RobustError {
+                        error: e,
+                        checkpoint: Some(Checkpoint::Cone(ckpt.clone())),
+                    }),
+                    Err(other) => Err(RobustError::from(other)),
+                }
             }
-            Err(other) => Err(other),
         }
     })
 }
@@ -309,7 +651,7 @@ pub fn robust_observation_dist(
 mod tests {
     use super::*;
     use crate::scheduler::{DeterministicScheduler, FirstEnabled};
-    use dpioa_core::{Action, Execution, ExplicitAutomaton, Signature};
+    use dpioa_core::{Action, CancelToken, Execution, ExplicitAutomaton, Signature};
     use dpioa_prob::tv_distance;
 
     fn act(s: &str) -> Action {
@@ -342,6 +684,7 @@ mod tests {
         .unwrap();
         assert_eq!(prov.engine, EngineKind::Lumped);
         assert!(prov.fallback_reason.is_none());
+        assert!(!prov.breaker_tripped);
         assert_eq!(prov.error_bound, 0.0);
         assert_eq!(dist.prob(&Value::int(1)), 0.5);
     }
@@ -389,7 +732,7 @@ mod tests {
     }
 
     #[test]
-    fn exhausted_budget_falls_back_to_monte_carlo_with_provenance() {
+    fn exhausted_budget_salvages_into_a_hybrid_estimate() {
         let auto = coin();
         // History-dependent (ineligible for lumping) so the general
         // exact tier runs — and exhausts its one-expansion budget.
@@ -402,23 +745,33 @@ mod tests {
             ..RobustConfig::default()
         };
         let (dist, prov) =
-            robust_observation_dist(&auto, &sched, 1, &Observation::final_state(), &config)
+            robust_observation_dist(&auto, &sched, 2, &Observation::final_state(), &config)
                 .unwrap();
-        assert_eq!(prov.engine, EngineKind::MonteCarlo);
+        assert_eq!(prov.engine, EngineKind::Hybrid);
         assert!(matches!(
             prov.fallback_reason,
-            Some(EngineError::BudgetExhausted { .. })
+            Some(EngineError::BudgetExhausted {
+                cancelled: false,
+                ..
+            })
         ));
         assert_eq!(prov.samples, Some(40_000));
-        assert!(prov.error_bound > 0.0 && prov.error_bound < 0.05);
-        // The estimate still tracks the exact answer.
+        // Conservation: the checkpoint partitions the unit mass.
+        let resolved = prov.resolved_mass.unwrap();
+        assert!((0.0..=1.0).contains(&resolved));
+        assert!(prov.frontier_nodes.unwrap() > 0);
+        // The bound is the DKW bound scaled by the frontier mass.
+        let full = dkw_bound(40_000, config.confidence_delta);
+        assert!(prov.error_bound <= full + 1e-15);
+        assert!(prov.error_bound > 0.0);
+        // The hybrid estimate still tracks the exact answer.
         let exact =
-            crate::measure::observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone());
+            crate::measure::observation_dist(&auto, &FirstEnabled, 2, |e| e.lstate().clone());
         assert!(tv_distance(&exact, &dist) < 0.02);
     }
 
     #[test]
-    fn lumped_budget_exhaustion_skips_straight_to_monte_carlo() {
+    fn lumped_budget_exhaustion_salvages_in_class_space() {
         let auto = coin();
         let config = RobustConfig {
             budget: Budget::unlimited().with_max_expansions(0),
@@ -426,6 +779,85 @@ mod tests {
             mc_threads: 2,
             ..RobustConfig::default()
         };
+        let (dist, prov) = robust_observation_dist(
+            &auto,
+            &FirstEnabled,
+            1,
+            &Observation::final_state(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(prov.engine, EngineKind::Hybrid);
+        assert!(matches!(
+            prov.fallback_reason,
+            Some(EngineError::BudgetExhausted { .. })
+        ));
+        // Tripped before anything resolved: everything was estimated.
+        assert_eq!(prov.resolved_mass, Some(0.0));
+        assert_eq!(prov.frontier_nodes, Some(1));
+        let exact =
+            crate::measure::observation_dist(&auto, &FirstEnabled, 1, |e| e.lstate().clone());
+        assert!(tv_distance(&exact, &dist) < 0.02);
+    }
+
+    #[test]
+    fn cancelled_query_fails_with_the_checkpoint_in_hand() {
+        let auto = coin();
+        let token = CancelToken::new();
+        token.cancel();
+        let config = RobustConfig {
+            budget: Budget::unlimited().with_cancel(token),
+            ..RobustConfig::default()
+        };
+        let err = robust_observation_dist_ckpt(
+            &auto,
+            &FirstEnabled,
+            1,
+            &Observation::final_state(),
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.error,
+            EngineError::BudgetExhausted {
+                cancelled: true,
+                ..
+            }
+        ));
+        let ckpt = err
+            .checkpoint
+            .expect("cancellation must carry a checkpoint");
+        // Pre-cancelled: nothing resolved, the full unit on the frontier.
+        assert_eq!(ckpt.resolved_mass(), 0.0);
+        assert_eq!(ckpt.frontier_mass(), 1.0);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_skips_exact_tiers() {
+        let auto = coin();
+        let breaker = Arc::new(CircuitBreaker::new(2));
+        let config = RobustConfig {
+            budget: Budget::unlimited().with_max_expansions(0),
+            mc_samples: 5_000,
+            mc_threads: 2,
+            breaker: Some(Arc::clone(&breaker)),
+            ..RobustConfig::default()
+        };
+        // Two failing queries open the breaker…
+        for _ in 0..2 {
+            let (_, prov) = robust_observation_dist(
+                &auto,
+                &FirstEnabled,
+                1,
+                &Observation::final_state(),
+                &config,
+            )
+            .unwrap();
+            assert_eq!(prov.engine, EngineKind::Hybrid);
+            assert!(!prov.breaker_tripped);
+        }
+        assert!(breaker.is_open(&auto.name()));
+        // …so the third skips the exact tiers entirely.
         let (_, prov) = robust_observation_dist(
             &auto,
             &FirstEnabled,
@@ -435,10 +867,24 @@ mod tests {
         )
         .unwrap();
         assert_eq!(prov.engine, EngineKind::MonteCarlo);
-        assert!(matches!(
-            prov.fallback_reason,
-            Some(EngineError::BudgetExhausted { .. })
-        ));
+        assert!(prov.breaker_tripped);
+        assert!(prov.fallback_reason.is_none());
+        // A success under a real budget closes it again.
+        let healthy = RobustConfig {
+            breaker: Some(Arc::clone(&breaker)),
+            ..RobustConfig::default()
+        };
+        breaker.record_success(&auto.name());
+        let (_, prov) = robust_observation_dist(
+            &auto,
+            &FirstEnabled,
+            1,
+            &Observation::final_state(),
+            &healthy,
+        )
+        .unwrap();
+        assert_eq!(prov.engine, EngineKind::Lumped);
+        assert_eq!(breaker.failures(&auto.name()), 0);
     }
 
     #[test]

@@ -21,10 +21,12 @@
 //! [`EngineError::WorkerPanicked`]. Other shards are unaffected.
 
 use crate::cache::EngineCache;
+use crate::checkpoint::{ConeCheckpoint, LumpedCheckpoint};
 use crate::error::{disabled_action, EngineError};
+use crate::lumped::Observation;
 use crate::scheduler::Scheduler;
 use dpioa_core::pool::{with_pool, WorkerPool};
-use dpioa_core::{Automaton, Execution, IValue, Value};
+use dpioa_core::{Automaton, CancelToken, Execution, IValue, Value};
 use dpioa_prob::sample::{sample_disc, sample_subdisc};
 use dpioa_prob::Disc;
 use rand::rngs::StdRng;
@@ -45,19 +47,7 @@ pub fn try_sample_execution<R: Rng + ?Sized>(
     horizon: usize,
     rng: &mut R,
 ) -> Result<Execution, EngineError> {
-    let mut exec = Execution::start_of(auto);
-    while exec.len() < horizon {
-        let choice = sched.schedule(auto, &exec);
-        let Some(a) = sample_subdisc(&choice, rng) else {
-            break;
-        };
-        let Some(eta) = auto.transition(exec.lstate(), a) else {
-            return Err(disabled_action(sched, a, exec.lstate()));
-        };
-        let q2 = sample_disc(&eta, rng);
-        exec.push(a, q2);
-    }
-    Ok(exec)
+    try_sample_suffix(auto, sched, horizon, None, Execution::start_of(auto), rng)
 }
 
 /// [`try_sample_execution`] drawing transitions and memoryless
@@ -72,14 +62,41 @@ pub fn try_sample_execution_cached<R: Rng + ?Sized>(
     cache: &EngineCache,
     rng: &mut R,
 ) -> Result<Execution, EngineError> {
-    let mut exec = Execution::start_of(auto);
+    try_sample_suffix(
+        auto,
+        sched,
+        horizon,
+        Some(cache),
+        Execution::start_of(auto),
+        rng,
+    )
+}
+
+/// Extend `exec` by sampled steps until halt, a disabled universe, or
+/// `horizon` total steps. This is the conditional sampler behind
+/// checkpoint salvage: the scheduler sees the *full* execution (prefix
+/// included), so the suffix is drawn from exactly the distribution the
+/// exact engine would have expanded below that frontier node —
+/// history-dependent schedulers stay correct. With `cache: Some`,
+/// memoryless choices and transitions are drawn through the shared
+/// memo cache; either way the RNG stream is identical (see module docs).
+pub fn try_sample_suffix<R: Rng + ?Sized>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    cache: Option<&EngineCache>,
+    mut exec: Execution,
+    rng: &mut R,
+) -> Result<Execution, EngineError> {
     let mut id = IValue::of(exec.lstate());
     while exec.len() < horizon {
-        let cached = cache.memoryless_choice(sched, auto, exec.len(), exec.lstate(), id);
+        let cached =
+            cache.and_then(|c| c.memoryless_choice(sched, auto, exec.len(), exec.lstate(), id));
         let fresh;
         let choice = match &cached {
             Some(c) => c.as_ref(),
-            // History-dependent at this (step, state): ask per execution.
+            // Uncached, or history-dependent at this (step, state):
+            // ask per execution.
             None => {
                 fresh = sched.schedule(auto, &exec);
                 &fresh
@@ -88,10 +105,20 @@ pub fn try_sample_execution_cached<R: Rng + ?Sized>(
         let Some(a) = sample_subdisc(choice, rng) else {
             break;
         };
-        let Some(entry) = cache.successors(auto, exec.lstate(), id, a) else {
-            return Err(disabled_action(sched, a, exec.lstate()));
+        let q2 = match cache {
+            Some(c) => {
+                let Some(entry) = c.successors(auto, exec.lstate(), id, a) else {
+                    return Err(disabled_action(sched, a, exec.lstate()));
+                };
+                sample_disc(&entry.eta, rng)
+            }
+            None => {
+                let Some(eta) = auto.transition(exec.lstate(), a) else {
+                    return Err(disabled_action(sched, a, exec.lstate()));
+                };
+                sample_disc(&eta, rng)
+            }
         };
-        let q2 = sample_disc(&entry.eta, rng);
         id = IValue::of(&q2);
         exec.push(a, q2);
     }
@@ -186,6 +213,33 @@ pub fn try_sample_observations_pooled_with<'env, O>(
 where
     O: Fn(&Execution) -> Value + Sync + ?Sized,
 {
+    try_sample_observations_cancellable_pooled_with(
+        auto, sched, horizon, n, seed, shards, cache, None, pool, observe,
+    )
+}
+
+/// [`try_sample_observations_pooled_with`] with a cooperative
+/// [`CancelToken`]: every shard checks the token once per sample, and a
+/// cancelled run returns [`EngineError::BudgetExhausted`] with
+/// `cancelled: true` (the dynamic-budget reading — the caller shrank
+/// the sampling budget to zero mid-flight). Cancellation therefore
+/// lands within one in-flight sample per shard.
+#[allow(clippy::too_many_arguments)]
+pub fn try_sample_observations_cancellable_pooled_with<'env, O>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    horizon: usize,
+    n: usize,
+    seed: u64,
+    shards: usize,
+    cache: Option<&'env EngineCache>,
+    cancel: Option<CancelToken>,
+    pool: &WorkerPool<'_, 'env>,
+    observe: &'env O,
+) -> Result<Disc<Value>, EngineError>
+where
+    O: Fn(&Execution) -> Value + Sync + ?Sized,
+{
     if n == 0 {
         return Err(EngineError::InvalidSampling {
             reason: "cannot estimate from zero samples".into(),
@@ -210,11 +264,20 @@ where
         if pending.is_empty() {
             break;
         }
+        let cancel = cancel.clone();
         let outcomes = pool.run_batch(pending.clone(), move |_, t: usize| {
             let count = per + usize::from(t < extra);
             let mut rng = StdRng::seed_from_u64(shard_seed(seed, t, attempt));
             let mut hist: HashMap<Value, u64> = HashMap::new();
-            for _ in 0..count {
+            for drawn in 0..count {
+                if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    return Err(EngineError::BudgetExhausted {
+                        entries: drawn,
+                        expansions: drawn,
+                        deadline_hit: false,
+                        cancelled: true,
+                    });
+                }
                 let e = match cache {
                     Some(c) => try_sample_execution_cached(auto, sched, horizon, c, &mut rng)?,
                     None => try_sample_execution(auto, sched, horizon, &mut rng)?,
@@ -227,7 +290,9 @@ where
             match outcome {
                 Ok(Ok(hist)) => done[t] = Some(hist),
                 // A structured engine error is deterministic — retrying
-                // the shard would fail identically.
+                // the shard would fail identically. (Cancellation is
+                // monotone, so retrying a cancelled shard is pointless
+                // too.)
                 Ok(Err(e)) => return Err(e),
                 // The shard panicked; leave it pending for the next
                 // (reseeded) attempt.
@@ -250,6 +315,393 @@ where
         }
     }
     hist_to_disc(merged, n)
+}
+
+/// The hybrid estimate produced by salvaging a checkpoint: the exact
+/// part carried over verbatim, the frontier part estimated by suffix
+/// sampling.
+///
+/// Soundness of the combination: a checkpoint partitions the
+/// probability-one cone into resolved sub-cones (exact masses) and
+/// frontier sub-cones (exact prefix masses summing to `frontier_mass`
+/// = `F`). Sampling a frontier node proportional to its prefix mass
+/// and then a suffix through the scheduler draws an execution from the
+/// *conditional* distribution given the frontier, so `F · (count/n)`
+/// estimates each observation's frontier contribution unbiasedly, and
+/// only that `F`-sized remainder carries sampling error — the DKW
+/// bound scales by `F < 1`, a strict refinement of restarting
+/// Monte-Carlo from the initial state with the same `n`.
+#[derive(Clone, Debug)]
+pub struct SalvageOutcome {
+    /// The hybrid observation distribution (exact resolved mass +
+    /// estimated frontier mass, renormalized against float drift).
+    pub dist: Disc<Value>,
+    /// Mass resolved exactly by the tripped engine and carried over.
+    pub resolved_mass: f64,
+    /// Mass that had to be estimated by sampling (`1 - resolved_mass`
+    /// by conservation).
+    pub frontier_mass: f64,
+    /// Frontier entries (cone nodes or lump classes) sampled from.
+    pub frontier_nodes: usize,
+    /// Suffix samples actually drawn.
+    pub samples: usize,
+}
+
+/// Merge `(value, weight)` contributions in first-seen order — keeps
+/// the hybrid distribution deterministic where a `HashMap` fold would
+/// not be.
+struct OrderedMasses {
+    entries: Vec<(Value, f64)>,
+    index: HashMap<Value, usize>,
+}
+
+impl OrderedMasses {
+    fn new() -> OrderedMasses {
+        OrderedMasses {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn add(&mut self, v: Value, w: f64) {
+        match self.index.get(&v) {
+            Some(&i) => self.entries[i].1 += w,
+            None => {
+                self.index.insert(v.clone(), self.entries.len());
+                self.entries.push((v, w));
+            }
+        }
+    }
+
+    /// Renormalize by the actual sum (float drift, cf. [`hist_to_disc`])
+    /// and finish as a distribution.
+    fn into_disc(self) -> Result<Disc<Value>, EngineError> {
+        let sum: f64 = self.entries.iter().map(|(_, w)| *w).sum();
+        if sum <= 0.0 {
+            return Err(EngineError::InvalidMeasure {
+                detail: "salvaged masses sum to zero".into(),
+            });
+        }
+        Disc::from_entries(
+            self.entries
+                .into_iter()
+                .filter(|(_, w)| *w > 0.0)
+                .map(|(v, w)| (v, w / sum))
+                .collect(),
+        )
+        .map_err(|e| EngineError::InvalidMeasure {
+            detail: format!("salvaged masses do not normalize: {e:?}"),
+        })
+    }
+}
+
+/// Draw a frontier index by inverse-CDF over cumulative prefix masses
+/// (`cum` is strictly increasing, last entry = total frontier mass).
+fn pick_frontier<R: Rng + ?Sized>(cum: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    let target = u * cum[cum.len() - 1];
+    cum.partition_point(|&c| c <= target).min(cum.len() - 1)
+}
+
+/// Salvage a [`ConeCheckpoint`] into a hybrid observation estimate:
+/// resolved terminal executions contribute their exact probabilities;
+/// the unresolved frontier mass is estimated by `n` suffix samples,
+/// each drawn by picking a frontier node proportional to its prefix
+/// mass (inverse-CDF) and continuing it through the scheduler to the
+/// horizon ([`try_sample_suffix`]). Shards, seeding, panic isolation
+/// and cancellation behave as in
+/// [`try_sample_observations_cancellable_pooled_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_salvage_observations_pooled_with<'env, O>(
+    ckpt: &ConeCheckpoint<f64>,
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    n: usize,
+    seed: u64,
+    shards: usize,
+    cache: Option<&'env EngineCache>,
+    cancel: Option<CancelToken>,
+    pool: &WorkerPool<'_, 'env>,
+    observe: &'env O,
+) -> Result<SalvageOutcome, EngineError>
+where
+    O: Fn(&Execution) -> Value + Sync + ?Sized,
+{
+    let resolved_mass = ckpt.resolved_mass();
+    let frontier_mass = ckpt.frontier_mass();
+    let mut masses = OrderedMasses::new();
+    for (e, w) in &ckpt.resolved {
+        masses.add(observe(e), *w);
+    }
+
+    if ckpt.frontier.is_empty() || frontier_mass <= 0.0 {
+        // Nothing left to estimate — the "checkpoint" is already exact.
+        return Ok(SalvageOutcome {
+            dist: masses.into_disc()?,
+            resolved_mass,
+            frontier_mass: 0.0,
+            frontier_nodes: 0,
+            samples: 0,
+        });
+    }
+
+    // Cumulative prefix masses for the inverse-CDF node pick. Shared
+    // read-only across shards.
+    let cum: Vec<f64> = ckpt
+        .frontier
+        .iter()
+        .scan(0.0, |acc, (_, w)| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+
+    let horizon = ckpt.horizon;
+    // Owned (Arc) copy of the frontier prefixes: the worker closures
+    // must outlive the pool's environment, which the checkpoint —
+    // often built inside the same pool scope — need not.
+    let prefixes: std::sync::Arc<Vec<Execution>> =
+        std::sync::Arc::new(ckpt.frontier.iter().map(|(e, _)| e.clone()).collect());
+    let hist = sample_shard_histograms(n, seed, shards, cancel, pool, move |rng| {
+        let node = pick_frontier(&cum, rng);
+        let suffix = try_sample_suffix(auto, sched, horizon, cache, prefixes[node].clone(), rng)?;
+        Ok(observe(&suffix))
+    })?;
+
+    let mut ordered: Vec<(Value, u64)> = hist.into_iter().collect();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
+    for (v, c) in ordered {
+        masses.add(v, frontier_mass * (c as f64 / n as f64));
+    }
+    Ok(SalvageOutcome {
+        dist: masses.into_disc()?,
+        resolved_mass,
+        frontier_mass,
+        frontier_nodes: ckpt.frontier.len(),
+        samples: n,
+    })
+}
+
+/// Salvage a [`LumpedCheckpoint`]: resolved observation masses carry
+/// over exactly; the unresolved lump classes are estimated by
+/// memoryless suffix sampling — pick a class proportional to its mass,
+/// then walk `(state, trace)` forward from the checkpoint's step
+/// through [`Scheduler::schedule_memoryless`] choices. A scheduler
+/// that declines memoryless choice mid-suffix fails the whole salvage
+/// with [`EngineError::NotLumpable`] (the caller falls back to a pure
+/// Monte-Carlo restart); the observation must factor through trace or
+/// last state for the same reason.
+#[allow(clippy::too_many_arguments)]
+pub fn try_salvage_lumped_pooled_with<'env>(
+    ckpt: &LumpedCheckpoint<f64>,
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    obs: &'env Observation,
+    n: usize,
+    seed: u64,
+    shards: usize,
+    cache: Option<&'env EngineCache>,
+    cancel: Option<CancelToken>,
+    pool: &WorkerPool<'_, 'env>,
+) -> Result<SalvageOutcome, EngineError> {
+    if matches!(obs, Observation::Full(_)) {
+        return Err(EngineError::NotLumpable {
+            reason: "observation does not factor through trace or last state".into(),
+        });
+    }
+    let resolved_mass = ckpt.resolved_mass();
+    let frontier_mass = ckpt.frontier_mass();
+    let mut masses = OrderedMasses::new();
+    for (v, w) in &ckpt.resolved {
+        masses.add(v.clone(), *w);
+    }
+
+    if ckpt.frontier.is_empty() || frontier_mass <= 0.0 {
+        return Ok(SalvageOutcome {
+            dist: masses.into_disc()?,
+            resolved_mass,
+            frontier_mass: 0.0,
+            frontier_nodes: 0,
+            samples: 0,
+        });
+    }
+
+    let cum: Vec<f64> = ckpt
+        .frontier
+        .iter()
+        .scan(0.0, |acc, c| {
+            *acc += c.weight;
+            Some(*acc)
+        })
+        .collect();
+
+    let track_trace = matches!(obs, Observation::Trace);
+    let observe_class = move |state: &Value, trace: &[dpioa_core::Action]| -> Value {
+        match obs {
+            Observation::LastState(g) => g(state),
+            Observation::Trace => Value::list(
+                trace
+                    .iter()
+                    .map(|a| Value::str(a.name()))
+                    .collect::<Vec<_>>(),
+            ),
+            Observation::Full(_) => unreachable!("rejected above"),
+        }
+    };
+
+    let horizon = ckpt.horizon;
+    let start_step = ckpt.step;
+    // Owned copy for the worker closures, as in the cone salvage.
+    let classes: std::sync::Arc<Vec<crate::checkpoint::LumpedClass<f64>>> =
+        std::sync::Arc::new(ckpt.frontier.clone());
+    let hist = sample_shard_histograms(n, seed, shards, cancel, pool, move |rng| {
+        let class = &classes[pick_frontier(&cum, rng)];
+        let mut state = class.state.clone();
+        let mut id = IValue::of(&state);
+        let mut trace = class.trace.clone();
+        for step in start_step..horizon {
+            let cached = cache.and_then(|c| c.memoryless_choice(sched, auto, step, &state, id));
+            let fresh;
+            let choice = match &cached {
+                Some(c) => c.as_ref(),
+                None => match sched.schedule_memoryless(auto, step, &state) {
+                    Some(ch) => {
+                        fresh = ch;
+                        &fresh
+                    }
+                    None => {
+                        return Err(EngineError::NotLumpable {
+                            reason: format!(
+                                "scheduler {} is not memoryless at step {step}",
+                                sched.describe()
+                            ),
+                        })
+                    }
+                },
+            };
+            let Some(a) = sample_subdisc(choice, rng) else {
+                break;
+            };
+            let external = track_trace && auto.signature(&state).is_external(a);
+            let q2 = match cache {
+                Some(c) => {
+                    let Some(entry) = c.successors(auto, &state, id, a) else {
+                        return Err(disabled_action(sched, a, &state));
+                    };
+                    sample_disc(&entry.eta, rng)
+                }
+                None => {
+                    let Some(eta) = auto.transition(&state, a) else {
+                        return Err(disabled_action(sched, a, &state));
+                    };
+                    sample_disc(&eta, rng)
+                }
+            };
+            if external {
+                trace.push(a);
+            }
+            id = IValue::of(&q2);
+            state = q2;
+        }
+        Ok(observe_class(&state, &trace))
+    })?;
+
+    let mut ordered: Vec<(Value, u64)> = hist.into_iter().collect();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
+    for (v, c) in ordered {
+        masses.add(v, frontier_mass * (c as f64 / n as f64));
+    }
+    Ok(SalvageOutcome {
+        dist: masses.into_disc()?,
+        resolved_mass,
+        frontier_mass,
+        frontier_nodes: ckpt.frontier.len(),
+        samples: n,
+    })
+}
+
+/// The shared shard harness behind the salvage samplers: split `n`
+/// draws of `draw` into `shards` deterministic shards on `pool`, with
+/// per-sample cancellation checks and per-shard panic retries exactly
+/// as in [`try_sample_observations_cancellable_pooled_with`], and merge
+/// the per-shard histograms in shard order.
+fn sample_shard_histograms<'env, F>(
+    n: usize,
+    seed: u64,
+    shards: usize,
+    cancel: Option<CancelToken>,
+    pool: &WorkerPool<'_, 'env>,
+    draw: F,
+) -> Result<HashMap<Value, u64>, EngineError>
+where
+    F: Fn(&mut StdRng) -> Result<Value, EngineError> + Send + Sync + Clone + 'env,
+{
+    if n == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot estimate from zero samples".into(),
+        });
+    }
+    if shards == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "need at least one worker".into(),
+        });
+    }
+    let per = n / shards;
+    let extra = n % shards;
+    let mut done: Vec<Option<HashMap<Value, u64>>> = (0..shards).map(|_| None).collect();
+
+    for attempt in 0..=MAX_SHARD_RETRIES {
+        let pending: Vec<usize> = done
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(t, _)| t)
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let cancel = cancel.clone();
+        let draw = draw.clone();
+        let outcomes = pool.run_batch(pending.clone(), move |_, t: usize| {
+            let count = per + usize::from(t < extra);
+            let mut rng = StdRng::seed_from_u64(shard_seed(seed, t, attempt));
+            let mut hist: HashMap<Value, u64> = HashMap::new();
+            for drawn in 0..count {
+                if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    return Err(EngineError::BudgetExhausted {
+                        entries: drawn,
+                        expansions: drawn,
+                        deadline_hit: false,
+                        cancelled: true,
+                    });
+                }
+                *hist.entry(draw(&mut rng)?).or_insert(0) += 1;
+            }
+            Ok::<_, EngineError>(hist)
+        });
+        for (t, outcome) in pending.into_iter().zip(outcomes) {
+            match outcome {
+                Ok(Ok(hist)) => done[t] = Some(hist),
+                Ok(Err(e)) => return Err(e),
+                Err(_panic_payload) => {}
+            }
+        }
+    }
+
+    if let Some(shard) = done.iter().position(|s| s.is_none()) {
+        return Err(EngineError::WorkerPanicked {
+            shard,
+            retries: MAX_SHARD_RETRIES,
+        });
+    }
+
+    let mut merged: HashMap<Value, u64> = HashMap::new();
+    for hist in done.into_iter().flatten() {
+        for (k, v) in hist {
+            *merged.entry(k).or_insert(0) += v;
+        }
+    }
+    Ok(merged)
 }
 
 /// Estimate the observation distribution by `n` samples fanned out over

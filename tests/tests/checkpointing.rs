@@ -1,0 +1,551 @@
+//! Checkpointed degradation: budget trips, deadlines and cooperative
+//! cancellation must leave a *conserving* checkpoint behind (resolved
+//! mass + frontier mass = 1, exactly — asserted over exact rationals
+//! with no tolerance), and resuming that checkpoint under an enlarged
+//! budget must reproduce the unbudgeted run bit-for-bit. The pooled
+//! deadline/cancel tests honour `DPIOA_POOL_LANES` so CI can pin the
+//! lane count.
+
+use dpioa_core::{Action, Automaton, CancelToken, Execution};
+use dpioa_integration::random_automaton;
+use dpioa_prob::{Ratio, SubDisc, Weight};
+use dpioa_sched::{
+    try_execution_measure, try_execution_measure_ckpt, try_execution_measure_ckpt_in,
+    try_execution_measure_pooled, try_execution_measure_resume, try_lumped_observation_dist_cached,
+    try_lumped_observation_dist_ckpt, try_lumped_observation_dist_resume, Budget, EngineCache,
+    EngineError, ExpansionOutcome, FirstEnabled, HaltingMix, LumpedOutcome, Observation,
+    ParallelPolicy, PriorityScheduler, RandomScheduler, Scheduler,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lane counts to exercise; `DPIOA_POOL_LANES` pins one for CI matrix
+/// legs (same convention as the lumping suite).
+fn pool_lanes() -> Vec<usize> {
+    std::env::var("DPIOA_POOL_LANES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|l: usize| vec![l])
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// The exact-rational lift used by the no-tolerance conservation
+/// proptests: refuses any weight that is not exactly dyadic.
+fn ratio_lift(w: f64) -> Result<Ratio, EngineError> {
+    Ratio::from_f64_exact(w).ok_or(EngineError::NonDyadicWeight { weight: w })
+}
+
+/// A memoryless scheduler family (mirrors the lumping suite) so the
+/// lumped checkpoint tests draw from the same policies.
+fn memoryless_scheduler(kind: u8, auto: &Arc<dyn Automaton>) -> Arc<dyn Scheduler> {
+    match kind % 4 {
+        0 => Arc::new(FirstEnabled),
+        1 => Arc::new(RandomScheduler),
+        2 => Arc::new(HaltingMix::new(FirstEnabled, 3, 2)),
+        _ => {
+            let mut order: Vec<_> = auto
+                .signature(&auto.start_state())
+                .all()
+                .into_iter()
+                .collect();
+            order.reverse();
+            Arc::new(PriorityScheduler::new(order))
+        }
+    }
+}
+
+/// Wraps a scheduler and cancels a [`CancelToken`] after `after`
+/// scheduling calls — a deterministic way to land a cancellation
+/// mid-expansion, inside a grain, from "another thread"'s perspective.
+struct CancelAfter<S> {
+    inner: S,
+    after: usize,
+    calls: AtomicUsize,
+    token: CancelToken,
+}
+
+impl<S: Scheduler> Scheduler for CancelAfter<S> {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        if self.calls.fetch_add(1, Ordering::SeqCst) + 1 >= self.after {
+            self.token.cancel();
+        }
+        self.inner.schedule(auto, exec)
+    }
+
+    fn describe(&self) -> String {
+        format!("cancel-after[{}]({})", self.after, self.inner.describe())
+    }
+}
+
+/// Satellite: a 0-duration deadline must trip the *pooled* expansion
+/// path (cutover 0 forces pooled dispatch) with `deadline_hit: true`,
+/// at every lane count.
+#[test]
+fn pooled_expansion_under_zero_deadline_reports_deadline_hit() {
+    let auto = random_automaton("ckpt-dl", "ckptdl0", 4, 11);
+    for threads in pool_lanes() {
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let budget = Budget::unlimited().with_deadline_in(Duration::ZERO);
+        let cache = EngineCache::new();
+        match try_execution_measure_pooled(&*auto, &FirstEnabled, 6, &budget, policy, &cache) {
+            Err(EngineError::BudgetExhausted {
+                deadline_hit,
+                cancelled,
+                ..
+            }) => {
+                assert!(
+                    deadline_hit,
+                    "deadline must be reported as the tripped limit"
+                );
+                assert!(!cancelled);
+            }
+            other => panic!("expected deadline exhaustion at {threads} lanes, got {other:?}"),
+        }
+    }
+}
+
+/// The checkpointed variant of the same trip keeps all the mass on the
+/// frontier: nothing was resolved yet, so conservation pins the single
+/// depth-0 node at exactly probability one.
+#[test]
+fn zero_deadline_checkpoint_holds_all_mass_on_the_frontier() {
+    let auto = random_automaton("ckpt-dl", "ckptdl1", 4, 12);
+    for threads in pool_lanes() {
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let budget = Budget::unlimited().with_deadline_in(Duration::ZERO);
+        let cache = EngineCache::new();
+        let (outcome, _) =
+            try_execution_measure_ckpt(&*auto, &FirstEnabled, 6, &budget, policy, &cache)
+                .expect("deadline trips are salvageable, not hard errors");
+        let ckpt = outcome
+            .into_checkpoint()
+            .expect("a zero deadline cannot complete the expansion");
+        assert!(matches!(
+            ckpt.reason,
+            EngineError::BudgetExhausted {
+                deadline_hit: true,
+                ..
+            }
+        ));
+        assert_eq!(ckpt.resolved_mass(), 0.0);
+        assert_eq!(ckpt.frontier_mass(), 1.0);
+        assert_eq!(ckpt.frontier.len(), 1);
+    }
+}
+
+/// A token cancelled before the query starts checkpoints before any
+/// work: `cancelled: true`, everything still on the frontier.
+#[test]
+fn pre_cancelled_token_checkpoints_before_any_work() {
+    let auto = random_automaton("ckpt-pc", "ckptpc", 4, 13);
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited().with_cancel(token);
+    let cache = EngineCache::new();
+    let (outcome, _) = try_execution_measure_ckpt(
+        &*auto,
+        &FirstEnabled,
+        6,
+        &budget,
+        ParallelPolicy::new(2, 0).with_split_unit(2),
+        &cache,
+    )
+    .expect("cancellation is salvageable");
+    let ckpt = outcome
+        .into_checkpoint()
+        .expect("a pre-cancelled token cannot complete the expansion");
+    assert!(matches!(
+        ckpt.reason,
+        EngineError::BudgetExhausted {
+            cancelled: true,
+            deadline_hit: false,
+            ..
+        }
+    ));
+    assert_eq!(ckpt.resolved_mass(), 0.0);
+    assert_eq!(ckpt.frontier_mass(), 1.0);
+}
+
+/// Tentpole acceptance: a cancel landed *mid-flight* (from inside a
+/// scheduling call, i.e. within one grain) still yields a usable,
+/// exactly-conserving checkpoint — and resuming it with the
+/// cancellation lifted completes to the same measure an uncancelled
+/// run produces, over exact rationals.
+#[test]
+fn mid_flight_cancel_yields_a_usable_conserving_checkpoint() {
+    let auto = random_automaton("ckpt-mf", "ckptmf", 5, 17);
+    let horizon = 7;
+    for threads in pool_lanes() {
+        let token = CancelToken::new();
+        let sched = CancelAfter {
+            inner: FirstEnabled,
+            after: 3,
+            calls: AtomicUsize::new(0),
+            token: token.clone(),
+        };
+        let budget = Budget::unlimited().with_cancel(token);
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_ckpt_in(
+            &*auto, &sched, horizon, &budget, policy, &cache, ratio_lift, None,
+        )
+        .expect("cancellation is salvageable");
+        let ckpt = outcome
+            .into_checkpoint()
+            .expect("the cancel lands well before the expansion can finish");
+        assert!(matches!(
+            ckpt.reason,
+            EngineError::BudgetExhausted {
+                cancelled: true,
+                ..
+            }
+        ));
+        assert!(!ckpt.frontier.is_empty());
+        // Conservation with no tolerance: the rolled-back depth is a
+        // genuine partition of the probability-one cone.
+        assert_eq!(ckpt.total_mass(), Ratio::from_int(1));
+
+        // Usable: resume without the cancel and land exactly on the
+        // uncancelled measure.
+        let (resumed, _) = try_execution_measure_resume(
+            ckpt,
+            &*auto,
+            &FirstEnabled,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+            ratio_lift,
+        )
+        .expect("resume under an unlimited budget succeeds");
+        let resumed = match resumed {
+            ExpansionOutcome::Complete(m) => m,
+            ExpansionOutcome::Partial(c) => panic!("unlimited resume tripped: {:?}", c.reason),
+        };
+        let (reference, _) = try_execution_measure_ckpt_in(
+            &*auto,
+            &FirstEnabled,
+            horizon,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+            ratio_lift,
+            None,
+        )
+        .expect("unbudgeted reference run");
+        let reference = match reference {
+            ExpansionOutcome::Complete(m) => m,
+            ExpansionOutcome::Partial(c) => panic!("unbudgeted run tripped: {:?}", c.reason),
+        };
+        assert_eq!(resumed.len(), reference.len());
+        for ((e1, w1), (e2, w2)) in resumed.iter().zip(reference.iter()) {
+            assert_eq!(e1, e2);
+            assert_eq!(w1, w2);
+        }
+    }
+}
+
+/// Satellite: the lumped cached core observes the deadline at grain
+/// granularity too — a 0-duration deadline yields a class-space
+/// checkpoint with the whole mass in the start class.
+#[test]
+fn lumped_zero_deadline_checkpoints_in_class_space() {
+    let auto = random_automaton("ckpt-ld", "ckptld", 4, 19);
+    let budget = Budget::unlimited().with_deadline_in(Duration::ZERO);
+    let cache = EngineCache::new();
+    let outcome = try_lumped_observation_dist_ckpt(
+        &*auto,
+        &FirstEnabled,
+        5,
+        &Observation::final_state(),
+        &budget,
+        &cache,
+    )
+    .expect("deadline trips are salvageable");
+    let ckpt = match outcome {
+        LumpedOutcome::Partial(c) => c,
+        LumpedOutcome::Complete(_) => panic!("a zero deadline cannot complete the pass"),
+    };
+    assert!(matches!(
+        ckpt.reason,
+        EngineError::BudgetExhausted {
+            deadline_hit: true,
+            ..
+        }
+    ));
+    assert_eq!(ckpt.step, 0);
+    assert_eq!(ckpt.resolved_mass(), 0.0);
+    assert_eq!(ckpt.frontier_mass(), 1.0);
+    assert_eq!(ckpt.frontier.len(), 1);
+}
+
+/// And the lumped core observes a pre-cancelled token the same way.
+#[test]
+fn lumped_pre_cancelled_token_checkpoints_in_class_space() {
+    let auto = random_automaton("ckpt-lc", "ckptlc", 4, 23);
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited().with_cancel(token);
+    let cache = EngineCache::new();
+    let outcome = try_lumped_observation_dist_ckpt(
+        &*auto,
+        &FirstEnabled,
+        5,
+        &Observation::trace(),
+        &budget,
+        &cache,
+    )
+    .expect("cancellation is salvageable");
+    match outcome {
+        LumpedOutcome::Partial(ckpt) => {
+            assert!(matches!(
+                ckpt.reason,
+                EngineError::BudgetExhausted {
+                    cancelled: true,
+                    ..
+                }
+            ));
+            assert_eq!(ckpt.frontier_mass(), 1.0);
+        }
+        LumpedOutcome::Complete(_) => panic!("a pre-cancelled token cannot complete the pass"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation with no tolerance, over exact rationals: whatever
+    /// expansion cap trips the general engine — pooled at any lane
+    /// count — the checkpoint partitions probability one exactly.
+    #[test]
+    fn cone_checkpoint_conserves_mass_exactly(
+        seed in 0u64..400,
+        n in 3i64..7,
+        horizon in 2usize..7,
+        cap in 0usize..24,
+        threads in 1usize..5,
+    ) {
+        let auto = random_automaton("ckpt-cons", &format!("ckc{seed}"), n, seed);
+        let budget = Budget::unlimited().with_max_expansions(cap);
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_ckpt_in(
+            &*auto, &FirstEnabled, horizon, &budget, policy, &cache, ratio_lift, None,
+        ).expect("budget trips are salvageable on dyadic models");
+        match outcome {
+            ExpansionOutcome::Complete(m) => {
+                let total = m.iter().fold(Ratio::from_int(0), |t, (_, w)| t.add(w));
+                prop_assert_eq!(total, Ratio::from_int(1));
+            }
+            ExpansionOutcome::Partial(ckpt) => {
+                prop_assert!(!ckpt.frontier.is_empty());
+                prop_assert!(matches!(
+                    ckpt.reason,
+                    EngineError::BudgetExhausted { deadline_hit: false, cancelled: false, .. }
+                ));
+                prop_assert_eq!(ckpt.total_mass(), Ratio::from_int(1));
+            }
+        }
+    }
+
+    /// Resuming a tripped exact expansion under an enlarged (unlimited)
+    /// budget is bit-identical to the unbudgeted run *of the same
+    /// engine*: same entry count, same order, same executions,
+    /// bit-equal `f64` weights — and, as a multiset, identical to the
+    /// sequential engine's measure too.
+    #[test]
+    fn resume_is_bit_identical_to_unbudgeted_run(
+        seed in 0u64..400,
+        n in 3i64..7,
+        horizon in 2usize..7,
+        cap in 0usize..24,
+        threads in 1usize..5,
+    ) {
+        let auto = random_automaton("ckpt-res", &format!("ckr{seed}"), n, seed);
+        let budget = Budget::unlimited().with_max_expansions(cap);
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_ckpt(
+            &*auto, &FirstEnabled, horizon, &budget, policy, &cache,
+        ).expect("budget trips are salvageable");
+        let resumed = match outcome {
+            ExpansionOutcome::Complete(m) => m,
+            ExpansionOutcome::Partial(ckpt) => {
+                let (resumed, _) = try_execution_measure_resume(
+                    ckpt, &*auto, &FirstEnabled, &Budget::unlimited(), policy, &cache, Ok,
+                ).expect("unlimited resume succeeds");
+                match resumed {
+                    ExpansionOutcome::Complete(m) => m,
+                    ExpansionOutcome::Partial(c) =>
+                        return Err(proptest::test_runner::TestCaseError::fail(format!(
+                            "unlimited resume tripped: {:?}", c.reason
+                        ))),
+                }
+            }
+        };
+        // Order + bits against the same (pooled) engine, unbudgeted.
+        let (reference, _) = try_execution_measure_ckpt(
+            &*auto, &FirstEnabled, horizon, &Budget::unlimited(), policy, &cache,
+        ).expect("unbudgeted pooled reference");
+        let reference = match reference {
+            ExpansionOutcome::Complete(m) => m,
+            ExpansionOutcome::Partial(c) =>
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "unbudgeted run tripped: {:?}", c.reason
+                ))),
+        };
+        prop_assert_eq!(resumed.len(), reference.len());
+        prop_assert_eq!(resumed.total().to_bits(), reference.total().to_bits());
+        for ((e1, w1), (e2, w2)) in resumed.iter().zip(reference.iter()) {
+            prop_assert_eq!(e1, e2);
+            prop_assert_eq!(w1.to_bits(), w2.to_bits());
+        }
+        // Multiset equality against the sequential engine (whose
+        // within-depth entry order may legitimately differ).
+        let seq = try_execution_measure(
+            &*auto, &FirstEnabled, horizon, &Budget::unlimited(),
+        ).expect("unbudgeted sequential reference");
+        prop_assert_eq!(resumed.len(), seq.len());
+        prop_assert_eq!(resumed.total().to_bits(), seq.total().to_bits());
+        for (e, w) in seq.iter() {
+            let found: Vec<_> = resumed.iter().filter(|(e2, _)| *e2 == e).collect();
+            prop_assert_eq!(found.len(), 1);
+            prop_assert_eq!(found[0].1.to_bits(), w.to_bits());
+        }
+    }
+
+    /// The lumped tier's checkpoints conserve exactly (dyadic sums in
+    /// `f64` are order-independent at these sizes) and resume to the
+    /// same distribution the unbudgeted cached pass computes.
+    #[test]
+    fn lumped_checkpoint_conserves_and_resumes_identically(
+        seed in 0u64..400,
+        n in 3i64..7,
+        kind in 0u8..4,
+        horizon in 1usize..6,
+        cap in 0usize..16,
+        trace_obs in any::<bool>(),
+    ) {
+        let auto = random_automaton("ckpt-lr", &format!("ckl{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let obs = if trace_obs { Observation::trace() } else { Observation::final_state() };
+        let cache = EngineCache::new();
+        let reference = try_lumped_observation_dist_cached(
+            &*auto, &sched, horizon, &obs, &Budget::unlimited(), &cache,
+        ).expect("family is memoryless and the observation factors");
+
+        let budget = Budget::unlimited().with_max_expansions(cap);
+        let outcome = try_lumped_observation_dist_ckpt(
+            &*auto, &sched, horizon, &obs, &budget, &cache,
+        ).expect("budget trips are salvageable");
+        let dist = match outcome {
+            LumpedOutcome::Complete(d) => d,
+            LumpedOutcome::Partial(ckpt) => {
+                prop_assert!(!ckpt.frontier.is_empty());
+                prop_assert_eq!(ckpt.total_mass(), 1.0);
+                match try_lumped_observation_dist_resume(
+                    ckpt, &*auto, &sched, &obs, &Budget::unlimited(), &cache,
+                ).expect("unlimited resume succeeds") {
+                    LumpedOutcome::Complete(d) => d,
+                    LumpedOutcome::Partial(c) =>
+                        return Err(proptest::test_runner::TestCaseError::fail(format!(
+                            "unlimited lumped resume tripped: {:?}", c.reason
+                        ))),
+                }
+            }
+        };
+        prop_assert_eq!(dist, reference);
+    }
+}
+
+/// A fair binary branching automaton of `depth` levels: state `q < 2^depth - 1`
+/// splits uniformly into `2q+1` / `2q+2`; the `2^depth` leaves halt.
+/// Depth `d` of the cone has exactly `2^d` nodes, so expansion caps
+/// map deterministically to trip depths.
+fn binary_tree(depth: u32) -> dpioa_core::ExplicitAutomaton {
+    use dpioa_core::{ExplicitAutomaton, Signature, Value};
+    use dpioa_prob::Disc;
+    let split = Action::named("bt-split");
+    let internal = 2i64.pow(depth) - 1;
+    let total = 2i64.pow(depth + 1) - 1;
+    let mut b = ExplicitAutomaton::builder("bt", Value::int(0));
+    for q in 0..internal {
+        b = b.state(q, Signature::new([], [], [split])).transition(
+            q,
+            split,
+            Disc::bernoulli_dyadic(Value::int(2 * q + 1), Value::int(2 * q + 2), 1, 1),
+        );
+    }
+    for q in internal..total {
+        b = b.state(q, Signature::new([], [], []));
+    }
+    b.build()
+}
+
+/// Resume composes: a resume under a still-too-small budget trips
+/// again, strictly further along, and the second checkpoint conserves
+/// too. The binary tree makes the trip depths deterministic: cap 1
+/// trips at depth 1 (2 nodes), cap 2 trips at depth 2 (4 nodes). The
+/// horizon exceeds `TAIL_DEPTHS` so the early depths go through the
+/// per-node counting path rather than whole-subtree tail grains.
+#[test]
+fn resume_under_a_small_budget_checkpoints_again() {
+    let auto = binary_tree(7);
+    let horizon = 7;
+    let policy = ParallelPolicy::new(2, 0).with_split_unit(2);
+    let cache = EngineCache::new();
+    let (outcome, _) = try_execution_measure_ckpt_in(
+        &auto,
+        &FirstEnabled,
+        horizon,
+        &Budget::unlimited().with_max_expansions(1),
+        policy,
+        &cache,
+        ratio_lift,
+        None,
+    )
+    .expect("budget trips are salvageable");
+    let first = outcome
+        .into_checkpoint()
+        .expect("one expansion cannot finish a depth-7 tree");
+    assert_eq!(first.total_mass(), Ratio::from_int(1));
+    assert_eq!(first.frontier.len(), 2, "cap 1 rolls back to depth 1");
+
+    let (outcome, _) = try_execution_measure_resume(
+        first,
+        &auto,
+        &FirstEnabled,
+        &Budget::unlimited().with_max_expansions(2),
+        policy,
+        &cache,
+        ratio_lift,
+    )
+    .expect("budget trips are salvageable");
+    let second = outcome
+        .into_checkpoint()
+        .expect("two expansions cannot finish the remaining tree either");
+    assert_eq!(second.total_mass(), Ratio::from_int(1));
+    assert_eq!(second.frontier.len(), 4, "cap 2 rolls back to depth 2");
+
+    let (outcome, _) = try_execution_measure_resume(
+        second,
+        &auto,
+        &FirstEnabled,
+        &Budget::unlimited(),
+        policy,
+        &cache,
+        ratio_lift,
+    )
+    .expect("unlimited resume succeeds");
+    let done = match outcome {
+        ExpansionOutcome::Complete(m) => m,
+        ExpansionOutcome::Partial(c) => panic!("unlimited resume tripped: {:?}", c.reason),
+    };
+    assert_eq!(done.len(), 128, "all 2^7 leaves resolved");
+    let total = done.iter().fold(Ratio::from_int(0), |t, (_, w)| t.add(w));
+    assert_eq!(total, Ratio::from_int(1));
+    for (_, w) in done.iter() {
+        assert_eq!(w.clone(), Ratio::new(1, 128));
+    }
+}

@@ -7,7 +7,9 @@ use dpioa_config::{audit_pca, Autid};
 use dpioa_core::audit::audit_psioa;
 use dpioa_core::explore::ExploreLimits;
 use dpioa_core::{Action, Automaton, AutomatonExt, ExplicitAutomaton, Signature, Value};
-use dpioa_faults::{crash_restart, CrashStop, DuplicatingChannel, FaultProb, LossyChannel};
+use dpioa_faults::{
+    crash_restart, CrashStop, DuplicatingChannel, FaultProb, LossyChannel, StallingChannel,
+};
 use dpioa_integration::random_automaton;
 use dpioa_prob::{Disc, Ratio, Weight};
 use dpioa_sched::{
@@ -64,6 +66,32 @@ proptest! {
         prop_assert!(audit_psioa(&*wrapped, ExploreLimits::default()).is_valid());
     }
 
+    /// StallingChannel-wrapped automata satisfy Def. 2.1 for every stall
+    /// budget when every action is subject to stalling.
+    #[test]
+    fn stalling_channel_preserves_psioa_validity(seed in 0u64..400, n in 3i64..6, delay in 0u64..=4) {
+        let inner = random_automaton("fi-sc", &format!("fsc{seed}"), n, seed);
+        let targets = all_actions(&inner);
+        let wrapped = StallingChannel::wrap(inner, targets, delay);
+        prop_assert!(audit_psioa(&*wrapped, ExploreLimits::default()).is_valid());
+    }
+
+    /// A stalled automaton's exact execution measure stays exactly
+    /// normalized: stalling only reroutes mass, never loses it.
+    #[test]
+    fn execution_measure_exactly_normalized_under_stall(
+        seed in 0u64..200,
+        n in 3i64..6,
+        delay in 0u64..=3,
+        horizon in 1usize..7,
+    ) {
+        let inner = random_automaton("fi-sn", &format!("fsn{seed}"), n, seed);
+        let targets = all_actions(&inner);
+        let wrapped = StallingChannel::wrap(inner, targets, delay);
+        let m = execution_measure_exact(&*wrapped, &RandomScheduler, horizon);
+        prop_assert_eq!(m.total(), Ratio::one());
+    }
+
     /// The exact execution measure of a crash-wrapped automaton is a
     /// genuine probability measure: total mass exactly 1 (as a rational,
     /// zero rounding), for random systems, schedulers and crash rates.
@@ -99,13 +127,18 @@ fn deep_coin() -> Arc<dyn Automaton> {
     b.state(10, Signature::new([], [], [])).build().shared()
 }
 
-/// Budget exhaustion on a fault-wrapped system triggers the Monte-Carlo
-/// fallback, and the provenance says so — deterministically.
+/// Budget exhaustion on a fault-wrapped system now degrades to a
+/// *hybrid* answer: the tripped exact tier's checkpoint keeps the mass
+/// it resolved, the salvage sampler estimates only the frontier
+/// remainder, and the provenance reports both — deterministically.
 #[test]
-fn budget_exhaustion_falls_back_to_monte_carlo_with_provenance() {
+fn budget_exhaustion_salvages_checkpoint_into_hybrid_with_provenance() {
     let auto = CrashStop::wrap(deep_coin(), FaultProb::new(1, 2));
     let config = RobustConfig {
-        budget: Budget::unlimited().with_max_expansions(3),
+        // Enough to finish depth 1 (crash + report branches resolve)
+        // and trip inside depth 2 — so the checkpoint carries exact
+        // resolved mass AND a live frontier.
+        budget: Budget::unlimited().with_max_expansions(5),
         mc_samples: 20_000,
         mc_threads: 2,
         ..RobustConfig::default()
@@ -115,19 +148,35 @@ fn budget_exhaustion_falls_back_to_monte_carlo_with_provenance() {
     let observe = Observation::full(|e| Value::int(e.len() as i64));
     let (dist, prov) =
         robust_observation_dist(&*auto, &FirstEnabled, 6, &observe, &config).unwrap();
-    assert_eq!(prov.engine, EngineKind::MonteCarlo);
+    assert_eq!(prov.engine, EngineKind::Hybrid);
     assert!(matches!(
         prov.fallback_reason,
-        Some(EngineError::BudgetExhausted { .. })
+        Some(EngineError::BudgetExhausted {
+            deadline_hit: false,
+            cancelled: false,
+            ..
+        })
     ));
     assert_eq!(prov.samples, Some(20_000));
     assert_eq!(prov.threads, Some(2));
-    // Every tier reports the shared transition-memo counters; the MC
-    // sampler walks cached successors, so the totals must be populated.
+    // The checkpoint resolved exact mass before tripping, and salvage
+    // sampled from a non-empty frontier.
+    let resolved = prov.resolved_mass.expect("hybrid reports resolved mass");
+    assert!(
+        resolved > 0.0 && resolved < 1.0,
+        "expected partial exact resolution, got {resolved}"
+    );
+    assert!(prov.frontier_nodes.unwrap() > 0);
+    // Every tier reports the shared transition-memo counters; the
+    // salvage sampler walks cached successors, so totals are populated.
     assert!(prov.cache_hits.is_some());
     assert!(prov.cache_misses.is_some());
     assert!(prov.cache_hits.unwrap() + prov.cache_misses.unwrap() > 0);
-    assert!(prov.error_bound > 0.0 && prov.error_bound < 0.05);
+    // The error bound is the DKW bound scaled DOWN by the frontier
+    // mass — a strict refinement of a pure Monte-Carlo restart.
+    let full_dkw = ((2.0f64 / config.confidence_delta).ln() / (2.0 * 20_000.0)).sqrt();
+    assert!(prov.error_bound > 0.0);
+    assert!(prov.error_bound < full_dkw);
     let total: f64 = dist.iter().map(|(_, w)| *w).sum();
     assert!((total - 1.0).abs() < 1e-9);
 
