@@ -1,0 +1,423 @@
+//! Load test for the query server: N concurrent clients firing a
+//! zipf-distributed query mix, with an optional chaos mode that mixes
+//! in random disconnects, stalls, and garbage.
+//!
+//! ```text
+//! bench_server [--quick] [--addr HOST:PORT] [--clients N] [--requests N]
+//!              [--no-chaos] [OUTPUT_PATH]
+//! ```
+//!
+//! Without `--addr` the server is hosted in-process (bench-tuned
+//! config: small queue so shedding is observable, 1 s read timeout so
+//! stalls resolve fast) and shut down gracefully via `POST /shutdown`
+//! at the end. `--quick` trims the run for CI smoke.
+//!
+//! The report (`BENCH_server.json` by default) carries client-side
+//! p50/p99 latency, throughput, and shed rate, plus the server-side
+//! `/metrics` scrape: cancellation count and unwind latency, engine
+//! answer mix, cache admission stats, breaker transitions. The run
+//! *fails* (exit 1) when a robustness invariant breaks: a shed
+//! response without the `overloaded` code or `Retry-After`, a chaos
+//! disconnect that never produced a cancellation, an unexpected
+//! response shape, or a panicked client thread.
+
+use dpioa_server::client::{self, Client};
+use dpioa_server::json::Json;
+use dpioa_server::server::{serve, ServerConfig, ServerHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One query template in the zipf deck, hottest first.
+struct Template {
+    label: &'static str,
+    body: &'static str,
+}
+
+/// The deck: rank 0 is the hot cache-friendly query; the tail mixes
+/// schedulers, observations, and the exact tier so a zipf draw
+/// exercises every engine path while keeping realistic skew.
+const DECK: &[Template] = &[
+    Template {
+        label: "walk8-h10-first",
+        body: r#"{"automaton":"walk-8","horizon":10}"#,
+    },
+    Template {
+        label: "coin-h1-first",
+        body: r#"{"automaton":"coin","horizon":1}"#,
+    },
+    Template {
+        label: "walk8-h12-random",
+        body: r#"{"automaton":"walk-8","scheduler":"uniform-random","horizon":12}"#,
+    },
+    Template {
+        label: "bank3-h6-first",
+        body: r#"{"automaton":"coin-bank-3","horizon":6}"#,
+    },
+    Template {
+        label: "mixer-h7-random-trace",
+        body: r#"{"automaton":"mixer-4x3","scheduler":"uniform-random","horizon":7,"observation":"trace"}"#,
+    },
+    Template {
+        label: "walk8-h8-memoryful",
+        body: r#"{"automaton":"walk-8","scheduler":"memoryful-alternate","horizon":8}"#,
+    },
+    Template {
+        label: "mixer-h8-memoryful",
+        body: r#"{"automaton":"mixer-4x3","scheduler":"memoryful-alternate","horizon":8}"#,
+    },
+    Template {
+        label: "bank3-h4-random-trace",
+        body: r#"{"automaton":"coin-bank-3","scheduler":"uniform-random","horizon":4,"observation":"trace"}"#,
+    },
+];
+
+/// Zipf exponent for the deck draw.
+const ZIPF_S: f64 = 1.1;
+
+/// A chaos disconnect target: trips the exact tier fast, then samples
+/// long enough for the disconnect watcher to revoke it mid-salvage.
+const SLOW_QUERY: &str = r#"{"automaton":"mixer-4x3","scheduler":"memoryful-alternate","horizon":9,"budget":{"max_expansions":8,"deadline_ms":10000},"mc_samples":200000}"#;
+
+#[derive(Default)]
+struct Counters {
+    ok: AtomicU64,
+    shed: AtomicU64,
+    client_err: AtomicU64,
+    server_err: AtomicU64,
+    io_err: AtomicU64,
+    chaos_disconnects: AtomicU64,
+    chaos_garbage: AtomicU64,
+    chaos_stalls: AtomicU64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut chaos = true;
+    let mut addr: Option<String> = None;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut out_path = String::from("BENCH_server.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--no-chaos" => chaos = false,
+            "--addr" => addr = Some(args.next().expect("--addr needs HOST:PORT")),
+            "--clients" => {
+                clients = Some(args.next().expect("--clients needs N").parse().expect("N"))
+            }
+            "--requests" => {
+                requests = Some(args.next().expect("--requests needs N").parse().expect("N"))
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let clients = clients.unwrap_or(if quick { 8 } else { 32 });
+    let requests = requests.unwrap_or(if quick { 160 } else { 1600 });
+
+    // Self-host unless pointed at an external server.
+    let hosted: Option<ServerHandle> = if addr.is_none() {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 16,
+            limits: dpioa_server::http::Limits {
+                read_timeout: Duration::from_millis(1000),
+                ..Default::default()
+            },
+            watcher_poll: Duration::from_millis(5),
+            ..ServerConfig::default()
+        };
+        Some(serve(config).expect("bind in-process server"))
+    } else {
+        None
+    };
+    let addr = addr.unwrap_or_else(|| hosted.as_ref().expect("hosted").addr().to_string());
+    eprintln!(
+        "bench_server: {clients} clients x {} reqs against {addr} (chaos: {chaos})",
+        requests / clients
+    );
+
+    let counters = Arc::new(Counters::default());
+    let mut violations: Vec<String> = Vec::new();
+
+    // Zipf weights over the deck, scaled to integers (the vendored
+    // rand stub samples integer ranges only).
+    let weights: Vec<u64> = (0..DECK.len())
+        .map(|i| (1_000_000.0 / ((i + 1) as f64).powf(ZIPF_S)) as u64)
+        .collect();
+    let total_weight: u64 = weights.iter().sum();
+
+    let started = Instant::now();
+    let per_client = requests / clients;
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests);
+    let mut per_label_hits = vec![0u64; DECK.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let addr = addr.clone();
+            let counters = Arc::clone(&counters);
+            let weights = weights.clone();
+            handles.push(scope.spawn(move || {
+                run_client(
+                    c,
+                    &addr,
+                    per_client,
+                    chaos,
+                    &weights,
+                    total_weight,
+                    &counters,
+                )
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok((lats, hits, mut viols)) => {
+                    latencies_ns.extend(lats);
+                    for (i, n) in hits.into_iter().enumerate() {
+                        per_label_hits[i] += n;
+                    }
+                    violations.append(&mut viols);
+                }
+                Err(_) => violations.push("client thread panicked".to_string()),
+            }
+        }
+    });
+    let wall = started.elapsed();
+
+    // Give in-flight chaos cancellations a moment to unwind, then
+    // scrape the server-side picture.
+    std::thread::sleep(Duration::from_millis(300));
+    let metrics_page = scrape_metrics(&addr).unwrap_or_default();
+    let metric = |name: &str| -> u64 { parse_metric(&metrics_page, name).unwrap_or(0) };
+
+    let disconnects = counters.chaos_disconnects.load(Ordering::Relaxed);
+    let cancelled = metric("dpioa_cancelled_total");
+    if disconnects > 0 && cancelled == 0 {
+        violations.push(format!(
+            "{disconnects} chaos disconnects but the server cancelled nothing"
+        ));
+    }
+    let cancel_max_ns = metric("dpioa_cancel_latency_ns_max");
+    if cancelled > 0 && cancel_max_ns > 2_000_000_000 {
+        violations.push(format!(
+            "worst cancel→unwind latency {cancel_max_ns}ns exceeds 2s — grain checks not honoured"
+        ));
+    }
+
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_ns.len() as f64 * p).ceil() as usize).clamp(1, latencies_ns.len());
+        latencies_ns[idx - 1]
+    };
+    let ok = counters.ok.load(Ordering::Relaxed);
+    let shed = counters.shed.load(Ordering::Relaxed);
+    let answered = ok
+        + shed
+        + counters.client_err.load(Ordering::Relaxed)
+        + counters.server_err.load(Ordering::Relaxed);
+    let shed_rate = if answered > 0 {
+        shed as f64 / answered as f64
+    } else {
+        0.0
+    };
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let mean_ns = if latencies_ns.is_empty() {
+        0
+    } else {
+        latencies_ns.iter().sum::<u64>() / latencies_ns.len() as u64
+    };
+
+    // Graceful shutdown of the hosted server is part of the test.
+    if let Some(handle) = hosted {
+        match Client::new(addr.clone()).request("POST", "/shutdown", None) {
+            Ok(resp) if resp.status == 200 => {}
+            Ok(resp) => violations.push(format!("shutdown answered {}", resp.status)),
+            Err(e) => violations.push(format!("shutdown request failed: {e}")),
+        }
+        handle.wait();
+    }
+
+    let mix_rows: Vec<String> = DECK
+        .iter()
+        .zip(&per_label_hits)
+        .map(|(t, n)| format!("    {{\"label\": \"{}\", \"requests\": {n}}}", t.label))
+        .collect();
+    let violation_rows: Vec<String> = violations
+        .iter()
+        .map(|v| format!("    \"{}\"", v.replace('"', "'")))
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"bench-server/v1\",\n  \"quick\": {quick},\n  \"chaos\": {chaos},\n  \"clients\": {clients},\n  \"requests\": {requests},\n  \"wall_ms\": {},\n  \"throughput_rps\": {:.1},\n  \"latency_ns\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}}},\n  \"responses\": {{\"ok\": {ok}, \"shed\": {shed}, \"client_error\": {}, \"server_error\": {}, \"io_error\": {}}},\n  \"shed_rate\": {:.4},\n  \"chaos_events\": {{\"disconnects\": {disconnects}, \"garbage\": {}, \"stalls\": {}}},\n  \"server\": {{\n    \"cancelled_total\": {cancelled},\n    \"cancel_latency_ns_max\": {cancel_max_ns},\n    \"cancel_latency_ns_total\": {},\n    \"engine_lumped\": {},\n    \"engine_exact\": {},\n    \"engine_monte_carlo\": {},\n    \"engine_hybrid\": {},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"cache_self_evictions\": {},\n    \"breaker_trips\": {},\n    \"read_timeouts\": {},\n    \"malformed\": {}\n  }},\n  \"zipf_mix\": [\n{}\n  ],\n  \"violations\": [\n{}\n  ]\n}}\n",
+        wall.as_millis(),
+        throughput,
+        pct(0.50),
+        pct(0.99),
+        mean_ns,
+        counters.client_err.load(Ordering::Relaxed),
+        counters.server_err.load(Ordering::Relaxed),
+        counters.io_err.load(Ordering::Relaxed),
+        shed_rate,
+        counters.chaos_garbage.load(Ordering::Relaxed),
+        counters.chaos_stalls.load(Ordering::Relaxed),
+        metric("dpioa_cancel_latency_ns_total"),
+        metric("dpioa_engine_answers_total{engine=\"lumped\"}"),
+        metric("dpioa_engine_answers_total{engine=\"exact\"}"),
+        metric("dpioa_engine_answers_total{engine=\"monte-carlo\"}"),
+        metric("dpioa_engine_answers_total{engine=\"hybrid\"}"),
+        metric("dpioa_cache_hits_total"),
+        metric("dpioa_cache_misses_total"),
+        metric("dpioa_cache_self_evictions_total"),
+        metric("dpioa_breaker_trips_total"),
+        metric("dpioa_read_timeouts_total"),
+        metric("dpioa_malformed_total"),
+        mix_rows.join(",\n"),
+        violation_rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+
+    if !violations.is_empty() {
+        eprintln!("bench_server: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// One client's request loop. Returns (latencies of OK responses,
+/// per-template hit counts, violations observed).
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    index: usize,
+    addr: &str,
+    n_requests: usize,
+    chaos: bool,
+    weights: &[u64],
+    total_weight: u64,
+    counters: &Counters,
+) -> (Vec<u64>, Vec<u64>, Vec<String>) {
+    let mut rng = StdRng::seed_from_u64(0xBE9C_5E4F ^ (index as u64).wrapping_mul(0x9E37_79B9));
+    let client = Client::new(addr.to_string()).with_timeout(Duration::from_secs(15));
+    let mut latencies = Vec::with_capacity(n_requests);
+    let mut hits = vec![0u64; weights.len()];
+    let mut violations = Vec::new();
+
+    for _ in 0..n_requests {
+        if chaos {
+            let roll: u32 = rng.gen_range(0..100);
+            if roll < 4 {
+                // Abandon a slow query mid-flight: the server must
+                // cancel it, not burn a worker on a dead socket.
+                counters.chaos_disconnects.fetch_add(1, Ordering::Relaxed);
+                let _ = client::fire_and_disconnect(addr, SLOW_QUERY);
+                continue;
+            } else if roll < 6 {
+                counters.chaos_garbage.fetch_add(1, Ordering::Relaxed);
+                match client::send_garbage(addr, b"NOT HTTP AT ALL\r\n\r\n") {
+                    Ok(Some(status)) if status == 400 || status == 503 => {}
+                    Ok(got) => violations.push(format!("garbage answered {got:?}")),
+                    Err(_) => {}
+                }
+                continue;
+            } else if roll < 7 {
+                // Slowloris probe: partial head, brief hold, drop.
+                counters.chaos_stalls.fetch_add(1, Ordering::Relaxed);
+                let _ = client::stall(addr, b"POST /v1/query HT", Duration::from_millis(100));
+                continue;
+            }
+        }
+
+        let pick = zipf_draw(&mut rng, weights, total_weight);
+        hits[pick] += 1;
+        let t0 = Instant::now();
+        match client.query(DECK[pick].body) {
+            Ok(resp) => match resp.status {
+                200 => {
+                    counters.ok.fetch_add(1, Ordering::Relaxed);
+                    latencies.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    if resp
+                        .json()
+                        .ok()
+                        .and_then(|b| b.get("dist").and_then(Json::as_arr).map(|d| d.is_empty()))
+                        .unwrap_or(true)
+                    {
+                        violations.push(format!("empty dist for {}", DECK[pick].label));
+                    }
+                }
+                503 => {
+                    counters.shed.fetch_add(1, Ordering::Relaxed);
+                    let code = resp
+                        .json()
+                        .ok()
+                        .and_then(|b| {
+                            b.get("error")
+                                .and_then(|e| e.get("code"))
+                                .and_then(|c| c.as_str().map(str::to_string))
+                        })
+                        .unwrap_or_default();
+                    if code != "overloaded" {
+                        violations.push(format!("503 without overloaded code: {code:?}"));
+                    }
+                    if resp.header("retry-after").is_none() {
+                        violations.push("503 without Retry-After".to_string());
+                    }
+                    // Honour the hint, capped for bench pacing.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                s if (400..500).contains(&s) => {
+                    counters.client_err.fetch_add(1, Ordering::Relaxed);
+                    violations.push(format!("{s} for well-formed {}", DECK[pick].label));
+                }
+                s => {
+                    counters.server_err.fetch_add(1, Ordering::Relaxed);
+                    violations.push(format!("{s} for {}", DECK[pick].label));
+                }
+            },
+            Err(_) => {
+                counters.io_err.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    (latencies, hits, violations)
+}
+
+fn zipf_draw(rng: &mut StdRng, weights: &[u64], total: u64) -> usize {
+    let mut u: u64 = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Scrape `/metrics`, retrying briefly in case the queue is momentarily
+/// full.
+fn scrape_metrics(addr: &str) -> Option<String> {
+    let client = Client::new(addr.to_string()).with_timeout(Duration::from_secs(5));
+    for _ in 0..20 {
+        if let Ok(resp) = client.get("/metrics") {
+            if resp.status == 200 {
+                return Some(resp.body);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    None
+}
+
+fn parse_metric(page: &str, name: &str) -> Option<u64> {
+    page.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l[name.len() + 1..].trim().parse().ok())
+}

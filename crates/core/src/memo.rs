@@ -36,6 +36,24 @@
 //!   distribution — so results are unaffected (the eviction proptest
 //!   asserts this).
 //!
+//! A bounded cache shared by *mutually untrusting* query streams (the
+//! emulation server) additionally needs an **admission policy**:
+//! without one, a client hammering a huge automaton floods the cache
+//! with its own keys and evicts every other client's warm entries. A
+//! cache built with [`TransitionCache::bounded_with_admission`] keeps
+//! per-**family** accounting — a family is an automaton, keyed by
+//! [`Automaton::name`] — and caps each family's share of every shard.
+//! A family at its quota stops displacing other families: its inserts
+//! evict *its own* coldest entry instead (a *self-eviction*, counted in
+//! [`TransitionCache::self_evictions`]). The quota gates *displacement*
+//! only — a family may still grow past it into otherwise-free space
+//! while the cache fills (free slots should never be wasted), and
+//! yields that surplus back through the ordinary clock sweep as other
+//! families miss. An adversarial query mix can therefore displace at
+//! most one quota's worth of foreign entries, ever, no matter how many
+//! keys it pushes. Admission changes which entries are resident, never
+//! what a lookup returns.
+//!
 //! [`LaneTransMemo`] is the third layer: a tiny *unsynchronized* L1 for
 //! one pool lane, sitting in front of a shared [`TransitionCache`].
 //! The work-stealing engine keeps successors produced by lane *i*
@@ -53,7 +71,7 @@ use crate::value::Value;
 use dpioa_prob::Disc;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Shard count; a power of two so the shard index is a mask.
 const SHARDS: usize = 16;
@@ -118,45 +136,72 @@ impl CacheStats {
 struct Slot {
     entry: Option<Arc<TransEntry>>,
     used: AtomicBool,
+    /// Interned automaton-family id (0 when admission is off).
+    family: u32,
+}
+
+/// How [`ShardState::insert_bounded`] made room for the new entry.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Eviction {
+    /// The shard was under capacity — nothing displaced.
+    None,
+    /// A cold entry of any family was displaced by the clock sweep.
+    Clock,
+    /// The inserting family was at its admission quota and displaced
+    /// one of its *own* entries instead of a foreign one.
+    SelfQuota,
 }
 
 /// One shard's state: the map, plus (bounded caches only) the clock
-/// ring of keys in insertion order and the current hand position.
+/// ring of keys in insertion order, the current hand position, and
+/// (admission only) per-family resident-entry counts.
 #[derive(Default)]
 struct ShardState {
     map: HashMap<(IValue, Action), Slot, FxBuildHasher>,
     ring: Vec<(IValue, Action)>,
     hand: usize,
+    fam_counts: FxHashMap<u32, usize>,
 }
 
 impl ShardState {
-    /// Insert `key ↦ entry`, evicting one cold entry first if the shard
-    /// is at `cap`. Returns whether an eviction happened. The clock
-    /// terminates within two rotations: the first clears every `used`
-    /// bit it crosses, so the second finds a cold slot.
+    /// Insert `key ↦ entry` for `family`, evicting one entry first if
+    /// the shard is at `cap`. With a `quota`, a family at or over its
+    /// per-shard share evicts from itself; otherwise the standard clock
+    /// picks any cold victim. The clock terminates within two
+    /// rotations: the first clears every `used` bit it crosses, so the
+    /// second finds a cold slot.
     fn insert_bounded(
         &mut self,
         key: (IValue, Action),
         entry: Option<Arc<TransEntry>>,
         cap: usize,
-    ) -> bool {
-        let mut evicted = false;
+        family: u32,
+        quota: Option<usize>,
+    ) -> Eviction {
+        let mut evicted = Eviction::None;
         if self.map.len() >= cap.max(1) && !self.ring.is_empty() {
-            loop {
-                let victim = self.ring[self.hand];
-                let slot = self.map.get(&victim).expect("clock ring key unmapped");
-                if slot.used.swap(false, Ordering::Relaxed) {
-                    self.hand = (self.hand + 1) % self.ring.len();
-                } else {
-                    self.map.remove(&victim);
-                    self.ring[self.hand] = key;
-                    self.hand = (self.hand + 1) % self.ring.len();
-                    evicted = true;
-                    break;
+            let over = quota
+                .is_some_and(|q| self.fam_counts.get(&family).copied().unwrap_or(0) >= q.max(1));
+            let at = if over {
+                evicted = Eviction::SelfQuota;
+                self.family_victim(family)
+            } else {
+                evicted = Eviction::Clock;
+                self.clock_victim()
+            };
+            let victim = self.ring[at];
+            let slot = self.map.remove(&victim).expect("clock ring key unmapped");
+            if quota.is_some() {
+                if let Some(n) = self.fam_counts.get_mut(&slot.family) {
+                    *n = n.saturating_sub(1);
                 }
             }
+            self.ring[at] = key;
         } else {
             self.ring.push(key);
+        }
+        if quota.is_some() {
+            *self.fam_counts.entry(family).or_insert(0) += 1;
         }
         // Fresh entries start `used`: one full rotation of grace.
         self.map.insert(
@@ -164,24 +209,99 @@ impl ShardState {
             Slot {
                 entry,
                 used: AtomicBool::new(true),
+                family,
             },
         );
         evicted
     }
+
+    /// The standard clock / second-chance sweep: advance the hand,
+    /// clearing `used` bits, until a cold slot is found. Returns the
+    /// ring index of the victim; the hand ends one past it.
+    fn clock_victim(&mut self) -> usize {
+        loop {
+            let key = self.ring[self.hand];
+            let slot = self.map.get(&key).expect("clock ring key unmapped");
+            let at = self.hand;
+            self.hand = (self.hand + 1) % self.ring.len();
+            if !slot.used.swap(false, Ordering::Relaxed) {
+                return at;
+            }
+        }
+    }
+
+    /// A victim restricted to `family`: scan from the hand (without
+    /// moving it), second-chance among the family's own slots only.
+    /// Falls back to the first family slot after two rotations; callers
+    /// guarantee the family has at least one resident entry (its count
+    /// reached the quota).
+    fn family_victim(&mut self, family: u32) -> usize {
+        let len = self.ring.len();
+        let mut first_of_family = None;
+        for step in 0..2 * len {
+            let at = (self.hand + step) % len;
+            let slot = self
+                .map
+                .get(&self.ring[at])
+                .expect("clock ring key unmapped");
+            if slot.family != family {
+                continue;
+            }
+            if first_of_family.is_none() {
+                first_of_family = Some(at);
+            }
+            if !slot.used.swap(false, Ordering::Relaxed) {
+                return at;
+            }
+        }
+        first_of_family.expect("family at quota has a resident entry")
+    }
 }
 
 type Shard = RwLock<ShardState>;
+
+/// Per-family admission accounting for a bounded cache shared by
+/// untrusting query streams (see the module docs).
+struct Admission {
+    /// Per-shard resident-entry quota for any single family.
+    shard_quota: usize,
+    /// `Automaton::name ↦ family id` plus the reverse lookup, so slots
+    /// carry a `u32` instead of a string.
+    names: Mutex<(FxHashMap<String, u32>, Vec<String>)>,
+    /// Inserts that displaced the inserting family's own entry because
+    /// it was at quota (foreign entries were protected).
+    self_evictions: AtomicU64,
+}
+
+impl Admission {
+    /// The family id of `name`, assigning a fresh one on first sight.
+    fn intern(&self, name: &str) -> u32 {
+        let mut guard = self.names.lock().expect("admission registry poisoned");
+        let (map, rev) = &mut *guard;
+        if let Some(&id) = map.get(name) {
+            return id;
+        }
+        let id = rev.len() as u32;
+        rev.push(name.to_string());
+        map.insert(name.to_string(), id);
+        id
+    }
+}
 
 /// A concurrent memo table for `(state, action) ↦ η_{(A,q,a)}`.
 ///
 /// `None` entries record *disabled* pairs — `transition` returned
 /// `None` — so repeated contract-violation probes are cheap too.
 /// Unbounded by default; see [`TransitionCache::bounded`] for the
-/// clock-evicting variant.
+/// clock-evicting variant and
+/// [`TransitionCache::bounded_with_admission`] for the variant with
+/// per-automaton-family admission quotas.
 pub struct TransitionCache {
     shards: Vec<Shard>,
     /// Per-shard entry cap; `None` never evicts.
     shard_cap: Option<usize>,
+    /// Per-family admission quotas; `None` admits everything.
+    admission: Option<Admission>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -199,6 +319,7 @@ impl TransitionCache {
         TransitionCache {
             shards: (0..SHARDS).map(|_| Shard::default()).collect(),
             shard_cap: None,
+            admission: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -212,6 +333,31 @@ impl TransitionCache {
     pub fn bounded(max_entries: usize) -> TransitionCache {
         TransitionCache {
             shard_cap: Some(max_entries.div_ceil(SHARDS).max(1)),
+            ..TransitionCache::new()
+        }
+    }
+
+    /// A bounded cache with a per-automaton-family admission quota: no
+    /// family ([`Automaton::name`]) may hold more than `family_frac` of
+    /// any shard. A family at quota displaces its own coldest entry
+    /// instead of a foreign one, so an adversarial query mix cannot
+    /// flush other clients' warm entries (see the module docs).
+    /// `family_frac` is clamped into `(0, 1]`; the quota floor is one
+    /// entry per shard.
+    pub fn bounded_with_admission(max_entries: usize, family_frac: f64) -> TransitionCache {
+        let shard_cap = max_entries.div_ceil(SHARDS).max(1);
+        let frac = if family_frac.is_finite() {
+            family_frac.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        TransitionCache {
+            shard_cap: Some(shard_cap),
+            admission: Some(Admission {
+                shard_quota: ((shard_cap as f64 * frac).ceil() as usize).max(1),
+                names: Mutex::new((FxHashMap::default(), Vec::new())),
+                self_evictions: AtomicU64::new(0),
+            }),
             ..TransitionCache::new()
         }
     }
@@ -255,6 +401,11 @@ impl TransitionCache {
             let ids = eta.iter().map(|(q, _)| IValue::of(q)).collect();
             Arc::new(TransEntry { eta, ids })
         });
+        // Family interning allocates (auto.name()); miss path only.
+        let (family, quota) = match &self.admission {
+            Some(adm) => (adm.intern(&auto.name()), Some(adm.shard_quota)),
+            None => (0, None),
+        };
         let mut guard = shard.write().expect("transition cache poisoned");
         if let Some(slot) = guard.map.get(&(id, action)) {
             // Lost the compute race; keep the incumbent entry.
@@ -267,16 +418,64 @@ impl TransitionCache {
                     Slot {
                         entry: entry.clone(),
                         used: AtomicBool::new(true),
+                        family,
                     },
                 );
             }
             Some(cap) => {
-                if guard.insert_bounded((id, action), entry.clone(), cap) {
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                match guard.insert_bounded((id, action), entry.clone(), cap, family, quota) {
+                    Eviction::None => {}
+                    Eviction::Clock => {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Eviction::SelfQuota => {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        if let Some(adm) = &self.admission {
+                            adm.self_evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
             }
         }
         entry
+    }
+
+    /// Resident entries per automaton family, by name — empty unless
+    /// the cache was built with
+    /// [`TransitionCache::bounded_with_admission`]. Sorted by name so
+    /// metrics output is stable.
+    pub fn family_entries(&self) -> Vec<(String, usize)> {
+        let Some(adm) = &self.admission else {
+            return Vec::new();
+        };
+        let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+        for shard in &self.shards {
+            let guard = shard.read().expect("transition cache poisoned");
+            for (&fam, &n) in &guard.fam_counts {
+                *counts.entry(fam).or_insert(0) += n;
+            }
+        }
+        let names = adm.names.lock().expect("admission registry poisoned");
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter(|&(_, n)| n > 0)
+            .map(|(fam, n)| (names.1[fam as usize].clone(), n))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Quota-forced self-evictions so far (0 without admission).
+    pub fn self_evictions(&self) -> u64 {
+        self.admission
+            .as_ref()
+            .map_or(0, |adm| adm.self_evictions.load(Ordering::Relaxed))
+    }
+
+    /// The per-family entry quota (whole cache, i.e. per-shard quota ×
+    /// shard count) when admission is on.
+    pub fn family_quota(&self) -> Option<usize> {
+        self.admission.as_ref().map(|adm| adm.shard_quota * SHARDS)
     }
 
     /// Distinct `(state, action)` pairs currently memoized.
@@ -571,6 +770,129 @@ mod tests {
         probe_keys(&cache, &auto, &(0..500).collect::<Vec<_>>());
         assert_eq!(cache.len(), 500);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    /// A chain like [`chain`] but with its own name and a disjoint
+    /// action alphabet, so two instances never share cache keys (the
+    /// repo-wide convention: every automaton prefixes its actions).
+    fn chain_named(name: &str, n: i64) -> ExplicitAutomaton {
+        let step = act(&format!("{name}-step"));
+        let mut b = ExplicitAutomaton::builder(name, Value::int(0));
+        for k in 0..n {
+            b = b.state(k, Signature::new([], [], [step])).transition(
+                k,
+                step,
+                Disc::dirac(Value::int(k + 1)),
+            );
+        }
+        b.state(n, Signature::new([], [], [])).build()
+    }
+
+    fn probe_chain(cache: &TransitionCache, auto: &ExplicitAutomaton, name: &str, states: &[i64]) {
+        let step = act(&format!("{name}-step"));
+        for &k in states {
+            let q = Value::int(k);
+            cache.successors(auto, &q, IValue::of(&q), step);
+        }
+    }
+
+    /// Misses incurred re-probing `states` (i.e. how many were evicted).
+    fn reprobe_misses(
+        cache: &TransitionCache,
+        auto: &ExplicitAutomaton,
+        name: &str,
+        states: &[i64],
+    ) -> u64 {
+        let before = cache.stats().misses;
+        probe_chain(cache, auto, name, states);
+        cache.stats().misses - before
+    }
+
+    #[test]
+    fn admission_quota_caps_a_flooding_family() {
+        let hot = chain_named("memo-adm-hot", 8);
+        let flood = chain_named("memo-adm-flood", 640);
+        let cache = TransitionCache::bounded_with_admission(64, 0.25);
+        assert_eq!(cache.family_quota(), Some(16));
+        let hot_keys: Vec<i64> = (0..8).collect();
+        probe_chain(&cache, &hot, "memo-adm-hot", &hot_keys);
+        probe_chain(
+            &cache,
+            &flood,
+            "memo-adm-flood",
+            &(0..640).collect::<Vec<_>>(),
+        );
+        // The flood family may occupy otherwise-free space beyond its
+        // quota, but it never displaces a foreign entry once over it…
+        let fams = cache.family_entries();
+        let flood_resident = fams
+            .iter()
+            .find(|(n, _)| n == "memo-adm-flood")
+            .map_or(0, |&(_, n)| n);
+        assert!(
+            flood_resident <= 64,
+            "flood family holds {flood_resident} entries, capacity is 64"
+        );
+        // …because past the quota it recycled its own slots.
+        assert!(
+            cache.self_evictions() > 500,
+            "expected quota-forced self-evictions, got {}",
+            cache.self_evictions()
+        );
+        // The hot family's (cold, never re-touched) entries survive the
+        // flood — a plain bounded cache under the same mix flushes them.
+        let survivors = 8 - reprobe_misses(&cache, &hot, "memo-adm-hot", &hot_keys);
+        assert!(
+            survivors >= 6,
+            "only {survivors}/8 hot entries survived the flood under admission"
+        );
+        let plain = TransitionCache::bounded(64);
+        probe_chain(&plain, &hot, "memo-adm-hot", &hot_keys);
+        probe_chain(
+            &plain,
+            &flood,
+            "memo-adm-flood",
+            &(0..640).collect::<Vec<_>>(),
+        );
+        let plain_survivors = 8 - reprobe_misses(&plain, &hot, "memo-adm-hot", &hot_keys);
+        assert!(
+            plain_survivors <= 2,
+            "plain bounded cache unexpectedly kept {plain_survivors}/8 cold entries"
+        );
+        assert_eq!(plain.self_evictions(), 0);
+        assert_eq!(plain.family_quota(), None);
+        assert!(plain.family_entries().is_empty());
+    }
+
+    #[test]
+    fn admission_eviction_never_changes_answers() {
+        let a = chain_named("memo-adm-a", 60);
+        let b = chain_named("memo-adm-b", 60);
+        let gated = TransitionCache::bounded_with_admission(16, 0.5);
+        let unbounded = TransitionCache::new();
+        for pass in 0..2 {
+            for k in 0..60 {
+                for (auto, name) in [(&a, "memo-adm-a"), (&b, "memo-adm-b")] {
+                    let q = Value::int(k);
+                    let id = IValue::of(&q);
+                    let step = act(&format!("{name}-step"));
+                    let x = gated.successors(auto, &q, id, step);
+                    let y = unbounded.successors(auto, &q, id, step);
+                    match (x, y) {
+                        (Some(x), Some(y)) => {
+                            let xv: Vec<_> = x.eta.iter().collect();
+                            let yv: Vec<_> = y.eta.iter().collect();
+                            assert_eq!(xv, yv, "pass {pass}, {name} state {k}");
+                            assert_eq!(x.ids, y.ids);
+                        }
+                        (None, None) => {}
+                        other => panic!("gated/unbounded disagree: {other:?}"),
+                    }
+                }
+            }
+        }
+        assert!(gated.len() <= 16);
+        assert!(gated.stats().evictions > 0);
     }
 
     #[test]

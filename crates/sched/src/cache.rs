@@ -5,14 +5,25 @@
 //! * **transitions** — [`dpioa_core::TransitionCache`]: `(state, action)
 //!   ↦ η_{(A,q,a)}`, sound unconditionally because Def. 2.1 makes
 //!   `transition` a function;
-//! * **memoryless choices** — `(step, state) ↦ σ(α)`: sound whenever
-//!   [`Scheduler::schedule_memoryless`] returns `Some`, because that
-//!   method's contract says the returned measure equals `σ(α)` for
-//!   *every* `α` with that length and last state — exactly the
-//!   factoring the lumped tier relies on. A `None` is memoized too, so
-//!   a history-dependent scheduler is probed once per `(step, state)`
-//!   class and the engines fall back to the full
-//!   [`Scheduler::schedule`] per execution.
+//! * **memoryless choices** — `(scope, step, state) ↦ σ(α)`: sound
+//!   whenever [`Scheduler::schedule_memoryless`] returns `Some`,
+//!   because that method's contract says the returned measure equals
+//!   `σ(α)` for *every* `α` with that length and last state — exactly
+//!   the factoring the lumped tier relies on. A `None` is memoized
+//!   too, so a history-dependent scheduler is probed once per
+//!   `(step, state)` class and the engines fall back to the full
+//!   [`Scheduler::schedule`] per execution. The `scope` component is
+//!   the scheduler's interned identity ([`EngineCache::choice_scope`],
+//!   keyed by [`Scheduler::describe`]): a cache shared across queries
+//!   that use *different* schedulers must not let one scheduler's
+//!   memoized choices (or memoized `None`s) answer another's — without
+//!   the scope, warming the cache with a memoryless scheduler would
+//!   silently re-route a later history-dependent query through the
+//!   lumped tier with the wrong choices. Schedulers with the same
+//!   `describe()` string share a scope, so distinct policies must
+//!   describe themselves distinctly — the same catalog convention that
+//!   gives automata disjoint action-name prefixes for the transition
+//!   table.
 //!
 //! Both tables key on interned [`IValue`] ids, are shard-locked for the
 //! pooled frontier workers, and keep hit/miss counters that
@@ -50,7 +61,18 @@ use std::sync::{Arc, RwLock};
 /// Shard count for the choice table; a power of two.
 const CHOICE_SHARDS: usize = 16;
 
-type ChoiceShard = RwLock<HashMap<(usize, IValue), Option<Arc<SubDisc<Action>>>, FxBuildHasher>>;
+/// An interned scheduler identity scoping the choice table (see the
+/// module docs): two queries share memoized choices iff they share a
+/// scope. Resolve once per query/expansion with
+/// [`EngineCache::choice_scope`] — resolution calls
+/// [`Scheduler::describe`], which may allocate — and pass the `Copy`
+/// token down the hot paths.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ChoiceScope(u32);
+
+type ChoiceKey = (ChoiceScope, usize, IValue);
+
+type ChoiceShard = RwLock<HashMap<ChoiceKey, Option<Arc<SubDisc<Action>>>, FxBuildHasher>>;
 
 /// Shared memoization for transitions and memoryless scheduler choices.
 /// See the module docs for the soundness argument of each table.
@@ -59,6 +81,7 @@ pub struct EngineCache {
     choices: Vec<ChoiceShard>,
     choice_hits: AtomicU64,
     choice_misses: AtomicU64,
+    scopes: RwLock<HashMap<String, u32, FxBuildHasher>>,
 }
 
 impl Default for EngineCache {
@@ -75,6 +98,7 @@ impl EngineCache {
             choices: (0..CHOICE_SHARDS).map(|_| ChoiceShard::default()).collect(),
             choice_hits: AtomicU64::new(0),
             choice_misses: AtomicU64::new(0),
+            scopes: RwLock::new(HashMap::default()),
         }
     }
 
@@ -88,6 +112,35 @@ impl EngineCache {
             transitions: TransitionCache::bounded(max_entries),
             ..EngineCache::new()
         }
+    }
+
+    /// A bounded cache with a per-automaton-family admission quota
+    /// ([`TransitionCache::bounded_with_admission`]): no automaton may
+    /// displace more than `family_frac` of the transition table, so a
+    /// service sharing one cache across untrusting query streams keeps
+    /// every client's warm entries resident under adversarial mixes.
+    pub fn bounded_with_admission(max_entries: usize, family_frac: f64) -> EngineCache {
+        EngineCache {
+            transitions: TransitionCache::bounded_with_admission(max_entries, family_frac),
+            ..EngineCache::new()
+        }
+    }
+
+    /// Resident transition entries per automaton family (empty unless
+    /// built with [`EngineCache::bounded_with_admission`]).
+    pub fn family_entries(&self) -> Vec<(String, usize)> {
+        self.transitions.family_entries()
+    }
+
+    /// Quota-forced self-evictions of the transition table (0 without
+    /// admission).
+    pub fn self_evictions(&self) -> u64 {
+        self.transitions.self_evictions()
+    }
+
+    /// The per-family transition-entry quota, when admission is on.
+    pub fn family_quota(&self) -> Option<usize> {
+        self.transitions.family_quota()
     }
 
     /// A fresh cache behind a shareable handle (for
@@ -109,23 +162,48 @@ impl EngineCache {
         self.transitions.successors(auto, state, id, action)
     }
 
+    /// Intern `sched`'s identity (its [`Scheduler::describe`] string)
+    /// into the scope that keys its slice of the choice table. One
+    /// string allocation plus a map probe — resolve once per
+    /// query/expansion, not per node.
+    pub fn choice_scope(&self, sched: &dyn Scheduler) -> ChoiceScope {
+        let name = sched.describe();
+        if let Some(&id) = self.scopes.read().expect("scope map poisoned").get(&name) {
+            return ChoiceScope(id);
+        }
+        let mut guard = self.scopes.write().expect("scope map poisoned");
+        let next = guard.len() as u32;
+        ChoiceScope(*guard.entry(name).or_insert(next))
+    }
+
     /// The memoized `σ(α)` for executions of length `step` ending in
     /// `state`, when the scheduler factors through that pair —
     /// `None` records that it does not (callers then fall back to the
-    /// per-execution [`Scheduler::schedule`]).
+    /// per-execution [`Scheduler::schedule`]). `scope` must be
+    /// *this cache's* [`EngineCache::choice_scope`] for *this* `sched`;
+    /// passing another scheduler's scope re-introduces exactly the
+    /// cross-scheduler aliasing the scope exists to rule out.
     pub fn memoryless_choice(
         &self,
+        scope: ChoiceScope,
         sched: &dyn Scheduler,
         auto: &dyn Automaton,
         step: usize,
         state: &Value,
         id: IValue,
     ) -> Option<Arc<SubDisc<Action>>> {
-        let shard = &self.choices
-            [(id.id().wrapping_mul(0x9E37_79B9) as usize ^ step) & (CHOICE_SHARDS - 1)];
+        debug_assert_eq!(
+            scope,
+            self.choice_scope(sched),
+            "choice scope does not belong to this scheduler"
+        );
+        let shard = &self.choices[(id.id().wrapping_mul(0x9E37_79B9) as usize
+            ^ step
+            ^ (scope.0 as usize).wrapping_mul(0x85EB_CA6B))
+            & (CHOICE_SHARDS - 1)];
         {
             let guard = shard.read().expect("choice cache poisoned");
-            if let Some(cached) = guard.get(&(step, id)) {
+            if let Some(cached) = guard.get(&(scope, step, id)) {
                 self.choice_hits.fetch_add(1, Ordering::Relaxed);
                 return cached.clone();
             }
@@ -133,7 +211,7 @@ impl EngineCache {
         self.choice_misses.fetch_add(1, Ordering::Relaxed);
         let computed = sched.schedule_memoryless(auto, step, state).map(Arc::new);
         let mut guard = shard.write().expect("choice cache poisoned");
-        guard.entry((step, id)).or_insert(computed).clone()
+        guard.entry((scope, step, id)).or_insert(computed).clone()
     }
 
     /// Hit/miss/eviction counters of the transition table alone.
@@ -263,6 +341,7 @@ pub(crate) struct TailTemplate<W> {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn build_tail_template<W: Weight>(
     shared: &EngineCache,
+    scope: ChoiceScope,
     sched: &dyn Scheduler,
     auto: &dyn Automaton,
     step: usize,
@@ -271,14 +350,14 @@ pub(crate) fn build_tail_template<W: Weight>(
     depths: usize,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
 ) -> Result<Option<TailTemplate<W>>, EngineError> {
-    let Some(root) = decode_choice(shared, sched, auto, step, state, id, lift)? else {
+    let Some(root) = decode_choice(shared, scope, sched, auto, step, state, id, lift)? else {
         return Ok(None);
     };
     let (root_halt, expand_root) = emit_of(&root);
     let mut steps = Vec::new();
     if expand_root
         && !fill_tail(
-            shared, sched, auto, step, 1, depths, state, id, &root, lift, &mut steps,
+            shared, scope, sched, auto, step, 1, depths, state, id, &root, lift, &mut steps,
         )?
     {
         return Ok(None);
@@ -312,6 +391,7 @@ pub(crate) enum TailSlot<W> {
 pub(crate) fn lane_tail<W: Weight>(
     lane: &mut LaneMemo<W>,
     shared: &EngineCache,
+    scope: ChoiceScope,
     sched: &dyn Scheduler,
     auto: &dyn Automaton,
     step: usize,
@@ -324,8 +404,9 @@ pub(crate) fn lane_tail<W: Weight>(
         Some(TailSlot::Ready(tpl)) => return Ok(Some(tpl.clone())),
         Some(TailSlot::Absent) => return Ok(None),
         Some(TailSlot::Seen) => {
-            let built = build_tail_template(shared, sched, auto, step, state, id, depths, lift)?
-                .map(Arc::new);
+            let built =
+                build_tail_template(shared, scope, sched, auto, step, state, id, depths, lift)?
+                    .map(Arc::new);
             let slot = match &built {
                 Some(tpl) => TailSlot::Ready(tpl.clone()),
                 None => TailSlot::Absent,
@@ -362,6 +443,7 @@ fn emit_of<W: Weight>(choice: &LaneChoice<W>) -> (TailHalt<W>, bool) {
 #[allow(clippy::too_many_arguments)]
 fn fill_tail<W: Weight>(
     shared: &EngineCache,
+    scope: ChoiceScope,
     sched: &dyn Scheduler,
     auto: &dyn Automaton,
     base_step: usize,
@@ -390,8 +472,16 @@ fn fill_tail<W: Weight>(
                 });
                 continue;
             }
-            let Some(choice) =
-                decode_choice(shared, sched, auto, base_step + child_depth, q2, *id2, lift)?
+            let Some(choice) = decode_choice(
+                shared,
+                scope,
+                sched,
+                auto,
+                base_step + child_depth,
+                q2,
+                *id2,
+                lift,
+            )?
             else {
                 return Ok(false);
             };
@@ -407,6 +497,7 @@ fn fill_tail<W: Weight>(
             if expand
                 && !fill_tail(
                     shared,
+                    scope,
                     sched,
                     auto,
                     base_step,
@@ -477,8 +568,10 @@ pub(crate) fn decode_trans<W: Weight>(
 
 /// Decode one shared memoryless choice for a `W` instantiation (the
 /// miss path of [`LaneMemo::choice`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn decode_choice<W: Weight>(
     shared: &EngineCache,
+    scope: ChoiceScope,
     sched: &dyn Scheduler,
     auto: &dyn Automaton,
     step: usize,
@@ -486,7 +579,7 @@ pub(crate) fn decode_choice<W: Weight>(
     id: IValue,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
 ) -> Result<Option<Arc<LaneChoice<W>>>, EngineError> {
-    match shared.memoryless_choice(sched, auto, step, state, id) {
+    match shared.memoryless_choice(scope, sched, auto, step, state, id) {
         None => Ok(None),
         Some(sd) => {
             if sd.is_halt() {
@@ -550,11 +643,15 @@ impl<W: Weight> LaneMemo<W> {
     /// [`EngineCache::memoryless_choice`] through this lane's L1,
     /// decoded: `None` means the scheduler is history-dependent at this
     /// `(step, state)` (callers fall back to the per-execution
-    /// [`Scheduler::schedule`]).
+    /// [`Scheduler::schedule`]). The L1 key stays `(step, state)`: a
+    /// lane memo lives for exactly one expansion, which has exactly one
+    /// scheduler — only the shared table outlives the query and needs
+    /// the scope.
     #[allow(clippy::too_many_arguments)]
     pub fn choice(
         &mut self,
         shared: &EngineCache,
+        scope: ChoiceScope,
         sched: &dyn Scheduler,
         auto: &dyn Automaton,
         step: usize,
@@ -565,7 +662,7 @@ impl<W: Weight> LaneMemo<W> {
         if let Some(hit) = self.choices.get(&(step, id)) {
             return Ok(hit.clone());
         }
-        let decoded = decode_choice(shared, sched, auto, step, state, id, lift)?;
+        let decoded = decode_choice(shared, scope, sched, auto, step, state, id, lift)?;
         if self.choices.len() >= self.choice_cap {
             self.choices.clear();
         }
@@ -612,11 +709,12 @@ mod tests {
         let cache = EngineCache::new();
         let q = Value::int(0);
         let id = IValue::of(&q);
+        let scope = cache.choice_scope(&FirstEnabled);
         let a = cache
-            .memoryless_choice(&FirstEnabled, &auto, 0, &q, id)
+            .memoryless_choice(scope, &FirstEnabled, &auto, 0, &q, id)
             .unwrap();
         let b = cache
-            .memoryless_choice(&FirstEnabled, &auto, 0, &q, id)
+            .memoryless_choice(scope, &FirstEnabled, &auto, 0, &q, id)
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let fresh = FirstEnabled.schedule_memoryless(&auto, 0, &q).unwrap();
@@ -633,8 +731,13 @@ mod tests {
         });
         let q = Value::int(0);
         let id = IValue::of(&q);
-        assert!(cache.memoryless_choice(&sched, &auto, 0, &q, id).is_none());
-        assert!(cache.memoryless_choice(&sched, &auto, 0, &q, id).is_none());
+        let scope = cache.choice_scope(&sched);
+        assert!(cache
+            .memoryless_choice(scope, &sched, &auto, 0, &q, id)
+            .is_none());
+        assert!(cache
+            .memoryless_choice(scope, &sched, &auto, 0, &q, id)
+            .is_none());
         assert_eq!(cache.choice_stats(), stats(1, 1));
     }
 
@@ -646,7 +749,8 @@ mod tests {
         let id = IValue::of(&q);
         cache.successors(&auto, &q, id, act("c-flip"));
         cache.successors(&auto, &q, id, act("c-flip"));
-        cache.memoryless_choice(&FirstEnabled, &auto, 0, &q, id);
+        let scope = cache.choice_scope(&FirstEnabled);
+        cache.memoryless_choice(scope, &FirstEnabled, &auto, 0, &q, id);
         let s = cache.stats();
         assert_eq!(s, stats(1, 2));
         assert_eq!(cache.transition_entries(), 1);
@@ -658,6 +762,20 @@ mod tests {
         assert_eq!(cache.transition_capacity(), Some(32));
         assert_eq!(EngineCache::new().transition_capacity(), None);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn admission_cache_reports_families_through_the_engine_handle() {
+        let auto = coin();
+        let cache = EngineCache::bounded_with_admission(32, 0.5);
+        assert_eq!(cache.family_quota(), Some(16));
+        assert_eq!(cache.self_evictions(), 0);
+        let q = Value::int(0);
+        cache.successors(&auto, &q, IValue::of(&q), act("c-flip"));
+        assert_eq!(cache.family_entries(), vec![("c-coin".to_string(), 1)]);
+        // Plain caches report no family accounting.
+        assert!(EngineCache::bounded(32).family_entries().is_empty());
+        assert_eq!(EngineCache::new().family_quota(), None);
     }
 
     #[test]
@@ -690,12 +808,13 @@ mod tests {
             assert_eq!(id2, did);
             assert_eq!(r.to_bits(), dr.to_bits());
         }
+        let scope = shared.choice_scope(&FirstEnabled);
         let c1 = lane
-            .choice(&shared, &FirstEnabled, &auto, 0, &q, id, lift)
+            .choice(&shared, scope, &FirstEnabled, &auto, 0, &q, id, lift)
             .unwrap()
             .unwrap();
         let c2 = lane
-            .choice(&shared, &FirstEnabled, &auto, 0, &q, id, lift)
+            .choice(&shared, scope, &FirstEnabled, &auto, 0, &q, id, lift)
             .unwrap()
             .unwrap();
         assert!(Arc::ptr_eq(&c1, &c2));
@@ -732,14 +851,49 @@ mod tests {
         let memoryful = DeterministicScheduler::new("memoryful", |_, enabled: &[Action]| {
             enabled.first().copied()
         });
+        let scope = shared.choice_scope(&memoryful);
         assert!(lane
-            .choice(&shared, &memoryful, &auto, 0, &q, id, lift)
+            .choice(&shared, scope, &memoryful, &auto, 0, &q, id, lift)
             .unwrap()
             .is_none());
         assert!(lane
-            .choice(&shared, &memoryful, &auto, 0, &q, id, lift)
+            .choice(&shared, scope, &memoryful, &auto, 0, &q, id, lift)
             .unwrap()
             .is_none());
         assert_eq!(shared.choice_stats(), stats(0, 1));
+    }
+
+    #[test]
+    fn scopes_keep_schedulers_choices_apart() {
+        // Regression: warming the shared cache with a memoryless
+        // scheduler must not let its choices (or its memoized `None`s)
+        // answer a different scheduler's probes on the same
+        // `(step, state)` — that aliasing silently routed
+        // history-dependent queries through the lumped tier.
+        let auto = coin();
+        let cache = EngineCache::new();
+        let q = Value::int(0);
+        let id = IValue::of(&q);
+        let memoryful = DeterministicScheduler::new("memoryful", |_, enabled: &[Action]| {
+            enabled.first().copied()
+        });
+        let warm = cache.choice_scope(&FirstEnabled);
+        assert!(cache
+            .memoryless_choice(warm, &FirstEnabled, &auto, 0, &q, id)
+            .is_some());
+        // Same automaton, same (step, state): the memoryful scheduler
+        // must still be probed (and memoized) under its own scope.
+        let cold = cache.choice_scope(&memoryful);
+        assert_ne!(warm, cold);
+        assert!(cache
+            .memoryless_choice(cold, &memoryful, &auto, 0, &q, id)
+            .is_none());
+        // And the memoryful `None` must not shadow the warm entry.
+        assert!(cache
+            .memoryless_choice(warm, &FirstEnabled, &auto, 0, &q, id)
+            .is_some());
+        // Scopes are stable across resolutions.
+        assert_eq!(cache.choice_scope(&FirstEnabled), warm);
+        assert_eq!(cache.choice_scope(&memoryful), cold);
     }
 }

@@ -131,6 +131,57 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+impl EngineError {
+    /// The **stable wire code** of this error, for clients that must
+    /// dispatch on failure kind across a serialization boundary (the
+    /// emulation server's error responses carry exactly this string).
+    ///
+    /// The taxonomy is part of the wire contract and must never change
+    /// for an existing variant (tests pin it):
+    ///
+    /// | code | meaning | retry? |
+    /// |------|---------|--------|
+    /// | `disabled-action`   | scheduler contract violation     | no — deterministic |
+    /// | `non-dyadic-weight` | model not exactly representable  | no — deterministic |
+    /// | `cancelled`         | the caller cancelled mid-flight  | caller's choice |
+    /// | `deadline-exceeded` | wall-clock deadline tripped      | yes, with a longer deadline |
+    /// | `budget-exhausted`  | entry/expansion cap tripped      | yes, with a larger cap |
+    /// | `worker-panicked`   | a sampler shard kept panicking   | yes — transient |
+    /// | `invalid-sampling`  | malformed sampling request       | no — fix the request |
+    /// | `invalid-measure`   | weights don't form a measure     | no — deterministic |
+    /// | `not-lumpable`      | lumped-tier ineligibility        | internal — callers fall through |
+    ///
+    /// A cancelled deadline trip reports `cancelled` (cancellation is
+    /// the stronger, caller-initiated signal).
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::DisabledAction { .. } => "disabled-action",
+            EngineError::NonDyadicWeight { .. } => "non-dyadic-weight",
+            EngineError::BudgetExhausted {
+                cancelled: true, ..
+            } => "cancelled",
+            EngineError::BudgetExhausted {
+                deadline_hit: true, ..
+            } => "deadline-exceeded",
+            EngineError::BudgetExhausted { .. } => "budget-exhausted",
+            EngineError::WorkerPanicked { .. } => "worker-panicked",
+            EngineError::InvalidSampling { .. } => "invalid-sampling",
+            EngineError::InvalidMeasure { .. } => "invalid-measure",
+            EngineError::NotLumpable { .. } => "not-lumpable",
+        }
+    }
+
+    /// True iff retrying the same query (with a larger budget where
+    /// applicable) could succeed — false for deterministic failures a
+    /// retry can never fix.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::BudgetExhausted { .. } | EngineError::WorkerPanicked { .. }
+        )
+    }
+}
+
 /// Build the shared [`EngineError::DisabledAction`] payload — the one
 /// place that formats a scheduler contract violation, used by both the
 /// exact and the sampling engines.
@@ -273,6 +324,67 @@ mod tests {
                 assert_eq!((entries, expansions), (3, 7));
             }
             other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    /// Pins the wire-code taxonomy: these strings are a serialization
+    /// contract with server clients and must never drift.
+    #[test]
+    fn wire_codes_are_stable() {
+        let budget = |deadline_hit, cancelled| EngineError::BudgetExhausted {
+            entries: 0,
+            expansions: 0,
+            deadline_hit,
+            cancelled,
+        };
+        let cases: Vec<(EngineError, &str, bool)> = vec![
+            (
+                disabled_action(&FirstEnabled, Action::named("wc-a"), &Value::int(0)),
+                "disabled-action",
+                false,
+            ),
+            (
+                EngineError::NonDyadicWeight { weight: 0.3 },
+                "non-dyadic-weight",
+                false,
+            ),
+            (budget(false, false), "budget-exhausted", true),
+            (budget(true, false), "deadline-exceeded", true),
+            (budget(false, true), "cancelled", true),
+            // Cancellation wins over a simultaneous deadline trip.
+            (budget(true, true), "cancelled", true),
+            (
+                EngineError::WorkerPanicked {
+                    shard: 0,
+                    retries: 3,
+                },
+                "worker-panicked",
+                true,
+            ),
+            (
+                EngineError::InvalidSampling { reason: "x".into() },
+                "invalid-sampling",
+                false,
+            ),
+            (
+                EngineError::InvalidMeasure { detail: "x".into() },
+                "invalid-measure",
+                false,
+            ),
+            (
+                EngineError::NotLumpable { reason: "x".into() },
+                "not-lumpable",
+                false,
+            ),
+        ];
+        for (err, code, retryable) in cases {
+            assert_eq!(err.code(), code, "{err:?}");
+            assert_eq!(err.is_retryable(), retryable, "{err:?}");
+            // Every error a server can surface is a std Error with a
+            // non-empty human Display, distinct from the wire code's
+            // role (codes are for machines, Display for logs).
+            let dynamic: &dyn std::error::Error = &err;
+            assert!(!dynamic.to_string().is_empty());
         }
     }
 

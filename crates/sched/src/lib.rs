@@ -49,7 +49,7 @@ pub mod scheduler;
 pub mod schema;
 
 pub use bounded::BoundedScheduler;
-pub use cache::{EngineCache, LaneMemo};
+pub use cache::{ChoiceScope, EngineCache, LaneMemo};
 pub use checkpoint::{Checkpoint, ConeCheckpoint, ExpansionOutcome, LumpedCheckpoint, LumpedClass};
 pub use error::{disabled_action, Budget, EngineError};
 pub use lumped::{
@@ -67,8 +67,8 @@ pub use measure::{
     DEFAULT_SPLIT_UNIT, SEQ_CUTOVER_PER_LANE,
 };
 pub use robust::{
-    robust_observation_dist, robust_observation_dist_ckpt, CircuitBreaker, EngineKind, Provenance,
-    RobustConfig, RobustError,
+    robust_observation_dist, robust_observation_dist_ckpt, BreakerStats, CircuitBreaker,
+    EngineKind, Provenance, RobustConfig, RobustError,
 };
 pub use sample::{
     sample_execution, sample_observations, sample_observations_parallel,

@@ -218,6 +218,8 @@ fn lumped_core<W: Weight>(
         }
     };
 
+    // One scope resolution per query (describe() may allocate).
+    let scope = cache.map(|c| c.choice_scope(sched));
     let mut absorbed: WeightedClasses<Value, W> = WeightedClasses::new();
     let mut frontier: WeightedClasses<Key, W> = WeightedClasses::new();
     let start_step = match resume {
@@ -272,7 +274,14 @@ fn lumped_core<W: Weight>(
             let fresh_choice;
             let choice: &SubDisc<Action> = match cache {
                 Some(c) => {
-                    cached_choice = c.memoryless_choice(sched, auto, step, &state, key.state);
+                    cached_choice = c.memoryless_choice(
+                        scope.expect("scope resolved whenever cache is Some"),
+                        sched,
+                        auto,
+                        step,
+                        &state,
+                        key.state,
+                    );
                     match &cached_choice {
                         Some(arc) => arc.as_ref(),
                         None => {

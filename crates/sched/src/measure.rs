@@ -21,7 +21,8 @@
 //! for call sites that treat these failures as model bugs.
 
 use crate::cache::{
-    decode_choice, decode_trans, lane_tail, EngineCache, LaneMemo, TailHalt, TailTemplate,
+    decode_choice, decode_trans, lane_tail, ChoiceScope, EngineCache, LaneMemo, TailHalt,
+    TailTemplate,
 };
 use crate::checkpoint::{ConeCheckpoint, ExpansionOutcome};
 use crate::error::{disabled_action, Budget, EngineError};
@@ -454,6 +455,7 @@ fn expand_node<W: Weight>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     cache: &EngineCache,
+    scope: ChoiceScope,
     budget: &Budget,
     horizon: usize,
     ordinal: usize,
@@ -469,7 +471,7 @@ fn expand_node<W: Weight>(
         terminal.push((exec.clone(), weight.clone()));
         return Ok(());
     }
-    let cached = cache.memoryless_choice(sched, auto, exec.len(), exec.lstate(), *id);
+    let cached = cache.memoryless_choice(scope, sched, auto, exec.len(), exec.lstate(), *id);
     let fresh;
     let choice: &SubDisc<Action> = match &cached {
         Some(c) => c,
@@ -513,6 +515,7 @@ fn expand_node_lane<W: Weight>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     shared: &EngineCache,
+    scope: ChoiceScope,
     lane: &mut LaneMemo<W>,
     budget: &Budget,
     ordinal: usize,
@@ -542,6 +545,7 @@ fn expand_node_lane<W: Weight>(
         std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
         std::collections::hash_map::Entry::Vacant(v) => v.insert(decode_choice(
             shared,
+            scope,
             sched,
             auto,
             step,
@@ -638,6 +642,7 @@ fn expand_tail_grain<W: Weight>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     shared: &EngineCache,
+    scope: ChoiceScope,
     lane: &mut LaneMemo<W>,
     budget: &Budget,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
@@ -672,6 +677,7 @@ fn expand_tail_grain<W: Weight>(
         match lane_tail(
             lane,
             shared,
+            scope,
             sched,
             auto,
             step,
@@ -688,7 +694,8 @@ fn expand_tail_grain<W: Weight>(
             // or this is the key's first sighting (two-touch
             // compilation). Expand this node's cone recursively.
             None => {
-                extra += expand_node_tail(auto, sched, shared, lift, exec, *id, weight, 0, segs)?;
+                extra +=
+                    expand_node_tail(auto, sched, shared, scope, lift, exec, *id, weight, 0, segs)?;
             }
         }
     }
@@ -754,6 +761,7 @@ fn expand_node_tail<W: Weight>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     shared: &EngineCache,
+    scope: ChoiceScope,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
     exec: &Execution,
     id: IValue,
@@ -767,7 +775,7 @@ fn expand_node_tail<W: Weight>(
         return Ok(0);
     }
     let mut extra = 0usize;
-    let cached = shared.memoryless_choice(sched, auto, exec.len(), exec.lstate(), id);
+    let cached = shared.memoryless_choice(scope, sched, auto, exec.len(), exec.lstate(), id);
     let fresh;
     let choice: &SubDisc<Action> = match &cached {
         Some(c) => c,
@@ -798,6 +806,7 @@ fn expand_node_tail<W: Weight>(
                 auto,
                 sched,
                 shared,
+                scope,
                 lift,
                 &exec2,
                 *id2,
@@ -913,6 +922,9 @@ where
     L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
 {
     let lanes = pool.workers().min(policy.threads.max(1));
+    // One scope resolution per expansion (describe() may allocate);
+    // the Copy token rides into every grain closure.
+    let scope = cache.choice_scope(sched);
     let cache_base = cache.stats();
     let pool_base = pool.stats();
     // Shared by value with pooled grains (which must outlive `'env`),
@@ -968,6 +980,7 @@ where
                     auto,
                     sched,
                     cache,
+                    scope,
                     &budget,
                     horizon,
                     ordinal,
@@ -1072,6 +1085,7 @@ where
                                 auto,
                                 sched,
                                 cache,
+                                scope,
                                 &mut memo,
                                 &budget,
                                 lift,
@@ -1095,6 +1109,7 @@ where
                                     auto,
                                     sched,
                                     cache,
+                                    scope,
                                     &mut memo,
                                     &budget,
                                     base + i + 1,

@@ -34,7 +34,7 @@
 //! consecutive exact-tier budget failures; once the per-automaton count
 //! reaches the threshold, later queries skip the doomed exact tiers and
 //! go straight to Monte-Carlo — recorded in
-//! [`Provenance::breaker_tripped`]. Any exact-tier success closes the
+//! [`Provenance::breaker_open`]. Any exact-tier success closes the
 //! breaker for that automaton.
 //!
 //! The returned [`Provenance`] names the tier that answered, the mass
@@ -58,7 +58,9 @@ use dpioa_core::pool::{with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SE
 use dpioa_core::{Automaton, Execution, Value};
 use dpioa_prob::Disc;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Which engine produced an answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,7 +116,7 @@ pub struct Provenance {
     pub frontier_nodes: Option<usize>,
     /// True iff the circuit breaker was open for this automaton and the
     /// exact tiers were skipped without being tried.
-    pub breaker_tripped: bool,
+    pub breaker_open: bool,
     /// A bound `b` such that every event probability in the returned
     /// distribution is within `b` of its true value with probability at
     /// least `1 − confidence_delta` (DKW inequality; scaled by the
@@ -139,7 +141,7 @@ impl Provenance {
             pool: Some(PoolStats::single_lane()),
             resolved_mass: None,
             frontier_nodes: None,
-            breaker_tripped: false,
+            breaker_open: false,
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
@@ -157,7 +159,7 @@ impl Provenance {
             pool: Some(stats.pool),
             resolved_mass: None,
             frontier_nodes: None,
-            breaker_tripped: false,
+            breaker_open: false,
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
@@ -213,59 +215,172 @@ impl From<EngineError> for RobustError {
 /// accumulates `threshold` *consecutive* failures the breaker is open
 /// for it and [`robust_observation_dist`] skips the doomed exact tiers
 /// entirely, going straight to Monte-Carlo (recorded in
-/// [`Provenance::breaker_tripped`]). Any exact-tier success closes the
+/// [`Provenance::breaker_open`]). Any exact-tier success closes the
 /// breaker for that automaton. Share one breaker
 /// (`Arc<CircuitBreaker>`) across the queries of a workload via
 /// [`RobustConfig::breaker`].
+///
+/// With a **cooldown** ([`CircuitBreaker::with_cooldown`]) an open key
+/// goes *half-open* once the cooldown has elapsed since the trip:
+/// [`CircuitBreaker::is_open`] answers `false` so the next query probes
+/// the exact tiers again. A probe that succeeds closes the breaker; one
+/// that fails re-arms the cooldown (counted as a reopen). Without a
+/// cooldown an open breaker stays open until some caller bypasses it
+/// and records a success.
+///
+/// State transitions are counted ([`CircuitBreaker::stats`]) so a
+/// metrics endpoint can report trips/reopens/closes/probes in exact
+/// agreement with what queries observed through
+/// [`Provenance::breaker_open`].
 #[derive(Debug)]
 pub struct CircuitBreaker {
     threshold: u32,
-    failures: Mutex<FxHashMap<String, u32>>,
+    cooldown: Option<Duration>,
+    state: Mutex<FxHashMap<String, BreakerEntry>>,
+    trips: AtomicU64,
+    reopens: AtomicU64,
+    closes: AtomicU64,
+    half_open_probes: AtomicU64,
+}
+
+/// Per-key breaker state.
+#[derive(Debug, Default)]
+struct BreakerEntry {
+    /// Consecutive exact-tier failures since the last success.
+    consecutive: u32,
+    /// When the key last tripped (or re-armed) — `Some` iff it has
+    /// tripped since the last success.
+    opened_at: Option<Instant>,
+}
+
+/// Snapshot of a [`CircuitBreaker`]'s transition counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Closed → open transitions (a key crossing the threshold).
+    pub trips: u64,
+    /// Failed half-open probes that re-armed an open key's cooldown.
+    pub reopens: u64,
+    /// Open → closed transitions (an exact-tier success on an open key).
+    pub closes: u64,
+    /// Queries admitted through an open key because its cooldown had
+    /// elapsed (half-open probes).
+    pub half_open_probes: u64,
+    /// Keys currently at or over the threshold (open or half-open).
+    pub open_keys: usize,
 }
 
 impl CircuitBreaker {
     /// A breaker that opens after `threshold` consecutive failures per
-    /// automaton. `threshold` is clamped to at least 1 (a threshold of
+    /// automaton and (without a cooldown) stays open until a success is
+    /// recorded. `threshold` is clamped to at least 1 (a threshold of
     /// 0 would mean "never try the exact tiers at all", which is a
     /// budget decision, not a breaker one).
     pub fn new(threshold: u32) -> CircuitBreaker {
         CircuitBreaker {
             threshold: threshold.max(1),
-            failures: Mutex::new(FxHashMap::default()),
+            cooldown: None,
+            state: Mutex::new(FxHashMap::default()),
+            trips: AtomicU64::new(0),
+            reopens: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+            half_open_probes: AtomicU64::new(0),
         }
     }
 
-    /// True iff `key` has reached the consecutive-failure threshold.
-    pub fn is_open(&self, key: &str) -> bool {
-        self.failures
-            .lock()
-            .expect("breaker lock poisoned")
-            .get(key)
-            .is_some_and(|&n| n >= self.threshold)
+    /// Let open keys go half-open `cooldown` after their trip, so the
+    /// exact tiers are re-probed instead of being skipped forever.
+    pub fn with_cooldown(mut self, cooldown: Duration) -> CircuitBreaker {
+        self.cooldown = Some(cooldown);
+        self
     }
 
-    /// Record an exact-tier budget failure for `key`.
+    /// True iff `key` is open *and* (when a cooldown is configured) the
+    /// cooldown has not yet elapsed. An open key past its cooldown
+    /// answers `false` — a half-open probe, counted in
+    /// [`BreakerStats::half_open_probes`] — admitting the caller's
+    /// query to the exact tiers; its success or failure then closes or
+    /// re-arms the key. This is the per-query decision point; use
+    /// [`CircuitBreaker::stats`] for side-effect-free observation.
+    pub fn is_open(&self, key: &str) -> bool {
+        let mut map = self.state.lock().expect("breaker lock poisoned");
+        let Some(e) = map.get_mut(key) else {
+            return false;
+        };
+        if e.consecutive < self.threshold {
+            return false;
+        }
+        match (self.cooldown, e.opened_at) {
+            (Some(cd), Some(at)) if at.elapsed() >= cd => {
+                self.half_open_probes.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Record an exact-tier budget failure for `key`. Crossing the
+    /// threshold trips the key; failing while already open (a failed
+    /// half-open probe) re-arms its cooldown and counts a reopen.
     pub fn record_failure(&self, key: &str) {
-        let mut map = self.failures.lock().expect("breaker lock poisoned");
-        *map.entry(key.to_string()).or_insert(0) += 1;
+        let mut map = self.state.lock().expect("breaker lock poisoned");
+        let e = map.entry(key.to_string()).or_default();
+        let was_open = e.consecutive >= self.threshold;
+        e.consecutive += 1;
+        if e.consecutive < self.threshold {
+            return;
+        }
+        e.opened_at = Some(Instant::now());
+        if was_open {
+            self.reopens.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.trips.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Record an exact-tier success for `key`, closing its breaker.
     pub fn record_success(&self, key: &str) {
-        self.failures
-            .lock()
-            .expect("breaker lock poisoned")
-            .remove(key);
+        let mut map = self.state.lock().expect("breaker lock poisoned");
+        if let Some(e) = map.remove(key) {
+            if e.consecutive >= self.threshold {
+                self.closes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Consecutive failures currently recorded for `key`.
     pub fn failures(&self, key: &str) -> u32 {
-        self.failures
+        self.state
             .lock()
             .expect("breaker lock poisoned")
             .get(key)
-            .copied()
-            .unwrap_or(0)
+            .map_or(0, |e| e.consecutive)
+    }
+
+    /// Snapshot of the transition counters (no side effects).
+    pub fn stats(&self) -> BreakerStats {
+        let map = self.state.lock().expect("breaker lock poisoned");
+        BreakerStats {
+            trips: self.trips.load(Ordering::Relaxed),
+            reopens: self.reopens.load(Ordering::Relaxed),
+            closes: self.closes.load(Ordering::Relaxed),
+            half_open_probes: self.half_open_probes.load(Ordering::Relaxed),
+            open_keys: map
+                .values()
+                .filter(|e| e.consecutive >= self.threshold)
+                .count(),
+        }
+    }
+
+    /// The automata currently open (or half-open), sorted by name.
+    pub fn open_keys(&self) -> Vec<String> {
+        let map = self.state.lock().expect("breaker lock poisoned");
+        let mut keys: Vec<String> = map
+            .iter()
+            .filter(|(_, e)| e.consecutive >= self.threshold)
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort();
+        keys
     }
 }
 
@@ -351,7 +466,7 @@ fn monte_carlo_pooled<'env, O>(
     pool: &WorkerPool<'_, 'env>,
     obs_fn: &'env O,
     reason: Option<EngineError>,
-    breaker_tripped: bool,
+    breaker_open: bool,
 ) -> Result<(Disc<Value>, Provenance), EngineError>
 where
     O: Fn(&Execution) -> Value + Sync + ?Sized,
@@ -384,7 +499,7 @@ where
             pool: Some(pool.stats().since(&pool_base)),
             resolved_mass: None,
             frontier_nodes: None,
-            breaker_tripped,
+            breaker_open,
             error_bound: dkw_bound(config.mc_samples, config.confidence_delta),
             confidence_delta: config.confidence_delta,
         },
@@ -412,7 +527,7 @@ fn hybrid_provenance(
         pool: Some(pool),
         resolved_mass: Some(salvage.resolved_mass),
         frontier_nodes: Some(salvage.frontier_nodes),
-        breaker_tripped: false,
+        breaker_open: false,
         error_bound: salvage.frontier_mass * dkw_bound(salvage.samples, config.confidence_delta),
         confidence_delta: config.confidence_delta,
     }
@@ -684,7 +799,7 @@ mod tests {
         .unwrap();
         assert_eq!(prov.engine, EngineKind::Lumped);
         assert!(prov.fallback_reason.is_none());
-        assert!(!prov.breaker_tripped);
+        assert!(!prov.breaker_open);
         assert_eq!(prov.error_bound, 0.0);
         assert_eq!(dist.prob(&Value::int(1)), 0.5);
     }
@@ -854,7 +969,7 @@ mod tests {
             )
             .unwrap();
             assert_eq!(prov.engine, EngineKind::Hybrid);
-            assert!(!prov.breaker_tripped);
+            assert!(!prov.breaker_open);
         }
         assert!(breaker.is_open(&auto.name()));
         // …so the third skips the exact tiers entirely.
@@ -867,7 +982,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(prov.engine, EngineKind::MonteCarlo);
-        assert!(prov.breaker_tripped);
+        assert!(prov.breaker_open);
         assert!(prov.fallback_reason.is_none());
         // A success under a real budget closes it again.
         let healthy = RobustConfig {
@@ -885,6 +1000,108 @@ mod tests {
         .unwrap();
         assert_eq!(prov.engine, EngineKind::Lumped);
         assert_eq!(breaker.failures(&auto.name()), 0);
+    }
+
+    #[test]
+    fn breaker_counters_track_every_transition() {
+        let b = CircuitBreaker::new(2);
+        assert_eq!(b.stats(), BreakerStats::default());
+        // Below threshold: no trip yet.
+        b.record_failure("x");
+        assert!(!b.is_open("x"));
+        assert_eq!(b.stats().trips, 0);
+        // Crossing the threshold trips exactly once.
+        b.record_failure("x");
+        assert!(b.is_open("x"));
+        let s = b.stats();
+        assert_eq!((s.trips, s.reopens, s.closes, s.open_keys), (1, 0, 0, 1));
+        assert_eq!(b.open_keys(), vec!["x".to_string()]);
+        // Further failures while open are not new trips.
+        b.record_failure("x");
+        assert_eq!(b.stats().trips, 1);
+        assert_eq!(b.stats().reopens, 1, "failure while open re-arms");
+        // A second key trips independently.
+        b.record_failure("y");
+        b.record_failure("y");
+        assert_eq!(b.stats().trips, 2);
+        assert_eq!(b.stats().open_keys, 2);
+        // Success on an open key counts a close and resets it fully.
+        b.record_success("x");
+        let s = b.stats();
+        assert_eq!((s.closes, s.open_keys), (1, 1));
+        assert_eq!(b.failures("x"), 0);
+        // Success on a never-open key is not a close.
+        b.record_failure("z");
+        b.record_success("z");
+        assert_eq!(b.stats().closes, 1);
+        // Without a cooldown, open stays open.
+        assert!(b.is_open("y"));
+        assert_eq!(b.stats().half_open_probes, 0);
+    }
+
+    #[test]
+    fn cooldown_goes_half_open_and_probe_outcome_closes_or_rearms() {
+        let b = CircuitBreaker::new(1).with_cooldown(Duration::ZERO);
+        b.record_failure("p");
+        // Cooldown (zero) already elapsed: half-open, the query probes.
+        assert!(!b.is_open("p"));
+        assert_eq!(b.stats().half_open_probes, 1);
+        assert_eq!(b.stats().open_keys, 1, "half-open is still accounted open");
+        // Failed probe: re-armed (reopen), still open logically.
+        b.record_failure("p");
+        assert_eq!(b.stats().reopens, 1);
+        // Successful probe closes.
+        assert!(!b.is_open("p"));
+        b.record_success("p");
+        let s = b.stats();
+        assert_eq!((s.trips, s.reopens, s.closes, s.open_keys), (1, 1, 1, 0));
+        // A long cooldown keeps the key hard-open.
+        let slow = CircuitBreaker::new(1).with_cooldown(Duration::from_secs(3600));
+        slow.record_failure("q");
+        assert!(slow.is_open("q"));
+        assert_eq!(slow.stats().half_open_probes, 0);
+    }
+
+    #[test]
+    fn half_open_probe_reaches_the_exact_tiers_again() {
+        let auto = coin();
+        let breaker = Arc::new(CircuitBreaker::new(1).with_cooldown(Duration::ZERO));
+        let failing = RobustConfig {
+            budget: Budget::unlimited().with_max_expansions(0),
+            mc_samples: 5_000,
+            mc_threads: 2,
+            breaker: Some(Arc::clone(&breaker)),
+            ..RobustConfig::default()
+        };
+        // Trip it.
+        robust_observation_dist(
+            &auto,
+            &FirstEnabled,
+            1,
+            &Observation::final_state(),
+            &failing,
+        )
+        .unwrap();
+        assert_eq!(breaker.stats().trips, 1);
+        // Cooldown elapsed: the next healthy query probes the exact
+        // tiers (is not shunted to Monte-Carlo) and closes the breaker.
+        let healthy = RobustConfig {
+            breaker: Some(Arc::clone(&breaker)),
+            ..RobustConfig::default()
+        };
+        let (_, prov) = robust_observation_dist(
+            &auto,
+            &FirstEnabled,
+            1,
+            &Observation::final_state(),
+            &healthy,
+        )
+        .unwrap();
+        assert_eq!(prov.engine, EngineKind::Lumped);
+        assert!(!prov.breaker_open);
+        let s = breaker.stats();
+        assert!(s.half_open_probes >= 1);
+        assert_eq!((s.closes, s.open_keys), (1, 0));
     }
 
     #[test]

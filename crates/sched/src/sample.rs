@@ -89,9 +89,12 @@ pub fn try_sample_suffix<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Execution, EngineError> {
     let mut id = IValue::of(exec.lstate());
+    // One scope resolution per sampled execution, not per step.
+    let scope = cache.map(|c| (c, c.choice_scope(sched)));
     while exec.len() < horizon {
-        let cached =
-            cache.and_then(|c| c.memoryless_choice(sched, auto, exec.len(), exec.lstate(), id));
+        let cached = scope.and_then(|(c, sc)| {
+            c.memoryless_choice(sc, sched, auto, exec.len(), exec.lstate(), id)
+        });
         let fresh;
         let choice = match &cached {
             Some(c) => c.as_ref(),
@@ -554,13 +557,17 @@ pub fn try_salvage_lumped_pooled_with<'env>(
     // Owned copy for the worker closures, as in the cone salvage.
     let classes: std::sync::Arc<Vec<crate::checkpoint::LumpedClass<f64>>> =
         std::sync::Arc::new(ckpt.frontier.clone());
+    // One scope resolution for the whole salvage (describe() may
+    // allocate); the Copy pair rides into every shard closure.
+    let scope = cache.map(|c| (c, c.choice_scope(sched)));
     let hist = sample_shard_histograms(n, seed, shards, cancel, pool, move |rng| {
         let class = &classes[pick_frontier(&cum, rng)];
         let mut state = class.state.clone();
         let mut id = IValue::of(&state);
         let mut trace = class.trace.clone();
         for step in start_step..horizon {
-            let cached = cache.and_then(|c| c.memoryless_choice(sched, auto, step, &state, id));
+            let cached =
+                scope.and_then(|(c, sc)| c.memoryless_choice(sc, sched, auto, step, &state, id));
             let fresh;
             let choice = match &cached {
                 Some(c) => c.as_ref(),

@@ -1,0 +1,248 @@
+//! The automata, schedulers, and observations a server exposes.
+//!
+//! Every query names its workload; the server never constructs
+//! automata from client input (the state space is not an attack
+//! surface). Catalog entries follow the repo-wide cache-soundness
+//! conventions: each automaton uses a *disjoint action-name prefix*,
+//! so the shared [`dpioa_sched::EngineCache`] — whose transition keys
+//! are `(state, action)` without the automaton — can never alias
+//! entries across workloads; and each scheduler has a *distinct
+//! `describe()` string*, which scopes its slice of the cache's choice
+//! table (one scheduler's memoized choices never answer another's
+//! queries).
+//!
+//! Each entry also carries a `max_horizon`: the cone width of some
+//! workloads grows exponentially in the horizon, and an unbounded
+//! horizon would let a single request monopolise a worker for longer
+//! than any deadline. Requests beyond the cap are rejected up front
+//! with `horizon-too-large` rather than admitted and shot down later.
+
+use dpioa_core::{compose, Action, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_prob::Disc;
+use dpioa_sched::{DeterministicScheduler, FirstEnabled, Observation, RandomScheduler, Scheduler};
+use std::sync::Arc;
+
+/// One servable automaton.
+pub struct CatalogEntry {
+    /// Wire name (`"coin"`, `"walk-8"`, …).
+    pub name: &'static str,
+    /// Human description surfaced by `GET /v1/catalog`.
+    pub description: &'static str,
+    /// Largest horizon a query may ask for.
+    pub max_horizon: usize,
+    /// The automaton itself (shared across all requests).
+    pub automaton: Arc<dyn Automaton>,
+}
+
+/// The set of servable automata.
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// The standard workload mix: a dirac-simple coin, a composed coin
+    /// bank (exercises composition + lumping), a probabilistic walk
+    /// (2^h cone, 8 states — the lumped tier's home turf), and a
+    /// fanout mixer (3^h cone — probe-bound, trips budgets first).
+    pub fn standard() -> Catalog {
+        Catalog {
+            entries: vec![
+                CatalogEntry {
+                    name: "coin",
+                    description: "single fair coin flip (1 internal action)",
+                    max_horizon: 8,
+                    automaton: coin("srv-c0"),
+                },
+                CatalogEntry {
+                    name: "coin-bank-3",
+                    description: "parallel composition of 3 independent coins",
+                    max_horizon: 8,
+                    automaton: compose((0..3).map(|i| coin(&format!("srv-b{i}"))).collect()),
+                },
+                CatalogEntry {
+                    name: "walk-8",
+                    description: "probabilistic walk on 8 states (2^h cone, lumpable)",
+                    max_horizon: 14,
+                    automaton: walk("srv-k", 8),
+                },
+                CatalogEntry {
+                    name: "mixer-4x3",
+                    description: "3-way fanout mixer on 4 states (3^h cone, probe-bound)",
+                    max_horizon: 9,
+                    automaton: mixer("srv-x", 4, 3),
+                },
+            ],
+        }
+    }
+
+    /// Entry by wire name.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// All entries, wire order.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+}
+
+/// Wire names accepted for `scheduler`.
+pub const SCHEDULER_NAMES: &[&str] = &["first-enabled", "uniform-random", "memoryful-alternate"];
+
+/// Wire names accepted for `observation`.
+pub const OBSERVATION_NAMES: &[&str] = &["final-state", "trace"];
+
+/// Resolve a scheduler wire name. `memoryful-alternate` is genuinely
+/// history-dependent (first/last enabled action by history-length
+/// parity), so it is ineligible for the lumped tier and forces the
+/// general exact engine — the catalog's way of letting clients reach
+/// every tier of the cascade.
+pub fn scheduler_by_name(name: &str) -> Option<Arc<dyn Scheduler>> {
+    match name {
+        "first-enabled" => Some(Arc::new(FirstEnabled)),
+        "uniform-random" => Some(Arc::new(RandomScheduler)),
+        "memoryful-alternate" => Some(Arc::new(DeterministicScheduler::new(
+            "memoryful-alternate",
+            |exec, enabled| {
+                if exec.len() % 2 == 0 {
+                    enabled.first().copied()
+                } else {
+                    enabled.last().copied()
+                }
+            },
+        ))),
+        _ => None,
+    }
+}
+
+/// Resolve an observation wire name.
+pub fn observation_by_name(name: &str) -> Option<Observation> {
+    match name {
+        "final-state" => Some(Observation::final_state()),
+        "trace" => Some(Observation::trace()),
+        _ => None,
+    }
+}
+
+fn coin(prefix: &str) -> Arc<dyn Automaton> {
+    let flip = Action::named(format!("{prefix}-flip"));
+    ExplicitAutomaton::builder(format!("{prefix}-coin"), Value::int(0))
+        .state(0, Signature::new([], [], [flip]))
+        .state(1, Signature::new([], [], []))
+        .state(2, Signature::new([], [], []))
+        .transition(
+            0,
+            flip,
+            Disc::bernoulli_dyadic(Value::int(1), Value::int(2), 1, 1),
+        )
+        .build()
+        .shared()
+}
+
+fn walk(prefix: &str, n_states: i64) -> Arc<dyn Automaton> {
+    let mut b = ExplicitAutomaton::builder(format!("{prefix}-walk{n_states}"), Value::int(0));
+    for i in 0..n_states {
+        let step = Action::named(format!("{prefix}-w{i}"));
+        b = b.state(i, Signature::new([], [], [step])).transition(
+            i,
+            step,
+            Disc::bernoulli_dyadic(
+                Value::int((i + 1) % n_states),
+                Value::int((i + 2) % n_states),
+                1,
+                1,
+            ),
+        );
+    }
+    b.build().shared()
+}
+
+fn mixer(prefix: &str, n_states: i64, fanout: usize) -> Arc<dyn Automaton> {
+    let mut b =
+        ExplicitAutomaton::builder(format!("{prefix}-mix{n_states}x{fanout}"), Value::int(0));
+    for i in 0..n_states {
+        let acts: Vec<Action> = (0..fanout)
+            .map(|k| Action::named(format!("{prefix}-m{i}a{k}")))
+            .collect();
+        b = b.state(i, Signature::new([], [], acts.clone()));
+        for (k, a) in acts.into_iter().enumerate() {
+            b = b.transition(i, a, Disc::dirac(Value::int((i + 1 + k as i64) % n_states)));
+        }
+    }
+    b.build().shared()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::AutomatonExt;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn catalog_action_prefixes_are_disjoint() {
+        // The shared transition cache keys on (state, action) only; the
+        // soundness of sharing it across the whole catalog rests on no
+        // two entries ever enabling an identically-named action. Walk
+        // every entry's reachable states and collect every enabled
+        // action name across the catalog.
+        let catalog = Catalog::standard();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for entry in catalog.entries() {
+            let auto = entry.automaton.as_ref();
+            let mut frontier = vec![auto.start_state()];
+            let mut visited: Vec<Value> = Vec::new();
+            let mut names: BTreeSet<String> = BTreeSet::new();
+            while let Some(q) = frontier.pop() {
+                if visited.contains(&q) {
+                    continue;
+                }
+                for a in auto.signature(&q).all().iter() {
+                    names.insert(a.name());
+                }
+                for a in auto.locally_controlled(&q) {
+                    if let Some(eta) = auto.transition(&q, a) {
+                        for (q2, _) in eta.iter() {
+                            frontier.push(q2.clone());
+                        }
+                    }
+                }
+                visited.push(q);
+            }
+            for name in names {
+                assert!(
+                    seen.insert(name.clone()),
+                    "action {name:?} appears in two catalog entries"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_wire_name_resolves() {
+        let catalog = Catalog::standard();
+        for e in catalog.entries() {
+            assert!(catalog.get(e.name).is_some());
+            assert!(e.max_horizon > 0);
+        }
+        for s in SCHEDULER_NAMES {
+            assert!(scheduler_by_name(s).is_some(), "{s}");
+        }
+        for o in OBSERVATION_NAMES {
+            assert!(observation_by_name(o).is_some(), "{o}");
+        }
+        assert!(catalog.get("nope").is_none());
+        assert!(scheduler_by_name("nope").is_none());
+        assert!(observation_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn memoryful_scheduler_is_not_memoryless() {
+        let s = scheduler_by_name("memoryful-alternate").unwrap();
+        let auto = Catalog::standard().get("walk-8").unwrap().automaton.clone();
+        assert!(
+            s.schedule_memoryless(auto.as_ref(), 0, &auto.start_state())
+                .is_none(),
+            "memoryful-alternate must force the general exact tier"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! A minimal blocking HTTP client plus the chaos helpers the load
+//! tests use to misbehave on purpose.
+//!
+//! The well-behaved path is [`Client`]: one connection per exchange
+//! (`Connection: close`), which doubles as a per-request exercise of
+//! the server's accept/shed path. The chaos helpers speak raw bytes:
+//! [`fire_and_disconnect`] abandons a query mid-flight (driving the
+//! server's disconnect watcher), [`send_garbage`] probes the malformed
+//! path, and [`stall`] opens a connection and trickles — the slowloris
+//! shape the read timeout must defeat.
+
+use crate::json::Json;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed client-side response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Body text.
+    pub body: String,
+}
+
+impl Response {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.body)
+    }
+}
+
+/// A one-connection-per-request HTTP client.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with a 30 s exchange timeout
+    /// (queries can legitimately take their full server-side
+    /// deadline).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the exchange timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// One full exchange: connect, send, read to EOF, parse.
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        read_response(&mut stream)
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST /v1/query` with a JSON body.
+    pub fn query(&self, body: &str) -> io::Result<Response> {
+        self.request("POST", "/v1/query", Some(body))
+    }
+}
+
+/// Read a complete response off `stream` (to EOF — the client always
+/// sends `Connection: close`).
+fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+        // Stop early once the declared body is complete, in case the
+        // server keeps the socket open.
+        if let Some((status, headers, body_start)) = parse_head(&raw) {
+            if let Some(len) = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+            {
+                if raw.len() >= body_start + len {
+                    let body =
+                        String::from_utf8_lossy(&raw[body_start..body_start + len]).into_owned();
+                    return Ok(Response {
+                        status,
+                        headers,
+                        body,
+                    });
+                }
+            }
+        }
+    }
+    let (status, headers, body_start) = parse_head(&raw)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated response"))?;
+    Ok(Response {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&raw[body_start..]).into_owned(),
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_head(raw: &[u8]) -> Option<(u16, Vec<(String, String)>, usize)> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status = status_line.split(' ').nth(1)?.parse::<u16>().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Some((status, headers, head_end + 4))
+}
+
+/// Send a full query request, then abandon the socket without reading
+/// the response — from the server's side the client disconnects while
+/// the query runs. Returns once the socket is dropped.
+pub fn fire_and_disconnect(addr: &str, query_body: &str) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let head = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        query_body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(query_body.as_bytes())?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Both).ok();
+    Ok(())
+}
+
+/// Send raw garbage and report the status the server answered with
+/// (`None` when it just closed the socket).
+pub fn send_garbage(addr: &str, garbage: &[u8]) -> io::Result<Option<u16>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(garbage)?;
+    stream.flush()?;
+    Ok(read_response(&mut stream).ok().map(|r| r.status))
+}
+
+/// Open a connection, send a partial request head, and hold the socket
+/// silent — the slowloris probe. Returns the status the server
+/// eventually answers (expected: `408`), or `None` if it just closed.
+pub fn stall(addr: &str, partial: &[u8], hold: Duration) -> io::Result<Option<u16>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(hold + Duration::from_secs(10)))?;
+    stream.write_all(partial)?;
+    stream.flush()?;
+    Ok(read_response(&mut stream).ok().map(|r| r.status))
+}

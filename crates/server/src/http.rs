@@ -1,0 +1,311 @@
+//! Minimal HTTP/1.1 over `std::net::TcpStream`.
+//!
+//! The build environment is std-only, so the server hand-rolls the
+//! wire protocol: a bounded request reader hardened against the
+//! classic abuse shapes — slowloris (per-socket read timeout), header
+//! bombs ([`Limits::max_head_bytes`]), body bombs
+//! ([`Limits::max_body_bytes`]) — and a response writer that always
+//! emits `Content-Length` so connections can be kept alive or closed
+//! deterministically.
+//!
+//! Only what the query protocol needs is implemented: `GET`/`POST`,
+//! `Content-Length` bodies (no chunked encoding), and the
+//! `Connection: close` / keep-alive negotiation.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-connection protocol limits.
+#[derive(Clone, Debug)]
+pub struct Limits {
+    /// Cap on request line + headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Cap on the declared `Content-Length`.
+    pub max_body_bytes: usize,
+    /// Socket read timeout (anti-slowloris: a client that trickles its
+    /// request slower than this gets `408` and the socket back).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before any request bytes — the keep-alive peer went
+    /// away between requests. Not an error worth answering.
+    Closed,
+    /// The socket read timed out mid-request.
+    Timeout,
+    /// Head or body exceeded its byte limit.
+    TooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The bytes were not a well-formed HTTP/1.1 request.
+    Malformed(String),
+    /// Transport failure.
+    Io(io::Error),
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the peer, taken verbatim).
+    pub method: String,
+    /// Request target, e.g. `/v1/query`.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the peer asked for the connection to be closed after
+    /// this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Read one request off `stream`, honouring `limits`. The caller is
+/// expected to have applied `limits.read_timeout` to the socket.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+
+    // Accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(ReadError::TooLarge {
+                limit: limits.max_head_bytes,
+            });
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) if buf.is_empty() => return Err(ReadError::Closed),
+            Ok(0) => return Err(ReadError::Malformed("eof mid-head".into())),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(ReadError::Timeout),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Malformed("non-utf8 head".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(ReadError::TooLarge {
+            limit: limits.max_body_bytes,
+        });
+    }
+
+    // The body: whatever followed the head in `buf`, topped up from
+    // the socket to the declared length.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        // Pipelined bytes beyond this request are unsupported — the
+        // protocol is strictly request/response per exchange.
+        return Err(ReadError::Malformed("bytes beyond content-length".into()));
+    }
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Malformed("eof mid-body".into())),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(ReadError::Timeout),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        if body.len() > content_length {
+            return Err(ReadError::Malformed("bytes beyond content-length".into()));
+        }
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Write a complete response. `extra_headers` come after the standard
+/// `Content-Type` / `Content-Length` pair.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn exchange(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Hold the socket open so the server sees a stall, not EOF.
+            thread::sleep(Duration::from_millis(300));
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let out = read_request(&mut conn, &Limits::default());
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = exchange(b"POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn garbage_and_stalls_are_rejected_not_hung() {
+        assert!(matches!(
+            exchange(b"NONSENSE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        // A partial head followed by silence must time out.
+        assert!(matches!(
+            exchange(b"GET /healthz HT"),
+            Err(ReadError::Timeout)
+        ));
+        // A declared body that never arrives must time out too.
+        assert!(matches!(
+            exchange(b"POST /v1/query HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
+            Err(ReadError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_up_front() {
+        let huge = format!(
+            "POST /v1/query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            usize::MAX / 2
+        );
+        assert!(matches!(
+            exchange(huge.as_bytes()),
+            Err(ReadError::TooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,438 @@
+//! A dependency-free JSON value: parser and writer.
+//!
+//! The build environment has no registry access, so the wire layer
+//! cannot use `serde`. This module implements the subset of JSON the
+//! server protocol needs — objects, arrays, strings with the standard
+//! escapes, `f64` numbers, booleans, null — with a recursive-descent
+//! parser hardened for untrusted input: a depth limit (stack safety
+//! against `[[[[…`), strict UTF-8 (inputs arrive as `&str`), and no
+//! recursion on strings or numbers. Object member order is preserved
+//! so rendered output is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth accepted by [`Json::parse`]; beyond it the
+/// input is rejected rather than risking stack exhaustion.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, member order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            at: 0,
+        };
+        p.ws();
+        let v = p.value(0)?;
+        p.ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.at));
+        }
+        Ok(v)
+    }
+
+    /// Member `key` of an object (`None` for other shapes / missing).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// exactly (rejects fractions, negatives, and over-2^53 values).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render to compact JSON text. Numbers use Rust's shortest
+    /// round-trip formatting; non-finite numbers render as `null`
+    /// (JSON has no NaN/∞).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Build a [`Json::Obj`] from `(key, value)` pairs — the writer-side
+/// convenience the response builders use.
+pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A `Json::Str` from anything displayable.
+pub fn s(v: impl ToString) -> Json {
+    Json::Str(v.to_string())
+}
+
+/// A `Json::Num` from anything convertible to f64 losslessly enough
+/// for wire counters.
+pub fn n(v: f64) -> Json {
+    Json::Num(v)
+}
+
+/// A `Json::Num` from an integer counter.
+pub fn nu(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+/// `Some ↦ value, None ↦ null`.
+pub fn opt(v: Option<Json>) -> Json {
+    v.unwrap_or(Json::Null)
+}
+
+/// JSON-escape `s` (with surrounding quotes) into `out`.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.at))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.at))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.ws();
+                    items.push(self.value(depth + 1)?);
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.at)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut members = Vec::new();
+                let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    if seen.insert(key.clone(), ()).is_some() {
+                        return Err(format!("duplicate key {key:?}"));
+                    }
+                    self.ws();
+                    self.eat(b':')?;
+                    self.ws();
+                    let val = self.value(depth + 1)?;
+                    members.push((key, val));
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Json::Obj(members));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", self.at)),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.at)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.at;
+            // Fast path: a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.at) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.at += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.at])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.at += 4;
+                            // Surrogates outside the BMP are replaced;
+                            // the protocol never emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.at)),
+                    }
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_protocol_shapes() {
+        let doc = r#"{"automaton":"coin","horizon":6,"budget":{"deadline_ms":250,"max_entries":null},"tags":["a","b"],"chaos":false,"p":0.125}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("automaton").unwrap().as_str(), Some("coin"));
+        assert_eq!(v.get("horizon").unwrap().as_u64(), Some(6));
+        assert_eq!(
+            v.get("budget")
+                .unwrap()
+                .get("deadline_ms")
+                .unwrap()
+                .as_u64(),
+            Some(250)
+        );
+        assert_eq!(
+            v.get("budget").unwrap().get("max_entries"),
+            Some(&Json::Null)
+        );
+        assert_eq!(v.get("chaos").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("p").unwrap().as_f64(), Some(0.125));
+        // Render → parse is the identity on the value.
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nul",
+            "\"unterminated",
+            "{\"a\":1}garbage",
+            "{\"a\":1,\"a\":2}",
+            "01e",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Depth bomb is rejected, not a stack overflow.
+        let bomb = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn escapes_are_decoded_and_re_encoded() {
+        let v = Json::parse(r#""line\n\"quoted\"\tA""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\n\"quoted\"\tA"));
+        assert_eq!(v.render(), r#""line\n\"quoted\"\tA""#);
+        let ctl = Json::Str("\u{1}".into());
+        assert_eq!(ctl.render(), "\"\\u0001\"");
+    }
+}

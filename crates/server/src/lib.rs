@@ -1,0 +1,73 @@
+//! # dpioa-server — emulation as a service
+//!
+//! A fault-tolerant query server over the robust engine cascade
+//! ([`dpioa_sched::robust_observation_dist`]): clients POST a query
+//! naming a catalog automaton, a scheduler, a horizon, and an
+//! observation; the server answers with the observation distribution
+//! plus the full [`dpioa_sched::Provenance`] record (which engine tier
+//! answered, with what error bound, whether the circuit breaker was
+//! open).
+//!
+//! The crate is **std-only by construction** — the build environment
+//! has no registry access — so HTTP/1.1 ([`http`]), JSON ([`json`]),
+//! and the client ([`client`]) are hand-rolled over `std::net` /
+//! `std::io`.
+//!
+//! Robustness is the headline, not an afterthought:
+//!
+//! * **Per-request revocation** — every query runs under its own
+//!   [`dpioa_sched::Budget`] carrying a fresh
+//!   [`dpioa_core::CancelToken`]; a dedicated watcher thread detects
+//!   client disconnects and flips the token, so an abandoned query
+//!   unwinds at its next engine grain instead of burning a worker.
+//! * **Load shedding** — the accept→worker queue is bounded; overflow
+//!   is answered `503` with `Retry-After` and an explicit
+//!   `overloaded` error body.
+//! * **Anti-slowloris** — per-socket read/write timeouts and
+//!   head/body byte caps ([`http::Limits`]).
+//! * **Cache admission** — the shared [`dpioa_sched::EngineCache`]
+//!   uses per-automaton-family admission quotas
+//!   ([`dpioa_sched::EngineCache::bounded_with_admission`]) so an
+//!   adversarial query mix cannot evict every hot entry.
+//! * **Circuit breaking** — a shared [`dpioa_sched::CircuitBreaker`]
+//!   with cooldown/half-open probing skips the exact tiers for
+//!   automata that keep failing them.
+//! * **Observability** — `GET /metrics` renders every counter
+//!   (requests, sheds, cancellations with unwind latency, per-engine
+//!   answers, cache family occupancy, breaker transitions) in
+//!   Prometheus text format.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | `POST` | `/v1/query` | run a query (JSON body) |
+//! | `GET` | `/v1/catalog` | list automata / schedulers / observations |
+//! | `GET` | `/metrics` | Prometheus text metrics |
+//! | `GET` | `/healthz` | liveness |
+//! | `POST` | `/shutdown` | graceful shutdown |
+//!
+//! Error bodies are `{"error":{"code","detail","retryable"}}` with
+//! stable codes: the engine taxonomy from
+//! [`dpioa_sched::EngineError::code`] plus the server-side codes
+//! `malformed-request`, `unknown-automaton`, `unknown-scheduler`,
+//! `unknown-observation`, `horizon-too-large`, `request-timeout`,
+//! `payload-too-large`, `overloaded`, `not-found`,
+//! `method-not-allowed`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use client::{fire_and_disconnect, send_garbage, stall, Client, Response};
+pub use http::Limits;
+pub use json::Json;
+pub use metrics::ServerMetrics;
+pub use server::{serve, ServerConfig, ServerHandle};

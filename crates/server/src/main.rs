@@ -1,0 +1,66 @@
+//! `dpioa-serve` — run the query server from the command line.
+//!
+//! ```text
+//! dpioa-serve [--addr 127.0.0.1:7341] [--workers 4] [--queue 64]
+//!             [--cache-entries 16384] [--deadline-ms 2000]
+//!             [--read-timeout-ms 5000]
+//! ```
+//!
+//! Prints `listening on http://<addr>` once bound (scripts parse this
+//! line for the resolved port when `--addr` ends in `:0`), then serves
+//! until `POST /shutdown`.
+
+use dpioa_server::server::{serve, ServerConfig};
+use std::io::Write as _;
+use std::time::Duration;
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7341".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a {what}")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = take("host:port"),
+            "--workers" => config.workers = parse(&take("count"), &flag),
+            "--queue" => config.queue_capacity = parse(&take("count"), &flag),
+            "--cache-entries" => config.cache_entries = parse(&take("count"), &flag),
+            "--deadline-ms" => config.default_deadline_ms = parse(&take("ms"), &flag),
+            "--read-timeout-ms" => {
+                config.limits.read_timeout = Duration::from_millis(parse(&take("ms"), &flag));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: dpioa-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache-entries N] [--deadline-ms N] [--read-timeout-ms N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => die(&format!("bind failed: {e}")),
+    };
+    println!("listening on http://{}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("shut down cleanly");
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value {s:?} for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dpioa-serve: {msg}");
+    std::process::exit(2);
+}

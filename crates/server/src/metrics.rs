@@ -1,0 +1,281 @@
+//! Live server counters and the `/metrics` text rendering.
+//!
+//! All counters are lock-free atomics bumped on the request path;
+//! rendering takes no locks beyond the engine-side stats snapshots
+//! ([`dpioa_sched::EngineCache::stats`],
+//! [`dpioa_sched::CircuitBreaker::stats`]), so scraping `/metrics`
+//! never stalls query traffic. The output is Prometheus text
+//! exposition format (`name value` lines, `{label="…"}` for the
+//! per-family cache series).
+
+use dpioa_sched::{CircuitBreaker, EngineCache, EngineKind};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Shared request-path counters.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Connections accepted (including ones later shed).
+    pub accepted: AtomicU64,
+    /// Requests fully parsed off a connection.
+    pub requests: AtomicU64,
+    /// `2xx` responses written.
+    pub ok: AtomicU64,
+    /// `4xx` responses written.
+    pub client_errors: AtomicU64,
+    /// `5xx` responses written (excluding sheds).
+    pub server_errors: AtomicU64,
+    /// Connections refused with `503 overloaded` because the work
+    /// queue was full.
+    pub shed: AtomicU64,
+    /// Requests that timed out while being read (`408`).
+    pub read_timeouts: AtomicU64,
+    /// Requests rejected for size (`413`).
+    pub too_large: AtomicU64,
+    /// Requests rejected as malformed (`400` at the HTTP layer).
+    pub malformed: AtomicU64,
+    /// Queries cancelled because their client disconnected mid-flight.
+    pub cancelled: AtomicU64,
+    /// Total observed cancel→unwind latency, nanoseconds.
+    pub cancel_latency_ns_total: AtomicU64,
+    /// Worst observed cancel→unwind latency, nanoseconds.
+    pub cancel_latency_ns_max: AtomicU64,
+    /// Queries answered by the lumped exact tier.
+    pub engine_lumped: AtomicU64,
+    /// Queries answered by the general exact tier.
+    pub engine_exact: AtomicU64,
+    /// Queries answered by pure Monte-Carlo fallback.
+    pub engine_monte_carlo: AtomicU64,
+    /// Queries answered by checkpoint-salvage hybrid.
+    pub engine_hybrid: AtomicU64,
+    /// Queries that found the circuit breaker open.
+    pub breaker_skips: AtomicU64,
+    /// Total service time (parse→response), nanoseconds.
+    pub service_ns_total: AtomicU64,
+    /// Connections currently queued for a worker.
+    pub queue_depth: AtomicUsize,
+    /// Queries currently executing.
+    pub in_flight: AtomicUsize,
+}
+
+impl ServerMetrics {
+    /// Bump the per-engine answer counter.
+    pub fn record_engine(&self, kind: EngineKind, breaker_open: bool) {
+        let c = match kind {
+            EngineKind::Lumped => &self.engine_lumped,
+            EngineKind::Exact => &self.engine_exact,
+            EngineKind::MonteCarlo => &self.engine_monte_carlo,
+            EngineKind::Hybrid => &self.engine_hybrid,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+        if breaker_open {
+            self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one disconnect-triggered cancellation and how long the
+    /// engine took to unwind after the token flipped.
+    pub fn record_cancel(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.cancel_latency_ns_total
+            .fetch_add(ns, Ordering::Relaxed);
+        self.cancel_latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Bump the response-class counter for a written status.
+    pub fn record_status(&self, status: u16) {
+        match status {
+            200..=299 => self.ok.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.client_errors.fetch_add(1, Ordering::Relaxed),
+            _ => self.server_errors.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Render the Prometheus text page: server counters, then engine
+    /// cache stats (global + per automaton family), then breaker
+    /// stats.
+    pub fn render(&self, cache: &EngineCache, breaker: &CircuitBreaker) -> String {
+        let mut out = String::with_capacity(2048);
+        fn line(out: &mut String, name: &str, v: u64) {
+            let _ = writeln!(out, "dpioa_{name} {v}");
+        }
+        line(
+            &mut out,
+            "accepted_total",
+            self.accepted.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "requests_total",
+            self.requests.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "responses_ok_total",
+            self.ok.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "responses_client_error_total",
+            self.client_errors.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "responses_server_error_total",
+            self.server_errors.load(Ordering::Relaxed),
+        );
+        line(&mut out, "shed_total", self.shed.load(Ordering::Relaxed));
+        line(
+            &mut out,
+            "read_timeouts_total",
+            self.read_timeouts.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "too_large_total",
+            self.too_large.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "malformed_total",
+            self.malformed.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "cancelled_total",
+            self.cancelled.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "cancel_latency_ns_total",
+            self.cancel_latency_ns_total.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "cancel_latency_ns_max",
+            self.cancel_latency_ns_max.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "engine_answers_total{engine=\"lumped\"}",
+            self.engine_lumped.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "engine_answers_total{engine=\"exact\"}",
+            self.engine_exact.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "engine_answers_total{engine=\"monte-carlo\"}",
+            self.engine_monte_carlo.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "engine_answers_total{engine=\"hybrid\"}",
+            self.engine_hybrid.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "breaker_skips_total",
+            self.breaker_skips.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "service_ns_total",
+            self.service_ns_total.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "queue_depth",
+            self.queue_depth.load(Ordering::Relaxed) as u64,
+        );
+        line(
+            &mut out,
+            "in_flight",
+            self.in_flight.load(Ordering::Relaxed) as u64,
+        );
+
+        let t = cache.stats();
+        line(&mut out, "cache_hits_total", t.hits);
+        line(&mut out, "cache_misses_total", t.misses);
+        line(&mut out, "cache_evictions_total", t.evictions);
+        line(
+            &mut out,
+            "cache_self_evictions_total",
+            cache.self_evictions(),
+        );
+        if let Some(cap) = cache.transition_capacity() {
+            line(&mut out, "cache_transition_capacity", cap as u64);
+        }
+        line(
+            &mut out,
+            "cache_transition_entries",
+            cache.transition_entries() as u64,
+        );
+        if let Some(quota) = cache.family_quota() {
+            line(&mut out, "cache_family_quota", quota as u64);
+        }
+        for (family, entries) in cache.family_entries() {
+            let _ = writeln!(
+                out,
+                "dpioa_cache_family_entries{{family=\"{}\"}} {entries}",
+                family.replace('"', "'")
+            );
+        }
+
+        let b = breaker.stats();
+        line(&mut out, "breaker_trips_total", b.trips);
+        line(&mut out, "breaker_reopens_total", b.reopens);
+        line(&mut out, "breaker_closes_total", b.closes);
+        line(
+            &mut out,
+            "breaker_half_open_probes_total",
+            b.half_open_probes,
+        );
+        line(&mut out, "breaker_open_keys", b.open_keys as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_sched::EngineCache;
+
+    #[test]
+    fn render_is_stable_prometheus_text() {
+        let m = ServerMetrics::default();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.record_status(200);
+        m.record_status(400);
+        m.record_status(503);
+        m.record_engine(EngineKind::Lumped, false);
+        m.record_engine(EngineKind::Hybrid, true);
+        m.record_cancel(Duration::from_micros(250));
+        let cache = EngineCache::bounded_with_admission(64, 0.5);
+        let breaker = CircuitBreaker::new(3);
+        let page = m.render(&cache, &breaker);
+        for needle in [
+            "dpioa_requests_total 3",
+            "dpioa_responses_ok_total 1",
+            "dpioa_responses_client_error_total 1",
+            "dpioa_responses_server_error_total 1",
+            "dpioa_engine_answers_total{engine=\"lumped\"} 1",
+            "dpioa_engine_answers_total{engine=\"hybrid\"} 1",
+            "dpioa_breaker_skips_total 1",
+            "dpioa_cancelled_total 1",
+            "dpioa_cancel_latency_ns_max 250000",
+            "dpioa_cache_family_quota",
+            "dpioa_breaker_open_keys 0",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+        // Every line is `name value`.
+        for l in page.lines() {
+            assert_eq!(l.split(' ').count(), 2, "bad line {l:?}");
+        }
+    }
+}

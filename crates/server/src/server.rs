@@ -1,0 +1,1211 @@
+//! The query server: threaded acceptor, bounded work queue with load
+//! shedding, per-request budgets and cancellation, and a disconnect
+//! watcher that revokes abandoned queries mid-grain.
+//!
+//! # Threading model
+//!
+//! ```text
+//!            ┌───────────┐   bounded queue    ┌──────────┐
+//!  clients ──► acceptor  ├────────────────────► worker ×N ├──► robust_observation_dist
+//!            │ (nonblock)│  full → 503 shed   └────┬─────┘
+//!            └───────────┘                         │ register (probe, CancelToken)
+//!                                             ┌────▼─────┐
+//!                                             │ watcher  │ peeks in-flight sockets;
+//!                                             └──────────┘ disconnect → token.cancel()
+//! ```
+//!
+//! * The **acceptor** runs a nonblocking accept loop. Each connection
+//!   gets its socket timeouts applied immediately, then is offered to
+//!   the bounded queue; when the queue is full the acceptor answers
+//!   `503` with `Retry-After` and an explicit `overloaded` error body
+//!   — load is *shed*, never silently dropped or queued unboundedly.
+//! * **Workers** pop connections and run the keep-alive request loop.
+//!   Every query executes under its own [`Budget`] (entry cap +
+//!   deadline + a fresh [`CancelToken`]) against the shared
+//!   [`EngineCache`] and [`CircuitBreaker`].
+//! * The **watcher** polls a nonblocking clone of every in-flight
+//!   socket. A half-closed or reset socket means the client is gone:
+//!   the watcher flips that query's token, the engine unwinds at its
+//!   next budget grain, and the worker records the cancel→unwind
+//!   latency instead of writing a response nobody would read.
+//!
+//! Graceful shutdown is `POST /shutdown`: the flag stops the acceptor,
+//! workers finish their current exchange and exit, and
+//! [`ServerHandle::wait`] joins everything.
+
+use crate::catalog::{self, Catalog, CatalogEntry};
+use crate::http::{self, Limits, ReadError, Request};
+use crate::json::{self, Json};
+use crate::metrics::ServerMetrics;
+use dpioa_core::{CancelToken, Value};
+use dpioa_prob::Disc;
+use dpioa_sched::{
+    robust_observation_dist, Budget, CircuitBreaker, EngineCache, EngineError, EngineKind,
+    Observation, Provenance, RobustConfig, Scheduler,
+};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. The defaults are sized for the CI smoke
+/// environment: small queue so shedding is easy to provoke, short
+/// deadlines so nothing outlives a test.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads popping the connection queue.
+    pub workers: usize,
+    /// Connection queue capacity; beyond it the acceptor sheds.
+    pub queue_capacity: usize,
+    /// HTTP read/write limits applied to every connection.
+    pub limits: Limits,
+    /// Shared engine-cache entry bound.
+    pub cache_entries: usize,
+    /// Per-automaton-family admission fraction for the cache
+    /// ([`EngineCache::bounded_with_admission`]).
+    pub cache_family_frac: f64,
+    /// Consecutive exact-tier failures before the breaker opens.
+    pub breaker_threshold: u32,
+    /// Breaker cooldown before a half-open probe is admitted.
+    pub breaker_cooldown: Duration,
+    /// Exact-tier worker lanes per query.
+    pub exact_threads: usize,
+    /// Monte-Carlo worker lanes per query.
+    pub mc_threads: usize,
+    /// `mc_samples` when the query does not ask.
+    pub default_mc_samples: usize,
+    /// Hard cap on requested `mc_samples`.
+    pub max_mc_samples: usize,
+    /// Per-query deadline when the query does not ask, milliseconds.
+    pub default_deadline_ms: u64,
+    /// Hard cap on requested deadlines, milliseconds.
+    pub max_deadline_ms: u64,
+    /// Hard cap on requested `budget.max_entries` (also the default).
+    pub max_entries_cap: usize,
+    /// `Retry-After` hint handed to shed clients, milliseconds.
+    pub retry_after_ms: u64,
+    /// Disconnect-watcher poll period.
+    pub watcher_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            limits: Limits::default(),
+            cache_entries: 1 << 14,
+            cache_family_frac: 0.5,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            exact_threads: 2,
+            mc_threads: 2,
+            default_mc_samples: 20_000,
+            max_mc_samples: 200_000,
+            default_deadline_ms: 2_000,
+            max_deadline_ms: 10_000,
+            max_entries_cap: 1 << 16,
+            retry_after_ms: 50,
+            watcher_poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Fixed Monte-Carlo base seed: identical queries get bit-identical
+/// answers across requests and server restarts, which is what the
+/// bit-identity robustness tests assert.
+const SERVER_MC_SEED: u64 = 0xD10A_5EED;
+
+struct ConnQueue {
+    slots: Mutex<std::collections::VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            slots: Mutex::new(std::collections::VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Offer a connection; gives it back when the queue is full.
+    fn try_push(&self, conn: TcpStream) -> Result<usize, TcpStream> {
+        let mut slots = self.slots.lock().expect("queue lock");
+        if slots.len() >= self.capacity {
+            return Err(conn);
+        }
+        slots.push_back(conn);
+        let depth = slots.len();
+        drop(slots);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Pop a connection, or `None` once shutdown is flagged and the
+    /// queue drained.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut slots = self.slots.lock().expect("queue lock");
+        loop {
+            if let Some(conn) = slots.pop_front() {
+                return Some(conn);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(slots, Duration::from_millis(50))
+                .expect("queue lock");
+            slots = guard;
+        }
+    }
+}
+
+struct WatchSlot {
+    probe: TcpStream,
+    token: CancelToken,
+    cancelled_at: Option<Instant>,
+}
+
+/// The in-flight board the disconnect watcher sweeps.
+#[derive(Default)]
+struct WatchBoard {
+    slots: Mutex<HashMap<u64, WatchSlot>>,
+}
+
+impl WatchBoard {
+    fn register(&self, id: u64, probe: TcpStream, token: CancelToken) {
+        self.slots.lock().expect("watch lock").insert(
+            id,
+            WatchSlot {
+                probe,
+                token,
+                cancelled_at: None,
+            },
+        );
+    }
+
+    /// Remove a finished query; returns when (if ever) the watcher
+    /// cancelled it.
+    fn deregister(&self, id: u64) -> Option<Instant> {
+        self.slots
+            .lock()
+            .expect("watch lock")
+            .remove(&id)
+            .and_then(|s| s.cancelled_at)
+    }
+
+    /// One watcher pass: flip the token of every in-flight query whose
+    /// client socket is half-closed or errored. Returns how many
+    /// tokens were flipped this pass.
+    fn sweep(&self) -> usize {
+        let mut flipped = 0;
+        let mut slots = self.slots.lock().expect("watch lock");
+        for slot in slots.values_mut() {
+            if slot.cancelled_at.is_some() {
+                continue;
+            }
+            let mut byte = [0u8; 1];
+            let gone = match slot.probe.peek(&mut byte) {
+                Ok(0) => true,                                            // clean half-close
+                Ok(_) => false,                                           // bytes pending: alive
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => false, // quiet: alive
+                Err(_) => true,                                           // reset/broken
+            };
+            if gone {
+                slot.token.cancel();
+                slot.cancelled_at = Some(Instant::now());
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+}
+
+struct Inner {
+    config: ServerConfig,
+    catalog: Catalog,
+    cache: Arc<EngineCache>,
+    breaker: Arc<CircuitBreaker>,
+    metrics: Arc<ServerMetrics>,
+    queue: ConnQueue,
+    watch: WatchBoard,
+    shutdown: AtomicBool,
+    next_request_id: AtomicU64,
+}
+
+/// A running server: its bound address, shared stats handles, and the
+/// join handles for a clean wind-down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counters (shared with the request path).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// The shared engine cache (for tests asserting admission stats).
+    pub fn cache(&self) -> Arc<EngineCache> {
+        Arc::clone(&self.inner.cache)
+    }
+
+    /// The shared circuit breaker.
+    pub fn breaker(&self) -> Arc<CircuitBreaker> {
+        Arc::clone(&self.inner.breaker)
+    }
+
+    /// Flag shutdown (idempotent; also reachable as `POST /shutdown`).
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// True once shutdown has been flagged.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Join every server thread. Returns once the acceptor, workers,
+    /// and watcher have all exited.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Convenience for tests: flag shutdown and join.
+    pub fn shutdown_and_wait(self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+impl Inner {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue.ready.notify_all();
+    }
+}
+
+/// Bind and start the server threads; returns immediately with the
+/// handle.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let inner = Arc::new(Inner {
+        cache: Arc::new(EngineCache::bounded_with_admission(
+            config.cache_entries,
+            config.cache_family_frac,
+        )),
+        breaker: Arc::new(
+            CircuitBreaker::new(config.breaker_threshold).with_cooldown(config.breaker_cooldown),
+        ),
+        metrics: Arc::new(ServerMetrics::default()),
+        queue: ConnQueue::new(config.queue_capacity),
+        watch: WatchBoard::default(),
+        shutdown: AtomicBool::new(false),
+        next_request_id: AtomicU64::new(1),
+        catalog: Catalog::standard(),
+        config,
+    });
+
+    let mut threads = Vec::new();
+
+    let acceptor_inner = Arc::clone(&inner);
+    threads.push(
+        thread::Builder::new()
+            .name("dpioa-acceptor".into())
+            .spawn(move || acceptor_loop(listener, acceptor_inner))?,
+    );
+
+    for i in 0..inner.config.workers.max(1) {
+        let worker_inner = Arc::clone(&inner);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("dpioa-worker-{i}"))
+                .spawn(move || worker_loop(worker_inner))?,
+        );
+    }
+
+    let watcher_inner = Arc::clone(&inner);
+    threads.push(
+        thread::Builder::new()
+            .name("dpioa-watcher".into())
+            .spawn(move || watcher_loop(watcher_inner))?,
+    );
+
+    Ok(ServerHandle {
+        addr,
+        inner,
+        threads,
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, inner: Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.set_nodelay(true);
+                let _ = conn.set_read_timeout(Some(inner.config.limits.read_timeout));
+                let _ = conn.set_write_timeout(Some(inner.config.limits.write_timeout));
+                match inner.queue.try_push(conn) {
+                    Ok(depth) => {
+                        inner.metrics.queue_depth.store(depth, Ordering::Relaxed);
+                    }
+                    Err(conn) => shed(conn, &inner),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Wake any worker parked on an empty queue so it can observe the
+    // shutdown flag and exit.
+    inner.queue.ready.notify_all();
+}
+
+/// Refuse a connection with an explicit `503 overloaded` + Retry-After
+/// instead of queueing it unboundedly or dropping it on the floor.
+fn shed(mut conn: TcpStream, inner: &Inner) {
+    inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    let retry_ms = inner.config.retry_after_ms;
+    let body = json::obj([(
+        "error",
+        json::obj([
+            ("code", json::s("overloaded")),
+            ("detail", json::s("work queue full; retry after the hint")),
+            ("retryable", Json::Bool(true)),
+            ("retry_after_ms", json::nu(retry_ms)),
+        ]),
+    )])
+    .render();
+    let retry_after_s = retry_ms.div_ceil(1000).max(1).to_string();
+    let _ = http::write_response(
+        &mut conn,
+        503,
+        "application/json",
+        &[("Retry-After", retry_after_s)],
+        body.as_bytes(),
+        true,
+    );
+    inner.metrics.record_status(503);
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    while let Some(conn) = inner.queue.pop(&inner.shutdown) {
+        let depth = inner.queue.slots.lock().expect("queue lock").len();
+        inner.metrics.queue_depth.store(depth, Ordering::Relaxed);
+        handle_connection(conn, &inner);
+    }
+}
+
+fn watcher_loop(inner: Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        inner.watch.sweep();
+        thread::sleep(inner.config.watcher_poll);
+    }
+    // Shutdown cancels whatever is still in flight so workers unwind
+    // promptly instead of running abandoned queries to completion.
+    let slots = inner.watch.slots.lock().expect("watch lock");
+    for slot in slots.values() {
+        slot.token.cancel();
+    }
+}
+
+/// The keep-alive exchange loop for one connection.
+fn handle_connection(mut conn: TcpStream, inner: &Inner) {
+    loop {
+        let _ = conn.set_read_timeout(Some(inner.config.limits.read_timeout));
+        let req = match http::read_request(&mut conn, &inner.config.limits) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Timeout) => {
+                inner.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                respond_error(
+                    &mut conn,
+                    inner,
+                    408,
+                    "request-timeout",
+                    "request read timed out",
+                    true,
+                );
+                return;
+            }
+            Err(ReadError::TooLarge { limit }) => {
+                inner.metrics.too_large.fetch_add(1, Ordering::Relaxed);
+                respond_error(
+                    &mut conn,
+                    inner,
+                    413,
+                    "payload-too-large",
+                    &format!("request exceeds {limit} bytes"),
+                    true,
+                );
+                return;
+            }
+            Err(ReadError::Malformed(detail)) => {
+                inner.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                respond_error(&mut conn, inner, 400, "malformed-request", &detail, true);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+        inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let close = req.wants_close() || inner.shutdown.load(Ordering::Acquire);
+        let keep_going = dispatch(&mut conn, inner, &req, close);
+        if close || !keep_going {
+            return;
+        }
+    }
+}
+
+/// Route one request. Returns false when the connection must close
+/// (response unwritable or client gone).
+fn dispatch(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool) -> bool {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond_json(
+            conn,
+            inner,
+            200,
+            &json::obj([("ok", Json::Bool(true))]),
+            close,
+        ),
+        ("GET", "/metrics") => {
+            let page = inner.metrics.render(&inner.cache, &inner.breaker);
+            inner.metrics.record_status(200);
+            http::write_response(
+                conn,
+                200,
+                "text/plain; version=0.0.4",
+                &[],
+                page.as_bytes(),
+                close,
+            )
+            .is_ok()
+        }
+        ("GET", "/v1/catalog") => respond_json(conn, inner, 200, &catalog_page(inner), close),
+        ("POST", "/v1/query") => handle_query(conn, inner, req, close),
+        ("POST", "/shutdown") => {
+            inner.begin_shutdown();
+            respond_json(
+                conn,
+                inner,
+                200,
+                &json::obj([("shutting_down", Json::Bool(true))]),
+                true,
+            );
+            false
+        }
+        ("GET", "/v1/query") | ("POST", "/healthz" | "/metrics" | "/v1/catalog") => {
+            respond_error(
+                conn,
+                inner,
+                405,
+                "method-not-allowed",
+                "wrong method for path",
+                close,
+            );
+            !close
+        }
+        _ => {
+            respond_error(conn, inner, 404, "not-found", "unknown path", close);
+            !close
+        }
+    }
+}
+
+fn catalog_page(inner: &Inner) -> Json {
+    Json::Obj(vec![
+        (
+            "automata".into(),
+            Json::Arr(
+                inner
+                    .catalog
+                    .entries()
+                    .iter()
+                    .map(|e: &CatalogEntry| {
+                        json::obj([
+                            ("name", json::s(e.name)),
+                            ("description", json::s(e.description)),
+                            ("max_horizon", json::nu(e.max_horizon as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "schedulers".into(),
+            Json::Arr(catalog::SCHEDULER_NAMES.iter().map(json::s).collect()),
+        ),
+        (
+            "observations".into(),
+            Json::Arr(catalog::OBSERVATION_NAMES.iter().map(json::s).collect()),
+        ),
+    ])
+}
+
+/// A validated `/v1/query` body.
+struct QueryPlan<'a> {
+    entry: &'a CatalogEntry,
+    scheduler: Arc<dyn Scheduler>,
+    observation: Observation,
+    horizon: usize,
+    max_entries: usize,
+    max_expansions: Option<usize>,
+    deadline: Duration,
+    mc_samples: usize,
+}
+
+/// Parse + validate a query body against the catalog and the server
+/// caps. Errors become `(status, code, detail)`.
+fn plan_query<'a>(
+    inner: &'a Inner,
+    body: &[u8],
+) -> Result<QueryPlan<'a>, (u16, &'static str, String)> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| (400, "malformed-request", "body is not utf-8".to_string()))?;
+    let doc = Json::parse(text).map_err(|e| (400, "malformed-request", e))?;
+
+    let automaton = doc.get("automaton").and_then(Json::as_str).ok_or_else(|| {
+        (
+            400,
+            "malformed-request",
+            "missing field \"automaton\"".to_string(),
+        )
+    })?;
+    let entry = inner.catalog.get(automaton).ok_or_else(|| {
+        (
+            400,
+            "unknown-automaton",
+            format!("no automaton {automaton:?}; see /v1/catalog"),
+        )
+    })?;
+
+    let sched_name = doc
+        .get("scheduler")
+        .map(|v| {
+            v.as_str().ok_or_else(|| {
+                (
+                    400,
+                    "malformed-request",
+                    "\"scheduler\" must be a string".to_string(),
+                )
+            })
+        })
+        .transpose()?
+        .unwrap_or("first-enabled");
+    let scheduler = catalog::scheduler_by_name(sched_name).ok_or_else(|| {
+        (
+            400,
+            "unknown-scheduler",
+            format!("no scheduler {sched_name:?}; see /v1/catalog"),
+        )
+    })?;
+
+    let obs_name = doc
+        .get("observation")
+        .map(|v| {
+            v.as_str().ok_or_else(|| {
+                (
+                    400,
+                    "malformed-request",
+                    "\"observation\" must be a string".to_string(),
+                )
+            })
+        })
+        .transpose()?
+        .unwrap_or("final-state");
+    let observation = catalog::observation_by_name(obs_name).ok_or_else(|| {
+        (
+            400,
+            "unknown-observation",
+            format!("no observation {obs_name:?}; see /v1/catalog"),
+        )
+    })?;
+
+    let horizon = doc.get("horizon").and_then(Json::as_u64).ok_or_else(|| {
+        (
+            400,
+            "malformed-request",
+            "missing or non-integer field \"horizon\"".to_string(),
+        )
+    })? as usize;
+    if horizon > entry.max_horizon {
+        return Err((
+            400,
+            "horizon-too-large",
+            format!(
+                "horizon {horizon} exceeds {} for automaton {:?}",
+                entry.max_horizon, entry.name
+            ),
+        ));
+    }
+
+    let budget = doc.get("budget");
+    let u64_field = |obj: Option<&Json>,
+                     key: &'static str|
+     -> Result<Option<u64>, (u16, &'static str, String)> {
+        match obj.and_then(|b| b.get(key)) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                (
+                    400,
+                    "malformed-request",
+                    format!("\"budget.{key}\" must be a non-negative integer"),
+                )
+            }),
+        }
+    };
+    let cfg = &inner.config;
+    let max_entries = u64_field(budget, "max_entries")?
+        .map(|n| (n as usize).min(cfg.max_entries_cap))
+        .unwrap_or(cfg.max_entries_cap)
+        .max(1);
+    let max_expansions = u64_field(budget, "max_expansions")?.map(|n| (n as usize).max(1));
+    let deadline_ms = u64_field(budget, "deadline_ms")?
+        .unwrap_or(cfg.default_deadline_ms)
+        .clamp(1, cfg.max_deadline_ms);
+    let mc_samples = match doc.get("mc_samples") {
+        None | Some(Json::Null) => cfg.default_mc_samples,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| {
+                (
+                    400,
+                    "malformed-request",
+                    "\"mc_samples\" must be a non-negative integer".to_string(),
+                )
+            })?
+            .clamp(1, cfg.max_mc_samples as u64) as usize,
+    };
+
+    Ok(QueryPlan {
+        entry,
+        scheduler,
+        observation,
+        horizon,
+        max_entries,
+        max_expansions,
+        deadline: Duration::from_millis(deadline_ms),
+        mc_samples,
+    })
+}
+
+/// Execute `/v1/query`. Returns false when the connection is done.
+fn handle_query(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool) -> bool {
+    let plan = match plan_query(inner, &req.body) {
+        Ok(plan) => plan,
+        Err((status, code, detail)) => {
+            respond_error(conn, inner, status, code, &detail, close);
+            return !close;
+        }
+    };
+
+    let token = CancelToken::new();
+    let mut budget = Budget::unlimited()
+        .with_max_entries(plan.max_entries)
+        .with_deadline_in(plan.deadline)
+        .with_cancel(token.clone());
+    if let Some(n) = plan.max_expansions {
+        budget = budget.with_max_expansions(n);
+    }
+    let config = RobustConfig {
+        budget,
+        exact_threads: inner.config.exact_threads,
+        par_cutover: None,
+        cache: Some(Arc::clone(&inner.cache)),
+        mc_samples: plan.mc_samples,
+        mc_threads: inner.config.mc_threads,
+        mc_seed: SERVER_MC_SEED,
+        confidence_delta: 1e-3,
+        breaker: Some(Arc::clone(&inner.breaker)),
+    };
+
+    // Register the in-flight query with the disconnect watcher via a
+    // nonblocking clone of the socket. If cloning fails the query
+    // still runs — it just cannot be revoked early.
+    let request_id = inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let watched = match conn.try_clone() {
+        Ok(probe) => {
+            let _ = probe.set_nonblocking(true);
+            inner.watch.register(request_id, probe, token.clone());
+            true
+        }
+        Err(_) => false,
+    };
+    inner.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+
+    let started = Instant::now();
+    let result = robust_observation_dist(
+        plan.entry.automaton.as_ref(),
+        plan.scheduler.as_ref(),
+        plan.horizon,
+        &plan.observation,
+        &config,
+    );
+    let service = started.elapsed();
+
+    inner.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    inner.metrics.service_ns_total.fetch_add(
+        service.as_nanos().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+    let cancelled_at = if watched {
+        inner.watch.deregister(request_id)
+    } else {
+        None
+    };
+    // `set_nonblocking` on the probe clone flips the shared fd;
+    // restore blocking mode before writing the response.
+    let _ = conn.set_nonblocking(false);
+    let _ = conn.set_write_timeout(Some(inner.config.limits.write_timeout));
+
+    match result {
+        Ok((dist, prov)) => {
+            inner.metrics.record_engine(prov.engine, prov.breaker_open);
+            let body = json::obj([
+                ("request_id", json::nu(request_id)),
+                ("automaton", json::s(plan.entry.name)),
+                ("horizon", json::nu(plan.horizon as u64)),
+                ("dist", encode_dist(&dist)),
+                ("provenance", encode_provenance(&prov)),
+                (
+                    "service_ns",
+                    json::nu(service.as_nanos().min(u64::MAX as u128) as u64),
+                ),
+            ]);
+            respond_json(conn, inner, 200, &body, close) && !close
+        }
+        Err(err) => {
+            if let EngineError::BudgetExhausted {
+                cancelled: true, ..
+            } = &err
+            {
+                // The client disconnected (watcher flipped the token) or
+                // shutdown revoked the query. Record how long the engine
+                // took to unwind after the flip; there is nobody left to
+                // answer.
+                if let Some(at) = cancelled_at {
+                    inner.metrics.record_cancel(at.elapsed());
+                }
+                return false;
+            }
+            let status = engine_error_status(&err);
+            respond_error(conn, inner, status, err.code(), &err.to_string(), close);
+            !close
+        }
+    }
+}
+
+/// Map surfaced engine errors to HTTP statuses. Budget trips normally
+/// degrade inside the cascade; one reaching the client means even the
+/// salvage tier could not answer in time.
+fn engine_error_status(err: &EngineError) -> u16 {
+    match err {
+        EngineError::BudgetExhausted {
+            deadline_hit: true, ..
+        } => 504,
+        EngineError::BudgetExhausted { .. } => 422,
+        EngineError::InvalidSampling { .. } => 400,
+        _ => 500,
+    }
+}
+
+/// Encode a distribution deterministically: entries sorted by value
+/// rendering, each with a human-readable probability and the exact
+/// bits (`f64::to_bits` hex) for bit-identity assertions.
+fn encode_dist(dist: &Disc<Value>) -> Json {
+    let mut entries: Vec<(String, f64)> = dist.iter().map(|(v, &p)| (format!("{v}"), p)).collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Arr(
+        entries
+            .into_iter()
+            .map(|(value, p)| {
+                json::obj([
+                    ("value", Json::Str(value)),
+                    ("p", json::n(p)),
+                    ("p_bits", Json::Str(format!("{:016x}", p.to_bits()))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn encode_provenance(prov: &Provenance) -> Json {
+    let engine = match prov.engine {
+        EngineKind::Lumped => "lumped",
+        EngineKind::Exact => "exact",
+        EngineKind::MonteCarlo => "monte-carlo",
+        EngineKind::Hybrid => "hybrid",
+    };
+    json::obj([
+        ("engine", json::s(engine)),
+        (
+            "fallback",
+            json::opt(
+                prov.fallback_reason
+                    .as_ref()
+                    .map(|e| json::obj([("code", json::s(e.code())), ("detail", json::s(e))])),
+            ),
+        ),
+        (
+            "samples",
+            json::opt(prov.samples.map(|n| json::nu(n as u64))),
+        ),
+        (
+            "threads",
+            json::opt(prov.threads.map(|n| json::nu(n as u64))),
+        ),
+        ("cache_hits", json::opt(prov.cache_hits.map(json::nu))),
+        ("cache_misses", json::opt(prov.cache_misses.map(json::nu))),
+        ("resolved_mass", json::opt(prov.resolved_mass.map(json::n))),
+        (
+            "frontier_nodes",
+            json::opt(prov.frontier_nodes.map(|n| json::nu(n as u64))),
+        ),
+        ("breaker_open", Json::Bool(prov.breaker_open)),
+        ("error_bound", json::n(prov.error_bound)),
+        ("confidence_delta", json::n(prov.confidence_delta)),
+        (
+            "pool",
+            json::opt(prov.pool.as_ref().map(|p| {
+                json::obj([
+                    ("workers", json::nu(p.workers as u64)),
+                    ("steals", json::nu(p.steals)),
+                    ("splits", json::nu(p.splits)),
+                ])
+            })),
+        ),
+    ])
+}
+
+fn respond_json(
+    conn: &mut TcpStream,
+    inner: &Inner,
+    status: u16,
+    body: &Json,
+    close: bool,
+) -> bool {
+    inner.metrics.record_status(status);
+    http::write_response(
+        conn,
+        status,
+        "application/json",
+        &[],
+        body.render().as_bytes(),
+        close,
+    )
+    .is_ok()
+}
+
+fn respond_error(
+    conn: &mut TcpStream,
+    inner: &Inner,
+    status: u16,
+    code: &str,
+    detail: &str,
+    close: bool,
+) {
+    let retryable = matches!(status, 408 | 503 | 504);
+    let body = json::obj([(
+        "error",
+        json::obj([
+            ("code", json::s(code)),
+            ("detail", json::s(detail)),
+            ("retryable", Json::Bool(retryable)),
+        ]),
+    )]);
+    respond_json(conn, inner, status, &body, close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{self, Client};
+
+    fn quick_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            watcher_poll: Duration::from_millis(2),
+            ..ServerConfig::default()
+        }
+    }
+
+    fn start(config: ServerConfig) -> (ServerHandle, Client) {
+        let handle = serve(config).expect("bind");
+        let client = Client::new(handle.addr().to_string());
+        (handle, client)
+    }
+
+    /// A query body whose exact tier trips fast and whose salvage pass
+    /// samples long enough for the watcher to revoke it mid-flight.
+    fn slow_query() -> &'static str {
+        r#"{"automaton":"mixer-4x3","scheduler":"memoryful-alternate","horizon":9,
+            "budget":{"max_expansions":8,"deadline_ms":10000},"mc_samples":200000}"#
+    }
+
+    #[test]
+    fn healthz_catalog_and_coin_query_end_to_end() {
+        let (handle, client) = start(quick_config());
+
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(
+            health.json().unwrap().get("ok").and_then(Json::as_bool),
+            Some(true)
+        );
+
+        let cat = client.get("/v1/catalog").unwrap().json().unwrap();
+        let automata = cat.get("automata").and_then(Json::as_arr).unwrap();
+        assert!(automata
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("coin")));
+
+        let resp = client.query(r#"{"automaton":"coin","horizon":1}"#).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let body = resp.json().unwrap();
+        let dist = body.get("dist").and_then(Json::as_arr).unwrap();
+        assert_eq!(dist.len(), 2);
+        for entry in dist {
+            assert_eq!(entry.get("p").and_then(Json::as_f64), Some(0.5));
+            assert_eq!(
+                entry.get("p_bits").and_then(Json::as_str),
+                Some("3fe0000000000000"),
+                "p_bits must expose the exact f64"
+            );
+        }
+        let prov = body.get("provenance").unwrap();
+        assert_eq!(prov.get("engine").and_then(Json::as_str), Some("lumped"));
+        assert_eq!(
+            prov.get("breaker_open").and_then(Json::as_bool),
+            Some(false)
+        );
+
+        // The same query twice is bit-identical (shared cache, fixed seed).
+        let again = client.query(r#"{"automaton":"coin","horizon":1}"#).unwrap();
+        assert_eq!(
+            again.json().unwrap().get("dist"),
+            body.get("dist").cloned().as_ref()
+        );
+
+        handle.shutdown_and_wait();
+    }
+
+    #[test]
+    fn bad_requests_get_stable_error_codes() {
+        let (handle, client) = start(quick_config());
+        let code_of = |resp: &client::Response| {
+            resp.json()
+                .unwrap()
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .unwrap()
+        };
+
+        let cases: &[(&str, u16, &str)] = &[
+            ("{not json", 400, "malformed-request"),
+            (r#"{"horizon":1}"#, 400, "malformed-request"),
+            (
+                r#"{"automaton":"nope","horizon":1}"#,
+                400,
+                "unknown-automaton",
+            ),
+            (
+                r#"{"automaton":"coin","scheduler":"nope","horizon":1}"#,
+                400,
+                "unknown-scheduler",
+            ),
+            (
+                r#"{"automaton":"coin","observation":"nope","horizon":1}"#,
+                400,
+                "unknown-observation",
+            ),
+            (
+                r#"{"automaton":"coin","horizon":99}"#,
+                400,
+                "horizon-too-large",
+            ),
+            (
+                r#"{"automaton":"coin","horizon":1,"budget":{"deadline_ms":-5}}"#,
+                400,
+                "malformed-request",
+            ),
+        ];
+        for (body, status, code) in cases {
+            let resp = client.query(body).unwrap();
+            assert_eq!(resp.status, *status, "{body}");
+            assert_eq!(code_of(&resp), *code, "{body}");
+        }
+
+        // Raw garbage on the socket is answered 400, not ignored.
+        let status = client::send_garbage(&handle.addr().to_string(), b"NONSENSE\r\n\r\n").unwrap();
+        assert_eq!(status, Some(400));
+
+        // Wrong method / unknown path.
+        let resp = client.request("GET", "/v1/query", None).unwrap();
+        assert_eq!(resp.status, 405);
+        let resp = client.get("/nope").unwrap();
+        assert_eq!(resp.status, 404);
+
+        handle.shutdown_and_wait();
+    }
+
+    #[test]
+    fn disconnect_mid_query_cancels_within_a_grain() {
+        let (handle, client) = start(quick_config());
+        let metrics = handle.metrics();
+        let addr = handle.addr().to_string();
+
+        client::fire_and_disconnect(&addr, slow_query()).unwrap();
+
+        // The watcher must flip the token and the engine must unwind.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while metrics.cancelled.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "cancellation never observed");
+            thread::sleep(Duration::from_millis(10));
+        }
+        let unwind_ns = metrics.cancel_latency_ns_max.load(Ordering::Relaxed);
+        assert!(unwind_ns > 0);
+        assert!(
+            unwind_ns < 2_000_000_000,
+            "cancel→unwind took {unwind_ns}ns — the engine is not honouring grain checks"
+        );
+
+        // The metrics page agrees.
+        let page = client.get("/metrics").unwrap().body;
+        assert!(page.contains("dpioa_cancelled_total 1"), "{page}");
+
+        handle.shutdown_and_wait();
+    }
+
+    #[test]
+    fn queue_overflow_sheds_with_retry_after() {
+        let (handle, client) = start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 1,
+            watcher_poll: Duration::from_millis(2),
+            ..ServerConfig::default()
+        });
+        let addr = handle.addr().to_string();
+        let metrics = handle.metrics();
+
+        // Occupy the only worker with a long query (socket held open),
+        // then fill the queue with an idle connection.
+        let busy = TcpStream::connect(&addr).unwrap();
+        {
+            use std::io::Write as _;
+            let mut busy = &busy;
+            let q = slow_query();
+            let head = format!(
+                "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{q}",
+                q.len()
+            );
+            busy.write_all(head.as_bytes()).unwrap();
+            busy.flush().unwrap();
+        }
+        // Wait until the worker picked the busy query up.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while metrics.in_flight.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "query never started");
+            thread::sleep(Duration::from_millis(5));
+        }
+        let _filler = TcpStream::connect(&addr).unwrap();
+        thread::sleep(Duration::from_millis(50));
+
+        // The next connection must be shed explicitly.
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(resp.header("retry-after").is_some(), "missing Retry-After");
+        let err = resp.json().unwrap();
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+        assert!(metrics.shed.load(Ordering::Relaxed) >= 1);
+
+        drop(busy); // watcher revokes the in-flight query
+        handle.shutdown_and_wait();
+    }
+
+    #[test]
+    fn shared_cache_does_not_leak_choices_across_schedulers() {
+        // Regression: the server shares one EngineCache across every
+        // scheduler in the catalog. Before choice entries were scoped
+        // by scheduler identity, warming walk-8 with first-enabled let
+        // the cached choices answer a memoryful-alternate query on the
+        // same automaton — wrongly routing it through the lumped tier.
+        let (handle, client) = start(quick_config());
+
+        let warm = client
+            .query(r#"{"automaton":"walk-8","horizon":10}"#)
+            .unwrap();
+        assert_eq!(warm.status, 200, "body: {}", warm.body);
+        assert_eq!(
+            warm.json()
+                .unwrap()
+                .get("provenance")
+                .and_then(|p| p.get("engine"))
+                .and_then(Json::as_str),
+            Some("lumped")
+        );
+
+        let memoryful = client
+            .query(r#"{"automaton":"walk-8","scheduler":"memoryful-alternate","horizon":8}"#)
+            .unwrap();
+        assert_eq!(memoryful.status, 200, "body: {}", memoryful.body);
+        let body = memoryful.json().unwrap();
+        let prov = body.get("provenance").unwrap();
+        assert_eq!(
+            prov.get("engine").and_then(Json::as_str),
+            Some("exact"),
+            "memoryful query answered by the wrong tier after cache warm-up: {}",
+            memoryful.body
+        );
+
+        handle.shutdown_and_wait();
+    }
+
+    #[test]
+    fn shutdown_endpoint_winds_everything_down() {
+        let (handle, client) = start(quick_config());
+        let resp = client.request("POST", "/shutdown", None).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.json()
+                .unwrap()
+                .get("shutting_down")
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        // All threads exit; wait() returning is the assertion.
+        handle.wait();
+    }
+}

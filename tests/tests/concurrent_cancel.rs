@@ -1,0 +1,222 @@
+//! Concurrent cancellation under a shared engine cache — the failure
+//! mode the query server lives with: many robust queries in flight at
+//! once, all drawing through one [`EngineCache`], while some of them
+//! are revoked mid-grain by their client's [`CancelToken`].
+//!
+//! Pinned properties:
+//!
+//! * a cancelled query surfaces `cancelled: true` and nothing else —
+//!   no panic, no wrong answer, no hang;
+//! * surviving queries are **bit-identical** to solo runs on a fresh
+//!   cache — a neighbour's cancellation (or its partially-warmed cache
+//!   entries) never perturbs anyone else's distribution;
+//! * re-running a previously-cancelled query against the same shared
+//!   cache completes and is bit-identical to its solo run — a
+//!   cancelled expansion leaves no poisoned state behind;
+//! * all of the above per lane count (`DPIOA_POOL_LANES` pins one for
+//!   CI matrix legs; the default sweep is `{2, 8}`).
+
+use dpioa_core::{Action, Automaton, CancelToken, Execution, Value};
+use dpioa_integration::random_automaton;
+use dpioa_prob::{Disc, SubDisc};
+use dpioa_sched::{
+    robust_observation_dist, Budget, DeterministicScheduler, EngineCache, EngineError,
+    FirstEnabled, Observation, RandomScheduler, RobustConfig, Scheduler,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Lane counts to exercise; `DPIOA_POOL_LANES` pins one for CI matrix
+/// legs (same convention as the checkpointing suite).
+fn pool_lanes() -> Vec<usize> {
+    std::env::var("DPIOA_POOL_LANES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|l: usize| vec![l])
+        .unwrap_or_else(|| vec![2, 8])
+}
+
+/// Wraps a scheduler and cancels a [`CancelToken`] after `after`
+/// scheduling calls — lands the cancellation deterministically inside
+/// an expansion grain. Deliberately does not forward
+/// `schedule_memoryless`: the wrapped query is history-opaque, so it
+/// takes the general exact tier, whose per-execution `schedule` calls
+/// give the counter something to count.
+struct CancelAfter<S> {
+    inner: S,
+    after: usize,
+    calls: AtomicUsize,
+    token: CancelToken,
+}
+
+impl<S: Scheduler> Scheduler for CancelAfter<S> {
+    fn schedule(&self, auto: &dyn Automaton, exec: &Execution) -> SubDisc<Action> {
+        if self.calls.fetch_add(1, Ordering::SeqCst) + 1 >= self.after {
+            self.token.cancel();
+        }
+        self.inner.schedule(auto, exec)
+    }
+
+    fn describe(&self) -> String {
+        format!("cancel-after[{}]({})", self.after, self.inner.describe())
+    }
+}
+
+/// The scheduler mix one simulated client `i` uses: memoryless and
+/// memoryful policies interleaved, so concurrent queries exercise both
+/// the lumped and the general tier against the same shared cache (and
+/// the choice table's per-scheduler scoping along the way).
+fn scheduler_for(i: usize) -> Arc<dyn Scheduler> {
+    match i % 3 {
+        0 => Arc::new(FirstEnabled),
+        1 => Arc::new(RandomScheduler),
+        _ => Arc::new(DeterministicScheduler::new(
+            "cc-memoryful-alternate",
+            |exec: &Execution, enabled: &[Action]| {
+                if exec.len() % 2 == 0 {
+                    enabled.first().copied()
+                } else {
+                    enabled.last().copied()
+                }
+            },
+        )),
+    }
+}
+
+fn config(
+    lanes: usize,
+    cache: Option<Arc<EngineCache>>,
+    token: Option<CancelToken>,
+) -> RobustConfig {
+    let mut budget = Budget::unlimited().with_max_entries(1 << 14);
+    if let Some(t) = token {
+        budget = budget.with_cancel(t);
+    }
+    RobustConfig {
+        budget,
+        exact_threads: lanes,
+        cache,
+        mc_samples: 2_000,
+        mc_threads: 2,
+        ..RobustConfig::default()
+    }
+}
+
+/// Two distributions agree bit-for-bit: same support in the same
+/// order, every weight the same `f64` down to its bits.
+fn assert_bit_identical(got: &Disc<Value>, want: &Disc<Value>, what: &str) {
+    let got: Vec<(Value, u64)> = got.iter().map(|(v, w)| (v.clone(), w.to_bits())).collect();
+    let want: Vec<(Value, u64)> = want.iter().map(|(v, w)| (v.clone(), w.to_bits())).collect();
+    assert_eq!(got, want, "{what}: shared-cache answer drifted from solo");
+}
+
+const HORIZON: usize = 6;
+const QUERIES: usize = 12;
+
+#[test]
+fn concurrent_cancellations_leave_survivors_bit_identical() {
+    let auto = random_automaton("cc-auto", "ccq", 5, 17);
+    let observe = Observation::final_state();
+
+    for lanes in pool_lanes() {
+        // Solo baselines: fresh cache, no concurrency, no cancellation.
+        let solo: Vec<Disc<Value>> = (0..QUERIES)
+            .map(|i| {
+                let sched = scheduler_for(i);
+                let (dist, _) = robust_observation_dist(
+                    &*auto,
+                    &sched,
+                    HORIZON,
+                    &observe,
+                    &config(lanes, None, None),
+                )
+                .expect("solo baseline query must succeed");
+                dist
+            })
+            .collect();
+
+        // The concurrent round: every query shares one cache; every
+        // third query carries a token its scheduler revokes mid-grain.
+        let shared = Arc::new(EngineCache::bounded_with_admission(1 << 14, 0.5));
+        let cancelled = |i: usize| i % 3 == 0;
+        let results: Vec<Result<Disc<Value>, EngineError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..QUERIES)
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    let auto = Arc::clone(&auto);
+                    let observe = &observe;
+                    s.spawn(move || {
+                        if cancelled(i) {
+                            let token = CancelToken::new();
+                            let sched = CancelAfter {
+                                inner: scheduler_for(i),
+                                after: 4,
+                                calls: AtomicUsize::new(0),
+                                token: token.clone(),
+                            };
+                            robust_observation_dist(
+                                &*auto,
+                                &sched,
+                                HORIZON,
+                                observe,
+                                &config(lanes, Some(shared), Some(token)),
+                            )
+                            .map(|(d, _)| d)
+                        } else {
+                            let sched = scheduler_for(i);
+                            robust_observation_dist(
+                                &*auto,
+                                &sched,
+                                HORIZON,
+                                observe,
+                                &config(lanes, Some(shared), None),
+                            )
+                            .map(|(d, _)| d)
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect()
+        });
+
+        for (i, result) in results.iter().enumerate() {
+            if cancelled(i) {
+                match result {
+                    Err(EngineError::BudgetExhausted {
+                        cancelled: true, ..
+                    }) => {}
+                    other => {
+                        panic!("query {i} at {lanes} lanes: expected a cancellation, got {other:?}")
+                    }
+                }
+            } else {
+                let dist = result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("survivor {i} at {lanes} lanes failed: {e:?}"));
+                assert_bit_identical(dist, &solo[i], &format!("survivor {i} at {lanes} lanes"));
+            }
+        }
+
+        // A cancelled query's slot in the shared cache is not poisoned:
+        // re-running it uncancelled completes bit-identically to solo.
+        for i in (0..QUERIES).filter(|&i| cancelled(i)) {
+            let sched = scheduler_for(i);
+            let (dist, _) = robust_observation_dist(
+                &*auto,
+                &sched,
+                HORIZON,
+                &observe,
+                &config(lanes, Some(Arc::clone(&shared)), None),
+            )
+            .unwrap_or_else(|e| panic!("retry of cancelled query {i} failed: {e:?}"));
+            assert_bit_identical(
+                &dist,
+                &solo[i],
+                &format!("retried query {i} at {lanes} lanes"),
+            );
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Cross-crate robustness tests for the query server: a real server
+//! on a real socket, driven through the wire protocol only — no
+//! internal shortcuts except the metrics handle the harness uses for
+//! its assertions. Covers the acceptance criteria of the
+//! emulation-as-a-service milestone: correct answers under
+//! concurrency, stable error codes for malformed input, explicit
+//! shedding under overload, client-disconnect cancellation within a
+//! grain, and a graceful drain on shutdown.
+
+use dpioa_server::client::{self, Client};
+use dpioa_server::{serve, Json, ServerConfig};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        watcher_poll: Duration::from_millis(2),
+        ..ServerConfig::default()
+    }
+}
+
+/// A query whose exact tier trips fast and whose salvage pass samples
+/// long enough for the watcher to revoke it mid-flight.
+const SLOW_QUERY: &str = r#"{"automaton":"mixer-4x3","scheduler":"memoryful-alternate","horizon":9,
+    "budget":{"max_expansions":8,"deadline_ms":10000},"mc_samples":200000}"#;
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let handle = serve(quick_config()).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let baseline = Client::new(addr.clone())
+        .query(r#"{"automaton":"walk-8","horizon":10}"#)
+        .unwrap();
+    assert_eq!(baseline.status, 200, "body: {}", baseline.body);
+    let want = baseline.json().unwrap().get("dist").cloned().unwrap();
+
+    // Eight clients hammer the same query while four more interleave a
+    // different workload; every answer to the first query must be
+    // byte-identical to the baseline (shared cache, fixed seed).
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let addr = addr.clone();
+            let want = &want;
+            s.spawn(move || {
+                let resp = Client::new(addr)
+                    .query(r#"{"automaton":"walk-8","horizon":10}"#)
+                    .unwrap();
+                assert_eq!(resp.status, 200, "body: {}", resp.body);
+                assert_eq!(resp.json().unwrap().get("dist"), Some(want));
+            });
+        }
+        for _ in 0..4 {
+            let addr = addr.clone();
+            s.spawn(move || {
+                let resp = Client::new(addr)
+                    .query(
+                        r#"{"automaton":"walk-8","scheduler":"memoryful-alternate","horizon":8}"#,
+                    )
+                    .unwrap();
+                assert_eq!(resp.status, 200, "body: {}", resp.body);
+                assert_eq!(
+                    resp.json()
+                        .unwrap()
+                        .get("provenance")
+                        .and_then(|p| p.get("engine"))
+                        .and_then(Json::as_str),
+                    Some("exact"),
+                    "memoryful queries must keep answering via the exact tier \
+                     while memoryless neighbours warm the shared cache"
+                );
+            });
+        }
+    });
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn malformed_input_gets_stable_codes_not_crashes() {
+    let handle = serve(quick_config()).expect("bind");
+    let client = Client::new(handle.addr().to_string());
+
+    for (body, code) in [
+        ("{not json", "malformed-request"),
+        (r#"{"automaton":"nope","horizon":1}"#, "unknown-automaton"),
+        (r#"{"automaton":"coin","horizon":99}"#, "horizon-too-large"),
+    ] {
+        let resp = client.query(body).unwrap();
+        assert_eq!(resp.status, 400, "{body}");
+        assert_eq!(
+            resp.json()
+                .unwrap()
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(code),
+            "{body}"
+        );
+    }
+
+    // Raw protocol garbage and a stalled half-request are both
+    // answered (or timed out) without taking the server down.
+    let addr = handle.addr().to_string();
+    assert_eq!(
+        client::send_garbage(&addr, b"EHLO not-http\r\n\r\n").unwrap(),
+        Some(400)
+    );
+    let _ = client::stall(
+        &addr,
+        b"POST /v1/query HTTP/1.1\r\n",
+        Duration::from_millis(50),
+    );
+
+    // The server still answers cleanly afterwards.
+    let resp = client.get("/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn overload_sheds_explicitly_and_recovers() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 1,
+        watcher_poll: Duration::from_millis(2),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+    let metrics = handle.metrics();
+    let client = Client::new(addr.clone());
+
+    // Occupy the only worker, then fill the one queue slot.
+    let busy = TcpStream::connect(&addr).unwrap();
+    {
+        let mut busy = &busy;
+        let head = format!(
+            "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{SLOW_QUERY}",
+            SLOW_QUERY.len()
+        );
+        busy.write_all(head.as_bytes()).unwrap();
+        busy.flush().unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while metrics.in_flight.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "busy query never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _filler = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let resp = client.get("/healthz").unwrap();
+    assert_eq!(resp.status, 503, "overload must shed, not queue forever");
+    assert!(resp.header("retry-after").is_some());
+    assert_eq!(
+        resp.json()
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("overloaded")
+    );
+
+    // Dropping the busy client frees the worker (watcher revokes the
+    // in-flight query) and the server recovers.
+    drop(busy);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(resp) = client.get("/healthz") {
+            if resp.status == 200 {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never recovered from overload"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn client_disconnect_cancels_the_expansion_within_a_grain() {
+    let handle = serve(quick_config()).expect("bind");
+    let metrics = handle.metrics();
+    let addr = handle.addr().to_string();
+
+    client::fire_and_disconnect(&addr, SLOW_QUERY).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while metrics.cancelled.load(Ordering::Relaxed) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled the query"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let unwind_ns = metrics.cancel_latency_ns_max.load(Ordering::Relaxed);
+    assert!(
+        unwind_ns < 2_000_000_000,
+        "cancel→unwind took {unwind_ns}ns — more than one grain"
+    );
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_joins() {
+    let handle = serve(quick_config()).expect("bind");
+    let client = Client::new(handle.addr().to_string());
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    let resp = client.request("POST", "/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    // All threads exit; wait() returning is the assertion.
+    handle.wait();
+}
