@@ -1,7 +1,7 @@
 //! Engine benchmark harness: before/after medians for the exact-engine
-//! rework, emitted as `BENCH_engine.json` (schema `bench-engine/v2`).
+//! rework, emitted as `BENCH_engine.json` (schema `bench-engine/v3`).
 //!
-//! Five tiers are timed on each workload × horizon:
+//! Six tiers are timed on each workload × horizon:
 //!
 //! * `seed_exact` — the seed engine's clone-on-extend dense
 //!   representation, preserved verbatim in
@@ -14,12 +14,19 @@
 //! * `parallel_exact` — the pooled engine under the calibrated
 //!   adaptive policy ([`ParallelPolicy::auto`]): persistent
 //!   lazily-spawned workers, per-lane sequential cutover, warm cache;
+//! * `flat_exact` — the arena-backed struct-of-arrays frontier engine
+//!   under the same adaptive policy and a warm cache of its own;
 //! * `lumped` — the state-lumped forward pass (memoryless schedulers,
 //!   observations factoring through trace or last state only).
 //!
-//! Every memoized, parallel and lumped answer is asserted bit-identical
-//! to the general-exact answer **before** its timing is reported, so a
-//! speedup can never be quoted for a wrong result.
+//! Batch-enabled cells additionally time `batched4` (one shared-frontier
+//! batch answering horizons `[h, h, h-1, h-2]` — duplicates included,
+//! matching the server's coalescing of identical queries) against
+//! `independent4` (the four flat expansions it replaces).
+//!
+//! Every memoized, parallel, flat, batched and lumped answer is asserted
+//! bit-identical to the general-exact answer **before** its timing is
+//! reported, so a speedup can never be quoted for a wrong result.
 //!
 //! Usage:
 //!
@@ -47,8 +54,9 @@ use dpioa_protocols::channel::{
     act_recv, act_report, channel_instance, eavesdropper, fixed_sender, MSG_SPACE,
 };
 use dpioa_sched::{
-    try_execution_measure, try_execution_measure_pooled, try_execution_measure_pooled_with,
-    try_lumped_observation_dist, Budget, EngineCache, FirstEnabled, Observation, ParallelPolicy,
+    try_batch_execution_measures_with, try_execution_measure, try_execution_measure_flat_with,
+    try_execution_measure_pooled, try_execution_measure_pooled_with, try_lumped_observation_dist,
+    BatchMember, BatchProjection, Budget, EngineCache, FirstEnabled, Observation, ParallelPolicy,
     PriorityScheduler, RandomScheduler, Scheduler,
 };
 use std::sync::Arc;
@@ -105,6 +113,15 @@ struct Cell {
     /// `median(memoized_exact) / median(parallel_exact)` — the direct
     /// work-stealing win over the same engine pinned to one lane.
     parallel_vs_memo: Option<f64>,
+    /// `median(general_exact) / median(flat_exact)`.
+    flat_speedup: Option<f64>,
+    /// `median(memoized_exact) / median(flat_exact)` — the flat
+    /// struct-of-arrays layout's win over the Arc-spine engine on the
+    /// same warm-cache footing.
+    flat_vs_memo: Option<f64>,
+    /// `median(independent4) / median(batched4)` — how much one
+    /// shared-frontier batch beats the four expansions it replaces.
+    batched_speedup: Option<f64>,
 }
 
 /// A named timed closure for one tier of a cell.
@@ -174,6 +191,8 @@ fn run_cell(
     threads: usize,
     with_seed_tier: bool,
     expect_pooled: bool,
+    with_batch_tier: bool,
+    with_lumped_tier: bool,
 ) -> Cell {
     let budget = Budget::unlimited();
 
@@ -231,6 +250,21 @@ fn run_cell(
     // pays.
     let policy = ParallelPolicy::auto(threads);
     let par_cache = EngineCache::new();
+    // Flat/batch tier state (caches warm across repeats; the batch
+    // members mirror the server coalescing identical queries). Created
+    // outside the pool scope so the pool's workers may borrow them.
+    let flat_cache = EngineCache::new();
+    let batch_cache = EngineCache::new();
+    let member_horizons = [
+        horizon,
+        horizon,
+        horizon.saturating_sub(1),
+        horizon.saturating_sub(2),
+    ];
+    let members: Vec<BatchMember> = member_horizons
+        .iter()
+        .map(|&h| BatchMember::new(h))
+        .collect();
     with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
         let (warm, _) = try_execution_measure_pooled_with(
             auto, sched, horizon, &budget, policy, &par_cache, pool, Ok,
@@ -259,7 +293,109 @@ fn run_cell(
             );
         }
 
-        let lumped = try_lumped_observation_dist(auto, sched, horizon, observe, &budget);
+        // Flat tier: the arena-backed struct-of-arrays engine under the
+        // same adaptive policy, on a warm cache of its own. Its answer
+        // is asserted against the uncached sequential distribution
+        // before any clock starts, like every other tier.
+        let (warm, _) = try_execution_measure_flat_with(
+            auto,
+            sched,
+            horizon,
+            &budget,
+            policy,
+            &flat_cache,
+            pool,
+            Ok,
+            None,
+        )
+        .expect("unlimited budget");
+        let warm = warm.into_measure().expect("unbudgeted run completes");
+        let flat_dist: Disc<Value> = warm.observe(|e: &Execution| observe.apply(auto, e));
+        assert_eq!(
+            general_dist, flat_dist,
+            "{workload} h={horizon}: flat frontier diverged from sequential"
+        );
+        let (flat, flat_stats) = try_execution_measure_flat_with(
+            auto,
+            sched,
+            horizon,
+            &budget,
+            policy,
+            &flat_cache,
+            pool,
+            Ok,
+            None,
+        )
+        .expect("unlimited budget");
+        let flat = flat.into_measure().expect("unbudgeted run completes");
+
+        // Batch tiers: one shared-frontier batch over [h, h, h-1, h-2]
+        // (the duplicate horizon mirrors the server coalescing identical
+        // queries) against the four independent flat expansions it
+        // replaces. Every projection is asserted entry-for-entry,
+        // bit-for-bit against its independent expansion before timing.
+        let batch_entries = if with_batch_tier {
+            let out = try_batch_execution_measures_with(
+                auto,
+                sched,
+                &members,
+                &budget,
+                policy,
+                &batch_cache,
+                pool,
+                Ok,
+            )
+            .expect("unlimited budget");
+            assert!(out.checkpoint.is_none(), "unbudgeted batch cannot trip");
+            let mut total = 0usize;
+            for (&h, p) in member_horizons.iter().zip(&out.projections) {
+                let BatchProjection::Complete(m) = p else {
+                    panic!("{workload} h={horizon}: unbudgeted batch member h={h} incomplete");
+                };
+                let (indep, _) = try_execution_measure_flat_with(
+                    auto,
+                    sched,
+                    h,
+                    &budget,
+                    policy,
+                    &flat_cache,
+                    pool,
+                    Ok,
+                    None,
+                )
+                .expect("unlimited budget");
+                let indep = indep.into_measure().expect("unbudgeted run completes");
+                assert_eq!(
+                    m.len(),
+                    indep.len(),
+                    "{workload} h={horizon}: batch projection h={h} entry count diverged"
+                );
+                for (i, ((e1, w1), (e2, w2))) in m.iter().zip(indep.iter()).enumerate() {
+                    assert_eq!(e1, e2, "{workload} batch h={h} entry #{i} diverged");
+                    assert_eq!(
+                        w1.to_bits(),
+                        w2.to_bits(),
+                        "{workload} batch h={h} weight #{i} diverged"
+                    );
+                }
+                total += m.len();
+            }
+            Some(total)
+        } else {
+            None
+        };
+
+        // The lumped tier is gated off on non-dyadic workloads (e.g. a
+        // three-way fanout's 1/3 choice weights): its class-space
+        // summation order legitimately differs from the cone tree's, so
+        // the bit-exact cross-check below cannot apply there.
+        let lumped = if with_lumped_tier {
+            try_lumped_observation_dist(auto, sched, horizon, observe, &budget)
+        } else {
+            Err(dpioa_sched::EngineError::InvalidSampling {
+                reason: "lumped tier disabled for this cell".into(),
+            })
+        };
         let lumped_support = match &lumped {
             Ok(first) => {
                 assert_eq!(
@@ -319,6 +455,66 @@ fn run_cell(
                 );
             }),
         ));
+        runs.push((
+            "flat_exact",
+            Box::new(|| {
+                std::hint::black_box(
+                    try_execution_measure_flat_with(
+                        auto,
+                        sched,
+                        horizon,
+                        &budget,
+                        policy,
+                        &flat_cache,
+                        pool,
+                        Ok,
+                        None,
+                    )
+                    .expect("unlimited budget"),
+                );
+            }),
+        ));
+        if with_batch_tier {
+            runs.push((
+                "batched4",
+                Box::new(|| {
+                    std::hint::black_box(
+                        try_batch_execution_measures_with(
+                            auto,
+                            sched,
+                            &members,
+                            &budget,
+                            policy,
+                            &batch_cache,
+                            pool,
+                            Ok,
+                        )
+                        .expect("unlimited budget"),
+                    );
+                }),
+            ));
+            runs.push((
+                "independent4",
+                Box::new(|| {
+                    for &h in &member_horizons {
+                        std::hint::black_box(
+                            try_execution_measure_flat_with(
+                                auto,
+                                sched,
+                                h,
+                                &budget,
+                                policy,
+                                &flat_cache,
+                                pool,
+                                Ok,
+                                None,
+                            )
+                            .expect("unlimited budget"),
+                        );
+                    }
+                }),
+            ));
+        }
         if lumped_support.is_some() {
             runs.push((
                 "lumped",
@@ -357,6 +553,25 @@ fn run_cell(
                     pooled_depths: Some(par_stats.pooled_depths),
                     pool: Some(par_stats.pool.clone()),
                 }),
+                "flat_exact" => tiers.push(TierStat {
+                    tier: "flat_exact",
+                    median_ns: ns,
+                    entries: flat.len(),
+                    threads: Some(flat_stats.threads),
+                    cache: Some(flat_stats.cache),
+                    pooled_depths: Some(flat_stats.pooled_depths),
+                    pool: Some(flat_stats.pool.clone()),
+                }),
+                "batched4" => tiers.push(TierStat::plain(
+                    "batched4",
+                    ns,
+                    batch_entries.expect("batch timed only when enabled"),
+                )),
+                "independent4" => tiers.push(TierStat::plain(
+                    "independent4",
+                    ns,
+                    batch_entries.expect("batch timed only when enabled"),
+                )),
                 "lumped" => tiers.push(TierStat::plain(
                     "lumped",
                     ns,
@@ -384,6 +599,21 @@ fn run_cell(
             (Some(m), Some(p)) => Some(m / p.max(1.0)),
             _ => None,
         };
+        let flat_speedup = speedup_vs_general(&tiers, "flat_exact");
+        let flat_vs_memo = match (
+            median_of(&tiers, "memoized_exact"),
+            median_of(&tiers, "flat_exact"),
+        ) {
+            (Some(m), Some(f)) => Some(m / f.max(1.0)),
+            _ => None,
+        };
+        let batched_speedup = match (
+            median_of(&tiers, "independent4"),
+            median_of(&tiers, "batched4"),
+        ) {
+            (Some(i), Some(b)) => Some(i / b.max(1.0)),
+            _ => None,
+        };
         Cell {
             workload,
             scheduler,
@@ -395,6 +625,9 @@ fn run_cell(
             memo_speedup,
             parallel_speedup,
             parallel_vs_memo,
+            flat_speedup,
+            flat_vs_memo,
+            batched_speedup,
         }
     })
 }
@@ -473,7 +706,7 @@ fn cell_json(c: &Cell) -> String {
         })
         .collect();
     format!(
-        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{},\"memo_speedup\":{},\"parallel_speedup\":{},\"parallel_vs_memo\":{}}}",
+        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{},\"memo_speedup\":{},\"parallel_speedup\":{},\"parallel_vs_memo\":{},\"flat_speedup\":{},\"flat_vs_memo\":{},\"batched_speedup\":{}}}",
         json_escape(c.workload),
         json_escape(c.scheduler),
         json_escape(c.observation),
@@ -484,6 +717,9 @@ fn cell_json(c: &Cell) -> String {
         opt_speedup(c.memo_speedup),
         opt_speedup(c.parallel_speedup),
         opt_speedup(c.parallel_vs_memo),
+        opt_speedup(c.flat_speedup),
+        opt_speedup(c.flat_vs_memo),
+        opt_speedup(c.batched_speedup),
     )
 }
 
@@ -593,6 +829,8 @@ fn main() {
             threads,
             h <= 12,
             false,
+            false,
+            true,
         ));
     }
     // Deep-cone walk cell: 2^14 terminal executions, frontier far past
@@ -608,6 +846,8 @@ fn main() {
         14,
         repeats,
         threads,
+        false,
+        true,
         false,
         true,
     ));
@@ -632,6 +872,8 @@ fn main() {
             threads,
             true,
             false,
+            false,
+            true,
         ));
     }
     // Large coin bank: 2^10 distinct composed states, frontier crosses
@@ -649,6 +891,8 @@ fn main() {
         11,
         repeats,
         threads,
+        false,
+        true,
         false,
         true,
     ));
@@ -671,6 +915,8 @@ fn main() {
             threads,
             true,
             false,
+            false,
+            true,
         ));
     }
 
@@ -692,6 +938,8 @@ fn main() {
             threads,
             true,
             false,
+            false,
+            true,
         ));
     }
     // Deep fault-wrapped cell: the crashed flag multiplies the frontier,
@@ -707,6 +955,8 @@ fn main() {
         12,
         repeats,
         threads,
+        false,
+        true,
         false,
         true,
     ));
@@ -733,6 +983,8 @@ fn main() {
         threads,
         false,
         true,
+        false,
+        true,
     ));
     eprintln!("mixer5x8 h=5 (pooled)...");
     let mix8 = mixer("bem8", 5, 8);
@@ -748,6 +1000,50 @@ fn main() {
         threads,
         false,
         true,
+        false,
+        true,
+    ));
+
+    // Workload 6 (flat + batch acceptance cells): a wider walk and a
+    // deep three-way mixer, both past the cutover at deep horizons.
+    // These are the cells the flat-frontier gate reads: `flat_vs_memo`
+    // must clear 1.3x here, and the shared-frontier batch over
+    // [h, h, h-1, h-2] must beat the four independent expansions it
+    // replaces by at least 2x.
+    eprintln!("walk8 h=12 (pooled, batched)...");
+    let walk8 = random_walk("bew8", 8);
+    cells.push(run_cell(
+        "walk8",
+        "first-enabled",
+        "last-state",
+        &*walk8,
+        &FirstEnabled,
+        &Observation::final_state(),
+        12,
+        repeats,
+        threads,
+        false,
+        true,
+        true,
+        true,
+    ));
+    let mix3_h = if quick { 8 } else { 10 };
+    eprintln!("mixer4x3 h={mix3_h} (pooled, batched)...");
+    let mix3 = mixer("bem3", 4, 3);
+    cells.push(run_cell(
+        "mixer4x3",
+        "uniform-random",
+        "last-state",
+        &*mix3,
+        &RandomScheduler,
+        &Observation::final_state(),
+        mix3_h,
+        repeats,
+        threads,
+        false,
+        true,
+        true,
+        false,
     ));
 
     // Summary block.
@@ -795,10 +1091,25 @@ fn main() {
         })
         .filter_map(|c| c.parallel_vs_memo)
         .fold(f64::INFINITY, f64::min);
+    // The flat-frontier acceptance gate: on the wide deep cells (walk8
+    // and the mixers at h >= 10) the struct-of-arrays engine must beat
+    // the single-lane Arc-spine memoized tier by >= 1.3x.
+    let min_flat_vs_memo_deep = cells
+        .iter()
+        .filter(|c| c.horizon >= 10 && (c.workload == "walk8" || c.workload.starts_with("mixer")))
+        .filter_map(|c| c.flat_vs_memo)
+        .fold(f64::INFINITY, f64::min);
+    // The batching acceptance gate: one shared-frontier batch over
+    // [h, h, h-1, h-2] must beat the four independent expansions it
+    // replaces by >= 2x on every batch-enabled cell.
+    let min_batched = cells
+        .iter()
+        .filter_map(|c| c.batched_speedup)
+        .fold(f64::INFINITY, f64::min);
 
     let rows: Vec<String> = cells.iter().map(cell_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench-engine/v2\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {},\n    \"max_memo_speedup_vs_general\": {},\n    \"min_parallel_speedup_at_horizon_ge_8\": {},\n    \"min_parallel_vs_memo_on_pooled_cells\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v3\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {},\n    \"max_memo_speedup_vs_general\": {},\n    \"min_parallel_speedup_at_horizon_ge_8\": {},\n    \"min_parallel_vs_memo_on_pooled_cells\": {},\n    \"min_flat_vs_memo_on_wide_cells_at_horizon_ge_10\": {},\n    \"min_batched4_speedup_vs_independent4\": {}\n  }}\n}}\n",
         quick,
         repeats,
         threads,
@@ -810,6 +1121,8 @@ fn main() {
         fjson(max_memo),
         fjson(min_parallel_deep),
         fjson(min_par_vs_memo_pooled),
+        fjson(min_flat_vs_memo_deep),
+        fjson(min_batched),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("wrote {out_path}");

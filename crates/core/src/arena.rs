@@ -1,0 +1,127 @@
+//! Buffer-recycling arenas for per-depth engine scratch.
+//!
+//! The flat exact engine (`dpioa-sched`) rebuilds its frontier — a
+//! struct-of-arrays of interned states, masses and parent edges — once
+//! per cone-tree depth. Allocating those vectors fresh each depth puts
+//! the allocator on the hot path (and, worse, re-runs the doubling
+//! ladder from empty every depth even though depth `d+1` is rarely
+//! smaller than depth `d`). A [`VecArena`] keeps the freed buffers and
+//! hands them back with their capacity intact: after the first couple
+//! of depths every "allocation" is a pop, which is the bump-arena
+//! discipline without `unsafe`.
+//!
+//! The arena is deliberately *not* thread-safe: it lives on the engine's
+//! calling thread and recycles the depth-level structures (the merged
+//! frontier, the materialized execution column). Grain-local scratch on
+//! pool workers stays worker-local, exactly as before.
+
+/// A recycling pool of `Vec<T>` buffers: [`VecArena::take`] returns an
+/// empty vector (reusing a retained allocation when one is available),
+/// [`VecArena::put`] clears a vector and retains its allocation for the
+/// next `take`.
+#[derive(Debug)]
+pub struct VecArena<T> {
+    free: Vec<Vec<T>>,
+    /// Buffers retained at once; excess `put`s drop their allocation.
+    cap: usize,
+}
+
+impl<T> Default for VecArena<T> {
+    fn default() -> Self {
+        VecArena::new()
+    }
+}
+
+impl<T> VecArena<T> {
+    /// An arena retaining up to 8 buffers (enough for the flat engine's
+    /// per-depth structures with slack for the batch cut snapshots).
+    pub fn new() -> VecArena<T> {
+        VecArena::with_retention(8)
+    }
+
+    /// An arena retaining up to `cap` freed buffers.
+    pub fn with_retention(cap: usize) -> VecArena<T> {
+        VecArena {
+            free: Vec::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// An empty buffer, reusing a retained allocation if available.
+    /// Prefers the largest retained buffer so capacity accretes onto
+    /// the vectors that stay in circulation.
+    pub fn take(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// An empty buffer with at least `cap` capacity.
+    pub fn take_with_capacity(&mut self, cap: usize) -> Vec<T> {
+        let mut v = self.take();
+        if v.capacity() < cap {
+            v.reserve(cap - v.len());
+        }
+        v
+    }
+
+    /// Return a buffer to the arena: contents are dropped, capacity is
+    /// retained (up to the retention cap — beyond it the allocation is
+    /// freed). Zero-capacity buffers are not worth retaining.
+    pub fn put(&mut self, mut v: Vec<T>) {
+        v.clear();
+        if v.capacity() > 0 && self.free.len() < self.cap {
+            // Keep the retained set sorted by capacity (ascending) so
+            // `take` pops the largest.
+            let at = self.free.partition_point(|b| b.capacity() <= v.capacity());
+            self.free.insert(at, v);
+        }
+    }
+
+    /// Number of buffers currently retained.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_put_capacity() {
+        let mut arena: VecArena<u64> = VecArena::new();
+        let mut v = arena.take();
+        v.extend(0..100);
+        let cap = v.capacity();
+        arena.put(v);
+        assert_eq!(arena.retained(), 1);
+        let v2 = arena.take();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(arena.retained(), 0);
+    }
+
+    #[test]
+    fn take_prefers_largest_buffer() {
+        let mut arena: VecArena<u8> = VecArena::new();
+        arena.put(Vec::with_capacity(4));
+        arena.put(Vec::with_capacity(64));
+        arena.put(Vec::with_capacity(16));
+        assert!(arena.take().capacity() >= 64);
+    }
+
+    #[test]
+    fn retention_cap_bounds_the_free_list() {
+        let mut arena: VecArena<u8> = VecArena::with_retention(2);
+        for _ in 0..5 {
+            arena.put(Vec::with_capacity(8));
+        }
+        assert_eq!(arena.retained(), 2);
+    }
+
+    #[test]
+    fn capacity_request_is_honored() {
+        let mut arena: VecArena<u32> = VecArena::new();
+        let v = arena.take_with_capacity(1000);
+        assert!(v.capacity() >= 1000);
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod arena;
 pub mod audit;
 pub mod automaton;
 pub mod cancel;
@@ -43,6 +44,7 @@ pub mod signature;
 pub mod value;
 
 pub use action::Action;
+pub use arena::VecArena;
 pub use automaton::{Automaton, AutomatonExt, LambdaAutomaton};
 pub use cancel::CancelToken;
 pub use compose::{compose, compose2, Composition};
@@ -52,7 +54,9 @@ pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hide::{hide_static, hide_with, Hidden};
 pub use intern::{canonical, IValue};
 pub use memo::{CacheStats, LaneTransMemo, TransEntry, TransitionCache};
-pub use pool::{with_pool, with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SEED};
+pub use pool::{
+    even_spans, with_pool, with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SEED,
+};
 pub use rename::{rename_static, rename_with, Renamed};
 pub use signature::{ActionSet, Signature};
 pub use value::Value;

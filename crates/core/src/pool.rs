@@ -79,6 +79,23 @@ use std::thread;
 /// callers (and the determinism proptests) pick their own.
 pub const DEFAULT_STEAL_SEED: u64 = 0xD10A_5EED;
 
+/// Split `0..len` into `lanes` near-even contiguous spans, span `j`
+/// placed on lane `j` — the affinity-free initial placement for
+/// [`WorkerPool::run_splittable`] callers (the exact engines fall back
+/// to it on the first pooled depth or after an inline one). Spans
+/// partition the range exactly; an empty range yields no spans.
+pub fn even_spans(len: usize, lanes: usize) -> Vec<(usize, usize, usize)> {
+    let chunk = len.div_ceil(lanes.max(1)).max(1);
+    let mut spans = Vec::new();
+    let mut start = 0;
+    while start < len {
+        let take = chunk.min(len - start);
+        spans.push((spans.len(), start, take));
+        start += take;
+    }
+    spans
+}
+
 /// A queued unit of work: type-erased, `'env`-bounded so it may borrow
 /// anything that outlives the pool scope.
 type Job<'env> = Box<dyn FnOnce() + Send + 'env>;

@@ -1,0 +1,396 @@
+//! Batched multi-query expansion: one shared frontier, many horizons.
+//!
+//! A server burst routinely asks for the *same* automaton/scheduler
+//! pair at several horizons (the zipf mix in `BENCH_server.json` sends
+//! hundreds of identical-shape queries). Expanding the cone tree once
+//! per request repeats the whole shared prefix of the work; since the
+//! frontier evolution never depends on the horizon (the scheduler sees
+//! executions, not deadlines), the cone tree to depth `max(hᵢ)`
+//! *contains* every member's answer. [`try_batch_execution_measures`]
+//! expands that one tree on the flat engine ([`crate::flat`]) and cuts
+//! a projection out of it at each member horizon:
+//!
+//! * member `h`'s projection is the terminal-entry prefix accumulated
+//!   before depth `h` plus the depth-`h` frontier snapshot —
+//!   **bit-identical** to an independent expansion at horizon `h`
+//!   (proptested);
+//! * two members at the *same* horizon cost one expansion and one
+//!   snapshot — the coalescing win the server's batch worker exploits;
+//! * a cancelled member drops its projection, not the batch: its state
+//!   comes back [`BatchProjection::Cancelled`] while the remaining
+//!   members complete;
+//! * a tripped budget (deadline, cap, batch-level cancellation) rolls
+//!   back depth-aligned and returns **one** [`ConeCheckpoint`]; each
+//!   unanswered member resumes from it independently via
+//!   [`projection_checkpoint`], again bit-identically.
+
+use crate::cache::EngineCache;
+use crate::checkpoint::ConeCheckpoint;
+use crate::error::{Budget, EngineError};
+use crate::flat::{flat_core, CutSpec, CutState};
+use crate::measure::{ExactStats, ExecutionMeasure, ParallelPolicy};
+use crate::scheduler::Scheduler;
+use dpioa_core::pool::{with_pool_seeded, WorkerPool};
+use dpioa_core::{Automaton, CancelToken};
+use dpioa_prob::Weight;
+
+/// One member of a batched expansion: a horizon, optionally with its
+/// own cancellation token.
+#[derive(Clone, Debug, Default)]
+pub struct BatchMember {
+    /// The member's expansion horizon.
+    pub horizon: usize,
+    /// Member-level cancellation: flipping it drops this projection
+    /// while the rest of the batch keeps expanding.
+    pub cancel: Option<CancelToken>,
+}
+
+impl BatchMember {
+    /// A member with no cancellation token.
+    pub fn new(horizon: usize) -> BatchMember {
+        BatchMember {
+            horizon,
+            cancel: None,
+        }
+    }
+
+    /// This member with a cancellation token attached.
+    pub fn with_cancel(self, cancel: CancelToken) -> BatchMember {
+        BatchMember {
+            cancel: Some(cancel),
+            ..self
+        }
+    }
+}
+
+/// Where one batch member ended up.
+#[derive(Clone, Debug)]
+pub enum BatchProjection<W = f64> {
+    /// The member's horizon was reached: its complete measure,
+    /// bit-identical to an independent expansion.
+    Complete(ExecutionMeasure<W>),
+    /// The member's token was cancelled before its horizon was reached.
+    Cancelled,
+    /// The shared budget tripped first; resume this member from
+    /// [`projection_checkpoint`] of the batch checkpoint.
+    Pending,
+}
+
+/// The result of a batched expansion: one projection per member (in
+/// member order), the shared checkpoint if the budget tripped, and the
+/// stats of the single shared expansion.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome<W = f64> {
+    /// Per-member outcomes, index-aligned with the input members.
+    pub projections: Vec<BatchProjection<W>>,
+    /// The depth-aligned checkpoint of the shared expansion, present
+    /// iff some member is [`BatchProjection::Pending`].
+    pub checkpoint: Option<ConeCheckpoint<W>>,
+    /// What the one shared expansion did.
+    pub stats: ExactStats,
+}
+
+/// Batched multi-horizon expansion on a caller-provided pool. All
+/// members share the automaton, scheduler, cache and budget; each
+/// keeps its own horizon and optional cancellation token.
+#[allow(clippy::too_many_arguments)]
+pub fn try_batch_execution_measures_with<'env, W, L>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    members: &[BatchMember],
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &'env EngineCache,
+    pool: &WorkerPool<'_, 'env>,
+    lift: L,
+) -> Result<BatchOutcome<W>, EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
+{
+    if members.is_empty() {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot expand an empty batch".into(),
+        });
+    }
+    let cuts: Vec<CutSpec> = members
+        .iter()
+        .map(|m| CutSpec {
+            horizon: m.horizon,
+            cancel: m.cancel.clone(),
+        })
+        .collect();
+    let (states, checkpoint, stats) =
+        flat_core(auto, sched, &cuts, budget, policy, cache, pool, lift, None)?;
+    let projections = states
+        .into_iter()
+        .map(|s| match s {
+            CutState::Answered(m) => BatchProjection::Complete(m),
+            CutState::Cancelled => BatchProjection::Cancelled,
+            CutState::Pending | CutState::Active => BatchProjection::Pending,
+        })
+        .collect();
+    Ok(BatchOutcome {
+        projections,
+        checkpoint,
+        stats,
+    })
+}
+
+/// [`try_batch_execution_measures_with`] on a self-provisioned pool.
+pub fn try_batch_execution_measures_in<W, L>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    members: &[BatchMember],
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+    lift: L,
+) -> Result<BatchOutcome<W>, EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync,
+{
+    if policy.threads == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot expand with zero worker threads".into(),
+        });
+    }
+    with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
+        try_batch_execution_measures_with(auto, sched, members, budget, policy, cache, pool, lift)
+    })
+}
+
+/// The `f64` batched expansion under a shared [`Budget`].
+pub fn try_batch_execution_measures(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    members: &[BatchMember],
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+) -> Result<BatchOutcome<f64>, EngineError> {
+    try_batch_execution_measures_in(auto, sched, members, budget, policy, cache, Ok)
+}
+
+/// Cut one member's resumable checkpoint out of a batch checkpoint:
+/// the same resolved entries and frontier, headed for the *member's*
+/// horizon. Returns `None` when the member's horizon lies above the
+/// checkpoint frontier's depth is impossible for a pending member —
+/// concretely, `None` means the frontier already sits past `horizon`
+/// (the member was answered or should have been) and there is nothing
+/// to resume.
+///
+/// Resuming the projection with
+/// [`crate::measure::try_execution_measure_resume`] (or the flat
+/// resume) under a sufficient budget yields a measure bit-identical to
+/// an independent unbudgeted expansion at the member's horizon — the
+/// checkpointing tests assert this.
+pub fn projection_checkpoint<W: Weight>(
+    ckpt: &ConeCheckpoint<W>,
+    horizon: usize,
+) -> Option<ConeCheckpoint<W>> {
+    let frontier_depth = ckpt.frontier.first().map(|(e, _)| e.len()).unwrap_or(0);
+    if horizon < frontier_depth {
+        return None;
+    }
+    Some(ConeCheckpoint {
+        resolved: ckpt.resolved.clone(),
+        frontier: ckpt.frontier.clone(),
+        horizon,
+        reason: ckpt.reason.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::try_execution_measure_ckpt_in;
+    use crate::scheduler::FirstEnabled;
+    use dpioa_core::{Action, Automaton, Execution, ExplicitAutomaton, Signature, Value};
+    use dpioa_prob::Disc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn walk() -> ExplicitAutomaton {
+        let n = 6i64;
+        let mut b = ExplicitAutomaton::builder("batch-walk", Value::int(0));
+        for i in 0..n {
+            let step = act(&format!("batch-w{i}"));
+            b = b.state(i, Signature::new([], [], [step])).transition(
+                i,
+                step,
+                Disc::bernoulli_dyadic(Value::int((i + 1) % n), Value::int((i + 2) % n), 1, 1),
+            );
+        }
+        b.build()
+    }
+
+    fn entries_of(m: &crate::measure::ExecutionMeasure<f64>) -> Vec<(Execution, f64)> {
+        m.iter().map(|(e, w)| (e.clone(), *w)).collect()
+    }
+
+    /// An independent single-horizon expansion on the spine engine —
+    /// the oracle each batch projection must match entry-for-entry.
+    fn independent(
+        auto: &dyn Automaton,
+        sched: &dyn Scheduler,
+        horizon: usize,
+    ) -> crate::measure::ExecutionMeasure<f64> {
+        let cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_ckpt_in::<f64, _>(
+            auto,
+            sched,
+            horizon,
+            &Budget::unlimited(),
+            ParallelPolicy::sequential(),
+            &cache,
+            Ok,
+            None,
+        )
+        .expect("spine expansion succeeds");
+        outcome.into_measure().expect("completes")
+    }
+
+    #[test]
+    fn batch_projections_match_independent_expansions() {
+        let auto = walk();
+        let cache = EngineCache::new();
+        let horizons = [3usize, 7, 7, 5, 0];
+        let members: Vec<BatchMember> = horizons.iter().map(|&h| BatchMember::new(h)).collect();
+        let out = try_batch_execution_measures(
+            &auto,
+            &FirstEnabled,
+            &members,
+            &Budget::unlimited(),
+            ParallelPolicy::sequential(),
+            &cache,
+        )
+        .expect("batch succeeds");
+        assert!(out.checkpoint.is_none());
+        assert_eq!(out.projections.len(), horizons.len());
+        for (h, p) in horizons.iter().zip(&out.projections) {
+            let BatchProjection::Complete(m) = p else {
+                panic!("unbudgeted member must complete");
+            };
+            let oracle = independent(&auto, &FirstEnabled, *h);
+            assert_eq!(entries_of(&oracle), entries_of(m), "h={h}");
+        }
+    }
+
+    #[test]
+    fn batch_projections_match_on_pooled_lanes() {
+        let auto = walk();
+        let cache = EngineCache::new();
+        let members = [
+            BatchMember::new(9),
+            BatchMember::new(8),
+            BatchMember::new(9),
+        ];
+        let policy = ParallelPolicy::new(4, 8).with_split_unit(8);
+        let out = try_batch_execution_measures(
+            &auto,
+            &FirstEnabled,
+            &members,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+        )
+        .expect("batch succeeds");
+        for (member, p) in members.iter().zip(&out.projections) {
+            let BatchProjection::Complete(got) = p else {
+                panic!("unbudgeted member must complete");
+            };
+            let oracle = independent(&auto, &FirstEnabled, member.horizon);
+            assert_eq!(entries_of(&oracle), entries_of(got), "h={}", member.horizon);
+        }
+    }
+
+    #[test]
+    fn cancelled_member_drops_only_its_projection() {
+        let auto = walk();
+        let cache = EngineCache::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let members = [
+            BatchMember::new(6),
+            BatchMember::new(4).with_cancel(token),
+            BatchMember::new(2),
+        ];
+        let out = try_batch_execution_measures(
+            &auto,
+            &FirstEnabled,
+            &members,
+            &Budget::unlimited(),
+            ParallelPolicy::sequential(),
+            &cache,
+        )
+        .expect("batch succeeds");
+        assert!(matches!(out.projections[1], BatchProjection::Cancelled));
+        for (i, h) in [(0usize, 6usize), (2, 2)] {
+            let BatchProjection::Complete(m) = &out.projections[i] else {
+                panic!("surviving member must complete");
+            };
+            let oracle = independent(&auto, &FirstEnabled, h);
+            assert_eq!(entries_of(&oracle), entries_of(m));
+        }
+    }
+
+    #[test]
+    fn tripped_batch_yields_per_projection_resumable_checkpoint() {
+        let auto = walk();
+        let cache = EngineCache::new();
+        let members = [BatchMember::new(9), BatchMember::new(7)];
+        let budget = Budget::unlimited().with_max_expansions(20);
+        let out = try_batch_execution_measures(
+            &auto,
+            &FirstEnabled,
+            &members,
+            &budget,
+            ParallelPolicy::sequential(),
+            &cache,
+        )
+        .expect("budget trips are not errors");
+        let ckpt = out.checkpoint.expect("tripped batch carries a checkpoint");
+        assert!(out
+            .projections
+            .iter()
+            .all(|p| matches!(p, BatchProjection::Pending)));
+        for member in &members {
+            let proj = projection_checkpoint(&ckpt, member.horizon)
+                .expect("pending member projects from the checkpoint");
+            assert_eq!(proj.horizon, member.horizon);
+            let (resumed, _) = crate::flat::try_execution_measure_flat_resume(
+                proj,
+                &auto,
+                &FirstEnabled,
+                &Budget::unlimited(),
+                ParallelPolicy::sequential(),
+                &cache,
+                Ok,
+            )
+            .expect("resume succeeds");
+            let m = resumed.into_measure().expect("completes");
+            let oracle = independent(&auto, &FirstEnabled, member.horizon);
+            assert_eq!(entries_of(&oracle), entries_of(&m), "h={}", member.horizon);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let auto = walk();
+        let cache = EngineCache::new();
+        let err = try_batch_execution_measures(
+            &auto,
+            &FirstEnabled,
+            &[],
+            &Budget::unlimited(),
+            ParallelPolicy::sequential(),
+            &cache,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSampling { .. }));
+    }
+}

@@ -1,0 +1,1108 @@
+//! The flat exact engine: arena-backed struct-of-arrays frontiers.
+//!
+//! The pooled engine in [`crate::measure`] carries its frontier as a
+//! `Vec<(Execution, IValue, W)>` — one heap spine node per frontier
+//! entry, extended eagerly when a child is pushed. This module replaces
+//! that per-node representation with a **flat depth**: parallel columns
+//! for interned state ids, cone masses, and *parent edges*
+//! (`(parent index, action, value)`), recycled depth-over-depth through
+//! a [`VecArena`]. A child is recorded as three column pushes; its
+//! `Execution` spine node is materialized exactly once, when the child
+//! itself is expanded at the next depth — so grain expansion walks
+//! contiguous memory, the per-depth merge is a column append, and
+//! split-on-steal hands out pure index ranges with no node cloning.
+//!
+//! On top of the flat frontier the engine generalizes the horizon to a
+//! set of **cuts**: one shared expansion serves several horizons
+//! (members of a [`crate::batch::BatchQuery`]) by snapshotting the
+//! frontier as each member's horizon is reached while the expansion
+//! continues toward the deepest member. Because the frontier evolution
+//! is horizon-independent (the scheduler never sees the horizon) and
+//! the terminal stream is depth-monotone — halts at depth 0, then
+//! depth 1, …, then the horizon copies — member `h`'s answer is the
+//! entry prefix accumulated before depth `h` plus the depth-`h`
+//! frontier snapshot, **bit-identical** to an independent expansion at
+//! horizon `h`.
+//!
+//! Determinism is inherited from the spine engine unchanged: grains
+//! record their frontier start index, the merge sorts by start and
+//! appends segment-major, and every weight is the same per-entry
+//! `mass · p · r` product in the same order. The spine engine stays in
+//! the tree as the bit-identity oracle; the proptests and the bench
+//! harness compare the two entry-for-entry.
+
+use crate::cache::{decode_choice, decode_trans, lane_tail, ChoiceScope, EngineCache, LaneMemo};
+use crate::checkpoint::{ConeCheckpoint, ExpansionOutcome};
+use crate::error::{disabled_action, Budget, EngineError};
+use crate::measure::{
+    expand_node_tail, replay_tail, ExactStats, ExecutionMeasure, ParallelPolicy, TAIL_DEPTHS,
+};
+use crate::scheduler::Scheduler;
+use dpioa_core::pool::{even_spans, with_pool_seeded, WorkerPool};
+use dpioa_core::{Action, Automaton, CancelToken, Execution, IValue, Value, VecArena};
+use dpioa_prob::Weight;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One frontier depth in struct-of-arrays form. Entry `i` is the node
+/// whose interned last state is `ids[i]` with cone mass `mass[i]`; its
+/// execution is `prev[parents[i]].extend(actions[i], values[i])`, where
+/// `prev` is the materialized execution column of the *previous* depth.
+///
+/// The edge columns are empty exactly on a **seed** depth (the start
+/// state, or a resumed checkpoint frontier), where `prev[i]` *is* node
+/// `i`'s execution.
+#[derive(Debug)]
+struct FlatDepth<W> {
+    ids: Vec<IValue>,
+    mass: Vec<W>,
+    parents: Vec<u32>,
+    actions: Vec<Action>,
+    values: Vec<Value>,
+}
+
+impl<W> Default for FlatDepth<W> {
+    fn default() -> Self {
+        FlatDepth {
+            ids: Vec::new(),
+            mass: Vec::new(),
+            parents: Vec::new(),
+            actions: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+impl<W: Weight> FlatDepth<W> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Node `i`'s execution, given the previous depth's execution
+    /// column. One spine extension per node per expansion — the same
+    /// total count as the spine engine, in a cache-friendlier place.
+    fn materialize(&self, i: usize, prev: &[Execution]) -> Execution {
+        if self.parents.is_empty() {
+            prev[i].clone()
+        } else {
+            prev[self.parents[i] as usize].extend(self.actions[i], self.values[i].clone())
+        }
+    }
+
+    /// Record a child edge (a next-depth node).
+    fn push_child(&mut self, parent: u32, action: Action, value: Value, id: IValue, mass: W) {
+        self.ids.push(id);
+        self.mass.push(mass);
+        self.parents.push(parent);
+        self.actions.push(action);
+        self.values.push(value);
+    }
+
+    /// Move every node of `other` onto the end of this depth (the merge
+    /// step of the pooled path). Parent indices are global frontier
+    /// indices, so no rebasing is needed.
+    fn append(&mut self, other: &mut FlatDepth<W>) {
+        self.ids.append(&mut other.ids);
+        self.mass.append(&mut other.mass);
+        self.parents.append(&mut other.parents);
+        self.actions.append(&mut other.actions);
+        self.values.append(&mut other.values);
+    }
+}
+
+/// The engine's buffer arenas: one [`VecArena`] per flat column plus
+/// one for the materialized execution columns. Everything the loop
+/// frees goes back here and is reused at the next depth with capacity
+/// intact.
+struct FlatArenas<W> {
+    ids: VecArena<IValue>,
+    mass: VecArena<W>,
+    parents: VecArena<u32>,
+    actions: VecArena<Action>,
+    values: VecArena<Value>,
+    execs: VecArena<Execution>,
+}
+
+impl<W: Weight> FlatArenas<W> {
+    fn new() -> FlatArenas<W> {
+        FlatArenas {
+            ids: VecArena::new(),
+            mass: VecArena::new(),
+            parents: VecArena::new(),
+            actions: VecArena::new(),
+            values: VecArena::new(),
+            execs: VecArena::new(),
+        }
+    }
+
+    fn take_depth(&mut self) -> FlatDepth<W> {
+        FlatDepth {
+            ids: self.ids.take(),
+            mass: self.mass.take(),
+            parents: self.parents.take(),
+            actions: self.actions.take(),
+            values: self.values.take(),
+        }
+    }
+
+    fn put_depth(&mut self, d: FlatDepth<W>) {
+        self.ids.put(d.ids);
+        self.mass.put(d.mass);
+        self.parents.put(d.parents);
+        self.actions.put(d.actions);
+        self.values.put(d.values);
+    }
+}
+
+/// One member of a multi-cut expansion: a horizon, optionally with its
+/// own cancellation token (a cancelled member drops its projection,
+/// not the shared expansion).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CutSpec {
+    pub(crate) horizon: usize,
+    pub(crate) cancel: Option<CancelToken>,
+}
+
+/// Where each cut member stands when [`flat_core`] returns.
+#[derive(Clone, Debug)]
+pub(crate) enum CutState<W> {
+    /// Still expanding (only observable mid-loop; a returned `Active`
+    /// means the member was never reached — not produced today).
+    Active,
+    /// The member's horizon was reached: its complete measure.
+    Answered(ExecutionMeasure<W>),
+    /// The member's token was cancelled before its horizon.
+    Cancelled,
+    /// The shared expansion tripped its budget before this member's
+    /// horizon; the returned checkpoint covers it.
+    Pending,
+}
+
+/// One grain's output at a pooled flat depth: the frontier range it
+/// covered, the lane that ran it, its per-depth terminal segments, the
+/// materialized executions of its frontier range, and its children.
+struct FlatContribution<W> {
+    start: usize,
+    lane: usize,
+    segs: Vec<Vec<(Execution, W)>>,
+    execs: Vec<Execution>,
+    next: FlatDepth<W>,
+}
+
+/// Expand one contiguous range of a flat frontier. `tail` selects the
+/// arm: `None` expands one depth (children into `next`), `Some(0)`
+/// copies horizon terminals, `Some(r)` expands each node's remaining
+/// `r`-deep subtree in place (the [`TAIL_DEPTHS`] window — gated off
+/// by the caller when a cut lies strictly inside the window, because
+/// cut snapshots need every intermediate frontier to exist).
+///
+/// Every frontier node's materialized execution is pushed onto
+/// `execs_out` in range order — including halted nodes, so the merged
+/// execution column stays index-aligned with the frontier (parent
+/// indices are global).
+#[allow(clippy::too_many_arguments)]
+fn flat_grain<W: Weight>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    shared: &EngineCache,
+    scope: ChoiceScope,
+    memo: &mut LaneMemo<W>,
+    budget: &Budget,
+    lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
+    work: &FlatDepth<W>,
+    prev: &[Execution],
+    depth: usize,
+    start: usize,
+    len: usize,
+    entries_base: usize,
+    base: usize,
+    tail: Option<usize>,
+    segs: &mut [Vec<(Execution, W)>],
+    execs_out: &mut Vec<Execution>,
+    next: &mut FlatDepth<W>,
+) -> Result<usize, EngineError> {
+    if let Some(0) = tail {
+        // The frontier sits at the deepest cut: unconditional terminal
+        // copies, exactly like the sequential engine's horizon check.
+        let seg = &mut segs[0];
+        for i in 0..len {
+            budget.check(entries_base + seg.len(), base + i + 1)?;
+            let exec = work.materialize(start + i, prev);
+            seg.push((exec.clone(), work.mass[start + i].clone()));
+            execs_out.push(exec);
+        }
+        return Ok(0);
+    }
+    if let Some(remaining) = tail {
+        // Tail window: replay compiled templates (or recurse) over each
+        // node's whole remaining subtree, emitting into per-depth
+        // segments — identical to the spine engine's tail grains.
+        let mut extra = 0usize;
+        let mut stack: Vec<(Execution, W)> = Vec::new();
+        for i in 0..len {
+            budget.check(
+                entries_base + segs.iter().map(Vec::len).sum::<usize>(),
+                base + i + 1,
+            )?;
+            let g = start + i;
+            let exec = work.materialize(g, prev);
+            let id = work.ids[g];
+            let weight = &work.mass[g];
+            match lane_tail(
+                memo,
+                shared,
+                scope,
+                sched,
+                auto,
+                depth,
+                exec.lstate(),
+                id,
+                remaining,
+                lift,
+            )? {
+                Some(tpl) => {
+                    if stack.is_empty() {
+                        stack = vec![(exec.clone(), W::one()); remaining];
+                    }
+                    replay_tail(&tpl, &exec, weight, &mut stack, segs);
+                    extra += tpl.steps.len();
+                }
+                None => {
+                    extra += expand_node_tail(
+                        auto, sched, shared, scope, lift, &exec, id, weight, 0, segs,
+                    )?;
+                }
+            }
+            execs_out.push(exec);
+        }
+        return Ok(extra);
+    }
+    // Normal depth: one step per node, children recorded as flat edges.
+    // Disjoint field borrows of the lane memo, exactly like the spine
+    // engine's `expand_node_lane` — the decoded choice stays borrowed
+    // while `trans` is probed per action.
+    let LaneMemo {
+        trans,
+        choices,
+        trans_cap,
+        choice_cap,
+        ..
+    } = memo;
+    for i in 0..len {
+        budget.check(entries_base + segs[0].len(), base + i + 1)?;
+        let g = start + i;
+        let exec = work.materialize(g, prev);
+        let id = work.ids[g];
+        let weight = &work.mass[g];
+        let gp = u32::try_from(g).expect("frontier exceeds u32 node indices");
+        if choices.len() >= *choice_cap {
+            choices.clear();
+        }
+        let cached = match choices.entry((depth, id)) {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(decode_choice(
+                shared,
+                scope,
+                sched,
+                auto,
+                depth,
+                exec.lstate(),
+                id,
+                lift,
+            )?),
+        };
+        if let Some(choice) = cached {
+            if choice.is_halt {
+                segs[0].push((exec.clone(), weight.clone()));
+                execs_out.push(exec);
+                continue;
+            }
+            let halt = choice.halt.as_ref().expect("non-halt choice lifts halt");
+            if !halt.is_zero() {
+                segs[0].push((exec.clone(), weight.mul(halt)));
+            }
+            for (a, p) in &choice.acts {
+                if trans.len() >= *trans_cap {
+                    trans.clear();
+                }
+                let slot = match trans.entry((id, *a)) {
+                    std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(decode_trans(shared, auto, exec.lstate(), id, *a, lift)?)
+                    }
+                };
+                let Some(entry) = slot else {
+                    return Err(disabled_action(sched, *a, exec.lstate()));
+                };
+                for (q2, id2, r) in &entry.succ {
+                    next.push_child(gp, *a, q2.clone(), *id2, weight.mul(p).mul(r));
+                }
+            }
+            execs_out.push(exec);
+            continue;
+        }
+        // History-dependent at this (step, state): ask per execution
+        // and lift per node, exactly like the spine path.
+        let fresh = sched.schedule(auto, &exec);
+        if fresh.is_halt() {
+            segs[0].push((exec.clone(), weight.clone()));
+            execs_out.push(exec);
+            continue;
+        }
+        let halt = lift(fresh.halt_prob().to_f64())?;
+        if !halt.is_zero() {
+            segs[0].push((exec.clone(), weight.mul(&halt)));
+        }
+        for (&a, p) in fresh.iter() {
+            let p = lift(p.to_f64())?;
+            if trans.len() >= *trans_cap {
+                trans.clear();
+            }
+            let slot = match trans.entry((id, a)) {
+                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(decode_trans(shared, auto, exec.lstate(), id, a, lift)?)
+                }
+            };
+            let Some(entry) = slot else {
+                return Err(disabled_action(sched, a, exec.lstate()));
+            };
+            for (q2, id2, r) in &entry.succ {
+                next.push_child(gp, a, q2.clone(), *id2, weight.mul(&p).mul(r));
+            }
+        }
+        execs_out.push(exec);
+    }
+    Ok(0)
+}
+
+/// What [`flat_core`] hands back: every member's [`CutState`], the
+/// shared checkpoint if the budget tripped, and the run's stats.
+pub(crate) type FlatCoreOutcome<W> = (Vec<CutState<W>>, Option<ConeCheckpoint<W>>, ExactStats);
+
+/// A tripped depth awaiting checkpoint assembly: the depth's
+/// materialized frontier, the budget error, and the deepest active
+/// horizon at the trip.
+type TrippedDepth<W> = (Vec<(Execution, W)>, EngineError, usize);
+
+/// The multi-cut flat expansion core: one shared frontier expanded to
+/// the deepest active cut, snapshotting each member's answer as its
+/// horizon passes. Returns every member's [`CutState`], the shared
+/// checkpoint if the budget tripped, and the run's [`ExactStats`].
+///
+/// On a trip the rollback is depth-aligned exactly as in the spine
+/// engine — entries truncated to the depth start, the depth's full
+/// frontier materialized into the checkpoint — so each still-pending
+/// member can resume from the one shared checkpoint (with its own
+/// horizon) bit-identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn flat_core<'env, W, L>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    cuts: &[CutSpec],
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &'env EngineCache,
+    pool: &WorkerPool<'_, 'env>,
+    lift: L,
+    resume: Option<ConeCheckpoint<W>>,
+) -> Result<FlatCoreOutcome<W>, EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
+{
+    let lanes = pool.workers().min(policy.threads.max(1));
+    let scope = cache.choice_scope(sched);
+    let cache_base = cache.stats();
+    let pool_base = pool.stats();
+    let expansions = Arc::new(AtomicUsize::new(0));
+    let budget = budget.clone();
+    let mut pooled_depths = 0usize;
+    let mut sequential_depths = 0usize;
+    let scratch: Arc<Vec<Mutex<LaneMemo<W>>>> = Arc::new(
+        (0..pool.workers().max(1))
+            .map(|_| Mutex::new(LaneMemo::new()))
+            .collect(),
+    );
+    let mut arenas: FlatArenas<W> = FlatArenas::new();
+
+    let mut states: Vec<CutState<W>> = vec![CutState::Active; cuts.len()];
+    let mut entries: Vec<(Execution, W)>;
+    let mut prev: Arc<Vec<Execution>>;
+    let mut cur: FlatDepth<W> = arenas.take_depth();
+    let mut depth: usize;
+    match resume {
+        Some(ckpt) => {
+            entries = ckpt.resolved;
+            let mut execs = Vec::with_capacity(ckpt.frontier.len());
+            for (e, w) in ckpt.frontier {
+                cur.ids.push(IValue::of(e.lstate()));
+                cur.mass.push(w);
+                execs.push(e);
+            }
+            depth = execs.first().map(|e| e.len()).unwrap_or(0);
+            prev = Arc::new(execs);
+        }
+        None => {
+            entries = Vec::new();
+            let start = Execution::start_of(auto);
+            cur.ids.push(IValue::of(start.lstate()));
+            cur.mass.push(W::one());
+            prev = Arc::new(vec![start]);
+            depth = 0;
+        }
+    }
+    // Set when a depth trips the budget: the depth's frontier
+    // (materialized) plus the budget error and the deepest active
+    // horizon at the trip, turned into a checkpoint after stats close.
+    let mut tripped: Option<TrippedDepth<W>> = None;
+    let mut placement: Option<Vec<(usize, usize, usize)>> = None;
+    while !cur.is_empty() {
+        // A cancelled member drops out of the cut set; the shared
+        // expansion only stops when nobody is left (or the batch-level
+        // budget token trips).
+        for (spec, state) in cuts.iter().zip(states.iter_mut()) {
+            if matches!(state, CutState::Active)
+                && spec.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            {
+                *state = CutState::Cancelled;
+            }
+        }
+        let Some(h_max) = cuts
+            .iter()
+            .zip(&states)
+            .filter(|(_, s)| matches!(s, CutState::Active))
+            .map(|(c, _)| c.horizon)
+            .max()
+        else {
+            break;
+        };
+        let remaining = h_max.saturating_sub(depth);
+        // The tail window collapses the last few depths into one grain
+        // — legal only when no active cut needs one of the skipped
+        // intermediate frontiers for its snapshot.
+        let cut_inside = cuts
+            .iter()
+            .zip(&states)
+            .any(|(c, s)| matches!(s, CutState::Active) && c.horizon > depth && c.horizon < h_max);
+        let tail: Option<usize> = if remaining == 0 {
+            Some(0)
+        } else if remaining <= TAIL_DEPTHS && !cut_inside {
+            Some(remaining)
+        } else {
+            None
+        };
+        let entries_base = entries.len();
+        let total = cur.len();
+        let mut next = arenas.take_depth();
+        let mut merged_execs: Vec<Execution>;
+        if lanes <= 1 || total < policy.seq_cutover {
+            sequential_depths += 1;
+            placement = None;
+            let mut memo = scratch[0].lock().expect("lane memo poisoned");
+            let base = expansions.fetch_add(total, Ordering::Relaxed);
+            let mut segs: Vec<Vec<(Execution, W)>> = match tail {
+                Some(r) => (0..=r).map(|_| Vec::new()).collect(),
+                None => vec![Vec::new()],
+            };
+            merged_execs = arenas.execs.take_with_capacity(total);
+            let result = flat_grain(
+                auto,
+                sched,
+                cache,
+                scope,
+                &mut memo,
+                &budget,
+                lift,
+                &cur,
+                &prev,
+                depth,
+                0,
+                total,
+                entries_base,
+                base,
+                tail,
+                &mut segs,
+                &mut merged_execs,
+                &mut next,
+            );
+            drop(memo);
+            match result {
+                Ok(extra) => {
+                    if extra > 0 {
+                        expansions.fetch_add(extra, Ordering::Relaxed);
+                    }
+                    for seg in &mut segs {
+                        entries.append(seg);
+                    }
+                }
+                Err(e) => {
+                    if !matches!(e, EngineError::BudgetExhausted { .. }) {
+                        return Err(e);
+                    }
+                    entries.truncate(entries_base);
+                    let pairs = (0..cur.len())
+                        .map(|i| (cur.materialize(i, &prev), cur.mass[i].clone()))
+                        .collect();
+                    tripped = Some((pairs, e, h_max));
+                    break;
+                }
+            }
+        } else {
+            pooled_depths += 1;
+            let spans = placement.take().unwrap_or_else(|| even_spans(total, lanes));
+            let work: Arc<FlatDepth<W>> = Arc::new(std::mem::take(&mut cur));
+            let prev_shared = Arc::clone(&prev);
+            let results: Arc<Mutex<Vec<FlatContribution<W>>>> = Arc::new(Mutex::new(Vec::new()));
+            let first_error: Arc<Mutex<Option<EngineError>>> = Arc::new(Mutex::new(None));
+            let panics = {
+                let work = Arc::clone(&work);
+                let results = Arc::clone(&results);
+                let first_error = Arc::clone(&first_error);
+                let expansions = Arc::clone(&expansions);
+                let scratch = Arc::clone(&scratch);
+                let budget = budget.clone();
+                pool.run_splittable_cancellable(
+                    total,
+                    spans,
+                    policy.split_unit.max(1),
+                    budget.cancel.clone(),
+                    move |lane, start, len| {
+                        if first_error.lock().expect("error slot poisoned").is_some() {
+                            return;
+                        }
+                        let base = expansions.load(Ordering::Relaxed);
+                        if let Err(e) = budget.check(entries_base, base) {
+                            let mut slot = first_error.lock().expect("error slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                        let mut memo = scratch[lane % scratch.len()]
+                            .lock()
+                            .expect("lane memo poisoned");
+                        let base = expansions.fetch_add(len, Ordering::Relaxed);
+                        let mut segs: Vec<Vec<(Execution, W)>> = match tail {
+                            Some(r) => (0..=r)
+                                .map(|k| {
+                                    let cap = if k == r && r > 0 {
+                                        (len << r.min(16)).min(1 << 16)
+                                    } else {
+                                        0
+                                    };
+                                    Vec::with_capacity(cap)
+                                })
+                                .collect(),
+                            None => vec![Vec::new()],
+                        };
+                        let mut execs = Vec::with_capacity(len);
+                        let mut local_next = FlatDepth::default();
+                        if tail.is_none() {
+                            local_next.ids.reserve(2 * len);
+                        }
+                        match flat_grain(
+                            auto,
+                            sched,
+                            cache,
+                            scope,
+                            &mut memo,
+                            &budget,
+                            lift,
+                            &work,
+                            &prev_shared,
+                            depth,
+                            start,
+                            len,
+                            entries_base,
+                            base,
+                            tail,
+                            &mut segs,
+                            &mut execs,
+                            &mut local_next,
+                        ) {
+                            Ok(extra) => {
+                                if extra > 0 {
+                                    expansions.fetch_add(extra, Ordering::Relaxed);
+                                }
+                            }
+                            Err(e) => {
+                                let mut slot = first_error.lock().expect("error slot poisoned");
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                return;
+                            }
+                        }
+                        results
+                            .lock()
+                            .expect("contributions poisoned")
+                            .push(FlatContribution {
+                                start,
+                                lane,
+                                segs,
+                                execs,
+                                next: local_next,
+                            });
+                    },
+                )
+            };
+            if let Some(payload) = panics.into_iter().next() {
+                std::panic::resume_unwind(payload);
+            }
+            let depth_error = first_error
+                .lock()
+                .expect("error slot poisoned")
+                .take()
+                .or_else(|| {
+                    if budget.is_cancelled() {
+                        budget
+                            .check(entries.len(), expansions.load(Ordering::Relaxed))
+                            .err()
+                    } else {
+                        None
+                    }
+                });
+            let work = Arc::try_unwrap(work).unwrap_or_else(|shared| {
+                // The closure is gone; any surviving handle would be a
+                // pool bug. Cloning keeps this unreachable-in-practice
+                // path correct anyway.
+                FlatDepth {
+                    ids: shared.ids.clone(),
+                    mass: shared.mass.clone(),
+                    parents: shared.parents.clone(),
+                    actions: shared.actions.clone(),
+                    values: shared.values.clone(),
+                }
+            });
+            if let Some(e) = depth_error {
+                if !matches!(e, EngineError::BudgetExhausted { .. }) {
+                    return Err(e);
+                }
+                let pairs = (0..work.len())
+                    .map(|i| (work.materialize(i, &prev), work.mass[i].clone()))
+                    .collect();
+                tripped = Some((pairs, e, h_max));
+                break;
+            }
+            // Deterministic merge, exactly as in the spine engine:
+            // grain order == frontier order; segment k across grains in
+            // start order is depth `depth + k`'s terminal list in its
+            // sequential processing order.
+            let mut contributions =
+                std::mem::take(&mut *results.lock().expect("contributions poisoned"));
+            contributions.sort_unstable_by_key(|c| c.start);
+            entries.reserve(
+                contributions
+                    .iter()
+                    .map(|c| c.segs.iter().map(Vec::len).sum::<usize>())
+                    .sum(),
+            );
+            merged_execs = arenas.execs.take_with_capacity(total);
+            let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+            let depth_segs = contributions
+                .iter()
+                .map(|c| c.segs.len())
+                .max()
+                .unwrap_or(0);
+            for k in 0..depth_segs {
+                for c in &mut contributions {
+                    if let Some(seg) = c.segs.get_mut(k) {
+                        entries.append(seg);
+                    }
+                    if k == 0 {
+                        merged_execs.append(&mut c.execs);
+                        if !c.next.is_empty() {
+                            match runs.last_mut() {
+                                Some((lane, _, len)) if *lane == c.lane => *len += c.next.len(),
+                                _ => runs.push((c.lane, next.len(), c.next.len())),
+                            }
+                            next.append(&mut c.next);
+                        }
+                    }
+                }
+            }
+            placement = Some(runs);
+            cur = work;
+        }
+        // Members whose horizon is this depth get their answer from the
+        // snapshot: the entry prefix accumulated *before* this depth
+        // (halts at depths 0..depth) plus this depth's frontier — the
+        // exact shape an independent expansion at `horizon == depth`
+        // produces. At `depth == h_max` the horizon arm already pushed
+        // the terminal copies into `entries`; the post-loop sweep
+        // answers those members.
+        if depth < h_max {
+            for (spec, state) in cuts.iter().zip(states.iter_mut()) {
+                if matches!(state, CutState::Active) && spec.horizon == depth {
+                    let mut answer = entries[..entries_base].to_vec();
+                    answer.extend(merged_execs.iter().cloned().zip(cur.mass.iter().cloned()));
+                    *state = CutState::Answered(ExecutionMeasure::from_parts(answer, depth));
+                }
+            }
+        }
+        // Recycle the spent depth: its execution column becomes the
+        // next depth's `prev`, its flat columns go back to the arenas.
+        let spent = std::mem::take(&mut cur);
+        arenas.put_depth(spent);
+        if let Ok(old) = Arc::try_unwrap(std::mem::replace(&mut prev, Arc::new(merged_execs))) {
+            arenas.execs.put(old);
+        }
+        cur = next;
+        depth += 1;
+    }
+    let stats = ExactStats {
+        threads: if pooled_depths > 0 { lanes } else { 1 },
+        pooled_depths,
+        sequential_depths,
+        pool: pool.stats().since(&pool_base),
+        cache: cache.stats().since(cache_base),
+    };
+    let checkpoint = match tripped {
+        None => {
+            // Completed (or every member cancelled): every member whose
+            // horizon was not snapshotted mid-loop gets the full entry
+            // list — correct both for the deepest cut (the horizon arm
+            // appended its terminal copies) and for a cone that halted
+            // everywhere before the horizon.
+            for (spec, state) in cuts.iter().zip(states.iter_mut()) {
+                if matches!(state, CutState::Active) {
+                    *state = CutState::Answered(ExecutionMeasure::from_parts(
+                        entries.clone(),
+                        spec.horizon,
+                    ));
+                }
+            }
+            None
+        }
+        Some((pairs, reason, horizon)) => {
+            for state in states.iter_mut() {
+                if matches!(state, CutState::Active) {
+                    *state = CutState::Pending;
+                }
+            }
+            Some(ConeCheckpoint {
+                resolved: entries,
+                frontier: pairs,
+                horizon,
+                reason,
+            })
+        }
+    };
+    Ok((states, checkpoint, stats))
+}
+
+/// Single-horizon checkpointed expansion on the flat engine —
+/// signature-compatible with
+/// [`crate::measure::try_execution_measure_ckpt_with`], bit-identical
+/// output (the proptests sweep lanes, steal seeds and split units
+/// against the spine oracle).
+#[allow(clippy::too_many_arguments)]
+pub fn try_execution_measure_flat_with<'env, W, L>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &'env EngineCache,
+    pool: &WorkerPool<'_, 'env>,
+    lift: L,
+    resume: Option<ConeCheckpoint<W>>,
+) -> Result<(ExpansionOutcome<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
+{
+    let cuts = [CutSpec {
+        horizon,
+        cancel: None,
+    }];
+    let (mut states, checkpoint, stats) = flat_core(
+        auto, sched, &cuts, budget, policy, cache, pool, lift, resume,
+    )?;
+    let outcome = match states.pop().expect("one cut in, one state out") {
+        CutState::Answered(m) => ExpansionOutcome::Complete(m),
+        CutState::Pending => {
+            ExpansionOutcome::Partial(checkpoint.expect("pending member implies a checkpoint"))
+        }
+        CutState::Active | CutState::Cancelled => {
+            unreachable!("single-cut expansion with no member token")
+        }
+    };
+    Ok((outcome, stats))
+}
+
+/// [`try_execution_measure_flat_with`] on a self-provisioned pool.
+#[allow(clippy::too_many_arguments)]
+pub fn try_execution_measure_flat_in<W, L>(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+    lift: L,
+    resume: Option<ConeCheckpoint<W>>,
+) -> Result<(ExpansionOutcome<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync,
+{
+    if policy.threads == 0 {
+        return Err(EngineError::InvalidSampling {
+            reason: "cannot expand with zero worker threads".into(),
+        });
+    }
+    with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
+        try_execution_measure_flat_with(
+            auto, sched, horizon, budget, policy, cache, pool, lift, resume,
+        )
+    })
+}
+
+/// The `f64` flat expansion under a [`Budget`].
+pub fn try_execution_measure_flat(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+) -> Result<(ExpansionOutcome<f64>, ExactStats), EngineError> {
+    try_execution_measure_flat_in(auto, sched, horizon, budget, policy, cache, Ok, None)
+}
+
+/// Resume a [`ConeCheckpoint`] on the flat engine under a (presumably
+/// enlarged) budget — bit-identical to an unbudgeted run on either
+/// engine, because both roll tripped depths back to their start.
+pub fn try_execution_measure_flat_resume<W, L>(
+    ckpt: ConeCheckpoint<W>,
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+    lift: L,
+) -> Result<(ExpansionOutcome<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync,
+{
+    let horizon = ckpt.horizon;
+    try_execution_measure_flat_in(
+        auto,
+        sched,
+        horizon,
+        budget,
+        policy,
+        cache,
+        lift,
+        Some(ckpt),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::try_execution_measure_ckpt_in;
+    use crate::scheduler::{FirstEnabled, HaltingMix};
+    use dpioa_core::{Action, ExplicitAutomaton, Signature, Value};
+    use dpioa_prob::Disc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    /// A fanout-two walk on 6 states: 2^h executions at horizon h.
+    fn walk() -> ExplicitAutomaton {
+        let n = 6i64;
+        let mut b = ExplicitAutomaton::builder("flat-walk", Value::int(0));
+        for i in 0..n {
+            let step = act(&format!("flat-w{i}"));
+            b = b.state(i, Signature::new([], [], [step])).transition(
+                i,
+                step,
+                Disc::bernoulli_dyadic(Value::int((i + 1) % n), Value::int((i + 2) % n), 1, 1),
+            );
+        }
+        b.build()
+    }
+
+    fn entries_of(m: &ExecutionMeasure<f64>) -> Vec<(Execution, f64)> {
+        m.iter().map(|(e, w)| (e.clone(), *w)).collect()
+    }
+
+    /// The spine (per-depth) engine as the order-exact oracle: the flat
+    /// engine reproduces its depth-major entry order bit-for-bit. (The
+    /// DFS engine emits the same entries in stack order; the spine
+    /// engine is itself proptested against it set-wise.)
+    fn spine(auto: &dyn Automaton, sched: &dyn Scheduler, horizon: usize) -> ExecutionMeasure<f64> {
+        let cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_ckpt_in::<f64, _>(
+            auto,
+            sched,
+            horizon,
+            &Budget::unlimited(),
+            ParallelPolicy::sequential(),
+            &cache,
+            Ok,
+            None,
+        )
+        .expect("spine expansion succeeds");
+        outcome.into_measure().expect("completes")
+    }
+
+    fn flat_measure(policy: ParallelPolicy, horizon: usize) -> ExecutionMeasure<f64> {
+        let auto = walk();
+        let cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_flat(
+            &auto,
+            &FirstEnabled,
+            horizon,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+        )
+        .expect("flat expansion succeeds");
+        outcome.into_measure().expect("unbudgeted run completes")
+    }
+
+    #[test]
+    fn flat_matches_sequential_bitwise() {
+        let auto = walk();
+        for horizon in [0, 1, 3, 7, 9] {
+            let oracle = spine(&auto, &FirstEnabled, horizon);
+            let flat = flat_measure(ParallelPolicy::sequential(), horizon);
+            assert_eq!(entries_of(&oracle), entries_of(&flat), "h={horizon}");
+        }
+    }
+
+    #[test]
+    fn flat_pooled_matches_sequential_bitwise() {
+        let auto = walk();
+        let horizon = 9;
+        let oracle = spine(&auto, &FirstEnabled, horizon);
+        for lanes in [2usize, 4] {
+            let policy = ParallelPolicy::new(lanes, 8).with_split_unit(16);
+            let flat = flat_measure(policy, horizon);
+            assert_eq!(entries_of(&oracle), entries_of(&flat), "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn flat_matches_spine_under_partial_halts() {
+        let auto = walk();
+        let sched = HaltingMix::new(FirstEnabled, 1, 2);
+        let horizon = 8;
+        let cache = EngineCache::new();
+        let policy = ParallelPolicy::new(2, 8).with_split_unit(8);
+        let (oracle, _) = try_execution_measure_ckpt_in::<f64, _>(
+            &auto,
+            &sched,
+            horizon,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+            Ok,
+            None,
+        )
+        .expect("spine expansion succeeds");
+        let spine = oracle.into_measure().expect("completes");
+        let flat_cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_flat(
+            &auto,
+            &sched,
+            horizon,
+            &Budget::unlimited(),
+            policy,
+            &flat_cache,
+        )
+        .expect("flat expansion succeeds");
+        let flat = outcome.into_measure().expect("completes");
+        assert_eq!(entries_of(&spine), entries_of(&flat));
+    }
+
+    #[test]
+    fn flat_trip_checkpoint_resumes_bit_identically() {
+        let auto = walk();
+        let horizon = 9;
+        let oracle = spine(&auto, &FirstEnabled, horizon);
+        let cache = EngineCache::new();
+        let policy = ParallelPolicy::sequential();
+        // Trips at depth 3 (cumulative ordinal 15 > 10) — before the
+        // tail window, whose subtree descendants are only counted
+        // post-grain (same grain granularity as the spine engine).
+        let budget = Budget::unlimited().with_max_expansions(10);
+        let (outcome, _) =
+            try_execution_measure_flat(&auto, &FirstEnabled, horizon, &budget, policy, &cache)
+                .expect("budget trips are not errors");
+        let ckpt = match outcome {
+            ExpansionOutcome::Partial(c) => c,
+            ExpansionOutcome::Complete(_) => panic!("10 expansions must trip before 2^9 nodes"),
+        };
+        // Conservation: resolved + frontier mass is exactly one.
+        assert_eq!(ckpt.total_mass(), 1.0);
+        let (resumed, _) = try_execution_measure_flat_resume(
+            ckpt,
+            &auto,
+            &FirstEnabled,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+            Ok,
+        )
+        .expect("resume succeeds");
+        let m = resumed.into_measure().expect("completes");
+        assert_eq!(entries_of(&oracle), entries_of(&m));
+    }
+
+    #[test]
+    fn flat_checkpoint_resumes_on_spine_engine() {
+        // Cross-engine: a flat checkpoint is a plain ConeCheckpoint the
+        // spine engine resumes bit-identically (and vice versa).
+        let auto = walk();
+        let horizon = 9;
+        let oracle = spine(&auto, &FirstEnabled, horizon);
+        let cache = EngineCache::new();
+        let policy = ParallelPolicy::sequential();
+        let budget = Budget::unlimited().with_max_expansions(10);
+        let (outcome, _) =
+            try_execution_measure_flat(&auto, &FirstEnabled, horizon, &budget, policy, &cache)
+                .expect("budget trips are not errors");
+        let ckpt = outcome.into_checkpoint().expect("tripped");
+        let (resumed, _) = crate::measure::try_execution_measure_resume(
+            ckpt,
+            &auto,
+            &FirstEnabled,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+            Ok,
+        )
+        .expect("spine resume succeeds");
+        let m = resumed.into_measure().expect("completes");
+        assert_eq!(entries_of(&oracle), entries_of(&m));
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let auto = walk();
+        let cache = EngineCache::new();
+        let mut policy = ParallelPolicy::sequential();
+        policy.threads = 0;
+        let err = try_execution_measure_flat(
+            &auto,
+            &FirstEnabled,
+            3,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSampling { .. }));
+    }
+}

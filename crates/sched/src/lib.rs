@@ -37,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bounded;
 pub mod cache;
 pub mod checkpoint;
 pub mod error;
+pub mod flat;
 pub mod lumped;
 pub mod measure;
 pub mod robust;
@@ -48,10 +50,18 @@ pub mod sample;
 pub mod scheduler;
 pub mod schema;
 
+pub use batch::{
+    projection_checkpoint, try_batch_execution_measures, try_batch_execution_measures_in,
+    try_batch_execution_measures_with, BatchMember, BatchOutcome, BatchProjection,
+};
 pub use bounded::BoundedScheduler;
 pub use cache::{ChoiceScope, EngineCache, LaneMemo};
 pub use checkpoint::{Checkpoint, ConeCheckpoint, ExpansionOutcome, LumpedCheckpoint, LumpedClass};
 pub use error::{disabled_action, Budget, EngineError};
+pub use flat::{
+    try_execution_measure_flat, try_execution_measure_flat_in, try_execution_measure_flat_resume,
+    try_execution_measure_flat_with,
+};
 pub use lumped::{
     lumped_observation_dist, try_lumped_observation_dist, try_lumped_observation_dist_cached,
     try_lumped_observation_dist_ckpt, try_lumped_observation_dist_exact,

@@ -29,7 +29,7 @@ use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::FxHashMap;
 use dpioa_core::memo::CacheStats;
-use dpioa_core::pool::{with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SEED};
+use dpioa_core::pool::{even_spans, with_pool_seeded, PoolStats, WorkerPool, DEFAULT_STEAL_SEED};
 use dpioa_core::{Action, Automaton, Execution, IValue, Value};
 use dpioa_prob::{Disc, Ratio, SubDisc, Weight};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -44,6 +44,14 @@ pub struct ExecutionMeasure<W = f64> {
 }
 
 impl<W: Weight> ExecutionMeasure<W> {
+    /// Assemble a measure from a terminal list the caller guarantees to
+    /// be a complete finite-horizon description of `ε_σ` — the flat
+    /// engine's constructor (`crate::flat`); not a public API because
+    /// arbitrary entry lists are not measures.
+    pub(crate) fn from_parts(entries: Vec<(Execution, W)>, horizon: usize) -> ExecutionMeasure<W> {
+        ExecutionMeasure { entries, horizon }
+    }
+
     /// Iterate `(execution, probability)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Execution, &W)> {
         self.entries.iter().map(|(e, w)| (e, w))
@@ -307,7 +315,7 @@ pub const DEFAULT_SPLIT_UNIT: usize = 256;
 /// (about `1 - 2^-K` of them), so this is where the pooled engine
 /// earns its speedup; the per-depth segment merge keeps the result
 /// bit-identical to sequential expansion.
-const TAIL_DEPTHS: usize = 5;
+pub(crate) const TAIL_DEPTHS: usize = 5;
 
 /// How the pooled exact engine dispatches each frontier depth:
 /// sequentially inline below the cutover, fanned out as splittable
@@ -425,21 +433,6 @@ struct Contribution<W> {
     lane: usize,
     segs: Vec<Vec<(Execution, W)>>,
     next: Vec<Node<W>>,
-}
-
-/// Split `0..len` into `lanes` near-even contiguous spans, span `j`
-/// placed on lane `j` — the affinity-free fallback placement for the
-/// first pooled depth (or after an inline depth).
-fn even_spans(len: usize, lanes: usize) -> Vec<(usize, usize, usize)> {
-    let chunk = len.div_ceil(lanes.max(1)).max(1);
-    let mut spans = Vec::new();
-    let mut start = 0;
-    while start < len {
-        let take = chunk.min(len - start);
-        spans.push((spans.len(), start, take));
-        start += take;
-    }
-    spans
 }
 
 /// Expand one frontier node into a (worker-local) terminal/next pair,
@@ -706,7 +699,7 @@ fn expand_tail_grain<W: Weight>(
 /// node: straight-line `extend`/multiply/push per edge, emitting each
 /// subtree node's terminals into its depth segment. `stack` must have
 /// one slot per non-horizon depth (`segs.len() - 1`).
-fn replay_tail<W: Weight>(
+pub(crate) fn replay_tail<W: Weight>(
     tpl: &TailTemplate<W>,
     exec: &Execution,
     weight: &W,
@@ -757,7 +750,7 @@ fn replay_tail<W: Weight>(
 /// read back. The per-node lifts here compute exactly the weights the
 /// decoded paths pre-store, so either path is bit-identical.
 #[allow(clippy::too_many_arguments)]
-fn expand_node_tail<W: Weight>(
+pub(crate) fn expand_node_tail<W: Weight>(
     auto: &dyn Automaton,
     sched: &dyn Scheduler,
     shared: &EngineCache,

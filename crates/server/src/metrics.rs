@@ -51,6 +51,16 @@ pub struct ServerMetrics {
     pub engine_hybrid: AtomicU64,
     /// Queries that found the circuit breaker open.
     pub breaker_skips: AtomicU64,
+    /// Queries answered as a member of a coalesced batch (fan-out
+    /// counted per member, so this counts *queries*, not batches).
+    pub batched_queries: AtomicU64,
+    /// Queries that joined an already-forming batch instead of
+    /// starting their own expansion (fan-out minus leaders).
+    pub coalesce_hits: AtomicU64,
+    /// Coalesced batches executed (leaders).
+    pub batches: AtomicU64,
+    /// Largest fan-out (member count) observed in a single batch.
+    pub batch_fanout_max: AtomicU64,
     /// Total service time (parse→response), nanoseconds.
     pub service_ns_total: AtomicU64,
     /// Connections currently queued for a worker.
@@ -82,6 +92,17 @@ impl ServerMetrics {
         self.cancel_latency_ns_total
             .fetch_add(ns, Ordering::Relaxed);
         self.cancel_latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record one executed batch of `fanout` coalesced queries. The
+    /// leader counts as a batched query but not a coalesce hit.
+    pub fn record_batch(&self, fanout: usize) {
+        let fanout = fanout as u64;
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries.fetch_add(fanout, Ordering::Relaxed);
+        self.coalesce_hits
+            .fetch_add(fanout.saturating_sub(1), Ordering::Relaxed);
+        self.batch_fanout_max.fetch_max(fanout, Ordering::Relaxed);
     }
 
     /// Bump the response-class counter for a written status.
@@ -184,6 +205,26 @@ impl ServerMetrics {
         );
         line(
             &mut out,
+            "batched_queries_total",
+            self.batched_queries.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "coalesce_hits_total",
+            self.coalesce_hits.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "batches_total",
+            self.batches.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "batch_fanout_max",
+            self.batch_fanout_max.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
             "service_ns_total",
             self.service_ns_total.load(Ordering::Relaxed),
         );
@@ -255,6 +296,7 @@ mod tests {
         m.record_engine(EngineKind::Lumped, false);
         m.record_engine(EngineKind::Hybrid, true);
         m.record_cancel(Duration::from_micros(250));
+        m.record_batch(3);
         let cache = EngineCache::bounded_with_admission(64, 0.5);
         let breaker = CircuitBreaker::new(3);
         let page = m.render(&cache, &breaker);
@@ -268,6 +310,10 @@ mod tests {
             "dpioa_breaker_skips_total 1",
             "dpioa_cancelled_total 1",
             "dpioa_cancel_latency_ns_max 250000",
+            "dpioa_batched_queries_total 3",
+            "dpioa_coalesce_hits_total 2",
+            "dpioa_batches_total 1",
+            "dpioa_batch_fanout_max 3",
             "dpioa_cache_family_quota",
             "dpioa_breaker_open_keys 0",
         ] {

@@ -40,14 +40,15 @@ use crate::metrics::ServerMetrics;
 use dpioa_core::{CancelToken, Value};
 use dpioa_prob::Disc;
 use dpioa_sched::{
-    robust_observation_dist, Budget, CircuitBreaker, EngineCache, EngineError, EngineKind,
-    Observation, Provenance, RobustConfig, Scheduler,
+    robust_observation_dist, try_batch_execution_measures, BatchMember, BatchProjection, Budget,
+    CircuitBreaker, EngineCache, EngineError, EngineKind, Observation, ParallelPolicy, Provenance,
+    RobustConfig, Scheduler,
 };
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -91,6 +92,10 @@ pub struct ServerConfig {
     pub retry_after_ms: u64,
     /// Disconnect-watcher poll period.
     pub watcher_poll: Duration,
+    /// How long the first query of a (automaton, scheduler,
+    /// observation) key waits for compatible queries to coalesce into
+    /// one batched expansion before running. Zero disables coalescing.
+    pub coalesce_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +118,7 @@ impl Default for ServerConfig {
             max_entries_cap: 1 << 16,
             retry_after_ms: 50,
             watcher_poll: Duration::from_millis(5),
+            coalesce_window: Duration::from_millis(2),
         }
     }
 }
@@ -231,6 +237,78 @@ impl WatchBoard {
     }
 }
 
+/// The coalescing key: queries agreeing on all three expand one shared
+/// cone tree, whatever their horizons.
+type BatchKey = (String, String, String);
+
+/// What a batch leader hands each member once the shared expansion is
+/// done.
+enum BatchVerdict {
+    /// The shared expansion answered this member exactly.
+    Done(Box<(Disc<Value>, Provenance)>),
+    /// The member must answer itself on the solo robust cascade (the
+    /// batch tripped its budget, errored, or found the breaker open).
+    Solo,
+    /// The member's token was cancelled while the batch ran; there is
+    /// nobody left to answer.
+    Cancelled,
+}
+
+/// One query parked in a forming batch.
+struct BatchSeat {
+    horizon: usize,
+    token: CancelToken,
+    max_entries: usize,
+    max_expansions: Option<usize>,
+    deadline: Duration,
+    reply: mpsc::Sender<BatchVerdict>,
+}
+
+/// The outcome of offering a query to the batch board.
+enum Rendezvous {
+    /// No batch was forming for the key: the caller leads — it collects
+    /// followers for the coalesce window, then runs the expansion.
+    Lead,
+    /// Joined a forming batch: block on the leader's verdict.
+    Follow(mpsc::Receiver<BatchVerdict>),
+}
+
+/// The rendezvous point where workers coalesce compatible queued
+/// queries (same automaton + scheduler + observation, any horizons)
+/// into one flat batched expansion.
+#[derive(Default)]
+struct BatchBoard {
+    forming: Mutex<HashMap<BatchKey, Vec<BatchSeat>>>,
+}
+
+impl BatchBoard {
+    /// Join the forming batch for `key`, or open one and lead it.
+    fn rendezvous(
+        &self,
+        key: &BatchKey,
+        seat: impl FnOnce(mpsc::Sender<BatchVerdict>) -> BatchSeat,
+    ) -> Rendezvous {
+        let mut map = self.forming.lock().expect("batch lock");
+        if let Some(seats) = map.get_mut(key) {
+            let (tx, rx) = mpsc::channel();
+            seats.push(seat(tx));
+            Rendezvous::Follow(rx)
+        } else {
+            map.insert(key.clone(), Vec::new());
+            Rendezvous::Lead
+        }
+    }
+
+    /// Close the batch for `key`: later arrivals start a new one.
+    fn close(&self, key: &BatchKey) -> Vec<BatchSeat> {
+        self.forming
+            .lock()
+            .expect("batch lock")
+            .remove(key)
+            .unwrap_or_default()
+    }
+}
+
 struct Inner {
     config: ServerConfig,
     catalog: Catalog,
@@ -239,6 +317,7 @@ struct Inner {
     metrics: Arc<ServerMetrics>,
     queue: ConnQueue,
     watch: WatchBoard,
+    batch: BatchBoard,
     shutdown: AtomicBool,
     next_request_id: AtomicU64,
 }
@@ -322,6 +401,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         metrics: Arc::new(ServerMetrics::default()),
         queue: ConnQueue::new(config.queue_capacity),
         watch: WatchBoard::default(),
+        batch: BatchBoard::default(),
         shutdown: AtomicBool::new(false),
         next_request_id: AtomicU64::new(1),
         catalog: Catalog::standard(),
@@ -570,7 +650,11 @@ fn catalog_page(inner: &Inner) -> Json {
 struct QueryPlan<'a> {
     entry: &'a CatalogEntry,
     scheduler: Arc<dyn Scheduler>,
+    /// Wire name of the scheduler — part of the coalescing key.
+    sched_name: String,
     observation: Observation,
+    /// Wire name of the observation — part of the coalescing key.
+    obs_name: String,
     horizon: usize,
     max_entries: usize,
     max_expansions: Option<usize>,
@@ -704,7 +788,9 @@ fn plan_query<'a>(
     Ok(QueryPlan {
         entry,
         scheduler,
+        sched_name: sched_name.to_string(),
         observation,
+        obs_name: obs_name.to_string(),
         horizon,
         max_entries,
         max_expansions,
@@ -758,13 +844,7 @@ fn handle_query(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool)
     inner.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
 
     let started = Instant::now();
-    let result = robust_observation_dist(
-        plan.entry.automaton.as_ref(),
-        plan.scheduler.as_ref(),
-        plan.horizon,
-        &plan.observation,
-        &config,
-    );
+    let result = execute_query(inner, &plan, &token, &config);
     let service = started.elapsed();
 
     inner.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -816,6 +896,200 @@ fn handle_query(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool)
             respond_error(conn, inner, status, err.code(), &err.to_string(), close);
             !close
         }
+    }
+}
+
+/// Run one planned query: through the coalescing batch path when a
+/// window is configured, else straight down the solo robust cascade.
+fn execute_query(
+    inner: &Inner,
+    plan: &QueryPlan,
+    token: &CancelToken,
+    config: &RobustConfig,
+) -> Result<(Disc<Value>, Provenance), EngineError> {
+    let window = inner.config.coalesce_window;
+    if window.is_zero() {
+        return solo_query(plan, config);
+    }
+    let key = (
+        plan.entry.name.to_string(),
+        plan.sched_name.clone(),
+        plan.obs_name.clone(),
+    );
+    match inner.batch.rendezvous(&key, |reply| BatchSeat {
+        horizon: plan.horizon,
+        token: token.clone(),
+        max_entries: plan.max_entries,
+        max_expansions: plan.max_expansions,
+        deadline: plan.deadline,
+        reply,
+    }) {
+        Rendezvous::Lead => {
+            thread::sleep(window);
+            let seats = inner.batch.close(&key);
+            lead_batch(inner, plan, token, config, seats)
+        }
+        Rendezvous::Follow(rx) => {
+            // The leader answers within the members' shared deadline;
+            // the margin covers a leader that died without replying.
+            let patience = plan.deadline + window + Duration::from_secs(5);
+            match rx.recv_timeout(patience) {
+                Ok(BatchVerdict::Done(answer)) => Ok(*answer),
+                Ok(BatchVerdict::Cancelled) => Err(cancelled_error()),
+                Ok(BatchVerdict::Solo) | Err(_) => solo_query(plan, config),
+            }
+        }
+    }
+}
+
+/// The single-query robust cascade (lumped → exact → Monte-Carlo),
+/// under the member's own budget and cancellation token.
+fn solo_query(
+    plan: &QueryPlan,
+    config: &RobustConfig,
+) -> Result<(Disc<Value>, Provenance), EngineError> {
+    robust_observation_dist(
+        plan.entry.automaton.as_ref(),
+        plan.scheduler.as_ref(),
+        plan.horizon,
+        &plan.observation,
+        config,
+    )
+}
+
+/// The error a cancelled batch member surfaces — shaped exactly like
+/// the engine's own cancellation trip so the response path treats both
+/// identically (no response, cancel latency recorded).
+fn cancelled_error() -> EngineError {
+    EngineError::BudgetExhausted {
+        entries: 0,
+        expansions: 0,
+        deadline_hit: false,
+        cancelled: true,
+    }
+}
+
+/// Execute a coalesced batch: the leader plus `seats` followers share
+/// one flat multi-horizon expansion; every completed projection is
+/// bit-identical to the expansion that member would have run alone.
+/// Members the batch could not answer (budget trip, engine error, open
+/// breaker) fall back to their own solo cascade.
+fn lead_batch(
+    inner: &Inner,
+    plan: &QueryPlan,
+    token: &CancelToken,
+    config: &RobustConfig,
+    seats: Vec<BatchSeat>,
+) -> Result<(Disc<Value>, Provenance), EngineError> {
+    if seats.is_empty() {
+        // Nobody coalesced inside the window: plain solo query.
+        return solo_query(plan, config);
+    }
+    let auto = plan.entry.automaton.as_ref();
+    let send_all_solo = |seats: &[BatchSeat]| {
+        for seat in seats {
+            let _ = seat.reply.send(BatchVerdict::Solo);
+        }
+    };
+
+    // An open breaker means the exact tier keeps tripping on this
+    // automaton — don't build a batch on it; every member degrades
+    // through its own robust cascade instead.
+    if inner.breaker.is_open(&auto.name()) {
+        send_all_solo(&seats);
+        return solo_query(plan, config);
+    }
+
+    // The shared budget is the intersection of the members' budgets, so
+    // no member exceeds its own caps by riding in a batch. A trip
+    // leaves members Pending; each then falls back to its solo cascade
+    // under its own (possibly wider) budget.
+    let mut max_entries = plan.max_entries;
+    let mut max_expansions = plan.max_expansions;
+    let mut deadline = plan.deadline;
+    for seat in &seats {
+        max_entries = max_entries.min(seat.max_entries);
+        deadline = deadline.min(seat.deadline);
+        max_expansions = match (max_expansions, seat.max_expansions) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+    let mut budget = Budget::unlimited()
+        .with_max_entries(max_entries)
+        .with_deadline_in(deadline);
+    if let Some(n) = max_expansions {
+        budget = budget.with_max_expansions(n);
+    }
+
+    let mut members = Vec::with_capacity(seats.len() + 1);
+    members.push(BatchMember::new(plan.horizon).with_cancel(token.clone()));
+    members.extend(
+        seats
+            .iter()
+            .map(|s| BatchMember::new(s.horizon).with_cancel(s.token.clone())),
+    );
+    inner.metrics.record_batch(members.len());
+
+    let policy = ParallelPolicy::auto(inner.config.exact_threads.max(1));
+    let outcome = match try_batch_execution_measures(
+        auto,
+        plan.scheduler.as_ref(),
+        &members,
+        &budget,
+        policy,
+        &inner.cache,
+    ) {
+        Ok(out) => out,
+        Err(_) => {
+            // Deterministic engine errors (contract violations) are
+            // rediscovered — and reported with the right status — by
+            // each member's own solo cascade.
+            send_all_solo(&seats);
+            return solo_query(plan, config);
+        }
+    };
+
+    if outcome
+        .projections
+        .iter()
+        .any(|p| matches!(p, BatchProjection::Complete(_)))
+    {
+        inner.breaker.record_success(&auto.name());
+    }
+    let stats = outcome.stats;
+    let provenance = || Provenance {
+        engine: EngineKind::Exact,
+        fallback_reason: None,
+        samples: None,
+        threads: Some(stats.threads),
+        cache_hits: Some(stats.cache.hits),
+        cache_misses: Some(stats.cache.misses),
+        pooled_depths: Some(stats.pooled_depths),
+        pool: Some(stats.pool.clone()),
+        resolved_mass: None,
+        frontier_nodes: None,
+        breaker_open: false,
+        error_bound: 0.0,
+        confidence_delta: 0.0,
+    };
+
+    let mut verdicts = outcome.projections.into_iter().map(|p| match p {
+        BatchProjection::Complete(m) => match m.try_observe(|e| plan.observation.apply(auto, e)) {
+            Ok(dist) => BatchVerdict::Done(Box::new((dist, provenance()))),
+            Err(_) => BatchVerdict::Solo,
+        },
+        BatchProjection::Cancelled => BatchVerdict::Cancelled,
+        BatchProjection::Pending => BatchVerdict::Solo,
+    });
+    let own = verdicts.next().expect("leader is member zero");
+    for (seat, verdict) in seats.iter().zip(verdicts) {
+        let _ = seat.reply.send(verdict);
+    }
+    match own {
+        BatchVerdict::Done(answer) => Ok(*answer),
+        BatchVerdict::Cancelled => Err(cancelled_error()),
+        BatchVerdict::Solo => solo_query(plan, config),
     }
 }
 

@@ -10,11 +10,12 @@ use dpioa_core::{Action, Automaton, CancelToken, Execution};
 use dpioa_integration::random_automaton;
 use dpioa_prob::{Ratio, SubDisc, Weight};
 use dpioa_sched::{
-    try_execution_measure, try_execution_measure_ckpt, try_execution_measure_ckpt_in,
+    projection_checkpoint, try_batch_execution_measures_in, try_execution_measure,
+    try_execution_measure_ckpt, try_execution_measure_ckpt_in, try_execution_measure_flat_resume,
     try_execution_measure_pooled, try_execution_measure_resume, try_lumped_observation_dist_cached,
-    try_lumped_observation_dist_ckpt, try_lumped_observation_dist_resume, Budget, EngineCache,
-    EngineError, ExpansionOutcome, FirstEnabled, HaltingMix, LumpedOutcome, Observation,
-    ParallelPolicy, PriorityScheduler, RandomScheduler, Scheduler,
+    try_lumped_observation_dist_ckpt, try_lumped_observation_dist_resume, BatchMember,
+    BatchProjection, Budget, EngineCache, EngineError, ExpansionOutcome, FirstEnabled, HaltingMix,
+    LumpedOutcome, Observation, ParallelPolicy, PriorityScheduler, RandomScheduler, Scheduler,
 };
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -547,5 +548,117 @@ fn resume_under_a_small_budget_checkpoints_again() {
     assert_eq!(total, Ratio::from_int(1));
     for (_, w) in done.iter() {
         assert_eq!(w.clone(), Ratio::new(1, 128));
+    }
+}
+
+/// Satellite (batch interop): a budget-tripped *batch* leaves one
+/// shared [`dpioa_sched::ConeCheckpoint`] behind. Projecting it onto
+/// each member's horizon with [`projection_checkpoint`] and resuming
+/// the cut — on the flat engine and on the Arc-spine engine alike —
+/// lands bit-identically (over exact rationals) on the measure an
+/// independent unbudgeted expansion of that member computes. The
+/// shallow member (horizon 5) keeps the tail window gated off, so a
+/// cap of two expansions deterministically trips in the counted
+/// per-depth path at every lane count.
+#[test]
+fn tripped_batch_checkpoint_resumes_per_projection_bit_identically() {
+    let auto = binary_tree(7);
+    let members = [BatchMember::new(7), BatchMember::new(5)];
+    for threads in pool_lanes() {
+        let cache = EngineCache::new();
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let out = try_batch_execution_measures_in(
+            &auto,
+            &FirstEnabled,
+            &members,
+            &Budget::unlimited().with_max_expansions(2),
+            policy,
+            &cache,
+            ratio_lift,
+        )
+        .expect("budget trips are salvageable");
+        assert!(
+            out.projections
+                .iter()
+                .all(|p| matches!(p, BatchProjection::Pending)),
+            "two expansions cannot complete either member at {threads} lanes"
+        );
+        let ckpt = out.checkpoint.expect("tripped batch carries a checkpoint");
+        assert!(matches!(
+            ckpt.reason,
+            EngineError::BudgetExhausted {
+                deadline_hit: false,
+                cancelled: false,
+                ..
+            }
+        ));
+        // Conservation with no tolerance, and a frontier shallow
+        // enough that *both* members can be cut from it.
+        assert_eq!(ckpt.total_mass(), Ratio::from_int(1));
+        let frontier_depth = ckpt.frontier[0].0.len();
+        assert!(frontier_depth <= 5, "frontier at depth {frontier_depth}");
+
+        for member in &members {
+            let proj = projection_checkpoint(&ckpt, member.horizon)
+                .expect("frontier is shallower than every member horizon");
+            assert_eq!(proj.horizon, member.horizon);
+
+            let (reference, _) = try_execution_measure_ckpt_in(
+                &auto,
+                &FirstEnabled,
+                member.horizon,
+                &Budget::unlimited(),
+                policy,
+                &cache,
+                ratio_lift,
+                None,
+            )
+            .expect("unbudgeted independent run");
+            let reference = match reference {
+                ExpansionOutcome::Complete(m) => m,
+                ExpansionOutcome::Partial(c) => panic!("unbudgeted run tripped: {:?}", c.reason),
+            };
+
+            // The flat engine and the Arc-spine engine both finish the
+            // projected cut to the same exact measure, entry for entry.
+            let (flat, _) = try_execution_measure_flat_resume(
+                proj.clone(),
+                &auto,
+                &FirstEnabled,
+                &Budget::unlimited(),
+                policy,
+                &cache,
+                ratio_lift,
+            )
+            .expect("flat resume under an unlimited budget succeeds");
+            let (spine, _) = try_execution_measure_resume(
+                proj,
+                &auto,
+                &FirstEnabled,
+                &Budget::unlimited(),
+                policy,
+                &cache,
+                ratio_lift,
+            )
+            .expect("spine resume under an unlimited budget succeeds");
+            for (label, resumed) in [("flat", flat), ("spine", spine)] {
+                let m = match resumed {
+                    ExpansionOutcome::Complete(m) => m,
+                    ExpansionOutcome::Partial(c) => {
+                        panic!("unlimited {label} resume tripped: {:?}", c.reason)
+                    }
+                };
+                assert_eq!(
+                    m.len(),
+                    reference.len(),
+                    "{label} h={} lanes={threads}",
+                    member.horizon
+                );
+                for (i, ((e1, w1), (e2, w2))) in m.iter().zip(reference.iter()).enumerate() {
+                    assert_eq!(e1, e2, "{label} entry #{i} h={}", member.horizon);
+                    assert_eq!(w1, w2, "{label} weight #{i} h={}", member.horizon);
+                }
+            }
+        }
     }
 }

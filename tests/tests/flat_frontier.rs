@@ -1,0 +1,192 @@
+//! Flat-frontier bit-identity: the arena-backed struct-of-arrays
+//! engine (`dpioa_sched::flat`) must reproduce the Arc-spine engine's
+//! execution measure *entry-for-entry, bit-for-bit* — same order, same
+//! executions, bit-equal f64 weights — for every lane count ×
+//! steal-RNG seed × split threshold, on random automata under both
+//! memoryless and history-dependent schedulers. Batched multi-horizon
+//! expansion must likewise equal K independent expansions, member by
+//! member. `DPIOA_POOL_LANES` pins the lane count for CI matrix runs;
+//! unset, all of {1, 2, 4, 8} are exercised.
+
+use dpioa_core::{Automaton, Execution};
+use dpioa_integration::random_automaton;
+use dpioa_sched::{
+    try_batch_execution_measures, try_execution_measure_ckpt_in, try_execution_measure_flat,
+    BatchMember, BatchProjection, BoundedScheduler, Budget, DeterministicScheduler, EngineCache,
+    ExecutionMeasure, FirstEnabled, HaltingMix, ParallelPolicy, PriorityScheduler, RandomScheduler,
+    Scheduler,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::sync::Arc;
+
+/// Lane counts to exercise; `DPIOA_POOL_LANES` pins one for CI matrix
+/// runs.
+fn lane_counts() -> Vec<usize> {
+    std::env::var("DPIOA_POOL_LANES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|l: usize| vec![l])
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// A scheduler from a small enumerated family. Kinds 0–4 are
+/// memoryless (the flat engine serves them from lane memos and tail
+/// templates); kind 5 is genuinely history-dependent, forcing the
+/// per-execution fallback path.
+fn scheduler_family(kind: u8, auto: &Arc<dyn Automaton>) -> Arc<dyn Scheduler> {
+    match kind % 6 {
+        0 => Arc::new(FirstEnabled),
+        1 => Arc::new(RandomScheduler),
+        2 => {
+            let mut order: Vec<_> = auto
+                .signature(&auto.start_state())
+                .all()
+                .into_iter()
+                .collect();
+            order.reverse();
+            Arc::new(PriorityScheduler::new(order))
+        }
+        3 => Arc::new(HaltingMix::new(FirstEnabled, 3, 2)),
+        4 => Arc::new(BoundedScheduler::new(FirstEnabled, 3)),
+        _ => Arc::new(DeterministicScheduler::new(
+            "ff-alternate",
+            |exec, enabled| {
+                if enabled.is_empty() {
+                    None
+                } else {
+                    enabled.get(exec.len() % enabled.len()).copied()
+                }
+            },
+        )),
+    }
+}
+
+/// The Arc-spine per-depth engine run sequentially — the order-exact
+/// oracle every flat expansion must match bitwise.
+fn spine(auto: &dyn Automaton, sched: &dyn Scheduler, horizon: usize) -> ExecutionMeasure<f64> {
+    let cache = EngineCache::new();
+    let (outcome, _) = try_execution_measure_ckpt_in::<f64, _>(
+        auto,
+        sched,
+        horizon,
+        &Budget::unlimited(),
+        ParallelPolicy::sequential(),
+        &cache,
+        Ok,
+        None,
+    )
+    .expect("spine expansion succeeds");
+    outcome.into_measure().expect("unbudgeted run completes")
+}
+
+fn entries_of(m: &ExecutionMeasure<f64>) -> Vec<(Execution, f64)> {
+    m.iter().map(|(e, w)| (e.clone(), *w)).collect()
+}
+
+/// Order-exact bitwise comparison: same length, pairwise-equal
+/// executions, bit-equal weights.
+fn assert_bitwise(
+    got: &ExecutionMeasure<f64>,
+    want: &ExecutionMeasure<f64>,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    let got = entries_of(got);
+    let want = entries_of(want);
+    prop_assert!(
+        got.len() == want.len(),
+        "entry count diverged ({} vs {}): {}",
+        got.len(),
+        want.len(),
+        ctx
+    );
+    for (i, ((ge, gw), (we, ww))) in got.iter().zip(&want).enumerate() {
+        prop_assert!(ge == we, "execution #{} diverged: {}", i, ctx);
+        prop_assert!(
+            gw.to_bits() == ww.to_bits(),
+            "weight #{} diverged: {}",
+            i,
+            ctx
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The flat engine is bit-identical to the sequential spine engine
+    /// for every lane count × steal seed × split unit — regardless of
+    /// how grains were chunked, stolen or split (cutover 0 forces
+    /// pooled dispatch at every depth; split unit 1–4 forces splits on
+    /// tiny spans).
+    #[test]
+    fn flat_matches_spine_bitwise_across_lanes(
+        seed in 0u64..500,
+        n in 3i64..7,
+        kind in 0u8..6,
+        horizon in 0usize..7,
+        steal_seed in any::<u64>(),
+        split_unit in 1usize..5,
+    ) {
+        let auto = random_automaton("ff-fs", &format!("ffs{seed}"), n, seed);
+        let sched = scheduler_family(kind, &auto);
+        let oracle = spine(&*auto, &*sched, horizon);
+        for threads in lane_counts() {
+            let cache = EngineCache::new();
+            let policy = ParallelPolicy::new(threads, 0)
+                .with_steal_seed(steal_seed)
+                .with_split_unit(split_unit);
+            let (outcome, stats) = try_execution_measure_flat(
+                &*auto, &*sched, horizon, &Budget::unlimited(), policy, &cache,
+            ).expect("unbudgeted flat expansion succeeds");
+            let flat = outcome.into_measure().expect("completes");
+            assert_bitwise(&flat, &oracle, &format!(
+                "kind={kind} h={horizon} lanes={threads} seed={steal_seed} unit={split_unit}",
+            ))?;
+            prop_assert_eq!(stats.threads, threads.max(1));
+        }
+    }
+
+    /// A batch of K projections over one shared frontier answers every
+    /// member bit-identically to the K independent expansions it
+    /// replaces — duplicate horizons included (proptest draws the
+    /// horizons independently, so collisions occur), sequential and
+    /// pooled alike.
+    #[test]
+    fn batch_matches_k_independent_expansions(
+        seed in 0u64..500,
+        n in 3i64..7,
+        kind in 0u8..6,
+        horizons in proptest::collection::vec(0usize..7, 1..5),
+        steal_seed in any::<u64>(),
+        split_unit in 1usize..5,
+    ) {
+        let auto = random_automaton("ff-bk", &format!("ffb{seed}"), n, seed);
+        let sched = scheduler_family(kind, &auto);
+        let members: Vec<BatchMember> =
+            horizons.iter().map(|&h| BatchMember::new(h)).collect();
+        for threads in lane_counts() {
+            let cache = EngineCache::new();
+            let policy = ParallelPolicy::new(threads, 0)
+                .with_steal_seed(steal_seed)
+                .with_split_unit(split_unit);
+            let out = try_batch_execution_measures(
+                &*auto, &*sched, &members, &Budget::unlimited(), policy, &cache,
+            ).expect("unbudgeted batch succeeds");
+            prop_assert!(out.checkpoint.is_none());
+            prop_assert_eq!(out.projections.len(), horizons.len());
+            for (h, p) in horizons.iter().zip(&out.projections) {
+                let BatchProjection::Complete(m) = p else {
+                    return Err(TestCaseError::fail(format!(
+                        "unbudgeted member h={h} did not complete"
+                    )));
+                };
+                let oracle = spine(&*auto, &*sched, *h);
+                assert_bitwise(m, &oracle, &format!(
+                    "kind={kind} h={h} lanes={threads} seed={steal_seed} unit={split_unit}",
+                ))?;
+            }
+        }
+    }
+}

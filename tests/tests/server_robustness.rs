@@ -214,6 +214,76 @@ fn client_disconnect_cancels_the_expansion_within_a_grain() {
 }
 
 #[test]
+fn mid_batch_disconnect_cancels_only_its_own_projection() {
+    // A long coalesce window so the second query reliably joins the
+    // first one's batch instead of leading its own.
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        watcher_poll: Duration::from_millis(2),
+        coalesce_window: Duration::from_millis(400),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+    let metrics = handle.metrics();
+
+    // Baseline solo answer for the survivor's query. walk-8 is dyadic,
+    // so the lumped solo tier and the flat batch tier produce the same
+    // f64 bits and the dists compare byte-identically.
+    let baseline = Client::new(addr.clone())
+        .query(r#"{"automaton":"walk-8","horizon":10}"#)
+        .unwrap();
+    assert_eq!(baseline.status, 200, "body: {}", baseline.body);
+    let want = baseline.json().unwrap().get("dist").cloned().unwrap();
+
+    // The survivor leads a fresh batch, collecting for the window…
+    let survivor = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            Client::new(addr)
+                .query(r#"{"automaton":"walk-8","horizon":10}"#)
+                .unwrap()
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while metrics.in_flight.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "leader never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // …and a compatible query (same automaton/scheduler/observation,
+    // deeper horizon) joins the batch, then its client vanishes.
+    client::fire_and_disconnect(&addr, r#"{"automaton":"walk-8","horizon":12}"#).unwrap();
+
+    // The survivor still gets its exact answer — the deserter's
+    // cancellation dropped only the deserter's projection.
+    let resp = survivor.join().unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(
+        resp.json().unwrap().get("dist"),
+        Some(&want),
+        "surviving projection must be bit-identical to the solo answer"
+    );
+
+    // The deserter was cancelled, and the batch counters saw exactly
+    // one two-member batch with one coalesce hit.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while metrics.cancelled.load(Ordering::Relaxed) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "mid-batch disconnect never recorded a cancellation"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(metrics.batches.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.batched_queries.load(Ordering::Relaxed), 2);
+    assert_eq!(metrics.coalesce_hits.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.batch_fanout_max.load(Ordering::Relaxed), 2);
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
 fn graceful_shutdown_drains_and_joins() {
     let handle = serve(quick_config()).expect("bind");
     let client = Client::new(handle.addr().to_string());
