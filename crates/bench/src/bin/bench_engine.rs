@@ -1,5 +1,5 @@
 //! Engine benchmark harness: before/after medians for the exact-engine
-//! rework, emitted as `BENCH_engine.json` (schema `bench-engine/v3`).
+//! rework, emitted as `BENCH_engine.json` (schema `bench-engine/v4`).
 //!
 //! Six tiers are timed on each workload × horizon:
 //!
@@ -24,6 +24,18 @@
 //! matching the server's coalescing of identical queries) against
 //! `independent4` (the four flat expansions it replaces).
 //!
+//! Persistence-enabled cells additionally time `persisted_warm`: the
+//! warm memoized cache is snapshotted to disk with the `dpioa-store`
+//! canonical codec, a **cold child process** (fresh interner, empty
+//! cache) is spawned from `current_exe` with `--persisted-child`, and
+//! that child decodes the snapshot and runs the same memoized tier on
+//! the warm-started cache. This is the cross-process warm-start a
+//! server restart performs; the one-time decode cost is reported
+//! separately as `decode_ns`. The acceptance gate (enforced in
+//! `--compare` mode) is `persisted_vs_memo >= 0.8` on every
+//! persistence-enabled cell — the on-disk warm start must retain at
+//! least 80% of the in-memory warm-cache speedup.
+//!
 //! Every memoized, parallel, flat, batched and lumped answer is asserted
 //! bit-identical to the general-exact answer **before** its timing is
 //! reported, so a speedup can never be quoted for a wrong result.
@@ -43,7 +55,7 @@
 //! `--compare-files` does the same comparison between two existing
 //! reports without running anything.
 
-use dpioa_bench::baseline::{compare, BenchReport};
+use dpioa_bench::baseline::{compare, parse_json, BenchReport, Json};
 use dpioa_bench::util::{coin_bank, mixer, random_walk, seed_execution_measure};
 use dpioa_core::memo::CacheStats;
 use dpioa_core::pool::{with_pool_seeded, PoolStats};
@@ -59,12 +71,20 @@ use dpioa_sched::{
     BatchMember, BatchProjection, Budget, EngineCache, FirstEnabled, Observation, ParallelPolicy,
     PriorityScheduler, RandomScheduler, Scheduler,
 };
+use dpioa_store::{automaton_fingerprint, EngineCacheStoreExt};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// The regression tolerance for `--compare`: fail when a tier's
 /// normalized ratio is more than this much worse than the baseline's.
 const COMPARE_TOLERANCE: f64 = 0.25;
+
+/// The persisted-warm-start acceptance gate, enforced in `--compare`
+/// mode: on every persistence-enabled cell the cold-process decoded
+/// cache must retain at least this fraction of the in-memory warm
+/// tier's speed (`median(memoized_exact) / median(persisted_warm)`).
+const PERSISTED_GATE: f64 = 0.8;
 
 /// One timed tier within a workload × horizon cell.
 struct TierStat {
@@ -79,6 +99,9 @@ struct TierStat {
     /// Work-stealing pool activity (steals / failed steals / splits /
     /// per-lane job counts) for the pooled tiers.
     pool: Option<PoolStats>,
+    /// One-time snapshot decode cost in the cold child process
+    /// (`persisted_warm` tier only).
+    decode_ns: Option<u64>,
 }
 
 impl TierStat {
@@ -91,6 +114,7 @@ impl TierStat {
             cache: None,
             pooled_depths: None,
             pool: None,
+            decode_ns: None,
         }
     }
 }
@@ -122,6 +146,13 @@ struct Cell {
     /// `median(independent4) / median(batched4)` — how much one
     /// shared-frontier batch beats the four expansions it replaces.
     batched_speedup: Option<f64>,
+    /// `median(general_exact) / median(persisted_warm)` — the speedup a
+    /// cold process gets from decoding the committed snapshot.
+    persisted_speedup: Option<f64>,
+    /// `median(memoized_exact) / median(persisted_warm)` — how much of
+    /// the in-memory warm-cache speed the on-disk warm start retains
+    /// (1.0 = all of it; the `--compare` gate requires ≥ 0.8).
+    persisted_vs_memo: Option<f64>,
 }
 
 /// A named timed closure for one tier of a cell.
@@ -193,6 +224,7 @@ fn run_cell(
     expect_pooled: bool,
     with_batch_tier: bool,
     with_lumped_tier: bool,
+    with_persisted_tier: bool,
 ) -> Cell {
     let budget = Budget::unlimited();
 
@@ -543,6 +575,7 @@ fn run_cell(
                     cache: Some(memo_stats.cache),
                     pooled_depths: Some(memo_stats.pooled_depths),
                     pool: Some(memo_stats.pool.clone()),
+                    decode_ns: None,
                 }),
                 "parallel_exact" => tiers.push(TierStat {
                     tier: "parallel_exact",
@@ -552,6 +585,7 @@ fn run_cell(
                     cache: Some(par_stats.cache),
                     pooled_depths: Some(par_stats.pooled_depths),
                     pool: Some(par_stats.pool.clone()),
+                    decode_ns: None,
                 }),
                 "flat_exact" => tiers.push(TierStat {
                     tier: "flat_exact",
@@ -561,6 +595,7 @@ fn run_cell(
                     cache: Some(flat_stats.cache),
                     pooled_depths: Some(flat_stats.pooled_depths),
                     pool: Some(flat_stats.pool.clone()),
+                    decode_ns: None,
                 }),
                 "batched4" => tiers.push(TierStat::plain(
                     "batched4",
@@ -580,6 +615,41 @@ fn run_cell(
                 _ => unreachable!("unknown tier"),
             }
         }
+
+        // Persisted-warm tier: snapshot the (now fully warm) memoized
+        // cache with the canonical store codec and hand it to a COLD
+        // child process, which decodes it and re-runs the memoized
+        // tier. Timed after the interleaved pass so the child's disk
+        // and process traffic cannot perturb the in-process tiers.
+        if with_persisted_tier {
+            let snap_path = std::env::temp_dir().join(format!(
+                "dpioa-bench-{}-{workload}-h{horizon}.dpst",
+                std::process::id()
+            ));
+            let fingerprint = automaton_fingerprint(auto);
+            memo_cache
+                .snapshot_to(&snap_path, fingerprint)
+                .expect("snapshot warm memo cache");
+            let (median_ns, decode_ns, entries) =
+                spawn_persisted_child(workload, horizon, &snap_path, repeats);
+            let _ = std::fs::remove_file(&snap_path);
+            assert_eq!(
+                entries,
+                general.len(),
+                "{workload} h={horizon}: persisted child's cone tree diverged"
+            );
+            tiers.push(TierStat {
+                tier: "persisted_warm",
+                median_ns,
+                entries,
+                threads: None,
+                cache: None,
+                pooled_depths: None,
+                pool: None,
+                decode_ns: Some(decode_ns),
+            });
+        }
+
         let lumped_speedup = median_of(&tiers, "lumped")
             .map(|l| median_of(&tiers, "general_exact").expect("general ran") / l.max(1.0));
 
@@ -614,6 +684,14 @@ fn run_cell(
             (Some(i), Some(b)) => Some(i / b.max(1.0)),
             _ => None,
         };
+        let persisted_speedup = speedup_vs_general(&tiers, "persisted_warm");
+        let persisted_vs_memo = match (
+            median_of(&tiers, "memoized_exact"),
+            median_of(&tiers, "persisted_warm"),
+        ) {
+            (Some(m), Some(p)) => Some(m / p.max(1.0)),
+            _ => None,
+        };
         Cell {
             workload,
             scheduler,
@@ -628,6 +706,8 @@ fn run_cell(
             flat_speedup,
             flat_vs_memo,
             batched_speedup,
+            persisted_speedup,
+            persisted_vs_memo,
         }
     })
 }
@@ -643,6 +723,133 @@ fn otp_world(tag: &str) -> (Arc<dyn Automaton>, PriorityScheduler) {
     let mut contended: Vec<Action> = vec![act_report(tag, 0), act_report(tag, 1)];
     contended.extend((0..MSG_SPACE).map(|m| act_recv(tag, m)));
     (world, PriorityScheduler::new(contended))
+}
+
+/// Rebuild the automaton for a persistence-enabled cell by workload
+/// name — in the CHILD process, whose interner and caches start empty.
+/// Tags must match the parent's exactly: the snapshot is keyed by the
+/// structural fingerprint, and a tag mismatch would be a (correct but
+/// useless) cold start. Persistence-enabled cells all run under
+/// `FirstEnabled` observed through the final state, so the child needs
+/// no scheduler/observation spec.
+fn persisted_workload(name: &str) -> Arc<dyn Automaton> {
+    match name {
+        "walk6" => random_walk("bew", 6),
+        "walk8" => random_walk("bew8", 8),
+        "fault-walk" => CrashStop::wrap(random_walk("bef", 5), FaultProb::new(1, 2)),
+        other => panic!("no persistence-enabled workload named {other:?}"),
+    }
+}
+
+/// Child-process entry point for the `persisted_warm` tier: decode the
+/// parent's snapshot into a fresh cache (timed once as `decode_ns`),
+/// assert the warm-started memoized answer is bit-identical to an
+/// uncached sequential pass computed from scratch in THIS process,
+/// then report the same best-of-two median the in-process tiers use.
+/// Emits one JSON line on stdout for the parent to parse.
+fn run_persisted_child(workload: &str, horizon: usize, snapshot: &str, repeats: usize) {
+    let auto = persisted_workload(workload);
+    let observe = Observation::final_state();
+    let budget = Budget::unlimited();
+    let fingerprint = automaton_fingerprint(&*auto);
+
+    let cache = EngineCache::new();
+    let t = Instant::now();
+    let stats = cache
+        .warm_start_from(Path::new(snapshot), fingerprint)
+        .expect("persisted child: snapshot must decode");
+    let decode_ns = t.elapsed().as_nanos() as u64;
+    assert!(stats.transitions > 0, "persisted child: empty snapshot");
+    assert_eq!(
+        stats.rejected, 0,
+        "persisted child: admission rejected snapshot rows"
+    );
+
+    let general =
+        try_execution_measure(&*auto, &FirstEnabled, horizon, &budget).expect("unlimited budget");
+    let general_dist: Disc<Value> = general.observe(|e: &Execution| observe.apply(&*auto, e));
+    let (warm, warm_stats) = try_execution_measure_pooled(
+        &*auto,
+        &FirstEnabled,
+        horizon,
+        &budget,
+        ParallelPolicy::sequential(),
+        &cache,
+    )
+    .expect("unlimited budget");
+    let warm_dist: Disc<Value> = warm.observe(|e: &Execution| observe.apply(&*auto, e));
+    assert_eq!(
+        general_dist, warm_dist,
+        "persisted child: warm-started answer diverged from scratch"
+    );
+    assert!(
+        warm_stats.cache.hits > 0,
+        "persisted child: warm start produced no cache hits"
+    );
+
+    let entries = warm.len();
+    let mut runs: Vec<TimedRun<'_>> = vec![(
+        "persisted_warm",
+        Box::new(|| {
+            std::hint::black_box(
+                try_execution_measure_pooled(
+                    &*auto,
+                    &FirstEnabled,
+                    horizon,
+                    &budget,
+                    ParallelPolicy::sequential(),
+                    &cache,
+                )
+                .expect("unlimited budget"),
+            );
+        }),
+    )];
+    let median = interleaved_medians(repeats, &mut runs)[0];
+    println!(
+        "{{\"decode_ns\":{decode_ns},\"median_ns\":{median},\"entries\":{entries},\"loaded\":{}}}",
+        stats.transitions + stats.choices
+    );
+}
+
+/// Spawn the cold child process for one persistence-enabled cell and
+/// parse its one-line JSON report. The child re-executes this binary
+/// with `--persisted-child`, so its interner, caches and allocator all
+/// start cold — exactly the state a restarted server decodes into.
+/// Returns `(median_ns, decode_ns, entries)`.
+fn spawn_persisted_child(
+    workload: &str,
+    horizon: usize,
+    snapshot: &Path,
+    repeats: usize,
+) -> (u64, u64, usize) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .arg("--persisted-child")
+        .arg(workload)
+        .arg(horizon.to_string())
+        .arg(snapshot)
+        .arg(repeats.to_string())
+        .output()
+        .expect("spawn persisted child");
+    assert!(
+        out.status.success(),
+        "persisted child failed for {workload} h={horizon}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("child stdout utf-8");
+    let line = stdout.lines().last().expect("child printed a report");
+    let report = parse_json(line).expect("child report parses");
+    let field = |k: &str| {
+        report
+            .get(k)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("child report missing {k}")) as u64
+    };
+    (
+        field("median_ns"),
+        field("decode_ns"),
+        field("entries") as usize,
+    )
 }
 
 fn json_escape(s: &str) -> String {
@@ -699,6 +906,9 @@ fn cell_json(c: &Cell) -> String {
                     lanes.join(",")
                 ));
             }
+            if let Some(d) = t.decode_ns {
+                extra.push_str(&format!(",\"decode_ns\":{d}"));
+            }
             format!(
                 "{{\"tier\":\"{}\",\"median_ns\":{},\"entries\":{}{}}}",
                 t.tier, t.median_ns, t.entries, extra
@@ -706,7 +916,7 @@ fn cell_json(c: &Cell) -> String {
         })
         .collect();
     format!(
-        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{},\"memo_speedup\":{},\"parallel_speedup\":{},\"parallel_vs_memo\":{},\"flat_speedup\":{},\"flat_vs_memo\":{},\"batched_speedup\":{}}}",
+        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{},\"memo_speedup\":{},\"parallel_speedup\":{},\"parallel_vs_memo\":{},\"flat_speedup\":{},\"flat_vs_memo\":{},\"batched_speedup\":{},\"persisted_speedup\":{},\"persisted_vs_memo\":{}}}",
         json_escape(c.workload),
         json_escape(c.scheduler),
         json_escape(c.observation),
@@ -720,6 +930,8 @@ fn cell_json(c: &Cell) -> String {
         opt_speedup(c.flat_speedup),
         opt_speedup(c.flat_vs_memo),
         opt_speedup(c.batched_speedup),
+        opt_speedup(c.persisted_speedup),
+        opt_speedup(c.persisted_vs_memo),
     )
 }
 
@@ -773,10 +985,28 @@ fn run_compare(base_path: &str, fresh_path: &str) -> i32 {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Cold-process re-entry for the persisted_warm tier (spawned by
+    // `spawn_persisted_child`, never invoked by hand).
+    if argv.first().map(String::as_str) == Some("--persisted-child") {
+        assert_eq!(
+            argv.len(),
+            5,
+            "--persisted-child WORKLOAD HORIZON SNAPSHOT REPEATS"
+        );
+        run_persisted_child(
+            &argv[1],
+            argv[2].parse().expect("horizon"),
+            &argv[3],
+            argv[4].parse().expect("repeats"),
+        );
+        return;
+    }
+
     let mut quick = false;
     let mut out_path = String::from("BENCH_engine.json");
     let mut compare_after: Option<String> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -831,6 +1061,7 @@ fn main() {
             false,
             false,
             true,
+            h == 12,
         ));
     }
     // Deep-cone walk cell: 2^14 terminal executions, frontier far past
@@ -850,6 +1081,7 @@ fn main() {
         true,
         false,
         true,
+        false,
     ));
 
     // Workload 2: coin bank — the adversarial case for lumping: after k
@@ -874,6 +1106,7 @@ fn main() {
             false,
             false,
             true,
+            false,
         ));
     }
     // Large coin bank: 2^10 distinct composed states, frontier crosses
@@ -895,6 +1128,7 @@ fn main() {
         true,
         false,
         true,
+        false,
     ));
 
     // Workload 3: the OTP/F_SC real world from the secure-channel case
@@ -917,6 +1151,7 @@ fn main() {
             false,
             false,
             true,
+            false,
         ));
     }
 
@@ -940,6 +1175,7 @@ fn main() {
             false,
             false,
             true,
+            h == 10,
         ));
     }
     // Deep fault-wrapped cell: the crashed flag multiplies the frontier,
@@ -959,6 +1195,7 @@ fn main() {
         true,
         false,
         true,
+        false,
     ));
 
     // Workload 5: wide-fanout mixers — unlike the walks, whose
@@ -985,6 +1222,7 @@ fn main() {
         true,
         false,
         true,
+        false,
     ));
     eprintln!("mixer5x8 h=5 (pooled)...");
     let mix8 = mixer("bem8", 5, 8);
@@ -1002,6 +1240,7 @@ fn main() {
         true,
         false,
         true,
+        false,
     ));
 
     // Workload 6 (flat + batch acceptance cells): a wider walk and a
@@ -1026,6 +1265,7 @@ fn main() {
         true,
         true,
         true,
+        true,
     ));
     let mix3_h = if quick { 8 } else { 10 };
     eprintln!("mixer4x3 h={mix3_h} (pooled, batched)...");
@@ -1043,6 +1283,7 @@ fn main() {
         false,
         true,
         true,
+        false,
         false,
     ));
 
@@ -1106,10 +1347,18 @@ fn main() {
         .iter()
         .filter_map(|c| c.batched_speedup)
         .fold(f64::INFINITY, f64::min);
+    // The persisted warm-start acceptance gate: on every
+    // persistence-enabled cell, the cold child process that decoded the
+    // committed snapshot must retain >= 80% of the in-memory warm
+    // memoized tier's speed. Enforced in `--compare` mode below.
+    let min_persisted_vs_memo = cells
+        .iter()
+        .filter_map(|c| c.persisted_vs_memo)
+        .fold(f64::INFINITY, f64::min);
 
     let rows: Vec<String> = cells.iter().map(cell_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench-engine/v3\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {},\n    \"max_memo_speedup_vs_general\": {},\n    \"min_parallel_speedup_at_horizon_ge_8\": {},\n    \"min_parallel_vs_memo_on_pooled_cells\": {},\n    \"min_flat_vs_memo_on_wide_cells_at_horizon_ge_10\": {},\n    \"min_batched4_speedup_vs_independent4\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v4\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {},\n    \"max_memo_speedup_vs_general\": {},\n    \"min_parallel_speedup_at_horizon_ge_8\": {},\n    \"min_parallel_vs_memo_on_pooled_cells\": {},\n    \"min_flat_vs_memo_on_wide_cells_at_horizon_ge_10\": {},\n    \"min_batched4_speedup_vs_independent4\": {},\n    \"min_persisted_vs_memo_on_persisted_cells\": {}\n  }}\n}}\n",
         quick,
         repeats,
         threads,
@@ -1123,12 +1372,32 @@ fn main() {
         fjson(min_par_vs_memo_pooled),
         fjson(min_flat_vs_memo_deep),
         fjson(min_batched),
+        fjson(min_persisted_vs_memo),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("wrote {out_path}");
     println!("{json}");
 
     if let Some(base) = compare_after {
-        std::process::exit(run_compare(&base, &out_path));
+        let mut code = run_compare(&base, &out_path);
+        // The persisted gate is an absolute bound, not a
+        // baseline-relative ratio, so it rides the compare exit path
+        // directly rather than going through `compare()`.
+        if !min_persisted_vs_memo.is_finite() {
+            eprintln!(
+                "compare: no persistence-enabled cells ran — refusing to pass the persisted gate"
+            );
+            code = code.max(1);
+        } else if min_persisted_vs_memo < PERSISTED_GATE {
+            eprintln!(
+                "compare: persisted_warm gate FAILED: min persisted_vs_memo {min_persisted_vs_memo:.3} < {PERSISTED_GATE}"
+            );
+            code = code.max(1);
+        } else {
+            eprintln!(
+                "compare: persisted_warm gate OK: min persisted_vs_memo {min_persisted_vs_memo:.3} >= {PERSISTED_GATE}"
+            );
+        }
+        std::process::exit(code);
     }
 }

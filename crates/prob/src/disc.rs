@@ -327,6 +327,29 @@ impl<T: Eq + Hash + Clone, W: Weight> SubDisc<T, W> {
         })
     }
 
+    /// Build from pairs *with an externally recorded mass*: validates
+    /// the entries like [`SubDisc::from_entries`], then stores `mass`
+    /// verbatim instead of the recomputed entry sum — provided the two
+    /// agree within the normalization tolerance. This is the
+    /// persistence decode path: the recorded mass may differ in its
+    /// last bits from the sum (e.g. a measure promoted by
+    /// [`SubDisc::from_disc`] carries an exact `1`), and the decoded
+    /// measure must be *bit-identical* to the one serialized, halting
+    /// probability included.
+    pub fn from_entries_with_mass(entries: Vec<(T, W)>, mass: W) -> Result<Self, DiscError> {
+        let sub = SubDisc::from_entries(entries)?;
+        if mass < W::zero() || mass.sub(&W::one()).to_f64() > NORM_TOL {
+            return Err(DiscError::MassExceedsOne);
+        }
+        if sub.total.sub(&mass).to_f64().abs() > NORM_TOL {
+            return Err(DiscError::NotNormalized);
+        }
+        Ok(SubDisc {
+            entries: sub.entries,
+            total: mass,
+        })
+    }
+
     /// Promote a full probability measure into a sub-measure.
     pub fn from_disc(d: Disc<T, W>) -> Self {
         SubDisc {

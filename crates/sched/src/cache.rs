@@ -53,7 +53,7 @@ use crate::error::EngineError;
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::{FxBuildHasher, FxHashMap};
 use dpioa_core::{Action, Automaton, CacheStats, IValue, TransEntry, TransitionCache, Value};
-use dpioa_prob::{SubDisc, Weight};
+use dpioa_prob::{Disc, SubDisc, Weight};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -167,7 +167,15 @@ impl EngineCache {
     /// string allocation plus a map probe — resolve once per
     /// query/expansion, not per node.
     pub fn choice_scope(&self, sched: &dyn Scheduler) -> ChoiceScope {
-        let name = sched.describe();
+        self.scope_by_name(sched.describe())
+    }
+
+    /// Intern a scope directly from a describe-string. This is the
+    /// warm-start import path: a snapshot records scopes by their
+    /// describe-strings (stable across processes, unlike the `u32`
+    /// ids), and decoding re-interns them here.
+    pub fn scope_by_name(&self, name: impl Into<String>) -> ChoiceScope {
+        let name = name.into();
         if let Some(&id) = self.scopes.read().expect("scope map poisoned").get(&name) {
             return ChoiceScope(id);
         }
@@ -214,6 +222,87 @@ impl EngineCache {
         guard.entry((scope, step, id)).or_insert(computed).clone()
     }
 
+    /// Every resident transition entry, materialized for a persistence
+    /// snapshot: `(family name, state, action, η)` with `None` η for
+    /// memoized disabled pairs. Order is unspecified — the store sorts
+    /// into canonical byte order before writing.
+    pub fn export_transitions(&self) -> Vec<dpioa_core::memo::ExportedTransEntry> {
+        self.transitions.export_entries()
+    }
+
+    /// Insert one decoded transition entry through the admission policy
+    /// ([`TransitionCache::insert_imported`]): never evicts, counts
+    /// refusals in [`CacheStats::store_rejected_entries`]. Returns
+    /// whether the entry was admitted.
+    pub fn import_transition(
+        &self,
+        family: Option<&str>,
+        state: &Value,
+        action: Action,
+        eta: Option<Disc<Value>>,
+    ) -> bool {
+        self.transitions.insert_imported(family, state, action, eta)
+    }
+
+    /// Every memoized scheduler choice, materialized for a persistence
+    /// snapshot: `(scope describe-string, step, state, σ)` with `None`
+    /// σ recording "this scheduler is not memoryless at this class".
+    /// Scopes are exported by describe-string because the interned ids
+    /// are process-local.
+    pub fn export_choices(&self) -> Vec<(String, usize, Value, Option<SubDisc<Action>>)> {
+        let names: Vec<Option<String>> = {
+            let guard = self.scopes.read().expect("scope map poisoned");
+            let mut rev = vec![None; guard.len()];
+            for (name, &id) in guard.iter() {
+                rev[id as usize] = Some(name.clone());
+            }
+            rev
+        };
+        let mut out = Vec::new();
+        for shard in &self.choices {
+            let guard = shard.read().expect("choice cache poisoned");
+            for (&(scope, step, id), choice) in guard.iter() {
+                let Some(Some(name)) = names.get(scope.0 as usize) else {
+                    continue;
+                };
+                out.push((
+                    name.clone(),
+                    step,
+                    id.value().clone(),
+                    choice.as_ref().map(|c| (**c).clone()),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Insert one decoded choice entry under the scope interned from
+    /// `scope_name`. A resident key keeps its incumbent. The choice
+    /// table is unbounded, so imports are never refused otherwise.
+    /// Returns whether the entry was inserted.
+    pub fn import_choice(
+        &self,
+        scope_name: &str,
+        step: usize,
+        state: &Value,
+        choice: Option<SubDisc<Action>>,
+    ) -> bool {
+        let scope = self.scope_by_name(scope_name);
+        let id = IValue::of(state);
+        let shard = &self.choices[(id.id().wrapping_mul(0x9E37_79B9) as usize
+            ^ step
+            ^ (scope.0 as usize).wrapping_mul(0x85EB_CA6B))
+            & (CHOICE_SHARDS - 1)];
+        let mut guard = shard.write().expect("choice cache poisoned");
+        match guard.entry((scope, step, id)) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(choice.map(Arc::new));
+                true
+            }
+        }
+    }
+
     /// Hit/miss/eviction counters of the transition table alone.
     pub fn transition_stats(&self) -> CacheStats {
         self.transitions.stats()
@@ -224,7 +313,7 @@ impl EngineCache {
         CacheStats {
             hits: self.choice_hits.load(Ordering::Relaxed),
             misses: self.choice_misses.load(Ordering::Relaxed),
-            evictions: 0,
+            ..CacheStats::default()
         }
     }
 
@@ -686,7 +775,7 @@ mod tests {
         CacheStats {
             hits,
             misses,
-            evictions: 0,
+            ..CacheStats::default()
         }
     }
 
@@ -739,6 +828,56 @@ mod tests {
             .memoryless_choice(scope, &sched, &auto, 0, &q, id)
             .is_none());
         assert_eq!(cache.choice_stats(), stats(1, 1));
+    }
+
+    #[test]
+    fn choice_export_import_round_trips_scoped() {
+        let auto = coin();
+        let source = EngineCache::new();
+        let q = Value::int(0);
+        let id = IValue::of(&q);
+        let memoryful = DeterministicScheduler::new("c-memoryful", |_, enabled: &[Action]| {
+            enabled.first().copied()
+        });
+        let fe_scope = source.choice_scope(&FirstEnabled);
+        let mf_scope = source.choice_scope(&memoryful);
+        let original = source
+            .memoryless_choice(fe_scope, &FirstEnabled, &auto, 0, &q, id)
+            .unwrap();
+        assert!(source
+            .memoryless_choice(mf_scope, &memoryful, &auto, 0, &q, id)
+            .is_none());
+
+        let target = EngineCache::new();
+        let exported = source.export_choices();
+        assert_eq!(exported.len(), 2);
+        for (scope_name, step, state, choice) in exported {
+            assert!(target.import_choice(&scope_name, step, &state, choice));
+        }
+        // The imported entries answer as hits under *their own* scopes:
+        // FirstEnabled's choice comes back bit-identical, and the
+        // memoryful scheduler's memoized None stays scoped to it.
+        let fe2 = target.choice_scope(&FirstEnabled);
+        let got = target
+            .memoryless_choice(fe2, &FirstEnabled, &auto, 0, &q, id)
+            .unwrap();
+        assert_eq!(*got, *original);
+        let iter_bits = |c: &SubDisc<Action>| {
+            c.iter()
+                .map(|(a, &p)| (*a, p.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(iter_bits(&got), iter_bits(&original));
+        assert_eq!(got.mass().to_bits(), original.mass().to_bits());
+        let mf2 = target.choice_scope(&memoryful);
+        assert!(target
+            .memoryless_choice(mf2, &memoryful, &auto, 0, &q, id)
+            .is_none());
+        assert_eq!(target.choice_stats(), stats(2, 0));
+        // A second import of the same keys keeps the incumbents.
+        for (scope_name, step, state, choice) in source.export_choices() {
+            assert!(!target.import_choice(&scope_name, step, &state, choice));
+        }
     }
 
     #[test]

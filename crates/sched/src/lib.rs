@@ -77,8 +77,8 @@ pub use measure::{
     DEFAULT_SPLIT_UNIT, SEQ_CUTOVER_PER_LANE,
 };
 pub use robust::{
-    robust_observation_dist, robust_observation_dist_ckpt, BreakerStats, CircuitBreaker,
-    EngineKind, Provenance, RobustConfig, RobustError,
+    robust_observation_dist, robust_observation_dist_ckpt, robust_observation_dist_resumable,
+    BreakerStats, CircuitBreaker, EngineKind, Provenance, RobustConfig, RobustError,
 };
 pub use sample::{
     sample_execution, sample_observations, sample_observations_parallel,

@@ -43,9 +43,12 @@
 //! silently treating an estimate as exact.
 
 use crate::cache::EngineCache;
-use crate::checkpoint::{Checkpoint, ExpansionOutcome};
+use crate::checkpoint::{Checkpoint, ConeCheckpoint, ExpansionOutcome};
 use crate::error::{Budget, EngineError};
-use crate::lumped::{try_lumped_observation_dist_ckpt, LumpedOutcome, Observation};
+use crate::lumped::{
+    try_lumped_observation_dist_ckpt, try_lumped_observation_dist_resume, LumpedOutcome,
+    Observation,
+};
 use crate::measure::{try_execution_measure_ckpt_with, ExactStats, ParallelPolicy};
 use crate::sample::{
     try_salvage_lumped_pooled_with, try_salvage_observations_pooled_with,
@@ -581,6 +584,43 @@ pub fn robust_observation_dist_ckpt(
     observe: &Observation,
     config: &RobustConfig,
 ) -> Result<(Disc<Value>, Provenance), RobustError> {
+    robust_observation_dist_resumable(auto, sched, horizon, observe, config, None)
+        .map(|(dist, prov, _ckpt)| (dist, prov))
+}
+
+/// The resumable cascade: [`robust_observation_dist_ckpt`] extended
+/// with *incremental-deadline* support in both directions.
+///
+/// * **Out**: when an exact tier trips its budget or deadline and the
+///   answer degrades to [`EngineKind::Hybrid`], the tier's checkpoint
+///   is returned alongside the answer instead of being discarded after
+///   salvage. Persist it (e.g. with `dpioa-store`) and the partial
+///   exact work survives the process.
+/// * **In**: `resume: Some(ckpt)` seeds the matching exact tier with a
+///   previous checkpoint — a [`Checkpoint::Cone`] re-enters the
+///   general pooled engine, a [`Checkpoint::Lumped`] re-enters the
+///   class-space engine — under this call's (presumably enlarged)
+///   budget. A completing resume is **bit-identical** to an
+///   uninterrupted run of the same query (the engines' depth-aligned
+///   rollback guarantees it); a resume that trips again returns a new
+///   checkpoint, so a query can make progress across any number of
+///   deadline slices.
+///
+/// A resumed query bypasses the [`CircuitBreaker`] entirely — the
+/// checkpoint is already-paid-for exact work, so the breaker neither
+/// gates it nor learns from its outcome. `Ok` answers carry `None`
+/// for the checkpoint exactly when they are complete (lumped or
+/// exact); Monte-Carlo answers carry `None` too, since there is no
+/// exact state worth resuming.
+#[allow(clippy::result_large_err)] // the Err variant carries the cancelled query's checkpoint by design
+pub fn robust_observation_dist_resumable(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    observe: &Observation,
+    config: &RobustConfig,
+    resume: Option<Checkpoint>,
+) -> Result<(Disc<Value>, Provenance, Option<Checkpoint>), RobustError> {
     let local_cache;
     let cache: &EngineCache = match &config.cache {
         Some(shared) => shared.as_ref(),
@@ -590,7 +630,12 @@ pub fn robust_observation_dist_ckpt(
         }
     };
     let obs_fn = |e: &Execution| observe.apply(auto, e);
-    let breaker = config.breaker.as_deref();
+    let resuming = resume.is_some();
+    let breaker = if resuming {
+        None
+    } else {
+        config.breaker.as_deref()
+    };
     let breaker_key = auto.name();
 
     // Open breaker: the exact tiers have tripped their budget on this
@@ -601,25 +646,54 @@ pub fn robust_observation_dist_ckpt(
                 auto, sched, horizon, config, cache, pool, &obs_fn, None, true,
             )
         })
+        .map(|(dist, prov)| (dist, prov, None))
         .map_err(RobustError::from);
     }
 
+    // Lumped tier: eligibility probe on a fresh query, a direct
+    // class-space re-entry on a lumped checkpoint; a cone checkpoint
+    // skips straight back to the general tier it came from.
+    let mut cone_resume: Option<ConeCheckpoint<f64>> = None;
     let cache_base = cache.stats();
-    let not_lumpable = match try_lumped_observation_dist_ckpt(
-        auto,
-        sched,
-        horizon,
-        observe,
-        &config.budget,
-        cache,
-    ) {
-        Ok(LumpedOutcome::Complete(dist)) => {
+    let lumped = match resume {
+        None => Some(try_lumped_observation_dist_ckpt(
+            auto,
+            sched,
+            horizon,
+            observe,
+            &config.budget,
+            cache,
+        )),
+        Some(Checkpoint::Lumped(ckpt)) => Some(try_lumped_observation_dist_resume(
+            ckpt,
+            auto,
+            sched,
+            observe,
+            &config.budget,
+            cache,
+        )),
+        Some(Checkpoint::Cone(ckpt)) => {
+            cone_resume = Some(ckpt);
+            None
+        }
+    };
+    let not_lumpable = match lumped {
+        // Resuming a cone checkpoint: the original query already
+        // proved lumped ineligibility; carry that fact as provenance.
+        None => EngineError::NotLumpable {
+            reason: "resumed general-tier checkpoint".into(),
+        },
+        Some(Ok(LumpedOutcome::Complete(dist))) => {
             if let Some(b) = breaker {
                 b.record_success(&breaker_key);
             }
-            return Ok((dist, Provenance::lumped(cache.stats().since(cache_base))));
+            return Ok((
+                dist,
+                Provenance::lumped(cache.stats().since(cache_base)),
+                None,
+            ));
         }
-        Ok(LumpedOutcome::Partial(ckpt)) => {
+        Some(Ok(LumpedOutcome::Partial(ckpt))) => {
             if let Some(b) = breaker {
                 b.record_failure(&breaker_key);
             }
@@ -656,7 +730,7 @@ pub fn robust_observation_dist_ckpt(
                             pool.stats().since(&pool_base),
                             None,
                         );
-                        Ok((salvage.dist, prov))
+                        Ok((salvage.dist, prov, Some(Checkpoint::Lumped(ckpt))))
                     }
                     // The scheduler stopped being memoryless below the
                     // frontier (it may inspect the step index): class
@@ -672,6 +746,7 @@ pub fn robust_observation_dist_ckpt(
                         Some(ckpt.reason.clone()),
                         false,
                     )
+                    .map(|(dist, prov)| (dist, prov, None))
                     .map_err(RobustError::from),
                     Err(e) if is_cancellation(&e) => Err(RobustError {
                         error: e,
@@ -681,8 +756,8 @@ pub fn robust_observation_dist_ckpt(
                 }
             });
         }
-        Err(reason @ EngineError::NotLumpable { .. }) => reason,
-        Err(other) => return Err(RobustError::from(other)),
+        Some(Err(reason @ EngineError::NotLumpable { .. })) => reason,
+        Some(Err(other)) => return Err(RobustError::from(other)),
     };
 
     let policy = match config.par_cutover {
@@ -693,6 +768,12 @@ pub fn robust_observation_dist_ckpt(
     // provisioning for the wider of the two costs nothing if the exact
     // tier answers below its cutover.
     let lanes = policy.threads.max(config.mc_threads.max(1));
+    // A cone checkpoint records the horizon it was cut from; the resume
+    // must finish *that* expansion, whatever this call says.
+    let horizon = match &cone_resume {
+        Some(ckpt) => ckpt.horizon,
+        None => horizon,
+    };
     with_pool_seeded(lanes, policy.steal_seed, |pool| {
         let general = try_execution_measure_ckpt_with(
             auto,
@@ -703,7 +784,7 @@ pub fn robust_observation_dist_ckpt(
             cache,
             pool,
             Ok,
-            None,
+            cone_resume,
         )
         .map_err(RobustError::from)?;
         match general {
@@ -714,7 +795,7 @@ pub fn robust_observation_dist_ckpt(
                 let dist = measure
                     .try_observe(|e| observe.apply(auto, e))
                     .map_err(RobustError::from)?;
-                Ok((dist, Provenance::exact(not_lumpable, stats)))
+                Ok((dist, Provenance::exact(not_lumpable, stats), None))
             }
             (ExpansionOutcome::Partial(ckpt), stats) => {
                 if let Some(b) = breaker {
@@ -749,7 +830,7 @@ pub fn robust_observation_dist_ckpt(
                             pool.stats().since(&pool_base),
                             Some(stats.pooled_depths),
                         );
-                        Ok((salvage.dist, prov))
+                        Ok((salvage.dist, prov, Some(Checkpoint::Cone(ckpt))))
                     }
                     Err(e) if is_cancellation(&e) => Err(RobustError {
                         error: e,
@@ -1135,5 +1216,114 @@ mod tests {
     fn dkw_bound_shrinks_with_samples() {
         assert!(dkw_bound(100, 1e-3) > dkw_bound(10_000, 1e-3));
         assert!((dkw_bound(50_000, 1e-3) - ((2000.0f64).ln() / 100_000.0).sqrt()).abs() < 1e-12);
+    }
+
+    /// A branching walk deep enough for multi-slice deadline tests:
+    /// state `k` steps to `k + 1` or back to `0` with equal weight.
+    fn walk(n: i64) -> ExplicitAutomaton {
+        let step = act("r-walk");
+        let mut b = ExplicitAutomaton::builder("r-walk", Value::int(0));
+        for k in 0..n {
+            b = b.state(k, Signature::new([], [], [step])).transition(
+                k,
+                step,
+                Disc::bernoulli_dyadic(Value::int(k + 1), Value::int(0), 1, 1),
+            );
+        }
+        b.state(n, Signature::new([], [], [])).build()
+    }
+
+    fn dist_bits(d: &Disc<Value>) -> Vec<(Value, u64)> {
+        d.iter().map(|(v, &w)| (v.clone(), w.to_bits())).collect()
+    }
+
+    #[test]
+    fn deadline_sliced_general_query_resumes_bit_identically() {
+        let auto = walk(10);
+        // History-dependent, so the general tier answers.
+        let sched =
+            DeterministicScheduler::new("slice-first", |_, enabled| enabled.first().copied());
+        let obs = Observation::final_state();
+        let (want, prov) =
+            robust_observation_dist(&auto, &sched, 4, &obs, &RobustConfig::default()).unwrap();
+        assert_eq!(prov.engine, EngineKind::Exact);
+
+        // Each slice affords 16 expansions — enough for any single
+        // depth at this horizon (the widest is 2^4 = 16 nodes; rollback
+        // is depth-aligned, so a depth wider than the slice would never
+        // make progress), too little for the whole query, so the first
+        // slice degrades to Hybrid and hands back its cone checkpoint.
+        let slice = RobustConfig {
+            budget: Budget::unlimited().with_max_expansions(16),
+            mc_samples: 400,
+            mc_threads: 1,
+            ..RobustConfig::default()
+        };
+        let (_, first, ckpt) =
+            robust_observation_dist_resumable(&auto, &sched, 4, &obs, &slice, None).unwrap();
+        assert_eq!(first.engine, EngineKind::Hybrid);
+        let mut resume = ckpt;
+        assert!(matches!(resume, Some(Checkpoint::Cone(_))));
+
+        let mut answer = None;
+        for _ in 0..32 {
+            let (dist, prov, ckpt) =
+                robust_observation_dist_resumable(&auto, &sched, 4, &obs, &slice, resume.take())
+                    .unwrap();
+            match ckpt {
+                None => {
+                    assert_eq!(prov.engine, EngineKind::Exact);
+                    answer = Some(dist);
+                    break;
+                }
+                some => {
+                    assert_eq!(prov.engine, EngineKind::Hybrid);
+                    resume = some;
+                }
+            }
+        }
+        let got = answer.expect("deadline slices must converge");
+        assert_eq!(
+            dist_bits(&got),
+            dist_bits(&want),
+            "sliced resume must be bit-identical to the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn lumped_checkpoint_resumes_to_a_complete_lumped_answer() {
+        let auto = walk(10);
+        let obs = Observation::final_state();
+        let (want, prov) =
+            robust_observation_dist(&auto, &FirstEnabled, 5, &obs, &RobustConfig::default())
+                .unwrap();
+        assert_eq!(prov.engine, EngineKind::Lumped);
+
+        let slice = RobustConfig {
+            budget: Budget::unlimited().with_max_expansions(2),
+            mc_samples: 400,
+            mc_threads: 1,
+            ..RobustConfig::default()
+        };
+        let (_, first, ckpt) =
+            robust_observation_dist_resumable(&auto, &FirstEnabled, 5, &obs, &slice, None).unwrap();
+        assert_eq!(first.engine, EngineKind::Hybrid);
+        let ckpt = ckpt.expect("tripped slice hands back its checkpoint");
+        assert!(matches!(ckpt, Checkpoint::Lumped(_)));
+
+        // One resume under a real budget completes in class space, with
+        // the same bits as the uninterrupted lumped run.
+        let (got, second, left) = robust_observation_dist_resumable(
+            &auto,
+            &FirstEnabled,
+            5,
+            &obs,
+            &RobustConfig::default(),
+            Some(ckpt),
+        )
+        .unwrap();
+        assert_eq!(second.engine, EngineKind::Lumped);
+        assert!(left.is_none());
+        assert_eq!(dist_bits(&got), dist_bits(&want));
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! dpioa-serve [--addr 127.0.0.1:7341] [--workers 4] [--queue 64]
 //!             [--cache-entries 16384] [--deadline-ms 2000]
-//!             [--read-timeout-ms 5000]
+//!             [--read-timeout-ms 5000] [--store-dir PATH]
+//!             [--persist-every-ms 30000]
 //! ```
 //!
 //! Prints `listening on http://<addr>` once bound (scripts parse this
@@ -34,10 +35,15 @@ fn main() {
             "--read-timeout-ms" => {
                 config.limits.read_timeout = Duration::from_millis(parse(&take("ms"), &flag));
             }
+            "--store-dir" => config.store_dir = Some(take("path").into()),
+            "--persist-every-ms" => {
+                config.persist_every = Some(Duration::from_millis(parse(&take("ms"), &flag)));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: dpioa-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--cache-entries N] [--deadline-ms N] [--read-timeout-ms N]"
+                     [--cache-entries N] [--deadline-ms N] [--read-timeout-ms N] \
+                     [--store-dir PATH] [--persist-every-ms N]"
                 );
                 return;
             }

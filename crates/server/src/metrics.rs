@@ -61,6 +61,26 @@ pub struct ServerMetrics {
     pub batches: AtomicU64,
     /// Largest fan-out (member count) observed in a single batch.
     pub batch_fanout_max: AtomicU64,
+    /// Store loads that found a usable file (boot warm starts and
+    /// checkpoint resumes both count).
+    pub store_hits: AtomicU64,
+    /// Store loads that came up cold: no file yet, or a file made
+    /// stale by a structure or format change.
+    pub store_misses: AtomicU64,
+    /// Store reads/writes that failed for non-cold reasons
+    /// (corruption, truncation, I/O).
+    pub store_errors: AtomicU64,
+    /// Cache snapshots committed to disk (periodic, `/persist`, and
+    /// shutdown).
+    pub store_snapshots: AtomicU64,
+    /// Cache rows (transitions + choices) streamed in by warm starts.
+    pub store_entries_loaded: AtomicU64,
+    /// Warm-start rows turned away by cache admission quotas.
+    pub store_rejected: AtomicU64,
+    /// Budget-tripped query checkpoints persisted to disk.
+    pub store_checkpoints: AtomicU64,
+    /// Queries resumed from a persisted checkpoint.
+    pub store_resumes: AtomicU64,
     /// Total service time (parse→response), nanoseconds.
     pub service_ns_total: AtomicU64,
     /// Connections currently queued for a worker.
@@ -225,6 +245,46 @@ impl ServerMetrics {
         );
         line(
             &mut out,
+            "store_hits_total",
+            self.store_hits.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "store_misses_total",
+            self.store_misses.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "store_errors_total",
+            self.store_errors.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "store_snapshots_total",
+            self.store_snapshots.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "store_entries_loaded_total",
+            self.store_entries_loaded.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "store_rejected_total",
+            self.store_rejected.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "store_checkpoints_total",
+            self.store_checkpoints.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "store_resumes_total",
+            self.store_resumes.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
             "service_ns_total",
             self.service_ns_total.load(Ordering::Relaxed),
         );
@@ -297,6 +357,9 @@ mod tests {
         m.record_engine(EngineKind::Hybrid, true);
         m.record_cancel(Duration::from_micros(250));
         m.record_batch(3);
+        m.store_hits.fetch_add(1, Ordering::Relaxed);
+        m.store_entries_loaded.fetch_add(17, Ordering::Relaxed);
+        m.store_snapshots.fetch_add(2, Ordering::Relaxed);
         let cache = EngineCache::bounded_with_admission(64, 0.5);
         let breaker = CircuitBreaker::new(3);
         let page = m.render(&cache, &breaker);
@@ -316,6 +379,12 @@ mod tests {
             "dpioa_batch_fanout_max 3",
             "dpioa_cache_family_quota",
             "dpioa_breaker_open_keys 0",
+            "dpioa_store_hits_total 1",
+            "dpioa_store_misses_total 0",
+            "dpioa_store_entries_loaded_total 17",
+            "dpioa_store_snapshots_total 2",
+            "dpioa_store_checkpoints_total 0",
+            "dpioa_store_resumes_total 0",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
         }

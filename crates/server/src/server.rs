@@ -37,16 +37,23 @@ use crate::catalog::{self, Catalog, CatalogEntry};
 use crate::http::{self, Limits, ReadError, Request};
 use crate::json::{self, Json};
 use crate::metrics::ServerMetrics;
+use dpioa_core::fxhash::FxHasher;
 use dpioa_core::{CancelToken, Value};
 use dpioa_prob::Disc;
 use dpioa_sched::{
-    robust_observation_dist, try_batch_execution_measures, BatchMember, BatchProjection, Budget,
-    CircuitBreaker, EngineCache, EngineError, EngineKind, Observation, ParallelPolicy, Provenance,
-    RobustConfig, Scheduler,
+    robust_observation_dist_resumable, try_batch_execution_measures, BatchMember, BatchProjection,
+    Budget, Checkpoint, CircuitBreaker, EngineCache, EngineError, EngineKind, Observation,
+    ParallelPolicy, Provenance, RobustConfig, Scheduler,
+};
+use dpioa_store::{
+    automaton_fingerprint, combined_fingerprint, load_checkpoint, save_checkpoint,
+    EngineCacheStoreExt, SnapshotStats, StoreError,
 };
 use std::collections::HashMap;
+use std::hash::Hasher as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -96,6 +103,13 @@ pub struct ServerConfig {
     /// observation) key waits for compatible queries to coalesce into
     /// one batched expansion before running. Zero disables coalescing.
     pub coalesce_window: Duration,
+    /// Directory for persistent cache snapshots and query checkpoints
+    /// (`dpioa-store` files). `None` disables the store entirely.
+    pub store_dir: Option<PathBuf>,
+    /// Period of the background snapshot thread. `None` still
+    /// snapshots on `POST /persist` and graceful shutdown when a
+    /// `store_dir` is configured.
+    pub persist_every: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +133,8 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             watcher_poll: Duration::from_millis(5),
             coalesce_window: Duration::from_millis(2),
+            store_dir: None,
+            persist_every: None,
         }
     }
 }
@@ -309,9 +325,66 @@ impl BatchBoard {
     }
 }
 
+/// The resolved on-disk store: fingerprints are computed once at boot
+/// so the request path never re-walks automaton structure.
+struct StoreState {
+    dir: PathBuf,
+    /// Combined fingerprint over the whole catalog — keys the shared
+    /// cache snapshot (the cache mixes rows from every automaton).
+    catalog_fingerprint: u64,
+    /// Per-automaton structural fingerprints — key query checkpoints.
+    entry_fingerprints: HashMap<String, u64>,
+}
+
+impl StoreState {
+    fn from_catalog(dir: PathBuf, catalog: &Catalog) -> StoreState {
+        let entry_fingerprints: HashMap<String, u64> = catalog
+            .entries()
+            .iter()
+            .map(|e| {
+                (
+                    e.name.to_string(),
+                    automaton_fingerprint(e.automaton.as_ref()),
+                )
+            })
+            .collect();
+        let catalog_fingerprint =
+            combined_fingerprint(entry_fingerprints.iter().map(|(n, &f)| (n.as_str(), f)));
+        StoreState {
+            dir,
+            catalog_fingerprint,
+            entry_fingerprints,
+        }
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("cache.dpst")
+    }
+
+    fn checkpoint_path(&self, identity: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{identity:016x}.dpst"))
+    }
+}
+
+/// The identity under which a budget-tripped query's checkpoint is
+/// filed: automaton structure × scheduler × observation × horizon.
+/// Built from wire names and the structural fingerprint — nothing
+/// process-local — so a follow-up query in a fresh process finds it.
+fn query_identity(fingerprint: u64, sched_name: &str, obs_name: &str, horizon: usize) -> u64 {
+    let mut h = FxHasher::with_seed(0x1DE7_717E);
+    h.write_u64(fingerprint);
+    h.write(sched_name.as_bytes());
+    h.write_u8(0);
+    h.write(obs_name.as_bytes());
+    h.write_u8(0);
+    h.write_u64(horizon as u64);
+    h.finish()
+}
+
 struct Inner {
     config: ServerConfig,
     catalog: Catalog,
+    store: Option<StoreState>,
     cache: Arc<EngineCache>,
     breaker: Arc<CircuitBreaker>,
     metrics: Arc<ServerMetrics>,
@@ -390,6 +463,12 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let catalog = Catalog::standard();
+    let store = config
+        .store_dir
+        .clone()
+        .map(|dir| StoreState::from_catalog(dir, &catalog));
+
     let inner = Arc::new(Inner {
         cache: Arc::new(EngineCache::bounded_with_admission(
             config.cache_entries,
@@ -404,9 +483,17 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         batch: BatchBoard::default(),
         shutdown: AtomicBool::new(false),
         next_request_id: AtomicU64::new(1),
-        catalog: Catalog::standard(),
+        catalog,
+        store,
         config,
     });
+
+    // Warm-start before the first worker exists: a restarted server
+    // serves its very first query from the previous process's cache.
+    if let Some(store) = &inner.store {
+        let _ = std::fs::create_dir_all(&store.dir);
+        warm_start(&inner, store);
+    }
 
     let mut threads = Vec::new();
 
@@ -432,6 +519,15 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             .name("dpioa-watcher".into())
             .spawn(move || watcher_loop(watcher_inner))?,
     );
+
+    if inner.store.is_some() {
+        let persist_inner = Arc::clone(&inner);
+        threads.push(
+            thread::Builder::new()
+                .name("dpioa-persist".into())
+                .spawn(move || persist_loop(persist_inner))?,
+        );
+    }
 
     Ok(ServerHandle {
         addr,
@@ -514,6 +610,90 @@ fn watcher_loop(inner: Arc<Inner>) {
     }
 }
 
+/// Boot-time warm start: stream a committed snapshot (if any) into the
+/// fresh cache. Cold starts (no file yet, stale fingerprint, foreign
+/// version) are business as usual; anything else is a store fault.
+fn warm_start(inner: &Inner, store: &StoreState) {
+    match inner
+        .cache
+        .warm_start_from(&store.snapshot_path(), store.catalog_fingerprint)
+    {
+        Ok(stats) => {
+            inner.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.store_entries_loaded.fetch_add(
+                (stats.transitions + stats.choices) as u64,
+                Ordering::Relaxed,
+            );
+            inner
+                .metrics
+                .store_rejected
+                .fetch_add(stats.rejected, Ordering::Relaxed);
+        }
+        Err(e) if e.is_cold_start() => {
+            inner.metrics.store_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Commit the shared cache to the store (atomic temp + rename; a
+/// reader never observes a half-written snapshot).
+fn persist_snapshot(inner: &Inner, store: &StoreState) -> Result<SnapshotStats, StoreError> {
+    match inner
+        .cache
+        .snapshot_to(&store.snapshot_path(), store.catalog_fingerprint)
+    {
+        Ok(stats) => {
+            inner
+                .metrics
+                .store_snapshots
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(stats)
+        }
+        Err(e) => {
+            inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        }
+    }
+}
+
+/// The snapshot thread: periodic commits while `persist_every` is
+/// configured, and always one parting snapshot at shutdown so a
+/// graceful restart warm-starts from everything this process learned.
+fn persist_loop(inner: Arc<Inner>) {
+    let store = inner.store.as_ref().expect("persist thread needs a store");
+    let mut next = inner.config.persist_every.map(|p| Instant::now() + p);
+    while !inner.shutdown.load(Ordering::Acquire) {
+        thread::sleep(Duration::from_millis(5));
+        if let Some(at) = next {
+            if Instant::now() >= at {
+                let _ = persist_snapshot(&inner, store);
+                next = inner.config.persist_every.map(|p| Instant::now() + p);
+            }
+        }
+    }
+    let _ = persist_snapshot(&inner, store);
+}
+
+/// Persist a budget-tripped query's checkpoint under its identity so
+/// a follow-up query — in this process or the next — resumes instead
+/// of re-expanding.
+fn save_query_checkpoint(inner: &Inner, path: &Path, fingerprint: u64, ckpt: &Checkpoint) {
+    match save_checkpoint(path, fingerprint, ckpt) {
+        Ok(()) => {
+            inner
+                .metrics
+                .store_checkpoints
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The keep-alive exchange loop for one connection.
 fn handle_connection(mut conn: TcpStream, inner: &Inner) {
     loop {
@@ -587,6 +767,34 @@ fn dispatch(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool) -> 
         }
         ("GET", "/v1/catalog") => respond_json(conn, inner, 200, &catalog_page(inner), close),
         ("POST", "/v1/query") => handle_query(conn, inner, req, close),
+        ("POST", "/persist") => {
+            let Some(store) = &inner.store else {
+                respond_error(
+                    conn,
+                    inner,
+                    409,
+                    "store-disabled",
+                    "server started without a store directory",
+                    close,
+                );
+                return !close;
+            };
+            match persist_snapshot(inner, store) {
+                Ok(stats) => {
+                    let body = json::obj([
+                        ("persisted", Json::Bool(true)),
+                        ("transitions", json::nu(stats.transitions as u64)),
+                        ("choices", json::nu(stats.choices as u64)),
+                        ("bytes", json::nu(stats.bytes as u64)),
+                    ]);
+                    respond_json(conn, inner, 200, &body, close) && !close
+                }
+                Err(e) => {
+                    respond_error(conn, inner, 500, e.code(), &e.to_string(), close);
+                    !close
+                }
+            }
+        }
         ("POST", "/shutdown") => {
             inner.begin_shutdown();
             respond_json(
@@ -598,7 +806,7 @@ fn dispatch(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool) -> 
             );
             false
         }
-        ("GET", "/v1/query") | ("POST", "/healthz" | "/metrics" | "/v1/catalog") => {
+        ("GET", "/v1/query" | "/persist") | ("POST", "/healthz" | "/metrics" | "/v1/catalog") => {
             respond_error(
                 conn,
                 inner,
@@ -909,7 +1117,7 @@ fn execute_query(
 ) -> Result<(Disc<Value>, Provenance), EngineError> {
     let window = inner.config.coalesce_window;
     if window.is_zero() {
-        return solo_query(plan, config);
+        return solo_query(inner, plan, config);
     }
     let key = (
         plan.entry.name.to_string(),
@@ -936,7 +1144,7 @@ fn execute_query(
             match rx.recv_timeout(patience) {
                 Ok(BatchVerdict::Done(answer)) => Ok(*answer),
                 Ok(BatchVerdict::Cancelled) => Err(cancelled_error()),
-                Ok(BatchVerdict::Solo) | Err(_) => solo_query(plan, config),
+                Ok(BatchVerdict::Solo) | Err(_) => solo_query(inner, plan, config),
             }
         }
     }
@@ -944,17 +1152,67 @@ fn execute_query(
 
 /// The single-query robust cascade (lumped → exact → Monte-Carlo),
 /// under the member's own budget and cancellation token.
+///
+/// With a store configured this is the **incremental-deadline** path:
+/// a persisted checkpoint matching the query's identity is consumed
+/// and resumed, and any checkpoint a budget-tripped run hands back —
+/// whether the answer was salvaged or the query was cancelled — is
+/// persisted for the next attempt. Progress therefore accrues across
+/// requests and across process restarts.
 fn solo_query(
+    inner: &Inner,
     plan: &QueryPlan,
     config: &RobustConfig,
 ) -> Result<(Disc<Value>, Provenance), EngineError> {
-    robust_observation_dist(
+    let slot = inner.store.as_ref().and_then(|store| {
+        let fp = *store.entry_fingerprints.get(plan.entry.name)?;
+        let identity = query_identity(fp, &plan.sched_name, &plan.obs_name, plan.horizon);
+        Some((store.checkpoint_path(identity), fp))
+    });
+    let resume = slot.as_ref().and_then(|(path, fp)| {
+        match load_checkpoint(path, *fp) {
+            Ok(ckpt) => {
+                // Consume the file: a resumed run that trips again
+                // writes a fresh, further-along checkpoint below.
+                let _ = std::fs::remove_file(path);
+                inner.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.store_resumes.fetch_add(1, Ordering::Relaxed);
+                Some(ckpt)
+            }
+            Err(StoreError::NotFound { .. }) => None,
+            Err(e) => {
+                // Stale or corrupt checkpoint: drop it, run fresh.
+                let _ = std::fs::remove_file(path);
+                if e.is_cold_start() {
+                    inner.metrics.store_misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+    });
+    match robust_observation_dist_resumable(
         plan.entry.automaton.as_ref(),
         plan.scheduler.as_ref(),
         plan.horizon,
         &plan.observation,
         config,
-    )
+        resume,
+    ) {
+        Ok((dist, prov, ckpt)) => {
+            if let (Some((path, fp)), Some(ckpt)) = (&slot, &ckpt) {
+                save_query_checkpoint(inner, path, *fp, ckpt);
+            }
+            Ok((dist, prov))
+        }
+        Err(err) => {
+            if let (Some((path, fp)), Some(ckpt)) = (&slot, &err.checkpoint) {
+                save_query_checkpoint(inner, path, *fp, ckpt);
+            }
+            Err(err.error)
+        }
+    }
 }
 
 /// The error a cancelled batch member surfaces — shaped exactly like
@@ -983,7 +1241,7 @@ fn lead_batch(
 ) -> Result<(Disc<Value>, Provenance), EngineError> {
     if seats.is_empty() {
         // Nobody coalesced inside the window: plain solo query.
-        return solo_query(plan, config);
+        return solo_query(inner, plan, config);
     }
     let auto = plan.entry.automaton.as_ref();
     let send_all_solo = |seats: &[BatchSeat]| {
@@ -997,7 +1255,7 @@ fn lead_batch(
     // through its own robust cascade instead.
     if inner.breaker.is_open(&auto.name()) {
         send_all_solo(&seats);
-        return solo_query(plan, config);
+        return solo_query(inner, plan, config);
     }
 
     // The shared budget is the intersection of the members' budgets, so
@@ -1046,7 +1304,7 @@ fn lead_batch(
             // rediscovered — and reported with the right status — by
             // each member's own solo cascade.
             send_all_solo(&seats);
-            return solo_query(plan, config);
+            return solo_query(inner, plan, config);
         }
     };
 
@@ -1089,7 +1347,7 @@ fn lead_batch(
     match own {
         BatchVerdict::Done(answer) => Ok(*answer),
         BatchVerdict::Cancelled => Err(cancelled_error()),
-        BatchVerdict::Solo => solo_query(plan, config),
+        BatchVerdict::Solo => solo_query(inner, plan, config),
     }
 }
 
@@ -1464,6 +1722,180 @@ mod tests {
             memoryful.body
         );
 
+        handle.shutdown_and_wait();
+    }
+
+    /// A fresh, empty store directory unique to this test run.
+    fn fresh_store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpioa-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn persist_endpoint_then_warm_restart_serves_identical_bits() {
+        let dir = fresh_store_dir("warm");
+        let store_config = || ServerConfig {
+            store_dir: Some(dir.clone()),
+            ..quick_config()
+        };
+
+        // First process: answer a query (warming the cache), commit a
+        // snapshot, shut down.
+        let (handle, client) = start(store_config());
+        assert_eq!(
+            handle.metrics().store_misses.load(Ordering::Relaxed),
+            1,
+            "first boot must be an explicit cold start"
+        );
+        let q = r#"{"automaton":"walk-8","horizon":10}"#;
+        let first = client.query(q).unwrap();
+        assert_eq!(first.status, 200, "body: {}", first.body);
+        let first_body = first.json().unwrap();
+
+        let persisted = client.request("POST", "/persist", None).unwrap();
+        assert_eq!(persisted.status, 200, "body: {}", persisted.body);
+        let stats = persisted.json().unwrap();
+        assert_eq!(stats.get("persisted").and_then(Json::as_bool), Some(true));
+        assert!(
+            stats.get("transitions").and_then(Json::as_u64).unwrap() > 0,
+            "snapshot of a warmed cache must carry rows: {}",
+            persisted.body
+        );
+        let page = client.get("/metrics").unwrap().body;
+        assert!(page.contains("dpioa_store_snapshots_total 1"), "{page}");
+        handle.shutdown_and_wait();
+
+        // Second process: boot preload counts as a store hit before any
+        // query, and the warm cache serves bit-identical answers.
+        let (handle, client) = start(store_config());
+        let metrics = handle.metrics();
+        assert_eq!(metrics.store_hits.load(Ordering::Relaxed), 1);
+        assert!(metrics.store_entries_loaded.load(Ordering::Relaxed) > 0);
+        let page = client.get("/metrics").unwrap().body;
+        assert!(page.contains("dpioa_store_hits_total 1"), "{page}");
+
+        let cache = handle.cache();
+        let before = cache.stats();
+        let again = client.query(q).unwrap();
+        assert_eq!(again.status, 200, "body: {}", again.body);
+        let again_body = again.json().unwrap();
+        assert_eq!(
+            again_body.get("dist"),
+            first_body.get("dist").cloned().as_ref(),
+            "warm-started answer must be bit-identical to the original"
+        );
+        let after = cache.stats();
+        assert!(
+            after.hits > before.hits,
+            "restarted process must serve from preloaded entries ({before:?} -> {after:?})"
+        );
+
+        handle.shutdown_and_wait();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_tripped_checkpoint_persists_and_resumes_bit_identically() {
+        let dir = fresh_store_dir("ckpt");
+
+        // Control: the uninterrupted exact answer, computed without any
+        // store in play.
+        let full = r#"{"automaton":"walk-8","scheduler":"memoryful-alternate","horizon":8,
+            "budget":{"deadline_ms":10000},"mc_samples":2000}"#;
+        let (control_handle, control_client) = start(quick_config());
+        let control = control_client.query(full).unwrap();
+        assert_eq!(control.status, 200, "body: {}", control.body);
+        let control_body = control.json().unwrap();
+        assert_eq!(
+            control_body
+                .get("provenance")
+                .and_then(|p| p.get("engine"))
+                .and_then(Json::as_str),
+            Some("exact")
+        );
+        control_handle.shutdown_and_wait();
+
+        // Store server, same query under a budget that trips the exact
+        // tier: the salvaged hybrid answer leaves a checkpoint on disk.
+        let (handle, client) = start(ServerConfig {
+            store_dir: Some(dir.clone()),
+            ..quick_config()
+        });
+        let metrics = handle.metrics();
+        let tripped = client
+            .query(
+                r#"{"automaton":"walk-8","scheduler":"memoryful-alternate","horizon":8,
+                    "budget":{"max_expansions":2,"deadline_ms":10000},"mc_samples":2000}"#,
+            )
+            .unwrap();
+        assert_eq!(tripped.status, 200, "body: {}", tripped.body);
+        assert_eq!(
+            tripped
+                .json()
+                .unwrap()
+                .get("provenance")
+                .and_then(|p| p.get("engine"))
+                .and_then(Json::as_str),
+            Some("hybrid")
+        );
+        assert_eq!(metrics.store_checkpoints.load(Ordering::Relaxed), 1);
+        let ckpt_files = |dir: &Path| {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .starts_with("ckpt-")
+                })
+                .count()
+        };
+        assert_eq!(ckpt_files(&dir), 1, "checkpoint file must be on disk");
+
+        // Same query identity with room to finish: the server consumes
+        // the checkpoint, resumes, and completes exactly — with the
+        // same bits as the uninterrupted control run.
+        let resumed = client.query(full).unwrap();
+        assert_eq!(resumed.status, 200, "body: {}", resumed.body);
+        let resumed_body = resumed.json().unwrap();
+        assert_eq!(
+            resumed_body
+                .get("provenance")
+                .and_then(|p| p.get("engine"))
+                .and_then(Json::as_str),
+            Some("exact"),
+            "resumed query must finish on the exact tier: {}",
+            resumed.body
+        );
+        assert_eq!(
+            resumed_body.get("dist"),
+            control_body.get("dist").cloned().as_ref(),
+            "resume must be bit-identical to the uninterrupted run"
+        );
+        assert_eq!(metrics.store_resumes.load(Ordering::Relaxed), 1);
+        assert_eq!(ckpt_files(&dir), 0, "resume must consume the checkpoint");
+
+        handle.shutdown_and_wait();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_without_store_dir_is_a_stable_409() {
+        let (handle, client) = start(quick_config());
+        let resp = client.request("POST", "/persist", None).unwrap();
+        assert_eq!(resp.status, 409, "body: {}", resp.body);
+        assert_eq!(
+            resp.json()
+                .unwrap()
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("store-disabled")
+        );
         handle.shutdown_and_wait();
     }
 

@@ -1,0 +1,473 @@
+//! Persisted partial results: cone and lumped checkpoints.
+//!
+//! A deadline-tripped query returns a [`Checkpoint`] carrying its
+//! resolved mass and unexpanded frontier. Persisting that checkpoint
+//! and resuming it in a *different process* must be indistinguishable
+//! from never having been interrupted — so this codec is bit-exact:
+//! frontier and resolved orders are written **verbatim** (they seed
+//! the deterministic resume expansion), weights keep their raw `f64`
+//! bits, and executions serialize as (first state, action/state steps)
+//! so the rebuilt spine hashes identically to the original.
+//!
+//! The interrupt `reason` rides along too — provenance of *why* the
+//! partial exists survives the hop across processes.
+
+use crate::error::StoreError;
+use crate::format::{self, FileKind};
+use crate::wire::{self, Reader};
+use dpioa_core::Execution;
+use dpioa_sched::{Checkpoint, ConeCheckpoint, EngineError, LumpedCheckpoint, LumpedClass};
+use std::path::Path;
+
+const TAG_CONE: u8 = 1;
+const TAG_LUMPED: u8 = 2;
+
+fn put_execution(out: &mut Vec<u8>, exec: &Execution) {
+    wire::put_value(out, exec.fstate());
+    wire::put_varint(out, exec.len() as u64);
+    for (_, a, q2) in exec.steps() {
+        wire::put_action(out, a);
+        wire::put_value(out, q2);
+    }
+}
+
+fn read_execution(r: &mut Reader<'_>, what: &str) -> Result<Execution, StoreError> {
+    let start = r.value(what)?;
+    let n = r.len(what)?;
+    let mut exec = Execution::from_state(start);
+    for _ in 0..n {
+        let a = r.action(what)?;
+        let q2 = r.value(what)?;
+        exec.push(a, q2);
+    }
+    Ok(exec)
+}
+
+fn put_error(out: &mut Vec<u8>, err: &EngineError) {
+    match err {
+        EngineError::DisabledAction {
+            scheduler,
+            action,
+            state,
+        } => {
+            out.push(1);
+            wire::put_str(out, scheduler);
+            wire::put_action(out, *action);
+            wire::put_value(out, state);
+        }
+        EngineError::NonDyadicWeight { weight } => {
+            out.push(2);
+            wire::put_f64(out, *weight);
+        }
+        EngineError::BudgetExhausted {
+            entries,
+            expansions,
+            deadline_hit,
+            cancelled,
+        } => {
+            out.push(3);
+            wire::put_varint(out, *entries as u64);
+            wire::put_varint(out, *expansions as u64);
+            out.push(u8::from(*deadline_hit));
+            out.push(u8::from(*cancelled));
+        }
+        EngineError::WorkerPanicked { shard, retries } => {
+            out.push(4);
+            wire::put_varint(out, *shard as u64);
+            wire::put_varint(out, u64::from(*retries));
+        }
+        EngineError::InvalidSampling { reason } => {
+            out.push(5);
+            wire::put_str(out, reason);
+        }
+        EngineError::InvalidMeasure { detail } => {
+            out.push(6);
+            wire::put_str(out, detail);
+        }
+        EngineError::NotLumpable { reason } => {
+            out.push(7);
+            wire::put_str(out, reason);
+        }
+    }
+}
+
+fn read_error(r: &mut Reader<'_>) -> Result<EngineError, StoreError> {
+    match r.u8("error tag")? {
+        1 => Ok(EngineError::DisabledAction {
+            scheduler: r.str("error scheduler")?,
+            action: r.action("error action")?,
+            state: r.value("error state")?,
+        }),
+        2 => Ok(EngineError::NonDyadicWeight {
+            weight: r.f64("error weight")?,
+        }),
+        3 => Ok(EngineError::BudgetExhausted {
+            entries: r.varint("error entries")? as usize,
+            expansions: r.varint("error expansions")? as usize,
+            deadline_hit: read_bool(r, "error deadline flag")?,
+            cancelled: read_bool(r, "error cancelled flag")?,
+        }),
+        4 => Ok(EngineError::WorkerPanicked {
+            shard: r.varint("error shard")? as usize,
+            retries: r.varint("error retries")? as u32,
+        }),
+        5 => Ok(EngineError::InvalidSampling {
+            reason: r.str("error reason")?,
+        }),
+        6 => Ok(EngineError::InvalidMeasure {
+            detail: r.str("error detail")?,
+        }),
+        7 => Ok(EngineError::NotLumpable {
+            reason: r.str("error reason")?,
+        }),
+        tag => Err(StoreError::Malformed {
+            detail: format!("unknown engine-error tag {tag}"),
+        }),
+    }
+}
+
+fn read_bool(r: &mut Reader<'_>, what: &str) -> Result<bool, StoreError> {
+    match r.u8(what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(StoreError::Malformed {
+            detail: format!("{what} has invalid bool byte {b}"),
+        }),
+    }
+}
+
+/// Encode a checkpoint as a store payload (no frame).
+pub fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut out = Vec::new();
+    match ckpt {
+        Checkpoint::Cone(c) => {
+            out.push(TAG_CONE);
+            put_error(&mut out, &c.reason);
+            wire::put_varint(&mut out, c.horizon as u64);
+            wire::put_varint(&mut out, c.resolved.len() as u64);
+            for (exec, w) in &c.resolved {
+                put_execution(&mut out, exec);
+                wire::put_f64(&mut out, *w);
+            }
+            wire::put_varint(&mut out, c.frontier.len() as u64);
+            for (exec, w) in &c.frontier {
+                put_execution(&mut out, exec);
+                wire::put_f64(&mut out, *w);
+            }
+        }
+        Checkpoint::Lumped(l) => {
+            out.push(TAG_LUMPED);
+            put_error(&mut out, &l.reason);
+            wire::put_varint(&mut out, l.step as u64);
+            wire::put_varint(&mut out, l.horizon as u64);
+            wire::put_varint(&mut out, l.resolved.len() as u64);
+            for (q, w) in &l.resolved {
+                wire::put_value(&mut out, q);
+                wire::put_f64(&mut out, *w);
+            }
+            wire::put_varint(&mut out, l.frontier.len() as u64);
+            for class in &l.frontier {
+                wire::put_value(&mut out, &class.state);
+                wire::put_varint(&mut out, class.trace.len() as u64);
+                for a in &class.trace {
+                    wire::put_action(&mut out, *a);
+                }
+                wire::put_f64(&mut out, class.weight);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a store payload back into a checkpoint, consuming every byte.
+pub fn decode_checkpoint(payload: &[u8]) -> Result<Checkpoint, StoreError> {
+    let mut r = Reader::new(payload);
+    let ckpt = match r.u8("checkpoint tag")? {
+        TAG_CONE => {
+            let reason = read_error(&mut r)?;
+            let horizon = r.varint("cone horizon")? as usize;
+            let n = r.len("cone resolved count")?;
+            let mut resolved = Vec::with_capacity(n);
+            for _ in 0..n {
+                let exec = read_execution(&mut r, "cone resolved execution")?;
+                let w = r.f64("cone resolved weight")?;
+                resolved.push((exec, w));
+            }
+            let n = r.len("cone frontier count")?;
+            let mut frontier = Vec::with_capacity(n);
+            for _ in 0..n {
+                let exec = read_execution(&mut r, "cone frontier execution")?;
+                let w = r.f64("cone frontier weight")?;
+                frontier.push((exec, w));
+            }
+            Checkpoint::Cone(ConeCheckpoint {
+                resolved,
+                frontier,
+                horizon,
+                reason,
+            })
+        }
+        TAG_LUMPED => {
+            let reason = read_error(&mut r)?;
+            let step = r.varint("lumped step")? as usize;
+            let horizon = r.varint("lumped horizon")? as usize;
+            let n = r.len("lumped resolved count")?;
+            let mut resolved = Vec::with_capacity(n);
+            for _ in 0..n {
+                let q = r.value("lumped resolved state")?;
+                let w = r.f64("lumped resolved weight")?;
+                resolved.push((q, w));
+            }
+            let n = r.len("lumped frontier count")?;
+            let mut frontier = Vec::with_capacity(n);
+            for _ in 0..n {
+                let state = r.value("lumped class state")?;
+                let n_trace = r.len("lumped class trace count")?;
+                let mut trace = Vec::with_capacity(n_trace);
+                for _ in 0..n_trace {
+                    trace.push(r.action("lumped class trace action")?);
+                }
+                let weight = r.f64("lumped class weight")?;
+                frontier.push(LumpedClass {
+                    state,
+                    trace,
+                    weight,
+                });
+            }
+            Checkpoint::Lumped(LumpedCheckpoint {
+                resolved,
+                frontier,
+                step,
+                horizon,
+                reason,
+            })
+        }
+        tag => {
+            return Err(StoreError::Malformed {
+                detail: format!("unknown checkpoint tag {tag}"),
+            })
+        }
+    };
+    r.finish()?;
+    Ok(ckpt)
+}
+
+/// Frame and atomically write `ckpt` to `path`, keyed by `fingerprint`.
+pub fn save_checkpoint(path: &Path, fingerprint: u64, ckpt: &Checkpoint) -> Result<(), StoreError> {
+    format::write_file(
+        path,
+        FileKind::Checkpoint,
+        fingerprint,
+        &encode_checkpoint(ckpt),
+    )
+}
+
+/// Read, validate, and decode the checkpoint at `path`.
+pub fn load_checkpoint(path: &Path, fingerprint: u64) -> Result<Checkpoint, StoreError> {
+    decode_checkpoint(&format::read_file(path, FileKind::Checkpoint, fingerprint)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Action, Value};
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn exec(start: i64, steps: &[(&str, i64)]) -> Execution {
+        let mut e = Execution::from_state(Value::int(start));
+        for (a, q) in steps {
+            e.push(act(a), Value::int(*q));
+        }
+        e
+    }
+
+    fn all_errors() -> Vec<EngineError> {
+        vec![
+            EngineError::DisabledAction {
+                scheduler: "sched".into(),
+                action: act("ck-a"),
+                state: Value::int(3),
+            },
+            EngineError::NonDyadicWeight { weight: 0.3 },
+            EngineError::BudgetExhausted {
+                entries: 10,
+                expansions: 4,
+                deadline_hit: true,
+                cancelled: false,
+            },
+            EngineError::WorkerPanicked {
+                shard: 2,
+                retries: 3,
+            },
+            EngineError::InvalidSampling { reason: "r".into() },
+            EngineError::InvalidMeasure { detail: "d".into() },
+            EngineError::NotLumpable { reason: "n".into() },
+        ]
+    }
+
+    fn deadline_reason() -> EngineError {
+        EngineError::BudgetExhausted {
+            entries: 100,
+            expansions: 7,
+            deadline_hit: true,
+            cancelled: false,
+        }
+    }
+
+    #[test]
+    fn cone_checkpoint_round_trips_bit_exactly() {
+        // Unsorted frontier, awkward float bits, shared spines — all
+        // must come back verbatim.
+        let ckpt = Checkpoint::Cone(ConeCheckpoint {
+            resolved: vec![(exec(0, &[("ck-a", 1)]), 0.1 + 0.2)],
+            frontier: vec![
+                (exec(0, &[("ck-a", 2), ("ck-b", 3)]), 0.25),
+                (exec(0, &[]), f64::MIN_POSITIVE),
+            ],
+            horizon: 9,
+            reason: deadline_reason(),
+        });
+        let payload = encode_checkpoint(&ckpt);
+        let back = decode_checkpoint(&payload).unwrap();
+        let Checkpoint::Cone(orig) = &ckpt else {
+            unreachable!()
+        };
+        let Checkpoint::Cone(got) = &back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(got.horizon, orig.horizon);
+        assert_eq!(got.reason, orig.reason);
+        let bits = |v: &Vec<(Execution, f64)>| {
+            v.iter()
+                .map(|(e, w)| (e.clone(), w.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&got.resolved), bits(&orig.resolved));
+        assert_eq!(bits(&got.frontier), bits(&orig.frontier));
+        // Re-encoding the decoded checkpoint reproduces the bytes.
+        assert_eq!(encode_checkpoint(&back), payload);
+    }
+
+    #[test]
+    fn lumped_checkpoint_round_trips_bit_exactly() {
+        let ckpt = Checkpoint::Lumped(LumpedCheckpoint {
+            resolved: vec![(Value::int(5), 0.5), (Value::int(1), 0.125)],
+            frontier: vec![
+                LumpedClass {
+                    state: Value::int(2),
+                    trace: vec![act("ck-a"), act("ck-b")],
+                    weight: 0.25,
+                },
+                LumpedClass {
+                    state: Value::int(0),
+                    trace: vec![],
+                    weight: 0.125,
+                },
+            ],
+            step: 3,
+            horizon: 12,
+            reason: deadline_reason(),
+        });
+        let payload = encode_checkpoint(&ckpt);
+        let back = decode_checkpoint(&payload).unwrap();
+        assert_eq!(encode_checkpoint(&back), payload);
+        let Checkpoint::Lumped(got) = &back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(got.step, 3);
+        assert_eq!(got.horizon, 12);
+        assert_eq!(got.frontier.len(), 2);
+        assert_eq!(got.frontier[0].trace, vec![act("ck-a"), act("ck-b")]);
+    }
+
+    #[test]
+    fn every_engine_error_variant_round_trips() {
+        for reason in all_errors() {
+            let ckpt = Checkpoint::Cone(ConeCheckpoint {
+                resolved: vec![],
+                frontier: vec![(exec(0, &[]), 1.0)],
+                horizon: 1,
+                reason: reason.clone(),
+            });
+            let back = decode_checkpoint(&encode_checkpoint(&ckpt)).unwrap();
+            let Checkpoint::Cone(got) = back else {
+                panic!("wrong variant")
+            };
+            assert_eq!(got.reason, reason);
+            assert_eq!(got.reason.code(), reason.code());
+        }
+    }
+
+    #[test]
+    fn rebuilt_executions_hash_and_compare_identically() {
+        let original = exec(7, &[("ck-a", 8), ("ck-b", 9), ("ck-a", 7)]);
+        let ckpt = Checkpoint::Cone(ConeCheckpoint {
+            resolved: vec![],
+            frontier: vec![(original.clone(), 1.0)],
+            horizon: 3,
+            reason: deadline_reason(),
+        });
+        let Checkpoint::Cone(got) = decode_checkpoint(&encode_checkpoint(&ckpt)).unwrap() else {
+            panic!("wrong variant")
+        };
+        let rebuilt = &got.frontier[0].0;
+        assert_eq!(rebuilt, &original);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |e: &Execution| {
+            let mut h = DefaultHasher::new();
+            e.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(rebuilt), h(&original));
+    }
+
+    #[test]
+    fn file_round_trip_and_kind_separation() {
+        let dir = std::env::temp_dir().join(format!("dpioa-store-ckpt-{}", std::process::id()));
+        let path = dir.join("q.ckpt");
+        let ckpt = Checkpoint::Lumped(LumpedCheckpoint {
+            resolved: vec![(Value::int(1), 1.0)],
+            frontier: vec![],
+            step: 1,
+            horizon: 1,
+            reason: deadline_reason(),
+        });
+        save_checkpoint(&path, 77, &ckpt).unwrap();
+        let back = load_checkpoint(&path, 77).unwrap();
+        assert_eq!(encode_checkpoint(&back), encode_checkpoint(&ckpt));
+
+        // A checkpoint file refuses to open as a cache snapshot.
+        let err = crate::format::read_file(&path, FileKind::CacheSnapshot, 77).unwrap_err();
+        assert_eq!(err.code(), "store-wrong-kind");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_payloads_are_typed_errors() {
+        assert!(matches!(
+            decode_checkpoint(&[]).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+        assert!(matches!(
+            decode_checkpoint(&[9]).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+        // Valid prefix, trailing garbage.
+        let ckpt = Checkpoint::Cone(ConeCheckpoint {
+            resolved: vec![],
+            frontier: vec![],
+            horizon: 0,
+            reason: deadline_reason(),
+        });
+        let mut payload = encode_checkpoint(&ckpt);
+        payload.push(0);
+        assert!(matches!(
+            decode_checkpoint(&payload).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+    }
+}

@@ -1,0 +1,202 @@
+//! Typed failures of the persistence layer.
+//!
+//! Every way a snapshot or checkpoint file can be unusable maps to one
+//! [`StoreError`] variant with a stable [`StoreError::code`] — the same
+//! contract [`dpioa_sched::EngineError::code`] gives the query server.
+//! Decoders **never panic** on hostile bytes and **never partially
+//! apply** a file: a decode either lands entirely or reports one of
+//! these and leaves the target untouched (see the crate docs for the
+//! two-pass argument).
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing a store file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file does not exist — the ordinary cold-start case, split
+    /// from [`StoreError::Io`] so callers can treat it as "no snapshot
+    /// yet" rather than a fault.
+    NotFound {
+        /// The path probed.
+        path: String,
+    },
+    /// An OS-level read/write/rename failure.
+    Io {
+        /// Which operation failed.
+        op: &'static str,
+        /// The underlying error rendered.
+        detail: String,
+    },
+    /// The file does not start with the `DPST` magic — not a store file.
+    BadMagic,
+    /// The file was written by a different (usually newer) format
+    /// version; re-snapshot instead of guessing at the layout.
+    VersionSkew {
+        /// The version recorded in the file.
+        found: u32,
+    },
+    /// The file is a valid store file of the wrong kind (a checkpoint
+    /// where a cache snapshot was expected, or vice versa).
+    WrongKind {
+        /// The kind tag expected.
+        expected: u8,
+        /// The kind tag found.
+        found: u8,
+    },
+    /// The file is shorter than its header or its recorded payload
+    /// length claims — an interrupted write or a length-prefix lie.
+    Truncated {
+        /// What was missing.
+        detail: String,
+    },
+    /// The trailing checksum does not match the bytes — bit rot or a
+    /// torn write that kept the length intact.
+    ChecksumMismatch,
+    /// The file belongs to a different automaton (or catalog) structure
+    /// — it is stale relative to the code asking for it.
+    FingerprintMismatch {
+        /// The fingerprint the caller derived from its live structure.
+        expected: u64,
+        /// The fingerprint recorded in the file.
+        found: u64,
+    },
+    /// The payload passed the checksum but does not parse — only
+    /// reachable for files produced by a buggy or malicious writer,
+    /// since random corruption is caught by the checksum first.
+    Malformed {
+        /// Where the parse failed.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// A stable machine-readable code, mirroring
+    /// [`dpioa_sched::EngineError::code`]:
+    ///
+    /// | code | meaning |
+    /// |------|---------|
+    /// | `store-not-found`            | no file at the path |
+    /// | `store-io`                   | OS read/write/rename failure |
+    /// | `store-bad-magic`            | not a store file |
+    /// | `store-version-skew`         | foreign format version |
+    /// | `store-wrong-kind`           | snapshot/checkpoint mix-up |
+    /// | `store-truncated`            | short file or length-prefix lie |
+    /// | `store-checksum-mismatch`    | corrupted bytes |
+    /// | `store-fingerprint-mismatch` | stale vs. the live automaton |
+    /// | `store-malformed`            | checksum-valid but unparseable |
+    pub fn code(&self) -> &'static str {
+        match self {
+            StoreError::NotFound { .. } => "store-not-found",
+            StoreError::Io { .. } => "store-io",
+            StoreError::BadMagic => "store-bad-magic",
+            StoreError::VersionSkew { .. } => "store-version-skew",
+            StoreError::WrongKind { .. } => "store-wrong-kind",
+            StoreError::Truncated { .. } => "store-truncated",
+            StoreError::ChecksumMismatch => "store-checksum-mismatch",
+            StoreError::FingerprintMismatch { .. } => "store-fingerprint-mismatch",
+            StoreError::Malformed { .. } => "store-malformed",
+        }
+    }
+
+    /// True iff the error means "no usable file" rather than "a fault
+    /// worth surfacing" — a cold start (`NotFound`) or a stale file
+    /// (`FingerprintMismatch`, `VersionSkew`) that a fresh snapshot
+    /// will simply replace.
+    pub fn is_cold_start(&self) -> bool {
+        matches!(
+            self,
+            StoreError::NotFound { .. }
+                | StoreError::FingerprintMismatch { .. }
+                | StoreError::VersionSkew { .. }
+        )
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound { path } => write!(f, "no store file at {path}"),
+            StoreError::Io { op, detail } => write!(f, "store {op} failed: {detail}"),
+            StoreError::BadMagic => write!(f, "not a store file (bad magic)"),
+            StoreError::VersionSkew { found } => {
+                write!(f, "store file has foreign format version {found}")
+            }
+            StoreError::WrongKind { expected, found } => {
+                write!(f, "store file kind {found} where {expected} was expected")
+            }
+            StoreError::Truncated { detail } => write!(f, "store file truncated: {detail}"),
+            StoreError::ChecksumMismatch => write!(f, "store file checksum mismatch"),
+            StoreError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "store file fingerprint {found:016x} does not match live structure {expected:016x}"
+            ),
+            StoreError::Malformed { detail } => write!(f, "store payload malformed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            StoreError::NotFound { path: "x".into() },
+            StoreError::Io {
+                op: "read",
+                detail: "d".into(),
+            },
+            StoreError::BadMagic,
+            StoreError::VersionSkew { found: 9 },
+            StoreError::WrongKind {
+                expected: 1,
+                found: 2,
+            },
+            StoreError::Truncated { detail: "d".into() },
+            StoreError::ChecksumMismatch,
+            StoreError::FingerprintMismatch {
+                expected: 1,
+                found: 2,
+            },
+            StoreError::Malformed { detail: "d".into() },
+        ];
+        let codes: Vec<&str> = all.iter().map(StoreError::code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "store-not-found",
+                "store-io",
+                "store-bad-magic",
+                "store-version-skew",
+                "store-wrong-kind",
+                "store-truncated",
+                "store-checksum-mismatch",
+                "store-fingerprint-mismatch",
+                "store-malformed",
+            ]
+        );
+        let mut dedup = codes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+        for e in &all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn cold_start_classification() {
+        assert!(StoreError::NotFound { path: "x".into() }.is_cold_start());
+        assert!(StoreError::VersionSkew { found: 2 }.is_cold_start());
+        assert!(StoreError::FingerprintMismatch {
+            expected: 1,
+            found: 2
+        }
+        .is_cold_start());
+        assert!(!StoreError::ChecksumMismatch.is_cold_start());
+        assert!(!StoreError::BadMagic.is_cold_start());
+    }
+}

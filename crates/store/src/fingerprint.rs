@@ -1,0 +1,219 @@
+//! Automaton fingerprints: a structural hash keying every store file.
+//!
+//! A snapshot or checkpoint is only sound for the automaton structure
+//! that produced it — resuming a cone expansion against an edited
+//! automaton would silently mix two different measure spaces. The
+//! fingerprint is a 64-bit hash of the automaton's *canonical
+//! structure*: its name, and for every reachable state (breadth-first
+//! from the start state) the canonical byte encoding of the state, its
+//! signature partition with actions **sorted by name**, and the
+//! canonical (sorted) encoding of every enabled transition measure.
+//!
+//! Nothing process-local enters the hash: states hash by their
+//! [`dpioa_bounded::encode_value`] bytes (not interner ids), actions by
+//! name (not symbol ids), weights by canonical `encode_disc` bytes.
+//! Two processes — or two runs of one process with differently warmed
+//! interners — therefore always agree on the fingerprint, while any
+//! edit to the transition structure changes it. The hash chain is the
+//! seeded [`FxHasher`] the execution spine already uses.
+//!
+//! Traversal is capped at [`FINGERPRINT_STATE_CAP`] states so an
+//! unbounded automaton still fingerprints in bounded time; the cap and
+//! the visit count are mixed into the hash, so two automata that agree
+//! on the explored prefix but are cut at different sizes still differ.
+
+use dpioa_bounded::{encode_disc, encode_value};
+use dpioa_core::fxhash::FxHasher;
+use dpioa_core::{Action, Automaton, Value};
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hasher;
+
+/// Reachable-state exploration bound for a fingerprint.
+pub const FINGERPRINT_STATE_CAP: usize = 1 << 14;
+
+/// Seed of the fingerprint hash chain (distinct from the execution
+/// spine's seed so equal byte streams hash differently in the two
+/// roles).
+const FINGERPRINT_SEED: u64 = 0x5702_7E57;
+
+fn hash_bytes(h: &mut FxHasher, bytes: &[u8]) {
+    h.write_u64(bytes.len() as u64);
+    h.write(bytes);
+}
+
+fn hash_str(h: &mut FxHasher, s: &str) {
+    hash_bytes(h, s.as_bytes());
+}
+
+/// Action names of one signature class, sorted — `Action`'s own `Ord`
+/// is its process-local symbol id and must not leak into the hash.
+fn sorted_names(actions: impl IntoIterator<Item = Action>) -> Vec<String> {
+    let mut names: Vec<String> = actions.into_iter().map(Action::name).collect();
+    names.sort();
+    names
+}
+
+/// The structural fingerprint of `auto` (see the module docs).
+pub fn automaton_fingerprint(auto: &dyn Automaton) -> u64 {
+    let mut h = FxHasher::with_seed(FINGERPRINT_SEED);
+    hash_str(&mut h, &auto.name());
+
+    let start = auto.start_state();
+    let mut visited: HashSet<Vec<u8>> = HashSet::new();
+    let mut queue: VecDeque<Value> = VecDeque::new();
+    visited.insert(encode_value(&start));
+    queue.push_back(start);
+
+    let mut truncated = false;
+    while let Some(q) = queue.pop_front() {
+        hash_bytes(&mut h, &encode_value(&q));
+        let sig = auto.signature(&q);
+        for (class, actions) in [
+            ("in", sorted_names(sig.input.iter().copied())),
+            ("out", sorted_names(sig.output.iter().copied())),
+            ("int", sorted_names(sig.internal.iter().copied())),
+        ] {
+            hash_str(&mut h, class);
+            h.write_u64(actions.len() as u64);
+            for name in &actions {
+                hash_str(&mut h, name);
+            }
+        }
+
+        // Enabled transitions in name order; `encode_disc` sorts the
+        // support, so the measure hashes canonically too.
+        let mut all = sorted_names(sig.all());
+        all.dedup();
+        for name in &all {
+            let Some(eta) = auto.transition(&q, Action::named(name)) else {
+                continue;
+            };
+            hash_str(&mut h, name);
+            hash_bytes(&mut h, &encode_disc(&eta));
+            if truncated {
+                continue;
+            }
+            // Deterministic successor order: the support sorted by
+            // canonical encoding (iteration order of a `Disc` is
+            // deterministic, but sorting keeps the traversal a pure
+            // function of the *structure*).
+            let mut by_bytes: Vec<(Vec<u8>, &Value)> =
+                eta.iter().map(|(q2, _)| (encode_value(q2), q2)).collect();
+            by_bytes.sort();
+            for (bytes, q2) in by_bytes {
+                if visited.len() >= FINGERPRINT_STATE_CAP {
+                    truncated = true;
+                    break;
+                }
+                if visited.insert(bytes) {
+                    queue.push_back(q2.clone());
+                }
+            }
+        }
+    }
+
+    h.write_u64(visited.len() as u64);
+    h.write_u8(u8::from(truncated));
+    h.finish()
+}
+
+/// One fingerprint over a *set* of automata (a server catalog): the
+/// per-automaton fingerprints combined in name order, so the result is
+/// independent of enumeration order but sensitive to any member's
+/// structure (and to membership itself).
+pub fn combined_fingerprint<'a>(parts: impl IntoIterator<Item = (&'a str, u64)>) -> u64 {
+    let mut sorted: Vec<(&str, u64)> = parts.into_iter().collect();
+    sorted.sort();
+    let mut h = FxHasher::with_seed(FINGERPRINT_SEED ^ 0xCA7A_106F);
+    h.write_u64(sorted.len() as u64);
+    for (name, print) in sorted {
+        hash_str(&mut h, name);
+        h.write_u64(print);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{ExplicitAutomaton, Signature};
+    use dpioa_prob::Disc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn walk(n: i64, bias_num: u64) -> ExplicitAutomaton {
+        let step = act("fp-step");
+        let mut b = ExplicitAutomaton::builder("fp-walk", Value::int(0));
+        for k in 0..n {
+            b = b.state(k, Signature::new([], [], [step])).transition(
+                k,
+                step,
+                Disc::bernoulli_dyadic(Value::int(k + 1), Value::int(0), bias_num, 2),
+            );
+        }
+        b.state(n, Signature::new([], [], [])).build()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_structure_sensitive() {
+        let a = automaton_fingerprint(&walk(6, 1));
+        let b = automaton_fingerprint(&walk(6, 1));
+        assert_eq!(a, b, "same structure, same fingerprint");
+        // Different weights, different horizon, different name: all move it.
+        assert_ne!(a, automaton_fingerprint(&walk(6, 3)));
+        assert_ne!(a, automaton_fingerprint(&walk(7, 1)));
+        let renamed = ExplicitAutomaton::builder("fp-walk-2", Value::int(0))
+            .state(0, Signature::new([], [], []))
+            .build();
+        assert_ne!(a, automaton_fingerprint(&renamed));
+    }
+
+    #[test]
+    fn fingerprint_ignores_interner_warmth() {
+        // Warm the interner with unrelated values between two prints of
+        // the same automaton: interned ids shift, the fingerprint must
+        // not (it is a function of canonical bytes only).
+        let before = automaton_fingerprint(&walk(5, 1));
+        for k in 1000..1200 {
+            let _ = dpioa_core::IValue::of(&Value::int(k));
+        }
+        assert_eq!(before, automaton_fingerprint(&walk(5, 1)));
+    }
+
+    #[test]
+    fn combined_is_order_independent_but_membership_sensitive() {
+        let a = automaton_fingerprint(&walk(3, 1));
+        let b = automaton_fingerprint(&walk(4, 1));
+        let ab = combined_fingerprint([("a", a), ("b", b)]);
+        let ba = combined_fingerprint([("b", b), ("a", a)]);
+        assert_eq!(ab, ba);
+        assert_ne!(ab, combined_fingerprint([("a", a)]));
+        assert_ne!(ab, combined_fingerprint([("a", a), ("b", a)]));
+    }
+
+    #[test]
+    fn unbounded_state_space_fingerprints_in_bounded_time() {
+        // A counter automaton with unbounded reachable states: the cap
+        // must cut the traversal and still give a stable fingerprint.
+        struct Counter;
+        impl Automaton for Counter {
+            fn name(&self) -> String {
+                "fp-counter".into()
+            }
+            fn start_state(&self) -> Value {
+                Value::int(0)
+            }
+            fn signature(&self, _q: &Value) -> Signature {
+                Signature::new([], [], [act("fp-inc")])
+            }
+            fn transition(&self, q: &Value, a: Action) -> Option<Disc<Value>> {
+                let Value::Int(k) = q else { return None };
+                (a == act("fp-inc")).then(|| Disc::dirac(Value::int(k + 1)))
+            }
+        }
+        let a = automaton_fingerprint(&Counter);
+        assert_eq!(a, automaton_fingerprint(&Counter));
+    }
+}

@@ -1,0 +1,322 @@
+//! The framed on-disk container every store file shares.
+//!
+//! ```text
+//! magic "DPST" | version u32 LE | kind u8 | fingerprint u64 LE
+//! | payload_len u64 LE | payload bytes | checksum u64 LE
+//! ```
+//!
+//! The checksum is a seeded [`FxHasher`] over every preceding byte
+//! (header *and* payload), so a bit flip anywhere in the file — header
+//! fields included — is caught before any payload decode runs. Reads
+//! validate in a fixed order chosen so the most informative error
+//! wins: magic before version (a JPEG is "not a store file", not
+//! "version 0xd8ff"), checksum before kind and fingerprint (a corrupt
+//! kind byte is corruption, not a snapshot/checkpoint mix-up).
+//!
+//! Writes are atomic per POSIX rename: the bytes land in a
+//! `<name>.<pid>.tmp` sibling first and are renamed over the target
+//! only once fully flushed, so a reader never observes a half-written
+//! file and a crash mid-write leaves any previous snapshot intact.
+
+use crate::error::StoreError;
+use dpioa_core::fxhash::FxHasher;
+use std::fs;
+use std::hash::Hasher;
+use std::io::Write as _;
+use std::path::Path;
+
+/// First four bytes of every store file.
+pub const MAGIC: [u8; 4] = *b"DPST";
+
+/// Current format version. Bump on any layout change; readers reject
+/// every other version as [`StoreError::VersionSkew`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Checksum hash-chain seed (distinct from the fingerprint seed).
+const CHECKSUM_SEED: u64 = 0xC4EC_505D;
+
+/// Fixed header length: magic + version + kind + fingerprint + payload_len.
+const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 8;
+
+/// What a store file holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FileKind {
+    /// An engine-cache snapshot (memoized transitions + choices).
+    CacheSnapshot = 1,
+    /// A persisted partial-result checkpoint (cone or lumped).
+    Checkpoint = 2,
+}
+
+impl FileKind {
+    fn from_tag(tag: u8) -> Option<FileKind> {
+        match tag {
+            1 => Some(FileKind::CacheSnapshot),
+            2 => Some(FileKind::Checkpoint),
+            _ => None,
+        }
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::with_seed(CHECKSUM_SEED);
+    h.write(bytes);
+    h.finish()
+}
+
+/// Frame `payload` and write it to `path` atomically (temp sibling +
+/// rename). Creates missing parent directories.
+pub fn write_file(
+    path: &Path,
+    kind: FileKind,
+    fingerprint: u64,
+    payload: &[u8],
+) -> Result<(), StoreError> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.push(kind as u8);
+    bytes.extend_from_slice(&fingerprint.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let sum = checksum(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| StoreError::Io {
+                op: "create-dir",
+                detail: e.to_string(),
+            })?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::Io {
+            op: "write",
+            detail: format!("path {} has no file name", path.display()),
+        })?;
+    let tmp = path.with_file_name(format!("{file_name}.{}.tmp", std::process::id()));
+    let write = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write {
+        let _ = fs::remove_file(&tmp);
+        return Err(StoreError::Io {
+            op: "write",
+            detail: e.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Read and validate a store file, returning its payload.
+///
+/// `expected_fingerprint` is the fingerprint the caller derived from
+/// its *live* structure; a file keyed to anything else is rejected as
+/// stale ([`StoreError::FingerprintMismatch`]).
+pub fn read_file(
+    path: &Path,
+    kind: FileKind,
+    expected_fingerprint: u64,
+) -> Result<Vec<u8>, StoreError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::NotFound {
+                path: path.display().to_string(),
+            })
+        }
+        Err(e) => {
+            return Err(StoreError::Io {
+                op: "read",
+                detail: e.to_string(),
+            })
+        }
+    };
+    validate(&bytes, kind, expected_fingerprint).map(Vec::from)
+}
+
+/// The validation core, separated from I/O so corruption tests can run
+/// on in-memory frames.
+pub(crate) fn validate(
+    bytes: &[u8],
+    kind: FileKind,
+    expected_fingerprint: u64,
+) -> Result<&[u8], StoreError> {
+    if bytes.len() < 4 {
+        return Err(StoreError::Truncated {
+            detail: format!("{} bytes, shorter than the magic", bytes.len()),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN + 8 {
+        return Err(StoreError::Truncated {
+            detail: format!("{} bytes, shorter than header + checksum", bytes.len()),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(StoreError::VersionSkew { found: version });
+    }
+    let payload_len = u64::from_le_bytes(bytes[17..25].try_into().unwrap());
+    let expected_total = (HEADER_LEN as u64)
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or(StoreError::Truncated {
+            detail: "recorded payload length overflows".into(),
+        })?;
+    if (bytes.len() as u64) != expected_total {
+        return Err(StoreError::Truncated {
+            detail: format!(
+                "recorded payload length {payload_len} wants a {expected_total}-byte file, have {}",
+                bytes.len()
+            ),
+        });
+    }
+    let body_end = bytes.len() - 8;
+    let recorded = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if checksum(&bytes[..body_end]) != recorded {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    // Header bytes are now checksum-trusted: kind and fingerprint
+    // mismatches are semantic staleness, not corruption.
+    let found_kind = bytes[8];
+    if FileKind::from_tag(found_kind) != Some(kind) {
+        return Err(StoreError::WrongKind {
+            expected: kind as u8,
+            found: found_kind,
+        });
+    }
+    let found_print = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
+    if found_print != expected_fingerprint {
+        return Err(StoreError::FingerprintMismatch {
+            expected: expected_fingerprint,
+            found: found_print,
+        });
+    }
+    Ok(&bytes[HEADER_LEN..body_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(kind: FileKind, print: u64, payload: &[u8]) -> Vec<u8> {
+        let dir = std::env::temp_dir().join(format!("dpioa-store-fmt-{}", std::process::id()));
+        let path = dir.join("frame.dpst");
+        write_file(&path, kind, print, payload).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let _ = fs::remove_file(&path);
+        bytes
+    }
+
+    #[test]
+    fn round_trip_and_not_found() {
+        let dir = std::env::temp_dir().join(format!("dpioa-store-rt-{}", std::process::id()));
+        let path = dir.join("nested").join("snap.dpst");
+        let payload = b"engine bytes".to_vec();
+        write_file(&path, FileKind::CacheSnapshot, 42, &payload).unwrap();
+        assert_eq!(
+            read_file(&path, FileKind::CacheSnapshot, 42).unwrap(),
+            payload
+        );
+        // No stray temp files left behind.
+        let siblings: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(siblings, vec![std::ffi::OsString::from("snap.dpst")]);
+        let _ = fs::remove_dir_all(&dir);
+
+        let missing = dir.join("definitely-absent.dpst");
+        let err = read_file(&missing, FileKind::CacheSnapshot, 42).unwrap_err();
+        assert!(matches!(err, StoreError::NotFound { .. }));
+        assert!(err.is_cold_start());
+    }
+
+    #[test]
+    fn rejection_cases_each_get_their_error() {
+        let bytes = frame(FileKind::CacheSnapshot, 7, b"payload");
+
+        // Not a store file at all.
+        assert_eq!(
+            validate(b"\xff\xd8\xff\xe0 jpeg-ish", FileKind::CacheSnapshot, 7).unwrap_err(),
+            StoreError::BadMagic
+        );
+        // Shorter than the magic.
+        assert!(matches!(
+            validate(b"DP", FileKind::CacheSnapshot, 7).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+        // Foreign version (flip a version byte, refit checksum so only
+        // the version differs).
+        let mut v = bytes.clone();
+        v[4] = 9;
+        let end = v.len() - 8;
+        let sum = checksum(&v[..end]);
+        v[end..].copy_from_slice(&sum.to_le_bytes());
+        let err = validate(&v, FileKind::CacheSnapshot, 7).unwrap_err();
+        assert_eq!(err, StoreError::VersionSkew { found: 9 });
+        assert!(err.is_cold_start());
+        // Truncation anywhere in the body.
+        for cut in [5, HEADER_LEN, bytes.len() - 9, bytes.len() - 1] {
+            assert!(matches!(
+                validate(&bytes[..cut], FileKind::CacheSnapshot, 7).unwrap_err(),
+                StoreError::Truncated { .. }
+            ));
+        }
+        // Wrong kind (refit checksum).
+        let mut k = bytes.clone();
+        k[8] = FileKind::Checkpoint as u8;
+        let end = k.len() - 8;
+        let sum = checksum(&k[..end]);
+        k[end..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            validate(&k, FileKind::CacheSnapshot, 7).unwrap_err(),
+            StoreError::WrongKind {
+                expected: 1,
+                found: 2
+            }
+        );
+        // Foreign fingerprint.
+        let err = validate(&bytes, FileKind::CacheSnapshot, 8).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::FingerprintMismatch {
+                expected: 8,
+                found: 7
+            }
+        );
+        assert!(err.is_cold_start());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        // Flip each bit of the frame in turn: validation must reject
+        // every mutant (whichever check fires first), never accept one
+        // and never panic. This is the "bit rot cannot smuggle a stale
+        // payload through" property.
+        let bytes = frame(FileKind::CacheSnapshot, 7, b"tiny payload");
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutant = bytes.clone();
+                mutant[byte] ^= 1 << bit;
+                assert!(
+                    validate(&mutant, FileKind::CacheSnapshot, 7).is_err(),
+                    "bit flip at byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+        assert_eq!(
+            validate(&bytes, FileKind::CacheSnapshot, 7).unwrap(),
+            b"tiny payload"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # dpioa-store — persistent engine-state snapshots
+//!
+//! The engine's warm-cache speedups (memoized transitions, scheduler
+//! choices) and its graceful-degradation checkpoints both die with the
+//! process. This crate makes them durable: a dependency-free, std-only
+//! binary store whose files survive restarts and cross process
+//! boundaries without losing a bit.
+//!
+//! Three layers:
+//!
+//! * [`wire`](crate::snapshot) primitives + the framed [`format`]: a
+//!   `DPST` magic, format version, [`FileKind`] tag, automaton
+//!   [fingerprint](automaton_fingerprint), length-prefixed payload,
+//!   and a trailing checksum over the whole frame. Writes are atomic
+//!   (temp sibling + rename); reads reject corrupt, truncated,
+//!   foreign-version, and stale files with typed [`StoreError`]s —
+//!   never a panic, never a partially-applied cache.
+//! * [`snapshot`]: canonical cache snapshots. Rows are keyed by
+//!   portable identities (canonical value bytes, action names, scope
+//!   describe-strings) and sorted at encode, so equal cache contents
+//!   give byte-equal files. Warm starts stream rows back through the
+//!   admission-gated imports — quota overflow turns rows away rather
+//!   than evicting live entries.
+//! * [`checkpoint`](save_checkpoint): bit-exact persistence of
+//!   deadline-tripped partial results ([`dpioa_sched::Checkpoint`]),
+//!   so an interrupted query can resume in a fresh process and finish
+//!   with the same bits as an uninterrupted run.
+//!
+//! Every file is keyed by an [`automaton_fingerprint`] — a structural
+//! hash over the automaton's canonical form, independent of
+//! process-local interner or symbol ids — so a snapshot can never be
+//! replayed against a structure it does not describe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod error;
+mod fingerprint;
+mod format;
+mod snapshot;
+mod wire;
+
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint};
+pub use error::StoreError;
+pub use fingerprint::{automaton_fingerprint, combined_fingerprint, FINGERPRINT_STATE_CAP};
+pub use format::{read_file, write_file, FileKind, FORMAT_VERSION, MAGIC};
+pub use snapshot::{
+    decode_into_cache, encode_cache, EngineCacheStoreExt, SnapshotStats, WarmStartStats,
+};

@@ -1,0 +1,436 @@
+//! Engine-cache snapshots: canonical bytes, streaming warm-start.
+//!
+//! A snapshot holds every memoized transition row and scheduler-choice
+//! row of an [`EngineCache`], each keyed by *portable* identities
+//! (canonical value bytes, action names, scope description strings) —
+//! never process-local interner or symbol ids. Rows are **sorted** at
+//! encode time, so two caches with equal contents produce byte-equal
+//! snapshots regardless of shard layout or insertion order; the file
+//! is a canonical function of the cache's semantic content.
+//!
+//! Decoding is two-phase to keep the no-partial-application promise:
+//! phase one parses and validates the entire payload (and demands it
+//! consume every byte); only then does phase two stream the rows into
+//! the cache shards through the admission-gated import hooks — so a
+//! payload that fails [`StoreError::Malformed`] leaves the cache
+//! untouched, and a payload that exceeds quotas degrades by *turning
+//! rows away* (counted, never evicting what a live workload already
+//! earned).
+
+use crate::error::StoreError;
+use crate::format::{self, FileKind};
+use crate::wire::{self, Reader};
+use dpioa_core::{Action, Value};
+use dpioa_prob::{Disc, SubDisc};
+use dpioa_sched::EngineCache;
+use std::path::Path;
+
+/// What a snapshot write covered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Transition rows written (enabled and disabled memos).
+    pub transitions: usize,
+    /// Scheduler-choice rows written.
+    pub choices: usize,
+    /// Framed file size in bytes.
+    pub bytes: usize,
+}
+
+/// What a warm start recovered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStartStats {
+    /// Transition rows accepted into the cache.
+    pub transitions: usize,
+    /// Scheduler-choice rows accepted into the cache.
+    pub choices: usize,
+    /// Rows refused by capacity or family-admission quotas (also
+    /// surfaced as `CacheStats::store_rejected_entries`).
+    pub rejected: u64,
+    /// Rows skipped because the cache already held that key — the
+    /// incumbent entry wins over the file.
+    pub skipped: usize,
+}
+
+/// One decoded transition row, held only between the validate and
+/// apply phases.
+struct TransRow {
+    family: Option<String>,
+    state: Value,
+    action_name: String,
+    eta: Option<Disc<Value>>,
+}
+
+/// One decoded choice row.
+struct ChoiceRow {
+    scope: String,
+    step: usize,
+    state: Value,
+    choice: Option<SubDisc<Action>>,
+}
+
+/// A borrowed transition row carrying its portable sort key
+/// (canonical state bytes + action name).
+type KeyedTrans<'a> = (
+    Option<String>,
+    Vec<u8>,
+    String,
+    &'a Value,
+    &'a Option<Disc<Value>>,
+);
+
+/// A borrowed choice row carrying its portable sort key.
+type KeyedChoice<'a> = (
+    &'a String,
+    usize,
+    Vec<u8>,
+    &'a Value,
+    &'a Option<SubDisc<Action>>,
+);
+
+/// Encode the full cache contents as a canonical snapshot payload.
+pub fn encode_cache(cache: &EngineCache) -> Vec<u8> {
+    let mut trans = cache.export_transitions();
+    // Sort on portable keys only; `encode_value` gives a total order on
+    // states that agrees across processes.
+    let mut trans_keyed: Vec<KeyedTrans<'_>> = trans
+        .iter()
+        .map(|(family, q, a, eta)| {
+            (
+                family.clone(),
+                dpioa_bounded::encode_value(q),
+                a.name(),
+                q,
+                eta,
+            )
+        })
+        .collect();
+    trans_keyed.sort_by(|a, b| (&a.0, &a.1, &a.2).cmp(&(&b.0, &b.1, &b.2)));
+
+    let mut out = Vec::new();
+    wire::put_varint(&mut out, trans_keyed.len() as u64);
+    for (family, _, name, q, eta) in &trans_keyed {
+        match family {
+            None => out.push(0),
+            Some(f) => {
+                out.push(1);
+                wire::put_str(&mut out, f);
+            }
+        }
+        wire::put_value(&mut out, q);
+        wire::put_str(&mut out, name);
+        match eta {
+            None => out.push(0),
+            Some(eta) => {
+                out.push(1);
+                wire::put_disc(&mut out, eta);
+            }
+        }
+    }
+    drop(trans_keyed);
+    trans.clear();
+    drop(trans);
+
+    let choices = cache.export_choices();
+    let mut choice_keyed: Vec<KeyedChoice<'_>> = choices
+        .iter()
+        .map(|(scope, step, q, c)| (scope, *step, dpioa_bounded::encode_value(q), q, c))
+        .collect();
+    choice_keyed.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+
+    wire::put_varint(&mut out, choice_keyed.len() as u64);
+    for (scope, step, _, q, choice) in &choice_keyed {
+        wire::put_str(&mut out, scope);
+        wire::put_varint(&mut out, *step as u64);
+        wire::put_value(&mut out, q);
+        wire::put_choice(&mut out, choice.as_ref());
+    }
+    out
+}
+
+/// Phase one: parse the whole payload, consuming every byte.
+fn parse_payload(payload: &[u8]) -> Result<(Vec<TransRow>, Vec<ChoiceRow>), StoreError> {
+    let mut r = Reader::new(payload);
+    let n_trans = r.len("transition count")?;
+    let mut trans = Vec::with_capacity(n_trans);
+    for _ in 0..n_trans {
+        let family = match r.u8("family flag")? {
+            0 => None,
+            1 => Some(r.str("family")?),
+            flag => {
+                return Err(StoreError::Malformed {
+                    detail: format!("invalid family flag {flag}"),
+                })
+            }
+        };
+        let state = r.value("transition state")?;
+        let action_name = r.str("transition action")?;
+        let eta = match r.u8("eta flag")? {
+            0 => None,
+            1 => Some(r.disc("eta")?),
+            flag => {
+                return Err(StoreError::Malformed {
+                    detail: format!("invalid eta flag {flag}"),
+                })
+            }
+        };
+        trans.push(TransRow {
+            family,
+            state,
+            action_name,
+            eta,
+        });
+    }
+    let n_choices = r.len("choice count")?;
+    let mut choices = Vec::with_capacity(n_choices);
+    for _ in 0..n_choices {
+        let scope = r.str("choice scope")?;
+        let step = r.varint("choice step")? as usize;
+        let state = r.value("choice state")?;
+        let choice = r.choice("choice")?;
+        choices.push(ChoiceRow {
+            scope,
+            step,
+            state,
+            choice,
+        });
+    }
+    r.finish()?;
+    Ok((trans, choices))
+}
+
+/// Phase two: stream validated rows into the cache through the
+/// admission-gated imports. Only called after [`parse_payload`]
+/// succeeded in full.
+pub fn decode_into_cache(
+    payload: &[u8],
+    cache: &EngineCache,
+) -> Result<WarmStartStats, StoreError> {
+    let (trans, choices) = parse_payload(payload)?;
+    let rejected_before = cache.stats().store_rejected_entries;
+    let mut stats = WarmStartStats::default();
+    for row in trans {
+        if cache.import_transition(
+            row.family.as_deref(),
+            &row.state,
+            Action::named(&row.action_name),
+            row.eta,
+        ) {
+            stats.transitions += 1;
+        } else {
+            stats.skipped += 1;
+        }
+    }
+    for row in choices {
+        if cache.import_choice(&row.scope, row.step, &row.state, row.choice) {
+            stats.choices += 1;
+        } else {
+            stats.skipped += 1;
+        }
+    }
+    // Quota refusals were counted as `skipped` above; reclassify them
+    // using the cache's own rejection counter, which only capacity and
+    // admission bumps (incumbent collisions do not).
+    stats.rejected = cache.stats().store_rejected_entries - rejected_before;
+    stats.skipped -= stats.rejected as usize;
+    Ok(stats)
+}
+
+/// Cache persistence as an extension trait, so `EngineCache` itself
+/// stays free of on-disk concerns.
+pub trait EngineCacheStoreExt {
+    /// Write a canonical snapshot of this cache to `path`, keyed by
+    /// `fingerprint`, atomically.
+    fn snapshot_to(&self, path: &Path, fingerprint: u64) -> Result<SnapshotStats, StoreError>;
+
+    /// Load the snapshot at `path` into this cache, verifying the
+    /// frame, checksum, and `fingerprint` first. On any error the
+    /// cache is left exactly as it was.
+    fn warm_start_from(&self, path: &Path, fingerprint: u64) -> Result<WarmStartStats, StoreError>;
+}
+
+impl EngineCacheStoreExt for EngineCache {
+    fn snapshot_to(&self, path: &Path, fingerprint: u64) -> Result<SnapshotStats, StoreError> {
+        let trans = self.export_transitions().len();
+        let choices = self.export_choices().len();
+        let payload = encode_cache(self);
+        let bytes = payload.len() + 33; // header (25) + checksum (8)
+        format::write_file(path, FileKind::CacheSnapshot, fingerprint, &payload)?;
+        Ok(SnapshotStats {
+            transitions: trans,
+            choices,
+            bytes,
+        })
+    }
+
+    fn warm_start_from(&self, path: &Path, fingerprint: u64) -> Result<WarmStartStats, StoreError> {
+        let payload = format::read_file(path, FileKind::CacheSnapshot, fingerprint)?;
+        decode_into_cache(&payload, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Automaton, ExplicitAutomaton, IValue, Signature, Value};
+    use dpioa_prob::Disc;
+
+    fn act(s: &str) -> Action {
+        Action::named(s)
+    }
+
+    fn chain(n: i64) -> ExplicitAutomaton {
+        let step = act("snap-step");
+        let mut b = ExplicitAutomaton::builder("snap-chain", Value::int(0));
+        for k in 0..n {
+            b = b.state(k, Signature::new([], [], [step])).transition(
+                k,
+                step,
+                Disc::bernoulli_dyadic(Value::int(k + 1), Value::int(0), 1, 2),
+            );
+        }
+        b.state(n, Signature::new([], [], [])).build()
+    }
+
+    /// Fill a cache with the chain's `n + 1` transition rows (`n`
+    /// enabled pairs plus the terminal disabled memo) and one memoized
+    /// choice row.
+    fn warmed_cache(n: i64) -> EngineCache {
+        let auto = chain(n);
+        let cache = EngineCache::new();
+        for k in 0..=n {
+            let q = Value::int(k);
+            let _ = cache.successors(&auto, &q, IValue::of(&q), act("snap-step"));
+        }
+        let c = SubDisc::from_entries(vec![(act("snap-step"), 1.0)]).unwrap();
+        assert!(cache.import_choice("snap-sched", 0, &Value::int(0), Some(c)));
+        cache
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_canonical() {
+        let cache = warmed_cache(12);
+        let payload = encode_cache(&cache);
+
+        // Same contents inserted in a different order produce the same
+        // bytes: canonical form is order-free.
+        let reordered = EngineCache::new();
+        for (family, q, a, eta) in cache.export_transitions().into_iter().rev() {
+            assert!(reordered.import_transition(family.as_deref(), &q, a, eta));
+        }
+        for (scope, step, q, c) in cache.export_choices().into_iter().rev() {
+            assert!(reordered.import_choice(&scope, step, &q, c));
+        }
+        assert_eq!(payload, encode_cache(&reordered));
+
+        // Round trip into a fresh cache: every row lands, nothing
+        // rejected, and re-decoding skips everything (incumbents win).
+        let fresh = EngineCache::new();
+        let stats = decode_into_cache(&payload, &fresh).unwrap();
+        assert_eq!(stats.transitions, 13); // 12 enabled + 1 disabled memo
+        assert_eq!(stats.choices, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(payload, encode_cache(&fresh));
+
+        let again = decode_into_cache(&payload, &fresh).unwrap();
+        assert_eq!(again.transitions + again.choices, 0);
+        assert_eq!(again.skipped, 14);
+        assert_eq!(again.rejected, 0);
+    }
+
+    #[test]
+    fn warm_started_cache_serves_hits_with_identical_bits() {
+        let auto = chain(8);
+        let cache = warmed_cache(8);
+        let dir = std::env::temp_dir().join(format!("dpioa-store-snap-{}", std::process::id()));
+        let path = dir.join("warm.dpst");
+        cache.snapshot_to(&path, 99).unwrap();
+
+        let fresh = EngineCache::new();
+        let stats = fresh.warm_start_from(&path, 99).unwrap();
+        assert_eq!(stats.transitions, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Every successor query is now a hit, and the memoized measures
+        // are bit-identical to the automaton's own.
+        let before = fresh.transition_stats();
+        for k in 0..8i64 {
+            let q = Value::int(k);
+            let got = fresh
+                .successors(&auto, &q, IValue::of(&q), act("snap-step"))
+                .expect("enabled");
+            let want = auto.transition(&q, act("snap-step")).unwrap();
+            let bits = |eta: &Disc<Value>| {
+                eta.iter()
+                    .map(|(v, &w)| (IValue::of(v), w.to_bits()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(bits(&got.eta), bits(&want));
+        }
+        let after = fresh.transition_stats();
+        assert_eq!(after.hits - before.hits, 8);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn corrupt_payload_leaves_cache_untouched() {
+        let cache = warmed_cache(6);
+        let mut payload = encode_cache(&cache);
+        // Lop off the tail: the last row is now truncated. The decode
+        // must fail without inserting any earlier (intact) rows.
+        payload.truncate(payload.len() - 3);
+        let fresh = EngineCache::new();
+        let err = decode_into_cache(&payload, &fresh).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Truncated { .. } | StoreError::Malformed { .. }
+        ));
+        assert_eq!(fresh.transition_entries(), 0);
+        assert!(fresh.export_choices().is_empty());
+
+        // Same for trailing garbage.
+        let mut padded = encode_cache(&cache);
+        padded.extend_from_slice(b"xx");
+        let err = decode_into_cache(&padded, &fresh).unwrap_err();
+        assert!(matches!(err, StoreError::Malformed { .. }));
+        assert_eq!(fresh.transition_entries(), 0);
+    }
+
+    #[test]
+    fn warm_start_respects_admission_quotas() {
+        let big = warmed_cache(40);
+        let payload = encode_cache(&big);
+        let small = EngineCache::bounded(16);
+        let stats = decode_into_cache(&payload, &small).unwrap();
+        assert!(stats.rejected > 0, "quota must turn rows away");
+        assert_eq!(
+            stats.transitions as u64 + stats.rejected + stats.skipped as u64,
+            41 // 40 enabled pairs + the terminal disabled memo
+        );
+        // Imports never evict.
+        assert_eq!(small.transition_stats().evictions, 0);
+        assert_eq!(
+            small.stats().store_rejected_entries,
+            stats.rejected,
+            "rejections surface in CacheStats"
+        );
+    }
+
+    #[test]
+    fn snapshot_file_round_trip_stats() {
+        let cache = warmed_cache(5);
+        let dir = std::env::temp_dir().join(format!("dpioa-store-snapst-{}", std::process::id()));
+        let path = dir.join("s.dpst");
+        let snap = cache.snapshot_to(&path, 1).unwrap();
+        assert_eq!(snap.transitions, 6);
+        assert_eq!(snap.choices, 1);
+        assert_eq!(snap.bytes, std::fs::metadata(&path).unwrap().len() as usize);
+
+        // Wrong fingerprint: typed rejection, cache untouched.
+        let fresh = EngineCache::new();
+        let err = fresh.warm_start_from(&path, 2).unwrap_err();
+        assert_eq!(err.code(), "store-fingerprint-mismatch");
+        assert_eq!(fresh.transition_entries(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,322 @@
+//! Primitive wire helpers shared by every store codec.
+//!
+//! The vocabulary deliberately mirrors `crates/bounded/src/encoding.rs`
+//! — LEB128 varints, length-prefixed canonical value encodings — so a
+//! state serializes to the *same bytes* in a snapshot as in a
+//! cost-model encoding. Two additions the cost model does not need:
+//!
+//! * **verbatim distributions** — [`put_disc`] preserves support order
+//!   and raw `f64` bits (the bounded crate's `encode_disc` sorts for
+//!   canonicity, which is right for fingerprints and wrong for memo
+//!   entries, whose iteration order is part of the bit-identity
+//!   contract);
+//! * a bounds-checked [`Reader`] that turns every malformed input into
+//!   a typed [`StoreError`] instead of a panic.
+
+use crate::error::StoreError;
+use dpioa_bounded::{decode_value, encode_value};
+use dpioa_core::{Action, Value};
+use dpioa_prob::{Disc, SubDisc};
+
+/// Append `v` as an LEB128 varint (identical to the bounded crate's).
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a length-prefixed canonical value encoding.
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    let bytes = encode_value(v);
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(&bytes);
+}
+
+/// Append an action by *name* — symbol ids are process-local.
+pub(crate) fn put_action(out: &mut Vec<u8>, a: Action) {
+    put_str(out, &a.name());
+}
+
+/// Append raw `f64` bits, little-endian.
+pub(crate) fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+/// Append a distribution verbatim: support order and weight bits
+/// exactly as iterated.
+pub(crate) fn put_disc(out: &mut Vec<u8>, eta: &Disc<Value>) {
+    put_varint(out, eta.support_len() as u64);
+    for (q, &w) in eta.iter() {
+        put_value(out, q);
+        put_f64(out, w);
+    }
+}
+
+/// Append an optional sub-measure over actions (a memoized scheduler
+/// choice): flag byte, then entries verbatim plus the recorded mass.
+pub(crate) fn put_choice(out: &mut Vec<u8>, choice: Option<&SubDisc<Action>>) {
+    match choice {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            put_varint(out, c.iter().count() as u64);
+            for (a, &w) in c.iter() {
+                put_action(out, *a);
+                put_f64(out, w);
+            }
+            put_f64(out, c.mass());
+        }
+    }
+}
+
+/// A bounds-checked cursor over a payload. Every accessor returns a
+/// typed [`StoreError`] on malformed input; nothing panics.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// The decode consumed every byte — trailing garbage is malformed.
+    pub(crate) fn finish(self) -> Result<(), StoreError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(StoreError::Malformed {
+                detail: format!("{} trailing bytes", self.buf.len() - self.pos),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| StoreError::Malformed {
+                detail: format!("length overflow reading {what}"),
+            })?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| StoreError::Truncated {
+                detail: format!(
+                    "needed {n} bytes for {what} at offset {}, had {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ),
+            })?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn varint(&mut self, what: &str) -> Result<u64, StoreError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8(what)?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(StoreError::Malformed {
+            detail: format!("varint overflow reading {what}"),
+        })
+    }
+
+    /// A varint that must fit a collection length: also guards against
+    /// length-prefix lies that would ask for more bytes than the whole
+    /// payload holds (each element is at least one byte).
+    pub(crate) fn len(&mut self, what: &str) -> Result<usize, StoreError> {
+        let n = self.varint(what)?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n > remaining {
+            return Err(StoreError::Truncated {
+                detail: format!("{what} claims {n} elements with {remaining} bytes left"),
+            });
+        }
+        Ok(n as usize)
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, StoreError> {
+        let bytes = self.take(8, what)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    pub(crate) fn str(&mut self, what: &str) -> Result<String, StoreError> {
+        let n = self.len(what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Malformed {
+            detail: format!("{what} is not utf-8"),
+        })
+    }
+
+    pub(crate) fn action(&mut self, what: &str) -> Result<Action, StoreError> {
+        Ok(Action::named(self.str(what)?))
+    }
+
+    pub(crate) fn value(&mut self, what: &str) -> Result<Value, StoreError> {
+        let n = self.len(what)?;
+        let bytes = self.take(n, what)?;
+        decode_value(bytes).ok_or_else(|| StoreError::Malformed {
+            detail: format!("{what} is not a canonical value encoding"),
+        })
+    }
+
+    pub(crate) fn disc(&mut self, what: &str) -> Result<Disc<Value>, StoreError> {
+        let n = self.len(what)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let q = self.value(what)?;
+            let w = self.f64(what)?;
+            entries.push((q, w));
+        }
+        Disc::from_entries(entries).map_err(|e| StoreError::Malformed {
+            detail: format!("{what} is not a probability measure: {e:?}"),
+        })
+    }
+
+    pub(crate) fn choice(&mut self, what: &str) -> Result<Option<SubDisc<Action>>, StoreError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => {
+                let n = self.len(what)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let a = self.action(what)?;
+                    let w = self.f64(what)?;
+                    entries.push((a, w));
+                }
+                let mass = self.f64(what)?;
+                SubDisc::from_entries_with_mass(entries, mass)
+                    .map(Some)
+                    .map_err(|e| StoreError::Malformed {
+                        detail: format!("{what} is not a sub-measure: {e:?}"),
+                    })
+            }
+            flag => Err(StoreError::Malformed {
+                detail: format!("{what} has invalid option flag {flag}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_and_matches_leb128() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint("v").unwrap(), v);
+            r.finish().unwrap();
+        }
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 300);
+        assert_eq!(buf, vec![0xac, 0x02]);
+    }
+
+    #[test]
+    fn disc_round_trip_is_verbatim() {
+        // Support order and exact bits must survive — including an
+        // order a canonical (sorted) encoding would change.
+        let eta = Disc::from_entries(vec![
+            (Value::int(7), 0.1 + 0.2), // 0.30000000000000004
+            (Value::int(1), 1.0 - (0.1 + 0.2)),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        put_disc(&mut buf, &eta);
+        let mut r = Reader::new(&buf);
+        let back = r.disc("eta").unwrap();
+        r.finish().unwrap();
+        let orig: Vec<(Value, u64)> = eta.iter().map(|(q, &w)| (q.clone(), w.to_bits())).collect();
+        let got: Vec<(Value, u64)> = back
+            .iter()
+            .map(|(q, &w)| (q.clone(), w.to_bits()))
+            .collect();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn choice_round_trip_preserves_mass_bits() {
+        let flip = Action::named("wire-flip");
+        let halt = Action::named("wire-halt");
+        let c = SubDisc::from_entries(vec![(flip, 0.25), (halt, 0.5)]).unwrap();
+        let mut buf = Vec::new();
+        put_choice(&mut buf, Some(&c));
+        let mut r = Reader::new(&buf);
+        let back = r.choice("c").unwrap().unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.mass().to_bits(), c.mass().to_bits());
+        let pair = |s: &SubDisc<Action>| {
+            s.iter()
+                .map(|(a, &w)| (*a, w.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pair(&back), pair(&c));
+
+        // The None flag round-trips too.
+        let mut buf = Vec::new();
+        put_choice(&mut buf, None);
+        let mut r = Reader::new(&buf);
+        assert!(r.choice("c").unwrap().is_none());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn hostile_inputs_are_typed_errors_not_panics() {
+        // Truncated varint.
+        let mut r = Reader::new(&[0x80]);
+        assert!(matches!(r.varint("v"), Err(StoreError::Truncated { .. })));
+        // Length-prefix lie: claims 100 elements with 1 byte left.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 100);
+        buf.push(0);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.len("list"), Err(StoreError::Truncated { .. })));
+        // Non-canonical value bytes.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1);
+        buf.push(0xff); // no such tag
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.value("q"), Err(StoreError::Malformed { .. })));
+        // Invalid option flag.
+        let mut r = Reader::new(&[7]);
+        assert!(matches!(r.choice("c"), Err(StoreError::Malformed { .. })));
+        // A "distribution" whose weights are not a measure.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1);
+        put_value(&mut buf, &Value::int(1));
+        put_f64(&mut buf, 0.25);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.disc("eta"), Err(StoreError::Malformed { .. })));
+        // Trailing bytes are rejected.
+        let r = Reader::new(&[0]);
+        assert!(matches!(r.finish(), Err(StoreError::Malformed { .. })));
+    }
+}

@@ -1,0 +1,381 @@
+//! The persistent engine-state store, end to end: canonical cache
+//! snapshots and checkpoint files must cross the process boundary (here
+//! modelled as encode → bytes → decode) without losing a bit. The
+//! tentpole assertion is three-way: resume-from-disk ==
+//! resume-from-memory == uninterrupted run, bit for bit, on the
+//! Arc-spine and flat engines alike, at every `DPIOA_POOL_LANES` count.
+//! The hostile-file tests pin the typed [`StoreError`] codes and the
+//! never-partially-applied guarantee at the integration level.
+
+use dpioa_core::{Action, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_integration::random_automaton;
+use dpioa_prob::Disc;
+use dpioa_sched::{
+    try_execution_measure_ckpt, try_execution_measure_flat_resume, try_execution_measure_resume,
+    try_lumped_observation_dist_cached, try_lumped_observation_dist_ckpt,
+    try_lumped_observation_dist_resume, Budget, Checkpoint, EngineCache, ExpansionOutcome,
+    FirstEnabled, HaltingMix, LumpedOutcome, Observation, ParallelPolicy, PriorityScheduler,
+    RandomScheduler, Scheduler,
+};
+use dpioa_store::{
+    automaton_fingerprint, decode_checkpoint, decode_into_cache, encode_cache, encode_checkpoint,
+    load_checkpoint, save_checkpoint, write_file, EngineCacheStoreExt, FileKind, StoreError,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Lane counts to exercise; `DPIOA_POOL_LANES` pins one for CI matrix
+/// legs (same convention as the checkpointing suite).
+fn pool_lanes() -> Vec<usize> {
+    std::env::var("DPIOA_POOL_LANES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|l: usize| vec![l])
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// A scratch store file unique to this process and test.
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dpioa-persist-it-{}-{tag}.dpst",
+        std::process::id()
+    ))
+}
+
+/// The memoryless scheduler family the lumped round-trip proptest
+/// draws from (mirrors the checkpointing suite).
+fn memoryless_scheduler(kind: u8, auto: &Arc<dyn Automaton>) -> Arc<dyn Scheduler> {
+    match kind % 4 {
+        0 => Arc::new(FirstEnabled),
+        1 => Arc::new(RandomScheduler),
+        2 => Arc::new(HaltingMix::new(FirstEnabled, 3, 2)),
+        _ => {
+            let mut order: Vec<_> = auto
+                .signature(&auto.start_state())
+                .all()
+                .into_iter()
+                .collect();
+            order.reverse();
+            Arc::new(PriorityScheduler::new(order))
+        }
+    }
+}
+
+/// A fair binary branching automaton of `depth` levels (same shape as
+/// the checkpointing suite): expansion caps map deterministically to
+/// trip depths, so the budgeted run below always leaves a checkpoint.
+fn binary_tree(depth: u32) -> ExplicitAutomaton {
+    let split = Action::named("pt-split");
+    let internal = 2i64.pow(depth) - 1;
+    let total = 2i64.pow(depth + 1) - 1;
+    let mut b = ExplicitAutomaton::builder("pt", Value::int(0));
+    for q in 0..internal {
+        b = b.state(q, Signature::new([], [], [split])).transition(
+            q,
+            split,
+            Disc::bernoulli_dyadic(Value::int(2 * q + 1), Value::int(2 * q + 2), 1, 1),
+        );
+    }
+    for q in internal..total {
+        b = b.state(q, Signature::new([], [], []));
+    }
+    b.build()
+}
+
+/// Tentpole acceptance: a budget-tripped cone checkpoint is saved to a
+/// framed, checksummed, fingerprint-keyed file; the loaded copy and
+/// the in-memory original both resume — on the Arc-spine engine and on
+/// the flat engine — to exactly the measure the uninterrupted run
+/// computes: same entry count, same order, bit-equal `f64` weights.
+#[test]
+fn resume_from_disk_equals_memory_equals_uninterrupted_on_both_engines() {
+    let auto = binary_tree(7);
+    let horizon = 7;
+    let fp = automaton_fingerprint(&auto);
+    for threads in pool_lanes() {
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_ckpt(
+            &auto,
+            &FirstEnabled,
+            horizon,
+            &Budget::unlimited().with_max_expansions(2),
+            policy,
+            &cache,
+        )
+        .expect("budget trips are salvageable");
+        let ckpt = outcome
+            .into_checkpoint()
+            .expect("two expansions cannot finish a depth-7 tree");
+
+        // Through the disk and back.
+        let path = tmp_path(&format!("resume-{threads}"));
+        save_checkpoint(&path, fp, &Checkpoint::Cone(ckpt.clone())).expect("save");
+        let from_disk = match load_checkpoint(&path, fp).expect("load") {
+            Checkpoint::Cone(c) => c,
+            Checkpoint::Lumped(_) => panic!("checkpoint kind must be preserved"),
+        };
+        std::fs::remove_file(&path).unwrap();
+
+        let (reference, _) = try_execution_measure_ckpt(
+            &auto,
+            &FirstEnabled,
+            horizon,
+            &Budget::unlimited(),
+            policy,
+            &cache,
+        )
+        .expect("unbudgeted reference run");
+        let reference = match reference {
+            ExpansionOutcome::Complete(m) => m,
+            ExpansionOutcome::Partial(c) => panic!("unbudgeted run tripped: {:?}", c.reason),
+        };
+
+        for (source, ck) in [("memory", ckpt), ("disk", from_disk)] {
+            let (spine, _) = try_execution_measure_resume(
+                ck.clone(),
+                &auto,
+                &FirstEnabled,
+                &Budget::unlimited(),
+                policy,
+                &cache,
+                Ok,
+            )
+            .expect("spine resume under an unlimited budget succeeds");
+            let (flat, _) = try_execution_measure_flat_resume(
+                ck,
+                &auto,
+                &FirstEnabled,
+                &Budget::unlimited(),
+                policy,
+                &cache,
+                Ok,
+            )
+            .expect("flat resume under an unlimited budget succeeds");
+            for (engine, out) in [("spine", spine), ("flat", flat)] {
+                let m = match out {
+                    ExpansionOutcome::Complete(m) => m,
+                    ExpansionOutcome::Partial(c) => {
+                        panic!("unlimited {source}/{engine} resume tripped: {:?}", c.reason)
+                    }
+                };
+                assert_eq!(
+                    m.len(),
+                    reference.len(),
+                    "{source}/{engine} lanes={threads}"
+                );
+                for (i, ((e1, w1), (e2, w2))) in m.iter().zip(reference.iter()).enumerate() {
+                    assert_eq!(e1, e2, "{source}/{engine} entry #{i} lanes={threads}");
+                    assert_eq!(
+                        w1.to_bits(),
+                        w2.to_bits(),
+                        "{source}/{engine} weight #{i} lanes={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Hostile files at the integration boundary: every rejection is a
+/// typed, stable error code, and a failed warm start never leaves even
+/// one row in the target cache.
+#[test]
+fn hostile_store_files_fail_typed_and_never_partially_apply() {
+    let auto = random_automaton("store-rb", "srb", 5, 7);
+    let cache = EngineCache::new();
+    try_lumped_observation_dist_cached(
+        &*auto,
+        &FirstEnabled,
+        4,
+        &Observation::final_state(),
+        &Budget::unlimited(),
+        &cache,
+    )
+    .expect("memoryless pass warms the cache");
+    let fp = automaton_fingerprint(&*auto);
+    let path = tmp_path("hostile");
+    let snap = cache.snapshot_to(&path, fp).expect("snapshot");
+    assert!(snap.transitions > 0, "warmed cache must snapshot rows");
+    let good = std::fs::read(&path).unwrap();
+
+    let fresh = EngineCache::new();
+    let untouched = |fresh: &EngineCache| {
+        assert_eq!(fresh.transition_entries(), 0, "cache must stay untouched");
+    };
+
+    // Stale fingerprint: cold-start class, not a fault.
+    let err = fresh.warm_start_from(&path, fp ^ 1).unwrap_err();
+    assert_eq!(err.code(), "store-fingerprint-mismatch");
+    assert!(err.is_cold_start());
+    untouched(&fresh);
+
+    // Truncation (interrupted write).
+    std::fs::write(&path, &good[..good.len() - 1]).unwrap();
+    let err = fresh.warm_start_from(&path, fp).unwrap_err();
+    assert_eq!(err.code(), "store-truncated");
+    assert!(!err.is_cold_start());
+    untouched(&fresh);
+
+    // A single flipped bit in the payload.
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(&path, &flipped).unwrap();
+    let err = fresh.warm_start_from(&path, fp).unwrap_err();
+    assert_eq!(err.code(), "store-checksum-mismatch");
+    untouched(&fresh);
+
+    // Not a store file at all.
+    std::fs::write(&path, b"definitely not a snapshot").unwrap();
+    let err = fresh.warm_start_from(&path, fp).unwrap_err();
+    assert_eq!(err.code(), "store-bad-magic");
+    untouched(&fresh);
+
+    // A valid frame of the wrong kind (a checkpoint where a snapshot
+    // was expected).
+    write_file(&path, FileKind::Checkpoint, fp, b"wrong kind").unwrap();
+    let err = fresh.warm_start_from(&path, fp).unwrap_err();
+    assert_eq!(err.code(), "store-wrong-kind");
+    untouched(&fresh);
+
+    // No file: the ordinary cold start.
+    std::fs::remove_file(&path).unwrap();
+    let err = fresh.warm_start_from(&path, fp).unwrap_err();
+    assert!(matches!(err, StoreError::NotFound { .. }));
+    assert!(err.is_cold_start());
+    untouched(&fresh);
+
+    // And the intact bytes still load completely after all that.
+    std::fs::write(&path, &good).unwrap();
+    let stats = fresh.warm_start_from(&path, fp).expect("intact file loads");
+    assert_eq!(stats.transitions, snap.transitions);
+    assert_eq!(stats.choices, snap.choices);
+    assert_eq!(stats.rejected, 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cache snapshots are canonical and bit-exact: decoding a payload
+    /// into a fresh cache and re-encoding reproduces the payload byte
+    /// for byte — which pins every transition row (canonical state
+    /// bytes, action names, verbatim `Disc` bits) and every scheduler
+    /// choice across the process boundary.
+    #[test]
+    fn cache_snapshots_round_trip_canonically(
+        seed in 0u64..300,
+        n in 3i64..7,
+        kind in 0u8..4,
+        horizon in 1usize..6,
+    ) {
+        let auto = random_automaton("store-sn", &format!("ssn{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let cache = EngineCache::new();
+        try_lumped_observation_dist_cached(
+            &*auto, &sched, horizon, &Observation::final_state(), &Budget::unlimited(), &cache,
+        ).expect("memoryless pass warms the cache");
+
+        let payload = encode_cache(&cache);
+        let fresh = EngineCache::new();
+        let stats = decode_into_cache(&payload, &fresh).expect("round trip");
+        prop_assert_eq!(stats.rejected, 0);
+        prop_assert_eq!(stats.skipped, 0);
+        prop_assert_eq!(encode_cache(&fresh), payload);
+    }
+
+    /// Cone checkpoints survive the codec bit-exactly: re-encoding the
+    /// decoded checkpoint reproduces the bytes, and the decoded copy
+    /// resumes to the same bits as the unbudgeted run.
+    #[test]
+    fn cone_checkpoints_survive_the_codec_bit_exactly(
+        seed in 0u64..300,
+        n in 3i64..7,
+        horizon in 2usize..7,
+        cap in 0usize..16,
+        threads in 1usize..5,
+    ) {
+        let auto = random_automaton("store-cc", &format!("scc{seed}"), n, seed);
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let cache = EngineCache::new();
+        let (outcome, _) = try_execution_measure_ckpt(
+            &*auto, &FirstEnabled, horizon,
+            &Budget::unlimited().with_max_expansions(cap), policy, &cache,
+        ).expect("budget trips are salvageable");
+        let ExpansionOutcome::Partial(ckpt) = outcome else { return Ok(()) };
+
+        let bytes = encode_checkpoint(&Checkpoint::Cone(ckpt));
+        let decoded = decode_checkpoint(&bytes).expect("codec round trip");
+        prop_assert_eq!(encode_checkpoint(&decoded), bytes);
+
+        let Checkpoint::Cone(ck) = decoded else {
+            return Err(proptest::test_runner::TestCaseError::fail("kind flipped"));
+        };
+        let (resumed, _) = try_execution_measure_resume(
+            ck, &*auto, &FirstEnabled, &Budget::unlimited(), policy, &cache, Ok,
+        ).expect("unlimited resume succeeds");
+        let ExpansionOutcome::Complete(resumed) = resumed else {
+            return Err(proptest::test_runner::TestCaseError::fail("unlimited resume tripped"));
+        };
+        let (reference, _) = try_execution_measure_ckpt(
+            &*auto, &FirstEnabled, horizon, &Budget::unlimited(), policy, &cache,
+        ).expect("unbudgeted reference");
+        let ExpansionOutcome::Complete(reference) = reference else {
+            return Err(proptest::test_runner::TestCaseError::fail("unbudgeted run tripped"));
+        };
+        prop_assert_eq!(resumed.len(), reference.len());
+        for ((e1, w1), (e2, w2)) in resumed.iter().zip(reference.iter()) {
+            prop_assert_eq!(e1, e2);
+            prop_assert_eq!(w1.to_bits(), w2.to_bits());
+        }
+    }
+
+    /// Lumped (class-space) checkpoints survive the codec bit-exactly
+    /// and resume from the decoded copy to the distribution the
+    /// unbudgeted cached pass computes.
+    #[test]
+    fn lumped_checkpoints_survive_the_codec_and_resume_identically(
+        seed in 0u64..300,
+        n in 3i64..7,
+        kind in 0u8..4,
+        horizon in 1usize..6,
+        cap in 0usize..12,
+    ) {
+        let auto = random_automaton("store-lc", &format!("slc{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let obs = Observation::final_state();
+        let cache = EngineCache::new();
+        let outcome = try_lumped_observation_dist_ckpt(
+            &*auto, &sched, horizon, &obs,
+            &Budget::unlimited().with_max_expansions(cap), &cache,
+        ).expect("budget trips are salvageable");
+        let LumpedOutcome::Partial(ckpt) = outcome else { return Ok(()) };
+
+        let bytes = encode_checkpoint(&Checkpoint::Lumped(ckpt));
+        let decoded = decode_checkpoint(&bytes).expect("codec round trip");
+        prop_assert_eq!(encode_checkpoint(&decoded), bytes);
+
+        let Checkpoint::Lumped(ck) = decoded else {
+            return Err(proptest::test_runner::TestCaseError::fail("kind flipped"));
+        };
+        let resumed = match try_lumped_observation_dist_resume(
+            ck, &*auto, &sched, &obs, &Budget::unlimited(), &cache,
+        ).expect("unlimited resume succeeds") {
+            LumpedOutcome::Complete(d) => d,
+            LumpedOutcome::Partial(c) =>
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "unlimited lumped resume tripped: {:?}", c.reason
+                ))),
+        };
+        let reference = try_lumped_observation_dist_cached(
+            &*auto, &sched, horizon, &obs, &Budget::unlimited(), &cache,
+        ).expect("unbudgeted cached reference");
+        prop_assert_eq!(resumed.iter().count(), reference.iter().count());
+        for (v, p) in resumed.iter() {
+            let q = reference.iter().find(|(v2, _)| *v2 == v).map(|(_, q)| q);
+            prop_assert_eq!(q.map(|q| q.to_bits()), Some(p.to_bits()));
+        }
+    }
+}
