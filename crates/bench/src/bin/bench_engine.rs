@@ -1,5 +1,5 @@
 //! Engine benchmark harness: before/after medians for the exact-engine
-//! rework, emitted as `BENCH_engine.json` (schema `bench-engine/v4`).
+//! rework, emitted as `BENCH_engine.json` (schema `bench-engine/v5`).
 //!
 //! Six tiers are timed on each workload × horizon:
 //!
@@ -23,6 +23,22 @@
 //! batch answering horizons `[h, h, h-1, h-2]` — duplicates included,
 //! matching the server's coalescing of identical queries) against
 //! `independent4` (the four flat expansions it replaces).
+//!
+//! Incremental-enabled cells additionally time `incremental`: a
+//! successful strata-aware expansion first primes the cell's
+//! [`EngineCache`] stratum table with the family's **horizon stratum**
+//! (the completed answer's conserving terminal split, deposited
+//! proactively — the stratum-cache workflow a repeated-family query
+//! stream triggers on a server), and the timed run then answers the
+//! same query by looking the stratum up and resuming past the whole
+//! cone instead of re-expanding it. The answer is asserted
+//! bit-identical to the cold expansion before any clock starts. Note
+//! what this measures, honestly: *repeated same-horizon warm answers*
+//! — resume-from-depth-`h` versus a full warm-cache re-expansion — not
+//! a deepening query (a deposit-at-10/answer-at-12 resume still pays
+//! the full depth-12 frontier, bounding its win below ~1.4x on a
+//! binary cone). The acceptance gate (enforced in `--compare` mode) is
+//! `incremental_vs_memo >= 2.0` on every incremental-enabled cell.
 //!
 //! Persistence-enabled cells additionally time `persisted_warm`: the
 //! warm memoized cache is snapshotted to disk with the `dpioa-store`
@@ -53,7 +69,9 @@
 //! `(workload, tier, horizon)` regressed more than 25% against the
 //! baseline's normalized ratios (see [`dpioa_bench::baseline`]);
 //! `--compare-files` does the same comparison between two existing
-//! reports without running anything.
+//! reports without running anything. In `--compare` mode a
+//! human-readable gate summary table (gate, threshold, measured,
+//! status) is printed after the per-cell details.
 
 use dpioa_bench::baseline::{compare, parse_json, BenchReport, Json};
 use dpioa_bench::util::{coin_bank, mixer, random_walk, seed_execution_measure};
@@ -67,9 +85,10 @@ use dpioa_protocols::channel::{
 };
 use dpioa_sched::{
     try_batch_execution_measures_with, try_execution_measure, try_execution_measure_flat_with,
-    try_execution_measure_pooled, try_execution_measure_pooled_with, try_lumped_observation_dist,
-    BatchMember, BatchProjection, Budget, EngineCache, FirstEnabled, Observation, ParallelPolicy,
-    PriorityScheduler, RandomScheduler, Scheduler,
+    try_execution_measure_pooled, try_execution_measure_pooled_with, try_execution_measure_resume,
+    try_execution_measure_strata_with, try_lumped_observation_dist, BatchMember, BatchProjection,
+    Budget, Checkpoint, ConeCheckpoint, EngineCache, ExpansionOutcome, FirstEnabled, Observation,
+    ParallelPolicy, PriorityScheduler, RandomScheduler, Scheduler, StratumSink,
 };
 use dpioa_store::{automaton_fingerprint, EngineCacheStoreExt};
 use std::path::Path;
@@ -85,6 +104,13 @@ const COMPARE_TOLERANCE: f64 = 0.25;
 /// cache must retain at least this fraction of the in-memory warm
 /// tier's speed (`median(memoized_exact) / median(persisted_warm)`).
 const PERSISTED_GATE: f64 = 0.8;
+
+/// The stratum-cache acceptance gate, enforced in `--compare` mode: on
+/// every incremental-enabled cell, answering a repeated same-horizon
+/// query by resuming from the deposited horizon stratum must be at
+/// least this many times faster than re-expanding the cone on the warm
+/// memoized cache (`median(memoized_exact) / median(incremental)`).
+const INCREMENTAL_GATE: f64 = 2.0;
 
 /// One timed tier within a workload × horizon cell.
 struct TierStat {
@@ -153,6 +179,13 @@ struct Cell {
     /// the in-memory warm-cache speed the on-disk warm start retains
     /// (1.0 = all of it; the `--compare` gate requires ≥ 0.8).
     persisted_vs_memo: Option<f64>,
+    /// `median(general_exact) / median(incremental)`.
+    incremental_speedup: Option<f64>,
+    /// `median(memoized_exact) / median(incremental)` — how much
+    /// resuming a repeat query from the deposited horizon stratum beats
+    /// re-expanding the cone on the warm cache (the `--compare` gate
+    /// requires ≥ 2.0).
+    incremental_vs_memo: Option<f64>,
 }
 
 /// A named timed closure for one tier of a cell.
@@ -225,6 +258,7 @@ fn run_cell(
     with_batch_tier: bool,
     with_lumped_tier: bool,
     with_persisted_tier: bool,
+    with_incremental_tier: bool,
 ) -> Cell {
     let budget = Budget::unlimited();
 
@@ -287,6 +321,11 @@ fn run_cell(
     // outside the pool scope so the pool's workers may borrow them.
     let flat_cache = EngineCache::new();
     let batch_cache = EngineCache::new();
+    // Incremental tier state: its own cache (so stratum traffic cannot
+    // warm any other tier) and the fingerprint the stratum table keys
+    // the family by.
+    let inc_cache = EngineCache::new();
+    let inc_fingerprint = automaton_fingerprint(auto);
     let member_horizons = [
         horizon,
         horizon,
@@ -442,6 +481,103 @@ fn run_cell(
             Err(_) => None,
         };
 
+        // Incremental tier: a successful strata-aware expansion primes
+        // the stratum table with the family's horizon stratum (stride
+        // `horizon` deposits exactly that one), and the timed run
+        // answers the repeated query by lookup-and-resume. The resumed
+        // answer is asserted bit-identical to the cold expansion before
+        // any clock starts.
+        let inc_scope = inc_cache.choice_scope(sched);
+        let primed = if with_incremental_tier {
+            let mut sink = |d: usize, c: ConeCheckpoint<f64>| {
+                assert!(
+                    inc_cache.deposit_stratum(
+                        inc_fingerprint,
+                        inc_scope,
+                        "",
+                        d,
+                        Checkpoint::Cone(c)
+                    ),
+                    "{workload} h={horizon}: stratum at depth {d} rejected by admission"
+                );
+            };
+            let (out, _) = try_execution_measure_strata_with(
+                auto,
+                sched,
+                horizon,
+                &budget,
+                policy,
+                &inc_cache,
+                pool,
+                Ok,
+                None,
+                Some(StratumSink {
+                    stride: horizon,
+                    min_depth: 0,
+                    sink: &mut sink,
+                }),
+            )
+            .expect("unlimited budget");
+            let ExpansionOutcome::Complete(m) = out else {
+                panic!("{workload} h={horizon}: unbudgeted strata prime tripped");
+            };
+            Some(m)
+        } else {
+            None
+        };
+        let resume_incremental = || {
+            let (d, hit) = inc_cache
+                .lookup_stratum(inc_fingerprint, inc_scope, "", horizon)
+                .expect("horizon stratum resident");
+            assert_eq!(d, horizon, "the horizon stratum is the deepest");
+            let Checkpoint::Cone(mut ck) = (*hit).clone() else {
+                unreachable!("cone families deposit cone strata")
+            };
+            ck.horizon = horizon;
+            let (out, _) = try_execution_measure_resume(
+                ck,
+                auto,
+                sched,
+                &budget,
+                ParallelPolicy::sequential(),
+                &inc_cache,
+                Ok,
+            )
+            .expect("unlimited budget");
+            match out {
+                ExpansionOutcome::Complete(m) => m,
+                ExpansionOutcome::Partial(_) => unreachable!("unlimited resume cannot trip"),
+            }
+        };
+        if let Some(primed) = &primed {
+            // Bit-identity against the priming expansion entry for
+            // entry (same engine family, so the same order), and
+            // distribution equality against the uncached sequential
+            // oracle (whose DFS entry order legitimately differs).
+            let resumed = resume_incremental();
+            assert_eq!(
+                resumed.len(),
+                primed.len(),
+                "{workload} h={horizon}: stratum resume changed the cone tree"
+            );
+            for (i, ((e1, w1), (e2, w2))) in primed.iter().zip(resumed.iter()).enumerate() {
+                assert_eq!(
+                    e1, e2,
+                    "{workload} h={horizon}: incremental entry #{i} diverged"
+                );
+                assert_eq!(
+                    w1.to_bits(),
+                    w2.to_bits(),
+                    "{workload} h={horizon}: incremental weight #{i} diverged"
+                );
+            }
+            let inc_dist: Disc<Value> = resumed.observe(|e: &Execution| observe.apply(auto, e));
+            assert_eq!(
+                general_dist, inc_dist,
+                "{workload} h={horizon}: incremental answer diverged from sequential"
+            );
+        }
+
         // --- Interleaved timing pass -----------------------------------
         let mut runs: Vec<TimedRun<'_>> = Vec::new();
         if with_seed_tier {
@@ -506,6 +642,14 @@ fn run_cell(
                 );
             }),
         ));
+        if with_incremental_tier {
+            runs.push((
+                "incremental",
+                Box::new(|| {
+                    std::hint::black_box(resume_incremental());
+                }),
+            ));
+        }
         if with_batch_tier {
             runs.push((
                 "batched4",
@@ -597,6 +741,7 @@ fn run_cell(
                     pool: Some(flat_stats.pool.clone()),
                     decode_ns: None,
                 }),
+                "incremental" => tiers.push(TierStat::plain("incremental", ns, general.len())),
                 "batched4" => tiers.push(TierStat::plain(
                     "batched4",
                     ns,
@@ -692,6 +837,14 @@ fn run_cell(
             (Some(m), Some(p)) => Some(m / p.max(1.0)),
             _ => None,
         };
+        let incremental_speedup = speedup_vs_general(&tiers, "incremental");
+        let incremental_vs_memo = match (
+            median_of(&tiers, "memoized_exact"),
+            median_of(&tiers, "incremental"),
+        ) {
+            (Some(m), Some(i)) => Some(m / i.max(1.0)),
+            _ => None,
+        };
         Cell {
             workload,
             scheduler,
@@ -708,6 +861,8 @@ fn run_cell(
             batched_speedup,
             persisted_speedup,
             persisted_vs_memo,
+            incremental_speedup,
+            incremental_vs_memo,
         }
     })
 }
@@ -916,7 +1071,7 @@ fn cell_json(c: &Cell) -> String {
         })
         .collect();
     format!(
-        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{},\"memo_speedup\":{},\"parallel_speedup\":{},\"parallel_vs_memo\":{},\"flat_speedup\":{},\"flat_vs_memo\":{},\"batched_speedup\":{},\"persisted_speedup\":{},\"persisted_vs_memo\":{}}}",
+        "    {{\"workload\":\"{}\",\"scheduler\":\"{}\",\"observation\":\"{}\",\"horizon\":{},\n     \"tiers\":[{}],\n     \"lumped_speedup\":{},\"seed_speedup\":{},\"memo_speedup\":{},\"parallel_speedup\":{},\"parallel_vs_memo\":{},\"flat_speedup\":{},\"flat_vs_memo\":{},\"batched_speedup\":{},\"persisted_speedup\":{},\"persisted_vs_memo\":{},\"incremental_speedup\":{},\"incremental_vs_memo\":{}}}",
         json_escape(c.workload),
         json_escape(c.scheduler),
         json_escape(c.observation),
@@ -932,24 +1087,41 @@ fn cell_json(c: &Cell) -> String {
         opt_speedup(c.batched_speedup),
         opt_speedup(c.persisted_speedup),
         opt_speedup(c.persisted_vs_memo),
+        opt_speedup(c.incremental_speedup),
+        opt_speedup(c.incremental_vs_memo),
     )
 }
 
-/// Compare `fresh_path` against `base_path`; returns the process exit
-/// code (0 clean, 1 regressions, 2 unreadable input).
-fn run_compare(base_path: &str, fresh_path: &str) -> i32 {
+/// Outcome of the baseline-ratio leg of `--compare`, kept for the gate
+/// summary table.
+struct CompareOutcome {
+    /// Process exit code (0 clean, 1 regressions, 2 unreadable input).
+    code: i32,
+    /// `(workload, horizon, tier)` ratios checked.
+    compared: usize,
+    /// Ratios more than the tolerance worse than the baseline.
+    regressions: usize,
+}
+
+/// Compare `fresh_path` against `base_path`, printing per-cell detail.
+fn run_compare(base_path: &str, fresh_path: &str) -> CompareOutcome {
+    let unreadable = CompareOutcome {
+        code: 2,
+        compared: 0,
+        regressions: 0,
+    };
     let base = match BenchReport::from_path(base_path) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("compare: {e}");
-            return 2;
+            return unreadable;
         }
     };
     let fresh = match BenchReport::from_path(fresh_path) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("compare: {e}");
-            return 2;
+            return unreadable;
         }
     };
     let cmp = compare(&base, &fresh, COMPARE_TOLERANCE);
@@ -961,13 +1133,22 @@ fn run_compare(base_path: &str, fresh_path: &str) -> i32 {
         cmp.compared,
         COMPARE_TOLERANCE * 100.0
     );
+    let outcome = CompareOutcome {
+        code: if cmp.compared == 0 || !cmp.regressions.is_empty() {
+            1
+        } else {
+            0
+        },
+        compared: cmp.compared,
+        regressions: cmp.regressions.len(),
+    };
     if cmp.compared == 0 {
         eprintln!("compare: no overlapping (workload, horizon, tier) cells — refusing to pass");
-        return 1;
+        return outcome;
     }
     if cmp.regressions.is_empty() {
         eprintln!("compare: no regressions");
-        return 0;
+        return outcome;
     }
     for r in &cmp.regressions {
         eprintln!(
@@ -981,7 +1162,41 @@ fn run_compare(base_path: &str, fresh_path: &str) -> i32 {
             r.factor()
         );
     }
-    1
+    outcome
+}
+
+/// One row of the human-readable gate summary printed in `--compare`
+/// mode: `(gate, threshold, measured, passed)`.
+type GateRow = (String, String, String, bool);
+
+/// Print the gate summary table: every enforced gate with its
+/// threshold, the measured value, and a PASS/FAIL verdict — the
+/// one-glance version of the per-cell detail above it.
+fn print_gate_table(rows: &[GateRow]) {
+    let widths = rows.iter().fold((4, 9, 8), |(g, t, m), r| {
+        (g.max(r.0.len()), t.max(r.1.len()), m.max(r.2.len()))
+    });
+    eprintln!(
+        "compare: {:<gw$}  {:>tw$}  {:>mw$}  status",
+        "gate",
+        "threshold",
+        "measured",
+        gw = widths.0,
+        tw = widths.1,
+        mw = widths.2
+    );
+    for (gate, threshold, measured, passed) in rows {
+        eprintln!(
+            "compare: {:<gw$}  {:>tw$}  {:>mw$}  {}",
+            gate,
+            threshold,
+            measured,
+            if *passed { "PASS" } else { "FAIL" },
+            gw = widths.0,
+            tw = widths.1,
+            mw = widths.2
+        );
+    }
 }
 
 fn main() {
@@ -1016,7 +1231,7 @@ fn main() {
             "--compare-files" => {
                 let base = args.next().expect("--compare-files needs a baseline path");
                 let fresh = args.next().expect("--compare-files needs a fresh path");
-                std::process::exit(run_compare(&base, &fresh));
+                std::process::exit(run_compare(&base, &fresh).code);
             }
             other => out_path = other.to_string(),
         }
@@ -1062,6 +1277,7 @@ fn main() {
             false,
             true,
             h == 12,
+            h == 12,
         ));
     }
     // Deep-cone walk cell: 2^14 terminal executions, frontier far past
@@ -1082,6 +1298,7 @@ fn main() {
         false,
         true,
         false,
+        true,
     ));
 
     // Workload 2: coin bank — the adversarial case for lumping: after k
@@ -1107,6 +1324,7 @@ fn main() {
             false,
             true,
             false,
+            false,
         ));
     }
     // Large coin bank: 2^10 distinct composed states, frontier crosses
@@ -1128,6 +1346,7 @@ fn main() {
         true,
         false,
         true,
+        false,
         false,
     ));
 
@@ -1151,6 +1370,7 @@ fn main() {
             false,
             false,
             true,
+            false,
             false,
         ));
     }
@@ -1176,6 +1396,7 @@ fn main() {
             false,
             true,
             h == 10,
+            false,
         ));
     }
     // Deep fault-wrapped cell: the crashed flag multiplies the frontier,
@@ -1196,6 +1417,7 @@ fn main() {
         false,
         true,
         false,
+        true,
     ));
 
     // Workload 5: wide-fanout mixers — unlike the walks, whose
@@ -1223,6 +1445,7 @@ fn main() {
         false,
         true,
         false,
+        false,
     ));
     eprintln!("mixer5x8 h=5 (pooled)...");
     let mix8 = mixer("bem8", 5, 8);
@@ -1240,6 +1463,7 @@ fn main() {
         true,
         false,
         true,
+        false,
         false,
     ));
 
@@ -1266,6 +1490,7 @@ fn main() {
         true,
         true,
         true,
+        true,
     ));
     let mix3_h = if quick { 8 } else { 10 };
     eprintln!("mixer4x3 h={mix3_h} (pooled, batched)...");
@@ -1283,6 +1508,7 @@ fn main() {
         false,
         true,
         true,
+        false,
         false,
         false,
     ));
@@ -1355,10 +1581,18 @@ fn main() {
         .iter()
         .filter_map(|c| c.persisted_vs_memo)
         .fold(f64::INFINITY, f64::min);
+    // The stratum-cache acceptance gate: on every incremental-enabled
+    // cell, answering the repeated same-horizon query by resuming from
+    // the deposited horizon stratum must beat re-expanding the cone on
+    // the warm memoized cache by >= 2x. Enforced in `--compare` below.
+    let min_incremental_vs_memo = cells
+        .iter()
+        .filter_map(|c| c.incremental_vs_memo)
+        .fold(f64::INFINITY, f64::min);
 
     let rows: Vec<String> = cells.iter().map(cell_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench-engine/v4\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {},\n    \"max_memo_speedup_vs_general\": {},\n    \"min_parallel_speedup_at_horizon_ge_8\": {},\n    \"min_parallel_vs_memo_on_pooled_cells\": {},\n    \"min_flat_vs_memo_on_wide_cells_at_horizon_ge_10\": {},\n    \"min_batched4_speedup_vs_independent4\": {},\n    \"min_persisted_vs_memo_on_persisted_cells\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v5\",\n  \"quick\": {},\n  \"repeats\": {},\n  \"threads\": {},\n  \"workloads\": [\n{}\n  ],\n  \"summary\": {{\n    \"peak_entries\": {},\n    \"max_lumped_speedup\": {},\n    \"lumped_speedup_at_horizon_ge_8\": {},\n    \"max_seed_speedup_vs_general\": {},\n    \"max_memo_speedup_vs_general\": {},\n    \"min_parallel_speedup_at_horizon_ge_8\": {},\n    \"min_parallel_vs_memo_on_pooled_cells\": {},\n    \"min_flat_vs_memo_on_wide_cells_at_horizon_ge_10\": {},\n    \"min_batched4_speedup_vs_independent4\": {},\n    \"min_persisted_vs_memo_on_persisted_cells\": {},\n    \"min_incremental_vs_memo_on_incremental_cells\": {}\n  }}\n}}\n",
         quick,
         repeats,
         threads,
@@ -1373,31 +1607,61 @@ fn main() {
         fjson(min_flat_vs_memo_deep),
         fjson(min_batched),
         fjson(min_persisted_vs_memo),
+        fjson(min_incremental_vs_memo),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("wrote {out_path}");
     println!("{json}");
 
     if let Some(base) = compare_after {
-        let mut code = run_compare(&base, &out_path);
-        // The persisted gate is an absolute bound, not a
-        // baseline-relative ratio, so it rides the compare exit path
-        // directly rather than going through `compare()`.
-        if !min_persisted_vs_memo.is_finite() {
-            eprintln!(
-                "compare: no persistence-enabled cells ran — refusing to pass the persisted gate"
-            );
-            code = code.max(1);
-        } else if min_persisted_vs_memo < PERSISTED_GATE {
-            eprintln!(
-                "compare: persisted_warm gate FAILED: min persisted_vs_memo {min_persisted_vs_memo:.3} < {PERSISTED_GATE}"
-            );
-            code = code.max(1);
-        } else {
-            eprintln!(
-                "compare: persisted_warm gate OK: min persisted_vs_memo {min_persisted_vs_memo:.3} >= {PERSISTED_GATE}"
-            );
+        let cmp = run_compare(&base, &out_path);
+        let mut code = cmp.code;
+        // The persisted and incremental gates are absolute bounds, not
+        // baseline-relative ratios, so they ride the compare exit path
+        // directly rather than going through `compare()`. A gate whose
+        // cells never ran is a FAIL, never a silent pass.
+        let mut rows: Vec<GateRow> = vec![(
+            "tier ratio regressions".into(),
+            format!("<= +{:.0}%", COMPARE_TOLERANCE * 100.0),
+            format!("{}/{}", cmp.regressions, cmp.compared),
+            cmp.code == 0,
+        )];
+        for (gate, threshold, measured) in [
+            (
+                "persisted_vs_memo (min)",
+                PERSISTED_GATE,
+                min_persisted_vs_memo,
+            ),
+            (
+                "incremental_vs_memo (min)",
+                INCREMENTAL_GATE,
+                min_incremental_vs_memo,
+            ),
+        ] {
+            let passed = measured.is_finite() && measured >= threshold;
+            rows.push((
+                gate.into(),
+                format!(">= {threshold:.2}"),
+                if measured.is_finite() {
+                    format!("{measured:.3}")
+                } else {
+                    "no cells".into()
+                },
+                passed,
+            ));
+            if !passed {
+                code = code.max(1);
+            }
         }
+        print_gate_table(&rows);
+        eprintln!(
+            "compare: {}",
+            if code == 0 {
+                "all gates passed"
+            } else {
+                "GATE FAILURES (see table)"
+            }
+        );
         std::process::exit(code);
     }
 }

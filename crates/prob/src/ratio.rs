@@ -149,6 +149,15 @@ impl Add for Ratio {
     // Fraction addition legitimately divides by the gcd.
     #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Ratio) -> Ratio {
+        if self.den == rhs.den {
+            // Equal denominators: skip the lcm computation entirely. The
+            // sum can still be reducible (1/6 + 1/6 = 2/6), so route
+            // through `new` for the single renormalizing gcd.
+            return Ratio::new(
+                self.num.checked_add(rhs.num).expect("Ratio add overflow"),
+                self.den,
+            );
+        }
         // Reduce before cross-multiplying to delay overflow.
         let g = gcd(self.den, rhs.den);
         let lcm_factor = rhs.den / g;
@@ -285,6 +294,39 @@ mod tests {
         assert_eq!(Ratio::from_int(4).to_string(), "4");
     }
 
+    /// The representation invariant every public constructor and operator
+    /// must maintain: `den > 0` and `gcd(|num|, den) == 1`.
+    fn assert_normalized(r: Ratio) {
+        assert!(r.denom() > 0, "denominator must stay positive: {r:?}");
+        let g = gcd(r.numer().abs(), r.denom());
+        // gcd(0, d) == d, so the zero case demands den == 1.
+        if r.numer() == 0 {
+            assert_eq!(r.denom(), 1, "zero must normalize to 0/1: {r:?}");
+        } else {
+            assert_eq!(g, 1, "num/den must be coprime: {r:?}");
+        }
+    }
+
+    #[test]
+    fn equal_denominator_add_stays_normalized() {
+        // The fast path must renormalize reducible sums...
+        let sum = Ratio::new(1, 6) + Ratio::new(1, 6);
+        assert_eq!(sum, Ratio::new(1, 3));
+        assert_normalized(sum);
+        // ...collapse to-zero cancellations to the canonical 0/1...
+        let zero = Ratio::new(5, 8) + Ratio::new(-5, 8);
+        assert_eq!(zero, Ratio::ZERO);
+        assert_normalized(zero);
+        // ...promote integer-valued sums to den == 1...
+        let int = Ratio::new(3, 4) + Ratio::new(5, 4);
+        assert_eq!(int, Ratio::from_int(2));
+        assert_normalized(int);
+        // ...and leave irreducible sums alone.
+        let plain = Ratio::new(1, 7) + Ratio::new(2, 7);
+        assert_eq!(plain, Ratio::new(3, 7));
+        assert_normalized(plain);
+    }
+
     #[test]
     fn dyadic_equality() {
         assert!(Ratio::new(3, 8).eq_dyadic(3, 3));
@@ -325,6 +367,37 @@ mod tests {
             let x = Ratio::new(a, b);
             let y = Ratio::new(c, d);
             prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn arithmetic_preserves_normalization(a in -1000i128..1000, b in 1i128..1000,
+                                              c in -1000i128..1000, d in 1i128..1000) {
+            let x = Ratio::new(a, b);
+            let y = Ratio::new(c, d);
+            assert_normalized(x);
+            assert_normalized(y);
+            assert_normalized(x + y);
+            assert_normalized(x - y);
+            assert_normalized(x * y);
+            assert_normalized(-x);
+            if !y.is_zero() {
+                assert_normalized(x / y);
+            }
+        }
+
+        #[test]
+        fn add_matches_textbook_formula(a in -1000i128..1000, b in 1i128..1000,
+                                        c in -1000i128..1000, d in 1i128..1000) {
+            // Whichever internal path `+` takes (equal-denominator
+            // shortcut or lcm reduction), the result must equal the
+            // naive cross-multiplication sum.
+            let x = Ratio::new(a, b);
+            let y = Ratio::new(c, d);
+            let naive = Ratio::new(
+                x.numer() * y.denom() + y.numer() * x.denom(),
+                x.denom() * y.denom(),
+            );
+            prop_assert_eq!(x + y, naive);
         }
 
         #[test]

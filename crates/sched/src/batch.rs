@@ -120,8 +120,9 @@ where
             cancel: m.cancel.clone(),
         })
         .collect();
-    let (states, checkpoint, stats) =
-        flat_core(auto, sched, &cuts, budget, policy, cache, pool, lift, None)?;
+    let (states, checkpoint, stats) = flat_core(
+        auto, sched, &cuts, budget, policy, cache, pool, lift, None, None,
+    )?;
     let projections = states
         .into_iter()
         .map(|s| match s {

@@ -49,12 +49,15 @@
 //! function of the shared entry, computed once per key, so a decoded
 //! hit yields bit-identical weights to re-lifting per node.
 
+use crate::checkpoint::Checkpoint;
 use crate::error::EngineError;
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::{FxBuildHasher, FxHashMap};
-use dpioa_core::{Action, Automaton, CacheStats, IValue, TransEntry, TransitionCache, Value};
+use dpioa_core::{
+    Action, Automaton, CacheStats, Execution, IValue, TransEntry, TransitionCache, Value,
+};
 use dpioa_prob::{Disc, SubDisc, Weight};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -74,6 +77,150 @@ type ChoiceKey = (ChoiceScope, usize, IValue);
 
 type ChoiceShard = RwLock<HashMap<ChoiceKey, Option<Arc<SubDisc<Action>>>, FxBuildHasher>>;
 
+/// Default byte budget of the stratum table (see
+/// [`EngineCache::deposit_stratum`]). Strata are whole frontier
+/// snapshots, so the budget is expressed in estimated payload bytes,
+/// not entry counts.
+pub const STRATA_BYTE_BUDGET: usize = 32 * 1024 * 1024;
+
+/// Default per-automaton-family (per-fingerprint) share of
+/// [`STRATA_BYTE_BUDGET`]: no one family may hold more than this
+/// fraction of the table, so a service sharing one cache across query
+/// streams keeps every client's strata resident under adversarial
+/// mixes — the same admission idea as
+/// [`EngineCache::bounded_with_admission`].
+pub const STRATA_FAMILY_FRAC: f64 = 0.5;
+
+/// Counters of the stratum table (see [`EngineCache::strata_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrataStats {
+    /// Strata admitted (deposits and warm-start imports).
+    pub deposits: u64,
+    /// Lookups answered by a resident stratum at some depth ≤ horizon.
+    pub hits: u64,
+    /// Lookups with no compatible stratum.
+    pub misses: u64,
+    /// Deposits refused by the per-family quota (never evicts a
+    /// neighbour's entries).
+    pub rejected: u64,
+    /// Strata evicted by the global byte budget (least recently used
+    /// first).
+    pub evictions: u64,
+    /// Estimated resident bytes.
+    pub bytes: u64,
+    /// Resident strata.
+    pub entries: u64,
+}
+
+/// One stratum family: every depth stratum of a fixed (automaton
+/// fingerprint, scheduler scope, observation) triple.
+type StratumFamily = (u64, ChoiceScope, String);
+
+struct StratumSlot {
+    ckpt: Arc<Checkpoint>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct StrataInner {
+    /// family → depth → stratum; the inner map is ordered so the
+    /// deepest-compatible lookup is one `range(..=h).next_back()`.
+    table: HashMap<StratumFamily, BTreeMap<usize, StratumSlot>, FxBuildHasher>,
+    /// Estimated resident bytes per fingerprint (the admission unit).
+    family_bytes: HashMap<u64, usize, FxBuildHasher>,
+    bytes: usize,
+    entries: usize,
+    clock: u64,
+}
+
+/// The admission-gated, byte-budgeted stratum table behind an
+/// [`EngineCache`]. Strata are conserving checkpoints deposited during
+/// *successful* expansions; they are large (whole frontiers), so the
+/// table accounts estimated payload bytes rather than entry counts.
+struct StrataTable {
+    inner: RwLock<StrataInner>,
+    byte_budget: usize,
+    family_quota: usize,
+    deposits: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl StrataTable {
+    fn new(byte_budget: usize, family_frac: f64) -> StrataTable {
+        StrataTable {
+            inner: RwLock::new(StrataInner::default()),
+            byte_budget,
+            family_quota: (byte_budget as f64 * family_frac.clamp(0.0, 1.0)) as usize,
+            deposits: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Estimated resident cost of one checkpoint, in bytes. An estimate is
+/// enough: the budget exists to bound memory to the right order, and
+/// the estimate is deterministic so eviction behaviour is reproducible.
+fn checkpoint_cost(ckpt: &Checkpoint) -> usize {
+    fn cone_rows(rows: &[(Execution, f64)]) -> usize {
+        rows.iter().map(|(e, _)| 48 + 24 * e.len()).sum()
+    }
+    match ckpt {
+        Checkpoint::Cone(c) => 64 + cone_rows(&c.resolved) + cone_rows(&c.frontier),
+        Checkpoint::Lumped(l) => {
+            64 + 24 * l.resolved.len()
+                + l.frontier
+                    .iter()
+                    .map(|c| 48 + 8 * c.trace.len())
+                    .sum::<usize>()
+        }
+    }
+}
+
+/// Remove the least-recently-used stratum — of `fingerprint`'s family
+/// when one is given, globally otherwise; returns `false` when nothing
+/// is eligible. The scan is linear in resident strata, which the byte
+/// budget keeps small relative to any expansion the strata summarize.
+fn evict_lru(g: &mut StrataInner, fingerprint: Option<u64>) -> bool {
+    let mut victim: Option<(StratumFamily, usize, u64)> = None;
+    for (fam, depths) in &g.table {
+        if fingerprint.is_some_and(|fp| fp != fam.0) {
+            continue;
+        }
+        for (&d, slot) in depths {
+            if victim
+                .as_ref()
+                .is_none_or(|(_, _, lu)| slot.last_used < *lu)
+            {
+                victim = Some((fam.clone(), d, slot.last_used));
+            }
+        }
+    }
+    let Some((fam, depth, _)) = victim else {
+        return false;
+    };
+    let depths = g.table.get_mut(&fam).expect("victim family resident");
+    let slot = depths.remove(&depth).expect("victim depth resident");
+    if depths.is_empty() {
+        g.table.remove(&fam);
+    }
+    g.bytes -= slot.bytes;
+    g.entries -= 1;
+    if let Some(fb) = g.family_bytes.get_mut(&fam.0) {
+        *fb = fb.saturating_sub(slot.bytes);
+        if *fb == 0 {
+            g.family_bytes.remove(&fam.0);
+        }
+    }
+    true
+}
+
 /// Shared memoization for transitions and memoryless scheduler choices.
 /// See the module docs for the soundness argument of each table.
 pub struct EngineCache {
@@ -82,6 +229,7 @@ pub struct EngineCache {
     choice_hits: AtomicU64,
     choice_misses: AtomicU64,
     scopes: RwLock<HashMap<String, u32, FxBuildHasher>>,
+    strata: StrataTable,
 }
 
 impl Default for EngineCache {
@@ -99,6 +247,18 @@ impl EngineCache {
             choice_hits: AtomicU64::new(0),
             choice_misses: AtomicU64::new(0),
             scopes: RwLock::new(HashMap::default()),
+            strata: StrataTable::new(STRATA_BYTE_BUDGET, STRATA_FAMILY_FRAC),
+        }
+    }
+
+    /// An empty cache whose **stratum table** is bounded to
+    /// `byte_budget` estimated bytes, with no fingerprint family
+    /// allowed more than `family_frac` of that budget. The transition
+    /// and choice tables stay as in [`EngineCache::new`].
+    pub fn strata_bounded(byte_budget: usize, family_frac: f64) -> EngineCache {
+        EngineCache {
+            strata: StrataTable::new(byte_budget, family_frac),
+            ..EngineCache::new()
         }
     }
 
@@ -303,6 +463,171 @@ impl EngineCache {
         }
     }
 
+    /// Deposit one stratum — a conserving checkpoint snapshotted at
+    /// `depth` during a *successful* expansion — keyed by (automaton
+    /// `fingerprint`, scheduler `scope`, `observation`, `depth`).
+    ///
+    /// Cone strata are observation-independent (the engines expand the
+    /// raw cone; the observation is applied after), so the convention
+    /// is to deposit and look them up under `observation = ""`; lumped
+    /// strata use the observation's describe-string. The fingerprint is
+    /// an opaque caller-supplied key (`dpioa-store`'s
+    /// `automaton_fingerprint` in practice — this crate sits below the
+    /// store and never computes one itself).
+    ///
+    /// Admission: a resident `(family, depth)` keeps its incumbent
+    /// (re-deposits of the same deterministic snapshot are no-ops); a
+    /// stratum bigger than the whole per-family quota by itself is
+    /// refused and counted in [`StrataStats::rejected`]; a fingerprint
+    /// family at its quota **self-evicts** its own least-recently-used
+    /// strata to make room — it never displaces a neighbour family's
+    /// (the stratum analogue of the transition table's quota-forced
+    /// self-evictions). After admission the *global* byte budget is
+    /// enforced by least-recently-used eviction across the whole table
+    /// ([`StrataStats::evictions`] counts both). Returns whether the
+    /// stratum was admitted.
+    pub fn deposit_stratum(
+        &self,
+        fingerprint: u64,
+        scope: ChoiceScope,
+        observation: &str,
+        depth: usize,
+        ckpt: Checkpoint,
+    ) -> bool {
+        let cost = checkpoint_cost(&ckpt);
+        let t = &self.strata;
+        if cost > t.family_quota {
+            t.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut g = t.inner.write().expect("stratum table poisoned");
+        let key = (fingerprint, scope, observation.to_string());
+        if g.table.get(&key).is_some_and(|d| d.contains_key(&depth)) {
+            return false;
+        }
+        while g.family_bytes.get(&fingerprint).copied().unwrap_or(0) + cost > t.family_quota {
+            if !evict_lru(&mut g, Some(fingerprint)) {
+                break;
+            }
+            t.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        g.clock += 1;
+        let stamp = g.clock;
+        g.table.entry(key).or_default().insert(
+            depth,
+            StratumSlot {
+                ckpt: Arc::new(ckpt),
+                bytes: cost,
+                last_used: stamp,
+            },
+        );
+        *g.family_bytes.entry(fingerprint).or_insert(0) += cost;
+        g.bytes += cost;
+        g.entries += 1;
+        t.deposits.fetch_add(1, Ordering::Relaxed);
+        while g.bytes > t.byte_budget {
+            if !evict_lru(&mut g, None) {
+                break;
+            }
+            t.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// The deepest resident stratum at depth ≤ `horizon` for the
+    /// (fingerprint, scope, observation) family, with its depth.
+    /// Resuming from it and expanding the remaining `horizon − depth`
+    /// levels is bit-identical to a cold run (the stratum *is* the
+    /// exact rollback state a budget trip at that depth would have
+    /// produced — see DESIGN.md §11). The stored checkpoint's
+    /// `horizon` field is the deposit depth; callers rewrite it to the
+    /// query's horizon before resuming.
+    pub fn lookup_stratum(
+        &self,
+        fingerprint: u64,
+        scope: ChoiceScope,
+        observation: &str,
+        horizon: usize,
+    ) -> Option<(usize, Arc<Checkpoint>)> {
+        let t = &self.strata;
+        let mut g = t.inner.write().expect("stratum table poisoned");
+        g.clock += 1;
+        let stamp = g.clock;
+        let key = (fingerprint, scope, observation.to_string());
+        let found = g
+            .table
+            .get_mut(&key)
+            .and_then(|depths| depths.range_mut(..=horizon).next_back())
+            .map(|(&d, slot)| {
+                slot.last_used = stamp;
+                (d, slot.ckpt.clone())
+            });
+        match &found {
+            Some(_) => t.hits.fetch_add(1, Ordering::Relaxed),
+            None => t.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Counters and occupancy of the stratum table.
+    pub fn strata_stats(&self) -> StrataStats {
+        let t = &self.strata;
+        let g = t.inner.read().expect("stratum table poisoned");
+        StrataStats {
+            deposits: t.deposits.load(Ordering::Relaxed),
+            hits: t.hits.load(Ordering::Relaxed),
+            misses: t.misses.load(Ordering::Relaxed),
+            rejected: t.rejected.load(Ordering::Relaxed),
+            evictions: t.evictions.load(Ordering::Relaxed),
+            bytes: g.bytes as u64,
+            entries: g.entries as u64,
+        }
+    }
+
+    /// Every resident stratum, materialized for a persistence
+    /// snapshot: `(fingerprint, scope describe-string, observation,
+    /// depth, checkpoint)`. Scopes are exported by describe-string
+    /// because the interned ids are process-local (as in
+    /// [`EngineCache::export_choices`]). Order is unspecified — the
+    /// store sorts into canonical byte order before writing.
+    pub fn export_strata(&self) -> Vec<(u64, String, String, usize, Checkpoint)> {
+        let names: Vec<Option<String>> = {
+            let guard = self.scopes.read().expect("scope map poisoned");
+            let mut rev = vec![None; guard.len()];
+            for (name, &id) in guard.iter() {
+                rev[id as usize] = Some(name.clone());
+            }
+            rev
+        };
+        let g = self.strata.inner.read().expect("stratum table poisoned");
+        let mut out = Vec::new();
+        for ((fp, scope, obs), depths) in &g.table {
+            let Some(Some(name)) = names.get(scope.0 as usize) else {
+                continue;
+            };
+            for (&depth, slot) in depths {
+                out.push((*fp, name.clone(), obs.clone(), depth, (*slot.ckpt).clone()));
+            }
+        }
+        out
+    }
+
+    /// Insert one stratum under the scope interned from `scope_name`
+    /// (the warm-start import path). Admission and eviction behave as
+    /// in [`EngineCache::deposit_stratum`]; returns whether the
+    /// stratum was admitted.
+    pub fn import_stratum(
+        &self,
+        fingerprint: u64,
+        scope_name: &str,
+        observation: &str,
+        depth: usize,
+        ckpt: Checkpoint,
+    ) -> bool {
+        let scope = self.scope_by_name(scope_name);
+        self.deposit_stratum(fingerprint, scope, observation, depth, ckpt)
+    }
+
     /// Hit/miss/eviction counters of the transition table alone.
     pub fn transition_stats(&self) -> CacheStats {
         self.transitions.stats()
@@ -340,6 +665,7 @@ impl std::fmt::Debug for EngineCache {
         f.debug_struct("EngineCache")
             .field("transitions", &self.transition_stats())
             .field("choices", &self.choice_stats())
+            .field("strata", &self.strata_stats())
             .finish()
     }
 }
@@ -1000,6 +1326,131 @@ mod tests {
             .unwrap()
             .is_none());
         assert_eq!(shared.choice_stats(), stats(0, 1));
+    }
+
+    fn cone_stratum(depth: usize, frontier_rows: usize) -> Checkpoint {
+        let mut frontier = Vec::new();
+        for i in 0..frontier_rows {
+            let mut e = Execution::from_state(Value::int(0));
+            for d in 0..depth {
+                e.push(act("st-a"), Value::int((i + d) as i64));
+            }
+            frontier.push((e, 1.0 / frontier_rows.max(1) as f64));
+        }
+        Checkpoint::Cone(crate::checkpoint::ConeCheckpoint {
+            resolved: vec![],
+            frontier,
+            horizon: depth,
+            reason: EngineError::BudgetExhausted {
+                entries: 0,
+                expansions: 0,
+                deadline_hit: false,
+                cancelled: false,
+            },
+        })
+    }
+
+    #[test]
+    fn strata_lookup_returns_deepest_compatible_depth() {
+        let cache = EngineCache::new();
+        let scope = cache.scope_by_name("st-sched");
+        for d in [2usize, 4, 6] {
+            assert!(cache.deposit_stratum(7, scope, "", d, cone_stratum(d, 2)));
+        }
+        // Deepest d ≤ h wins; strata deeper than the horizon are
+        // invisible to it.
+        let (d, ckpt) = cache.lookup_stratum(7, scope, "", 5).unwrap();
+        assert_eq!(d, 4);
+        assert_eq!(ckpt.frontier_len(), 2);
+        assert_eq!(cache.lookup_stratum(7, scope, "", 12).unwrap().0, 6);
+        assert!(cache.lookup_stratum(7, scope, "", 1).is_none());
+        // Foreign fingerprint, scope, or observation: no aliasing.
+        assert!(cache.lookup_stratum(8, scope, "", 12).is_none());
+        let other = cache.scope_by_name("st-other");
+        assert!(cache.lookup_stratum(7, other, "", 12).is_none());
+        assert!(cache.lookup_stratum(7, scope, "trace", 12).is_none());
+        let s = cache.strata_stats();
+        assert_eq!(s.deposits, 3);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.entries, 3);
+        assert!(s.bytes > 0);
+        // A re-deposit at a resident depth keeps the incumbent.
+        assert!(!cache.deposit_stratum(7, scope, "", 4, cone_stratum(4, 2)));
+        assert_eq!(cache.strata_stats().deposits, 3);
+    }
+
+    #[test]
+    fn strata_byte_budget_evicts_lru_and_quota_refuses() {
+        // Budget fits roughly two of the three strata below.
+        let one_cost = super::checkpoint_cost(&cone_stratum(4, 4));
+        let cache = EngineCache::strata_bounded(2 * one_cost + one_cost / 2, 1.0);
+        let scope = cache.scope_by_name("st-sched");
+        assert!(cache.deposit_stratum(1, scope, "", 2, cone_stratum(4, 4)));
+        assert!(cache.deposit_stratum(1, scope, "", 4, cone_stratum(4, 4)));
+        // Touch depth 2 so depth 4 is the LRU victim.
+        assert!(cache.lookup_stratum(1, scope, "", 2).is_some());
+        assert!(cache.deposit_stratum(1, scope, "", 6, cone_stratum(4, 4)));
+        let s = cache.strata_stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes as usize <= 2 * one_cost + one_cost / 2);
+        assert!(cache
+            .lookup_stratum(1, scope, "", 4)
+            .is_none_or(|(d, _)| d == 2));
+        assert!(cache
+            .lookup_stratum(1, scope, "", 6)
+            .is_some_and(|(d, _)| d == 6));
+
+        // Per-family quota: a family at quota self-evicts its own LRU
+        // stratum to admit a new one — it never displaces a neighbour.
+        let cache = EngineCache::strata_bounded(3 * one_cost, 0.4);
+        let scope = cache.scope_by_name("st-sched");
+        assert!(cache.deposit_stratum(1, scope, "", 2, cone_stratum(4, 4)));
+        assert!(cache.deposit_stratum(2, scope, "", 4, cone_stratum(4, 4)));
+        assert!(cache.deposit_stratum(1, scope, "", 4, cone_stratum(4, 4)));
+        let s = cache.strata_stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.entries, 2);
+        assert!(cache
+            .lookup_stratum(2, scope, "", 9)
+            .is_some_and(|(d, _)| d == 4));
+        assert!(cache
+            .lookup_stratum(1, scope, "", 9)
+            .is_some_and(|(d, _)| d == 4));
+        assert!(cache.lookup_stratum(1, scope, "", 3).is_none());
+
+        // A stratum alone bigger than the whole family quota is refused
+        // outright.
+        let tiny = EngineCache::strata_bounded(one_cost, 0.5);
+        let scope = tiny.scope_by_name("st-sched");
+        assert!(!tiny.deposit_stratum(1, scope, "", 2, cone_stratum(4, 4)));
+        assert_eq!(tiny.strata_stats().rejected, 1);
+        assert_eq!(tiny.strata_stats().entries, 0);
+    }
+
+    #[test]
+    fn strata_export_import_round_trips_by_scope_name() {
+        let source = EngineCache::new();
+        let scope = source.scope_by_name("st-sched");
+        assert!(source.deposit_stratum(9, scope, "", 3, cone_stratum(3, 2)));
+        assert!(source.deposit_stratum(9, scope, "last-state", 5, cone_stratum(5, 1)));
+        let exported = source.export_strata();
+        assert_eq!(exported.len(), 2);
+
+        let target = EngineCache::new();
+        for (fp, scope_name, obs, depth, ckpt) in exported {
+            assert!(target.import_stratum(fp, &scope_name, &obs, depth, ckpt));
+        }
+        let scope2 = target.scope_by_name("st-sched");
+        let (d, ckpt) = target.lookup_stratum(9, scope2, "", 3).unwrap();
+        assert_eq!(d, 3);
+        assert_eq!(ckpt.frontier_len(), 2);
+        assert_eq!(ckpt.total_mass(), 1.0);
+        assert!(target
+            .lookup_stratum(9, scope2, "last-state", 8)
+            .is_some_and(|(d, _)| d == 5));
     }
 
     #[test]

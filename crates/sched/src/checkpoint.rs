@@ -145,6 +145,16 @@ impl Checkpoint {
         }
     }
 
+    /// `resolved_mass + frontier_mass` — exactly one by conservation
+    /// (degenerate checkpoints with an empty side still satisfy this:
+    /// the other side carries the whole unit of mass).
+    pub fn total_mass(&self) -> f64 {
+        match self {
+            Checkpoint::Cone(c) => c.total_mass(),
+            Checkpoint::Lumped(c) => c.total_mass(),
+        }
+    }
+
     /// Unresolved frontier entries (nodes or classes).
     pub fn frontier_len(&self) -> usize {
         match self {
@@ -194,10 +204,176 @@ impl<W: Weight> ExpansionOutcome<W> {
     }
 }
 
+/// A sink the strata-aware engine entry points call with conserving
+/// frontier snapshots ("strata") during a *successful* expansion —
+/// the proactive mirror of the budget-trip checkpoint. A stratum at
+/// depth `d` is exactly the rollback state a budget trip at `d` would
+/// have produced, so resuming from it is bit-identical to a cold run
+/// (DESIGN.md §11). The sink runs on the expanding thread, between
+/// depths — never inside pooled grains — so it needs no `Send`.
+pub struct StratumSink<'a, C> {
+    /// Snapshot every `stride` depths (`0` disables, `1` snapshots
+    /// every depth). Depth 0 (the root) is never offered — it is free
+    /// to recompute.
+    pub stride: usize,
+    /// Depths at or below this are never offered. Callers resuming
+    /// from a checkpoint at depth `d` set this to `d` so the engine
+    /// does not clone a snapshot that merely re-states the resume
+    /// seed. `0` for cold runs.
+    pub min_depth: usize,
+    /// Receives `(depth, checkpoint-at-depth)`. Deciding whether the
+    /// stratum is worth keeping (and where) is the sink's business —
+    /// the engine only guarantees the conservation invariant.
+    pub sink: &'a mut dyn FnMut(usize, C),
+}
+
+impl<C> StratumSink<'_, C> {
+    /// Whether the sink wants a snapshot at `depth` of an expansion
+    /// headed for `horizon`. Intermediate strata stop short of the
+    /// horizon; the completed answer is offered separately when
+    /// [`StratumSink::wants_horizon`] says so.
+    pub fn wants(&self, depth: usize, horizon: usize) -> bool {
+        self.stride > 0 && depth > self.min_depth && depth < horizon && depth % self.stride == 0
+    }
+
+    /// Whether the sink wants the **horizon stratum** — the completed
+    /// expansion's terminal state split into resolved-below-horizon
+    /// plus the depth-`horizon` frontier, deposited regardless of
+    /// stride alignment (it is the most valuable stratum: a repeat
+    /// query at the same horizon resumes past the whole cone).
+    pub fn wants_horizon(&self, horizon: usize) -> bool {
+        self.stride > 0 && self.min_depth < horizon
+    }
+}
+
+/// The synthesized `reason` strata carry: no budget actually tripped,
+/// so every counter and flag is zero/false. (Checkpoints require a
+/// [`EngineError::BudgetExhausted`] reason; a stratum is "what a trip
+/// at this depth would have salvaged".)
+pub fn stratum_reason() -> EngineError {
+    EngineError::BudgetExhausted {
+        entries: 0,
+        expansions: 0,
+        deadline_hit: false,
+        cancelled: false,
+    }
+}
+
 fn sum_weights<'a, W: Weight + 'a>(weights: impl Iterator<Item = &'a W>) -> W {
     let mut t = W::zero();
     for w in weights {
         t = t.add(w);
     }
     t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::Execution;
+
+    fn exec(state: i64) -> Execution {
+        Execution::from_state(Value::int(state))
+    }
+
+    // Degenerate checkpoints have one empty side. They arise at the
+    // boundaries of an expansion — a trip before any terminal resolved
+    // (empty resolved) or a horizon stratum of a cone whose executions
+    // all halt early (empty frontier) — and every accessor must stay
+    // well-defined on them with the empty side contributing exactly 0.
+
+    #[test]
+    fn cone_with_empty_frontier() {
+        let ck = Checkpoint::Cone(ConeCheckpoint {
+            resolved: vec![(exec(0), 0.25), (exec(1), 0.75)],
+            frontier: Vec::new(),
+            horizon: 4,
+            reason: stratum_reason(),
+        });
+        assert_eq!(ck.resolved_mass(), 1.0);
+        assert_eq!(ck.frontier_mass(), 0.0);
+        assert_eq!(ck.total_mass(), 1.0);
+        assert_eq!(ck.frontier_len(), 0);
+    }
+
+    #[test]
+    fn cone_with_empty_resolved() {
+        let ck = Checkpoint::Cone(ConeCheckpoint {
+            resolved: Vec::new(),
+            frontier: vec![(exec(0), 0.5), (exec(1), 0.5)],
+            horizon: 4,
+            reason: stratum_reason(),
+        });
+        assert_eq!(ck.resolved_mass(), 0.0);
+        assert_eq!(ck.frontier_mass(), 1.0);
+        assert_eq!(ck.total_mass(), 1.0);
+        assert_eq!(ck.frontier_len(), 2);
+    }
+
+    #[test]
+    fn lumped_with_empty_frontier() {
+        let ck = Checkpoint::Lumped(LumpedCheckpoint {
+            resolved: vec![(Value::int(7), 1.0)],
+            frontier: Vec::new(),
+            step: 3,
+            horizon: 5,
+            reason: stratum_reason(),
+        });
+        assert_eq!(ck.resolved_mass(), 1.0);
+        assert_eq!(ck.frontier_mass(), 0.0);
+        assert_eq!(ck.total_mass(), 1.0);
+        assert_eq!(ck.frontier_len(), 0);
+    }
+
+    #[test]
+    fn lumped_with_empty_resolved() {
+        let ck = Checkpoint::Lumped(LumpedCheckpoint {
+            resolved: Vec::new(),
+            frontier: vec![
+                LumpedClass {
+                    state: Value::int(0),
+                    trace: Vec::new(),
+                    weight: 0.5,
+                },
+                LumpedClass {
+                    state: Value::int(1),
+                    trace: Vec::new(),
+                    weight: 0.5,
+                },
+            ],
+            step: 0,
+            horizon: 5,
+            reason: stratum_reason(),
+        });
+        assert_eq!(ck.resolved_mass(), 0.0);
+        assert_eq!(ck.frontier_mass(), 1.0);
+        assert_eq!(ck.total_mass(), 1.0);
+        assert_eq!(ck.frontier_len(), 2);
+    }
+
+    #[test]
+    fn fully_empty_checkpoint_accessors_are_defined() {
+        // Both sides empty violates conservation (total 0, not 1) and
+        // never leaves an engine, but the accessors themselves must not
+        // panic — the store decodes rows before any invariant check.
+        let ck = Checkpoint::Cone(ConeCheckpoint {
+            resolved: Vec::new(),
+            frontier: Vec::new(),
+            horizon: 0,
+            reason: stratum_reason(),
+        });
+        assert_eq!(ck.resolved_mass(), 0.0);
+        assert_eq!(ck.frontier_mass(), 0.0);
+        assert_eq!(ck.total_mass(), 0.0);
+        assert_eq!(ck.frontier_len(), 0);
+        assert!(matches!(
+            ck.reason(),
+            EngineError::BudgetExhausted {
+                entries: 0,
+                expansions: 0,
+                deadline_hit: false,
+                cancelled: false,
+            }
+        ));
+    }
 }

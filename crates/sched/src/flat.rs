@@ -32,7 +32,7 @@
 //! harness compare the two entry-for-entry.
 
 use crate::cache::{decode_choice, decode_trans, lane_tail, ChoiceScope, EngineCache, LaneMemo};
-use crate::checkpoint::{ConeCheckpoint, ExpansionOutcome};
+use crate::checkpoint::{ConeCheckpoint, ExpansionOutcome, StratumSink};
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::measure::{
     expand_node_tail, replay_tail, ExactStats, ExecutionMeasure, ParallelPolicy, TAIL_DEPTHS,
@@ -410,6 +410,7 @@ pub(crate) fn flat_core<'env, W, L>(
     pool: &WorkerPool<'_, 'env>,
     lift: L,
     resume: Option<ConeCheckpoint<W>>,
+    mut deposit: Option<StratumSink<'_, ConeCheckpoint<W>>>,
 ) -> Result<FlatCoreOutcome<W>, EngineError>
 where
     W: Weight,
@@ -745,6 +746,27 @@ where
                 }
             }
         }
+        // Stratum deposit hook: the snapshot the cut arm takes —
+        // entries accumulated before this depth plus the depth's
+        // materialized frontier — is exactly the rollback state of a
+        // budget trip during this depth, i.e. a conserving checkpoint
+        // at `depth`. (Depths inside the tail window are never
+        // iterated, so no strata are offered there.)
+        if let Some(sink) = deposit.as_mut() {
+            if sink.wants(depth, h_max) {
+                let snapshot = ConeCheckpoint {
+                    resolved: entries[..entries_base].to_vec(),
+                    frontier: merged_execs
+                        .iter()
+                        .cloned()
+                        .zip(cur.mass.iter().cloned())
+                        .collect(),
+                    horizon: depth,
+                    reason: crate::checkpoint::stratum_reason(),
+                };
+                (sink.sink)(depth, snapshot);
+            }
+        }
         // Recycle the spent depth: its execution column becomes the
         // next depth's `prev`, its flat columns go back to the arenas.
         let spent = std::mem::take(&mut cur);
@@ -817,12 +839,40 @@ where
     W: Weight,
     L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
 {
+    try_execution_measure_flat_strata_with(
+        auto, sched, horizon, budget, policy, cache, pool, lift, resume, None,
+    )
+}
+
+/// [`try_execution_measure_flat_with`] that additionally offers a
+/// conserving frontier snapshot to `deposit` at every stride depth —
+/// the flat engine's stratum deposit hook, mirror of
+/// [`crate::measure::try_execution_measure_strata_with`]. With
+/// `deposit: None` this *is* the flat checkpointed engine, bit for
+/// bit. Depths collapsed by the tail window are never offered.
+#[allow(clippy::too_many_arguments)]
+pub fn try_execution_measure_flat_strata_with<'env, W, L>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &'env EngineCache,
+    pool: &WorkerPool<'_, 'env>,
+    lift: L,
+    resume: Option<ConeCheckpoint<W>>,
+    deposit: Option<StratumSink<'_, ConeCheckpoint<W>>>,
+) -> Result<(ExpansionOutcome<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
+{
     let cuts = [CutSpec {
         horizon,
         cancel: None,
     }];
     let (mut states, checkpoint, stats) = flat_core(
-        auto, sched, &cuts, budget, policy, cache, pool, lift, resume,
+        auto, sched, &cuts, budget, policy, cache, pool, lift, resume, deposit,
     )?;
     let outcome = match states.pop().expect("one cut in, one state out") {
         CutState::Answered(m) => ExpansionOutcome::Complete(m),

@@ -55,17 +55,23 @@ pub use batch::{
     try_batch_execution_measures_with, BatchMember, BatchOutcome, BatchProjection,
 };
 pub use bounded::BoundedScheduler;
-pub use cache::{ChoiceScope, EngineCache, LaneMemo};
-pub use checkpoint::{Checkpoint, ConeCheckpoint, ExpansionOutcome, LumpedCheckpoint, LumpedClass};
+pub use cache::{
+    ChoiceScope, EngineCache, LaneMemo, StrataStats, STRATA_BYTE_BUDGET, STRATA_FAMILY_FRAC,
+};
+pub use checkpoint::{
+    stratum_reason, Checkpoint, ConeCheckpoint, ExpansionOutcome, LumpedCheckpoint, LumpedClass,
+    StratumSink,
+};
 pub use error::{disabled_action, Budget, EngineError};
 pub use flat::{
     try_execution_measure_flat, try_execution_measure_flat_in, try_execution_measure_flat_resume,
-    try_execution_measure_flat_with,
+    try_execution_measure_flat_strata_with, try_execution_measure_flat_with,
 };
 pub use lumped::{
     lumped_observation_dist, try_lumped_observation_dist, try_lumped_observation_dist_cached,
     try_lumped_observation_dist_ckpt, try_lumped_observation_dist_exact,
-    try_lumped_observation_dist_in, try_lumped_observation_dist_resume, LumpedOutcome, Observation,
+    try_lumped_observation_dist_in, try_lumped_observation_dist_resume,
+    try_lumped_observation_dist_strata, LumpedOutcome, Observation,
 };
 pub use measure::{
     execution_measure, execution_measure_exact, observation_dist, try_execution_measure,
@@ -73,12 +79,12 @@ pub use measure::{
     try_execution_measure_exact, try_execution_measure_in, try_execution_measure_parallel,
     try_execution_measure_parallel_in, try_execution_measure_pooled,
     try_execution_measure_pooled_in, try_execution_measure_pooled_with,
-    try_execution_measure_resume, ConeIndex, ExactStats, ExecutionMeasure, ParallelPolicy,
-    DEFAULT_SPLIT_UNIT, SEQ_CUTOVER_PER_LANE,
+    try_execution_measure_resume, try_execution_measure_strata_with, ConeIndex, ExactStats,
+    ExecutionMeasure, ParallelPolicy, DEFAULT_SPLIT_UNIT, SEQ_CUTOVER_PER_LANE,
 };
 pub use robust::{
     robust_observation_dist, robust_observation_dist_ckpt, robust_observation_dist_resumable,
-    BreakerStats, CircuitBreaker, EngineKind, Provenance, RobustConfig, RobustError,
+    BreakerStats, CircuitBreaker, EngineKind, Provenance, RobustConfig, RobustError, StrataConfig,
 };
 pub use sample::{
     sample_execution, sample_observations, sample_observations_parallel,

@@ -29,7 +29,7 @@
 //! [`crate::robust::robust_observation_dist`]'s cascade.
 
 use crate::cache::EngineCache;
-use crate::checkpoint::{LumpedCheckpoint, LumpedClass};
+use crate::checkpoint::{stratum_reason, LumpedCheckpoint, LumpedClass, StratumSink};
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::FxHashMap;
@@ -156,7 +156,7 @@ pub fn try_lumped_observation_dist_in<W: Weight>(
     budget: &Budget,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
 ) -> Result<Disc<Value, W>, EngineError> {
-    match lumped_core(auto, sched, horizon, obs, budget, None, lift, None)? {
+    match lumped_core(auto, sched, horizon, obs, budget, None, lift, None, None)? {
         LumpedOutcome::Complete(d) => Ok(d),
         LumpedOutcome::Partial(ckpt) => Err(ckpt.reason),
     }
@@ -199,6 +199,7 @@ fn lumped_core<W: Weight>(
     cache: Option<&EngineCache>,
     lift: impl Fn(f64) -> Result<W, EngineError> + Copy,
     resume: Option<LumpedCheckpoint<W>>,
+    mut deposit: Option<StratumSink<'_, LumpedCheckpoint<W>>>,
 ) -> Result<LumpedOutcome<W>, EngineError> {
     if let Observation::Full(_) = obs {
         return Err(EngineError::NotLumpable {
@@ -252,6 +253,31 @@ fn lumped_core<W: Weight>(
     let mut expansions: usize = 0;
 
     for step in start_step..horizon {
+        // Stratum deposit hook: the step-top `(absorbed, frontier)`
+        // pair is exactly the state a budget trip during this step
+        // rolls back to — a conserving lumped checkpoint at `step`.
+        // The snapshot's `horizon` is the deposit depth (strata are
+        // keyed by depth; lookups rewrite it to the query's horizon).
+        if let Some(sink) = deposit.as_mut() {
+            if sink.wants(step, horizon) {
+                let snapshot = LumpedCheckpoint {
+                    resolved: absorbed.entries.clone(),
+                    frontier: frontier
+                        .entries
+                        .iter()
+                        .map(|(key, weight)| LumpedClass {
+                            state: key.state.value(),
+                            trace: key.trace.clone(),
+                            weight: weight.clone(),
+                        })
+                        .collect(),
+                    step,
+                    horizon: step,
+                    reason: stratum_reason(),
+                };
+                (sink.sink)(step, snapshot);
+            }
+        }
         let mut next: WeightedClasses<Key, W> = WeightedClasses::new();
         // Halt absorptions are buffered per step and folded into
         // `absorbed` only once the step completes: a budget trip then
@@ -372,6 +398,29 @@ fn lumped_core<W: Weight>(
         }
         frontier = next;
     }
+    // Horizon stratum: the post-loop `(absorbed, frontier)` pair *is*
+    // the completed expansion just before the final fold — deposited
+    // so a repeat query at this horizon resumes straight to the fold.
+    if let Some(sink) = deposit.as_mut() {
+        if sink.wants_horizon(horizon) {
+            let snapshot = LumpedCheckpoint {
+                resolved: absorbed.entries.clone(),
+                frontier: frontier
+                    .entries
+                    .iter()
+                    .map(|(key, weight)| LumpedClass {
+                        state: key.state.value(),
+                        trace: key.trace.clone(),
+                        weight: weight.clone(),
+                    })
+                    .collect(),
+                step: horizon,
+                horizon,
+                reason: stratum_reason(),
+            };
+            (sink.sink)(horizon, snapshot);
+        }
+    }
     for (key, weight) in frontier.entries {
         absorbed.add(observe_key(&key), weight);
     }
@@ -395,7 +444,17 @@ pub fn try_lumped_observation_dist_cached(
     budget: &Budget,
     cache: &EngineCache,
 ) -> Result<Disc<Value>, EngineError> {
-    match lumped_core(auto, sched, horizon, obs, budget, Some(cache), Ok, None)? {
+    match lumped_core(
+        auto,
+        sched,
+        horizon,
+        obs,
+        budget,
+        Some(cache),
+        Ok,
+        None,
+        None,
+    )? {
         LumpedOutcome::Complete(d) => Ok(d),
         LumpedOutcome::Partial(ckpt) => Err(ckpt.reason),
     }
@@ -415,7 +474,17 @@ pub fn try_lumped_observation_dist_ckpt(
     budget: &Budget,
     cache: &EngineCache,
 ) -> Result<LumpedOutcome, EngineError> {
-    lumped_core(auto, sched, horizon, obs, budget, Some(cache), Ok, None)
+    lumped_core(
+        auto,
+        sched,
+        horizon,
+        obs,
+        budget,
+        Some(cache),
+        Ok,
+        None,
+        None,
+    )
 }
 
 /// Resume a [`LumpedCheckpoint`] under a (presumably enlarged)
@@ -441,6 +510,40 @@ pub fn try_lumped_observation_dist_resume(
         Some(cache),
         Ok,
         Some(ckpt),
+        None,
+    )
+}
+
+/// Checkpointed `f64` lumped expansion with **stratum support**: an
+/// optional [`LumpedCheckpoint`] to resume from (expansion restarts at
+/// `ckpt.step` toward the *passed* `horizon`, so a stratum deposited
+/// at depth `d` serves any query with `horizon ≥ d`) and an optional
+/// [`StratumSink`] invoked between steps with conserving frontier
+/// snapshots at the sink's depth stride. Depositing changes nothing
+/// about the answer: the snapshot is a clone of the exact state a
+/// budget trip at that step would have rolled back to, so resuming
+/// from it later is bit-identical to a cold run.
+#[allow(clippy::too_many_arguments)]
+pub fn try_lumped_observation_dist_strata(
+    auto: &dyn Automaton,
+    sched: &dyn Scheduler,
+    horizon: usize,
+    obs: &Observation,
+    budget: &Budget,
+    cache: &EngineCache,
+    resume: Option<LumpedCheckpoint>,
+    deposit: Option<StratumSink<'_, LumpedCheckpoint>>,
+) -> Result<LumpedOutcome, EngineError> {
+    lumped_core(
+        auto,
+        sched,
+        horizon,
+        obs,
+        budget,
+        Some(cache),
+        Ok,
+        resume,
+        deposit,
     )
 }
 

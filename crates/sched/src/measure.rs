@@ -24,7 +24,7 @@ use crate::cache::{
     decode_choice, decode_trans, lane_tail, ChoiceScope, EngineCache, LaneMemo, TailHalt,
     TailTemplate,
 };
-use crate::checkpoint::{ConeCheckpoint, ExpansionOutcome};
+use crate::checkpoint::{stratum_reason, ConeCheckpoint, ExpansionOutcome, StratumSink};
 use crate::error::{disabled_action, Budget, EngineError};
 use crate::scheduler::Scheduler;
 use dpioa_core::fxhash::FxHashMap;
@@ -914,6 +914,36 @@ where
     W: Weight,
     L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
 {
+    try_execution_measure_strata_with(
+        auto, sched, horizon, budget, policy, cache, pool, lift, resume, None,
+    )
+}
+
+/// [`try_execution_measure_ckpt_with`] that additionally offers a
+/// conserving frontier snapshot to `deposit` at every stride depth
+/// (see [`StratumSink`]) — the stratum-cache deposit hook. The sink is
+/// called on the calling thread between depths, with the exact
+/// `(entries, frontier)` state a budget trip at that depth would have
+/// rolled back to, so each offered stratum is a valid resume seed.
+/// With `deposit: None` this *is* the checkpointed engine, bit for
+/// bit.
+#[allow(clippy::too_many_arguments)]
+pub fn try_execution_measure_strata_with<'env, W, L>(
+    auto: &'env dyn Automaton,
+    sched: &'env dyn Scheduler,
+    horizon: usize,
+    budget: &Budget,
+    policy: ParallelPolicy,
+    cache: &'env EngineCache,
+    pool: &WorkerPool<'_, 'env>,
+    lift: L,
+    resume: Option<ConeCheckpoint<W>>,
+    mut deposit: Option<StratumSink<'_, ConeCheckpoint<W>>>,
+) -> Result<(ExpansionOutcome<W>, ExactStats), EngineError>
+where
+    W: Weight,
+    L: Fn(f64) -> Result<W, EngineError> + Copy + Send + Sync + 'env,
+{
     let lanes = pool.workers().min(policy.threads.max(1));
     // One scope resolution per expansion (describe() may allocate);
     // the Copy token rides into every grain closure.
@@ -961,6 +991,24 @@ where
     // (fall back to even spans).
     let mut placement: Option<Vec<(usize, usize, usize)>> = None;
     while !frontier.is_empty() {
+        // Stratum deposit hook: the loop-top `(entries, frontier)`
+        // pair at depth d is exactly the state a budget trip during
+        // depth d would roll back to — a conserving checkpoint.
+        if let Some(sink) = deposit.as_mut() {
+            let depth = frontier[0].0.len();
+            if sink.wants(depth, horizon) {
+                let snapshot = ConeCheckpoint {
+                    resolved: entries.clone(),
+                    frontier: frontier
+                        .iter()
+                        .map(|(e, _, w)| (e.clone(), w.clone()))
+                        .collect(),
+                    horizon: depth,
+                    reason: stratum_reason(),
+                };
+                (sink.sink)(depth, snapshot);
+            }
+        }
         let entries_base = entries.len();
         let mut next: Vec<Node<W>> = Vec::new();
         if lanes <= 1 || frontier.len() < policy.seq_cutover {
@@ -1218,6 +1266,30 @@ where
         pool: pool.stats().since(&pool_base),
         cache: cache.stats().since(cache_base),
     };
+    // Horizon stratum: the completed terminal list is per-depth
+    // ordered (sequential appends per depth; the pooled merge is
+    // segment-major by design), so splitting it at the horizon
+    // reconstructs the loop-top state of the final absorption depth
+    // exactly — halts below `horizon` resolved, the depth-`horizon`
+    // cone as the frontier. A repeat query at this horizon resumes
+    // from it and only pays the final absorption pass.
+    if tripped.is_none() {
+        if let Some(sink) = deposit.as_mut() {
+            if sink.wants_horizon(horizon) {
+                let split = entries
+                    .iter()
+                    .position(|(e, _)| e.len() >= horizon)
+                    .unwrap_or(entries.len());
+                let snapshot = ConeCheckpoint {
+                    resolved: entries[..split].to_vec(),
+                    frontier: entries[split..].to_vec(),
+                    horizon,
+                    reason: stratum_reason(),
+                };
+                (sink.sink)(horizon, snapshot);
+            }
+        }
+    }
     let outcome = match tripped {
         None => ExpansionOutcome::Complete(ExecutionMeasure { entries, horizon }),
         Some((nodes, reason)) => ExpansionOutcome::Partial(ConeCheckpoint {

@@ -43,13 +43,12 @@
 //! silently treating an estimate as exact.
 
 use crate::cache::EngineCache;
-use crate::checkpoint::{Checkpoint, ConeCheckpoint, ExpansionOutcome};
-use crate::error::{Budget, EngineError};
-use crate::lumped::{
-    try_lumped_observation_dist_ckpt, try_lumped_observation_dist_resume, LumpedOutcome,
-    Observation,
+use crate::checkpoint::{
+    Checkpoint, ConeCheckpoint, ExpansionOutcome, LumpedCheckpoint, StratumSink,
 };
-use crate::measure::{try_execution_measure_ckpt_with, ExactStats, ParallelPolicy};
+use crate::error::{Budget, EngineError};
+use crate::lumped::{try_lumped_observation_dist_strata, LumpedOutcome, Observation};
+use crate::measure::{try_execution_measure_strata_with, ExactStats, ParallelPolicy};
 use crate::sample::{
     try_salvage_lumped_pooled_with, try_salvage_observations_pooled_with,
     try_sample_observations_cancellable_pooled_with, SalvageOutcome,
@@ -120,6 +119,11 @@ pub struct Provenance {
     /// True iff the circuit breaker was open for this automaton and the
     /// exact tiers were skipped without being tried.
     pub breaker_open: bool,
+    /// Depth of the cached stratum the answering exact tier resumed
+    /// from — depths `0..d` were never re-expanded (`None` when the
+    /// query ran cold, was resumed from an explicit checkpoint, or
+    /// was answered by Monte-Carlo).
+    pub stratum_depth: Option<usize>,
     /// A bound `b` such that every event probability in the returned
     /// distribution is within `b` of its true value with probability at
     /// least `1 − confidence_delta` (DKW inequality; scaled by the
@@ -145,6 +149,7 @@ impl Provenance {
             resolved_mass: None,
             frontier_nodes: None,
             breaker_open: false,
+            stratum_depth: None,
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
@@ -163,6 +168,7 @@ impl Provenance {
             resolved_mass: None,
             frontier_nodes: None,
             breaker_open: false,
+            stratum_depth: None,
             error_bound: 0.0,
             confidence_delta: 0.0,
         }
@@ -387,6 +393,32 @@ impl CircuitBreaker {
     }
 }
 
+/// Stratum-cache wiring for the robust cascade (the tentpole of the
+/// incremental-expansion work): with [`RobustConfig::strata`] set, the
+/// exact tiers **deposit** conserving frontier snapshots ("strata")
+/// into the shared [`EngineCache`] every `stride` depths of a
+/// successful expansion — plus the horizon stratum on completion —
+/// and fresh queries **resume** from the deepest compatible stratum
+/// `d ≤ horizon` instead of re-expanding depths `0..d`. Strata are
+/// keyed by `(fingerprint, scheduler identity, observation, depth)`;
+/// resuming one is bit-identical to the cold run (the stratum *is*
+/// the rollback state a budget trip at `d` would have produced).
+#[derive(Clone, Debug)]
+pub struct StrataConfig {
+    /// Identity of the automaton family the strata are keyed under —
+    /// opaque to the engine (callers typically pass
+    /// `dpioa_store::automaton_fingerprint`). Queries only ever resume
+    /// strata deposited under the same fingerprint, the same scheduler
+    /// identity ([`crate::cache::ChoiceScope`]), and a compatible
+    /// observation (lumped strata carry the observation kind; cone
+    /// strata are observation-independent).
+    pub fingerprint: u64,
+    /// Depth stride between deposited strata. `0` disables deposits
+    /// while leaving lookups active, so a query can ride strata other
+    /// queries paid for without cloning any itself.
+    pub stride: usize,
+}
+
 /// Configuration for [`robust_observation_dist`].
 #[derive(Clone, Debug)]
 pub struct RobustConfig {
@@ -422,6 +454,11 @@ pub struct RobustConfig {
     /// A circuit breaker shared across queries; `None` disables
     /// breaking (every query tries the exact tiers).
     pub breaker: Option<Arc<CircuitBreaker>>,
+    /// Stratum-cache wiring; `None` (the default) neither deposits nor
+    /// consults strata. Only useful combined with a shared
+    /// [`RobustConfig::cache`] — strata live in the [`EngineCache`],
+    /// so a per-call cache discards them with the call.
+    pub strata: Option<StrataConfig>,
 }
 
 impl Default for RobustConfig {
@@ -436,6 +473,7 @@ impl Default for RobustConfig {
             mc_seed: 0xD10A,
             confidence_delta: 1e-3,
             breaker: None,
+            strata: None,
         }
     }
 }
@@ -503,6 +541,7 @@ where
             resolved_mass: None,
             frontier_nodes: None,
             breaker_open,
+            stratum_depth: None,
             error_bound: dkw_bound(config.mc_samples, config.confidence_delta),
             confidence_delta: config.confidence_delta,
         },
@@ -531,6 +570,7 @@ fn hybrid_provenance(
         resolved_mass: Some(salvage.resolved_mass),
         frontier_nodes: Some(salvage.frontier_nodes),
         breaker_open: false,
+        stratum_depth: None,
         error_bound: salvage.frontier_mass * dkw_bound(salvage.samples, config.confidence_delta),
         confidence_delta: config.confidence_delta,
     }
@@ -650,32 +690,79 @@ pub fn robust_observation_dist_resumable(
         .map_err(RobustError::from);
     }
 
-    // Lumped tier: eligibility probe on a fresh query, a direct
+    // Stratum support: one family key per query. Lookups serve fresh
+    // queries only — an explicit `resume` checkpoint is already
+    // deeper, paid-for work — while deposits ride every exact
+    // expansion (the sinks run on this thread, between depths).
+    let strata = config.strata.as_ref();
+    let strata_scope = strata.map(|_| cache.choice_scope(sched));
+    let mut stratum_depth: Option<usize> = None;
+
+    // Lumped tier: eligibility probe on a fresh query (resuming the
+    // deepest compatible lumped stratum when one is cached), a direct
     // class-space re-entry on a lumped checkpoint; a cone checkpoint
     // skips straight back to the general tier it came from.
     let mut cone_resume: Option<ConeCheckpoint<f64>> = None;
-    let cache_base = cache.stats();
-    let lumped = match resume {
-        None => Some(try_lumped_observation_dist_ckpt(
-            auto,
-            sched,
-            horizon,
-            observe,
-            &config.budget,
-            cache,
-        )),
-        Some(Checkpoint::Lumped(ckpt)) => Some(try_lumped_observation_dist_resume(
-            ckpt,
-            auto,
-            sched,
-            observe,
-            &config.budget,
-            cache,
-        )),
-        Some(Checkpoint::Cone(ckpt)) => {
-            cone_resume = Some(ckpt);
-            None
+    let mut lumped_resume: Option<LumpedCheckpoint> = None;
+    let mut lumped_horizon = horizon;
+    match resume {
+        None => {
+            if let (Some(sc), Some(scope)) = (strata, strata_scope) {
+                if let Some((depth, hit)) =
+                    cache.lookup_stratum(sc.fingerprint, scope, observe.describe(), horizon)
+                {
+                    if let Checkpoint::Lumped(ckpt) = hit.as_ref() {
+                        stratum_depth = Some(depth);
+                        lumped_resume = Some(ckpt.clone());
+                    }
+                }
+            }
         }
+        Some(Checkpoint::Lumped(ckpt)) => {
+            // A user checkpoint records the horizon it was cut from;
+            // the resume must finish *that* expansion. (A stratum, by
+            // contrast, resumes toward this query's own horizon.)
+            lumped_horizon = ckpt.horizon;
+            lumped_resume = Some(ckpt);
+        }
+        Some(Checkpoint::Cone(ckpt)) => cone_resume = Some(ckpt),
+    }
+    let cache_base = cache.stats();
+    let lumped = if cone_resume.is_some() {
+        None
+    } else {
+        let mut lumped_sink;
+        let deposit = match (strata, strata_scope) {
+            (Some(sc), Some(scope)) if sc.stride > 0 => {
+                let fingerprint = sc.fingerprint;
+                let obs_name = observe.describe();
+                lumped_sink = move |depth: usize, ckpt: LumpedCheckpoint| {
+                    cache.deposit_stratum(
+                        fingerprint,
+                        scope,
+                        obs_name,
+                        depth,
+                        Checkpoint::Lumped(ckpt),
+                    );
+                };
+                Some(StratumSink {
+                    stride: sc.stride,
+                    min_depth: lumped_resume.as_ref().map_or(0, |c| c.step),
+                    sink: &mut lumped_sink,
+                })
+            }
+            _ => None,
+        };
+        Some(try_lumped_observation_dist_strata(
+            auto,
+            sched,
+            lumped_horizon,
+            observe,
+            &config.budget,
+            cache,
+            lumped_resume,
+            deposit,
+        ))
     };
     let not_lumpable = match lumped {
         // Resuming a cone checkpoint: the original query already
@@ -687,11 +774,9 @@ pub fn robust_observation_dist_resumable(
             if let Some(b) = breaker {
                 b.record_success(&breaker_key);
             }
-            return Ok((
-                dist,
-                Provenance::lumped(cache.stats().since(cache_base)),
-                None,
-            ));
+            let mut prov = Provenance::lumped(cache.stats().since(cache_base));
+            prov.stratum_depth = stratum_depth;
+            return Ok((dist, prov, None));
         }
         Some(Ok(LumpedOutcome::Partial(ckpt))) => {
             if let Some(b) = breaker {
@@ -722,7 +807,7 @@ pub fn robust_observation_dist_resumable(
                     pool,
                 ) {
                     Ok(salvage) => {
-                        let prov = hybrid_provenance(
+                        let mut prov = hybrid_provenance(
                             config,
                             &salvage,
                             ckpt.reason.clone(),
@@ -730,6 +815,7 @@ pub fn robust_observation_dist_resumable(
                             pool.stats().since(&pool_base),
                             None,
                         );
+                        prov.stratum_depth = stratum_depth;
                         Ok((salvage.dist, prov, Some(Checkpoint::Lumped(ckpt))))
                     }
                     // The scheduler stopped being memoryless below the
@@ -760,6 +846,25 @@ pub fn robust_observation_dist_resumable(
         Some(Err(other)) => return Err(RobustError::from(other)),
     };
 
+    // General tier: once lumpedness is ruled out, a fresh query
+    // consults the observation-independent cone strata (deposited
+    // under the empty observation key). Any lumped stratum depth is
+    // moot by now — the lumped tier did not answer.
+    stratum_depth = None;
+    if cone_resume.is_none() && !resuming {
+        if let (Some(sc), Some(scope)) = (strata, strata_scope) {
+            if let Some((depth, hit)) = cache.lookup_stratum(sc.fingerprint, scope, "", horizon) {
+                if let Checkpoint::Cone(ckpt) = hit.as_ref() {
+                    let mut ckpt = ckpt.clone();
+                    // A stratum records its deposit depth as `horizon`;
+                    // this query resumes it toward its own horizon.
+                    ckpt.horizon = horizon;
+                    stratum_depth = Some(depth);
+                    cone_resume = Some(ckpt);
+                }
+            }
+        }
+    }
     let policy = match config.par_cutover {
         Some(cutover) => ParallelPolicy::new(config.exact_threads, cutover),
         None => ParallelPolicy::auto(config.exact_threads),
@@ -775,7 +880,25 @@ pub fn robust_observation_dist_resumable(
         None => horizon,
     };
     with_pool_seeded(lanes, policy.steal_seed, |pool| {
-        let general = try_execution_measure_ckpt_with(
+        let cone_min = cone_resume.as_ref().map_or(0, |c| {
+            c.frontier.first().map_or(c.horizon, |(e, _)| e.len())
+        });
+        let mut cone_sink;
+        let deposit = match (strata, strata_scope) {
+            (Some(sc), Some(scope)) if sc.stride > 0 => {
+                let fingerprint = sc.fingerprint;
+                cone_sink = move |depth: usize, ckpt: ConeCheckpoint<f64>| {
+                    cache.deposit_stratum(fingerprint, scope, "", depth, Checkpoint::Cone(ckpt));
+                };
+                Some(StratumSink {
+                    stride: sc.stride,
+                    min_depth: cone_min,
+                    sink: &mut cone_sink,
+                })
+            }
+            _ => None,
+        };
+        let general = try_execution_measure_strata_with(
             auto,
             sched,
             horizon,
@@ -785,6 +908,7 @@ pub fn robust_observation_dist_resumable(
             pool,
             Ok,
             cone_resume,
+            deposit,
         )
         .map_err(RobustError::from)?;
         match general {
@@ -795,7 +919,9 @@ pub fn robust_observation_dist_resumable(
                 let dist = measure
                     .try_observe(|e| observe.apply(auto, e))
                     .map_err(RobustError::from)?;
-                Ok((dist, Provenance::exact(not_lumpable, stats), None))
+                let mut prov = Provenance::exact(not_lumpable, stats);
+                prov.stratum_depth = stratum_depth;
+                Ok((dist, prov, None))
             }
             (ExpansionOutcome::Partial(ckpt), stats) => {
                 if let Some(b) = breaker {
@@ -822,7 +948,7 @@ pub fn robust_observation_dist_resumable(
                     &obs_fn,
                 ) {
                     Ok(salvage) => {
-                        let prov = hybrid_provenance(
+                        let mut prov = hybrid_provenance(
                             config,
                             &salvage,
                             ckpt.reason.clone(),
@@ -830,6 +956,7 @@ pub fn robust_observation_dist_resumable(
                             pool.stats().since(&pool_base),
                             Some(stats.pooled_depths),
                         );
+                        prov.stratum_depth = stratum_depth;
                         Ok((salvage.dist, prov, Some(Checkpoint::Cone(ckpt))))
                     }
                     Err(e) if is_cancellation(&e) => Err(RobustError {
@@ -1324,6 +1451,164 @@ mod tests {
         .unwrap();
         assert_eq!(second.engine, EngineKind::Lumped);
         assert!(left.is_none());
+        assert_eq!(dist_bits(&got), dist_bits(&want));
+    }
+
+    fn strata_config(cache: &Arc<EngineCache>, stride: usize) -> RobustConfig {
+        RobustConfig {
+            cache: Some(Arc::clone(cache)),
+            strata: Some(StrataConfig {
+                fingerprint: 0xF00D,
+                stride,
+            }),
+            ..RobustConfig::default()
+        }
+    }
+
+    #[test]
+    fn lumped_queries_deposit_strata_and_repeats_resume_bit_identically() {
+        let auto = walk(10);
+        let obs = Observation::final_state();
+        let cache = Arc::new(EngineCache::new());
+        let config = strata_config(&cache, 2);
+
+        // Cold run: answers lumped, deposits strata at the stride
+        // depths and the horizon, claims no resume itself.
+        let (want, prov) = robust_observation_dist(&auto, &FirstEnabled, 6, &obs, &config).unwrap();
+        assert_eq!(prov.engine, EngineKind::Lumped);
+        assert_eq!(prov.stratum_depth, None);
+        let stats = cache.strata_stats();
+        assert!(
+            stats.deposits >= 3,
+            "stride 2 over horizon 6 must deposit depths 2, 4, and 6: {stats:?}"
+        );
+
+        // Same query again: resumes past the whole expansion from the
+        // horizon stratum, bit-identically.
+        let (got, prov) = robust_observation_dist(&auto, &FirstEnabled, 6, &obs, &config).unwrap();
+        assert_eq!(prov.engine, EngineKind::Lumped);
+        assert_eq!(prov.stratum_depth, Some(6));
+        assert_eq!(dist_bits(&got), dist_bits(&want));
+        assert!(cache.strata_stats().hits >= 1);
+
+        // A deeper horizon resumes mid-cone from the deepest
+        // compatible stratum and still matches a cold run exactly.
+        let (deep, prov) = robust_observation_dist(&auto, &FirstEnabled, 9, &obs, &config).unwrap();
+        assert_eq!(prov.stratum_depth, Some(6));
+        let (deep_want, _) =
+            robust_observation_dist(&auto, &FirstEnabled, 9, &obs, &RobustConfig::default())
+                .unwrap();
+        assert_eq!(dist_bits(&deep), dist_bits(&deep_want));
+
+        // A shallower horizon resumes from the stride stratum at its
+        // own depth (range lookup, never a too-deep stratum).
+        let (shallow, prov) =
+            robust_observation_dist(&auto, &FirstEnabled, 4, &obs, &config).unwrap();
+        assert_eq!(prov.stratum_depth, Some(4));
+        let (shallow_want, _) =
+            robust_observation_dist(&auto, &FirstEnabled, 4, &obs, &RobustConfig::default())
+                .unwrap();
+        assert_eq!(dist_bits(&shallow), dist_bits(&shallow_want));
+    }
+
+    #[test]
+    fn cone_strata_resume_bit_identically_across_observations() {
+        let auto = walk(8);
+        // History-dependent: the general exact tier answers, so the
+        // deposits are cone strata keyed observation-independently.
+        let sched =
+            DeterministicScheduler::new("strata-first", |_, enabled| enabled.first().copied());
+        let cache = Arc::new(EngineCache::new());
+        let config = strata_config(&cache, 2);
+
+        let obs = Observation::final_state();
+        let (want, prov) = robust_observation_dist(&auto, &sched, 6, &obs, &config).unwrap();
+        assert_eq!(prov.engine, EngineKind::Exact);
+        assert_eq!(prov.stratum_depth, None);
+        assert!(cache.strata_stats().deposits >= 1);
+
+        let (got, prov) = robust_observation_dist(&auto, &sched, 6, &obs, &config).unwrap();
+        assert_eq!(prov.engine, EngineKind::Exact);
+        assert_eq!(prov.stratum_depth, Some(6));
+        assert_eq!(dist_bits(&got), dist_bits(&want));
+
+        // A different observation over the same cone reuses the same
+        // strata: the snapshot stores executions, not observations.
+        let trace_obs = Observation::trace();
+        let (traced, prov) =
+            robust_observation_dist(&auto, &sched, 6, &trace_obs, &config).unwrap();
+        assert_eq!(prov.stratum_depth, Some(6));
+        let (traced_want, _) =
+            robust_observation_dist(&auto, &sched, 6, &trace_obs, &RobustConfig::default())
+                .unwrap();
+        assert_eq!(dist_bits(&traced), dist_bits(&traced_want));
+
+        // Shallower horizon: resume from the depth-4 stride stratum is
+        // bit-identical to the cold depth-4 expansion.
+        let (shallow, prov) = robust_observation_dist(&auto, &sched, 4, &obs, &config).unwrap();
+        assert_eq!(prov.stratum_depth, Some(4));
+        let (shallow_want, _) =
+            robust_observation_dist(&auto, &sched, 4, &obs, &RobustConfig::default()).unwrap();
+        assert_eq!(dist_bits(&shallow), dist_bits(&shallow_want));
+    }
+
+    #[test]
+    fn stride_zero_consults_strata_without_depositing() {
+        let auto = walk(10);
+        let obs = Observation::final_state();
+        let cache = Arc::new(EngineCache::new());
+
+        // Prime the table with a writing config…
+        let (want, _) =
+            robust_observation_dist(&auto, &FirstEnabled, 5, &obs, &strata_config(&cache, 1))
+                .unwrap();
+        let primed = cache.strata_stats().deposits;
+        assert!(primed > 0);
+
+        // …then a stride-0 config still resumes from it but adds
+        // nothing of its own.
+        let lookup_only = strata_config(&cache, 0);
+        let (got, prov) =
+            robust_observation_dist(&auto, &FirstEnabled, 5, &obs, &lookup_only).unwrap();
+        assert_eq!(prov.stratum_depth, Some(5));
+        assert_eq!(dist_bits(&got), dist_bits(&want));
+        assert_eq!(cache.strata_stats().deposits, primed);
+    }
+
+    #[test]
+    fn user_checkpoint_resume_bypasses_stratum_lookup() {
+        let auto = walk(10);
+        let obs = Observation::final_state();
+        let cache = Arc::new(EngineCache::new());
+        let config = strata_config(&cache, 2);
+
+        // Prime deep strata for the family.
+        robust_observation_dist(&auto, &FirstEnabled, 6, &obs, &config).unwrap();
+
+        // A budget-tripped slice (run without strata, so the primed
+        // table cannot rescue it) hands back a genuine checkpoint…
+        let slice = RobustConfig {
+            budget: Budget::unlimited().with_max_expansions(2),
+            mc_samples: 400,
+            mc_threads: 1,
+            ..RobustConfig::default()
+        };
+        let (_, first, ckpt) =
+            robust_observation_dist_resumable(&auto, &FirstEnabled, 6, &obs, &slice, None).unwrap();
+        assert_eq!(first.engine, EngineKind::Hybrid);
+        let ckpt = ckpt.expect("tripped slice hands back its checkpoint");
+
+        // …and resuming it must honour *that* checkpoint, not swap in
+        // a deeper stratum behind the caller's back.
+        let (got, prov, left) =
+            robust_observation_dist_resumable(&auto, &FirstEnabled, 6, &obs, &config, Some(ckpt))
+                .unwrap();
+        assert_eq!(prov.engine, EngineKind::Lumped);
+        assert_eq!(prov.stratum_depth, None);
+        assert!(left.is_none());
+        let (want, _) =
+            robust_observation_dist(&auto, &FirstEnabled, 6, &obs, &RobustConfig::default())
+                .unwrap();
         assert_eq!(dist_bits(&got), dist_bits(&want));
     }
 }

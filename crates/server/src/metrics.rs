@@ -135,8 +135,8 @@ impl ServerMetrics {
     }
 
     /// Render the Prometheus text page: server counters, then engine
-    /// cache stats (global + per automaton family), then breaker
-    /// stats.
+    /// cache stats (global + per automaton family), then stratum-table
+    /// stats, then breaker stats.
     pub fn render(&self, cache: &EngineCache, breaker: &CircuitBreaker) -> String {
         let mut out = String::with_capacity(2048);
         fn line(out: &mut String, name: &str, v: u64) {
@@ -327,6 +327,15 @@ impl ServerMetrics {
             );
         }
 
+        let s = cache.strata_stats();
+        line(&mut out, "strata_deposits_total", s.deposits);
+        line(&mut out, "strata_hits_total", s.hits);
+        line(&mut out, "strata_misses_total", s.misses);
+        line(&mut out, "strata_rejected_total", s.rejected);
+        line(&mut out, "strata_evictions_total", s.evictions);
+        line(&mut out, "strata_bytes_total", s.bytes);
+        line(&mut out, "strata_entries", s.entries);
+
         let b = breaker.stats();
         line(&mut out, "breaker_trips_total", b.trips);
         line(&mut out, "breaker_reopens_total", b.reopens);
@@ -385,6 +394,10 @@ mod tests {
             "dpioa_store_snapshots_total 2",
             "dpioa_store_checkpoints_total 0",
             "dpioa_store_resumes_total 0",
+            "dpioa_strata_deposits_total 0",
+            "dpioa_strata_hits_total 0",
+            "dpioa_strata_evictions_total 0",
+            "dpioa_strata_bytes_total 0",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
         }

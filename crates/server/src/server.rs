@@ -43,11 +43,11 @@ use dpioa_prob::Disc;
 use dpioa_sched::{
     robust_observation_dist_resumable, try_batch_execution_measures, BatchMember, BatchProjection,
     Budget, Checkpoint, CircuitBreaker, EngineCache, EngineError, EngineKind, Observation,
-    ParallelPolicy, Provenance, RobustConfig, Scheduler,
+    ParallelPolicy, Provenance, RobustConfig, Scheduler, StrataConfig,
 };
 use dpioa_store::{
-    automaton_fingerprint, combined_fingerprint, load_checkpoint, save_checkpoint,
-    EngineCacheStoreExt, SnapshotStats, StoreError,
+    automaton_fingerprint, combined_fingerprint, load_checkpoint, load_strata, save_checkpoint,
+    save_strata, EngineCacheStoreExt, SnapshotStats, StoreError,
 };
 use std::collections::HashMap;
 use std::hash::Hasher as _;
@@ -103,6 +103,11 @@ pub struct ServerConfig {
     /// observation) key waits for compatible queries to coalesce into
     /// one batched expansion before running. Zero disables coalescing.
     pub coalesce_window: Duration,
+    /// Depth stride at which successful exact expansions deposit
+    /// resumable strata into the shared cache
+    /// ([`EngineCache::deposit_stratum`]). `0` disables deposits but
+    /// still consults strata already resident (e.g. warm-started).
+    pub strata_stride: usize,
     /// Directory for persistent cache snapshots and query checkpoints
     /// (`dpioa-store` files). `None` disables the store entirely.
     pub store_dir: Option<PathBuf>,
@@ -133,6 +138,7 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             watcher_poll: Duration::from_millis(5),
             coalesce_window: Duration::from_millis(2),
+            strata_stride: 4,
             store_dir: None,
             persist_every: None,
         }
@@ -337,17 +343,7 @@ struct StoreState {
 }
 
 impl StoreState {
-    fn from_catalog(dir: PathBuf, catalog: &Catalog) -> StoreState {
-        let entry_fingerprints: HashMap<String, u64> = catalog
-            .entries()
-            .iter()
-            .map(|e| {
-                (
-                    e.name.to_string(),
-                    automaton_fingerprint(e.automaton.as_ref()),
-                )
-            })
-            .collect();
+    fn new(dir: PathBuf, entry_fingerprints: HashMap<String, u64>) -> StoreState {
         let catalog_fingerprint =
             combined_fingerprint(entry_fingerprints.iter().map(|(n, &f)| (n.as_str(), f)));
         StoreState {
@@ -363,6 +359,10 @@ impl StoreState {
 
     fn checkpoint_path(&self, identity: u64) -> PathBuf {
         self.dir.join(format!("ckpt-{identity:016x}.dpst"))
+    }
+
+    fn strata_path(&self) -> PathBuf {
+        self.dir.join("strata.dpst")
     }
 }
 
@@ -384,6 +384,9 @@ fn query_identity(fingerprint: u64, sched_name: &str, obs_name: &str, horizon: u
 struct Inner {
     config: ServerConfig,
     catalog: Catalog,
+    /// Per-automaton structural fingerprints, computed once at boot.
+    /// Strata are keyed by these even when no store is configured.
+    fingerprints: HashMap<String, u64>,
     store: Option<StoreState>,
     cache: Arc<EngineCache>,
     breaker: Arc<CircuitBreaker>,
@@ -464,10 +467,20 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
 
     let catalog = Catalog::standard();
+    let fingerprints: HashMap<String, u64> = catalog
+        .entries()
+        .iter()
+        .map(|e| {
+            (
+                e.name.to_string(),
+                automaton_fingerprint(e.automaton.as_ref()),
+            )
+        })
+        .collect();
     let store = config
         .store_dir
         .clone()
-        .map(|dir| StoreState::from_catalog(dir, &catalog));
+        .map(|dir| StoreState::new(dir, fingerprints.clone()));
 
     let inner = Arc::new(Inner {
         cache: Arc::new(EngineCache::bounded_with_admission(
@@ -484,6 +497,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         next_request_id: AtomicU64::new(1),
         catalog,
+        fingerprints,
         store,
         config,
     });
@@ -636,6 +650,22 @@ fn warm_start(inner: &Inner, store: &StoreState) {
             inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
+    // Strata ride along: re-import the previous process's deposited
+    // frontier snapshots so repeat-family queries resume mid-cone from
+    // the very first request. Cold starts are silent (the snapshot
+    // above already recorded the boot's hit/miss verdict); byte-budget
+    // rejections are the table's own admission policy, not a fault.
+    match load_strata(&store.strata_path(), store.catalog_fingerprint) {
+        Ok(rows) => {
+            for (fp, scope, obs, depth, ckpt) in rows {
+                inner.cache.import_stratum(fp, &scope, &obs, depth, ckpt);
+            }
+        }
+        Err(e) if e.is_cold_start() => {}
+        Err(_) => {
+            inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Commit the shared cache to the store (atomic temp + rename; a
@@ -650,6 +680,20 @@ fn persist_snapshot(inner: &Inner, store: &StoreState) -> Result<SnapshotStats, 
                 .metrics
                 .store_snapshots
                 .fetch_add(1, Ordering::Relaxed);
+            // Commit the stratum table next to the snapshot (same
+            // atomic temp + rename discipline). A strata write fault
+            // does not fail the snapshot: the cache rows are already
+            // safe, and a stale strata file is merely a slower warm
+            // start, never a wrong answer.
+            if save_strata(
+                &store.strata_path(),
+                store.catalog_fingerprint,
+                &inner.cache.export_strata(),
+            )
+            .is_err()
+            {
+                inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
             Ok(stats)
         }
         Err(e) => {
@@ -1035,6 +1079,13 @@ fn handle_query(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool)
         mc_seed: SERVER_MC_SEED,
         confidence_delta: 1e-3,
         breaker: Some(Arc::clone(&inner.breaker)),
+        strata: inner
+            .fingerprints
+            .get(plan.entry.name)
+            .map(|&fingerprint| StrataConfig {
+                fingerprint,
+                stride: inner.config.strata_stride,
+            }),
     };
 
     // Register the in-flight query with the disconnect watcher via a
@@ -1330,6 +1381,7 @@ fn lead_batch(
         breaker_open: false,
         error_bound: 0.0,
         confidence_delta: 0.0,
+        stratum_depth: None,
     };
 
     let mut verdicts = outcome.projections.into_iter().map(|p| match p {
@@ -1416,6 +1468,10 @@ fn encode_provenance(prov: &Provenance) -> Json {
         (
             "frontier_nodes",
             json::opt(prov.frontier_nodes.map(|n| json::nu(n as u64))),
+        ),
+        (
+            "stratum_depth",
+            json::opt(prov.stratum_depth.map(|n| json::nu(n as u64))),
         ),
         ("breaker_open", Json::Bool(prov.breaker_open)),
         ("error_bound", json::n(prov.error_bound)),
@@ -1725,6 +1781,64 @@ mod tests {
         handle.shutdown_and_wait();
     }
 
+    #[test]
+    fn repeated_family_queries_resume_from_strata_bit_identically() {
+        let (handle, client) = start(quick_config());
+        // Memoryful scheduler: the lumped tier refuses, so this
+        // exercises the general-exact cone strata (keyed
+        // observation-independently).
+        let q = r#"{"automaton":"walk-8","scheduler":"memoryful-alternate","horizon":6,
+            "budget":{"deadline_ms":10000}}"#;
+
+        let first = client.query(q).unwrap();
+        assert_eq!(first.status, 200, "body: {}", first.body);
+        let first_body = first.json().unwrap();
+        let prov = |body: &Json| body.get("provenance").cloned().unwrap();
+        assert_eq!(
+            prov(&first_body).get("engine").and_then(Json::as_str),
+            Some("exact")
+        );
+        assert_eq!(
+            prov(&first_body)
+                .get("stratum_depth")
+                .and_then(Json::as_u64),
+            None,
+            "cold run must not claim a stratum resume: {}",
+            first.body
+        );
+
+        let again = client.query(q).unwrap();
+        assert_eq!(again.status, 200, "body: {}", again.body);
+        let again_body = again.json().unwrap();
+        assert_eq!(
+            again_body.get("dist"),
+            first_body.get("dist").cloned().as_ref(),
+            "stratum-resumed answer must be bit-identical to the cold one"
+        );
+        assert_eq!(
+            prov(&again_body)
+                .get("stratum_depth")
+                .and_then(Json::as_u64),
+            Some(6),
+            "repeat query must resume from the horizon stratum: {}",
+            again.body
+        );
+
+        let page = client.get("/metrics").unwrap().body;
+        let counter = |name: &str| -> u64 {
+            page.lines()
+                .find_map(|l| l.strip_prefix(name))
+                .unwrap_or_else(|| panic!("missing {name} in:\n{page}"))
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        assert!(counter("dpioa_strata_deposits_total ") > 0, "{page}");
+        assert!(counter("dpioa_strata_hits_total ") > 0, "{page}");
+
+        handle.shutdown_and_wait();
+    }
+
     /// A fresh, empty store directory unique to this test run.
     fn fresh_store_dir(tag: &str) -> PathBuf {
         let dir =
@@ -1788,9 +1902,22 @@ mod tests {
             "warm-started answer must be bit-identical to the original"
         );
         let after = cache.stats();
+        let strata = cache.strata_stats();
         assert!(
-            after.hits > before.hits,
-            "restarted process must serve from preloaded entries ({before:?} -> {after:?})"
+            strata.hits > 0 || after.hits > before.hits,
+            "restarted process must serve from preloaded state \
+             ({before:?} -> {after:?}, strata {strata:?})"
+        );
+        // Stronger than cache hits: the repeat query resumed from the
+        // disk-loaded horizon stratum, skipping the expansion entirely.
+        assert_eq!(
+            again_body
+                .get("provenance")
+                .and_then(|p| p.get("stratum_depth"))
+                .and_then(Json::as_u64),
+            Some(10),
+            "warm answer must resume from the depth-10 stratum: {}",
+            again.body
         );
 
         handle.shutdown_and_wait();

@@ -46,6 +46,10 @@ pub enum FileKind {
     CacheSnapshot = 1,
     /// A persisted partial-result checkpoint (cone or lumped).
     Checkpoint = 2,
+    /// The resident strata of an engine cache: proactively deposited
+    /// frontier snapshots, keyed per row by automaton fingerprint,
+    /// scheduler scope, observation, and depth.
+    Strata = 3,
 }
 
 impl FileKind {
@@ -53,6 +57,7 @@ impl FileKind {
         match tag {
             1 => Some(FileKind::CacheSnapshot),
             2 => Some(FileKind::Checkpoint),
+            3 => Some(FileKind::Strata),
             _ => None,
         }
     }

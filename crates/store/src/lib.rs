@@ -39,6 +39,7 @@ mod error;
 mod fingerprint;
 mod format;
 mod snapshot;
+mod strata;
 mod wire;
 
 pub use checkpoint::{decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint};
@@ -48,3 +49,4 @@ pub use format::{read_file, write_file, FileKind, FORMAT_VERSION, MAGIC};
 pub use snapshot::{
     decode_into_cache, encode_cache, EngineCacheStoreExt, SnapshotStats, WarmStartStats,
 };
+pub use strata::{decode_strata, encode_strata, load_strata, save_strata, StratumRow};

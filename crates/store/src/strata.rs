@@ -1,0 +1,207 @@
+//! Persisted strata: the cache's proactively deposited frontier
+//! snapshots, durable across restarts.
+//!
+//! Where a [checkpoint file](crate::save_checkpoint) holds the remains
+//! of *one* budget-tripped query, a strata file holds the whole
+//! [`dpioa_sched::EngineCache`] stratum table — every conserving
+//! snapshot successful expansions dropped along the way
+//! ([`dpioa_sched::EngineCache::export_strata`]). A warm-started
+//! server re-imports them and answers repeat-family queries by
+//! resuming from the deepest compatible stratum instead of
+//! re-expanding from the root, bit-identically (DESIGN.md §11).
+//!
+//! Rows are keyed portably — automaton fingerprint, scheduler scope
+//! *describe-string* (interned scope ids are process-local),
+//! observation name, depth — and sorted canonically at encode, so
+//! equal tables give byte-equal files. Each row nests the bit-exact
+//! [checkpoint codec](crate::encode_checkpoint); the frame fingerprint
+//! is the caller's catalog fingerprint, so a file from a foreign
+//! catalog reads as a cold start, never as data.
+
+use crate::checkpoint::{decode_checkpoint, encode_checkpoint};
+use crate::error::StoreError;
+use crate::format::{self, FileKind};
+use crate::wire::{self, Reader};
+use dpioa_sched::Checkpoint;
+use std::path::Path;
+
+/// One portable stratum row: `(automaton fingerprint, scope
+/// describe-string, observation name, depth, snapshot)` — the exact
+/// shape [`dpioa_sched::EngineCache::export_strata`] produces and
+/// [`dpioa_sched::EngineCache::import_stratum`] consumes.
+pub type StratumRow = (u64, String, String, usize, Checkpoint);
+
+/// Encode strata rows as a store payload (no frame). Rows are sorted
+/// by key first, so encoding is canonical regardless of input order.
+pub fn encode_strata(rows: &[StratumRow]) -> Vec<u8> {
+    let mut sorted: Vec<&StratumRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| (a.0, &a.1, &a.2, a.3).cmp(&(b.0, &b.1, &b.2, b.3)));
+    let mut out = Vec::new();
+    wire::put_varint(&mut out, sorted.len() as u64);
+    for (fp, scope, obs, depth, ckpt) in sorted {
+        wire::put_varint(&mut out, *fp);
+        wire::put_str(&mut out, scope);
+        wire::put_str(&mut out, obs);
+        wire::put_varint(&mut out, *depth as u64);
+        let nested = encode_checkpoint(ckpt);
+        wire::put_varint(&mut out, nested.len() as u64);
+        out.extend_from_slice(&nested);
+    }
+    out
+}
+
+/// Decode a store payload back into strata rows, consuming every byte.
+pub fn decode_strata(payload: &[u8]) -> Result<Vec<StratumRow>, StoreError> {
+    let mut r = Reader::new(payload);
+    let n = r.len("stratum row count")?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fp = r.varint("stratum fingerprint")?;
+        let scope = r.str("stratum scope")?;
+        let obs = r.str("stratum observation")?;
+        let depth = r.varint("stratum depth")? as usize;
+        let nested = r.bytes("stratum checkpoint")?;
+        rows.push((fp, scope, obs, depth, decode_checkpoint(nested)?));
+    }
+    r.finish()?;
+    Ok(rows)
+}
+
+/// Frame and atomically write `rows` to `path`, keyed by the caller's
+/// catalog `fingerprint`.
+pub fn save_strata(path: &Path, fingerprint: u64, rows: &[StratumRow]) -> Result<(), StoreError> {
+    format::write_file(path, FileKind::Strata, fingerprint, &encode_strata(rows))
+}
+
+/// Read, validate, and decode the strata file at `path`.
+pub fn load_strata(path: &Path, fingerprint: u64) -> Result<Vec<StratumRow>, StoreError> {
+    decode_strata(&format::read_file(path, FileKind::Strata, fingerprint)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpioa_core::{Action, Execution, Value};
+    use dpioa_sched::{stratum_reason, ConeCheckpoint, LumpedCheckpoint, LumpedClass};
+
+    fn cone_row() -> StratumRow {
+        let mut frontier_exec = Execution::from_state(Value::int(0));
+        frontier_exec.push(Action::named("st-a"), Value::int(1));
+        (
+            11,
+            "sched{first-enabled}".into(),
+            String::new(),
+            2,
+            Checkpoint::Cone(ConeCheckpoint {
+                resolved: vec![(Execution::from_state(Value::int(9)), 0.5)],
+                frontier: vec![(frontier_exec, 0.5)],
+                horizon: 2,
+                reason: stratum_reason(),
+            }),
+        )
+    }
+
+    fn lumped_row(depth: usize) -> StratumRow {
+        (
+            7,
+            "sched{priority}".into(),
+            "last-state".into(),
+            depth,
+            Checkpoint::Lumped(LumpedCheckpoint {
+                resolved: vec![(Value::int(3), 0.25)],
+                frontier: vec![LumpedClass {
+                    state: Value::int(1),
+                    trace: vec![Action::named("st-b")],
+                    weight: 0.75,
+                }],
+                step: depth,
+                horizon: depth,
+                reason: stratum_reason(),
+            }),
+        )
+    }
+
+    #[test]
+    fn rows_round_trip_and_encoding_is_canonical() {
+        let rows = vec![cone_row(), lumped_row(4), lumped_row(2)];
+        let payload = encode_strata(&rows);
+        let back = decode_strata(&payload).unwrap();
+        assert_eq!(back.len(), 3);
+        // Decoded rows come back in canonical key order…
+        assert_eq!(
+            back.iter()
+                .map(|(fp, _, _, d, _)| (*fp, *d))
+                .collect::<Vec<_>>(),
+            vec![(7, 2), (7, 4), (11, 2)]
+        );
+        // …and re-encoding them reproduces the bytes, as does encoding
+        // the original rows in any order.
+        assert_eq!(encode_strata(&back), payload);
+        let shuffled = vec![lumped_row(2), cone_row(), lumped_row(4)];
+        assert_eq!(encode_strata(&shuffled), payload);
+        // Nested checkpoints survive bit-exactly.
+        for (row, got) in [lumped_row(2), lumped_row(4), cone_row()].iter().zip(&back) {
+            assert_eq!(encode_checkpoint(&row.4), encode_checkpoint(&got.4));
+        }
+    }
+
+    #[test]
+    fn zero_row_file_round_trips() {
+        // A server that never deposited still persists cleanly, and a
+        // warm start from the empty file imports nothing — no error,
+        // no phantom rows.
+        let dir = std::env::temp_dir().join(format!("dpioa-store-strata0-{}", std::process::id()));
+        let path = dir.join("strata.dpst");
+        save_strata(&path, 42, &[]).unwrap();
+        assert!(load_strata(&path, 42).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_round_trip_kind_and_fingerprint_separation() {
+        let dir = std::env::temp_dir().join(format!("dpioa-store-strata-{}", std::process::id()));
+        let path = dir.join("strata.dpst");
+        let rows = vec![cone_row(), lumped_row(3)];
+        save_strata(&path, 99, &rows).unwrap();
+        let back = load_strata(&path, 99).unwrap();
+        assert_eq!(encode_strata(&back), encode_strata(&rows));
+
+        // A strata file refuses to open as a snapshot, and a foreign
+        // catalog fingerprint reads as a cold start.
+        let err = crate::format::read_file(&path, FileKind::CacheSnapshot, 99).unwrap_err();
+        assert_eq!(err.code(), "store-wrong-kind");
+        let err = load_strata(&path, 100).unwrap_err();
+        assert!(err.is_cold_start());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_payloads_are_typed_errors() {
+        assert!(matches!(
+            decode_strata(&[]).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+        // Row count lying about the bytes available.
+        assert!(matches!(
+            decode_strata(&[5]).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+        // Trailing garbage after a valid row set.
+        let mut payload = encode_strata(&[lumped_row(1)]);
+        payload.push(0);
+        assert!(matches!(
+            decode_strata(&payload).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+        // Corrupt the nested checkpoint's tag byte (the nested bytes
+        // sit verbatim at the end of a one-row payload).
+        let row = lumped_row(1);
+        let mut payload = encode_strata(std::slice::from_ref(&row));
+        let tag_at = payload.len() - encode_checkpoint(&row.4).len();
+        payload[tag_at] = 9;
+        assert!(matches!(
+            decode_strata(&payload).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+    }
+}

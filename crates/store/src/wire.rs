@@ -164,6 +164,13 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(u64::from_le_bytes(raw)))
     }
 
+    /// A length-prefixed opaque byte run (a nested payload another
+    /// decoder consumes on its own).
+    pub(crate) fn bytes(&mut self, what: &str) -> Result<&'a [u8], StoreError> {
+        let n = self.len(what)?;
+        self.take(n, what)
+    }
+
     pub(crate) fn str(&mut self, what: &str) -> Result<String, StoreError> {
         let n = self.len(what)?;
         let bytes = self.take(n, what)?;

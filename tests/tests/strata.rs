@@ -1,0 +1,397 @@
+//! The stratum cache, end to end: successful expansions proactively
+//! deposit conserving frontier snapshots ("strata"), and a later query
+//! that resumes from one must be **bit-identical** to a cold run — on
+//! the Arc-spine, flat, and lumped engines, at every `DPIOA_POOL_LANES`
+//! count, and across the process boundary (strata saved to a framed
+//! `FileKind::Strata` file and re-imported into a fresh cache).
+
+use dpioa_core::{with_pool_seeded, Action, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_integration::random_automaton;
+use dpioa_prob::Disc;
+use dpioa_sched::{
+    try_execution_measure_flat_resume, try_execution_measure_flat_strata_with,
+    try_execution_measure_resume, try_execution_measure_strata_with,
+    try_lumped_observation_dist_cached, try_lumped_observation_dist_strata, Budget, Checkpoint,
+    ConeCheckpoint, EngineCache, ExpansionOutcome, FirstEnabled, HaltingMix, LumpedCheckpoint,
+    LumpedOutcome, Observation, ParallelPolicy, PriorityScheduler, RandomScheduler, Scheduler,
+    StratumSink,
+};
+use dpioa_store::{decode_strata, encode_strata, load_strata, save_strata, StratumRow};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Lane counts to exercise; `DPIOA_POOL_LANES` pins one for CI matrix
+/// legs (same convention as the checkpointing and persistence suites).
+fn pool_lanes() -> Vec<usize> {
+    std::env::var("DPIOA_POOL_LANES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|l: usize| vec![l])
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dpioa-strata-it-{}-{tag}.dpst", std::process::id()))
+}
+
+/// The memoryless scheduler family the lumped proptest draws from.
+fn memoryless_scheduler(kind: u8, auto: &Arc<dyn Automaton>) -> Arc<dyn Scheduler> {
+    match kind % 4 {
+        0 => Arc::new(FirstEnabled),
+        1 => Arc::new(RandomScheduler),
+        2 => Arc::new(HaltingMix::new(FirstEnabled, 3, 2)),
+        _ => {
+            let mut order: Vec<_> = auto
+                .signature(&auto.start_state())
+                .all()
+                .into_iter()
+                .collect();
+            order.reverse();
+            Arc::new(PriorityScheduler::new(order))
+        }
+    }
+}
+
+/// A fair binary branching automaton of `depth` levels (the
+/// checkpointing suite's shape): every depth is live, so a stride-`s`
+/// run deposits strata at each multiple of `s` below the horizon.
+fn binary_tree(depth: u32) -> ExplicitAutomaton {
+    let split = Action::named("st-split");
+    let internal = 2i64.pow(depth) - 1;
+    let total = 2i64.pow(depth + 1) - 1;
+    let mut b = ExplicitAutomaton::builder("st", Value::int(0));
+    for q in 0..internal {
+        b = b.state(q, Signature::new([], [], [split])).transition(
+            q,
+            split,
+            Disc::bernoulli_dyadic(Value::int(2 * q + 1), Value::int(2 * q + 2), 1, 1),
+        );
+    }
+    for q in internal..total {
+        b = b.state(q, Signature::new([], [], []));
+    }
+    b.build()
+}
+
+/// Assert two execution measures are equal entry-for-entry with
+/// bit-equal weights.
+fn assert_measure_bits(
+    got: &dpioa_sched::ExecutionMeasure<f64>,
+    want: &dpioa_sched::ExecutionMeasure<f64>,
+    what: &str,
+) {
+    assert_eq!(got.len(), want.len(), "{what}: entry count");
+    for (i, ((e1, w1), (e2, w2))) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(e1, e2, "{what}: entry #{i}");
+        assert_eq!(w1.to_bits(), w2.to_bits(), "{what}: weight #{i}");
+    }
+}
+
+/// Run the spine strata engine cold, collecting every deposited
+/// stratum, and return `(completed measure, strata)`.
+fn spine_with_strata(
+    auto: &dyn Automaton,
+    horizon: usize,
+    stride: usize,
+    policy: ParallelPolicy,
+    cache: &EngineCache,
+) -> (
+    dpioa_sched::ExecutionMeasure<f64>,
+    Vec<(usize, ConeCheckpoint<f64>)>,
+) {
+    let mut strata: Vec<(usize, ConeCheckpoint<f64>)> = Vec::new();
+    let mut sink = |d: usize, c: ConeCheckpoint<f64>| strata.push((d, c));
+    let (outcome, _) = with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
+        try_execution_measure_strata_with(
+            auto,
+            &FirstEnabled,
+            horizon,
+            &Budget::unlimited(),
+            policy,
+            cache,
+            pool,
+            Ok,
+            None,
+            Some(StratumSink {
+                stride,
+                min_depth: 0,
+                sink: &mut sink,
+            }),
+        )
+    })
+    .expect("unbudgeted strata run succeeds");
+    let ExpansionOutcome::Complete(m) = outcome else {
+        panic!("unbudgeted run tripped");
+    };
+    (m, strata)
+}
+
+/// Tentpole acceptance: strata deposited by a successful spine or flat
+/// expansion resume — on both engines, at every lane count — to the
+/// exact measure the cold run computed, including the horizon stratum
+/// (the completed answer's terminal split).
+#[test]
+fn strata_resume_bit_identical_to_cold_on_spine_and_flat() {
+    // Horizon 10 keeps stride depths 2 and 4 above the pooled tail
+    // window (the last `TAIL_DEPTHS` levels are expanded in-grain and
+    // never iterated, so no strata are offered there).
+    let auto = binary_tree(10);
+    let horizon = 10;
+    for threads in pool_lanes() {
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let cache = EngineCache::new();
+        let (reference, spine_strata) = spine_with_strata(&auto, horizon, 2, policy, &cache);
+        let depths: Vec<usize> = spine_strata.iter().map(|(d, _)| *d).collect();
+        assert!(
+            depths.windows(2).all(|w| w[0] < w[1]),
+            "deposits come shallow-to-deep: {depths:?}"
+        );
+        assert!(
+            depths.contains(&2) && depths.contains(&4),
+            "stride 2 deposits every even depth above the tail window: {depths:?}"
+        );
+        assert_eq!(
+            depths.last(),
+            Some(&horizon),
+            "the horizon stratum is always deposited last: {depths:?}"
+        );
+
+        // The flat engine deposits the stride strata too (its collapsed
+        // tail has no horizon iteration, so no horizon stratum).
+        let mut flat_strata: Vec<(usize, ConeCheckpoint<f64>)> = Vec::new();
+        let mut sink = |d: usize, c: ConeCheckpoint<f64>| flat_strata.push((d, c));
+        let (flat_out, _) = with_pool_seeded(policy.threads, policy.steal_seed, |pool| {
+            try_execution_measure_flat_strata_with(
+                &auto,
+                &FirstEnabled,
+                horizon,
+                &Budget::unlimited(),
+                policy,
+                &cache,
+                pool,
+                Ok,
+                None,
+                Some(StratumSink {
+                    stride: 2,
+                    min_depth: 0,
+                    sink: &mut sink,
+                }),
+            )
+        })
+        .expect("unbudgeted flat strata run succeeds");
+        let ExpansionOutcome::Complete(flat_m) = flat_out else {
+            panic!("unbudgeted flat run tripped");
+        };
+        assert_measure_bits(&flat_m, &reference, &format!("flat cold lanes={threads}"));
+        let flat_depths: Vec<usize> = flat_strata.iter().map(|(d, _)| *d).collect();
+        assert!(
+            flat_depths.contains(&2) && flat_depths.contains(&4),
+            "the flat engine deposits stride strata above its tail window: {flat_depths:?}"
+        );
+        assert!(
+            flat_depths.iter().all(|d| d % 2 == 0 && *d < horizon),
+            "flat strata are stride-aligned and strictly below the horizon: {flat_depths:?}"
+        );
+
+        for (source, strata) in [("spine", &spine_strata), ("flat", &flat_strata)] {
+            for (depth, ck) in strata {
+                // Conservation: every stratum partitions the unit mass.
+                assert_eq!(
+                    (ck.resolved_mass() + ck.frontier_mass()).to_bits(),
+                    1.0f64.to_bits(),
+                    "{source} stratum at depth {depth} lanes={threads}"
+                );
+                // A stored stratum's `horizon` is its deposit depth;
+                // the caller rewrites it to the query's horizon before
+                // resuming (as the robust cascade does).
+                let mut ck = ck.clone();
+                ck.horizon = horizon;
+                let (spine_res, _) = try_execution_measure_resume(
+                    ck.clone(),
+                    &auto,
+                    &FirstEnabled,
+                    &Budget::unlimited(),
+                    policy,
+                    &cache,
+                    Ok,
+                )
+                .expect("spine resume succeeds");
+                let (flat_res, _) = try_execution_measure_flat_resume(
+                    ck,
+                    &auto,
+                    &FirstEnabled,
+                    &Budget::unlimited(),
+                    policy,
+                    &cache,
+                    Ok,
+                )
+                .expect("flat resume succeeds");
+                for (engine, out) in [("spine", spine_res), ("flat", flat_res)] {
+                    let ExpansionOutcome::Complete(m) = out else {
+                        panic!("unlimited {source}->{engine} resume tripped");
+                    };
+                    assert_measure_bits(
+                        &m,
+                        &reference,
+                        &format!("{source} d={depth} -> {engine} lanes={threads}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Disk-loaded strata in a fresh process: export the deposited strata
+/// through a framed `strata.dpst` file, import into a **fresh** cache
+/// (the process-boundary model of the persistence suite), look the
+/// deepest one back up through the cache's own range query, and resume
+/// to the cold answer's bits.
+#[test]
+fn disk_loaded_strata_resume_in_a_fresh_cache() {
+    let auto = binary_tree(10);
+    let horizon = 10;
+    let fingerprint = 0x0057_A7A0_u64;
+    for threads in pool_lanes() {
+        let policy = ParallelPolicy::new(threads, 0).with_split_unit(2);
+        let warm = EngineCache::new();
+        let (reference, strata) = spine_with_strata(&auto, horizon, 2, policy, &warm);
+        let scope_name = FirstEnabled.describe();
+
+        let rows: Vec<StratumRow> = strata
+            .iter()
+            .map(|(d, c)| {
+                (
+                    fingerprint,
+                    scope_name.to_string(),
+                    String::new(),
+                    *d,
+                    Checkpoint::Cone(c.clone()),
+                )
+            })
+            .collect();
+        let path = tmp_path(&format!("fresh-{threads}"));
+        save_strata(&path, 7, &rows).expect("save strata");
+        let loaded = load_strata(&path, 7).expect("load strata");
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.len(), rows.len());
+
+        // "Fresh process": a brand-new cache learns the rows through
+        // the admission-gated import, then serves the deepest
+        // compatible stratum from its own range lookup.
+        let fresh = EngineCache::new();
+        for (fp, scope, obs, depth, ckpt) in loaded {
+            assert!(fresh.import_stratum(fp, &scope, &obs, depth, ckpt));
+        }
+        let scope = fresh.scope_by_name(scope_name);
+        let (depth, hit) = fresh
+            .lookup_stratum(fingerprint, scope, "", horizon)
+            .expect("deepest stratum resolves");
+        assert_eq!(depth, horizon, "the horizon stratum is the deepest");
+        let Checkpoint::Cone(mut ck) = hit.as_ref().clone() else {
+            panic!("cone stratum kind must survive the disk");
+        };
+        ck.horizon = horizon;
+        let (resumed, _) = try_execution_measure_resume(
+            ck,
+            &auto,
+            &FirstEnabled,
+            &Budget::unlimited(),
+            policy,
+            &fresh,
+            Ok,
+        )
+        .expect("resume from disk-loaded stratum succeeds");
+        let ExpansionOutcome::Complete(m) = resumed else {
+            panic!("unlimited resume tripped");
+        };
+        assert_measure_bits(&m, &reference, &format!("disk-loaded lanes={threads}"));
+
+        // A shallower query finds the deepest stride stratum at or
+        // below its own horizon, not the horizon stratum.
+        let want = strata
+            .iter()
+            .map(|(d, _)| *d)
+            .filter(|d| *d < horizon)
+            .max()
+            .expect("stride strata exist above the tail window");
+        let (depth, _) = fresh
+            .lookup_stratum(fingerprint, scope, "", horizon - 1)
+            .expect("range lookup");
+        assert_eq!(depth, want);
+    }
+}
+
+fn dist_bits(d: &Disc<Value>) -> Vec<(Value, u64)> {
+    d.iter().map(|(v, &w)| (v.clone(), w.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lumped strata on random automata: every stratum a cold lumped
+    /// run deposits — stride and horizon alike — survives the strata
+    /// codec and resumes to the cold distribution bit-for-bit.
+    #[test]
+    fn lumped_strata_resume_bit_identically_on_random_automata(
+        seed in 0u64..200,
+        n in 3i64..7,
+        kind in 0u8..4,
+        horizon in 2usize..6,
+        stride in 1usize..3,
+    ) {
+        let auto = random_automaton("strata-lp", &format!("slp{seed}"), n, seed);
+        let sched = memoryless_scheduler(kind, &auto);
+        let obs = Observation::final_state();
+        let cache = EngineCache::new();
+
+        let mut strata: Vec<(usize, LumpedCheckpoint)> = Vec::new();
+        let mut sink = |d: usize, c: LumpedCheckpoint| strata.push((d, c));
+        let outcome = try_lumped_observation_dist_strata(
+            &*auto, &*sched, horizon, &obs, &Budget::unlimited(), &cache, None,
+            Some(StratumSink { stride, min_depth: 0, sink: &mut sink }),
+        ).expect("unbudgeted lumped strata run succeeds");
+        let LumpedOutcome::Complete(reference) = outcome else {
+            return Err(proptest::test_runner::TestCaseError::fail("unbudgeted run tripped"));
+        };
+        prop_assert!(!strata.is_empty(), "stride > 0 always deposits the horizon stratum");
+
+        // Through the strata codec (the in-memory process-boundary
+        // model) and back, then resume each stratum.
+        let rows: Vec<StratumRow> = strata
+            .iter()
+            .map(|(d, c)| (1u64, sched.describe().to_string(), obs.describe().to_string(), *d,
+                           Checkpoint::Lumped(c.clone())))
+            .collect();
+        let decoded = decode_strata(&encode_strata(&rows)).expect("codec round trip");
+        prop_assert_eq!(decoded.len(), rows.len());
+
+        for (_, _, _, depth, ckpt) in decoded {
+            let Checkpoint::Lumped(ck) = ckpt else {
+                return Err(proptest::test_runner::TestCaseError::fail("kind flipped"));
+            };
+            // Conservation survives the codec.
+            prop_assert_eq!((ck.resolved_mass() + ck.frontier_mass()).to_bits(), 1.0f64.to_bits());
+            let resumed = match try_lumped_observation_dist_strata(
+                &*auto, &*sched, horizon, &obs, &Budget::unlimited(), &cache, Some(ck), None,
+            ).expect("resume succeeds") {
+                LumpedOutcome::Complete(d) => d,
+                LumpedOutcome::Partial(c) =>
+                    return Err(proptest::test_runner::TestCaseError::fail(format!(
+                        "unlimited lumped resume tripped: {:?}", c.reason
+                    ))),
+            };
+            // The stratum at every deposited depth must resume to the
+            // cold bits.
+            let _ = depth;
+            prop_assert_eq!(dist_bits(&resumed), dist_bits(&reference));
+        }
+
+        // The strata-aware entry point with deposits disabled is the
+        // plain cached engine, bit for bit.
+        let plain = try_lumped_observation_dist_cached(
+            &*auto, &*sched, horizon, &obs, &Budget::unlimited(), &cache,
+        ).expect("plain cached run");
+        prop_assert_eq!(dist_bits(&plain), dist_bits(&reference));
+    }
+}
