@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! bench_server [--quick] [--addr HOST:PORT] [--clients N] [--requests N]
-//!              [--no-chaos] [OUTPUT_PATH]
+//!              [--no-chaos] [--worker-chaos] [OUTPUT_PATH]
 //! ```
 //!
 //! Without `--addr` the server is hosted in-process (bench-tuned
@@ -12,20 +12,33 @@
 //! stalls resolve fast) and shut down gracefully via `POST /shutdown`
 //! at the end. `--quick` trims the run for CI smoke.
 //!
+//! `--worker-chaos` escalates from protocol chaos to process chaos
+//! (self-hosted runs only): the server is started with the chaos
+//! hooks exposed, a store directory behind a seeded fault-injecting
+//! IO plane, and a fast persist cadence; clients mix in queries that
+//! panic mid-engine and `POST /chaos/panic-worker` kills. The run
+//! then *gates on full recovery*: every worker lane alive at exit,
+//! at least one recorded panic and supervisor restart, and — after a
+//! graceful shutdown — a warm restart on the production IO plane
+//! answering the hot query bit-identically.
+//!
 //! The report (`BENCH_server.json` by default) carries client-side
 //! p50/p99 latency, throughput, and shed rate, plus the server-side
 //! `/metrics` scrape: cancellation count and unwind latency, engine
-//! answer mix, cache admission stats, breaker transitions. The run
-//! *fails* (exit 1) when a robustness invariant breaks: a shed
-//! response without the `overloaded` code or `Retry-After`, a chaos
-//! disconnect that never produced a cancellation, an unexpected
-//! response shape, or a panicked client thread.
+//! answer mix, cache admission stats, breaker transitions, and the
+//! supervision counters. The run *fails* (exit 1) when a robustness
+//! invariant breaks: a shed response without the `overloaded` code or
+//! `Retry-After`, a chaos disconnect that never produced a
+//! cancellation, an unexpected response shape, a panicked client
+//! thread, or any of the worker-chaos recovery gates.
 
 use dpioa_server::client::{self, Client};
 use dpioa_server::json::Json;
 use dpioa_server::server::{serve, ServerConfig, ServerHandle};
+use dpioa_store::FaultVfs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -90,6 +103,16 @@ const ZIPF_S: f64 = 1.1;
 /// long enough for the disconnect watcher to revoke it mid-salvage.
 const SLOW_QUERY: &str = r#"{"automaton":"mixer-4x3","scheduler":"memoryful-alternate","horizon":9,"budget":{"max_expansions":8,"deadline_ms":10000},"mc_samples":200000}"#;
 
+/// The worker-chaos poison pill: panics inside the engine, exactly
+/// where buggy scheduler code would. Legal answers are the isolated
+/// `500 worker-panic` or, once the poisoned-query breaker trips, the
+/// up-front `422 query-quarantined`.
+const PANIC_QUERY: &str = r#"{"automaton":"coin","scheduler":"chaos-panic","horizon":2}"#;
+
+/// Worker lanes of the self-hosted server (the recovery gate requires
+/// exactly this many alive at exit).
+const HOSTED_WORKERS: usize = 4;
+
 #[derive(Default)]
 struct Counters {
     ok: AtomicU64,
@@ -100,11 +123,14 @@ struct Counters {
     chaos_disconnects: AtomicU64,
     chaos_garbage: AtomicU64,
     chaos_stalls: AtomicU64,
+    chaos_panic_queries: AtomicU64,
+    chaos_worker_kills: AtomicU64,
 }
 
 fn main() {
     let mut quick = false;
     let mut chaos = true;
+    let mut worker_chaos = false;
     let mut addr: Option<String> = None;
     let mut clients: Option<usize> = None;
     let mut requests: Option<usize> = None;
@@ -114,6 +140,7 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--no-chaos" => chaos = false,
+            "--worker-chaos" => worker_chaos = true,
             "--addr" => addr = Some(args.next().expect("--addr needs HOST:PORT")),
             "--clients" => {
                 clients = Some(args.next().expect("--clients needs N").parse().expect("N"))
@@ -126,12 +153,26 @@ fn main() {
     }
     let clients = clients.unwrap_or(if quick { 8 } else { 32 });
     let requests = requests.unwrap_or(if quick { 160 } else { 1600 });
+    if worker_chaos && addr.is_some() {
+        eprintln!("bench_server: --worker-chaos requires a self-hosted server (no --addr)");
+        std::process::exit(2);
+    }
+
+    // The worker-chaos store directory: persisted through a seeded
+    // fault plane during the run, then re-read on the production plane
+    // for the warm-restart gate.
+    let chaos_store: Option<PathBuf> = worker_chaos.then(|| {
+        let dir = std::env::temp_dir().join(format!("dpioa-bench-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("chaos store dir");
+        dir
+    });
 
     // Self-host unless pointed at an external server.
     let hosted: Option<ServerHandle> = if addr.is_none() {
-        let config = ServerConfig {
+        let mut config = ServerConfig {
             addr: "127.0.0.1:0".into(),
-            workers: 4,
+            workers: HOSTED_WORKERS,
             queue_capacity: 16,
             limits: dpioa_server::http::Limits {
                 read_timeout: Duration::from_millis(1000),
@@ -144,6 +185,15 @@ fn main() {
             coalesce_window: Duration::from_millis(3),
             ..ServerConfig::default()
         };
+        if worker_chaos {
+            config.expose_chaos = true;
+            config.store_dir = chaos_store.clone();
+            config.persist_every = Some(Duration::from_millis(25));
+            config.vfs = Arc::new(FaultVfs::seeded(0xC4A0_57ED, 20));
+            // Fast respawns so the recovery gate converges inside a
+            // quick run even after a crash burst.
+            config.restart_backoff_max = Duration::from_millis(200);
+        }
         Some(serve(config).expect("bind in-process server"))
     } else {
         None
@@ -180,6 +230,7 @@ fn main() {
                     &addr,
                     per_client,
                     chaos,
+                    worker_chaos,
                     &weights,
                     total_weight,
                     &counters,
@@ -204,6 +255,21 @@ fn main() {
     // Give in-flight chaos cancellations a moment to unwind, then
     // scrape the server-side picture.
     std::thread::sleep(Duration::from_millis(300));
+    // Under worker chaos, first let the supervisor finish healing the
+    // last crash burst: the recovery gate is "every lane alive at
+    // exit", not "alive at some point".
+    if worker_chaos {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            let alive = scrape_metrics(&addr)
+                .and_then(|p| parse_metric(&p, "dpioa_workers_alive"))
+                .unwrap_or(0);
+            if alive == HOSTED_WORKERS as u64 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
     let metrics_page = scrape_metrics(&addr).unwrap_or_default();
     let metric = |name: &str| -> u64 { parse_metric(&metrics_page, name).unwrap_or(0) };
 
@@ -219,6 +285,33 @@ fn main() {
         violations.push(format!(
             "worst cancel→unwind latency {cancel_max_ns}ns exceeds 2s — grain checks not honoured"
         ));
+    }
+
+    // Supervision counters (all zero outside worker-chaos mode) and
+    // the crash-recovery gates.
+    let worker_panics = metric("dpioa_worker_panics_total");
+    let worker_restarts = metric("dpioa_worker_restarts_total");
+    let persist_errors = metric("dpioa_persist_errors_total");
+    let io_retries = metric("dpioa_io_retries_total");
+    let quarantined_files = metric("dpioa_quarantined_files_total");
+    let query_quarantines = metric("dpioa_query_quarantines_total");
+    let workers_alive = metric("dpioa_workers_alive");
+    let panic_queries_sent = counters.chaos_panic_queries.load(Ordering::Relaxed);
+    let worker_kills_sent = counters.chaos_worker_kills.load(Ordering::Relaxed);
+    if worker_chaos {
+        if workers_alive != HOSTED_WORKERS as u64 {
+            violations.push(format!(
+                "recovery gate: {workers_alive}/{HOSTED_WORKERS} workers alive at exit"
+            ));
+        }
+        if worker_panics == 0 {
+            violations.push("recovery gate: worker-chaos run recorded zero worker panics".into());
+        }
+        if worker_kills_sent > 0 && worker_restarts == 0 {
+            violations.push(format!(
+                "recovery gate: {worker_kills_sent} worker kills but zero supervisor restarts"
+            ));
+        }
     }
 
     latencies_ns.sort_unstable();
@@ -247,6 +340,26 @@ fn main() {
         latencies_ns.iter().sum::<u64>() / latencies_ns.len() as u64
     };
 
+    // Under worker chaos, capture the hot query's answer before the
+    // graceful shutdown: the warm-restart gate replays it against the
+    // reborn server and demands a bit-identical distribution.
+    let reference_body: Option<Json> = if worker_chaos {
+        let client = Client::new(addr.clone()).with_timeout(Duration::from_secs(15));
+        match client.query(DECK[0].body) {
+            Ok(resp) if resp.status == 200 => resp.json().ok(),
+            Ok(resp) => {
+                violations.push(format!("reference query answered {}", resp.status));
+                None
+            }
+            Err(e) => {
+                violations.push(format!("reference query failed: {e}"));
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     // Graceful shutdown of the hosted server is part of the test.
     if let Some(handle) = hosted {
         match Client::new(addr.clone()).request("POST", "/shutdown", None) {
@@ -255,6 +368,62 @@ fn main() {
             Err(e) => violations.push(format!("shutdown request failed: {e}")),
         }
         handle.wait();
+    }
+
+    // Warm-restart gate: re-serve the chaos-battered store directory
+    // on the *production* IO plane. Atomic-rename discipline means the
+    // reboot must see no torn file, and the hot query must answer
+    // exactly what the dying server answered.
+    let mut warm_restart_bit_identical = true;
+    if let Some(dir) = &chaos_store {
+        match serve(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            store_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        }) {
+            Ok(handle) => {
+                let torn = handle.metrics().quarantined_files.load(Ordering::Relaxed);
+                if torn != 0 {
+                    warm_restart_bit_identical = false;
+                    violations.push(format!(
+                        "recovery gate: reboot quarantined {torn} torn store file(s)"
+                    ));
+                }
+                let client =
+                    Client::new(handle.addr().to_string()).with_timeout(Duration::from_secs(15));
+                let warm_body: Option<Json> = match client.query(DECK[0].body) {
+                    Ok(resp) if resp.status == 200 => resp.json().ok(),
+                    Ok(resp) => {
+                        violations.push(format!("warm-restart query answered {}", resp.status));
+                        None
+                    }
+                    Err(e) => {
+                        violations.push(format!("warm-restart query failed: {e}"));
+                        None
+                    }
+                };
+                let before = reference_body.as_ref().and_then(|b| b.get("dist"));
+                let after = warm_body.as_ref().and_then(|b| b.get("dist"));
+                match (before, after) {
+                    (Some(a), Some(b)) if a == b => {}
+                    _ => {
+                        warm_restart_bit_identical = false;
+                        violations.push(
+                            "recovery gate: warm restart did not reproduce the hot query's \
+                             distribution bit-identically"
+                                .to_string(),
+                        );
+                    }
+                }
+                handle.shutdown_and_wait();
+            }
+            Err(e) => {
+                warm_restart_bit_identical = false;
+                violations.push(format!("warm restart failed to boot: {e}"));
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     let mix_rows: Vec<String> = DECK
@@ -277,7 +446,7 @@ fn main() {
         0.0
     };
     let json = format!(
-        "{{\n  \"schema\": \"bench-server/v2\",\n  \"quick\": {quick},\n  \"chaos\": {chaos},\n  \"clients\": {clients},\n  \"requests\": {requests},\n  \"wall_ms\": {},\n  \"throughput_rps\": {:.1},\n  \"latency_ns\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}}},\n  \"responses\": {{\"ok\": {ok}, \"shed\": {shed}, \"client_error\": {}, \"server_error\": {}, \"io_error\": {}}},\n  \"shed_rate\": {:.4},\n  \"coalesce_rate\": {coalesce_rate:.4},\n  \"chaos_events\": {{\"disconnects\": {disconnects}, \"garbage\": {}, \"stalls\": {}}},\n  \"server\": {{\n    \"cancelled_total\": {cancelled},\n    \"cancel_latency_ns_max\": {cancel_max_ns},\n    \"cancel_latency_ns_total\": {},\n    \"engine_lumped\": {},\n    \"engine_exact\": {},\n    \"engine_monte_carlo\": {},\n    \"engine_hybrid\": {},\n    \"batches\": {batches},\n    \"batched_queries\": {batched_queries},\n    \"coalesce_hits\": {coalesce_hits},\n    \"batch_fanout_max\": {},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"cache_self_evictions\": {},\n    \"breaker_trips\": {},\n    \"read_timeouts\": {},\n    \"malformed\": {}\n  }},\n  \"zipf_mix\": [\n{}\n  ],\n  \"violations\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bench-server/v3\",\n  \"quick\": {quick},\n  \"chaos\": {chaos},\n  \"worker_chaos\": {worker_chaos},\n  \"clients\": {clients},\n  \"requests\": {requests},\n  \"wall_ms\": {},\n  \"throughput_rps\": {:.1},\n  \"latency_ns\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}}},\n  \"responses\": {{\"ok\": {ok}, \"shed\": {shed}, \"client_error\": {}, \"server_error\": {}, \"io_error\": {}}},\n  \"shed_rate\": {:.4},\n  \"coalesce_rate\": {coalesce_rate:.4},\n  \"chaos_events\": {{\"disconnects\": {disconnects}, \"garbage\": {}, \"stalls\": {}, \"panic_queries\": {panic_queries_sent}, \"worker_kills\": {worker_kills_sent}}},\n  \"server\": {{\n    \"cancelled_total\": {cancelled},\n    \"cancel_latency_ns_max\": {cancel_max_ns},\n    \"cancel_latency_ns_total\": {},\n    \"engine_lumped\": {},\n    \"engine_exact\": {},\n    \"engine_monte_carlo\": {},\n    \"engine_hybrid\": {},\n    \"batches\": {batches},\n    \"batched_queries\": {batched_queries},\n    \"coalesce_hits\": {coalesce_hits},\n    \"batch_fanout_max\": {},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"cache_self_evictions\": {},\n    \"breaker_trips\": {},\n    \"read_timeouts\": {},\n    \"malformed\": {}\n  }},\n  \"supervision\": {{\n    \"worker_panics\": {worker_panics},\n    \"worker_restarts\": {worker_restarts},\n    \"persist_errors\": {persist_errors},\n    \"io_retries\": {io_retries},\n    \"quarantined_files\": {quarantined_files},\n    \"query_quarantines\": {query_quarantines},\n    \"workers_alive_at_exit\": {workers_alive},\n    \"warm_restart_bit_identical\": {warm_restart_bit_identical}\n  }},\n  \"zipf_mix\": [\n{}\n  ],\n  \"violations\": [\n{}\n  ]\n}}\n",
         wall.as_millis(),
         throughput,
         pct(0.50),
@@ -317,6 +486,52 @@ fn main() {
     }
 }
 
+/// Fire one poison-pill query and classify the answer. Legal: the
+/// isolated `500 worker-panic`, the breaker's `422 query-quarantined`,
+/// or a shed `503` when the crash burst has thinned the lanes.
+fn fire_panic_query(client: &Client, counters: &Counters, violations: &mut Vec<String>) {
+    counters.chaos_panic_queries.fetch_add(1, Ordering::Relaxed);
+    match client.query(PANIC_QUERY) {
+        Ok(resp) => {
+            let code = resp
+                .json()
+                .ok()
+                .and_then(|b| {
+                    b.get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(|c| c.as_str().map(str::to_string))
+                })
+                .unwrap_or_default();
+            let legal = (resp.status == 500 && code == "worker-panic")
+                || (resp.status == 422 && code == "query-quarantined")
+                || resp.status == 503;
+            if !legal {
+                violations.push(format!(
+                    "panic query answered {} {code:?} instead of an isolated 500/422",
+                    resp.status
+                ));
+            }
+        }
+        Err(_) => {
+            counters.io_err.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Kill one worker lane via the chaos endpoint. The 200 is written
+/// before the panic, so anything else (bar a shed 503) is a violation.
+fn fire_worker_kill(addr: &str, counters: &Counters, violations: &mut Vec<String>) {
+    counters.chaos_worker_kills.fetch_add(1, Ordering::Relaxed);
+    let client = Client::new(addr.to_string()).with_timeout(Duration::from_secs(15));
+    match client.request("POST", "/chaos/panic-worker", None) {
+        Ok(resp) if resp.status == 200 || resp.status == 503 => {}
+        Ok(resp) => violations.push(format!("panic-worker answered {}", resp.status)),
+        Err(_) => {
+            counters.io_err.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// One client's request loop. Returns (latencies of OK responses,
 /// per-template hit counts, violations observed).
 #[allow(clippy::too_many_arguments)]
@@ -325,6 +540,7 @@ fn run_client(
     addr: &str,
     n_requests: usize,
     chaos: bool,
+    worker_chaos: bool,
     weights: &[u64],
     total_weight: u64,
     counters: &Counters,
@@ -335,7 +551,25 @@ fn run_client(
     let mut hits = vec![0u64; weights.len()];
     let mut violations = Vec::new();
 
+    // Deterministic minimum coverage for the recovery gates: client 0
+    // always lands one poison pill and one worker kill, whatever the
+    // dice say afterwards.
+    if worker_chaos && index == 0 {
+        fire_panic_query(&client, counters, &mut violations);
+        fire_worker_kill(addr, counters, &mut violations);
+    }
+
     for _ in 0..n_requests {
+        if worker_chaos {
+            let roll: u32 = rng.gen_range(0..100);
+            if roll < 3 {
+                fire_panic_query(&client, counters, &mut violations);
+                continue;
+            } else if roll < 4 {
+                fire_worker_kill(addr, counters, &mut violations);
+                continue;
+            }
+        }
         if chaos {
             let roll: u32 = rng.gen_range(0..100);
             if roll < 4 {

@@ -48,12 +48,16 @@ impl IValue {
     /// distinct value takes the write lock; revisits only the read lock.
     pub fn of(v: &Value) -> IValue {
         {
-            let guard = interner().read().expect("value interner poisoned");
+            let guard = interner()
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(&id) = guard.ids.get(v) {
                 return IValue(id);
             }
         }
-        let mut guard = interner().write().expect("value interner poisoned");
+        let mut guard = interner()
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&id) = guard.ids.get(v) {
             return IValue(id);
         }
@@ -66,7 +70,11 @@ impl IValue {
     /// The canonical shared representative (cheap clone of `Arc`-backed
     /// spines).
     pub fn value(self) -> Value {
-        interner().read().expect("value interner poisoned").values[self.0 as usize].clone()
+        interner()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values[self.0 as usize]
+            .clone()
     }
 
     /// The raw interner id (stable within a process run only).

@@ -41,6 +41,7 @@ pub mod memo;
 pub mod pool;
 pub mod rename;
 pub mod signature;
+pub mod sync;
 pub mod value;
 
 pub use action::Action;

@@ -282,7 +282,10 @@ struct Admission {
 impl Admission {
     /// The family id of `name`, assigning a fresh one on first sight.
     fn intern(&self, name: &str) -> u32 {
-        let mut guard = self.names.lock().expect("admission registry poisoned");
+        let mut guard = self
+            .names
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (map, rev) = &mut *guard;
         if let Some(&id) = map.get(name) {
             return id;
@@ -400,7 +403,9 @@ impl TransitionCache {
     ) -> Option<Arc<TransEntry>> {
         let shard = self.shard(id, action);
         {
-            let guard = shard.read().expect("transition cache poisoned");
+            let guard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(slot) = guard.map.get(&(id, action)) {
                 slot.used.store(true, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -419,7 +424,9 @@ impl TransitionCache {
             Some(adm) => (adm.intern(&auto.name()), Some(adm.shard_quota)),
             None => (0, None),
         };
-        let mut guard = shard.write().expect("transition cache poisoned");
+        let mut guard = shard
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(slot) = guard.map.get(&(id, action)) {
             // Lost the compute race; keep the incumbent entry.
             return slot.entry.clone();
@@ -465,14 +472,16 @@ impl TransitionCache {
             Some(adm) => adm
                 .names
                 .lock()
-                .expect("admission registry poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .1
                 .clone(),
             None => Vec::new(),
         };
         let mut out = Vec::new();
         for shard in &self.shards {
-            let guard = shard.read().expect("transition cache poisoned");
+            let guard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for (&(id, action), slot) in &guard.map {
                 let family = family_names.get(slot.family as usize).cloned();
                 let eta = slot.entry.as_ref().map(|e| e.eta.clone());
@@ -502,7 +511,9 @@ impl TransitionCache {
             None => (0, None),
         };
         let shard = self.shard(id, action);
-        let mut guard = shard.write().expect("transition cache poisoned");
+        let mut guard = shard
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if guard.map.contains_key(&(id, action)) {
             return false;
         }
@@ -548,12 +559,17 @@ impl TransitionCache {
         };
         let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
         for shard in &self.shards {
-            let guard = shard.read().expect("transition cache poisoned");
+            let guard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for (&fam, &n) in &guard.fam_counts {
                 *counts.entry(fam).or_insert(0) += n;
             }
         }
-        let names = adm.names.lock().expect("admission registry poisoned");
+        let names = adm
+            .names
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out: Vec<(String, usize)> = counts
             .into_iter()
             .filter(|&(_, n)| n > 0)
@@ -580,7 +596,12 @@ impl TransitionCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("transition cache poisoned").map.len())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len()
+            })
             .sum()
     }
 

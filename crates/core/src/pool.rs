@@ -212,7 +212,7 @@ impl<'env> Shared<'env> {
     fn push_quiet(&self, lane: usize, task: Task<'env>) {
         self.lanes[lane]
             .lock()
-            .expect("pool deque poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push_back(task);
         self.pending.fetch_add(1, Ordering::SeqCst);
     }
@@ -223,7 +223,10 @@ impl<'env> Shared<'env> {
     /// window.
     fn wake_one(&self) {
         if self.wake_enabled && self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.sleep.lock().expect("pool sleep lock poisoned");
+            let _guard = self
+                .sleep
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             self.ready.notify_one();
         }
     }
@@ -235,7 +238,7 @@ impl<'env> Shared<'env> {
     fn pop_own(&self, lane: usize) -> Option<Task<'env>> {
         let task = self.lanes[lane]
             .lock()
-            .expect("pool deque poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop_back();
         if task.is_some() {
             self.pending.fetch_sub(1, Ordering::SeqCst);
@@ -258,7 +261,9 @@ impl<'env> Shared<'env> {
             if victim == thief {
                 continue;
             }
-            let mut deque = self.lanes[victim].lock().expect("pool deque poisoned");
+            let mut deque = self.lanes[victim]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             match deque.pop_front() {
                 Some(Task::Span {
                     start,
@@ -372,7 +377,10 @@ fn worker_loop(shared: &Shared<'_>, lane: usize) {
             shared.execute(lane, task);
             shared.worker_jobs.fetch_add(1, Ordering::Relaxed);
         }
-        let mut guard = shared.sleep.lock().expect("pool sleep lock poisoned");
+        let mut guard = shared
+            .sleep
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if guard.shutdown {
                 return;
@@ -389,7 +397,10 @@ fn worker_loop(shared: &Shared<'_>, lane: usize) {
                 shared.sleepers.fetch_sub(1, Ordering::SeqCst);
                 break;
             }
-            guard = shared.ready.wait(guard).expect("pool sleep lock poisoned");
+            guard = shared
+                .ready
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             shared.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -404,7 +415,7 @@ impl Drop for ShutdownGuard<'_, '_> {
         self.0
             .sleep
             .lock()
-            .expect("pool sleep lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .shutdown = true;
         self.0.ready.notify_all();
     }
@@ -516,7 +527,10 @@ impl SpanRun for SplitCall<'_> {
         } else {
             catch_unwind(AssertUnwindSafe(|| (self.run)(lane, start, len)))
         };
-        let mut progress = self.progress.lock().expect("split progress poisoned");
+        let mut progress = self
+            .progress
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         progress.done += len;
         if let Err(payload) = outcome {
             progress.panics.push(payload);
@@ -806,7 +820,10 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
                 shared.execute(0, task);
                 self.caller_jobs.fetch_add(1, Ordering::Relaxed);
             }
-            let mut progress = call.progress.lock().expect("split progress poisoned");
+            let mut progress = call
+                .progress
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if progress.done >= total {
                 return std::mem::take(&mut progress.panics);
             }
@@ -815,7 +832,7 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
             drop(
                 call.finished
                     .wait(progress)
-                    .expect("split progress poisoned"),
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
             );
         }
     }

@@ -1,0 +1,69 @@
+//! Poison-tolerant lock acquisition for the shared caches.
+//!
+//! The server isolates per-request panics with `catch_unwind`; a panic
+//! that unwinds through a thread holding one of our shared-cache locks
+//! poisons it, and every later `.lock().expect(...)` would escalate one
+//! bad request into a permanently dead cache. These helpers *recover*
+//! the guard instead.
+//!
+//! Why recovery is sound here and not in general: every critical
+//! section in the transition cache, scheduler-choice cache, stratum
+//! table, interner, admission registry, and breaker inserts or reads
+//! **fully-formed rows** — user-supplied callbacks (`transition`,
+//! `schedule_*`) always run *outside* the lock, and the code inside the
+//! lock is short, allocation-light, and commits a row with a single
+//! map insert. A panic can therefore leave the map missing a row (the
+//! one being inserted), never holding a torn one — and a missing memo
+//! row is just a future cache miss. Poisoning is Rust's conservative
+//! default, not evidence of corruption; for these structures the
+//! invariant survives the unwind, so we keep serving.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a [`Mutex`], recovering the guard if a panicking thread
+/// poisoned it.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Read-lock an [`RwLock`], recovering the guard on poison.
+pub fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Write-lock an [`RwLock`], recovering the guard on poison.
+pub fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Wait on a [`Condvar`], recovering the reacquired guard on poison.
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_locks_keep_serving() {
+        let m = Arc::new(Mutex::new(7u32));
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        {
+            let m = Arc::clone(&m);
+            let l = Arc::clone(&l);
+            let _ = std::thread::spawn(move || {
+                let _g1 = m.lock().unwrap();
+                let _g2 = l.write().unwrap();
+                panic!("poison both");
+            })
+            .join();
+        }
+        assert!(m.is_poisoned() && l.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        assert_eq!(read_recover(&l).len(), 3);
+        write_recover(&l).push(4);
+        assert_eq!(read_recover(&l).len(), 4);
+    }
+}

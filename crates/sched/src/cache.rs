@@ -336,10 +336,18 @@ impl EngineCache {
     /// ids), and decoding re-interns them here.
     pub fn scope_by_name(&self, name: impl Into<String>) -> ChoiceScope {
         let name = name.into();
-        if let Some(&id) = self.scopes.read().expect("scope map poisoned").get(&name) {
+        if let Some(&id) = self
+            .scopes
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&name)
+        {
             return ChoiceScope(id);
         }
-        let mut guard = self.scopes.write().expect("scope map poisoned");
+        let mut guard = self
+            .scopes
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let next = guard.len() as u32;
         ChoiceScope(*guard.entry(name).or_insert(next))
     }
@@ -370,7 +378,9 @@ impl EngineCache {
             ^ (scope.0 as usize).wrapping_mul(0x85EB_CA6B))
             & (CHOICE_SHARDS - 1)];
         {
-            let guard = shard.read().expect("choice cache poisoned");
+            let guard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(cached) = guard.get(&(scope, step, id)) {
                 self.choice_hits.fetch_add(1, Ordering::Relaxed);
                 return cached.clone();
@@ -378,7 +388,9 @@ impl EngineCache {
         }
         self.choice_misses.fetch_add(1, Ordering::Relaxed);
         let computed = sched.schedule_memoryless(auto, step, state).map(Arc::new);
-        let mut guard = shard.write().expect("choice cache poisoned");
+        let mut guard = shard
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         guard.entry((scope, step, id)).or_insert(computed).clone()
     }
 
@@ -411,7 +423,10 @@ impl EngineCache {
     /// are process-local.
     pub fn export_choices(&self) -> Vec<(String, usize, Value, Option<SubDisc<Action>>)> {
         let names: Vec<Option<String>> = {
-            let guard = self.scopes.read().expect("scope map poisoned");
+            let guard = self
+                .scopes
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let mut rev = vec![None; guard.len()];
             for (name, &id) in guard.iter() {
                 rev[id as usize] = Some(name.clone());
@@ -420,7 +435,9 @@ impl EngineCache {
         };
         let mut out = Vec::new();
         for shard in &self.choices {
-            let guard = shard.read().expect("choice cache poisoned");
+            let guard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for (&(scope, step, id), choice) in guard.iter() {
                 let Some(Some(name)) = names.get(scope.0 as usize) else {
                     continue;
@@ -453,7 +470,9 @@ impl EngineCache {
             ^ step
             ^ (scope.0 as usize).wrapping_mul(0x85EB_CA6B))
             & (CHOICE_SHARDS - 1)];
-        let mut guard = shard.write().expect("choice cache poisoned");
+        let mut guard = shard
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match guard.entry((scope, step, id)) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(v) => {
@@ -500,7 +519,10 @@ impl EngineCache {
             t.rejected.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        let mut g = t.inner.write().expect("stratum table poisoned");
+        let mut g = t
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let key = (fingerprint, scope, observation.to_string());
         if g.table.get(&key).is_some_and(|d| d.contains_key(&depth)) {
             return false;
@@ -550,7 +572,10 @@ impl EngineCache {
         horizon: usize,
     ) -> Option<(usize, Arc<Checkpoint>)> {
         let t = &self.strata;
-        let mut g = t.inner.write().expect("stratum table poisoned");
+        let mut g = t
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         g.clock += 1;
         let stamp = g.clock;
         let key = (fingerprint, scope, observation.to_string());
@@ -572,7 +597,10 @@ impl EngineCache {
     /// Counters and occupancy of the stratum table.
     pub fn strata_stats(&self) -> StrataStats {
         let t = &self.strata;
-        let g = t.inner.read().expect("stratum table poisoned");
+        let g = t
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         StrataStats {
             deposits: t.deposits.load(Ordering::Relaxed),
             hits: t.hits.load(Ordering::Relaxed),
@@ -592,14 +620,21 @@ impl EngineCache {
     /// store sorts into canonical byte order before writing.
     pub fn export_strata(&self) -> Vec<(u64, String, String, usize, Checkpoint)> {
         let names: Vec<Option<String>> = {
-            let guard = self.scopes.read().expect("scope map poisoned");
+            let guard = self
+                .scopes
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let mut rev = vec![None; guard.len()];
             for (name, &id) in guard.iter() {
                 rev[id as usize] = Some(name.clone());
             }
             rev
         };
-        let g = self.strata.inner.read().expect("stratum table poisoned");
+        let g = self
+            .strata
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = Vec::new();
         for ((fp, scope, obs), depths) in &g.table {
             let Some(Some(name)) = names.get(scope.0 as usize) else {

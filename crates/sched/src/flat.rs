@@ -504,7 +504,9 @@ where
         if lanes <= 1 || total < policy.seq_cutover {
             sequential_depths += 1;
             placement = None;
-            let mut memo = scratch[0].lock().expect("lane memo poisoned");
+            let mut memo = scratch[0]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let base = expansions.fetch_add(total, Ordering::Relaxed);
             let mut segs: Vec<Vec<(Execution, W)>> = match tail {
                 Some(r) => (0..=r).map(|_| Vec::new()).collect(),
@@ -573,12 +575,18 @@ where
                     policy.split_unit.max(1),
                     budget.cancel.clone(),
                     move |lane, start, len| {
-                        if first_error.lock().expect("error slot poisoned").is_some() {
+                        if first_error
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .is_some()
+                        {
                             return;
                         }
                         let base = expansions.load(Ordering::Relaxed);
                         if let Err(e) = budget.check(entries_base, base) {
-                            let mut slot = first_error.lock().expect("error slot poisoned");
+                            let mut slot = first_error
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                             if slot.is_none() {
                                 *slot = Some(e);
                             }
@@ -586,7 +594,7 @@ where
                         }
                         let mut memo = scratch[lane % scratch.len()]
                             .lock()
-                            .expect("lane memo poisoned");
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         let base = expansions.fetch_add(len, Ordering::Relaxed);
                         let mut segs: Vec<Vec<(Execution, W)>> = match tail {
                             Some(r) => (0..=r)
@@ -632,7 +640,9 @@ where
                                 }
                             }
                             Err(e) => {
-                                let mut slot = first_error.lock().expect("error slot poisoned");
+                                let mut slot = first_error
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                                 if slot.is_none() {
                                     *slot = Some(e);
                                 }
@@ -641,7 +651,7 @@ where
                         }
                         results
                             .lock()
-                            .expect("contributions poisoned")
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .push(FlatContribution {
                                 start,
                                 lane,
@@ -657,7 +667,7 @@ where
             }
             let depth_error = first_error
                 .lock()
-                .expect("error slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .take()
                 .or_else(|| {
                     if budget.is_cancelled() {
@@ -694,8 +704,11 @@ where
             // grain order == frontier order; segment k across grains in
             // start order is depth `depth + k`'s terminal list in its
             // sequential processing order.
-            let mut contributions =
-                std::mem::take(&mut *results.lock().expect("contributions poisoned"));
+            let mut contributions = std::mem::take(
+                &mut *results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
             contributions.sort_unstable_by_key(|c| c.start);
             entries.reserve(
                 contributions

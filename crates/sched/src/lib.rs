@@ -49,6 +49,7 @@ pub mod robust;
 pub mod sample;
 pub mod scheduler;
 pub mod schema;
+pub mod unwind;
 
 pub use batch::{
     projection_checkpoint, try_batch_execution_measures, try_batch_execution_measures_in,

@@ -1071,7 +1071,11 @@ where
                         // Fast-drain once a grain has failed: the
                         // pool still needs every grain accounted for,
                         // but no further expansion work is useful.
-                        if first_error.lock().expect("error slot poisoned").is_some() {
+                        if first_error
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .is_some()
+                        {
                             return;
                         }
                         // Grain-granularity budget check: the deadline
@@ -1081,7 +1085,9 @@ where
                         // expand whole subtrees).
                         let base = expansions.load(Ordering::Relaxed);
                         if let Err(e) = budget.check(entries_base, base) {
-                            let mut slot = first_error.lock().expect("error slot poisoned");
+                            let mut slot = first_error
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                             if slot.is_none() {
                                 *slot = Some(e);
                             }
@@ -1089,7 +1095,7 @@ where
                         }
                         let mut memo = scratch[lane % scratch.len()]
                             .lock()
-                            .expect("lane memo poisoned");
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         let base = expansions.fetch_add(len, Ordering::Relaxed);
                         // Frontier depth is uniform, so the whole grain
                         // is either in the tail window or not.
@@ -1137,7 +1143,9 @@ where
                             ) {
                                 Ok(children) => extra += children,
                                 Err(e) => {
-                                    let mut slot = first_error.lock().expect("error slot poisoned");
+                                    let mut slot = first_error
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                                     if slot.is_none() {
                                         *slot = Some(e);
                                     }
@@ -1160,7 +1168,9 @@ where
                                     &mut segs[0],
                                     &mut local_next,
                                 ) {
-                                    let mut slot = first_error.lock().expect("error slot poisoned");
+                                    let mut slot = first_error
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                                     if slot.is_none() {
                                         *slot = Some(e);
                                     }
@@ -1176,7 +1186,7 @@ where
                         }
                         results
                             .lock()
-                            .expect("contributions poisoned")
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .push(Contribution {
                                 start,
                                 lane,
@@ -1194,7 +1204,7 @@ where
             // empty re-check the token directly.
             let depth_error = first_error
                 .lock()
-                .expect("error slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .take()
                 .or_else(|| {
                     if budget.is_cancelled() {
@@ -1224,8 +1234,11 @@ where
             // sequential processing order, so appending segment-major
             // reproduces the per-depth order the skipped frontiers
             // would have produced.
-            let mut contributions =
-                std::mem::take(&mut *results.lock().expect("contributions poisoned"));
+            let mut contributions = std::mem::take(
+                &mut *results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
             contributions.sort_unstable_by_key(|c| c.start);
             entries.reserve(
                 contributions

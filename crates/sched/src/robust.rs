@@ -311,7 +311,10 @@ impl CircuitBreaker {
     /// re-arms the key. This is the per-query decision point; use
     /// [`CircuitBreaker::stats`] for side-effect-free observation.
     pub fn is_open(&self, key: &str) -> bool {
-        let mut map = self.state.lock().expect("breaker lock poisoned");
+        let mut map = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let Some(e) = map.get_mut(key) else {
             return false;
         };
@@ -331,7 +334,10 @@ impl CircuitBreaker {
     /// threshold trips the key; failing while already open (a failed
     /// half-open probe) re-arms its cooldown and counts a reopen.
     pub fn record_failure(&self, key: &str) {
-        let mut map = self.state.lock().expect("breaker lock poisoned");
+        let mut map = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let e = map.entry(key.to_string()).or_default();
         let was_open = e.consecutive >= self.threshold;
         e.consecutive += 1;
@@ -348,7 +354,10 @@ impl CircuitBreaker {
 
     /// Record an exact-tier success for `key`, closing its breaker.
     pub fn record_success(&self, key: &str) {
-        let mut map = self.state.lock().expect("breaker lock poisoned");
+        let mut map = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(e) = map.remove(key) {
             if e.consecutive >= self.threshold {
                 self.closes.fetch_add(1, Ordering::Relaxed);
@@ -360,14 +369,17 @@ impl CircuitBreaker {
     pub fn failures(&self, key: &str) -> u32 {
         self.state
             .lock()
-            .expect("breaker lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(key)
             .map_or(0, |e| e.consecutive)
     }
 
     /// Snapshot of the transition counters (no side effects).
     pub fn stats(&self) -> BreakerStats {
-        let map = self.state.lock().expect("breaker lock poisoned");
+        let map = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         BreakerStats {
             trips: self.trips.load(Ordering::Relaxed),
             reopens: self.reopens.load(Ordering::Relaxed),
@@ -382,7 +394,10 @@ impl CircuitBreaker {
 
     /// The automata currently open (or half-open), sorted by name.
     pub fn open_keys(&self) -> Vec<String> {
-        let map = self.state.lock().expect("breaker lock poisoned");
+        let map = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut keys: Vec<String> = map
             .iter()
             .filter(|(_, e)| e.consecutive >= self.threshold)

@@ -1,0 +1,75 @@
+//! Unwind-safety audit for the engine entry points.
+//!
+//! The server isolates per-request panics with
+//! `catch_unwind(AssertUnwindSafe(..))` around the engine calls. That
+//! assertion is a claim, not a proof — this module pins down why it is
+//! sound, and the compile-time assertions below keep the claim honest
+//! as the types evolve.
+//!
+//! The shared state that survives a caught panic is exactly the state
+//! behind the engine's locks: the transition cache
+//! ([`dpioa_core::TransitionCache`]), the scheduler-choice cache and
+//! stratum table ([`crate::EngineCache`]), and the circuit breaker
+//! ([`crate::CircuitBreaker`]). Three facts make a mid-request unwind
+//! harmless to them:
+//!
+//! 1. **User code runs outside the locks.** `Automaton::transition`
+//!    and `Scheduler::schedule_*` — the only places arbitrary panics
+//!    originate — are always invoked before a shard lock is taken;
+//!    lock bodies only move fully-formed rows into maps.
+//! 2. **Rows are inserted whole.** Every critical section commits with
+//!    a single map insert of an already-constructed value; there is no
+//!    multi-step in-place mutation a panic could tear.
+//! 3. **Poisoning is recovered, not propagated.** All shared-cache
+//!    locks are acquired through poison-recovering accessors
+//!    ([`dpioa_core::sync`]), so a panic that does unwind through a
+//!    held lock costs at most the row being inserted — a future cache
+//!    miss, not corruption and not a permanently dead cache.
+//!
+//! The assertions require the shared types to be [`RefUnwindSafe`]:
+//! if someone later threads a `RefCell` or raw interior mutability
+//! through them (which *could* be torn by an unwind), the server's
+//! `AssertUnwindSafe` stops being justified and this module stops
+//! compiling.
+
+use std::panic::RefUnwindSafe;
+
+const fn assert_ref_unwind_safe<T: RefUnwindSafe + ?Sized>() {}
+
+const _: () = {
+    // Cross-request shared caches the server holds across catch_unwind
+    // boundaries.
+    assert_ref_unwind_safe::<crate::EngineCache>();
+    assert_ref_unwind_safe::<crate::CircuitBreaker>();
+    assert_ref_unwind_safe::<dpioa_core::TransitionCache>();
+    // Per-request inputs that cross the boundary by reference.
+    assert_ref_unwind_safe::<crate::error::Budget>();
+    assert_ref_unwind_safe::<dpioa_core::CancelToken>();
+    assert_ref_unwind_safe::<crate::StrataConfig>();
+    assert_ref_unwind_safe::<crate::RobustConfig>();
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn engine_cache_survives_a_panicking_user_callback() {
+        use dpioa_core::{Action, Value};
+        use dpioa_prob::SubDisc;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let cache = crate::EngineCache::new();
+        let c = SubDisc::from_entries(vec![(Action::named("uw-a"), 1.0)]).unwrap();
+        assert!(cache.import_choice("uw-scope", 0, &Value::int(0), Some(c.clone())));
+
+        // A panic unwinding across a reference to the cache must leave
+        // previously committed rows readable and the cache writable.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _rows = cache.export_choices();
+            panic!("simulated poisoned request");
+        }));
+        assert!(err.is_err());
+        assert_eq!(cache.export_choices().len(), 1);
+        assert!(cache.import_choice("uw-scope", 1, &Value::int(1), Some(c)));
+        assert_eq!(cache.export_choices().len(), 2);
+    }
+}

@@ -115,6 +115,20 @@ pub fn scheduler_by_name(name: &str) -> Option<Arc<dyn Scheduler>> {
     }
 }
 
+/// The chaos scheduler behind `expose_chaos`: panics on its very first
+/// scheduling decision, deterministically, from inside the engine —
+/// exactly where a buggy user-supplied scheduler would. It is *not* in
+/// [`SCHEDULER_NAMES`] and `scheduler_by_name` never returns it; the
+/// server resolves it explicitly (and only) when chaos is enabled.
+/// Memoryful on purpose, so it forces the general exact tier and the
+/// panic unwinds through the same path real scheduler code runs on.
+pub fn chaos_panic_scheduler() -> Arc<dyn Scheduler> {
+    Arc::new(DeterministicScheduler::new(
+        "chaos-panic",
+        |_exec, _enabled| panic!("chaos-panic scheduler fired (injected fault)"),
+    ))
+}
+
 /// Resolve an observation wire name.
 pub fn observation_by_name(name: &str) -> Option<Observation> {
     match name {

@@ -4,15 +4,24 @@
 //! dpioa-serve [--addr 127.0.0.1:7341] [--workers 4] [--queue 64]
 //!             [--cache-entries 16384] [--deadline-ms 2000]
 //!             [--read-timeout-ms 5000] [--store-dir PATH]
-//!             [--persist-every-ms 30000]
+//!             [--persist-every-ms 30000] [--chaos]
+//!             [--store-fault-seed N] [--store-fault-rate PCT]
 //! ```
+//!
+//! `--chaos` enables the deterministic fault hooks (the `chaos-panic`
+//! scheduler and `POST /chaos/panic-worker`); `--store-fault-seed` /
+//! `--store-fault-rate` swap the store's IO plane for a seeded
+//! [`dpioa_store::FaultVfs`] injecting that percentage of faults.
+//! All three are for chaos drills — never set them in production.
 //!
 //! Prints `listening on http://<addr>` once bound (scripts parse this
 //! line for the resolved port when `--addr` ends in `:0`), then serves
 //! until `POST /shutdown`.
 
 use dpioa_server::server::{serve, ServerConfig};
+use dpioa_store::FaultVfs;
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -20,6 +29,8 @@ fn main() {
         addr: "127.0.0.1:7341".into(),
         ..ServerConfig::default()
     };
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate: u32 = 10;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = |what: &str| {
@@ -39,16 +50,24 @@ fn main() {
             "--persist-every-ms" => {
                 config.persist_every = Some(Duration::from_millis(parse(&take("ms"), &flag)));
             }
+            "--chaos" => config.expose_chaos = true,
+            "--store-fault-seed" => fault_seed = Some(parse(&take("seed"), &flag)),
+            "--store-fault-rate" => fault_rate = parse(&take("percent"), &flag),
             "--help" | "-h" => {
                 println!(
                     "usage: dpioa-serve [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--cache-entries N] [--deadline-ms N] [--read-timeout-ms N] \
-                     [--store-dir PATH] [--persist-every-ms N]"
+                     [--store-dir PATH] [--persist-every-ms N] [--chaos] \
+                     [--store-fault-seed N] [--store-fault-rate PCT]"
                 );
                 return;
             }
             other => die(&format!("unknown flag {other:?} (try --help)")),
         }
+    }
+
+    if let Some(seed) = fault_seed {
+        config.vfs = Arc::new(FaultVfs::seeded(seed, fault_rate));
     }
 
     let handle = match serve(config) {

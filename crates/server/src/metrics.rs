@@ -81,12 +81,31 @@ pub struct ServerMetrics {
     pub store_checkpoints: AtomicU64,
     /// Queries resumed from a persisted checkpoint.
     pub store_resumes: AtomicU64,
+    /// Per-request panics caught by the worker's unwind shield (each
+    /// answered with a stable `500 worker-panic`).
+    pub worker_panics: AtomicU64,
+    /// Worker / persist threads respawned by the supervisor after an
+    /// uncaught death.
+    pub worker_restarts: AtomicU64,
+    /// Background persist passes that failed (the persist thread backs
+    /// off and keeps running).
+    pub persist_errors: AtomicU64,
+    /// Transient store IO faults absorbed by retry-with-backoff.
+    pub io_retries: AtomicU64,
+    /// Store files that failed validation at boot and were moved aside
+    /// to `*.quarantine` instead of blocking warm start.
+    pub quarantined_files: AtomicU64,
+    /// Query identities quarantined by the poisoned-query breaker
+    /// (served `422 query-quarantined` from then on).
+    pub query_quarantines: AtomicU64,
     /// Total service time (parse→response), nanoseconds.
     pub service_ns_total: AtomicU64,
     /// Connections currently queued for a worker.
     pub queue_depth: AtomicUsize,
     /// Queries currently executing.
     pub in_flight: AtomicUsize,
+    /// Worker threads currently alive (supervisor-maintained gauge).
+    pub workers_alive: AtomicUsize,
 }
 
 impl ServerMetrics {
@@ -285,6 +304,41 @@ impl ServerMetrics {
         );
         line(
             &mut out,
+            "worker_panics_total",
+            self.worker_panics.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "worker_restarts_total",
+            self.worker_restarts.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "persist_errors_total",
+            self.persist_errors.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "io_retries_total",
+            self.io_retries.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "quarantined_files_total",
+            self.quarantined_files.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "query_quarantines_total",
+            self.query_quarantines.load(Ordering::Relaxed),
+        );
+        line(
+            &mut out,
+            "workers_alive",
+            self.workers_alive.load(Ordering::Relaxed) as u64,
+        );
+        line(
+            &mut out,
             "service_ns_total",
             self.service_ns_total.load(Ordering::Relaxed),
         );
@@ -369,6 +423,8 @@ mod tests {
         m.store_hits.fetch_add(1, Ordering::Relaxed);
         m.store_entries_loaded.fetch_add(17, Ordering::Relaxed);
         m.store_snapshots.fetch_add(2, Ordering::Relaxed);
+        m.worker_panics.fetch_add(1, Ordering::Relaxed);
+        m.io_retries.fetch_add(4, Ordering::Relaxed);
         let cache = EngineCache::bounded_with_admission(64, 0.5);
         let breaker = CircuitBreaker::new(3);
         let page = m.render(&cache, &breaker);
@@ -394,6 +450,13 @@ mod tests {
             "dpioa_store_snapshots_total 2",
             "dpioa_store_checkpoints_total 0",
             "dpioa_store_resumes_total 0",
+            "dpioa_worker_panics_total 1",
+            "dpioa_worker_restarts_total 0",
+            "dpioa_persist_errors_total 0",
+            "dpioa_io_retries_total 4",
+            "dpioa_quarantined_files_total 0",
+            "dpioa_query_quarantines_total 0",
+            "dpioa_workers_alive 0",
             "dpioa_strata_deposits_total 0",
             "dpioa_strata_hits_total 0",
             "dpioa_strata_evictions_total 0",

@@ -37,7 +37,9 @@ use crate::catalog::{self, Catalog, CatalogEntry};
 use crate::http::{self, Limits, ReadError, Request};
 use crate::json::{self, Json};
 use crate::metrics::ServerMetrics;
+use dpioa_core::fxhash::FxHashMap;
 use dpioa_core::fxhash::FxHasher;
+use dpioa_core::sync::{lock_recover, write_recover};
 use dpioa_core::{CancelToken, Value};
 use dpioa_prob::Disc;
 use dpioa_sched::{
@@ -46,16 +48,18 @@ use dpioa_sched::{
     ParallelPolicy, Provenance, RobustConfig, Scheduler, StrataConfig,
 };
 use dpioa_store::{
-    automaton_fingerprint, combined_fingerprint, load_checkpoint, load_strata, save_checkpoint,
-    save_strata, EngineCacheStoreExt, SnapshotStats, StoreError,
+    automaton_fingerprint, combined_fingerprint, load_checkpoint_with, load_strata_with,
+    quarantine_file, save_checkpoint_with, save_strata_with, EngineCacheStoreExt, RealVfs,
+    RetryPolicy, SnapshotStats, StoreError, Vfs,
 };
 use std::collections::HashMap;
 use std::hash::Hasher as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -115,6 +119,21 @@ pub struct ServerConfig {
     /// snapshots on `POST /persist` and graceful shutdown when a
     /// `store_dir` is configured.
     pub persist_every: Option<Duration>,
+    /// The IO plane every store read/write goes through. Production
+    /// keeps the default [`RealVfs`]; chaos runs swap in a seeded
+    /// [`dpioa_store::FaultVfs`].
+    pub vfs: Arc<dyn Vfs>,
+    /// Caught per-request panics on one query identity before the
+    /// poisoned-query breaker quarantines that identity (stable `422
+    /// query-quarantined` instead of a crash loop).
+    pub poison_threshold: u32,
+    /// Cap on the supervisor's exponential restart backoff (worker and
+    /// persist respawns double from 50ms up to this).
+    pub restart_backoff_max: Duration,
+    /// Expose the deterministic chaos hooks: the `chaos-panic`
+    /// scheduler and `POST /chaos/panic-worker`. Off in production;
+    /// tests and the chaos bench switch it on.
+    pub expose_chaos: bool,
 }
 
 impl Default for ServerConfig {
@@ -141,6 +160,10 @@ impl Default for ServerConfig {
             strata_stride: 4,
             store_dir: None,
             persist_every: None,
+            vfs: Arc::new(RealVfs),
+            poison_threshold: 3,
+            restart_backoff_max: Duration::from_secs(1),
+            expose_chaos: false,
         }
     }
 }
@@ -167,7 +190,7 @@ impl ConnQueue {
 
     /// Offer a connection; gives it back when the queue is full.
     fn try_push(&self, conn: TcpStream) -> Result<usize, TcpStream> {
-        let mut slots = self.slots.lock().expect("queue lock");
+        let mut slots = lock_recover(&self.slots);
         if slots.len() >= self.capacity {
             return Err(conn);
         }
@@ -181,7 +204,7 @@ impl ConnQueue {
     /// Pop a connection, or `None` once shutdown is flagged and the
     /// queue drained.
     fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut slots = self.slots.lock().expect("queue lock");
+        let mut slots = lock_recover(&self.slots);
         loop {
             if let Some(conn) = slots.pop_front() {
                 return Some(conn);
@@ -192,7 +215,7 @@ impl ConnQueue {
             let (guard, _) = self
                 .ready
                 .wait_timeout(slots, Duration::from_millis(50))
-                .expect("queue lock");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             slots = guard;
         }
     }
@@ -212,7 +235,7 @@ struct WatchBoard {
 
 impl WatchBoard {
     fn register(&self, id: u64, probe: TcpStream, token: CancelToken) {
-        self.slots.lock().expect("watch lock").insert(
+        lock_recover(&self.slots).insert(
             id,
             WatchSlot {
                 probe,
@@ -225,9 +248,7 @@ impl WatchBoard {
     /// Remove a finished query; returns when (if ever) the watcher
     /// cancelled it.
     fn deregister(&self, id: u64) -> Option<Instant> {
-        self.slots
-            .lock()
-            .expect("watch lock")
+        lock_recover(&self.slots)
             .remove(&id)
             .and_then(|s| s.cancelled_at)
     }
@@ -237,7 +258,7 @@ impl WatchBoard {
     /// tokens were flipped this pass.
     fn sweep(&self) -> usize {
         let mut flipped = 0;
-        let mut slots = self.slots.lock().expect("watch lock");
+        let mut slots = lock_recover(&self.slots);
         for slot in slots.values_mut() {
             if slot.cancelled_at.is_some() {
                 continue;
@@ -310,7 +331,7 @@ impl BatchBoard {
         key: &BatchKey,
         seat: impl FnOnce(mpsc::Sender<BatchVerdict>) -> BatchSeat,
     ) -> Rendezvous {
-        let mut map = self.forming.lock().expect("batch lock");
+        let mut map = lock_recover(&self.forming);
         if let Some(seats) = map.get_mut(key) {
             let (tx, rx) = mpsc::channel();
             seats.push(seat(tx));
@@ -323,11 +344,7 @@ impl BatchBoard {
 
     /// Close the batch for `key`: later arrivals start a new one.
     fn close(&self, key: &BatchKey) -> Vec<BatchSeat> {
-        self.forming
-            .lock()
-            .expect("batch lock")
-            .remove(key)
-            .unwrap_or_default()
+        lock_recover(&self.forming).remove(key).unwrap_or_default()
     }
 }
 
@@ -366,10 +383,44 @@ impl StoreState {
     }
 }
 
+/// The poisoned-query breaker: a query identity that keeps panicking
+/// workers is quarantined after `threshold` strikes, so one poisonous
+/// request shape cannot crash-loop the service while every other query
+/// keeps being served.
+struct PoisonBoard {
+    strikes: RwLock<FxHashMap<u64, u32>>,
+    threshold: u32,
+}
+
+impl PoisonBoard {
+    fn new(threshold: u32) -> PoisonBoard {
+        PoisonBoard {
+            strikes: RwLock::new(FxHashMap::default()),
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Record one caught panic against `identity`; returns true when
+    /// this strike crossed the quarantine threshold.
+    fn strike(&self, identity: u64) -> bool {
+        let mut map = write_recover(&self.strikes);
+        let n = map.entry(identity).or_insert(0);
+        *n += 1;
+        *n == self.threshold
+    }
+
+    fn is_quarantined(&self, identity: u64) -> bool {
+        dpioa_core::sync::read_recover(&self.strikes)
+            .get(&identity)
+            .is_some_and(|&n| n >= self.threshold)
+    }
+}
+
 /// The identity under which a budget-tripped query's checkpoint is
 /// filed: automaton structure × scheduler × observation × horizon.
 /// Built from wire names and the structural fingerprint — nothing
 /// process-local — so a follow-up query in a fresh process finds it.
+/// The poisoned-query breaker quarantines the same key.
 fn query_identity(fingerprint: u64, sched_name: &str, obs_name: &str, horizon: usize) -> u64 {
     let mut h = FxHasher::with_seed(0x1DE7_717E);
     h.write_u64(fingerprint);
@@ -394,8 +445,12 @@ struct Inner {
     queue: ConnQueue,
     watch: WatchBoard,
     batch: BatchBoard,
+    poison: PoisonBoard,
     shutdown: AtomicBool,
     next_request_id: AtomicU64,
+    /// Set once boot-time warm start (if any) has finished; `/readyz`
+    /// refuses to report ready before it.
+    warm_started: AtomicBool,
 }
 
 /// A running server: its bound address, shared stats handles, and the
@@ -494,8 +549,10 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         queue: ConnQueue::new(config.queue_capacity),
         watch: WatchBoard::default(),
         batch: BatchBoard::default(),
+        poison: PoisonBoard::new(config.poison_threshold),
         shutdown: AtomicBool::new(false),
         next_request_id: AtomicU64::new(1),
+        warm_started: AtomicBool::new(false),
         catalog,
         fingerprints,
         store,
@@ -505,9 +562,10 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     // Warm-start before the first worker exists: a restarted server
     // serves its very first query from the previous process's cache.
     if let Some(store) = &inner.store {
-        let _ = std::fs::create_dir_all(&store.dir);
+        let _ = inner.config.vfs.create_dir_all(&store.dir);
         warm_start(&inner, store);
     }
+    inner.warm_started.store(true, Ordering::Release);
 
     let mut threads = Vec::new();
 
@@ -518,15 +576,6 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             .spawn(move || acceptor_loop(listener, acceptor_inner))?,
     );
 
-    for i in 0..inner.config.workers.max(1) {
-        let worker_inner = Arc::clone(&inner);
-        threads.push(
-            thread::Builder::new()
-                .name(format!("dpioa-worker-{i}"))
-                .spawn(move || worker_loop(worker_inner))?,
-        );
-    }
-
     let watcher_inner = Arc::clone(&inner);
     threads.push(
         thread::Builder::new()
@@ -534,20 +583,142 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             .spawn(move || watcher_loop(watcher_inner))?,
     );
 
-    if inner.store.is_some() {
-        let persist_inner = Arc::clone(&inner);
-        threads.push(
-            thread::Builder::new()
-                .name("dpioa-persist".into())
-                .spawn(move || persist_loop(persist_inner))?,
-        );
-    }
+    // Workers and the persist thread run under the supervisor: it
+    // spawns them, respawns any that die (with restart-storm backoff),
+    // and joins them all at shutdown.
+    let supervisor_inner = Arc::clone(&inner);
+    threads.push(
+        thread::Builder::new()
+            .name("dpioa-supervisor".into())
+            .spawn(move || supervisor_loop(supervisor_inner))?,
+    );
 
     Ok(ServerHandle {
         addr,
         inner,
         threads,
     })
+}
+
+/// One supervised thread slot: its live handle (if any), when it was
+/// last (re)spawned, and the consecutive-crash count driving backoff.
+struct Supervised {
+    handle: Option<JoinHandle<()>>,
+    spawned_at: Instant,
+    crashes: u32,
+    /// Earliest instant a respawn is allowed (restart-storm backoff).
+    respawn_at: Instant,
+}
+
+impl Supervised {
+    fn spawn(name: String, f: impl FnOnce() + Send + 'static) -> Supervised {
+        let handle = thread::Builder::new().name(name).spawn(f).ok();
+        Supervised {
+            handle,
+            spawned_at: Instant::now(),
+            crashes: 0,
+            respawn_at: Instant::now(),
+        }
+    }
+}
+
+/// A crashed thread that survived this long before dying is treated as
+/// healthy: its next crash starts the backoff ladder from the bottom.
+const SUPERVISOR_HEALTHY_AFTER: Duration = Duration::from_secs(5);
+
+/// The supervisor: owns the worker and persist thread handles, polls
+/// for deaths, and respawns with exponential per-slot backoff (50ms
+/// doubling, capped at `restart_backoff_max`) so a crash-looping
+/// thread cannot burn a core. Normal exits (shutdown) are not
+/// respawned; at shutdown everything still alive is joined.
+fn supervisor_loop(inner: Arc<Inner>) {
+    let n_workers = inner.config.workers.max(1);
+    let spawn_worker = |i: usize| {
+        let worker_inner = Arc::clone(&inner);
+        Supervised::spawn(format!("dpioa-worker-{i}"), move || {
+            worker_loop(worker_inner)
+        })
+    };
+    let mut workers: Vec<Supervised> = (0..n_workers).map(spawn_worker).collect();
+    let mut persist: Option<Supervised> = inner.store.is_some().then(|| {
+        let persist_inner = Arc::clone(&inner);
+        Supervised::spawn("dpioa-persist".into(), move || persist_loop(persist_inner))
+    });
+    inner
+        .metrics
+        .workers_alive
+        .store(workers.len(), Ordering::Relaxed);
+
+    while !inner.shutdown.load(Ordering::Acquire) {
+        thread::sleep(Duration::from_millis(10));
+        let mut alive = 0;
+        for (i, slot) in workers.iter_mut().enumerate() {
+            if supervise(&inner, slot, || spawn_worker(i)) {
+                alive += 1;
+            }
+        }
+        inner.metrics.workers_alive.store(alive, Ordering::Relaxed);
+        if let Some(slot) = persist.as_mut() {
+            let respawn = || {
+                let persist_inner = Arc::clone(&inner);
+                Supervised::spawn("dpioa-persist".into(), move || persist_loop(persist_inner))
+            };
+            supervise(&inner, slot, respawn);
+        }
+    }
+
+    // Shutdown: wake parked workers, then join everything we own.
+    inner.queue.ready.notify_all();
+    for slot in workers.iter_mut().chain(persist.iter_mut()) {
+        if let Some(handle) = slot.handle.take() {
+            let _ = handle.join();
+        }
+    }
+    inner.metrics.workers_alive.store(0, Ordering::Relaxed);
+}
+
+/// Poll one supervised slot; respawn it (through `respawn`) if it died
+/// without shutdown being flagged. Returns whether the slot is alive
+/// after the poll.
+fn supervise(inner: &Inner, slot: &mut Supervised, respawn: impl FnOnce() -> Supervised) -> bool {
+    let finished = match &slot.handle {
+        Some(handle) => handle.is_finished(),
+        None => true,
+    };
+    if !finished {
+        return true;
+    }
+    if let Some(handle) = slot.handle.take() {
+        // A worker that unwound carried a panic payload; surface it as
+        // a counted event, not a lost lane.
+        let _ = handle.join();
+    }
+    if inner.shutdown.load(Ordering::Acquire) {
+        return false;
+    }
+    let now = Instant::now();
+    if slot.handle.is_none() && now < slot.respawn_at {
+        return false; // still backing off
+    }
+    let healthy = now.duration_since(slot.spawned_at) >= SUPERVISOR_HEALTHY_AFTER;
+    slot.crashes = if healthy {
+        1
+    } else {
+        slot.crashes.saturating_add(1)
+    };
+    let backoff = Duration::from_millis(50 << (slot.crashes - 1).min(10))
+        .min(inner.config.restart_backoff_max);
+    let fresh = respawn();
+    inner
+        .metrics
+        .worker_restarts
+        .fetch_add(1, Ordering::Relaxed);
+    *slot = Supervised {
+        respawn_at: now + backoff,
+        crashes: slot.crashes,
+        ..fresh
+    };
+    slot.handle.is_some()
 }
 
 fn acceptor_loop(listener: TcpListener, inner: Arc<Inner>) {
@@ -605,7 +776,7 @@ fn shed(mut conn: TcpStream, inner: &Inner) {
 
 fn worker_loop(inner: Arc<Inner>) {
     while let Some(conn) = inner.queue.pop(&inner.shutdown) {
-        let depth = inner.queue.slots.lock().expect("queue lock").len();
+        let depth = lock_recover(&inner.queue.slots).len();
         inner.metrics.queue_depth.store(depth, Ordering::Relaxed);
         handle_connection(conn, &inner);
     }
@@ -618,7 +789,7 @@ fn watcher_loop(inner: Arc<Inner>) {
     }
     // Shutdown cancels whatever is still in flight so workers unwind
     // promptly instead of running abandoned queries to completion.
-    let slots = inner.watch.slots.lock().expect("watch lock");
+    let slots = lock_recover(&inner.watch.slots);
     for slot in slots.values() {
         slot.token.cancel();
     }
@@ -626,11 +797,15 @@ fn watcher_loop(inner: Arc<Inner>) {
 
 /// Boot-time warm start: stream a committed snapshot (if any) into the
 /// fresh cache. Cold starts (no file yet, stale fingerprint, foreign
-/// version) are business as usual; anything else is a store fault.
+/// version) are business as usual; anything else is a store fault —
+/// the offending file is moved aside to `*.quarantine` so the next
+/// boot (and the next persist pass) proceed unobstructed instead of
+/// tripping over the same corpse forever.
 fn warm_start(inner: &Inner, store: &StoreState) {
+    let vfs = inner.config.vfs.as_ref();
     match inner
         .cache
-        .warm_start_from(&store.snapshot_path(), store.catalog_fingerprint)
+        .warm_start_from_with(vfs, &store.snapshot_path(), store.catalog_fingerprint)
     {
         Ok(stats) => {
             inner.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
@@ -648,6 +823,12 @@ fn warm_start(inner: &Inner, store: &StoreState) {
         }
         Err(_) => {
             inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+            if quarantine_file(vfs, &store.snapshot_path()).is_ok() {
+                inner
+                    .metrics
+                    .quarantined_files
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
     // Strata ride along: re-import the previous process's deposited
@@ -655,7 +836,7 @@ fn warm_start(inner: &Inner, store: &StoreState) {
     // the very first request. Cold starts are silent (the snapshot
     // above already recorded the boot's hit/miss verdict); byte-budget
     // rejections are the table's own admission policy, not a fault.
-    match load_strata(&store.strata_path(), store.catalog_fingerprint) {
+    match load_strata_with(vfs, &store.strata_path(), store.catalog_fingerprint) {
         Ok(rows) => {
             for (fp, scope, obs, depth, ckpt) in rows {
                 inner.cache.import_stratum(fp, &scope, &obs, depth, ckpt);
@@ -664,6 +845,12 @@ fn warm_start(inner: &Inner, store: &StoreState) {
         Err(e) if e.is_cold_start() => {}
         Err(_) => {
             inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+            if quarantine_file(vfs, &store.strata_path()).is_ok() {
+                inner
+                    .metrics
+                    .quarantined_files
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -671,28 +858,43 @@ fn warm_start(inner: &Inner, store: &StoreState) {
 /// Commit the shared cache to the store (atomic temp + rename; a
 /// reader never observes a half-written snapshot).
 fn persist_snapshot(inner: &Inner, store: &StoreState) -> Result<SnapshotStats, StoreError> {
-    match inner
-        .cache
-        .snapshot_to(&store.snapshot_path(), store.catalog_fingerprint)
-    {
+    let vfs = inner.config.vfs.as_ref();
+    match inner.cache.snapshot_to_with(
+        vfs,
+        &store.snapshot_path(),
+        store.catalog_fingerprint,
+        RetryPolicy::default(),
+    ) {
         Ok(stats) => {
             inner
                 .metrics
                 .store_snapshots
                 .fetch_add(1, Ordering::Relaxed);
+            inner
+                .metrics
+                .io_retries
+                .fetch_add(stats.io_retries as u64, Ordering::Relaxed);
             // Commit the stratum table next to the snapshot (same
             // atomic temp + rename discipline). A strata write fault
             // does not fail the snapshot: the cache rows are already
             // safe, and a stale strata file is merely a slower warm
             // start, never a wrong answer.
-            if save_strata(
+            match save_strata_with(
+                vfs,
                 &store.strata_path(),
                 store.catalog_fingerprint,
                 &inner.cache.export_strata(),
-            )
-            .is_err()
-            {
-                inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+                RetryPolicy::default(),
+            ) {
+                Ok(retries) => {
+                    inner
+                        .metrics
+                        .io_retries
+                        .fetch_add(retries as u64, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Ok(stats)
         }
@@ -706,31 +908,61 @@ fn persist_snapshot(inner: &Inner, store: &StoreState) -> Result<SnapshotStats, 
 /// The snapshot thread: periodic commits while `persist_every` is
 /// configured, and always one parting snapshot at shutdown so a
 /// graceful restart warm-starts from everything this process learned.
+///
+/// The loop never dies on a persist failure — failures are counted in
+/// `dpioa_persist_errors_total` and the next attempt is pushed out by
+/// a doubling backoff (capped at `restart_backoff_max`, reset on the
+/// first success) so a persistently failing disk is retried gently,
+/// not hammered.
 fn persist_loop(inner: Arc<Inner>) {
     let store = inner.store.as_ref().expect("persist thread needs a store");
     let mut next = inner.config.persist_every.map(|p| Instant::now() + p);
+    let mut backoff = Duration::ZERO;
     while !inner.shutdown.load(Ordering::Acquire) {
         thread::sleep(Duration::from_millis(5));
         if let Some(at) = next {
             if Instant::now() >= at {
-                let _ = persist_snapshot(&inner, store);
-                next = inner.config.persist_every.map(|p| Instant::now() + p);
+                match persist_snapshot(&inner, store) {
+                    Ok(_) => backoff = Duration::ZERO,
+                    Err(_) => {
+                        inner.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+                        backoff = (backoff * 2)
+                            .max(Duration::from_millis(50))
+                            .min(inner.config.restart_backoff_max);
+                    }
+                }
+                next = inner
+                    .config
+                    .persist_every
+                    .map(|p| Instant::now() + p + backoff);
             }
         }
     }
-    let _ = persist_snapshot(&inner, store);
+    if persist_snapshot(&inner, store).is_err() {
+        inner.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Persist a budget-tripped query's checkpoint under its identity so
 /// a follow-up query — in this process or the next — resumes instead
 /// of re-expanding.
 fn save_query_checkpoint(inner: &Inner, path: &Path, fingerprint: u64, ckpt: &Checkpoint) {
-    match save_checkpoint(path, fingerprint, ckpt) {
-        Ok(()) => {
+    match save_checkpoint_with(
+        inner.config.vfs.as_ref(),
+        path,
+        fingerprint,
+        ckpt,
+        RetryPolicy::default(),
+    ) {
+        Ok(retries) => {
             inner
                 .metrics
                 .store_checkpoints
                 .fetch_add(1, Ordering::Relaxed);
+            inner
+                .metrics
+                .io_retries
+                .fetch_add(retries as u64, Ordering::Relaxed);
         }
         Err(_) => {
             inner.metrics.store_errors.fetch_add(1, Ordering::Relaxed);
@@ -796,6 +1028,39 @@ fn dispatch(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool) -> 
             &json::obj([("ok", Json::Bool(true))]),
             close,
         ),
+        ("GET", "/readyz") => {
+            let warm = inner.warm_started.load(Ordering::Acquire);
+            let alive = inner.metrics.workers_alive.load(Ordering::Relaxed);
+            let configured = inner.config.workers.max(1);
+            let depth = inner.metrics.queue_depth.load(Ordering::Relaxed);
+            let capacity = inner.config.queue_capacity.max(1);
+            let shutting_down = inner.shutdown.load(Ordering::Acquire);
+            let ready = warm && alive > 0 && depth < capacity && !shutting_down;
+            let body = json::obj([
+                ("ready", Json::Bool(ready)),
+                ("warm_started", Json::Bool(warm)),
+                ("workers_alive", json::nu(alive as u64)),
+                ("workers_configured", json::nu(configured as u64)),
+                ("queue_depth", json::nu(depth as u64)),
+                ("queue_capacity", json::nu(capacity as u64)),
+                ("shutting_down", Json::Bool(shutting_down)),
+            ]);
+            respond_json(conn, inner, if ready { 200 } else { 503 }, &body, close)
+        }
+        ("POST", "/chaos/panic-worker") if inner.config.expose_chaos => {
+            // Acknowledge before dying so the client sees a
+            // deterministic 200; the panic then unwinds this worker
+            // thread *outside* any per-request shield, and the
+            // supervisor respawns the lane.
+            respond_json(
+                conn,
+                inner,
+                200,
+                &json::obj([("panicking", Json::Bool(true))]),
+                true,
+            );
+            panic!("chaos: operator-requested worker panic");
+        }
         ("GET", "/metrics") => {
             let page = inner.metrics.render(&inner.cache, &inner.breaker);
             inner.metrics.record_status(200);
@@ -850,7 +1115,8 @@ fn dispatch(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool) -> 
             );
             false
         }
-        ("GET", "/v1/query" | "/persist") | ("POST", "/healthz" | "/metrics" | "/v1/catalog") => {
+        ("GET", "/v1/query" | "/persist")
+        | ("POST", "/healthz" | "/readyz" | "/metrics" | "/v1/catalog") => {
             respond_error(
                 conn,
                 inner,
@@ -952,13 +1218,19 @@ fn plan_query<'a>(
         })
         .transpose()?
         .unwrap_or("first-enabled");
-    let scheduler = catalog::scheduler_by_name(sched_name).ok_or_else(|| {
-        (
-            400,
-            "unknown-scheduler",
-            format!("no scheduler {sched_name:?}; see /v1/catalog"),
-        )
-    })?;
+    // The chaos scheduler is deliberately absent from the public
+    // catalog; it resolves only when the operator opted into chaos.
+    let scheduler = if sched_name == "chaos-panic" && inner.config.expose_chaos {
+        catalog::chaos_panic_scheduler()
+    } else {
+        catalog::scheduler_by_name(sched_name).ok_or_else(|| {
+            (
+                400,
+                "unknown-scheduler",
+                format!("no scheduler {sched_name:?}; see /v1/catalog"),
+            )
+        })?
+    };
 
     let obs_name = doc
         .get("observation")
@@ -1061,6 +1333,31 @@ fn handle_query(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool)
         }
     };
 
+    // Poisoned-query breaker: an identity that has repeatedly panicked
+    // workers is refused up front with a stable error instead of being
+    // allowed to crash-loop the worker pool.
+    let identity = query_identity(
+        inner
+            .fingerprints
+            .get(plan.entry.name)
+            .copied()
+            .unwrap_or(0),
+        &plan.sched_name,
+        &plan.obs_name,
+        plan.horizon,
+    );
+    if inner.poison.is_quarantined(identity) {
+        respond_error(
+            conn,
+            inner,
+            422,
+            "query-quarantined",
+            "this query shape repeatedly crashed workers and is quarantined",
+            close,
+        );
+        return !close;
+    }
+
     let token = CancelToken::new();
     let mut budget = Budget::unlimited()
         .with_max_entries(plan.max_entries)
@@ -1102,8 +1399,16 @@ fn handle_query(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool)
     };
     inner.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
 
+    // The unwind shield: a panic anywhere in the engine (user-supplied
+    // scheduler/automaton code included) is caught here, answered with
+    // a stable 500, and struck against the query's identity — the
+    // worker thread itself never dies for a per-request panic. The
+    // `AssertUnwindSafe` is justified by `dpioa_sched::unwind` (the
+    // shared caches are RefUnwindSafe and poison-recovering).
     let started = Instant::now();
-    let result = execute_query(inner, &plan, &token, &config);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        execute_query(inner, &plan, &token, &config)
+    }));
     let service = started.elapsed();
 
     inner.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -1120,6 +1425,28 @@ fn handle_query(conn: &mut TcpStream, inner: &Inner, req: &Request, close: bool)
     // restore blocking mode before writing the response.
     let _ = conn.set_nonblocking(false);
     let _ = conn.set_write_timeout(Some(inner.config.limits.write_timeout));
+
+    let result = match caught {
+        Ok(result) => result,
+        Err(_) => {
+            inner.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            if inner.poison.strike(identity) {
+                inner
+                    .metrics
+                    .query_quarantines
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            respond_error(
+                conn,
+                inner,
+                500,
+                "worker-panic",
+                "query panicked mid-execution; the panic was isolated to this request",
+                close,
+            );
+            return !close;
+        }
+    };
 
     match result {
         Ok((dist, prov)) => {
@@ -1221,11 +1548,12 @@ fn solo_query(
         Some((store.checkpoint_path(identity), fp))
     });
     let resume = slot.as_ref().and_then(|(path, fp)| {
-        match load_checkpoint(path, *fp) {
+        let vfs = inner.config.vfs.as_ref();
+        match load_checkpoint_with(vfs, path, *fp) {
             Ok(ckpt) => {
                 // Consume the file: a resumed run that trips again
                 // writes a fresh, further-along checkpoint below.
-                let _ = std::fs::remove_file(path);
+                let _ = vfs.remove(path);
                 inner.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
                 inner.metrics.store_resumes.fetch_add(1, Ordering::Relaxed);
                 Some(ckpt)
@@ -1233,7 +1561,7 @@ fn solo_query(
             Err(StoreError::NotFound { .. }) => None,
             Err(e) => {
                 // Stale or corrupt checkpoint: drop it, run fresh.
-                let _ = std::fs::remove_file(path);
+                let _ = vfs.remove(path);
                 if e.is_cold_start() {
                     inner.metrics.store_misses.fetch_add(1, Ordering::Relaxed);
                 } else {

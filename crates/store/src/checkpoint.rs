@@ -252,6 +252,26 @@ pub fn decode_checkpoint(payload: &[u8]) -> Result<Checkpoint, StoreError> {
     Ok(ckpt)
 }
 
+/// Frame and atomically write `ckpt` to `path` through `vfs`, keyed by
+/// `fingerprint`, retrying transient faults per `retry`. Returns the
+/// retry count.
+pub fn save_checkpoint_with(
+    vfs: &dyn crate::vfs::Vfs,
+    path: &Path,
+    fingerprint: u64,
+    ckpt: &Checkpoint,
+    retry: crate::format::RetryPolicy,
+) -> Result<u32, StoreError> {
+    format::write_file_with(
+        vfs,
+        path,
+        FileKind::Checkpoint,
+        fingerprint,
+        &encode_checkpoint(ckpt),
+        retry,
+    )
+}
+
 /// Frame and atomically write `ckpt` to `path`, keyed by `fingerprint`.
 pub fn save_checkpoint(path: &Path, fingerprint: u64, ckpt: &Checkpoint) -> Result<(), StoreError> {
     format::write_file(
@@ -260,6 +280,20 @@ pub fn save_checkpoint(path: &Path, fingerprint: u64, ckpt: &Checkpoint) -> Resu
         fingerprint,
         &encode_checkpoint(ckpt),
     )
+}
+
+/// Read, validate, and decode the checkpoint at `path` through `vfs`.
+pub fn load_checkpoint_with(
+    vfs: &dyn crate::vfs::Vfs,
+    path: &Path,
+    fingerprint: u64,
+) -> Result<Checkpoint, StoreError> {
+    decode_checkpoint(&format::read_file_with(
+        vfs,
+        path,
+        FileKind::Checkpoint,
+        fingerprint,
+    )?)
 }
 
 /// Read, validate, and decode the checkpoint at `path`.

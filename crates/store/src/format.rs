@@ -17,13 +17,21 @@
 //! `<name>.<pid>.tmp` sibling first and are renamed over the target
 //! only once fully flushed, so a reader never observes a half-written
 //! file and a crash mid-write leaves any previous snapshot intact.
+//!
+//! All IO goes through a [`Vfs`] so the fault plane can interpose:
+//! [`write_file_with`] retries transient errors ([`is_transient`])
+//! under a bounded [`RetryPolicy`], restarting from a fresh temp file
+//! each attempt so a torn write never contaminates the retry. The
+//! convenience wrappers [`write_file`]/[`read_file`] run on
+//! [`RealVfs`]. Files that fail validation at boot can be moved aside
+//! with [`quarantine_file`] instead of blocking warm-start.
 
 use crate::error::StoreError;
+use crate::vfs::{is_transient, RealVfs, Vfs};
 use dpioa_core::fxhash::FxHasher;
-use std::fs;
 use std::hash::Hasher;
-use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// First four bytes of every store file.
 pub const MAGIC: [u8; 4] = *b"DPST";
@@ -37,6 +45,43 @@ const CHECKSUM_SEED: u64 = 0xC4EC_505D;
 
 /// Fixed header length: magic + version + kind + fingerprint + payload_len.
 const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 8;
+
+/// Suffix appended to files moved aside by [`quarantine_file`].
+pub const QUARANTINE_SUFFIX: &str = "quarantine";
+
+/// Bounded retry for transient IO errors on the write path.
+///
+/// Each attempt restarts from a fresh temp file, so retries are safe
+/// even after a torn write — the damaged sibling is discarded, never
+/// patched. Permanent errors (`ENOSPC`, validation failures) are
+/// surfaced immediately without consuming attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Zero behaves as one.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error. Used by the harness to
+    /// observe raw fault behaviour.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
 
 /// What a store file holds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,13 +115,18 @@ fn checksum(bytes: &[u8]) -> u64 {
 }
 
 /// Frame `payload` and write it to `path` atomically (temp sibling +
-/// rename). Creates missing parent directories.
-pub fn write_file(
+/// rename) through `vfs`, retrying transient faults per `retry`.
+///
+/// Returns the number of retries that were needed (0 on a clean first
+/// attempt) so callers can feed `dpioa_io_retries_total`.
+pub fn write_file_with(
+    vfs: &dyn Vfs,
     path: &Path,
     kind: FileKind,
     fingerprint: u64,
     payload: &[u8],
-) -> Result<(), StoreError> {
+    retry: RetryPolicy,
+) -> Result<u32, StoreError> {
     let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
     bytes.extend_from_slice(&MAGIC);
     bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -89,7 +139,7 @@ pub fn write_file(
 
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent).map_err(|e| StoreError::Io {
+            vfs.create_dir_all(parent).map_err(|e| StoreError::Io {
                 op: "create-dir",
                 detail: e.to_string(),
             })?;
@@ -103,33 +153,69 @@ pub fn write_file(
             detail: format!("path {} has no file name", path.display()),
         })?;
     let tmp = path.with_file_name(format!("{file_name}.{}.tmp", std::process::id()));
-    let write = (|| {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-        fs::rename(&tmp, path)
-    })();
-    if let Err(e) = write {
-        let _ = fs::remove_file(&tmp);
-        return Err(StoreError::Io {
-            op: "write",
-            detail: e.to_string(),
-        });
+
+    let attempts = retry.attempts.max(1);
+    let mut backoff = retry.backoff;
+    let mut retries = 0u32;
+    loop {
+        let write = (|| {
+            vfs.write(&tmp, &bytes)?;
+            vfs.fsync(&tmp)?;
+            vfs.rename(&tmp, path)
+        })();
+        match write {
+            Ok(()) => return Ok(retries),
+            Err(e) => {
+                // Discard the (possibly torn) sibling; every attempt
+                // starts from a clean slate.
+                let _ = vfs.remove(&tmp);
+                if retries + 1 >= attempts || !is_transient(&e) {
+                    return Err(StoreError::Io {
+                        op: "write",
+                        detail: e.to_string(),
+                    });
+                }
+                retries += 1;
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+            }
+        }
     }
-    Ok(())
 }
 
-/// Read and validate a store file, returning its payload.
+/// [`write_file_with`] on the production [`RealVfs`] with the default
+/// retry policy.
+pub fn write_file(
+    path: &Path,
+    kind: FileKind,
+    fingerprint: u64,
+    payload: &[u8],
+) -> Result<(), StoreError> {
+    write_file_with(
+        &RealVfs,
+        path,
+        kind,
+        fingerprint,
+        payload,
+        RetryPolicy::default(),
+    )
+    .map(|_| ())
+}
+
+/// Read and validate a store file through `vfs`, returning its payload.
 ///
 /// `expected_fingerprint` is the fingerprint the caller derived from
 /// its *live* structure; a file keyed to anything else is rejected as
 /// stale ([`StoreError::FingerprintMismatch`]).
-pub fn read_file(
+pub fn read_file_with(
+    vfs: &dyn Vfs,
     path: &Path,
     kind: FileKind,
     expected_fingerprint: u64,
 ) -> Result<Vec<u8>, StoreError> {
-    let bytes = match fs::read(path) {
+    let bytes = match vfs.read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Err(StoreError::NotFound {
@@ -144,6 +230,38 @@ pub fn read_file(
         }
     };
     validate(&bytes, kind, expected_fingerprint).map(Vec::from)
+}
+
+/// [`read_file_with`] on the production [`RealVfs`].
+pub fn read_file(
+    path: &Path,
+    kind: FileKind,
+    expected_fingerprint: u64,
+) -> Result<Vec<u8>, StoreError> {
+    read_file_with(&RealVfs, path, kind, expected_fingerprint)
+}
+
+/// Move a file that failed validation aside to `<name>.quarantine`,
+/// returning the quarantine path.
+///
+/// Boot paths call this instead of deleting: the evidence survives for
+/// an operator while warm-start proceeds as a cold start. An existing
+/// quarantine file for the same name is overwritten — the newest
+/// corpse is the interesting one.
+pub fn quarantine_file(vfs: &dyn Vfs, path: &Path) -> Result<PathBuf, StoreError> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::Io {
+            op: "quarantine",
+            detail: format!("path {} has no file name", path.display()),
+        })?;
+    let dest = path.with_file_name(format!("{file_name}.{QUARANTINE_SUFFIX}"));
+    vfs.rename(path, &dest).map_err(|e| StoreError::Io {
+        op: "quarantine",
+        detail: e.to_string(),
+    })?;
+    Ok(dest)
 }
 
 /// The validation core, separated from I/O so corruption tests can run
@@ -212,6 +330,8 @@ pub(crate) fn validate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{Fault, FaultVfs};
+    use std::fs;
 
     fn frame(kind: FileKind, print: u64, payload: &[u8]) -> Vec<u8> {
         let dir = std::env::temp_dir().join(format!("dpioa-store-fmt-{}", std::process::id()));
@@ -323,5 +443,79 @@ mod tests {
             validate(&bytes, FileKind::CacheSnapshot, 7).unwrap(),
             b"tiny payload"
         );
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_counted() {
+        let dir = std::env::temp_dir().join(format!("dpioa-store-retry-{}", std::process::id()));
+        let path = dir.join("retry.dpst");
+        // Op 0 is the first write: torn. Retry's fresh write (op 3,
+        // after fsync+rename of attempt 1 never happen — ops are
+        // write, then remove of the tmp) succeeds.
+        let vfs = FaultVfs::scripted(vec![(0, Fault::TornWrite { keep: 3 })]);
+        let retries = write_file_with(
+            &vfs,
+            &path,
+            FileKind::CacheSnapshot,
+            9,
+            b"payload",
+            RetryPolicy {
+                attempts: 3,
+                backoff: Duration::ZERO,
+            },
+        )
+        .unwrap();
+        assert_eq!(retries, 1);
+        assert_eq!(
+            read_file(&path, FileKind::CacheSnapshot, 9).unwrap(),
+            b"payload"
+        );
+        // The torn sibling was cleaned up before the retry.
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn permanent_faults_fail_fast_and_leave_the_old_file() {
+        let dir = std::env::temp_dir().join(format!("dpioa-store-perm-{}", std::process::id()));
+        let path = dir.join("perm.dpst");
+        write_file(&path, FileKind::CacheSnapshot, 9, b"old").unwrap();
+        // ENOSPC on the first write of the new version: no retry, and
+        // the old file is untouched.
+        let vfs = FaultVfs::scripted(vec![(0, Fault::Enospc)]);
+        let err = write_file_with(
+            &vfs,
+            &path,
+            FileKind::CacheSnapshot,
+            9,
+            b"new",
+            RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "store-io");
+        assert_eq!(vfs.faults_injected(), 1);
+        assert_eq!(
+            read_file(&path, FileKind::CacheSnapshot, 9).unwrap(),
+            b"old"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_the_corpse_aside() {
+        let dir = std::env::temp_dir().join(format!("dpioa-store-quar-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.dpst");
+        fs::write(&path, b"not a store file").unwrap();
+        let dest = quarantine_file(&RealVfs, &path).unwrap();
+        assert_eq!(dest, dir.join("bad.dpst.quarantine"));
+        assert!(!path.exists());
+        assert_eq!(fs::read(&dest).unwrap(), b"not a store file");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -40,13 +40,24 @@ mod fingerprint;
 mod format;
 mod snapshot;
 mod strata;
+mod vfs;
 mod wire;
 
-pub use checkpoint::{decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint};
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, load_checkpoint, load_checkpoint_with, save_checkpoint,
+    save_checkpoint_with,
+};
 pub use error::StoreError;
 pub use fingerprint::{automaton_fingerprint, combined_fingerprint, FINGERPRINT_STATE_CAP};
-pub use format::{read_file, write_file, FileKind, FORMAT_VERSION, MAGIC};
+pub use format::{
+    quarantine_file, read_file, read_file_with, write_file, write_file_with, FileKind, RetryPolicy,
+    FORMAT_VERSION, MAGIC, QUARANTINE_SUFFIX,
+};
 pub use snapshot::{
     decode_into_cache, encode_cache, EngineCacheStoreExt, SnapshotStats, WarmStartStats,
 };
-pub use strata::{decode_strata, encode_strata, load_strata, save_strata, StratumRow};
+pub use strata::{
+    decode_strata, encode_strata, load_strata, load_strata_with, save_strata, save_strata_with,
+    StratumRow,
+};
+pub use vfs::{is_transient, Fault, FaultVfs, RealVfs, Vfs};

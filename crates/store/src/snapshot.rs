@@ -34,6 +34,8 @@ pub struct SnapshotStats {
     pub choices: usize,
     /// Framed file size in bytes.
     pub bytes: usize,
+    /// Transient-IO retries the write needed (0 on a clean pass).
+    pub io_retries: u32,
 }
 
 /// What a warm start recovered.
@@ -242,28 +244,79 @@ pub trait EngineCacheStoreExt {
     /// `fingerprint`, atomically.
     fn snapshot_to(&self, path: &Path, fingerprint: u64) -> Result<SnapshotStats, StoreError>;
 
+    /// [`EngineCacheStoreExt::snapshot_to`] through an explicit `vfs`
+    /// and retry policy — the fault-plane entry point.
+    fn snapshot_to_with(
+        &self,
+        vfs: &dyn crate::vfs::Vfs,
+        path: &Path,
+        fingerprint: u64,
+        retry: format::RetryPolicy,
+    ) -> Result<SnapshotStats, StoreError>;
+
     /// Load the snapshot at `path` into this cache, verifying the
     /// frame, checksum, and `fingerprint` first. On any error the
     /// cache is left exactly as it was.
     fn warm_start_from(&self, path: &Path, fingerprint: u64) -> Result<WarmStartStats, StoreError>;
+
+    /// [`EngineCacheStoreExt::warm_start_from`] through an explicit
+    /// `vfs`.
+    fn warm_start_from_with(
+        &self,
+        vfs: &dyn crate::vfs::Vfs,
+        path: &Path,
+        fingerprint: u64,
+    ) -> Result<WarmStartStats, StoreError>;
 }
 
 impl EngineCacheStoreExt for EngineCache {
     fn snapshot_to(&self, path: &Path, fingerprint: u64) -> Result<SnapshotStats, StoreError> {
+        self.snapshot_to_with(
+            &crate::vfs::RealVfs,
+            path,
+            fingerprint,
+            format::RetryPolicy::default(),
+        )
+    }
+
+    fn snapshot_to_with(
+        &self,
+        vfs: &dyn crate::vfs::Vfs,
+        path: &Path,
+        fingerprint: u64,
+        retry: format::RetryPolicy,
+    ) -> Result<SnapshotStats, StoreError> {
         let trans = self.export_transitions().len();
         let choices = self.export_choices().len();
         let payload = encode_cache(self);
         let bytes = payload.len() + 33; // header (25) + checksum (8)
-        format::write_file(path, FileKind::CacheSnapshot, fingerprint, &payload)?;
+        let io_retries = format::write_file_with(
+            vfs,
+            path,
+            FileKind::CacheSnapshot,
+            fingerprint,
+            &payload,
+            retry,
+        )?;
         Ok(SnapshotStats {
             transitions: trans,
             choices,
             bytes,
+            io_retries,
         })
     }
 
     fn warm_start_from(&self, path: &Path, fingerprint: u64) -> Result<WarmStartStats, StoreError> {
-        let payload = format::read_file(path, FileKind::CacheSnapshot, fingerprint)?;
+        self.warm_start_from_with(&crate::vfs::RealVfs, path, fingerprint)
+    }
+
+    fn warm_start_from_with(
+        &self,
+        vfs: &dyn crate::vfs::Vfs,
+        path: &Path,
+        fingerprint: u64,
+    ) -> Result<WarmStartStats, StoreError> {
+        let payload = format::read_file_with(vfs, path, FileKind::CacheSnapshot, fingerprint)?;
         decode_into_cache(&payload, self)
     }
 }

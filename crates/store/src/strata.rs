@@ -67,10 +67,44 @@ pub fn decode_strata(payload: &[u8]) -> Result<Vec<StratumRow>, StoreError> {
     Ok(rows)
 }
 
+/// Frame and atomically write `rows` to `path` through `vfs`, keyed by
+/// the caller's catalog `fingerprint`, retrying transient faults per
+/// `retry`. Returns the retry count.
+pub fn save_strata_with(
+    vfs: &dyn crate::vfs::Vfs,
+    path: &Path,
+    fingerprint: u64,
+    rows: &[StratumRow],
+    retry: crate::format::RetryPolicy,
+) -> Result<u32, StoreError> {
+    format::write_file_with(
+        vfs,
+        path,
+        FileKind::Strata,
+        fingerprint,
+        &encode_strata(rows),
+        retry,
+    )
+}
+
 /// Frame and atomically write `rows` to `path`, keyed by the caller's
 /// catalog `fingerprint`.
 pub fn save_strata(path: &Path, fingerprint: u64, rows: &[StratumRow]) -> Result<(), StoreError> {
     format::write_file(path, FileKind::Strata, fingerprint, &encode_strata(rows))
+}
+
+/// Read, validate, and decode the strata file at `path` through `vfs`.
+pub fn load_strata_with(
+    vfs: &dyn crate::vfs::Vfs,
+    path: &Path,
+    fingerprint: u64,
+) -> Result<Vec<StratumRow>, StoreError> {
+    decode_strata(&format::read_file_with(
+        vfs,
+        path,
+        FileKind::Strata,
+        fingerprint,
+    )?)
 }
 
 /// Read, validate, and decode the strata file at `path`.

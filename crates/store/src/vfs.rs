@@ -1,0 +1,428 @@
+//! The injectable IO plane every store operation runs through.
+//!
+//! The store's crash-consistency promise — a reader sees the complete
+//! old file or the complete new file, never a blend — rests on a small
+//! set of filesystem primitives (write a sibling, fsync it, rename it
+//! over the target). [`Vfs`] names exactly those primitives, so the
+//! promise can be *tested*, not just argued: [`RealVfs`] passes every
+//! call to `std::fs`, while [`FaultVfs`] wraps it and injects the
+//! fault classes real disks exhibit — torn writes truncated at an
+//! arbitrary byte, fsync failures, `ENOSPC`, `EIO`, and renames that
+//! claim success but never happen — at deterministic, scriptable
+//! points. The crash-consistency harness in `tests/` sweeps a fault
+//! over every mutating operation of a persistence pass and asserts the
+//! all-old-or-all-new invariant at each one.
+//!
+//! Fault classification: [`is_transient`] decides which injected (or
+//! real) errors the retry loop in [`crate::write_file`] may retry —
+//! `EIO` and interrupted-style errors are transient (controllers
+//! hiccup; a rewrite starts from a fresh temp file), `ENOSPC` is not
+//! (retrying cannot create free space).
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The filesystem primitives the store is built from.
+///
+/// Implementations must be safe to share across threads: the server
+/// calls these concurrently from the persist thread, the request path
+/// (checkpoint save/load), and boot (warm start).
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Create (truncating) `path` and write `bytes` to it. Makes no
+    /// durability promise — pair with [`Vfs::fsync`].
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flush the file at `path` (data + metadata) to stable storage.
+    fn fsync(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically rename `from` over `to` (POSIX `rename(2)`).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// The entries of `dir`, as full paths, in unspecified order.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The production IO plane: every call goes straight to `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        fs::read_dir(dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<Vec<_>>>()
+    }
+}
+
+/// One injectable fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The write lands only its first `keep` bytes on disk, then fails
+    /// with `EIO` — a torn write / mid-write crash.
+    TornWrite {
+        /// Bytes that make it to disk before the tear.
+        keep: usize,
+    },
+    /// The write fails wholesale with `ENOSPC`; nothing lands.
+    Enospc,
+    /// The read or write fails with `EIO`; on a write nothing lands.
+    Eio,
+    /// `fsync` reports `EIO` — the data may or may not be durable, the
+    /// caller must treat the file as suspect.
+    FsyncFail,
+    /// The rename reports success but never happens — the journal
+    /// entry that would have made it durable is lost with the crash.
+    RenameDrop,
+}
+
+const ENOSPC: i32 = 28;
+const EIO: i32 = 5;
+
+fn os_err(raw: i32, what: &str) -> io::Error {
+    io::Error::new(
+        io::Error::from_raw_os_error(raw).kind(),
+        format!("injected fault: {what}"),
+    )
+}
+
+/// True iff retrying the operation could plausibly succeed: the
+/// interrupted/timeout family plus `EIO` (transient controller
+/// faults). `ENOSPC` and everything else are permanent — a retry
+/// cannot make space or un-corrupt a path.
+pub fn is_transient(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) || err.raw_os_error() == Some(EIO)
+        || err.kind() == io::Error::from_raw_os_error(EIO).kind()
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Scripted one-shot faults, keyed by mutating-op index. Consumed
+    /// when they fire.
+    script: Vec<(u64, Fault)>,
+    /// Seeded LCG state for probabilistic injection (chaos mode).
+    rng: u64,
+    /// Injection probability in percent for seeded mode.
+    rate_percent: u32,
+}
+
+/// A deterministic fault-injecting wrapper around [`RealVfs`].
+///
+/// Two modes, composable:
+///
+/// * **Scripted** ([`FaultVfs::scripted`]): fault `f` fires when the
+///   *mutating-op counter* (writes, fsyncs, renames, removes — reads
+///   and listings don't advance it) reaches index `k`. Each scripted
+///   fault fires exactly once, which models transient faults: the
+///   retry that follows finds the disk healthy again.
+/// * **Seeded** ([`FaultVfs::seeded`]): every mutating op rolls a
+///   deterministic LCG; a hit injects a fault whose kind cycles
+///   through the full fault alphabet. Used by the chaos bench.
+///
+/// Reads are only faulted by scripted `Eio` entries (indexed on the
+/// same counter *without* advancing it — schedule them against the op
+/// index the preceding mutation left).
+pub struct FaultVfs {
+    inner: RealVfs,
+    state: Mutex<FaultState>,
+    mutating_ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl fmt::Debug for FaultVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultVfs")
+            .field("mutating_ops", &self.mutating_ops.load(Ordering::Relaxed))
+            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FaultVfs {
+    /// A fault plane that injects each `(op index, fault)` pair once.
+    pub fn scripted(script: Vec<(u64, Fault)>) -> FaultVfs {
+        FaultVfs {
+            inner: RealVfs,
+            state: Mutex::new(FaultState {
+                script,
+                ..FaultState::default()
+            }),
+            mutating_ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// A fault plane that injects on roughly `rate_percent`% of
+    /// mutating ops, deterministically under `seed`.
+    pub fn seeded(seed: u64, rate_percent: u32) -> FaultVfs {
+        FaultVfs {
+            inner: RealVfs,
+            state: Mutex::new(FaultState {
+                script: Vec::new(),
+                rng: seed | 1,
+                rate_percent: rate_percent.min(100),
+            }),
+            mutating_ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// A pass-through fault plane that only counts — run a persistence
+    /// pass through this first to learn how many mutating ops it
+    /// performs, then sweep a scripted fault over `0..count`.
+    pub fn counting() -> FaultVfs {
+        FaultVfs::scripted(Vec::new())
+    }
+
+    /// Mutating operations observed so far.
+    pub fn mutating_ops(&self) -> u64 {
+        self.mutating_ops.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Decide the fault (if any) for the mutating op with index `op`.
+    fn roll(&self, op: u64) -> Option<Fault> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(at) = st.script.iter().position(|&(k, _)| k == op) {
+            let (_, fault) = st.script.remove(at);
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(fault);
+        }
+        if st.rate_percent > 0 {
+            // Deterministic LCG (Numerical Recipes constants).
+            st.rng = st
+                .rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let draw = (st.rng >> 33) % 100;
+            if (draw as u32) < st.rate_percent {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                // Cycle the alphabet so every class shows up; torn
+                // writes keep a pseudo-random prefix.
+                let fault = match (st.rng >> 17) % 5 {
+                    0 => Fault::TornWrite {
+                        keep: (st.rng >> 7) as usize % 64,
+                    },
+                    1 => Fault::Enospc,
+                    2 => Fault::Eio,
+                    3 => Fault::FsyncFail,
+                    _ => Fault::RenameDrop,
+                };
+                return Some(fault);
+            }
+        }
+        None
+    }
+
+    /// Advance the mutating-op counter and roll for its fault.
+    fn next_mutation(&self) -> Option<Fault> {
+        let op = self.mutating_ops.fetch_add(1, Ordering::Relaxed);
+        self.roll(op)
+    }
+
+    /// Peek the fault scheduled against the *current* counter value
+    /// without advancing it (read-path injection).
+    fn read_fault(&self) -> Option<Fault> {
+        let op = self.mutating_ops.load(Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(at) = st
+            .script
+            .iter()
+            .position(|&(k, f)| k == op && f == Fault::Eio)
+        {
+            let (_, fault) = st.script.remove(at);
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(fault);
+        }
+        None
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.read_fault().is_some() {
+            return Err(os_err(EIO, "read EIO"));
+        }
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.next_mutation() {
+            Some(Fault::TornWrite { keep }) => {
+                let keep = keep.min(bytes.len());
+                // The torn prefix really lands — that is the point.
+                let _ = self.inner.write(path, &bytes[..keep]);
+                Err(os_err(EIO, "torn write"))
+            }
+            Some(Fault::Enospc) => Err(os_err(ENOSPC, "write ENOSPC")),
+            Some(Fault::Eio) => Err(os_err(EIO, "write EIO")),
+            // Fsync/rename faults scheduled against a write index
+            // still consume their slot but do not fault the write.
+            Some(Fault::FsyncFail) | Some(Fault::RenameDrop) | None => {
+                self.inner.write(path, bytes)
+            }
+        }
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        match self.next_mutation() {
+            Some(Fault::FsyncFail) | Some(Fault::Eio) => Err(os_err(EIO, "fsync EIO")),
+            _ => self.inner.fsync(path),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.next_mutation() {
+            // The rename claims success; the on-disk state keeps the
+            // old target (and the orphaned temp sibling).
+            Some(Fault::RenameDrop) => Ok(()),
+            Some(Fault::Eio) => Err(os_err(EIO, "rename EIO")),
+            Some(Fault::Enospc) => Err(os_err(ENOSPC, "rename ENOSPC")),
+            _ => self.inner.rename(from, to),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match self.next_mutation() {
+            Some(Fault::Eio) => Err(os_err(EIO, "remove EIO")),
+            _ => self.inner.remove(path),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpioa-vfs-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    #[test]
+    fn real_vfs_round_trips() {
+        let path = tmp("real.bin");
+        RealVfs.write(&path, b"abc").unwrap();
+        RealVfs.fsync(&path).unwrap();
+        assert_eq!(RealVfs.read(&path).unwrap(), b"abc");
+        let renamed = tmp("real2.bin");
+        RealVfs.rename(&path, &renamed).unwrap();
+        assert!(RealVfs.read(&path).is_err());
+        assert_eq!(RealVfs.read(&renamed).unwrap(), b"abc");
+        let listing = RealVfs.list(renamed.parent().unwrap()).unwrap();
+        assert!(listing.contains(&renamed));
+        RealVfs.remove(&renamed).unwrap();
+    }
+
+    #[test]
+    fn scripted_faults_fire_once_at_their_index() {
+        let path = tmp("torn.bin");
+        let vfs = FaultVfs::scripted(vec![(0, Fault::TornWrite { keep: 2 })]);
+        let err = vfs.write(&path, b"abcdef").unwrap_err();
+        assert!(is_transient(&err), "torn write must be retryable: {err}");
+        assert_eq!(fs::read(&path).unwrap(), b"ab", "torn prefix lands");
+        // Second attempt (op index 1) is clean.
+        vfs.write(&path, b"abcdef").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"abcdef");
+        assert_eq!(vfs.faults_injected(), 1);
+        assert_eq!(vfs.mutating_ops(), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rename_drop_keeps_the_old_target() {
+        let a = tmp("rd-a.bin");
+        let b = tmp("rd-b.bin");
+        RealVfs.write(&a, b"new").unwrap();
+        RealVfs.write(&b, b"old").unwrap();
+        let vfs = FaultVfs::scripted(vec![(0, Fault::RenameDrop)]);
+        vfs.rename(&a, &b).unwrap(); // claims success
+        assert_eq!(fs::read(&b).unwrap(), b"old", "drop keeps the target");
+        assert_eq!(fs::read(&a).unwrap(), b"new", "source still orphaned");
+        let _ = fs::remove_file(&a);
+        let _ = fs::remove_file(&b);
+    }
+
+    #[test]
+    fn enospc_is_permanent_eio_is_transient() {
+        let vfs = FaultVfs::scripted(vec![(0, Fault::Enospc), (1, Fault::Eio)]);
+        let path = tmp("class.bin");
+        let full = vfs.write(&path, b"x").unwrap_err();
+        assert!(!is_transient(&full), "ENOSPC must not be retried: {full}");
+        let flaky = vfs.write(&path, b"x").unwrap_err();
+        assert!(is_transient(&flaky), "EIO must be retryable: {flaky}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn seeded_mode_is_deterministic_and_injects_at_roughly_the_rate() {
+        let run = || {
+            let vfs = FaultVfs::seeded(0xC4A05, 30);
+            let path = tmp("seeded.bin");
+            let mut outcomes = Vec::new();
+            for _ in 0..200 {
+                outcomes.push(vfs.write(&path, b"payload").is_ok());
+            }
+            let _ = fs::remove_file(&path);
+            (outcomes, vfs.faults_injected())
+        };
+        let (a, a_inj) = run();
+        let (b, b_inj) = run();
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert_eq!(a_inj, b_inj);
+        assert!(a_inj > 20 && a_inj < 120, "rate off: {a_inj}/200");
+    }
+}

@@ -1,0 +1,548 @@
+//! The crash-consistency harness: replay a fault at *every* injected
+//! fault point of every persistence pass the store performs, and
+//! assert the store's central promise at each one — a reboot sees the
+//! complete old state or the complete new state, bit for bit, never a
+//! blend, never a panic.
+//!
+//! Mechanics: a persistence pass is first run through
+//! [`FaultVfs::counting`] to learn how many mutating IO operations it
+//! performs, then re-run once per `(operation index, fault kind)` pair
+//! through [`FaultVfs::scripted`], so every reachable fault point is
+//! exercised. "Reboot" is a fresh read of the target through the
+//! production [`RealVfs`].
+//!
+//! The hostile-file property tests at the bottom cover the read side:
+//! truncation at every frame-section boundary and random bit flips
+//! must surface a typed store error and apply *nothing* to a live
+//! cache.
+
+use dpioa_core::{Action, Automaton, ExplicitAutomaton, Signature, Value};
+use dpioa_prob::{Disc, SubDisc};
+use dpioa_sched::{
+    try_execution_measure_ckpt, Budget, Checkpoint, EngineCache, FirstEnabled, ParallelPolicy,
+};
+use dpioa_store::{
+    automaton_fingerprint, encode_cache, encode_checkpoint, encode_strata, load_checkpoint_with,
+    load_strata_with, read_file_with, save_checkpoint_with, save_strata_with, EngineCacheStoreExt,
+    Fault, FaultVfs, FileKind, RealVfs, RetryPolicy, StratumRow, Vfs,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The fault alphabet swept over every mutating operation. Torn writes
+/// are tried at several tear points including zero (nothing lands) and
+/// deep into the frame. A fault scheduled at an op it cannot apply to
+/// (e.g. `RenameDrop` against a write) is consumed silently — the
+/// sweep covers those combinations on purpose: they model faults that
+/// "would have" hit a neighbouring op and must be harmless.
+fn fault_alphabet() -> Vec<Fault> {
+    vec![
+        Fault::TornWrite { keep: 0 },
+        Fault::TornWrite { keep: 1 },
+        Fault::TornWrite { keep: 13 },
+        Fault::TornWrite { keep: 40 },
+        Fault::Enospc,
+        Fault::Eio,
+        Fault::FsyncFail,
+        Fault::RenameDrop,
+    ]
+}
+
+/// A scratch directory unique to this process and test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpioa-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Count the mutating IO operations one clean run of `pass` performs.
+fn count_ops(pass: impl FnOnce(&FaultVfs)) -> u64 {
+    let vfs = FaultVfs::counting();
+    pass(&vfs);
+    vfs.mutating_ops()
+}
+
+// ---------------------------------------------------------------------
+// Frame level: write_file_with on every file kind.
+// ---------------------------------------------------------------------
+
+/// The tentpole sweep at the frame layer: for every file kind, every
+/// mutating-op index of an atomic write, and every fault kind, the
+/// target file after the faulted write validates and holds exactly the
+/// old or exactly the new payload.
+#[test]
+fn every_fault_point_leaves_all_old_or_all_new() {
+    let old: Vec<u8> = (0..57u8).collect();
+    let new: Vec<u8> = (0..91u8).rev().collect();
+    let fp = 0xFEED_F00D_u64;
+
+    for kind in [
+        FileKind::CacheSnapshot,
+        FileKind::Checkpoint,
+        FileKind::Strata,
+    ] {
+        let dir = scratch(&format!("frame-{}", kind as u8));
+        let path = dir.join("target.dpst");
+        let ops = count_ops(|vfs| {
+            dpioa_store::write_file_with(
+                vfs,
+                &dir.join("probe.dpst"),
+                kind,
+                fp,
+                &new,
+                RetryPolicy::none(),
+            )
+            .expect("counting pass is clean");
+        });
+        assert!(ops >= 3, "write+fsync+rename at minimum, got {ops}");
+
+        let (mut saw_old, mut saw_new) = (false, false);
+        for k in 0..ops {
+            for fault in fault_alphabet() {
+                // Reset to the old state, then attempt the new write
+                // with the fault scripted at mutating op `k` and
+                // retries disabled, so the raw fault behaviour shows.
+                dpioa_store::write_file_with(&RealVfs, &path, kind, fp, &old, RetryPolicy::none())
+                    .expect("reset old");
+                let vfs = FaultVfs::scripted(vec![(k, fault)]);
+                let _ =
+                    dpioa_store::write_file_with(&vfs, &path, kind, fp, &new, RetryPolicy::none());
+
+                // Reboot: the target must validate and be all-old or
+                // all-new — a torn or lied-about write never reaches it.
+                let payload = read_file_with(&RealVfs, &path, kind, fp).unwrap_or_else(|e| {
+                    panic!("target corrupt after fault {fault:?} at op {k}: {e}")
+                });
+                assert!(
+                    payload == old || payload == new,
+                    "blended payload after fault {fault:?} at op {k}"
+                );
+                saw_old |= payload == old;
+                saw_new |= payload == new;
+            }
+        }
+        assert!(saw_old, "no fault point ever preserved the old file");
+        assert!(saw_new, "no fault point ever committed the new file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Under the default bounded retry, every fault point resolves to one
+/// of exactly two visible outcomes: the write reports success and the
+/// new payload is durably committed, or it reports a typed IO error
+/// and the old payload is untouched. No third state exists — except
+/// the documented lying-rename (`RenameDrop`), which reports success
+/// while keeping the old file; the sweep pins that case separately.
+#[test]
+fn retry_outcomes_are_binary_success_commits_failure_preserves() {
+    let old = b"old".to_vec();
+    let new = b"brand new payload".to_vec();
+    let fp = 0xA11C_E5ED_u64;
+    let dir = scratch("retry");
+    let path = dir.join("target.dpst");
+    let kind = FileKind::Checkpoint;
+
+    let ops = count_ops(|vfs| {
+        dpioa_store::write_file_with(
+            vfs,
+            &dir.join("probe.dpst"),
+            kind,
+            fp,
+            &new,
+            RetryPolicy::none(),
+        )
+        .expect("counting pass is clean");
+    });
+
+    let mut total_retries = 0u32;
+    for k in 0..ops {
+        for fault in fault_alphabet() {
+            dpioa_store::write_file_with(&RealVfs, &path, kind, fp, &old, RetryPolicy::none())
+                .expect("reset old");
+            let vfs = FaultVfs::scripted(vec![(k, fault)]);
+            let result =
+                dpioa_store::write_file_with(&vfs, &path, kind, fp, &new, RetryPolicy::default());
+            let payload = read_file_with(&RealVfs, &path, kind, fp).expect("validates");
+            match result {
+                Ok(retries) => {
+                    total_retries += retries;
+                    if fault == Fault::RenameDrop && payload == old {
+                        // The lying rename: success reported, old file
+                        // kept. This is exactly why the server's persist
+                        // loop is periodic — the next pass re-commits.
+                        continue;
+                    }
+                    assert_eq!(
+                        payload, new,
+                        "reported success must mean the new payload (fault {fault:?} at op {k})"
+                    );
+                }
+                Err(e) => {
+                    // Only the permanent class survives the retry loop.
+                    assert_eq!(e.code(), "store-io");
+                    assert_eq!(
+                        payload, old,
+                        "reported failure must leave the old payload (fault {fault:?} at op {k})"
+                    );
+                }
+            }
+        }
+    }
+    // The transient faults in the sweep (torn writes, EIO, fsync
+    // failures at their own ops) must actually have exercised the
+    // retry loop, not been silently absorbed.
+    assert!(
+        total_retries >= 3,
+        "retry loop never engaged: {total_retries}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Store level: the real snapshot / checkpoint / strata passes.
+// ---------------------------------------------------------------------
+
+fn small_cache(tag: &str, rows: usize) -> EngineCache {
+    let cache = EngineCache::new();
+    for i in 0..rows {
+        let c = SubDisc::from_entries(vec![(Action::named(format!("cc-{tag}-{i}")), 1.0)]).unwrap();
+        assert!(cache.import_choice(
+            &format!("cc-scope-{tag}"),
+            i,
+            &Value::int(i as i64),
+            Some(c)
+        ));
+    }
+    cache
+}
+
+/// The engine-cache snapshot pass, swept at every fault point: a fresh
+/// cache warm-started from the post-fault file carries exactly the old
+/// rows or exactly the new rows (canonical encodings compared).
+#[test]
+fn snapshot_pass_is_crash_consistent_at_every_fault_point() {
+    let fp = 0x5EED_CAFE_u64;
+    let dir = scratch("snap");
+    let path = dir.join("cache.dpst");
+    let old_cache = small_cache("old", 3);
+    let new_cache = small_cache("new", 5);
+    let old_canon = encode_cache(&old_cache);
+    let new_canon = encode_cache(&new_cache);
+    assert_ne!(old_canon, new_canon);
+
+    let ops = count_ops(|vfs| {
+        new_cache
+            .snapshot_to_with(vfs, &dir.join("probe.dpst"), fp, RetryPolicy::none())
+            .expect("counting pass is clean");
+    });
+    for k in 0..ops {
+        for fault in fault_alphabet() {
+            old_cache
+                .snapshot_to_with(&RealVfs, &path, fp, RetryPolicy::none())
+                .expect("reset old snapshot");
+            let vfs = FaultVfs::scripted(vec![(k, fault)]);
+            let _ = new_cache.snapshot_to_with(&vfs, &path, fp, RetryPolicy::none());
+
+            // Reboot: warm-start a fresh cache and re-encode it.
+            let rebooted = EngineCache::new();
+            rebooted
+                .warm_start_from_with(&RealVfs, &path, fp)
+                .unwrap_or_else(|e| {
+                    panic!("snapshot corrupt after fault {fault:?} at op {k}: {e}")
+                });
+            let canon = encode_cache(&rebooted);
+            assert!(
+                canon == old_canon || canon == new_canon,
+                "blended cache state after fault {fault:?} at op {k}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A probabilistic binary tree: state `i` branches to `2i+1` / `2i+2`
+/// until the leaf layer. Expansion caps map deterministically to trip
+/// depths, so a budgeted run always leaves a checkpoint.
+fn binary_tree(depth: u32) -> Arc<dyn Automaton> {
+    let split = Action::named("cc-split");
+    let internal = 2i64.pow(depth) - 1;
+    let total = 2i64.pow(depth + 1) - 1;
+    let mut b = ExplicitAutomaton::builder("cc-tree", Value::int(0));
+    for q in 0..internal {
+        b = b.state(q, Signature::new([], [], [split])).transition(
+            q,
+            split,
+            Disc::bernoulli_dyadic(Value::int(2 * q + 1), Value::int(2 * q + 2), 1, 1),
+        );
+    }
+    for q in internal..total {
+        b = b.state(q, Signature::new([], [], []));
+    }
+    b.build().shared()
+}
+
+/// The query-checkpoint and strata passes, swept the same way: a
+/// reboot loads exactly the old or exactly the new artefact.
+#[test]
+fn checkpoint_and_strata_passes_are_crash_consistent_at_every_fault_point() {
+    let auto = binary_tree(5);
+    let fp = automaton_fingerprint(auto.as_ref());
+    let cache = EngineCache::new();
+    let policy = ParallelPolicy::new(1, 0).with_split_unit(2);
+    let trip = |expansions: usize| -> Checkpoint {
+        let (outcome, _) = try_execution_measure_ckpt(
+            auto.as_ref(),
+            &FirstEnabled,
+            5,
+            &Budget::unlimited().with_max_expansions(expansions),
+            policy,
+            &cache,
+        )
+        .expect("budget trips are salvageable");
+        Checkpoint::Cone(
+            outcome
+                .into_checkpoint()
+                .expect("tiny budgets cannot finish a depth-5 tree"),
+        )
+    };
+    let old_ckpt = trip(2);
+    let new_ckpt = trip(4);
+    let old_canon = encode_checkpoint(&old_ckpt);
+    let new_canon = encode_checkpoint(&new_ckpt);
+    assert_ne!(old_canon, new_canon, "distinct progress points");
+
+    let dir = scratch("ckpt");
+    let path = dir.join("ckpt.dpst");
+    let ops = count_ops(|vfs| {
+        save_checkpoint_with(
+            vfs,
+            &dir.join("probe.dpst"),
+            fp,
+            &new_ckpt,
+            RetryPolicy::none(),
+        )
+        .expect("counting pass is clean");
+    });
+    for k in 0..ops {
+        for fault in fault_alphabet() {
+            save_checkpoint_with(&RealVfs, &path, fp, &old_ckpt, RetryPolicy::none())
+                .expect("reset old checkpoint");
+            let vfs = FaultVfs::scripted(vec![(k, fault)]);
+            let _ = save_checkpoint_with(&vfs, &path, fp, &new_ckpt, RetryPolicy::none());
+            let rebooted = load_checkpoint_with(&RealVfs, &path, fp).unwrap_or_else(|e| {
+                panic!("checkpoint corrupt after fault {fault:?} at op {k}: {e}")
+            });
+            let canon = encode_checkpoint(&rebooted);
+            assert!(
+                canon == old_canon || canon == new_canon,
+                "blended checkpoint after fault {fault:?} at op {k}"
+            );
+        }
+    }
+
+    // Strata ride the same frame; sweep their pass too.
+    let old_rows: Vec<StratumRow> = vec![(fp, "s".into(), "o".into(), 2, old_ckpt.clone())];
+    let new_rows: Vec<StratumRow> = vec![
+        (fp, "s".into(), "o".into(), 4, new_ckpt.clone()),
+        (fp, "s2".into(), "o".into(), 4, new_ckpt.clone()),
+    ];
+    let old_canon = encode_strata(&old_rows);
+    let new_canon = encode_strata(&new_rows);
+    let spath = dir.join("strata.dpst");
+    let ops = count_ops(|vfs| {
+        save_strata_with(
+            vfs,
+            &dir.join("probe2.dpst"),
+            fp,
+            &new_rows,
+            RetryPolicy::none(),
+        )
+        .expect("counting pass is clean");
+    });
+    for k in 0..ops {
+        for fault in fault_alphabet() {
+            save_strata_with(&RealVfs, &spath, fp, &old_rows, RetryPolicy::none())
+                .expect("reset old strata");
+            let vfs = FaultVfs::scripted(vec![(k, fault)]);
+            let _ = save_strata_with(&vfs, &spath, fp, &new_rows, RetryPolicy::none());
+            let rebooted = load_strata_with(&RealVfs, &spath, fp)
+                .unwrap_or_else(|e| panic!("strata corrupt after fault {fault:?} at op {k}: {e}"));
+            let canon = encode_strata(&rebooted);
+            assert!(
+                canon == old_canon || canon == new_canon,
+                "blended strata after fault {fault:?} at op {k}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Read faults are surfaced as typed IO errors, and the fault plane
+/// leaves the file itself untouched for the retry that follows.
+#[test]
+fn read_faults_are_typed_and_non_destructive() {
+    let dir = scratch("readf");
+    let path = dir.join("r.dpst");
+    let payload = b"readable".to_vec();
+    dpioa_store::write_file_with(
+        &RealVfs,
+        &path,
+        FileKind::Strata,
+        7,
+        &payload,
+        RetryPolicy::none(),
+    )
+    .unwrap();
+    let vfs = FaultVfs::scripted(vec![(0, Fault::Eio)]);
+    let err = read_file_with(&vfs, &path, FileKind::Strata, 7).unwrap_err();
+    assert_eq!(err.code(), "store-io");
+    // The next read (fault consumed) succeeds on the same plane.
+    assert_eq!(
+        read_file_with(&vfs, &path, FileKind::Strata, 7).unwrap(),
+        payload
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Hostile files: truncation boundaries and bit flips.
+// ---------------------------------------------------------------------
+
+/// Every frame-section boundary of the DPST layout (see
+/// `crates/store/src/format.rs`): magic, version, kind, fingerprint,
+/// payload_len, payload, checksum.
+fn frame_boundaries(payload_len: usize) -> Vec<usize> {
+    let header = 4 + 4 + 1 + 8 + 8;
+    let full = header + payload_len + 8;
+    let mut cuts = vec![
+        0,
+        1,
+        4,      // after magic
+        8,      // after version
+        9,      // after kind
+        17,     // after fingerprint
+        header, // after payload_len
+        header + payload_len / 2,
+        header + payload_len, // before checksum
+        full - 1,
+    ];
+    cuts.dedup();
+    cuts
+}
+
+fn valid_file_bytes(kind: FileKind, fp: u64, payload: &[u8], tag: &str) -> Vec<u8> {
+    let dir = scratch(tag);
+    let path = dir.join("v.dpst");
+    dpioa_store::write_file_with(&RealVfs, &path, kind, fp, payload, RetryPolicy::none()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncating any file kind at any frame-section boundary (and at a
+    /// proptest-chosen arbitrary cut) yields a typed store error —
+    /// never a panic — and applies nothing to a live cache.
+    #[test]
+    fn truncations_at_every_boundary_are_typed_and_apply_nothing(
+        kind_tag in 1u8..=3,
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        arbitrary_cut in 0usize..400,
+    ) {
+        let kind = match kind_tag {
+            1 => FileKind::CacheSnapshot,
+            2 => FileKind::Checkpoint,
+            _ => FileKind::Strata,
+        };
+        let fp = 0xB0B5_u64;
+        let bytes = valid_file_bytes(kind, fp, &payload, "trunc");
+        let dir = scratch("trunc-case");
+        let path = dir.join("t.dpst");
+
+        let mut cuts = frame_boundaries(payload.len());
+        cuts.push(arbitrary_cut.min(bytes.len() - 1));
+        for cut in cuts {
+            RealVfs.write(&path, &bytes[..cut.min(bytes.len())]).unwrap();
+            let err = read_file_with(&RealVfs, &path, kind, fp)
+                .expect_err("truncated file must not validate");
+            // Typed, stable, and never mistaken for a missing file.
+            prop_assert!(err.code().starts_with("store-"), "{err}");
+            prop_assert_ne!(err.code(), "store-not-found");
+
+            // Zero partial application: warm-starting a populated cache
+            // from the corpse leaves it exactly as it was.
+            if kind == FileKind::CacheSnapshot {
+                let cache = small_cache("hostile", 2);
+                let before = encode_cache(&cache);
+                let _ = cache.warm_start_from_with(&RealVfs, &path, fp);
+                prop_assert_eq!(encode_cache(&cache), before);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping any single bit anywhere in the frame is caught by the
+    /// seeded checksum (or an earlier header check) as a typed error.
+    #[test]
+    fn single_bit_flips_never_validate(
+        kind_tag in 1u8..=3,
+        payload in proptest::collection::vec(any::<u8>(), 1..120),
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let kind = match kind_tag {
+            1 => FileKind::CacheSnapshot,
+            2 => FileKind::Checkpoint,
+            _ => FileKind::Strata,
+        };
+        let fp = 0xF11B_u64;
+        let mut bytes = valid_file_bytes(kind, fp, &payload, "flip");
+        let at = flip_at % bytes.len();
+        bytes[at] ^= 1 << flip_bit;
+
+        let dir = scratch("flip-case");
+        let path = dir.join("f.dpst");
+        RealVfs.write(&path, &bytes).unwrap();
+        let err = read_file_with(&RealVfs, &path, kind, fp)
+            .expect_err("flipped file must not validate");
+        prop_assert!(err.code().starts_with("store-"), "{err}");
+
+        if kind == FileKind::CacheSnapshot {
+            let cache = small_cache("flip", 2);
+            let before = encode_cache(&cache);
+            let _ = cache.warm_start_from_with(&RealVfs, &path, fp);
+            prop_assert_eq!(encode_cache(&cache), before);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Quarantine-then-rebuild at boot: a store directory holding a
+/// corrupt file must not block a warm start — the file is moved to
+/// `*.quarantine` (evidence preserved) and the boot proceeds cold.
+/// The server-level behaviour is asserted in `supervision.rs`; here
+/// the primitive itself is pinned.
+#[test]
+fn quarantine_preserves_the_corpse_and_unblocks_the_path() {
+    let dir = scratch("quarantine");
+    let path = dir.join("cache.dpst");
+    RealVfs
+        .write(&path, b"DPSTgarbage-that-will-not-validate")
+        .unwrap();
+    let moved = dpioa_store::quarantine_file(&RealVfs, &path).expect("quarantine");
+    assert!(moved.to_string_lossy().ends_with("cache.dpst.quarantine"));
+    assert!(!path.exists(), "the blocking corpse is gone");
+    assert_eq!(
+        std::fs::read(&moved).unwrap(),
+        b"DPSTgarbage-that-will-not-validate",
+        "the evidence survives for the operator"
+    );
+    // The path now cold-starts cleanly.
+    let err = read_file_with(&RealVfs, &path, FileKind::CacheSnapshot, 1).unwrap_err();
+    assert_eq!(err.code(), "store-not-found");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,323 @@
+//! Wire tests for the self-healing server: per-request panic
+//! isolation, the poisoned-query breaker, supervisor respawn of dead
+//! workers, readiness reporting, boot-time quarantine of corrupt store
+//! files, and the persist thread's keep-alive under an injected fault
+//! plane. Everything is driven through a real socket; the only
+//! internal handle used is the metrics struct the harness asserts on.
+
+use dpioa_server::client::Client;
+use dpioa_server::{serve, Json, ServerConfig};
+use dpioa_store::FaultVfs;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn chaos_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        watcher_poll: Duration::from_millis(2),
+        expose_chaos: true,
+        ..ServerConfig::default()
+    }
+}
+
+/// A query that panics inside the engine, exactly where buggy
+/// scheduler code would.
+const PANIC_QUERY: &str = r#"{"automaton":"coin","scheduler":"chaos-panic","horizon":2}"#;
+
+/// Poll `cond` every few milliseconds until it holds or `deadline`
+/// passes; returns the final verdict.
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+fn error_code(resp: &dpioa_server::client::Response) -> String {
+    resp.json()
+        .unwrap()
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpioa-supervision-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn worker_panic_is_isolated_to_the_panicking_request() {
+    let handle = serve(chaos_config()).expect("bind");
+    let client = Client::new(handle.addr().to_string());
+
+    // The panicking query gets a stable 500, not a dropped socket.
+    let resp = client.query(PANIC_QUERY).unwrap();
+    assert_eq!(resp.status, 500, "body: {}", resp.body);
+    assert_eq!(error_code(&resp), "worker-panic");
+    assert!(handle.metrics().worker_panics.load(Ordering::Relaxed) >= 1);
+
+    // The worker that caught the panic keeps serving: the very next
+    // query (any worker) answers normally, zero lost requests.
+    let resp = client.query(r#"{"automaton":"coin","horizon":3}"#).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn chaos_hooks_are_invisible_without_opt_in() {
+    // Production config: the chaos scheduler does not resolve and the
+    // panic endpoint does not exist.
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let client = Client::new(handle.addr().to_string());
+
+    let resp = client.query(PANIC_QUERY).unwrap();
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    assert_eq!(error_code(&resp), "unknown-scheduler");
+
+    let resp = client.request("POST", "/chaos/panic-worker", None).unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(handle.metrics().worker_panics.load(Ordering::Relaxed), 0);
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn repeated_panics_quarantine_the_query_identity() {
+    let handle = serve(ServerConfig {
+        poison_threshold: 2,
+        ..chaos_config()
+    })
+    .expect("bind");
+    let client = Client::new(handle.addr().to_string());
+
+    // Two strikes on the same (automaton, scheduler, observation,
+    // horizon) identity...
+    for _ in 0..2 {
+        let resp = client.query(PANIC_QUERY).unwrap();
+        assert_eq!(resp.status, 500, "body: {}", resp.body);
+        assert_eq!(error_code(&resp), "worker-panic");
+    }
+    // ...and the third attempt is refused up front: no worker risked.
+    let resp = client.query(PANIC_QUERY).unwrap();
+    assert_eq!(resp.status, 422, "body: {}", resp.body);
+    assert_eq!(error_code(&resp), "query-quarantined");
+    assert_eq!(
+        handle.metrics().query_quarantines.load(Ordering::Relaxed),
+        1
+    );
+
+    // The breaker is per-identity, not global: the same poisonous
+    // scheduler at a different horizon is a fresh identity (it still
+    // gets its isolated 500), and healthy queries are untouched.
+    let resp = client
+        .query(r#"{"automaton":"coin","scheduler":"chaos-panic","horizon":3}"#)
+        .unwrap();
+    assert_eq!(resp.status, 500, "body: {}", resp.body);
+    let resp = client
+        .query(r#"{"automaton":"walk-8","horizon":6}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn supervisor_respawns_a_dead_worker() {
+    let handle = serve(chaos_config()).expect("bind");
+    let client = Client::new(handle.addr().to_string());
+    let metrics = handle.metrics();
+
+    assert!(
+        wait_until(Duration::from_secs(5), || metrics
+            .workers_alive
+            .load(Ordering::Relaxed)
+            == 2),
+        "both workers up"
+    );
+
+    // Kill a worker outside any per-request shield.
+    let resp = client.request("POST", "/chaos/panic-worker", None).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(
+        resp.json().unwrap().get("panicking"),
+        Some(&Json::Bool(true))
+    );
+
+    // The supervisor notices the corpse and respawns the lane.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            metrics.worker_restarts.load(Ordering::Relaxed) >= 1
+                && metrics.workers_alive.load(Ordering::Relaxed) == 2
+        }),
+        "worker respawned: restarts={} alive={}",
+        metrics.worker_restarts.load(Ordering::Relaxed),
+        metrics.workers_alive.load(Ordering::Relaxed)
+    );
+
+    // Full service restored.
+    let resp = client.query(r#"{"automaton":"coin","horizon":3}"#).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let resp = client.get("/readyz").unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn readyz_reports_the_full_gate_with_stable_keys() {
+    let handle = serve(chaos_config()).expect("bind");
+    let client = Client::new(handle.addr().to_string());
+
+    assert!(
+        wait_until(Duration::from_secs(5), || client
+            .get("/readyz")
+            .map(|r| r.status == 200)
+            .unwrap_or(false)),
+        "server became ready"
+    );
+    let body = client.get("/readyz").unwrap().json().unwrap();
+    assert_eq!(body.get("ready"), Some(&Json::Bool(true)));
+    assert_eq!(body.get("warm_started"), Some(&Json::Bool(true)));
+    assert_eq!(body.get("shutting_down"), Some(&Json::Bool(false)));
+    for key in [
+        "workers_alive",
+        "workers_configured",
+        "queue_depth",
+        "queue_capacity",
+    ] {
+        assert!(body.get(key).is_some(), "missing readyz key {key}");
+    }
+
+    // Liveness stays a separate, always-cheap probe.
+    let resp = client.get("/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.json().unwrap().get("ok"), Some(&Json::Bool(true)));
+    // Probe paths reject wrong methods with the stable 405.
+    let resp = client.request("POST", "/readyz", None).unwrap();
+    assert_eq!(resp.status, 405);
+
+    handle.shutdown_and_wait();
+}
+
+#[test]
+fn boot_quarantines_corrupt_store_files_and_serves_cold() {
+    let dir = store_dir("boot-quarantine");
+    // Valid magic, truncated body: unreadable but unmistakably ours —
+    // the quarantine path, not the silent cold-start path.
+    std::fs::write(dir.join("cache.dpst"), b"DPSTgarbage").unwrap();
+    std::fs::write(dir.join("strata.dpst"), b"DPSTgarbage").unwrap();
+
+    let handle = serve(ServerConfig {
+        store_dir: Some(dir.clone()),
+        ..chaos_config()
+    })
+    .expect("corrupt store files must not block boot");
+    let client = Client::new(handle.addr().to_string());
+
+    // Both corpses were moved aside, with the evidence preserved.
+    assert_eq!(
+        handle.metrics().quarantined_files.load(Ordering::Relaxed),
+        2
+    );
+    assert!(handle.metrics().store_errors.load(Ordering::Relaxed) >= 2);
+    for name in ["cache.dpst.quarantine", "strata.dpst.quarantine"] {
+        assert_eq!(
+            std::fs::read(dir.join(name)).unwrap(),
+            b"DPSTgarbage",
+            "{name}"
+        );
+    }
+    assert!(!dir.join("cache.dpst").exists());
+
+    // The server is simply cold, not broken.
+    let resp = client
+        .query(r#"{"automaton":"walk-8","horizon":6}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(client.get("/readyz").unwrap().status, 200);
+
+    // A graceful shutdown rebuilds valid store files over the rubble.
+    handle.shutdown_and_wait();
+    assert!(dir.join("cache.dpst").exists(), "parting snapshot written");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persist_thread_survives_an_injected_fault_plane() {
+    let dir = store_dir("persist-chaos");
+    let handle = serve(ServerConfig {
+        store_dir: Some(dir.clone()),
+        persist_every: Some(Duration::from_millis(3)),
+        vfs: Arc::new(FaultVfs::seeded(0xC4A0_5EED, 35)),
+        restart_backoff_max: Duration::from_millis(50),
+        ..chaos_config()
+    })
+    .expect("bind");
+    let client = Client::new(handle.addr().to_string());
+    let metrics = handle.metrics();
+
+    // Populate the cache so every persist pass writes real payloads.
+    let resp = client
+        .query(r#"{"automaton":"walk-8","horizon":8}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+
+    // At a 35% fault rate the seeded plane serves up permanent faults
+    // (ENOSPC) within a handful of passes; the persist thread must
+    // count them and keep going rather than die.
+    assert!(
+        wait_until(Duration::from_secs(30), || metrics
+            .persist_errors
+            .load(Ordering::Relaxed)
+            >= 1),
+        "persist pass never saw a fault"
+    );
+
+    // Still serving, still periodically persisting.
+    let resp = client
+        .query(r#"{"automaton":"walk-8","horizon":8}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(client.get("/readyz").unwrap().status, 200);
+    handle.shutdown_and_wait();
+
+    // Whatever mix of committed, retried, and failed passes the fault
+    // plane produced, atomic-rename discipline means a reboot on the
+    // production plane warm-starts (or cold-starts) cleanly — never a
+    // torn file, never a panic.
+    let handle = serve(ServerConfig {
+        store_dir: Some(dir.clone()),
+        ..chaos_config()
+    })
+    .expect("reboot after chaos run");
+    assert_eq!(
+        handle.metrics().quarantined_files.load(Ordering::Relaxed),
+        0,
+        "no torn store file can exist after an atomic-rename fault run"
+    );
+    let client = Client::new(handle.addr().to_string());
+    let resp = client
+        .query(r#"{"automaton":"walk-8","horizon":8}"#)
+        .unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    handle.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
